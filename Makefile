@@ -1,0 +1,49 @@
+# Development targets for the llsc repository.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz soak experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Short coordinated fuzzing session over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzLayoutRoundTrip -fuzztime 10s ./internal/word/
+	$(GO) test -fuzz FuzzFieldsRoundTrip -fuzztime 10s ./internal/word/
+	$(GO) test -fuzz FuzzModularArithmetic -fuzztime 10s ./internal/word/
+	$(GO) test -fuzz FuzzCheckerAgainstBruteForce -fuzztime 30s ./internal/linearizability/
+
+# Heavyweight randomized validation (minutes).
+soak:
+	LLSC_SOAK=1 $(GO) test -race -run TestSoak -v -timeout 60m ./internal/conformance/
+
+# The full experiment suite (writes the tables recorded in EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/llscbench
+	$(GO) run ./cmd/linearcheck
+	$(GO) run ./cmd/llscfuzz
+	$(GO) run ./cmd/tagsim -table
+
+examples:
+	@for e in quickstart stack queue stm largevar boundedtag universal simulator structures; do \
+		echo "--- examples/$$e"; $(GO) run ./examples/$$e || exit 1; \
+	done
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,791 @@
+// Benchmarks reproducing the paper's per-figure/per-theorem claims.
+// One benchmark family per experiment (E1-E8); see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results. The full
+// parameter sweeps with formatted tables live in cmd/llscbench; these
+// testing.B benches are the per-cell measurements.
+package llsc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/spec"
+	"repro/internal/stm"
+	"repro/internal/structures"
+	"repro/internal/universal"
+	"repro/internal/word"
+)
+
+// runWorkers distributes b.N operations over `workers` goroutines, calling
+// fn(worker) once per operation. It reports wall time for the whole batch.
+func runWorkers(b *testing.B, workers int, fn func(worker int)) {
+	b.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				fn(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// --- E1: Figure 3 / Theorem 1 — CAS from RLL/RSC ------------------------
+
+func BenchmarkE1_CASFromRLLRSC_Procs(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			m := machine.MustNew(machine.Config{Procs: procs})
+			v, err := core.NewCASVar(m, word.DefaultLayout, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runWorkers(b, procs, func(w int) {
+				p := m.Proc(w)
+				for {
+					old := v.Read(p)
+					if v.CompareAndSwap(p, old, (old+1)&v.Layout().MaxVal()) {
+						break
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkE1_CASFromRLLRSC_Spurious(b *testing.B) {
+	for _, prob := range []float64{0, 0.01, 0.1, 0.5} {
+		b.Run(fmt.Sprintf("p=%v", prob), func(b *testing.B) {
+			m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: prob, Seed: 3})
+			v, err := core.NewCASVar(m, word.DefaultLayout, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := m.Proc(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				old := v.Read(p)
+				v.CompareAndSwap(p, old, (old+1)&v.Layout().MaxVal())
+			}
+		})
+	}
+}
+
+func BenchmarkE1_NativeMachineCAS(b *testing.B) {
+	// The cost floor: the simulated machine's own CAS, no emulation layer.
+	m := machine.MustNew(machine.Config{Procs: 1})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		old := p.Load(w)
+		p.CAS(w, old, old+1)
+	}
+}
+
+func BenchmarkE1_HardwareCAS(b *testing.B) {
+	// The real-hardware cost floor: sync/atomic CAS.
+	var x atomic.Uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		old := x.Load()
+		x.CompareAndSwap(old, old+1)
+	}
+}
+
+// --- E2: Figure 4 / Theorem 2 — LL/VL/SC from CAS -----------------------
+
+func BenchmarkE2_LLSCFromCAS_Procs(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			v := core.MustNewVar(word.MustLayout(32), 0)
+			runWorkers(b, procs, func(w int) {
+				for {
+					val, keep := v.LL()
+					if v.SC(keep, val+1) {
+						break
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkE2_LLSCFromCAS_Ops(b *testing.B) {
+	v := core.MustNewVar(word.DefaultLayout, 0)
+	b.Run("LL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v.LL()
+		}
+	})
+	b.Run("VL", func(b *testing.B) {
+		_, keep := v.LL()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.VL(keep)
+		}
+	})
+	b.Run("LL+SC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, keep := v.LL()
+			v.SC(keep, uint64(i)&v.Layout().MaxVal())
+		}
+	})
+}
+
+// --- E3: Figure 5 / Theorem 3 — direct vs composed ----------------------
+
+func BenchmarkE3_DirectLLSCFromRLLRSC(b *testing.B) {
+	for _, procs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			m := machine.MustNew(machine.Config{Procs: procs})
+			v, err := core.NewRVar(m, word.MustLayout(48), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runWorkers(b, procs, func(w int) {
+				p := m.Proc(w)
+				for {
+					val, keep := v.LL(p)
+					if v.SC(p, keep, (val+1)&v.Layout().MaxVal()) {
+						break
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkE3_ComposedLLSCFromRLLRSC(b *testing.B) {
+	// Figure 4 over Figure 3: two tags per word (24+24 bits leaves 16 for
+	// data, versus Figure 5's 48-bit single tag with the same 16 data
+	// bits but vastly more wraparound headroom).
+	for _, procs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			m := machine.MustNew(machine.Config{Procs: procs})
+			v, err := baseline.NewComposed(m, 24, 24, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mask := uint64(1)<<v.DataBits() - 1
+			runWorkers(b, procs, func(w int) {
+				p := m.Proc(w)
+				for {
+					val, keep := v.LL(p)
+					if v.SC(p, keep, (val+1)&mask) {
+						break
+					}
+				}
+			})
+		})
+	}
+}
+
+// --- E4: Figure 6 / Theorem 4 — W-word WLL/VL/SC ------------------------
+
+func BenchmarkE4_LargeWLL_ByW(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			f := core.MustNewLargeFamily(core.LargeConfig{Procs: 1, Words: w})
+			v, err := f.NewVar(make([]uint64, w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, _ := f.Proc(0)
+			dst := make([]uint64, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.WLL(p, dst)
+			}
+		})
+	}
+}
+
+func BenchmarkE4_LargeSC_ByW(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			f := core.MustNewLargeFamily(core.LargeConfig{Procs: 1, Words: w})
+			v, err := f.NewVar(make([]uint64, w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, _ := f.Proc(0)
+			dst := make([]uint64, w)
+			val := make([]uint64, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				keep, res := v.WLL(p, dst)
+				if res != core.Succ {
+					b.Fatal("WLL failed uncontended")
+				}
+				val[0] = uint64(i) & f.MaxSegmentValue()
+				if !v.SC(p, keep, val) {
+					b.Fatal("SC failed uncontended")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE4_LargeVL(b *testing.B) {
+	// VL is Θ(1) regardless of W.
+	for _, w := range []int{1, 32} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			f := core.MustNewLargeFamily(core.LargeConfig{Procs: 1, Words: w})
+			v, err := f.NewVar(make([]uint64, w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, _ := f.Proc(0)
+			dst := make([]uint64, w)
+			keep, _ := v.WLL(p, dst)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.VL(p, keep)
+			}
+		})
+	}
+}
+
+func BenchmarkE4_LargeContended(b *testing.B) {
+	const w = 4
+	for _, procs := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			f := core.MustNewLargeFamily(core.LargeConfig{Procs: procs, Words: w})
+			v, err := f.NewVar(make([]uint64, w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles := make([]*core.LargeProc, procs)
+			bufs := make([][]uint64, procs)
+			vals := make([][]uint64, procs)
+			for i := range handles {
+				handles[i], _ = f.Proc(i)
+				bufs[i] = make([]uint64, w)
+				vals[i] = make([]uint64, w)
+			}
+			runWorkers(b, procs, func(id int) {
+				p := handles[id]
+				for {
+					keep, res := v.WLL(p, bufs[id])
+					if res != core.Succ {
+						continue
+					}
+					copy(vals[id], bufs[id])
+					vals[id][0] = (vals[id][0] + 1) & f.MaxSegmentValue()
+					if v.SC(p, keep, vals[id]) {
+						break
+					}
+				}
+			})
+		})
+	}
+}
+
+// --- E5: Figure 7 / Theorem 5 — bounded tags ----------------------------
+
+func BenchmarkE5_BoundedLLSC_Procs(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: procs, K: 2})
+			v, err := f.NewVar(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles := make([]*core.BoundedProc, procs)
+			for i := range handles {
+				handles[i], _ = f.Proc(i)
+			}
+			mask := f.MaxVal()
+			runWorkers(b, procs, func(id int) {
+				p := handles[id]
+				for {
+					val, keep, err := v.LL(p)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if v.SC(p, keep, (val+1)&mask) {
+						break
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkE5_UnboundedVsBounded(b *testing.B) {
+	// Same workload on Figure 4 (unbounded tags) and Figure 7 (bounded):
+	// the price of wraparound-proofness.
+	b.Run("fig4-unbounded", func(b *testing.B) {
+		v := core.MustNewVar(word.MustLayout(32), 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			val, keep := v.LL()
+			v.SC(keep, val+1)
+		}
+	})
+	b.Run("fig7-bounded", func(b *testing.B) {
+		f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: 1, K: 1})
+		v, err := f.NewVar(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, _ := f.Proc(0)
+		mask := f.MaxVal()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			val, keep, err := v.LL(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v.SC(p, keep, (val+1)&mask)
+		}
+	})
+}
+
+// --- E6: disjoint-access parallelism ------------------------------------
+
+func BenchmarkE6_SharedVsDisjoint(b *testing.B) {
+	const procs = 8
+	b.Run("shared-1var", func(b *testing.B) {
+		v := core.MustNewVar(word.MustLayout(32), 0)
+		runWorkers(b, procs, func(w int) {
+			for {
+				val, keep := v.LL()
+				if v.SC(keep, val+1) {
+					break
+				}
+			}
+		})
+	})
+	b.Run("disjoint-vars", func(b *testing.B) {
+		vars := make([]*core.Var, procs)
+		for i := range vars {
+			vars[i] = core.MustNewVar(word.MustLayout(32), 0)
+		}
+		runWorkers(b, procs, func(w int) {
+			v := vars[w]
+			for {
+				val, keep := v.LL()
+				if v.SC(keep, val+1) {
+					break
+				}
+			}
+		})
+	})
+}
+
+// --- E7: tag wraparound -------------------------------------------------
+
+func BenchmarkE7_TagWidthCostIsZero(b *testing.B) {
+	// The tag width does not affect per-op cost — the trade-off is purely
+	// headroom vs data bits.
+	for _, bits := range []uint{8, 32, 48, 56} {
+		b.Run(fmt.Sprintf("tagbits=%d", bits), func(b *testing.B) {
+			v := core.MustNewVar(word.MustLayout(bits), 0)
+			mask := v.Layout().MaxVal()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				val, keep := v.LL()
+				v.SC(keep, (val+1)&mask)
+			}
+		})
+	}
+}
+
+// --- E8: applications ----------------------------------------------------
+
+func BenchmarkE8_Stack(b *testing.B) {
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			s, err := structures.NewStack(procs * 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runWorkers(b, procs, func(w int) {
+				if err := s.Push(uint64(w)); err == nil {
+					s.Pop()
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkE8_Queue(b *testing.B) {
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			q, err := structures.NewQueue(procs * 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runWorkers(b, procs, func(w int) {
+				if err := q.Enqueue(uint64(w)); err == nil {
+					q.Dequeue()
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkE8_Ring(b *testing.B) {
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			r, err := structures.NewRing(64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runWorkers(b, procs, func(w int) {
+				if err := r.Enqueue(uint64(w)); err == nil {
+					r.Dequeue()
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkE8_WaitFreeObject(b *testing.B) {
+	apply := func(opcode, arg uint64, user []uint64) uint64 {
+		old := user[0]
+		user[0] = (user[0] + arg) & ((1 << 32) - 1)
+		return old & 0xFFFF
+	}
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			o, err := universal.NewWaitFree(universal.WaitFreeConfig{Procs: procs, UserWords: 1}, []uint64{0}, apply)
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles := make([]*universal.WProc, procs)
+			for i := range handles {
+				handles[i], err = o.Proc(i)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			runWorkers(b, procs, func(w int) {
+				o.Invoke(handles[w], 0, 1)
+			})
+		})
+	}
+}
+
+func BenchmarkE8_Counter_LLSCvsMutex(b *testing.B) {
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("llsc/procs=%d", procs), func(b *testing.B) {
+			c := structures.NewCounter(0)
+			runWorkers(b, procs, func(w int) {
+				c.Increment()
+			})
+		})
+		b.Run(fmt.Sprintf("mutex/procs=%d", procs), func(b *testing.B) {
+			v, err := baseline.NewMutexLLSC(procs, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runWorkers(b, procs, func(w int) {
+				for {
+					x := v.LL(w)
+					if v.SC(w, x+1) {
+						break
+					}
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("spec-globallock/procs=%d", procs), func(b *testing.B) {
+			r := spec.MustNewRegister(procs, 0)
+			runWorkers(b, procs, func(w int) {
+				for {
+					x := r.LL(w)
+					if r.SC(w, x+1) {
+						break
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkE8_SetOps(b *testing.B) {
+	const keySpace = 128
+	b.Run("contains", func(b *testing.B) {
+		s, err := structures.NewSet(keySpace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := uint64(0); k < keySpace; k += 2 {
+			if _, err := s.Insert(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Contains(uint64(i) % keySpace)
+		}
+	})
+	b.Run("insert-delete", func(b *testing.B) {
+		s, err := structures.NewSet(b.N + 2)
+		if err != nil {
+			b.Skip("capacity too large for a single run")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := uint64(i) % keySpace
+			if _, err := s.Insert(k); err != nil {
+				b.Fatal(err)
+			}
+			s.Delete(k)
+		}
+	})
+}
+
+func BenchmarkE8_MCAS(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := stm.MustNew(n)
+			addrs := make([]int, n)
+			expected := make([]uint64, n)
+			newvals := make([]uint64, n)
+			for i := range addrs {
+				addrs[i] = i
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range expected {
+					expected[j] = uint64(i) & stm.MaxValue
+					newvals[j] = uint64(i+1) & stm.MaxValue
+				}
+				ok, err := m.MCAS(addrs, expected, newvals)
+				if err != nil || !ok {
+					b.Fatalf("MCAS = (%v,%v)", ok, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE8_STMTransfer(b *testing.B) {
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			const accounts = 16
+			m := stm.MustNew(accounts)
+			runWorkers(b, procs, func(w int) {
+				from := w % accounts
+				to := (w + 1) % accounts
+				_, err := m.Atomically([]int{from, to}, func(cur, next []uint64) {
+					next[0] = (cur[0] - 1) & stm.MaxValue
+					next[1] = (cur[1] + 1) & stm.MaxValue
+				})
+				if err != nil {
+					b.Error(err)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkE8_HashMap(b *testing.B) {
+	b.Run("get-hit", func(b *testing.B) {
+		m, err := structures.NewMap(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := uint64(0); k < 1024; k++ {
+			if err := m.Put(k, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(uint64(i) & 1023)
+		}
+	})
+	b.Run("put-overwrite", func(b *testing.B) {
+		m, err := structures.NewMap(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Put(uint64(i)&1023, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent-mixed", func(b *testing.B) {
+		m, err := structures.NewMap(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runWorkers(b, 4, func(w int) {
+			k := uint64(w) * 7 & 1023
+			if w%2 == 0 {
+				m.Put(k, k)
+			} else {
+				m.Get(k)
+			}
+		})
+	})
+}
+
+func BenchmarkE8_Snapshot(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("vars=%d/quiescent", n), func(b *testing.B) {
+			vars := make([]*core.Var, n)
+			for i := range vars {
+				vars[i] = core.MustNewVar(word.MustLayout(32), uint64(i))
+			}
+			s, err := structures.NewSnapshot(vars)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst := make([]uint64, n)
+			keeps := make([]core.Keep, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.CollectWith(dst, keeps)
+			}
+		})
+	}
+	b.Run("vars=8/contended", func(b *testing.B) {
+		vars := make([]*core.Var, 8)
+		for i := range vars {
+			vars[i] = core.MustNewVar(word.MustLayout(32), 0)
+		}
+		s, err := structures.NewSnapshot(vars)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runWorkers(b, 4, func(w int) {
+			if w == 0 { // one writer
+				v := vars[0]
+				val, keep := v.LL()
+				v.SC(keep, val+1)
+				return
+			}
+			dst := make([]uint64, 8)
+			keeps := make([]core.Keep, 8)
+			s.CollectWith(dst, keeps)
+		})
+	})
+}
+
+func BenchmarkE8_DynamicTx(b *testing.B) {
+	m := stm.MustNew(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := m.RunTx(func(tx *stm.Tx) error {
+			v, err := tx.Read(i & 15)
+			if err != nil {
+				return err
+			}
+			return tx.Write((i+1)&15, (v+1)&stm.MaxValue)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: what does the simulated machine cost? ---------------------
+
+func BenchmarkAblation_SimulationOverhead(b *testing.B) {
+	// The cost ladder from real hardware to the emulated primitives, so
+	// every simulated number in EXPERIMENTS.md can be discounted by the
+	// substrate's own overhead.
+	b.Run("hardware-atomic-load", func(b *testing.B) {
+		var x atomic.Uint64
+		for i := 0; i < b.N; i++ {
+			_ = x.Load()
+		}
+	})
+	b.Run("machine-load", func(b *testing.B) {
+		m := machine.MustNew(machine.Config{Procs: 1})
+		w := m.NewWord(0)
+		p := m.Proc(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Load(w)
+		}
+	})
+	b.Run("hardware-cas", func(b *testing.B) {
+		var x atomic.Uint64
+		for i := 0; i < b.N; i++ {
+			old := x.Load()
+			x.CompareAndSwap(old, old+1)
+		}
+	})
+	b.Run("machine-cas", func(b *testing.B) {
+		m := machine.MustNew(machine.Config{Procs: 1})
+		w := m.NewWord(0)
+		p := m.Proc(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			old := p.Load(w)
+			p.CAS(w, old, old+1)
+		}
+	})
+	b.Run("machine-rll-rsc", func(b *testing.B) {
+		m := machine.MustNew(machine.Config{Procs: 1})
+		w := m.NewWord(0)
+		p := m.Proc(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v := p.RLL(w)
+			p.RSC(w, v+1)
+		}
+	})
+	b.Run("fig4-llsc-on-hardware", func(b *testing.B) {
+		v := core.MustNewVar(word.MustLayout(32), 0)
+		for i := 0; i < b.N; i++ {
+			val, keep := v.LL()
+			v.SC(keep, val+1)
+		}
+	})
+	b.Run("fig5-llsc-on-machine", func(b *testing.B) {
+		m := machine.MustNew(machine.Config{Procs: 1})
+		v, err := core.NewRVar(m, word.MustLayout(32), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := m.Proc(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			val, keep := v.LL(p)
+			v.SC(p, keep, val+1)
+		}
+	})
+}
+
+func BenchmarkE8_UniversalApply(b *testing.B) {
+	for _, w := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			o, err := universal.New(universal.Config{Procs: 1, Words: w}, make([]uint64, w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := o.Proc(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			max := o.MaxSegmentValue()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Apply(p, func(cur, next []uint64) {
+					copy(next, cur)
+					next[0] = (next[0] + 1) & max
+				})
+			}
+		})
+	}
+}

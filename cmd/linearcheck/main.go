@@ -1,0 +1,359 @@
+// Command linearcheck stress-tests the repository's synchronization
+// primitives for linearizability (experiment E9): it drives randomized
+// concurrent workloads against an implementation, records the operation
+// history, and verifies it against the Figure 2 sequential semantics with
+// a Wing–Gong checker.
+//
+// Usage:
+//
+//	linearcheck [-impl all|fig3|fig4|fig5|fig6|fig7|mutex|ir|spec]
+//	            [-rounds 500] [-procs 3] [-ops 6] [-spurious 0.2] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/linearizability"
+	"repro/internal/machine"
+	"repro/internal/spec"
+	"repro/internal/word"
+)
+
+var (
+	flagImpl     = flag.String("impl", "all", "implementation to check (all, fig3, fig4, fig5, fig6, fig7, mutex, ir, spec)")
+	flagRounds   = flag.Int("rounds", 500, "number of independent histories per implementation")
+	flagProcs    = flag.Int("procs", 3, "concurrent processes per history")
+	flagOps      = flag.Int("ops", 6, "operations per process per history")
+	flagSpurious = flag.Float64("spurious", 0.2, "spurious RSC failure probability for the simulated-machine implementations")
+	flagVerbose  = flag.Bool("v", false, "print each implementation's progress")
+)
+
+// register is the uniform driver interface (mirrors the conformance test
+// suite; reproduced here so the tool is self-contained).
+type register interface {
+	Read(proc int) uint64
+	CAS(proc int, old, new uint64) (res, ok bool)
+	LL(proc int) (val uint64, ok bool)
+	VL(proc int) bool
+	SC(proc int, v uint64) bool
+}
+
+type factory func(n int, initial uint64) register
+
+func main() {
+	flag.Parse()
+	impls := map[string]factory{
+		"fig3":  newFig3,
+		"fig4":  newFig4,
+		"fig5":  newFig5,
+		"fig6":  newFig6,
+		"fig7":  newFig7,
+		"mutex": newMutex,
+		"ir":    newIR,
+		"spec":  newSpec,
+	}
+	order := []string{"spec", "fig3", "fig4", "fig5", "fig6", "fig7", "mutex", "ir"}
+
+	var selected []string
+	if *flagImpl == "all" {
+		selected = order
+	} else if _, ok := impls[*flagImpl]; ok {
+		selected = []string{*flagImpl}
+	} else {
+		fmt.Fprintf(os.Stderr, "linearcheck: unknown -impl %q\n", *flagImpl)
+		os.Exit(2)
+	}
+
+	failures := 0
+	for _, name := range selected {
+		bad, total := check(name, impls[name])
+		status := "OK"
+		if bad > 0 {
+			status = "FAILED"
+			failures++
+		}
+		fmt.Printf("%-6s %d/%d histories linearizable  %s\n", name, total-bad, total, status)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func check(name string, mk factory) (bad, total int) {
+	const initial = 1
+	for round := 0; round < *flagRounds; round++ {
+		reg := mk(*flagProcs, initial)
+		rec := history.NewRecorder(*flagProcs)
+		var wg sync.WaitGroup
+		for p := 0; p < *flagProcs; p++ {
+			wg.Add(1)
+			go func(p int, seed int64) {
+				defer wg.Done()
+				drive(reg, rec, p, seed)
+			}(p, int64(round**flagProcs+p))
+		}
+		wg.Wait()
+		res, err := linearizability.Check(rec.Ops(), linearizability.State{Val: initial})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linearcheck: %s round %d: %v\n", name, round, err)
+			bad++
+			continue
+		}
+		if !res.Ok {
+			bad++
+			fmt.Fprintf(os.Stderr, "linearcheck: %s round %d NOT linearizable:\n", name, round)
+			for _, o := range rec.Ops() {
+				fmt.Fprintf(os.Stderr, "  %v\n", o)
+			}
+		}
+		if *flagVerbose && (round+1)%100 == 0 {
+			fmt.Printf("  %s: %d/%d rounds\n", name, round+1, *flagRounds)
+		}
+	}
+	return bad, *flagRounds
+}
+
+// drive issues a well-formed random op sequence for process p.
+func drive(reg register, rec *history.Recorder, p int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	const values = 4
+	budget := *flagOps
+	for budget > 0 {
+		switch r.Intn(4) {
+		case 0:
+			call := rec.Now()
+			v := reg.Read(p)
+			ret := rec.Now()
+			rec.Record(p, history.Op{Proc: p, Kind: history.KindRead, RetVal: v, Call: call, Return: ret})
+			budget--
+		case 1:
+			old, new := uint64(r.Intn(values)), uint64(r.Intn(values))
+			call := rec.Now()
+			res, ok := reg.CAS(p, old, new)
+			ret := rec.Now()
+			if !ok {
+				continue
+			}
+			rec.Record(p, history.Op{Proc: p, Kind: history.KindCAS, Arg1: old, Arg2: new, RetBool: res, Call: call, Return: ret})
+			budget--
+		default:
+			call := rec.Now()
+			v, ok := reg.LL(p)
+			ret := rec.Now()
+			if !ok {
+				continue
+			}
+			rec.Record(p, history.Op{Proc: p, Kind: history.KindLL, RetVal: v, Call: call, Return: ret})
+			budget--
+			if budget > 0 && r.Intn(2) == 0 {
+				call = rec.Now()
+				res := reg.VL(p)
+				ret = rec.Now()
+				rec.Record(p, history.Op{Proc: p, Kind: history.KindVL, RetBool: res, Call: call, Return: ret})
+				budget--
+			}
+			if budget > 0 {
+				nv := uint64(r.Intn(values))
+				call = rec.Now()
+				res := reg.SC(p, nv)
+				ret = rec.Now()
+				rec.Record(p, history.Op{Proc: p, Kind: history.KindSC, Arg1: nv, RetBool: res, Call: call, Return: ret})
+				budget--
+			}
+		}
+	}
+}
+
+// --- adapters (one per implementation) ----------------------------------
+
+type fig4Reg struct {
+	v     *core.Var
+	keeps []core.Keep
+}
+
+func newFig4(n int, initial uint64) register {
+	return &fig4Reg{v: core.MustNewVar(word.DefaultLayout, initial), keeps: make([]core.Keep, n)}
+}
+func (a *fig4Reg) Read(int) uint64                      { return a.v.Read() }
+func (a *fig4Reg) CAS(int, uint64, uint64) (bool, bool) { return false, false }
+func (a *fig4Reg) LL(p int) (uint64, bool) {
+	v, k := a.v.LL()
+	a.keeps[p] = k
+	return v, true
+}
+func (a *fig4Reg) VL(p int) bool           { return a.v.VL(a.keeps[p]) }
+func (a *fig4Reg) SC(p int, v uint64) bool { return a.v.SC(a.keeps[p], v) }
+
+type fig3Reg struct {
+	m *machine.Machine
+	v *core.CASVar
+}
+
+func newFig3(n int, initial uint64) register {
+	m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: *flagSpurious, Seed: 42})
+	v, err := core.NewCASVar(m, word.DefaultLayout, initial)
+	if err != nil {
+		panic(err)
+	}
+	return &fig3Reg{m: m, v: v}
+}
+func (a *fig3Reg) Read(p int) uint64 { return a.v.Read(a.m.Proc(p)) }
+func (a *fig3Reg) CAS(p int, old, new uint64) (bool, bool) {
+	return a.v.CompareAndSwap(a.m.Proc(p), old, new), true
+}
+func (a *fig3Reg) LL(int) (uint64, bool) { return 0, false }
+func (a *fig3Reg) VL(int) bool           { return false }
+func (a *fig3Reg) SC(int, uint64) bool   { return false }
+
+type fig5Reg struct {
+	m     *machine.Machine
+	v     *core.RVar
+	keeps []core.Keep
+}
+
+func newFig5(n int, initial uint64) register {
+	m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: *flagSpurious, Seed: 17})
+	v, err := core.NewRVar(m, word.DefaultLayout, initial)
+	if err != nil {
+		panic(err)
+	}
+	return &fig5Reg{m: m, v: v, keeps: make([]core.Keep, n)}
+}
+func (a *fig5Reg) Read(p int) uint64                    { return a.v.Read(a.m.Proc(p)) }
+func (a *fig5Reg) CAS(int, uint64, uint64) (bool, bool) { return false, false }
+func (a *fig5Reg) LL(p int) (uint64, bool) {
+	v, k := a.v.LL(a.m.Proc(p))
+	a.keeps[p] = k
+	return v, true
+}
+func (a *fig5Reg) VL(p int) bool           { return a.v.VL(a.m.Proc(p), a.keeps[p]) }
+func (a *fig5Reg) SC(p int, v uint64) bool { return a.v.SC(a.m.Proc(p), a.keeps[p], v) }
+
+type fig6Reg struct {
+	f     *core.LargeFamily
+	v     *core.LargeVar
+	keeps []core.LKeep
+	bufs  [][]uint64
+}
+
+func newFig6(n int, initial uint64) register {
+	f := core.MustNewLargeFamily(core.LargeConfig{Procs: n, Words: 1})
+	v, err := f.NewVar([]uint64{initial})
+	if err != nil {
+		panic(err)
+	}
+	a := &fig6Reg{f: f, v: v, keeps: make([]core.LKeep, n), bufs: make([][]uint64, n)}
+	for i := range a.bufs {
+		a.bufs[i] = make([]uint64, 1)
+	}
+	return a
+}
+func (a *fig6Reg) proc(p int) *core.LargeProc {
+	pr, err := a.f.Proc(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+func (a *fig6Reg) Read(p int) uint64 {
+	a.v.Read(a.proc(p), a.bufs[p])
+	return a.bufs[p][0]
+}
+func (a *fig6Reg) CAS(int, uint64, uint64) (bool, bool) { return false, false }
+func (a *fig6Reg) LL(p int) (uint64, bool) {
+	pr := a.proc(p)
+	for {
+		keep, res := a.v.WLL(pr, a.bufs[p])
+		if res == core.Succ {
+			a.keeps[p] = keep
+			return a.bufs[p][0], true
+		}
+	}
+}
+func (a *fig6Reg) VL(p int) bool           { return a.v.VL(a.proc(p), a.keeps[p]) }
+func (a *fig6Reg) SC(p int, v uint64) bool { return a.v.SC(a.proc(p), a.keeps[p], []uint64{v}) }
+
+type fig7Reg struct {
+	f     *core.BoundedFamily
+	v     *core.BoundedVar
+	keeps []core.BKeep
+}
+
+func newFig7(n int, initial uint64) register {
+	f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: n, K: 2})
+	v, err := f.NewVar(initial)
+	if err != nil {
+		panic(err)
+	}
+	return &fig7Reg{f: f, v: v, keeps: make([]core.BKeep, n)}
+}
+func (a *fig7Reg) proc(p int) *core.BoundedProc {
+	pr, err := a.f.Proc(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+func (a *fig7Reg) Read(int) uint64                      { return a.v.Read() }
+func (a *fig7Reg) CAS(int, uint64, uint64) (bool, bool) { return false, false }
+func (a *fig7Reg) LL(p int) (uint64, bool) {
+	v, k, err := a.v.LL(a.proc(p))
+	if err != nil {
+		panic(err)
+	}
+	a.keeps[p] = k
+	return v, true
+}
+func (a *fig7Reg) VL(p int) bool           { return a.v.VL(a.proc(p), a.keeps[p]) }
+func (a *fig7Reg) SC(p int, v uint64) bool { return a.v.SC(a.proc(p), a.keeps[p], v) }
+
+type mutexReg struct{ v *baseline.MutexLLSC }
+
+func newMutex(n int, initial uint64) register {
+	v, err := baseline.NewMutexLLSC(n, initial)
+	if err != nil {
+		panic(err)
+	}
+	return &mutexReg{v: v}
+}
+func (a *mutexReg) Read(int) uint64                      { return a.v.Read() }
+func (a *mutexReg) CAS(int, uint64, uint64) (bool, bool) { return false, false }
+func (a *mutexReg) LL(p int) (uint64, bool)              { return a.v.LL(p), true }
+func (a *mutexReg) VL(p int) bool                        { return a.v.VL(p) }
+func (a *mutexReg) SC(p int, v uint64) bool              { return a.v.SC(p, v) }
+
+type irReg struct{ v *baseline.IsraeliRappoport }
+
+func newIR(n int, initial uint64) register {
+	v, err := baseline.NewIsraeliRappoport(n, initial)
+	if err != nil {
+		panic(err)
+	}
+	return &irReg{v: v}
+}
+func (a *irReg) Read(int) uint64                      { return a.v.Read() }
+func (a *irReg) CAS(int, uint64, uint64) (bool, bool) { return false, false }
+func (a *irReg) LL(p int) (uint64, bool) {
+	v, _ := a.v.LL(p)
+	return v, true
+}
+func (a *irReg) VL(p int) bool           { return a.v.VL(p) }
+func (a *irReg) SC(p int, v uint64) bool { return a.v.SC(p, v) }
+
+type specReg struct{ v *spec.Register }
+
+func newSpec(n int, initial uint64) register {
+	return &specReg{v: spec.MustNewRegister(n, initial)}
+}
+func (a *specReg) Read(int) uint64                         { return a.v.Read() }
+func (a *specReg) CAS(_ int, old, new uint64) (bool, bool) { return a.v.CAS(old, new), true }
+func (a *specReg) LL(p int) (uint64, bool)                 { return a.v.LL(p), true }
+func (a *specReg) VL(p int) bool                           { return a.v.VL(p) }
+func (a *specReg) SC(p int, v uint64) bool                 { return a.v.SC(p, v) }

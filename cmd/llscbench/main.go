@@ -1,0 +1,984 @@
+// Command llscbench runs the repository's full experiment suite (E1-E8 and
+// E10 in DESIGN.md; E9, linearizability, lives in cmd/linearcheck) and
+// prints the tables recorded in EXPERIMENTS.md. Each experiment reproduces
+// one figure/theorem/claim of Moir (PODC 1997).
+//
+// Usage:
+//
+//	llscbench [-quick] [-ops 200000] [-experiment all|e1|...|e8|e10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/stm"
+	"repro/internal/structures"
+	"repro/internal/universal"
+	"repro/internal/word"
+)
+
+var (
+	flagQuick = flag.Bool("quick", false, "divide all op counts by 10 for a fast smoke run")
+	flagOps   = flag.Int("ops", 200000, "operations per worker for throughput experiments")
+	flagExp   = flag.String("experiment", "all", "which experiment to run (all, e1..e8, e10)")
+)
+
+func ops() int {
+	if *flagQuick {
+		return *flagOps / 10
+	}
+	return *flagOps
+}
+
+func main() {
+	flag.Parse()
+	experiments := []struct {
+		name string
+		run  func()
+	}{
+		{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4},
+		{"e5", e5}, {"e6", e6}, {"e7", e7}, {"e8", e8}, {"e10", e10},
+	}
+	sel := strings.ToLower(*flagExp)
+	found := false
+	for _, e := range experiments {
+		if sel == "all" || sel == e.name {
+			e.run()
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "llscbench: unknown -experiment %q\n", *flagExp)
+		os.Exit(2)
+	}
+}
+
+// --- E1: Figure 3 / Theorem 1 -------------------------------------------
+
+func e1() {
+	t := bench.NewTable("E1: CAS from RLL/RSC (Figure 3, Theorem 1) — throughput and retry behaviour",
+		"procs", "spurious p", "ops/s", "ns/op", "RSC retries/op")
+	for _, procs := range []int{1, 2, 4, 8} {
+		for _, p := range []float64{0, 0.1} {
+			m := machine.MustNew(machine.Config{Procs: procs, SpuriousFailProb: p, Seed: 1})
+			v, err := core.NewCASVar(m, word.DefaultLayout, 0)
+			must(err)
+			mask := v.Layout().MaxVal()
+			res := bench.Run("cas", procs, ops(), func(w, i int) {
+				proc := m.Proc(w)
+				for {
+					old := v.Read(proc)
+					if v.CompareAndSwap(proc, old, (old+1)&mask) {
+						break
+					}
+				}
+			})
+			st := m.Stats()
+			retries := float64(st.RSCSpurious+st.RSCRealFail) / float64(res.Ops)
+			t.AddRow(procs, p, bench.Throughput(res.OpsPerSec()), res.NsPerOp(), fmt.Sprintf("%.3f", retries))
+		}
+	}
+	t.Fprint(os.Stdout)
+
+	// Constant time after the last spurious failure: force bursts and
+	// count the steps of the final completion.
+	t2 := bench.NewTable("E1b: steps after an injected spurious-failure burst (constant regardless of burst size)",
+		"burst", "RLLs used", "RLLs after last spurious failure")
+	for _, burst := range []int{0, 1, 5, 50} {
+		m := machine.MustNew(machine.Config{Procs: 1})
+		v, err := core.NewCASVar(m, word.DefaultLayout, 0)
+		must(err)
+		p := m.Proc(0)
+		p.FailNext(burst)
+		if !v.CompareAndSwap(p, 0, 1) {
+			fmt.Fprintln(os.Stderr, "E1b: CAS unexpectedly failed")
+			os.Exit(1)
+		}
+		st := m.Stats()
+		t2.AddRow(burst, st.RLLs, st.RLLs-uint64(burst))
+	}
+	t2.Fprint(os.Stdout)
+}
+
+// --- E2: Figure 4 / Theorem 2 -------------------------------------------
+
+func e2() {
+	t := bench.NewTable("E2: LL/VL/SC from CAS (Figure 4, Theorem 2) — constant time, zero overhead",
+		"procs", "vars", "ops/s", "ns/op", "p50", "p99")
+	for _, procs := range []int{1, 2, 4, 8} {
+		for _, nvars := range []int{1, 64} {
+			vars := make([]*core.Var, nvars)
+			for i := range vars {
+				vars[i] = core.MustNewVar(word.MustLayout(32), 0)
+			}
+			op := func(w, i int) {
+				v := vars[(w*ops()+i)%nvars]
+				for {
+					val, keep := v.LL()
+					if v.SC(keep, val+1) {
+						break
+					}
+				}
+			}
+			res := bench.Run("llsc", procs, ops(), op)
+			// Separate latency pass: per-op timestamping costs ~2 clock
+			// reads, so quantiles come from their own (smaller) run and
+			// the throughput column stays clean.
+			lat := bench.RunLatency("llsc-lat", procs, ops()/10, op)
+			t.AddRow(procs, nvars, bench.Throughput(res.OpsPerSec()), res.NsPerOp(),
+				lat.Hist.Quantile(0.50), lat.Hist.Quantile(0.99))
+		}
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println("Space overhead per variable: 0 words (tag lives inside the word).")
+}
+
+// --- E3: Figure 5 / Theorem 3 -------------------------------------------
+
+func e3() {
+	t := bench.NewTable("E3: direct (Figure 5, one tag) vs composed (Figure 4 over Figure 3, two tags)",
+		"impl", "procs", "ops/s", "ns/op", "tag bits", "data bits", "wrap @1M ops/s")
+	for _, procs := range []int{1, 4} {
+		m := machine.MustNew(machine.Config{Procs: procs})
+		direct, err := core.NewRVar(m, word.MustLayout(48), 0)
+		must(err)
+		mask := direct.Layout().MaxVal()
+		res := bench.Run("direct", procs, ops(), func(w, i int) {
+			p := m.Proc(w)
+			for {
+				val, keep := direct.LL(p)
+				if direct.SC(p, keep, (val+1)&mask) {
+					break
+				}
+			}
+		})
+		t.AddRow("fig5-direct", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp(),
+			48, 16, human(word.TimeToWrap(48, 1e6)))
+
+		m2 := machine.MustNew(machine.Config{Procs: procs})
+		composed, err := baseline.NewComposed(m2, 24, 24, 0)
+		must(err)
+		cmask := uint64(1)<<composed.DataBits() - 1
+		res = bench.Run("composed", procs, ops(), func(w, i int) {
+			p := m2.Proc(w)
+			for {
+				val, keep := composed.LL(p)
+				if composed.SC(p, keep, (val+1)&cmask) {
+					break
+				}
+			}
+		})
+		t.AddRow("fig3∘fig4", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp(),
+			"24+24", 16, human(word.TimeToWrap(24, 1e6)))
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println("Same data width, but the composed version's 24-bit tags wrap ~10^7× sooner.")
+}
+
+// --- E4: Figure 6 / Theorem 4 -------------------------------------------
+
+func e4() {
+	t := bench.NewTable("E4a: W-word WLL/VL/SC (Figure 6, Theorem 4) — Θ(W) WLL/SC, Θ(1) VL",
+		"W", "WLL ns/op", "SC ns/op", "VL ns/op")
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		f := core.MustNewLargeFamily(core.LargeConfig{Procs: 1, Words: w})
+		v, err := f.NewVar(make([]uint64, w))
+		must(err)
+		p, err := f.Proc(0)
+		must(err)
+		dst := make([]uint64, w)
+		val := make([]uint64, w)
+		n := ops()
+
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			v.WLL(p, dst)
+		}
+		wllNs := float64(time.Since(t0).Nanoseconds()) / float64(n)
+
+		t0 = time.Now()
+		for i := 0; i < n; i++ {
+			keep, _ := v.WLL(p, dst)
+			val[0] = uint64(i) & f.MaxSegmentValue()
+			v.SC(p, keep, val)
+		}
+		scNs := float64(time.Since(t0).Nanoseconds())/float64(n) - wllNs
+
+		keep, _ := v.WLL(p, dst)
+		t0 = time.Now()
+		for i := 0; i < n; i++ {
+			v.VL(p, keep)
+		}
+		vlNs := float64(time.Since(t0).Nanoseconds()) / float64(n)
+		t.AddRow(w, wllNs, scNs, vlNs)
+	}
+	t.Fprint(os.Stdout)
+
+	t2 := bench.NewTable("E4b: space overhead is Θ(NW), independent of the number of variables T",
+		"N", "W", "T", "overhead words", "overhead/T")
+	for _, tc := range []struct{ n, w, t int }{
+		{8, 4, 1}, {8, 4, 16}, {8, 4, 256}, {8, 4, 4096},
+	} {
+		f := core.MustNewLargeFamily(core.LargeConfig{Procs: tc.n, Words: tc.w})
+		for i := 0; i < tc.t; i++ {
+			_, err := f.NewVar(make([]uint64, tc.w))
+			must(err)
+		}
+		t2.AddRow(tc.n, tc.w, tc.t, f.OverheadWords(),
+			fmt.Sprintf("%.3f", float64(f.OverheadWords())/float64(tc.t)))
+	}
+	t2.Fprint(os.Stdout)
+	fmt.Println("A naive per-variable generalization of Anderson–Moir [3] would need Θ(NWT).")
+}
+
+// --- E5: Figure 7 / Theorem 5 -------------------------------------------
+
+func e5() {
+	t := bench.NewTable("E5a: bounded-tag LL/VL/SC (Figure 7, Theorem 5) — throughput",
+		"procs", "k", "ops/s", "ns/op", "tag bits")
+	for _, procs := range []int{1, 2, 4, 8} {
+		f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: procs, K: 2})
+		v, err := f.NewVar(0)
+		must(err)
+		mask := f.MaxVal()
+		res := bench.Run("bounded", procs, ops(), func(w, i int) {
+			p, err := f.Proc(w)
+			if err != nil {
+				panic(err)
+			}
+			for {
+				val, keep, err := v.LL(p)
+				if err != nil {
+					panic(err)
+				}
+				if v.SC(p, keep, (val+1)&mask) {
+					break
+				}
+			}
+		})
+		t.AddRow(procs, 2, bench.Throughput(res.OpsPerSec()), res.NsPerOp(), f.TagBits())
+	}
+	t.Fprint(os.Stdout)
+
+	t2 := bench.NewTable("E5b: space for T variables — Figure 7's shared family Θ(N(k+T)) vs per-variable instantiation Θ(N²T)",
+		"N", "k", "T", "fig7 words", "per-var words", "ratio")
+	for _, tc := range []struct{ n, k, t int }{
+		{4, 1, 1}, {4, 1, 64}, {4, 1, 1024},
+		{8, 2, 64}, {8, 2, 1024},
+		{16, 2, 1024},
+	} {
+		f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: tc.n, K: tc.k})
+		fig7 := f.OverheadWords() // announce array
+		// Per-process queue storage (next+prev pairs pack into one word
+		// per tag) is part of the construction's space too:
+		fig7 += tc.n * (2*tc.n*tc.k + 1)
+		for i := 0; i < tc.t; i++ {
+			v, err := f.NewVar(0)
+			must(err)
+			fig7 += v.FootprintWords() - 1 // exclude the data word itself
+		}
+
+		b, err := baseline.NewPerVarBounded(tc.n)
+		must(err)
+		pv, err := b.NewVar(0)
+		must(err)
+		perVar := (pv.FootprintWords() - 1) * tc.t
+
+		t2.AddRow(tc.n, tc.k, tc.t, fig7, perVar, fmt.Sprintf("%.1fx", float64(perVar)/float64(fig7)))
+	}
+	t2.Fprint(os.Stdout)
+}
+
+// --- E6: disjoint-access parallelism --------------------------------------
+
+func e6() {
+	// On a single-core host throughput cannot exhibit parallel cache
+	// contention, so the primary signal here is the SC failure rate:
+	// operations on a shared variable conflict (failed SCs force retries)
+	// while operations on disjoint variables NEVER do — the structural
+	// disjoint-access-parallelism claim.
+	t := bench.NewTable("E6: disjoint-access parallelism (Section 5) — conflicts on shared vs disjoint variables",
+		"procs", "shared ops/s", "shared SC-fails/op", "disjoint ops/s", "disjoint SC-fails/op")
+	for _, procs := range []int{1, 2, 4, 8} {
+		shared := core.MustNewVar(word.MustLayout(32), 0)
+		var sharedFails atomic.Uint64
+		res := bench.Run("shared", procs, ops(), func(w, i int) {
+			for {
+				val, keep := shared.LL()
+				if shared.SC(keep, val+1) {
+					break
+				}
+				sharedFails.Add(1)
+			}
+		})
+		sharedOps := res.OpsPerSec()
+		sharedRate := float64(sharedFails.Load()) / float64(res.Ops)
+
+		vars := make([]*core.Var, procs)
+		for i := range vars {
+			vars[i] = core.MustNewVar(word.MustLayout(32), 0)
+		}
+		var disjointFails atomic.Uint64
+		res = bench.Run("disjoint", procs, ops(), func(w, i int) {
+			v := vars[w]
+			for {
+				val, keep := v.LL()
+				if v.SC(keep, val+1) {
+					break
+				}
+				disjointFails.Add(1)
+			}
+		})
+		t.AddRow(procs,
+			bench.Throughput(sharedOps), fmt.Sprintf("%.4f", sharedRate),
+			bench.Throughput(res.OpsPerSec()),
+			fmt.Sprintf("%.4f", float64(disjointFails.Load())/float64(res.Ops)))
+	}
+	t.Fprint(os.Stdout)
+
+	// With a forced yield inside every LL-SC window, preemption is
+	// guaranteed even on one core: shared variables now conflict heavily,
+	// while disjoint variables still cannot conflict at all — the
+	// structural claim, isolated from scheduling luck.
+	t2 := bench.NewTable("E6b: forced yield inside the LL-SC window",
+		"procs", "shared SC-fails/op", "disjoint SC-fails/op")
+	for _, procs := range []int{2, 4, 8} {
+		shared := core.MustNewVar(word.MustLayout(32), 0)
+		var sharedFails atomic.Uint64
+		res := bench.Run("shared-yield", procs, ops()/10, func(w, i int) {
+			for {
+				val, keep := shared.LL()
+				runtime.Gosched()
+				if shared.SC(keep, val+1) {
+					break
+				}
+				sharedFails.Add(1)
+			}
+		})
+		sharedRate := float64(sharedFails.Load()) / float64(res.Ops)
+
+		vars := make([]*core.Var, procs)
+		for i := range vars {
+			vars[i] = core.MustNewVar(word.MustLayout(32), 0)
+		}
+		var disjointFails atomic.Uint64
+		res = bench.Run("disjoint-yield", procs, ops()/10, func(w, i int) {
+			v := vars[w]
+			for {
+				val, keep := v.LL()
+				runtime.Gosched()
+				if v.SC(keep, val+1) {
+					break
+				}
+				disjointFails.Add(1)
+			}
+		})
+		t2.AddRow(procs,
+			fmt.Sprintf("%.4f", sharedRate),
+			fmt.Sprintf("%.4f", float64(disjointFails.Load())/float64(res.Ops)))
+	}
+	t2.Fprint(os.Stdout)
+	fmt.Println("Disjoint SC-fails/op is exactly 0 in every configuration: no shared state across variables.")
+}
+
+// --- E7: tag wraparound ----------------------------------------------------
+
+func e7() {
+	t := bench.NewTable("E7a: analytic time-to-wrap (the paper's 'nine years' arithmetic)",
+		"tag bits", "data bits", "@1M ops/s")
+	for _, bits := range []uint{8, 16, 32, 48, 56} {
+		t.AddRow(bits, 64-bits, human(word.TimeToWrap(bits, 1e6)))
+	}
+	t.Fprint(os.Stdout)
+
+	// E7b: force the failure. A stale LL-SC sequence is held open while a
+	// writer cycles values; with cyclically reused tiny tags (no
+	// feedback), the stale SC/VL is eventually fooled. Figure 7, with a
+	// comparably tiny tag space, is never fooled.
+	const rounds = 5000
+	const tagCount = 8 // 3-bit tag space for the unsound variant
+
+	cyclicErrors := 0
+	for trial := 0; trial < 50; trial++ {
+		v, err := baseline.NewCyclicTag(tagCount, 7)
+		must(err)
+		_, stale := v.LL()
+		fooled := false
+		for i := 0; i < rounds && !fooled; i++ {
+			_, k := v.LL()
+			if !v.SC(k, 7) {
+				panic("uncontended SC failed")
+			}
+			if v.VL(stale) && i > 0 {
+				fooled = true
+			}
+		}
+		if fooled {
+			cyclicErrors++
+		}
+	}
+
+	f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: 2, K: 1})
+	bv, err := f.NewVar(0)
+	must(err)
+	p0, err := f.Proc(0)
+	must(err)
+	p1, err := f.Proc(1)
+	must(err)
+	// Seed a word written by p1 so the stale keep is adversarial.
+	_, k, err := bv.LL(p1)
+	must(err)
+	bv.SC(p1, k, 7)
+	_, stale, err := bv.LL(p0)
+	must(err)
+	boundedErrors := 0
+	for i := 0; i < 50*rounds; i++ {
+		_, k, err := bv.LL(p1)
+		must(err)
+		if !bv.SC(p1, k, 7) {
+			panic("uncontended SC failed")
+		}
+		if bv.VL(p0, stale) {
+			boundedErrors++
+		}
+	}
+	if bv.SC(p0, stale, 99) {
+		boundedErrors++
+	}
+
+	t2 := bench.NewTable("E7b: forced wraparound — stale sequence held open across value-restoring SCs",
+		"impl", "tag values", "trials", "erroneous validations")
+	t2.AddRow("cyclic tags, no feedback (ablation)", tagCount, 50, cyclicErrors)
+	t2.AddRow("fig7 bounded tags with feedback", 2*f.Procs()*f.K()+1, 50, boundedErrors)
+	t2.Fprint(os.Stdout)
+	fmt.Println("The feedback mechanism (announce array + tag queue) is what prevents reuse.")
+}
+
+// --- E8: applications -------------------------------------------------------
+
+func e8() {
+	t := bench.NewTable("E8: previously-inapplicable algorithms running on stock CAS (Section 1 motivation, Section 5 STM claim)",
+		"structure", "procs", "ops/s", "ns/op")
+
+	for _, procs := range []int{1, 4, 8} {
+		s, err := structures.NewStack(procs * 8)
+		must(err)
+		res := bench.Run("stack", procs, ops(), func(w, i int) {
+			if err := s.Push(uint64(w)); err == nil {
+				s.Pop()
+			}
+		})
+		t.AddRow("stack push+pop", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+	}
+	for _, procs := range []int{1, 4, 8} {
+		q, err := structures.NewQueue(procs * 8)
+		must(err)
+		res := bench.Run("queue", procs, ops(), func(w, i int) {
+			if err := q.Enqueue(uint64(w)); err == nil {
+				q.Dequeue()
+			}
+		})
+		t.AddRow("queue enq+deq", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+	}
+	for _, procs := range []int{1, 4, 8} {
+		c := structures.NewCounter(0)
+		res := bench.Run("counter", procs, ops(), func(w, i int) {
+			c.Increment()
+		})
+		t.AddRow("llsc counter", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+
+		mv, err := baseline.NewMutexLLSC(procs, 0)
+		must(err)
+		res = bench.Run("mutex-counter", procs, ops(), func(w, i int) {
+			for {
+				x := mv.LL(w)
+				if mv.SC(w, x+1) {
+					break
+				}
+			}
+		})
+		t.AddRow("mutex counter (baseline)", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+
+		sr := spec.MustNewRegister(procs, 0)
+		res = bench.Run("spec-counter", procs, ops(), func(w, i int) {
+			for {
+				x := sr.LL(w)
+				if sr.SC(w, x+1) {
+					break
+				}
+			}
+		})
+		t.AddRow("global-lock counter (Fig 2)", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+	}
+
+	for _, procs := range []int{1, 4} {
+		r, err := structures.NewRing(64)
+		must(err)
+		res := bench.Run("ring", procs, ops(), func(w, i int) {
+			if err := r.Enqueue(uint64(w)); err == nil {
+				r.Dequeue()
+			}
+		})
+		t.AddRow("ring enq+deq", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+
+		hm, err := structures.NewMap(1024)
+		must(err)
+		res = bench.Run("hashmap", procs, ops(), func(w, i int) {
+			k := uint64(i) & 1023
+			if i%2 == 0 {
+				_ = hm.Put(k, k)
+			} else {
+				hm.Get(k)
+			}
+		})
+		t.AddRow("hash map put/get", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+	}
+
+	{
+		vars := make([]*core.Var, 8)
+		for i := range vars {
+			vars[i] = core.MustNewVar(word.MustLayout(32), 0)
+		}
+		snap, err := structures.NewSnapshot(vars)
+		must(err)
+		res := bench.Run("snapshot", 4, ops()/2, func(w, i int) {
+			if w == 0 {
+				v := vars[i&7]
+				val, keep := v.LL()
+				v.SC(keep, val+1)
+				return
+			}
+			dst := make([]uint64, 8)
+			keeps := make([]core.Keep, 8)
+			snap.CollectWith(dst, keeps)
+		})
+		t.AddRow("8-var atomic snapshot (3 readers + writer)", 4, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+	}
+
+	for _, procs := range []int{1, 4} {
+		const accounts = 16
+		m := stm.MustNew(accounts)
+		res := bench.Run("stm", procs, ops()/4, func(w, i int) {
+			from := w % accounts
+			to := (w + 1) % accounts
+			_, err := m.Atomically([]int{from, to}, func(cur, next []uint64) {
+				next[0] = (cur[0] - 1) & stm.MaxValue
+				next[1] = (cur[1] + 1) & stm.MaxValue
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+		t.AddRow("STM 2-word transfer", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+	}
+
+	for _, procs := range []int{1, 4} {
+		o, err := universal.New(universal.Config{Procs: procs, Words: 4}, make([]uint64, 4))
+		must(err)
+		handles := make([]*universal.Proc, procs)
+		for i := range handles {
+			handles[i], err = o.Proc(i)
+			must(err)
+		}
+		max := o.MaxSegmentValue()
+		res := bench.Run("universal", procs, ops()/4, func(w, i int) {
+			o.Apply(handles[w], func(cur, next []uint64) {
+				copy(next, cur)
+				next[w%4] = (next[w%4] + 1) & max
+			})
+		})
+		t.AddRow("universal object (W=4)", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+	}
+	t.Fprint(os.Stdout)
+
+	// Non-blockingness under a stalled process: a lock-holder that stalls
+	// blocks the mutex version forever; the LL/SC version keeps going.
+	fmt.Println("\nE8b: progress with a stalled process (the paper's core motivation)")
+	demoStall()
+
+	// E8c: STM behaviour across contention levels, with the transaction
+	// counters exposed: fewer accounts → more conflicts → more forced
+	// aborts and helping, but throughput degrades gracefully and the
+	// totals stay exact.
+	t3 := bench.NewTable("E8c: STM under varying contention (4 workers, transfers with a widened read-commit window)",
+		"accounts", "ops/s", "commits", "mismatches", "forced aborts", "helps")
+	for _, accounts := range []int{2, 4, 16, 64} {
+		m := stm.MustNew(accounts)
+		res := bench.Run("stm-contention", 4, ops()/16, func(w, i int) {
+			from := (w + i) % accounts
+			to := (w + i + 1) % accounts
+			for {
+				a, err := m.Read(from)
+				if err != nil {
+					panic(err)
+				}
+				b, err := m.Read(to)
+				if err != nil {
+					panic(err)
+				}
+				runtime.Gosched() // widen the window so commits conflict
+				ok, err := m.MCAS([]int{from, to},
+					[]uint64{a, b},
+					[]uint64{(a - 1) & stm.MaxValue, (b + 1) & stm.MaxValue})
+				if err != nil {
+					panic(err)
+				}
+				if ok {
+					break
+				}
+			}
+		})
+		st := m.Stats()
+		t3.AddRow(accounts, bench.Throughput(res.OpsPerSec()),
+			st.Commits, st.Mismatches, st.ForcedAborts, st.Helps)
+	}
+	t3.Fprint(os.Stdout)
+	fmt.Println("Fewer accounts → more mismatches (optimistic retries); totals stay exact throughout.")
+
+	// E8d: tail latency with a stalling process. A background "staller"
+	// continuously enters its critical window and naps 50µs inside it
+	// (~25% duty cycle). With a lock that window is a critical section, so
+	// clean workers inherit the naps in their tail latencies; with LL/SC
+	// the window is optimistic — the staller's SC simply fails and only
+	// the staller pays.
+	t4 := bench.NewTable("E8d: clean workers' latency beside a continuously stalling process (3 clean + 1 staller)",
+		"impl", "clean p50", "clean p99", "clean p99.9", "clean max")
+	const cleanWorkers = 3
+	latOps := ops() / 2
+	const napInside = 50 * time.Microsecond
+	const napOutside = 50 * time.Microsecond
+
+	{
+		v := core.MustNewVar(word.MustLayout(32), 0)
+		hist := bench.NewHistogram(cleanWorkers)
+		stop := make(chan struct{})
+		var stallerWG sync.WaitGroup
+		stallerWG.Add(1)
+		go func() { // the staller: naps inside its LL-SC window
+			defer stallerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				val, keep := v.LL()
+				time.Sleep(napInside)
+				v.SC(keep, val+1) // usually fails; only the staller pays
+				time.Sleep(napOutside)
+			}
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < cleanWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < latOps; i++ {
+					if i%64 == 0 {
+						runtime.Gosched() // let the staller get scheduled (1-core host)
+					}
+					t0 := time.Now()
+					for {
+						val, keep := v.LL()
+						if v.SC(keep, val+1) {
+							break
+						}
+					}
+					hist.Record(w, time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		stallerWG.Wait()
+		t4.AddRow("llsc counter (optimistic window)",
+			hist.Quantile(0.50), hist.Quantile(0.99), hist.Quantile(0.999), hist.Quantile(1))
+	}
+	{
+		var mu sync.Mutex
+		var counter uint64
+		hist := bench.NewHistogram(cleanWorkers)
+		stop := make(chan struct{})
+		var stallerWG sync.WaitGroup
+		stallerWG.Add(1)
+		go func() { // the staller: naps while HOLDING the lock
+			defer stallerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.Lock()
+				time.Sleep(napInside)
+				counter++
+				mu.Unlock()
+				time.Sleep(napOutside)
+			}
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < cleanWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < latOps; i++ {
+					if i%64 == 0 {
+						runtime.Gosched() // identical yield pattern to the LL/SC run
+					}
+					t0 := time.Now()
+					mu.Lock()
+					counter++
+					mu.Unlock()
+					hist.Record(w, time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(stop)
+		stallerWG.Wait()
+		t4.AddRow("mutex counter (critical section)",
+			hist.Quantile(0.50), hist.Quantile(0.99), hist.Quantile(0.999), hist.Quantile(1))
+	}
+	t4.Fprint(os.Stdout)
+	fmt.Println("The staller's in-window naps poison the lock-based tail; the LL/SC tail never sees them.")
+}
+
+func demoStall() {
+	// LL/SC counter: one goroutine stalls for 50ms mid-sequence (between
+	// LL and SC); others keep making progress.
+	c := structures.NewCounter(0)
+	var wg sync.WaitGroup
+	stallDone := make(chan struct{})
+	wg.Add(1)
+	go func() { // the stalled process: holds an LL open across a long sleep
+		defer wg.Done()
+		c.FetchOp(func(v uint64) uint64 {
+			time.Sleep(50 * time.Millisecond)
+			return v + 1
+		})
+		close(stallDone)
+	}()
+	progressed := uint64(0)
+	t0 := time.Now()
+	for time.Since(t0) < 25*time.Millisecond {
+		c.Increment()
+		progressed++
+	}
+	wg.Wait()
+	fmt.Printf("  llsc counter: %d increments completed while a process stalled mid-sequence\n", progressed)
+
+	// Mutex version: a stalled lock-holder blocks everyone.
+	v, err := baseline.NewMutexLLSC(2, 0)
+	must(err)
+	hold := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		v.LockForDemo(hold, release)
+	}()
+	<-hold
+	blocked := make(chan struct{})
+	go func() {
+		v.LL(1) // blocks on the held mutex
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		fmt.Println("  mutex counter: UNEXPECTEDLY made progress while the lock was held")
+	case <-time.After(25 * time.Millisecond):
+		fmt.Println("  mutex counter: 0 increments — blocked behind the stalled lock-holder")
+	}
+	close(release)
+	<-blocked
+}
+
+// --- E10: verification summary and simulation-overhead ablation ----------
+
+func e10() {
+	// E10a: exhaustive stateless model checking — every schedule of small
+	// workloads, directly via internal/sched.
+	t := bench.NewTable("E10a: exhaustive schedule enumeration (stateless model checking)",
+		"workload", "schedules", "max depth", "verdict")
+
+	fig3 := func(ctrl *sched.Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl})
+		v, err := core.NewCASVar(m, word.MustLayout(32), 0)
+		must(err)
+		m.Proc(0).FailNext(1)
+		return func(proc int) {
+				p := m.Proc(proc)
+				for {
+					old := v.Read(p)
+					if v.CompareAndSwap(p, old, old+1) {
+						break
+					}
+				}
+			}, func() error {
+				if got := v.Read(m.Proc(0)); got != 2 {
+					return fmt.Errorf("counter = %d, want 2", got)
+				}
+				return nil
+			}
+	}
+	res, err := sched.ExploreExhaustive(2, 500_000, fig3)
+	t.AddRow("fig3 CAS, 2 procs × 1 inc + spurious fail", res.Schedules, res.MaxDepth, verdict(res, err))
+
+	fig5 := func(ctrl *sched.Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl})
+		v, err := core.NewRVar(m, word.MustLayout(32), 0)
+		must(err)
+		return func(proc int) {
+				p := m.Proc(proc)
+				for r := 0; r < 2; r++ {
+					for {
+						val, keep := v.LL(p)
+						if v.SC(p, keep, val+1) {
+							break
+						}
+					}
+				}
+			}, func() error {
+				if got := v.Read(m.Proc(0)); got != 4 {
+					return fmt.Errorf("counter = %d, want 4", got)
+				}
+				return nil
+			}
+	}
+	res, err = sched.ExploreExhaustive(2, 500_000, fig5)
+	t.AddRow("fig5 LL/SC, 2 procs × 2 incs", res.Schedules, res.MaxDepth, verdict(res, err))
+
+	fig7 := func(ctrl *sched.Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl})
+		f, err := core.NewRBoundedFamily(m, 1)
+		must(err)
+		v, err := f.NewVar(0)
+		must(err)
+		return func(proc int) {
+				p, err := f.Proc(proc)
+				if err != nil {
+					panic(err)
+				}
+				for {
+					val, keep, err := v.LL(p)
+					if err != nil {
+						panic(err)
+					}
+					if v.SC(p, keep, val+1) {
+						break
+					}
+				}
+			}, func() error {
+				p, _ := f.Proc(0)
+				if got := v.Read(p); got != 2 {
+					return fmt.Errorf("counter = %d, want 2", got)
+				}
+				return nil
+			}
+	}
+	res, err = sched.ExploreExhaustive(2, 500_000, fig7)
+	t.AddRow("fig7 bounded-tag over RLL/RSC, 2 procs × 1 inc", res.Schedules, res.MaxDepth, verdict(res, err))
+	t.Fprint(os.Stdout)
+
+	// E10b: what the simulated machine itself costs, so simulated numbers
+	// can be discounted by substrate overhead.
+	t2 := bench.NewTable("E10b: simulation-overhead ladder (single proc)",
+		"operation", "ns/op")
+	n := ops() * 5
+	t2.AddRow("hardware atomic CAS (sync/atomic)", timeIt(n, func() func(int) {
+		var x atomic.Uint64
+		return func(int) {
+			old := x.Load()
+			x.CompareAndSwap(old, old+1)
+		}
+	}()))
+	{
+		m := machine.MustNew(machine.Config{Procs: 1})
+		w := m.NewWord(0)
+		p := m.Proc(0)
+		t2.AddRow("machine CAS (pointer-cell emulation)", timeIt(n, func(int) {
+			old := p.Load(w)
+			p.CAS(w, old, old+1)
+		}))
+		t2.AddRow("machine RLL/RSC pair", timeIt(n, func(int) {
+			v := p.RLL(w)
+			p.RSC(w, v+1)
+		}))
+	}
+	{
+		v := core.MustNewVar(word.MustLayout(32), 0)
+		t2.AddRow("fig4 LL+SC on hardware", timeIt(n, func(int) {
+			val, keep := v.LL()
+			v.SC(keep, val+1)
+		}))
+	}
+	{
+		m := machine.MustNew(machine.Config{Procs: 1})
+		v, err := core.NewRVar(m, word.MustLayout(32), 0)
+		must(err)
+		p := m.Proc(0)
+		t2.AddRow("fig5 LL+SC on machine", timeIt(n, func(int) {
+			val, keep := v.LL(p)
+			v.SC(p, keep, val+1)
+		}))
+	}
+	t2.Fprint(os.Stdout)
+}
+
+func verdict(res sched.ExhaustiveResult, err error) string {
+	switch {
+	case err != nil:
+		return "VIOLATION: " + err.Error()
+	case !res.Exhausted:
+		return "budget exhausted (no violation found)"
+	default:
+		return "exhaustive, all correct"
+	}
+}
+
+func timeIt(n int, fn func(int)) float64 {
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llscbench:", err)
+		os.Exit(1)
+	}
+}
+
+func human(d time.Duration) string {
+	switch {
+	case d >= 365*24*time.Hour*200:
+		return ">200y"
+	case d >= 365*24*time.Hour:
+		return fmt.Sprintf("%.1fy", d.Hours()/24/365)
+	case d >= 24*time.Hour:
+		return fmt.Sprintf("%.1fd", d.Hours()/24)
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

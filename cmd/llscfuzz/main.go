@@ -1,0 +1,397 @@
+// Command llscfuzz is a differential fuzzer: it drives long randomized
+// operation sequences against each implementation and the Figure 2 oracle
+// in lock-step (sequentially, where results must match op-for-op) and
+// under deterministic serialized schedules (concurrently, where final
+// states and counters must match). A failing seed is printed for replay.
+//
+// Usage:
+//
+//	llscfuzz [-seqs 200] [-ops 500] [-seed 1] [-sched 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/spec"
+	"repro/internal/word"
+)
+
+var (
+	flagSeqs  = flag.Int("seqs", 200, "sequential differential runs per implementation")
+	flagOps   = flag.Int("ops", 500, "operations per sequential run")
+	flagSeed  = flag.Int64("seed", 1, "base seed")
+	flagSched = flag.Int("sched", 200, "serialized-schedule runs per implementation")
+)
+
+func main() {
+	flag.Parse()
+	failures := 0
+	failures += sequentialPhase()
+	failures += schedulePhase()
+	if failures > 0 {
+		fmt.Printf("\nFAILED: %d fuzzing phases found divergence\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall fuzzing phases passed")
+}
+
+// seqTarget is a single-process register with LL/VL/SC (and optionally
+// CAS) whose every op result must equal the oracle's.
+type seqTarget interface {
+	Name() string
+	Read() uint64
+	// HasLLSC reports whether LL/VL/SC are provided; CAS-only targets
+	// (Figure 3) return false and are fuzzed through CAS alone.
+	HasLLSC() bool
+	LL() uint64
+	VL() bool
+	SC(v uint64) bool
+	CAS(old, new uint64) (bool, bool)
+}
+
+func sequentialPhase() int {
+	fmt.Printf("== sequential differential fuzzing (%d runs × %d ops per implementation) ==\n", *flagSeqs, *flagOps)
+	mk := []func(initial uint64) seqTarget{
+		func(init uint64) seqTarget { return newSeqFig4(init) },
+		func(init uint64) seqTarget { return newSeqFig5(init) },
+		func(init uint64) seqTarget { return newSeqFig3(init) },
+		func(init uint64) seqTarget { return newSeqFig7(init) },
+		func(init uint64) seqTarget { return newSeqIR(init) },
+		func(init uint64) seqTarget { return newSeqComposed(init) },
+	}
+	bad := 0
+	for _, factory := range mk {
+		name := factory(0).Name()
+		failed := false
+		for run := 0; run < *flagSeqs && !failed; run++ {
+			seed := *flagSeed + int64(run)
+			if err := diffRun(factory, seed); err != nil {
+				fmt.Printf("  %-14s FAIL at seed %d: %v\n", name, seed, err)
+				bad++
+				failed = true
+			}
+		}
+		if !failed {
+			fmt.Printf("  %-14s OK (%d runs)\n", name, *flagSeqs)
+		}
+	}
+	return bad
+}
+
+func diffRun(factory func(uint64) seqTarget, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	const initial = 2
+	tgt := factory(initial)
+	oracle := spec.MustNewRegister(1, initial)
+	oracleLL := false
+
+	for i := 0; i < *flagOps; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			g, w := tgt.Read(), oracle.Read()
+			if g != w {
+				return fmt.Errorf("op %d Read: %d vs oracle %d", i, g, w)
+			}
+		case 1:
+			if !tgt.HasLLSC() {
+				continue
+			}
+			g, w := tgt.LL(), oracle.LL(0)
+			oracleLL = true
+			if g != w {
+				return fmt.Errorf("op %d LL: %d vs oracle %d", i, g, w)
+			}
+		case 2:
+			if !tgt.HasLLSC() || !oracleLL {
+				continue // VL/SC undefined before first LL (Figure 2)
+			}
+			g, w := tgt.VL(), oracle.VL(0)
+			if g != w {
+				return fmt.Errorf("op %d VL: %v vs oracle %v", i, g, w)
+			}
+		case 3:
+			if !tgt.HasLLSC() || !oracleLL {
+				continue
+			}
+			v := uint64(rng.Intn(8))
+			g, w := tgt.SC(v), oracle.SC(0, v)
+			if g != w {
+				return fmt.Errorf("op %d SC(%d): %v vs oracle %v", i, v, g, w)
+			}
+			oracleLL = false // well-formedness: LL again before next VL/SC
+		default:
+			old, new := uint64(rng.Intn(8)), uint64(rng.Intn(8))
+			g, ok := tgt.CAS(old, new)
+			if !ok {
+				continue
+			}
+			w := oracle.CAS(old, new)
+			if g != w {
+				return fmt.Errorf("op %d CAS(%d,%d): %v vs oracle %v", i, old, new, g, w)
+			}
+		}
+	}
+	return nil
+}
+
+func schedulePhase() int {
+	fmt.Printf("\n== serialized-schedule fuzzing (%d seeds, 3 procs) ==\n", *flagSched)
+	bad := 0
+
+	// Figure 3 CAS counter under systematic schedules.
+	build3 := func(seed int64, ctrl *sched.Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 3, Scheduler: ctrl, SpuriousFailProb: 0.1, Seed: seed})
+		v, err := core.NewCASVar(m, word.MustLayout(32), 0)
+		must(err)
+		return func(proc int) {
+				p := m.Proc(proc)
+				for r := 0; r < 10; r++ {
+					for {
+						old := v.Read(p)
+						if v.CompareAndSwap(p, old, old+1) {
+							break
+						}
+					}
+				}
+			}, func() error {
+				if got := v.Read(m.Proc(0)); got != 30 {
+					return fmt.Errorf("counter = %d, want 30", got)
+				}
+				return nil
+			}
+	}
+	if seed, err := sched.Explore(3, *flagSched, *flagSeed, build3); err != nil {
+		fmt.Printf("  fig3 schedules FAIL (replay seed %d): %v\n", seed, err)
+		bad++
+	} else {
+		fmt.Printf("  fig3 schedules OK\n")
+	}
+
+	// Figure 5 LL/SC counter.
+	build5 := func(seed int64, ctrl *sched.Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 3, Scheduler: ctrl, SpuriousFailProb: 0.1, Seed: seed})
+		v, err := core.NewRVar(m, word.MustLayout(32), 0)
+		must(err)
+		return func(proc int) {
+				p := m.Proc(proc)
+				for r := 0; r < 10; r++ {
+					for {
+						val, keep := v.LL(p)
+						if v.SC(p, keep, val+1) {
+							break
+						}
+					}
+				}
+			}, func() error {
+				if got := v.Read(m.Proc(0)); got != 30 {
+					return fmt.Errorf("counter = %d, want 30", got)
+				}
+				return nil
+			}
+	}
+	if seed, err := sched.Explore(3, *flagSched, *flagSeed+10_000, build5); err != nil {
+		fmt.Printf("  fig5 schedules FAIL (replay seed %d): %v\n", seed, err)
+		bad++
+	} else {
+		fmt.Printf("  fig5 schedules OK\n")
+	}
+
+	// Figure 6 over RLL/RSC: replicated-vector writers; the check rereads
+	// and verifies no torn state survived.
+	build6 := func(seed int64, ctrl *sched.Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 3, Scheduler: ctrl, SpuriousFailProb: 0.1, Seed: seed})
+		f, err := core.NewRLargeFamily(m, 2, 0)
+		must(err)
+		v, err := f.NewVar([]uint64{0, 0})
+		must(err)
+		torn := make([]bool, 3)
+		return func(proc int) {
+				p := m.Proc(proc)
+				cur := make([]uint64, 2)
+				next := make([]uint64, 2)
+				for r := 0; r < 6; r++ {
+					for {
+						keep, res := v.WLL(p, cur)
+						if res != core.Succ {
+							continue
+						}
+						if cur[0] != cur[1] {
+							torn[proc] = true
+							return
+						}
+						next[0] = cur[0] + 1
+						next[1] = next[0]
+						if v.SC(p, keep, next) {
+							break
+						}
+					}
+				}
+			}, func() error {
+				for proc, bad := range torn {
+					if bad {
+						return fmt.Errorf("proc %d observed a torn snapshot", proc)
+					}
+				}
+				p := m.Proc(0)
+				final := make([]uint64, 2)
+				v.Read(p, final)
+				if final[0] != 18 || final[1] != 18 {
+					return fmt.Errorf("final = %v, want [18 18]", final)
+				}
+				return nil
+			}
+	}
+	if seed, err := sched.Explore(3, *flagSched, *flagSeed+20_000, build6); err != nil {
+		fmt.Printf("  fig6 schedules FAIL (replay seed %d): %v\n", seed, err)
+		bad++
+	} else {
+		fmt.Printf("  fig6 schedules OK\n")
+	}
+	return bad
+}
+
+// --- sequential adapters -------------------------------------------------
+
+type seqFig4 struct {
+	v    *core.Var
+	keep core.Keep
+}
+
+func newSeqFig4(init uint64) seqTarget {
+	return &seqFig4{v: core.MustNewVar(word.MustLayout(48), init)}
+}
+func (s *seqFig4) HasLLSC() bool                    { return true }
+func (s *seqFig4) Name() string                     { return "fig4" }
+func (s *seqFig4) Read() uint64                     { return s.v.Read() }
+func (s *seqFig4) LL() uint64                       { v, k := s.v.LL(); s.keep = k; return v }
+func (s *seqFig4) VL() bool                         { return s.v.VL(s.keep) }
+func (s *seqFig4) SC(v uint64) bool                 { return s.v.SC(s.keep, v) }
+func (s *seqFig4) CAS(old, new uint64) (bool, bool) { return s.v.CompareAndSwap(old, new), true }
+
+type seqFig5 struct {
+	m    *machine.Machine
+	v    *core.RVar
+	keep core.Keep
+}
+
+func newSeqFig5(init uint64) seqTarget {
+	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 5})
+	v, err := core.NewRVar(m, word.MustLayout(48), init)
+	must(err)
+	return &seqFig5{m: m, v: v}
+}
+func (s *seqFig5) HasLLSC() bool                    { return true }
+func (s *seqFig5) Name() string                     { return "fig5" }
+func (s *seqFig5) Read() uint64                     { return s.v.Read(s.m.Proc(0)) }
+func (s *seqFig5) LL() uint64                       { v, k := s.v.LL(s.m.Proc(0)); s.keep = k; return v }
+func (s *seqFig5) VL() bool                         { return s.v.VL(s.m.Proc(0), s.keep) }
+func (s *seqFig5) SC(v uint64) bool                 { return s.v.SC(s.m.Proc(0), s.keep, v) }
+func (s *seqFig5) CAS(old, new uint64) (bool, bool) { return false, false }
+
+type seqFig3 struct {
+	m *machine.Machine
+	v *core.CASVar
+}
+
+func newSeqFig3(init uint64) seqTarget {
+	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 3})
+	v, err := core.NewCASVar(m, word.MustLayout(48), init)
+	must(err)
+	return &seqFig3{m: m, v: v}
+}
+func (s *seqFig3) HasLLSC() bool    { return false }
+func (s *seqFig3) Name() string     { return "fig3" }
+func (s *seqFig3) Read() uint64     { return s.v.Read(s.m.Proc(0)) }
+func (s *seqFig3) LL() uint64       { return s.Read() } // no LL; fuzzer uses CAS path
+func (s *seqFig3) VL() bool         { return false }
+func (s *seqFig3) SC(v uint64) bool { return false }
+func (s *seqFig3) CAS(old, new uint64) (bool, bool) {
+	return s.v.CompareAndSwap(s.m.Proc(0), old, new), true
+}
+
+type seqFig7 struct {
+	f    *core.BoundedFamily
+	v    *core.BoundedVar
+	keep core.BKeep
+	held bool
+}
+
+func newSeqFig7(init uint64) seqTarget {
+	f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: 1, K: 1})
+	v, err := f.NewVar(init)
+	must(err)
+	return &seqFig7{f: f, v: v}
+}
+func (s *seqFig7) proc() *core.BoundedProc {
+	p, err := s.f.Proc(0)
+	must(err)
+	return p
+}
+func (s *seqFig7) HasLLSC() bool { return true }
+func (s *seqFig7) Name() string  { return "fig7" }
+func (s *seqFig7) Read() uint64  { return s.v.Read() }
+func (s *seqFig7) LL() uint64 {
+	if s.held {
+		s.v.CL(s.proc(), s.keep) // release the previous sequence's slot
+	}
+	v, k, err := s.v.LL(s.proc())
+	must(err)
+	s.keep = k
+	s.held = true
+	return v
+}
+func (s *seqFig7) VL() bool { return s.v.VL(s.proc(), s.keep) }
+func (s *seqFig7) SC(v uint64) bool {
+	s.held = false
+	return s.v.SC(s.proc(), s.keep, v)
+}
+func (s *seqFig7) CAS(old, new uint64) (bool, bool) { return false, false }
+
+type seqIR struct{ v *baseline.IsraeliRappoport }
+
+func newSeqIR(init uint64) seqTarget {
+	v, err := baseline.NewIsraeliRappoport(1, init)
+	must(err)
+	return &seqIR{v: v}
+}
+func (s *seqIR) HasLLSC() bool                    { return true }
+func (s *seqIR) Name() string                     { return "israeli-rap" }
+func (s *seqIR) Read() uint64                     { return s.v.Read() }
+func (s *seqIR) LL() uint64                       { v, _ := s.v.LL(0); return v }
+func (s *seqIR) VL() bool                         { return s.v.VL(0) }
+func (s *seqIR) SC(v uint64) bool                 { return s.v.SC(0, v) }
+func (s *seqIR) CAS(old, new uint64) (bool, bool) { return false, false }
+
+type seqComposed struct {
+	m    *machine.Machine
+	v    *baseline.Composed
+	keep baseline.ComposedKeep
+}
+
+func newSeqComposed(init uint64) seqTarget {
+	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 11})
+	v, err := baseline.NewComposed(m, 24, 24, init)
+	must(err)
+	return &seqComposed{m: m, v: v}
+}
+func (s *seqComposed) HasLLSC() bool                    { return true }
+func (s *seqComposed) Name() string                     { return "fig3∘fig4" }
+func (s *seqComposed) Read() uint64                     { return s.v.Read(s.m.Proc(0)) }
+func (s *seqComposed) LL() uint64                       { v, k := s.v.LL(s.m.Proc(0)); s.keep = k; return v }
+func (s *seqComposed) VL() bool                         { return s.v.VL(s.m.Proc(0), s.keep) }
+func (s *seqComposed) SC(v uint64) bool                 { return s.v.SC(s.m.Proc(0), s.keep, v) }
+func (s *seqComposed) CAS(old, new uint64) (bool, bool) { return false, false }
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llscfuzz:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,176 @@
+// Command llsctrace replays a workload on the simulated machine under a
+// chosen deterministic schedule and dumps the exact operation
+// interleaving — the failure-reproduction companion to cmd/llscfuzz and
+// internal/sched: when a fuzzing run reports a failing seed, re-run it
+// here with tracing to read what happened, operation by operation.
+//
+// Usage:
+//
+//	llsctrace -workload fig3|fig5|fig7|broken -seed 42 [-procs 2] [-rounds 2]
+//	          [-policy random|rr|pct] [-spurious 0.1] [-tail 64]
+//
+// The "broken" workload is a deliberately non-atomic read-then-store
+// counter; with a couple of processors almost any seed demonstrates a
+// lost update, and the trace shows the guilty interleaving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/word"
+)
+
+var (
+	flagWorkload = flag.String("workload", "fig5", "workload to trace (fig3, fig5, fig7, broken)")
+	flagSeed     = flag.Int64("seed", 1, "schedule seed (for -policy random/pct)")
+	flagProcs    = flag.Int("procs", 2, "number of simulated processors")
+	flagRounds   = flag.Int("rounds", 2, "operations per processor")
+	flagPolicy   = flag.String("policy", "random", "scheduling policy (random, rr, pct)")
+	flagSpurious = flag.Float64("spurious", 0.1, "spurious RSC failure probability")
+	flagTail     = flag.Int("tail", 256, "how many trailing events to keep")
+)
+
+func main() {
+	flag.Parse()
+
+	var policy sched.Policy
+	switch *flagPolicy {
+	case "random":
+		policy = sched.NewRandom(*flagSeed)
+	case "rr":
+		policy = &sched.RoundRobin{}
+	case "pct":
+		policy = sched.NewPCT(*flagSeed, 400, 3)
+	default:
+		fmt.Fprintf(os.Stderr, "llsctrace: unknown -policy %q\n", *flagPolicy)
+		os.Exit(2)
+	}
+
+	rec := trace.MustNewRecorder(*flagTail)
+	ctrl := sched.NewController(*flagProcs, policy)
+	m := machine.MustNew(machine.Config{
+		Procs:            *flagProcs,
+		Scheduler:        ctrl,
+		Observer:         rec.Observe,
+		SpuriousFailProb: *flagSpurious,
+		Seed:             *flagSeed,
+	})
+
+	workload, check := buildWorkload(m)
+	if workload == nil {
+		fmt.Fprintf(os.Stderr, "llsctrace: unknown -workload %q\n", *flagWorkload)
+		os.Exit(2)
+	}
+
+	sched.RunUnder(ctrl, *flagProcs, workload)
+
+	fmt.Printf("workload=%s policy=%s seed=%d procs=%d rounds=%d spurious=%v\n",
+		*flagWorkload, *flagPolicy, *flagSeed, *flagProcs, *flagRounds, *flagSpurious)
+	fmt.Printf("scheduling decisions: %d; events captured: %d (dropped %d)\n\n",
+		ctrl.Steps(), rec.Len(), rec.Dropped())
+	if err := rec.Dump(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "llsctrace:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := check(); err != nil {
+		fmt.Printf("INVARIANT VIOLATED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("invariant holds")
+}
+
+func buildWorkload(m *machine.Machine) (func(proc int), func() error) {
+	procs := *flagProcs
+	rounds := *flagRounds
+	want := uint64(procs * rounds)
+
+	switch *flagWorkload {
+	case "fig3":
+		v, err := core.NewCASVar(m, word.MustLayout(32), 0)
+		must(err)
+		return func(proc int) {
+				p := m.Proc(proc)
+				for r := 0; r < rounds; r++ {
+					for {
+						old := v.Read(p)
+						if v.CompareAndSwap(p, old, old+1) {
+							break
+						}
+					}
+				}
+			}, func() error {
+				return wantCounter(v.Read(m.Proc(0)), want)
+			}
+	case "fig5":
+		v, err := core.NewRVar(m, word.MustLayout(32), 0)
+		must(err)
+		return func(proc int) {
+				p := m.Proc(proc)
+				for r := 0; r < rounds; r++ {
+					for {
+						val, keep := v.LL(p)
+						if v.SC(p, keep, val+1) {
+							break
+						}
+					}
+				}
+			}, func() error {
+				return wantCounter(v.Read(m.Proc(0)), want)
+			}
+	case "fig7":
+		f, err := core.NewRBoundedFamily(m, 2)
+		must(err)
+		v, err := f.NewVar(0)
+		must(err)
+		return func(proc int) {
+				p, err := f.Proc(proc)
+				must(err)
+				for r := 0; r < rounds; r++ {
+					for {
+						val, keep, err := v.LL(p)
+						must(err)
+						if v.SC(p, keep, val+1) {
+							break
+						}
+					}
+				}
+			}, func() error {
+				p, _ := f.Proc(0)
+				return wantCounter(v.Read(p), want)
+			}
+	case "broken":
+		w := m.NewWord(0)
+		return func(proc int) {
+				p := m.Proc(proc)
+				for r := 0; r < rounds; r++ {
+					v := p.Load(w)  // read
+					p.Store(w, v+1) // store — deliberately not atomic
+				}
+			}, func() error {
+				return wantCounter(m.Proc(0).Load(w), want)
+			}
+	default:
+		return nil, nil
+	}
+}
+
+func wantCounter(got, want uint64) error {
+	if got != want {
+		return fmt.Errorf("counter = %d, want %d", got, want)
+	}
+	return nil
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llsctrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Command tagsim reproduces the paper's tag-wraparound arithmetic
+// (Section 1: "on a 64-bit machine, reserving 48 bits for the tag means
+// that an error can occur only if a variable is modified 2^48 times during
+// one LL-SC sequence. Even if a variable is modified a million times a
+// second, this would take about nine years.").
+//
+// It prints, for a range of tag widths and update rates, how long a
+// variable must be modified during a single LL-SC sequence before the tag
+// wraps and the unbounded-tag algorithms (Figures 3-5) could err — and
+// contrasts this with the data bits remaining and with Figure 7's bounded
+// tags, which never err.
+//
+// Usage:
+//
+//	tagsim [-bits 48] [-rate 1e6]
+//	tagsim -table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/word"
+)
+
+func main() {
+	bits := flag.Uint("bits", 48, "tag width in bits")
+	rate := flag.Float64("rate", 1e6, "updates per second to the variable")
+	table := flag.Bool("table", false, "print the full width × rate table")
+	flag.Parse()
+
+	if *table {
+		printTable()
+		return
+	}
+	if *bits < 1 || *bits > 63 {
+		fmt.Fprintln(os.Stderr, "tagsim: -bits must be in [1,63]")
+		os.Exit(2)
+	}
+	d := word.TimeToWrap(*bits, *rate)
+	fmt.Printf("tag width:     %d bits (data: %d bits)\n", *bits, 64-*bits)
+	fmt.Printf("update rate:   %.3g updates/second\n", *rate)
+	fmt.Printf("time to wrap:  %s\n", humanDuration(d))
+	fmt.Printf("\nAn unbounded-tag LL/SC (Figures 3-5) errs only if one LL-SC sequence\n")
+	fmt.Printf("spans a full wrap; the bounded-tag construction (Figure 7) never errs.\n")
+}
+
+func printTable() {
+	rates := []float64{1e3, 1e6, 1e9}
+	t := bench.NewTable("time until a tag of the given width wraps",
+		"tag bits", "data bits", "@1K ops/s", "@1M ops/s", "@1G ops/s")
+	for _, bits := range []uint{8, 16, 24, 32, 40, 48, 56} {
+		row := []any{bits, 64 - bits}
+		for _, r := range rates {
+			row = append(row, humanDuration(word.TimeToWrap(bits, r)))
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println("\nThe paper's example: 48-bit tags at 1M updates/s wrap after ~9 years.")
+}
+
+func humanDuration(d time.Duration) string {
+	if d == time.Duration(math.MaxInt64) {
+		return ">292y"
+	}
+	switch {
+	case d >= 365*24*time.Hour:
+		return fmt.Sprintf("%.1fy", d.Hours()/24/365)
+	case d >= 24*time.Hour:
+		return fmt.Sprintf("%.1fd", d.Hours()/24)
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -1,0 +1,104 @@
+package llsc_test
+
+import (
+	"fmt"
+
+	llsc "repro"
+)
+
+// A bounded lock-free stack: no ABA problem, nodes recycle freely.
+func ExampleStack() {
+	s, _ := llsc.NewStack(8)
+	s.Push(1)
+	s.Push(2)
+	v, _ := s.Pop()
+	fmt.Println(v)
+	// Output: 2
+}
+
+// A bounded MPMC FIFO queue.
+func ExampleQueue() {
+	q, _ := llsc.NewQueue(8)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	v, _ := q.Dequeue()
+	fmt.Println(v)
+	// Output: 1
+}
+
+// The hash map claims each bucket exactly once with LL/SC; values are
+// last-writer-wins per key.
+func ExampleHashMap() {
+	m, _ := llsc.NewHashMap(64)
+	m.Put(7, 700)
+	m.Put(7, 701) // overwrite
+	v, ok := m.Get(7)
+	m.Delete(7)
+	_, gone := m.Get(7)
+	fmt.Println(v, ok, gone)
+	// Output: 701 true false
+}
+
+// An atomic snapshot of several variables via LL + VL double-collect —
+// no writes, and the collected values all held simultaneously.
+func ExampleSnapshot() {
+	a := llsc.MustNewVar(llsc.MustLayout(32), 10)
+	b := llsc.MustNewVar(llsc.MustLayout(32), 20)
+	s, _ := llsc.NewSnapshot([]*llsc.Var{a, b})
+
+	dst := make([]uint64, 2)
+	s.Collect(dst)
+	fmt.Println(dst)
+	// Output: [10 20]
+}
+
+// A work-stealing deque: the owner works the bottom, thieves the top.
+func ExampleWSDeque() {
+	d, _ := llsc.NewWSDeque(8)
+	d.PushBottom(1)
+	d.PushBottom(2)
+	d.PushBottom(3)
+
+	stolen, _, _ := d.Steal() // takes the oldest
+	owned, _ := d.PopBottom() // takes the newest
+	fmt.Println(stolen, owned, d.Size())
+	// Output: 1 3 1
+}
+
+// A dynamic transaction: the address set is discovered as the body runs,
+// reads are opaque, and the commit is atomic.
+func ExampleMemory_runTx() {
+	mem := llsc.MustNewMemory(4)
+	mem.Write(0, 100)
+
+	err := mem.RunTx(func(tx *llsc.Tx) error {
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(1, v/2); err != nil {
+			return err
+		}
+		return tx.Write(2, v/4)
+	})
+	a, _ := mem.Read(1)
+	b, _ := mem.Read(2)
+	fmt.Println(err, a, b)
+	// Output: <nil> 50 25
+}
+
+// A wait-free shared object: operations are announced and helped, so
+// every invocation finishes in a bounded number of its own steps.
+func ExampleWaitFreeObject() {
+	o, _ := llsc.NewWaitFree(llsc.WaitFreeConfig{Procs: 2, UserWords: 1}, []uint64{0},
+		func(opcode, arg uint64, user []uint64) uint64 {
+			old := user[0]
+			user[0] += arg
+			return old & 0xFFFF // results are 16-bit with the default layout
+		})
+	p, _ := o.Proc(0)
+	first := o.Invoke(p, 0, 5)  // fetch-add 5, observes 0
+	second := o.Invoke(p, 0, 2) // fetch-add 2, observes 5
+	fmt.Println(first, second)
+	// Output: 0 5
+}

@@ -1,0 +1,145 @@
+package llsc_test
+
+import (
+	"fmt"
+
+	llsc "repro"
+)
+
+// The canonical LL/SC read-modify-write loop on the Figure 4 primitive.
+func ExampleVar() {
+	v := llsc.MustNewVar(llsc.MustLayout(32), 10)
+	for {
+		val, keep := v.LL()
+		if v.SC(keep, val*2) {
+			break
+		}
+	}
+	fmt.Println(v.Read())
+	// Output: 20
+}
+
+// VL validates a snapshot without writing — and an intervening SC
+// invalidates it even when the value is restored (no ABA).
+func ExampleVar_vL() {
+	v := llsc.MustNewVar(llsc.MustLayout(32), 7)
+	_, stale := v.LL()
+
+	_, k := v.LL()
+	v.SC(k, 9)
+	_, k = v.LL()
+	v.SC(k, 7) // restore the original value
+
+	fmt.Println(v.VL(stale))
+	// Output: false
+}
+
+// CAS emulated from the restricted RLL/RSC instructions (Figure 3) on the
+// simulated multiprocessor, surviving injected spurious failures.
+func ExampleCASVar() {
+	m := llsc.MustNewMachine(llsc.MachineConfig{Procs: 1, SpuriousFailProb: 0.3, Seed: 7})
+	v, _ := llsc.NewCASVar(m, llsc.DefaultLayout, 100)
+	p := m.Proc(0)
+
+	ok := v.CompareAndSwap(p, 100, 200)
+	fmt.Println(ok, v.Read(p))
+	// Output: true 200
+}
+
+// A 4-word value updated atomically (Figure 6).
+func ExampleLargeFamily() {
+	f := llsc.MustNewLargeFamily(llsc.LargeConfig{Procs: 2, Words: 4})
+	v, _ := f.NewVar([]uint64{1, 2, 3, 4})
+	p, _ := f.Proc(0)
+
+	cur := make([]uint64, 4)
+	for {
+		keep, res := v.WLL(p, cur)
+		if res != llsc.Succ {
+			continue
+		}
+		next := []uint64{cur[0] + 10, cur[1] + 10, cur[2] + 10, cur[3] + 10}
+		if v.SC(p, keep, next) {
+			break
+		}
+	}
+	v.Read(p, cur)
+	fmt.Println(cur)
+	// Output: [11 12 13 14]
+}
+
+// Bounded tags (Figure 7): tiny tag fields, no wraparound hazard, and CL
+// to abort a sequence.
+func ExampleBoundedFamily() {
+	f := llsc.MustNewBoundedFamily(llsc.BoundedConfig{Procs: 2, K: 2})
+	v, _ := f.NewVar(5)
+	p, _ := f.Proc(0)
+
+	val, keep, _ := v.LL(p)
+	v.SC(p, keep, val+1)
+
+	_, keep2, _ := v.LL(p)
+	v.CL(p, keep2) // abort: the slot returns to the pool
+
+	fmt.Println(v.Read(), p.FreeSlots())
+	// Output: 6 2
+}
+
+// A software DCAS on stock CAS hardware — the paper's Section 5 claim.
+func ExampleMemory_dCAS() {
+	mem := llsc.MustNewMemory(2)
+	mem.Write(0, 100)
+	mem.Write(1, 50)
+
+	ok, _ := mem.DCAS(0, 1, 100, 50, 75, 75)
+	a, _ := mem.Read(0)
+	b, _ := mem.Read(1)
+	fmt.Println(ok, a, b)
+	// Output: true 75 75
+}
+
+// A transactional bank transfer with automatic retry.
+func ExampleMemory_atomically() {
+	mem := llsc.MustNewMemory(2)
+	mem.Write(0, 100)
+
+	mem.Atomically([]int{0, 1}, func(cur, next []uint64) {
+		next[0] = cur[0] - 30
+		next[1] = cur[1] + 30
+	})
+	a, _ := mem.Read(0)
+	b, _ := mem.Read(1)
+	fmt.Println(a, b)
+	// Output: 70 30
+}
+
+// Any sequential object becomes lock-free via the universal construction.
+func ExampleObject() {
+	o, _ := llsc.NewObject(llsc.ObjectConfig{Procs: 1, Words: 2}, []uint64{0, 0})
+	p, _ := o.Proc(0)
+
+	// A tiny "max tracker": state = [current max, update count].
+	observe := func(sample uint64) {
+		o.Apply(p, func(cur, next []uint64) {
+			next[0], next[1] = cur[0], cur[1]+1
+			if sample > cur[0] {
+				next[0] = sample
+			}
+		})
+	}
+	observe(3)
+	observe(9)
+	observe(4)
+
+	state := make([]uint64, 2)
+	o.Read(p, state)
+	fmt.Println(state[0], state[1])
+	// Output: 9 3
+}
+
+// The tag-size trade-off, quantified (the paper's Section 1 example).
+func ExampleTimeToWrap() {
+	d := llsc.TimeToWrap(48, 1e6)
+	fmt.Printf("%.1f years\n", d.Hours()/24/365)
+	// Output: 8.9 years
+}

@@ -1,0 +1,97 @@
+// Figure 7 in action: bounded tags that can never wrap incorrectly. The
+// demo first shows the failure the unbounded-tag algorithms risk — a
+// stale LL-SC sequence held open across a full tag wrap is silently
+// fooled — and then runs the identical adversarial workload against the
+// bounded-tag implementation, whose announce/feedback machinery makes the
+// error impossible with tags of comparable (tiny) size.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	llsc "repro"
+)
+
+func main() {
+	// --- Part 1: the hazard, demonstrated with a deliberately tiny tag.
+	// 3-bit tags wrap after 8 SCs; value 7 is restored each time.
+	small := llsc.MustNewVar(llsc.MustLayout(3), 7)
+	_, stale := small.LL()
+	for i := 0; i < 8; i++ {
+		_, k := small.LL()
+		if !small.SC(k, 7) {
+			fmt.Fprintln(os.Stderr, "setup SC failed")
+			os.Exit(1)
+		}
+	}
+	fooled := small.SC(stale, 99)
+	fmt.Printf("figure 4 with a 3-bit tag: stale SC after 8 intervening SCs erroneously succeeded: %v\n", fooled)
+	fmt.Println("  (with the default 48-bit tag this takes 2^48 modifications ≈ 9 years at 1M/s)")
+
+	// --- Part 2: Figure 7 with a comparably tiny tag space (2Nk+1 = 5
+	// tags for N=2, k=1) survives the same attack indefinitely.
+	family, err := llsc.NewBoundedFamily(llsc.BoundedConfig{Procs: 2, K: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boundedtag:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nfigure 7 family: N=2, k=1 → %d-bit tags (5 values), %d-bit data field\n",
+		family.TagBits(), 64-int(family.TagBits())-7-1)
+
+	v, err := family.NewVar(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boundedtag:", err)
+		os.Exit(1)
+	}
+	p0, _ := family.Proc(0)
+	p1, _ := family.Proc(1)
+
+	// Seed a word written by p1 so the stale keep is maximally adversarial
+	// (its pid field matches the attacker's).
+	_, k, err := v.LL(p1)
+	must(err)
+	if !v.SC(p1, k, 7) {
+		fmt.Fprintln(os.Stderr, "seed SC failed")
+		os.Exit(1)
+	}
+
+	_, staleKeep, err := v.LL(p0)
+	must(err)
+
+	const attempts = 1_000_000
+	errors := 0
+	for i := 0; i < attempts; i++ {
+		_, k, err := v.LL(p1)
+		must(err)
+		if !v.SC(p1, k, 7) { // restore the same value every time
+			fmt.Fprintln(os.Stderr, "attacker SC failed unexpectedly")
+			os.Exit(1)
+		}
+		if v.VL(p0, staleKeep) {
+			errors++
+		}
+	}
+	if v.SC(p0, staleKeep, 99) {
+		errors++
+	}
+	fmt.Printf("after %d value-restoring SCs: %d erroneous validations (must be 0)\n", attempts, errors)
+	fmt.Println("the announce array + tag queue guarantee no (tag,cnt,pid) triple is reused prematurely")
+
+	// --- Part 3: CL — aborting a sequence returns its announce slot.
+	_, k1, err := v.LL(p0)
+	must(err)
+	v.CL(p0, k1) // abandon the sequence
+	fmt.Printf("\nCL returned the slot: p0 has %d/%d slots free\n", p0.FreeSlots(), family.K())
+
+	if errors != 0 {
+		os.Exit(1)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "boundedtag:", err)
+		os.Exit(1)
+	}
+}

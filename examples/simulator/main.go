@@ -1,0 +1,119 @@
+// A tour of the simulated RLL/RSC multiprocessor (the paper's hardware
+// model: MIPS R4000 / Alpha / PowerPC). Shows the four restrictions of
+// the restricted instructions, why naive code breaks on them, and how the
+// paper's Figures 3 and 5 run correctly on top — even under heavy
+// injected spurious failure rates.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	llsc "repro"
+)
+
+func main() {
+	fmt.Println("== the restrictions of real hardware LL/SC (Section 1) ==")
+
+	m := llsc.MustNewMachine(llsc.MachineConfig{Procs: 2, Strict: true, Seed: 1})
+	p0, p1 := m.Proc(0), m.Proc(1)
+	x := m.NewWord(10)
+	y := m.NewWord(20)
+
+	// Restriction: one reservation per processor (the R4000's LLBit).
+	p0.RLL(x)
+	p0.RLL(y) // displaces the reservation on x
+	fmt.Printf("RLL(x); RLL(y); RSC(x) succeeds? %v  (one LLBit per processor)\n", p0.RSC(x, 11))
+
+	// Restriction: no memory access between RLL and RSC (strict mode).
+	p0.RLL(x)
+	p0.Load(y) // an intervening load clears the reservation
+	fmt.Printf("RLL(x); Load(y); RSC(x) succeeds? %v  (intervening access clears LLBit)\n", p0.RSC(x, 11))
+
+	// Writes of the SAME value still invalidate (cache-line semantics).
+	p0.RLL(x)
+	p1.Store(x, 10) // same value!
+	fmt.Printf("RLL(x); other proc stores same value; RSC(x) succeeds? %v  (no ABA in hardware)\n", p0.RSC(x, 11))
+
+	fmt.Println("\n== Figure 3: a full CAS built from these restricted instructions ==")
+	noisy := llsc.MustNewMachine(llsc.MachineConfig{Procs: 4, SpuriousFailProb: 0.3, Seed: 42})
+	v, err := llsc.NewCASVar(noisy, llsc.MustLayout(32), 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	const procs = 4
+	const rounds = 25000
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(p *llsc.MachineProc) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					old := v.Read(p)
+					if v.CompareAndSwap(p, old, old+1) {
+						break
+					}
+				}
+			}
+		}(noisy.Proc(i))
+	}
+	wg.Wait()
+	st := noisy.Stats()
+	fmt.Printf("4 procs × %d CAS increments at 30%% spurious-failure rate: counter = %d (exact)\n",
+		rounds, v.Read(noisy.Proc(0)))
+	fmt.Printf("machine stats: %d RSC successes, %d spurious failures, %d real failures\n",
+		st.RSCSuccess, st.RSCSpurious, st.RSCRealFail)
+
+	fmt.Println("\n== Figure 5: full LL/VL/SC on the same machine — concurrent sequences restored ==")
+	m2 := llsc.MustNewMachine(llsc.MachineConfig{Procs: 1, SpuriousFailProb: 0.2, Seed: 7})
+	a, err := llsc.NewRVar(m2, llsc.MustLayout(48), 1)
+	must(err)
+	b, err := llsc.NewRVar(m2, llsc.MustLayout(48), 2)
+	must(err)
+	p := m2.Proc(0)
+
+	// The Figure 1(a) pattern, impossible with raw RLL/RSC, fine here:
+	av, ka := a.LL(p)
+	bv, kb := b.LL(p)
+	fmt.Printf("LL(a)=%d LL(b)=%d VL(a)=%v\n", av, bv, a.VL(p, ka))
+	fmt.Printf("SC(b,200)=%v SC(a,100)=%v → a=%d b=%d\n",
+		b.SC(p, kb, 200), a.SC(p, ka, 100), a.Read(p), b.Read(p))
+
+	fmt.Println("\n== Figures 6 and 7 also run on RLL/RSC (the paper's closing remark in Section 3) ==")
+	m3 := llsc.MustNewMachine(llsc.MachineConfig{Procs: 2, SpuriousFailProb: 0.1, Seed: 3})
+	lf, err := llsc.NewRLargeFamily(m3, 4, 0)
+	must(err)
+	lv, err := lf.NewVar([]uint64{1, 2, 3, 4})
+	must(err)
+	lp := m3.Proc(0)
+	dst := make([]uint64, 4)
+	keep, res := lv.WLL(lp, dst)
+	if res != llsc.Succ {
+		fmt.Fprintln(os.Stderr, "WLL failed")
+		os.Exit(1)
+	}
+	lv.SC(lp, keep, []uint64{5, 6, 7, 8})
+	lv.Read(lp, dst)
+	fmt.Printf("4-word variable on RLL/RSC: %v\n", dst)
+
+	bf, err := llsc.NewRBoundedFamily(m3, 1)
+	must(err)
+	bvr, err := bf.NewVar(0)
+	must(err)
+	bp, err := bf.Proc(0)
+	must(err)
+	val, bk, err := bvr.LL(bp)
+	must(err)
+	bvr.SC(bp, bk, val+42)
+	fmt.Printf("bounded-tag variable on RLL/RSC: %d (tag field: %d bits)\n", bvr.Read(bp), bf.TagBits())
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulator:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,316 @@
+// Package baseline implements the constructions the paper positions itself
+// against, for use in the comparison experiments (E5, E7, E8):
+//
+//   - MutexLLSC: lock-based LL/VL/SC — footnote 1's "straightforward"
+//     implementation that "defeats the purpose of the non-blocking
+//     algorithms that use them". It is blocking: a stalled lock-holder
+//     stalls everyone.
+//   - PerVarBounded: the "naive generalization" of a single-variable
+//     bounded-tag construction to T variables (Section 4): one full
+//     instance of the Figure 7 machinery per variable, costing Θ(N²)
+//     space per variable and hence Θ(N²T) total — the space behaviour of
+//     Anderson–Moir [2] that Figure 7's shared announce array eliminates.
+//   - CyclicTag: an ablation, not a published algorithm — bounded tags
+//     cycled without the paper's feedback mechanism. It is intentionally
+//     unsound: experiment E7 uses it to show the feedback machinery is
+//     load-bearing, not decorative.
+//   - IsraeliRappoport: a valid-bits-in-the-word construction in the
+//     style of Israeli & Rappoport [10], which needs N bits of every
+//     word — the "unrealistic assumptions about the size of machine
+//     words" the paper criticizes (it caps the process count and
+//     squeezes the data field).
+package baseline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// MutexLLSC is a lock-based LL/VL/SC variable (footnote 1's baseline).
+type MutexLLSC struct {
+	mu    sync.Mutex
+	val   uint64
+	valid []bool
+}
+
+// NewMutexLLSC creates a lock-based variable for n processes.
+func NewMutexLLSC(n int, initial uint64) (*MutexLLSC, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: process count must be at least 1, got %d", n)
+	}
+	return &MutexLLSC{val: initial, valid: make([]bool, n)}, nil
+}
+
+// Read returns the current value.
+func (v *MutexLLSC) Read() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.val
+}
+
+// LL performs process p's load-linked.
+func (v *MutexLLSC) LL(p int) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.valid[p] = true
+	return v.val
+}
+
+// VL reports whether process p's last LL is still valid.
+func (v *MutexLLSC) VL(p int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.valid[p]
+}
+
+// SC attempts process p's store-conditional.
+func (v *MutexLLSC) SC(p int, newval uint64) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.valid[p] {
+		return false
+	}
+	v.val = newval
+	for i := range v.valid {
+		v.valid[i] = false
+	}
+	return true
+}
+
+// FootprintWords reports the per-variable storage in 64-bit words
+// (approximating the mutex as one word, as a futex-based lock would be).
+func (v *MutexLLSC) FootprintWords() int { return 2 + len(v.valid) }
+
+// LockForDemo seizes the variable's lock, closes held, and releases only
+// when release is closed. It exists for the stalled-process demonstration
+// (experiment E8b): a stalled lock-holder blocks every other process,
+// which is precisely the failure mode non-blocking algorithms avoid.
+func (v *MutexLLSC) LockForDemo(held chan<- struct{}, release <-chan struct{}) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	close(held)
+	<-release
+}
+
+// PerVarBounded instantiates the full Figure 7 machinery once per
+// variable (with k=1), reproducing the Θ(N²T) space behaviour of applying
+// a single-variable bounded-tag construction to T variables.
+type PerVarBounded struct {
+	n int
+}
+
+// NewPerVarBounded returns a factory for per-variable bounded-tag
+// variables over n processes.
+func NewPerVarBounded(n int) (*PerVarBounded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: process count must be at least 1, got %d", n)
+	}
+	return &PerVarBounded{n: n}, nil
+}
+
+// PerVarBoundedVar is one variable with its own private Figure 7 instance.
+type PerVarBoundedVar struct {
+	family *core.BoundedFamily
+	v      *core.BoundedVar
+}
+
+// NewVar creates a variable with a dedicated bounded-tag family.
+func (b *PerVarBounded) NewVar(initial uint64) (*PerVarBoundedVar, error) {
+	family, err := core.NewBoundedFamily(core.BoundedConfig{Procs: b.n, K: 1})
+	if err != nil {
+		return nil, err
+	}
+	v, err := family.NewVar(initial)
+	if err != nil {
+		return nil, err
+	}
+	return &PerVarBoundedVar{family: family, v: v}, nil
+}
+
+// Read returns the current value.
+func (pv *PerVarBoundedVar) Read() uint64 { return pv.v.Read() }
+
+// LL performs process p's load-linked.
+func (pv *PerVarBoundedVar) LL(p int) (uint64, core.BKeep, error) {
+	proc, err := pv.family.Proc(p)
+	if err != nil {
+		return 0, core.BKeep{}, err
+	}
+	return pv.v.LL(proc)
+}
+
+// VL validates process p's sequence.
+func (pv *PerVarBoundedVar) VL(p int, keep core.BKeep) bool {
+	proc, err := pv.family.Proc(p)
+	if err != nil {
+		return false
+	}
+	return pv.v.VL(proc, keep)
+}
+
+// SC attempts process p's store-conditional.
+func (pv *PerVarBoundedVar) SC(p int, keep core.BKeep, newval uint64) bool {
+	proc, err := pv.family.Proc(p)
+	if err != nil {
+		return false
+	}
+	return pv.v.SC(proc, keep, newval)
+}
+
+// FootprintWords reports the per-variable storage in 64-bit words,
+// counting the private announce array (N·k), the variable word and its
+// counter array (1+N), and each process's private tag queue: N processes
+// × (2Nk+1) queue nodes (a next+prev pair packs into one word). With k=1
+// this is Θ(N²) per variable — the cost Figure 7's sharing removes.
+func (pv *PerVarBoundedVar) FootprintWords() int {
+	n := pv.family.Procs()
+	k := pv.family.K()
+	queueWords := n * (2*n*k + 1)
+	return n*k + (1 + n) + queueWords
+}
+
+// CyclicTag is the unsound ablation: record{tag, val} words with the tag
+// cycled modulo a small bound and NO feedback. A stale SC can succeed as
+// soon as the tag space wraps during one LL-SC sequence. Exported only so
+// experiment E7 can demonstrate the failure; never use it for real
+// synchronization.
+type CyclicTag struct {
+	w      atomic.Uint64
+	layout word.Layout
+	mod    uint64
+}
+
+// CyclicKeep is the keep token for CyclicTag.
+type CyclicKeep struct {
+	word uint64
+}
+
+// NewCyclicTag creates a variable whose tags cycle through tagCount
+// values (tagCount ≥ 2) with no reuse protection.
+func NewCyclicTag(tagCount uint64, initial uint64) (*CyclicTag, error) {
+	if tagCount < 2 {
+		return nil, fmt.Errorf("baseline: tagCount must be at least 2, got %d", tagCount)
+	}
+	layout, err := word.NewLayout(word.BitsFor(tagCount - 1))
+	if err != nil {
+		return nil, err
+	}
+	if initial > layout.MaxVal() {
+		return nil, fmt.Errorf("baseline: initial value %d exceeds value field", initial)
+	}
+	v := &CyclicTag{layout: layout, mod: tagCount}
+	v.w.Store(layout.Pack(0, initial))
+	return v, nil
+}
+
+// Read returns the current value.
+func (v *CyclicTag) Read() uint64 { return v.layout.Val(v.w.Load()) }
+
+// LL snapshots the variable.
+func (v *CyclicTag) LL() (uint64, CyclicKeep) {
+	k := CyclicKeep{word: v.w.Load()}
+	return v.layout.Val(k.word), k
+}
+
+// VL reports whether the word is bit-identical to the snapshot — which,
+// after a tag wrap, may hold even though the variable changed.
+func (v *CyclicTag) VL(keep CyclicKeep) bool {
+	return v.w.Load() == keep.word
+}
+
+// SC attempts the store-conditional with the next cyclic tag.
+func (v *CyclicTag) SC(keep CyclicKeep, newval uint64) bool {
+	if newval > v.layout.MaxVal() {
+		panic(fmt.Sprintf("baseline: SC value %d exceeds value field", newval))
+	}
+	tag := word.AddMod(v.layout.Tag(keep.word), 1, v.mod)
+	return v.w.CompareAndSwap(keep.word, v.layout.Pack(tag, newval))
+}
+
+// IsraeliRappoport is a valid-bits construction in the style of [10]:
+// each word carries one valid bit per process plus the data value. LL
+// sets the caller's bit with a CAS loop; a successful SC clears all bits.
+// It needs N bits of every word, so N is capped by the word size — the
+// unrealistic-word-size assumption the paper criticizes — and LL is only
+// lock-free, not wait-free, under contention.
+type IsraeliRappoport struct {
+	w      atomic.Uint64
+	n      int
+	fields word.Fields // validmask | val
+}
+
+// IRKeep is the keep token for IsraeliRappoport (the interface here is
+// modified in the spirit of the paper even though [10] predates it).
+type IRKeep struct {
+	val uint64
+}
+
+// NewIsraeliRappoport creates a variable for n processes (n ≤ 32 so that
+// at least 32 data bits remain).
+func NewIsraeliRappoport(n int, initial uint64) (*IsraeliRappoport, error) {
+	if n < 1 || n > 32 {
+		return nil, fmt.Errorf("baseline: process count must be in [1,32], got %d (valid bits must fit the word)", n)
+	}
+	fields, err := word.NewFields(uint(n), uint(word.WordBits-n))
+	if err != nil {
+		return nil, err
+	}
+	v := &IsraeliRappoport{n: n, fields: fields}
+	if initial > fields.Max(1) {
+		return nil, fmt.Errorf("baseline: initial value %d exceeds %d-bit value field", initial, word.WordBits-n)
+	}
+	v.w.Store(fields.Pack(0, initial))
+	return v, nil
+}
+
+// Read returns the current value.
+func (v *IsraeliRappoport) Read() uint64 {
+	return v.fields.Get(v.w.Load(), 1)
+}
+
+// LL sets process p's valid bit and returns the value (lock-free: the
+// CAS loop retries only when the word changes, i.e. the system makes
+// progress).
+func (v *IsraeliRappoport) LL(p int) (uint64, IRKeep) {
+	bit := uint64(1) << uint(p)
+	for {
+		w := v.w.Load()
+		mask := v.fields.Get(w, 0)
+		nw := v.fields.Pack(mask|bit, v.fields.Get(w, 1))
+		if w == nw || v.w.CompareAndSwap(w, nw) {
+			val := v.fields.Get(w, 1)
+			return val, IRKeep{val: val}
+		}
+	}
+}
+
+// VL reports whether process p's valid bit is still set.
+func (v *IsraeliRappoport) VL(p int) bool {
+	return v.fields.Get(v.w.Load(), 0)&(1<<uint(p)) != 0
+}
+
+// SC attempts process p's store-conditional: it succeeds iff p's valid
+// bit is still set, atomically storing the value and clearing every valid
+// bit.
+func (v *IsraeliRappoport) SC(p int, newval uint64) bool {
+	if newval > v.fields.Max(1) {
+		panic(fmt.Sprintf("baseline: SC value %d exceeds value field", newval))
+	}
+	bit := uint64(1) << uint(p)
+	for {
+		w := v.w.Load()
+		if v.fields.Get(w, 0)&bit == 0 {
+			return false
+		}
+		if v.w.CompareAndSwap(w, v.fields.Pack(0, newval)) {
+			return true
+		}
+	}
+}
+
+// FootprintWords reports per-variable storage: a single word.
+func (v *IsraeliRappoport) FootprintWords() int { return 1 }

@@ -1,0 +1,286 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMutexLLSCValidation(t *testing.T) {
+	if _, err := NewMutexLLSC(0, 0); err == nil {
+		t.Error("NewMutexLLSC(0) should error")
+	}
+}
+
+func TestMutexLLSCSemantics(t *testing.T) {
+	v, err := NewMutexLLSC(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.LL(0); got != 10 {
+		t.Fatalf("LL = %d, want 10", got)
+	}
+	if !v.VL(0) {
+		t.Fatal("VL false after LL")
+	}
+	v.LL(1)
+	if !v.SC(1, 20) {
+		t.Fatal("p1 SC failed")
+	}
+	if v.VL(0) {
+		t.Error("p0 VL true after p1's SC")
+	}
+	if v.SC(0, 30) {
+		t.Error("p0 stale SC succeeded")
+	}
+	if got := v.Read(); got != 20 {
+		t.Errorf("Read = %d, want 20", got)
+	}
+	if got := v.FootprintWords(); got != 4 {
+		t.Errorf("FootprintWords = %d, want 4", got)
+	}
+}
+
+func TestMutexLLSCConcurrentCounter(t *testing.T) {
+	const procs = 8
+	const rounds = 2000
+	v, err := NewMutexLLSC(procs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for {
+					x := v.LL(p)
+					if v.SC(p, x+1) {
+						break
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := v.Read(); got != procs*rounds {
+		t.Errorf("final = %d, want %d", got, procs*rounds)
+	}
+}
+
+func TestPerVarBoundedSemantics(t *testing.T) {
+	b, err := NewPerVarBounded(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.NewVar(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, keep, err := v.LL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 5 {
+		t.Fatalf("LL = %d, want 5", val)
+	}
+	if !v.VL(0, keep) {
+		t.Fatal("VL false after LL")
+	}
+	if !v.SC(0, keep, 6) {
+		t.Fatal("SC failed")
+	}
+	if got := v.Read(); got != 6 {
+		t.Errorf("Read = %d, want 6", got)
+	}
+}
+
+func TestPerVarBoundedQuadraticSpace(t *testing.T) {
+	// The whole point of this baseline: per-variable space grows
+	// quadratically with N, while Figure 7's shared family does not.
+	b4, _ := NewPerVarBounded(4)
+	b8, _ := NewPerVarBounded(8)
+	v4, err := b4.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v8, err := b8.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, f8 := v4.FootprintWords(), v8.FootprintWords()
+	// Doubling N should roughly quadruple the footprint (ratio > 3).
+	if ratio := float64(f8) / float64(f4); ratio < 3 {
+		t.Errorf("footprint ratio N=8/N=4 is %.2f (=%d/%d), want ≥3 (quadratic growth)", ratio, f8, f4)
+	}
+}
+
+func TestPerVarBoundedConcurrent(t *testing.T) {
+	const procs = 4
+	const rounds = 1000
+	b, err := NewPerVarBounded(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for {
+					val, keep, err := v.LL(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if v.SC(p, keep, val+1) {
+						break
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := v.Read(); got != procs*rounds {
+		t.Errorf("final = %d, want %d", got, procs*rounds)
+	}
+}
+
+func TestCyclicTagIsUnsound(t *testing.T) {
+	// The ablation must exhibit exactly the failure Figure 7 prevents:
+	// after tagCount intervening SCs restoring the value, a stale SC
+	// succeeds.
+	v, err := NewCyclicTag(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stale := v.LL()
+	for i := 0; i < 4; i++ {
+		_, k := v.LL()
+		if !v.SC(k, 7) {
+			t.Fatalf("intervening SC %d failed", i)
+		}
+	}
+	if !v.VL(stale) {
+		t.Fatal("expected stale VL to be fooled after tag wrap")
+	}
+	if !v.SC(stale, 99) {
+		t.Fatal("expected stale SC to (erroneously) succeed after tag wrap")
+	}
+}
+
+func TestCyclicTagNormalOperation(t *testing.T) {
+	v, err := NewCyclicTag(1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		val, k := v.LL()
+		if val != i {
+			t.Fatalf("LL = %d, want %d", val, i)
+		}
+		if !v.SC(k, i+1) {
+			t.Fatalf("SC %d failed", i)
+		}
+	}
+}
+
+func TestCyclicTagValidation(t *testing.T) {
+	if _, err := NewCyclicTag(1, 0); err == nil {
+		t.Error("tagCount=1 accepted")
+	}
+	if _, err := NewCyclicTag(4, 1<<63); err == nil {
+		t.Error("oversized initial accepted")
+	}
+}
+
+func TestIsraeliRappoportSemantics(t *testing.T) {
+	v, err := NewIsraeliRappoport(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _ := v.LL(0)
+	if val != 10 {
+		t.Fatalf("LL = %d, want 10", val)
+	}
+	if !v.VL(0) {
+		t.Fatal("VL false after LL")
+	}
+	v.LL(1)
+	if !v.SC(1, 20) {
+		t.Fatal("p1 SC failed")
+	}
+	if v.VL(0) {
+		t.Error("p0 VL true after p1 SC")
+	}
+	if v.SC(0, 30) {
+		t.Error("p0 stale SC succeeded")
+	}
+	if got := v.Read(); got != 20 {
+		t.Errorf("Read = %d, want 20", got)
+	}
+}
+
+func TestIsraeliRappoportABAImmune(t *testing.T) {
+	// Valid bits are cleared by every successful SC, so an A→B→A value
+	// cycle still fails the stale SC.
+	v, err := NewIsraeliRappoport(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.LL(0)
+	v.LL(1)
+	if !v.SC(1, 9) {
+		t.Fatal("SC to 9 failed")
+	}
+	v.LL(1)
+	if !v.SC(1, 7) {
+		t.Fatal("SC back to 7 failed")
+	}
+	if v.SC(0, 8) {
+		t.Error("stale SC succeeded across ABA cycle")
+	}
+}
+
+func TestIsraeliRappoportCapsProcs(t *testing.T) {
+	// The word-size restriction the paper criticizes: N is capped.
+	if _, err := NewIsraeliRappoport(33, 0); err == nil {
+		t.Error("N=33 accepted; valid bits cannot fit")
+	}
+	if _, err := NewIsraeliRappoport(0, 0); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+func TestIsraeliRappoportConcurrentCounter(t *testing.T) {
+	const procs = 8
+	const rounds = 2000
+	v, err := NewIsraeliRappoport(procs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for {
+					val, _ := v.LL(p)
+					if v.SC(p, val+1) {
+						break
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := v.Read(); got != procs*rounds {
+		t.Errorf("final = %d, want %d", got, procs*rounds)
+	}
+}

@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// Composed implements LL/VL/SC from RLL/RSC by layering Figure 4 on top of
+// Figure 3 — the straightforward composition the paper describes and then
+// improves upon with Figure 5. Each word carries TWO tags: an inner tag
+// consumed by the CAS emulation (Figure 3) and an outer tag consumed by
+// the LL/SC emulation (Figure 4), so the bits available for data — and the
+// headroom before either tag wraps — are substantially reduced. Experiment
+// E3 compares this against the fused single-tag Figure 5.
+type Composed struct {
+	inner *core.CASVar
+	outer word.Layout // splits the CAS value field into outerTag | data
+}
+
+// ComposedKeep is the keep token for Composed.
+type ComposedKeep struct {
+	word uint64 // the CAS-level value field: outerTag | data
+}
+
+// NewComposed allocates a composed variable on machine m. innerTagBits and
+// outerTagBits are the Figure 3 and Figure 4 tag widths; the data field
+// gets the remaining 64 - innerTagBits - outerTagBits bits.
+func NewComposed(m *machine.Machine, innerTagBits, outerTagBits uint, initial uint64) (*Composed, error) {
+	if innerTagBits+outerTagBits >= word.WordBits {
+		return nil, fmt.Errorf("baseline: inner %d + outer %d tag bits leave no data room", innerTagBits, outerTagBits)
+	}
+	innerLayout, err := word.NewLayout(innerTagBits)
+	if err != nil {
+		return nil, err
+	}
+	// The outer layout lives inside the inner value field.
+	outerValBits := word.WordBits - innerTagBits - outerTagBits
+	outer := word.Layout{TagBits: outerTagBits, ValBits: outerValBits}
+	if initial > outer.MaxVal() {
+		return nil, fmt.Errorf("baseline: initial value %d exceeds %d-bit data field", initial, outerValBits)
+	}
+	inner, err := core.NewCASVar(m, innerLayout, outer.Pack(0, initial))
+	if err != nil {
+		return nil, err
+	}
+	return &Composed{inner: inner, outer: outer}, nil
+}
+
+// DataBits returns the width of the data field after both tags.
+func (v *Composed) DataBits() uint { return v.outer.ValBits }
+
+// Read returns the current value.
+func (v *Composed) Read(p *machine.Proc) uint64 {
+	return v.outer.Val(v.inner.Read(p))
+}
+
+// LL snapshots the variable (Figure 4's line 1 over the emulated CAS word).
+func (v *Composed) LL(p *machine.Proc) (uint64, ComposedKeep) {
+	w := v.inner.Read(p)
+	return v.outer.Val(w), ComposedKeep{word: w}
+}
+
+// VL reports whether the variable is unchanged since the LL.
+func (v *Composed) VL(p *machine.Proc, keep ComposedKeep) bool {
+	return v.inner.Read(p) == keep.word
+}
+
+// SC attempts the store-conditional via the emulated CAS (Figure 4's
+// line 4 over Figure 3).
+func (v *Composed) SC(p *machine.Proc, keep ComposedKeep, newval uint64) bool {
+	if newval > v.outer.MaxVal() {
+		panic(fmt.Sprintf("baseline: SC value %d exceeds %d-bit data field", newval, v.outer.ValBits))
+	}
+	return v.inner.CompareAndSwap(p, keep.word, v.outer.Bump(keep.word, newval))
+}

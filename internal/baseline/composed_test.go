@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestComposedValidation(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	if _, err := NewComposed(m, 32, 32, 0); err == nil {
+		t.Error("no-data-room layout accepted")
+	}
+	if _, err := NewComposed(m, 24, 24, 1<<17); err == nil {
+		t.Error("oversized initial accepted")
+	}
+	v, err := NewComposed(m, 24, 24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.DataBits(); got != 16 {
+		t.Errorf("DataBits = %d, want 16", got)
+	}
+}
+
+func TestComposedSemantics(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	v, err := NewComposed(m, 24, 24, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := m.Proc(0), m.Proc(1)
+
+	val, k0 := v.LL(p0)
+	if val != 10 {
+		t.Fatalf("LL = %d, want 10", val)
+	}
+	if !v.VL(p0, k0) {
+		t.Fatal("VL false after LL")
+	}
+	_, k1 := v.LL(p1)
+	if !v.SC(p1, k1, 20) {
+		t.Fatal("p1 SC failed")
+	}
+	if v.VL(p0, k0) {
+		t.Error("p0 VL true after p1's SC")
+	}
+	if v.SC(p0, k0, 30) {
+		t.Error("p0 stale SC succeeded")
+	}
+	if got := v.Read(p0); got != 20 {
+		t.Errorf("Read = %d, want 20", got)
+	}
+}
+
+func TestComposedABACycle(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	v, err := NewComposed(m, 24, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := m.Proc(0), m.Proc(1)
+	_, stale := v.LL(p0)
+	for _, x := range []uint64{9, 7} {
+		_, k := v.LL(p1)
+		if !v.SC(p1, k, x) {
+			t.Fatalf("SC to %d failed", x)
+		}
+	}
+	if v.SC(p0, stale, 8) {
+		t.Error("stale SC succeeded across ABA cycle")
+	}
+}
+
+func TestComposedConcurrentCounter(t *testing.T) {
+	const procs = 4
+	const rounds = 1500
+	m := machine.MustNew(machine.Config{Procs: procs, SpuriousFailProb: 0.02, Seed: 21})
+	v, err := NewComposed(m, 24, 24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(p *machine.Proc) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					val, k := v.LL(p)
+					if v.SC(p, k, (val+1)&((1<<16)-1)) {
+						break
+					}
+				}
+			}
+		}(m.Proc(i))
+	}
+	wg.Wait()
+	if got := v.Read(m.Proc(0)); got != procs*rounds {
+		t.Errorf("final = %d, want %d", got, procs*rounds)
+	}
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func coreBKeepZero() core.BKeep { return core.BKeep{} }
+
+func newComposedMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	return machine.MustNew(machine.Config{Procs: 1})
+}
+
+func TestPerVarBoundedValidationAndRead(t *testing.T) {
+	if _, err := NewPerVarBounded(0); err == nil {
+		t.Error("zero procs accepted")
+	}
+	b, err := NewPerVarBounded(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.NewVar(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Read(); got != 7 {
+		t.Errorf("Read = %d, want 7", got)
+	}
+	if got := v.FootprintWords(); got <= 0 {
+		t.Errorf("FootprintWords = %d", got)
+	}
+	// Out-of-range process ids degrade safely.
+	if _, _, err := v.LL(5); err == nil {
+		t.Error("out-of-range LL accepted")
+	}
+	if v.VL(5, coreBKeepZero()) {
+		t.Error("out-of-range VL returned true")
+	}
+	if v.SC(5, coreBKeepZero(), 1) {
+		t.Error("out-of-range SC succeeded")
+	}
+}
+
+func TestIsraeliRappoportFootprint(t *testing.T) {
+	v, err := NewIsraeliRappoport(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.FootprintWords(); got != 1 {
+		t.Errorf("FootprintWords = %d, want 1", got)
+	}
+}
+
+func TestLockForDemoBlocksOthers(t *testing.T) {
+	v, err := NewMutexLLSC(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := make(chan struct{})
+	release := make(chan struct{})
+	go v.LockForDemo(held, release)
+	<-held
+
+	acquired := make(chan struct{})
+	go func() {
+		v.LL(1) // blocks on the held lock
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("LL proceeded while LockForDemo held the lock")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("LL never proceeded after release")
+	}
+}
+
+func TestComposedSCPanicsOnOversized(t *testing.T) {
+	m := newComposedMachine(t)
+	v, err := NewComposed(m, 24, 24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	_, k := v.LL(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized SC did not panic")
+		}
+	}()
+	v.SC(p, k, 1<<20)
+}

@@ -1,0 +1,130 @@
+// Package bench is the experiment harness shared by the cmd/llscbench
+// binary and the repository's benchmark tests: fixed-work concurrent
+// drivers, parameter sweeps, and ASCII table rendering for the experiment
+// results recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// Result is one measured cell: a named configuration, its total operation
+// count, and the wall-clock time the operations took across all workers.
+type Result struct {
+	Name    string
+	Workers int
+	Ops     uint64
+	Elapsed time.Duration
+}
+
+// OpsPerSec returns the aggregate throughput.
+func (r Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// NsPerOp returns the mean latency in nanoseconds per operation,
+// aggregated across workers (wall time × workers ÷ ops).
+func (r Result) NsPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Elapsed.Nanoseconds()) * float64(r.Workers) / float64(r.Ops)
+}
+
+// Run starts one goroutine per worker, each executing fn(worker) exactly
+// opsPerWorker times, and measures the wall-clock span from a common
+// start signal to the last completion.
+func Run(name string, workers, opsPerWorker int, fn func(worker, op int)) Result {
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < opsPerWorker; i++ {
+				fn(w, i)
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	return Result{
+		Name:    name,
+		Workers: workers,
+		Ops:     uint64(workers) * uint64(opsPerWorker),
+		Elapsed: time.Since(t0),
+	}
+}
+
+// Table accumulates rows for aligned text output.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are Sprint-formatted.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case time.Duration:
+			switch {
+			case v < 10*time.Microsecond:
+				row[i] = v.String() // keep nanosecond resolution
+			case v < 10*time.Millisecond:
+				row[i] = v.Round(time.Microsecond).String()
+			default:
+				row[i] = v.Round(100 * time.Microsecond).String()
+			}
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.headers, "\t"))
+	underline := make([]string, len(t.headers))
+	for i, h := range t.headers {
+		underline[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(underline, "\t"))
+	for _, row := range t.rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+}
+
+// Throughput formats ops/sec in engineering units (K/M).
+func Throughput(opsPerSec float64) string {
+	switch {
+	case opsPerSec >= 1e6:
+		return fmt.Sprintf("%.2fM", opsPerSec/1e6)
+	case opsPerSec >= 1e3:
+		return fmt.Sprintf("%.1fK", opsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f", opsPerSec)
+	}
+}

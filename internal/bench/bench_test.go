@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesAllOps(t *testing.T) {
+	var count atomic.Uint64
+	res := Run("test", 4, 1000, func(worker, op int) {
+		count.Add(1)
+	})
+	if count.Load() != 4000 {
+		t.Errorf("executed %d ops, want 4000", count.Load())
+	}
+	if res.Ops != 4000 {
+		t.Errorf("Result.Ops = %d, want 4000", res.Ops)
+	}
+	if res.Workers != 4 {
+		t.Errorf("Result.Workers = %d, want 4", res.Workers)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed not positive")
+	}
+}
+
+func TestRunPassesWorkerAndOpIndices(t *testing.T) {
+	var seen [2][3]atomic.Bool
+	Run("idx", 2, 3, func(worker, op int) {
+		seen[worker][op].Store(true)
+	})
+	for w := 0; w < 2; w++ {
+		for o := 0; o < 3; o++ {
+			if !seen[w][o].Load() {
+				t.Errorf("fn(%d,%d) never called", w, o)
+			}
+		}
+	}
+}
+
+func TestResultMath(t *testing.T) {
+	r := Result{Ops: 1000, Workers: 2, Elapsed: time.Second}
+	if got := r.OpsPerSec(); got != 1000 {
+		t.Errorf("OpsPerSec = %v, want 1000", got)
+	}
+	if got := r.NsPerOp(); got != 2e6 {
+		t.Errorf("NsPerOp = %v, want 2e6", got)
+	}
+	zero := Result{}
+	if zero.OpsPerSec() != 0 || zero.NsPerOp() != 0 {
+		t.Error("zero Result math not zero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("alpha", 3.14159)
+	tbl.AddRow("beta", 42)
+	tbl.AddRow("gamma", 1500*time.Microsecond)
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, frag := range []string{"== demo ==", "name", "value", "alpha", "3.1", "beta", "42", "1.5ms"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestThroughputUnits(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5"}, {1500, "1.5K"}, {2.5e6, "2.50M"},
+	}
+	for _, tt := range tests {
+		if got := Throughput(tt.in); got != tt.want {
+			t.Errorf("Throughput(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram is a lock-free-enough (per-worker sharded) log-bucketed
+// latency histogram: buckets are powers of √2 from 1ns to ~1s, giving
+// ≤ ~6% quantile error with a few dozen buckets and no allocation on the
+// record path.
+type Histogram struct {
+	shards []histShard
+}
+
+type histShard struct {
+	_       [7]uint64 // pad to keep shards on separate cache lines
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     uint64
+}
+
+// histBuckets covers 1ns..~1.4s in √2 steps (2^(i/2) ns).
+const histBuckets = 62
+
+// NewHistogram creates a histogram with one shard per worker; worker w
+// must record only through index w (no synchronization on the hot path).
+func NewHistogram(workers int) *Histogram {
+	return &Histogram{shards: make([]histShard, workers)}
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		return 0
+	}
+	// index = floor(2 * log2(ns)); bits.Len-style approximation.
+	b := int(2 * math.Log2(float64(ns)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Record adds one observation from the given worker.
+func (h *Histogram) Record(worker int, d time.Duration) {
+	s := &h.shards[worker]
+	s.buckets[bucketOf(d)]++
+	s.count++
+	s.sum += uint64(d.Nanoseconds())
+}
+
+// merge folds all shards into one snapshot.
+func (h *Histogram) merge() (buckets [histBuckets]uint64, count, sum uint64) {
+	for i := range h.shards {
+		s := &h.shards[i]
+		for b, n := range s.buckets {
+			buckets[b] += n
+		}
+		count += s.count
+		sum += s.sum
+	}
+	return
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	_, c, _ := h.merge()
+	return c
+}
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	_, c, s := h.merge()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(s / c)
+}
+
+// Quantile returns an upper bound on the q-quantile latency (q in [0,1]),
+// accurate to one √2 bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	buckets, count, _ := h.merge()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(count))
+	if target >= count {
+		target = count - 1
+	}
+	var seen uint64
+	for b, n := range buckets {
+		seen += n
+		if seen > target {
+			// Upper edge of bucket b: 2^((b+1)/2) ns.
+			return time.Duration(math.Pow(2, float64(b+1)/2))
+		}
+	}
+	return time.Duration(math.Pow(2, float64(histBuckets)/2))
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p999=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999))
+}
+
+// LatencyResult extends Result with the per-op latency distribution.
+type LatencyResult struct {
+	Result
+	Hist *Histogram
+}
+
+// RunLatency is Run with per-operation latency recording: fn is timed
+// individually for each call. The timing overhead (two clock reads per
+// op) is real; use it for distribution shape, and plain Run for peak
+// throughput.
+func RunLatency(name string, workers, opsPerWorker int, fn func(worker, op int)) LatencyResult {
+	hist := NewHistogram(workers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < opsPerWorker; i++ {
+				t0 := time.Now()
+				fn(w, i)
+				hist.Record(w, time.Since(t0))
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	return LatencyResult{
+		Result: Result{
+			Name:    name,
+			Workers: workers,
+			Ops:     uint64(workers) * uint64(opsPerWorker),
+			Elapsed: time.Since(t0),
+		},
+		Hist: hist,
+	}
+}

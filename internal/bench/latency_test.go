@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketOfMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{0, 1, 2, 5, 10, 100, time.Microsecond,
+		10 * time.Microsecond, time.Millisecond, 100 * time.Millisecond, time.Second, 10 * time.Second} {
+		b := bucketOf(d)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %v: %d after %d", d, b, prev)
+		}
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%v) = %d out of range", d, b)
+		}
+		prev = b
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(1)
+	// 900 fast ops at ~100ns, 100 slow at ~1ms.
+	for i := 0; i < 900; i++ {
+		h.Record(0, 100*time.Nanosecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(0, time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 50*time.Nanosecond || p50 > 300*time.Nanosecond {
+		t.Errorf("p50 = %v, want ≈100ns", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 500*time.Microsecond || p99 > 3*time.Millisecond {
+		t.Errorf("p99 = %v, want ≈1ms", p99)
+	}
+	mean := h.Mean()
+	want := (900*100*time.Nanosecond + 100*time.Millisecond) / 1000
+	if mean < want/2 || mean > want*2 {
+		t.Errorf("mean = %v, want ≈%v", mean, want)
+	}
+	for _, frag := range []string{"n=1000", "p50=", "p99="} {
+		if !strings.Contains(h.String(), frag) {
+			t.Errorf("String() missing %q: %s", frag, h.String())
+		}
+	}
+}
+
+func TestHistogramEmptyAndClamping(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	h.Record(0, time.Minute) // beyond the top bucket: clamped
+	if h.Quantile(2) == 0 || h.Quantile(-1) == 0 {
+		t.Error("out-of-range quantiles mishandled")
+	}
+}
+
+func TestHistogramShardsMergeConcurrently(t *testing.T) {
+	const workers = 4
+	const each = 10000
+	h := NewHistogram(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Record(w, time.Duration(w+1)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*each)
+	}
+}
+
+func TestRunLatency(t *testing.T) {
+	res := RunLatency("lat", 2, 500, func(worker, op int) {})
+	if res.Ops != 1000 {
+		t.Fatalf("Ops = %d", res.Ops)
+	}
+	if res.Hist.Count() != 1000 {
+		t.Fatalf("Hist.Count = %d", res.Hist.Count())
+	}
+	if res.Hist.Quantile(0.99) <= 0 {
+		t.Error("p99 not positive")
+	}
+}

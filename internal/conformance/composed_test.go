@@ -1,0 +1,42 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/machine"
+)
+
+// composed adapts baseline.Composed (Figure 4 layered over Figure 3).
+type composed struct {
+	m     *machine.Machine
+	v     *baseline.Composed
+	keeps []baseline.ComposedKeep
+}
+
+func newComposed(spurious float64) factory {
+	return func(n int, initial uint64) register {
+		m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: spurious, Seed: 61})
+		v, err := baseline.NewComposed(m, 24, 24, initial)
+		if err != nil {
+			panic(err)
+		}
+		return &composed{m: m, v: v, keeps: make([]baseline.ComposedKeep, n)}
+	}
+}
+
+func (a *composed) Read(proc int) uint64                 { return a.v.Read(a.m.Proc(proc)) }
+func (a *composed) CAS(int, uint64, uint64) (bool, bool) { return false, false }
+func (a *composed) LL(proc int) (uint64, bool) {
+	v, k := a.v.LL(a.m.Proc(proc))
+	a.keeps[proc] = k
+	return v, true
+}
+func (a *composed) VL(proc int) bool { return a.v.VL(a.m.Proc(proc), a.keeps[proc]) }
+func (a *composed) SC(proc int, v uint64) bool {
+	return a.v.SC(a.m.Proc(proc), a.keeps[proc], v)
+}
+
+func TestLinearizabilityComposed(t *testing.T) {
+	runStress(t, "baseline.Composed", newComposed(0.2))
+}

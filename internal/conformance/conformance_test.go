@@ -1,0 +1,412 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/linearizability"
+	"repro/internal/machine"
+	"repro/internal/spec"
+	"repro/internal/word"
+)
+
+// register is the uniform adapter the stress driver exercises. An
+// implementation exposes whichever operations it supports; unsupported
+// operations report ok=false and are skipped by the driver.
+//
+// Implementations are per-history (a fresh instance each round) and the
+// adapter owns any per-process handles and keep tokens. Each process
+// (driver goroutine) uses only its own proc id, so per-process state in
+// adapters needs no locking.
+type register interface {
+	// Read returns the current value.
+	Read(proc int) uint64
+	// CAS attempts a compare-and-swap; ok=false means unsupported.
+	CAS(proc int, old, new uint64) (res bool, ok bool)
+	// LL begins an LL-SC sequence; ok=false means unsupported.
+	LL(proc int) (val uint64, ok bool)
+	// VL validates the sequence begun by the last LL of proc.
+	VL(proc int) bool
+	// SC finishes the sequence begun by the last LL of proc.
+	SC(proc int, v uint64) bool
+}
+
+// factory builds a fresh register holding initial for n processes.
+type factory func(n int, initial uint64) register
+
+const (
+	stressProcs   = 3
+	stressOpsCap  = 6 // ops per process per history (LL+VL+SC counts as 3)
+	stressRounds  = 120
+	stressValues  = 4 // small value domain to force collisions
+	stressInitial = 1
+)
+
+// runStress drives nRounds random histories against fresh registers and
+// checks each for linearizability.
+func runStress(t *testing.T, name string, mk factory) {
+	t.Helper()
+	for round := 0; round < stressRounds; round++ {
+		rng := rand.New(rand.NewSource(int64(round)*7919 + 17))
+		reg := mk(stressProcs, stressInitial)
+		rec := history.NewRecorder(stressProcs)
+
+		var wg sync.WaitGroup
+		for p := 0; p < stressProcs; p++ {
+			wg.Add(1)
+			go func(p int, seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				budget := stressOpsCap
+				for budget > 0 {
+					switch r.Intn(4) {
+					case 0: // Read
+						call := rec.Now()
+						v := reg.Read(p)
+						ret := rec.Now()
+						rec.Record(p, history.Op{Proc: p, Kind: history.KindRead, RetVal: v, Call: call, Return: ret})
+						budget--
+					case 1: // CAS
+						old := uint64(r.Intn(stressValues))
+						new := uint64(r.Intn(stressValues))
+						call := rec.Now()
+						res, ok := reg.CAS(p, old, new)
+						ret := rec.Now()
+						if !ok {
+							continue // unsupported; nothing recorded
+						}
+						rec.Record(p, history.Op{Proc: p, Kind: history.KindCAS, Arg1: old, Arg2: new, RetBool: res, Call: call, Return: ret})
+						budget--
+					default: // LL [VL] SC
+						call := rec.Now()
+						v, ok := reg.LL(p)
+						ret := rec.Now()
+						if !ok {
+							// LL unsupported: fall back to a read so CAS-only
+							// registers still see traffic.
+							continue
+						}
+						rec.Record(p, history.Op{Proc: p, Kind: history.KindLL, RetVal: v, Call: call, Return: ret})
+						budget--
+						if budget > 0 && r.Intn(2) == 0 {
+							call = rec.Now()
+							res := reg.VL(p)
+							ret = rec.Now()
+							rec.Record(p, history.Op{Proc: p, Kind: history.KindVL, RetBool: res, Call: call, Return: ret})
+							budget--
+						}
+						if budget > 0 {
+							nv := uint64(r.Intn(stressValues))
+							call = rec.Now()
+							res := reg.SC(p, nv)
+							ret = rec.Now()
+							rec.Record(p, history.Op{Proc: p, Kind: history.KindSC, Arg1: nv, RetBool: res, Call: call, Return: ret})
+							budget--
+						}
+					}
+				}
+			}(p, rng.Int63())
+		}
+		wg.Wait()
+
+		ops := rec.Ops()
+		res, err := linearizability.Check(ops, linearizability.State{Val: stressInitial})
+		if err != nil {
+			t.Fatalf("%s round %d: checker error: %v", name, round, err)
+		}
+		if !res.Ok {
+			var sb strings.Builder
+			for _, o := range ops {
+				fmt.Fprintf(&sb, "  %v\n", o)
+			}
+			t.Fatalf("%s round %d: history NOT linearizable:\n%s", name, round, sb.String())
+		}
+	}
+}
+
+// --- adapters ---------------------------------------------------------
+
+// figure4 adapts core.Var (LL/VL/SC from CAS on real atomics).
+type figure4 struct {
+	v     *core.Var
+	keeps []core.Keep
+}
+
+func newFigure4(n int, initial uint64) register {
+	return &figure4{v: core.MustNewVar(word.DefaultLayout, initial), keeps: make([]core.Keep, n)}
+}
+func (a *figure4) Read(proc int) uint64 { return a.v.Read() }
+func (a *figure4) CAS(proc int, old, new uint64) (bool, bool) {
+	return a.v.CompareAndSwap(old, new), true
+}
+func (a *figure4) LL(proc int) (uint64, bool) {
+	v, k := a.v.LL()
+	a.keeps[proc] = k
+	return v, true
+}
+func (a *figure4) VL(proc int) bool           { return a.v.VL(a.keeps[proc]) }
+func (a *figure4) SC(proc int, v uint64) bool { return a.v.SC(a.keeps[proc], v) }
+
+// figure3 adapts core.CASVar (CAS from RLL/RSC on the simulated machine).
+type figure3 struct {
+	m *machine.Machine
+	v *core.CASVar
+}
+
+func newFigure3(spurious float64) factory {
+	return func(n int, initial uint64) register {
+		m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: spurious, Seed: 99})
+		v, err := core.NewCASVar(m, word.DefaultLayout, initial)
+		if err != nil {
+			panic(err)
+		}
+		return &figure3{m: m, v: v}
+	}
+}
+func (a *figure3) Read(proc int) uint64 { return a.v.Read(a.m.Proc(proc)) }
+func (a *figure3) CAS(proc int, old, new uint64) (bool, bool) {
+	return a.v.CompareAndSwap(a.m.Proc(proc), old, new), true
+}
+func (a *figure3) LL(proc int) (uint64, bool) { return 0, false }
+func (a *figure3) VL(proc int) bool           { return false }
+func (a *figure3) SC(proc int, v uint64) bool { return false }
+
+// figure5 adapts core.RVar (LL/VL/SC direct from RLL/RSC).
+type figure5 struct {
+	m     *machine.Machine
+	v     *core.RVar
+	keeps []core.Keep
+}
+
+func newFigure5(spurious float64) factory {
+	return func(n int, initial uint64) register {
+		m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: spurious, Seed: 7})
+		v, err := core.NewRVar(m, word.DefaultLayout, initial)
+		if err != nil {
+			panic(err)
+		}
+		return &figure5{m: m, v: v, keeps: make([]core.Keep, n)}
+	}
+}
+func (a *figure5) Read(proc int) uint64                       { return a.v.Read(a.m.Proc(proc)) }
+func (a *figure5) CAS(proc int, old, new uint64) (bool, bool) { return false, false }
+func (a *figure5) LL(proc int) (uint64, bool) {
+	v, k := a.v.LL(a.m.Proc(proc))
+	a.keeps[proc] = k
+	return v, true
+}
+func (a *figure5) VL(proc int) bool { return a.v.VL(a.m.Proc(proc), a.keeps[proc]) }
+func (a *figure5) SC(proc int, v uint64) bool {
+	return a.v.SC(a.m.Proc(proc), a.keeps[proc], v)
+}
+
+// figure6 adapts core.LargeVar with W=1 as a register; its WLL retry loop
+// realizes a lock-free LL.
+type figure6 struct {
+	f     *core.LargeFamily
+	v     *core.LargeVar
+	keeps []core.LKeep
+	bufs  [][]uint64
+}
+
+func newFigure6(n int, initial uint64) register {
+	f := core.MustNewLargeFamily(core.LargeConfig{Procs: n, Words: 1})
+	v, err := f.NewVar([]uint64{initial})
+	if err != nil {
+		panic(err)
+	}
+	a := &figure6{f: f, v: v, keeps: make([]core.LKeep, n), bufs: make([][]uint64, n)}
+	for i := range a.bufs {
+		a.bufs[i] = make([]uint64, 1)
+	}
+	return a
+}
+func (a *figure6) proc(p int) *core.LargeProc {
+	pr, err := a.f.Proc(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+func (a *figure6) Read(proc int) uint64 {
+	a.v.Read(a.proc(proc), a.bufs[proc])
+	return a.bufs[proc][0]
+}
+func (a *figure6) CAS(proc int, old, new uint64) (bool, bool) { return false, false }
+func (a *figure6) LL(proc int) (uint64, bool) {
+	p := a.proc(proc)
+	for {
+		keep, res := a.v.WLL(p, a.bufs[proc])
+		if res == core.Succ {
+			a.keeps[proc] = keep
+			return a.bufs[proc][0], true
+		}
+	}
+}
+func (a *figure6) VL(proc int) bool { return a.v.VL(a.proc(proc), a.keeps[proc]) }
+func (a *figure6) SC(proc int, v uint64) bool {
+	return a.v.SC(a.proc(proc), a.keeps[proc], []uint64{v})
+}
+
+// figure7 adapts core.BoundedVar.
+type figure7 struct {
+	f     *core.BoundedFamily
+	v     *core.BoundedVar
+	keeps []core.BKeep
+}
+
+func newFigure7(n int, initial uint64) register {
+	f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: n, K: 2})
+	v, err := f.NewVar(initial)
+	if err != nil {
+		panic(err)
+	}
+	return &figure7{f: f, v: v, keeps: make([]core.BKeep, n)}
+}
+func (a *figure7) proc(p int) *core.BoundedProc {
+	pr, err := a.f.Proc(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+func (a *figure7) Read(proc int) uint64                       { return a.v.Read() }
+func (a *figure7) CAS(proc int, old, new uint64) (bool, bool) { return false, false }
+func (a *figure7) LL(proc int) (uint64, bool) {
+	v, k, err := a.v.LL(a.proc(proc))
+	if err != nil {
+		panic(err) // driver keeps ≤1 outstanding sequence < k=2
+	}
+	a.keeps[proc] = k
+	return v, true
+}
+func (a *figure7) VL(proc int) bool { return a.v.VL(a.proc(proc), a.keeps[proc]) }
+func (a *figure7) SC(proc int, v uint64) bool {
+	return a.v.SC(a.proc(proc), a.keeps[proc], v)
+}
+
+// mutexAdapter adapts baseline.MutexLLSC.
+type mutexAdapter struct{ v *baseline.MutexLLSC }
+
+func newMutexAdapter(n int, initial uint64) register {
+	v, err := baseline.NewMutexLLSC(n, initial)
+	if err != nil {
+		panic(err)
+	}
+	return &mutexAdapter{v: v}
+}
+func (a *mutexAdapter) Read(proc int) uint64                       { return a.v.Read() }
+func (a *mutexAdapter) CAS(proc int, old, new uint64) (bool, bool) { return false, false }
+func (a *mutexAdapter) LL(proc int) (uint64, bool)                 { return a.v.LL(proc), true }
+func (a *mutexAdapter) VL(proc int) bool                           { return a.v.VL(proc) }
+func (a *mutexAdapter) SC(proc int, v uint64) bool                 { return a.v.SC(proc, v) }
+
+// irAdapter adapts baseline.IsraeliRappoport.
+type irAdapter struct{ v *baseline.IsraeliRappoport }
+
+func newIRAdapter(n int, initial uint64) register {
+	v, err := baseline.NewIsraeliRappoport(n, initial)
+	if err != nil {
+		panic(err)
+	}
+	return &irAdapter{v: v}
+}
+func (a *irAdapter) Read(proc int) uint64                       { return a.v.Read() }
+func (a *irAdapter) CAS(proc int, old, new uint64) (bool, bool) { return false, false }
+func (a *irAdapter) LL(proc int) (uint64, bool) {
+	v, _ := a.v.LL(proc)
+	return v, true
+}
+func (a *irAdapter) VL(proc int) bool           { return a.v.VL(proc) }
+func (a *irAdapter) SC(proc int, v uint64) bool { return a.v.SC(proc, v) }
+
+// perVarAdapter adapts baseline.PerVarBoundedVar.
+type perVarAdapter struct {
+	v     *baseline.PerVarBoundedVar
+	keeps []core.BKeep
+}
+
+func newPerVarAdapter(n int, initial uint64) register {
+	b, err := baseline.NewPerVarBounded(n)
+	if err != nil {
+		panic(err)
+	}
+	v, err := b.NewVar(initial)
+	if err != nil {
+		panic(err)
+	}
+	return &perVarAdapter{v: v, keeps: make([]core.BKeep, n)}
+}
+func (a *perVarAdapter) Read(proc int) uint64                       { return a.v.Read() }
+func (a *perVarAdapter) CAS(proc int, old, new uint64) (bool, bool) { return false, false }
+func (a *perVarAdapter) LL(proc int) (uint64, bool) {
+	v, k, err := a.v.LL(proc)
+	if err != nil {
+		panic(err)
+	}
+	a.keeps[proc] = k
+	return v, true
+}
+func (a *perVarAdapter) VL(proc int) bool           { return a.v.VL(proc, a.keeps[proc]) }
+func (a *perVarAdapter) SC(proc int, v uint64) bool { return a.v.SC(proc, a.keeps[proc], v) }
+
+// specAdapter adapts the Figure 2 oracle itself — the checker must accept
+// its histories (a self-test of the whole pipeline).
+type specAdapter struct{ v *spec.Register }
+
+func newSpecAdapter(n int, initial uint64) register {
+	return &specAdapter{v: spec.MustNewRegister(n, initial)}
+}
+func (a *specAdapter) Read(proc int) uint64                       { return a.v.Read() }
+func (a *specAdapter) CAS(proc int, old, new uint64) (bool, bool) { return a.v.CAS(old, new), true }
+func (a *specAdapter) LL(proc int) (uint64, bool)                 { return a.v.LL(proc), true }
+func (a *specAdapter) VL(proc int) bool                           { return a.v.VL(proc) }
+func (a *specAdapter) SC(proc int, v uint64) bool                 { return a.v.SC(proc, v) }
+
+// --- the tests --------------------------------------------------------
+
+func TestLinearizabilityFigure2Oracle(t *testing.T) {
+	runStress(t, "spec.Register", newSpecAdapter)
+}
+
+func TestLinearizabilityFigure3CASFromRLLRSC(t *testing.T) {
+	runStress(t, "core.CASVar", newFigure3(0.2))
+}
+
+func TestLinearizabilityFigure3NoSpurious(t *testing.T) {
+	runStress(t, "core.CASVar/ideal", newFigure3(0))
+}
+
+func TestLinearizabilityFigure4LLSCFromCAS(t *testing.T) {
+	runStress(t, "core.Var", newFigure4)
+}
+
+func TestLinearizabilityFigure5LLSCFromRLLRSC(t *testing.T) {
+	runStress(t, "core.RVar", newFigure5(0.2))
+}
+
+func TestLinearizabilityFigure6Large(t *testing.T) {
+	runStress(t, "core.LargeVar", newFigure6)
+}
+
+func TestLinearizabilityFigure7Bounded(t *testing.T) {
+	runStress(t, "core.BoundedVar", newFigure7)
+}
+
+func TestLinearizabilityMutexBaseline(t *testing.T) {
+	runStress(t, "baseline.MutexLLSC", newMutexAdapter)
+}
+
+func TestLinearizabilityIsraeliRappoport(t *testing.T) {
+	runStress(t, "baseline.IsraeliRappoport", newIRAdapter)
+}
+
+func TestLinearizabilityPerVarBounded(t *testing.T) {
+	runStress(t, "baseline.PerVarBounded", newPerVarAdapter)
+}

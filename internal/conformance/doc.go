@@ -1,0 +1,6 @@
+// Package conformance contains no runtime code: its test files stress
+// every LL/VL/SC and CAS implementation in this repository with randomized
+// concurrent workloads, record the resulting histories, and check each one
+// against the Figure 2 sequential semantics with the Wing–Gong
+// linearizability checker (experiment E9).
+package conformance

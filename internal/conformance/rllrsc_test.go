@@ -1,0 +1,107 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// rlarge adapts core.RLargeVar (Figure 6 over RLL/RSC) with W=1.
+type rlarge struct {
+	m     *machine.Machine
+	v     *core.RLargeVar
+	keeps []core.LKeep
+	bufs  [][]uint64
+}
+
+func newRLarge(spurious float64) factory {
+	return func(n int, initial uint64) register {
+		m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: spurious, Seed: 51})
+		f, err := core.NewRLargeFamily(m, 1, 0)
+		if err != nil {
+			panic(err)
+		}
+		v, err := f.NewVar([]uint64{initial})
+		if err != nil {
+			panic(err)
+		}
+		a := &rlarge{m: m, v: v, keeps: make([]core.LKeep, n), bufs: make([][]uint64, n)}
+		for i := range a.bufs {
+			a.bufs[i] = make([]uint64, 1)
+		}
+		return a
+	}
+}
+
+func (a *rlarge) Read(proc int) uint64 {
+	a.v.Read(a.m.Proc(proc), a.bufs[proc])
+	return a.bufs[proc][0]
+}
+func (a *rlarge) CAS(int, uint64, uint64) (bool, bool) { return false, false }
+func (a *rlarge) LL(proc int) (uint64, bool) {
+	p := a.m.Proc(proc)
+	for {
+		keep, res := a.v.WLL(p, a.bufs[proc])
+		if res == core.Succ {
+			a.keeps[proc] = keep
+			return a.bufs[proc][0], true
+		}
+	}
+}
+func (a *rlarge) VL(proc int) bool { return a.v.VL(a.m.Proc(proc), a.keeps[proc]) }
+func (a *rlarge) SC(proc int, v uint64) bool {
+	return a.v.SC(a.m.Proc(proc), a.keeps[proc], []uint64{v})
+}
+
+// rbounded adapts core.RBoundedVar (Figure 7 over RLL/RSC).
+type rbounded struct {
+	f     *core.RBoundedFamily
+	v     *core.RBoundedVar
+	keeps []core.BKeep
+}
+
+func newRBounded(spurious float64) factory {
+	return func(n int, initial uint64) register {
+		m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: spurious, Seed: 53})
+		f, err := core.NewRBoundedFamily(m, 2)
+		if err != nil {
+			panic(err)
+		}
+		v, err := f.NewVar(initial)
+		if err != nil {
+			panic(err)
+		}
+		return &rbounded{f: f, v: v, keeps: make([]core.BKeep, n)}
+	}
+}
+
+func (a *rbounded) proc(p int) *core.RBoundedProc {
+	pr, err := a.f.Proc(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+func (a *rbounded) Read(proc int) uint64                 { return a.v.Read(a.proc(proc)) }
+func (a *rbounded) CAS(int, uint64, uint64) (bool, bool) { return false, false }
+func (a *rbounded) LL(proc int) (uint64, bool) {
+	v, k, err := a.v.LL(a.proc(proc))
+	if err != nil {
+		panic(err)
+	}
+	a.keeps[proc] = k
+	return v, true
+}
+func (a *rbounded) VL(proc int) bool { return a.v.VL(a.proc(proc), a.keeps[proc]) }
+func (a *rbounded) SC(proc int, v uint64) bool {
+	return a.v.SC(a.proc(proc), a.keeps[proc], v)
+}
+
+func TestLinearizabilityRLargeOverRLLRSC(t *testing.T) {
+	runStress(t, "core.RLargeVar", newRLarge(0.2))
+}
+
+func TestLinearizabilityRBoundedOverRLLRSC(t *testing.T) {
+	runStress(t, "core.RBoundedVar", newRBounded(0.2))
+}

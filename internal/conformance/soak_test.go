@@ -1,0 +1,183 @@
+package conformance
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+	"repro/internal/structures"
+	"repro/internal/word"
+)
+
+// Soak tests: heavyweight randomized validation, skipped unless
+// LLSC_SOAK=1 (run them with `make soak`). They repeat the regular
+// invariants at 100×+ the volume and with larger process counts.
+
+func soakEnabled(t *testing.T) {
+	t.Helper()
+	if os.Getenv("LLSC_SOAK") == "" {
+		t.Skip("soak test; set LLSC_SOAK=1 to run")
+	}
+}
+
+func TestSoakLinearizabilityBattery(t *testing.T) {
+	soakEnabled(t)
+	impls := map[string]factory{
+		"fig3":     newFigure3(0.2),
+		"fig4":     newFigure4,
+		"fig5":     newFigure5(0.2),
+		"fig6":     newFigure6,
+		"fig7":     newFigure7,
+		"rlarge":   newRLarge(0.2),
+		"rbounded": newRBounded(0.2),
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) {
+			for round := 0; round < 30; round++ { // 30 × the whole battery
+				runStress(t, name, mk)
+			}
+		})
+	}
+}
+
+func TestSoakCounterMarathon(t *testing.T) {
+	soakEnabled(t)
+	const procs = 16
+	const rounds = 200_000
+	v := core.MustNewVar(word.MustLayout(32), 0)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					val, keep := v.LL()
+					if v.SC(keep, val+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Read(); got != procs*rounds {
+		t.Fatalf("counter = %d, want %d", got, procs*rounds)
+	}
+}
+
+func TestSoakStructureChurn(t *testing.T) {
+	soakEnabled(t)
+	const workers = 8
+	const opsEach = 500_000
+	s, err := structures.NewStack(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := structures.NewQueue(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := structures.NewRing(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsEach; i++ {
+				v := uint64(rng.Intn(1 << 20))
+				switch rng.Intn(6) {
+				case 0:
+					s.Push(v)
+				case 1:
+					s.Pop()
+				case 2:
+					q.Enqueue(v)
+				case 3:
+					q.Dequeue()
+				case 4:
+					r.Enqueue(v)
+				default:
+					r.Dequeue()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain everything; the structures must still be structurally sound.
+	for {
+		if _, ok := s.Pop(); !ok {
+			break
+		}
+	}
+	for {
+		if _, ok := q.Dequeue(); !ok {
+			break
+		}
+	}
+	for {
+		if _, ok := r.Dequeue(); !ok {
+			break
+		}
+	}
+	if !s.Empty() || !q.Empty() || !r.Empty() {
+		t.Fatal("structures not empty after draining")
+	}
+}
+
+func TestSoakSTMBankMarathon(t *testing.T) {
+	soakEnabled(t)
+	const accounts = 32
+	const workers = 8
+	const transfers = 100_000
+	m := stm.MustNew(accounts)
+	for a := 0; a < accounts; a++ {
+		if err := m.Write(a, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfers; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				_, err := m.Atomically([]int{from, to}, func(cur, next []uint64) {
+					next[0], next[1] = cur[0], cur[1]
+					if cur[0] > 0 {
+						next[0]--
+						next[1]++
+					}
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for a := 0; a < accounts; a++ {
+		v, _ := m.Read(a)
+		total += v
+	}
+	if total != accounts*1000 {
+		t.Fatalf("total = %d, want %d", total, accounts*1000)
+	}
+	st := m.Stats()
+	t.Logf("STM marathon: %d commits, %d mismatches, %d aborts, %d helps",
+		st.Commits, st.Mismatches, st.ForcedAborts, st.Helps)
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// The one-word primitives must be allocation-free on every path: they are
+// meant to sit on the hottest paths of non-blocking algorithms, and a
+// hidden allocation would mean hidden locks (GC assists) and hidden
+// latency.
+
+func TestVarOpsAllocationFree(t *testing.T) {
+	v := MustNewVar(word.MustLayout(32), 0)
+	if n := testing.AllocsPerRun(1000, func() {
+		val, keep := v.LL()
+		if !v.VL(keep) {
+			t.Fatal("VL failed")
+		}
+		if !v.SC(keep, val+1) {
+			t.Fatal("SC failed")
+		}
+		v.Read()
+	}); n != 0 {
+		t.Errorf("Var LL/VL/SC/Read allocates %.1f objects per op, want 0", n)
+	}
+}
+
+func TestBoundedOpsAllocationFree(t *testing.T) {
+	f := MustNewBoundedFamily(BoundedConfig{Procs: 2, K: 2})
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		val, keep, err := v.LL(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.SC(p, keep, (val+1)&f.MaxVal()) {
+			t.Fatal("SC failed")
+		}
+	}); n != 0 {
+		t.Errorf("BoundedVar LL/SC allocates %.1f objects per op, want 0", n)
+	}
+}
+
+func TestLargeOpsAllocationFree(t *testing.T) {
+	// With caller-provided buffers, WLL/SC/VL allocate nothing.
+	f := MustNewLargeFamily(LargeConfig{Procs: 2, Words: 4})
+	v, err := f.NewVar(make([]uint64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 4)
+	val := make([]uint64, 4)
+	if n := testing.AllocsPerRun(1000, func() {
+		keep, res := v.WLL(p, dst)
+		if res != Succ {
+			t.Fatal("WLL failed")
+		}
+		if !v.VL(p, keep) {
+			t.Fatal("VL failed")
+		}
+		val[0]++
+		val[0] &= f.MaxSegmentValue()
+		if !v.SC(p, keep, val) {
+			t.Fatal("SC failed")
+		}
+	}); n != 0 {
+		t.Errorf("LargeVar WLL/VL/SC allocates %.1f objects per op, want 0", n)
+	}
+}
+
+func TestRVarOpsDoNotAllocateBeyondMachineCells(t *testing.T) {
+	// The simulated machine allocates one immutable cell per write (that
+	// IS the simulation: pointer identity models cache invalidation), so
+	// the RLL/RSC algorithms cost exactly one allocation per successful
+	// store and nothing more.
+	m := machine.MustNew(machine.Config{Procs: 1})
+	v, err := NewRVar(m, word.MustLayout(32), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		val, keep := v.LL(p)
+		if !v.SC(p, keep, val+1) {
+			t.Fatal("SC failed")
+		}
+	}); n > 1 {
+		t.Errorf("RVar LL/SC allocates %.1f objects per op, want ≤ 1 (the machine cell)", n)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/word"
+)
+
+// ErrTooManySequences is returned by BoundedVar.LL when a process already
+// has k LL-SC sequences outstanding. Figure 7 assumes a bound k on the
+// number of LL-SC sequences executed concurrently by any process; exceed
+// it and there is no announce slot left to record the read.
+var ErrTooManySequences = errors.New("core: process exceeded its k concurrent LL-SC sequences (use CL to abort abandoned sequences)")
+
+// BoundedFamily is the shared context for the paper's Figure 7: LL/VL/CL/SC
+// for small variables with bounded tags, implemented from CAS.
+//
+// Unlike the unbounded-tag algorithms, no tag ever wraps "prematurely":
+// the feedback mechanism — announce array A, per-process tag queue Q, and
+// per-word per-process counters — guarantees that a (tag, cnt, pid) triple
+// is never reused while any process could still compare against it, so a
+// CAS never succeeds when it should fail. Tags are drawn from the small
+// range 0..2Nk and counters from 0..Nk, leaving the rest of the word for
+// data.
+//
+// Space overhead is Θ(N(k+T)) for T variables: the announce array A (N·k
+// words, shared by all variables) plus one N-entry counter array per
+// variable (Theorem 5). Every operation is constant-time.
+type BoundedFamily struct {
+	n, k     int
+	nk       int    // N·k
+	tagCount uint64 // 2Nk + 1 distinct tags
+	cntCount uint64 // Nk + 1 distinct counters
+	fields   word.Fields
+	a        []atomic.Uint64
+	procs    []*BoundedProc
+}
+
+// Field indices of Figure 7's wordtype = record tag; cnt; pid; val end.
+const (
+	bfTag = iota
+	bfCnt
+	bfPid
+	bfVal
+)
+
+// BoundedConfig parametrizes a BoundedFamily.
+type BoundedConfig struct {
+	// Procs is the number of processes N.
+	Procs int
+	// K bounds the number of LL-SC sequences any one process may have
+	// outstanding concurrently.
+	K int
+}
+
+// NewBoundedFamily validates cfg, computes the tag|cnt|pid|val word layout,
+// and builds the family with its N process handles.
+func NewBoundedFamily(cfg BoundedConfig) (*BoundedFamily, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("core: Procs must be at least 1, got %d", cfg.Procs)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("core: K must be at least 1, got %d", cfg.K)
+	}
+	nk := cfg.Procs * cfg.K
+	tagCount := uint64(2*nk + 1)
+	cntCount := uint64(nk + 1)
+	tagBits := word.BitsFor(tagCount - 1)
+	cntBits := word.BitsFor(cntCount - 1)
+	pidBits := word.BitsFor(uint64(cfg.Procs - 1))
+	used := tagBits + cntBits + pidBits
+	if used >= word.WordBits {
+		return nil, fmt.Errorf("core: tag+cnt+pid fields need %d bits, leaving no room for data (reduce Procs or K)", used)
+	}
+	valBits := word.WordBits - used
+	fields, err := word.NewFields(tagBits, cntBits, pidBits, valBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: building word layout: %w", err)
+	}
+	f := &BoundedFamily{
+		n:        cfg.Procs,
+		k:        cfg.K,
+		nk:       nk,
+		tagCount: tagCount,
+		cntCount: cntCount,
+		fields:   fields,
+		a:        make([]atomic.Uint64, nk),
+		procs:    make([]*BoundedProc, cfg.Procs),
+	}
+	for i := range f.procs {
+		f.procs[i] = &BoundedProc{
+			f:  f,
+			id: i,
+			s:  newSlotStack(cfg.K),
+			q:  newTagQueue(int(tagCount)),
+		}
+	}
+	return f, nil
+}
+
+// MustNewBoundedFamily is NewBoundedFamily for statically valid configs.
+func MustNewBoundedFamily(cfg BoundedConfig) *BoundedFamily {
+	f, err := NewBoundedFamily(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Procs returns N.
+func (f *BoundedFamily) Procs() int { return f.n }
+
+// K returns the per-process concurrent-sequence bound k.
+func (f *BoundedFamily) K() int { return f.k }
+
+// MaxVal returns the largest data value the layout leaves room for.
+func (f *BoundedFamily) MaxVal() uint64 { return f.fields.Max(bfVal) }
+
+// TagBits returns the width of the (bounded) tag field — the point of the
+// construction is that this is small: ceil(log2(2Nk+1)).
+func (f *BoundedFamily) TagBits() uint { return f.fields.Width(bfTag) }
+
+// OverheadWords returns the family-level space overhead in words: the
+// announce array A of N·k words. Per-variable overhead is reported by
+// BoundedVar.FootprintWords; the total for T variables is Θ(N(k+T)).
+func (f *BoundedFamily) OverheadWords() int { return len(f.a) }
+
+// announce returns A[pid][slot].
+func (f *BoundedFamily) announce(pid, slot int) *atomic.Uint64 {
+	return &f.a[pid*f.k+slot]
+}
+
+// Proc returns the (stable) handle for process id. A handle must be driven
+// by one goroutine at a time: its tag queue and slot stack are private
+// sequential state, exactly the paper's "private variable" declarations.
+func (f *BoundedFamily) Proc(id int) (*BoundedProc, error) {
+	if id < 0 || id >= f.n {
+		return nil, fmt.Errorf("core: process id %d out of range [0,%d)", id, f.n)
+	}
+	return f.procs[id], nil
+}
+
+// BoundedProc carries Figure 7's private per-process state.
+type BoundedProc struct {
+	f  *BoundedFamily
+	id int
+	s  *slotStack
+	q  *tagQueue
+	j  int // private index 0..Nk-1 cycling over the announce array
+}
+
+// ID returns the process identifier.
+func (p *BoundedProc) ID() int { return p.id }
+
+// FreeSlots returns how many more LL-SC sequences this process may open.
+func (p *BoundedProc) FreeSlots() int { return p.s.free() }
+
+// BoundedVar is one small variable of a BoundedFamily.
+type BoundedVar struct {
+	f    *BoundedFamily
+	word atomic.Uint64
+	last []atomic.Uint64 // last[i]: counter most recently written by process i
+}
+
+// BKeep is the private keep word of Figure 7: the announce slot in use and
+// the failure flag set by LL's re-read, plus (as an optimization the paper
+// permits — A[p] is written only by p) a private copy of the announced
+// word so VL/SC need not re-read A.
+type BKeep struct {
+	slot int
+	fail bool
+	word uint64
+}
+
+// NewVar creates a variable holding initial.
+func (f *BoundedFamily) NewVar(initial uint64) (*BoundedVar, error) {
+	if initial > f.MaxVal() {
+		return nil, fmt.Errorf("core: initial value %d exceeds %d-bit value field", initial, f.fields.Width(bfVal))
+	}
+	v := &BoundedVar{f: f, last: make([]atomic.Uint64, f.n)}
+	v.word.Store(f.fields.Pack(0, 0, 0, initial)) // X.word = (0,0,0,initial)
+	return v, nil
+}
+
+// FootprintWords returns the per-variable storage in words: the value word
+// plus the N-entry last counter array.
+func (v *BoundedVar) FootprintWords() int { return 1 + v.f.n }
+
+// Read returns the current value; it linearizes at the underlying load.
+func (v *BoundedVar) Read() uint64 {
+	return v.f.fields.Get(v.word.Load(), bfVal)
+}
+
+// LL performs a load-linked for process p (Figure 7, lines 1-5). It
+// returns ErrTooManySequences if p already has k sequences outstanding;
+// every successful LL must be balanced by exactly one SC or CL, which
+// releases the slot.
+func (v *BoundedVar) LL(p *BoundedProc) (uint64, BKeep, error) {
+	slot, ok := p.s.pop() // line 1
+	if !ok {
+		return 0, BKeep{}, ErrTooManySequences
+	}
+	old := v.word.Load()                                                             // line 2
+	p.f.announce(p.id, slot).Store(old)                                              // line 3: announce the tag read
+	fail := v.word.Load() != old                                                     // line 4: reread; if changed, SC must fail
+	return v.f.fields.Get(old, bfVal), BKeep{slot: slot, fail: fail, word: old}, nil // line 5
+}
+
+// VL reports whether the variable is unchanged since the LL that produced
+// keep (Figure 7, line 6).
+func (v *BoundedVar) VL(p *BoundedProc, keep BKeep) bool {
+	return !keep.fail && v.word.Load() == keep.word
+}
+
+// CL aborts the LL-SC sequence without attempting an SC (Figure 7,
+// line 7), returning the announce slot to the free pool. Required when a
+// sequence is abandoned, since each process may hold only k slots.
+func (v *BoundedVar) CL(p *BoundedProc, keep BKeep) {
+	p.s.push(keep.slot)
+}
+
+// SC attempts process p's store-conditional of newval (Figure 7, lines
+// 8-15). It succeeds iff no successful SC intervened since the LL that
+// produced keep; the bounded tag-cnt-pid feedback scheme makes the
+// underlying CAS immune to wraparound errors.
+func (v *BoundedVar) SC(p *BoundedProc, keep BKeep, newval uint64) bool {
+	f := v.f
+	if newval > f.MaxVal() {
+		p.s.push(keep.slot) // keep slot accounting consistent before panicking
+		panic(fmt.Sprintf("core: SC value %d exceeds %d-bit value field", newval, f.fields.Width(bfVal)))
+	}
+	p.s.push(keep.slot) // line 8
+	if keep.fail {      // line 9
+		return false
+	}
+	// Line 10: read one announce slot and retire its tag to the back of
+	// the queue, so that over any Nk consecutive SCs every announcement is
+	// observed before a tag is reused.
+	t := f.fields.Get(f.a[p.j].Load(), bfTag)
+	p.q.moveToBack(t)
+	p.j++ // line 11 (j ⊕ 1 over 0..Nk-1)
+	if p.j == f.nk {
+		p.j = 0
+	}
+	t = p.q.rotate()                                                                     // line 12: take the least-recently-seen tag
+	cnt := word.AddMod(v.last[p.id].Load(), 1, f.cntCount)                               // line 13
+	v.last[p.id].Store(cnt)                                                              // line 14
+	return v.word.CompareAndSwap(keep.word, f.fields.Pack(t, cnt, uint64(p.id), newval)) // line 15
+}

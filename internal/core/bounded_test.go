@@ -1,0 +1,387 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func newBoundedFamily(t *testing.T, n, k int) *BoundedFamily {
+	t.Helper()
+	f, err := NewBoundedFamily(BoundedConfig{Procs: n, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func boundedProc(t *testing.T, f *BoundedFamily, id int) *BoundedProc {
+	t.Helper()
+	p, err := f.Proc(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewBoundedFamilyValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     BoundedConfig
+		wantErr bool
+	}{
+		{"ok", BoundedConfig{Procs: 4, K: 2}, false},
+		{"minimal", BoundedConfig{Procs: 1, K: 1}, false},
+		{"zero procs", BoundedConfig{Procs: 0, K: 1}, true},
+		{"zero k", BoundedConfig{Procs: 1, K: 0}, true},
+		{"huge", BoundedConfig{Procs: 1 << 20, K: 1 << 20}, true}, // fields exceed the word
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewBoundedFamily(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewBoundedFamily(%+v) error = %v, wantErr %v", tt.cfg, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBoundedLayoutSizes(t *testing.T) {
+	// N=16, k=4: tags 0..128 need 8 bits, cnt 0..64 needs 7, pid 4,
+	// leaving 45 bits of data — the "relatively small tags leave more
+	// room for data" selling point.
+	f := newBoundedFamily(t, 16, 4)
+	if got := f.TagBits(); got != 8 {
+		t.Errorf("TagBits = %d, want 8", got)
+	}
+	if got := f.MaxVal(); got != (1<<45)-1 {
+		t.Errorf("MaxVal = %#x, want 45 bits", got)
+	}
+	if f.Procs() != 16 || f.K() != 4 {
+		t.Errorf("accessors = (%d,%d), want (16,4)", f.Procs(), f.K())
+	}
+}
+
+func TestBoundedBasicLLSC(t *testing.T) {
+	f := newBoundedFamily(t, 2, 1)
+	v, err := f.NewVar(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := boundedProc(t, f, 0)
+	val, keep, err := v.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 10 {
+		t.Fatalf("LL = %d, want 10", val)
+	}
+	if !v.VL(p, keep) {
+		t.Fatal("VL false right after LL")
+	}
+	if !v.SC(p, keep, 11) {
+		t.Fatal("uncontended SC failed")
+	}
+	if got := v.Read(); got != 11 {
+		t.Errorf("Read = %d, want 11", got)
+	}
+}
+
+func TestBoundedStaleSCFails(t *testing.T) {
+	f := newBoundedFamily(t, 2, 1)
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := boundedProc(t, f, 0), boundedProc(t, f, 1)
+	_, k0, err := v.LL(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k1, err := v.LL(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SC(p1, k1, 5) {
+		t.Fatal("p1 SC failed")
+	}
+	if v.VL(p0, k0) {
+		t.Error("p0 VL true after p1's SC")
+	}
+	if v.SC(p0, k0, 6) {
+		t.Error("p0 stale SC succeeded")
+	}
+	if got := v.Read(); got != 5 {
+		t.Errorf("Read = %d, want 5", got)
+	}
+}
+
+func TestBoundedSlotExhaustionAndCL(t *testing.T) {
+	f := newBoundedFamily(t, 1, 2)
+	v1, _ := f.NewVar(1)
+	v2, _ := f.NewVar(2)
+	v3, _ := f.NewVar(3)
+	p := boundedProc(t, f, 0)
+
+	_, k1, err := v1.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k2, err := v2.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeSlots() != 0 {
+		t.Fatalf("FreeSlots = %d, want 0", p.FreeSlots())
+	}
+	// Third concurrent sequence exceeds k=2.
+	if _, _, err := v3.LL(p); !errors.Is(err, ErrTooManySequences) {
+		t.Fatalf("third LL error = %v, want ErrTooManySequences", err)
+	}
+	// CL releases a slot; a new sequence becomes possible.
+	v1.CL(p, k1)
+	if p.FreeSlots() != 1 {
+		t.Fatalf("FreeSlots after CL = %d, want 1", p.FreeSlots())
+	}
+	_, k3, err := v3.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v3.SC(p, k3, 30) {
+		t.Error("SC after CL failed")
+	}
+	if !v2.SC(p, k2, 20) {
+		t.Error("interleaved SC on v2 failed")
+	}
+	if p.FreeSlots() != 2 {
+		t.Errorf("FreeSlots at end = %d, want 2", p.FreeSlots())
+	}
+}
+
+func TestBoundedConcurrentSequences(t *testing.T) {
+	// The Figure 1(a) pattern under the bounded-tag implementation.
+	f := newBoundedFamily(t, 1, 2)
+	x, _ := f.NewVar(1)
+	y, _ := f.NewVar(2)
+	p := boundedProc(t, f, 0)
+
+	_, kx, err := x.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ky, err := y.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.VL(p, kx) {
+		t.Fatal("VL(x) failed mid-sequence")
+	}
+	if !y.SC(p, ky, 20) {
+		t.Fatal("SC(y) failed")
+	}
+	if !x.SC(p, kx, 10) {
+		t.Fatal("SC(x) failed after SC(y)")
+	}
+	if x.Read() != 10 || y.Read() != 20 {
+		t.Errorf("values = (%d,%d), want (10,20)", x.Read(), y.Read())
+	}
+}
+
+func TestBoundedRejectsOversized(t *testing.T) {
+	f := newBoundedFamily(t, 2, 1)
+	if _, err := f.NewVar(f.MaxVal() + 1); err == nil {
+		t.Error("oversized initial accepted")
+	}
+	v, _ := f.NewVar(0)
+	p := boundedProc(t, f, 0)
+	_, k, err := v.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized SC value did not panic")
+			}
+		}()
+		v.SC(p, k, f.MaxVal()+1)
+	}()
+	// The slot must have been released even though SC panicked.
+	if p.FreeSlots() != f.K() {
+		t.Errorf("FreeSlots after panicking SC = %d, want %d", p.FreeSlots(), f.K())
+	}
+}
+
+func TestBoundedConcurrentCounter(t *testing.T) {
+	const procs = 8
+	const rounds = 3000
+	f := newBoundedFamily(t, procs, 2)
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, err := f.Proc(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				for {
+					val, k, err := v.LL(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if v.SC(p, k, val+1) {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := v.Read(); got != procs*rounds {
+		t.Errorf("final counter = %d, want %d (tag reuse would lose updates)", got, procs*rounds)
+	}
+}
+
+func TestBoundedManyVariables(t *testing.T) {
+	// T variables share one announce array; per-variable overhead is the
+	// N-entry counter array: total Θ(N(k+T)).
+	f := newBoundedFamily(t, 4, 2)
+	if got := f.OverheadWords(); got != 8 {
+		t.Fatalf("family overhead = %d, want N·k = 8", got)
+	}
+	const T = 50
+	vars := make([]*BoundedVar, T)
+	for i := range vars {
+		v, err := f.NewVar(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vars[i] = v
+		if got := v.FootprintWords(); got != 1+4 {
+			t.Fatalf("var footprint = %d, want 5", got)
+		}
+	}
+	if got := f.OverheadWords(); got != 8 {
+		t.Errorf("family overhead grew with T: %d", got)
+	}
+	// Exercise all of them from all processes.
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, _ := f.Proc(id)
+			for r := 0; r < 500; r++ {
+				v := vars[(id*500+r)%T]
+				for {
+					val, k, err := v.LL(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if v.SC(p, k, (val+1)&f.MaxVal()) {
+						break
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	var total uint64
+	for _, v := range vars {
+		total += v.Read()
+	}
+	// Initial values sum to 0+1+...+T-1; we added 4*500 increments.
+	want := uint64(T*(T-1)/2 + 4*500)
+	if total != want {
+		t.Errorf("sum over variables = %d, want %d", total, want)
+	}
+}
+
+func TestBoundedNoPrematureTagReuse(t *testing.T) {
+	// The adversarial scenario for tag reuse: p0 opens an LL-SC sequence
+	// whose keep word was written by p1 and stalls; p1 performs thousands
+	// of SCs cycling through a handful of values (so the same val field
+	// recurs constantly). If the feedback mechanism ever let p1 reuse the
+	// exact (tag,cnt,pid) triple of p0's keep while restoring the same
+	// value, p0's stale SC would erroneously succeed. It must always fail.
+	f := newBoundedFamily(t, 2, 1)
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := boundedProc(t, f, 0), boundedProc(t, f, 1)
+
+	// p1 writes value 7 so that the word p0 reads carries pid=1 — the
+	// adversary must forge its own past word, not the initial one.
+	_, k, err := v.LL(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SC(p1, k, 7) {
+		t.Fatal("setup SC failed")
+	}
+
+	_, stale, err := v.LL(p0) // p0 now holds a keep with pid=1, val=7
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// p1 hammers the variable, frequently rewriting value 7. The tag
+	// space is tiny (2Nk+1 = 5 tags, cnt 0..2), so without feedback the
+	// triple would recur within a few iterations.
+	for i := 0; i < 10000; i++ {
+		val, k, err := v.LL(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := uint64(7)
+		if i%3 == 1 {
+			next = val + 1
+		}
+		if !v.SC(p1, k, next) {
+			t.Fatalf("iteration %d: p1's SC failed with no contention", i)
+		}
+		if v.VL(p0, stale) {
+			t.Fatalf("iteration %d: p0's stale VL returned true — tag reuse!", i)
+		}
+	}
+	if v.SC(p0, stale, 99) {
+		t.Fatal("p0's stale SC succeeded after 10000 intervening SCs — bounded tags failed")
+	}
+	if p0.FreeSlots() != 1 || p1.FreeSlots() != 1 {
+		t.Errorf("slot leak: free = (%d,%d), want (1,1)", p0.FreeSlots(), p1.FreeSlots())
+	}
+}
+
+func TestBoundedContrastUnboundedTagsDoWrap(t *testing.T) {
+	// The same adversarial scenario defeats Figure 4 when its tag is as
+	// small as Figure 7's: with a 3-bit tag (8 values ≥ the 5 bounded
+	// tags), eight intervening SCs restore the exact word and the stale
+	// SC erroneously succeeds. This is experiment E7's core contrast.
+	v := MustNewVar(word.MustLayout(3), 7)
+	_, stale := v.LL()
+
+	for i := 0; i < 8; i++ { // exactly wraps the 3-bit tag
+		_, k := v.LL()
+		if !v.SC(k, 7) {
+			t.Fatal("intervening SC failed")
+		}
+	}
+	// The word is bit-identical to the stale keep: the unbounded-tag
+	// algorithm is fooled. (This is the documented failure mode, not a
+	// bug in the implementation.)
+	if !v.SC(stale, 99) {
+		t.Fatal("expected the wrapped stale SC to (erroneously) succeed, demonstrating the hazard Figure 7 eliminates")
+	}
+}

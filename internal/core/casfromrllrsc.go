@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// CASVar is the paper's Figure 3: a compare-and-swap operation for small
+// variables implemented from the restricted RLL/RSC pair. Each machine word
+// holds record{tag, val}; the tag detects intervening writes so that the
+// CAS linearizes correctly even though RSC may fail spuriously and RLL/RSC
+// must be used in tight pairs.
+//
+// The implementation is wait-free provided only finitely many spurious
+// failures occur during one CAS, terminates in constant time after the last
+// spurious failure, and has no space overhead (Theorem 1).
+type CASVar struct {
+	w      *machine.Word
+	layout word.Layout
+}
+
+// NewCASVar allocates a variable on machine m holding initial, using the
+// given tag|value layout. The initial value must fit the layout's value
+// field.
+func NewCASVar(m *machine.Machine, layout word.Layout, initial uint64) (*CASVar, error) {
+	if initial > layout.MaxVal() {
+		return nil, fmt.Errorf("core: initial value %d exceeds %d-bit value field", initial, layout.ValBits)
+	}
+	return &CASVar{w: m.NewWord(layout.Pack(0, initial)), layout: layout}, nil
+}
+
+// Layout returns the variable's tag|value layout.
+func (v *CASVar) Layout() word.Layout { return v.layout }
+
+// Read returns the current value. It linearizes at the underlying load.
+func (v *CASVar) Read(p *machine.Proc) uint64 {
+	return v.layout.Val(p.Load(v.w))
+}
+
+// CompareAndSwap is Figure 3's CAS(addr, old, new), executed by processor
+// p. It atomically compares the variable's value with old and, if equal,
+// replaces it with new, returning whether it succeeded.
+//
+// New must fit the value field; oversized values are rejected as a failed
+// CAS would be confusing, so they panic (a programming error, like passing
+// a misaligned address to hardware CAS).
+func (v *CASVar) CompareAndSwap(p *machine.Proc, old, new uint64) bool {
+	if new > v.layout.MaxVal() {
+		panic(fmt.Sprintf("core: CAS new value %d exceeds %d-bit value field", new, v.layout.ValBits))
+	}
+	oldword := p.Load(v.w)            // line 1
+	if v.layout.Val(oldword) != old { // line 2
+		return false
+	}
+	if old == new { // line 3: no-op CAS linearizes at the read in line 1
+		return true
+	}
+	newword := v.layout.Bump(oldword, new) // line 4: (tag ⊕ 1, new)
+	for {
+		if p.RLL(v.w) != oldword { // line 5
+			return false
+		}
+		if p.RSC(v.w, newword) { // line 6
+			return true
+		}
+	}
+}

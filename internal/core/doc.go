@@ -1,0 +1,36 @@
+// Package core implements the five algorithms of Moir, "Practical
+// Implementations of Non-Blocking Synchronization Primitives" (PODC 1997):
+//
+//   - CASVar (Figure 3): a wait-free CAS for small variables built from the
+//     restricted RLL/RSC instructions real hardware provides. Constant time
+//     after the last spurious failure, zero space overhead (Theorem 1).
+//   - Var (Figure 4): LL/VL/SC for small variables built from CAS
+//     (sync/atomic on real hardware). Constant time, zero space overhead,
+//     supports unboundedly many concurrent LL-SC sequences (Theorem 2).
+//   - RVar (Figure 5): LL/VL/SC built directly from RLL/RSC with a single
+//     tag, rather than composing Figures 3 and 4 and paying for two tags
+//     per word (Theorem 3).
+//   - LargeFamily/LargeVar (Figure 6): WLL/VL/SC on W-word variables from
+//     CAS, with Θ(W) WLL/SC, Θ(1) VL, and Θ(NW) space overhead shared by
+//     arbitrarily many variables (Theorem 4).
+//   - BoundedFamily/BoundedVar (Figure 7): LL/VL/CL/SC for small variables
+//     with bounded tags — no wraparound failure is possible, ever — in
+//     constant time and Θ(N(k+T)) space for T variables and at most k
+//     concurrent LL-SC sequences per process (Theorem 5).
+//
+// Interface adaptation: the paper modifies the classical LL/VL/SC interface
+// so that LL writes bookkeeping into a private word supplied by the caller,
+// which the caller then passes to VL and SC. In Go the idiomatic rendering
+// returns that private word as an opaque token (Keep, LKeep, BKeep) from LL
+// and accepts it in VL/SC. The token is a value on the caller's stack —
+// exactly the paper's "one word per LL-SC sequence ... ordinarily stored on
+// the execution stack", so the space and time properties carry over
+// verbatim.
+//
+// A note on "processes": algorithms whose pseudocode is written "for
+// process p" receive the process identity either through a machine.Proc
+// (Figures 3 and 5, which run on the simulated RLL/RSC machine) or through
+// a per-process handle created by the family (Figures 6 and 7). A handle
+// must be used by one goroutine at a time. Figure 4 needs no process
+// identity at all and may be called from any goroutine freely.
+package core

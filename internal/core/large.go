@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/word"
+)
+
+// LargeFamily is the shared context for the paper's Figure 6: WLL/VL/SC
+// operations on W-word variables, implemented from CAS.
+//
+// A variable consists of a header word record{tag, pid} and W segment
+// words record{tag, val}. A SC installs a new header (tag ⊕ 1, p) with
+// CAS and then copies its announced value into the segments; because the
+// SC'er may stall mid-copy, all processes help complete the copy (the
+// Copy procedure) using the announce array A, which holds each process's
+// in-flight SC value.
+//
+// A is shared by every variable created from the family, which is the
+// paper's key space improvement over Anderson–Moir [2]: Θ(NW) overhead
+// total, regardless of how many variables exist (Theorem 4). WLL and SC
+// take Θ(W) time, VL Θ(1).
+type LargeFamily struct {
+	n, w int
+	seg  word.Layout // tag | value-part, shared tag domain with the header
+	hdr  word.Fields // tag | pid
+	a    []atomic.Uint64
+
+	// stallHook, when non-nil, is invoked by SC between the header CAS
+	// and the subsequent Copy. Tests use it to stall an SC'er mid-update
+	// and prove that helpers complete the copy. Never set in production.
+	stallHook func(pid int)
+}
+
+// LargeConfig parametrizes a LargeFamily.
+type LargeConfig struct {
+	// Procs is the number of processes N. Each process drives at most one
+	// operation at a time through its LargeProc handle.
+	Procs int
+	// Words is W, the number of segment words per variable.
+	Words int
+	// TagBits is the width of the tag field in both the header and each
+	// segment (they share a tag domain). The remaining header bits hold
+	// the process id; the remaining segment bits hold data. Zero selects
+	// a default that leaves 16 data bits per segment, i.e. 48, shrunk if
+	// necessary to fit the pid field.
+	TagBits uint
+}
+
+// NewLargeFamily validates cfg and builds the family.
+func NewLargeFamily(cfg LargeConfig) (*LargeFamily, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("core: Procs must be at least 1, got %d", cfg.Procs)
+	}
+	if cfg.Words < 1 {
+		return nil, fmt.Errorf("core: Words must be at least 1, got %d", cfg.Words)
+	}
+	pidBits := word.BitsFor(uint64(cfg.Procs - 1))
+	tagBits := cfg.TagBits
+	if tagBits == 0 {
+		tagBits = 48
+		if tagBits+pidBits > word.WordBits {
+			tagBits = word.WordBits - pidBits
+		}
+	}
+	if tagBits+pidBits > word.WordBits {
+		return nil, fmt.Errorf("core: tag width %d plus pid width %d exceeds the %d-bit word",
+			tagBits, pidBits, word.WordBits)
+	}
+	seg, err := word.NewLayout(tagBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid tag width: %w", err)
+	}
+	hdr, err := word.NewFields(tagBits, pidBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: building header layout: %w", err)
+	}
+	return &LargeFamily{
+		n:   cfg.Procs,
+		w:   cfg.Words,
+		seg: seg,
+		hdr: hdr,
+		a:   make([]atomic.Uint64, cfg.Procs*cfg.Words),
+	}, nil
+}
+
+// MustNewLargeFamily is NewLargeFamily for statically valid configs.
+func MustNewLargeFamily(cfg LargeConfig) *LargeFamily {
+	f, err := NewLargeFamily(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Procs returns N.
+func (f *LargeFamily) Procs() int { return f.n }
+
+// Words returns W.
+func (f *LargeFamily) Words() int { return f.w }
+
+// MaxSegmentValue returns the largest value storable in one segment; a
+// variable's full value is a W-vector of such segment values.
+func (f *LargeFamily) MaxSegmentValue() uint64 { return f.seg.MaxVal() }
+
+// OverheadWords returns the family's space overhead in 64-bit words — the
+// announce array A, Θ(NW), shared by all variables (Theorem 4).
+func (f *LargeFamily) OverheadWords() int { return len(f.a) }
+
+// announce returns the announce word A[pid][i].
+func (f *LargeFamily) announce(pid, i int) *atomic.Uint64 {
+	return &f.a[pid*f.w+i]
+}
+
+// Proc returns the handle for process id. Figure 6 needs only the
+// identity, so handles are stateless and may be created freely, but each
+// must be used by one goroutine at a time.
+func (f *LargeFamily) Proc(id int) (*LargeProc, error) {
+	if id < 0 || id >= f.n {
+		return nil, fmt.Errorf("core: process id %d out of range [0,%d)", id, f.n)
+	}
+	return &LargeProc{f: f, id: id}, nil
+}
+
+// LargeProc is a per-process handle for Figure 6 operations.
+type LargeProc struct {
+	f  *LargeFamily
+	id int
+}
+
+// ID returns the process identifier.
+func (p *LargeProc) ID() int { return p.id }
+
+// LargeVar is one W-word variable of a LargeFamily.
+type LargeVar struct {
+	f    *LargeFamily
+	hdr  atomic.Uint64
+	data []atomic.Uint64
+}
+
+// LKeep is the private word of the modified WLL interface: the header tag
+// observed by the WLL, threaded to VL and SC.
+type LKeep struct {
+	tag uint64
+}
+
+// NewVar creates a variable initialized to the W-vector initial. Each
+// element must fit the segment value field.
+func (f *LargeFamily) NewVar(initial []uint64) (*LargeVar, error) {
+	if len(initial) != f.w {
+		return nil, fmt.Errorf("core: initial value has %d words, want %d", len(initial), f.w)
+	}
+	v := &LargeVar{f: f, data: make([]atomic.Uint64, f.w)}
+	for i, x := range initial {
+		if x > f.seg.MaxVal() {
+			return nil, fmt.Errorf("core: initial[%d] = %d exceeds %d-bit segment value field",
+				i, x, f.seg.ValBits)
+		}
+		v.data[i].Store(f.seg.Pack(0, x))
+	}
+	v.hdr.Store(f.hdr.Pack(0, 0))
+	return v, nil
+}
+
+// WordsPerValue returns W for this variable's family.
+func (v *LargeVar) WordsPerValue() int { return v.f.w }
+
+// FootprintWords returns the per-variable storage in 64-bit words: one
+// header plus W segments (the paper counts these as "the words to be
+// accessed", not overhead).
+func (v *LargeVar) FootprintWords() int { return 1 + v.f.w }
+
+// Succ is the WLL/Copy result indicating success: a consistent value was
+// read. Any other result is the id of a process that completed a
+// successful SC during the operation.
+const Succ = -1
+
+// copyVal is the paper's Copy procedure (Figure 6, lines 1-9). It ensures
+// every segment carries the value announced by the SC that installed hdr,
+// and, when save is non-nil, collects a consistent snapshot into save. It
+// returns Succ, or the pid of a process whose SC overtook the copy.
+func (v *LargeVar) copyVal(hdr uint64, save []uint64) int {
+	f := v.f
+	hdrTag := f.hdr.Get(hdr, 0)
+	prevTag := f.seg.DecTag(hdrTag)
+	pid := int(f.hdr.Get(hdr, 1))
+	for i := 0; i < f.w; i++ {
+		y := v.data[i].Load()        // line 2
+		if f.seg.Tag(y) == prevTag { // line 3
+			z := f.seg.Pack(hdrTag, f.announce(pid, i).Load()) // line 4
+			v.data[i].CompareAndSwap(y, z)                     // line 5
+			y = z                                              // line 6
+		}
+		if h := v.hdr.Load(); h != hdr { // line 7
+			return int(f.hdr.Get(h, 1))
+		}
+		if save != nil {
+			save[i] = f.seg.Val(y) // line 8
+		}
+	}
+	return Succ // line 9
+}
+
+// WLL is the weak load-linked of Figure 6 (lines 10-12). On success it
+// fills dst (which must have length W) with a consistent value of the
+// variable and returns (keep, Succ). If a successful SC intervenes, it
+// returns the winner's process id instead, dst holds no consistent value,
+// and a subsequent SC with the returned keep is certain to fail — the
+// caller can skip its wasted computation, which is WLL's purpose.
+func (v *LargeVar) WLL(p *LargeProc, dst []uint64) (LKeep, int) {
+	if len(dst) != v.f.w {
+		panic(fmt.Sprintf("core: WLL destination has %d words, want %d", len(dst), v.f.w))
+	}
+	x := v.hdr.Load()                     // line 10
+	keep := LKeep{tag: v.f.hdr.Get(x, 0)} // line 11
+	return keep, v.copyVal(x, dst)        // line 12
+}
+
+// VL reports whether no successful SC has occurred since the WLL that
+// produced keep (Figure 6, line 13). Θ(1).
+func (v *LargeVar) VL(p *LargeProc, keep LKeep) bool {
+	return v.f.hdr.Get(v.hdr.Load(), 0) == keep.tag
+}
+
+// SC attempts to store the W-vector newval (Figure 6, lines 14-21). It
+// succeeds iff no successful SC intervened since the WLL that produced
+// keep. Values exceeding the segment field panic (programming error).
+func (v *LargeVar) SC(p *LargeProc, keep LKeep, newval []uint64) bool {
+	f := v.f
+	if len(newval) != f.w {
+		panic(fmt.Sprintf("core: SC value has %d words, want %d", len(newval), f.w))
+	}
+	oldhdr := v.hdr.Load()                // line 14
+	if f.hdr.Get(oldhdr, 0) != keep.tag { // line 15
+		return false
+	}
+	for i, x := range newval { // lines 16-17: announce the new value
+		if x > f.seg.MaxVal() {
+			panic(fmt.Sprintf("core: SC value[%d] = %d exceeds %d-bit segment value field",
+				i, x, f.seg.ValBits))
+		}
+		f.announce(p.id, i).Store(x)
+	}
+	newhdr := f.hdr.Pack(f.seg.IncTag(keep.tag), uint64(p.id)) // line 18
+	if !v.hdr.CompareAndSwap(oldhdr, newhdr) {                 // line 19
+		return false
+	}
+	if f.stallHook != nil {
+		f.stallHook(p.id)
+	}
+	v.copyVal(newhdr, nil) // line 20: p may need A[p] for its next SC
+	return true            // line 21
+}
+
+// Read returns a consistent snapshot of the variable into dst, retrying
+// WLL until it succeeds. It is lock-free: a retry implies some SC
+// succeeded, i.e. the system made progress.
+func (v *LargeVar) Read(p *LargeProc, dst []uint64) {
+	for {
+		if _, res := v.WLL(p, dst); res == Succ {
+			return
+		}
+	}
+}
+
+// ReadSegment returns the value part of segment i in a single atomic
+// load, without the consistency guarantee of WLL: the value belongs to
+// the current committed generation or to the immediately preceding one
+// (segments are never more than one generation behind). Callers that
+// maintain monotone or single-writer-stable slots — such as the wait-free
+// universal construction's per-process result slots — can rely on this
+// for wait-free reads of one segment. For multi-segment consistency use
+// WLL or Read.
+func (v *LargeVar) ReadSegment(i int) uint64 {
+	return v.f.seg.Val(v.data[i].Load())
+}

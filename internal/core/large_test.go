@@ -1,0 +1,557 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func newLargeFamily(t *testing.T, procs, words int) *LargeFamily {
+	t.Helper()
+	f, err := NewLargeFamily(LargeConfig{Procs: procs, Words: words})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func largeProc(t *testing.T, f *LargeFamily, id int) *LargeProc {
+	t.Helper()
+	p, err := f.Proc(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewLargeFamilyValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     LargeConfig
+		wantErr bool
+	}{
+		{"ok", LargeConfig{Procs: 4, Words: 4}, false},
+		{"one word", LargeConfig{Procs: 1, Words: 1}, false},
+		{"zero procs", LargeConfig{Procs: 0, Words: 1}, true},
+		{"zero words", LargeConfig{Procs: 1, Words: 0}, true},
+		{"tag too wide for pid", LargeConfig{Procs: 1024, Words: 1, TagBits: 60}, true},
+		{"explicit tag", LargeConfig{Procs: 4, Words: 2, TagBits: 32}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewLargeFamily(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewLargeFamily(%+v) error = %v, wantErr %v", tt.cfg, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLargeFamilyDefaultTagShrinksForPid(t *testing.T) {
+	// With many processes the default 48-bit tag must shrink so pid fits.
+	f, err := NewLargeFamily(LargeConfig{Procs: 1 << 20, Words: 1})
+	if err != nil {
+		t.Fatalf("default layout should adapt: %v", err)
+	}
+	if f.MaxSegmentValue() == 0 {
+		t.Error("no value bits left")
+	}
+}
+
+func TestLargeVarInitialValue(t *testing.T) {
+	f := newLargeFamily(t, 2, 4)
+	v, err := f.NewVar([]uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := largeProc(t, f, 0)
+	dst := make([]uint64, 4)
+	keep, res := v.WLL(p, dst)
+	if res != Succ {
+		t.Fatalf("WLL on quiescent variable returned %d", res)
+	}
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if dst[i] != want {
+			t.Errorf("dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+	if !v.VL(p, keep) {
+		t.Error("VL false on quiescent variable")
+	}
+}
+
+func TestLargeVarValidationErrors(t *testing.T) {
+	f := newLargeFamily(t, 2, 2)
+	if _, err := f.NewVar([]uint64{1}); err == nil {
+		t.Error("wrong-length initial accepted")
+	}
+	if _, err := f.NewVar([]uint64{1, f.MaxSegmentValue() + 1}); err == nil {
+		t.Error("oversized initial accepted")
+	}
+	if _, err := f.Proc(-1); err == nil {
+		t.Error("negative pid accepted")
+	}
+	if _, err := f.Proc(2); err == nil {
+		t.Error("out-of-range pid accepted")
+	}
+}
+
+func TestLargeVarWLLPanicsOnShortDst(t *testing.T) {
+	f := newLargeFamily(t, 1, 3)
+	v, err := f.NewVar([]uint64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := largeProc(t, f, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst did not panic")
+		}
+	}()
+	v.WLL(p, make([]uint64, 2))
+}
+
+func TestLargeVarSCBasic(t *testing.T) {
+	f := newLargeFamily(t, 2, 3)
+	v, err := f.NewVar([]uint64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := largeProc(t, f, 0)
+	dst := make([]uint64, 3)
+	keep, res := v.WLL(p, dst)
+	if res != Succ {
+		t.Fatal("WLL failed")
+	}
+	if !v.SC(p, keep, []uint64{10, 20, 30}) {
+		t.Fatal("uncontended SC failed")
+	}
+	v.Read(p, dst)
+	for i, want := range []uint64{10, 20, 30} {
+		if dst[i] != want {
+			t.Errorf("dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+}
+
+func TestLargeVarStaleSCFails(t *testing.T) {
+	f := newLargeFamily(t, 2, 2)
+	v, err := f.NewVar([]uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := largeProc(t, f, 0), largeProc(t, f, 1)
+	dst := make([]uint64, 2)
+	k0, _ := v.WLL(p0, dst)
+	k1, _ := v.WLL(p1, dst)
+	if !v.SC(p1, k1, []uint64{5, 6}) {
+		t.Fatal("p1 SC failed")
+	}
+	if v.VL(p0, k0) {
+		t.Error("p0 VL true after p1's SC")
+	}
+	if v.SC(p0, k0, []uint64{7, 8}) {
+		t.Error("p0 stale SC succeeded")
+	}
+}
+
+func TestLargeVarWLLReturnsWinnerDuringStall(t *testing.T) {
+	// Stall an SC'er after its header CAS; a concurrent WLL must either
+	// help and return a consistent NEW value, and if overtaken must
+	// return the winner's pid.
+	f := newLargeFamily(t, 2, 4)
+	v, err := f.NewVar([]uint64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := largeProc(t, f, 0), largeProc(t, f, 1)
+
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	f.stallHook = func(pid int) {
+		if pid == 0 {
+			close(stalled)
+			<-release
+		}
+	}
+	defer func() { f.stallHook = nil }()
+
+	dst := make([]uint64, 4)
+	keep, res := v.WLL(p0, dst)
+	if res != Succ {
+		t.Fatal("initial WLL failed")
+	}
+
+	done := make(chan bool)
+	go func() {
+		done <- v.SC(p0, keep, []uint64{9, 9, 9, 9})
+	}()
+	<-stalled
+
+	// p0's header CAS has landed but its copy has not run. A WLL by p1
+	// must help: it returns the complete new value.
+	got := make([]uint64, 4)
+	k1, res1 := v.WLL(p1, got)
+	if res1 != Succ {
+		t.Fatalf("helping WLL returned %d, want Succ", res1)
+	}
+	for i := range got {
+		if got[i] != 9 {
+			t.Errorf("helped value[%d] = %d, want 9 (helper must complete the copy)", i, got[i])
+		}
+	}
+	if !v.VL(p1, k1) {
+		t.Error("VL false after helping WLL with no further SC")
+	}
+
+	close(release)
+	if !<-done {
+		t.Error("stalled SC reported failure")
+	}
+}
+
+func TestLargeVarHelpersAllowProgressPastStalledSC(t *testing.T) {
+	// The non-blocking property the paper motivates: a process that stalls
+	// forever mid-SC must not block others. p0 stalls inside SC; p1 keeps
+	// reading and SC'ing successfully.
+	f := newLargeFamily(t, 2, 2)
+	v, err := f.NewVar([]uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := largeProc(t, f, 0), largeProc(t, f, 1)
+
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	f.stallHook = func(pid int) {
+		if pid == 0 {
+			close(stalled)
+			<-release
+		}
+	}
+	defer func() { f.stallHook = nil }()
+
+	dst := make([]uint64, 2)
+	keep, _ := v.WLL(p0, dst)
+	go v.SC(p0, keep, []uint64{100, 200})
+	<-stalled
+
+	// p1 makes progress indefinitely while p0 is stalled.
+	for i := uint64(1); i <= 50; i++ {
+		got := make([]uint64, 2)
+		k, res := v.WLL(p1, got)
+		if res != Succ {
+			// p0 is stalled, no other SC'er exists; must succeed.
+			t.Fatalf("round %d: WLL returned %d", i, res)
+		}
+		if !v.SC(p1, k, []uint64{i, i}) {
+			t.Fatalf("round %d: SC failed with no contention", i)
+		}
+	}
+	close(release)
+}
+
+func TestLargeVarConcurrentTransfers(t *testing.T) {
+	// W-word invariant preservation: the vector always sums to zero
+	// (mod 2^16 per segment): each SC moves amount from one slot to
+	// another. Any torn read or lost update breaks the invariant.
+	const procs = 4
+	const rounds = 2000
+	const w = 4
+	f := newLargeFamily(t, procs, w)
+	v, err := f.NewVar(make([]uint64, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxVal := f.MaxSegmentValue()
+
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, err := f.Proc(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cur := make([]uint64, w)
+			next := make([]uint64, w)
+			for r := 0; r < rounds; r++ {
+				for {
+					keep, res := v.WLL(p, cur)
+					if res != Succ {
+						continue
+					}
+					copy(next, cur)
+					from := (id + r) % w
+					to := (id + r + 1) % w
+					next[from] = (next[from] - 1) & maxVal
+					next[to] = (next[to] + 1) & maxVal
+					if v.SC(p, keep, next) {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	p0 := largeProc(t, f, 0)
+	final := make([]uint64, w)
+	v.Read(p0, final)
+	var sum uint64
+	for _, x := range final {
+		sum = (sum + x) & maxVal
+	}
+	if sum != 0 {
+		t.Errorf("invariant violated: segments %v sum to %d (mod), want 0", final, sum)
+	}
+}
+
+func TestLargeVarSnapshotsAreConsistent(t *testing.T) {
+	// Writers always store vectors of the form {x, x, x, x}. Readers must
+	// never observe a mixed vector — that would be a torn (unlinearizable)
+	// read.
+	const w = 4
+	const writers = 2
+	const readers = 2
+	const rounds = 3000
+	f := newLargeFamily(t, writers+readers, w)
+	v, err := f.NewVar(make([]uint64, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, _ := f.Proc(id)
+			cur := make([]uint64, w)
+			val := make([]uint64, w)
+			for r := 0; r < rounds; r++ {
+				for {
+					keep, res := v.WLL(p, cur)
+					if res != Succ {
+						continue
+					}
+					x := uint64(id*rounds+r) & f.MaxSegmentValue()
+					for j := range val {
+						val[j] = x
+					}
+					if v.SC(p, keep, val) {
+						break
+					}
+				}
+			}
+		}(i)
+	}
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func(id int) {
+			defer readerWG.Done()
+			p, _ := f.Proc(writers + id)
+			dst := make([]uint64, w)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, res := v.WLL(p, dst); res != Succ {
+					continue
+				}
+				for j := 1; j < w; j++ {
+					if dst[j] != dst[0] {
+						t.Errorf("torn read: %v", dst)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+}
+
+func TestLargeVarManyVarsShareOverhead(t *testing.T) {
+	// Theorem 4: space overhead is Θ(NW) regardless of the number of
+	// variables implemented.
+	f := newLargeFamily(t, 8, 4)
+	before := f.OverheadWords()
+	if before != 8*4 {
+		t.Fatalf("overhead = %d words, want %d", before, 8*4)
+	}
+	vars := make([]*LargeVar, 100)
+	for i := range vars {
+		v, err := f.NewVar(make([]uint64, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vars[i] = v
+	}
+	if f.OverheadWords() != before {
+		t.Errorf("overhead grew with variable count: %d -> %d", before, f.OverheadWords())
+	}
+	// And the variables are independent.
+	p := largeProc(t, f, 0)
+	dst := make([]uint64, 4)
+	k, _ := vars[0].WLL(p, dst)
+	if !vars[0].SC(p, k, []uint64{1, 2, 3, 4}) {
+		t.Fatal("SC on vars[0] failed")
+	}
+	vars[1].Read(p, dst)
+	for _, x := range dst {
+		if x != 0 {
+			t.Errorf("vars[1] disturbed by SC on vars[0]: %v", dst)
+			break
+		}
+	}
+}
+
+func TestLargeVarCrossVariableAnnounceReuse(t *testing.T) {
+	// The same process SCs on two variables back to back; the announce
+	// row A[p] is reused. The first variable must retain its value.
+	f := newLargeFamily(t, 2, 2)
+	v1, _ := f.NewVar([]uint64{0, 0})
+	v2, _ := f.NewVar([]uint64{0, 0})
+	p := largeProc(t, f, 0)
+	dst := make([]uint64, 2)
+
+	k, _ := v1.WLL(p, dst)
+	if !v1.SC(p, k, []uint64{11, 12}) {
+		t.Fatal("SC on v1 failed")
+	}
+	k, _ = v2.WLL(p, dst)
+	if !v2.SC(p, k, []uint64{21, 22}) {
+		t.Fatal("SC on v2 failed")
+	}
+
+	v1.Read(p, dst)
+	if dst[0] != 11 || dst[1] != 12 {
+		t.Errorf("v1 = %v, want [11 12]", dst)
+	}
+	v2.Read(p, dst)
+	if dst[0] != 21 || dst[1] != 22 {
+		t.Errorf("v2 = %v, want [21 22]", dst)
+	}
+}
+
+func TestLargeVarWithTinyTags(t *testing.T) {
+	// Small tag space exercises wraparound of the tag domain in long
+	// runs; with one writer at a time correctness is preserved as long as
+	// no LL-SC sequence spans a full wrap (unbounded-tag assumption).
+	f, err := NewLargeFamily(LargeConfig{Procs: 2, Words: 2, TagBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar([]uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := largeProc(t, f, 0)
+	dst := make([]uint64, 2)
+	for i := uint64(1); i <= 1000; i++ { // wraps the 8-bit tag ~4 times
+		k, res := v.WLL(p, dst)
+		if res != Succ {
+			t.Fatalf("WLL %d failed", i)
+		}
+		x := i & f.MaxSegmentValue()
+		if !v.SC(p, k, []uint64{x, x}) {
+			t.Fatalf("SC %d failed", i)
+		}
+	}
+	v.Read(p, dst)
+	want := uint64(1000) & f.MaxSegmentValue()
+	if dst[0] != want || dst[1] != want {
+		t.Errorf("final = %v, want [%d %d]", dst, want, want)
+	}
+}
+
+func TestLargeFamilyMaxSegmentValue(t *testing.T) {
+	f, err := NewLargeFamily(LargeConfig{Procs: 2, Words: 1, TagBits: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.MaxSegmentValue(); got != (1<<16)-1 {
+		t.Errorf("MaxSegmentValue = %d, want %d", got, (1<<16)-1)
+	}
+	if f.Procs() != 2 || f.Words() != 1 {
+		t.Errorf("accessors = (%d,%d), want (2,1)", f.Procs(), f.Words())
+	}
+}
+
+func TestLargeVarFootprint(t *testing.T) {
+	f := newLargeFamily(t, 2, 8)
+	v, err := f.NewVar(make([]uint64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.FootprintWords(); got != 9 {
+		t.Errorf("FootprintWords = %d, want 9", got)
+	}
+	if got := v.WordsPerValue(); got != 8 {
+		t.Errorf("WordsPerValue = %d, want 8", got)
+	}
+}
+
+func TestLargeVarWideValues(t *testing.T) {
+	// A 256-bit value in 8 segments of 32 bits each (32-bit tags).
+	f, err := NewLargeFamily(LargeConfig{Procs: 2, Words: 8, TagBits: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := []uint64{0xDEADBEEF, 0xCAFEBABE, 0x12345678, 0x9ABCDEF0, 1, 2, 3, 4}
+	v, err := f.NewVar(init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := largeProc(t, f, 0)
+	dst := make([]uint64, 8)
+	v.Read(p, dst)
+	for i := range init {
+		if dst[i] != init[i] {
+			t.Errorf("dst[%d] = %#x, want %#x", i, dst[i], init[i])
+		}
+	}
+}
+
+func BenchmarkLargeVarWLLByWidth(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(benchName("W", w), func(b *testing.B) {
+			f := MustNewLargeFamily(LargeConfig{Procs: 1, Words: w})
+			v, err := f.NewVar(make([]uint64, w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, _ := f.Proc(0)
+			dst := make([]uint64, w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.WLL(p, dst)
+			}
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/word"
+)
+
+// Var is the paper's Figure 4: LL/VL/SC operations for small variables
+// implemented from CAS. On modern hardware CAS is exactly what
+// sync/atomic.CompareAndSwapUint64 compiles to, so — unlike Figures 3 and
+// 5 — this implementation runs on the real machine, not the simulator, and
+// is directly usable by applications.
+//
+// Each word holds record{tag, val}. LL copies the whole word into a
+// private Keep token; VL and SC compare the current word against the
+// token. A successful SC installs (tag ⊕ 1, new), so any intervening
+// successful SC changes the tag and causes stale VL/SC to fail.
+//
+// The operations are constant-time and the variable carries no space
+// overhead beyond the tag bits inside the word itself (Theorem 2).
+// Processes (goroutines) may run arbitrarily many LL-SC sequences
+// concurrently, on the same or different variables — the restriction
+// Figure 1 shows hardware cannot support.
+type Var struct {
+	w      atomic.Uint64
+	layout word.Layout
+}
+
+// Keep is the private word the paper's modified interface threads from LL
+// to VL/SC. It is an opaque snapshot of the variable at LL time.
+type Keep struct {
+	word uint64
+}
+
+// NewVar creates a variable holding initial with the given layout.
+func NewVar(layout word.Layout, initial uint64) (*Var, error) {
+	if initial > layout.MaxVal() {
+		return nil, fmt.Errorf("core: initial value %d exceeds %d-bit value field", initial, layout.ValBits)
+	}
+	v := &Var{layout: layout}
+	v.w.Store(layout.Pack(0, initial))
+	return v, nil
+}
+
+// Init (re)initializes a zero Var in place, for Vars embedded in arrays or
+// structs (e.g. per-node link fields in lock-free containers). It must be
+// called before the Var is shared between goroutines.
+func (v *Var) Init(layout word.Layout, initial uint64) error {
+	if initial > layout.MaxVal() {
+		return fmt.Errorf("core: initial value %d exceeds %d-bit value field", initial, layout.ValBits)
+	}
+	v.layout = layout
+	v.w.Store(layout.Pack(0, initial))
+	return nil
+}
+
+// MustNewVar is NewVar for statically valid arguments; it panics on error.
+func MustNewVar(layout word.Layout, initial uint64) *Var {
+	v, err := NewVar(layout, initial)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Layout returns the variable's tag|value layout.
+func (v *Var) Layout() word.Layout { return v.layout }
+
+// Read returns the current value; it linearizes at the underlying load.
+func (v *Var) Read() uint64 {
+	return v.layout.Val(v.w.Load())
+}
+
+// LL performs a load-linked: it snapshots the variable (Figure 4, line 1:
+// *keep := *addr) and returns the data value along with the Keep token for
+// the subsequent VL/SC.
+func (v *Var) LL() (uint64, Keep) {
+	k := Keep{word: v.w.Load()}    // line 1
+	return v.layout.Val(k.word), k // line 2
+}
+
+// VL reports whether the variable is unchanged since the LL that produced
+// keep (Figure 4, line 3: keep = *addr).
+func (v *Var) VL(keep Keep) bool {
+	return keep.word == v.w.Load()
+}
+
+// SC attempts to store new, succeeding iff no successful SC intervened
+// since the LL that produced keep (Figure 4, line 4:
+// CAS(addr, keep, (keep.tag ⊕ 1, new))). Oversized values panic, as they
+// are programming errors rather than legitimate contention failures.
+func (v *Var) SC(keep Keep, new uint64) bool {
+	if new > v.layout.MaxVal() {
+		panic(fmt.Sprintf("core: SC value %d exceeds %d-bit value field", new, v.layout.ValBits))
+	}
+	return v.w.CompareAndSwap(keep.word, v.layout.Bump(keep.word, new))
+}
+
+// Tag exposes the tag of the snapshot held by a Keep. It exists for
+// wraparound experiments (E7) and white-box tests; applications do not
+// need it.
+func (v *Var) Tag(keep Keep) uint64 {
+	return v.layout.Tag(keep.word)
+}
+
+// Store atomically writes val via an LL/SC loop, advancing the tag like
+// any other successful SC — a plain overwrite of the packed word would
+// break the tag protection every outstanding Keep relies on. Lock-free:
+// a retry implies another SC succeeded.
+func (v *Var) Store(val uint64) {
+	if val > v.layout.MaxVal() {
+		panic(fmt.Sprintf("core: Store value %d exceeds %d-bit value field", val, v.layout.ValBits))
+	}
+	for {
+		_, keep := v.LL()
+		if v.SC(keep, val) {
+			return
+		}
+	}
+}
+
+// CompareAndSwap implements CAS from LL/SC (the direction opposite to
+// Figure 4, included for API completeness): atomically replace old with
+// new iff the current value equals old. A no-op CAS (old == new)
+// linearizes at the LL's read, exactly as in Figure 3's argument.
+// Lock-free.
+func (v *Var) CompareAndSwap(old, new uint64) bool {
+	for {
+		val, keep := v.LL()
+		if val != old {
+			return false
+		}
+		if old == new {
+			return true
+		}
+		if v.SC(keep, new) {
+			return true
+		}
+	}
+}

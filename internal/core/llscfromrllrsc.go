@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// RVar is the paper's Figure 5: LL/VL/SC implemented directly from the
+// restricted RLL/RSC instructions, using a single tag per word.
+//
+// Composing Figure 4 over Figure 3 would also yield LL/VL/SC from RLL/RSC,
+// but each word would then carry two tags (one consumed by the CAS
+// emulation, one by the LL/SC emulation), halving the bits available and
+// substantially shortening the time to wraparound. Figure 5 fuses the two
+// constructions so one tag serves both purposes (Theorem 3). Benchmark E3
+// measures both the step-count and the tag-headroom advantage.
+type RVar struct {
+	w      *machine.Word
+	layout word.Layout
+}
+
+// NewRVar allocates a variable on machine m holding initial.
+func NewRVar(m *machine.Machine, layout word.Layout, initial uint64) (*RVar, error) {
+	if initial > layout.MaxVal() {
+		return nil, fmt.Errorf("core: initial value %d exceeds %d-bit value field", initial, layout.ValBits)
+	}
+	return &RVar{w: m.NewWord(layout.Pack(0, initial)), layout: layout}, nil
+}
+
+// Layout returns the variable's tag|value layout.
+func (v *RVar) Layout() word.Layout { return v.layout }
+
+// Read returns the current value; it linearizes at the underlying load.
+func (v *RVar) Read(p *machine.Proc) uint64 {
+	return v.layout.Val(p.Load(v.w))
+}
+
+// LL snapshots the variable (Figure 5, lines 1-2) and returns the value
+// with the Keep token for the subsequent VL/SC. Note that LL is a plain
+// load — it does not consume the processor's reservation, so a process may
+// interleave LL-SC sequences on many variables; only the final SC needs
+// the (single) reservation, and only briefly.
+func (v *RVar) LL(p *machine.Proc) (uint64, Keep) {
+	k := Keep{word: p.Load(v.w)}   // line 1
+	return v.layout.Val(k.word), k // line 2
+}
+
+// VL reports whether the variable is unchanged since the LL that produced
+// keep (Figure 5, line 3).
+func (v *RVar) VL(p *machine.Proc, keep Keep) bool {
+	return keep.word == p.Load(v.w)
+}
+
+// SC attempts to store new (Figure 5, lines 4-7). It fails iff a
+// successful SC intervened since the LL that produced keep; it is
+// wait-free provided only finitely many spurious RSC failures occur during
+// one invocation, and completes in constant time after the last spurious
+// failure.
+func (v *RVar) SC(p *machine.Proc, keep Keep, new uint64) bool {
+	if new > v.layout.MaxVal() {
+		panic(fmt.Sprintf("core: SC value %d exceeds %d-bit value field", new, v.layout.ValBits))
+	}
+	oldword := keep.word                   // line 4
+	newword := v.layout.Bump(oldword, new) // line 5: (keep.tag ⊕ 1, newval)
+	for {
+		if p.RLL(v.w) != oldword { // line 6
+			return false
+		}
+		if p.RSC(v.w, newword) { // line 7
+			return true
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+func TestRVarBasic(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	v, err := NewRVar(m, word.DefaultLayout, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	val, keep := v.LL(p)
+	if val != 10 {
+		t.Fatalf("LL = %d, want 10", val)
+	}
+	if !v.VL(p, keep) {
+		t.Fatal("VL false right after LL")
+	}
+	if !v.SC(p, keep, 11) {
+		t.Fatal("uncontended SC failed")
+	}
+	if got := v.Read(p); got != 11 {
+		t.Errorf("Read = %d, want 11", got)
+	}
+}
+
+func TestRVarStaleSCFails(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	v, err := NewRVar(m, word.DefaultLayout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := m.Proc(0), m.Proc(1)
+	_, k0 := v.LL(p0)
+	_, k1 := v.LL(p1)
+	if !v.SC(p1, k1, 5) {
+		t.Fatal("p1 SC failed")
+	}
+	if v.VL(p0, k0) {
+		t.Error("p0 VL true after p1's SC")
+	}
+	if v.SC(p0, k0, 6) {
+		t.Error("p0 stale SC succeeded")
+	}
+}
+
+func TestRVarABACycleFailsStaleSC(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	v, err := NewRVar(m, word.DefaultLayout, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := m.Proc(0), m.Proc(1)
+	_, stale := v.LL(p0)
+
+	_, k := v.LL(p1)
+	if !v.SC(p1, k, 9) {
+		t.Fatal("SC to 9 failed")
+	}
+	_, k = v.LL(p1)
+	if !v.SC(p1, k, 7) {
+		t.Fatal("SC back to 7 failed")
+	}
+
+	if v.VL(p0, stale) {
+		t.Error("VL true across ABA cycle")
+	}
+	if v.SC(p0, stale, 8) {
+		t.Error("stale SC succeeded across ABA cycle")
+	}
+}
+
+func TestRVarConcurrentSequencesOneReservation(t *testing.T) {
+	// The key win over raw RLL/RSC: a single process can interleave LL-SC
+	// sequences on several variables (Figure 1(a)) even though the
+	// underlying machine has only one reservation per processor.
+	m := machine.MustNew(machine.Config{Procs: 1})
+	x, err := NewRVar(m, word.DefaultLayout, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := NewRVar(m, word.DefaultLayout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+
+	_, kx := x.LL(p)
+	_, ky := y.LL(p)
+	if !x.VL(p, kx) {
+		t.Fatal("VL(x) failed mid-sequence")
+	}
+	if !y.SC(p, ky, 20) {
+		t.Fatal("SC(y) failed")
+	}
+	if !x.SC(p, kx, 10) {
+		t.Fatal("SC(x) failed after SC(y)")
+	}
+	if x.Read(p) != 10 || y.Read(p) != 20 {
+		t.Errorf("values = (%d,%d), want (10,20)", x.Read(p), y.Read(p))
+	}
+}
+
+func TestRVarStrictMode(t *testing.T) {
+	// Figure 5's RLL/RSC pairs are tight, so strict mode must not break
+	// them — but note LL itself is a plain load, which in strict mode
+	// clears reservations; the algorithm never relies on a reservation
+	// surviving an LL, so all is well.
+	m := machine.MustNew(machine.Config{Procs: 1, Strict: true})
+	v, err := NewRVar(m, word.DefaultLayout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	for i := uint64(0); i < 100; i++ {
+		val, k := v.LL(p)
+		if val != i {
+			t.Fatalf("LL = %d, want %d", val, i)
+		}
+		if !v.SC(p, k, i+1) {
+			t.Fatalf("SC %d failed in strict mode", i)
+		}
+	}
+}
+
+func TestRVarSpuriousFailureTolerance(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.5, Seed: 13})
+	v, err := NewRVar(m, word.DefaultLayout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	for i := uint64(0); i < 500; i++ {
+		_, k := v.LL(p)
+		if !v.SC(p, k, i+1) {
+			t.Fatalf("SC %d failed", i)
+		}
+	}
+	if got := v.Read(p); got != 500 {
+		t.Errorf("final = %d, want 500", got)
+	}
+}
+
+func TestRVarConstantTimeAfterLastSpuriousFailure(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	v, err := NewRVar(m, word.DefaultLayout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	_, k := v.LL(p)
+	p.FailNext(7)
+	if !v.SC(p, k, 1) {
+		t.Fatal("SC failed")
+	}
+	st := m.Stats()
+	if st.RLLs != 8 {
+		t.Errorf("RLLs = %d, want 8 (7 spurious retries + 1 success)", st.RLLs)
+	}
+}
+
+func TestRVarConcurrentCounter(t *testing.T) {
+	const procs = 8
+	const rounds = 2000
+	m := machine.MustNew(machine.Config{Procs: procs, SpuriousFailProb: 0.02, Seed: 5})
+	v, err := NewRVar(m, word.MustLayout(32), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(p *machine.Proc) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					val, k := v.LL(p)
+					if v.SC(p, k, val+1) {
+						break
+					}
+				}
+			}
+		}(m.Proc(i))
+	}
+	wg.Wait()
+	if got := v.Read(m.Proc(0)); got != procs*rounds {
+		t.Errorf("final counter = %d, want %d", got, procs*rounds)
+	}
+}
+
+func TestRVarRejectsOversized(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	layout := word.MustLayout(60)
+	if _, err := NewRVar(m, layout, 16); err == nil {
+		t.Error("oversized initial accepted")
+	}
+	v, err := NewRVar(m, layout, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	_, k := v.LL(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized SC value did not panic")
+		}
+	}()
+	v.SC(p, k, 16)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestVarInit(t *testing.T) {
+	// Init supports Vars embedded in arrays (the container packages rely
+	// on it).
+	vars := make([]Var, 4)
+	for i := range vars {
+		if err := vars[i].Init(word.MustLayout(40), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range vars {
+		if got := vars[i].Read(); got != uint64(i) {
+			t.Errorf("vars[%d] = %d, want %d", i, got, i)
+		}
+		val, k := vars[i].LL()
+		if !vars[i].SC(k, val+100) {
+			t.Errorf("SC on embedded var %d failed", i)
+		}
+	}
+	// Oversized initial is rejected.
+	var v Var
+	if err := v.Init(word.MustLayout(60), 1<<10); err == nil {
+		t.Error("oversized Init accepted")
+	}
+}
+
+func TestVarInitIsolation(t *testing.T) {
+	// Embedded Vars are fully independent.
+	vars := make([]Var, 2)
+	for i := range vars {
+		if err := vars[i].Init(word.MustLayout(32), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, k0 := vars[0].LL()
+	val1, k1 := vars[1].LL()
+	if !vars[1].SC(k1, val1+1) {
+		t.Fatal("SC on vars[1] failed")
+	}
+	if !vars[0].VL(k0) {
+		t.Error("SC on vars[1] invalidated vars[0]'s sequence")
+	}
+}
+
+func TestLargeVarReadSegment(t *testing.T) {
+	f := MustNewLargeFamily(LargeConfig{Procs: 2, Words: 3, TagBits: 32})
+	v, err := f.NewVar([]uint64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{10, 20, 30} {
+		if got := v.ReadSegment(i); got != want {
+			t.Errorf("ReadSegment(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// After an SC, segments converge to the new values.
+	p, _ := f.Proc(0)
+	dst := make([]uint64, 3)
+	keep, _ := v.WLL(p, dst)
+	if !v.SC(p, keep, []uint64{11, 21, 31}) {
+		t.Fatal("SC failed")
+	}
+	for i, want := range []uint64{11, 21, 31} {
+		if got := v.ReadSegment(i); got != want {
+			t.Errorf("post-SC ReadSegment(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLargeVarReadSegmentAtMostOneGenerationBehind(t *testing.T) {
+	// Under concurrent SCs of replicated vectors {x,x}, a segment read
+	// returns the current or previous generation's value — never anything
+	// older. With a monotone counter this means segment reads are
+	// monotone up to one step.
+	f := MustNewLargeFamily(LargeConfig{Procs: 2, Words: 2, TagBits: 32})
+	v, err := f.NewVar([]uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p, _ := f.Proc(0)
+		cur := make([]uint64, 2)
+		next := make([]uint64, 2)
+		for i := 0; i < 20000; i++ {
+			for {
+				keep, res := v.WLL(p, cur)
+				if res != Succ {
+					continue
+				}
+				next[0], next[1] = cur[0]+1, cur[0]+1
+				if v.SC(p, keep, next) {
+					break
+				}
+			}
+		}
+	}()
+	var last uint64
+	for {
+		select {
+		case <-stop:
+		default:
+		}
+		got := v.ReadSegment(0)
+		if got < last {
+			t.Fatalf("segment read went backwards: %d after %d", got, last)
+		}
+		last = got
+		if got == 20000 {
+			break
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+	"repro/internal/word"
+)
+
+// Sequential differential property tests: arbitrary well-formed operation
+// sequences must produce exactly the oracle's results, op for op. (The
+// concurrent analogue lives in internal/conformance and cmd/llscfuzz;
+// these run on every `go test`.)
+
+func TestVarQuickAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := MustNewVar(word.MustLayout(48), 1)
+		oracle := spec.MustNewRegister(1, 1)
+		var keep Keep
+		haveLL := false
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				if v.Read() != oracle.Read() {
+					return false
+				}
+			case 1:
+				val, k := v.LL()
+				keep = k
+				haveLL = true
+				if val != oracle.LL(0) {
+					return false
+				}
+			case 2:
+				if !haveLL {
+					continue
+				}
+				if v.VL(keep) != oracle.VL(0) {
+					return false
+				}
+			case 3:
+				if !haveLL {
+					continue
+				}
+				nv := uint64(rng.Intn(16))
+				if v.SC(keep, nv) != oracle.SC(0, nv) {
+					return false
+				}
+				haveLL = false
+			default:
+				old, nv := uint64(rng.Intn(16)), uint64(rng.Intn(16))
+				if v.CompareAndSwap(old, nv) != oracle.CAS(old, nv) {
+					return false
+				}
+			}
+		}
+		return v.Read() == oracle.Read()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedQuickAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fam := MustNewBoundedFamily(BoundedConfig{Procs: 1, K: 1})
+		v, err := fam.NewVar(1)
+		if err != nil {
+			return false
+		}
+		p, err := fam.Proc(0)
+		if err != nil {
+			return false
+		}
+		oracle := spec.MustNewRegister(1, 1)
+		var keep BKeep
+		haveLL := false
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				if v.Read() != oracle.Read() {
+					return false
+				}
+			case 1:
+				if haveLL {
+					v.CL(p, keep) // k=1: release before a fresh sequence
+					// CL has no shared effect; the oracle's valid bit for a
+					// replaced LL is simply overwritten by the next LL.
+				}
+				val, k, err := v.LL(p)
+				if err != nil {
+					return false
+				}
+				keep = k
+				haveLL = true
+				if val != oracle.LL(0) {
+					return false
+				}
+			case 2:
+				if !haveLL {
+					continue
+				}
+				if v.VL(p, keep) != oracle.VL(0) {
+					return false
+				}
+			case 3:
+				if !haveLL {
+					continue
+				}
+				nv := uint64(rng.Intn(16))
+				if v.SC(p, keep, nv) != oracle.SC(0, nv) {
+					return false
+				}
+				haveLL = false
+			default:
+				// Bounded variant has no CAS; extra read instead.
+				if v.Read() != oracle.Read() {
+					return false
+				}
+			}
+		}
+		return v.Read() == oracle.Read()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// RBoundedFamily is Figure 7 realized on a machine that provides only the
+// restricted RLL/RSC pair (the paper's Figure 3 technique applied to
+// Figure 7's single CAS, line 15). Bounded tags and RLL/RSC compose
+// cleanly: the word's (tag, cnt, pid) triple never recurs while any
+// process could compare against it, so the rcas retry pair linearizes
+// exactly like the CAS it replaces — and RSC's write-sensitivity is
+// immune to ABA regardless.
+//
+// Complexity matches Theorem 5 (constant time, Θ(N(k+T)) space), with
+// termination guaranteed provided only finitely many spurious failures
+// occur per SC.
+type RBoundedFamily struct {
+	m        *machine.Machine
+	n, k     int
+	nk       int
+	tagCount uint64
+	cntCount uint64
+	fields   word.Fields
+	a        []*machine.Word
+	procs    []*RBoundedProc
+}
+
+// NewRBoundedFamily builds a Figure 7 family over machine m with
+// per-process sequence bound k. The machine's processor count fixes N.
+func NewRBoundedFamily(m *machine.Machine, k int) (*RBoundedFamily, error) {
+	n := m.NumProcs()
+	if k < 1 {
+		return nil, fmt.Errorf("core: K must be at least 1, got %d", k)
+	}
+	nk := n * k
+	tagCount := uint64(2*nk + 1)
+	cntCount := uint64(nk + 1)
+	tagBits := word.BitsFor(tagCount - 1)
+	cntBits := word.BitsFor(cntCount - 1)
+	pidBits := word.BitsFor(uint64(n - 1))
+	if tagBits+cntBits+pidBits >= word.WordBits {
+		return nil, fmt.Errorf("core: tag+cnt+pid fields leave no room for data (reduce Procs or K)")
+	}
+	fields, err := word.NewFields(tagBits, cntBits, pidBits, word.WordBits-tagBits-cntBits-pidBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: building word layout: %w", err)
+	}
+	f := &RBoundedFamily{
+		m: m, n: n, k: k, nk: nk,
+		tagCount: tagCount, cntCount: cntCount, fields: fields,
+		a:     make([]*machine.Word, nk),
+		procs: make([]*RBoundedProc, n),
+	}
+	for i := range f.a {
+		f.a[i] = m.NewWord(0)
+	}
+	for i := range f.procs {
+		f.procs[i] = &RBoundedProc{
+			f: f, p: m.Proc(i),
+			s: newSlotStack(k),
+			q: newTagQueue(int(tagCount)),
+		}
+	}
+	return f, nil
+}
+
+// MaxVal returns the largest data value the layout leaves room for.
+func (f *RBoundedFamily) MaxVal() uint64 { return f.fields.Max(bfVal) }
+
+// TagBits returns the width of the bounded tag field.
+func (f *RBoundedFamily) TagBits() uint { return f.fields.Width(bfTag) }
+
+// OverheadWords returns the Θ(Nk) announce-array overhead.
+func (f *RBoundedFamily) OverheadWords() int { return len(f.a) }
+
+// Proc returns the stable per-process handle for processor id.
+func (f *RBoundedFamily) Proc(id int) (*RBoundedProc, error) {
+	if id < 0 || id >= f.n {
+		return nil, fmt.Errorf("core: process id %d out of range [0,%d)", id, f.n)
+	}
+	return f.procs[id], nil
+}
+
+// RBoundedProc carries the private per-process state (slot stack, tag
+// queue, scan index) plus the simulated processor.
+type RBoundedProc struct {
+	f *RBoundedFamily
+	p *machine.Proc
+	s *slotStack
+	q *tagQueue
+	j int
+}
+
+// FreeSlots returns how many more LL-SC sequences this process may open.
+func (p *RBoundedProc) FreeSlots() int { return p.s.free() }
+
+// RBoundedVar is one small variable of an RBoundedFamily.
+type RBoundedVar struct {
+	f    *RBoundedFamily
+	word *machine.Word
+	last []*machine.Word
+}
+
+// NewVar creates a variable holding initial.
+func (f *RBoundedFamily) NewVar(initial uint64) (*RBoundedVar, error) {
+	if initial > f.MaxVal() {
+		return nil, fmt.Errorf("core: initial value %d exceeds %d-bit value field",
+			initial, f.fields.Width(bfVal))
+	}
+	v := &RBoundedVar{f: f, word: f.m.NewWord(f.fields.Pack(0, 0, 0, initial)), last: make([]*machine.Word, f.n)}
+	for i := range v.last {
+		v.last[i] = f.m.NewWord(0)
+	}
+	return v, nil
+}
+
+// Read returns the current value.
+func (v *RBoundedVar) Read(p *RBoundedProc) uint64 {
+	return v.f.fields.Get(p.p.Load(v.word), bfVal)
+}
+
+// LL performs the load-linked (Figure 7, lines 1-5).
+func (v *RBoundedVar) LL(p *RBoundedProc) (uint64, BKeep, error) {
+	slot, ok := p.s.pop()
+	if !ok {
+		return 0, BKeep{}, ErrTooManySequences
+	}
+	old := p.p.Load(v.word)
+	p.p.Store(v.f.a[p.p.ID()*v.f.k+slot], old)
+	fail := p.p.Load(v.word) != old
+	return v.f.fields.Get(old, bfVal), BKeep{slot: slot, fail: fail, word: old}, nil
+}
+
+// VL reports whether the variable is unchanged since the LL.
+func (v *RBoundedVar) VL(p *RBoundedProc, keep BKeep) bool {
+	return !keep.fail && p.p.Load(v.word) == keep.word
+}
+
+// CL aborts the sequence, returning the announce slot.
+func (v *RBoundedVar) CL(p *RBoundedProc, keep BKeep) {
+	p.s.push(keep.slot)
+}
+
+// SC attempts the store-conditional (Figure 7, lines 8-15, with the CAS
+// realized by an RLL/RSC pair).
+func (v *RBoundedVar) SC(p *RBoundedProc, keep BKeep, newval uint64) bool {
+	f := v.f
+	if newval > f.MaxVal() {
+		p.s.push(keep.slot)
+		panic(fmt.Sprintf("core: SC value %d exceeds %d-bit value field", newval, f.fields.Width(bfVal)))
+	}
+	p.s.push(keep.slot)
+	if keep.fail {
+		return false
+	}
+	t := f.fields.Get(p.p.Load(f.a[p.j]), bfTag)
+	p.q.moveToBack(t)
+	p.j++
+	if p.j == f.nk {
+		p.j = 0
+	}
+	t = p.q.rotate()
+	cnt := word.AddMod(p.p.Load(v.last[p.p.ID()]), 1, f.cntCount)
+	p.p.Store(v.last[p.p.ID()], cnt)
+	return rcas(p.p, v.word, keep.word, f.fields.Pack(t, cnt, uint64(p.p.ID()), newval))
+}

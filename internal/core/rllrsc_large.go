@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// RLargeFamily is Figure 6 realized on a machine that provides only the
+// restricted RLL/RSC pair — the paper's remark that "in each case, the
+// technique in Figure 3 can be used to acquire the same result using RLL
+// and RSC". Every CAS of the CAS-based construction becomes a tight
+// RLL/RSC retry pair (see rcas); because the header and segment words
+// already carry monotonically advancing tags, no additional tag field is
+// needed, mirroring the Figure 5 fusion.
+//
+// Complexity matches Theorem 4 — Θ(W) WLL/SC, Θ(1) VL, Θ(NW) space — and
+// each operation terminates provided only finitely many spurious failures
+// occur during it, in Θ(W) steps after the last spurious failure.
+type RLargeFamily struct {
+	m   *machine.Machine
+	n   int
+	w   int
+	seg word.Layout
+	hdr word.Fields
+	a   []*machine.Word
+}
+
+// NewRLargeFamily builds a Figure 6 family over machine m. The machine's
+// processor count fixes N.
+func NewRLargeFamily(m *machine.Machine, words int, tagBits uint) (*RLargeFamily, error) {
+	n := m.NumProcs()
+	if words < 1 {
+		return nil, fmt.Errorf("core: Words must be at least 1, got %d", words)
+	}
+	pidBits := word.BitsFor(uint64(n - 1))
+	if tagBits == 0 {
+		tagBits = 48
+		if tagBits+pidBits > word.WordBits {
+			tagBits = word.WordBits - pidBits
+		}
+	}
+	if tagBits+pidBits > word.WordBits {
+		return nil, fmt.Errorf("core: tag width %d plus pid width %d exceeds the %d-bit word",
+			tagBits, pidBits, word.WordBits)
+	}
+	seg, err := word.NewLayout(tagBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid tag width: %w", err)
+	}
+	hdr, err := word.NewFields(tagBits, pidBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: building header layout: %w", err)
+	}
+	f := &RLargeFamily{m: m, n: n, w: words, seg: seg, hdr: hdr, a: make([]*machine.Word, n*words)}
+	for i := range f.a {
+		f.a[i] = m.NewWord(0)
+	}
+	return f, nil
+}
+
+// Words returns W.
+func (f *RLargeFamily) Words() int { return f.w }
+
+// MaxSegmentValue returns the largest value one segment can hold.
+func (f *RLargeFamily) MaxSegmentValue() uint64 { return f.seg.MaxVal() }
+
+// OverheadWords returns the Θ(NW) announce-array overhead.
+func (f *RLargeFamily) OverheadWords() int { return len(f.a) }
+
+func (f *RLargeFamily) announce(pid, i int) *machine.Word {
+	return f.a[pid*f.w+i]
+}
+
+// rcas is the Figure 3 technique specialized to words whose full contents
+// never recur during an operation (the tags are monotonic): atomically
+// replace old with new, failing if the word differs from old. RSC's
+// write-sensitivity makes it immune to ABA outright.
+func rcas(p *machine.Proc, w *machine.Word, old, new uint64) bool {
+	for {
+		if p.RLL(w) != old {
+			return false
+		}
+		if p.RSC(w, new) {
+			return true
+		}
+	}
+}
+
+// RLargeVar is one W-word variable of an RLargeFamily.
+type RLargeVar struct {
+	f    *RLargeFamily
+	hdr  *machine.Word
+	data []*machine.Word
+}
+
+// NewVar creates a variable initialized to the W-vector initial.
+func (f *RLargeFamily) NewVar(initial []uint64) (*RLargeVar, error) {
+	if len(initial) != f.w {
+		return nil, fmt.Errorf("core: initial value has %d words, want %d", len(initial), f.w)
+	}
+	v := &RLargeVar{f: f, hdr: f.m.NewWord(f.hdr.Pack(0, 0)), data: make([]*machine.Word, f.w)}
+	for i, x := range initial {
+		if x > f.seg.MaxVal() {
+			return nil, fmt.Errorf("core: initial[%d] = %d exceeds %d-bit segment value field",
+				i, x, f.seg.ValBits)
+		}
+		v.data[i] = f.m.NewWord(f.seg.Pack(0, x))
+	}
+	return v, nil
+}
+
+// copyVal is Figure 6's Copy over RLL/RSC words.
+func (v *RLargeVar) copyVal(p *machine.Proc, hdr uint64, save []uint64) int {
+	f := v.f
+	hdrTag := f.hdr.Get(hdr, 0)
+	prevTag := f.seg.DecTag(hdrTag)
+	pid := int(f.hdr.Get(hdr, 1))
+	for i := 0; i < f.w; i++ {
+		y := p.Load(v.data[i])
+		if f.seg.Tag(y) == prevTag {
+			z := f.seg.Pack(hdrTag, p.Load(f.announce(pid, i)))
+			rcas(p, v.data[i], y, z)
+			y = z
+		}
+		if h := p.Load(v.hdr); h != hdr {
+			return int(f.hdr.Get(h, 1))
+		}
+		if save != nil {
+			save[i] = f.seg.Val(y)
+		}
+	}
+	return Succ
+}
+
+// WLL is Figure 6's weak LL over RLL/RSC (see LargeVar.WLL).
+func (v *RLargeVar) WLL(p *machine.Proc, dst []uint64) (LKeep, int) {
+	if len(dst) != v.f.w {
+		panic(fmt.Sprintf("core: WLL destination has %d words, want %d", len(dst), v.f.w))
+	}
+	x := p.Load(v.hdr)
+	keep := LKeep{tag: v.f.hdr.Get(x, 0)}
+	return keep, v.copyVal(p, x, dst)
+}
+
+// VL reports whether no successful SC intervened since the WLL. Θ(1).
+func (v *RLargeVar) VL(p *machine.Proc, keep LKeep) bool {
+	return v.f.hdr.Get(p.Load(v.hdr), 0) == keep.tag
+}
+
+// SC attempts to store the W-vector newval (Figure 6, lines 14-21, with
+// the header CAS realized by an RLL/RSC pair).
+func (v *RLargeVar) SC(p *machine.Proc, keep LKeep, newval []uint64) bool {
+	f := v.f
+	if len(newval) != f.w {
+		panic(fmt.Sprintf("core: SC value has %d words, want %d", len(newval), f.w))
+	}
+	oldhdr := p.Load(v.hdr)
+	if f.hdr.Get(oldhdr, 0) != keep.tag {
+		return false
+	}
+	for i, x := range newval {
+		if x > f.seg.MaxVal() {
+			panic(fmt.Sprintf("core: SC value[%d] = %d exceeds %d-bit segment value field",
+				i, x, f.seg.ValBits))
+		}
+		p.Store(f.announce(p.ID(), i), x)
+	}
+	newhdr := f.hdr.Pack(f.seg.IncTag(keep.tag), uint64(p.ID()))
+	if !rcas(p, v.hdr, oldhdr, newhdr) {
+		return false
+	}
+	v.copyVal(p, newhdr, nil)
+	return true
+}
+
+// Read fills dst with a consistent snapshot, retrying WLL until success.
+func (v *RLargeVar) Read(p *machine.Proc, dst []uint64) {
+	for {
+		if _, res := v.WLL(p, dst); res == Succ {
+			return
+		}
+	}
+}

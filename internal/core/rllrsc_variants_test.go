@@ -1,0 +1,345 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// --- RLargeFamily (Figure 6 over RLL/RSC) -------------------------------
+
+func TestRLargeBasic(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	f, err := NewRLargeFamily(m, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar([]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	dst := make([]uint64, 3)
+	keep, res := v.WLL(p, dst)
+	if res != Succ {
+		t.Fatalf("WLL = %d", res)
+	}
+	if dst[0] != 1 || dst[2] != 3 {
+		t.Fatalf("dst = %v", dst)
+	}
+	if !v.VL(p, keep) {
+		t.Fatal("VL false")
+	}
+	if !v.SC(p, keep, []uint64{4, 5, 6}) {
+		t.Fatal("SC failed")
+	}
+	v.Read(p, dst)
+	if dst[0] != 4 || dst[1] != 5 || dst[2] != 6 {
+		t.Fatalf("after SC: %v", dst)
+	}
+}
+
+func TestRLargeValidation(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	if _, err := NewRLargeFamily(m, 0, 0); err == nil {
+		t.Error("zero words accepted")
+	}
+	if _, err := NewRLargeFamily(m, 1, 64); err == nil {
+		t.Error("tag too wide accepted")
+	}
+	f, err := NewRLargeFamily(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.NewVar([]uint64{1}); err == nil {
+		t.Error("wrong-length initial accepted")
+	}
+	if _, err := f.NewVar([]uint64{0, f.MaxSegmentValue() + 1}); err == nil {
+		t.Error("oversized initial accepted")
+	}
+	if f.OverheadWords() != 2*2 {
+		t.Errorf("overhead = %d, want 4", f.OverheadWords())
+	}
+}
+
+func TestRLargeStaleSCFails(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	f, err := NewRLargeFamily(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar([]uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := m.Proc(0), m.Proc(1)
+	dst := make([]uint64, 2)
+	k0, _ := v.WLL(p0, dst)
+	k1, _ := v.WLL(p1, dst)
+	if !v.SC(p1, k1, []uint64{5, 6}) {
+		t.Fatal("p1 SC failed")
+	}
+	if v.VL(p0, k0) {
+		t.Error("stale VL true")
+	}
+	if v.SC(p0, k0, []uint64{7, 8}) {
+		t.Error("stale SC succeeded")
+	}
+}
+
+func TestRLargeSpuriousFailureTolerance(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.4, Seed: 9})
+	f, err := NewRLargeFamily(m, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar(make([]uint64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	dst := make([]uint64, 4)
+	val := make([]uint64, 4)
+	for i := uint64(1); i <= 300; i++ {
+		keep, res := v.WLL(p, dst)
+		if res != Succ {
+			t.Fatalf("WLL %d failed with no contention", i)
+		}
+		x := i & f.MaxSegmentValue()
+		for j := range val {
+			val[j] = x
+		}
+		if !v.SC(p, keep, val) {
+			t.Fatalf("SC %d failed with no contention", i)
+		}
+	}
+	if st := m.Stats(); st.RSCSpurious == 0 {
+		t.Error("expected spurious failures at p=0.4")
+	}
+}
+
+func TestRLargeConcurrentConsistency(t *testing.T) {
+	// Writers store replicated vectors {x,x,x}; readers must never see a
+	// torn mix — even on the RLL/RSC substrate with spurious failures.
+	const procs = 4
+	const rounds = 800
+	const w = 3
+	m := machine.MustNew(machine.Config{Procs: procs, SpuriousFailProb: 0.05, Seed: 31})
+	f, err := NewRLargeFamily(m, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar(make([]uint64, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := m.Proc(id)
+			cur := make([]uint64, w)
+			next := make([]uint64, w)
+			for r := 0; r < rounds; r++ {
+				for {
+					keep, res := v.WLL(p, cur)
+					if res != Succ {
+						continue
+					}
+					for j := 1; j < w; j++ {
+						if cur[j] != cur[0] {
+							t.Errorf("torn WLL snapshot: %v", cur)
+							return
+						}
+					}
+					x := (cur[0] + 1) & f.MaxSegmentValue()
+					for j := range next {
+						next[j] = x
+					}
+					if v.SC(p, keep, next) {
+						break
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	p := m.Proc(0)
+	final := make([]uint64, w)
+	v.Read(p, final)
+	want := uint64(procs*rounds) & f.MaxSegmentValue()
+	if final[0] != want {
+		t.Errorf("final = %v, want all %d", final, want)
+	}
+}
+
+// --- RBoundedFamily (Figure 7 over RLL/RSC) ------------------------------
+
+func TestRBoundedBasic(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	f, err := NewRBoundedFamily(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, keep, err := v.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 10 {
+		t.Fatalf("LL = %d", val)
+	}
+	if !v.VL(p, keep) {
+		t.Fatal("VL false")
+	}
+	if !v.SC(p, keep, 11) {
+		t.Fatal("SC failed")
+	}
+	if got := v.Read(p); got != 11 {
+		t.Errorf("Read = %d, want 11", got)
+	}
+}
+
+func TestRBoundedValidation(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	if _, err := NewRBoundedFamily(m, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	f, err := NewRBoundedFamily(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Proc(5); err == nil {
+		t.Error("out-of-range pid accepted")
+	}
+	if _, err := f.NewVar(f.MaxVal() + 1); err == nil {
+		t.Error("oversized initial accepted")
+	}
+	if f.TagBits() == 0 || f.OverheadWords() != 4 {
+		t.Errorf("TagBits=%d OverheadWords=%d", f.TagBits(), f.OverheadWords())
+	}
+}
+
+func TestRBoundedSlotManagement(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	f, err := NewRBoundedFamily(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := f.NewVar(1)
+	v2, _ := f.NewVar(2)
+	v3, _ := f.NewVar(3)
+	p, _ := f.Proc(0)
+
+	_, k1, err := v1.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = v2.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v3.LL(p); !errors.Is(err, ErrTooManySequences) {
+		t.Fatalf("third LL error = %v", err)
+	}
+	v1.CL(p, k1)
+	if p.FreeSlots() != 1 {
+		t.Errorf("FreeSlots = %d, want 1", p.FreeSlots())
+	}
+}
+
+func TestRBoundedNoPrematureTagReuse(t *testing.T) {
+	// The Figure 7 adversarial scenario on the RLL/RSC substrate with
+	// spurious failures layered on top.
+	m := machine.MustNew(machine.Config{Procs: 2, SpuriousFailProb: 0.1, Seed: 77})
+	f, err := NewRBoundedFamily(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := f.Proc(0)
+	p1, _ := f.Proc(1)
+
+	_, k, err := v.LL(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SC(p1, k, 7) {
+		t.Fatal("seed SC failed")
+	}
+	_, stale, err := v.LL(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		_, k, err := v.LL(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.SC(p1, k, 7) {
+			t.Fatalf("iteration %d: uncontended SC failed", i)
+		}
+		if v.VL(p0, stale) {
+			t.Fatalf("iteration %d: stale VL true — tag reuse on RLL/RSC substrate", i)
+		}
+	}
+	if v.SC(p0, stale, 99) {
+		t.Fatal("stale SC succeeded")
+	}
+}
+
+func TestRBoundedConcurrentCounter(t *testing.T) {
+	const procs = 4
+	const rounds = 1500
+	m := machine.MustNew(machine.Config{Procs: procs, SpuriousFailProb: 0.05, Seed: 13})
+	f, err := NewRBoundedFamily(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, err := f.Proc(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				for {
+					val, k, err := v.LL(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if v.SC(p, k, (val+1)&f.MaxVal()) {
+						break
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	p, _ := f.Proc(0)
+	if got := v.Read(p); got != procs*rounds {
+		t.Errorf("final = %d, want %d", got, procs*rounds)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+// tagQueue is the private per-process queue Q of Figure 7: it always holds
+// a permutation of the tags {0, ..., size-1}. The paper requires
+// constant-time delete(t)+enqueue(t) (move a given tag to the back, line
+// 10) and dequeue()+enqueue(t) (rotate the front to the back, line 12);
+// "by maintaining Q as a doubly-linked list, and by having a static index
+// table with pointers to each tag, the operations on Q can also be
+// implemented in constant time."
+//
+// Here the doubly-linked list is intrusive over two index arrays, and the
+// "index table" is the array position itself: node t lives at next[t] /
+// prev[t]. All operations are O(1); the structure never allocates after
+// construction.
+type tagQueue struct {
+	next []uint32
+	prev []uint32
+	head uint32
+	tail uint32
+}
+
+// newTagQueue builds a queue holding 0..size-1 in ascending order.
+// size must be at least 1 and fit in uint32.
+func newTagQueue(size int) *tagQueue {
+	q := &tagQueue{
+		next: make([]uint32, size),
+		prev: make([]uint32, size),
+		head: 0,
+		tail: uint32(size - 1),
+	}
+	for i := 0; i < size; i++ {
+		if i+1 < size {
+			q.next[i] = uint32(i + 1)
+		}
+		if i > 0 {
+			q.prev[i] = uint32(i - 1)
+		}
+	}
+	return q
+}
+
+// size returns the number of tags (constant for a queue's lifetime).
+func (q *tagQueue) size() int { return len(q.next) }
+
+// front returns the tag at the head of the queue.
+func (q *tagQueue) front() uint64 { return uint64(q.head) }
+
+// moveToBack is Figure 7's delete(Q,t); enqueue(Q,t): it relocates tag t
+// to the tail in O(1). Tags are always members, so no absence case exists.
+func (q *tagQueue) moveToBack(t uint64) {
+	n := uint32(t)
+	if q.tail == n {
+		return
+	}
+	// Unlink n.
+	if q.head == n {
+		q.head = q.next[n]
+	} else {
+		q.next[q.prev[n]] = q.next[n]
+		q.prev[q.next[n]] = q.prev[n]
+	}
+	// Append n.
+	q.next[q.tail] = n
+	q.prev[n] = q.tail
+	q.tail = n
+}
+
+// rotate is Figure 7's t := dequeue(Q); enqueue(Q,t): it moves the front
+// tag to the back and returns it, in O(1).
+func (q *tagQueue) rotate() uint64 {
+	t := q.head
+	q.moveToBack(uint64(t))
+	return uint64(t)
+}
+
+// slotStack is the private per-process stack S of Figure 7, managing the k
+// announce slots. Plain LIFO over a fixed array; O(1) push/pop, no
+// allocation after construction.
+type slotStack struct {
+	slots []int
+	top   int
+}
+
+// newSlotStack builds a stack holding slots 0..k-1 (all free).
+func newSlotStack(k int) *slotStack {
+	s := &slotStack{slots: make([]int, k), top: k}
+	for i := 0; i < k; i++ {
+		s.slots[i] = k - 1 - i // pop order 0,1,...,k-1 for readability
+	}
+	return s
+}
+
+// pop removes and returns a free slot; ok is false if none remain (the
+// process has exceeded its k concurrent LL-SC sequences).
+func (s *slotStack) pop() (slot int, ok bool) {
+	if s.top == 0 {
+		return 0, false
+	}
+	s.top--
+	return s.slots[s.top], true
+}
+
+// push returns a slot to the free pool.
+func (s *slotStack) push(slot int) {
+	s.slots[s.top] = slot
+	s.top++
+}
+
+// free returns the number of free slots (used by tests and diagnostics).
+func (s *slotStack) free() int { return s.top }

@@ -1,0 +1,28 @@
+package core
+
+import "testing"
+
+// Figure 7's SC executes exactly one moveToBack and one rotate per call;
+// these benches pin their constant-time cost.
+
+func BenchmarkTagQueueMoveToBack(b *testing.B) {
+	q := newTagQueue(129) // 2Nk+1 for N=16, k=4
+	for i := 0; i < b.N; i++ {
+		q.moveToBack(uint64(i % 129))
+	}
+}
+
+func BenchmarkTagQueueRotate(b *testing.B) {
+	q := newTagQueue(129)
+	for i := 0; i < b.N; i++ {
+		q.rotate()
+	}
+}
+
+func BenchmarkSlotStackPushPop(b *testing.B) {
+	s := newSlotStack(4)
+	for i := 0; i < b.N; i++ {
+		slot, _ := s.pop()
+		s.push(slot)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collect drains the queue order non-destructively by walking the links.
+func (q *tagQueue) order() []uint64 {
+	out := make([]uint64, 0, q.size())
+	for n := q.head; ; n = q.next[n] {
+		out = append(out, uint64(n))
+		if n == q.tail {
+			break
+		}
+	}
+	return out
+}
+
+func TestTagQueueInitialOrder(t *testing.T) {
+	q := newTagQueue(5)
+	want := []uint64{0, 1, 2, 3, 4}
+	got := q.order()
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTagQueueMoveToBack(t *testing.T) {
+	q := newTagQueue(5)
+	q.moveToBack(2)
+	got := q.order()
+	want := []uint64{0, 1, 3, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after moveToBack(2): %v, want %v", got, want)
+		}
+	}
+	// Moving the head.
+	q.moveToBack(0)
+	if q.front() != 1 {
+		t.Errorf("front = %d, want 1", q.front())
+	}
+	// Moving the tail is a no-op.
+	tail := q.order()[q.size()-1]
+	q.moveToBack(tail)
+	if got := q.order()[q.size()-1]; got != tail {
+		t.Errorf("tail changed from %d to %d", tail, got)
+	}
+}
+
+func TestTagQueueRotate(t *testing.T) {
+	q := newTagQueue(3)
+	if got := q.rotate(); got != 0 {
+		t.Errorf("rotate = %d, want 0", got)
+	}
+	if got := q.rotate(); got != 1 {
+		t.Errorf("rotate = %d, want 1", got)
+	}
+	if got := q.rotate(); got != 2 {
+		t.Errorf("rotate = %d, want 2", got)
+	}
+	if got := q.rotate(); got != 0 {
+		t.Errorf("rotate = %d, want 0 (full cycle)", got)
+	}
+}
+
+func TestTagQueueSingleton(t *testing.T) {
+	q := newTagQueue(1)
+	if got := q.rotate(); got != 0 {
+		t.Errorf("rotate = %d, want 0", got)
+	}
+	q.moveToBack(0)
+	if q.front() != 0 {
+		t.Errorf("front = %d, want 0", q.front())
+	}
+}
+
+func TestTagQueuePermutationInvariant(t *testing.T) {
+	// Property: after any sequence of moveToBack/rotate operations the
+	// queue still holds exactly the tags 0..size-1, each once, and the
+	// prev links mirror the next links.
+	const size = 9
+	q := newTagQueue(size)
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 10000; step++ {
+		if rng.Intn(2) == 0 {
+			q.moveToBack(uint64(rng.Intn(size)))
+		} else {
+			q.rotate()
+		}
+		if step%500 != 0 {
+			continue
+		}
+		got := q.order()
+		if len(got) != size {
+			t.Fatalf("step %d: queue has %d elements, want %d: %v", step, len(got), size, got)
+		}
+		seen := make(map[uint64]bool, size)
+		for _, x := range got {
+			if seen[x] {
+				t.Fatalf("step %d: duplicate tag %d in %v", step, x, got)
+			}
+			seen[x] = true
+		}
+		// prev-link symmetry
+		for n := q.head; n != q.tail; n = q.next[n] {
+			if q.prev[q.next[n]] != n {
+				t.Fatalf("step %d: broken prev link at node %d", step, n)
+			}
+		}
+	}
+}
+
+func TestTagQueueFeedbackGuarantee(t *testing.T) {
+	// The property Figure 7 relies on: if a tag is re-announced (moved to
+	// back) at least once every m rotations, and the queue has > m
+	// elements, that tag is never returned by rotate.
+	const size = 5 // 2Nk+1 with Nk=2
+	const protected = 3
+	q := newTagQueue(size)
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 { // re-announce every other operation (m=2 < size-1)
+			q.moveToBack(protected)
+		}
+		if got := q.rotate(); got == protected {
+			t.Fatalf("iteration %d: protected tag %d escaped the feedback mechanism", i, protected)
+		}
+	}
+}
+
+func TestSlotStackBasic(t *testing.T) {
+	s := newSlotStack(3)
+	if s.free() != 3 {
+		t.Fatalf("free = %d, want 3", s.free())
+	}
+	a, ok := s.pop()
+	if !ok || a != 0 {
+		t.Fatalf("pop = (%d,%v), want (0,true)", a, ok)
+	}
+	b, _ := s.pop()
+	c, _ := s.pop()
+	if b != 1 || c != 2 {
+		t.Fatalf("pops = %d,%d want 1,2", b, c)
+	}
+	if _, ok := s.pop(); ok {
+		t.Fatal("pop on empty stack succeeded")
+	}
+	s.push(b)
+	if s.free() != 1 {
+		t.Fatalf("free = %d, want 1", s.free())
+	}
+	got, ok := s.pop()
+	if !ok || got != b {
+		t.Fatalf("pop after push = (%d,%v), want (%d,true)", got, ok, b)
+	}
+}
+
+func TestSlotStackLIFO(t *testing.T) {
+	s := newSlotStack(4)
+	var popped []int
+	for {
+		x, ok := s.pop()
+		if !ok {
+			break
+		}
+		popped = append(popped, x)
+	}
+	for i := len(popped) - 1; i >= 0; i-- {
+		s.push(popped[i])
+	}
+	// Last pushed was popped[0], so pops must return popped in order.
+	for i := 0; i < len(popped); i++ {
+		x, ok := s.pop()
+		if !ok || x != popped[i] {
+			t.Fatalf("LIFO violated: got %d, want %d", x, popped[i])
+		}
+	}
+}

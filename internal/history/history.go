@@ -1,0 +1,119 @@
+// Package history records concurrent operation histories — invocation and
+// response events with logical timestamps — for linearizability checking.
+//
+// The paper proves (in its full version) that each implementation is
+// linearizable in the sense of Herlihy & Wing [9]. This repository checks
+// the same property empirically: stress drivers record histories with this
+// package and feed them to internal/linearizability.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind enumerates the operations of the combined CAS + LL/VL/SC register
+// object.
+type Kind uint8
+
+// Operation kinds. KindRead and KindWrite cover plain register accesses;
+// the rest mirror Figure 2.
+const (
+	KindRead Kind = iota + 1
+	KindWrite
+	KindCAS
+	KindLL
+	KindVL
+	KindSC
+)
+
+// String returns the conventional mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "Read"
+	case KindWrite:
+		return "Write"
+	case KindCAS:
+		return "CAS"
+	case KindLL:
+		return "LL"
+	case KindVL:
+		return "VL"
+	case KindSC:
+		return "SC"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is one completed operation: what was invoked, what it returned, and
+// the logical interval [Call, Return] during which it executed.
+type Op struct {
+	Proc    int
+	Kind    Kind
+	Arg1    uint64 // CAS old; Write value; SC value
+	Arg2    uint64 // CAS new
+	RetVal  uint64 // Read/LL result
+	RetBool bool   // CAS/VL/SC result
+	Call    int64
+	Return  int64
+}
+
+// String formats the op for failure messages.
+func (o Op) String() string {
+	switch o.Kind {
+	case KindRead:
+		return fmt.Sprintf("p%d Read()=%d @[%d,%d]", o.Proc, o.RetVal, o.Call, o.Return)
+	case KindWrite:
+		return fmt.Sprintf("p%d Write(%d) @[%d,%d]", o.Proc, o.Arg1, o.Call, o.Return)
+	case KindCAS:
+		return fmt.Sprintf("p%d CAS(%d,%d)=%v @[%d,%d]", o.Proc, o.Arg1, o.Arg2, o.RetBool, o.Call, o.Return)
+	case KindLL:
+		return fmt.Sprintf("p%d LL()=%d @[%d,%d]", o.Proc, o.RetVal, o.Call, o.Return)
+	case KindVL:
+		return fmt.Sprintf("p%d VL()=%v @[%d,%d]", o.Proc, o.RetBool, o.Call, o.Return)
+	case KindSC:
+		return fmt.Sprintf("p%d SC(%d)=%v @[%d,%d]", o.Proc, o.Arg1, o.RetBool, o.Call, o.Return)
+	default:
+		return fmt.Sprintf("p%d %v @[%d,%d]", o.Proc, o.Kind, o.Call, o.Return)
+	}
+}
+
+// Recorder collects operations from concurrent drivers. Each driver
+// (goroutine) appends to its own lane, so recording adds no inter-driver
+// synchronization beyond the logical clock itself.
+type Recorder struct {
+	clock atomic.Int64
+	lanes [][]Op
+}
+
+// NewRecorder creates a Recorder with one lane per process.
+func NewRecorder(procs int) *Recorder {
+	return &Recorder{lanes: make([][]Op, procs)}
+}
+
+// Now draws the next logical timestamp. Drivers call it immediately before
+// invoking an operation (the Call stamp) and immediately after it returns
+// (the Return stamp).
+func (r *Recorder) Now() int64 {
+	return r.clock.Add(1)
+}
+
+// Record appends a completed op to proc's lane. Only the goroutine driving
+// proc may call it for that lane.
+func (r *Recorder) Record(proc int, op Op) {
+	r.lanes[proc] = append(r.lanes[proc], op)
+}
+
+// Ops merges all lanes into one history sorted by Call time. Call it only
+// after all drivers have finished.
+func (r *Recorder) Ops() []Op {
+	var out []Op
+	for _, lane := range r.lanes {
+		out = append(out, lane...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Call < out[j].Call })
+	return out
+}

@@ -1,0 +1,95 @@
+package history
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindRead, "Read"}, {KindWrite, "Write"}, {KindCAS, "CAS"},
+		{KindLL, "LL"}, {KindVL, "VL"}, {KindSC, "SC"}, {Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	o := Op{Proc: 2, Kind: KindCAS, Arg1: 3, Arg2: 4, RetBool: true, Call: 1, Return: 5}
+	s := o.String()
+	for _, frag := range []string{"p2", "CAS(3,4)", "true", "[1,5]"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Op.String() = %q, missing %q", s, frag)
+		}
+	}
+}
+
+func TestRecorderClockMonotonic(t *testing.T) {
+	r := NewRecorder(1)
+	prev := r.Now()
+	for i := 0; i < 100; i++ {
+		cur := r.Now()
+		if cur <= prev {
+			t.Fatalf("clock not monotonic: %d then %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestRecorderMergeSortsByCall(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(1, Op{Proc: 1, Kind: KindRead, Call: 5, Return: 6})
+	r.Record(0, Op{Proc: 0, Kind: KindRead, Call: 1, Return: 2})
+	r.Record(1, Op{Proc: 1, Kind: KindRead, Call: 3, Return: 4})
+	ops := r.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(ops))
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].Call > ops[i].Call {
+			t.Fatalf("not sorted: %v", ops)
+		}
+	}
+}
+
+func TestRecorderConcurrentLanes(t *testing.T) {
+	const procs = 8
+	const perProc = 500
+	r := NewRecorder(procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProc; i++ {
+				call := r.Now()
+				ret := r.Now()
+				r.Record(p, Op{Proc: p, Kind: KindRead, Call: call, Return: ret})
+			}
+		}(p)
+	}
+	wg.Wait()
+	ops := r.Ops()
+	if len(ops) != procs*perProc {
+		t.Fatalf("got %d ops, want %d", len(ops), procs*perProc)
+	}
+	seen := make(map[int64]bool, len(ops)*2)
+	for _, o := range ops {
+		if o.Return <= o.Call {
+			t.Fatalf("op interval inverted: %v", o)
+		}
+		for _, ts := range []int64{o.Call, o.Return} {
+			if seen[ts] {
+				t.Fatalf("timestamp %d reused", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}

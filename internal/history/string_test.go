@@ -1,0 +1,29 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStringAllKinds(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want []string
+	}{
+		{Op{Proc: 0, Kind: KindRead, RetVal: 7, Call: 1, Return: 2}, []string{"p0", "Read()=7", "[1,2]"}},
+		{Op{Proc: 1, Kind: KindWrite, Arg1: 9, Call: 3, Return: 4}, []string{"p1", "Write(9)"}},
+		{Op{Proc: 2, Kind: KindCAS, Arg1: 1, Arg2: 2, RetBool: false, Call: 5, Return: 6}, []string{"CAS(1,2)", "false"}},
+		{Op{Proc: 0, Kind: KindLL, RetVal: 3, Call: 7, Return: 8}, []string{"LL()=3"}},
+		{Op{Proc: 0, Kind: KindVL, RetBool: true, Call: 9, Return: 10}, []string{"VL()=true"}},
+		{Op{Proc: 0, Kind: KindSC, Arg1: 5, RetBool: true, Call: 11, Return: 12}, []string{"SC(5)=true"}},
+		{Op{Proc: 3, Kind: Kind(42), Call: 13, Return: 14}, []string{"p3", "Kind(42)"}},
+	}
+	for _, tt := range tests {
+		got := tt.op.String()
+		for _, frag := range tt.want {
+			if !strings.Contains(got, frag) {
+				t.Errorf("Op.String() = %q, missing %q", got, frag)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package linearizability
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/history"
+)
+
+// bruteCheck decides linearizability by trying every permutation of the
+// history that respects real-time order — exponential, usable only for
+// tiny histories, and therefore a perfect differential oracle for the
+// memoized Wing–Gong search.
+func bruteCheck(ops []history.Op, initial State) bool {
+	n := len(ops)
+	used := make([]bool, n)
+	var rec func(s State, done int) bool
+	rec = func(s State, done int) bool {
+		if done == n {
+			return true
+		}
+		// minimality: an op may go next only if no unused op returned
+		// before it was invoked.
+		minReturn := int64(1<<63 - 1)
+		for i, op := range ops {
+			if !used[i] && op.Return < minReturn {
+				minReturn = op.Return
+			}
+		}
+		for i, op := range ops {
+			if used[i] || op.Call > minReturn {
+				continue
+			}
+			next, legal := Step(s, op)
+			if !legal {
+				continue
+			}
+			used[i] = true
+			if rec(next, done+1) {
+				used[i] = false
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(initial, 0)
+}
+
+// randomHistory builds a small random history with overlapping intervals
+// and results that may or may not be legal.
+func randomHistory(rng *rand.Rand, nOps, nProcs int) []history.Op {
+	ops := make([]history.Op, nOps)
+	ts := int64(1)
+	for i := range ops {
+		proc := rng.Intn(nProcs)
+		kind := history.Kind(rng.Intn(6) + 1)
+		op := history.Op{
+			Proc:    proc,
+			Kind:    kind,
+			Arg1:    uint64(rng.Intn(3)),
+			Arg2:    uint64(rng.Intn(3)),
+			RetVal:  uint64(rng.Intn(3)),
+			RetBool: rng.Intn(2) == 0,
+			Call:    ts,
+		}
+		ts++
+		op.Return = ts
+		ts++
+		ops[i] = op
+	}
+	// Randomly stretch some intervals to create overlap.
+	for i := range ops {
+		if rng.Intn(2) == 0 {
+			ops[i].Return += int64(rng.Intn(6))
+		}
+	}
+	return ops
+}
+
+func TestCheckerMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	agree, legalCount := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		nOps := rng.Intn(5) + 2 // 2..6 ops
+		ops := randomHistory(rng, nOps, 2)
+		initial := State{Val: uint64(rng.Intn(3))}
+		want := bruteCheck(ops, initial)
+		res, err := Check(ops, initial)
+		if err != nil {
+			t.Fatalf("trial %d: checker error: %v", trial, err)
+		}
+		if res.Ok != want {
+			t.Fatalf("trial %d: Wing-Gong=%v brute=%v for history:\n%v", trial, res.Ok, want, ops)
+		}
+		agree++
+		if want {
+			legalCount++
+		}
+	}
+	if legalCount == 0 || legalCount == agree {
+		t.Fatalf("degenerate distribution: %d/%d linearizable (want a mix)", legalCount, agree)
+	}
+	t.Logf("checker agreed with brute force on %d histories (%d linearizable)", agree, legalCount)
+}

@@ -1,0 +1,54 @@
+package linearizability
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+// FuzzCheckerAgainstBruteForce decodes a byte string into a tiny history
+// and cross-checks the memoized Wing–Gong search against the exponential
+// brute-force reference on it.
+func FuzzCheckerAgainstBruteForce(f *testing.F) {
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78, 0x9A})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeHistory(data)
+		if len(ops) == 0 {
+			return
+		}
+		initial := State{Val: uint64(len(data) % 3)}
+		want := bruteCheck(ops, initial)
+		res, err := Check(ops, initial)
+		if err != nil {
+			t.Fatalf("checker error: %v", err)
+		}
+		if res.Ok != want {
+			t.Fatalf("Wing-Gong=%v brute=%v for:\n%v", res.Ok, want, ops)
+		}
+	})
+}
+
+// decodeHistory turns fuzz bytes into a well-timed history of at most 6
+// ops over 2 processes with values in [0,3).
+func decodeHistory(data []byte) []history.Op {
+	var ops []history.Op
+	ts := int64(1)
+	for i := 0; i+1 < len(data) && len(ops) < 6; i += 2 {
+		a, b := data[i], data[i+1]
+		op := history.Op{
+			Proc:    int(a & 1),
+			Kind:    history.Kind(a>>1&7%6 + 1),
+			Arg1:    uint64(b & 3),
+			Arg2:    uint64(b >> 2 & 3),
+			RetVal:  uint64(b >> 4 & 3),
+			RetBool: b>>6&1 == 1,
+			Call:    ts,
+		}
+		ts++
+		op.Return = ts + int64(b>>7)*3 // occasionally stretch for overlap
+		ts++
+		ops = append(ops, op)
+	}
+	return ops
+}

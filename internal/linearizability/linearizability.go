@@ -1,0 +1,165 @@
+// Package linearizability checks recorded concurrent histories against the
+// sequential semantics of the combined CAS + LL/VL/SC register (the
+// paper's Figure 2), in the sense of Herlihy & Wing [9].
+//
+// The checker is the classic Wing–Gong search with memoization on
+// (linearized-set, abstract-state) pairs: it looks for a permutation of
+// the history that (a) respects real-time order — an operation may be
+// linearized only if no other pending operation returned before it was
+// invoked — and (b) is legal for the sequential specification. Histories
+// are expected to be small (tens of operations); stress tests check many
+// small histories rather than one large one.
+package linearizability
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// State is the abstract state of the Figure 2 register: a value plus one
+// valid bit per process (packed as a bitmask, so N ≤ 64).
+type State struct {
+	Val   uint64
+	Valid uint64
+}
+
+// MaxOps bounds the history length the checker accepts (the linearized
+// set is tracked as a 64-bit mask).
+const MaxOps = 64
+
+// MaxProcs bounds the process count (valid bits are a 64-bit mask).
+const MaxProcs = 64
+
+// Step applies op to s, returning the successor state and whether op's
+// recorded results are legal from s. It encodes Figure 2:
+//
+//	Read      returns Val
+//	Write(v)  sets Val, clears all valid bits
+//	CAS(o,n)  if Val==o: true, and if o!=n sets Val=n clearing valid bits
+//	          (a no-op CAS linearizes as a read); else false
+//	LL        sets the caller's valid bit, returns Val
+//	VL        returns the caller's valid bit
+//	SC(v)     if the caller's valid bit is set: sets Val, clears all valid
+//	          bits, true; else false
+func Step(s State, op history.Op) (State, bool) {
+	bit := uint64(1) << uint(op.Proc)
+	switch op.Kind {
+	case history.KindRead:
+		return s, op.RetVal == s.Val
+	case history.KindWrite:
+		return State{Val: op.Arg1}, true
+	case history.KindCAS:
+		if s.Val != op.Arg1 {
+			return s, !op.RetBool
+		}
+		if !op.RetBool {
+			return s, false
+		}
+		if op.Arg1 == op.Arg2 {
+			return s, true // no-op CAS is a read
+		}
+		return State{Val: op.Arg2}, true
+	case history.KindLL:
+		if op.RetVal != s.Val {
+			return s, false
+		}
+		return State{Val: s.Val, Valid: s.Valid | bit}, true
+	case history.KindVL:
+		return s, op.RetBool == (s.Valid&bit != 0)
+	case history.KindSC:
+		if s.Valid&bit == 0 {
+			return s, !op.RetBool
+		}
+		if !op.RetBool {
+			return s, false
+		}
+		return State{Val: op.Arg1}, true
+	default:
+		return s, false
+	}
+}
+
+// Result reports the checker's verdict.
+type Result struct {
+	// Ok is true iff the history is linearizable.
+	Ok bool
+	// Witness, when Ok, is one legal linearization order (indices into
+	// the input history).
+	Witness []int
+	// StatesExplored counts memoized search nodes, for diagnostics.
+	StatesExplored int
+}
+
+// Check reports whether ops is linearizable with respect to Step starting
+// from initial. It returns an error for histories that exceed the
+// checker's structural limits.
+func Check(ops []history.Op, initial State) (Result, error) {
+	if len(ops) > MaxOps {
+		return Result{}, fmt.Errorf("linearizability: history has %d ops, checker supports at most %d", len(ops), MaxOps)
+	}
+	for _, op := range ops {
+		if op.Proc < 0 || op.Proc >= MaxProcs {
+			return Result{}, fmt.Errorf("linearizability: process id %d out of range [0,%d)", op.Proc, MaxProcs)
+		}
+		if op.Return < op.Call {
+			return Result{}, fmt.Errorf("linearizability: op %v returns before it is called", op)
+		}
+	}
+	c := &checker{ops: ops, visited: make(map[node]struct{})}
+	order := make([]int, 0, len(ops))
+	if c.search(0, initial, order, &order) {
+		return Result{Ok: true, Witness: append([]int(nil), order...), StatesExplored: len(c.visited)}, nil
+	}
+	return Result{Ok: false, StatesExplored: len(c.visited)}, nil
+}
+
+type node struct {
+	mask  uint64
+	state State
+}
+
+type checker struct {
+	ops     []history.Op
+	visited map[node]struct{}
+}
+
+// search tries to extend the linearization. mask marks already-linearized
+// ops; order accumulates the witness (via the out pointer so the final
+// content survives unwinding).
+func (c *checker) search(mask uint64, s State, order []int, out *[]int) bool {
+	if mask == (uint64(1)<<uint(len(c.ops)))-1 {
+		*out = order
+		return true
+	}
+	n := node{mask: mask, state: s}
+	if _, seen := c.visited[n]; seen {
+		return false
+	}
+	c.visited[n] = struct{}{}
+
+	// An op may be linearized next only if no other pending op returned
+	// before it was invoked.
+	minReturn := int64(1<<63 - 1)
+	for i, op := range c.ops {
+		if mask&(1<<uint(i)) == 0 && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+	for i, op := range c.ops {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		if op.Call > minReturn {
+			continue
+		}
+		next, legal := Step(s, op)
+		if !legal {
+			continue
+		}
+		if c.search(mask|1<<uint(i), next, append(order, i), out) {
+			return true
+		}
+	}
+	return false
+}

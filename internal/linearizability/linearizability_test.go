@@ -1,0 +1,289 @@
+package linearizability
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+// op builds a history.Op tersely for tests.
+func op(proc int, kind history.Kind, call, ret int64) history.Op {
+	return history.Op{Proc: proc, Kind: kind, Call: call, Return: ret}
+}
+
+func read(proc int, val uint64, call, ret int64) history.Op {
+	o := op(proc, history.KindRead, call, ret)
+	o.RetVal = val
+	return o
+}
+
+func write(proc int, val uint64, call, ret int64) history.Op {
+	o := op(proc, history.KindWrite, call, ret)
+	o.Arg1 = val
+	return o
+}
+
+func cas(proc int, old, new uint64, ok bool, call, ret int64) history.Op {
+	o := op(proc, history.KindCAS, call, ret)
+	o.Arg1, o.Arg2, o.RetBool = old, new, ok
+	return o
+}
+
+func ll(proc int, val uint64, call, ret int64) history.Op {
+	o := op(proc, history.KindLL, call, ret)
+	o.RetVal = val
+	return o
+}
+
+func vl(proc int, ok bool, call, ret int64) history.Op {
+	o := op(proc, history.KindVL, call, ret)
+	o.RetBool = ok
+	return o
+}
+
+func sc(proc int, val uint64, ok bool, call, ret int64) history.Op {
+	o := op(proc, history.KindSC, call, ret)
+	o.Arg1, o.RetBool = val, ok
+	return o
+}
+
+func mustCheck(t *testing.T, ops []history.Op, initial State) Result {
+	t.Helper()
+	res, err := Check(ops, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if res := mustCheck(t, nil, State{}); !res.Ok {
+		t.Error("empty history must be linearizable")
+	}
+}
+
+func TestSequentialReads(t *testing.T) {
+	ops := []history.Op{
+		read(0, 5, 1, 2),
+		read(1, 5, 3, 4),
+	}
+	if res := mustCheck(t, ops, State{Val: 5}); !res.Ok {
+		t.Error("sequential matching reads must be linearizable")
+	}
+	// Wrong value is not.
+	ops[1].RetVal = 6
+	if res := mustCheck(t, ops, State{Val: 5}); res.Ok {
+		t.Error("read of a never-written value accepted")
+	}
+}
+
+func TestConcurrentWriteRead(t *testing.T) {
+	// Write(7) overlaps Read()=7: the read may linearize after the write.
+	ops := []history.Op{
+		write(0, 7, 1, 4),
+		read(1, 7, 2, 3),
+	}
+	if res := mustCheck(t, ops, State{Val: 0}); !res.Ok {
+		t.Error("overlapping write/read must be linearizable")
+	}
+	// But a read that STRICTLY PRECEDES the write cannot see it.
+	ops = []history.Op{
+		read(1, 7, 1, 2),
+		write(0, 7, 3, 4),
+	}
+	if res := mustCheck(t, ops, State{Val: 0}); res.Ok {
+		t.Error("read before write saw the future")
+	}
+}
+
+func TestCASSemanticsInModel(t *testing.T) {
+	// Successful then failing CAS.
+	ops := []history.Op{
+		cas(0, 0, 1, true, 1, 2),
+		cas(1, 0, 2, false, 3, 4),
+		read(0, 1, 5, 6),
+	}
+	if res := mustCheck(t, ops, State{}); !res.Ok {
+		t.Error("CAS chain must be linearizable")
+	}
+	// Two successful CASes from the same old value with no restore: not
+	// linearizable.
+	ops = []history.Op{
+		cas(0, 0, 1, true, 1, 2),
+		cas(1, 0, 2, true, 3, 4),
+	}
+	if res := mustCheck(t, ops, State{}); res.Ok {
+		t.Error("double successful CAS from same old accepted")
+	}
+}
+
+func TestNoOpCASIsARead(t *testing.T) {
+	// p0 LLs, then a no-op CAS happens, then p0's SC must still be able
+	// to succeed (no invalidation).
+	ops := []history.Op{
+		ll(0, 4, 1, 2),
+		cas(1, 4, 4, true, 3, 4),
+		sc(0, 5, true, 5, 6),
+	}
+	if res := mustCheck(t, ops, State{Val: 4}); !res.Ok {
+		t.Error("no-op CAS must not invalidate LL")
+	}
+	// A value-changing CAS does invalidate.
+	ops = []history.Op{
+		ll(0, 4, 1, 2),
+		cas(1, 4, 9, true, 3, 4),
+		sc(0, 5, true, 5, 6),
+	}
+	if res := mustCheck(t, ops, State{Val: 4}); res.Ok {
+		t.Error("SC succeeded after a value-changing CAS")
+	}
+}
+
+func TestLLSCMutualExclusion(t *testing.T) {
+	// Two processes LL the same value; both SCs succeed sequentially —
+	// illegal: the first success invalidates the second.
+	ops := []history.Op{
+		ll(0, 0, 1, 2),
+		ll(1, 0, 3, 4),
+		sc(0, 1, true, 5, 6),
+		sc(1, 2, true, 7, 8),
+	}
+	if res := mustCheck(t, ops, State{}); res.Ok {
+		t.Error("two successful SCs from overlapping LLs accepted")
+	}
+	// If the second SC reports failure, the history is fine.
+	ops[3].RetBool = false
+	if res := mustCheck(t, ops, State{}); !res.Ok {
+		t.Error("failing second SC rejected")
+	}
+}
+
+func TestOverlappingSCsOneWinner(t *testing.T) {
+	// Concurrent SCs after concurrent LLs: either may win, exactly one.
+	ops := []history.Op{
+		ll(0, 0, 1, 3),
+		ll(1, 0, 2, 4),
+		sc(0, 1, true, 5, 8),
+		sc(1, 2, false, 6, 9),
+		read(0, 1, 10, 11),
+	}
+	if res := mustCheck(t, ops, State{}); !res.Ok {
+		t.Error("winner/loser SC pair rejected")
+	}
+}
+
+func TestVLSemantics(t *testing.T) {
+	// VL true before an intervening SC, false after.
+	ops := []history.Op{
+		ll(0, 0, 1, 2),
+		vl(0, true, 3, 4),
+		ll(1, 0, 5, 6),
+		sc(1, 7, true, 7, 8),
+		vl(0, false, 9, 10),
+		sc(0, 9, false, 11, 12),
+	}
+	if res := mustCheck(t, ops, State{}); !res.Ok {
+		t.Error("VL true/false sequence rejected")
+	}
+	// VL claiming true after the intervening SC is illegal.
+	ops[4].RetBool = true
+	if res := mustCheck(t, ops, State{}); res.Ok {
+		t.Error("stale VL=true accepted")
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// p1's CAS(1,2) succeeds, but p0's Write(1) returns strictly after —
+	// wait, construct: Write(1) completes at t=2; CAS(1,2) at [3,4] is
+	// fine. If instead CAS completes before the write begins, reject.
+	ops := []history.Op{
+		cas(1, 1, 2, true, 1, 2),
+		write(0, 1, 3, 4),
+	}
+	if res := mustCheck(t, ops, State{Val: 0}); res.Ok {
+		t.Error("CAS observed a write that had not begun")
+	}
+}
+
+func TestWitnessIsLegal(t *testing.T) {
+	ops := []history.Op{
+		write(0, 3, 1, 4),
+		read(1, 3, 2, 5),
+		cas(0, 3, 4, true, 6, 7),
+	}
+	res := mustCheck(t, ops, State{})
+	if !res.Ok {
+		t.Fatal("history rejected")
+	}
+	if len(res.Witness) != len(ops) {
+		t.Fatalf("witness has %d entries, want %d", len(res.Witness), len(ops))
+	}
+	// Replay the witness and confirm legality.
+	s := State{}
+	for _, idx := range res.Witness {
+		var legal bool
+		s, legal = Step(s, ops[idx])
+		if !legal {
+			t.Fatalf("witness step %d (%v) illegal", idx, ops[idx])
+		}
+	}
+}
+
+func TestCheckRejectsOversizedHistory(t *testing.T) {
+	ops := make([]history.Op, MaxOps+1)
+	for i := range ops {
+		ops[i] = read(0, 0, int64(2*i), int64(2*i+1))
+	}
+	if _, err := Check(ops, State{}); err == nil {
+		t.Error("oversized history accepted")
+	}
+}
+
+func TestCheckRejectsBadTimestamps(t *testing.T) {
+	ops := []history.Op{read(0, 0, 5, 3)}
+	if _, err := Check(ops, State{}); err == nil {
+		t.Error("return-before-call accepted")
+	}
+	ops = []history.Op{read(MaxProcs, 0, 1, 2)}
+	if _, err := Check(ops, State{}); err == nil {
+		t.Error("out-of-range proc accepted")
+	}
+}
+
+func TestStepTable(t *testing.T) {
+	tests := []struct {
+		name      string
+		s         State
+		op        history.Op
+		wantLegal bool
+		wantState State
+	}{
+		{"read ok", State{Val: 3}, read(0, 3, 1, 2), true, State{Val: 3}},
+		{"read bad", State{Val: 3}, read(0, 4, 1, 2), false, State{Val: 3}},
+		{"write clears valid", State{Val: 1, Valid: 0b11}, write(0, 9, 1, 2), true, State{Val: 9}},
+		{"ll sets bit", State{Val: 2}, ll(1, 2, 1, 2), true, State{Val: 2, Valid: 0b10}},
+		{"ll wrong val", State{Val: 2}, ll(1, 3, 1, 2), false, State{Val: 2}},
+		{"sc no bit fails", State{Val: 2}, sc(0, 5, false, 1, 2), true, State{Val: 2}},
+		{"sc no bit cannot succeed", State{Val: 2}, sc(0, 5, true, 1, 2), false, State{Val: 2}},
+		{"sc with bit", State{Val: 2, Valid: 0b1}, sc(0, 5, true, 1, 2), true, State{Val: 5}},
+		{"sc with bit may fail?", State{Val: 2, Valid: 0b1}, sc(0, 5, false, 1, 2), false, State{Val: 2, Valid: 0b1}},
+		{"cas fail legal", State{Val: 2}, cas(0, 3, 4, false, 1, 2), true, State{Val: 2}},
+		{"cas fail illegal", State{Val: 3}, cas(0, 3, 4, false, 1, 2), false, State{Val: 3}},
+		{"cas success", State{Val: 3, Valid: 0b1}, cas(0, 3, 4, true, 1, 2), true, State{Val: 4}},
+		{"noop cas keeps valid", State{Val: 3, Valid: 0b1}, cas(0, 3, 3, true, 1, 2), true, State{Val: 3, Valid: 0b1}},
+		{"vl true", State{Valid: 0b1}, vl(0, true, 1, 2), true, State{Valid: 0b1}},
+		{"vl false", State{}, vl(0, false, 1, 2), true, State{}},
+		{"vl wrong", State{}, vl(0, true, 1, 2), false, State{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, legal := Step(tt.s, tt.op)
+			if legal != tt.wantLegal {
+				t.Fatalf("legal = %v, want %v", legal, tt.wantLegal)
+			}
+			if legal && got != tt.wantState {
+				t.Errorf("state = %+v, want %+v", got, tt.wantState)
+			}
+		})
+	}
+}

@@ -1,0 +1,394 @@
+// Package machine simulates a shared-memory multiprocessor whose only
+// strong synchronization primitives are the restricted RLL/RSC pair
+// described in Section 1 of Moir (PODC 1997), plus a native CAS used for
+// baseline comparisons.
+//
+// No CPU reachable from Go exposes LL/SC directly (Go compiles the
+// sync/atomic operations to CAS-style loops even on LL/SC hardware), so
+// this package substitutes a faithful software model of the hardware the
+// paper targets — the MIPS R4000, DEC Alpha, and PowerPC families — with
+// exactly the paper's four restrictions:
+//
+//  1. a processor may not access memory between an RLL and the subsequent
+//     RSC (modelled by Strict mode: any intervening access through the
+//     processor clears its reservation, as real cache activity can);
+//  2. no VL instruction is provided;
+//  3. RSC may fail spuriously (modelled by seeded probabilistic injection
+//     and by deterministic FailNext bursts for tests); and
+//  4. variables accessed by RLL/RSC are single machine words.
+//
+// The reservation model follows the R4000's per-processor LLBit: each
+// processor holds at most one reservation, set by RLL and cleared by any
+// write to the reserved word by any processor (even a write of the same
+// value — a silent rewrite still invalidates the cache line, so the model
+// is deliberately immune to ABA, like the hardware). Internally each Word
+// holds an atomically replaced cell pointer, so "has this word been
+// written" is pointer identity, not value equality.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Config parametrizes a simulated machine.
+type Config struct {
+	// Procs is the number of simulated processors (the paper's N). Each
+	// Proc handle must be driven by at most one goroutine at a time.
+	Procs int
+
+	// SpuriousFailProb is the probability that any given RSC fails even
+	// though its reservation is intact. Zero gives an ideal machine; real
+	// hardware sits near zero but nonzero.
+	SpuriousFailProb float64
+
+	// Strict, when set, clears a processor's reservation on any Load,
+	// Store, or CAS it performs between RLL and RSC — the R4000 manual's
+	// "no memory access between LL and SC" restriction. Algorithms from
+	// the paper never trip this; tests use it to prove they don't.
+	Strict bool
+
+	// Seed seeds the per-processor spurious-failure generators, making
+	// runs reproducible.
+	Seed int64
+
+	// Scheduler, when non-nil, is consulted before every shared-memory
+	// operation: the processor blocks in Step until the scheduler grants
+	// it the next step. With a serializing scheduler (internal/sched)
+	// this yields fully deterministic, replayable interleavings for
+	// systematic testing. Nil (the default) lets the Go runtime schedule
+	// freely.
+	Scheduler Scheduler
+
+	// Observer, when non-nil, receives an Event after every shared-memory
+	// operation completes. internal/trace provides a ring-buffer recorder.
+	// The callback runs on the operating processor's goroutine and must be
+	// safe for concurrent use.
+	Observer func(Event)
+}
+
+// OpKind identifies a machine operation in an Event.
+type OpKind uint8
+
+// Operation kinds reported to observers.
+const (
+	OpLoad OpKind = iota + 1
+	OpStore
+	OpCAS
+	OpRLL
+	OpRSC
+)
+
+// String returns the mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "LOAD"
+	case OpStore:
+		return "STORE"
+	case OpCAS:
+		return "CAS"
+	case OpRLL:
+		return "RLL"
+	case OpRSC:
+		return "RSC"
+	default:
+		return "?"
+	}
+}
+
+// Event describes one completed shared-memory operation.
+type Event struct {
+	Seq      uint64 // global order stamp (total order of completions)
+	Proc     int
+	Op       OpKind
+	Word     uint64 // the word's machine-assigned id
+	Val      uint64 // value read or written (CAS: new value)
+	Old      uint64 // CAS: expected old value
+	OK       bool   // CAS/RSC outcome (true for loads/stores)
+	Spurious bool   // RSC failed by injection
+}
+
+// Scheduler serializes processor steps; see Config.Scheduler.
+type Scheduler interface {
+	// Step blocks until processor proc may execute its next
+	// shared-memory operation.
+	Step(proc int)
+}
+
+// Machine is a simulated multiprocessor. Create one with New, obtain Proc
+// handles with Proc, and allocate shared words with NewWord.
+type Machine struct {
+	cfg      Config
+	procs    []*Proc
+	wordIDs  atomic.Uint64
+	eventSeq atomic.Uint64
+}
+
+// cell is one immutable snapshot of a word's contents. Every write
+// allocates a fresh cell, so pointer identity answers "was this word
+// written since I read it" with no ABA ambiguity — the same property the
+// hardware gets from cache-line invalidation.
+type cell struct {
+	val uint64
+}
+
+// Word is one shared machine word. The zero value is not usable; allocate
+// words with Machine.NewWord so they carry an initial cell.
+type Word struct {
+	cell atomic.Pointer[cell]
+	id   uint64
+}
+
+// ID returns the word's machine-assigned identifier (allocation order).
+func (w *Word) ID() uint64 { return w.id }
+
+// New constructs a simulated machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("machine: Procs must be at least 1, got %d", cfg.Procs)
+	}
+	if cfg.SpuriousFailProb < 0 || cfg.SpuriousFailProb >= 1 {
+		return nil, fmt.Errorf("machine: SpuriousFailProb must be in [0,1), got %v", cfg.SpuriousFailProb)
+	}
+	m := &Machine{cfg: cfg, procs: make([]*Proc, cfg.Procs)}
+	for i := range m.procs {
+		m.procs[i] = &Proc{
+			m:   m,
+			id:  i,
+			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9E3779B9)),
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New for statically valid configurations; it panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NumProcs returns the number of simulated processors.
+func (m *Machine) NumProcs() int { return m.cfg.Procs }
+
+// Proc returns the handle for processor id. Handles are stable: repeated
+// calls return the same *Proc.
+func (m *Machine) Proc(id int) *Proc {
+	return m.procs[id]
+}
+
+// NewWord allocates a shared word initialized to v.
+func (m *Machine) NewWord(v uint64) *Word {
+	w := &Word{id: m.wordIDs.Add(1)}
+	w.cell.Store(&cell{val: v})
+	return w
+}
+
+// Stats aggregates operation counters across all processors.
+func (m *Machine) Stats() Stats {
+	var total Stats
+	for _, p := range m.procs {
+		total.Loads += p.stats.Loads.Load()
+		total.Stores += p.stats.Stores.Load()
+		total.CASOps += p.stats.CASOps.Load()
+		total.RLLs += p.stats.RLLs.Load()
+		total.RSCSuccess += p.stats.RSCSuccess.Load()
+		total.RSCRealFail += p.stats.RSCRealFail.Load()
+		total.RSCSpurious += p.stats.RSCSpurious.Load()
+	}
+	return total
+}
+
+// Stats is a snapshot of operation counters.
+type Stats struct {
+	Loads       uint64
+	Stores      uint64
+	CASOps      uint64
+	RLLs        uint64
+	RSCSuccess  uint64
+	RSCRealFail uint64 // RSC failed because the word was written or no reservation held
+	RSCSpurious uint64 // RSC failed by injection despite an intact reservation
+}
+
+// procStats holds per-processor counters; they are atomics only so that
+// Machine.Stats may be called concurrently with running processors.
+type procStats struct {
+	Loads       atomic.Uint64
+	Stores      atomic.Uint64
+	CASOps      atomic.Uint64
+	RLLs        atomic.Uint64
+	RSCSuccess  atomic.Uint64
+	RSCRealFail atomic.Uint64
+	RSCSpurious atomic.Uint64
+}
+
+// Proc is one simulated processor. A Proc must be driven by at most one
+// goroutine at a time (it models a hardware CPU executing one instruction
+// stream); distinct Procs may run fully in parallel.
+type Proc struct {
+	m   *Machine
+	id  int
+	rng *rand.Rand
+
+	// reservation state (the R4000 LLBit + reserved address + snapshot).
+	resWord *Word
+	resCell *cell
+
+	// failNext forces the next n RSCs with intact reservations to fail
+	// spuriously; used by tests and failure-injection experiments.
+	failNext int
+
+	stats procStats
+}
+
+// ID returns the processor's identifier in [0, Procs).
+func (p *Proc) ID() int { return p.id }
+
+// Machine returns the machine this processor belongs to.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// FailNext forces the next n RSC attempts that would otherwise succeed (or
+// fail for real reasons) to fail spuriously instead. Deterministic
+// counterpart of SpuriousFailProb.
+func (p *Proc) FailNext(n int) { p.failNext += n }
+
+// Load reads a shared word. In Strict mode it clears any reservation, as
+// an intervening memory access may on real hardware.
+func (p *Proc) Load(w *Word) uint64 {
+	p.step()
+	p.stats.Loads.Add(1)
+	if p.m.cfg.Strict {
+		p.clearReservation()
+	}
+	v := w.cell.Load().val
+	p.emit(OpLoad, w, v, 0, true, false)
+	return v
+}
+
+// Store writes a shared word. The write installs a fresh cell, so every
+// reservation on w — including stores of an identical value — is
+// invalidated, exactly as a cache invalidation clears LLBits. In Strict
+// mode the writer's own reservation is cleared too.
+func (p *Proc) Store(w *Word, v uint64) {
+	p.step()
+	p.stats.Stores.Add(1)
+	if p.m.cfg.Strict {
+		p.clearReservation()
+	}
+	w.cell.Store(&cell{val: v})
+	p.emit(OpStore, w, v, 0, true, false)
+}
+
+// CAS is the machine's native compare-and-swap, provided for baselines and
+// for machines configured as CAS-only hardware. It is lock-free: it
+// retries only when another write lands between its load and its pointer
+// swap, in which case some other operation succeeded.
+func (p *Proc) CAS(w *Word, old, new uint64) bool {
+	p.step()
+	p.stats.CASOps.Add(1)
+	if p.m.cfg.Strict {
+		p.clearReservation()
+	}
+	for {
+		c := w.cell.Load()
+		if c.val != old {
+			p.emit(OpCAS, w, new, old, false, false)
+			return false
+		}
+		if w.cell.CompareAndSwap(c, &cell{val: new}) {
+			p.emit(OpCAS, w, new, old, true, false)
+			return true
+		}
+	}
+}
+
+// RLL performs a restricted load-linked: it reads w and establishes this
+// processor's single reservation on it, displacing any previous
+// reservation (one LLBit per processor).
+func (p *Proc) RLL(w *Word) uint64 {
+	p.step()
+	p.stats.RLLs.Add(1)
+	c := w.cell.Load()
+	p.resWord = w
+	p.resCell = c
+	p.emit(OpRLL, w, c.val, 0, true, false)
+	return c.val
+}
+
+// RSC performs a restricted store-conditional of v to w. It succeeds only
+// if the processor holds a reservation on w, the word has not been written
+// since the RLL, and no spurious failure is injected. Any outcome clears
+// the reservation. On success the write is atomic with the reservation
+// check (pointer CAS on the cell).
+func (p *Proc) RSC(w *Word, v uint64) bool {
+	p.step()
+	resWord, resCell := p.resWord, p.resCell
+	p.clearReservation()
+	if resWord != w || resCell == nil {
+		// No reservation on this word: real failure (e.g. reservation was
+		// displaced by a later RLL, or cleared by Strict-mode accesses).
+		p.stats.RSCRealFail.Add(1)
+		p.emit(OpRSC, w, v, 0, false, false)
+		return false
+	}
+	if p.failNext > 0 {
+		p.failNext--
+		p.stats.RSCSpurious.Add(1)
+		p.emit(OpRSC, w, v, 0, false, true)
+		return false
+	}
+	if pr := p.m.cfg.SpuriousFailProb; pr > 0 && p.rng.Float64() < pr {
+		p.stats.RSCSpurious.Add(1)
+		p.emit(OpRSC, w, v, 0, false, true)
+		return false
+	}
+	if w.cell.CompareAndSwap(resCell, &cell{val: v}) {
+		p.stats.RSCSuccess.Add(1)
+		p.emit(OpRSC, w, v, 0, true, false)
+		return true
+	}
+	p.stats.RSCRealFail.Add(1)
+	p.emit(OpRSC, w, v, 0, false, false)
+	return false
+}
+
+// HoldsReservation reports whether the processor currently holds a
+// reservation on w. Intended for tests asserting the restriction model.
+func (p *Proc) HoldsReservation(w *Word) bool {
+	return p.resWord == w && p.resCell != nil
+}
+
+// emit reports a completed operation to the configured observer, if any.
+func (p *Proc) emit(op OpKind, w *Word, val, old uint64, ok, spurious bool) {
+	obs := p.m.cfg.Observer
+	if obs == nil {
+		return
+	}
+	obs(Event{
+		Seq:      p.m.eventSeq.Add(1),
+		Proc:     p.id,
+		Op:       op,
+		Word:     w.id,
+		Val:      val,
+		Old:      old,
+		OK:       ok,
+		Spurious: spurious,
+	})
+}
+
+// step consults the configured scheduler, if any, before a shared-memory
+// operation.
+func (p *Proc) step() {
+	if s := p.m.cfg.Scheduler; s != nil {
+		s.Step(p.id)
+	}
+}
+
+func (p *Proc) clearReservation() {
+	p.resWord = nil
+	p.resCell = nil
+}

@@ -1,0 +1,404 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+)
+
+func newTestMachine(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok", Config{Procs: 4}, false},
+		{"single proc", Config{Procs: 1}, false},
+		{"zero procs", Config{Procs: 0}, true},
+		{"negative procs", Config{Procs: -1}, true},
+		{"prob too high", Config{Procs: 1, SpuriousFailProb: 1.0}, true},
+		{"prob negative", Config{Procs: 1, SpuriousFailProb: -0.1}, true},
+		{"prob ok", Config{Procs: 1, SpuriousFailProb: 0.5}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New(%+v) error = %v, wantErr %v", tt.cfg, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(Config{Procs: 0})
+}
+
+func TestLoadStore(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 2})
+	w := m.NewWord(42)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	if got := p0.Load(w); got != 42 {
+		t.Errorf("initial Load = %d, want 42", got)
+	}
+	p0.Store(w, 7)
+	if got := p1.Load(w); got != 7 {
+		t.Errorf("Load after Store = %d, want 7", got)
+	}
+}
+
+func TestRLLRSCBasicSuccess(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	w := m.NewWord(10)
+	p := m.Proc(0)
+	if got := p.RLL(w); got != 10 {
+		t.Fatalf("RLL = %d, want 10", got)
+	}
+	if !p.RSC(w, 11) {
+		t.Fatal("uncontended RSC failed")
+	}
+	if got := p.Load(w); got != 11 {
+		t.Errorf("value after RSC = %d, want 11", got)
+	}
+}
+
+func TestRSCFailsAfterInterveningWrite(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 2})
+	w := m.NewWord(10)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	p0.RLL(w)
+	p1.Store(w, 20)
+	if p0.RSC(w, 11) {
+		t.Fatal("RSC succeeded despite intervening write")
+	}
+	if got := p0.Load(w); got != 20 {
+		t.Errorf("value = %d, want 20 (p1's write preserved)", got)
+	}
+}
+
+func TestRSCFailsAfterSameValueWrite(t *testing.T) {
+	// A write of the SAME value still invalidates the reservation: the
+	// model must track writes, not values (no ABA).
+	m := newTestMachine(t, Config{Procs: 2})
+	w := m.NewWord(10)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	p0.RLL(w)
+	p1.Store(w, 10) // same value
+	if p0.RSC(w, 11) {
+		t.Fatal("RSC succeeded despite same-value write (ABA leak)")
+	}
+}
+
+func TestRSCFailsAfterABACycle(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 2})
+	w := m.NewWord(10)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	p0.RLL(w)
+	p1.Store(w, 99)
+	p1.Store(w, 10) // back to the original value
+	if p0.RSC(w, 11) {
+		t.Fatal("RSC succeeded across an ABA cycle")
+	}
+}
+
+func TestRSCWithoutReservationFails(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	if p.RSC(w, 1) {
+		t.Fatal("RSC with no prior RLL succeeded")
+	}
+}
+
+func TestRSCConsumesReservation(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	p.RLL(w)
+	if !p.RSC(w, 1) {
+		t.Fatal("first RSC failed")
+	}
+	if p.RSC(w, 2) {
+		t.Fatal("second RSC without new RLL succeeded")
+	}
+}
+
+func TestSingleReservationPerProcessor(t *testing.T) {
+	// The R4000 has one LLBit: a second RLL displaces the first.
+	m := newTestMachine(t, Config{Procs: 1})
+	x := m.NewWord(1)
+	y := m.NewWord(2)
+	p := m.Proc(0)
+	p.RLL(x)
+	p.RLL(y) // displaces reservation on x
+	if p.RSC(x, 10) {
+		t.Fatal("RSC on x succeeded after reservation moved to y")
+	}
+	p.RLL(y)
+	if !p.RSC(y, 20) {
+		t.Fatal("RSC on y failed despite intact reservation")
+	}
+}
+
+func TestStrictModeClearsReservation(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1, Strict: true})
+	w := m.NewWord(0)
+	z := m.NewWord(0)
+	p := m.Proc(0)
+
+	p.RLL(w)
+	p.Load(z) // intervening access
+	if p.RSC(w, 1) {
+		t.Fatal("strict mode: RSC succeeded after intervening Load")
+	}
+
+	p.RLL(w)
+	p.Store(z, 5)
+	if p.RSC(w, 1) {
+		t.Fatal("strict mode: RSC succeeded after intervening Store")
+	}
+
+	p.RLL(w)
+	p.CAS(z, 5, 6)
+	if p.RSC(w, 1) {
+		t.Fatal("strict mode: RSC succeeded after intervening CAS")
+	}
+
+	// A clean RLL-RSC pair still works in strict mode.
+	p.RLL(w)
+	if !p.RSC(w, 1) {
+		t.Fatal("strict mode: clean RLL/RSC pair failed")
+	}
+}
+
+func TestNonStrictModeAllowsIntermediateAccess(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	w := m.NewWord(0)
+	z := m.NewWord(0)
+	p := m.Proc(0)
+	p.RLL(w)
+	p.Load(z)
+	if !p.RSC(w, 1) {
+		t.Fatal("non-strict mode: RSC failed after unrelated Load")
+	}
+}
+
+func TestHoldsReservation(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	if p.HoldsReservation(w) {
+		t.Fatal("fresh proc holds a reservation")
+	}
+	p.RLL(w)
+	if !p.HoldsReservation(w) {
+		t.Fatal("RLL did not establish reservation")
+	}
+	p.RSC(w, 1)
+	if p.HoldsReservation(w) {
+		t.Fatal("RSC did not clear reservation")
+	}
+}
+
+func TestFailNextInjectsSpuriousFailures(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	p.FailNext(2)
+
+	p.RLL(w)
+	if p.RSC(w, 1) {
+		t.Fatal("first injected RSC should fail")
+	}
+	p.RLL(w)
+	if p.RSC(w, 1) {
+		t.Fatal("second injected RSC should fail")
+	}
+	p.RLL(w)
+	if !p.RSC(w, 1) {
+		t.Fatal("RSC after injection window should succeed")
+	}
+	st := m.Stats()
+	if st.RSCSpurious != 2 {
+		t.Errorf("spurious count = %d, want 2", st.RSCSpurious)
+	}
+	if st.RSCSuccess != 1 {
+		t.Errorf("success count = %d, want 1", st.RSCSuccess)
+	}
+}
+
+func TestProbabilisticSpuriousFailures(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1, SpuriousFailProb: 0.5, Seed: 1})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	const attempts = 2000
+	for i := 0; i < attempts; i++ {
+		p.RLL(w)
+		p.RSC(w, uint64(i))
+	}
+	st := m.Stats()
+	if st.RSCSpurious == 0 {
+		t.Fatal("no spurious failures at p=0.5")
+	}
+	if st.RSCSuccess == 0 {
+		t.Fatal("no successes at p=0.5")
+	}
+	frac := float64(st.RSCSpurious) / float64(attempts)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("spurious fraction = %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	run := func() []bool {
+		m := MustNew(Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 42})
+		w := m.NewWord(0)
+		p := m.Proc(0)
+		out := make([]bool, 100)
+		for i := range out {
+			p.RLL(w)
+			out[i] = p.RSC(w, uint64(i))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at op %d despite identical seed", i)
+		}
+	}
+}
+
+func TestNativeCAS(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	w := m.NewWord(5)
+	p := m.Proc(0)
+	if !p.CAS(w, 5, 6) {
+		t.Fatal("CAS with matching old failed")
+	}
+	if p.CAS(w, 5, 7) {
+		t.Fatal("CAS with stale old succeeded")
+	}
+	if got := p.Load(w); got != 6 {
+		t.Errorf("value = %d, want 6", got)
+	}
+}
+
+func TestCASInvalidatesReservations(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 2})
+	w := m.NewWord(0)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	p0.RLL(w)
+	if !p1.CAS(w, 0, 9) {
+		t.Fatal("p1 CAS failed")
+	}
+	if p0.RSC(w, 1) {
+		t.Fatal("RSC succeeded after another processor's CAS")
+	}
+}
+
+func TestConcurrentRSCAtMostOneWinner(t *testing.T) {
+	// Many processors race RLL/RSC on one word; exactly the winners'
+	// increments must be applied, and the word must never lose updates.
+	const procs = 8
+	const rounds = 5000
+	m := newTestMachine(t, Config{Procs: procs})
+	w := m.NewWord(0)
+
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					v := p.RLL(w)
+					if p.RSC(w, v+1) {
+						break
+					}
+				}
+			}
+		}(m.Proc(i))
+	}
+	wg.Wait()
+	if got := m.Proc(0).Load(w); got != procs*rounds {
+		t.Errorf("final counter = %d, want %d (lost or duplicated updates)", got, procs*rounds)
+	}
+	st := m.Stats()
+	if st.RSCSuccess != procs*rounds {
+		t.Errorf("RSC successes = %d, want %d", st.RSCSuccess, procs*rounds)
+	}
+}
+
+func TestConcurrentCASCounter(t *testing.T) {
+	const procs = 8
+	const rounds = 5000
+	m := newTestMachine(t, Config{Procs: procs})
+	w := m.NewWord(0)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					v := p.Load(w)
+					if p.CAS(w, v, v+1) {
+						break
+					}
+				}
+			}
+		}(m.Proc(i))
+	}
+	wg.Wait()
+	if got := m.Proc(0).Load(w); got != procs*rounds {
+		t.Errorf("final counter = %d, want %d", got, procs*rounds)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 1})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	p.Load(w)
+	p.Store(w, 1)
+	p.CAS(w, 1, 2)
+	p.RLL(w)
+	p.RSC(w, 3)
+	st := m.Stats()
+	if st.Loads != 1 || st.Stores != 1 || st.CASOps != 1 || st.RLLs != 1 || st.RSCSuccess != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	m := newTestMachine(t, Config{Procs: 3})
+	if m.NumProcs() != 3 {
+		t.Errorf("NumProcs = %d, want 3", m.NumProcs())
+	}
+	for i := 0; i < 3; i++ {
+		p := m.Proc(i)
+		if p.ID() != i {
+			t.Errorf("Proc(%d).ID() = %d", i, p.ID())
+		}
+		if p.Machine() != m {
+			t.Errorf("Proc(%d).Machine() mismatch", i)
+		}
+		if m.Proc(i) != p {
+			t.Errorf("Proc(%d) not stable", i)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"fmt"
+)
+
+// Exhaustive exploration: a stateless model checker over the scheduling
+// tree. Because the controller serializes every shared-memory operation
+// and each processor's behaviour is deterministic given its own inputs,
+// the ready set at step i is a pure function of the scheduling choices at
+// steps 0..i-1. The explorer therefore enumerates the whole tree by
+// replaying decision prefixes: run with a prefix, extend greedily
+// (always picking the first ready processor), record the branching
+// factor at each step, and backtrack to the deepest step with an
+// untried alternative.
+//
+// This verifies an algorithm over EVERY interleaving of a small workload
+// — not a random sample — which is as close to a proof as testing gets.
+// The tree grows multinomially, so keep workloads tiny (2-3 processors,
+// a few operations each) and cap the run budget.
+
+// prefixPolicy replays a fixed decision prefix, then extends with
+// first-ready choices, recording the branching structure.
+type prefixPolicy struct {
+	prefix []int // decision at step i = index into the sorted ready set
+	picks  []int // decisions actually taken this run
+	widths []int // ready-set size observed at each step
+	bad    bool  // prefix index out of range (tree changed — a bug)
+}
+
+func (p *prefixPolicy) Pick(ready []int, step int) int {
+	idx := 0
+	if step < len(p.prefix) {
+		idx = p.prefix[step]
+		if idx >= len(ready) {
+			// The tree must be deterministic; an out-of-range replay
+			// means the workload is not (e.g. it used time or ambient
+			// randomness). Flag it and pick something valid.
+			p.bad = true
+			idx = len(ready) - 1
+		}
+	}
+	p.picks = append(p.picks, idx)
+	p.widths = append(p.widths, len(ready))
+	return ready[idx]
+}
+
+// ExhaustiveResult reports what the exploration covered.
+type ExhaustiveResult struct {
+	// Schedules is the number of distinct complete schedules executed.
+	Schedules int
+	// Exhausted is true if the whole tree was covered within the budget.
+	Exhausted bool
+	// MaxDepth is the longest schedule seen (scheduling points).
+	MaxDepth int
+}
+
+// ExploreExhaustive enumerates scheduling trees: build constructs a fresh
+// deterministic system wired to the given controller and returns the
+// per-processor workload and a post-run invariant check (exactly as in
+// Explore). It returns the coverage report and the first check error
+// encountered (with the failing decision prefix formatted into the
+// error). maxRuns caps the number of schedules executed.
+//
+// The workload must be deterministic apart from scheduling: fixed seeds,
+// no wall-clock, no ambient randomness.
+func ExploreExhaustive(n int, maxRuns int,
+	build func(ctrl *Controller) (workload func(proc int), check func() error)) (ExhaustiveResult, error) {
+	var res ExhaustiveResult
+	prefix := []int{}
+	for runs := 0; ; runs++ {
+		if runs >= maxRuns {
+			return res, nil // budget exhausted; res.Exhausted stays false
+		}
+		pol := &prefixPolicy{prefix: prefix}
+		ctrl := NewController(n, pol)
+		workload, check := build(ctrl)
+		runCtl(ctrl, n, workload)
+		if pol.bad {
+			return res, fmt.Errorf("sched: nondeterministic workload: replay diverged at prefix %v", prefix)
+		}
+		res.Schedules++
+		if d := len(pol.picks); d > res.MaxDepth {
+			res.MaxDepth = d
+		}
+		if err := check(); err != nil {
+			return res, fmt.Errorf("sched: schedule %v: %w", pol.picks, err)
+		}
+		// Backtrack: deepest step with an untried alternative.
+		next := -1
+		for i := len(pol.picks) - 1; i >= 0; i-- {
+			if pol.picks[i] < pol.widths[i]-1 {
+				next = i
+				break
+			}
+		}
+		if next == -1 {
+			res.Exhausted = true
+			return res, nil
+		}
+		prefix = append(append([]int{}, pol.picks[:next]...), pol.picks[next]+1)
+	}
+}

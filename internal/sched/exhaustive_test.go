@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// TestExhaustiveCountsIndependentOps checks the enumeration against the
+// known multinomial: two processors each doing 2 independent stores have
+// C(4,2) = 6 interleavings.
+func TestExhaustiveCountsIndependentOps(t *testing.T) {
+	build := func(ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl})
+		w := []*machine.Word{m.NewWord(0), m.NewWord(0)}
+		return func(proc int) {
+				p := m.Proc(proc)
+				p.Store(w[proc], 1)
+				p.Store(w[proc], 2)
+			}, func() error {
+				return nil
+			}
+	}
+	res, err := ExploreExhaustive(2, 1000, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatal("tree not exhausted within budget")
+	}
+	if res.Schedules != 6 {
+		t.Errorf("schedules = %d, want C(4,2) = 6", res.Schedules)
+	}
+	if res.MaxDepth != 4 {
+		t.Errorf("max depth = %d, want 4", res.MaxDepth)
+	}
+}
+
+func TestExhaustiveThreeProcs(t *testing.T) {
+	// 3 procs × 1 store: 3! = 6 schedules.
+	build := func(ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 3, Scheduler: ctrl})
+		w := m.NewWord(0)
+		return func(proc int) {
+				m.Proc(proc).Store(w, uint64(proc))
+			}, func() error {
+				return nil
+			}
+	}
+	res, err := ExploreExhaustive(3, 100, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted || res.Schedules != 6 {
+		t.Errorf("schedules = %d (exhausted=%v), want 6", res.Schedules, res.Exhausted)
+	}
+}
+
+func TestExhaustiveBudgetCap(t *testing.T) {
+	build := func(ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl})
+		w := m.NewWord(0)
+		return func(proc int) {
+				p := m.Proc(proc)
+				for i := 0; i < 5; i++ {
+					p.Store(w, uint64(i))
+				}
+			}, func() error {
+				return nil
+			}
+	}
+	res, err := ExploreExhaustive(2, 10, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted {
+		t.Error("claimed exhaustion under a tiny budget")
+	}
+	if res.Schedules != 10 {
+		t.Errorf("schedules = %d, want exactly the budget 10", res.Schedules)
+	}
+}
+
+// TestExhaustiveFig3CounterAllSchedules verifies Figure 3's CAS counter
+// over EVERY schedule of 2 processors × 1 increment each (plus a spurious
+// failure injected at a fixed point): the counter must be exact in all of
+// them. (Two increments each is also exhaustible but needs millions of
+// schedules; see the fig5 test for a 2×2 enumeration.)
+func TestExhaustiveFig3CounterAllSchedules(t *testing.T) {
+	build := func(ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl})
+		v, err := core.NewCASVar(m, word.MustLayout(32), 0)
+		if err != nil {
+			panic(err)
+		}
+		m.Proc(0).FailNext(1) // deterministic spurious failure for proc 0
+		return func(proc int) {
+				p := m.Proc(proc)
+				for {
+					old := v.Read(p)
+					if v.CompareAndSwap(p, old, old+1) {
+						break
+					}
+				}
+			}, func() error {
+				if got := v.Read(m.Proc(0)); got != 2 {
+					return fmt.Errorf("counter = %d, want 2", got)
+				}
+				return nil
+			}
+	}
+	res, err := ExploreExhaustive(2, 500_000, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("tree not exhausted (covered %d schedules)", res.Schedules)
+	}
+	if res.Schedules < 100 {
+		t.Errorf("suspiciously few schedules: %d", res.Schedules)
+	}
+	t.Logf("fig3 verified over %d schedules (max depth %d)", res.Schedules, res.MaxDepth)
+}
+
+// TestExhaustiveFig5LLSCAllSchedules does the same for Figure 5.
+func TestExhaustiveFig5LLSCAllSchedules(t *testing.T) {
+	build := func(ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl})
+		v, err := core.NewRVar(m, word.MustLayout(32), 0)
+		if err != nil {
+			panic(err)
+		}
+		return func(proc int) {
+				p := m.Proc(proc)
+				for r := 0; r < 2; r++ {
+					for {
+						val, keep := v.LL(p)
+						if v.SC(p, keep, val+1) {
+							break
+						}
+					}
+				}
+			}, func() error {
+				if got := v.Read(m.Proc(0)); got != 4 {
+					return fmt.Errorf("counter = %d, want 4", got)
+				}
+				return nil
+			}
+	}
+	res, err := ExploreExhaustive(2, 2_000_000, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("tree not exhausted (covered %d schedules)", res.Schedules)
+	}
+	t.Logf("fig5 verified over %d schedules (max depth %d)", res.Schedules, res.MaxDepth)
+}
+
+// TestExhaustiveFig7BoundedAllSchedules verifies Figure 7 — in its
+// RLL/RSC realization, so the controller sees every shared-memory step —
+// for one increment per processor.
+func TestExhaustiveFig7BoundedAllSchedules(t *testing.T) {
+	build := func(ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl})
+		f, err := core.NewRBoundedFamily(m, 1)
+		if err != nil {
+			panic(err)
+		}
+		v, err := f.NewVar(0)
+		if err != nil {
+			panic(err)
+		}
+		return func(proc int) {
+				p, err := f.Proc(proc)
+				if err != nil {
+					panic(err)
+				}
+				for {
+					val, keep, err := v.LL(p)
+					if err != nil {
+						panic(err)
+					}
+					if v.SC(p, keep, val+1) {
+						break
+					}
+				}
+			}, func() error {
+				p, _ := f.Proc(0)
+				if got := v.Read(p); got != 2 {
+					return fmt.Errorf("counter = %d, want 2", got)
+				}
+				return nil
+			}
+	}
+	res, err := ExploreExhaustive(2, 2_000_000, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("tree not exhausted (covered %d schedules)", res.Schedules)
+	}
+	t.Logf("fig7/RLLRSC verified over %d schedules (max depth %d)", res.Schedules, res.MaxDepth)
+}
+
+// TestExhaustiveDetectsPlantedBug plants a deliberately broken "counter"
+// (plain read-then-store, no atomicity) and confirms the explorer finds
+// the lost-update schedule.
+func TestExhaustiveDetectsPlantedBug(t *testing.T) {
+	build := func(ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl})
+		w := m.NewWord(0)
+		return func(proc int) {
+				p := m.Proc(proc)
+				v := p.Load(w)  // read
+				p.Store(w, v+1) // store — not atomic!
+			}, func() error {
+				if got := m.Proc(0).Load(w); got != 2 {
+					return fmt.Errorf("lost update: counter = %d, want 2", got)
+				}
+				return nil
+			}
+	}
+	_, err := ExploreExhaustive(2, 1000, build)
+	if err == nil {
+		t.Fatal("explorer failed to find the lost-update interleaving")
+	}
+	t.Logf("found as expected: %v", err)
+}

@@ -1,0 +1,278 @@
+// Package sched provides deterministic, replayable schedulers for the
+// simulated multiprocessor in internal/machine: every shared-memory
+// operation becomes a scheduling point, exactly one processor runs at a
+// time, and the interleaving is chosen by a pluggable policy (round-robin,
+// seeded random walk, or PCT-style priority scheduling).
+//
+// This is the systematic-testing substrate for the paper's algorithms:
+// preemptive Go scheduling explores interleavings haphazardly, while a
+// serialized controller explores them *reproducibly* — a failing seed can
+// be replayed — and policies like PCT concentrate probability on the
+// low-preemption-count schedules where synchronization bugs live.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Policy picks the next processor to run from the runnable set. ready is
+// non-empty and sorted ascending; step counts scheduling decisions made
+// so far.
+type Policy interface {
+	Pick(ready []int, step int) int
+}
+
+// RoundRobin cycles through runnable processors in id order.
+type RoundRobin struct {
+	last int
+}
+
+// Pick returns the smallest runnable id greater than the previous choice,
+// wrapping around.
+func (r *RoundRobin) Pick(ready []int, step int) int {
+	for _, id := range ready {
+		if id > r.last {
+			r.last = id
+			return id
+		}
+	}
+	r.last = ready[0]
+	return ready[0]
+}
+
+// Random picks uniformly among runnable processors using a seeded source:
+// same seed, same schedule.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom builds a Random policy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick selects a uniformly random runnable processor.
+func (r *Random) Pick(ready []int, step int) int {
+	return ready[r.rng.Intn(len(ready))]
+}
+
+// PCT is the probabilistic concurrency testing policy (Burckhardt et al.):
+// processors get distinct random priorities; the highest-priority runnable
+// one runs, except at d randomly chosen step indices where the running
+// processor's priority drops below all others. With k processors and n
+// steps, each schedule in the d-preemption class is hit with probability
+// ≥ 1/(k·n^(d-1)).
+type PCT struct {
+	rng      *rand.Rand
+	prio     map[int]int
+	next     int
+	changeAt map[int]bool
+}
+
+// NewPCT builds a PCT policy for runs of roughly maxSteps scheduling
+// points with d priority-change points.
+func NewPCT(seed int64, maxSteps, d int) *PCT {
+	rng := rand.New(rand.NewSource(seed))
+	changeAt := make(map[int]bool, d)
+	for i := 0; i < d && maxSteps > 0; i++ {
+		changeAt[rng.Intn(maxSteps)] = true
+	}
+	return &PCT{rng: rng, prio: make(map[int]int), changeAt: changeAt}
+}
+
+// Pick runs the highest-priority runnable processor, demoting it first if
+// the current step is a change point.
+func (p *PCT) Pick(ready []int, step int) int {
+	best := -1
+	bestPrio := -1 << 62
+	for _, id := range ready {
+		pr, ok := p.prio[id]
+		if !ok {
+			pr = p.rng.Intn(1 << 20)
+			p.prio[id] = pr
+		}
+		if pr > bestPrio {
+			best, bestPrio = id, pr
+		}
+	}
+	if p.changeAt[step] {
+		p.next--
+		p.prio[best] = p.next // demote below every future priority
+		// Re-pick after the demotion.
+		delete(p.changeAt, step)
+		return p.Pick(ready, step)
+	}
+	return best
+}
+
+// procState tracks where each processor is in its lifecycle.
+type procState int
+
+const (
+	stateRunning procState = iota // granted, executing off-controller
+	stateReady                    // arrived at a Step, awaiting grant
+	stateDone                     // workload finished
+)
+
+// Controller serializes processor steps according to a Policy. It
+// implements machine.Scheduler; wire it in via machine.Config{Scheduler:}.
+type Controller struct {
+	n      int
+	policy Policy
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  []procState
+	turn   int // processor currently granted, or -1
+	steps  int
+	closed bool
+}
+
+// NewController builds a controller for n processors with the given
+// policy.
+func NewController(n int, policy Policy) *Controller {
+	c := &Controller{n: n, policy: policy, state: make([]procState, n), turn: -1}
+	c.cond = sync.NewCond(&c.mu)
+	for i := range c.state {
+		c.state[i] = stateRunning
+	}
+	return c
+}
+
+// Step implements machine.Scheduler: the processor parks until the policy
+// grants it the next shared-memory operation.
+func (c *Controller) Step(proc int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return // draining: run freely (teardown path)
+	}
+	c.state[proc] = stateReady
+	if c.turn == proc {
+		c.turn = -1 // we were the running proc; hand back control
+	}
+	c.schedule()
+	for c.turn != proc && !c.closed {
+		c.cond.Wait()
+	}
+	c.state[proc] = stateRunning
+}
+
+// Done marks a processor's workload complete. Run calls it automatically.
+func (c *Controller) Done(proc int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state[proc] = stateDone
+	if c.turn == proc {
+		c.turn = -1
+	}
+	c.schedule()
+}
+
+// schedule (with mu held) grants the next ready processor if none is
+// currently running.
+func (c *Controller) schedule() {
+	if c.turn != -1 {
+		return // someone is executing
+	}
+	// A processor in stateRunning but not the current turn is executing
+	// pure computation between memory ops; we must wait for it to arrive.
+	for _, st := range c.state {
+		if st == stateRunning {
+			return
+		}
+	}
+	ready := make([]int, 0, c.n)
+	for id, st := range c.state {
+		if st == stateReady {
+			ready = append(ready, id)
+		}
+	}
+	if len(ready) == 0 {
+		c.cond.Broadcast() // all done
+		return
+	}
+	c.turn = c.policy.Pick(ready, c.steps)
+	c.steps++
+	c.cond.Broadcast()
+}
+
+// Steps returns the number of scheduling decisions made.
+func (c *Controller) Steps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.steps
+}
+
+// close releases all parked processors (teardown).
+func (c *Controller) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.cond.Broadcast()
+}
+
+// Run executes one workload function per processor under the controller,
+// serialized per the policy, and returns when all complete. The workloads
+// receive their processor index; they must perform shared-memory accesses
+// only through the machine wired to this controller.
+func Run(n int, policy Policy, workload func(proc int)) *Controller {
+	c := NewController(n, policy)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer c.Done(i)
+			workload(i)
+		}(i)
+	}
+	wg.Wait()
+	c.close()
+	return c
+}
+
+// Explore runs `runs` independent executions under seeded-random
+// schedules. For each run it creates a fresh Controller (policy
+// Random(seed)), hands it to build — which wires it into a fresh machine
+// via machine.Config{Scheduler: ctrl} and returns the per-processor
+// workload plus a post-run invariant check — executes the workload
+// serialized under that schedule, and checks. It returns the first
+// failing seed (for replay) wrapped in the check's error, or (-1, nil) if
+// every schedule passes.
+func Explore(n, runs int, baseSeed int64,
+	build func(seed int64, ctrl *Controller) (workload func(proc int), check func() error)) (failSeed int64, err error) {
+	for r := 0; r < runs; r++ {
+		seed := baseSeed + int64(r)
+		ctrl := NewController(n, NewRandom(seed))
+		workload, check := build(seed, ctrl)
+		runCtl(ctrl, n, workload)
+		if cerr := check(); cerr != nil {
+			return seed, fmt.Errorf("sched: seed %d: %w", seed, cerr)
+		}
+	}
+	return -1, nil
+}
+
+// RunUnder executes one workload goroutine per processor under an
+// existing controller (e.g. one already wired into a machine and a trace
+// recorder) and returns when all complete.
+func RunUnder(c *Controller, n int, workload func(proc int)) {
+	runCtl(c, n, workload)
+}
+
+func runCtl(c *Controller, n int, workload func(proc int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer c.Done(i)
+			workload(i)
+		}(i)
+	}
+	wg.Wait()
+	c.close()
+}

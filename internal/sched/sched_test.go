@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// recording wraps a policy and logs its picks, for determinism tests.
+type recording struct {
+	inner Policy
+	picks []int
+}
+
+func (r *recording) Pick(ready []int, step int) int {
+	p := r.inner.Pick(ready, step)
+	r.picks = append(r.picks, p)
+	return p
+}
+
+func TestRoundRobinPolicy(t *testing.T) {
+	rr := &RoundRobin{last: -1}
+	ready := []int{0, 1, 2}
+	got := []int{rr.Pick(ready, 0), rr.Pick(ready, 1), rr.Pick(ready, 2), rr.Pick(ready, 3)}
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("picks = %v, want %v", got, want)
+		}
+	}
+	// Skips non-runnable ids.
+	rr = &RoundRobin{last: 0}
+	if p := rr.Pick([]int{0, 2}, 0); p != 2 {
+		t.Errorf("Pick skipping 1 = %d, want 2", p)
+	}
+}
+
+func TestRandomPolicyDeterministic(t *testing.T) {
+	a, b := NewRandom(5), NewRandom(5)
+	ready := []int{0, 1, 2, 3}
+	for i := 0; i < 100; i++ {
+		if a.Pick(ready, i) != b.Pick(ready, i) {
+			t.Fatal("same seed produced different picks")
+		}
+	}
+}
+
+func TestPCTPolicyRunsHighestPriority(t *testing.T) {
+	p := NewPCT(3, 100, 0) // no change points
+	ready := []int{0, 1, 2}
+	first := p.Pick(ready, 0)
+	for i := 1; i < 20; i++ {
+		if got := p.Pick(ready, i); got != first {
+			t.Fatalf("PCT without change points switched from %d to %d", first, got)
+		}
+	}
+}
+
+func TestPCTChangePointsDemote(t *testing.T) {
+	// With enough change points the running processor must eventually be
+	// demoted and another one run.
+	p := NewPCT(7, 10, 5)
+	ready := []int{0, 1}
+	seen := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		seen[p.Pick(ready, i)] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("PCT with 5 change points over 2 procs ran only %v", seen)
+	}
+}
+
+// counterWorkload builds a machine + CASVar counter wired to ctrl and
+// returns the workload/check pair for Explore.
+func counterWorkload(procs, rounds int) func(seed int64, ctrl *Controller) (func(int), func() error) {
+	return func(seed int64, ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: procs, Scheduler: ctrl, SpuriousFailProb: 0.1, Seed: seed})
+		v, err := core.NewCASVar(m, word.MustLayout(32), 0)
+		if err != nil {
+			panic(err)
+		}
+		workload := func(proc int) {
+			p := m.Proc(proc)
+			for r := 0; r < rounds; r++ {
+				for {
+					old := v.Read(p)
+					if v.CompareAndSwap(p, old, old+1) {
+						break
+					}
+				}
+			}
+		}
+		check := func() error {
+			got := v.Read(m.Proc(0))
+			if got != uint64(procs*rounds) {
+				return fmt.Errorf("counter = %d, want %d", got, procs*rounds)
+			}
+			return nil
+		}
+		return workload, check
+	}
+}
+
+func TestControllerSerializesAndCompletes(t *testing.T) {
+	build := counterWorkload(3, 20)
+	ctrl := NewController(3, &RoundRobin{last: -1})
+	workload, check := build(1, ctrl)
+	runCtl(ctrl, 3, workload)
+	if err := check(); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Steps() == 0 {
+		t.Error("controller made no scheduling decisions")
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	run := func() []int {
+		rec := &recording{inner: NewRandom(99)}
+		ctrl := NewController(3, rec)
+		workload, check := counterWorkload(3, 10)(99, ctrl)
+		runCtl(ctrl, 3, workload)
+		if err := check(); err != nil {
+			t.Fatal(err)
+		}
+		return rec.picks
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExploreCASVarManySchedules(t *testing.T) {
+	// Figure 3's CAS under 150 distinct serialized schedules with
+	// spurious failures: the counter must always be exact.
+	failSeed, err := Explore(3, 150, 1000, counterWorkload(3, 8))
+	if err != nil {
+		t.Fatalf("schedule exploration found a violation at seed %d: %v", failSeed, err)
+	}
+}
+
+func TestExploreRVarManySchedules(t *testing.T) {
+	build := func(seed int64, ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 3, Scheduler: ctrl, SpuriousFailProb: 0.15, Seed: seed})
+		v, err := core.NewRVar(m, word.MustLayout(32), 0)
+		if err != nil {
+			panic(err)
+		}
+		workload := func(proc int) {
+			p := m.Proc(proc)
+			for r := 0; r < 8; r++ {
+				for {
+					val, keep := v.LL(p)
+					if v.SC(p, keep, val+1) {
+						break
+					}
+				}
+			}
+		}
+		check := func() error {
+			if got := v.Read(m.Proc(0)); got != 24 {
+				return fmt.Errorf("counter = %d, want 24", got)
+			}
+			return nil
+		}
+		return workload, check
+	}
+	if failSeed, err := Explore(3, 150, 2000, build); err != nil {
+		t.Fatalf("seed %d: %v", failSeed, err)
+	}
+}
+
+func TestExploreRBoundedManySchedules(t *testing.T) {
+	// Figure 7 over RLL/RSC under systematic schedules: both the counter
+	// exactness and the slot accounting must hold on every schedule.
+	build := func(seed int64, ctrl *Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl, SpuriousFailProb: 0.1, Seed: seed})
+		f, err := core.NewRBoundedFamily(m, 2)
+		if err != nil {
+			panic(err)
+		}
+		v, err := f.NewVar(0)
+		if err != nil {
+			panic(err)
+		}
+		workload := func(proc int) {
+			p, err := f.Proc(proc)
+			if err != nil {
+				panic(err)
+			}
+			for r := 0; r < 6; r++ {
+				for {
+					val, keep, err := v.LL(p)
+					if err != nil {
+						panic(err)
+					}
+					if v.SC(p, keep, val+1) {
+						break
+					}
+				}
+			}
+		}
+		check := func() error {
+			p, _ := f.Proc(0)
+			if got := v.Read(p); got != 12 {
+				return fmt.Errorf("counter = %d, want 12", got)
+			}
+			for i := 0; i < 2; i++ {
+				pr, _ := f.Proc(i)
+				if pr.FreeSlots() != 2 {
+					return fmt.Errorf("proc %d leaked slots: %d free, want 2", i, pr.FreeSlots())
+				}
+			}
+			return nil
+		}
+		return workload, check
+	}
+	if failSeed, err := Explore(2, 150, 3000, build); err != nil {
+		t.Fatalf("seed %d: %v", failSeed, err)
+	}
+}
+
+func TestExplorePCTSchedules(t *testing.T) {
+	// PCT policy end-to-end: Fig 5 LL/SC counter under priority schedules
+	// with preemption points.
+	for seed := int64(0); seed < 50; seed++ {
+		ctrl := NewController(2, NewPCT(seed, 400, 3))
+		m := machine.MustNew(machine.Config{Procs: 2, Scheduler: ctrl, Seed: seed})
+		v, err := core.NewRVar(m, word.MustLayout(32), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runCtl(ctrl, 2, func(proc int) {
+			p := m.Proc(proc)
+			for r := 0; r < 10; r++ {
+				for {
+					val, keep := v.LL(p)
+					if v.SC(p, keep, val+1) {
+						break
+					}
+				}
+			}
+		})
+		if got := v.Read(m.Proc(0)); got != 20 {
+			t.Fatalf("seed %d: counter = %d, want 20", seed, got)
+		}
+	}
+}

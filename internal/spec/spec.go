@@ -1,0 +1,123 @@
+// Package spec implements the paper's Figure 2: the "normal" atomic
+// semantics of CAS and LL/VL/SC, realized with a single lock per variable.
+//
+// This implementation is intentionally blocking — it is the trivially
+// correct construction the paper's footnote 1 dismisses ("it is
+// straightforward to implement LL and SC using locks, but this defeats the
+// purpose of the non-blocking algorithms that use them"). It serves two
+// roles in this repository:
+//
+//   - the sequential/atomic oracle that every non-blocking implementation
+//     is cross-checked against in randomized stress tests and in the
+//     linearizability checker's sequential model; and
+//   - the lock-based baseline for the application benchmarks (E8).
+//
+// Semantics (Figure 2, for process p; valid is a per-variable array of
+// booleans, one per process):
+//
+//	CAS(X,v,w) ≡ if X = v then X := w; return true else return false
+//	LL(X)      ≡ valid[p] := true; return X
+//	VL(X)      ≡ return valid[p]
+//	SC(X,v)    ≡ if valid[p] then X := v; valid[i] := false for all i;
+//	             return true else return false
+//
+// The semantics of VL and SC are undefined if p has not executed an LL
+// since its most recent SC; like the paper, this implementation leaves that
+// usage to the caller (it behaves as if the last LL were still pending).
+package spec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Register is one shared variable with Figure 2 semantics for N processes.
+type Register struct {
+	mu    sync.Mutex
+	val   uint64
+	valid []bool
+}
+
+// NewRegister creates a Register for n processes holding initial.
+func NewRegister(n int, initial uint64) (*Register, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("spec: process count must be at least 1, got %d", n)
+	}
+	return &Register{val: initial, valid: make([]bool, n)}, nil
+}
+
+// MustNewRegister is NewRegister for statically valid arguments.
+func MustNewRegister(n int, initial uint64) *Register {
+	r, err := NewRegister(n, initial)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Read returns the current value (an atomic read).
+func (r *Register) Read() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.val
+}
+
+// Write sets the value and invalidates all outstanding LLs, as any
+// successful store must under Figure 2 semantics.
+func (r *Register) Write(v uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.val = v
+	r.invalidateAll()
+}
+
+// CAS atomically compares the value with old and, if equal, replaces it
+// with new. A successful CAS that changes the value invalidates all
+// outstanding LLs (it is a store); a no-op CAS (old == new) does not.
+func (r *Register) CAS(old, new uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.val != old {
+		return false
+	}
+	if old != new {
+		r.val = new
+		r.invalidateAll()
+	}
+	return true
+}
+
+// LL performs a load-linked for process p.
+func (r *Register) LL(p int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.valid[p] = true
+	return r.val
+}
+
+// VL reports whether process p's outstanding LL is still valid.
+func (r *Register) VL(p int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.valid[p]
+}
+
+// SC attempts process p's store-conditional of v. It succeeds iff no
+// successful SC (or other store) has occurred since p's last LL, in which
+// case it stores v and invalidates all outstanding LLs.
+func (r *Register) SC(p int, v uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.valid[p] {
+		return false
+	}
+	r.val = v
+	r.invalidateAll()
+	return true
+}
+
+func (r *Register) invalidateAll() {
+	for i := range r.valid {
+		r.valid[i] = false
+	}
+}

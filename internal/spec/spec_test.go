@@ -1,0 +1,163 @@
+package spec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewRegisterValidation(t *testing.T) {
+	if _, err := NewRegister(0, 0); err == nil {
+		t.Error("NewRegister(0) should error")
+	}
+	if _, err := NewRegister(1, 0); err != nil {
+		t.Errorf("NewRegister(1) unexpected error: %v", err)
+	}
+}
+
+func TestMustNewRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewRegister(-1) did not panic")
+		}
+	}()
+	MustNewRegister(-1, 0)
+}
+
+func TestReadWrite(t *testing.T) {
+	r := MustNewRegister(2, 10)
+	if got := r.Read(); got != 10 {
+		t.Errorf("initial Read = %d, want 10", got)
+	}
+	r.Write(20)
+	if got := r.Read(); got != 20 {
+		t.Errorf("Read after Write = %d, want 20", got)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	r := MustNewRegister(1, 5)
+	if !r.CAS(5, 6) {
+		t.Error("CAS with matching old failed")
+	}
+	if r.CAS(5, 7) {
+		t.Error("CAS with stale old succeeded")
+	}
+	if got := r.Read(); got != 6 {
+		t.Errorf("value = %d, want 6", got)
+	}
+	// No-op CAS succeeds.
+	if !r.CAS(6, 6) {
+		t.Error("no-op CAS failed")
+	}
+}
+
+func TestLLSCBasic(t *testing.T) {
+	r := MustNewRegister(2, 0)
+	v := r.LL(0)
+	if v != 0 {
+		t.Fatalf("LL = %d, want 0", v)
+	}
+	if !r.VL(0) {
+		t.Fatal("VL false immediately after LL")
+	}
+	if !r.SC(0, 1) {
+		t.Fatal("uncontended SC failed")
+	}
+	if got := r.Read(); got != 1 {
+		t.Errorf("value = %d, want 1", got)
+	}
+}
+
+func TestSCInvalidatesAllProcesses(t *testing.T) {
+	r := MustNewRegister(3, 0)
+	r.LL(0)
+	r.LL(1)
+	r.LL(2)
+	if !r.SC(1, 5) {
+		t.Fatal("SC by p1 failed")
+	}
+	if r.VL(0) || r.VL(2) {
+		t.Error("VL true for other processes after successful SC")
+	}
+	if r.SC(0, 6) {
+		t.Error("SC by p0 succeeded after p1's SC")
+	}
+	if r.SC(2, 7) {
+		t.Error("SC by p2 succeeded after p1's SC")
+	}
+}
+
+func TestWriteInvalidates(t *testing.T) {
+	r := MustNewRegister(2, 0)
+	r.LL(0)
+	r.Write(9)
+	if r.VL(0) {
+		t.Error("VL true after Write")
+	}
+	if r.SC(0, 1) {
+		t.Error("SC succeeded after Write")
+	}
+}
+
+func TestSuccessfulCASInvalidates(t *testing.T) {
+	r := MustNewRegister(2, 0)
+	r.LL(0)
+	if !r.CAS(0, 3) {
+		t.Fatal("CAS failed")
+	}
+	if r.VL(0) {
+		t.Error("VL true after value-changing CAS")
+	}
+}
+
+func TestNoOpCASDoesNotInvalidate(t *testing.T) {
+	// Figure 2's CAS only stores when it changes the value; a CAS(v,v)
+	// linearizes as a read and must not clear valid bits.
+	r := MustNewRegister(2, 4)
+	r.LL(0)
+	if !r.CAS(4, 4) {
+		t.Fatal("no-op CAS failed")
+	}
+	if !r.VL(0) {
+		t.Error("VL false after no-op CAS")
+	}
+	if !r.SC(0, 5) {
+		t.Error("SC failed after no-op CAS")
+	}
+}
+
+func TestFailedCASDoesNotInvalidate(t *testing.T) {
+	r := MustNewRegister(2, 4)
+	r.LL(0)
+	if r.CAS(9, 1) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if !r.VL(0) {
+		t.Error("VL false after failed CAS")
+	}
+}
+
+func TestConcurrentSCCounter(t *testing.T) {
+	const procs = 8
+	const rounds = 2000
+	r := MustNewRegister(procs, 0)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for {
+					v := r.LL(p)
+					if r.SC(p, v+1) {
+						break
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := r.Read(); got != procs*rounds {
+		t.Errorf("final counter = %d, want %d", got, procs*rounds)
+	}
+}

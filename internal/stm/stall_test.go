@@ -1,0 +1,150 @@
+package stm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReaderCompletesDecidedStalledTransaction freezes a transaction in
+// the decided-but-unwritten state and shows a Read helps it to completion
+// rather than returning the stale pre-commit value.
+func TestReaderCompletesDecidedStalledTransaction(t *testing.T) {
+	m := MustNew(2)
+	if err := m.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	m.stallAfterDecide = func(d *txn) {
+		m.stallAfterDecide = nil // only the first transaction stalls
+		close(stalled)
+		<-release
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ok, err := m.MCAS([]int{0, 1}, []uint64{1, 2}, []uint64{10, 20})
+		if err != nil || !ok {
+			t.Errorf("stalled MCAS = (%v,%v)", ok, err)
+		}
+	}()
+	<-stalled
+
+	// The transaction has decided Succeeded but written nothing. A Read
+	// must complete it and return the NEW values.
+	if v, err := m.Read(0); err != nil || v != 10 {
+		t.Errorf("Read(0) during stall = (%d,%v), want (10,nil)", v, err)
+	}
+	if v, err := m.Read(1); err != nil || v != 20 {
+		t.Errorf("Read(1) during stall = (%d,%v), want (20,nil)", v, err)
+	}
+
+	close(release)
+	<-done
+	if v, _ := m.Read(0); v != 10 {
+		t.Errorf("Read(0) after release = %d, want 10", v)
+	}
+}
+
+// TestContenderCompletesDecidedStalledTransaction shows a conflicting
+// MCAS (not just a Read) completes a decided-but-stalled transaction and
+// then proceeds against the committed values.
+func TestContenderCompletesDecidedStalledTransaction(t *testing.T) {
+	m := MustNew(2)
+
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	m.stallAfterDecide = func(d *txn) {
+		m.stallAfterDecide = nil
+		close(stalled)
+		<-release
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ok, err := m.MCAS([]int{0, 1}, []uint64{0, 0}, []uint64{5, 6})
+		if err != nil || !ok {
+			t.Errorf("stalled MCAS = (%v,%v)", ok, err)
+		}
+	}()
+	<-stalled
+
+	// Conflicting MCAS from the main goroutine: must help, then succeed
+	// against the new values.
+	ok, err := m.MCAS([]int{0, 1}, []uint64{5, 6}, []uint64{7, 8})
+	if err != nil || !ok {
+		t.Fatalf("contending MCAS = (%v,%v), want (true,nil)", ok, err)
+	}
+	close(release)
+	<-done
+	if v, _ := m.Read(0); v != 7 {
+		t.Errorf("final mem[0] = %d, want 7", v)
+	}
+}
+
+// TestContenderAbortsActiveStalledTransaction stalls a transaction
+// mid-acquire (Active, holding one of its two addresses) and shows a
+// contender forcibly aborts it and proceeds; the stalled transaction then
+// retries and also completes.
+func TestContenderAbortsActiveStalledTransaction(t *testing.T) {
+	m := MustNew(2)
+
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	m.stallMidAcquire = func(d *txn) {
+		if !first {
+			return
+		}
+		first = false
+		close(stalled)
+		<-release
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Increments both words; will be aborted once, then retried by
+		// MCAS's internal loop... MCAS retries only on Aborted status, so
+		// the final state must reflect BOTH transactions.
+		ok, err := m.MCAS([]int{0, 1}, []uint64{0, 0}, []uint64{1, 1})
+		if err != nil {
+			t.Errorf("stalled MCAS error: %v", err)
+			return
+		}
+		// After the abort it retries; the contender changed word 1 only,
+		// so the retry sees {0, 100} and reports a clean mismatch.
+		if ok {
+			t.Error("stalled MCAS reported success despite the contender's conflicting commit")
+		}
+	}()
+	<-stalled
+
+	// The stalled transaction owns word 0 (Active). A contender on word 1
+	// must NOT be blocked... word 1 is free, but a contender on word 0
+	// must abort the stalled owner within its spin budget.
+	start := time.Now()
+	ok, err := m.MCAS([]int{1}, []uint64{0}, []uint64{100})
+	if err != nil || !ok {
+		t.Fatalf("disjoint MCAS = (%v,%v)", ok, err)
+	}
+	ok, err = m.MCAS([]int{0}, []uint64{0}, []uint64{200})
+	if err != nil || !ok {
+		t.Fatalf("conflicting MCAS = (%v,%v) after %v", ok, err, time.Since(start))
+	}
+
+	close(release)
+	<-done
+	if v, _ := m.Read(0); v != 200 {
+		t.Errorf("mem[0] = %d, want 200", v)
+	}
+	if v, _ := m.Read(1); v != 100 {
+		t.Errorf("mem[1] = %d, want 100", v)
+	}
+}

@@ -1,0 +1,82 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStatsCountsCommitsAndMismatches(t *testing.T) {
+	m := MustNew(2)
+	if ok, _ := m.MCAS([]int{0}, []uint64{0}, []uint64{1}); !ok {
+		t.Fatal("commit failed")
+	}
+	if ok, _ := m.MCAS([]int{0}, []uint64{0}, []uint64{2}); ok {
+		t.Fatal("stale MCAS succeeded")
+	}
+	st := m.Stats()
+	if st.Commits != 1 {
+		t.Errorf("Commits = %d, want 1", st.Commits)
+	}
+	if st.Mismatches != 1 {
+		t.Errorf("Mismatches = %d, want 1", st.Mismatches)
+	}
+	if st.ForcedAborts != 0 || st.Helps != 0 {
+		t.Errorf("unexpected aborts/helps: %+v", st)
+	}
+}
+
+func TestStatsCountsHelpsAndAborts(t *testing.T) {
+	m := MustNew(2)
+
+	// Force a help: stall a decided transaction; a Read completes it.
+	stalled := make(chan struct{})
+	release := make(chan struct{})
+	m.stallAfterDecide = func(d *txn) {
+		m.stallAfterDecide = nil
+		close(stalled)
+		<-release
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.MCAS([]int{0, 1}, []uint64{0, 0}, []uint64{1, 2})
+	}()
+	<-stalled
+	if _, err := m.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	<-done
+	if st := m.Stats(); st.Helps == 0 {
+		t.Errorf("Helps = 0 after a reader completed a stalled transaction")
+	}
+
+	// Force an abort: stall an Active transaction mid-acquire; a
+	// conflicting MCAS aborts it.
+	stalled2 := make(chan struct{})
+	release2 := make(chan struct{})
+	first := true
+	m.stallMidAcquire = func(d *txn) {
+		if !first {
+			return
+		}
+		first = false
+		close(stalled2)
+		<-release2
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.MCAS([]int{0, 1}, []uint64{1, 2}, []uint64{3, 4})
+	}()
+	<-stalled2
+	if ok, err := m.MCAS([]int{0}, []uint64{1}, []uint64{9}); err != nil || !ok {
+		t.Fatalf("contending MCAS = (%v,%v)", ok, err)
+	}
+	close(release2)
+	wg.Wait()
+	if st := m.Stats(); st.ForcedAborts == 0 {
+		t.Errorf("ForcedAborts = 0 after a contender aborted a stalled transaction")
+	}
+}

@@ -1,0 +1,377 @@
+// Package stm implements a static software transactional memory in the
+// spirit of Shavit & Touitou [14], built on the paper's LL/VL/SC primitive
+// (internal/core.Var, Figure 4). It substantiates the paper's Section 5
+// claim — contra Greenwald & Cheriton — that "STM can be implemented in
+// existing systems": everything below compiles to plain 64-bit CAS.
+//
+// Architecture. Each memory word is an LL/SC variable (a core.Var), and
+// each word has an ownership slot pointing at the descriptor of the
+// transaction that currently owns it. A transaction acquires ownership of
+// its (sorted) address set, validates expected values, decides by a single
+// atomic status transition — the linearization point — then writes its new
+// values and releases. Descriptors are allocated per transaction; Go's GC
+// plays the role that Shavit–Touitou's memory-management assumptions play
+// in [14], guaranteeing a descriptor is never recycled while a helper
+// still holds it (the subtle race that breaks naive slot-reuse schemes).
+//
+// Non-blockingness. Only the owning process installs its own descriptor
+// (so an install can never chase its own release), but ANY process that
+// encounters a decided transaction completes it — committed values are
+// never stranded. A process blocked by an Active transaction first spins
+// briefly, then forcibly aborts it; the aborted transaction retries. This
+// makes the memory obstruction-free with bounded-blocking (no stalled
+// process can block others for more than the spin budget), the same
+// practical progress regime as modern OSTMs; transactions acquire in
+// global address order, so blocking chains are acyclic and short.
+//
+// The package exposes the general MCAS (CASn), the DCAS the paper
+// discusses, a linearizable Read, and an optimistic Atomically combinator.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// stmLayout is the tag|value layout of the data words: 40-bit tags,
+// 24-bit values.
+var stmLayout = word.MustLayout(40)
+
+// MaxValue is the largest value a memory word can hold (24 bits).
+const MaxValue = 1<<24 - 1
+
+// spinBudget is how many times a blocked process re-examines an Active
+// blocker before forcibly aborting it.
+const spinBudget = 64
+
+// Transaction status values. The status field transitions exactly once,
+// from statusActive to one of the terminal states.
+const (
+	statusActive int32 = iota
+	statusSucceeded
+	statusMismatch // an expected value did not match: the MCAS reports false
+	statusAborted  // forcibly aborted by a blocked process: the MCAS retries
+)
+
+var (
+	// ErrBadAddress is returned for out-of-range or duplicate addresses.
+	ErrBadAddress = errors.New("stm: address out of range or duplicated")
+	// ErrBadValue is returned when a value exceeds MaxValue.
+	ErrBadValue = errors.New("stm: value exceeds the 24-bit value field")
+	// ErrLengthMismatch is returned when MCAS slice lengths differ.
+	ErrLengthMismatch = errors.New("stm: addrs, expected, and new slices must have equal length")
+)
+
+// txn is one transaction descriptor. addrs/expected/newvals are immutable
+// after construction; only status changes, monotonically.
+type txn struct {
+	status   atomic.Int32
+	addrs    []int
+	expected []uint64
+	newvals  []uint64
+}
+
+// Memory is a word-addressed transactional memory.
+type Memory struct {
+	vals []core.Var
+	own  []atomic.Pointer[txn]
+
+	stats struct {
+		commits  atomic.Uint64
+		mismatch atomic.Uint64
+		aborts   atomic.Uint64
+		helps    atomic.Uint64
+	}
+
+	// stallAfterDecide, when non-nil, is invoked by run between the
+	// decision and complete. Tests use it to freeze a transaction in the
+	// decided-but-unwritten state and prove that readers and contenders
+	// complete it. Never set in production.
+	stallAfterDecide func(d *txn)
+	// stallMidAcquire, when non-nil, is invoked by run after acquiring
+	// the first address of a multi-address transaction, before the rest.
+	stallMidAcquire func(d *txn)
+}
+
+// Stats is a snapshot of a Memory's transaction counters.
+type Stats struct {
+	// Commits counts transactions that decided Succeeded.
+	Commits uint64
+	// Mismatches counts MCAS attempts that failed expected-value checks.
+	Mismatches uint64
+	// ForcedAborts counts transactions aborted by contenders (each is
+	// retried internally by MCAS).
+	ForcedAborts uint64
+	// Helps counts completions of OTHER processes' decided transactions.
+	Helps uint64
+}
+
+// Stats returns the memory's cumulative transaction counters.
+func (m *Memory) Stats() Stats {
+	return Stats{
+		Commits:      m.stats.commits.Load(),
+		Mismatches:   m.stats.mismatch.Load(),
+		ForcedAborts: m.stats.aborts.Load(),
+		Helps:        m.stats.helps.Load(),
+	}
+}
+
+// New creates a Memory of the given number of words, all zero.
+func New(words int) (*Memory, error) {
+	if words < 1 {
+		return nil, fmt.Errorf("stm: memory size must be at least 1 word, got %d", words)
+	}
+	m := &Memory{
+		vals: make([]core.Var, words),
+		own:  make([]atomic.Pointer[txn], words),
+	}
+	for i := range m.vals {
+		if err := m.vals[i].Init(stmLayout, 0); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New for statically valid sizes.
+func MustNew(words int) *Memory {
+	m, err := New(words)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Words returns the memory size in words.
+func (m *Memory) Words() int { return len(m.vals) }
+
+// Read returns the value of address a at a linearizable point. If a is
+// owned by a decided transaction, Read completes it first, so it never
+// observes a committed-but-unwritten state; values under an Active
+// transaction read as the pre-transaction state (the transaction has not
+// linearized yet).
+func (m *Memory) Read(a int) (uint64, error) {
+	if a < 0 || a >= len(m.vals) {
+		return 0, ErrBadAddress
+	}
+	for {
+		v, kv := m.vals[a].LL()
+		if e := m.own[a].Load(); e != nil {
+			if e.status.Load() != statusActive {
+				m.stats.helps.Add(1)
+				m.complete(e)
+				continue
+			}
+			// Active owner: it has not decided, so the current word is
+			// still the last committed value.
+		}
+		if m.vals[a].VL(kv) {
+			return v, nil
+		}
+	}
+}
+
+// Write stores v to address a as a one-word transaction.
+func (m *Memory) Write(a int, v uint64) error {
+	for {
+		cur, err := m.Read(a)
+		if err != nil {
+			return err
+		}
+		ok, err := m.MCAS([]int{a}, []uint64{cur}, []uint64{v})
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// MCAS atomically compares the words named by addrs against expected and,
+// if all match, replaces them with newvals, returning whether it
+// committed. The slices must have equal length; addresses must be
+// distinct and in range; values must fit MaxValue. Safe for concurrent
+// use from any goroutine.
+func (m *Memory) MCAS(addrs []int, expected, newvals []uint64) (bool, error) {
+	n := len(addrs)
+	if len(expected) != n || len(newvals) != n {
+		return false, ErrLengthMismatch
+	}
+	if n == 0 {
+		return true, nil
+	}
+	// Sort a private copy of the triple by address: the global
+	// acquisition order keeps blocking chains acyclic.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return addrs[idx[i]] < addrs[idx[j]] })
+	sa := make([]int, n)
+	se := make([]uint64, n)
+	sn := make([]uint64, n)
+	prev := -1
+	for i, k := range idx {
+		a := addrs[k]
+		if a < 0 || a >= len(m.vals) || a == prev {
+			return false, ErrBadAddress
+		}
+		if expected[k] > MaxValue || newvals[k] > MaxValue {
+			return false, ErrBadValue
+		}
+		prev = a
+		sa[i], se[i], sn[i] = a, expected[k], newvals[k]
+	}
+
+	for attempt := 0; ; attempt++ {
+		d := &txn{addrs: sa, expected: se, newvals: sn}
+		m.run(d)
+		switch d.status.Load() {
+		case statusSucceeded:
+			m.stats.commits.Add(1)
+			return true, nil
+		case statusMismatch:
+			m.stats.mismatch.Add(1)
+			return false, nil
+		case statusAborted:
+			m.stats.aborts.Add(1)
+			// Forcibly aborted by a contender; back off and retry.
+			for i := 0; i < attempt && i < 32; i++ {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// DCAS is the double compare-and-swap of the paper's Section 5 discussion
+// (Greenwald & Cheriton's primitive), derived from MCAS with n = 2.
+func (m *Memory) DCAS(a1, a2 int, e1, e2, n1, n2 uint64) (bool, error) {
+	return m.MCAS([]int{a1, a2}, []uint64{e1, e2}, []uint64{n1, n2})
+}
+
+// Atomically runs f as a transaction over addrs: f receives the current
+// values in cur and fills next; the update commits iff the read values
+// are unchanged at commit time, otherwise f re-runs on fresh values. f
+// must be pure (it may run many times; losing runs are discarded). It
+// returns the snapshot the committing run observed.
+func (m *Memory) Atomically(addrs []int, f func(cur, next []uint64)) ([]uint64, error) {
+	n := len(addrs)
+	cur := make([]uint64, n)
+	next := make([]uint64, n)
+	for {
+		for i, a := range addrs {
+			v, err := m.Read(a)
+			if err != nil {
+				return nil, err
+			}
+			cur[i] = v
+		}
+		f(cur, next)
+		ok, err := m.MCAS(addrs, cur, next)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return cur, nil
+		}
+	}
+}
+
+// run drives a fresh transaction d owned by the calling goroutine:
+// acquire in address order, validate, decide, complete. Only the owner
+// installs d into ownership slots; everyone may complete a decided d.
+func (m *Memory) run(d *txn) {
+	for ai, a := range d.addrs {
+		if ai == 1 && m.stallMidAcquire != nil {
+			m.stallMidAcquire(d)
+		}
+		spins := 0
+		for {
+			if d.status.Load() != statusActive {
+				goto decided // aborted by a contender mid-acquire
+			}
+			e := m.own[a].Load()
+			if e == d {
+				break // already installed (we retried after a spurious failure)
+			}
+			if e == nil {
+				if m.own[a].CompareAndSwap(nil, d) {
+					break
+				}
+				continue
+			}
+			if e.status.Load() != statusActive {
+				m.stats.helps.Add(1)
+				m.complete(e) // finish the decided blocker, freeing the slot
+				continue
+			}
+			// Active blocker. Spin briefly — it is probably mid-flight —
+			// then abort it so a stalled process cannot block us forever.
+			spins++
+			if spins <= spinBudget {
+				runtime.Gosched()
+				continue
+			}
+			e.status.CompareAndSwap(statusActive, statusAborted)
+		}
+	}
+
+	// Validation: we own every address, so the data words are stable
+	// (writers must own, and helpers write only after a decision).
+	for i, a := range d.addrs {
+		v, _ := m.vals[a].LL()
+		if d.status.Load() != statusActive {
+			goto decided
+		}
+		if v != d.expected[i] {
+			d.status.CompareAndSwap(statusActive, statusMismatch)
+			goto decided
+		}
+	}
+	d.status.CompareAndSwap(statusActive, statusSucceeded)
+
+decided:
+	if m.stallAfterDecide != nil {
+		m.stallAfterDecide(d)
+	}
+	m.complete(d)
+}
+
+// complete finishes a decided transaction: on success it writes the new
+// values into the still-owned words, then releases the ownership slots.
+// It is idempotent and may be executed concurrently by any number of
+// processes; every write is either a pointer CAS keyed to d's identity or
+// an SC keyed to an LL taken under a verified own==d, so stale completers
+// cannot disturb later transactions.
+func (m *Memory) complete(d *txn) {
+	st := d.status.Load()
+	if st == statusActive {
+		return // defensive; callers pass decided transactions only
+	}
+	for i, a := range d.addrs {
+		for {
+			if m.own[a].Load() != d {
+				break // released (value already final for this address)
+			}
+			if st == statusSucceeded {
+				v, kv := m.vals[a].LL()
+				if m.own[a].Load() != d {
+					break
+				}
+				if v != d.newvals[i] {
+					if !m.vals[a].SC(kv, d.newvals[i]) {
+						continue
+					}
+				}
+			}
+			m.own[a].CompareAndSwap(d, nil)
+		}
+	}
+}

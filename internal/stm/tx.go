@@ -1,0 +1,163 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrConflict signals that a transaction observed state that changed
+// under it. Transaction bodies that receive it from Tx.Read should return
+// it unchanged; RunTx then restarts the body on fresh state. RunTx never
+// returns ErrConflict to its caller.
+var ErrConflict = errors.New("stm: transaction conflict, will retry")
+
+// Tx is a dynamic transaction: unlike the static MCAS interface, the
+// address set need not be declared up front — reads and writes are
+// tracked as they happen and the commit validates the whole read set
+// while applying the write set atomically (via MCAS).
+//
+// Reads are opaque: every Read revalidates the prior read set, so a
+// transaction body never observes two reads from different committed
+// states (it gets ErrConflict instead of garbage).
+type Tx struct {
+	m      *Memory
+	reads  map[int]uint64
+	writes map[int]uint64
+	order  []int // read/write addresses in first-touch order, for diagnostics
+}
+
+// Read returns the value of address a as of the transaction's snapshot,
+// recording it in the read set. It returns ErrConflict if the snapshot
+// has been invalidated by a concurrent commit.
+func (tx *Tx) Read(a int) (uint64, error) {
+	if v, ok := tx.writes[a]; ok {
+		return v, nil // read-your-writes
+	}
+	if v, ok := tx.reads[a]; ok {
+		return v, nil
+	}
+	v, err := tx.m.Read(a)
+	if err != nil {
+		return 0, err
+	}
+	// Opacity: the new read must belong to the same committed state as
+	// every earlier read.
+	for addr, seen := range tx.reads {
+		cur, err := tx.m.Read(addr)
+		if err != nil {
+			return 0, err
+		}
+		if cur != seen {
+			return 0, ErrConflict
+		}
+	}
+	tx.reads[a] = v
+	tx.order = append(tx.order, a)
+	return v, nil
+}
+
+// Write buffers a store of v to address a; it takes effect atomically at
+// commit. Values must fit MaxValue.
+func (tx *Tx) Write(a int, v uint64) error {
+	if a < 0 || a >= len(tx.m.vals) {
+		return ErrBadAddress
+	}
+	if v > MaxValue {
+		return ErrBadValue
+	}
+	if _, seen := tx.writes[a]; !seen {
+		if _, read := tx.reads[a]; !read {
+			tx.order = append(tx.order, a)
+		}
+	}
+	tx.writes[a] = v
+	return nil
+}
+
+// Footprint returns the addresses the transaction has touched, in
+// first-touch order (diagnostics and tests).
+func (tx *Tx) Footprint() []int {
+	return append([]int(nil), tx.order...)
+}
+
+// RunTx executes fn transactionally: fn's reads all come from one
+// committed state and its writes apply atomically, or fn is re-run. If fn
+// returns a non-nil error other than ErrConflict, the transaction aborts
+// with no effect and RunTx returns that error. Lock-free in the same
+// sense as MCAS.
+func (m *Memory) RunTx(fn func(tx *Tx) error) error {
+	for {
+		tx := &Tx{m: m, reads: make(map[int]uint64), writes: make(map[int]uint64)}
+		err := fn(tx)
+		if errors.Is(err, ErrConflict) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if len(tx.writes) == 0 {
+			// Read-only: the opacity checks in Read already guarantee the
+			// reads form a consistent snapshot... of the state as of the
+			// LAST read. Validate once more so the snapshot is current at
+			// the linearization point.
+			if tx.validateReads() {
+				return nil
+			}
+			continue
+		}
+		ok, err := tx.commit()
+		if err != nil {
+			return fmt.Errorf("stm: commit: %w", err)
+		}
+		if ok {
+			return nil
+		}
+	}
+}
+
+// validateReads re-reads the read set and reports whether it is unchanged.
+func (tx *Tx) validateReads() bool {
+	for addr, seen := range tx.reads {
+		cur, err := tx.m.Read(addr)
+		if err != nil || cur != seen {
+			return false
+		}
+	}
+	return true
+}
+
+// commit validates the read set and applies the write set atomically.
+func (tx *Tx) commit() (bool, error) {
+	addrs := make([]int, 0, len(tx.reads)+len(tx.writes))
+	for a := range tx.reads {
+		addrs = append(addrs, a)
+	}
+	for a := range tx.writes {
+		if _, alsoRead := tx.reads[a]; !alsoRead {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Ints(addrs)
+	expected := make([]uint64, len(addrs))
+	newvals := make([]uint64, len(addrs))
+	for i, a := range addrs {
+		if v, ok := tx.reads[a]; ok {
+			expected[i] = v
+		} else {
+			// Blind write: expect whatever is there right now; if it
+			// moves before the MCAS lands, the MCAS fails and we retry.
+			v, err := tx.m.Read(a)
+			if err != nil {
+				return false, err
+			}
+			expected[i] = v
+		}
+		if v, ok := tx.writes[a]; ok {
+			newvals[i] = v
+		} else {
+			newvals[i] = expected[i] // read-only address: validate, keep
+		}
+	}
+	return tx.m.MCAS(addrs, expected, newvals)
+}

@@ -1,0 +1,226 @@
+package stm
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestTxBasicReadWrite(t *testing.T) {
+	m := MustNew(4)
+	err := m.RunTx(func(tx *Tx) error {
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		return tx.Write(1, v+10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read(1); v != 10 {
+		t.Errorf("mem[1] = %d, want 10", v)
+	}
+}
+
+func TestTxReadYourWrites(t *testing.T) {
+	m := MustNew(2)
+	err := m.RunTx(func(tx *Tx) error {
+		if err := tx.Write(0, 7); err != nil {
+			return err
+		}
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("read-your-writes: got %d, want 7", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxAbortHasNoEffect(t *testing.T) {
+	m := MustNew(2)
+	sentinel := errors.New("user abort")
+	err := m.RunTx(func(tx *Tx) error {
+		if err := tx.Write(0, 99); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("RunTx error = %v, want sentinel", err)
+	}
+	if v, _ := m.Read(0); v != 0 {
+		t.Errorf("aborted write leaked: mem[0] = %d", v)
+	}
+}
+
+func TestTxValidationErrors(t *testing.T) {
+	m := MustNew(2)
+	err := m.RunTx(func(tx *Tx) error {
+		return tx.Write(5, 1)
+	})
+	if !errors.Is(err, ErrBadAddress) {
+		t.Errorf("out-of-range Write error = %v, want ErrBadAddress", err)
+	}
+	err = m.RunTx(func(tx *Tx) error {
+		return tx.Write(0, MaxValue+1)
+	})
+	if !errors.Is(err, ErrBadValue) {
+		t.Errorf("oversized Write error = %v, want ErrBadValue", err)
+	}
+}
+
+func TestTxFootprint(t *testing.T) {
+	m := MustNew(8)
+	_ = m.RunTx(func(tx *Tx) error {
+		tx.Read(3)
+		tx.Write(1, 5)
+		tx.Read(3) // repeat: no new footprint entry
+		fp := tx.Footprint()
+		if len(fp) != 2 || fp[0] != 3 || fp[1] != 1 {
+			t.Errorf("Footprint = %v, want [3 1]", fp)
+		}
+		return nil
+	})
+}
+
+func TestTxBlindWrite(t *testing.T) {
+	m := MustNew(2)
+	if err := m.Write(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	err := m.RunTx(func(tx *Tx) error {
+		return tx.Write(0, 42) // no read first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read(0); v != 42 {
+		t.Errorf("mem[0] = %d, want 42", v)
+	}
+}
+
+func TestTxConcurrentTransfersConserve(t *testing.T) {
+	const accounts = 8
+	const workers = 6
+	const transfers = 600
+	m := MustNew(accounts)
+	for a := 0; a < accounts; a++ {
+		if err := m.Write(a, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfers; i++ {
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				err := m.RunTx(func(tx *Tx) error {
+					fv, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					if fv == 0 {
+						return nil // insufficient funds; commit nothing
+					}
+					if err := tx.Write(from, fv-1); err != nil {
+						return err
+					}
+					return tx.Write(to, tv+1)
+				})
+				if err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for a := 0; a < accounts; a++ {
+		v, _ := m.Read(a)
+		total += v
+	}
+	if total != accounts*100 {
+		t.Errorf("total = %d, want %d", total, accounts*100)
+	}
+}
+
+func TestTxOpaqueReads(t *testing.T) {
+	// Writers keep the pair {x, x}; a transaction that reads both words
+	// must never see a mixed pair — Tx.Read's revalidation converts the
+	// inconsistency into ErrConflict and RunTx retries.
+	m := MustNew(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if ok, err := m.MCAS([]int{0, 1}, []uint64{i - 1, i - 1}, []uint64{i, i}); err != nil || !ok {
+				t.Errorf("writer round %d: (%v,%v)", i, ok, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		err := m.RunTx(func(tx *Tx) error {
+			a, err := tx.Read(0)
+			if err != nil {
+				return err
+			}
+			b, err := tx.Read(1)
+			if err != nil {
+				return err
+			}
+			if a != b {
+				t.Errorf("torn transactional read: %d vs %d", a, b)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("read tx: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTxReadOnlySnapshotIsCurrent(t *testing.T) {
+	m := MustNew(1)
+	if err := m.Write(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	err := m.RunTx(func(tx *Tx) error {
+		v, err := tx.Read(0)
+		got = v
+		return err
+	})
+	if err != nil || got != 3 {
+		t.Fatalf("read-only tx = (%d, %v), want (3, nil)", got, err)
+	}
+}

@@ -1,0 +1,54 @@
+package structures
+
+import (
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// counterLayout gives counters 32 data bits with a 32-bit tag.
+var counterLayout = word.MustLayout(32)
+
+// Counter is a lock-free fetch-and-op counter built on one LL/SC variable
+// — the canonical one-word consumer of the paper's primitives. Values are
+// 32-bit and wrap modulo 2³².
+type Counter struct {
+	v core.Var
+}
+
+// NewCounter creates a counter holding initial (masked to 32 bits).
+func NewCounter(initial uint64) *Counter {
+	c := &Counter{}
+	if err := c.v.Init(counterLayout, initial&counterLayout.MaxVal()); err != nil {
+		panic(err) // unreachable: the value is masked
+	}
+	return c
+}
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Read() }
+
+// Add atomically adds delta and returns the new value. Lock-free.
+func (c *Counter) Add(delta uint64) uint64 {
+	return c.FetchOp(func(v uint64) uint64 { return v + delta })
+}
+
+// Increment is Add(1).
+func (c *Counter) Increment() uint64 { return c.Add(1) }
+
+// Decrement is Add(-1) modulo 2³².
+func (c *Counter) Decrement() uint64 {
+	return c.FetchOp(func(v uint64) uint64 { return v - 1 })
+}
+
+// FetchOp atomically replaces the value v with f(v) (masked to 32 bits)
+// and returns the new value. f may be called multiple times under
+// contention and must be pure. Lock-free.
+func (c *Counter) FetchOp(f func(uint64) uint64) uint64 {
+	for {
+		v, keep := c.v.LL()
+		next := f(v) & counterLayout.MaxVal()
+		if c.v.SC(keep, next) {
+			return next
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package structures
+
+import (
+	"fmt"
+
+	"repro/internal/universal"
+)
+
+// Deque is a bounded lock-free double-ended queue. General lock-free
+// deques are notoriously hard from raw CAS (they motivated Barnes's
+// method and Herlihy's methodology — the paper's references [4] and [7]);
+// here the sequential deque is simply lifted through the universal
+// construction on the W-word primitive, which makes every operation an
+// atomic WLL/compute/SC on the whole state.
+//
+// The cost model is the universal construction's: O(capacity) work per
+// operation, so Deque suits small bounded deques (work-stealing stubs,
+// small schedulers), not bulk storage. Values must fit 32 bits.
+type Deque struct {
+	o   *universal.Object
+	cap int
+}
+
+// dequeMeta packs (head, length) into state segment 0.
+const dequeMetaShift = 16
+
+// MaxDequeCapacity bounds the deque size (head and length each pack into
+// 16 bits of the meta segment).
+const MaxDequeCapacity = 1<<15 - 1
+
+// NewDeque creates a deque for n processes with the given capacity.
+func NewDeque(procs, capacity int) (*Deque, error) {
+	if capacity < 1 || capacity > MaxDequeCapacity {
+		return nil, fmt.Errorf("structures: deque capacity must be in [1,%d], got %d", MaxDequeCapacity, capacity)
+	}
+	o, err := universal.New(universal.Config{
+		Procs:   procs,
+		Words:   1 + capacity,
+		TagBits: 32, // 32-bit segment values
+	}, make([]uint64, 1+capacity))
+	if err != nil {
+		return nil, err
+	}
+	return &Deque{o: o, cap: capacity}, nil
+}
+
+// MaxValue returns the largest storable value.
+func (d *Deque) MaxValue() uint64 { return d.o.MaxSegmentValue() }
+
+// Capacity returns the deque's fixed capacity.
+func (d *Deque) Capacity() int { return d.cap }
+
+// DequeProc is a per-process handle; one goroutine at a time.
+type DequeProc struct {
+	p *universal.Proc
+}
+
+// Proc returns the handle for process id.
+func (d *Deque) Proc(id int) (*DequeProc, error) {
+	p, err := d.o.Proc(id)
+	if err != nil {
+		return nil, err
+	}
+	return &DequeProc{p: p}, nil
+}
+
+func dequeUnpack(meta uint64) (head, length int) {
+	return int(meta >> dequeMetaShift), int(meta & (1<<dequeMetaShift - 1))
+}
+
+func dequePack(head, length int) uint64 {
+	return uint64(head)<<dequeMetaShift | uint64(length)
+}
+
+// slot maps a logical offset from head to a state segment index.
+func (d *Deque) slot(head, off int) int {
+	return 1 + (head+off)%d.cap
+}
+
+// PushBack appends v at the tail, reporting false when full.
+func (d *Deque) PushBack(p *DequeProc, v uint64) bool {
+	return d.push(p, v, false)
+}
+
+// PushFront prepends v at the head, reporting false when full.
+func (d *Deque) PushFront(p *DequeProc, v uint64) bool {
+	return d.push(p, v, true)
+}
+
+func (d *Deque) push(p *DequeProc, v uint64, front bool) bool {
+	if v > d.MaxValue() {
+		panic(fmt.Sprintf("structures: deque value %d exceeds 32-bit field", v))
+	}
+	var ok bool
+	d.o.Apply(p.p, func(cur, next []uint64) {
+		copy(next, cur)
+		head, length := dequeUnpack(cur[0])
+		ok = length < d.cap
+		if !ok {
+			return
+		}
+		if front {
+			head = (head - 1 + d.cap) % d.cap
+			next[d.slot(head, 0)] = v
+		} else {
+			next[d.slot(head, length)] = v
+		}
+		next[0] = dequePack(head, length+1)
+	})
+	return ok
+}
+
+// PopFront removes and returns the head element.
+func (d *Deque) PopFront(p *DequeProc) (uint64, bool) {
+	return d.pop(p, true)
+}
+
+// PopBack removes and returns the tail element.
+func (d *Deque) PopBack(p *DequeProc) (uint64, bool) {
+	return d.pop(p, false)
+}
+
+func (d *Deque) pop(p *DequeProc, front bool) (uint64, bool) {
+	var v uint64
+	var ok bool
+	d.o.Apply(p.p, func(cur, next []uint64) {
+		copy(next, cur)
+		head, length := dequeUnpack(cur[0])
+		ok = length > 0
+		if !ok {
+			return
+		}
+		if front {
+			v = cur[d.slot(head, 0)]
+			head = (head + 1) % d.cap
+		} else {
+			v = cur[d.slot(head, length-1)]
+		}
+		next[0] = dequePack(head, length-1)
+	})
+	return v, ok
+}
+
+// Len returns the length at the operation's linearization point.
+func (d *Deque) Len(p *DequeProc) int {
+	dst := make([]uint64, 1+d.cap)
+	d.o.Read(p.p, dst)
+	_, length := dequeUnpack(dst[0])
+	return length
+}

@@ -1,0 +1,246 @@
+package structures
+
+import (
+	"container/list"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func newDeque(t *testing.T, procs, capacity int) *Deque {
+	t.Helper()
+	d, err := NewDeque(procs, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func dequeProc(t *testing.T, d *Deque, id int) *DequeProc {
+	t.Helper()
+	p, err := d.Proc(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDequeValidation(t *testing.T) {
+	if _, err := NewDeque(1, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewDeque(1, MaxDequeCapacity+1); err == nil {
+		t.Error("oversized capacity accepted")
+	}
+	if _, err := NewDeque(0, 4); err == nil {
+		t.Error("zero procs accepted")
+	}
+}
+
+func TestDequeBothEnds(t *testing.T) {
+	d := newDeque(t, 1, 8)
+	p := dequeProc(t, d, 0)
+
+	if _, ok := d.PopFront(p); ok {
+		t.Error("PopFront on empty succeeded")
+	}
+	if _, ok := d.PopBack(p); ok {
+		t.Error("PopBack on empty succeeded")
+	}
+	// Build 1,2,3 via mixed pushes: PushBack(2), PushBack(3), PushFront(1).
+	if !d.PushBack(p, 2) || !d.PushBack(p, 3) || !d.PushFront(p, 1) {
+		t.Fatal("pushes failed")
+	}
+	if got := d.Len(p); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if v, ok := d.PopFront(p); !ok || v != 1 {
+		t.Fatalf("PopFront = (%d,%v), want (1,true)", v, ok)
+	}
+	if v, ok := d.PopBack(p); !ok || v != 3 {
+		t.Fatalf("PopBack = (%d,%v), want (3,true)", v, ok)
+	}
+	if v, ok := d.PopFront(p); !ok || v != 2 {
+		t.Fatalf("PopFront = (%d,%v), want (2,true)", v, ok)
+	}
+	if d.Len(p) != 0 {
+		t.Error("deque not empty at end")
+	}
+}
+
+func TestDequeFull(t *testing.T) {
+	d := newDeque(t, 1, 2)
+	p := dequeProc(t, d, 0)
+	if !d.PushBack(p, 1) || !d.PushFront(p, 2) {
+		t.Fatal("pushes failed")
+	}
+	if d.PushBack(p, 3) {
+		t.Error("PushBack on full succeeded")
+	}
+	if d.PushFront(p, 3) {
+		t.Error("PushFront on full succeeded")
+	}
+	if d.Capacity() != 2 {
+		t.Errorf("Capacity = %d", d.Capacity())
+	}
+}
+
+func TestDequeWrapsAroundRing(t *testing.T) {
+	d := newDeque(t, 1, 3)
+	p := dequeProc(t, d, 0)
+	// Rotate through the ring many times from both ends.
+	for i := uint64(0); i < 100; i++ {
+		if !d.PushBack(p, i) {
+			t.Fatalf("PushBack(%d) failed", i)
+		}
+		if v, ok := d.PopFront(p); !ok || v != i {
+			t.Fatalf("PopFront = (%d,%v), want (%d,true)", v, ok, i)
+		}
+		if !d.PushFront(p, i) {
+			t.Fatalf("PushFront(%d) failed", i)
+		}
+		if v, ok := d.PopBack(p); !ok || v != i {
+			t.Fatalf("PopBack = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestDequeAgainstListOracle(t *testing.T) {
+	d := newDeque(t, 1, 16)
+	p := dequeProc(t, d, 0)
+	oracle := list.New()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1000))
+		switch rng.Intn(4) {
+		case 0:
+			got := d.PushFront(p, v)
+			want := oracle.Len() < 16
+			if got != want {
+				t.Fatalf("op %d PushFront: %v vs oracle %v", i, got, want)
+			}
+			if want {
+				oracle.PushFront(v)
+			}
+		case 1:
+			got := d.PushBack(p, v)
+			want := oracle.Len() < 16
+			if got != want {
+				t.Fatalf("op %d PushBack: %v vs oracle %v", i, got, want)
+			}
+			if want {
+				oracle.PushBack(v)
+			}
+		case 2:
+			gv, gok := d.PopFront(p)
+			if e := oracle.Front(); e != nil {
+				oracle.Remove(e)
+				if !gok || gv != e.Value.(uint64) {
+					t.Fatalf("op %d PopFront: (%d,%v) vs oracle %d", i, gv, gok, e.Value)
+				}
+			} else if gok {
+				t.Fatalf("op %d PopFront succeeded on empty", i)
+			}
+		default:
+			gv, gok := d.PopBack(p)
+			if e := oracle.Back(); e != nil {
+				oracle.Remove(e)
+				if !gok || gv != e.Value.(uint64) {
+					t.Fatalf("op %d PopBack: (%d,%v) vs oracle %d", i, gv, gok, e.Value)
+				}
+			} else if gok {
+				t.Fatalf("op %d PopBack succeeded on empty", i)
+			}
+		}
+		if d.Len(p) != oracle.Len() {
+			t.Fatalf("op %d Len: %d vs oracle %d", i, d.Len(p), oracle.Len())
+		}
+	}
+}
+
+func TestDequeConcurrentConservation(t *testing.T) {
+	// Producers push tokens at random ends; consumers pop from random
+	// ends. Every token must come out exactly once.
+	const producers = 2
+	const consumers = 2
+	const perProducer = 1500
+	d := newDeque(t, producers+consumers, 32)
+	var prodWG, consWG sync.WaitGroup
+	seen := make([]map[uint64]bool, consumers)
+
+	for c := 0; c < consumers; c++ {
+		seen[c] = make(map[uint64]bool)
+		consWG.Add(1)
+		go func(c int) {
+			defer consWG.Done()
+			p, err := d.Proc(producers + c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(c) + 500))
+			need := producers * perProducer / consumers
+			for len(seen[c]) < need {
+				var v uint64
+				var ok bool
+				if rng.Intn(2) == 0 {
+					v, ok = d.PopFront(p)
+				} else {
+					v, ok = d.PopBack(p)
+				}
+				if ok {
+					if seen[c][v] {
+						t.Errorf("token %d popped twice by consumer %d", v, c)
+						return
+					}
+					seen[c][v] = true
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	for pr := 0; pr < producers; pr++ {
+		prodWG.Add(1)
+		go func(pr int) {
+			defer prodWG.Done()
+			p, err := d.Proc(pr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(pr)))
+			for i := 0; i < perProducer; i++ {
+				token := uint64(pr*perProducer + i + 1)
+				for {
+					var ok bool
+					if rng.Intn(2) == 0 {
+						ok = d.PushFront(p, token)
+					} else {
+						ok = d.PushBack(p, token)
+					}
+					if ok {
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+		}(pr)
+	}
+	prodWG.Wait()
+	consWG.Wait()
+
+	union := make(map[uint64]bool)
+	for _, lane := range seen {
+		for v := range lane {
+			if union[v] {
+				t.Fatalf("token %d popped by two consumers", v)
+			}
+			union[v] = true
+		}
+	}
+	if len(union) != producers*perProducer {
+		t.Fatalf("popped %d distinct tokens, want %d", len(union), producers*perProducer)
+	}
+}

@@ -1,0 +1,180 @@
+package structures
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Map is a bounded lock-free hash map with open addressing and linear
+// probing. Each bucket's key word is an LL/SC variable claimed exactly
+// once (empty → key), so the probe structure is append-only and lookups
+// need no synchronization beyond atomic loads; values are plain 64-bit
+// atomics with last-writer-wins semantics per key.
+//
+// A Put of a new key claims its bucket first (LL/SC) and publishes the
+// value second; a Get that observes the claimed key before the value
+// treats the entry as absent (the Put has not linearized yet — Put
+// linearizes at its value store). The claim-once design means keys are
+// never physically removed: Delete stores a tombstone in the value word,
+// and the bucket is reused only by a later Put of the SAME key. Capacity
+// therefore bounds the number of distinct keys over the map's lifetime.
+type Map struct {
+	keys []core.Var // key+1 in the 24-bit value field; 0 = empty
+	vals []atomic.Uint64
+	mask uint64
+}
+
+// MaxMapKey is the largest storable key (the key+1 encoding must fit the
+// 24-bit link field).
+const MaxMapKey = 1<<24 - 2
+
+// Reserved value-word sentinels. Caller values must avoid both.
+const (
+	tombstone = ^uint64(0)     // deleted
+	unsetVal  = ^uint64(0) - 1 // bucket claimed, value not yet published
+)
+
+// NewMap creates a map supporting capacity distinct keys over its
+// lifetime; the bucket array is sized to keep the load factor at or below
+// 1/2. Capacity must be in [1, 2^22].
+func NewMap(capacity int) (*Map, error) {
+	if capacity < 1 || capacity > 1<<22 {
+		return nil, fmt.Errorf("structures: map capacity must be in [1,%d], got %d", 1<<22, capacity)
+	}
+	buckets := 2
+	for buckets < 2*capacity {
+		buckets *= 2
+	}
+	m := &Map{
+		keys: make([]core.Var, buckets),
+		vals: make([]atomic.Uint64, buckets),
+		mask: uint64(buckets) - 1,
+	}
+	for i := range m.keys {
+		if err := m.keys[i].Init(indexLayout, 0); err != nil {
+			return nil, err
+		}
+		m.vals[i].Store(unsetVal)
+	}
+	return m, nil
+}
+
+// hash mixes the key (Fibonacci hashing) into a bucket index.
+func (m *Map) hash(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> 40 & m.mask
+}
+
+// probe finds the bucket holding key (claimed=true), or the first empty
+// bucket on its probe path (claimed=false). A full cycle with neither
+// returns ok=false.
+func (m *Map) probe(key uint64) (idx uint64, claimed bool, ok bool) {
+	h := m.hash(key)
+	for i := uint64(0); i <= m.mask; i++ {
+		b := (h + i) & m.mask
+		switch m.keys[b].Read() {
+		case key + 1:
+			return b, true, true
+		case 0:
+			return b, false, true
+		}
+	}
+	return 0, false, false
+}
+
+// Put sets key to value. It returns ErrFull when no bucket can be
+// claimed. Lock-free; linearizes at the value store.
+func (m *Map) Put(key, value uint64) error {
+	if key > MaxMapKey {
+		return fmt.Errorf("structures: key %d exceeds MaxMapKey", key)
+	}
+	if value == tombstone || value == unsetVal {
+		return fmt.Errorf("structures: value %#x is reserved", value)
+	}
+	for {
+		b, claimed, ok := m.probe(key)
+		if !ok {
+			return ErrFull
+		}
+		if claimed {
+			m.vals[b].Store(value)
+			return nil
+		}
+		got, keep := m.keys[b].LL()
+		if got != 0 {
+			continue // someone claimed it between probe and LL; re-probe
+		}
+		if m.keys[b].SC(keep, key+1) {
+			// We own the bucket; publish the value (the linearization point).
+			m.vals[b].Store(value)
+			return nil
+		}
+		// Lost the claim race (possibly to a different key); re-probe.
+	}
+}
+
+// Get returns the value stored for key. An entry whose Put has claimed
+// its bucket but not yet published a value reads as absent.
+func (m *Map) Get(key uint64) (uint64, bool) {
+	if key > MaxMapKey {
+		return 0, false
+	}
+	b, claimed, ok := m.probe(key)
+	if !ok || !claimed {
+		return 0, false
+	}
+	v := m.vals[b].Load()
+	if v == tombstone || v == unsetVal {
+		return 0, false
+	}
+	return v, true
+}
+
+// Delete removes key, reporting whether it was present. The bucket
+// remains dedicated to the key (tombstoned), so Delete does not recover
+// capacity for other keys; a later Put of the same key resurrects it.
+func (m *Map) Delete(key uint64) bool {
+	if key > MaxMapKey {
+		return false
+	}
+	b, claimed, ok := m.probe(key)
+	if !ok || !claimed {
+		return false
+	}
+	old := m.vals[b].Swap(tombstone)
+	return old != tombstone && old != unsetVal
+}
+
+// Len counts the live keys — O(buckets), exact when quiescent.
+func (m *Map) Len() int {
+	n := 0
+	for i := range m.keys {
+		if m.keys[i].Read() == 0 {
+			continue
+		}
+		if v := m.vals[i].Load(); v != tombstone && v != unsetVal {
+			n++
+		}
+	}
+	return n
+}
+
+// Range calls fn for every live key/value pair until fn returns false.
+// Iteration is weakly consistent: concurrent updates may or may not be
+// observed.
+func (m *Map) Range(fn func(key, value uint64) bool) {
+	for i := range m.keys {
+		k := m.keys[i].Read()
+		if k == 0 {
+			continue
+		}
+		v := m.vals[i].Load()
+		if v == tombstone || v == unsetVal {
+			continue
+		}
+		if !fn(k-1, v) {
+			return
+		}
+	}
+}

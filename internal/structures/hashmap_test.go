@@ -1,0 +1,284 @@
+package structures
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapValidation(t *testing.T) {
+	if _, err := NewMap(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewMap(1<<22 + 1); err == nil {
+		t.Error("oversized capacity accepted")
+	}
+	m, err := NewMap(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(MaxMapKey+1, 1); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if err := m.Put(1, tombstone); err == nil {
+		t.Error("reserved value accepted")
+	}
+	if err := m.Put(1, unsetVal); err == nil {
+		t.Error("reserved value accepted")
+	}
+}
+
+func TestMapBasicOps(t *testing.T) {
+	m, err := NewMap(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(5); ok {
+		t.Error("empty map Get(5) found something")
+	}
+	if err := m.Put(5, 500); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Get(5); !ok || v != 500 {
+		t.Errorf("Get(5) = (%d,%v), want (500,true)", v, ok)
+	}
+	if err := m.Put(5, 501); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get(5); v != 501 {
+		t.Errorf("overwrite: Get(5) = %d, want 501", v)
+	}
+	if !m.Delete(5) {
+		t.Error("Delete(5) failed")
+	}
+	if _, ok := m.Get(5); ok {
+		t.Error("Get(5) found deleted key")
+	}
+	if m.Delete(5) {
+		t.Error("second Delete(5) succeeded")
+	}
+	// Resurrect.
+	if err := m.Put(5, 555); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Get(5); !ok || v != 555 {
+		t.Errorf("resurrected Get(5) = (%d,%v), want (555,true)", v, ok)
+	}
+}
+
+func TestMapZeroKeyAndValue(t *testing.T) {
+	m, err := NewMap(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Get(0); !ok || v != 0 {
+		t.Errorf("Get(0) = (%d,%v), want (0,true)", v, ok)
+	}
+}
+
+func TestMapCollisionsProbe(t *testing.T) {
+	// Force many keys into a tiny table: linear probing must resolve.
+	m, err := NewMap(8) // 16 buckets
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 8; k++ {
+		if err := m.Put(k, k*10); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	for k := uint64(0); k < 8; k++ {
+		if v, ok := m.Get(k); !ok || v != k*10 {
+			t.Errorf("Get(%d) = (%d,%v), want (%d,true)", k, v, ok, k*10)
+		}
+	}
+	if got := m.Len(); got != 8 {
+		t.Errorf("Len = %d, want 8", got)
+	}
+}
+
+func TestMapFull(t *testing.T) {
+	m, err := NewMap(1) // 2 buckets
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(3, 3); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull Put error = %v, want ErrFull", err)
+	}
+	// Existing keys still writable when full.
+	if err := m.Put(1, 11); err != nil {
+		t.Fatalf("overwrite when full: %v", err)
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	m, err := NewMap(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{1: 10, 2: 20, 3: 30}
+	for k, v := range want {
+		if err := m.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Put(4, 40)
+	m.Delete(4)
+	got := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	count := 0
+	m.Range(func(k, v uint64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("Range after false continued: %d calls", count)
+	}
+}
+
+func TestMapAgainstOracleQuick(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		Key   uint16
+		Value uint32
+	}
+	f := func(ops []op) bool {
+		// 2^16 possible keys can collide into a smaller table; the probe
+		// path handles overflow via ErrFull, which the oracle can't
+		// model, so size generously relative to quick's op counts.
+		m, err := NewMap(1 << 10)
+		if err != nil {
+			return false
+		}
+		oracle := map[uint64]uint64{}
+		for _, o := range ops {
+			k := uint64(o.Key)
+			switch o.Kind % 3 {
+			case 0:
+				if err := m.Put(k, uint64(o.Value)); err != nil {
+					return false
+				}
+				oracle[k] = uint64(o.Value)
+			case 1:
+				got := m.Delete(k)
+				_, want := oracle[k]
+				if got != want {
+					return false
+				}
+				delete(oracle, k)
+			default:
+				v, ok := m.Get(k)
+				wv, wok := oracle[k]
+				if ok != wok || (ok && v != wv) {
+					return false
+				}
+			}
+		}
+		return m.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapConcurrentDistinctKeys(t *testing.T) {
+	const workers = 4
+	const perWorker = 2000
+	m, err := NewMap(workers * perWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * perWorker)
+			for i := uint64(0); i < perWorker; i++ {
+				if err := m.Put(base+i, base+i+1); err != nil {
+					t.Errorf("Put(%d): %v", base+i, err)
+					return
+				}
+			}
+			for i := uint64(0); i < perWorker; i++ {
+				if v, ok := m.Get(base + i); !ok || v != base+i+1 {
+					t.Errorf("Get(%d) = (%d,%v)", base+i, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Len(); got != workers*perWorker {
+		t.Errorf("Len = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestMapConcurrentSameKeys(t *testing.T) {
+	// All workers fight over a small key set with mixed ops; afterwards
+	// every key must either be absent or hold a value some worker wrote.
+	const workers = 8
+	const keySpace = 32
+	const opsEach = 3000
+	m, err := NewMap(keySpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsEach; i++ {
+				k := uint64(rng.Intn(keySpace))
+				switch rng.Intn(3) {
+				case 0:
+					if err := m.Put(k, k*1000+uint64(w)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 1:
+					m.Delete(k)
+				default:
+					if v, ok := m.Get(k); ok {
+						if v/1000 != k {
+							t.Errorf("Get(%d) returned alien value %d", k, v)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.Range(func(k, v uint64) bool {
+		if v/1000 != k {
+			t.Errorf("final state: key %d holds alien value %d", k, v)
+		}
+		return true
+	})
+}

@@ -1,0 +1,119 @@
+// Package structures provides non-blocking data structures built purely on
+// the LL/VL/SC primitives of internal/core — the class of algorithms the
+// paper exists to make runnable on real hardware (its Section 1 motivation
+// cites stacks, queues, sets and universal constructions that assume full
+// LL/VL/SC semantics).
+//
+// Two properties of LL/SC make these algorithms simpler and safer than
+// their CAS counterparts:
+//
+//   - no ABA problem: SC fails if the variable was written at all since
+//     the LL, even if the value was restored, so no version counters or
+//     hazard pointers are needed for the central swing pointers; and
+//   - cheap validation: VL lets a traversal confirm its snapshot without
+//     write traffic.
+//
+// Nodes live in fixed arrays and are addressed by index, not Go pointer —
+// exactly the paper's observation that "a relatively small range of data
+// values must be stored (for example array indices)" fits the one-word
+// primitives. All containers here are bounded-capacity and lock-free.
+package structures
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// ErrFull is returned when a container's node pool is exhausted.
+var ErrFull = errors.New("structures: capacity exhausted")
+
+// indexLayout is the tag|value split used for all link words: 40-bit tags
+// (wraparound ≈ 12 days at 10^9 updates/s — far beyond any LL-SC sequence)
+// and 24-bit values, giving 16M addressable nodes. The top value bit
+// serves as the Harris mark in Set, leaving 23 bits ≈ 8M nodes there.
+var indexLayout = word.MustLayout(40)
+
+// maxNodes is the largest supported pool capacity (indices are 1-based,
+// 0 is the nil sentinel, and Set steals the top bit for marks).
+const maxNodes = 1<<23 - 2
+
+// node is one pooled cell: an LL/SC link word, a data word, and an
+// immutable key (used only by Set).
+type node struct {
+	next core.Var
+	val  atomic.Uint64
+	key  uint64
+}
+
+// pool is a bounded allocator whose free list is itself a Treiber stack
+// maintained with LL/SC — no locks anywhere.
+type pool struct {
+	nodes []node // nodes[0] unused; indices are 1-based, 0 = nil
+	free  core.Var
+}
+
+func newPool(capacity int) (*pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("structures: capacity must be at least 1, got %d", capacity)
+	}
+	if capacity > maxNodes {
+		return nil, fmt.Errorf("structures: capacity %d exceeds maximum %d", capacity, maxNodes)
+	}
+	p := &pool{nodes: make([]node, capacity+1)}
+	// Chain all nodes onto the free list: free -> 1 -> 2 -> ... -> n -> nil.
+	for i := 1; i <= capacity; i++ {
+		nxt := uint64(0)
+		if i < capacity {
+			nxt = uint64(i + 1)
+		}
+		if err := p.nodes[i].next.Init(indexLayout, nxt); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.free.Init(indexLayout, 1); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// alloc pops a node index from the free list. Lock-free: a retry implies
+// another alloc or free succeeded.
+func (p *pool) alloc() (uint64, error) {
+	for {
+		top, keep := p.free.LL()
+		if top == 0 {
+			return 0, ErrFull
+		}
+		next := p.nodes[top].next.Read()
+		if p.free.SC(keep, next) {
+			return top, nil
+		}
+	}
+}
+
+// freeNode resets the node's link and pushes it back. The reset uses an
+// SC loop rather than a plain store so the link word's tag keeps
+// advancing — a plain store would break the tag protection that makes
+// stale SCs by other processes fail.
+func (p *pool) freeNode(idx uint64) {
+	p.setNext(idx, 0)
+	for {
+		top, keep := p.free.LL()
+		p.setNext(idx, top)
+		if p.free.SC(keep, idx) {
+			return
+		}
+	}
+}
+
+// setNext forces node idx's link to v via the tag-preserving Store.
+func (p *pool) setNext(idx, v uint64) {
+	p.nodes[idx].next.Store(v)
+}
+
+// capacity returns the pool's node capacity.
+func (p *pool) capacity() int { return len(p.nodes) - 1 }

@@ -1,0 +1,108 @@
+package structures
+
+import "repro/internal/core"
+
+// Queue is a bounded lock-free multi-producer multi-consumer FIFO in the
+// style of Michael & Scott, with every link — head, tail, and the per-node
+// next words — an LL/SC variable. The LL/SC tags make stale swings fail
+// even across node recycling, so dequeued nodes return to the pool
+// immediately (the CAS version needs counted pointers or hazard pointers
+// for the same guarantee).
+type Queue struct {
+	p    *pool
+	head core.Var
+	tail core.Var
+}
+
+// NewQueue creates a queue holding at most capacity elements. One pool
+// node is reserved for the FIFO's dummy node, so the pool is sized
+// capacity+1.
+func NewQueue(capacity int) (*Queue, error) {
+	p, err := newPool(capacity + 1)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{p: p}
+	dummy, err := p.alloc()
+	if err != nil {
+		return nil, err
+	}
+	p.setNext(dummy, 0)
+	if err := q.head.Init(indexLayout, dummy); err != nil {
+		return nil, err
+	}
+	if err := q.tail.Init(indexLayout, dummy); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Enqueue appends v. It returns ErrFull when the pool is exhausted.
+// Lock-free.
+func (q *Queue) Enqueue(v uint64) error {
+	idx, err := q.p.alloc()
+	if err != nil {
+		return err
+	}
+	q.p.nodes[idx].val.Store(v)
+	q.p.setNext(idx, 0)
+	for {
+		t, kt := q.tail.LL()
+		next, kn := q.p.nodes[t].next.LL()
+		if !q.tail.VL(kt) {
+			continue // t is stale; its next word may belong to a recycled node
+		}
+		if next != 0 {
+			// Tail is lagging: help swing it, then retry.
+			q.tail.SC(kt, next)
+			continue
+		}
+		if q.p.nodes[t].next.SC(kn, idx) {
+			// Linked. Swing the tail; failure means someone helped.
+			q.tail.SC(kt, idx)
+			return nil
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest element; ok is false if the
+// queue is empty. Lock-free.
+func (q *Queue) Dequeue() (v uint64, ok bool) {
+	for {
+		h, kh := q.head.LL()
+		t := q.tail.Read()
+		next := q.p.nodes[h].next.Read()
+		if !q.head.VL(kh) {
+			continue // h may have been recycled; next is untrustworthy
+		}
+		if h == t {
+			if next == 0 {
+				return 0, false // empty
+			}
+			// Tail lagging behind an in-flight enqueue: help it forward.
+			tt, ktt := q.tail.LL()
+			if tt == t {
+				q.tail.SC(ktt, next)
+			}
+			continue
+		}
+		if next == 0 {
+			continue // transiently inconsistent snapshot; retry
+		}
+		val := q.p.nodes[next].val.Load()
+		if q.head.SC(kh, next) {
+			q.p.freeNode(h)
+			return val, true
+		}
+	}
+}
+
+// Empty reports whether the queue was empty at the linearization point of
+// the underlying reads (head == tail with no in-flight successor).
+func (q *Queue) Empty() bool {
+	h := q.head.Read()
+	return h == q.tail.Read() && q.p.nodes[h].next.Read() == 0
+}
+
+// Capacity returns the queue's fixed element capacity.
+func (q *Queue) Capacity() int { return q.p.capacity() - 1 }

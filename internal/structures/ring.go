@@ -1,0 +1,124 @@
+package structures
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// Ring is a bounded lock-free MPMC ring buffer. The head and tail cursors
+// are LL/SC variables; each slot carries a sequence word (plain atomic)
+// in the style of bounded MPMC queues, marking whether the slot is ready
+// to produce into or consume from. Unlike the linked Queue it allocates
+// nothing after construction and touches exactly one slot per operation.
+type Ring struct {
+	slots []ringSlot
+	mask  uint64
+	head  core.Var // next slot to consume
+	tail  core.Var // next slot to produce
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	val atomic.Uint64
+}
+
+// ringLayout gives cursors 24 value bits (like the other containers).
+var ringLayout = word.MustLayout(40)
+
+// NewRing creates a ring with the given capacity, which must be a power
+// of two in [2, 2^22] (cursors wrap within the 24-bit value field; the
+// capacity bound keeps cursor arithmetic exact across the wrap).
+func NewRing(capacity int) (*Ring, error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("structures: ring capacity must be a power of two ≥ 2, got %d", capacity)
+	}
+	if capacity > 1<<22 {
+		return nil, fmt.Errorf("structures: ring capacity %d exceeds maximum %d", capacity, 1<<22)
+	}
+	r := &Ring{slots: make([]ringSlot, capacity), mask: uint64(capacity) - 1}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	if err := r.head.Init(ringLayout, 0); err != nil {
+		return nil, err
+	}
+	if err := r.tail.Init(ringLayout, 0); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// cursorMask bounds cursor values to the 24-bit field; capacity ≤ 2^22
+// guarantees (cursor + capacity) never collides across the wrap.
+const cursorMask = 1<<24 - 1
+
+// Enqueue appends v; it returns ErrFull if the ring is full. Lock-free.
+func (r *Ring) Enqueue(v uint64) error {
+	for {
+		t, keep := r.tail.LL()
+		slot := &r.slots[t&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == t:
+			// Slot free: claim it by advancing the tail.
+			if r.tail.SC(keep, (t+1)&cursorMask) {
+				slot.val.Store(v)
+				slot.seq.Store((t + 1) & cursorMask)
+				return nil
+			}
+		case seqBehind(seq, t):
+			// Slot still holds an unconsumed element: full (unless the
+			// tail moved under us, in which case retry).
+			if r.tail.VL(keep) {
+				return ErrFull
+			}
+		default:
+			// The tail cursor is stale; retry.
+		}
+	}
+}
+
+// Dequeue removes the oldest element; ok is false if the ring is empty.
+// Lock-free.
+func (r *Ring) Dequeue() (v uint64, ok bool) {
+	for {
+		h, keep := r.head.LL()
+		slot := &r.slots[h&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == (h+1)&cursorMask:
+			// Slot published: claim it by advancing the head.
+			val := slot.val.Load()
+			if r.head.SC(keep, (h+1)&cursorMask) {
+				slot.seq.Store((h + uint64(len(r.slots))) & cursorMask)
+				return val, true
+			}
+		case seqBehind(seq, (h+1)&cursorMask):
+			// Slot not yet published: empty (unless the head moved).
+			if r.head.VL(keep) {
+				return 0, false
+			}
+		default:
+			// Stale head cursor; retry.
+		}
+	}
+}
+
+// seqBehind reports whether a precedes b in the 24-bit circular cursor
+// space (distance under half the range).
+func seqBehind(a, b uint64) bool {
+	return (b-a)&cursorMask != 0 && (b-a)&cursorMask < 1<<23
+}
+
+// Capacity returns the ring's fixed capacity.
+func (r *Ring) Capacity() int { return len(r.slots) }
+
+// Empty reports whether the ring was empty at the underlying reads'
+// linearization point.
+func (r *Ring) Empty() bool {
+	h := r.head.Read()
+	return r.slots[h&r.mask].seq.Load() != (h+1)&cursorMask
+}

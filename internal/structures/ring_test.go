@@ -1,0 +1,186 @@
+package structures
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingValidation(t *testing.T) {
+	for _, bad := range []int{0, 1, 3, 100, 1 << 23} {
+		if _, err := NewRing(bad); err == nil {
+			t.Errorf("capacity %d accepted", bad)
+		}
+	}
+	r, err := NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Capacity() != 8 {
+		t.Errorf("Capacity = %d, want 8", r.Capacity())
+	}
+}
+
+func TestRingBasicFIFO(t *testing.T) {
+	r, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Empty() {
+		t.Error("new ring not empty")
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Error("Dequeue on empty ring succeeded")
+	}
+	for i := uint64(1); i <= 4; i++ {
+		if err := r.Enqueue(i * 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Enqueue(99); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull Enqueue error = %v, want ErrFull", err)
+	}
+	for want := uint64(10); want <= 40; want += 10 {
+		v, ok := r.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if !r.Empty() {
+		t.Error("ring not empty after draining")
+	}
+}
+
+func TestRingWrapsManyGenerations(t *testing.T) {
+	// Cycle a tiny ring through far more elements than its capacity,
+	// crossing the 24-bit cursor wrap region is impractical, but slot
+	// generation reuse is exercised thousands of times.
+	r, err := NewRing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10000; i++ {
+		if err := r.Enqueue(i); err != nil {
+			t.Fatalf("Enqueue(%d): %v", i, err)
+		}
+		v, ok := r.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestRingFIFOQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) > 128 {
+			vals = vals[:128]
+		}
+		r, err := NewRing(256)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := r.Enqueue(v); err != nil {
+				return false
+			}
+		}
+		for _, want := range vals {
+			v, ok := r.Dequeue()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := r.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingConcurrentConservation(t *testing.T) {
+	const producers = 4
+	const consumers = 4
+	const perProducer = 3000
+	r, err := NewRing(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prodWG, consWG sync.WaitGroup
+	seen := make([][]uint64, consumers)
+
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func(c int) {
+			defer consWG.Done()
+			count := 0
+			for count < producers*perProducer/consumers {
+				if v, ok := r.Dequeue(); ok {
+					seen[c] = append(seen[c], v)
+					count++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for i := 0; i < perProducer; i++ {
+				token := uint64(p)<<32 | uint64(i)
+				for {
+					if err := r.Enqueue(token); err == nil {
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	prodWG.Wait()
+	consWG.Wait()
+
+	all := make(map[uint64]bool, producers*perProducer)
+	for c, lane := range seen {
+		last := make(map[int]uint64)
+		for _, v := range lane {
+			if all[v] {
+				t.Fatalf("token %#x dequeued twice", v)
+			}
+			all[v] = true
+			p := int(v >> 32)
+			seq := v & 0xFFFFFFFF
+			if prev, ok := last[p]; ok && seq <= prev {
+				t.Fatalf("consumer %d saw producer %d out of order: %d then %d", c, p, prev, seq)
+			}
+			last[p] = seq
+		}
+	}
+	if len(all) != producers*perProducer {
+		t.Fatalf("dequeued %d tokens, want %d", len(all), producers*perProducer)
+	}
+}
+
+func TestSeqBehind(t *testing.T) {
+	tests := []struct {
+		a, b uint64
+		want bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{5, 5, false},
+		{cursorMask, 0, true},  // wrap: a just before b
+		{0, cursorMask, false}, // b far "ahead" means a is not behind
+		{0, 1 << 22, true},     // within half range
+		{0, 1<<23 + 1, false},  // beyond half range
+	}
+	for _, tt := range tests {
+		if got := seqBehind(tt.a, tt.b); got != tt.want {
+			t.Errorf("seqBehind(%d,%d) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}

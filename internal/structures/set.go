@@ -1,0 +1,176 @@
+package structures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Set is a lock-free sorted linked-list set (Harris-style) whose link
+// words are LL/SC variables. A node is deleted logically by setting a
+// mark bit in its link word (an SC) and unlinked physically by later
+// traversals.
+//
+// Reclamation: deleted nodes are NOT returned to the pool. Safe recycling
+// under concurrent traversals needs hazard pointers or epochs, which are
+// orthogonal to the paper; like Harris's original algorithm (which assumes
+// GC), this Set trades space for simplicity. Capacity therefore bounds the
+// total number of Inserts over the set's lifetime.
+type Set struct {
+	p    *pool
+	head uint64 // sentinel node index, key = -inf (never marked, never removed)
+	tail uint64 // sentinel node index, key = +inf
+}
+
+// Link-word encoding: bit 23 of the 24-bit value field is the Harris mark;
+// the low 23 bits are the successor index.
+const (
+	setMarkBit = 1 << 23
+	setIdxMask = setMarkBit - 1
+)
+
+func setMarked(link uint64) bool { return link&setMarkBit != 0 }
+func setIdx(link uint64) uint64  { return link & setIdxMask }
+func setMark(link uint64) uint64 { return link | setMarkBit }
+
+// NewSet creates a set supporting at most capacity Inserts over its
+// lifetime (plus two internal sentinels).
+func NewSet(capacity int) (*Set, error) {
+	if capacity > maxNodes-2 {
+		return nil, fmt.Errorf("structures: capacity %d exceeds maximum %d", capacity, maxNodes-2)
+	}
+	p, err := newPool(capacity + 2)
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{p: p}
+	s.head, err = p.alloc()
+	if err != nil {
+		return nil, err
+	}
+	s.tail, err = p.alloc()
+	if err != nil {
+		return nil, err
+	}
+	p.nodes[s.head].key = 0 // head's key is never compared
+	p.nodes[s.tail].key = ^uint64(0)
+	p.setNext(s.tail, 0)
+	p.setNext(s.head, s.tail)
+	return s, nil
+}
+
+// search locates the first unmarked node with key ≥ key, snipping marked
+// nodes along the way. It returns prev (the last unmarked node with a
+// smaller key), cur (the candidate), and the keep for prev's link word
+// whose snapshot points (unmarked) at cur — ready for an SC that inserts
+// before cur or unlinks it.
+func (s *Set) search(key uint64) (prev, cur uint64, kprev core.Keep) {
+outer:
+	for {
+		prev = s.head
+		link, kp := s.p.nodes[prev].next.LL()
+		if setMarked(link) {
+			continue // head is never marked; defensive
+		}
+		cur = setIdx(link)
+		for {
+			if cur == s.tail {
+				return prev, cur, kp
+			}
+			curLink, kc := s.p.nodes[cur].next.LL()
+			if setMarked(curLink) {
+				// cur is logically deleted: snip it out of prev.
+				if !s.p.nodes[prev].next.SC(kp, setIdx(curLink)) {
+					continue outer // prev changed; restart
+				}
+				// Re-LL prev to continue traversal with a fresh keep.
+				link, kp = s.p.nodes[prev].next.LL()
+				if setMarked(link) || setIdx(link) != setIdx(curLink) {
+					continue outer
+				}
+				cur = setIdx(link)
+				continue
+			}
+			if s.p.nodes[cur].key >= key {
+				return prev, cur, kp
+			}
+			prev, kp = cur, kc
+			cur = setIdx(curLink)
+		}
+	}
+}
+
+// Contains reports whether key is in the set. Lock-free; read-mostly
+// traversals write only to snip already-marked nodes.
+func (s *Set) Contains(key uint64) bool {
+	_, cur, _ := s.search(key)
+	return cur != s.tail && s.p.nodes[cur].key == key
+}
+
+// Insert adds key. It returns false if the key is already present and
+// ErrFull when the lifetime insert budget is exhausted. Lock-free.
+func (s *Set) Insert(key uint64) (bool, error) {
+	if key == ^uint64(0) {
+		return false, fmt.Errorf("structures: key %d is reserved for the tail sentinel", key)
+	}
+	var idx uint64 // allocated lazily, reused across retries
+	for {
+		prev, cur, kprev := s.search(key)
+		if cur != s.tail && s.p.nodes[cur].key == key {
+			if idx != 0 {
+				s.p.freeNode(idx) // never published; safe to recycle
+			}
+			return false, nil
+		}
+		if idx == 0 {
+			var err error
+			idx, err = s.p.alloc()
+			if err != nil {
+				return false, err
+			}
+			s.p.nodes[idx].key = key
+		}
+		s.p.setNext(idx, cur)
+		if s.p.nodes[prev].next.SC(kprev, idx) {
+			return true, nil
+		}
+	}
+}
+
+// Delete removes key, returning whether it was present. The node is
+// marked (logical deletion) and then unlinked if possible; stragglers are
+// unlinked by later searches. Lock-free.
+func (s *Set) Delete(key uint64) bool {
+	for {
+		prev, cur, kprev := s.search(key)
+		if cur == s.tail || s.p.nodes[cur].key != key {
+			return false
+		}
+		link, kc := s.p.nodes[cur].next.LL()
+		if setMarked(link) {
+			continue // someone else is deleting it; re-search to confirm
+		}
+		if !s.p.nodes[cur].next.SC(kc, setMark(link)) {
+			continue // lost a race on cur's link; retry
+		}
+		// Logically deleted. Attempt the physical unlink; on failure a
+		// later search will snip it.
+		s.p.nodes[prev].next.SC(kprev, setIdx(link))
+		return true
+	}
+}
+
+// Len counts the unmarked nodes — O(n), approximate under concurrency
+// (exact when quiescent).
+func (s *Set) Len() int {
+	n := 0
+	cur := setIdx(s.p.nodes[s.head].next.Read())
+	for cur != s.tail && cur != 0 {
+		link := s.p.nodes[cur].next.Read()
+		if !setMarked(link) {
+			n++
+		}
+		cur = setIdx(link)
+	}
+	return n
+}

@@ -1,0 +1,73 @@
+package structures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Snapshot produces atomic snapshots of a fixed set of LL/SC variables —
+// the canonical application of the VL instruction, and the reason the
+// paper insists implementations provide it: a collect validated by VL
+// costs no writes, whereas CAS-only snapshots must modify every variable
+// or maintain version records.
+//
+// Collect LLs every variable and then VLs every variable; if all
+// validations pass, variable i was unchanged from its LL through its VL,
+// and since every LL precedes every VL, all variables simultaneously held
+// the collected values at the moment of the last LL — a linearizable
+// snapshot. A failed VL implies a successful SC by someone, so retrying
+// is lock-free.
+type Snapshot struct {
+	vars []*core.Var
+}
+
+// NewSnapshot builds a snapshotter over the given variables (at least
+// one; the slice is not copied and must not be mutated).
+func NewSnapshot(vars []*core.Var) (*Snapshot, error) {
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("structures: snapshot needs at least one variable")
+	}
+	for i, v := range vars {
+		if v == nil {
+			return nil, fmt.Errorf("structures: snapshot variable %d is nil", i)
+		}
+	}
+	return &Snapshot{vars: vars}, nil
+}
+
+// Size returns the number of variables in the set.
+func (s *Snapshot) Size() int { return len(s.vars) }
+
+// Collect fills dst (length Size) with an atomic snapshot. Lock-free.
+func (s *Snapshot) Collect(dst []uint64) {
+	if len(dst) != len(s.vars) {
+		panic(fmt.Sprintf("structures: Collect destination has %d words, want %d", len(dst), len(s.vars)))
+	}
+	keeps := make([]core.Keep, len(s.vars))
+	s.collect(dst, keeps)
+}
+
+// CollectWith is Collect with a caller-provided keep buffer, for
+// allocation-free steady state.
+func (s *Snapshot) CollectWith(dst []uint64, keeps []core.Keep) {
+	if len(dst) != len(s.vars) || len(keeps) != len(s.vars) {
+		panic(fmt.Sprintf("structures: CollectWith buffers have %d/%d words, want %d", len(dst), len(keeps), len(s.vars)))
+	}
+	s.collect(dst, keeps)
+}
+
+func (s *Snapshot) collect(dst []uint64, keeps []core.Keep) {
+retry:
+	for {
+		for i, v := range s.vars {
+			dst[i], keeps[i] = v.LL()
+		}
+		for i, v := range s.vars {
+			if !v.VL(keeps[i]) {
+				continue retry
+			}
+		}
+		return
+	}
+}

@@ -1,0 +1,68 @@
+package structures
+
+import "repro/internal/core"
+
+// Stack is a bounded lock-free LIFO (a Treiber stack) whose top pointer is
+// an LL/SC variable. Because SC is immune to ABA, popped nodes are
+// recycled immediately with no version counters or hazard pointers — the
+// simplification the paper's primitives buy over raw CAS.
+type Stack struct {
+	p   *pool
+	top core.Var
+}
+
+// NewStack creates a stack holding at most capacity elements.
+func NewStack(capacity int) (*Stack, error) {
+	p, err := newPool(capacity)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stack{p: p}
+	if err := s.top.Init(indexLayout, 0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Push adds v to the top of the stack. It returns ErrFull when the pool is
+// exhausted. Lock-free.
+func (s *Stack) Push(v uint64) error {
+	idx, err := s.p.alloc()
+	if err != nil {
+		return err
+	}
+	s.p.nodes[idx].val.Store(v)
+	for {
+		top, keep := s.top.LL()
+		s.p.setNext(idx, top)
+		if s.top.SC(keep, idx) {
+			return nil
+		}
+	}
+}
+
+// Pop removes and returns the top element; ok is false if the stack is
+// empty. Lock-free.
+func (s *Stack) Pop() (v uint64, ok bool) {
+	for {
+		top, keep := s.top.LL()
+		if top == 0 {
+			return 0, false
+		}
+		next := s.p.nodes[top].next.Read()
+		if s.top.SC(keep, next) {
+			v := s.p.nodes[top].val.Load()
+			s.p.freeNode(top)
+			return v, true
+		}
+	}
+}
+
+// Empty reports whether the stack was empty at the linearization point of
+// the underlying read.
+func (s *Stack) Empty() bool {
+	return s.top.Read() == 0
+}
+
+// Capacity returns the stack's fixed capacity.
+func (s *Stack) Capacity() int { return s.p.capacity() }

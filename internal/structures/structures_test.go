@@ -1,0 +1,585 @@
+package structures
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// --- Stack -------------------------------------------------------------
+
+func TestStackBasic(t *testing.T) {
+	s, err := NewStack(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Empty() {
+		t.Error("new stack not empty")
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("Pop on empty stack succeeded")
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := s.Push(i * 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := uint64(30); want >= 10; want -= 10 {
+		v, ok := s.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if !s.Empty() {
+		t.Error("stack not empty after draining")
+	}
+}
+
+func TestStackCapacity(t *testing.T) {
+	s, err := NewStack(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity() != 2 {
+		t.Errorf("Capacity = %d, want 2", s.Capacity())
+	}
+	if err := s.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(3); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull Push error = %v, want ErrFull", err)
+	}
+	// Pop frees a node; Push works again (nodes recycle).
+	s.Pop()
+	if err := s.Push(3); err != nil {
+		t.Fatalf("Push after Pop failed: %v", err)
+	}
+}
+
+func TestStackValidation(t *testing.T) {
+	if _, err := NewStack(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewStack(maxNodes + 1); err == nil {
+		t.Error("oversized capacity accepted")
+	}
+}
+
+func TestStackSequentialLIFOQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) > 200 {
+			vals = vals[:200]
+		}
+		s, err := NewStack(len(vals) + 1)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := s.Push(v); err != nil {
+				return false
+			}
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			v, ok := s.Pop()
+			if !ok || v != vals[i] {
+				return false
+			}
+		}
+		_, ok := s.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackConcurrentConservation(t *testing.T) {
+	// Each producer pushes distinct tokens; consumers pop until all are
+	// seen. No token may be lost or duplicated, and pool recycling must
+	// never corrupt values.
+	const producers = 4
+	const consumers = 4
+	const perProducer = 3000
+	s, err := NewStack(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	seen := make([][]uint64, consumers)
+	var popped sync.WaitGroup
+
+	for c := 0; c < consumers; c++ {
+		popped.Add(1)
+		go func(c int) {
+			defer popped.Done()
+			count := 0
+			for count < producers*perProducer/consumers {
+				if v, ok := s.Pop(); ok {
+					seen[c] = append(seen[c], v)
+					count++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				token := uint64(p*perProducer + i + 1)
+				for {
+					if err := s.Push(token); err == nil {
+						break
+					}
+					runtime.Gosched() // pool full: let consumers drain
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	popped.Wait()
+
+	all := make(map[uint64]bool, producers*perProducer)
+	for _, lane := range seen {
+		for _, v := range lane {
+			if all[v] {
+				t.Fatalf("token %d popped twice", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != producers*perProducer {
+		t.Fatalf("popped %d distinct tokens, want %d", len(all), producers*perProducer)
+	}
+}
+
+// --- Queue -------------------------------------------------------------
+
+func TestQueueBasic(t *testing.T) {
+	q, err := NewQueue(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Empty() {
+		t.Error("new queue not empty")
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue on empty queue succeeded")
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := uint64(1); want <= 5; want++ {
+		v, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if !q.Empty() {
+		t.Error("queue not empty after draining")
+	}
+}
+
+func TestQueueCapacityAndRecycling(t *testing.T) {
+	q, err := NewQueue(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Capacity() != 3 {
+		t.Errorf("Capacity = %d, want 3", q.Capacity())
+	}
+	for i := uint64(0); i < 3; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Enqueue(9); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull Enqueue error = %v, want ErrFull", err)
+	}
+	// Cycle the queue many times through its small pool.
+	for i := uint64(3); i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i-3 {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i-3)
+		}
+		if err := q.Enqueue(i); err != nil {
+			t.Fatalf("Enqueue(%d) failed: %v", i, err)
+		}
+	}
+}
+
+func TestQueueFIFOQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) > 200 {
+			vals = vals[:200]
+		}
+		q, err := NewQueue(len(vals) + 1)
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if err := q.Enqueue(v); err != nil {
+				return false
+			}
+		}
+		for _, want := range vals {
+			v, ok := q.Dequeue()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := q.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueConcurrentConservationAndOrder(t *testing.T) {
+	// MPMC conservation plus per-producer FIFO: each producer's tokens
+	// must be dequeued in increasing sequence order.
+	const producers = 4
+	const consumers = 4
+	const perProducer = 3000
+	q, err := NewQueue(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prodWG, consWG sync.WaitGroup
+	seen := make([][]uint64, consumers)
+
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func(c int) {
+			defer consWG.Done()
+			count := 0
+			for count < producers*perProducer/consumers {
+				if v, ok := q.Dequeue(); ok {
+					seen[c] = append(seen[c], v)
+					count++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for i := 0; i < perProducer; i++ {
+				token := uint64(p)<<32 | uint64(i)
+				for {
+					if err := q.Enqueue(token); err == nil {
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	prodWG.Wait()
+	consWG.Wait()
+
+	all := make(map[uint64]bool, producers*perProducer)
+	lastSeq := make([]map[int]uint64, consumers)
+	for c, lane := range seen {
+		lastSeq[c] = make(map[int]uint64)
+		prev := lastSeq[c]
+		for _, v := range lane {
+			if all[v] {
+				t.Fatalf("token %#x dequeued twice", v)
+			}
+			all[v] = true
+			p := int(v >> 32)
+			seq := v & 0xFFFFFFFF
+			if last, ok := prev[p]; ok && seq <= last {
+				t.Fatalf("consumer %d saw producer %d's tokens out of order: %d then %d", c, p, last, seq)
+			}
+			prev[p] = seq
+		}
+	}
+	if len(all) != producers*perProducer {
+		t.Fatalf("dequeued %d distinct tokens, want %d", len(all), producers*perProducer)
+	}
+}
+
+// --- Counter -----------------------------------------------------------
+
+func TestCounterSequential(t *testing.T) {
+	c := NewCounter(10)
+	if got := c.Load(); got != 10 {
+		t.Fatalf("Load = %d, want 10", got)
+	}
+	if got := c.Increment(); got != 11 {
+		t.Errorf("Increment = %d, want 11", got)
+	}
+	if got := c.Add(5); got != 16 {
+		t.Errorf("Add(5) = %d, want 16", got)
+	}
+	if got := c.Decrement(); got != 15 {
+		t.Errorf("Decrement = %d, want 15", got)
+	}
+	if got := c.FetchOp(func(v uint64) uint64 { return v * 2 }); got != 30 {
+		t.Errorf("FetchOp(double) = %d, want 30", got)
+	}
+}
+
+func TestCounterWraps32Bits(t *testing.T) {
+	c := NewCounter((1 << 32) - 1)
+	if got := c.Increment(); got != 0 {
+		t.Errorf("Increment at max = %d, want 0 (mod 2^32)", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	const workers = 8
+	const rounds = 10000
+	c := NewCounter(0)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				c.Increment()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*rounds {
+		t.Errorf("final = %d, want %d", got, workers*rounds)
+	}
+}
+
+// --- Set ---------------------------------------------------------------
+
+func TestSetBasic(t *testing.T) {
+	s, err := NewSet(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(5) {
+		t.Error("empty set contains 5")
+	}
+	ok, err := s.Insert(5)
+	if err != nil || !ok {
+		t.Fatalf("Insert(5) = (%v,%v)", ok, err)
+	}
+	ok, err = s.Insert(5)
+	if err != nil || ok {
+		t.Fatalf("duplicate Insert(5) = (%v,%v), want (false,nil)", ok, err)
+	}
+	if !s.Contains(5) {
+		t.Error("set missing 5 after insert")
+	}
+	if !s.Delete(5) {
+		t.Error("Delete(5) failed")
+	}
+	if s.Contains(5) {
+		t.Error("set contains 5 after delete")
+	}
+	if s.Delete(5) {
+		t.Error("second Delete(5) succeeded")
+	}
+}
+
+func TestSetSortedOrderMaintained(t *testing.T) {
+	s, err := NewSet(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []uint64{50, 10, 30, 20, 40, 5, 45}
+	for _, k := range keys {
+		if ok, err := s.Insert(k); err != nil || !ok {
+			t.Fatalf("Insert(%d) = (%v,%v)", k, ok, err)
+		}
+	}
+	if got := s.Len(); got != len(keys) {
+		t.Errorf("Len = %d, want %d", got, len(keys))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if !s.Contains(k) {
+			t.Errorf("missing key %d", k)
+		}
+	}
+	if s.Contains(25) {
+		t.Error("contains never-inserted 25")
+	}
+}
+
+func TestSetRejectsSentinelKey(t *testing.T) {
+	s, err := NewSet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(^uint64(0)); err == nil {
+		t.Error("sentinel key accepted")
+	}
+}
+
+func TestSetLifetimeBudget(t *testing.T) {
+	s, err := NewSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if ok, err := s.Insert(i); err != nil || !ok {
+			t.Fatalf("Insert(%d) = (%v,%v)", i, ok, err)
+		}
+	}
+	// Deleting does not reclaim (documented); the 4th insert fails.
+	s.Delete(0)
+	if _, err := s.Insert(99); !errors.Is(err, ErrFull) {
+		t.Fatalf("Insert past budget error = %v, want ErrFull", err)
+	}
+	// Re-inserting a duplicate of a live key still works (no alloc).
+	if ok, err := s.Insert(1); err != nil || ok {
+		t.Fatalf("duplicate Insert(1) = (%v,%v), want (false,nil)", ok, err)
+	}
+}
+
+func TestSetSequentialRandomOpsAgainstMap(t *testing.T) {
+	s, err := NewSet(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make(map[uint64]bool)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(64))
+		switch rng.Intn(3) {
+		case 0:
+			ok, err := s.Insert(k)
+			if err != nil {
+				t.Fatalf("op %d: Insert(%d): %v", i, k, err)
+			}
+			if ok == oracle[k] {
+				t.Fatalf("op %d: Insert(%d) = %v, oracle has=%v", i, k, ok, oracle[k])
+			}
+			oracle[k] = true
+		case 1:
+			ok := s.Delete(k)
+			if ok != oracle[k] {
+				t.Fatalf("op %d: Delete(%d) = %v, oracle has=%v", i, k, ok, oracle[k])
+			}
+			delete(oracle, k)
+		default:
+			if got := s.Contains(k); got != oracle[k] {
+				t.Fatalf("op %d: Contains(%d) = %v, oracle has=%v", i, k, got, oracle[k])
+			}
+		}
+	}
+	if got := s.Len(); got != len(oracle) {
+		t.Errorf("Len = %d, oracle %d", got, len(oracle))
+	}
+}
+
+func TestSetConcurrentDisjointKeys(t *testing.T) {
+	// Each worker owns a key range: inserts all, verifies, deletes half.
+	const workers = 4
+	const perWorker = 500
+	s, err := NewSet(workers * perWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w * perWorker)
+			for i := uint64(0); i < perWorker; i++ {
+				if ok, err := s.Insert(base + i); err != nil || !ok {
+					t.Errorf("Insert(%d) = (%v,%v)", base+i, ok, err)
+					return
+				}
+			}
+			for i := uint64(0); i < perWorker; i++ {
+				if !s.Contains(base + i) {
+					t.Errorf("missing %d", base+i)
+					return
+				}
+			}
+			for i := uint64(0); i < perWorker; i += 2 {
+				if !s.Delete(base + i) {
+					t.Errorf("Delete(%d) failed", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != workers*perWorker/2 {
+		t.Errorf("Len = %d, want %d", got, workers*perWorker/2)
+	}
+}
+
+func TestSetConcurrentContendedKeys(t *testing.T) {
+	// All workers fight over the same small key space; afterwards the net
+	// effect per key must be consistent (present iff inserts-deletes
+	// bookkeeping says so is impossible to track exactly, so instead we
+	// verify structural integrity: Len matches a fresh traversal and all
+	// remaining keys are in range).
+	const workers = 8
+	const opsPerWorker = 2000
+	const keySpace = 16
+	s, err := NewSet(workers * opsPerWorker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for i := 0; i < opsPerWorker; i++ {
+				k := uint64(rng.Intn(keySpace))
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := s.Insert(k); err != nil {
+						t.Errorf("Insert(%d): %v", k, err)
+						return
+					}
+				case 1:
+					s.Delete(k)
+				default:
+					s.Contains(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Structural integrity: traversal terminates, keys are sorted and
+	// within range, and no key repeats.
+	var prev int64 = -1
+	cur := setIdx(s.p.nodes[s.head].next.Read())
+	for cur != s.tail {
+		link := s.p.nodes[cur].next.Read()
+		if !setMarked(link) {
+			k := s.p.nodes[cur].key
+			if int64(k) <= prev {
+				t.Fatalf("keys out of order: %d after %d", k, prev)
+			}
+			if k >= keySpace {
+				t.Fatalf("alien key %d", k)
+			}
+			prev = int64(k)
+		}
+		cur = setIdx(link)
+	}
+}

@@ -1,0 +1,123 @@
+package structures
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// WSDeque is a bounded work-stealing deque in the Chase–Lev style: the
+// owner pushes and pops at the bottom with plain atomics (no
+// synchronization in the common case), while thieves steal from the top
+// through an LL/SC variable. In the CAS formulation the top pointer needs
+// an epoch/tag to avoid ABA between a thief's read and its CAS; with
+// LL/SC the tag is built in — a stale SC simply fails — which is exactly
+// the simplification the paper's primitives exist to provide.
+//
+// The owner must call PushBottom/PopBottom from a single goroutine;
+// Steal is safe from any number of goroutines concurrently.
+type WSDeque struct {
+	items  []atomic.Uint64
+	mask   uint64
+	top    core.Var      // steal cursor, LL/SC-protected
+	bottom atomic.Uint64 // owner cursor
+}
+
+// wsLayout gives the top cursor a 40-bit tag and 24-bit position.
+var wsLayout = word.MustLayout(40)
+
+// wsCursorMask bounds cursors to the 24-bit field.
+const wsCursorMask = 1<<24 - 1
+
+// NewWSDeque creates a work-stealing deque with the given capacity, a
+// power of two in [2, 2^20].
+func NewWSDeque(capacity int) (*WSDeque, error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 || capacity > 1<<20 {
+		return nil, fmt.Errorf("structures: ws-deque capacity must be a power of two in [2,%d], got %d", 1<<20, capacity)
+	}
+	d := &WSDeque{items: make([]atomic.Uint64, capacity), mask: uint64(capacity) - 1}
+	if err := d.top.Init(wsLayout, 0); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Capacity returns the deque's fixed capacity.
+func (d *WSDeque) Capacity() int { return len(d.items) }
+
+// wsDiff computes bottom - top as a signed count in the 24-bit circular
+// cursor space (|count| is always far below half the range).
+func wsDiff(top, bottom uint64) int {
+	d := (bottom - top) & wsCursorMask
+	if d >= 1<<23 {
+		return int(d) - (1 << 24)
+	}
+	return int(d)
+}
+
+// PushBottom appends v at the owner's end; false when full. Owner-only.
+func (d *WSDeque) PushBottom(v uint64) bool {
+	b := d.bottom.Load()
+	t := d.top.Read()
+	if wsDiff(t, b) >= len(d.items) {
+		return false // a stale top only over-estimates the size: safe
+	}
+	d.items[b&d.mask].Store(v)
+	d.bottom.Store((b + 1) & wsCursorMask)
+	return true
+}
+
+// PopBottom removes the most recently pushed element; owner-only.
+//
+// Order matters (the classic Chase–Lev subtlety): the owner must publish
+// the decremented bottom BEFORE reading top. A thief that could race for
+// the same slot must have loaded top ≥ slot, which orders its bottom read
+// after our decrement, so it sees the deque as empty; conversely, when
+// only one element remains the owner arbitrates through the same SC the
+// thieves use, so exactly one side wins.
+func (d *WSDeque) PopBottom() (uint64, bool) {
+	b := (d.bottom.Load() - 1) & wsCursorMask
+	d.bottom.Store(b) // claim slot b before examining top
+	t, keep := d.top.LL()
+	switch sz := wsDiff(t, b); {
+	case sz < 0: // deque was empty; restore bottom
+		d.bottom.Store(t)
+		return 0, false
+	case sz > 0: // at least two elements existed: slot b is private
+		return d.items[b&d.mask].Load(), true
+	default: // last element: race thieves via SC on top
+		v := d.items[b&d.mask].Load()
+		won := d.top.SC(keep, (t+1)&wsCursorMask)
+		d.bottom.Store((t + 1) & wsCursorMask)
+		if !won {
+			return 0, false // a thief got it
+		}
+		return v, true
+	}
+}
+
+// Steal removes the oldest element; safe from any goroutine. It returns
+// ok=false when the deque is (or appears) empty, and retry=true when it
+// lost a race and the caller may retry immediately.
+func (d *WSDeque) Steal() (v uint64, ok bool, retry bool) {
+	t, keep := d.top.LL()
+	b := d.bottom.Load()
+	if wsDiff(t, b) <= 0 {
+		return 0, false, false
+	}
+	v = d.items[t&d.mask].Load()
+	if d.top.SC(keep, (t+1)&wsCursorMask) {
+		return v, true, false
+	}
+	return 0, false, true
+}
+
+// Size returns an instantaneous (racy) element count; never negative.
+func (d *WSDeque) Size() int {
+	if n := wsDiff(d.top.Read(), d.bottom.Load()); n > 0 {
+		return n
+	}
+	return 0
+}

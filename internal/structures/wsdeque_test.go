@@ -1,0 +1,269 @@
+package structures
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestWSDequeValidation(t *testing.T) {
+	for _, bad := range []int{0, 1, 3, 100, 1 << 21} {
+		if _, err := NewWSDeque(bad); err == nil {
+			t.Errorf("capacity %d accepted", bad)
+		}
+	}
+	d, err := NewWSDeque(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Capacity() != 8 {
+		t.Errorf("Capacity = %d", d.Capacity())
+	}
+}
+
+func TestWSDequeOwnerLIFO(t *testing.T) {
+	d, err := NewWSDeque(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Error("PopBottom on empty succeeded")
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if !d.PushBottom(i) {
+			t.Fatalf("PushBottom(%d) failed", i)
+		}
+	}
+	if d.Size() != 5 {
+		t.Errorf("Size = %d, want 5", d.Size())
+	}
+	for want := uint64(5); want >= 1; want-- {
+		v, ok := d.PopBottom()
+		if !ok || v != want {
+			t.Fatalf("PopBottom = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Error("PopBottom after drain succeeded")
+	}
+}
+
+func TestWSDequeStealFIFO(t *testing.T) {
+	d, err := NewWSDeque(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		d.PushBottom(i)
+	}
+	for want := uint64(1); want <= 4; want++ {
+		v, ok, _ := d.Steal()
+		if !ok || v != want {
+			t.Fatalf("Steal = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok, _ := d.Steal(); ok {
+		t.Error("Steal on empty succeeded")
+	}
+}
+
+func TestWSDequeFull(t *testing.T) {
+	d, err := NewWSDeque(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.PushBottom(1) || !d.PushBottom(2) {
+		t.Fatal("pushes failed")
+	}
+	if d.PushBottom(3) {
+		t.Error("PushBottom on full succeeded")
+	}
+	// Stealing frees space for the owner.
+	if _, ok, _ := d.Steal(); !ok {
+		t.Fatal("Steal failed")
+	}
+	if !d.PushBottom(3) {
+		t.Error("PushBottom after steal failed")
+	}
+}
+
+func TestWSDequeMixedSequential(t *testing.T) {
+	d, err := NewWSDeque(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := []uint64{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			v := uint64(rng.Intn(1000))
+			got := d.PushBottom(v)
+			want := len(oracle) < 16
+			if got != want {
+				t.Fatalf("op %d PushBottom: %v vs %v", i, got, want)
+			}
+			if want {
+				oracle = append(oracle, v)
+			}
+		case 1:
+			v, ok := d.PopBottom()
+			if len(oracle) > 0 {
+				want := oracle[len(oracle)-1]
+				oracle = oracle[:len(oracle)-1]
+				if !ok || v != want {
+					t.Fatalf("op %d PopBottom: (%d,%v), want (%d,true)", i, v, ok, want)
+				}
+			} else if ok {
+				t.Fatalf("op %d PopBottom succeeded on empty", i)
+			}
+		default:
+			v, ok, _ := d.Steal()
+			if len(oracle) > 0 {
+				want := oracle[0]
+				oracle = oracle[1:]
+				if !ok || v != want {
+					t.Fatalf("op %d Steal: (%d,%v), want (%d,true)", i, v, ok, want)
+				}
+			} else if ok {
+				t.Fatalf("op %d Steal succeeded on empty", i)
+			}
+		}
+	}
+}
+
+func TestWSDequeConcurrentConservation(t *testing.T) {
+	// One owner pushing and popping, several thieves stealing: every
+	// pushed token is consumed exactly once (by the owner or a thief).
+	const thieves = 3
+	const tokens = 30000
+	d, err := NewWSDeque(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	consumed := make(map[uint64]int, tokens)
+	take := func(v uint64) {
+		mu.Lock()
+		consumed[v]++
+		mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	var thiefWG sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		thiefWG.Add(1)
+		go func() {
+			defer thiefWG.Done()
+			for {
+				v, ok, retry := d.Steal()
+				if ok {
+					take(v)
+					continue
+				}
+				if !retry {
+					select {
+					case <-done:
+						// Drain once more to catch stragglers.
+						for {
+							v, ok, _ := d.Steal()
+							if !ok {
+								return
+							}
+							take(v)
+						}
+					default:
+						runtime.Gosched()
+					}
+				}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := uint64(1); i <= tokens; i++ {
+		for !d.PushBottom(i) {
+			runtime.Gosched()
+		}
+		if rng.Intn(3) == 0 {
+			if v, ok := d.PopBottom(); ok {
+				take(v)
+			}
+		}
+	}
+	// Owner drains what it can; thieves take the rest.
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		take(v)
+	}
+	close(done)
+	thiefWG.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(consumed) != tokens {
+		t.Fatalf("consumed %d distinct tokens, want %d", len(consumed), tokens)
+	}
+	for v, n := range consumed {
+		if n != 1 {
+			t.Fatalf("token %d consumed %d times", v, n)
+		}
+	}
+}
+
+func TestWSDequeSingleElementRace(t *testing.T) {
+	// Hammer the owner-vs-thief race on the last element: exactly one
+	// side must win each round.
+	const rounds = 20000
+	d, err := NewWSDeque(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ownerGot, thiefGot int
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok, _ := d.Steal(); ok {
+				thiefGot++
+			}
+		}
+	}()
+	close(start)
+	for i := 0; i < rounds; i++ {
+		for !d.PushBottom(uint64(i)) {
+			runtime.Gosched()
+		}
+		if _, ok := d.PopBottom(); ok {
+			ownerGot++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Whatever the thief didn't get before stop is still in the deque.
+	remaining := 0
+	for {
+		if _, ok := d.PopBottom(); !ok {
+			break
+		}
+		remaining++
+	}
+	if ownerGot+thiefGot+remaining != rounds {
+		t.Fatalf("owner %d + thief %d + remaining %d != %d (duplicate or lost element)",
+			ownerGot, thiefGot, remaining, rounds)
+	}
+}

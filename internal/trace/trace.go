@@ -1,0 +1,146 @@
+// Package trace records the simulated machine's operation stream into a
+// bounded ring buffer for post-mortem analysis: wire a Recorder into
+// machine.Config.Observer, run a (possibly schedule-controlled) workload,
+// and Dump the tail of the execution when an invariant breaks. Combined
+// with internal/sched's replayable seeds this gives a full
+// failure-reproduction workflow: re-run the failing seed with tracing on
+// and read the exact operation interleaving.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Recorder is a bounded ring buffer of machine events. It is safe for
+// concurrent use by all simulated processors.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []machine.Event
+	next    int
+	dropped uint64
+}
+
+// NewRecorder creates a recorder holding the most recent capacity events.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("trace: capacity must be at least 1, got %d", capacity)
+	}
+	return &Recorder{events: make([]machine.Event, 0, capacity)}, nil
+}
+
+// MustNewRecorder is NewRecorder for statically valid capacities.
+func MustNewRecorder(capacity int) *Recorder {
+	r, err := NewRecorder(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Observe implements the machine.Config.Observer callback; pass the
+// method value: machine.Config{Observer: rec.Observe}.
+func (r *Recorder) Observe(e machine.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, e)
+		return
+	}
+	r.events[r.next] = e
+	r.next++
+	if r.next == cap(r.events) {
+		r.next = 0
+	}
+	r.dropped++
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the retained events in arrival order (oldest first).
+func (r *Recorder) Events() []machine.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]machine.Event, 0, len(r.events))
+	if len(r.events) == cap(r.events) {
+		out = append(out, r.events[r.next:]...)
+		out = append(out, r.events[:r.next]...)
+	} else {
+		out = append(out, r.events...)
+	}
+	return out
+}
+
+// Reset discards all retained events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+	r.next = 0
+	r.dropped = 0
+}
+
+// Filter returns the retained events for which keep returns true.
+func (r *Recorder) Filter(keep func(machine.Event) bool) []machine.Event {
+	all := r.Events()
+	out := all[:0]
+	for _, e := range all {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes a human-readable listing of the retained events.
+func (r *Recorder) Dump(w io.Writer) error {
+	events := r.Events()
+	if dropped := r.Dropped(); dropped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d earlier events dropped ...\n", dropped); err != nil {
+			return err
+		}
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintln(w, Format(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format renders one event as a fixed-shape line.
+func Format(e machine.Event) string {
+	switch e.Op {
+	case machine.OpLoad:
+		return fmt.Sprintf("%6d p%-2d LOAD  w%-3d -> %#x", e.Seq, e.Proc, e.Word, e.Val)
+	case machine.OpStore:
+		return fmt.Sprintf("%6d p%-2d STORE w%-3d <- %#x", e.Seq, e.Proc, e.Word, e.Val)
+	case machine.OpCAS:
+		return fmt.Sprintf("%6d p%-2d CAS   w%-3d %#x -> %#x : %v", e.Seq, e.Proc, e.Word, e.Old, e.Val, e.OK)
+	case machine.OpRLL:
+		return fmt.Sprintf("%6d p%-2d RLL   w%-3d -> %#x", e.Seq, e.Proc, e.Word, e.Val)
+	case machine.OpRSC:
+		suffix := ""
+		if e.Spurious {
+			suffix = " (spurious)"
+		}
+		return fmt.Sprintf("%6d p%-2d RSC   w%-3d <- %#x : %v%s", e.Seq, e.Proc, e.Word, e.Val, e.OK, suffix)
+	default:
+		return fmt.Sprintf("%6d p%-2d %v w%-3d", e.Seq, e.Proc, e.Op, e.Word)
+	}
+}

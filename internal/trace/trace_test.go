@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewRecorder(0) did not panic")
+		}
+	}()
+	MustNewRecorder(0)
+}
+
+func TestRecorderCapturesOps(t *testing.T) {
+	rec := MustNewRecorder(64)
+	m := machine.MustNew(machine.Config{Procs: 1, Observer: rec.Observe})
+	w := m.NewWord(5)
+	p := m.Proc(0)
+
+	p.Load(w)
+	p.Store(w, 7)
+	p.CAS(w, 7, 8)
+	p.RLL(w)
+	p.RSC(w, 9)
+
+	events := rec.Events()
+	if len(events) != 5 {
+		t.Fatalf("captured %d events, want 5", len(events))
+	}
+	wantOps := []machine.OpKind{machine.OpLoad, machine.OpStore, machine.OpCAS, machine.OpRLL, machine.OpRSC}
+	for i, e := range events {
+		if e.Op != wantOps[i] {
+			t.Errorf("event %d op = %v, want %v", i, e.Op, wantOps[i])
+		}
+		if e.Proc != 0 {
+			t.Errorf("event %d proc = %d", i, e.Proc)
+		}
+		if e.Word != w.ID() {
+			t.Errorf("event %d word = %d, want %d", i, e.Word, w.ID())
+		}
+	}
+	// Sequence stamps are strictly increasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Errorf("seq not increasing: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+	if !events[2].OK {
+		t.Error("CAS event not marked successful")
+	}
+	if !events[4].OK {
+		t.Error("RSC event not marked successful")
+	}
+}
+
+func TestRecorderMarksSpuriousRSC(t *testing.T) {
+	rec := MustNewRecorder(16)
+	m := machine.MustNew(machine.Config{Procs: 1, Observer: rec.Observe})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	p.RLL(w)
+	p.FailNext(1)
+	p.RSC(w, 1)
+	events := rec.Events()
+	last := events[len(events)-1]
+	if last.Op != machine.OpRSC || last.OK || !last.Spurious {
+		t.Errorf("spurious RSC event = %+v", last)
+	}
+}
+
+func TestRecorderRingWraps(t *testing.T) {
+	rec := MustNewRecorder(4)
+	m := machine.MustNew(machine.Config{Procs: 1, Observer: rec.Observe})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	for i := uint64(0); i < 10; i++ {
+		p.Store(w, i)
+	}
+	events := rec.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	if rec.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", rec.Dropped())
+	}
+	// The retained events are the most recent four, in order.
+	for i, e := range events {
+		if want := uint64(6 + i); e.Val != want {
+			t.Errorf("event %d val = %d, want %d", i, e.Val, want)
+		}
+	}
+}
+
+func TestRecorderFilterAndReset(t *testing.T) {
+	rec := MustNewRecorder(32)
+	m := machine.MustNew(machine.Config{Procs: 2, Observer: rec.Observe})
+	w := m.NewWord(0)
+	m.Proc(0).Load(w)
+	m.Proc(1).Store(w, 1)
+	m.Proc(0).Load(w)
+
+	p0 := rec.Filter(func(e machine.Event) bool { return e.Proc == 0 })
+	if len(p0) != 2 {
+		t.Errorf("filter proc0: %d events, want 2", len(p0))
+	}
+	rec.Reset()
+	if rec.Len() != 0 || rec.Dropped() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	rec := MustNewRecorder(16)
+	m := machine.MustNew(machine.Config{Procs: 1, Observer: rec.Observe})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	p.CAS(w, 0, 5)
+	p.RLL(w)
+	p.FailNext(1)
+	p.RSC(w, 6)
+
+	var sb strings.Builder
+	if err := rec.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"CAS", "RLL", "RSC", "(spurious)", "p0"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("dump missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTraceOfFigure3Operation(t *testing.T) {
+	// End-to-end: trace a Figure 3 CAS and verify the paper's step
+	// structure is visible — a Load (line 1) followed by RLL/RSC pairs
+	// (lines 5-6).
+	rec := MustNewRecorder(64)
+	m := machine.MustNew(machine.Config{Procs: 1, Observer: rec.Observe})
+	v, err := core.NewCASVar(m, word.DefaultLayout, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	p.FailNext(2)
+	if !v.CompareAndSwap(p, 3, 4) {
+		t.Fatal("CAS failed")
+	}
+	events := rec.Events()
+	// Expect: LOAD, then (RLL,RSC)×3 — two spurious failures + success.
+	wantOps := []machine.OpKind{
+		machine.OpLoad,
+		machine.OpRLL, machine.OpRSC,
+		machine.OpRLL, machine.OpRSC,
+		machine.OpRLL, machine.OpRSC,
+	}
+	if len(events) != len(wantOps) {
+		t.Fatalf("got %d events, want %d:\n%v", len(events), len(wantOps), events)
+	}
+	for i, e := range events {
+		if e.Op != wantOps[i] {
+			t.Errorf("event %d = %v, want %v", i, e.Op, wantOps[i])
+		}
+	}
+	if !events[6].OK || events[6].Spurious {
+		t.Error("final RSC should be a clean success")
+	}
+	if events[2].OK || !events[2].Spurious {
+		t.Error("first RSC should be a spurious failure")
+	}
+}

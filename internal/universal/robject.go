@@ -1,0 +1,78 @@
+package universal
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// RObject is the lock-free universal construction running entirely on a
+// machine that provides only the restricted RLL/RSC pair — completing the
+// paper's claim matrix: any algorithm based on LL/VL/SC runs on any
+// machine with either CAS (see Object) or RLL/RSC (this type). It is
+// Object over core.RLargeFamily instead of core.LargeFamily.
+type RObject struct {
+	family *core.RLargeFamily
+	state  *core.RLargeVar
+}
+
+// NewRObject creates a lock-free shared object with W-segment state on
+// machine m. tagBits = 0 selects the default Figure 6 layout.
+func NewRObject(m *machine.Machine, words int, tagBits uint, initial []uint64) (*RObject, error) {
+	family, err := core.NewRLargeFamily(m, words, tagBits)
+	if err != nil {
+		return nil, err
+	}
+	state, err := family.NewVar(initial)
+	if err != nil {
+		return nil, err
+	}
+	return &RObject{family: family, state: state}, nil
+}
+
+// MaxSegmentValue returns the largest value one state segment can hold.
+func (o *RObject) MaxSegmentValue() uint64 { return o.family.MaxSegmentValue() }
+
+// Words returns the number of state segments.
+func (o *RObject) Words() int { return o.family.Words() }
+
+// RProc is a per-process handle with private scratch buffers; drive each
+// from one goroutine, using the matching machine processor.
+type RProc struct {
+	p    *machine.Proc
+	cur  []uint64
+	next []uint64
+}
+
+// Proc returns a handle bound to machine processor p.
+func (o *RObject) Proc(p *machine.Proc) *RProc {
+	w := o.family.Words()
+	return &RProc{p: p, cur: make([]uint64, w), next: make([]uint64, w)}
+}
+
+// Apply atomically replaces the state S with op(S); see Object.Apply.
+// Termination additionally assumes only finitely many spurious RSC
+// failures per operation, as everywhere on this substrate.
+func (o *RObject) Apply(p *RProc, op func(cur, next []uint64)) []uint64 {
+	for {
+		keep, res := o.state.WLL(p.p, p.cur)
+		if res != core.Succ {
+			continue
+		}
+		op(p.cur, p.next)
+		for i, x := range p.next {
+			if x > o.family.MaxSegmentValue() {
+				panic(fmt.Sprintf("universal: op produced segment[%d] = %d exceeding the state field", i, x))
+			}
+		}
+		if o.state.SC(p.p, keep, p.next) {
+			return p.cur
+		}
+	}
+}
+
+// Read fills dst with a consistent snapshot of the state.
+func (o *RObject) Read(p *RProc, dst []uint64) {
+	o.state.Read(p.p, dst)
+}

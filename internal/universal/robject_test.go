@@ -1,0 +1,87 @@
+package universal
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestRObjectSequential(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 9})
+	o, err := NewRObject(m, 2, 0, []uint64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := o.Proc(m.Proc(0))
+	observed := o.Apply(p, func(cur, next []uint64) {
+		next[0], next[1] = cur[0]+1, cur[1]+2
+	})
+	if observed[0] != 10 || observed[1] != 20 {
+		t.Errorf("observed = %v, want [10 20]", observed)
+	}
+	dst := make([]uint64, 2)
+	o.Read(p, dst)
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Errorf("state = %v, want [11 22]", dst)
+	}
+	if o.Words() != 2 {
+		t.Errorf("Words = %d", o.Words())
+	}
+}
+
+func TestRObjectValidation(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	if _, err := NewRObject(m, 0, 0, nil); err == nil {
+		t.Error("zero words accepted")
+	}
+	if _, err := NewRObject(m, 2, 0, []uint64{1}); err == nil {
+		t.Error("wrong-length initial accepted")
+	}
+}
+
+func TestRObjectConcurrentTransfersOnNoisyMachine(t *testing.T) {
+	// The bank-conservation invariant, on the RLL/RSC substrate with
+	// spurious failures injected.
+	const procs = 3
+	const rounds = 800
+	const accounts = 3
+	m := machine.MustNew(machine.Config{Procs: procs, SpuriousFailProb: 0.1, Seed: 33})
+	o, err := NewRObject(m, accounts, 0, []uint64{500, 500, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := o.Proc(m.Proc(id))
+			for r := 0; r < rounds; r++ {
+				from := (id + r) % accounts
+				to := (id + r + 1) % accounts
+				o.Apply(p, func(cur, next []uint64) {
+					copy(next, cur)
+					if next[from] > 0 {
+						next[from]--
+						next[to]++
+					}
+				})
+			}
+		}(id)
+	}
+	wg.Wait()
+	p := o.Proc(m.Proc(0))
+	dst := make([]uint64, accounts)
+	o.Read(p, dst)
+	var total uint64
+	for _, x := range dst {
+		total += x
+	}
+	if total != 1500 {
+		t.Errorf("total = %d, want 1500", total)
+	}
+	if st := m.Stats(); st.RSCSpurious == 0 {
+		t.Error("expected spurious failures at p=0.1")
+	}
+}

@@ -1,0 +1,107 @@
+// Package universal provides a Herlihy-style universal construction for
+// small shared objects, built on the paper's Figure 6 W-word WLL/VL/SC
+// primitive (the construction of the paper's references [3, 7] that
+// motivates Figure 6 in the first place).
+//
+// Any sequential object whose state fits in W machine-word segments
+// becomes lock-free: an operation WLLs the state, applies a pure
+// transition function to a private copy, and SCs the result, retrying on
+// interference. WLL's early-failure return means a doomed attempt skips
+// the transition computation entirely — the paper's stated purpose for
+// weakening LL.
+package universal
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Object is a lock-free shared object with W-segment state.
+type Object struct {
+	family *core.LargeFamily
+	state  *core.LargeVar
+}
+
+// Config parametrizes an Object.
+type Config struct {
+	// Procs is the number of processes that may operate on the object.
+	Procs int
+	// Words is the number of state segments W.
+	Words int
+	// TagBits optionally overrides the Figure 6 tag width (0 = default).
+	TagBits uint
+}
+
+// New creates an object with the given initial state (length W, each
+// segment within the family's segment-value range).
+func New(cfg Config, initial []uint64) (*Object, error) {
+	family, err := core.NewLargeFamily(core.LargeConfig{
+		Procs:   cfg.Procs,
+		Words:   cfg.Words,
+		TagBits: cfg.TagBits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	state, err := family.NewVar(initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{family: family, state: state}, nil
+}
+
+// MaxSegmentValue returns the largest value one state segment can hold.
+func (o *Object) MaxSegmentValue() uint64 { return o.family.MaxSegmentValue() }
+
+// Words returns the number of state segments.
+func (o *Object) Words() int { return o.family.Words() }
+
+// Proc is a per-process handle with private scratch state (the paper's
+// "one word per LL-SC sequence ... on the execution stack", hoisted into
+// the handle so Apply performs zero allocations).
+type Proc struct {
+	inner *core.LargeProc
+	cur   []uint64
+	next  []uint64
+}
+
+// Proc returns a handle for process id. Each handle must be driven by one
+// goroutine at a time.
+func (o *Object) Proc(id int) (*Proc, error) {
+	inner, err := o.family.Proc(id)
+	if err != nil {
+		return nil, err
+	}
+	w := o.family.Words()
+	return &Proc{inner: inner, cur: make([]uint64, w), next: make([]uint64, w)}, nil
+}
+
+// Apply atomically replaces the state S with op(S). The op receives the
+// current state and a destination buffer to fill; it must be a pure
+// function of its input (it may run several times under contention, and
+// losing attempts are discarded). It returns the state the operation
+// observed (the input to the winning op call). Lock-free: a retry implies
+// another process's Apply succeeded.
+func (o *Object) Apply(p *Proc, op func(cur []uint64, next []uint64)) []uint64 {
+	for {
+		keep, res := o.state.WLL(p.inner, p.cur)
+		if res != core.Succ {
+			continue // a concurrent SC won; retry without computing op
+		}
+		op(p.cur, p.next)
+		for i, x := range p.next {
+			if x > o.family.MaxSegmentValue() {
+				panic(fmt.Sprintf("universal: op produced segment[%d] = %d exceeding the state field", i, x))
+			}
+		}
+		if o.state.SC(p.inner, keep, p.next) {
+			return p.cur
+		}
+	}
+}
+
+// Read returns a consistent snapshot of the state into dst (length W).
+func (o *Object) Read(p *Proc, dst []uint64) {
+	o.state.Read(p.inner, dst)
+}

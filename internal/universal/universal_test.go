@@ -1,0 +1,213 @@
+package universal
+
+import (
+	"sync"
+	"testing"
+)
+
+func newObject(t *testing.T, procs, words int, initial []uint64) *Object {
+	t.Helper()
+	o, err := New(Config{Procs: procs, Words: words}, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func proc(t *testing.T, o *Object, id int) *Proc {
+	t.Helper()
+	p, err := o.Proc(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Procs: 0, Words: 1}, []uint64{0}); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := New(Config{Procs: 1, Words: 2}, []uint64{0}); err == nil {
+		t.Error("wrong-length initial accepted")
+	}
+}
+
+func TestApplySequential(t *testing.T) {
+	o := newObject(t, 1, 2, []uint64{10, 20})
+	p := proc(t, o, 0)
+	observed := o.Apply(p, func(cur, next []uint64) {
+		next[0] = cur[0] + 1
+		next[1] = cur[1] + 2
+	})
+	if observed[0] != 10 || observed[1] != 20 {
+		t.Errorf("observed = %v, want [10 20]", observed)
+	}
+	dst := make([]uint64, 2)
+	o.Read(p, dst)
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Errorf("state = %v, want [11 22]", dst)
+	}
+}
+
+func TestApplyPanicsOnOversizedResult(t *testing.T) {
+	o := newObject(t, 1, 1, []uint64{0})
+	p := proc(t, o, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized op result did not panic")
+		}
+	}()
+	o.Apply(p, func(cur, next []uint64) {
+		next[0] = o.MaxSegmentValue() + 1
+	})
+}
+
+func TestApplyConcurrentBankTransfers(t *testing.T) {
+	// A 4-account bank; each Apply moves one unit between accounts. The
+	// total must be conserved — the classic multi-word atomicity demo.
+	const procs = 4
+	const rounds = 2000
+	const accounts = 4
+	initial := []uint64{1000, 1000, 1000, 1000}
+	o := newObject(t, procs, accounts, initial)
+
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, err := o.Proc(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				from := (id + r) % accounts
+				to := (id + r + 1) % accounts
+				o.Apply(p, func(cur, next []uint64) {
+					copy(next, cur)
+					if next[from] > 0 {
+						next[from]--
+						next[to]++
+					}
+				})
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	p := proc(t, o, 0)
+	dst := make([]uint64, accounts)
+	o.Read(p, dst)
+	var total uint64
+	for _, x := range dst {
+		total += x
+	}
+	if total != 4000 {
+		t.Errorf("total = %d, want 4000 (money was created or destroyed)", total)
+	}
+}
+
+func TestApplyReturnsObservedState(t *testing.T) {
+	// Fetch-and-add via Apply: the returned observed states, collected
+	// across all workers, must be exactly {0, 1, ..., total-1} — each
+	// increment saw a distinct predecessor state.
+	const procs = 4
+	const rounds = 1000
+	o := newObject(t, procs, 1, []uint64{0})
+
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, procs*rounds)
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, err := o.Proc(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			local := make([]uint64, 0, rounds)
+			for r := 0; r < rounds; r++ {
+				obs := o.Apply(p, func(cur, next []uint64) {
+					next[0] = cur[0] + 1
+				})
+				local = append(local, obs[0])
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, v := range local {
+				if seen[v] {
+					t.Errorf("state %d observed by two increments", v)
+				}
+				seen[v] = true
+			}
+		}(id)
+	}
+	wg.Wait()
+	if len(seen) != procs*rounds {
+		t.Fatalf("saw %d distinct states, want %d", len(seen), procs*rounds)
+	}
+	for i := uint64(0); i < procs*rounds; i++ {
+		if !seen[i] {
+			t.Fatalf("state %d never observed", i)
+		}
+	}
+}
+
+func TestSharedDequeOnObject(t *testing.T) {
+	// A bounded deque encoded in segments: [len, d0, d1, ..., d6]. Shows
+	// that arbitrary sequential objects gain lock-freedom.
+	o := newObject(t, 2, 8, make([]uint64, 8))
+	p := proc(t, o, 0)
+
+	pushBack := func(v uint64) bool {
+		var ok bool
+		o.Apply(p, func(cur, next []uint64) {
+			copy(next, cur)
+			n := cur[0]
+			ok = n < 7
+			if ok {
+				next[1+n] = v
+				next[0] = n + 1
+			}
+		})
+		return ok
+	}
+	popFront := func() (uint64, bool) {
+		var v uint64
+		var ok bool
+		o.Apply(p, func(cur, next []uint64) {
+			n := cur[0]
+			ok = n > 0
+			if !ok {
+				copy(next, cur)
+				return
+			}
+			v = cur[1]
+			next[0] = n - 1
+			copy(next[1:], cur[2:])
+			next[7] = 0
+		})
+		return v, ok
+	}
+
+	for i := uint64(1); i <= 7; i++ {
+		if !pushBack(i * 11) {
+			t.Fatalf("pushBack(%d) reported full", i*11)
+		}
+	}
+	if pushBack(99) {
+		t.Error("pushBack on full deque succeeded")
+	}
+	for i := uint64(1); i <= 7; i++ {
+		v, ok := popFront()
+		if !ok || v != i*11 {
+			t.Fatalf("popFront = (%d,%v), want (%d,true)", v, ok, i*11)
+		}
+	}
+	if _, ok := popFront(); ok {
+		t.Error("popFront on empty deque succeeded")
+	}
+}

@@ -1,0 +1,229 @@
+package universal
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// WaitFreeObject is a wait-free universal construction in the style of
+// Herlihy's methodology (the paper's reference [7]), built on the Figure 6
+// W-word primitive. Where Object is merely lock-free (an unlucky process
+// can retry forever), WaitFreeObject bounds every invocation:
+//
+//   - a process announces its operation (sequence number, opcode,
+//     argument) in a single-writer announce word;
+//   - every SC attempt batches ALL pending announced operations into the
+//     next state, in process order; and
+//   - the state carries one packed (sequence, result) slot per process,
+//     recording its last applied operation.
+//
+// Wait-freedom argument. Each failed WLL or SC by the caller overlaps a
+// distinct successful SC by someone else. The second successful SC that
+// begins after the caller's announce must scan the announce array after
+// the announce was visible (its WLL postdates the first one's commit), so
+// it applies the operation; and before a third can commit, every segment
+// of the generation holding the result has been copied (an SC requires a
+// complete copy of the predecessor generation). The caller's packed
+// (seq,result) slot is then readable with a single atomic segment load
+// (LargeVar.ReadSegment), so the invocation returns after a constant
+// number of its own steps regardless of other processes' behaviour.
+//
+// The transition function must be a pure, deterministic function of
+// (opcode, arg, state): helpers run it redundantly and rely on computing
+// identical results.
+type WaitFreeObject struct {
+	family   *core.LargeFamily
+	state    *core.LargeVar
+	announce []atomic.Uint64
+	apply    ApplyFunc
+	n        int
+	userW    int
+	slot     word.Fields // seq(16) | result(segValBits-16), within a segment value
+}
+
+// ApplyFunc is the sequential object's transition function: it mutates
+// user in place according to (opcode, arg) and returns the operation's
+// result (which must fit ResultMask). It must be deterministic and must
+// not retain user.
+type ApplyFunc func(opcode, arg uint64, user []uint64) (result uint64)
+
+// announce word layout: seq(16) | opcode(16) | arg(32).
+var annFields = mustFields(16, 16, 32)
+
+func mustFields(widths ...uint) word.Fields {
+	f, err := word.NewFields(widths...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+const (
+	annSeq = iota
+	annOp
+	annArg
+)
+
+const (
+	slotSeq = iota
+	slotRes
+)
+
+// seqBits is the width of per-operation sequence numbers. Sequence
+// numbers only ever compare for equality against the caller's own latest
+// announce (a process never has two operations outstanding), so the
+// width only needs to make an accidental equality after wrap impossible
+// within one outstanding operation — any width ≥ 1 is correct; 16 keeps
+// the packed slot roomy.
+const seqBits = 16
+
+// WaitFreeConfig parametrizes a WaitFreeObject.
+type WaitFreeConfig struct {
+	// Procs is the number of processes N.
+	Procs int
+	// UserWords is the number of state segments available to the object.
+	UserWords int
+	// TagBits optionally overrides the Figure 6 tag width. The default of
+	// 32 leaves 32-bit state words and 16-bit operation results.
+	TagBits uint
+}
+
+// NewWaitFree creates a wait-free object with the given initial user
+// state (length UserWords) and transition function.
+func NewWaitFree(cfg WaitFreeConfig, initial []uint64, apply ApplyFunc) (*WaitFreeObject, error) {
+	if apply == nil {
+		return nil, fmt.Errorf("universal: apply function must not be nil")
+	}
+	if len(initial) != cfg.UserWords {
+		return nil, fmt.Errorf("universal: initial state has %d words, want %d", len(initial), cfg.UserWords)
+	}
+	tagBits := cfg.TagBits
+	if tagBits == 0 {
+		tagBits = 32
+	}
+	segValBits := word.WordBits - tagBits
+	if segValBits <= seqBits {
+		return nil, fmt.Errorf("universal: tag width %d leaves no room for results (need > %d value bits)", tagBits, seqBits)
+	}
+	slot, err := word.NewFields(seqBits, segValBits-seqBits)
+	if err != nil {
+		return nil, err
+	}
+	// State layout: [user 0..W) [slot W..W+N).
+	segs := cfg.UserWords + cfg.Procs
+	family, err := core.NewLargeFamily(core.LargeConfig{Procs: cfg.Procs, Words: segs, TagBits: tagBits})
+	if err != nil {
+		return nil, err
+	}
+	full := make([]uint64, segs)
+	copy(full, initial)
+	state, err := family.NewVar(full)
+	if err != nil {
+		return nil, err
+	}
+	return &WaitFreeObject{
+		family:   family,
+		state:    state,
+		announce: make([]atomic.Uint64, cfg.Procs),
+		apply:    apply,
+		n:        cfg.Procs,
+		userW:    cfg.UserWords,
+		slot:     slot,
+	}, nil
+}
+
+// MaxStateValue returns the largest value one user state word can hold.
+func (o *WaitFreeObject) MaxStateValue() uint64 { return o.family.MaxSegmentValue() }
+
+// ResultMask returns the largest operation result representable.
+func (o *WaitFreeObject) ResultMask() uint64 { return o.slot.Max(slotRes) }
+
+// WProc is a per-process handle with private scratch buffers.
+type WProc struct {
+	inner *core.LargeProc
+	id    int
+	seq   uint64
+	cur   []uint64
+	next  []uint64
+}
+
+// Proc returns a handle for process id; each must be driven by one
+// goroutine at a time.
+func (o *WaitFreeObject) Proc(id int) (*WProc, error) {
+	inner, err := o.family.Proc(id)
+	if err != nil {
+		return nil, err
+	}
+	segs := o.userW + o.n
+	return &WProc{inner: inner, id: id, cur: make([]uint64, segs), next: make([]uint64, segs)}, nil
+}
+
+// Invoke applies (opcode, arg) to the object and returns the operation's
+// result. Wait-free: it completes within a bounded number of its own
+// steps regardless of the behaviour of other processes.
+func (o *WaitFreeObject) Invoke(p *WProc, opcode, arg uint64) uint64 {
+	// Sequence numbers cycle through 1..2^16-1, never 0: zero marks both
+	// "never announced" (announce word) and "nothing applied" (slots).
+	p.seq = p.seq%(1<<seqBits-1) + 1
+	o.announce[p.id].Store(annFields.Pack(p.seq, opcode, arg))
+	mySlot := o.userW + p.id
+	for {
+		// Fast path: the packed (seq,result) slot is single-writer-stable
+		// once applied, so one atomic segment read suffices.
+		if s := o.state.ReadSegment(mySlot); o.slot.Get(s, slotSeq) == p.seq {
+			return o.slot.Get(s, slotRes)
+		}
+		keep, res := o.state.WLL(p.inner, p.cur)
+		if res != core.Succ {
+			continue // a concurrent SC won; the fast path will see its effect
+		}
+		if o.slot.Get(p.cur[mySlot], slotSeq) == p.seq {
+			return o.slot.Get(p.cur[mySlot], slotRes)
+		}
+		o.applyPending(p)
+		if o.state.SC(p.inner, keep, p.next) {
+			return o.slot.Get(p.next[mySlot], slotRes)
+		}
+	}
+}
+
+// applyPending fills p.next from p.cur by applying, in process order,
+// every announced operation not yet reflected in the state.
+func (o *WaitFreeObject) applyPending(p *WProc) {
+	copy(p.next, p.cur)
+	user := p.next[:o.userW]
+	for i := 0; i < o.n; i++ {
+		a := o.announce[i].Load()
+		if a == 0 {
+			continue // process i has never announced
+		}
+		aseq := annFields.Get(a, annSeq)
+		if aseq == o.slot.Get(p.next[o.userW+i], slotSeq) {
+			continue // already applied
+		}
+		result := o.apply(annFields.Get(a, annOp), annFields.Get(a, annArg), user)
+		for j, x := range user {
+			if x > o.MaxStateValue() {
+				panic(fmt.Sprintf("universal: apply produced state[%d] = %d exceeding the segment field", j, x))
+			}
+		}
+		p.next[o.userW+i] = o.slot.Pack(aseq, result)
+	}
+}
+
+// Read fills dst (length UserWords) with a consistent snapshot of the
+// user state. Lock-free.
+func (o *WaitFreeObject) Read(p *WProc, dst []uint64) {
+	if len(dst) != o.userW {
+		panic(fmt.Sprintf("universal: Read destination has %d words, want %d", len(dst), o.userW))
+	}
+	for {
+		if _, res := o.state.WLL(p.inner, p.cur); res == core.Succ {
+			copy(dst, p.cur[:o.userW])
+			return
+		}
+	}
+}

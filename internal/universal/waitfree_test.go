@@ -1,0 +1,238 @@
+package universal
+
+import (
+	"sync"
+	"testing"
+)
+
+// counterApply: opcode 0 = add arg, return the pre-add value (fetch-add);
+// opcode 1 = read, return current.
+func counterApply(opcode, arg uint64, user []uint64) uint64 {
+	switch opcode {
+	case 0:
+		old := user[0]
+		user[0] = (user[0] + arg) & ((1 << 32) - 1)
+		return old & ((1 << 16) - 1) // results are 16-bit by default
+	default:
+		return user[0] & ((1 << 16) - 1)
+	}
+}
+
+func newWFCounter(t *testing.T, procs int) *WaitFreeObject {
+	t.Helper()
+	o, err := NewWaitFree(WaitFreeConfig{Procs: procs, UserWords: 1}, []uint64{0}, counterApply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNewWaitFreeValidation(t *testing.T) {
+	if _, err := NewWaitFree(WaitFreeConfig{Procs: 1, UserWords: 1}, []uint64{0}, nil); err == nil {
+		t.Error("nil apply accepted")
+	}
+	if _, err := NewWaitFree(WaitFreeConfig{Procs: 1, UserWords: 2}, []uint64{0}, counterApply); err == nil {
+		t.Error("wrong-length initial accepted")
+	}
+	if _, err := NewWaitFree(WaitFreeConfig{Procs: 1, UserWords: 1, TagBits: 50}, []uint64{0}, counterApply); err == nil {
+		t.Error("tag width leaving no result room accepted")
+	}
+	if _, err := NewWaitFree(WaitFreeConfig{Procs: 0, UserWords: 1}, nil, counterApply); err == nil {
+		t.Error("zero procs accepted")
+	}
+}
+
+func TestWaitFreeSequential(t *testing.T) {
+	o := newWFCounter(t, 1)
+	p, err := o.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if got := o.Invoke(p, 0, 1); got != i {
+			t.Fatalf("fetch-add %d returned %d", i, got)
+		}
+	}
+	if got := o.Invoke(p, 1, 0); got != 100 {
+		t.Errorf("read = %d, want 100", got)
+	}
+	dst := make([]uint64, 1)
+	o.Read(p, dst)
+	if dst[0] != 100 {
+		t.Errorf("snapshot = %d, want 100", dst[0])
+	}
+}
+
+func TestWaitFreeResultMask(t *testing.T) {
+	o := newWFCounter(t, 1)
+	if o.ResultMask() != (1<<16)-1 {
+		t.Errorf("ResultMask = %#x, want 16 bits", o.ResultMask())
+	}
+	if o.MaxStateValue() != (1<<32)-1 {
+		t.Errorf("MaxStateValue = %#x, want 32 bits", o.MaxStateValue())
+	}
+}
+
+func TestWaitFreeFetchAddUniqueResults(t *testing.T) {
+	// Every fetch-add must observe a distinct predecessor value, and the
+	// union of observed values must be exactly 0..total-1 — even though
+	// operations may be applied by helpers rather than their callers.
+	const procs = 4
+	const each = 2000 // total 8000 < 2^16 so results fit the 16-bit field
+	o := newWFCounter(t, procs)
+
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, procs*each)
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, err := o.Proc(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			local := make([]uint64, 0, each)
+			for i := 0; i < each; i++ {
+				local = append(local, o.Invoke(p, 0, 1))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, v := range local {
+				if seen[v] {
+					t.Errorf("fetch-add result %d duplicated", v)
+				}
+				seen[v] = true
+			}
+		}(id)
+	}
+	wg.Wait()
+	if len(seen) != procs*each {
+		t.Fatalf("got %d distinct results, want %d", len(seen), procs*each)
+	}
+	for i := uint64(0); i < procs*each; i++ {
+		if !seen[i] {
+			t.Fatalf("result %d missing", i)
+		}
+	}
+}
+
+func TestWaitFreeHelpingAppliesStalledOps(t *testing.T) {
+	// p0 announces an operation but performs NO further steps; p1's next
+	// invocation must apply p0's op for it (helping), after which p0's
+	// Invoke completes on its fast path having taken no SC of its own.
+	o := newWFCounter(t, 2)
+	p0, err := o.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := o.Proc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manually announce for p0 (simulating a stall right after announce).
+	p0.seq = 1
+	o.announce[0].Store(annFields.Pack(1, 0, 7)) // fetch-add 7
+
+	// p1 invokes once; its SC must batch p0's pending op.
+	if got := o.Invoke(p1, 0, 1); got != 7 {
+		// p1's op may be ordered before or after p0's: result is 0 or 7.
+		if got != 0 {
+			t.Fatalf("p1's fetch-add returned %d, want 0 or 7", got)
+		}
+	}
+	dst := make([]uint64, 1)
+	o.Read(p1, dst)
+	if dst[0] != 8 {
+		t.Fatalf("state = %d, want 8 (7 from p0's helped op + 1 from p1)", dst[0])
+	}
+
+	// p0 "wakes up": the fast path must return its result without help.
+	s := o.state.ReadSegment(o.userW + 0)
+	if o.slot.Get(s, slotSeq) != 1 {
+		t.Fatal("p0's op was not applied by the helper")
+	}
+}
+
+func TestWaitFreeMultiWordObject(t *testing.T) {
+	// A 3-word stats object: ops update min/max/count atomically.
+	apply := func(opcode, arg uint64, user []uint64) uint64 {
+		switch opcode {
+		case 0: // observe(arg)
+			if user[2] == 0 || arg < user[0] {
+				user[0] = arg
+			}
+			if arg > user[1] {
+				user[1] = arg
+			}
+			user[2]++
+			return user[2] & 0xFFFF
+		default:
+			return user[2] & 0xFFFF
+		}
+	}
+	o, err := NewWaitFree(WaitFreeConfig{Procs: 4, UserWords: 3}, []uint64{0, 0, 0}, apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const procs = 4
+	const each = 1000
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p, err := o.Proc(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < each; i++ {
+				o.Invoke(p, 0, uint64(id*each+i+10))
+			}
+		}(id)
+	}
+	wg.Wait()
+	p, _ := o.Proc(0)
+	dst := make([]uint64, 3)
+	o.Read(p, dst)
+	if dst[0] != 10 {
+		t.Errorf("min = %d, want 10", dst[0])
+	}
+	if dst[1] != uint64(procs*each+9) {
+		t.Errorf("max = %d, want %d", dst[1], procs*each+9)
+	}
+	if dst[2] != procs*each {
+		t.Errorf("count = %d, want %d", dst[2], procs*each)
+	}
+}
+
+func TestWaitFreeSeqWrap(t *testing.T) {
+	// Drive one process through more than 2^16 operations so its sequence
+	// number wraps; results must stay exact throughout.
+	o, err := NewWaitFree(WaitFreeConfig{Procs: 1, UserWords: 1}, []uint64{0},
+		func(opcode, arg uint64, user []uint64) uint64 {
+			user[0] = (user[0] + 1) & ((1 << 32) - 1)
+			return user[0] & 0xFFFF
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := o.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 1<<16 + 100
+	for i := 1; i <= total; i++ {
+		if got := o.Invoke(p, 0, 0); got != uint64(i)&0xFFFF {
+			t.Fatalf("op %d returned %d, want %d", i, got, uint64(i)&0xFFFF)
+		}
+	}
+	dst := make([]uint64, 1)
+	o.Read(p, dst)
+	if dst[0] != total {
+		t.Errorf("state = %d, want %d", dst[0], total)
+	}
+}

@@ -1,0 +1,44 @@
+package word
+
+import "testing"
+
+func BenchmarkLayoutPack(b *testing.B) {
+	l := MustLayout(48)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = l.Pack(uint64(i), uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkLayoutUnpack(b *testing.B) {
+	l := MustLayout(48)
+	w := l.Pack(123, 456)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = l.Tag(w) + l.Val(w)
+	}
+	_ = sink
+}
+
+func BenchmarkLayoutBump(b *testing.B) {
+	l := MustLayout(48)
+	w := l.Pack(0, 0)
+	for i := 0; i < b.N; i++ {
+		w = l.Bump(w, uint64(i))
+	}
+	_ = w
+}
+
+func BenchmarkFieldsPackGet(b *testing.B) {
+	f, err := NewFields(8, 7, 4, 45)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		w := f.Pack(uint64(i), uint64(i), uint64(i), uint64(i))
+		sink = f.Get(w, 0) + f.Get(w, 3)
+	}
+	_ = sink
+}

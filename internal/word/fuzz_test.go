@@ -1,0 +1,69 @@
+package word
+
+import "testing"
+
+// FuzzLayoutRoundTrip checks pack/unpack identity over the full input
+// space for every legal tag width.
+func FuzzLayoutRoundTrip(f *testing.F) {
+	f.Add(uint(48), uint64(123), uint64(456))
+	f.Add(uint(1), uint64(0), uint64(^uint64(0)))
+	f.Add(uint(63), uint64(^uint64(0)), uint64(1))
+	f.Fuzz(func(t *testing.T, tagBits uint, tag, val uint64) {
+		tagBits = tagBits%63 + 1 // [1,63]
+		l := MustLayout(tagBits)
+		tag &= l.MaxTag()
+		val &= l.MaxVal()
+		w := l.Pack(tag, val)
+		if l.Tag(w) != tag || l.Val(w) != val {
+			t.Fatalf("roundtrip failed: tagBits=%d tag=%#x val=%#x word=%#x -> (%#x,%#x)",
+				tagBits, tag, val, w, l.Tag(w), l.Val(w))
+		}
+		// Bump increments the tag modulo range and replaces the value.
+		b := l.Bump(w, val)
+		if l.Tag(b) != l.IncTag(tag) || l.Val(b) != val {
+			t.Fatalf("bump failed: %#x -> %#x", w, b)
+		}
+	})
+}
+
+// FuzzFieldsRoundTrip checks the general multi-field layout: pack then
+// get recovers every field, and set disturbs only its target.
+func FuzzFieldsRoundTrip(f *testing.F) {
+	f.Add(uint(8), uint(7), uint(4), uint64(1), uint64(2), uint64(3), uint64(4))
+	f.Fuzz(func(t *testing.T, w1, w2, w3 uint, a, b, c, d uint64) {
+		w1, w2, w3 = w1%16+1, w2%16+1, w3%16+1
+		w4 := uint(64) - w1 - w2 - w3
+		fl, err := NewFields(w1, w2, w3, w4)
+		if err != nil {
+			t.Fatalf("NewFields(%d,%d,%d,%d): %v", w1, w2, w3, w4, err)
+		}
+		vals := []uint64{a & fl.Max(0), b & fl.Max(1), c & fl.Max(2), d & fl.Max(3)}
+		w := fl.Pack(vals...)
+		for i, want := range vals {
+			if got := fl.Get(w, i); got != want {
+				t.Fatalf("field %d = %#x, want %#x", i, got, want)
+			}
+		}
+		w2x := fl.Set(w, 1, d)
+		if fl.Get(w2x, 1) != d&fl.Max(1) {
+			t.Fatal("Set target wrong")
+		}
+		for _, i := range []int{0, 2, 3} {
+			if fl.Get(w2x, i) != vals[i] {
+				t.Fatalf("Set disturbed field %d", i)
+			}
+		}
+	})
+}
+
+// FuzzModularArithmetic checks ⊕/⊖ inversion for arbitrary moduli.
+func FuzzModularArithmetic(f *testing.F) {
+	f.Add(uint64(3), uint64(7), uint64(5))
+	f.Fuzz(func(t *testing.T, x, delta, m uint64) {
+		m = m%100000 + 1
+		x %= m
+		if got := SubMod(AddMod(x, delta, m), delta, m); got != x {
+			t.Fatalf("SubMod(AddMod(%d,%d,%d)) = %d", x, delta, m, got)
+		}
+	})
+}

@@ -1,0 +1,230 @@
+// Package word provides bit-field layouts for packing tags and data values
+// into single 64-bit machine words, together with the modular tag arithmetic
+// (the paper's ⊕ and ⊖ operators) used by every algorithm in Moir's
+// "Practical Implementations of Non-Blocking Synchronization Primitives"
+// (PODC 1997).
+//
+// All of the paper's one-word algorithms store a record
+//
+//	wordtype = record tag: tagtype; val: valtype end
+//
+// in a single machine word. Layout describes one such split. Fields
+// generalizes it to an arbitrary sequence of bit fields, which the
+// bounded-tag algorithm (the paper's Figure 7) needs for its
+// tag|cnt|pid|val words.
+package word
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// WordBits is the machine word size assumed throughout: every shared word
+// manipulated by the implementations is a uint64.
+const WordBits = 64
+
+// Layout is a tag|value split of a 64-bit word. The tag occupies the high
+// TagBits bits and the value the low ValBits bits, so that packed words with
+// equal tags compare like their values.
+type Layout struct {
+	TagBits uint
+	ValBits uint
+}
+
+// NewLayout returns a Layout reserving tagBits of each 64-bit word for the
+// tag and the remainder for the value. Both fields must be at least one bit
+// wide.
+func NewLayout(tagBits uint) (Layout, error) {
+	if tagBits < 1 || tagBits > WordBits-1 {
+		return Layout{}, fmt.Errorf("word: tag width %d out of range [1,%d]", tagBits, WordBits-1)
+	}
+	return Layout{TagBits: tagBits, ValBits: WordBits - tagBits}, nil
+}
+
+// MustLayout is NewLayout for statically known widths; it panics on an
+// invalid width and is intended for package-level defaults and tests.
+func MustLayout(tagBits uint) Layout {
+	l, err := NewLayout(tagBits)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// DefaultLayout is the split used by the paper's running example: a 48-bit
+// tag (wraparound takes ~9 years at one million updates per second) and 16
+// bits of data.
+var DefaultLayout = MustLayout(48)
+
+// MaxTag returns the largest representable tag; tags live in [0, MaxTag]
+// and increment modulo MaxTag+1.
+func (l Layout) MaxTag() uint64 {
+	return maxOf(l.TagBits)
+}
+
+// MaxVal returns the largest representable data value.
+func (l Layout) MaxVal() uint64 {
+	return maxOf(l.ValBits)
+}
+
+func maxOf(bits uint) uint64 {
+	if bits >= WordBits {
+		return math.MaxUint64
+	}
+	return (1 << bits) - 1
+}
+
+// Pack combines a tag and a value into one word. Arguments are masked to
+// their field widths, mirroring the silent modular behaviour of fixed-width
+// hardware fields.
+func (l Layout) Pack(tag, val uint64) uint64 {
+	return (tag&l.MaxTag())<<l.ValBits | val&l.MaxVal()
+}
+
+// Tag extracts the tag field of a packed word.
+func (l Layout) Tag(w uint64) uint64 {
+	return w >> l.ValBits
+}
+
+// Val extracts the value field of a packed word.
+func (l Layout) Val(w uint64) uint64 {
+	return w & l.MaxVal()
+}
+
+// IncTag returns tag ⊕ 1: the successor of tag modulo the tag range.
+func (l Layout) IncTag(tag uint64) uint64 {
+	return (tag + 1) & l.MaxTag()
+}
+
+// DecTag returns tag ⊖ 1: the predecessor of tag modulo the tag range.
+func (l Layout) DecTag(tag uint64) uint64 {
+	return (tag - 1) & l.MaxTag()
+}
+
+// Bump returns the packed word with the tag incremented (mod range) and the
+// value replaced — exactly the new word prepared by a successful SC in the
+// paper's Figures 3-5.
+func (l Layout) Bump(w, newVal uint64) uint64 {
+	return l.Pack(l.IncTag(l.Tag(w)), newVal)
+}
+
+// AddMod returns (x + delta) mod m. It is the paper's ⊕ operator for
+// arbitrary (not power-of-two) ranges, as needed by Figure 7's
+// cnt: 0..Nk and tag: 0..2Nk fields.
+func AddMod(x, delta, m uint64) uint64 {
+	if m == 0 {
+		panic("word: AddMod modulus must be positive")
+	}
+	return (x + delta%m) % m
+}
+
+// SubMod returns (x - delta) mod m, the ⊖ operator.
+func SubMod(x, delta, m uint64) uint64 {
+	if m == 0 {
+		panic("word: SubMod modulus must be positive")
+	}
+	d := delta % m
+	return (x + m - d) % m
+}
+
+// BitsFor returns the number of bits needed to represent all values in
+// [0, n], i.e. ceil(log2(n+1)) with a minimum of 1.
+func BitsFor(n uint64) uint {
+	bits := uint(1)
+	for maxOf(bits) < n {
+		bits++
+	}
+	return bits
+}
+
+// TimeToWrap returns how long a tag of the given width survives before
+// wrapping around, assuming the variable is modified updatesPerSecond times
+// per second. This reproduces the paper's Section 1 arithmetic: a 48-bit tag
+// at 10^6 updates/second wraps only after roughly nine years.
+//
+// The returned duration saturates at the maximum representable
+// time.Duration (about 292 years) for wide tags.
+func TimeToWrap(tagBits uint, updatesPerSecond float64) time.Duration {
+	if updatesPerSecond <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	updates := math.Pow(2, float64(tagBits))
+	seconds := updates / updatesPerSecond
+	if seconds >= float64(math.MaxInt64)/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Fields is a general sequence of bit fields packed into one 64-bit word,
+// field 0 occupying the most significant bits. Figure 7's
+// wordtype = record tag: 0..2Nk; cnt: 0..Nk; pid: 0..N-1; val: valtype end
+// is a four-field instance.
+type Fields struct {
+	widths []uint
+	shifts []uint
+}
+
+// NewFields builds a Fields layout from the given widths, most significant
+// first. The widths must each be at least 1 and sum to at most 64.
+func NewFields(widths ...uint) (Fields, error) {
+	if len(widths) == 0 {
+		return Fields{}, fmt.Errorf("word: NewFields requires at least one field")
+	}
+	var total uint
+	for i, w := range widths {
+		if w < 1 {
+			return Fields{}, fmt.Errorf("word: field %d has zero width", i)
+		}
+		total += w
+	}
+	if total > WordBits {
+		return Fields{}, fmt.Errorf("word: fields total %d bits, exceeding the %d-bit word", total, WordBits)
+	}
+	f := Fields{
+		widths: append([]uint(nil), widths...),
+		shifts: make([]uint, len(widths)),
+	}
+	shift := total
+	for i, w := range widths {
+		shift -= w
+		f.shifts[i] = shift
+	}
+	return f, nil
+}
+
+// NumFields returns the number of fields in the layout.
+func (f Fields) NumFields() int { return len(f.widths) }
+
+// Width returns the width in bits of field i.
+func (f Fields) Width(i int) uint { return f.widths[i] }
+
+// Max returns the largest value representable in field i.
+func (f Fields) Max(i int) uint64 { return maxOf(f.widths[i]) }
+
+// Pack combines one value per field into a single word. It panics if the
+// number of values differs from the number of fields; values are masked to
+// their field widths.
+func (f Fields) Pack(vals ...uint64) uint64 {
+	if len(vals) != len(f.widths) {
+		panic(fmt.Sprintf("word: Pack got %d values for %d fields", len(vals), len(f.widths)))
+	}
+	var w uint64
+	for i, v := range vals {
+		w |= (v & f.Max(i)) << f.shifts[i]
+	}
+	return w
+}
+
+// Get extracts field i from a packed word.
+func (f Fields) Get(w uint64, i int) uint64 {
+	return (w >> f.shifts[i]) & f.Max(i)
+}
+
+// Set returns the packed word with field i replaced by v (masked to the
+// field width).
+func (f Fields) Set(w uint64, i int, v uint64) uint64 {
+	mask := f.Max(i) << f.shifts[i]
+	return w&^mask | (v&f.Max(i))<<f.shifts[i]
+}

@@ -1,0 +1,308 @@
+package word
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewLayoutBounds(t *testing.T) {
+	tests := []struct {
+		name    string
+		tagBits uint
+		wantErr bool
+	}{
+		{"min", 1, false},
+		{"default", 48, false},
+		{"max", 63, false},
+		{"zero", 0, true},
+		{"full word", 64, true},
+		{"over", 70, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			l, err := NewLayout(tt.tagBits)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewLayout(%d) error = %v, wantErr %v", tt.tagBits, err, tt.wantErr)
+			}
+			if err == nil && l.TagBits+l.ValBits != WordBits {
+				t.Errorf("TagBits+ValBits = %d, want %d", l.TagBits+l.ValBits, WordBits)
+			}
+		})
+	}
+}
+
+func TestMustLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLayout(0) did not panic")
+		}
+	}()
+	MustLayout(0)
+}
+
+func TestPackUnpackExamples(t *testing.T) {
+	l := MustLayout(48)
+	w := l.Pack(0x123456789ABC, 0xDEF0)
+	if got := l.Tag(w); got != 0x123456789ABC {
+		t.Errorf("Tag = %#x, want %#x", got, 0x123456789ABC)
+	}
+	if got := l.Val(w); got != 0xDEF0 {
+		t.Errorf("Val = %#x, want %#x", got, 0xDEF0)
+	}
+}
+
+func TestPackMasksOverflow(t *testing.T) {
+	l := MustLayout(8)
+	w := l.Pack(0x1FF, math.MaxUint64)
+	if got := l.Tag(w); got != 0xFF {
+		t.Errorf("overflowed tag = %#x, want masked %#x", got, 0xFF)
+	}
+	if got := l.Val(w); got != l.MaxVal() {
+		t.Errorf("overflowed val = %#x, want masked %#x", got, l.MaxVal())
+	}
+}
+
+func TestPackRoundTripQuick(t *testing.T) {
+	for _, tagBits := range []uint{1, 8, 16, 32, 48, 63} {
+		l := MustLayout(tagBits)
+		f := func(tag, val uint64) bool {
+			tag &= l.MaxTag()
+			val &= l.MaxVal()
+			w := l.Pack(tag, val)
+			return l.Tag(w) == tag && l.Val(w) == val
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("tagBits=%d: %v", tagBits, err)
+		}
+	}
+}
+
+func TestIncDecTagWrap(t *testing.T) {
+	l := MustLayout(4)
+	if got := l.IncTag(l.MaxTag()); got != 0 {
+		t.Errorf("IncTag(max) = %d, want 0", got)
+	}
+	if got := l.DecTag(0); got != l.MaxTag() {
+		t.Errorf("DecTag(0) = %d, want %d", got, l.MaxTag())
+	}
+	// ⊕1 then ⊖1 is the identity on the tag domain.
+	f := func(tag uint64) bool {
+		tag &= l.MaxTag()
+		return l.DecTag(l.IncTag(tag)) == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBump(t *testing.T) {
+	l := MustLayout(48)
+	w := l.Pack(7, 100)
+	b := l.Bump(w, 200)
+	if l.Tag(b) != 8 || l.Val(b) != 200 {
+		t.Errorf("Bump = (tag %d, val %d), want (8, 200)", l.Tag(b), l.Val(b))
+	}
+	// Bump at tag boundary wraps to zero.
+	w = l.Pack(l.MaxTag(), 1)
+	b = l.Bump(w, 2)
+	if l.Tag(b) != 0 || l.Val(b) != 2 {
+		t.Errorf("Bump at max tag = (tag %d, val %d), want (0, 2)", l.Tag(b), l.Val(b))
+	}
+}
+
+func TestAddSubMod(t *testing.T) {
+	tests := []struct {
+		x, delta, m, wantAdd, wantSub uint64
+	}{
+		{0, 1, 5, 1, 4},
+		{4, 1, 5, 0, 3},
+		{4, 7, 5, 1, 2},
+		{3, 0, 5, 3, 3},
+		{0, 10, 1, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := AddMod(tt.x, tt.delta, tt.m); got != tt.wantAdd {
+			t.Errorf("AddMod(%d,%d,%d) = %d, want %d", tt.x, tt.delta, tt.m, got, tt.wantAdd)
+		}
+		if got := SubMod(tt.x, tt.delta, tt.m); got != tt.wantSub {
+			t.Errorf("SubMod(%d,%d,%d) = %d, want %d", tt.x, tt.delta, tt.m, got, tt.wantSub)
+		}
+	}
+}
+
+func TestAddSubModInverseQuick(t *testing.T) {
+	f := func(x, delta uint64, m16 uint16) bool {
+		m := uint64(m16) + 1 // modulus in [1, 65536]
+		x %= m
+		return SubMod(AddMod(x, delta, m), delta, m) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddModPanicsOnZeroModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddMod with modulus 0 did not panic")
+		}
+	}()
+	AddMod(1, 1, 0)
+}
+
+func TestBitsFor(t *testing.T) {
+	tests := []struct {
+		n    uint64
+		want uint
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {math.MaxUint64, 64},
+	}
+	for _, tt := range tests {
+		if got := BitsFor(tt.n); got != tt.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestBitsForCoversRangeQuick(t *testing.T) {
+	f := func(n uint64) bool {
+		bits := BitsFor(n)
+		return maxOf(bits) >= n && (bits == 1 || maxOf(bits-1) < n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeToWrapNineYears(t *testing.T) {
+	// The paper: a 48-bit tag at a million updates per second wraps after
+	// about nine years.
+	d := TimeToWrap(48, 1e6)
+	years := d.Hours() / 24 / 365
+	if years < 8.5 || years > 9.5 {
+		t.Errorf("48-bit tag at 1e6 updates/s wraps after %.2f years, want ~9", years)
+	}
+}
+
+func TestTimeToWrapSmallTags(t *testing.T) {
+	// An 8-bit tag at a million updates per second wraps in 256 µs.
+	d := TimeToWrap(8, 1e6)
+	if d != 256*time.Microsecond {
+		t.Errorf("8-bit tag wrap = %v, want 256µs", d)
+	}
+}
+
+func TestTimeToWrapSaturates(t *testing.T) {
+	if d := TimeToWrap(63, 1); d != time.Duration(math.MaxInt64) {
+		t.Errorf("wide tag should saturate, got %v", d)
+	}
+	if d := TimeToWrap(48, 0); d != time.Duration(math.MaxInt64) {
+		t.Errorf("zero rate should saturate, got %v", d)
+	}
+}
+
+func TestNewFieldsValidation(t *testing.T) {
+	if _, err := NewFields(); err == nil {
+		t.Error("NewFields() with no fields should error")
+	}
+	if _, err := NewFields(8, 0, 8); err == nil {
+		t.Error("NewFields with zero-width field should error")
+	}
+	if _, err := NewFields(32, 32, 1); err == nil {
+		t.Error("NewFields exceeding 64 bits should error")
+	}
+	if _, err := NewFields(32, 32); err != nil {
+		t.Errorf("NewFields(32,32) unexpected error: %v", err)
+	}
+}
+
+func TestFieldsPackGet(t *testing.T) {
+	// Figure 7's layout: tag | cnt | pid | val.
+	f, err := NewFields(8, 7, 4, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := f.Pack(0xAB, 0x55, 0xC, 0x123456789AB)
+	want := []uint64{0xAB, 0x55, 0xC, 0x123456789AB}
+	for i, wv := range want {
+		if got := f.Get(w, i); got != wv {
+			t.Errorf("Get(field %d) = %#x, want %#x", i, got, wv)
+		}
+	}
+}
+
+func TestFieldsSet(t *testing.T) {
+	f, err := NewFields(16, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := f.Pack(1, 2, 3)
+	w = f.Set(w, 1, 0xFFFF)
+	if got := f.Get(w, 0); got != 1 {
+		t.Errorf("field 0 disturbed: %d", got)
+	}
+	if got := f.Get(w, 1); got != 0xFFFF {
+		t.Errorf("field 1 = %#x, want 0xFFFF", got)
+	}
+	if got := f.Get(w, 2); got != 3 {
+		t.Errorf("field 2 disturbed: %d", got)
+	}
+}
+
+func TestFieldsPackPanicsOnArity(t *testing.T) {
+	f, err := NewFields(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pack with wrong arity did not panic")
+		}
+	}()
+	f.Pack(1, 2, 3)
+}
+
+func TestFieldsRoundTripQuick(t *testing.T) {
+	f, err := NewFields(8, 7, 4, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b, c, d uint64) bool {
+		a &= f.Max(0)
+		b &= f.Max(1)
+		c &= f.Max(2)
+		d &= f.Max(3)
+		w := f.Pack(a, b, c, d)
+		return f.Get(w, 0) == a && f.Get(w, 1) == b && f.Get(w, 2) == c && f.Get(w, 3) == d
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldsSetPreservesOthersQuick(t *testing.T) {
+	f, err := NewFields(10, 10, 10, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(w, v uint64, which uint8) bool {
+		i := int(which) % f.NumFields()
+		updated := f.Set(w, i, v)
+		for j := 0; j < f.NumFields(); j++ {
+			if j == i {
+				if f.Get(updated, j) != v&f.Max(j) {
+					return false
+				}
+			} else if f.Get(updated, j) != f.Get(w, j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

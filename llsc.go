@@ -1,0 +1,279 @@
+// Package llsc is the public API of this repository: a Go reproduction of
+// Mark Moir, "Practical Implementations of Non-Blocking Synchronization
+// Primitives" (PODC 1997).
+//
+// The paper bridges the gap between the synchronization primitives assumed
+// by designers of non-blocking algorithms — full-semantics Load-Linked /
+// Validate / Store-Conditional with concurrent LL-SC sequences — and what
+// hardware actually provides: either CAS, or a restricted RLL/RSC pair
+// with spurious failures and one reservation per processor. This package
+// re-exports the five constructions of the paper's Figures 3-7 together
+// with the substrates and consumers built around them:
+//
+//   - Var (Figure 4): LL/VL/SC from CAS — runs on real sync/atomic, ready
+//     for production use.
+//   - CASVar (Figure 3) and RVar (Figure 5): CAS and LL/VL/SC from the
+//     restricted RLL/RSC pair, running on the simulated multiprocessor in
+//     Machine (no Go-visible hardware exposes LL/SC directly).
+//   - LargeFamily (Figure 6): WLL/VL/SC on W-word values with Θ(NW) total
+//     space overhead and helping.
+//   - BoundedFamily (Figure 7): LL/VL/CL/SC with small bounded tags that
+//     can never wrap around incorrectly, in Θ(N(k+T)) space.
+//   - Stack, Queue, Ring, Deque, WSDeque, Set, HashMap, Counter,
+//     Snapshot: non-blocking data structures built on the primitives (no
+//     ABA counters or hazard pointers needed on the swing pointers).
+//   - Object and WaitFreeObject: Herlihy-style universal constructions on
+//     the W-word primitive (lock-free, and wait-free with helping);
+//     RObject runs the same construction on an RLL/RSC machine.
+//   - Memory: a software transactional memory with MCAS, DCAS, and
+//     dynamic transactions (RunTx), substantiating the paper's Section 5
+//     claim that STM is implementable on stock CAS hardware.
+//
+// Quick start (the production-ready Figure 4 primitive):
+//
+//	v := llsc.MustNewVar(llsc.DefaultLayout, 0)
+//	for {
+//	    val, keep := v.LL()
+//	    if v.SC(keep, val+1) {
+//	        break // atomically incremented
+//	    }
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every claim in the paper.
+package llsc
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stm"
+	"repro/internal/structures"
+	"repro/internal/universal"
+	"repro/internal/word"
+)
+
+// Word-layout utilities (Section 2 of the paper: tag|value machine words).
+type (
+	// Layout is a tag|value split of a 64-bit machine word.
+	Layout = word.Layout
+	// Fields is a general multi-field bit layout.
+	Fields = word.Fields
+)
+
+var (
+	// NewLayout builds a Layout with the given tag width.
+	NewLayout = word.NewLayout
+	// MustLayout is NewLayout panicking on error.
+	MustLayout = word.MustLayout
+	// DefaultLayout is the paper's running example: 48-bit tag, 16-bit value.
+	DefaultLayout = word.DefaultLayout
+	// TimeToWrap computes how long a tag width survives at a given update
+	// rate (the paper's "about nine years" arithmetic).
+	TimeToWrap = word.TimeToWrap
+)
+
+// The simulated multiprocessor providing restricted RLL/RSC (Section 1).
+type (
+	// Machine is a simulated shared-memory multiprocessor.
+	Machine = machine.Machine
+	// MachineConfig parametrizes a Machine.
+	MachineConfig = machine.Config
+	// MachineProc is one simulated processor.
+	MachineProc = machine.Proc
+	// MachineWord is one shared word on a Machine.
+	MachineWord = machine.Word
+	// MachineStats aggregates a Machine's operation counters.
+	MachineStats = machine.Stats
+)
+
+var (
+	// NewMachine constructs a simulated machine.
+	NewMachine = machine.New
+	// MustNewMachine is NewMachine panicking on error.
+	MustNewMachine = machine.MustNew
+)
+
+// The paper's five constructions (Figures 3-7).
+type (
+	// CASVar is Figure 3: CAS from RLL/RSC.
+	CASVar = core.CASVar
+	// Var is Figure 4: LL/VL/SC from CAS (real atomics).
+	Var = core.Var
+	// Keep is the private word of the paper's modified LL interface.
+	Keep = core.Keep
+	// RVar is Figure 5: LL/VL/SC directly from RLL/RSC.
+	RVar = core.RVar
+	// LargeFamily is Figure 6's shared context for W-word variables.
+	LargeFamily = core.LargeFamily
+	// LargeConfig parametrizes a LargeFamily.
+	LargeConfig = core.LargeConfig
+	// LargeVar is one W-word variable.
+	LargeVar = core.LargeVar
+	// LargeProc is a per-process handle for Figure 6.
+	LargeProc = core.LargeProc
+	// LKeep is the keep token of Figure 6's WLL.
+	LKeep = core.LKeep
+	// BoundedFamily is Figure 7's shared context for bounded-tag variables.
+	BoundedFamily = core.BoundedFamily
+	// BoundedConfig parametrizes a BoundedFamily.
+	BoundedConfig = core.BoundedConfig
+	// BoundedVar is one bounded-tag variable.
+	BoundedVar = core.BoundedVar
+	// BoundedProc is a per-process handle for Figure 7.
+	BoundedProc = core.BoundedProc
+	// BKeep is the keep token of Figure 7.
+	BKeep = core.BKeep
+	// RLargeFamily is Figure 6 realized over RLL/RSC (simulated machine).
+	RLargeFamily = core.RLargeFamily
+	// RLargeVar is one W-word variable of an RLargeFamily.
+	RLargeVar = core.RLargeVar
+	// RBoundedFamily is Figure 7 realized over RLL/RSC.
+	RBoundedFamily = core.RBoundedFamily
+	// RBoundedVar is one bounded-tag variable over RLL/RSC.
+	RBoundedVar = core.RBoundedVar
+	// RBoundedProc is a per-process handle for RBoundedFamily.
+	RBoundedProc = core.RBoundedProc
+)
+
+var (
+	// NewCASVar allocates a Figure 3 variable on a Machine.
+	NewCASVar = core.NewCASVar
+	// NewVar creates a Figure 4 variable.
+	NewVar = core.NewVar
+	// MustNewVar is NewVar panicking on error.
+	MustNewVar = core.MustNewVar
+	// NewRVar allocates a Figure 5 variable on a Machine.
+	NewRVar = core.NewRVar
+	// NewLargeFamily builds a Figure 6 family.
+	NewLargeFamily = core.NewLargeFamily
+	// MustNewLargeFamily is NewLargeFamily panicking on error.
+	MustNewLargeFamily = core.MustNewLargeFamily
+	// NewBoundedFamily builds a Figure 7 family.
+	NewBoundedFamily = core.NewBoundedFamily
+	// MustNewBoundedFamily is NewBoundedFamily panicking on error.
+	MustNewBoundedFamily = core.MustNewBoundedFamily
+	// NewRLargeFamily builds a Figure 6 family over a simulated RLL/RSC machine.
+	NewRLargeFamily = core.NewRLargeFamily
+	// NewRBoundedFamily builds a Figure 7 family over a simulated RLL/RSC machine.
+	NewRBoundedFamily = core.NewRBoundedFamily
+)
+
+// Succ is the Figure 6 WLL result meaning a consistent value was read.
+const Succ = core.Succ
+
+// ErrTooManySequences is returned by BoundedVar.LL when a process exceeds
+// its k concurrent LL-SC sequences.
+var ErrTooManySequences = core.ErrTooManySequences
+
+// Non-blocking data structures built on the primitives.
+type (
+	// Stack is a bounded lock-free Treiber stack.
+	Stack = structures.Stack
+	// Queue is a bounded lock-free MPMC FIFO.
+	Queue = structures.Queue
+	// Counter is a lock-free fetch-and-op counter.
+	Counter = structures.Counter
+	// Set is a lock-free sorted linked-list set.
+	Set = structures.Set
+	// Ring is a bounded MPMC ring buffer with LL/SC cursors.
+	Ring = structures.Ring
+	// HashMap is a bounded lock-free hash map with claim-once LL/SC buckets.
+	HashMap = structures.Map
+	// Snapshot atomically collects a set of Vars via LL/VL double-collect.
+	Snapshot = structures.Snapshot
+	// Deque is a bounded double-ended queue via the universal construction.
+	Deque = structures.Deque
+	// DequeProc is a per-process handle for Deque operations.
+	DequeProc = structures.DequeProc
+	// WSDeque is a Chase–Lev-style work-stealing deque on LL/SC cursors.
+	WSDeque = structures.WSDeque
+)
+
+var (
+	// NewStack creates a bounded lock-free stack.
+	NewStack = structures.NewStack
+	// NewQueue creates a bounded lock-free queue.
+	NewQueue = structures.NewQueue
+	// NewCounter creates a lock-free counter.
+	NewCounter = structures.NewCounter
+	// NewSet creates a lock-free ordered set.
+	NewSet = structures.NewSet
+	// NewRing creates a bounded MPMC ring buffer.
+	NewRing = structures.NewRing
+	// NewHashMap creates a bounded lock-free hash map.
+	NewHashMap = structures.NewMap
+	// NewSnapshot builds an atomic snapshotter over a set of Vars.
+	NewSnapshot = structures.NewSnapshot
+	// NewDeque creates a bounded lock-free double-ended queue.
+	NewDeque = structures.NewDeque
+	// NewWSDeque creates a bounded work-stealing deque.
+	NewWSDeque = structures.NewWSDeque
+	// ErrFull is returned when a container's capacity is exhausted.
+	ErrFull = structures.ErrFull
+)
+
+// The universal construction (references [3,7] of the paper).
+type (
+	// Object is a lock-free shared object built on Figure 6.
+	Object = universal.Object
+	// ObjectConfig parametrizes an Object.
+	ObjectConfig = universal.Config
+	// ObjectProc is a per-process handle for Object operations.
+	ObjectProc = universal.Proc
+	// WaitFreeObject is the wait-free universal construction (announce +
+	// helping, Herlihy-style).
+	WaitFreeObject = universal.WaitFreeObject
+	// WaitFreeConfig parametrizes a WaitFreeObject.
+	WaitFreeConfig = universal.WaitFreeConfig
+	// WaitFreeProc is a per-process handle for WaitFreeObject operations.
+	WaitFreeProc = universal.WProc
+	// ApplyFunc is a WaitFreeObject's sequential transition function.
+	ApplyFunc = universal.ApplyFunc
+	// RObject is the universal construction over an RLL/RSC machine.
+	RObject = universal.RObject
+	// RObjectProc is a per-process handle for RObject operations.
+	RObjectProc = universal.RProc
+)
+
+var (
+	// NewObject creates a lock-free shared object with W-segment state.
+	NewObject = universal.New
+	// NewWaitFree creates a wait-free shared object (announce + helping).
+	NewWaitFree = universal.NewWaitFree
+	// NewRObject creates a lock-free shared object on an RLL/RSC machine.
+	NewRObject = universal.NewRObject
+)
+
+// Software transactional memory (Section 5, reference [14]).
+type (
+	// Memory is a word-addressed software transactional memory.
+	Memory = stm.Memory
+	// Tx is a dynamic transaction over a Memory (see Memory.RunTx).
+	Tx = stm.Tx
+)
+
+var (
+	// NewMemory creates a transactional memory of the given word count.
+	NewMemory = stm.New
+	// MustNewMemory is NewMemory panicking on error.
+	MustNewMemory = stm.MustNew
+)
+
+// StmMaxValue is the largest value an stm.Memory word can hold.
+const StmMaxValue = stm.MaxValue
+
+// Baselines for the comparison experiments.
+type (
+	// MutexLLSC is the lock-based LL/VL/SC of the paper's footnote 1.
+	MutexLLSC = baseline.MutexLLSC
+	// IsraeliRappoport is a valid-bits-in-word construction [10].
+	IsraeliRappoport = baseline.IsraeliRappoport
+)
+
+var (
+	// NewMutexLLSC creates a lock-based LL/VL/SC variable.
+	NewMutexLLSC = baseline.NewMutexLLSC
+	// NewIsraeliRappoport creates a valid-bits variable (N ≤ 32).
+	NewIsraeliRappoport = baseline.NewIsraeliRappoport
+)

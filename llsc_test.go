@@ -1,0 +1,239 @@
+package llsc_test
+
+import (
+	"sync"
+	"testing"
+
+	llsc "repro"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would, ensuring the re-exports compose (construction, tokens, errors).
+
+func TestFacadeVarRoundTrip(t *testing.T) {
+	v, err := llsc.NewVar(llsc.DefaultLayout, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, keep := v.LL()
+	if val != 5 {
+		t.Fatalf("LL = %d, want 5", val)
+	}
+	if !v.VL(keep) {
+		t.Fatal("VL false")
+	}
+	if !v.SC(keep, 6) {
+		t.Fatal("SC failed")
+	}
+	if v.Read() != 6 {
+		t.Fatalf("Read = %d, want 6", v.Read())
+	}
+}
+
+func TestFacadeMachineAndRVar(t *testing.T) {
+	m, err := llsc.NewMachine(llsc.MachineConfig{Procs: 2, SpuriousFailProb: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := llsc.NewRVar(m, llsc.MustLayout(48), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	for i := uint64(0); i < 100; i++ {
+		val, keep := v.LL(p)
+		if val != i {
+			t.Fatalf("LL = %d, want %d", val, i)
+		}
+		if !v.SC(p, keep, i+1) {
+			t.Fatalf("SC %d failed", i)
+		}
+	}
+	if st := m.Stats(); st.RSCSuccess != 100 {
+		t.Errorf("RSC successes = %d, want 100", st.RSCSuccess)
+	}
+}
+
+func TestFacadeCASVar(t *testing.T) {
+	m := llsc.MustNewMachine(llsc.MachineConfig{Procs: 1})
+	v, err := llsc.NewCASVar(m, llsc.DefaultLayout, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	if !v.CompareAndSwap(p, 3, 4) {
+		t.Fatal("CAS failed")
+	}
+	if v.Read(p) != 4 {
+		t.Fatalf("Read = %d, want 4", v.Read(p))
+	}
+}
+
+func TestFacadeLargeFamily(t *testing.T) {
+	f := llsc.MustNewLargeFamily(llsc.LargeConfig{Procs: 2, Words: 4})
+	v, err := f.NewVar([]uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 4)
+	keep, res := v.WLL(p, dst)
+	if res != llsc.Succ {
+		t.Fatalf("WLL = %d, want Succ", res)
+	}
+	if !v.SC(p, keep, []uint64{5, 6, 7, 8}) {
+		t.Fatal("SC failed")
+	}
+	v.Read(p, dst)
+	if dst[0] != 5 || dst[3] != 8 {
+		t.Fatalf("Read = %v", dst)
+	}
+}
+
+func TestFacadeBoundedFamily(t *testing.T) {
+	f := llsc.MustNewBoundedFamily(llsc.BoundedConfig{Procs: 2, K: 1})
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, keep, err := v.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 0 {
+		t.Fatalf("LL = %d", val)
+	}
+	if !v.SC(p, keep, 1) {
+		t.Fatal("SC failed")
+	}
+	// Slot exhaustion error is reachable through the facade.
+	_, k1, err := v.LL(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.LL(p); err != llsc.ErrTooManySequences {
+		t.Fatalf("second LL error = %v, want ErrTooManySequences", err)
+	}
+	v.CL(p, k1)
+}
+
+func TestFacadeStructures(t *testing.T) {
+	s, err := llsc.NewStack(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(9); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Pop(); !ok || v != 9 {
+		t.Fatalf("Pop = (%d,%v)", v, ok)
+	}
+
+	q, err := llsc.NewQueue(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(8); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 8 {
+		t.Fatalf("Dequeue = (%d,%v)", v, ok)
+	}
+
+	c := llsc.NewCounter(0)
+	c.Increment()
+	if c.Load() != 1 {
+		t.Fatalf("Counter = %d", c.Load())
+	}
+
+	set, err := llsc.NewSet(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := set.Insert(7); err != nil || !ok {
+		t.Fatalf("Insert = (%v,%v)", ok, err)
+	}
+	if !set.Contains(7) {
+		t.Fatal("Contains(7) false")
+	}
+}
+
+func TestFacadeMemoryAndObject(t *testing.T) {
+	mem := llsc.MustNewMemory(4)
+	ok, err := mem.DCAS(0, 1, 0, 0, 1, 2)
+	if err != nil || !ok {
+		t.Fatalf("DCAS = (%v,%v)", ok, err)
+	}
+	if v, _ := mem.Read(1); v != 2 {
+		t.Fatalf("Read = %d, want 2", v)
+	}
+
+	o, err := llsc.NewObject(llsc.ObjectConfig{Procs: 1, Words: 2}, []uint64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := o.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Apply(p, func(cur, next []uint64) {
+		next[0], next[1] = cur[0]+1, cur[1]+2
+	})
+	dst := make([]uint64, 2)
+	o.Read(p, dst)
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("state = %v", dst)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	mv, err := llsc.NewMutexLLSC(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv.LL(0)
+	if !mv.SC(0, 1) {
+		t.Fatal("mutex SC failed")
+	}
+
+	ir, err := llsc.NewIsraeliRappoport(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir.LL(0)
+	if !ir.SC(0, 1) {
+		t.Fatal("IR SC failed")
+	}
+}
+
+func TestFacadeConcurrentSmoke(t *testing.T) {
+	v := llsc.MustNewVar(llsc.MustLayout(32), 0)
+	const workers = 4
+	const rounds = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for {
+					val, keep := v.LL()
+					if v.SC(keep, val+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v.Read() != workers*rounds {
+		t.Fatalf("counter = %d, want %d", v.Read(), workers*rounds)
+	}
+}
