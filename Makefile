@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz soak experiments examples clean
+.PHONY: all build vet test race bench bench-json fuzz soak experiments examples clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Machine-readable experiment output: one BENCH_<experiment>.json per
+# experiment (schema llsc-bench/v1, see docs/OBSERVABILITY.md).
+bench-json:
+	$(GO) run ./cmd/llscbench -json
 
 # Short coordinated fuzzing session over every fuzz target.
 fuzz:

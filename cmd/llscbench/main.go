@@ -6,12 +6,14 @@
 // Usage:
 //
 //	llscbench [-quick] [-ops 200000] [-experiment all|e1|...|e8|e10]
+//	          [-metrics-addr :8080] [-report-interval 2s] [-json] [-json-dir .]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/stm"
@@ -31,9 +34,26 @@ import (
 )
 
 var (
-	flagQuick = flag.Bool("quick", false, "divide all op counts by 10 for a fast smoke run")
-	flagOps   = flag.Int("ops", 200000, "operations per worker for throughput experiments")
-	flagExp   = flag.String("experiment", "all", "which experiment to run (all, e1..e8, e10)")
+	flagQuick   = flag.Bool("quick", false, "divide all op counts by 10 for a fast smoke run")
+	flagOps     = flag.Int("ops", 200000, "operations per worker for throughput experiments")
+	flagExp     = flag.String("experiment", "all", "which experiment to run (all, e1..e8, e10)")
+	flagMetrics = flag.String("metrics-addr", "", "serve live expvar/pprof/metrics on this address during the run (e.g. :8080)")
+	flagReport  = flag.Duration("report-interval", 0, "print periodic counter-delta reports to stderr at this interval (0 = off)")
+	flagJSON    = flag.Bool("json", false, "write one BENCH_<experiment>.json machine-readable record file per experiment")
+	flagJSONDir = flag.String("json-dir", ".", "directory for the BENCH_*.json files written by -json")
+)
+
+// sink is the shared metrics sink for every instrumented experiment. It is
+// nil unless an observability flag asked for it, so the default run pays
+// only nil-receiver branches.
+var sink *obs.Metrics
+
+// recs accumulates the current experiment's JSON records; lastSnap marks
+// the sink state at the previous capture so each record carries only its
+// own counter delta. Experiments run sequentially, so plain globals do.
+var (
+	recs     []bench.Record
+	lastSnap obs.Snapshot
 )
 
 func ops() int {
@@ -45,6 +65,20 @@ func ops() int {
 
 func main() {
 	flag.Parse()
+	if *flagMetrics != "" || *flagReport > 0 || *flagJSON {
+		sink = obs.New()
+		obs.Publish("llscbench", sink)
+	}
+	if *flagMetrics != "" {
+		srv, err := obs.Serve(*flagMetrics)
+		must(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "llscbench: metrics at http://%s/debug/vars (text: /metrics, profiles: /debug/pprof/)\n", srv.Addr())
+	}
+	if *flagReport > 0 {
+		stop := obs.StartReporter(os.Stderr, sink, *flagReport)
+		defer stop()
+	}
 	experiments := []struct {
 		name string
 		run  func()
@@ -56,7 +90,7 @@ func main() {
 	found := false
 	for _, e := range experiments {
 		if sel == "all" || sel == e.name {
-			e.run()
+			runExperiment(e.name, e.run)
 			found = true
 		}
 	}
@@ -66,6 +100,31 @@ func main() {
 	}
 }
 
+// runExperiment runs one experiment and, under -json, writes the records
+// its cells captured to BENCH_<name>.json.
+func runExperiment(name string, run func()) {
+	recs = nil
+	lastSnap = sink.Snapshot()
+	run()
+	if *flagJSON && len(recs) > 0 {
+		path := filepath.Join(*flagJSONDir, "BENCH_"+name+".json")
+		must(bench.WriteRecordsFile(path, recs))
+		fmt.Fprintf(os.Stderr, "llscbench: wrote %s (%d records)\n", path, len(recs))
+	}
+}
+
+// record captures one benchmark cell for -json: the Result plus the sink's
+// counter delta since the last capture and optional retry/latency
+// histograms. A no-op unless -json is set.
+func record(res bench.Result, retries, latency *obs.Hist) {
+	if !*flagJSON {
+		return
+	}
+	snap := sink.Snapshot()
+	recs = append(recs, bench.NewRecord(res, snap.Sub(lastSnap)).WithHists(retries, latency))
+	lastSnap = snap
+}
+
 // --- E1: Figure 3 / Theorem 1 -------------------------------------------
 
 func e1() {
@@ -73,21 +132,29 @@ func e1() {
 		"procs", "spurious p", "ops/s", "ns/op", "RSC retries/op")
 	for _, procs := range []int{1, 2, 4, 8} {
 		for _, p := range []float64{0, 0.1} {
-			m := machine.MustNew(machine.Config{Procs: procs, SpuriousFailProb: p, Seed: 1})
+			m := machine.MustNew(machine.Config{
+				Procs: procs, SpuriousFailProb: p, Seed: 1,
+				Observer: sink.MachineObserver(),
+			})
 			v, err := core.NewCASVar(m, word.DefaultLayout, 0)
 			must(err)
+			v.SetMetrics(sink)
 			mask := v.Layout().MaxVal()
-			res := bench.Run("cas", procs, ops(), func(w, i int) {
+			var casRetries obs.Hist
+			res := bench.RunObserved(fmt.Sprintf("cas/p%d/spur%.1f", procs, p), procs, ops(), &casRetries, nil, func(w, i int) int {
 				proc := m.Proc(w)
+				fails := 0
 				for {
 					old := v.Read(proc)
 					if v.CompareAndSwap(proc, old, (old+1)&mask) {
-						break
+						return fails
 					}
+					fails++
 				}
 			})
 			st := m.Stats()
 			retries := float64(st.RSCSpurious+st.RSCRealFail) / float64(res.Ops)
+			record(res, &casRetries, nil)
 			t.AddRow(procs, p, bench.Throughput(res.OpsPerSec()), res.NsPerOp(), fmt.Sprintf("%.3f", retries))
 		}
 	}
@@ -123,23 +190,31 @@ func e2() {
 			vars := make([]*core.Var, nvars)
 			for i := range vars {
 				vars[i] = core.MustNewVar(word.MustLayout(32), 0)
+				vars[i].SetMetrics(sink)
 			}
-			op := func(w, i int) {
+			op := func(w, i int) int {
 				v := vars[(w*ops()+i)%nvars]
+				fails := 0
 				for {
 					val, keep := v.LL()
 					if v.SC(keep, val+1) {
-						break
+						return fails
 					}
+					fails++
 				}
 			}
-			res := bench.Run("llsc", procs, ops(), op)
+			res := bench.Run("llsc", procs, ops(), func(w, i int) { op(w, i) })
 			// Separate latency pass: per-op timestamping costs ~2 clock
 			// reads, so quantiles come from their own (smaller) run and
 			// the throughput column stays clean.
-			lat := bench.RunLatency("llsc-lat", procs, ops()/10, op)
+			var scRetries, lat obs.Hist
+			latRes := bench.RunObserved(fmt.Sprintf("llsc/p%d/v%d", procs, nvars),
+				procs, ops()/10, &scRetries, &lat, op)
+			record(bench.Result{
+				Name: latRes.Name, Workers: res.Workers, Ops: res.Ops, Elapsed: res.Elapsed,
+			}, &scRetries, &lat)
 			t.AddRow(procs, nvars, bench.Throughput(res.OpsPerSec()), res.NsPerOp(),
-				lat.Hist.Quantile(0.50), lat.Hist.Quantile(0.99))
+				time.Duration(lat.Quantile(0.50)), time.Duration(lat.Quantile(0.99)))
 		}
 	}
 	t.Fprint(os.Stdout)
@@ -251,24 +326,29 @@ func e5() {
 		"procs", "k", "ops/s", "ns/op", "tag bits")
 	for _, procs := range []int{1, 2, 4, 8} {
 		f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: procs, K: 2})
+		f.SetMetrics(sink)
 		v, err := f.NewVar(0)
 		must(err)
 		mask := f.MaxVal()
-		res := bench.Run("bounded", procs, ops(), func(w, i int) {
+		var scRetries obs.Hist
+		res := bench.RunObserved(fmt.Sprintf("bounded/p%d", procs), procs, ops(), &scRetries, nil, func(w, i int) int {
 			p, err := f.Proc(w)
 			if err != nil {
 				panic(err)
 			}
+			fails := 0
 			for {
 				val, keep, err := v.LL(p)
 				if err != nil {
 					panic(err)
 				}
 				if v.SC(p, keep, (val+1)&mask) {
-					break
+					return fails
 				}
+				fails++
 			}
 		})
+		record(res, &scRetries, nil)
 		t.AddRow(procs, 2, bench.Throughput(res.OpsPerSec()), res.NsPerOp(), f.TagBits())
 	}
 	t.Fprint(os.Stdout)
@@ -314,38 +394,44 @@ func e6() {
 		"procs", "shared ops/s", "shared SC-fails/op", "disjoint ops/s", "disjoint SC-fails/op")
 	for _, procs := range []int{1, 2, 4, 8} {
 		shared := core.MustNewVar(word.MustLayout(32), 0)
-		var sharedFails atomic.Uint64
-		res := bench.Run("shared", procs, ops(), func(w, i int) {
+		shared.SetMetrics(sink)
+		var sharedRetries obs.Hist
+		res := bench.RunObserved(fmt.Sprintf("shared/p%d", procs), procs, ops(), &sharedRetries, nil, func(w, i int) int {
+			fails := 0
 			for {
 				val, keep := shared.LL()
 				if shared.SC(keep, val+1) {
-					break
+					return fails
 				}
-				sharedFails.Add(1)
+				fails++
 			}
 		})
+		record(res, &sharedRetries, nil)
 		sharedOps := res.OpsPerSec()
-		sharedRate := float64(sharedFails.Load()) / float64(res.Ops)
+		sharedRate := float64(sharedRetries.Sum()) / float64(res.Ops)
 
 		vars := make([]*core.Var, procs)
 		for i := range vars {
 			vars[i] = core.MustNewVar(word.MustLayout(32), 0)
+			vars[i].SetMetrics(sink)
 		}
-		var disjointFails atomic.Uint64
-		res = bench.Run("disjoint", procs, ops(), func(w, i int) {
+		var disjointRetries obs.Hist
+		res = bench.RunObserved(fmt.Sprintf("disjoint/p%d", procs), procs, ops(), &disjointRetries, nil, func(w, i int) int {
 			v := vars[w]
+			fails := 0
 			for {
 				val, keep := v.LL()
 				if v.SC(keep, val+1) {
-					break
+					return fails
 				}
-				disjointFails.Add(1)
+				fails++
 			}
 		})
+		record(res, &disjointRetries, nil)
 		t.AddRow(procs,
 			bench.Throughput(sharedOps), fmt.Sprintf("%.4f", sharedRate),
 			bench.Throughput(res.OpsPerSec()),
-			fmt.Sprintf("%.4f", float64(disjointFails.Load())/float64(res.Ops)))
+			fmt.Sprintf("%.4f", float64(disjointRetries.Sum())/float64(res.Ops)))
 	}
 	t.Fprint(os.Stdout)
 
@@ -476,28 +562,34 @@ func e8() {
 	for _, procs := range []int{1, 4, 8} {
 		s, err := structures.NewStack(procs * 8)
 		must(err)
-		res := bench.Run("stack", procs, ops(), func(w, i int) {
+		s.SetMetrics(sink)
+		res := bench.Run(fmt.Sprintf("stack/p%d", procs), procs, ops(), func(w, i int) {
 			if err := s.Push(uint64(w)); err == nil {
 				s.Pop()
 			}
 		})
+		record(res, nil, nil)
 		t.AddRow("stack push+pop", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
 	}
 	for _, procs := range []int{1, 4, 8} {
 		q, err := structures.NewQueue(procs * 8)
 		must(err)
-		res := bench.Run("queue", procs, ops(), func(w, i int) {
+		q.SetMetrics(sink)
+		res := bench.Run(fmt.Sprintf("queue/p%d", procs), procs, ops(), func(w, i int) {
 			if err := q.Enqueue(uint64(w)); err == nil {
 				q.Dequeue()
 			}
 		})
+		record(res, nil, nil)
 		t.AddRow("queue enq+deq", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
 	}
 	for _, procs := range []int{1, 4, 8} {
 		c := structures.NewCounter(0)
-		res := bench.Run("counter", procs, ops(), func(w, i int) {
+		c.SetMetrics(sink)
+		res := bench.Run(fmt.Sprintf("counter/p%d", procs), procs, ops(), func(w, i int) {
 			c.Increment()
 		})
+		record(res, nil, nil)
 		t.AddRow("llsc counter", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
 
 		mv, err := baseline.NewMutexLLSC(procs, 0)
@@ -571,7 +663,8 @@ func e8() {
 	for _, procs := range []int{1, 4} {
 		const accounts = 16
 		m := stm.MustNew(accounts)
-		res := bench.Run("stm", procs, ops()/4, func(w, i int) {
+		m.SetMetrics(sink)
+		res := bench.Run(fmt.Sprintf("stm/p%d", procs), procs, ops()/4, func(w, i int) {
 			from := w % accounts
 			to := (w + 1) % accounts
 			_, err := m.Atomically([]int{from, to}, func(cur, next []uint64) {
@@ -582,24 +675,27 @@ func e8() {
 				panic(err)
 			}
 		})
+		record(res, nil, nil)
 		t.AddRow("STM 2-word transfer", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
 	}
 
 	for _, procs := range []int{1, 4} {
 		o, err := universal.New(universal.Config{Procs: procs, Words: 4}, make([]uint64, 4))
 		must(err)
+		o.SetMetrics(sink)
 		handles := make([]*universal.Proc, procs)
 		for i := range handles {
 			handles[i], err = o.Proc(i)
 			must(err)
 		}
 		max := o.MaxSegmentValue()
-		res := bench.Run("universal", procs, ops()/4, func(w, i int) {
+		res := bench.Run(fmt.Sprintf("universal/p%d", procs), procs, ops()/4, func(w, i int) {
 			o.Apply(handles[w], func(cur, next []uint64) {
 				copy(next, cur)
 				next[w%4] = (next[w%4] + 1) & max
 			})
 		})
+		record(res, nil, nil)
 		t.AddRow("universal object (W=4)", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
 	}
 	t.Fprint(os.Stdout)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	llscfuzz [-seqs 200] [-ops 500] [-seed 1] [-sched 200]
+//	llscfuzz [-seqs 200] [-ops 500] [-seed 1] [-sched 200] [-metrics-addr :8080]
 package main
 
 import (
@@ -18,20 +18,36 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/word"
 )
 
 var (
-	flagSeqs  = flag.Int("seqs", 200, "sequential differential runs per implementation")
-	flagOps   = flag.Int("ops", 500, "operations per sequential run")
-	flagSeed  = flag.Int64("seed", 1, "base seed")
-	flagSched = flag.Int("sched", 200, "serialized-schedule runs per implementation")
+	flagSeqs    = flag.Int("seqs", 200, "sequential differential runs per implementation")
+	flagOps     = flag.Int("ops", 500, "operations per sequential run")
+	flagSeed    = flag.Int64("seed", 1, "base seed")
+	flagSched   = flag.Int("sched", 200, "serialized-schedule runs per implementation")
+	flagMetrics = flag.String("metrics-addr", "", "serve live expvar/pprof/metrics on this address during the run (e.g. :8080)")
 )
+
+// sink aggregates LL/SC counters across every fuzzed target when
+// -metrics-addr is set (nil otherwise — the instrumented paths then cost
+// one predicted branch). Watching it live shows fuzzing coverage: every
+// counter the taxonomy names should move during a full run.
+var sink *obs.Metrics
 
 func main() {
 	flag.Parse()
+	if *flagMetrics != "" {
+		sink = obs.New()
+		obs.Publish("llscfuzz", sink)
+		srv, err := obs.Serve(*flagMetrics)
+		must(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "llscfuzz: metrics at http://%s/debug/vars (text: /metrics)\n", srv.Addr())
+	}
 	failures := 0
 	failures += sequentialPhase()
 	failures += schedulePhase()
@@ -265,7 +281,9 @@ type seqFig4 struct {
 }
 
 func newSeqFig4(init uint64) seqTarget {
-	return &seqFig4{v: core.MustNewVar(word.MustLayout(48), init)}
+	v := core.MustNewVar(word.MustLayout(48), init)
+	v.SetMetrics(sink)
+	return &seqFig4{v: v}
 }
 func (s *seqFig4) HasLLSC() bool                    { return true }
 func (s *seqFig4) Name() string                     { return "fig4" }
@@ -282,9 +300,10 @@ type seqFig5 struct {
 }
 
 func newSeqFig5(init uint64) seqTarget {
-	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 5})
+	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 5, Observer: sink.MachineObserver()})
 	v, err := core.NewRVar(m, word.MustLayout(48), init)
 	must(err)
+	v.SetMetrics(sink)
 	return &seqFig5{m: m, v: v}
 }
 func (s *seqFig5) HasLLSC() bool                    { return true }
@@ -301,9 +320,10 @@ type seqFig3 struct {
 }
 
 func newSeqFig3(init uint64) seqTarget {
-	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 3})
+	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 3, Observer: sink.MachineObserver()})
 	v, err := core.NewCASVar(m, word.MustLayout(48), init)
 	must(err)
+	v.SetMetrics(sink)
 	return &seqFig3{m: m, v: v}
 }
 func (s *seqFig3) HasLLSC() bool    { return false }
@@ -325,6 +345,7 @@ type seqFig7 struct {
 
 func newSeqFig7(init uint64) seqTarget {
 	f := core.MustNewBoundedFamily(core.BoundedConfig{Procs: 1, K: 1})
+	f.SetMetrics(sink)
 	v, err := f.NewVar(init)
 	must(err)
 	return &seqFig7{f: f, v: v}

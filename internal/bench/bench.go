@@ -22,18 +22,21 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// OpsPerSec returns the aggregate throughput.
+// OpsPerSec returns the aggregate throughput. Degenerate configurations
+// (no ops, no workers, or a zero/negative elapsed span) report 0 rather
+// than NaN or Inf, so downstream tables and JSON stay well-formed.
 func (r Result) OpsPerSec() float64 {
-	if r.Elapsed <= 0 {
+	if r.Elapsed <= 0 || r.Workers <= 0 || r.Ops == 0 {
 		return 0
 	}
 	return float64(r.Ops) / r.Elapsed.Seconds()
 }
 
 // NsPerOp returns the mean latency in nanoseconds per operation,
-// aggregated across workers (wall time × workers ÷ ops).
+// aggregated across workers (wall time × workers ÷ ops). Degenerate
+// configurations report 0, as for OpsPerSec.
 func (r Result) NsPerOp() float64 {
-	if r.Ops == 0 {
+	if r.Ops == 0 || r.Workers <= 0 {
 		return 0
 	}
 	return float64(r.Elapsed.Nanoseconds()) * float64(r.Workers) / float64(r.Ops)

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The harness's own overhead, so experiment numbers can be judged
+// against it. CI runs these with -benchtime=1x as a smoke test that the
+// harness executes end to end.
+
+func BenchmarkRunObservedOverhead(b *testing.B) {
+	var retries obs.Hist
+	for i := 0; i < b.N; i++ {
+		RunObserved("overhead", 2, 1000, &retries, nil, func(w, op int) int {
+			return 0
+		})
+	}
+}
+
+func BenchmarkRunObservedWithLatency(b *testing.B) {
+	var retries, latency obs.Hist
+	for i := 0; i < b.N; i++ {
+		RunObserved("overhead", 2, 1000, &retries, &latency, func(w, op int) int {
+			return 0
+		})
+	}
+}
+
+func BenchmarkHistObserve(b *testing.B) {
+	var h obs.Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}

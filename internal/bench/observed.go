@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RunObserved is Run with per-operation instrumentation: each call of fn
+// returns the number of retries the operation needed (0 for first-try
+// success), which is recorded into the retries histogram, and the
+// wall-clock duration of each operation is recorded into the latency
+// histogram. Either histogram may be nil to skip that measurement (a nil
+// latency histogram also skips the per-op clock reads, keeping the loop
+// as tight as Run's).
+func RunObserved(name string, workers, opsPerWorker int, retries, latency *obs.Hist, fn func(worker, op int) int) Result {
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			if latency == nil {
+				for i := 0; i < opsPerWorker; i++ {
+					retries.Observe(uint64(fn(w, i)))
+				}
+				return
+			}
+			for i := 0; i < opsPerWorker; i++ {
+				t0 := time.Now()
+				r := fn(w, i)
+				latency.ObserveDuration(time.Since(t0))
+				retries.Observe(uint64(r))
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	return Result{
+		Name:    name,
+		Workers: workers,
+		Ops:     uint64(workers) * uint64(opsPerWorker),
+		Elapsed: time.Since(t0),
+	}
+}

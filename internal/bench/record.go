@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Schema identifies the JSON record layout emitted by this package.
+// Consumers should reject records with an unknown schema; producers bump
+// the version suffix on any incompatible change (renaming or retyping a
+// field is incompatible; adding a field is not).
+const Schema = "llsc-bench/v1"
+
+// Record is the machine-readable form of one benchmark cell: the Result
+// measurements plus, when instrumentation was attached, the obs counter
+// deltas observed during the run and retry/latency histograms from
+// RunObserved. Zero-valued optional fields are omitted from the JSON.
+type Record struct {
+	Schema    string            `json:"schema"`
+	Name      string            `json:"name"`
+	Workers   int               `json:"workers"`
+	Ops       uint64            `json:"ops"`
+	ElapsedNs int64             `json:"elapsed_ns"`
+	NsPerOp   float64           `json:"ns_per_op"`
+	OpsPerSec float64           `json:"ops_per_sec"`
+	Counters  map[string]uint64 `json:"counters,omitempty"`
+	Retries   *obs.HistSnapshot `json:"retries,omitempty"`
+	Latency   *obs.HistSnapshot `json:"latency,omitempty"`
+}
+
+// NewRecord converts a Result into a Record. counters is the obs counter
+// delta attributable to the run (pass a zero Snapshot when no metrics
+// were attached); only non-zero counters are recorded.
+func NewRecord(r Result, counters obs.Snapshot) Record {
+	rec := Record{
+		Schema:    Schema,
+		Name:      r.Name,
+		Workers:   r.Workers,
+		Ops:       r.Ops,
+		ElapsedNs: r.Elapsed.Nanoseconds(),
+		NsPerOp:   r.NsPerOp(),
+		OpsPerSec: r.OpsPerSec(),
+	}
+	if nz := counters.NonZero(); len(nz) > 0 {
+		rec.Counters = nz
+	}
+	return rec
+}
+
+// WithHists attaches retry and latency histogram snapshots to the record;
+// nil or empty histograms are dropped so the JSON stays minimal.
+func (rec Record) WithHists(retries, latency *obs.Hist) Record {
+	if retries.Count() > 0 {
+		s := retries.Snapshot()
+		rec.Retries = &s
+	}
+	if latency.Count() > 0 {
+		s := latency.Snapshot()
+		rec.Latency = &s
+	}
+	return rec
+}
+
+// WriteRecords writes recs to w as indented JSON, one top-level array.
+func WriteRecords(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// WriteRecordsFile writes recs to path (atomically via rename, so a
+// crashed run never leaves a truncated file).
+func WriteRecordsFile(path string, recs []Record) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteRecords(f, recs); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestResultGuardsDegenerateConfigs(t *testing.T) {
+	cases := []Result{
+		{Name: "zero workers", Workers: 0, Ops: 100, Elapsed: time.Second},
+		{Name: "negative workers", Workers: -1, Ops: 100, Elapsed: time.Second},
+		{Name: "zero ops", Workers: 4, Ops: 0, Elapsed: time.Second},
+		{Name: "zero elapsed", Workers: 4, Ops: 0, Elapsed: 0},
+	}
+	for _, r := range cases {
+		if got := r.NsPerOp(); got != 0 {
+			t.Errorf("%s: NsPerOp() = %v, want 0", r.Name, got)
+		}
+	}
+	for _, r := range cases[:3] {
+		if got := r.OpsPerSec(); got != 0 {
+			t.Errorf("%s: OpsPerSec() = %v, want 0", r.Name, got)
+		}
+	}
+	// OpsPerSec with zero elapsed but real work must also not divide by zero.
+	r := Result{Workers: 4, Ops: 100, Elapsed: 0}
+	if got := r.OpsPerSec(); got != 0 {
+		t.Errorf("zero elapsed: OpsPerSec() = %v, want 0", got)
+	}
+}
+
+func TestRunWithZeroWorkers(t *testing.T) {
+	r := Run("none", 0, 1000, func(w, i int) { t.Error("fn must not run") })
+	if r.Ops != 0 || r.NsPerOp() != 0 || r.OpsPerSec() != 0 {
+		t.Errorf("zero-worker Run = %+v (NsPerOp %v, OpsPerSec %v), want all zero",
+			r, r.NsPerOp(), r.OpsPerSec())
+	}
+}
+
+func TestEmptyTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	NewTable("empty", "a", "bb").Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== empty ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "bb") {
+		t.Errorf("missing headers:\n%s", out)
+	}
+	// Headers + underline only; no data rows, no panic.
+	if lines := strings.Count(strings.TrimSpace(out), "\n"); lines != 2 {
+		t.Errorf("empty table has %d newlines, want 2 (title, headers, underline):\n%q", lines, out)
+	}
+}
+
+func TestRunObservedCountsRetriesAndLatency(t *testing.T) {
+	var retries, latency obs.Hist
+	r := RunObserved("obs", 3, 50, &retries, &latency, func(w, i int) int {
+		return i % 4
+	})
+	if r.Ops != 150 {
+		t.Fatalf("Ops = %d, want 150", r.Ops)
+	}
+	if got := retries.Count(); got != 150 {
+		t.Errorf("retries.Count() = %d, want 150", got)
+	}
+	// Each worker contributes sum 0+1+2+3 per 4 ops: 50 ops -> 0..3 repeated,
+	// 12 full cycles (sum 72) + ops 48,49 (retries 0,1) = 73 per worker.
+	if got := retries.Sum(); got != 3*73 {
+		t.Errorf("retries.Sum() = %d, want %d", got, 3*73)
+	}
+	if got := latency.Count(); got != 150 {
+		t.Errorf("latency.Count() = %d, want 150", got)
+	}
+}
+
+func TestRunObservedNilHists(t *testing.T) {
+	ran := 0
+	r := RunObserved("nil", 1, 10, nil, nil, func(w, i int) int { ran++; return 0 })
+	if ran != 10 || r.Ops != 10 {
+		t.Errorf("ran %d ops, Result.Ops = %d, want 10/10", ran, r.Ops)
+	}
+}
+
+func TestRecordJSONRoundTrip(t *testing.T) {
+	m := obs.NewWithStripes(1)
+	m.Inc(obs.CtrSC)
+	m.Inc(obs.CtrSCFailInterference)
+	var retries obs.Hist
+	retries.Observe(0)
+	retries.Observe(3)
+
+	rec := NewRecord(Result{
+		Name: "e2/cas", Workers: 4, Ops: 1000, Elapsed: 2 * time.Millisecond,
+	}, m.Snapshot()).WithHists(&retries, nil)
+
+	if rec.Schema != Schema {
+		t.Fatalf("Schema = %q, want %q", rec.Schema, Schema)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schema-stability: these key names are the machine-readable contract.
+	for _, key := range []string{`"schema":"llsc-bench/v1"`, `"name":"e2/cas"`, `"workers":4`,
+		`"ops":1000`, `"elapsed_ns"`, `"ns_per_op"`, `"ops_per_sec"`,
+		`"sc":1`, `"sc_fail_interference":1`, `"retries"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %s:\n%s", key, data)
+		}
+	}
+	if strings.Contains(string(data), `"latency"`) {
+		t.Errorf("empty latency histogram should be omitted:\n%s", data)
+	}
+
+	var back Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["sc"] != 1 || back.Retries == nil || back.Retries.Count != 2 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestNewRecordOmitsZeroCounters(t *testing.T) {
+	rec := NewRecord(Result{Name: "n", Workers: 1, Ops: 1, Elapsed: time.Microsecond}, obs.Snapshot{})
+	if rec.Counters != nil {
+		t.Errorf("Counters = %v, want nil for a zero snapshot", rec.Counters)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "counters") {
+		t.Errorf("zero counters should be omitted from JSON:\n%s", data)
+	}
+}
+
+func TestWriteRecordsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	recs := []Record{
+		NewRecord(Result{Name: "a", Workers: 1, Ops: 10, Elapsed: time.Millisecond}, obs.Snapshot{}),
+		NewRecord(Result{Name: "b", Workers: 2, Ops: 20, Elapsed: time.Millisecond}, obs.Snapshot{}),
+	}
+	if err := WriteRecordsFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("file is not valid JSON: %v\n%s", err, data)
+	}
+	if len(back) != 2 || back[0].Name != "a" || back[1].Name != "b" {
+		t.Errorf("round trip = %+v", back)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -36,6 +37,7 @@ type BoundedFamily struct {
 	fields   word.Fields
 	a        []atomic.Uint64
 	procs    []*BoundedProc
+	obs      *obs.Metrics
 }
 
 // Field indices of Figure 7's wordtype = record tag; cnt; pid; val end.
@@ -108,6 +110,11 @@ func MustNewBoundedFamily(cfg BoundedConfig) *BoundedFamily {
 	}
 	return f
 }
+
+// SetMetrics attaches an optional metrics sink to the family (nil
+// disables); every variable created from the family reports through it.
+// TagRecycle exposes Figure 7's bounded-tag feedback work.
+func (f *BoundedFamily) SetMetrics(m *obs.Metrics) { f.obs = m }
 
 // Procs returns N.
 func (f *BoundedFamily) Procs() int { return f.n }
@@ -190,6 +197,7 @@ func (v *BoundedVar) FootprintWords() int { return 1 + v.f.n }
 
 // Read returns the current value; it linearizes at the underlying load.
 func (v *BoundedVar) Read() uint64 {
+	v.f.obs.Inc(obs.CtrRead)
 	return v.f.fields.Get(v.word.Load(), bfVal)
 }
 
@@ -198,6 +206,7 @@ func (v *BoundedVar) Read() uint64 {
 // every successful LL must be balanced by exactly one SC or CL, which
 // releases the slot.
 func (v *BoundedVar) LL(p *BoundedProc) (uint64, BKeep, error) {
+	p.f.obs.IncProc(p.id, obs.CtrLL)
 	slot, ok := p.s.pop() // line 1
 	if !ok {
 		return 0, BKeep{}, ErrTooManySequences
@@ -211,6 +220,7 @@ func (v *BoundedVar) LL(p *BoundedProc) (uint64, BKeep, error) {
 // VL reports whether the variable is unchanged since the LL that produced
 // keep (Figure 7, line 6).
 func (v *BoundedVar) VL(p *BoundedProc, keep BKeep) bool {
+	p.f.obs.IncProc(p.id, obs.CtrVL)
 	return !keep.fail && v.word.Load() == keep.word
 }
 
@@ -218,6 +228,7 @@ func (v *BoundedVar) VL(p *BoundedProc, keep BKeep) bool {
 // line 7), returning the announce slot to the free pool. Required when a
 // sequence is abandoned, since each process may hold only k slots.
 func (v *BoundedVar) CL(p *BoundedProc, keep BKeep) {
+	p.f.obs.IncProc(p.id, obs.CtrCL)
 	p.s.push(keep.slot)
 }
 
@@ -231,8 +242,11 @@ func (v *BoundedVar) SC(p *BoundedProc, keep BKeep, newval uint64) bool {
 		p.s.push(keep.slot) // keep slot accounting consistent before panicking
 		panic(fmt.Sprintf("core: SC value %d exceeds %d-bit value field", newval, f.fields.Width(bfVal)))
 	}
+	f.obs.IncProc(p.id, obs.CtrSC)
 	p.s.push(keep.slot) // line 8
 	if keep.fail {      // line 9
+		// The LL's re-read saw an intervening write: interference.
+		f.obs.IncProc(p.id, obs.CtrSCFailInterference)
 		return false
 	}
 	// Line 10: read one announce slot and retire its tag to the back of
@@ -244,8 +258,13 @@ func (v *BoundedVar) SC(p *BoundedProc, keep BKeep, newval uint64) bool {
 	if p.j == f.nk {
 		p.j = 0
 	}
-	t = p.q.rotate()                                                                     // line 12: take the least-recently-seen tag
-	cnt := word.AddMod(v.last[p.id].Load(), 1, f.cntCount)                               // line 13
-	v.last[p.id].Store(cnt)                                                              // line 14
-	return v.word.CompareAndSwap(keep.word, f.fields.Pack(t, cnt, uint64(p.id), newval)) // line 15
+	t = p.q.rotate() // line 12: take the least-recently-seen tag
+	f.obs.IncProc(p.id, obs.CtrTagRecycle)
+	cnt := word.AddMod(v.last[p.id].Load(), 1, f.cntCount)                             // line 13
+	v.last[p.id].Store(cnt)                                                            // line 14
+	if v.word.CompareAndSwap(keep.word, f.fields.Pack(t, cnt, uint64(p.id), newval)) { // line 15
+		return true
+	}
+	f.obs.IncProc(p.id, obs.CtrSCFailInterference)
+	return false
 }

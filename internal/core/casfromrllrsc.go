@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -19,6 +20,7 @@ import (
 type CASVar struct {
 	w      *machine.Word
 	layout word.Layout
+	obs    *obs.Metrics
 }
 
 // NewCASVar allocates a variable on machine m holding initial, using the
@@ -34,8 +36,15 @@ func NewCASVar(m *machine.Machine, layout word.Layout, initial uint64) (*CASVar,
 // Layout returns the variable's tag|value layout.
 func (v *CASVar) Layout() word.Layout { return v.layout }
 
+// SetMetrics attaches an optional metrics sink (nil disables). It records
+// algorithm-level counts (CAS attempts, retry loops); pair it with
+// Metrics.MachineObserver on the machine for instruction-level counts and
+// the spurious/interference failure split.
+func (v *CASVar) SetMetrics(m *obs.Metrics) { v.obs = m }
+
 // Read returns the current value. It linearizes at the underlying load.
 func (v *CASVar) Read(p *machine.Proc) uint64 {
+	v.obs.IncProc(p.ID(), obs.CtrRead)
 	return v.layout.Val(p.Load(v.w))
 }
 
@@ -50,6 +59,7 @@ func (v *CASVar) CompareAndSwap(p *machine.Proc, old, new uint64) bool {
 	if new > v.layout.MaxVal() {
 		panic(fmt.Sprintf("core: CAS new value %d exceeds %d-bit value field", new, v.layout.ValBits))
 	}
+	v.obs.IncProc(p.ID(), obs.CtrCASAttempt)
 	oldword := p.Load(v.w)            // line 1
 	if v.layout.Val(oldword) != old { // line 2
 		return false
@@ -58,7 +68,13 @@ func (v *CASVar) CompareAndSwap(p *machine.Proc, old, new uint64) bool {
 		return true
 	}
 	newword := v.layout.Bump(oldword, new) // line 4: (tag ⊕ 1, new)
-	for {
+	for i := 0; ; i++ {
+		if i > 0 {
+			// Extra RLL/RSC loops are caused only by spurious RSC
+			// failures — Theorem 1's "constant time after the last
+			// spurious failure" quantity.
+			v.obs.IncProc(p.ID(), obs.CtrCASRetry)
+		}
 		if p.RLL(v.w) != oldword { // line 5
 			return false
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -26,6 +27,7 @@ type LargeFamily struct {
 	seg  word.Layout // tag | value-part, shared tag domain with the header
 	hdr  word.Fields // tag | pid
 	a    []atomic.Uint64
+	obs  *obs.Metrics
 
 	// stallHook, when non-nil, is invoked by SC between the header CAS
 	// and the subsequent Copy. Tests use it to stall an SC'er mid-update
@@ -93,6 +95,11 @@ func MustNewLargeFamily(cfg LargeConfig) *LargeFamily {
 	}
 	return f
 }
+
+// SetMetrics attaches an optional metrics sink to the family (nil
+// disables); every variable created from the family reports through it.
+// CopyWords/CopyFixes expose Figure 6's Θ(W) copy-and-help work.
+func (f *LargeFamily) SetMetrics(m *obs.Metrics) { f.obs = m }
 
 // Procs returns N.
 func (f *LargeFamily) Procs() int { return f.n }
@@ -186,8 +193,10 @@ func (v *LargeVar) copyVal(hdr uint64, save []uint64) int {
 	prevTag := f.seg.DecTag(hdrTag)
 	pid := int(f.hdr.Get(hdr, 1))
 	for i := 0; i < f.w; i++ {
+		f.obs.IncProc(pid, obs.CtrCopyWords)
 		y := v.data[i].Load()        // line 2
 		if f.seg.Tag(y) == prevTag { // line 3
+			f.obs.IncProc(pid, obs.CtrCopyFixes)
 			z := f.seg.Pack(hdrTag, f.announce(pid, i).Load()) // line 4
 			v.data[i].CompareAndSwap(y, z)                     // line 5
 			y = z                                              // line 6
@@ -212,6 +221,7 @@ func (v *LargeVar) WLL(p *LargeProc, dst []uint64) (LKeep, int) {
 	if len(dst) != v.f.w {
 		panic(fmt.Sprintf("core: WLL destination has %d words, want %d", len(dst), v.f.w))
 	}
+	v.f.obs.IncProc(p.id, obs.CtrLL)
 	x := v.hdr.Load()                     // line 10
 	keep := LKeep{tag: v.f.hdr.Get(x, 0)} // line 11
 	return keep, v.copyVal(x, dst)        // line 12
@@ -220,6 +230,7 @@ func (v *LargeVar) WLL(p *LargeProc, dst []uint64) (LKeep, int) {
 // VL reports whether no successful SC has occurred since the WLL that
 // produced keep (Figure 6, line 13). Θ(1).
 func (v *LargeVar) VL(p *LargeProc, keep LKeep) bool {
+	v.f.obs.IncProc(p.id, obs.CtrVL)
 	return v.f.hdr.Get(v.hdr.Load(), 0) == keep.tag
 }
 
@@ -231,8 +242,10 @@ func (v *LargeVar) SC(p *LargeProc, keep LKeep, newval []uint64) bool {
 	if len(newval) != f.w {
 		panic(fmt.Sprintf("core: SC value has %d words, want %d", len(newval), f.w))
 	}
+	f.obs.IncProc(p.id, obs.CtrSC)
 	oldhdr := v.hdr.Load()                // line 14
 	if f.hdr.Get(oldhdr, 0) != keep.tag { // line 15
+		f.obs.IncProc(p.id, obs.CtrSCFailInterference)
 		return false
 	}
 	for i, x := range newval { // lines 16-17: announce the new value
@@ -244,6 +257,7 @@ func (v *LargeVar) SC(p *LargeProc, keep LKeep, newval []uint64) bool {
 	}
 	newhdr := f.hdr.Pack(f.seg.IncTag(keep.tag), uint64(p.id)) // line 18
 	if !v.hdr.CompareAndSwap(oldhdr, newhdr) {                 // line 19
+		f.obs.IncProc(p.id, obs.CtrSCFailInterference)
 		return false
 	}
 	if f.stallHook != nil {

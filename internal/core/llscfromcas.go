@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -26,6 +27,7 @@ import (
 type Var struct {
 	w      atomic.Uint64
 	layout word.Layout
+	obs    *obs.Metrics
 }
 
 // Keep is the private word the paper's modified interface threads from LL
@@ -68,8 +70,16 @@ func MustNewVar(layout word.Layout, initial uint64) *Var {
 // Layout returns the variable's tag|value layout.
 func (v *Var) Layout() word.Layout { return v.layout }
 
+// SetMetrics attaches an optional metrics sink (nil disables, the
+// default). Like machine.Config.Observer for the simulator, this is how
+// the production-path primitives report retry and contention behaviour;
+// the instrumented paths stay lock- and allocation-free. Set it before
+// the Var is shared between goroutines.
+func (v *Var) SetMetrics(m *obs.Metrics) { v.obs = m }
+
 // Read returns the current value; it linearizes at the underlying load.
 func (v *Var) Read() uint64 {
+	v.obs.Inc(obs.CtrRead)
 	return v.layout.Val(v.w.Load())
 }
 
@@ -77,6 +87,7 @@ func (v *Var) Read() uint64 {
 // *keep := *addr) and returns the data value along with the Keep token for
 // the subsequent VL/SC.
 func (v *Var) LL() (uint64, Keep) {
+	v.obs.Inc(obs.CtrLL)
 	k := Keep{word: v.w.Load()}    // line 1
 	return v.layout.Val(k.word), k // line 2
 }
@@ -84,6 +95,7 @@ func (v *Var) LL() (uint64, Keep) {
 // VL reports whether the variable is unchanged since the LL that produced
 // keep (Figure 4, line 3: keep = *addr).
 func (v *Var) VL(keep Keep) bool {
+	v.obs.Inc(obs.CtrVL)
 	return keep.word == v.w.Load()
 }
 
@@ -91,11 +103,20 @@ func (v *Var) VL(keep Keep) bool {
 // since the LL that produced keep (Figure 4, line 4:
 // CAS(addr, keep, (keep.tag ⊕ 1, new))). Oversized values panic, as they
 // are programming errors rather than legitimate contention failures.
+//
+// A false return always means interference — on CAS hardware there are no
+// spurious failures (Theorem 2) — so the metrics attribute every failure
+// to CtrSCFailInterference.
 func (v *Var) SC(keep Keep, new uint64) bool {
 	if new > v.layout.MaxVal() {
 		panic(fmt.Sprintf("core: SC value %d exceeds %d-bit value field", new, v.layout.ValBits))
 	}
-	return v.w.CompareAndSwap(keep.word, v.layout.Bump(keep.word, new))
+	v.obs.Inc(obs.CtrSC)
+	if v.w.CompareAndSwap(keep.word, v.layout.Bump(keep.word, new)) {
+		return true
+	}
+	v.obs.Inc(obs.CtrSCFailInterference)
+	return false
 }
 
 // Tag exposes the tag of the snapshot held by a Keep. It exists for
@@ -127,7 +148,11 @@ func (v *Var) Store(val uint64) {
 // linearizes at the LL's read, exactly as in Figure 3's argument.
 // Lock-free.
 func (v *Var) CompareAndSwap(old, new uint64) bool {
-	for {
+	v.obs.Inc(obs.CtrCASAttempt)
+	for i := 0; ; i++ {
+		if i > 0 {
+			v.obs.Inc(obs.CtrCASRetry)
+		}
 		val, keep := v.LL()
 		if val != old {
 			return false

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -19,6 +20,7 @@ import (
 type RVar struct {
 	w      *machine.Word
 	layout word.Layout
+	obs    *obs.Metrics
 }
 
 // NewRVar allocates a variable on machine m holding initial.
@@ -32,8 +34,14 @@ func NewRVar(m *machine.Machine, layout word.Layout, initial uint64) (*RVar, err
 // Layout returns the variable's tag|value layout.
 func (v *RVar) Layout() word.Layout { return v.layout }
 
+// SetMetrics attaches an optional metrics sink (nil disables). Pair it
+// with Metrics.MachineObserver on the machine for the RSC-level
+// spurious/interference split.
+func (v *RVar) SetMetrics(m *obs.Metrics) { v.obs = m }
+
 // Read returns the current value; it linearizes at the underlying load.
 func (v *RVar) Read(p *machine.Proc) uint64 {
+	v.obs.IncProc(p.ID(), obs.CtrRead)
 	return v.layout.Val(p.Load(v.w))
 }
 
@@ -43,6 +51,7 @@ func (v *RVar) Read(p *machine.Proc) uint64 {
 // interleave LL-SC sequences on many variables; only the final SC needs
 // the (single) reservation, and only briefly.
 func (v *RVar) LL(p *machine.Proc) (uint64, Keep) {
+	v.obs.IncProc(p.ID(), obs.CtrLL)
 	k := Keep{word: p.Load(v.w)}   // line 1
 	return v.layout.Val(k.word), k // line 2
 }
@@ -50,6 +59,7 @@ func (v *RVar) LL(p *machine.Proc) (uint64, Keep) {
 // VL reports whether the variable is unchanged since the LL that produced
 // keep (Figure 5, line 3).
 func (v *RVar) VL(p *machine.Proc, keep Keep) bool {
+	v.obs.IncProc(p.ID(), obs.CtrVL)
 	return keep.word == p.Load(v.w)
 }
 
@@ -62,10 +72,17 @@ func (v *RVar) SC(p *machine.Proc, keep Keep, new uint64) bool {
 	if new > v.layout.MaxVal() {
 		panic(fmt.Sprintf("core: SC value %d exceeds %d-bit value field", new, v.layout.ValBits))
 	}
+	v.obs.IncProc(p.ID(), obs.CtrSC)
 	oldword := keep.word                   // line 4
 	newword := v.layout.Bump(oldword, new) // line 5: (keep.tag ⊕ 1, newval)
-	for {
+	for i := 0; ; i++ {
+		if i > 0 {
+			// An extra loop is caused only by a spurious RSC failure —
+			// the bounded extra work of Theorem 3.
+			v.obs.IncProc(p.ID(), obs.CtrSCRetry)
+		}
 		if p.RLL(v.w) != oldword { // line 6
+			v.obs.IncProc(p.ID(), obs.CtrSCFailInterference)
 			return false
 		}
 		if p.RSC(v.w, newword) { // line 7

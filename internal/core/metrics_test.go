@@ -1,0 +1,238 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+// The metrics hooks must not change the primitives' cost model: with a
+// nil sink the hot paths stay allocation-free (asserted alongside the
+// plain assertions in alloc_test.go by virtue of nil being the default),
+// and with a live sink they must STILL be allocation-free — counting must
+// never introduce a hidden allocation, lock, or GC assist.
+
+func TestVarOpsAllocationFreeWithMetrics(t *testing.T) {
+	v := MustNewVar(word.MustLayout(32), 0)
+	v.SetMetrics(obs.New())
+	if n := testing.AllocsPerRun(1000, func() {
+		val, keep := v.LL()
+		if !v.VL(keep) {
+			t.Fatal("VL failed")
+		}
+		if !v.SC(keep, val+1) {
+			t.Fatal("SC failed")
+		}
+		v.Read()
+		v.CompareAndSwap(val+1, val+2)
+	}); n != 0 {
+		t.Errorf("metrics-enabled Var ops allocate %.1f objects per op, want 0", n)
+	}
+}
+
+func TestBoundedOpsAllocationFreeWithMetrics(t *testing.T) {
+	f := MustNewBoundedFamily(BoundedConfig{Procs: 2, K: 2})
+	f.SetMetrics(obs.New())
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		val, keep, err := v.LL(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.SC(p, keep, (val+1)&f.MaxVal()) {
+			t.Fatal("SC failed")
+		}
+	}); n != 0 {
+		t.Errorf("metrics-enabled BoundedVar LL/SC allocates %.1f objects per op, want 0", n)
+	}
+}
+
+func TestLargeOpsAllocationFreeWithMetrics(t *testing.T) {
+	f := MustNewLargeFamily(LargeConfig{Procs: 2, Words: 4})
+	f.SetMetrics(obs.New())
+	v, err := f.NewVar(make([]uint64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 4)
+	val := make([]uint64, 4)
+	if n := testing.AllocsPerRun(1000, func() {
+		keep, res := v.WLL(p, dst)
+		if res != Succ {
+			t.Fatal("WLL failed")
+		}
+		val[0] = (val[0] + 1) & f.MaxSegmentValue()
+		if !v.SC(p, keep, val) {
+			t.Fatal("SC failed")
+		}
+	}); n != 0 {
+		t.Errorf("metrics-enabled LargeVar WLL/SC allocates %.1f objects per op, want 0", n)
+	}
+}
+
+// TestVarMetricsCountsExact checks the counter semantics on a known
+// sequential workload: attempts, failures by cause, and reads all land in
+// the right counters with exact totals.
+func TestVarMetricsCountsExact(t *testing.T) {
+	m := obs.NewWithStripes(2)
+	v := MustNewVar(word.MustLayout(32), 0)
+	v.SetMetrics(m)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		val, keep := v.LL()
+		if !v.SC(keep, val+1) {
+			t.Fatal("uncontended SC failed")
+		}
+	}
+	// One guaranteed interference failure: stale keep after an SC.
+	_, stale := v.LL()
+	val, keep := v.LL()
+	if !v.SC(keep, val+1) {
+		t.Fatal("uncontended SC failed")
+	}
+	if v.SC(stale, 0) {
+		t.Fatal("stale SC succeeded")
+	}
+	v.Read()
+
+	s := m.Snapshot()
+	if got := s.Get(obs.CtrLL); got != n+2 {
+		t.Errorf("ll = %d, want %d", got, n+2)
+	}
+	if got := s.Get(obs.CtrSC); got != n+2 {
+		t.Errorf("sc = %d, want %d", got, n+2)
+	}
+	if got := s.Get(obs.CtrSCFailInterference); got != 1 {
+		t.Errorf("sc_fail_interference = %d, want 1", got)
+	}
+	if got := s.Get(obs.CtrSCFailSpurious); got != 0 {
+		t.Errorf("sc_fail_spurious = %d, want 0 (real CAS hardware never fails spuriously)", got)
+	}
+	if got := s.Get(obs.CtrRead); got != 1 {
+		t.Errorf("read = %d, want 1", got)
+	}
+}
+
+// TestBoundedMetricsCountTagRecycles checks Figure 7's distinguishing
+// counter: every successful-path SC rotates one tag through the queue.
+func TestBoundedMetricsCountTagRecycles(t *testing.T) {
+	m := obs.NewWithStripes(1)
+	f := MustNewBoundedFamily(BoundedConfig{Procs: 1, K: 1})
+	f.SetMetrics(m)
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		val, keep, err := v.LL(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.SC(p, keep, (val+1)&f.MaxVal()) {
+			t.Fatal("uncontended SC failed")
+		}
+	}
+	s := m.Snapshot()
+	if got := s.Get(obs.CtrTagRecycle); got != n {
+		t.Errorf("tag_recycle = %d, want %d", got, n)
+	}
+	if got := s.Get(obs.CtrSCFailInterference); got != 0 {
+		t.Errorf("sc_fail_interference = %d, want 0 sequentially", got)
+	}
+}
+
+// TestRVarMetricsSpuriousSplit checks that, with the machine observer
+// attached, spurious RSC failures are attributed to sc_fail_spurious and
+// surface as sc_retry loops, while the SC itself still succeeds.
+func TestRVarMetricsSpuriousSplit(t *testing.T) {
+	mx := obs.NewWithStripes(1)
+	m := machine.MustNew(machine.Config{Procs: 1, Observer: mx.MachineObserver()})
+	v, err := NewRVar(m, word.MustLayout(32), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetMetrics(mx)
+	p := m.Proc(0)
+
+	val, keep := v.LL(p)
+	p.FailNext(3) // three injected spurious RSC failures
+	if !v.SC(p, keep, val+1) {
+		t.Fatal("SC should survive spurious failures")
+	}
+
+	s := mx.Snapshot()
+	if got := s.Get(obs.CtrSCFailSpurious); got != 3 {
+		t.Errorf("sc_fail_spurious = %d, want 3", got)
+	}
+	if got := s.Get(obs.CtrSCRetry); got != 3 {
+		t.Errorf("sc_retry = %d, want 3 (one extra loop per spurious failure)", got)
+	}
+	if got := s.Get(obs.CtrSCFailInterference); got != 0 {
+		t.Errorf("sc_fail_interference = %d, want 0 (no other writer)", got)
+	}
+	if got := s.Get(obs.CtrSC); got != 1 {
+		t.Errorf("sc = %d, want 1", got)
+	}
+}
+
+// TestVarMetricsConcurrent exercises the instrumented hot path from many
+// goroutines under the race detector and checks the counters stay exact:
+// every SC either succeeds (total increments = final value) or is
+// counted as an interference failure.
+func TestVarMetricsConcurrent(t *testing.T) {
+	m := obs.New()
+	v := MustNewVar(word.MustLayout(32), 0)
+	v.SetMetrics(m)
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					val, keep := v.LL()
+					if v.SC(keep, val+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := m.Snapshot()
+	const want = workers * perWorker
+	if got := v.Read(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := s.Get(obs.CtrSC) - s.Get(obs.CtrSCFailInterference); got != want {
+		t.Errorf("sc - sc_fail_interference = %d, want %d (every SC succeeds or is counted failed)",
+			got, want)
+	}
+	if got := s.Get(obs.CtrLL); got != s.Get(obs.CtrSC) {
+		t.Errorf("ll = %d != sc = %d on an LL+SC-paired workload", got, s.Get(obs.CtrSC))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -27,6 +28,7 @@ type RBoundedFamily struct {
 	fields   word.Fields
 	a        []*machine.Word
 	procs    []*RBoundedProc
+	obs      *obs.Metrics
 }
 
 // NewRBoundedFamily builds a Figure 7 family over machine m with
@@ -67,6 +69,11 @@ func NewRBoundedFamily(m *machine.Machine, k int) (*RBoundedFamily, error) {
 	}
 	return f, nil
 }
+
+// SetMetrics attaches an optional metrics sink to the family (nil
+// disables). Pair it with Metrics.MachineObserver on the machine for the
+// RSC-level spurious/interference split.
+func (f *RBoundedFamily) SetMetrics(m *obs.Metrics) { f.obs = m }
 
 // MaxVal returns the largest data value the layout leaves room for.
 func (f *RBoundedFamily) MaxVal() uint64 { return f.fields.Max(bfVal) }
@@ -120,11 +127,13 @@ func (f *RBoundedFamily) NewVar(initial uint64) (*RBoundedVar, error) {
 
 // Read returns the current value.
 func (v *RBoundedVar) Read(p *RBoundedProc) uint64 {
+	v.f.obs.IncProc(p.p.ID(), obs.CtrRead)
 	return v.f.fields.Get(p.p.Load(v.word), bfVal)
 }
 
 // LL performs the load-linked (Figure 7, lines 1-5).
 func (v *RBoundedVar) LL(p *RBoundedProc) (uint64, BKeep, error) {
+	v.f.obs.IncProc(p.p.ID(), obs.CtrLL)
 	slot, ok := p.s.pop()
 	if !ok {
 		return 0, BKeep{}, ErrTooManySequences
@@ -137,11 +146,13 @@ func (v *RBoundedVar) LL(p *RBoundedProc) (uint64, BKeep, error) {
 
 // VL reports whether the variable is unchanged since the LL.
 func (v *RBoundedVar) VL(p *RBoundedProc, keep BKeep) bool {
+	v.f.obs.IncProc(p.p.ID(), obs.CtrVL)
 	return !keep.fail && p.p.Load(v.word) == keep.word
 }
 
 // CL aborts the sequence, returning the announce slot.
 func (v *RBoundedVar) CL(p *RBoundedProc, keep BKeep) {
+	v.f.obs.IncProc(p.p.ID(), obs.CtrCL)
 	p.s.push(keep.slot)
 }
 
@@ -153,8 +164,10 @@ func (v *RBoundedVar) SC(p *RBoundedProc, keep BKeep, newval uint64) bool {
 		p.s.push(keep.slot)
 		panic(fmt.Sprintf("core: SC value %d exceeds %d-bit value field", newval, f.fields.Width(bfVal)))
 	}
+	f.obs.IncProc(p.p.ID(), obs.CtrSC)
 	p.s.push(keep.slot)
 	if keep.fail {
+		f.obs.IncProc(p.p.ID(), obs.CtrSCFailInterference)
 		return false
 	}
 	t := f.fields.Get(p.p.Load(f.a[p.j]), bfTag)
@@ -164,7 +177,12 @@ func (v *RBoundedVar) SC(p *RBoundedProc, keep BKeep, newval uint64) bool {
 		p.j = 0
 	}
 	t = p.q.rotate()
+	f.obs.IncProc(p.p.ID(), obs.CtrTagRecycle)
 	cnt := word.AddMod(p.p.Load(v.last[p.p.ID()]), 1, f.cntCount)
 	p.p.Store(v.last[p.p.ID()], cnt)
-	return rcas(p.p, v.word, keep.word, f.fields.Pack(t, cnt, uint64(p.p.ID()), newval))
+	if rcas(f.obs, p.p, v.word, keep.word, f.fields.Pack(t, cnt, uint64(p.p.ID()), newval)) {
+		return true
+	}
+	f.obs.IncProc(p.p.ID(), obs.CtrSCFailInterference)
+	return false
 }

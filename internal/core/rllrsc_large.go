@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -25,6 +26,7 @@ type RLargeFamily struct {
 	seg word.Layout
 	hdr word.Fields
 	a   []*machine.Word
+	obs *obs.Metrics
 }
 
 // NewRLargeFamily builds a Figure 6 family over machine m. The machine's
@@ -60,6 +62,11 @@ func NewRLargeFamily(m *machine.Machine, words int, tagBits uint) (*RLargeFamily
 	return f, nil
 }
 
+// SetMetrics attaches an optional metrics sink to the family (nil
+// disables). Pair it with Metrics.MachineObserver on the machine for the
+// RSC-level spurious/interference split.
+func (f *RLargeFamily) SetMetrics(m *obs.Metrics) { f.obs = m }
+
 // Words returns W.
 func (f *RLargeFamily) Words() int { return f.w }
 
@@ -76,9 +83,15 @@ func (f *RLargeFamily) announce(pid, i int) *machine.Word {
 // rcas is the Figure 3 technique specialized to words whose full contents
 // never recur during an operation (the tags are monotonic): atomically
 // replace old with new, failing if the word differs from old. RSC's
-// write-sensitivity makes it immune to ABA outright.
-func rcas(p *machine.Proc, w *machine.Word, old, new uint64) bool {
-	for {
+// write-sensitivity makes it immune to ABA outright. Extra loop
+// iterations — caused only by spurious RSC failures — are counted as CAS
+// retries against m (nil disables).
+func rcas(m *obs.Metrics, p *machine.Proc, w *machine.Word, old, new uint64) bool {
+	m.IncProc(p.ID(), obs.CtrCASAttempt)
+	for i := 0; ; i++ {
+		if i > 0 {
+			m.IncProc(p.ID(), obs.CtrCASRetry)
+		}
 		if p.RLL(w) != old {
 			return false
 		}
@@ -118,10 +131,12 @@ func (v *RLargeVar) copyVal(p *machine.Proc, hdr uint64, save []uint64) int {
 	prevTag := f.seg.DecTag(hdrTag)
 	pid := int(f.hdr.Get(hdr, 1))
 	for i := 0; i < f.w; i++ {
+		f.obs.IncProc(p.ID(), obs.CtrCopyWords)
 		y := p.Load(v.data[i])
 		if f.seg.Tag(y) == prevTag {
+			f.obs.IncProc(p.ID(), obs.CtrCopyFixes)
 			z := f.seg.Pack(hdrTag, p.Load(f.announce(pid, i)))
-			rcas(p, v.data[i], y, z)
+			rcas(f.obs, p, v.data[i], y, z)
 			y = z
 		}
 		if h := p.Load(v.hdr); h != hdr {
@@ -139,6 +154,7 @@ func (v *RLargeVar) WLL(p *machine.Proc, dst []uint64) (LKeep, int) {
 	if len(dst) != v.f.w {
 		panic(fmt.Sprintf("core: WLL destination has %d words, want %d", len(dst), v.f.w))
 	}
+	v.f.obs.IncProc(p.ID(), obs.CtrLL)
 	x := p.Load(v.hdr)
 	keep := LKeep{tag: v.f.hdr.Get(x, 0)}
 	return keep, v.copyVal(p, x, dst)
@@ -146,6 +162,7 @@ func (v *RLargeVar) WLL(p *machine.Proc, dst []uint64) (LKeep, int) {
 
 // VL reports whether no successful SC intervened since the WLL. Θ(1).
 func (v *RLargeVar) VL(p *machine.Proc, keep LKeep) bool {
+	v.f.obs.IncProc(p.ID(), obs.CtrVL)
 	return v.f.hdr.Get(p.Load(v.hdr), 0) == keep.tag
 }
 
@@ -156,8 +173,10 @@ func (v *RLargeVar) SC(p *machine.Proc, keep LKeep, newval []uint64) bool {
 	if len(newval) != f.w {
 		panic(fmt.Sprintf("core: SC value has %d words, want %d", len(newval), f.w))
 	}
+	f.obs.IncProc(p.ID(), obs.CtrSC)
 	oldhdr := p.Load(v.hdr)
 	if f.hdr.Get(oldhdr, 0) != keep.tag {
+		f.obs.IncProc(p.ID(), obs.CtrSCFailInterference)
 		return false
 	}
 	for i, x := range newval {
@@ -168,7 +187,8 @@ func (v *RLargeVar) SC(p *machine.Proc, keep LKeep, newval []uint64) bool {
 		p.Store(f.announce(p.ID(), i), x)
 	}
 	newhdr := f.hdr.Pack(f.seg.IncTag(keep.tag), uint64(p.ID()))
-	if !rcas(p, v.hdr, oldhdr, newhdr) {
+	if !rcas(f.obs, p, v.hdr, oldhdr, newhdr) {
+		f.obs.IncProc(p.ID(), obs.CtrSCFailInterference)
 		return false
 	}
 	v.copyVal(p, newhdr, nil)

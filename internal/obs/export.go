@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The package-level registry backs both the expvar export and the
+// plain-text /metrics handler: a process typically has one Metrics per
+// subsystem under test, registered by name.
+var (
+	registryMu sync.Mutex
+	registry   = map[string]*Metrics{}
+	expvarOnce sync.Once
+)
+
+// Publish registers m under name for export (expvar variable
+// "llsc.<name>", /metrics text, reporters started with nil metrics).
+// Re-publishing a name replaces the previous registration; publishing a
+// nil Metrics removes it.
+func Publish(name string, m *Metrics) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if m == nil {
+		delete(registry, name)
+		return
+	}
+	registry[name] = m
+	expvarOnce.Do(func() {
+		expvar.Publish("llsc", expvar.Func(func() any {
+			return publishedSnapshots()
+		}))
+	})
+}
+
+// Published returns the Metrics registered under name, or nil.
+func Published(name string) *Metrics {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	return registry[name]
+}
+
+// publishedSnapshots captures every registered Metrics as name → counter
+// map, the expvar payload.
+func publishedSnapshots() map[string]map[string]uint64 {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make(map[string]map[string]uint64, len(registry))
+	for name, m := range registry {
+		out[name] = m.Snapshot().Map()
+	}
+	return out
+}
+
+// Server is a live metrics endpoint: expvar at /debug/vars, pprof at
+// /debug/pprof/, and a plain-text counter dump at /metrics.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the export server on addr (e.g. "localhost:6060"; a ":0"
+// port picks a free one — read it back with Addr). The server runs until
+// Close and serves every Metrics registered with Publish, including ones
+// published after it starts.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", metricsText)
+	s := &Server{srv: &http.Server{Handler: mux}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck // Close returns ErrServerClosed here by design
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// metricsText writes every registered Metrics as "name.counter value"
+// lines in deterministic order.
+func metricsText(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	snaps := publishedSnapshots()
+	names := make([]string, 0, len(snaps))
+	for name := range snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		counters := snaps[name]
+		keys := make([]string, 0, len(counters))
+		for k := range counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s.%s %d\n", name, k, counters[k])
+		}
+	}
+}
+
+// StartReporter launches a goroutine that writes a plain-text delta report
+// of m's counters to w every interval, skipping intervals where nothing
+// changed. It returns a stop function that halts the reporter and flushes
+// one final report (idempotent). Pass the Metrics directly; the reporter
+// does not require Publish.
+func StartReporter(w io.Writer, m *Metrics, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		prev := m.Snapshot()
+		report := func(final bool) {
+			cur := m.Snapshot()
+			delta := cur.Sub(prev)
+			prev = cur
+			if delta.Total() == 0 && !final {
+				return
+			}
+			tag := "interval"
+			if final {
+				tag = "final"
+			}
+			fmt.Fprintf(w, "[obs %s] Δ %s | total %s\n", tag, delta, cur)
+		}
+		for {
+			select {
+			case <-ticker.C:
+				report(false)
+			case <-done:
+				report(true)
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

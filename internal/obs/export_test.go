@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeExpvarAndMetricsText(t *testing.T) {
+	m := NewWithStripes(1)
+	m.Inc(CtrLL)
+	m.Inc(CtrSC)
+	m.Inc(CtrSCFailInterference)
+	Publish("test_serve", m)
+	defer Publish("test_serve", nil)
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// expvar: the "llsc" variable carries every published Metrics.
+	var vars struct {
+		LLSC map[string]map[string]uint64 `json:"llsc"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("expvar payload not JSON: %v", err)
+	}
+	counters := vars.LLSC["test_serve"]
+	if counters == nil {
+		t.Fatalf("expvar missing test_serve: %v", vars.LLSC)
+	}
+	if counters["ll"] != 1 || counters["sc"] != 1 || counters["sc_fail_interference"] != 1 {
+		t.Errorf("expvar counters = %v", counters)
+	}
+
+	// Counters published while serving are visible live.
+	m.Inc(CtrLL)
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.LLSC["test_serve"]["ll"] != 2 {
+		t.Errorf("live counter not updated: %v", vars.LLSC["test_serve"])
+	}
+
+	// Plain-text /metrics.
+	text := get("/metrics")
+	if !strings.Contains(text, "test_serve.ll 2") || !strings.Contains(text, "test_serve.sc 1") {
+		t.Errorf("/metrics output:\n%s", text)
+	}
+
+	// pprof index responds.
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("pprof index missing profiles:\n%.200s", body)
+	}
+}
+
+func TestPublishedLookupAndReplace(t *testing.T) {
+	m1 := NewWithStripes(1)
+	m2 := NewWithStripes(1)
+	Publish("test_lookup", m1)
+	if Published("test_lookup") != m1 {
+		t.Error("lookup did not return published metrics")
+	}
+	Publish("test_lookup", m2)
+	if Published("test_lookup") != m2 {
+		t.Error("re-publish did not replace")
+	}
+	Publish("test_lookup", nil)
+	if Published("test_lookup") != nil {
+		t.Error("nil publish did not remove")
+	}
+}
+
+func TestStartReporter(t *testing.T) {
+	m := NewWithStripes(1)
+	var sb strings.Builder
+	stop := StartReporter(&sb, m, 10*time.Millisecond)
+	m.Inc(CtrLL)
+	m.Inc(CtrSCFailInterference)
+	time.Sleep(35 * time.Millisecond)
+	m.Inc(CtrLL)
+	stop()
+	stop() // idempotent
+	out := sb.String()
+	if !strings.Contains(out, "ll=") {
+		t.Errorf("reporter output missing counters:\n%s", out)
+	}
+	if !strings.Contains(out, "[obs final]") {
+		t.Errorf("reporter output missing final report:\n%s", out)
+	}
+	if !strings.Contains(out, "ll=2") {
+		t.Errorf("final totals should show ll=2:\n%s", out)
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of log₂ buckets: bucket 0 holds the value 0,
+// bucket b (1 ≤ b ≤ 64) holds values v with bits.Len64(v) == b, i.e.
+// v ∈ [2^(b-1), 2^b - 1]. Every uint64 has exactly one bucket.
+const HistBuckets = 65
+
+// Hist is a log₂-bucketed histogram for retry counts and latencies:
+// lock-free, allocation-free Observe, exact count and sum, quantiles
+// accurate to one power-of-two bucket. Buckets are plain atomics rather
+// than stripes — distinct observed magnitudes already land on distinct
+// words, and retry/latency recording is far off the LL/SC hot path.
+//
+// The zero value is ready to use. A nil *Hist is valid and means
+// "recording disabled".
+type Hist struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index, bits.Len64 (compiles to a
+// single LZCNT-style instruction).
+func bucketOf(v uint64) int {
+	return bits.Len64(v)
+}
+
+// Observe records one value. Safe on nil.
+func (h *Hist) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative durations
+// clamp to 0). Safe on nil.
+func (h *Hist) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d.Nanoseconds()))
+}
+
+// Count returns the number of observations. Safe on nil.
+func (h *Hist) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values. Safe on nil.
+func (h *Hist) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the mean observed value (0 when empty). Safe on nil.
+func (h *Hist) Mean() float64 {
+	c := h.Count()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(c)
+}
+
+// Quantile returns an upper bound on the q-quantile (q clamped to [0,1]),
+// exact to the containing power-of-two bucket. Safe on nil.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(count))
+	if target >= count {
+		target = count - 1
+	}
+	var seen uint64
+	for b := 0; b < HistBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen > target {
+			return bucketHi(b)
+		}
+	}
+	return bucketHi(HistBuckets - 1)
+}
+
+// bucketLo returns the smallest value in bucket b.
+func bucketLo(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return 1 << (b - 1)
+}
+
+// bucketHi returns the largest value in bucket b.
+func bucketHi(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<b - 1
+}
+
+// HistBucket is one non-empty bucket in a snapshot: the closed value range
+// [Lo, Hi] and the observation count N.
+type HistBucket struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+	N  uint64 `json:"n"`
+}
+
+// HistSnapshot is the schema-stable serialized form of a Hist: exact count
+// and sum plus the non-empty log₂ buckets in ascending order.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram. Safe on nil (returns an empty
+// snapshot). Concurrent writers may make count and the bucket sum differ
+// transiently; post-run snapshotting (the normal use) is exact.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for b := 0; b < HistBuckets; b++ {
+		if n := h.buckets[b].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Lo: bucketLo(b), Hi: bucketHi(b), N: n})
+		}
+	}
+	return s
+}
+
+// String summarizes the distribution.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50≤%d p99≤%d max≤%d",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(1))
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketEdges(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 2, 3},
+		{4, 4, 7},
+		{1023, 512, 1023},
+		{1024, 1024, 2047},
+		{math.MaxUint64, 1 << 63, math.MaxUint64},
+	}
+	for _, c := range cases {
+		b := bucketOf(c.v)
+		if bucketLo(b) != c.lo || bucketHi(b) != c.hi {
+			t.Errorf("value %d → bucket %d [%d,%d], want [%d,%d]",
+				c.v, b, bucketLo(b), bucketHi(b), c.lo, c.hi)
+		}
+	}
+}
+
+func TestHistObserveAndQuantile(t *testing.T) {
+	var h Hist
+	for i := uint64(0); i < 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d, want 100", h.Count())
+	}
+	if want := uint64(99 * 100 / 2); h.Sum() != want {
+		t.Errorf("sum = %d, want %d", h.Sum(), want)
+	}
+	// Quantile is an upper bound accurate to one power-of-two bucket.
+	if q := h.Quantile(0.5); q < 49 || q > 127 {
+		t.Errorf("p50 = %d, want within one bucket of 49", q)
+	}
+	if q := h.Quantile(1); q < 99 || q > 127 {
+		t.Errorf("p100 = %d, want within one bucket of 99", q)
+	}
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Error("clamped quantiles out of order")
+	}
+}
+
+func TestHistNilAndEmpty(t *testing.T) {
+	var nilH *Hist
+	nilH.Observe(5)
+	nilH.ObserveDuration(time.Second)
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Quantile(0.5) != 0 || nilH.Mean() != 0 {
+		t.Error("nil Hist should read as empty")
+	}
+	if s := nilH.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	var h Hist
+	if h.Quantile(0.99) != 0 {
+		t.Error("empty Hist quantile should be 0")
+	}
+}
+
+func TestHistObserveAllocationFree(t *testing.T) {
+	var h Hist
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(42)
+		h.ObserveDuration(100 * time.Nanosecond)
+	}); n != 0 {
+		t.Errorf("Observe allocates %.1f objects per op, want 0", n)
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 5000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(uint64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*perG {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*perG)
+	}
+}
+
+func TestHistSnapshotJSONStable(t *testing.T) {
+	var h Hist
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(5)
+	snap := h.Snapshot()
+	if snap.Count != 4 || snap.Sum != 11 {
+		t.Errorf("snapshot count=%d sum=%d, want 4/11", snap.Count, snap.Sum)
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != snap.Count || back.Sum != snap.Sum || len(back.Buckets) != len(snap.Buckets) {
+		t.Errorf("round trip lost data: %+v vs %+v", back, snap)
+	}
+	var total uint64
+	for i, b := range back.Buckets {
+		total += b.N
+		if i > 0 && back.Buckets[i-1].Hi >= b.Lo {
+			t.Errorf("buckets not ascending: %+v", back.Buckets)
+		}
+	}
+	if total != snap.Count {
+		t.Errorf("bucket sum %d != count %d", total, snap.Count)
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import "repro/internal/machine"
+
+// MachineObserver returns a machine.Config.Observer callback that folds
+// the simulated machine's event stream into m's counters, so simulator
+// runs and real-hardware runs report through the same taxonomy:
+//
+//	machine.Config{Observer: metrics.MachineObserver()}
+//
+// Mapping: every event increments its machine-level counter (MachLoad,
+// MachStore, MachCAS, RLL, RSC); a failed RSC additionally increments
+// RSCFailSpurious or RSCFailInterference by cause. A spurious RSC failure
+// is precisely a spuriously failed store-conditional, so it also feeds
+// SCFailSpurious — the simulator-side half of the SC-failure-by-cause
+// split (on real CAS hardware that counter is structurally zero).
+//
+// The callback stripes by the event's processor id and is allocation-free,
+// so it is safe to leave enabled during measurement runs. Safe on a nil
+// receiver: returns nil, which machine.Config treats as "no observer".
+func (m *Metrics) MachineObserver() func(machine.Event) {
+	if m == nil {
+		return nil
+	}
+	return func(e machine.Event) {
+		switch e.Op {
+		case machine.OpLoad:
+			m.IncProc(e.Proc, CtrMachLoad)
+		case machine.OpStore:
+			m.IncProc(e.Proc, CtrMachStore)
+		case machine.OpCAS:
+			m.IncProc(e.Proc, CtrMachCAS)
+		case machine.OpRLL:
+			m.IncProc(e.Proc, CtrRLL)
+		case machine.OpRSC:
+			m.IncProc(e.Proc, CtrRSC)
+			if !e.OK {
+				if e.Spurious {
+					m.IncProc(e.Proc, CtrRSCFailSpurious)
+					m.IncProc(e.Proc, CtrSCFailSpurious)
+				} else {
+					m.IncProc(e.Proc, CtrRSCFailInterference)
+				}
+			}
+		}
+	}
+}
+
+// TeeObservers fans one machine event stream out to several observers
+// (e.g. a trace.Recorder and a Metrics.MachineObserver). Nil entries are
+// skipped; with zero non-nil entries it returns nil, which machine.Config
+// treats as "no observer".
+func TeeObservers(obs ...func(machine.Event)) func(machine.Event) {
+	live := obs[:0]
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(e machine.Event) {
+		for _, o := range live {
+			o(e)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package obs is the unified observability layer for every LL/SC
+// implementation in this repository: a near-zero-overhead metrics sink
+// that the production-path CAS-based primitives (internal/core), the data
+// structures, the STM, and the universal constructions all report through,
+// mirroring the machine.Observer pattern the simulator already has — so
+// simulated and real executions become comparable through one counter
+// taxonomy.
+//
+// The paper's central claims are complexity bounds on retry behaviour
+// (Theorems 1-5: an SC fails only if another SC succeeds; spurious RSC
+// failures cause only bounded extra loops). This package makes those
+// quantities measurable on live workloads: LL/VL/SC attempt counts, SC
+// failures split by cause (interference vs. spurious), CAS retries,
+// bounded-tag recycles (Figure 7), and large-variable copy work
+// (Figure 6).
+//
+// Design constraints, in order:
+//
+//  1. Nil is off. Every hot-path method is safe on a nil *Metrics and
+//     reduces to a single branch, so un-instrumented code pays (almost)
+//     nothing and call sites need no conditionals.
+//  2. No locks, no allocation on the increment path (asserted by
+//     testing.AllocsPerRun in this package's tests and extended to the
+//     instrumented core primitives in internal/core/alloc_test.go).
+//  3. Increments scale: counters are striped across cache-line-padded
+//     shards. Callers that know a process id use IncProc/AddProc (the
+//     paper's algorithms are written "for process p", so most do); ambient
+//     callers use Inc/Add, which stripes by a hash of the goroutine's
+//     stack address — distinct goroutines land on distinct shards with
+//     high probability, and a collision costs contention, not correctness.
+//
+// Snapshot folds the stripes into exact totals at read time; readers pay,
+// writers do not.
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Counter identifies one metric in the fixed taxonomy. The zero value is
+// the first real counter; there is no sentinel.
+type Counter uint8
+
+// The counter taxonomy. docs/OBSERVABILITY.md maps each counter onto the
+// paper's theorems; the short story:
+//
+//   - LL/VL/SC/Read/CL count primitive invocations at the algorithm level
+//     (Figures 3-7 and their RLL/RSC realizations alike).
+//   - SCFailInterference counts SC invocations that returned false — by
+//     Theorems 1-5 each one implies another process's SC succeeded.
+//   - SCFailSpurious counts spuriously failed store-conditionals (injected
+//     RSC failures on the simulated machine; impossible on real CAS
+//     hardware, hence always 0 for Figure 4). A spurious failure does not
+//     make the enclosing SC return false — it costs an extra loop, which
+//     SCRetry counts.
+//   - SCRetry counts extra RLL/RSC loop iterations inside one SC
+//     (Figure 5 line 6-7 loop), the paper's "constant time after the last
+//     spurious failure" quantity.
+//   - CASAttempt/CASRetry count algorithm-level CAS invocations and their
+//     internal retries (Figure 3's RLL/RSC loop, rcas, Var.CompareAndSwap).
+//   - TagRecycle counts Figure 7 tag-queue rotations (one per SC attempt
+//     that reaches line 12) — the bounded-tag feedback work.
+//   - CopyWords/CopyFixes count Figure 6 Copy work: segment words scanned,
+//     and stale segments repaired by CAS (helping).
+//   - RLL/RSC/RSCFailInterference/RSCFailSpurious and MachLoad/MachStore/
+//     MachCAS are machine-level counters fed by the MachineObserver
+//     adapter, one-to-one with machine.Stats.
+//   - TxCommit/TxMismatch/TxAbort/TxHelp mirror the STM's transaction
+//     outcome counters (internal/stm).
+const (
+	CtrLL Counter = iota
+	CtrVL
+	CtrSC
+	CtrSCFailInterference
+	CtrSCFailSpurious
+	CtrSCRetry
+	CtrRead
+	CtrCL
+	CtrCASAttempt
+	CtrCASRetry
+	CtrTagRecycle
+	CtrCopyWords
+	CtrCopyFixes
+	CtrRLL
+	CtrRSC
+	CtrRSCFailInterference
+	CtrRSCFailSpurious
+	CtrMachLoad
+	CtrMachStore
+	CtrMachCAS
+	CtrTxCommit
+	CtrTxMismatch
+	CtrTxAbort
+	CtrTxHelp
+
+	// NumCounters is the size of the taxonomy; Snapshot is indexed by
+	// Counter in [0, NumCounters).
+	NumCounters
+)
+
+// counterNames are the stable machine-readable names used in expvar and
+// JSON output. Renaming one is a schema break; add new counters at the end
+// of the taxonomy instead.
+var counterNames = [NumCounters]string{
+	CtrLL:                  "ll",
+	CtrVL:                  "vl",
+	CtrSC:                  "sc",
+	CtrSCFailInterference:  "sc_fail_interference",
+	CtrSCFailSpurious:      "sc_fail_spurious",
+	CtrSCRetry:             "sc_retry",
+	CtrRead:                "read",
+	CtrCL:                  "cl",
+	CtrCASAttempt:          "cas_attempt",
+	CtrCASRetry:            "cas_retry",
+	CtrTagRecycle:          "tag_recycle",
+	CtrCopyWords:           "copy_words",
+	CtrCopyFixes:           "copy_fixes",
+	CtrRLL:                 "rll",
+	CtrRSC:                 "rsc",
+	CtrRSCFailInterference: "rsc_fail_interference",
+	CtrRSCFailSpurious:     "rsc_fail_spurious",
+	CtrMachLoad:            "mach_load",
+	CtrMachStore:           "mach_store",
+	CtrMachCAS:             "mach_cas",
+	CtrTxCommit:            "tx_commit",
+	CtrTxMismatch:          "tx_mismatch",
+	CtrTxAbort:             "tx_abort",
+	CtrTxHelp:              "tx_help",
+}
+
+// String returns the counter's stable snake_case name.
+func (c Counter) String() string {
+	if c < NumCounters {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("counter(%d)", uint8(c))
+}
+
+// cacheLine is the assumed cache-line size for padding. 64 bytes is right
+// for every platform this repository targets; being wrong only costs a
+// little false sharing, never correctness.
+const cacheLine = 64
+
+// stripe is one padded shard of counters. The pad rounds the struct up to
+// a cache-line multiple so adjacent stripes never share a line.
+type stripe struct {
+	counters [NumCounters]atomic.Uint64
+	_        [(cacheLine - (NumCounters*8)%cacheLine) % cacheLine]byte
+}
+
+// Metrics is a set of striped counters. The zero value is NOT usable;
+// create one with New. A nil *Metrics is valid everywhere and means
+// "metrics disabled": all increment methods become no-ops.
+type Metrics struct {
+	stripes []stripe
+	mask    uint32
+}
+
+// New creates a Metrics with one stripe per processor (rounded up to a
+// power of two), the right default for production use.
+func New() *Metrics {
+	return NewWithStripes(runtime.GOMAXPROCS(0))
+}
+
+// NewWithStripes creates a Metrics with at least n stripes (rounded up to
+// a power of two, minimum 1). Tests use 1 stripe for determinism of
+// per-stripe placement; totals are exact regardless.
+func NewWithStripes(n int) *Metrics {
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return &Metrics{stripes: make([]stripe, s), mask: uint32(s - 1)}
+}
+
+// Stripes returns the stripe count (a power of two).
+func (m *Metrics) Stripes() int { return len(m.stripes) }
+
+// stripeIdx picks a stripe for an ambient (no process id) increment by
+// hashing the address of a stack variable: goroutine stacks are distinct
+// allocations, so concurrent goroutines spread across stripes without any
+// shared state, TLS, or allocation. Within one goroutine the index may
+// vary with call depth; that is harmless (any stripe is correct).
+func (m *Metrics) stripeIdx() uint32 {
+	var x byte
+	h := uint64(uintptr(unsafe.Pointer(&x))) * 0x9E3779B97F4A7C15
+	return uint32(h>>32) & m.mask
+}
+
+// Inc adds 1 to counter c on the calling goroutine's stripe. Safe on nil.
+func (m *Metrics) Inc(c Counter) {
+	if m == nil {
+		return
+	}
+	m.stripes[m.stripeIdx()].counters[c].Add(1)
+}
+
+// Add adds n to counter c on the calling goroutine's stripe. Safe on nil.
+func (m *Metrics) Add(c Counter, n uint64) {
+	if m == nil {
+		return
+	}
+	m.stripes[m.stripeIdx()].counters[c].Add(n)
+}
+
+// IncProc adds 1 to counter c on the stripe for process proc. Safe on nil.
+// Call sites that carry a paper-style process identity use this: it is
+// cheaper than Inc and contention-free as long as each process runs on
+// one goroutine, which is exactly the per-proc handle contract in
+// internal/core and internal/machine.
+func (m *Metrics) IncProc(proc int, c Counter) {
+	if m == nil {
+		return
+	}
+	m.stripes[uint32(proc)&m.mask].counters[c].Add(1)
+}
+
+// AddProc adds n to counter c on the stripe for process proc. Safe on nil.
+func (m *Metrics) AddProc(proc int, c Counter, n uint64) {
+	if m == nil {
+		return
+	}
+	m.stripes[uint32(proc)&m.mask].counters[c].Add(n)
+}
+
+// Snapshot is an exact point-in-time total of every counter (stripes
+// folded). Indexed by Counter.
+type Snapshot [NumCounters]uint64
+
+// Snapshot folds all stripes into exact totals. Safe on nil (returns the
+// zero Snapshot). It may run concurrently with writers; each counter is
+// individually exact, the set is approximately simultaneous.
+func (m *Metrics) Snapshot() Snapshot {
+	var s Snapshot
+	if m == nil {
+		return s
+	}
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		for c := range s {
+			s[c] += st.counters[c].Load()
+		}
+	}
+	return s
+}
+
+// Get returns the value of counter c.
+func (s Snapshot) Get(c Counter) uint64 { return s[c] }
+
+// Sub returns the counter-wise difference s - earlier, the standard way to
+// attribute counts to one measured interval.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s {
+		d[i] = s[i] - earlier[i]
+	}
+	return d
+}
+
+// Map returns the snapshot as a name → value map including zero-valued
+// counters, the schema-stable form used by expvar and JSON bench records.
+func (s Snapshot) Map() map[string]uint64 {
+	out := make(map[string]uint64, NumCounters)
+	for c := Counter(0); c < NumCounters; c++ {
+		out[counterNames[c]] = s[c]
+	}
+	return out
+}
+
+// NonZero returns only the counters with non-zero values, for compact
+// human-facing reports.
+func (s Snapshot) NonZero() map[string]uint64 {
+	out := make(map[string]uint64)
+	for c := Counter(0); c < NumCounters; c++ {
+		if s[c] != 0 {
+			out[counterNames[c]] = s[c]
+		}
+	}
+	return out
+}
+
+// Total returns the sum of all counters — a cheap "did anything happen"
+// signal for reporters.
+func (s Snapshot) Total() uint64 {
+	var t uint64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// String renders the non-zero counters in taxonomy order.
+func (s Snapshot) String() string {
+	out := ""
+	for c := Counter(0); c < NumCounters; c++ {
+		if s[c] == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", counterNames[c], s[c])
+	}
+	if out == "" {
+		return "(all zero)"
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestCounterTotalsExactAcrossStripes(t *testing.T) {
+	m := NewWithStripes(8)
+	for i := 0; i < 1000; i++ {
+		m.Inc(CtrLL)
+		m.IncProc(i, CtrSC)
+		m.Add(CtrCopyWords, 3)
+		m.AddProc(i, CtrCASRetry, 2)
+	}
+	s := m.Snapshot()
+	if s.Get(CtrLL) != 1000 || s.Get(CtrSC) != 1000 {
+		t.Errorf("ll=%d sc=%d, want 1000 each", s.Get(CtrLL), s.Get(CtrSC))
+	}
+	if s.Get(CtrCopyWords) != 3000 || s.Get(CtrCASRetry) != 2000 {
+		t.Errorf("copy_words=%d cas_retry=%d, want 3000/2000", s.Get(CtrCopyWords), s.Get(CtrCASRetry))
+	}
+}
+
+func TestNilMetricsIsSafeAndSilent(t *testing.T) {
+	var m *Metrics
+	m.Inc(CtrLL)
+	m.Add(CtrSC, 5)
+	m.IncProc(3, CtrVL)
+	m.AddProc(3, CtrRead, 7)
+	if got := m.Snapshot().Total(); got != 0 {
+		t.Errorf("nil Metrics snapshot total = %d, want 0", got)
+	}
+	if obs := m.MachineObserver(); obs != nil {
+		t.Error("nil Metrics MachineObserver should be nil")
+	}
+}
+
+func TestIncrementAllocationFree(t *testing.T) {
+	m := New()
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Inc(CtrLL)
+		m.IncProc(2, CtrSC)
+		m.Add(CtrCopyWords, 4)
+		m.AddProc(2, CtrCASRetry, 1)
+	}); n != 0 {
+		t.Errorf("increment path allocates %.1f objects per op, want 0", n)
+	}
+	var nilM *Metrics
+	if n := testing.AllocsPerRun(1000, func() {
+		nilM.Inc(CtrLL)
+		nilM.IncProc(0, CtrSC)
+	}); n != 0 {
+		t.Errorf("nil (disabled) path allocates %.1f objects per op, want 0", n)
+	}
+}
+
+// TestConcurrentIncrements exercises the striped counters under the race
+// detector: many goroutines over few stripes, plus concurrent Snapshot
+// readers, must be race-free and sum exactly.
+func TestConcurrentIncrements(t *testing.T) {
+	m := NewWithStripes(2)
+	const goroutines = 16
+	const perG = 10000
+	var wg sync.WaitGroup
+	stopReads := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stopReads:
+				return
+			default:
+				_ = m.Snapshot()
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < perG; i++ {
+				m.Inc(CtrLL)
+				m.IncProc(g, CtrSC)
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stopReads)
+	wg.Wait()
+	s := m.Snapshot()
+	if want := uint64(goroutines * perG); s.Get(CtrLL) != want || s.Get(CtrSC) != want {
+		t.Errorf("ll=%d sc=%d, want %d each", s.Get(CtrLL), s.Get(CtrSC), want)
+	}
+}
+
+func TestSnapshotSubMapString(t *testing.T) {
+	m := NewWithStripes(1)
+	m.Inc(CtrLL)
+	m.Inc(CtrLL)
+	before := m.Snapshot()
+	m.Inc(CtrLL)
+	m.Inc(CtrSCFailInterference)
+	delta := m.Snapshot().Sub(before)
+	if delta.Get(CtrLL) != 1 || delta.Get(CtrSCFailInterference) != 1 {
+		t.Errorf("delta = %v, want ll=1 sc_fail_interference=1", delta)
+	}
+	mp := delta.Map()
+	if len(mp) != int(NumCounters) {
+		t.Errorf("Map has %d keys, want %d (schema-stable: all counters present)", len(mp), NumCounters)
+	}
+	if mp["ll"] != 1 || mp["sc_fail_interference"] != 1 || mp["sc_fail_spurious"] != 0 {
+		t.Errorf("Map = %v", mp)
+	}
+	nz := delta.NonZero()
+	if len(nz) != 2 {
+		t.Errorf("NonZero has %d keys, want 2: %v", len(nz), nz)
+	}
+	str := delta.String()
+	if !strings.Contains(str, "ll=1") || !strings.Contains(str, "sc_fail_interference=1") {
+		t.Errorf("String() = %q", str)
+	}
+	var zero Snapshot
+	if zero.String() != "(all zero)" {
+		t.Errorf("zero String() = %q", zero.String())
+	}
+}
+
+func TestCounterNamesCompleteAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < NumCounters; c++ {
+		name := c.String()
+		if name == "" || strings.HasPrefix(name, "counter(") {
+			t.Errorf("counter %d has no name", c)
+		}
+		if seen[name] {
+			t.Errorf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := Counter(200).String(); got != "counter(200)" {
+		t.Errorf("out-of-range name = %q", got)
+	}
+}
+
+// TestMachineObserver runs a real simulated-machine workload through the
+// adapter and checks the obs counters agree with machine.Stats — the
+// "one interface" property the layer exists for.
+func TestMachineObserver(t *testing.T) {
+	m := NewWithStripes(4)
+	mach := machine.MustNew(machine.Config{Procs: 2, Observer: m.MachineObserver()})
+	w := mach.NewWord(0)
+	p0 := mach.Proc(0)
+
+	p0.Load(w)
+	p0.Store(w, 1)
+	p0.CAS(w, 1, 2)
+	v := p0.RLL(w)
+	if !p0.RSC(w, v+1) {
+		t.Fatal("uncontended RSC failed")
+	}
+	p0.FailNext(1)
+	p0.RLL(w)
+	if p0.RSC(w, 9) {
+		t.Fatal("FailNext RSC unexpectedly succeeded")
+	}
+	p0.RSC(w, 9) // no reservation: real failure
+
+	st := mach.Stats()
+	s := m.Snapshot()
+	checks := []struct {
+		c    Counter
+		want uint64
+	}{
+		{CtrMachLoad, st.Loads},
+		{CtrMachStore, st.Stores},
+		{CtrMachCAS, st.CASOps},
+		{CtrRLL, st.RLLs},
+		{CtrRSC, st.RSCSuccess + st.RSCRealFail + st.RSCSpurious},
+		{CtrRSCFailInterference, st.RSCRealFail},
+		{CtrRSCFailSpurious, st.RSCSpurious},
+		{CtrSCFailSpurious, st.RSCSpurious},
+	}
+	for _, ck := range checks {
+		if got := s.Get(ck.c); got != ck.want {
+			t.Errorf("%s = %d, machine.Stats says %d", ck.c, got, ck.want)
+		}
+	}
+	if s.Get(CtrRSCFailSpurious) != 1 || s.Get(CtrRSCFailInterference) != 1 {
+		t.Errorf("expected exactly one spurious and one real RSC failure, got %v", s.NonZero())
+	}
+}
+
+func TestTeeObservers(t *testing.T) {
+	var a, b int
+	fa := func(machine.Event) { a++ }
+	fb := func(machine.Event) { b++ }
+	if TeeObservers() != nil || TeeObservers(nil, nil) != nil {
+		t.Error("empty tee should be nil")
+	}
+	tee := TeeObservers(fa, nil, fb)
+	tee(machine.Event{})
+	tee(machine.Event{})
+	if a != 2 || b != 2 {
+		t.Errorf("a=%d b=%d, want 2 each", a, b)
+	}
+}

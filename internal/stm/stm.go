@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -81,6 +82,7 @@ type txn struct {
 type Memory struct {
 	vals []core.Var
 	own  []atomic.Pointer[txn]
+	obs  *obs.Metrics
 
 	stats struct {
 		commits  atomic.Uint64
@@ -119,6 +121,18 @@ func (m *Memory) Stats() Stats {
 		Mismatches:   m.stats.mismatch.Load(),
 		ForcedAborts: m.stats.aborts.Load(),
 		Helps:        m.stats.helps.Load(),
+	}
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// memory and every underlying LL/SC word, so a single sink sees both the
+// transaction outcomes (tx_commit, tx_mismatch, tx_abort, tx_help —
+// mirroring Stats) and the word-level LL/SC traffic they generate. Set it
+// before the memory is shared between goroutines.
+func (m *Memory) SetMetrics(mx *obs.Metrics) {
+	m.obs = mx
+	for i := range m.vals {
+		m.vals[i].SetMetrics(mx)
 	}
 }
 
@@ -165,6 +179,7 @@ func (m *Memory) Read(a int) (uint64, error) {
 		if e := m.own[a].Load(); e != nil {
 			if e.status.Load() != statusActive {
 				m.stats.helps.Add(1)
+				m.obs.Inc(obs.CtrTxHelp)
 				m.complete(e)
 				continue
 			}
@@ -236,12 +251,15 @@ func (m *Memory) MCAS(addrs []int, expected, newvals []uint64) (bool, error) {
 		switch d.status.Load() {
 		case statusSucceeded:
 			m.stats.commits.Add(1)
+			m.obs.Inc(obs.CtrTxCommit)
 			return true, nil
 		case statusMismatch:
 			m.stats.mismatch.Add(1)
+			m.obs.Inc(obs.CtrTxMismatch)
 			return false, nil
 		case statusAborted:
 			m.stats.aborts.Add(1)
+			m.obs.Inc(obs.CtrTxAbort)
 			// Forcibly aborted by a contender; back off and retry.
 			for i := 0; i < attempt && i < 32; i++ {
 				runtime.Gosched()
@@ -309,6 +327,7 @@ func (m *Memory) run(d *txn) {
 			}
 			if e.status.Load() != statusActive {
 				m.stats.helps.Add(1)
+				m.obs.Inc(obs.CtrTxHelp)
 				m.complete(e) // finish the decided blocker, freeing the slot
 				continue
 			}

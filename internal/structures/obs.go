@@ -1,0 +1,76 @@
+package structures
+
+import "repro/internal/obs"
+
+// This file wires the optional metrics sink (internal/obs) through every
+// container to its underlying LL/SC variables. The pattern is uniform:
+// SetMetrics(nil) disables (the default), and the sink must be attached
+// before the container is shared between goroutines, mirroring
+// core.Var.SetMetrics. Attaching one sink to a whole container makes the
+// aggregate LL/SC traffic of its operations visible — e.g. a Stack push
+// contributes one ll+sc pair per attempt, so sc_fail_interference/sc is
+// the stack's contention rate.
+
+// setMetrics attaches m to the pool's free-list head and every node link.
+func (p *pool) setMetrics(m *obs.Metrics) {
+	p.free.SetMetrics(m)
+	for i := range p.nodes {
+		p.nodes[i].next.SetMetrics(m)
+	}
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// stack's top pointer and node pool.
+func (s *Stack) SetMetrics(m *obs.Metrics) {
+	s.top.SetMetrics(m)
+	s.p.setMetrics(m)
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// queue's head, tail, and node pool.
+func (q *Queue) SetMetrics(m *obs.Metrics) {
+	q.head.SetMetrics(m)
+	q.tail.SetMetrics(m)
+	q.p.setMetrics(m)
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// counter's variable.
+func (c *Counter) SetMetrics(m *obs.Metrics) { c.v.SetMetrics(m) }
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// ring's head and tail cursors.
+func (r *Ring) SetMetrics(m *obs.Metrics) {
+	r.head.SetMetrics(m)
+	r.tail.SetMetrics(m)
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables) to every
+// bucket key word.
+func (m *Map) SetMetrics(mx *obs.Metrics) {
+	for i := range m.keys {
+		m.keys[i].SetMetrics(mx)
+	}
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// set's node pool (which owns all link words, including the sentinels').
+func (s *Set) SetMetrics(m *obs.Metrics) { s.p.setMetrics(m) }
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// deque's underlying universal-construction object.
+func (d *Deque) SetMetrics(m *obs.Metrics) { d.o.SetMetrics(m) }
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// work-stealing deque's top (steal) cursor — the only LL/SC word; owner
+// operations on bottom are plain atomics and are deliberately uncounted.
+func (d *WSDeque) SetMetrics(m *obs.Metrics) { d.top.SetMetrics(m) }
+
+// SetMetrics attaches an optional metrics sink (nil disables) to every
+// variable in the snapshot's set. Note the Vars are caller-owned, so this
+// also affects reads and writes made outside the snapshot.
+func (s *Snapshot) SetMetrics(m *obs.Metrics) {
+	for _, v := range s.vars {
+		v.SetMetrics(m)
+	}
+}

@@ -74,6 +74,13 @@ func (r *Recorder) Dropped() uint64 {
 
 // Events returns the retained events in arrival order (oldest first).
 func (r *Recorder) Events() []machine.Event {
+	events, _ := r.snapshot()
+	return events
+}
+
+// snapshot returns the retained events (oldest first) and the dropped
+// count as one consistent pair, under a single lock acquisition.
+func (r *Recorder) snapshot() ([]machine.Event, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]machine.Event, 0, len(r.events))
@@ -83,7 +90,7 @@ func (r *Recorder) Events() []machine.Event {
 	} else {
 		out = append(out, r.events...)
 	}
-	return out
+	return out, r.dropped
 }
 
 // Reset discards all retained events.
@@ -107,10 +114,14 @@ func (r *Recorder) Filter(keep func(machine.Event) bool) []machine.Event {
 	return out
 }
 
-// Dump writes a human-readable listing of the retained events.
+// Dump writes a human-readable listing of the retained events, prefixed
+// by the dropped-event count when the ring has overflowed. The events and
+// the count come from one consistent snapshot, so the listing never
+// claims drops its events don't reflect (or vice versa) even while
+// processors are still recording.
 func (r *Recorder) Dump(w io.Writer) error {
-	events := r.Events()
-	if dropped := r.Dropped(); dropped > 0 {
+	events, dropped := r.snapshot()
+	if dropped > 0 {
 		if _, err := fmt.Fprintf(w, "... %d earlier events dropped ...\n", dropped); err != nil {
 			return err
 		}

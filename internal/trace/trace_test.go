@@ -179,3 +179,37 @@ func TestTraceOfFigure3Operation(t *testing.T) {
 		t.Error("first RSC should be a spurious failure")
 	}
 }
+
+func TestDumpReportsDroppedCount(t *testing.T) {
+	rec := MustNewRecorder(4)
+	m := machine.MustNew(machine.Config{Procs: 1, Observer: rec.Observe})
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	for i := 0; i < 10; i++ {
+		p.Load(w)
+	}
+
+	var sb strings.Builder
+	if err := rec.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "... 6 earlier events dropped ...") {
+		t.Errorf("dump missing dropped-count line (want 6 = 10 events - 4 capacity):\n%s", out)
+	}
+	// The 4 retained events survive the drop line.
+	if got := strings.Count(out, "LOAD"); got != 4 {
+		t.Errorf("dump has %d LOAD lines, want 4:\n%s", got, out)
+	}
+
+	// No drops → no dropped line.
+	rec.Reset()
+	p.Load(w)
+	sb.Reset()
+	if err := rec.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "dropped") {
+		t.Errorf("dump mentions drops without overflow:\n%s", sb.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // RObject is the lock-free universal construction running entirely on a
@@ -30,6 +31,10 @@ func NewRObject(m *machine.Machine, words int, tagBits uint, initial []uint64) (
 	}
 	return &RObject{family: family, state: state}, nil
 }
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// object's underlying RLL/RSC Figure 6 family.
+func (o *RObject) SetMetrics(m *obs.Metrics) { o.family.SetMetrics(m) }
 
 // MaxSegmentValue returns the largest value one state segment can hold.
 func (o *RObject) MaxSegmentValue() uint64 { return o.family.MaxSegmentValue() }

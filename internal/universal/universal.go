@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Object is a lock-free shared object with W-segment state.
@@ -50,6 +51,11 @@ func New(cfg Config, initial []uint64) (*Object, error) {
 	}
 	return &Object{family: family, state: state}, nil
 }
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// object's underlying Figure 6 family, exposing the WLL/SC retry and
+// copy-helping behaviour of every Apply.
+func (o *Object) SetMetrics(m *obs.Metrics) { o.family.SetMetrics(m) }
 
 // MaxSegmentValue returns the largest value one state segment can hold.
 func (o *Object) MaxSegmentValue() uint64 { return o.family.MaxSegmentValue() }

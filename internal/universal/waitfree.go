@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -134,6 +135,11 @@ func NewWaitFree(cfg WaitFreeConfig, initial []uint64, apply ApplyFunc) (*WaitFr
 		slot:     slot,
 	}, nil
 }
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// object's underlying Figure 6 family, exposing the WLL/SC and
+// copy-helping traffic of every Invoke.
+func (o *WaitFreeObject) SetMetrics(m *obs.Metrics) { o.family.SetMetrics(m) }
 
 // MaxStateValue returns the largest value one user state word can hold.
 func (o *WaitFreeObject) MaxStateValue() uint64 { return o.family.MaxSegmentValue() }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/structures"
 	"repro/internal/universal"
@@ -262,6 +263,33 @@ var (
 
 // StmMaxValue is the largest value an stm.Memory word can hold.
 const StmMaxValue = stm.MaxValue
+
+// The unified observability layer: allocation-free striped counters that
+// every primitive, structure, STM, and universal object can report into
+// via its SetMetrics method. See docs/OBSERVABILITY.md for the counter
+// taxonomy and its mapping onto the paper's Theorems 1-5.
+type (
+	// Metrics is a striped counter sink; nil means "metrics disabled".
+	Metrics = obs.Metrics
+	// MetricsCounter identifies one counter in the fixed taxonomy.
+	MetricsCounter = obs.Counter
+	// MetricsSnapshot is a point-in-time folding of a Metrics' stripes.
+	MetricsSnapshot = obs.Snapshot
+	// Hist is a lock-free log₂ histogram (retries, latencies).
+	Hist = obs.Hist
+)
+
+var (
+	// NewMetrics creates a Metrics with one stripe per processor.
+	NewMetrics = obs.New
+	// PublishMetrics registers a named Metrics with expvar.
+	PublishMetrics = obs.Publish
+	// ServeMetrics starts an HTTP server exporting expvar, a plain-text
+	// /metrics endpoint, and pprof.
+	ServeMetrics = obs.Serve
+	// StartMetricsReporter periodically writes counter deltas to a Writer.
+	StartMetricsReporter = obs.StartReporter
+)
 
 // Baselines for the comparison experiments.
 type (
