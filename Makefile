@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz soak experiments examples clean
+.PHONY: all build vet test race bench bench-json fuzz fuzz-smoke stress-smoke soak experiments examples clean
 
 all: build vet test
 
@@ -33,6 +33,18 @@ fuzz:
 	$(GO) test -fuzz FuzzFieldsRoundTrip -fuzztime 10s ./internal/word/
 	$(GO) test -fuzz FuzzModularArithmetic -fuzztime 10s ./internal/word/
 	$(GO) test -fuzz FuzzCheckerAgainstBruteForce -fuzztime 30s ./internal/linearizability/
+
+# Fast fuzz gate for CI: replay the checked-in seed corpus, then fuzz the
+# linearizability checker briefly for fresh coverage.
+fuzz-smoke:
+	$(GO) test -run FuzzCheckerAgainstBruteForce ./internal/linearizability/
+	$(GO) test -fuzz FuzzCheckerAgainstBruteForce -fuzztime 10s ./internal/linearizability/
+
+# Adversarial fault-injection matrix at reduced iterations, with a
+# machine-readable record (schema llsc-stress/v1).
+stress-smoke:
+	LLSC_STRESS_ROUNDS=4 $(GO) test -race -run 'TestStressMatrix|TestCrashProgress|TestLockBaseline' ./internal/stress/
+	$(GO) run ./cmd/llscfuzz -seqs 0 -sched 0 -stress-rounds 4 -stress-json stress-report.json
 
 # Heavyweight randomized validation (minutes).
 soak:

@@ -4,9 +4,15 @@
 // under deterministic serialized schedules (concurrently, where final
 // states and counters must match). A failing seed is printed for replay.
 //
+// It also runs the adversarial fault-injection stress matrix from
+// internal/stress: every figure implementation under every fault plan,
+// with each recorded history checked for linearizability.
+//
 // Usage:
 //
 //	llscfuzz [-seqs 200] [-ops 500] [-seed 1] [-sched 200] [-metrics-addr :8080]
+//	         [-fault-plan all] [-crash-at 12] [-burst-len 50] [-stress-rounds 10]
+//	         [-stress-json stress-report.json]
 package main
 
 import (
@@ -17,10 +23,12 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/spec"
+	"repro/internal/stress"
 	"repro/internal/word"
 )
 
@@ -30,6 +38,13 @@ var (
 	flagSeed    = flag.Int64("seed", 1, "base seed")
 	flagSched   = flag.Int("sched", 200, "serialized-schedule runs per implementation")
 	flagMetrics = flag.String("metrics-addr", "", "serve live expvar/pprof/metrics on this address during the run (e.g. :8080)")
+
+	flagFaultPlan = flag.String("fault-plan", "all",
+		"fault plans for the stress matrix: off, all, or one of none|burst|interference|crash|tagpressure")
+	flagCrashAt      = flag.Int("crash-at", 12, "machine-operation index at which the crash plan wedges its victim")
+	flagBurstLen     = flag.Int("burst-len", 50, "length of the spurious-failure burst (RSC attempts)")
+	flagStressRounds = flag.Int("stress-rounds", 10, "quiescent rounds per stress cell")
+	flagStressJSON   = flag.String("stress-json", "", "write the stress matrix report (schema llsc-stress/v1) to this path")
 )
 
 // sink aggregates LL/SC counters across every fuzzed target when
@@ -51,6 +66,7 @@ func main() {
 	failures := 0
 	failures += sequentialPhase()
 	failures += schedulePhase()
+	failures += faultPhase()
 	if failures > 0 {
 		fmt.Printf("\nFAILED: %d fuzzing phases found divergence\n", failures)
 		os.Exit(1)
@@ -271,6 +287,74 @@ func schedulePhase() int {
 		fmt.Printf("  fig6 schedules OK\n")
 	}
 	return bad
+}
+
+// faultPhase runs the adversarial stress matrix: each figure
+// implementation under the selected fault plans, every recorded history
+// checked for linearizability. A non-empty -stress-json path gets the
+// llsc-stress/v1 report for offline inspection.
+func faultPhase() int {
+	plans, err := selectedPlans()
+	must(err)
+	if plans == nil {
+		fmt.Println("\n== fault-injection stress matrix skipped (-fault-plan off) ==")
+		return 0
+	}
+	regs := stress.DefaultRegisters()
+	cfg := stress.Config{Procs: 3, Rounds: *flagStressRounds, OpsPerProc: 8, Seed: *flagSeed}
+	fmt.Printf("\n== fault-injection stress matrix (%d registers × %d plans, %d rounds) ==\n",
+		len(regs), len(plans), cfg.Rounds)
+	rep, err := stress.RunMatrix(cfg, regs, plans)
+	must(err)
+	bad := 0
+	for _, c := range rep.Cells {
+		status := "OK"
+		if !c.Ok {
+			status = "FAIL: " + c.Violation
+			bad++
+		}
+		injected := c.Counters["fault_inj_spurious"] + c.Counters["fault_inj_interference"] + c.Counters["fault_inj_stall"]
+		fmt.Printf("  %-5s × %-13s %s (%d ops, %d faults injected)\n", c.Register, c.Plan, status, c.Ops, injected)
+	}
+	if *flagStressJSON != "" {
+		must(rep.WriteFile(*flagStressJSON))
+		fmt.Printf("  report written to %s\n", *flagStressJSON)
+	}
+	return bad
+}
+
+// selectedPlans maps -fault-plan to plan specs, applying the -crash-at
+// and -burst-len overrides. A nil slice (with nil error) means the phase
+// is switched off.
+func selectedPlans() ([]stress.PlanSpec, error) {
+	if *flagFaultPlan == "off" {
+		return nil, nil
+	}
+	if *flagBurstLen < 0 {
+		return nil, fmt.Errorf("-burst-len must be non-negative, got %d", *flagBurstLen)
+	}
+	if *flagCrashAt < 0 {
+		return nil, fmt.Errorf("-crash-at must be non-negative, got %d", *flagCrashAt)
+	}
+	if *flagStressRounds < 1 {
+		return nil, fmt.Errorf("-stress-rounds must be positive, got %d", *flagStressRounds)
+	}
+	all := []stress.PlanSpec{
+		{Name: "none", New: func(stress.Config) fault.Plan { return nil }},
+		{Name: "burst", New: func(stress.Config) fault.Plan { return fault.NewBurst(0, 0, *flagBurstLen) }},
+		{Name: "interference", New: func(stress.Config) fault.Plan { return fault.NewInterference(fault.AnyProc, 3, 400) }},
+		{Name: "crash", New: func(cfg stress.Config) fault.Plan { return fault.NewCrash(cfg.Procs-1, *flagCrashAt) }},
+		{Name: "tagpressure", New: func(stress.Config) fault.Plan { return fault.NewTagPressure(2, 400) }},
+	}
+	if *flagFaultPlan == "all" {
+		return all, nil
+	}
+	for _, p := range all {
+		if p.Name == *flagFaultPlan {
+			return []stress.PlanSpec{p}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown -fault-plan %q (want off, all, none, burst, interference, crash, or tagpressure)", *flagFaultPlan)
 }
 
 // --- sequential adapters -------------------------------------------------

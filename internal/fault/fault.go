@@ -1,0 +1,365 @@
+// Package fault provides deterministic, composable fault plans for the
+// simulated machine in internal/machine — the adversaries Moir's theorems
+// quantify over but uniform random injection never exercises.
+//
+// The paper's progress claims are adversarial: Theorems 1, 3, 4 and 5
+// promise termination under ANY pattern of finitely many spurious RSC
+// failures per operation, and every theorem promises that an SC fails only
+// if another SC succeeds — no matter how writes are timed. The built-in
+// machine.Config.SpuriousFailProb models benign hardware (independent
+// per-op coin flips); this package models the hard cases:
+//
+//   - Burst: a failure storm — every RSC of one processor fails
+//     spuriously for a window of attempts (cache-invalidation storms, or
+//     the R4000 erratum of SC failing under interrupt load).
+//   - Interference: targeted reservation stealing — an adversary silently
+//     rewrites the very word a processor is about to RSC, so the RSC
+//     fails for real. Budget-bounded, because an unbounded such adversary
+//     defeats any wait-free construction (it performs no successful SCs
+//     of its own, so the paper's accounting does not apply to it).
+//   - Crash: a processor stops mid-algorithm at a chosen operation index
+//     and never runs again (until released for teardown). Non-blocking
+//     algorithms shrug; footnote 1's lock-based construction wedges.
+//   - TagPressure: machine-wide periodic interference that drives SC
+//     failure rates up, churning Figure 7's bounded tag space through its
+//     recycling feedback as fast as possible.
+//
+// Plans are deterministic given the per-processor operation sequences (no
+// ambient randomness), so any failure found under a serialized scheduler
+// replays exactly. Every plan counts its injections (Injected) and can
+// mirror them into an obs.Metrics via SetMetrics, which puts
+// fault_inj_* counters alongside the algorithm counters in metrics and
+// JSON bench records.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Stats counts the faults a plan actually injected.
+type Stats struct {
+	// Spurious is the number of RSCs forced to fail spuriously.
+	Spurious uint64 `json:"spurious,omitempty"`
+	// Interference is the number of silent adversarial rewrites.
+	Interference uint64 `json:"interference,omitempty"`
+	// Stalls is the number of operations blocked by a crash/stall.
+	Stalls uint64 `json:"stalls,omitempty"`
+}
+
+// Add returns the component-wise sum of s and t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Spurious:     s.Spurious + t.Spurious,
+		Interference: s.Interference + t.Interference,
+		Stalls:       s.Stalls + t.Stalls,
+	}
+}
+
+// Total returns the total number of injected faults.
+func (s Stats) Total() uint64 { return s.Spurious + s.Interference + s.Stalls }
+
+// Plan is a machine.FaultPlan that can describe itself and report what it
+// injected. All implementations in this package are safe for concurrent
+// use by distinct processors.
+type Plan interface {
+	machine.FaultPlan
+	// Name identifies the plan and its parameters, for reports.
+	Name() string
+	// Injected returns the faults injected so far.
+	Injected() Stats
+	// SetMetrics attaches an optional metrics sink (nil disables, the
+	// default); injections are mirrored to the fault_inj_* counters.
+	// Attach before the machine runs.
+	SetMetrics(*obs.Metrics)
+}
+
+// stats is the shared injection-accounting core embedded in every plan.
+type stats struct {
+	spurious  atomic.Uint64
+	interfere atomic.Uint64
+	stalls    atomic.Uint64
+	m         *obs.Metrics
+}
+
+func (s *stats) SetMetrics(m *obs.Metrics) { s.m = m }
+
+func (s *stats) Injected() Stats {
+	return Stats{
+		Spurious:     s.spurious.Load(),
+		Interference: s.interfere.Load(),
+		Stalls:       s.stalls.Load(),
+	}
+}
+
+func (s *stats) countSpurious(proc int) {
+	s.spurious.Add(1)
+	s.m.IncProc(proc, obs.CtrFaultInjSpurious)
+}
+
+func (s *stats) countInterfere(proc int) {
+	s.interfere.Add(1)
+	s.m.IncProc(proc, obs.CtrFaultInjInterference)
+}
+
+func (s *stats) countStall(proc int) {
+	s.stalls.Add(1)
+	s.m.IncProc(proc, obs.CtrFaultInjStall)
+}
+
+// Burst fails a window of one processor's RSC attempts spuriously: attempts
+// skip, skip+1, ..., skip+length-1 (0-based, counted per processor) all
+// fail. This is the paper's worst benign adversary — a storm of spurious
+// failures — concentrated on one victim. Because the window is finite, the
+// wait-freedom bounds (Theorems 1, 3) require every operation to finish
+// once the storm passes.
+type Burst struct {
+	stats
+	proc   int
+	skip   uint64
+	length uint64
+	rscs   atomic.Uint64
+}
+
+// NewBurst builds a Burst failing RSC attempts [skip, skip+length) of
+// processor proc.
+func NewBurst(proc, skip, length int) *Burst {
+	if proc < 0 {
+		panic("fault: Burst proc must be non-negative")
+	}
+	if skip < 0 || length < 0 {
+		panic("fault: Burst skip and length must be non-negative")
+	}
+	return &Burst{proc: proc, skip: uint64(skip), length: uint64(length)}
+}
+
+// Name implements Plan.
+func (b *Burst) Name() string {
+	return fmt.Sprintf("burst(proc=%d,skip=%d,len=%d)", b.proc, b.skip, b.length)
+}
+
+// BeforeOp implements machine.FaultPlan.
+func (b *Burst) BeforeOp(proc int, op machine.OpKind, word uint64) machine.FaultInjection {
+	if proc != b.proc || op != machine.OpRSC {
+		return machine.FaultInjection{}
+	}
+	n := b.rscs.Add(1) - 1 // this RSC's 0-based index
+	if n < b.skip || n >= b.skip+b.length {
+		return machine.FaultInjection{}
+	}
+	b.countSpurious(proc)
+	return machine.FaultInjection{SpuriousRSC: true}
+}
+
+// AnyProc targets every processor where a plan takes a processor filter.
+const AnyProc = -1
+
+// Interference steals reservations: immediately before each targeted RSC
+// it silently rewrites the RSC's word, so the RSC fails for REAL (the
+// machine classifies it as interference, not spurious — exactly what a
+// competing writer causes). Every `every`-th targeted RSC is hit, at most
+// `budget` times in total. The budget matters: the adversary performs no
+// successful SC of its own, so Theorems 1-5's "an SC fails only if another
+// SC succeeds" accounting does not cover it, and an unbounded version
+// would starve any of the paper's constructions.
+type Interference struct {
+	stats
+	proc    int // AnyProc or a specific target
+	every   uint64
+	budget0 int64 // configured budget, for Name
+	budget  atomic.Int64
+	rscs    atomic.Uint64
+}
+
+// NewInterference builds an Interference hitting every `every`-th RSC of
+// processor proc (AnyProc for all processors), at most budget times.
+func NewInterference(proc, every, budget int) *Interference {
+	if every < 1 {
+		panic("fault: Interference every must be at least 1")
+	}
+	if budget < 0 {
+		panic("fault: Interference budget must be non-negative")
+	}
+	i := &Interference{proc: proc, every: uint64(every), budget0: int64(budget)}
+	i.budget.Store(int64(budget))
+	return i
+}
+
+// Name implements Plan.
+func (i *Interference) Name() string {
+	target := "any"
+	if i.proc != AnyProc {
+		target = fmt.Sprintf("%d", i.proc)
+	}
+	return fmt.Sprintf("interference(proc=%s,every=%d,budget=%d)", target, i.every, i.budget0)
+}
+
+// BeforeOp implements machine.FaultPlan.
+func (i *Interference) BeforeOp(proc int, op machine.OpKind, word uint64) machine.FaultInjection {
+	if op != machine.OpRSC || (i.proc != AnyProc && proc != i.proc) {
+		return machine.FaultInjection{}
+	}
+	if i.rscs.Add(1)%i.every != 0 {
+		return machine.FaultInjection{}
+	}
+	if i.budget.Add(-1) < 0 {
+		return machine.FaultInjection{}
+	}
+	i.countInterfere(proc)
+	return machine.FaultInjection{Interfere: true}
+}
+
+// Crash stops one processor dead: from its atOp-th shared-memory operation
+// (0-based) on, the processor blocks inside the machine and never executes
+// another instruction until Release. This models a processor failing (or
+// being descheduled indefinitely) mid-algorithm — possibly mid-SC, holding
+// announce slots, reservations, or a half-installed Figure 6 header. The
+// paper's constructions guarantee the other N-1 processors keep completing
+// operations; a lock-based construction whose holder crashes does not.
+//
+// Crash plans block BeforeOp, so they are for free-running machines
+// (Config.Scheduler == nil); under a serializing scheduler the blocked
+// step would stall the whole controller.
+type Crash struct {
+	stats
+	proc     int
+	atOp     uint64
+	ops      atomic.Uint64
+	released chan struct{}
+}
+
+// NewCrash builds a Crash stopping processor proc at its atOp-th
+// shared-memory operation.
+func NewCrash(proc, atOp int) *Crash {
+	if proc < 0 {
+		panic("fault: Crash proc must be non-negative")
+	}
+	if atOp < 0 {
+		panic("fault: Crash atOp must be non-negative")
+	}
+	return &Crash{proc: proc, atOp: uint64(atOp), released: make(chan struct{})}
+}
+
+// Name implements Plan.
+func (c *Crash) Name() string {
+	return fmt.Sprintf("crash(proc=%d,at=%d)", c.proc, c.atOp)
+}
+
+// BeforeOp implements machine.FaultPlan.
+func (c *Crash) BeforeOp(proc int, op machine.OpKind, word uint64) machine.FaultInjection {
+	if proc != c.proc {
+		return machine.FaultInjection{}
+	}
+	n := c.ops.Add(1) - 1
+	if n < c.atOp {
+		return machine.FaultInjection{}
+	}
+	select {
+	case <-c.released:
+		return machine.FaultInjection{} // post-release teardown: run freely
+	default:
+	}
+	c.countStall(proc)
+	<-c.released
+	return machine.FaultInjection{}
+}
+
+// Crashed reports whether the processor has hit its crash point.
+func (c *Crash) Crashed() bool { return c.stalls.Load() > 0 }
+
+// Release lets the crashed processor run again, for teardown: the blocked
+// operation (and all subsequent ones) proceed normally. Idempotent.
+func (c *Crash) Release() {
+	select {
+	case <-c.released:
+	default:
+		close(c.released)
+	}
+}
+
+// TagPressure is machine-wide periodic interference: every `every`-th RSC
+// on the whole machine is preceded by a silent rewrite of its word, up to
+// `budget` injections. Against Figure 7 workloads that keep LL-SC
+// sequences outstanding, the elevated SC failure rate churns the bounded
+// tag space through its recycling feedback (observable as tag_recycle) —
+// pressure that must never let a (tag, cnt, pid) triple recur while a
+// process could still compare against it.
+type TagPressure struct {
+	Interference
+}
+
+// NewTagPressure builds a TagPressure plan hitting every `every`-th RSC
+// machine-wide, at most budget times.
+func NewTagPressure(every, budget int) *TagPressure {
+	t := &TagPressure{}
+	t.proc = AnyProc
+	if every < 1 {
+		panic("fault: TagPressure every must be at least 1")
+	}
+	if budget < 0 {
+		panic("fault: TagPressure budget must be non-negative")
+	}
+	t.every = uint64(every)
+	t.budget0 = int64(budget)
+	t.budget.Store(int64(budget))
+	return t
+}
+
+// Name implements Plan.
+func (t *TagPressure) Name() string {
+	return fmt.Sprintf("tagpressure(every=%d,budget=%d)", t.every, t.budget0)
+}
+
+// Composed fans BeforeOp out to several plans and merges their
+// injections (logical OR). Sub-plan injection counts stay with the
+// sub-plans; Injected sums them.
+type Composed struct {
+	plans []Plan
+	name  string
+}
+
+// Compose combines plans into one. With no arguments it returns a plan
+// that injects nothing.
+func Compose(plans ...Plan) *Composed {
+	name := "compose("
+	for i, p := range plans {
+		if i > 0 {
+			name += ","
+		}
+		name += p.Name()
+	}
+	return &Composed{plans: plans, name: name + ")"}
+}
+
+// Name implements Plan.
+func (c *Composed) Name() string { return c.name }
+
+// BeforeOp implements machine.FaultPlan.
+func (c *Composed) BeforeOp(proc int, op machine.OpKind, word uint64) machine.FaultInjection {
+	var out machine.FaultInjection
+	for _, p := range c.plans {
+		inj := p.BeforeOp(proc, op, word)
+		out.SpuriousRSC = out.SpuriousRSC || inj.SpuriousRSC
+		out.Interfere = out.Interfere || inj.Interfere
+	}
+	return out
+}
+
+// Injected implements Plan: the sum over sub-plans.
+func (c *Composed) Injected() Stats {
+	var s Stats
+	for _, p := range c.plans {
+		s = s.Add(p.Injected())
+	}
+	return s
+}
+
+// SetMetrics implements Plan, attaching m to every sub-plan.
+func (c *Composed) SetMetrics(m *obs.Metrics) {
+	for _, p := range c.plans {
+		p.SetMetrics(m)
+	}
+}

@@ -1,0 +1,290 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+func TestBurstFailsExactlyTheWindow(t *testing.T) {
+	plan := NewBurst(0, 2, 3) // RSC attempts 2,3,4 of proc 0 fail
+	m := machine.MustNew(machine.Config{Procs: 2, FaultPlan: plan})
+	p := m.Proc(0)
+	w := m.NewWord(0)
+	var outcomes []bool
+	for i := 0; i < 8; i++ {
+		p.RLL(w)
+		outcomes = append(outcomes, p.RSC(w, uint64(i+1)))
+	}
+	want := []bool{true, true, false, false, false, true, true, true}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("RSC outcomes = %v, want %v", outcomes, want)
+		}
+	}
+	if got := plan.Injected(); got.Spurious != 3 || got.Interference != 0 || got.Stalls != 0 {
+		t.Fatalf("Injected = %+v, want exactly 3 spurious", got)
+	}
+	// The victim's machine stats agree: injected failures are spurious.
+	if s := m.Stats(); s.RSCSpurious != 3 {
+		t.Fatalf("machine spurious = %d, want 3", s.RSCSpurious)
+	}
+}
+
+func TestBurstTargetsOnlyItsProcessor(t *testing.T) {
+	plan := NewBurst(1, 0, 100)
+	m := machine.MustNew(machine.Config{Procs: 2, FaultPlan: plan})
+	p0 := m.Proc(0)
+	w := m.NewWord(0)
+	for i := 0; i < 10; i++ {
+		p0.RLL(w)
+		if !p0.RSC(w, uint64(i)) {
+			t.Fatalf("proc 0's RSC %d failed under a plan targeting proc 1", i)
+		}
+	}
+	if got := plan.Injected().Total(); got != 0 {
+		t.Fatalf("Injected.Total = %d, want 0", got)
+	}
+}
+
+func TestBurstBoundedStormPreservesWaitFreedom(t *testing.T) {
+	// Theorem 3's shape: RVar.SC retries through the whole storm and
+	// completes right after it ends, having consumed exactly len extra
+	// loops.
+	plan := NewBurst(0, 0, 7)
+	met := obs.NewWithStripes(1)
+	plan.SetMetrics(met)
+	m := machine.MustNew(machine.Config{Procs: 1, FaultPlan: plan})
+	v, err := core.NewRVar(m, word.MustLayout(32), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	val, keep := v.LL(p)
+	if val != 5 {
+		t.Fatalf("LL = %d, want 5", val)
+	}
+	if !v.SC(p, keep, 6) {
+		t.Fatal("SC failed despite intact logical state (storm is spurious-only)")
+	}
+	if got := v.Read(p); got != 6 {
+		t.Fatalf("value = %d, want 6", got)
+	}
+	if got := plan.Injected().Spurious; got != 7 {
+		t.Fatalf("injected spurious = %d, want 7", got)
+	}
+	if got := met.Snapshot().Get(obs.CtrFaultInjSpurious); got != 7 {
+		t.Fatalf("fault_inj_spurious counter = %d, want 7", got)
+	}
+}
+
+func TestInterferenceBudgetAndTarget(t *testing.T) {
+	plan := NewInterference(0, 1, 4) // every RSC of proc 0, 4 times
+	m := machine.MustNew(machine.Config{Procs: 2, FaultPlan: plan})
+	p := m.Proc(0)
+	w := m.NewWord(9)
+	fails := 0
+	for i := 0; i < 10; i++ {
+		p.RLL(w)
+		if !p.RSC(w, 9) {
+			fails++
+		}
+	}
+	if fails != 4 {
+		t.Fatalf("interfered RSC failures = %d, want 4 (budget)", fails)
+	}
+	if got := plan.Injected(); got.Interference != 4 || got.Spurious != 0 {
+		t.Fatalf("Injected = %+v, want exactly 4 interference", got)
+	}
+	// Interference is a REAL failure at the machine level.
+	if s := m.Stats(); s.RSCRealFail != 4 || s.RSCSpurious != 0 {
+		t.Fatalf("machine stats = %+v, want 4 real fails and 0 spurious", s)
+	}
+}
+
+func TestInterferenceEveryNth(t *testing.T) {
+	plan := NewInterference(AnyProc, 3, 1000) // every 3rd RSC machine-wide
+	m := machine.MustNew(machine.Config{Procs: 1, FaultPlan: plan})
+	p := m.Proc(0)
+	w := m.NewWord(0)
+	var outcomes []bool
+	for i := 0; i < 9; i++ {
+		p.RLL(w)
+		outcomes = append(outcomes, p.RSC(w, 0))
+	}
+	// RSCs are numbered from 1 inside the plan; every 3rd (3,6,9) is hit.
+	want := []bool{true, true, false, true, true, false, true, true, false}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("RSC outcomes = %v, want %v", outcomes, want)
+		}
+	}
+}
+
+func TestCrashStopsProcessorAndReleaseFrees(t *testing.T) {
+	plan := NewCrash(1, 3)
+	met := obs.NewWithStripes(1)
+	plan.SetMetrics(met)
+	m := machine.MustNew(machine.Config{Procs: 2, FaultPlan: plan})
+	w := m.NewWord(0)
+
+	done := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := m.Proc(1)
+		n := 0
+		for i := 0; i < 10; i++ {
+			p.Load(w) // op index i; blocks at i == 3
+			n++
+		}
+		done <- n
+	}()
+
+	// The crashed processor must wedge before finishing.
+	select {
+	case n := <-done:
+		t.Fatalf("crashed processor finished %d ops, expected to wedge", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if !plan.Crashed() {
+		t.Fatal("Crashed() = false while the processor is wedged")
+	}
+	// The OTHER processor is unaffected.
+	p0 := m.Proc(0)
+	for i := 0; i < 100; i++ {
+		p0.RLL(w)
+		if !p0.RSC(w, uint64(i)) {
+			t.Fatalf("survivor's RSC %d failed", i)
+		}
+	}
+
+	plan.Release()
+	wg.Wait()
+	if n := <-done; n != 10 {
+		t.Fatalf("released processor completed %d ops, want 10", n)
+	}
+	if got := plan.Injected().Stalls; got != 1 {
+		t.Fatalf("stalls = %d, want 1 (one blocked op)", got)
+	}
+	if got := met.Snapshot().Get(obs.CtrFaultInjStall); got != 1 {
+		t.Fatalf("fault_inj_stall counter = %d, want 1", got)
+	}
+	plan.Release() // idempotent
+}
+
+func TestTagPressureDrivesBoundedTagRecycling(t *testing.T) {
+	// Figure 7 over RLL/RSC under machine-wide interference: elevated SC
+	// failure rates churn the tag queue; values must stay exact.
+	plan := NewTagPressure(2, 64)
+	m := machine.MustNew(machine.Config{Procs: 1, FaultPlan: plan})
+	f, err := core.NewRBoundedFamily(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewWithStripes(1)
+	f.SetMetrics(met)
+	v, err := f.NewVar(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count uint64
+	for i := 0; i < 200; i++ {
+		val, keep, err := v.LL(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.SC(p, keep, val+1) {
+			count++
+		}
+	}
+	if got := v.Read(p); got != count {
+		t.Fatalf("value = %d, want %d (count of successful SCs)", got, count)
+	}
+	if got := plan.Injected().Interference; got == 0 {
+		t.Fatal("tag pressure injected nothing")
+	}
+	if got := met.Snapshot().Get(obs.CtrTagRecycle); got == 0 {
+		t.Fatal("no tag recycling under pressure (workload too weak)")
+	}
+}
+
+func TestComposeMergesInjectionsAndStats(t *testing.T) {
+	burst := NewBurst(0, 0, 2)
+	intf := NewInterference(0, 1, 1)
+	plan := Compose(burst, intf)
+	m := machine.MustNew(machine.Config{Procs: 1, FaultPlan: plan})
+	p := m.Proc(0)
+	w := m.NewWord(0)
+	fails := 0
+	for i := 0; i < 6; i++ {
+		p.RLL(w)
+		if !p.RSC(w, uint64(i)) {
+			fails++
+		}
+	}
+	// RSC 1: burst spurious + interference (both injected; spurious wins the
+	// classification only if the reservation survives — interference kills
+	// it, so the machine reports a real failure but both plans count).
+	// RSC 2: burst spurious alone. RSCs 3+: clean.
+	if fails != 2 {
+		t.Fatalf("failures = %d, want 2", fails)
+	}
+	got := plan.Injected()
+	if got.Spurious != 2 || got.Interference != 1 {
+		t.Fatalf("Injected = %+v, want 2 spurious + 1 interference", got)
+	}
+	if !strings.Contains(plan.Name(), "burst") || !strings.Contains(plan.Name(), "interference") {
+		t.Fatalf("Name = %q, want both sub-plan names", plan.Name())
+	}
+}
+
+func TestPlanNames(t *testing.T) {
+	for _, tt := range []struct {
+		plan Plan
+		want string
+	}{
+		{NewBurst(1, 2, 3), "burst(proc=1,skip=2,len=3)"},
+		{NewInterference(AnyProc, 2, 10), "interference(proc=any,every=2,budget=10)"},
+		{NewInterference(3, 1, 5), "interference(proc=3,every=1,budget=5)"},
+		{NewCrash(2, 7), "crash(proc=2,at=7)"},
+		{NewTagPressure(4, 9), "tagpressure(every=4,budget=9)"},
+	} {
+		if got := tt.plan.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"burst negative proc":     func() { NewBurst(-1, 0, 1) },
+		"burst negative skip":     func() { NewBurst(0, -1, 1) },
+		"interference zero every": func() { NewInterference(0, 0, 1) },
+		"interference neg budget": func() { NewInterference(0, 1, -1) },
+		"crash negative proc":     func() { NewCrash(-1, 0) },
+		"crash negative atOp":     func() { NewCrash(0, -1) },
+		"tagpressure zero every":  func() { NewTagPressure(0, 1) },
+		"tagpressure budget neg":  func() { NewTagPressure(1, -1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid constructor did not panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

@@ -1,0 +1,205 @@
+package linearizability
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+)
+
+// This file extends the Wing–Gong checker to long histories via windowed
+// checking. Check is exact but exponential; stress runs record thousands
+// of operations. The classic escape hatch is to cut the history at
+// quiescent points — instants where every earlier operation has returned
+// before any later one is called — because every linearization must order
+// all operations before such a cut ahead of all operations after it.
+// Checking each window independently is therefore sound, PROVIDED the
+// windows are chained correctly: a window generally has several legal
+// linearizations ending in DIFFERENT abstract states, and picking a single
+// witness's final state can wrongly reject the next window. FinalStates
+// computes the full set of reachable final states; CheckWindows threads
+// that set through the cuts, which makes the decomposition exact.
+
+// FinalStates returns every abstract state in which some legal
+// linearization of ops can end, starting from any of the given initial
+// states. An empty result means no initial state admits a linearization.
+// The result is sorted (by Val, then Valid) for determinism. Structural
+// limits are the same as Check's.
+func FinalStates(ops []history.Op, initials []State) ([]State, error) {
+	if len(ops) > MaxOps {
+		return nil, fmt.Errorf("linearizability: history has %d ops, checker supports at most %d", len(ops), MaxOps)
+	}
+	for _, op := range ops {
+		if op.Proc < 0 || op.Proc >= MaxProcs {
+			return nil, fmt.Errorf("linearizability: process id %d out of range [0,%d)", op.Proc, MaxProcs)
+		}
+		if op.Return < op.Call {
+			return nil, fmt.Errorf("linearizability: op %v returns before it is called", op)
+		}
+	}
+	c := &collector{ops: ops, visited: make(map[node]struct{}), finals: make(map[State]struct{})}
+	for _, s := range initials {
+		c.explore(0, s)
+	}
+	out := make([]State, 0, len(c.finals))
+	for s := range c.finals {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Val != out[j].Val {
+			return out[i].Val < out[j].Val
+		}
+		return out[i].Valid < out[j].Valid
+	})
+	return out, nil
+}
+
+// collector is the all-linearizations variant of checker: instead of
+// stopping at the first complete order it records the final state of every
+// one. The (mask, state) memoization stays valid because the reachable
+// final-state set from a node depends only on the node.
+type collector struct {
+	ops     []history.Op
+	visited map[node]struct{}
+	finals  map[State]struct{}
+}
+
+func (c *collector) explore(mask uint64, s State) {
+	if mask == (uint64(1)<<uint(len(c.ops)))-1 {
+		c.finals[s] = struct{}{}
+		return
+	}
+	n := node{mask: mask, state: s}
+	if _, seen := c.visited[n]; seen {
+		return
+	}
+	c.visited[n] = struct{}{}
+
+	minReturn := int64(1<<63 - 1)
+	for i, op := range c.ops {
+		if mask&(1<<uint(i)) == 0 && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+	for i, op := range c.ops {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		if op.Call > minReturn {
+			continue
+		}
+		if next, legal := Step(s, op); legal {
+			c.explore(mask|1<<uint(i), next)
+		}
+	}
+}
+
+// WindowResult reports CheckWindows's verdict.
+type WindowResult struct {
+	// Ok is true iff the whole history is linearizable.
+	Ok bool
+	// Windows is the number of windows the history was cut into.
+	Windows int
+	// FailedWindow, when !Ok, is the index of the first window with no
+	// legal linearization from the states reachable so far; -1 otherwise.
+	FailedWindow int
+	// FinalStates holds the reachable final states of the last window
+	// when Ok — callers chaining several histories can feed them back in
+	// via CheckWindowsFrom.
+	FinalStates []State
+}
+
+// CheckWindows reports whether ops is linearizable starting from initial,
+// decomposing the history at quiescent cuts into windows of at most window
+// operations each. It is exact — equivalent to Check — whenever the
+// decomposition succeeds; it returns an error if some concurrent burst
+// (a stretch with no quiescent cut) exceeds MaxOps, since that burst
+// cannot be windowed.
+func CheckWindows(ops []history.Op, initial State, window int) (WindowResult, error) {
+	return CheckWindowsFrom(ops, []State{initial}, window)
+}
+
+// CheckWindowsFrom is CheckWindows from a set of candidate initial states,
+// accepting if any of them admits a linearization.
+func CheckWindowsFrom(ops []history.Op, initials []State, window int) (WindowResult, error) {
+	if window <= 0 || window > MaxOps {
+		return WindowResult{}, fmt.Errorf("linearizability: window size %d out of range [1,%d]", window, MaxOps)
+	}
+	if len(ops) == 0 {
+		return WindowResult{Ok: true, FailedWindow: -1, FinalStates: append([]State(nil), initials...)}, nil
+	}
+
+	// Operations must be scanned in call order for cut detection; the
+	// checker itself does not care about slice order.
+	sorted := append([]history.Op(nil), ops...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Call < sorted[j].Call })
+
+	// A cut before index i is quiescent iff every op before i returned
+	// before every op from i on was called.
+	maxRet := make([]int64, len(sorted))
+	for i, op := range sorted {
+		maxRet[i] = op.Return
+		if i > 0 && maxRet[i-1] > maxRet[i] {
+			maxRet[i] = maxRet[i-1]
+		}
+	}
+	var cuts []int // segment boundaries, exclusive of 0, inclusive of len
+	for i := 1; i < len(sorted); i++ {
+		if maxRet[i-1] < sorted[i].Call {
+			cuts = append(cuts, i)
+		}
+	}
+	cuts = append(cuts, len(sorted))
+
+	// Greedily merge segments into windows of at most window ops. A lone
+	// segment may exceed the requested window; it is checked whole as long
+	// as it fits the checker's hard limit.
+	states := append([]State(nil), initials...)
+	res := WindowResult{FailedWindow: -1}
+	start, prev := 0, 0
+	flush := func(end int) error {
+		if start == end {
+			return nil
+		}
+		fs, err := FinalStates(sorted[start:end], states)
+		if err != nil {
+			return fmt.Errorf("window %d (ops [%d,%d)): %w", res.Windows, start, end, err)
+		}
+		res.Windows++
+		if len(fs) == 0 {
+			res.FailedWindow = res.Windows - 1
+			return errNotLinearizable
+		}
+		states = fs
+		start = end
+		return nil
+	}
+	for _, cut := range cuts {
+		if cut-start > window && prev > start {
+			// Adding this segment would overflow; close the window at the
+			// previous cut.
+			if err := flush(prev); err != nil {
+				return finish(res, err)
+			}
+		}
+		prev = cut
+	}
+	if err := flush(len(sorted)); err != nil {
+		return finish(res, err)
+	}
+	res.Ok = true
+	res.FinalStates = states
+	return res, nil
+}
+
+// errNotLinearizable is an internal sentinel: the window machinery uses it
+// to distinguish "checked and rejected" from structural errors.
+var errNotLinearizable = fmt.Errorf("not linearizable")
+
+func finish(res WindowResult, err error) (WindowResult, error) {
+	if err == errNotLinearizable {
+		res.Ok = false
+		return res, nil
+	}
+	return WindowResult{}, err
+}

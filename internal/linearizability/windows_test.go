@@ -1,0 +1,174 @@
+package linearizability
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+// seqOp builds a non-overlapping op occupying logical time [2t, 2t+1].
+func seqOp(t int64, proc int, kind history.Kind, arg1, retVal uint64, retBool bool) history.Op {
+	return history.Op{
+		Proc: proc, Kind: kind, Arg1: arg1, RetVal: retVal, RetBool: retBool,
+		Call: 2 * t, Return: 2*t + 1,
+	}
+}
+
+func TestFinalStatesEnumeratesAmbiguity(t *testing.T) {
+	// Two concurrent writes: either order is legal, so both final values
+	// are reachable.
+	ops := []history.Op{
+		{Proc: 0, Kind: history.KindWrite, Arg1: 1, Call: 0, Return: 10},
+		{Proc: 1, Kind: history.KindWrite, Arg1: 2, Call: 0, Return: 10},
+	}
+	fs, err := FinalStates(ops, []State{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []State{{Val: 1}, {Val: 2}}
+	if len(fs) != len(want) || fs[0] != want[0] || fs[1] != want[1] {
+		t.Fatalf("FinalStates = %v, want %v", fs, want)
+	}
+}
+
+func TestFinalStatesEmptyOnIllegalHistory(t *testing.T) {
+	ops := []history.Op{
+		seqOp(0, 0, history.KindWrite, 1, 0, false),
+		seqOp(1, 0, history.KindRead, 0, 7, false), // reads a value never written
+	}
+	fs, err := FinalStates(ops, []State{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("FinalStates = %v, want empty", fs)
+	}
+}
+
+func TestCheckWindowsAgreesWithCheck(t *testing.T) {
+	histories := [][]history.Op{
+		// Linearizable: sequential write/LL/SC/read.
+		{
+			seqOp(0, 0, history.KindWrite, 3, 0, false),
+			seqOp(1, 1, history.KindLL, 0, 3, false),
+			{Proc: 1, Kind: history.KindSC, Arg1: 4, RetBool: true, Call: 4, Return: 5},
+			seqOp(3, 0, history.KindRead, 0, 4, false),
+		},
+		// Not linearizable: SC succeeds with no prior LL.
+		{
+			seqOp(0, 0, history.KindWrite, 3, 0, false),
+			{Proc: 1, Kind: history.KindSC, Arg1: 4, RetBool: true, Call: 2, Return: 3},
+		},
+		// Not linearizable: stale read after a quiescent cut.
+		{
+			seqOp(0, 0, history.KindWrite, 1, 0, false),
+			seqOp(1, 0, history.KindWrite, 2, 0, false),
+			seqOp(2, 1, history.KindRead, 0, 1, false),
+		},
+	}
+	for i, ops := range histories {
+		res, err := Check(ops, State{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, window := range []int{1, 2, 64} {
+			wres, err := CheckWindows(ops, State{}, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wres.Ok != res.Ok {
+				t.Errorf("history %d window %d: CheckWindows=%v Check=%v", i, window, wres.Ok, res.Ok)
+			}
+		}
+	}
+}
+
+func TestCheckWindowsChainsStateSets(t *testing.T) {
+	// Window 1 is ambiguous (concurrent writes of 1 and 2); window 2 is a
+	// read of 1. A naive single-witness chainer that happened to pick the
+	// "2 last" order would wrongly reject; the state-set chain must accept.
+	ops := []history.Op{
+		{Proc: 0, Kind: history.KindWrite, Arg1: 1, Call: 0, Return: 10},
+		{Proc: 1, Kind: history.KindWrite, Arg1: 2, Call: 0, Return: 10},
+		{Proc: 0, Kind: history.KindRead, RetVal: 1, Call: 20, Return: 21},
+	}
+	res, err := CheckWindows(ops, State{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatal("state-set chaining rejected a linearizable history")
+	}
+	if res.Windows != 2 {
+		t.Fatalf("Windows = %d, want 2", res.Windows)
+	}
+	if len(res.FinalStates) != 1 || res.FinalStates[0].Val != 1 {
+		t.Fatalf("FinalStates = %v, want exactly {Val:1}", res.FinalStates)
+	}
+}
+
+func TestCheckWindowsReportsFailedWindow(t *testing.T) {
+	ops := []history.Op{
+		seqOp(0, 0, history.KindWrite, 5, 0, false),
+		seqOp(1, 0, history.KindRead, 0, 5, false),
+		seqOp(2, 0, history.KindRead, 0, 9, false), // impossible
+	}
+	res, err := CheckWindows(ops, State{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok {
+		t.Fatal("accepted a non-linearizable history")
+	}
+	if res.FailedWindow != 2 {
+		t.Fatalf("FailedWindow = %d, want 2", res.FailedWindow)
+	}
+}
+
+func TestCheckWindowsLongHistory(t *testing.T) {
+	// 300 sequential ops — far beyond Check's MaxOps — verified through
+	// windowing: an LL/SC counter incremented by alternating processes.
+	var ops []history.Op
+	val := uint64(0)
+	for i := 0; i < 150; i++ {
+		p := i % 2
+		ops = append(ops,
+			seqOp(int64(2*i), p, history.KindLL, 0, val, false),
+			history.Op{Proc: p, Kind: history.KindSC, Arg1: val + 1, RetBool: true,
+				Call: int64(4*i + 2), Return: int64(4*i + 3)},
+		)
+		val++
+	}
+	res, err := CheckWindows(ops, State{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("rejected a legal 300-op history (failed window %d)", res.FailedWindow)
+	}
+	if res.Windows < 300/16 {
+		t.Fatalf("Windows = %d, expected at least %d", res.Windows, 300/16)
+	}
+	if len(res.FinalStates) != 1 || res.FinalStates[0].Val != 150 {
+		t.Fatalf("FinalStates = %v, want exactly {Val:150, Valid:0}", res.FinalStates)
+	}
+}
+
+func TestCheckWindowsBurstExceedsHardLimit(t *testing.T) {
+	// 65 mutually overlapping ops: no quiescent cut, burst > MaxOps.
+	var ops []history.Op
+	for i := 0; i < MaxOps+1; i++ {
+		ops = append(ops, history.Op{Proc: i % 2, Kind: history.KindWrite, Arg1: 1, Call: 0, Return: 1000})
+	}
+	if _, err := CheckWindows(ops, State{}, 8); err == nil {
+		t.Fatal("expected an error for an unwindowable burst")
+	}
+}
+
+func TestCheckWindowsValidatesWindowSize(t *testing.T) {
+	for _, w := range []int{0, -1, MaxOps + 1} {
+		if _, err := CheckWindows(nil, State{}, w); err == nil {
+			t.Fatalf("window %d accepted", w)
+		}
+	}
+}

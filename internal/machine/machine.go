@@ -40,7 +40,12 @@ type Config struct {
 
 	// SpuriousFailProb is the probability that any given RSC fails even
 	// though its reservation is intact. Zero gives an ideal machine; real
-	// hardware sits near zero but nonzero.
+	// hardware sits near zero but nonzero. The full closed range [0,1] is
+	// accepted: 1.0 is the always-fail adversary, under which no RSC ever
+	// succeeds — useless for running the algorithms to completion (their
+	// termination bounds assume finitely many spurious failures) but a
+	// legitimate extreme for fault-injection experiments that measure
+	// behaviour under unbounded adversity.
 	SpuriousFailProb float64
 
 	// Strict, when set, clears a processor's reservation on any Load,
@@ -66,6 +71,47 @@ type Config struct {
 	// The callback runs on the operating processor's goroutine and must be
 	// safe for concurrent use.
 	Observer func(Event)
+
+	// FaultPlan, when non-nil, is consulted before every shared-memory
+	// operation and may inject adversarial faults: forced spurious RSC
+	// failures, targeted interference writes to the operation's word, and
+	// processor stalls/crashes (BeforeOp blocking). internal/fault provides
+	// deterministic, seed-free plans (burst storms, reservation stealing,
+	// crash-at-step, tag pressure). The plan runs after Scheduler.Step, on
+	// the operating processor's goroutine, and must be safe for concurrent
+	// use by distinct processors.
+	FaultPlan FaultPlan
+}
+
+// FaultInjection describes the faults a FaultPlan injects at one
+// operation. The zero value injects nothing.
+type FaultInjection struct {
+	// SpuriousRSC forces the operation — if it is an RSC holding an intact
+	// reservation — to fail spuriously, exactly as Proc.FailNext would.
+	// Ignored for other operation kinds.
+	SpuriousRSC bool
+
+	// Interfere silently rewrites the operation's target word (same value,
+	// fresh write) immediately before the operation executes. Like any
+	// write, the rewrite invalidates every reservation on the word, so an
+	// interfered RSC fails for real — the "targeted reservation stealing"
+	// adversary. The rewrite is the adversary's action, not the
+	// processor's: it is not counted in Stats and emits no Event.
+	Interfere bool
+}
+
+// FaultPlan decides, operation by operation, what faults to inject into a
+// simulated machine. Implementations must be deterministic given the
+// sequence of BeforeOp calls per processor so that runs replay under a
+// serialized scheduler.
+type FaultPlan interface {
+	// BeforeOp is called on processor proc's goroutine before the
+	// operation executes (after any Scheduler.Step), with the operation
+	// kind and the target word's id. It may block to model a stalled or
+	// crashed processor; when it blocks under a serializing scheduler the
+	// whole machine stops, so crash plans are meant for free-running
+	// (Scheduler == nil) executions.
+	BeforeOp(proc int, op OpKind, word uint64) FaultInjection
 }
 
 // OpKind identifies a machine operation in an Event.
@@ -149,8 +195,8 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("machine: Procs must be at least 1, got %d", cfg.Procs)
 	}
-	if cfg.SpuriousFailProb < 0 || cfg.SpuriousFailProb >= 1 {
-		return nil, fmt.Errorf("machine: SpuriousFailProb must be in [0,1), got %v", cfg.SpuriousFailProb)
+	if cfg.SpuriousFailProb < 0 || cfg.SpuriousFailProb > 1 {
+		return nil, fmt.Errorf("machine: SpuriousFailProb must be in [0,1], got %v", cfg.SpuriousFailProb)
 	}
 	m := &Machine{cfg: cfg, procs: make([]*Proc, cfg.Procs)}
 	for i := range m.procs {
@@ -260,6 +306,7 @@ func (p *Proc) FailNext(n int) { p.failNext += n }
 // an intervening memory access may on real hardware.
 func (p *Proc) Load(w *Word) uint64 {
 	p.step()
+	p.fault(OpLoad, w)
 	p.stats.Loads.Add(1)
 	if p.m.cfg.Strict {
 		p.clearReservation()
@@ -275,6 +322,7 @@ func (p *Proc) Load(w *Word) uint64 {
 // mode the writer's own reservation is cleared too.
 func (p *Proc) Store(w *Word, v uint64) {
 	p.step()
+	p.fault(OpStore, w)
 	p.stats.Stores.Add(1)
 	if p.m.cfg.Strict {
 		p.clearReservation()
@@ -289,6 +337,7 @@ func (p *Proc) Store(w *Word, v uint64) {
 // swap, in which case some other operation succeeded.
 func (p *Proc) CAS(w *Word, old, new uint64) bool {
 	p.step()
+	p.fault(OpCAS, w)
 	p.stats.CASOps.Add(1)
 	if p.m.cfg.Strict {
 		p.clearReservation()
@@ -311,6 +360,7 @@ func (p *Proc) CAS(w *Word, old, new uint64) bool {
 // reservation (one LLBit per processor).
 func (p *Proc) RLL(w *Word) uint64 {
 	p.step()
+	p.fault(OpRLL, w)
 	p.stats.RLLs.Add(1)
 	c := w.cell.Load()
 	p.resWord = w
@@ -326,6 +376,7 @@ func (p *Proc) RLL(w *Word) uint64 {
 // check (pointer CAS on the cell).
 func (p *Proc) RSC(w *Word, v uint64) bool {
 	p.step()
+	forced := p.fault(OpRSC, w)
 	resWord, resCell := p.resWord, p.resCell
 	p.clearReservation()
 	if resWord != w || resCell == nil {
@@ -337,6 +388,11 @@ func (p *Proc) RSC(w *Word, v uint64) bool {
 	}
 	if p.failNext > 0 {
 		p.failNext--
+		p.stats.RSCSpurious.Add(1)
+		p.emit(OpRSC, w, v, 0, false, true)
+		return false
+	}
+	if forced {
 		p.stats.RSCSpurious.Add(1)
 		p.emit(OpRSC, w, v, 0, false, true)
 		return false
@@ -386,6 +442,23 @@ func (p *Proc) step() {
 	if s := p.m.cfg.Scheduler; s != nil {
 		s.Step(p.id)
 	}
+}
+
+// fault consults the configured fault plan, if any, before a shared-memory
+// operation, applying any interference write and reporting whether a
+// spurious RSC failure was demanded.
+func (p *Proc) fault(op OpKind, w *Word) (spuriousRSC bool) {
+	fp := p.m.cfg.FaultPlan
+	if fp == nil {
+		return false
+	}
+	inj := fp.BeforeOp(p.id, op, w.id)
+	if inj.Interfere {
+		// Silent rewrite: same value, fresh cell. Every reservation on w is
+		// invalidated (cache-line invalidation does not inspect values).
+		w.cell.Store(&cell{val: w.cell.Load().val})
+	}
+	return inj.SpuriousRSC
 }
 
 func (p *Proc) clearReservation() {

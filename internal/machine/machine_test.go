@@ -24,9 +24,10 @@ func TestNewValidation(t *testing.T) {
 		{"single proc", Config{Procs: 1}, false},
 		{"zero procs", Config{Procs: 0}, true},
 		{"negative procs", Config{Procs: -1}, true},
-		{"prob too high", Config{Procs: 1, SpuriousFailProb: 1.0}, true},
+		{"prob too high", Config{Procs: 1, SpuriousFailProb: 1.1}, true},
 		{"prob negative", Config{Procs: 1, SpuriousFailProb: -0.1}, true},
 		{"prob ok", Config{Procs: 1, SpuriousFailProb: 0.5}, false},
+		{"prob one (always-fail adversary)", Config{Procs: 1, SpuriousFailProb: 1.0}, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -399,6 +400,182 @@ func TestProcIdentity(t *testing.T) {
 		}
 		if m.Proc(i) != p {
 			t.Errorf("Proc(%d) not stable", i)
+		}
+	}
+}
+
+func TestSpuriousFailProbOneAlwaysFails(t *testing.T) {
+	// 1.0 is the always-fail adversary: every RSC with an intact
+	// reservation fails spuriously, forever.
+	m := newTestMachine(t, Config{Procs: 1, SpuriousFailProb: 1.0, Seed: 9})
+	p := m.Proc(0)
+	w := m.NewWord(3)
+	for i := 0; i < 50; i++ {
+		p.RLL(w)
+		if p.RSC(w, 4) {
+			t.Fatalf("RSC %d succeeded under SpuriousFailProb=1.0", i)
+		}
+	}
+	if s := m.Stats(); s.RSCSpurious != 50 || s.RSCSuccess != 0 {
+		t.Fatalf("stats = %+v, want 50 spurious and 0 successes", s)
+	}
+	if got := p.Load(w); got != 3 {
+		t.Fatalf("value = %d, want 3 (no RSC may have landed)", got)
+	}
+}
+
+// recordingPlan is a scriptable FaultPlan: it logs every BeforeOp call and
+// replies from a per-(proc,op-index) script.
+type recordingPlan struct {
+	mu    sync.Mutex
+	calls []faultCall
+	reply func(call faultCall) FaultInjection
+}
+
+type faultCall struct {
+	N    int // per-proc op index (0-based)
+	Proc int
+	Op   OpKind
+	Word uint64
+}
+
+func (r *recordingPlan) BeforeOp(proc int, op OpKind, word uint64) FaultInjection {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.calls {
+		if c.Proc == proc {
+			n++
+		}
+	}
+	call := faultCall{N: n, Proc: proc, Op: op, Word: word}
+	r.calls = append(r.calls, call)
+	if r.reply == nil {
+		return FaultInjection{}
+	}
+	return r.reply(call)
+}
+
+func TestFaultPlanSeesEveryOperation(t *testing.T) {
+	plan := &recordingPlan{}
+	m := newTestMachine(t, Config{Procs: 2, FaultPlan: plan})
+	w := m.NewWord(0)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	p0.Load(w)
+	p0.Store(w, 1)
+	p1.RLL(w)
+	p1.RSC(w, 2)
+	p0.CAS(w, 2, 3)
+	want := []faultCall{
+		{0, 0, OpLoad, w.ID()},
+		{1, 0, OpStore, w.ID()},
+		{0, 1, OpRLL, w.ID()},
+		{1, 1, OpRSC, w.ID()},
+		{2, 0, OpCAS, w.ID()},
+	}
+	if len(plan.calls) != len(want) {
+		t.Fatalf("plan saw %d calls, want %d: %+v", len(plan.calls), len(want), plan.calls)
+	}
+	for i, c := range plan.calls {
+		if c != want[i] {
+			t.Errorf("call %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+func TestFaultPlanForcedSpuriousRSC(t *testing.T) {
+	// Force the first two RSCs of proc 0 to fail spuriously; the third
+	// proceeds normally.
+	plan := &recordingPlan{reply: func(c faultCall) FaultInjection {
+		return FaultInjection{SpuriousRSC: c.Op == OpRSC && c.N < 4}
+	}}
+	m := newTestMachine(t, Config{Procs: 1, FaultPlan: plan})
+	p := m.Proc(0)
+	w := m.NewWord(0)
+	fails := 0
+	for {
+		p.RLL(w)
+		if p.RSC(w, 7) {
+			break
+		}
+		fails++
+	}
+	if fails != 2 { // ops 0..3 are RLL,RSC,RLL,RSC; op 5 is the passing RSC
+		t.Fatalf("forced spurious failures = %d, want 2", fails)
+	}
+	s := m.Stats()
+	if s.RSCSpurious != 2 || s.RSCSuccess != 1 || s.RSCRealFail != 0 {
+		t.Fatalf("stats = %+v, want 2 spurious / 1 success / 0 real", s)
+	}
+	if got := p.Load(w); got != 7 {
+		t.Fatalf("value = %d, want 7", got)
+	}
+}
+
+func TestFaultPlanSpuriousIgnoredForNonRSC(t *testing.T) {
+	plan := &recordingPlan{reply: func(c faultCall) FaultInjection {
+		return FaultInjection{SpuriousRSC: true} // demanded everywhere
+	}}
+	m := newTestMachine(t, Config{Procs: 1, FaultPlan: plan})
+	p := m.Proc(0)
+	w := m.NewWord(5)
+	if got := p.Load(w); got != 5 {
+		t.Fatalf("Load = %d, want 5 (SpuriousRSC must not affect loads)", got)
+	}
+	p.Store(w, 6)
+	if !p.CAS(w, 6, 8) {
+		t.Fatal("CAS failed (SpuriousRSC must not affect CAS)")
+	}
+}
+
+func TestFaultPlanInterferenceStealsReservation(t *testing.T) {
+	// Interfere exactly at proc 0's RSC: the silent rewrite invalidates the
+	// reservation, so the RSC fails for REAL (not spuriously) and the word
+	// keeps its value.
+	steals := 0
+	plan := &recordingPlan{reply: func(c faultCall) FaultInjection {
+		if c.Op == OpRSC && steals < 3 {
+			steals++
+			return FaultInjection{Interfere: true}
+		}
+		return FaultInjection{}
+	}}
+	m := newTestMachine(t, Config{Procs: 1, FaultPlan: plan})
+	p := m.Proc(0)
+	w := m.NewWord(11)
+	fails := 0
+	for {
+		if got := p.RLL(w); got != 11 {
+			t.Fatalf("RLL = %d, want 11 (interference rewrites silently)", got)
+		}
+		if p.RSC(w, 12) {
+			break
+		}
+		fails++
+	}
+	if fails != 3 {
+		t.Fatalf("interfered failures = %d, want 3", fails)
+	}
+	s := m.Stats()
+	if s.RSCRealFail != 3 || s.RSCSpurious != 0 || s.RSCSuccess != 1 {
+		t.Fatalf("stats = %+v, want 3 real / 0 spurious / 1 success", s)
+	}
+	if got := p.Load(w); got != 12 {
+		t.Fatalf("value = %d, want 12", got)
+	}
+}
+
+func TestFaultPlanInterferenceKeepsValue(t *testing.T) {
+	// The interference write is silent: observers of the VALUE never see it
+	// change, only reservations are lost.
+	plan := &recordingPlan{reply: func(c faultCall) FaultInjection {
+		return FaultInjection{Interfere: true}
+	}}
+	m := newTestMachine(t, Config{Procs: 2, FaultPlan: plan})
+	w := m.NewWord(99)
+	for i := 0; i < 10; i++ {
+		if got := m.Proc(i % 2).Load(w); got != 99 {
+			t.Fatalf("Load %d = %d, want 99", i, got)
 		}
 	}
 }

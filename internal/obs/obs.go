@@ -96,6 +96,16 @@ const (
 	CtrTxAbort
 	CtrTxHelp
 
+	// Injected-fault counters, fed by the internal/fault plans: forced
+	// spurious RSC failures, targeted interference writes, and processor
+	// stalls/crashes. They count the adversary's actions, so a fault run's
+	// JSON record shows exactly how much adversity the algorithms absorbed
+	// (compare fault_inj_spurious with sc_retry, and fault_inj_interference
+	// with sc_fail_interference).
+	CtrFaultInjSpurious
+	CtrFaultInjInterference
+	CtrFaultInjStall
+
 	// NumCounters is the size of the taxonomy; Snapshot is indexed by
 	// Counter in [0, NumCounters).
 	NumCounters
@@ -105,30 +115,33 @@ const (
 // JSON output. Renaming one is a schema break; add new counters at the end
 // of the taxonomy instead.
 var counterNames = [NumCounters]string{
-	CtrLL:                  "ll",
-	CtrVL:                  "vl",
-	CtrSC:                  "sc",
-	CtrSCFailInterference:  "sc_fail_interference",
-	CtrSCFailSpurious:      "sc_fail_spurious",
-	CtrSCRetry:             "sc_retry",
-	CtrRead:                "read",
-	CtrCL:                  "cl",
-	CtrCASAttempt:          "cas_attempt",
-	CtrCASRetry:            "cas_retry",
-	CtrTagRecycle:          "tag_recycle",
-	CtrCopyWords:           "copy_words",
-	CtrCopyFixes:           "copy_fixes",
-	CtrRLL:                 "rll",
-	CtrRSC:                 "rsc",
-	CtrRSCFailInterference: "rsc_fail_interference",
-	CtrRSCFailSpurious:     "rsc_fail_spurious",
-	CtrMachLoad:            "mach_load",
-	CtrMachStore:           "mach_store",
-	CtrMachCAS:             "mach_cas",
-	CtrTxCommit:            "tx_commit",
-	CtrTxMismatch:          "tx_mismatch",
-	CtrTxAbort:             "tx_abort",
-	CtrTxHelp:              "tx_help",
+	CtrLL:                   "ll",
+	CtrVL:                   "vl",
+	CtrSC:                   "sc",
+	CtrSCFailInterference:   "sc_fail_interference",
+	CtrSCFailSpurious:       "sc_fail_spurious",
+	CtrSCRetry:              "sc_retry",
+	CtrRead:                 "read",
+	CtrCL:                   "cl",
+	CtrCASAttempt:           "cas_attempt",
+	CtrCASRetry:             "cas_retry",
+	CtrTagRecycle:           "tag_recycle",
+	CtrCopyWords:            "copy_words",
+	CtrCopyFixes:            "copy_fixes",
+	CtrRLL:                  "rll",
+	CtrRSC:                  "rsc",
+	CtrRSCFailInterference:  "rsc_fail_interference",
+	CtrRSCFailSpurious:      "rsc_fail_spurious",
+	CtrMachLoad:             "mach_load",
+	CtrMachStore:            "mach_store",
+	CtrMachCAS:              "mach_cas",
+	CtrTxCommit:             "tx_commit",
+	CtrTxMismatch:           "tx_mismatch",
+	CtrTxAbort:              "tx_abort",
+	CtrTxHelp:               "tx_help",
+	CtrFaultInjSpurious:     "fault_inj_spurious",
+	CtrFaultInjInterference: "fault_inj_interference",
+	CtrFaultInjStall:        "fault_inj_stall",
 }
 
 // String returns the counter's stable snake_case name.

@@ -1,0 +1,378 @@
+package stress
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+// Register is the uniform view the stress driver takes of one figure
+// implementation: a single machine-backed shared variable with per-process
+// handles, initialized to 0. Method index p identifies the processor; each
+// index may be driven by at most one goroutine at a time.
+type Register interface {
+	Name() string
+	// MaxVal is the largest value the driver may store, chosen small enough
+	// for every figure's data field.
+	MaxVal() uint64
+	Read(p int) uint64
+}
+
+// LLSC is the interface of the LL/VL/SC-shaped figures (4-7). The adapter
+// tracks the current reservation token ("keep") per processor.
+type LLSC interface {
+	Register
+	// LL loads-linked and retains the keep for p.
+	LL(p int) uint64
+	// VL validates p's outstanding reservation. ok is false when p has no
+	// outstanding reservation to validate — nothing was invoked and the
+	// driver must pick another operation. (Figure 7's bounded tags make a
+	// stale keep a protocol violation, so the gate is uniform.)
+	VL(p int) (res, ok bool)
+	// SC store-conditionals against p's outstanding reservation, consuming
+	// it. Calling SC without an outstanding reservation is a driver bug.
+	SC(p int, v uint64) bool
+	// Abort abandons p's outstanding reservation without an SC — via CL
+	// where the figure has it (Figure 7), by dropping the keep otherwise.
+	// Reports false if there was nothing to abort.
+	Abort(p int) bool
+}
+
+// CASer is the interface of the Read/CAS-shaped Figure 3.
+type CASer interface {
+	Register
+	CAS(p int, old, new uint64) bool
+}
+
+// valCap bounds driver-generated values: small enough for every figure's
+// data field and for readable failure output.
+const valCap = 255
+
+// RegisterSpec names one figure implementation and knows how to build it
+// on a fresh machine.
+type RegisterSpec struct {
+	Name string
+	New  func(m *machine.Machine, met *obs.Metrics) (Register, error)
+}
+
+// DefaultRegisters returns the five figure implementations, all realized
+// over the simulated machine so fault plans reach them:
+//
+//	fig3  CAS from RLL/RSC (CASVar)
+//	fig4  LL/SC from CAS — the CAS being Figure 3's (baseline.Composed)
+//	fig5  LL/SC from RLL/RSC with one tag (RVar)
+//	fig6  W-word LL/SC, W=2, with helping (RLargeFamily)
+//	fig7  bounded-tag LL/VL/CL/SC, k=2 (RBoundedFamily)
+func DefaultRegisters() []RegisterSpec {
+	return []RegisterSpec{
+		{"fig3", newFig3},
+		{"fig4", newFig4},
+		{"fig5", newFig5},
+		{"fig6", newFig6},
+		{"fig7", newFig7},
+	}
+}
+
+// procHandles resolves the machine's per-processor handles once.
+func procHandles(m *machine.Machine) []*machine.Proc {
+	ps := make([]*machine.Proc, m.NumProcs())
+	for i := range ps {
+		ps[i] = m.Proc(i)
+	}
+	return ps
+}
+
+// --- Figure 3: CAS from RLL/RSC ---
+
+type fig3 struct {
+	v  *core.CASVar
+	ps []*machine.Proc
+}
+
+func newFig3(m *machine.Machine, met *obs.Metrics) (Register, error) {
+	v, err := core.NewCASVar(m, word.MustLayout(16), 0)
+	if err != nil {
+		return nil, err
+	}
+	v.SetMetrics(met)
+	return &fig3{v: v, ps: procHandles(m)}, nil
+}
+
+func (r *fig3) Name() string                    { return "fig3" }
+func (r *fig3) MaxVal() uint64                  { return valCap }
+func (r *fig3) Read(p int) uint64               { return r.v.Read(r.ps[p]) }
+func (r *fig3) CAS(p int, old, new uint64) bool { return r.v.CompareAndSwap(r.ps[p], old, new) }
+
+// --- Figure 4: LL/SC from CAS, machine-backed (Composed) ---
+
+type fig4 struct {
+	v     *baseline.Composed
+	ps    []*machine.Proc
+	keeps []baseline.ComposedKeep
+	has   []bool
+}
+
+func newFig4(m *machine.Machine, met *obs.Metrics) (Register, error) {
+	v, err := baseline.NewComposed(m, 24, 24, 0)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumProcs()
+	return &fig4{v: v, ps: procHandles(m), keeps: make([]baseline.ComposedKeep, n), has: make([]bool, n)}, nil
+}
+
+func (r *fig4) Name() string      { return "fig4" }
+func (r *fig4) MaxVal() uint64    { return valCap }
+func (r *fig4) Read(p int) uint64 { return r.v.Read(r.ps[p]) }
+
+func (r *fig4) LL(p int) uint64 {
+	v, keep := r.v.LL(r.ps[p])
+	r.keeps[p], r.has[p] = keep, true
+	return v
+}
+
+func (r *fig4) VL(p int) (bool, bool) {
+	if !r.has[p] {
+		return false, false
+	}
+	return r.v.VL(r.ps[p], r.keeps[p]), true
+}
+
+func (r *fig4) SC(p int, v uint64) bool {
+	if !r.has[p] {
+		panic("stress: fig4 SC without outstanding LL")
+	}
+	r.has[p] = false
+	return r.v.SC(r.ps[p], r.keeps[p], v)
+}
+
+func (r *fig4) Abort(p int) bool {
+	ok := r.has[p]
+	r.has[p] = false
+	return ok
+}
+
+// --- Figure 5: LL/SC from RLL/RSC ---
+
+type fig5 struct {
+	v     *core.RVar
+	ps    []*machine.Proc
+	keeps []core.Keep
+	has   []bool
+}
+
+func newFig5(m *machine.Machine, met *obs.Metrics) (Register, error) {
+	v, err := core.NewRVar(m, word.MustLayout(32), 0)
+	if err != nil {
+		return nil, err
+	}
+	v.SetMetrics(met)
+	n := m.NumProcs()
+	return &fig5{v: v, ps: procHandles(m), keeps: make([]core.Keep, n), has: make([]bool, n)}, nil
+}
+
+func (r *fig5) Name() string      { return "fig5" }
+func (r *fig5) MaxVal() uint64    { return valCap }
+func (r *fig5) Read(p int) uint64 { return r.v.Read(r.ps[p]) }
+
+func (r *fig5) LL(p int) uint64 {
+	v, keep := r.v.LL(r.ps[p])
+	r.keeps[p], r.has[p] = keep, true
+	return v
+}
+
+func (r *fig5) VL(p int) (bool, bool) {
+	if !r.has[p] {
+		return false, false
+	}
+	return r.v.VL(r.ps[p], r.keeps[p]), true
+}
+
+func (r *fig5) SC(p int, v uint64) bool {
+	if !r.has[p] {
+		panic("stress: fig5 SC without outstanding LL")
+	}
+	r.has[p] = false
+	return r.v.SC(r.ps[p], r.keeps[p], v)
+}
+
+func (r *fig5) Abort(p int) bool {
+	ok := r.has[p]
+	r.has[p] = false
+	return ok
+}
+
+// --- Figure 6: W-word LL/SC with helping, W=2 ---
+
+// fig6 stores each logical value v as the W-vector [v, v]. Any torn read
+// would surface as unequal halves, which the adapter treats as fatal — the
+// whole point of Figure 6 is that snapshots are consistent.
+type fig6 struct {
+	v     *core.RLargeVar
+	ps    []*machine.Proc
+	keeps []core.LKeep
+	has   []bool
+	bufs  [][]uint64 // per-proc WLL/Read destination
+	scs   [][]uint64 // per-proc SC source
+}
+
+func newFig6(m *machine.Machine, met *obs.Metrics) (Register, error) {
+	f, err := core.NewRLargeFamily(m, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	f.SetMetrics(met)
+	v, err := f.NewVar([]uint64{0, 0})
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumProcs()
+	r := &fig6{v: v, ps: procHandles(m), keeps: make([]core.LKeep, n), has: make([]bool, n),
+		bufs: make([][]uint64, n), scs: make([][]uint64, n)}
+	for i := 0; i < n; i++ {
+		r.bufs[i] = make([]uint64, 2)
+		r.scs[i] = make([]uint64, 2)
+	}
+	return r, nil
+}
+
+func (r *fig6) Name() string   { return "fig6" }
+func (r *fig6) MaxVal() uint64 { return valCap }
+
+func (r *fig6) checkTorn(p int, buf []uint64) uint64 {
+	if buf[0] != buf[1] {
+		panic(fmt.Sprintf("stress: fig6 torn read on proc %d: segments [%d %d]", p, buf[0], buf[1]))
+	}
+	return buf[0]
+}
+
+func (r *fig6) Read(p int) uint64 {
+	r.v.Read(r.ps[p], r.bufs[p])
+	return r.checkTorn(p, r.bufs[p])
+}
+
+// LL retries the weak WLL until it returns a consistent value; failed
+// attempts are internal (they make no reservation the driver could use)
+// and stay unrecorded.
+func (r *fig6) LL(p int) uint64 {
+	for {
+		keep, res := r.v.WLL(r.ps[p], r.bufs[p])
+		if res != core.Succ {
+			continue
+		}
+		r.keeps[p], r.has[p] = keep, true
+		return r.checkTorn(p, r.bufs[p])
+	}
+}
+
+func (r *fig6) VL(p int) (bool, bool) {
+	if !r.has[p] {
+		return false, false
+	}
+	return r.v.VL(r.ps[p], r.keeps[p]), true
+}
+
+func (r *fig6) SC(p int, v uint64) bool {
+	if !r.has[p] {
+		panic("stress: fig6 SC without outstanding WLL")
+	}
+	r.has[p] = false
+	r.scs[p][0], r.scs[p][1] = v, v
+	return r.v.SC(r.ps[p], r.keeps[p], r.scs[p])
+}
+
+func (r *fig6) Abort(p int) bool {
+	ok := r.has[p]
+	r.has[p] = false
+	return ok
+}
+
+// --- Figure 7: bounded tags, k=2 ---
+
+type fig7 struct {
+	v     *core.RBoundedVar
+	ps    []*core.RBoundedProc
+	keeps []core.BKeep
+	has   []bool
+}
+
+func newFig7(m *machine.Machine, met *obs.Metrics) (Register, error) {
+	f, err := core.NewRBoundedFamily(m, 2)
+	if err != nil {
+		return nil, err
+	}
+	f.SetMetrics(met)
+	v, err := f.NewVar(0)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumProcs()
+	r := &fig7{v: v, keeps: make([]core.BKeep, n), has: make([]bool, n)}
+	r.ps = make([]*core.RBoundedProc, n)
+	for i := range r.ps {
+		h, err := f.Proc(i)
+		if err != nil {
+			return nil, err
+		}
+		r.ps[i] = h
+	}
+	return r, nil
+}
+
+func (r *fig7) Name() string      { return "fig7" }
+func (r *fig7) MaxVal() uint64    { return valCap }
+func (r *fig7) Read(p int) uint64 { return r.v.Read(r.ps[p]) }
+
+// LL enforces the Figure 7 discipline of at most one outstanding sequence
+// per driver: an abandoned reservation is CLed (returning its tag) before
+// the new LL draws one.
+func (r *fig7) LL(p int) uint64 {
+	if r.has[p] {
+		r.v.CL(r.ps[p], r.keeps[p])
+		r.has[p] = false
+	}
+	v, keep, err := r.v.LL(r.ps[p])
+	if err != nil {
+		panic(fmt.Sprintf("stress: fig7 LL on proc %d: %v", p, err))
+	}
+	r.keeps[p], r.has[p] = keep, true
+	return v
+}
+
+func (r *fig7) VL(p int) (bool, bool) {
+	if !r.has[p] {
+		return false, false
+	}
+	return r.v.VL(r.ps[p], r.keeps[p]), true
+}
+
+func (r *fig7) SC(p int, v uint64) bool {
+	if !r.has[p] {
+		panic("stress: fig7 SC without outstanding LL")
+	}
+	r.has[p] = false
+	return r.v.SC(r.ps[p], r.keeps[p], v)
+}
+
+// Abort is the CL-then-never-SC path: the tag goes back to p's queue and
+// the reservation is dead.
+func (r *fig7) Abort(p int) bool {
+	if !r.has[p] {
+		return false
+	}
+	r.v.CL(r.ps[p], r.keeps[p])
+	r.has[p] = false
+	return true
+}
+
+var (
+	_ CASer = (*fig3)(nil)
+	_ LLSC  = (*fig4)(nil)
+	_ LLSC  = (*fig5)(nil)
+	_ LLSC  = (*fig6)(nil)
+	_ LLSC  = (*fig7)(nil)
+)

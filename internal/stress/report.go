@@ -1,0 +1,61 @@
+package stress
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ReportSchema identifies the stress report JSON format. Bump only on
+// incompatible changes; additive fields keep the version.
+const ReportSchema = "llsc-stress/v1"
+
+// Report is the JSON-serializable outcome of a full stress matrix, the
+// artifact CI uploads from the stress-smoke job.
+type Report struct {
+	Schema     string       `json:"schema"`
+	Seed       int64        `json:"seed"`
+	Procs      int          `json:"procs"`
+	Rounds     int          `json:"rounds"`
+	OpsPerProc int          `json:"ops_per_proc"`
+	Cells      []CellResult `json:"cells"`
+}
+
+// Violations returns the cells whose histories failed linearizability.
+func (r *Report) Violations() []CellResult {
+	var out []CellResult
+	for _, c := range r.Cells {
+		if !c.Ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WriteFile writes the report as indented JSON, atomically (temp file +
+// rename), so a half-written artifact is never observed.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("stress: marshaling report: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".stress-*.json")
+	if err != nil {
+		return fmt.Errorf("stress: writing report: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("stress: writing report: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("stress: writing report: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("stress: writing report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+// Package stress is the adversarial linearizability harness: it drives
+// each of the paper's five figure implementations (Figures 3-7), all
+// realized over the simulated machine, under a matrix of fault plans from
+// internal/fault — no faults, spurious-failure bursts, targeted
+// reservation interference, a processor crash, and bounded-tag pressure —
+// records every operation with internal/history, and checks the recorded
+// histories against the Figure 2 register specification with
+// internal/linearizability.
+//
+// Two properties are asserted, matching the paper's claims:
+//
+//   - Safety: every history is linearizable under every plan. Faults may
+//     slow operations down (extra loops, Theorems 1-5) but never corrupt
+//     them.
+//   - Progress: when a processor crashes mid-operation, the survivors
+//     still complete their full workload (the implementations are
+//     non-blocking), which the lock-based baseline provably cannot do
+//     (footnote 1) — that contrast is asserted by this package's tests.
+//
+// Histories are structured as rounds separated by full barriers, so round
+// boundaries are quiescent cuts and long runs are checked exactly via
+// linearizability.CheckWindowsFrom. Crash runs cannot barrier (the victim
+// never arrives), so they use a single bounded burst and handle the
+// victim's in-flight operation as pending: the history is accepted if it
+// linearizes either without the pending operation or with it completed
+// successfully at some point after its invocation.
+package stress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/history"
+	"repro/internal/linearizability"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Config parametrizes one stress run (shared by every cell of a matrix).
+type Config struct {
+	// Procs is the number of processors driving the register.
+	Procs int
+	// Rounds is the number of barrier-separated rounds (quiescent windows).
+	Rounds int
+	// OpsPerProc is the operation target per processor per round. A round
+	// records at most Procs*(OpsPerProc+2) operations, which must fit the
+	// checker's window limit.
+	OpsPerProc int
+	// Seed makes the drivers' operation mix deterministic. Interleaving on
+	// a free-running machine is still up to the Go scheduler; the seed
+	// fixes what each processor attempts, not when.
+	Seed int64
+	// Timeout bounds how long a crash cell waits for the survivors.
+	// Defaults to 10s.
+	Timeout time.Duration
+}
+
+func (cfg Config) validate() error {
+	if cfg.Procs < 2 {
+		return fmt.Errorf("stress: Procs must be at least 2, got %d", cfg.Procs)
+	}
+	if cfg.Rounds < 1 || cfg.OpsPerProc < 1 {
+		return fmt.Errorf("stress: Rounds and OpsPerProc must be positive, got %d and %d", cfg.Rounds, cfg.OpsPerProc)
+	}
+	if w := cfg.window(); w > linearizability.MaxOps {
+		return fmt.Errorf("stress: a round may record %d ops, checker windows cap at %d (reduce Procs or OpsPerProc)",
+			w, linearizability.MaxOps)
+	}
+	return nil
+}
+
+// window is the worst-case operation count of one round: each driver
+// iteration records at most 3 ops, so a proc overshoots its target by at
+// most 2.
+func (cfg Config) window() int { return cfg.Procs * (cfg.OpsPerProc + 2) }
+
+func (cfg Config) timeout() time.Duration {
+	if cfg.Timeout > 0 {
+		return cfg.Timeout
+	}
+	return 10 * time.Second
+}
+
+// PlanSpec names one fault plan and knows how to build a fresh instance
+// for a cell. New may return nil for the no-fault control cell.
+type PlanSpec struct {
+	Name string
+	New  func(cfg Config) fault.Plan
+}
+
+// DefaultPlans returns the standard adversary matrix:
+//
+//	none          control, no injected faults
+//	burst         every RSC of processor 0 fails spuriously for 50 attempts
+//	interference  every 3rd RSC machine-wide draws a reservation-stealing
+//	              write, 400-failure budget
+//	crash         the highest-numbered processor stops dead at its 12th
+//	              machine operation — mid-critical-sequence
+//	tagpressure   interference tuned hot (every 2nd RSC) to churn
+//	              Figure 7's bounded tag space
+func DefaultPlans() []PlanSpec {
+	return []PlanSpec{
+		{"none", func(Config) fault.Plan { return nil }},
+		{"burst", func(Config) fault.Plan { return fault.NewBurst(0, 0, 50) }},
+		{"interference", func(Config) fault.Plan { return fault.NewInterference(fault.AnyProc, 3, 400) }},
+		{"crash", func(cfg Config) fault.Plan { return fault.NewCrash(cfg.Procs-1, 12) }},
+		{"tagpressure", func(Config) fault.Plan { return fault.NewTagPressure(2, 400) }},
+	}
+}
+
+// CellResult is the outcome of one (register, plan) cell.
+type CellResult struct {
+	Register  string `json:"register"`
+	Plan      string `json:"plan"`
+	Ok        bool   `json:"ok"`
+	Violation string `json:"violation,omitempty"`
+	// Ops counts completed recorded operations; Pending counts in-flight
+	// operations of a crashed processor (0 or 1).
+	Ops     int `json:"ops"`
+	Pending int `json:"pending,omitempty"`
+	// Windows is how many quiescent windows the checker cut the history
+	// into (0 for crash cells, which are checked as one burst).
+	Windows int `json:"windows,omitempty"`
+	// Crashed reports that the plan wedged its victim as intended.
+	Crashed bool `json:"crashed,omitempty"`
+	// CompletedOps counts completed operations per processor — the crash
+	// cells' progress evidence.
+	CompletedOps []int `json:"completed_ops"`
+	// Counters is the cell's full observability snapshot (fault_inj_*
+	// records how much adversity was injected).
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// lane is one processor's recording lane: completed ops plus the op
+// currently in flight, mutex-guarded so a crash cell can harvest while
+// the victim is still wedged inside its pending operation.
+type lane struct {
+	mu      sync.Mutex
+	ops     []history.Op
+	pending *history.Op
+}
+
+type recorder struct {
+	clock atomic.Int64
+	lanes []lane
+}
+
+// do records one operation around invoke. The pending slot is filled
+// before the call so a wedged operation is observable from outside.
+func (r *recorder) do(p int, kind history.Kind, arg1, arg2 uint64, invoke func() (uint64, bool)) (uint64, bool) {
+	op := history.Op{Proc: p, Kind: kind, Arg1: arg1, Arg2: arg2, Call: r.clock.Add(1)}
+	l := &r.lanes[p]
+	l.mu.Lock()
+	l.pending = &op
+	l.mu.Unlock()
+	rv, rb := invoke()
+	l.mu.Lock()
+	op.RetVal, op.RetBool, op.Return = rv, rb, r.clock.Add(1)
+	l.ops = append(l.ops, op)
+	l.pending = nil
+	l.mu.Unlock()
+	return rv, rb
+}
+
+// harvest snapshots all lanes: completed ops sorted by call time, plus any
+// in-flight ops. Safe while drivers run; exact once they are quiescent or
+// wedged.
+func (r *recorder) harvest() (ops, pending []history.Op, perProc []int) {
+	perProc = make([]int, len(r.lanes))
+	for i := range r.lanes {
+		l := &r.lanes[i]
+		l.mu.Lock()
+		ops = append(ops, l.ops...)
+		perProc[i] = len(l.ops)
+		if l.pending != nil {
+			pending = append(pending, *l.pending)
+		}
+		l.mu.Unlock()
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Call < ops[j].Call })
+	return ops, pending, perProc
+}
+
+// runProc performs ~target operations of a seeded random mix on reg as
+// processor p. The mix: occasional plain reads and standalone validates,
+// otherwise an LL (-> maybe VL) -> SC-or-CL critical sequence; for the
+// CAS-shaped Figure 3, read -> CAS pairs.
+func runProc(reg Register, rec *recorder, p int, target int, rng *rand.Rand) {
+	maxv := reg.MaxVal()
+	newval := func() uint64 { return rng.Uint64() % (maxv + 1) }
+	read := func() {
+		rec.do(p, history.KindRead, 0, 0, func() (uint64, bool) { return reg.Read(p), false })
+	}
+	done := 0
+	for done < target {
+		switch r := reg.(type) {
+		case LLSC:
+			switch x := rng.Intn(8); {
+			case x == 0:
+				read()
+				done++
+			case x == 1:
+				if res, ok := r.VL(p); ok {
+					rec.do(p, history.KindVL, 0, 0, func() (uint64, bool) { return 0, res })
+					done++
+				} else {
+					read()
+					done++
+				}
+			default:
+				rec.do(p, history.KindLL, 0, 0, func() (uint64, bool) { return r.LL(p), false })
+				done++
+				if rng.Intn(4) == 0 {
+					if res, ok := r.VL(p); ok {
+						rec.do(p, history.KindVL, 0, 0, func() (uint64, bool) { return 0, res })
+						done++
+					}
+				}
+				if rng.Intn(8) == 0 && r.Abort(p) {
+					continue // CL-then-never-SC: the reservation dies silently
+				}
+				v := newval()
+				rec.do(p, history.KindSC, v, 0, func() (uint64, bool) { return 0, r.SC(p, v) })
+				done++
+			}
+		case CASer:
+			if rng.Intn(4) == 0 {
+				read()
+				done++
+				continue
+			}
+			old, _ := rec.do(p, history.KindRead, 0, 0, func() (uint64, bool) { return reg.Read(p), false })
+			done++
+			v := newval()
+			rec.do(p, history.KindCAS, old, v, func() (uint64, bool) { return 0, r.CAS(p, old, v) })
+			done++
+		default:
+			panic(fmt.Sprintf("stress: register %s implements neither LLSC nor CASer", reg.Name()))
+		}
+	}
+}
+
+// RunCell runs one (register, plan) cell and checks its history.
+func RunCell(spec RegisterSpec, plan PlanSpec, cfg Config) (CellResult, error) {
+	if err := cfg.validate(); err != nil {
+		return CellResult{}, err
+	}
+	res := CellResult{Register: spec.Name, Plan: plan.Name}
+	fp := plan.New(cfg)
+	met := obs.NewWithStripes(cfg.Procs)
+	if fp != nil {
+		fp.SetMetrics(met)
+	}
+	mcfg := machine.Config{Procs: cfg.Procs, Observer: met.MachineObserver()}
+	if fp != nil {
+		mcfg.FaultPlan = fp
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return CellResult{}, err
+	}
+	reg, err := spec.New(m, met)
+	if err != nil {
+		return CellResult{}, err
+	}
+	rec := &recorder{lanes: make([]lane, cfg.Procs)}
+
+	crash, isCrash := fp.(*fault.Crash)
+	if isCrash {
+		err = runCrashCell(reg, rec, crash, cfg, &res)
+	} else {
+		err = runRoundsCell(reg, rec, cfg, &res)
+	}
+	if err != nil {
+		return CellResult{}, err
+	}
+	res.Counters = met.Snapshot().Map()
+	return res, nil
+}
+
+// runRoundsCell runs barrier-separated rounds and checks the history via
+// quiescent windows.
+func runRoundsCell(reg Register, rec *recorder, cfg Config, res *CellResult) error {
+	for round := 0; round < cfg.Rounds; round++ {
+		var wg sync.WaitGroup
+		for p := 0; p < cfg.Procs; p++ {
+			wg.Add(1)
+			go func(p, round int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(round)*1009 + int64(p)))
+				runProc(reg, rec, p, cfg.OpsPerProc, rng)
+			}(p, round)
+		}
+		wg.Wait()
+	}
+	ops, pending, perProc := rec.harvest()
+	if len(pending) != 0 {
+		return fmt.Errorf("stress: %d pending ops after quiescence", len(pending))
+	}
+	res.Ops, res.CompletedOps = len(ops), perProc
+	wres, err := linearizability.CheckWindowsFrom(ops, []linearizability.State{{}}, cfg.window())
+	if err != nil {
+		return err
+	}
+	res.Ok = wres.Ok
+	res.Windows = wres.Windows
+	if !wres.Ok {
+		res.Violation = fmt.Sprintf("history not linearizable (window %d of %d)", wres.FailedWindow, wres.Windows)
+	}
+	return nil
+}
+
+// runCrashCell runs one bounded burst during which the plan wedges its
+// victim, waits for the survivors, and checks the harvested history with
+// the victim's in-flight op as pending.
+func runCrashCell(reg Register, rec *recorder, crash *fault.Crash, cfg Config, res *CellResult) error {
+	// One burst, sized so completed ops + 1 pending fit the checker.
+	target := (linearizability.MaxOps - 1) / cfg.Procs
+	var wg sync.WaitGroup
+	finished := make(chan int, cfg.Procs)
+	for p := 0; p < cfg.Procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)))
+			runProc(reg, rec, p, target, rng)
+			finished <- p
+		}(p)
+	}
+	deadline := time.After(cfg.timeout())
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	doneCount := 0
+wait:
+	for doneCount < cfg.Procs {
+		// Done early when only the victim is missing and it is wedged —
+		// it will never arrive, and waiting out the timeout is pure cost.
+		if doneCount >= cfg.Procs-1 && crash.Crashed() {
+			break
+		}
+		select {
+		case <-finished:
+			doneCount++
+		case <-tick.C:
+		case <-deadline:
+			break wait
+		}
+	}
+	// Release the victim no matter how checking goes, so the cell never
+	// leaks a wedged goroutine.
+	defer func() {
+		crash.Release()
+		wg.Wait()
+	}()
+	if doneCount < cfg.Procs && !crash.Crashed() {
+		return fmt.Errorf("stress: %d/%d processors wedged without the crash plan engaging", cfg.Procs-doneCount, cfg.Procs)
+	}
+	res.Crashed = crash.Crashed()
+
+	ops, pending, perProc := rec.harvest()
+	res.Ops, res.CompletedOps, res.Pending = len(ops), perProc, len(pending)
+	ok, violation, err := checkWithPending(ops, pending)
+	if err != nil {
+		return err
+	}
+	res.Ok, res.Violation = ok, violation
+	return nil
+}
+
+// checkWithPending checks a burst history that may carry in-flight
+// operations of crashed processors. A pending Read, VL, or LL cannot
+// affect any other processor's results (LL only sets the crashed caller's
+// own valid bit), so dropping it is complete. A pending SC, CAS, or Write
+// may or may not have taken effect — for Figure 6 in particular, an SC's
+// header CAS can land before the crash hits mid-Copy and survivors then
+// help it complete — so the history must be accepted if it linearizes
+// either without the op or with the op completed successfully at any
+// point after its invocation (Return = +inf).
+func checkWithPending(ops, pending []history.Op) (bool, string, error) {
+	res, err := linearizability.Check(ops, linearizability.State{})
+	if err != nil {
+		return false, "", err
+	}
+	if res.Ok {
+		return true, "", nil
+	}
+	tried := 1
+	for _, op := range pending {
+		switch op.Kind {
+		case history.KindSC, history.KindCAS, history.KindWrite:
+			op.RetBool = true
+			op.Return = math.MaxInt64
+			withOp := append(append([]history.Op(nil), ops...), op)
+			res, err = linearizability.Check(withOp, linearizability.State{})
+			if err != nil {
+				return false, "", err
+			}
+			tried++
+			if res.Ok {
+				return true, "", nil
+			}
+		}
+	}
+	return false, fmt.Sprintf("burst history not linearizable under %d pending-op variant(s)", tried), nil
+}
+
+// RunMatrix runs every (register, plan) cell and aggregates a Report.
+func RunMatrix(cfg Config, regs []RegisterSpec, plans []PlanSpec) (*Report, error) {
+	rep := &Report{Schema: ReportSchema, Seed: cfg.Seed,
+		Procs: cfg.Procs, Rounds: cfg.Rounds, OpsPerProc: cfg.OpsPerProc}
+	for _, reg := range regs {
+		for _, plan := range plans {
+			cell, err := RunCell(reg, plan, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("stress: cell %s/%s: %w", reg.Name, plan.Name, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,225 @@
+package stress
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/linearizability"
+)
+
+// testConfig is the shared cell shape: small enough that every round fits
+// one checker window, big enough to produce real contention. CI can dial
+// rounds down (or a soak run up) via LLSC_STRESS_ROUNDS.
+func testConfig(t *testing.T) Config {
+	rounds := 10
+	if testing.Short() {
+		rounds = 3
+	}
+	if s := os.Getenv("LLSC_STRESS_ROUNDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad LLSC_STRESS_ROUNDS %q: %v", s, err)
+		}
+		rounds = n
+	}
+	return Config{Procs: 3, Rounds: rounds, OpsPerProc: 8, Seed: 42}
+}
+
+// TestStressMatrix is the acceptance gate: all five figure implementations
+// under all five fault plans, zero linearizability violations, and the
+// adversarial plans demonstrably active.
+func TestStressMatrix(t *testing.T) {
+	rep, err := RunMatrix(testConfig(t), DefaultRegisters(), DefaultPlans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 25 {
+		t.Fatalf("got %d cells, want 25", len(rep.Cells))
+	}
+	for _, v := range rep.Violations() {
+		t.Errorf("cell %s/%s: %s", v.Register, v.Plan, v.Violation)
+	}
+	for _, c := range rep.Cells {
+		injected := c.Counters["fault_inj_spurious"] + c.Counters["fault_inj_interference"] + c.Counters["fault_inj_stall"]
+		switch c.Plan {
+		case "none":
+			if injected != 0 {
+				t.Errorf("cell %s/none: %d faults injected by the control plan", c.Register, injected)
+			}
+		case "burst":
+			if c.Counters["fault_inj_spurious"] == 0 {
+				t.Errorf("cell %s/burst: no spurious failures injected", c.Register)
+			}
+		case "interference", "tagpressure":
+			if c.Counters["fault_inj_interference"] == 0 {
+				t.Errorf("cell %s/%s: no interference injected", c.Register, c.Plan)
+			}
+		case "crash":
+			if !c.Crashed {
+				t.Errorf("cell %s/crash: victim never wedged", c.Register)
+			}
+			if c.Counters["fault_inj_stall"] == 0 {
+				t.Errorf("cell %s/crash: no stall recorded", c.Register)
+			}
+		}
+	}
+}
+
+// TestCrashProgressTable asserts the paper's core progress claim for each
+// of Figures 3-7: with one processor crashed mid-critical-sequence, every
+// survivor still completes its whole workload.
+func TestCrashProgressTable(t *testing.T) {
+	cfg := testConfig(t)
+	crash := DefaultPlans()[3]
+	if crash.Name != "crash" {
+		t.Fatal("plan order changed; update the test")
+	}
+	target := (linearizability.MaxOps - 1) / cfg.Procs
+	for _, spec := range DefaultRegisters() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCell(spec, crash, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Crashed {
+				t.Fatal("victim never wedged")
+			}
+			if !res.Ok {
+				t.Fatalf("crash history not linearizable: %s", res.Violation)
+			}
+			victim := cfg.Procs - 1
+			for p := 0; p < cfg.Procs; p++ {
+				if p == victim {
+					if res.CompletedOps[p] >= target {
+						t.Errorf("victim completed its full workload (%d ops) despite the crash", res.CompletedOps[p])
+					}
+					continue
+				}
+				if res.CompletedOps[p] < target {
+					t.Errorf("survivor %d completed %d ops, want at least %d", p, res.CompletedOps[p], target)
+				}
+			}
+		})
+	}
+}
+
+// TestLockBaselineStallsWhereFiguresProgress is the contrast case: the
+// footnote-1 lock-based LL/SC wedges every process when the lock holder
+// stalls — exactly what TestCrashProgressTable shows Figures 3-7 do not.
+func TestLockBaselineStallsWhereFiguresProgress(t *testing.T) {
+	const procs = 3
+	v, err := baseline.NewMutexLLSC(procs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := make(chan struct{})
+	release := make(chan struct{})
+	var holder sync.WaitGroup
+	holder.Add(1)
+	go func() {
+		defer holder.Done()
+		v.LockForDemo(held, release)
+	}()
+	<-held
+
+	// Survivors each try one LL; with the lock held, none may complete.
+	done := make(chan int, procs-1)
+	var wg sync.WaitGroup
+	for p := 0; p < procs-1; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v.LL(p)
+			done <- p
+		}(p)
+	}
+	deadline := time.After(300 * time.Millisecond)
+	completed := 0
+poll:
+	for {
+		select {
+		case <-done:
+			completed++
+		case <-deadline:
+			break poll
+		}
+	}
+	if completed != 0 {
+		t.Fatalf("%d processes completed an op while the lock holder was stalled; a lock-based LL/SC must wedge them all", completed)
+	}
+
+	close(release)
+	holder.Wait()
+	wg.Wait()
+	// Sanity: after release the survivors' LLs completed.
+	for i := 0; i < procs-1; i++ {
+		<-done
+	}
+}
+
+func TestRunCellControlHasCleanCounters(t *testing.T) {
+	cfg := testConfig(t)
+	res, err := RunCell(DefaultRegisters()[2], DefaultPlans()[0], cfg) // fig5 / none
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("control cell not linearizable: %s", res.Violation)
+	}
+	// Round barriers guarantee quiescent cuts, so a multi-round run must
+	// split into several windows (the greedy merger may pack segments
+	// across round boundaries, so Windows needn't equal Rounds).
+	if cfg.Rounds > 2 && res.Windows < 2 {
+		t.Errorf("Windows = %d for a %d-round run, want the history windowed", res.Windows, cfg.Rounds)
+	}
+	if res.Counters["rsc"] == 0 || res.Counters["mach_cas"]+res.Counters["mach_load"] == 0 {
+		t.Errorf("machine counters empty: %v", res.Counters)
+	}
+	if res.Pending != 0 {
+		t.Errorf("Pending = %d after quiescent run", res.Pending)
+	}
+}
+
+func TestReportWriteFile(t *testing.T) {
+	rep := &Report{Schema: ReportSchema, Seed: 7, Procs: 3, Rounds: 1, OpsPerProc: 4,
+		Cells: []CellResult{{Register: "fig5", Plan: "none", Ok: true, Ops: 12,
+			CompletedOps: []int{4, 4, 4}, Counters: map[string]uint64{"rsc": 9}}}}
+	path := filepath.Join(t.TempDir(), "stress.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || len(back.Cells) != 1 || back.Cells[0].Register != "fig5" {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"one proc":         {Procs: 1, Rounds: 1, OpsPerProc: 1},
+		"zero rounds":      {Procs: 2, Rounds: 0, OpsPerProc: 1},
+		"window too large": {Procs: 8, Rounds: 1, OpsPerProc: 8},
+	} {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+	if err := (Config{Procs: 3, Rounds: 1, OpsPerProc: 8}).validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

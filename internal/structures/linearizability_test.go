@@ -1,0 +1,560 @@
+package structures
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// This file adds linearizability conformance tests for the containers
+// that previously had only sequential and smoke coverage: Counter, Set,
+// Map, and the shared node pool. Two complementary techniques:
+//
+//   - Exhaustive serialized orders: sched.ExploreExhaustive enumerates
+//     every interleaving of whole operations (one Controller step per op,
+//     so ops execute serialized in every possible global order) and each
+//     order is replayed against a trivial sequential oracle. This covers
+//     the full scheduling tree of a small script.
+//   - Concurrent windows: free-running goroutines record small per-round
+//     histories (rounds separated by barriers, so the pre-round state is
+//     read exactly at quiescence) which a Wing–Gong style search checks
+//     against the structure's abstract model. This covers real intra-op
+//     interleavings the serialized tree cannot.
+
+// linOp is one completed structure operation with its logical interval.
+type linOp struct {
+	proc    int
+	name    string
+	arg1    uint64
+	arg2    uint64
+	retVal  uint64
+	retBool bool
+	call    int64
+	ret     int64
+}
+
+func (o linOp) String() string {
+	return fmt.Sprintf("p%d %s(%d,%d)=(%d,%v) @[%d,%d]", o.proc, o.name, o.arg1, o.arg2, o.retVal, o.retBool, o.call, o.ret)
+}
+
+// linearizableHistory reports whether ops has a legal linearization from
+// the abstract state initial, where step applies one op to a state key
+// and reports whether its recorded results are legal. States are opaque
+// comparable strings; histories are expected to stay small (≤ ~20 ops).
+func linearizableHistory(ops []linOp, initial string, step func(state string, op linOp) (string, bool)) bool {
+	if len(ops) > 30 {
+		panic("linearizableHistory: history too large")
+	}
+	type nodeKey struct {
+		mask  uint32
+		state string
+	}
+	full := uint32(1)<<uint(len(ops)) - 1
+	visited := make(map[nodeKey]struct{})
+	var dfs func(mask uint32, state string) bool
+	dfs = func(mask uint32, state string) bool {
+		if mask == full {
+			return true
+		}
+		k := nodeKey{mask, state}
+		if _, seen := visited[k]; seen {
+			return false
+		}
+		visited[k] = struct{}{}
+		minRet := int64(1<<63 - 1)
+		for i, op := range ops {
+			if mask&(1<<uint(i)) == 0 && op.ret < minRet {
+				minRet = op.ret
+			}
+		}
+		for i, op := range ops {
+			if mask&(1<<uint(i)) != 0 || op.call > minRet {
+				continue
+			}
+			if next, ok := step(state, op); ok && dfs(mask|1<<uint(i), next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0, initial)
+}
+
+// linRecorder collects ops from concurrent drivers with a logical clock.
+type linRecorder struct {
+	clock atomic.Int64
+	mu    sync.Mutex
+	ops   []linOp
+}
+
+func (r *linRecorder) do(p int, name string, arg1, arg2 uint64, invoke func() (uint64, bool)) (uint64, bool) {
+	op := linOp{proc: p, name: name, arg1: arg1, arg2: arg2, call: r.clock.Add(1)}
+	rv, rb := invoke()
+	op.retVal, op.retBool, op.ret = rv, rb, r.clock.Add(1)
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+	return rv, rb
+}
+
+func (r *linRecorder) drain() []linOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ops := r.ops
+	r.ops = nil
+	return ops
+}
+
+// runLinRounds drives procs goroutines for rounds barrier-separated
+// rounds. Each round, initial() reads the abstract state at quiescence,
+// driver(p, rng) performs a few recorded ops, and the round's history
+// must linearize from that state.
+func runLinRounds(t *testing.T, procs, rounds int, rec *linRecorder,
+	initial func() string,
+	driver func(p int, rng *rand.Rand),
+	step func(state string, op linOp) (string, bool)) {
+	t.Helper()
+	for round := 0; round < rounds; round++ {
+		init := initial()
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				driver(p, rand.New(rand.NewSource(int64(round)*131+int64(p))))
+			}(p)
+		}
+		wg.Wait()
+		ops := rec.drain()
+		if !linearizableHistory(ops, init, step) {
+			t.Fatalf("round %d: history not linearizable from state %q:\n%v", round, init, ops)
+		}
+	}
+}
+
+// --- Counter ---
+
+const counterMask = uint64(1)<<32 - 1
+
+func counterStep(state string, op linOp) (string, bool) {
+	var v uint64
+	fmt.Sscanf(state, "%d", &v)
+	switch op.name {
+	case "add":
+		next := (v + op.arg1) & counterMask
+		return fmt.Sprintf("%d", next), op.retVal == next
+	case "load":
+		return state, op.retVal == v
+	default:
+		return state, false
+	}
+}
+
+func TestCounterExhaustiveConformance(t *testing.T) {
+	scripts := [][]uint64{{1, 2}, {4, 8}, {16, 32}} // deltas per proc
+	res, err := sched.ExploreExhaustive(len(scripts), 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		c := NewCounter(0)
+		var log []linOp // controller serializes ops, so plain append is safe
+		workload := func(p int) {
+			for _, d := range scripts[p] {
+				ctrl.Step(p)
+				got := c.Add(d)
+				log = append(log, linOp{proc: p, name: "add", arg1: d, retVal: got})
+			}
+		}
+		check := func() error {
+			var v uint64
+			for _, op := range log {
+				v = (v + op.arg1) & counterMask
+				if op.retVal != v {
+					return fmt.Errorf("%v: oracle value %d", op, v)
+				}
+			}
+			if got := c.Load(); got != v {
+				return fmt.Errorf("final value %d, oracle %d", got, v)
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+	t.Logf("exhausted %d schedules", res.Schedules)
+}
+
+func TestCounterLinearizableWindows(t *testing.T) {
+	c := NewCounter(0)
+	rec := &linRecorder{}
+	driver := func(p int, rng *rand.Rand) {
+		for i := 0; i < 4; i++ {
+			if rng.Intn(3) == 0 {
+				rec.do(p, "load", 0, 0, func() (uint64, bool) { return c.Load(), false })
+			} else {
+				d := uint64(rng.Intn(5) + 1)
+				rec.do(p, "add", d, 0, func() (uint64, bool) { return c.Add(d), false })
+			}
+		}
+	}
+	runLinRounds(t, 3, 30, rec,
+		func() string { return fmt.Sprintf("%d", c.Load()) },
+		driver, counterStep)
+}
+
+// --- Set ---
+
+// Set abstract state: bitmask of present keys (universe 1..3), rendered
+// as a decimal string.
+func setStep(state string, op linOp) (string, bool) {
+	var mask uint64
+	fmt.Sscanf(state, "%d", &mask)
+	bit := uint64(1) << op.arg1
+	switch op.name {
+	case "insert":
+		if mask&bit != 0 {
+			return state, !op.retBool
+		}
+		if !op.retBool {
+			return state, false
+		}
+		return fmt.Sprintf("%d", mask|bit), true
+	case "delete":
+		if mask&bit == 0 {
+			return state, !op.retBool
+		}
+		if !op.retBool {
+			return state, false
+		}
+		return fmt.Sprintf("%d", mask&^bit), true
+	case "contains":
+		return state, op.retBool == (mask&bit != 0)
+	default:
+		return state, false
+	}
+}
+
+func TestSetExhaustiveConformance(t *testing.T) {
+	// Both procs fight over key 1; proc 1 also touches key 2.
+	res, err := sched.ExploreExhaustive(2, 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		s, err := NewSet(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []linOp
+		record := func(p int, name string, key uint64, ok bool) {
+			log = append(log, linOp{proc: p, name: name, arg1: key, retBool: ok})
+		}
+		workload := func(p int) {
+			if p == 0 {
+				ctrl.Step(p)
+				ok, err := s.Insert(1)
+				if err != nil {
+					panic(err)
+				}
+				record(p, "insert", 1, ok)
+				ctrl.Step(p)
+				record(p, "delete", 1, s.Delete(1))
+			} else {
+				ctrl.Step(p)
+				ok, err := s.Insert(1)
+				if err != nil {
+					panic(err)
+				}
+				record(p, "insert", 1, ok)
+				ctrl.Step(p)
+				record(p, "contains", 1, s.Contains(1))
+				ctrl.Step(p)
+				ok, err = s.Insert(2)
+				if err != nil {
+					panic(err)
+				}
+				record(p, "insert", 2, ok)
+			}
+		}
+		check := func() error {
+			state := "0"
+			for _, op := range log {
+				next, ok := setStep(state, op)
+				if !ok {
+					return fmt.Errorf("%v: illegal from state %s", op, state)
+				}
+				state = next
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+}
+
+func TestSetLinearizableWindows(t *testing.T) {
+	// Deleted nodes are never returned to the pool (the set has a lifetime
+	// insert budget), so capacity must cover every insert the drivers can
+	// attempt: 3 procs x 4 ops x 30 rounds.
+	s, err := NewSet(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &linRecorder{}
+	driver := func(p int, rng *rand.Rand) {
+		for i := 0; i < 4; i++ {
+			key := uint64(rng.Intn(3) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				rec.do(p, "insert", key, 0, func() (uint64, bool) {
+					ok, err := s.Insert(key)
+					if err != nil {
+						panic(err)
+					}
+					return 0, ok
+				})
+			case 1:
+				rec.do(p, "delete", key, 0, func() (uint64, bool) { return 0, s.Delete(key) })
+			default:
+				rec.do(p, "contains", key, 0, func() (uint64, bool) { return 0, s.Contains(key) })
+			}
+		}
+	}
+	runLinRounds(t, 3, 30, rec,
+		func() string {
+			var mask uint64
+			for key := uint64(1); key <= 3; key++ {
+				if s.Contains(key) {
+					mask |= 1 << key
+				}
+			}
+			return fmt.Sprintf("%d", mask)
+		},
+		driver, setStep)
+}
+
+// --- Map ---
+
+// Map abstract state: values of keys 1 and 2, 0 meaning absent (drivers
+// only store non-zero values).
+func mapStep(state string, op linOp) (string, bool) {
+	var v1, v2 uint64
+	fmt.Sscanf(state, "%d,%d", &v1, &v2)
+	get := func(k uint64) uint64 {
+		if k == 1 {
+			return v1
+		}
+		return v2
+	}
+	set := func(k, v uint64) string {
+		if k == 1 {
+			return fmt.Sprintf("%d,%d", v, v2)
+		}
+		return fmt.Sprintf("%d,%d", v1, v)
+	}
+	switch op.name {
+	case "put":
+		return set(op.arg1, op.arg2), true
+	case "get":
+		cur := get(op.arg1)
+		if op.retBool != (cur != 0) {
+			return state, false
+		}
+		return state, !op.retBool || op.retVal == cur
+	case "delete":
+		if op.retBool != (get(op.arg1) != 0) {
+			return state, false
+		}
+		return set(op.arg1, 0), true
+	default:
+		return state, false
+	}
+}
+
+func TestMapExhaustiveConformance(t *testing.T) {
+	res, err := sched.ExploreExhaustive(2, 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		m, err := NewMap(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []linOp
+		workload := func(p int) {
+			if p == 0 {
+				ctrl.Step(p)
+				if err := m.Put(1, 10); err != nil {
+					panic(err)
+				}
+				log = append(log, linOp{proc: p, name: "put", arg1: 1, arg2: 10})
+				ctrl.Step(p)
+				log = append(log, linOp{proc: p, name: "delete", arg1: 1, retBool: m.Delete(1)})
+			} else {
+				ctrl.Step(p)
+				if err := m.Put(1, 20); err != nil {
+					panic(err)
+				}
+				log = append(log, linOp{proc: p, name: "put", arg1: 1, arg2: 20})
+				ctrl.Step(p)
+				v, ok := m.Get(1)
+				log = append(log, linOp{proc: p, name: "get", arg1: 1, retVal: v, retBool: ok})
+			}
+		}
+		check := func() error {
+			state := "0,0"
+			for _, op := range log {
+				next, ok := mapStep(state, op)
+				if !ok {
+					return fmt.Errorf("%v: illegal from state %s", op, state)
+				}
+				state = next
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+}
+
+func TestMapLinearizableWindows(t *testing.T) {
+	m, err := NewMap(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &linRecorder{}
+	driver := func(p int, rng *rand.Rand) {
+		for i := 0; i < 4; i++ {
+			key := uint64(rng.Intn(2) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				val := uint64(rng.Intn(9) + 1)
+				rec.do(p, "put", key, val, func() (uint64, bool) {
+					if err := m.Put(key, val); err != nil {
+						panic(err)
+					}
+					return 0, false
+				})
+			case 1:
+				rec.do(p, "get", key, 0, func() (uint64, bool) { return m.Get(key) })
+			default:
+				rec.do(p, "delete", key, 0, func() (uint64, bool) { return 0, m.Delete(key) })
+			}
+		}
+	}
+	runLinRounds(t, 3, 30, rec,
+		func() string {
+			v1, _ := m.Get(1)
+			v2, _ := m.Get(2)
+			return fmt.Sprintf("%d,%d", v1, v2)
+		},
+		driver, mapStep)
+}
+
+// --- pool (white-box) ---
+
+// Pool abstract state: bitmask of free node indices. An alloc must return
+// some currently-free index; a free returns it. ErrFull is legal only
+// when nothing is free.
+func poolStep(state string, op linOp) (string, bool) {
+	var free uint64
+	fmt.Sscanf(state, "%d", &free)
+	bit := uint64(1) << op.retVal
+	switch op.name {
+	case "alloc":
+		if !op.retBool { // ErrFull
+			return state, free == 0
+		}
+		if free&bit == 0 {
+			return state, false
+		}
+		return fmt.Sprintf("%d", free&^bit), true
+	case "free":
+		return fmt.Sprintf("%d", free|uint64(1)<<op.arg1), true
+	default:
+		return state, false
+	}
+}
+
+func TestPoolExhaustiveConformance(t *testing.T) {
+	// Capacity 1: two procs race alloc/free over a single node, so one
+	// alloc of each pair must observe ErrFull in some schedules.
+	res, err := sched.ExploreExhaustive(2, 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		p, err := newPool(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []linOp
+		workload := func(proc int) {
+			ctrl.Step(proc)
+			idx, err := p.alloc()
+			log = append(log, linOp{proc: proc, name: "alloc", retVal: idx, retBool: err == nil})
+			if err != nil {
+				return
+			}
+			ctrl.Step(proc)
+			p.freeNode(idx)
+			log = append(log, linOp{proc: proc, name: "free", arg1: idx})
+		}
+		check := func() error {
+			state := "2" // node 1 free: bit 1
+			for _, op := range log {
+				next, ok := poolStep(state, op)
+				if !ok {
+					return fmt.Errorf("%v: illegal from state %s", op, state)
+				}
+				state = next
+			}
+			if state != "2" {
+				return fmt.Errorf("final free mask %s, want 2", state)
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+}
+
+func TestPoolLinearizableWindows(t *testing.T) {
+	const capacity = 4
+	p, err := newPool(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &linRecorder{}
+	driver := func(proc int, rng *rand.Rand) {
+		var held []uint64
+		for i := 0; i < 3; i++ {
+			idx, ok := rec.do(proc, "alloc", 0, 0, func() (uint64, bool) {
+				idx, err := p.alloc()
+				return idx, err == nil
+			})
+			if ok {
+				held = append(held, idx)
+			}
+		}
+		// Everything allocated is freed before the barrier, so the
+		// quiescent free set is always the full pool.
+		for _, idx := range held {
+			rec.do(proc, "free", idx, 0, func() (uint64, bool) { p.freeNode(idx); return 0, false })
+		}
+	}
+	full := fmt.Sprintf("%d", (uint64(1)<<(capacity+1))-2) // bits 1..capacity
+	runLinRounds(t, 3, 30, rec,
+		func() string { return full },
+		driver, poolStep)
+}

@@ -86,6 +86,24 @@ type (
 	MachineWord = machine.Word
 	// MachineStats aggregates a Machine's operation counters.
 	MachineStats = machine.Stats
+	// FaultPlan injects deterministic adversity (spurious-failure bursts,
+	// reservation interference, processor crashes) into a Machine via
+	// MachineConfig.FaultPlan; internal/fault provides implementations.
+	FaultPlan = machine.FaultPlan
+	// FaultInjection is a FaultPlan's per-operation decision.
+	FaultInjection = machine.FaultInjection
+	// MachineOpKind identifies the machine operation a FaultPlan is
+	// consulted about (load, store, CAS, RLL, RSC).
+	MachineOpKind = machine.OpKind
+)
+
+// The machine operation kinds a FaultPlan distinguishes.
+const (
+	MachineOpLoad  = machine.OpLoad
+	MachineOpStore = machine.OpStore
+	MachineOpCAS   = machine.OpCAS
+	MachineOpRLL   = machine.OpRLL
+	MachineOpRSC   = machine.OpRSC
 )
 
 var (
