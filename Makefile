@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz fuzz-smoke stress-smoke soak experiments examples clean
+.PHONY: all build vet test race bench bench-json bench-diff fuzz fuzz-smoke stress-smoke soak experiments examples clean
 
 all: build vet test
 
@@ -23,12 +23,22 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Machine-readable experiment output: one BENCH_<experiment>.json per
-# experiment (schema llsc-bench/v1, see docs/OBSERVABILITY.md).
+# experiment (schema llsc-bench/v1, see docs/OBSERVABILITY.md), including
+# the contention sweep (BENCH_contention.json, see docs/CONTENTION.md).
 bench-json:
 	$(GO) run ./cmd/llscbench -json
 
+# Regression gate: re-run the suite quickly into a scratch directory and
+# compare each cell against the committed BENCH_*.json baselines,
+# normalizing out machine speed; fails on any cell >30% over the trend.
+bench-diff:
+	rm -rf bench-current && mkdir -p bench-current/1 bench-current/2 bench-current/3
+	for i in 1 2 3; do $(GO) run ./cmd/llscbench -ops 60000 -json -json-dir bench-current/$$i; done
+	$(GO) run ./cmd/benchdiff -threshold 0.30 . bench-current/1 bench-current/2 bench-current/3
+
 # Short coordinated fuzzing session over every fuzz target.
 fuzz:
+	$(GO) test -fuzz FuzzStackElimination -fuzztime 30s ./internal/structures/
 	$(GO) test -fuzz FuzzLayoutRoundTrip -fuzztime 10s ./internal/word/
 	$(GO) test -fuzz FuzzFieldsRoundTrip -fuzztime 10s ./internal/word/
 	$(GO) test -fuzz FuzzModularArithmetic -fuzztime 10s ./internal/word/
@@ -39,6 +49,8 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run FuzzCheckerAgainstBruteForce ./internal/linearizability/
 	$(GO) test -fuzz FuzzCheckerAgainstBruteForce -fuzztime 10s ./internal/linearizability/
+	$(GO) test -run FuzzStackElimination ./internal/structures/
+	$(GO) test -fuzz FuzzStackElimination -fuzztime 10s ./internal/structures/
 
 # Adversarial fault-injection matrix at reduced iterations, with a
 # machine-readable record (schema llsc-stress/v1).

@@ -1,0 +1,118 @@
+// Command benchdiff compares two directories of BENCH_*.json benchmark
+// records (the llsc-bench/v1 files written by llscbench -json) and exits
+// non-zero if any cell regressed by more than the threshold after
+// machine-speed normalization — see internal/bench.Diff for the method.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.30] [-v] BASELINE_DIR CURRENT_DIR...
+//
+// Files are matched by name; a BENCH_*.json present in only one
+// directory is reported and skipped, so adding a new experiment never
+// breaks an existing baseline comparison. When several CURRENT_DIRs are
+// given (independent runs of the same suite), each cell uses its minimum
+// ns/op across them — the standard benchmark noise reduction, since
+// scheduling noise only ever adds time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+var (
+	flagThreshold = flag.Float64("threshold", 0.30, "allowed fractional slowdown per cell after normalization")
+	flagVerbose   = flag.Bool("v", false, "print every cell, not just regressions")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.30] [-v] BASELINE_DIR CURRENT_DIR...")
+		os.Exit(2)
+	}
+	baseDir, curDirs := flag.Arg(0), flag.Args()[1:]
+	baseFiles, err := filepath.Glob(filepath.Join(baseDir, "BENCH_*.json"))
+	if err != nil || len(baseFiles) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no BENCH_*.json in %s\n", baseDir)
+		os.Exit(2)
+	}
+	var regressions, compared int
+	for _, bf := range baseFiles {
+		name := filepath.Base(bf)
+		var curRecs []bench.Record
+		for _, dir := range curDirs {
+			cf := filepath.Join(dir, name)
+			if _, err := os.Stat(cf); err != nil {
+				continue
+			}
+			recs, err := bench.ReadRecordsFile(cf)
+			must(err)
+			curRecs = bestOf(curRecs, recs)
+		}
+		if curRecs == nil {
+			fmt.Printf("%s: only in baseline, skipped\n", name)
+			continue
+		}
+		baseRecs, err := bench.ReadRecordsFile(bf)
+		must(err)
+		rep, err := bench.Diff(baseRecs, curRecs, bench.DiffOptions{Threshold: *flagThreshold})
+		must(err)
+		compared += len(rep.Cells)
+		regressions += rep.Regressions
+		fmt.Printf("%s: %d cells, machine factor %.2fx, %d regression(s)\n",
+			name, len(rep.Cells), rep.MedianRatio, rep.Regressions)
+		for _, c := range rep.Cells {
+			if c.Regressed || *flagVerbose {
+				status := "ok"
+				if c.Regressed {
+					status = "REGRESSED"
+				}
+				fmt.Printf("  %-40s %10.1f -> %10.1f ns/op  normalized %.2fx  %s\n",
+					c.Name, c.BaseNsOp, c.CurNsOp, c.Normalized, status)
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no comparable cells found")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d cell(s) regressed beyond %.0f%%\n", regressions, *flagThreshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d cells within %.0f%% of baseline trend\n", compared, *flagThreshold*100)
+}
+
+// bestOf merges two runs of the same suite, keeping each cell's minimum
+// ns/op; cells in only one run are kept as-is.
+func bestOf(a, b []bench.Record) []bench.Record {
+	if a == nil {
+		return b
+	}
+	idx := make(map[string]int, len(a))
+	for i, r := range a {
+		idx[r.Name] = i
+	}
+	for _, r := range b {
+		if i, ok := idx[r.Name]; ok {
+			if r.NsPerOp > 0 && (a[i].NsPerOp <= 0 || r.NsPerOp < a[i].NsPerOp) {
+				a[i] = r
+			}
+		} else {
+			a = append(a, r)
+		}
+	}
+	return a
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

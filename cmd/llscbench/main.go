@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -36,11 +37,12 @@ import (
 var (
 	flagQuick   = flag.Bool("quick", false, "divide all op counts by 10 for a fast smoke run")
 	flagOps     = flag.Int("ops", 200000, "operations per worker for throughput experiments")
-	flagExp     = flag.String("experiment", "all", "which experiment to run (all, e1..e8, e10)")
+	flagExp     = flag.String("experiment", "all", "which experiment to run (all, e1..e8, e10, contention)")
 	flagMetrics = flag.String("metrics-addr", "", "serve live expvar/pprof/metrics on this address during the run (e.g. :8080)")
 	flagReport  = flag.Duration("report-interval", 0, "print periodic counter-delta reports to stderr at this interval (0 = off)")
 	flagJSON    = flag.Bool("json", false, "write one BENCH_<experiment>.json machine-readable record file per experiment")
 	flagJSONDir = flag.String("json-dir", ".", "directory for the BENCH_*.json files written by -json")
+	flagPolicy  = flag.String("policy", "all", "contention policy for the contention sweep (none, spin, backoff, adaptive, all)")
 )
 
 // sink is the shared metrics sink for every instrumented experiment. It is
@@ -85,6 +87,7 @@ func main() {
 	}{
 		{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4},
 		{"e5", e5}, {"e6", e6}, {"e7", e7}, {"e8", e8}, {"e10", e10},
+		{"contention", econtention},
 	}
 	sel := strings.ToLower(*flagExp)
 	found := false
@@ -1049,6 +1052,134 @@ func timeIt(n int, fn func(int)) float64 {
 		fn(i)
 	}
 	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// --- Contention sweep -------------------------------------------------------
+
+// recordB is record() for contention-sweep cells: it additionally attaches
+// the policy's per-wait backoff duration histogram.
+func recordB(res bench.Result, backoff *obs.Hist) {
+	if !*flagJSON {
+		return
+	}
+	snap := sink.Snapshot()
+	recs = append(recs, bench.NewRecord(res, snap.Sub(lastSnap)).WithBackoff(backoff))
+	lastSnap = snap
+}
+
+// sweepStallSink defeats dead-code elimination of sweepStall's spin.
+var sweepStallSink uint64
+
+// sweepStall widens the central word's LL-SC window with ~1us of real
+// work followed by a yield: the E6b technique plus a cost model. The
+// spin stands for the work a wide window protects in practice (Figure
+// 6's O(W) copy, a universal construction's op application) — work a
+// failed SC discards — and the yield guarantees window overlap on a
+// small host, where the natural window is a few nanoseconds and no
+// policy would have anything to manage. Without the spin, a failed
+// attempt is nearly free and retry-immediately is unbeatable by
+// construction; with it, the sweep measures what the policies exist to
+// manage: how much in-window work gets thrown away.
+func sweepStall() {
+	x := sweepStallSink | 1
+	for i := 0; i < 1000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+	}
+	sweepStallSink = x
+	runtime.Gosched()
+}
+
+// econtention sweeps workers x policy x structure. A single op is one
+// increment (counters) or one push+pop (stacks). The sharded counter's
+// stripes and the elimination array deliberately have no stall hook:
+// they are the escape valves whose benefit the sweep is measuring. Op
+// counts are ops()/50 per worker (stalled loops are ~100x slower than
+// bare ones). Backoff windows are sized for a yield-based single-core
+// host (each wait unit already includes periodic yields; the package
+// defaults target cache-coherent multiprocessors where far longer waits
+// pay off).
+func econtention() {
+	policies := contention.Names()
+	if *flagPolicy != "all" {
+		policies = []string{*flagPolicy}
+	}
+	t := bench.NewTable("Contention sweep: structure x policy x workers, stall-widened LL-SC window",
+		"structure", "policy", "workers", "ops/s", "ns/op", "backoff waits/op")
+	sweepOps := ops() / 50
+	if sweepOps < 100 {
+		sweepOps = 100
+	}
+	mkPolicy := func(name string, workers int) *contention.Policy {
+		var pol *contention.Policy
+		switch name {
+		case "spin":
+			pol = contention.Spin(32)
+		case "backoff":
+			pol = contention.ExponentialBackoff(8, 256)
+		case "adaptive":
+			pol = contention.Adaptive(8, 256)
+		default:
+			var err error
+			pol, err = contention.ByName(name)
+			must(err)
+		}
+		pol = pol.WithSeed(uint64(workers)<<8 + 1)
+		pol.SetMetrics(sink)
+		return pol
+	}
+	for _, structure := range []string{"counter", "sharded-counter", "stack", "elim-stack"} {
+		for _, polName := range policies {
+			for _, workers := range []int{1, 2, 4, 8, 16} {
+				pol := mkPolicy(polName, workers)
+				var backoff obs.Hist
+				pol.SetBackoffHist(&backoff)
+				name := fmt.Sprintf("contention/%s/%s/p%d", structure, polName, workers)
+				var res bench.Result
+				switch structure {
+				case "counter":
+					c := structures.NewCounter(0)
+					c.SetMetrics(sink)
+					c.SetContention(pol)
+					c.SetStallHook(sweepStall)
+					res = bench.Run(name, workers, sweepOps, func(w, i int) {
+						c.Increment()
+					})
+				case "sharded-counter":
+					c, err := structures.NewShardedCounter(0, 8)
+					must(err)
+					c.SetMetrics(sink)
+					c.SetContention(pol)
+					c.SetStallHook(sweepStall)
+					res = bench.Run(name, workers, sweepOps, func(w, i int) {
+						c.AddProc(w, 1)
+					})
+				case "stack", "elim-stack":
+					st, err := structures.NewStack(workers * 2)
+					must(err)
+					if structure == "elim-stack" {
+						must(st.EnableElimination((workers + 3) / 4))
+					}
+					st.SetMetrics(sink)
+					st.SetContention(pol)
+					st.SetStallHook(sweepStall)
+					res = bench.Run(name, workers, sweepOps, func(w, i int) {
+						if err := st.Push(uint64(w + 1)); err == nil {
+							st.Pop()
+						}
+					})
+				}
+				recordB(res, &backoff)
+				waits := "-"
+				if n := backoff.Count(); n > 0 {
+					waits = fmt.Sprintf("%.3f", float64(n)/float64(res.Ops))
+				}
+				t.AddRow(structure, polName, workers, bench.Throughput(res.OpsPerSec()), res.NsPerOp(), waits)
+			}
+		}
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println("With the widened window, backoff and adaptive keep waiters off the hot word while it is")
+	fmt.Println("vulnerable; the elimination array and the counter stripes absorb what backoff cannot.")
 }
 
 func must(err error) {

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCommittedContentionBaseline pins the headline claim of the
+// contention sweep against the committed BENCH_contention.json at the
+// repository root: for the stack and the plain counter at 8+ workers,
+// exponential backoff or the adaptive policy must beat retry-immediately.
+// Regenerate the file with `make bench-json` if the sweep changes shape.
+func TestCommittedContentionBaseline(t *testing.T) {
+	recs, err := ReadRecordsFile("../../BENCH_contention.json")
+	if err != nil {
+		t.Fatalf("committed contention baseline missing or unreadable: %v", err)
+	}
+	cells := make(map[string]float64, len(recs))
+	for _, r := range recs {
+		cells[r.Name] = r.NsPerOp
+	}
+	get := func(structure, policy string, workers int) float64 {
+		name := fmt.Sprintf("contention/%s/%s/p%d", structure, policy, workers)
+		ns, ok := cells[name]
+		if !ok || ns <= 0 {
+			t.Fatalf("baseline cell %q missing", name)
+		}
+		return ns
+	}
+	for _, structure := range []string{"stack", "counter"} {
+		for _, workers := range []int{8, 16} {
+			none := get(structure, "none", workers)
+			backoff := get(structure, "backoff", workers)
+			adaptive := get(structure, "adaptive", workers)
+			best := backoff
+			if adaptive < best {
+				best = adaptive
+			}
+			if best >= none {
+				t.Errorf("%s/p%d: none=%.0f ns/op, backoff=%.0f, adaptive=%.0f — managed contention does not win",
+					structure, workers, none, backoff, adaptive)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cross-run benchmark comparison. Raw ns/op is not comparable across
+// machines (or across a loaded vs idle CI runner), so Diff first
+// normalizes: the median current/baseline ratio across all common cells
+// estimates the overall machine-speed factor between the two runs, and
+// each cell is then judged by how far it deviates from that factor. A
+// uniform 2× slowdown (slower runner) flags nothing; one cell that is 2×
+// slower while its siblings are unchanged is a real regression.
+
+// DiffOptions parametrizes Diff.
+type DiffOptions struct {
+	// Threshold is the allowed fractional slowdown after normalization;
+	// 0.30 flags cells more than 30% slower than the run-wide trend.
+	Threshold float64
+}
+
+// CellDiff compares one benchmark cell across the two runs.
+type CellDiff struct {
+	Name       string  // cell name, e.g. "contention/stack/backoff/p8"
+	BaseNsOp   float64 // baseline ns/op
+	CurNsOp    float64 // current ns/op
+	Ratio      float64 // CurNsOp / BaseNsOp, raw
+	Normalized float64 // Ratio divided by the run-wide median ratio
+	Regressed  bool    // Normalized > 1 + Threshold
+}
+
+// DiffReport is the outcome of comparing two record sets.
+type DiffReport struct {
+	MedianRatio float64    // machine-speed factor between the runs
+	Cells       []CellDiff // one per cell present in both runs, by name
+	Regressions int        // number of cells with Regressed set
+}
+
+// Diff compares current against baseline records, matching cells by name.
+// Cells present in only one run are ignored (experiments may grow); it is
+// an error for the runs to share no cells at all, since that means the
+// comparison is vacuous.
+func Diff(baseline, current []Record, opt DiffOptions) (DiffReport, error) {
+	base := make(map[string]Record, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var cells []CellDiff
+	for _, cur := range current {
+		b, ok := base[cur.Name]
+		if !ok || b.NsPerOp <= 0 || cur.NsPerOp <= 0 {
+			continue
+		}
+		cells = append(cells, CellDiff{
+			Name:     cur.Name,
+			BaseNsOp: b.NsPerOp,
+			CurNsOp:  cur.NsPerOp,
+			Ratio:    cur.NsPerOp / b.NsPerOp,
+		})
+	}
+	if len(cells) == 0 {
+		return DiffReport{}, fmt.Errorf("bench: no common cells between baseline (%d records) and current (%d records)", len(baseline), len(current))
+	}
+	ratios := make([]float64, len(cells))
+	for i, c := range cells {
+		ratios[i] = c.Ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	rep := DiffReport{MedianRatio: median}
+	for _, c := range cells {
+		c.Normalized = c.Ratio / median
+		c.Regressed = c.Normalized > 1+opt.Threshold
+		if c.Regressed {
+			rep.Regressions++
+		}
+		rep.Cells = append(rep.Cells, c)
+	}
+	sort.Slice(rep.Cells, func(i, j int) bool { return rep.Cells[i].Name < rep.Cells[j].Name })
+	return rep, nil
+}

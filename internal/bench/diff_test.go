@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func rec(name string, nsop float64) Record {
+	return Record{Schema: Schema, Name: name, NsPerOp: nsop}
+}
+
+func TestDiffUniformSlowdownIsNotARegression(t *testing.T) {
+	base := []Record{rec("a", 100), rec("b", 200), rec("c", 50)}
+	cur := []Record{rec("a", 300), rec("b", 600), rec("c", 150)} // 3x across the board
+	rep, err := Diff(base, cur, DiffOptions{Threshold: 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MedianRatio != 3 {
+		t.Fatalf("median ratio %v, want 3", rep.MedianRatio)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("uniform slowdown flagged %d regressions: %+v", rep.Regressions, rep.Cells)
+	}
+}
+
+func TestDiffFlagsOutlierCell(t *testing.T) {
+	base := []Record{rec("a", 100), rec("b", 100), rec("c", 100), rec("d", 100), rec("e", 100)}
+	cur := []Record{rec("a", 110), rec("b", 105), rec("c", 100), rec("d", 108), rec("e", 200)}
+	rep, err := Diff(base, cur, DiffOptions{Threshold: 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("want exactly 1 regression, got %d: %+v", rep.Regressions, rep.Cells)
+	}
+	for _, c := range rep.Cells {
+		if c.Regressed != (c.Name == "e") {
+			t.Fatalf("cell %q regressed=%v: %+v", c.Name, c.Regressed, c)
+		}
+	}
+}
+
+func TestDiffJustUnderThresholdPasses(t *testing.T) {
+	base := []Record{rec("a", 100), rec("b", 100), rec("c", 100)}
+	cur := []Record{rec("a", 100), rec("b", 100), rec("c", 129)}
+	rep, err := Diff(base, cur, DiffOptions{Threshold: 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("29%% deviation flagged: %+v", rep.Cells)
+	}
+}
+
+func TestDiffIgnoresUnmatchedCells(t *testing.T) {
+	base := []Record{rec("a", 100), rec("gone", 1)}
+	cur := []Record{rec("a", 100), rec("new", 999)}
+	rep, err := Diff(base, cur, DiffOptions{Threshold: 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Name != "a" {
+		t.Fatalf("want only cell a compared, got %+v", rep.Cells)
+	}
+}
+
+func TestDiffNoCommonCellsErrors(t *testing.T) {
+	if _, err := Diff([]Record{rec("a", 1)}, []Record{rec("b", 1)}, DiffOptions{}); err == nil {
+		t.Fatal("vacuous comparison did not error")
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	in := []Record{rec("a", 12.5), rec("b", 7)}
+	if err := WriteRecordsFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRecordsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestReadRecordsFileRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	bad := []Record{{Schema: "llsc-bench/v999", Name: "a", NsPerOp: 1}}
+	if err := WriteRecordsFile(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRecordsFile(path); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}

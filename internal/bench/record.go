@@ -30,6 +30,7 @@ type Record struct {
 	Counters  map[string]uint64 `json:"counters,omitempty"`
 	Retries   *obs.HistSnapshot `json:"retries,omitempty"`
 	Latency   *obs.HistSnapshot `json:"latency,omitempty"`
+	Backoff   *obs.HistSnapshot `json:"backoff_ns,omitempty"`
 }
 
 // NewRecord converts a Result into a Record. counters is the obs counter
@@ -63,6 +64,36 @@ func (rec Record) WithHists(retries, latency *obs.Hist) Record {
 		rec.Latency = &s
 	}
 	return rec
+}
+
+// WithBackoff attaches the contention policy's per-wait duration
+// histogram (see contention.Policy.SetBackoffHist); nil or empty
+// histograms are dropped.
+func (rec Record) WithBackoff(backoff *obs.Hist) Record {
+	if backoff.Count() > 0 {
+		s := backoff.Snapshot()
+		rec.Backoff = &s
+	}
+	return rec
+}
+
+// ReadRecordsFile reads a BENCH_*.json record array written by
+// WriteRecordsFile, rejecting records with an unknown schema.
+func ReadRecordsFile(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	for i, r := range recs {
+		if r.Schema != Schema {
+			return nil, fmt.Errorf("bench: %s record %d has schema %q, want %q", path, i, r.Schema, Schema)
+		}
+	}
+	return recs, nil
 }
 
 // WriteRecords writes recs to w as indented JSON, one top-level array.

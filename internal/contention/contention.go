@@ -1,0 +1,492 @@
+// Package contention provides pluggable contention management for the
+// SC/CAS retry loops that realize the paper's Figures 3-7 and the data
+// structures built on them.
+//
+// Every algorithm in the paper is an optimistic loop: LL (or RLL), compute,
+// SC (or RSC), retry on failure. The theorems guarantee such loops are
+// lock-free — an SC fails only because another SC succeeded — but they say
+// nothing about *throughput* under contention, and in practice naked retry
+// loops collapse at high processor counts: every failed SC re-enters the
+// race immediately, so the window of each winner is crowded with losers
+// whose retries invalidate each other. Related work on scalable primitives
+// (Ha, Tsigas & Anshus, NB-FEB) identifies retry-loop contention, not
+// primitive semantics, as the dominant scalability limit.
+//
+// This package separates the *what to do on a failed attempt* decision
+// from the loops themselves. A retry site keeps a Waiter (a two-word,
+// allocation-free value) and calls Waiter.Wait after each failed attempt,
+// passing the configured Policy and the failure's Cause. The policies:
+//
+//   - None: retry immediately (the pre-contention-management behaviour),
+//     except that every noneYieldEvery-th consecutive failure yields the
+//     processor, so a retry loop can never starve the very goroutine whose
+//     SC it is waiting on when GOMAXPROCS=1.
+//   - Spin: a fixed busy-wait between attempts — classic constant backoff.
+//   - ExponentialBackoff: the busy-wait doubles with each consecutive
+//     failure, up to a cap, with jitter drawn from a deterministic
+//     per-process PRNG (see "Determinism" below) so that symmetric losers
+//     don't re-collide in lockstep.
+//   - Adaptive: backs off like ExponentialBackoff but only on
+//     Interference failures — never on Spurious ones. The paper proves
+//     (Theorems 1, 3) that spurious RSC failures cost only bounded extra
+//     loops and carry no information about other processes, so backing
+//     off on them wastes exactly the latency the theorems bound; an
+//     interference failure, by contrast, proves another process succeeded
+//     and predicts a crowded variable. When a metrics sink is attached,
+//     Adaptive additionally samples the obs SC-failure-by-cause counters
+//     (sc_fail_interference vs sc_fail_spurious/sc_retry) and raises or
+//     lowers a shared congestion level, so its ceiling tracks the
+//     observed interference mix of the whole workload.
+//
+// # Lock-freedom
+//
+// Policies only ever insert a finite wait (at most Policy.WaitBound spin
+// units — the cap is a hard bound, not a heuristic) between attempts, and
+// never acquire anything: a process that stalls or crashes mid-wait delays
+// nobody else. Threading a policy through a lock-free loop therefore
+// preserves lock-freedom: in any schedule in which a successful SC is
+// enabled, the process attempting it reaches the SC after a bounded number
+// of wait units. The exhaustive-interleaving tests in sched_test.go check
+// this for every policy over every schedule of small workloads.
+//
+// # Determinism
+//
+// Waits perform no shared-memory operations on the simulated machine and
+// hit no scheduling points of the internal/sched controller, so a policy
+// never changes the scheduling tree: the exhaustive explorer's replayed
+// decision prefixes reach identical ready sets with or without contention
+// management (the schedule-determinism tests assert this). Backoff jitter
+// comes from a per-Waiter xorshift PRNG seeded from the policy seed and
+// the caller's process id (or a policy-level sequence for ambient
+// callers), never from the wall clock or math/rand's global state.
+package contention
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Cause classifies a failed SC/CAS attempt, mirroring the obs taxonomy's
+// split of SC failures.
+type Cause uint8
+
+const (
+	// Interference: the attempt failed because another process's SC
+	// succeeded (sc_fail_interference) — the variable is contended.
+	Interference Cause = iota
+	// Spurious: the attempt failed spuriously (sc_fail_spurious /
+	// sc_retry) — injected RSC failures on the simulated machine,
+	// impossible on real CAS hardware. Carries no contention signal.
+	Spurious
+)
+
+// Ambient is the proc argument for call sites without a paper-style
+// process identity (the hardware-path primitives of Figure 4). Jitter
+// seeds then come from a policy-level sequence instead of the process id.
+const Ambient = -1
+
+// Kind enumerates the built-in policies.
+type Kind uint8
+
+const (
+	KindNone Kind = iota
+	KindSpin
+	KindBackoff
+	KindAdaptive
+)
+
+// Tuning constants. A "unit" is one execution of relax (roughly tens of
+// nanoseconds of pure computation); yields are interleaved so that large
+// waits release the processor on GOMAXPROCS=1 hosts.
+const (
+	// noneYieldEvery: under None (or no policy), every this-many
+	// consecutive failures trigger a runtime.Gosched. This is the audit
+	// fix for unbounded naked spinning: bounded spinning between yields.
+	noneYieldEvery = 64
+	// yieldEveryUnits: within one wait, every this-many spin units yield
+	// instead of spinning.
+	yieldEveryUnits = 8
+	// relaxIters: iterations of the mixing loop per spin unit.
+	relaxIters = 24
+	// maxShift caps the backoff exponent so base<<e cannot overflow.
+	maxShift = 16
+	// adaptiveSampleEvery: Adaptive consults the metrics snapshot every
+	// this-many waits (per policy, across all waiters).
+	adaptiveSampleEvery = 32
+	// adaptiveMaxLevel bounds the shared congestion level.
+	adaptiveMaxLevel = 8
+
+	// DefaultBase and DefaultMax are the default backoff window in spin
+	// units for ExponentialBackoff and Adaptive.
+	DefaultBase = 16
+	DefaultMax  = 4096
+	// DefaultSpin is the default fixed wait for Spin.
+	DefaultSpin = 64
+)
+
+// Policy is an immutable-after-setup description of one contention-
+// management strategy plus its shared adaptive state and observability
+// sinks. A nil *Policy is valid everywhere and behaves exactly like
+// None(): retry at once, yielding every noneYieldEvery-th failure.
+//
+// A single Policy may be shared by any number of loops and goroutines;
+// per-loop state lives in the caller's Waiter.
+type Policy struct {
+	kind Kind
+	spin uint32 // fixed wait for KindSpin
+	base uint32 // initial backoff window
+	max  uint32 // backoff cap (hard bound on any single wait)
+	seed uint64
+
+	seq   atomic.Uint64 // ambient waiter seed sequence
+	waits atomic.Uint64 // total waits, drives adaptive sampling
+	level atomic.Int32  // adaptive congestion level (0..adaptiveMaxLevel)
+
+	lastInterf atomic.Uint64 // counter values at the previous sample
+	lastSpur   atomic.Uint64
+
+	m    *obs.Metrics
+	hist *obs.Hist
+}
+
+// None returns the do-nothing policy: retry immediately, with the
+// periodic yield that bounds naked spinning.
+func None() *Policy { return &Policy{kind: KindNone} }
+
+// Spin returns a constant-backoff policy waiting the given number of spin
+// units (DefaultSpin if units <= 0) between attempts.
+func Spin(units int) *Policy {
+	if units <= 0 {
+		units = DefaultSpin
+	}
+	return &Policy{kind: KindSpin, spin: uint32(units)}
+}
+
+// ExponentialBackoff returns a policy whose wait doubles with each
+// consecutive failure from base up to max spin units (defaults for
+// non-positive arguments), with deterministic jitter.
+func ExponentialBackoff(base, max int) *Policy {
+	b, m := clampWindow(base, max)
+	return &Policy{kind: KindBackoff, base: b, max: m}
+}
+
+// Adaptive returns a policy that backs off exponentially on Interference
+// failures only, never on Spurious ones, and — when a metrics sink is
+// attached — adapts its ceiling to the observed failure-cause mix.
+func Adaptive(base, max int) *Policy {
+	b, m := clampWindow(base, max)
+	return &Policy{kind: KindAdaptive, base: b, max: m}
+}
+
+func clampWindow(base, max int) (uint32, uint32) {
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	if max < base {
+		max = base
+	}
+	return uint32(base), uint32(max)
+}
+
+// ByName builds a policy with default parameters from its stable name, as
+// used by the llscbench -policy flag.
+func ByName(name string) (*Policy, error) {
+	switch name {
+	case "none":
+		return None(), nil
+	case "spin":
+		return Spin(0), nil
+	case "backoff":
+		return ExponentialBackoff(0, 0), nil
+	case "adaptive":
+		return Adaptive(0, 0), nil
+	}
+	return nil, fmt.Errorf("contention: unknown policy %q (want one of %v)", name, Names())
+}
+
+// Names returns the stable policy names accepted by ByName.
+func Names() []string { return []string{"none", "spin", "backoff", "adaptive"} }
+
+// Name returns the policy's stable name. Safe on nil (reports "none").
+func (p *Policy) Name() string {
+	if p == nil {
+		return "none"
+	}
+	switch p.kind {
+	case KindSpin:
+		return "spin"
+	case KindBackoff:
+		return "backoff"
+	case KindAdaptive:
+		return "adaptive"
+	}
+	return "none"
+}
+
+// Kind returns the policy kind. Safe on nil (reports KindNone).
+func (p *Policy) Kind() Kind {
+	if p == nil {
+		return KindNone
+	}
+	return p.kind
+}
+
+// WithSeed sets the jitter seed (for reproducible experiments) and
+// returns the policy for chaining. Call before the policy is shared.
+func (p *Policy) WithSeed(seed uint64) *Policy {
+	p.seed = seed
+	return p
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables, the
+// default): waits are counted under backoff_waits, and Adaptive consults
+// the sink's SC-failure-by-cause counters. Attach before the policy is
+// shared between goroutines.
+func (p *Policy) SetMetrics(m *obs.Metrics) {
+	if p != nil {
+		p.m = m
+	}
+}
+
+// SetBackoffHist attaches an optional histogram recording the wall-clock
+// nanoseconds of each wait (backoff_ns_hist in bench records). Recording
+// costs two clock reads per wait; nil (the default) disables. Safe on
+// nil policies.
+func (p *Policy) SetBackoffHist(h *obs.Hist) {
+	if p != nil {
+		p.hist = h
+	}
+}
+
+// WaitBound returns the hard upper bound, in spin units, of any single
+// wait this policy can insert — the quantity the lock-freedom argument
+// rests on. Safe on nil (0: no wait beyond the periodic yield).
+func (p *Policy) WaitBound() int {
+	if p == nil {
+		return 0
+	}
+	switch p.kind {
+	case KindSpin:
+		return int(p.spin)
+	case KindBackoff, KindAdaptive:
+		return int(p.max)
+	}
+	return 0
+}
+
+// Level returns Adaptive's current shared congestion level (always 0 for
+// other kinds). Exposed for tests and reports.
+func (p *Policy) Level() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.level.Load())
+}
+
+// Waiter is the per-retry-loop state: a consecutive-failure count and a
+// jitter PRNG. The zero value is ready to use; a Waiter must not be
+// shared between goroutines. It is deliberately a small value type so
+// retry loops can keep one on the stack without allocating.
+type Waiter struct {
+	attempt uint32
+	rng     uint64
+}
+
+// Attempts returns the number of failed attempts waited on so far.
+func (w *Waiter) Attempts() int { return int(w.attempt) }
+
+// Reset clears the consecutive-failure count (the jitter PRNG keeps its
+// state). Call it when the loop makes progress by other means, e.g. after
+// an elimination hit.
+func (w *Waiter) Reset() { w.attempt = 0 }
+
+// Wait is called after a failed SC/CAS attempt: it blocks the calling
+// goroutine for the policy-determined bounded duration (possibly zero)
+// before the loop retries. proc is the caller's paper-style process id,
+// or Ambient. Safe with a nil policy.
+func (w *Waiter) Wait(p *Policy, proc int, cause Cause) {
+	w.attempt++
+	if p == nil || p.kind == KindNone {
+		if w.attempt%noneYieldEvery == 0 {
+			runtime.Gosched()
+		}
+		return
+	}
+	if w.rng == 0 {
+		if proc >= 0 {
+			w.Seed(p, proc)
+		} else {
+			w.seedAmbient(p)
+		}
+	}
+	units := p.waitUnits(w, cause)
+	if units == 0 {
+		// Cause-gated to nothing (Adaptive on Spurious): keep the
+		// periodic yield so bounded spinning still holds.
+		if w.attempt%noneYieldEvery == 0 {
+			runtime.Gosched()
+		}
+		return
+	}
+	if proc >= 0 {
+		p.m.IncProc(proc, obs.CtrBackoffWaits)
+	} else {
+		p.m.Inc(obs.CtrBackoffWaits)
+	}
+	if p.hist != nil {
+		t0 := time.Now()
+		w.spinWait(units)
+		p.hist.ObserveDuration(time.Since(t0))
+		return
+	}
+	w.spinWait(units)
+}
+
+// waitUnits computes the length of this wait in spin units.
+func (p *Policy) waitUnits(w *Waiter, cause Cause) uint32 {
+	switch p.kind {
+	case KindSpin:
+		return p.spin
+	case KindBackoff:
+		return p.backoffUnits(w, 0)
+	case KindAdaptive:
+		if cause == Spurious {
+			// Theorems 1 and 3: spurious failures cost bounded extra
+			// loops and imply nothing about contention. Retry at once.
+			return 0
+		}
+		p.sampleMaybe()
+		return p.backoffUnits(w, uint32(p.level.Load()))
+	}
+	return 0
+}
+
+// backoffUnits returns base << (attempt-1+boost), capped at max, with
+// jitter drawn uniformly from [u/2, u).
+func (p *Policy) backoffUnits(w *Waiter, boost uint32) uint32 {
+	e := w.attempt - 1 + boost
+	if e > maxShift {
+		e = maxShift
+	}
+	u := p.base << e
+	if u > p.max || u < p.base { // "< base" catches shift overflow
+		u = p.max
+	}
+	if half := u / 2; half > 0 {
+		u = half + uint32(w.next()%uint64(half))
+	}
+	return u
+}
+
+// sampleMaybe periodically folds the metrics' failure-cause split into the
+// shared congestion level: interference-dominated intervals raise it,
+// spurious-dominated (or quiet) intervals lower it.
+func (p *Policy) sampleMaybe() {
+	if p.m == nil {
+		return
+	}
+	if p.waits.Add(1)%adaptiveSampleEvery != 0 {
+		return
+	}
+	s := p.m.Snapshot()
+	interf := s.Get(obs.CtrSCFailInterference) + s.Get(obs.CtrRSCFailInterference) + s.Get(obs.CtrCASRetry)
+	spur := s.Get(obs.CtrSCFailSpurious) + s.Get(obs.CtrRSCFailSpurious) + s.Get(obs.CtrSCRetry)
+	dInterf := interf - p.lastInterf.Swap(interf)
+	dSpur := spur - p.lastSpur.Swap(spur)
+	switch {
+	case dInterf > dSpur:
+		if lv := p.level.Load(); lv < adaptiveMaxLevel {
+			p.level.CompareAndSwap(lv, lv+1)
+		}
+	default:
+		if lv := p.level.Load(); lv > 0 {
+			p.level.CompareAndSwap(lv, lv-1)
+		}
+	}
+}
+
+// next advances the waiter's xorshift64* jitter PRNG, lazily seeding it
+// from the policy seed and (via Wait's caller) the ambient sequence.
+func (w *Waiter) next() uint64 {
+	x := w.rng
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15 // overwritten below by the first step
+	}
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	w.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Seed deterministically seeds the waiter's jitter PRNG for process proc
+// under policy p. Retry sites that carry a process id call this once
+// before the loop; ambient sites skip it and get a policy-sequence seed
+// on first use via Wait.
+func (w *Waiter) Seed(p *Policy, proc int) {
+	var seed uint64
+	if p != nil {
+		seed = p.seed
+	}
+	w.rng = splitmix64(seed ^ (uint64(proc+2) * 0xBF58476D1CE4E5B9))
+}
+
+// seedAmbient gives unseeded waiters a policy-unique stream.
+func (w *Waiter) seedAmbient(p *Policy) {
+	w.rng = splitmix64(p.seed ^ p.seq.Add(1)*0x94D049BB133111EB)
+}
+
+// ambientSeq seeds waiters that call Rand with no policy attached, so
+// distinct waiters still get distinct streams.
+var ambientSeq atomic.Uint64
+
+// Rand returns the next value of the waiter's deterministic PRNG, lazily
+// seeding it exactly as Wait does (distinct waiters get distinct
+// streams). Retry sites use it for randomized choices that should stay
+// reproducible alongside the backoff jitter — elimination-slot and
+// combining-stripe selection. p may be nil.
+func (w *Waiter) Rand(p *Policy) uint64 {
+	if w.rng == 0 {
+		if p != nil {
+			w.seedAmbient(p)
+		} else {
+			w.rng = splitmix64(ambientSeq.Add(1) * 0x9E3779B97F4A7C15)
+		}
+	}
+	return w.next()
+}
+
+// splitmix64 is the standard seed scrambler; output is never 0 for the
+// inputs used here (and a 0 rng self-heals in next).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// spinWait burns the given number of spin units, yielding the processor
+// every yieldEveryUnits-th unit so large backoffs release a single-P
+// runtime to the very goroutines whose SCs this loop is yielding to.
+func (w *Waiter) spinWait(units uint32) {
+	s := w.rng
+	for u := uint32(0); u < units; u++ {
+		if u%yieldEveryUnits == yieldEveryUnits-1 {
+			runtime.Gosched()
+			continue
+		}
+		for i := 0; i < relaxIters; i++ {
+			s = s*2862933555777941757 + 3037000493
+		}
+	}
+	// Fold the mixing result back into the PRNG state so the compiler
+	// cannot elide the busy loop.
+	w.rng ^= s | 1
+}

@@ -1,0 +1,241 @@
+package contention
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestNamesRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if got := p.Name(); got != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, got)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope): want error")
+	}
+}
+
+func TestNilPolicySafe(t *testing.T) {
+	var p *Policy
+	if p.Name() != "none" || p.Kind() != KindNone || p.WaitBound() != 0 || p.Level() != 0 {
+		t.Fatal("nil policy accessors")
+	}
+	p.SetMetrics(obs.New())
+	p.SetBackoffHist(&obs.Hist{})
+	var w Waiter
+	for i := 0; i < 3*noneYieldEvery; i++ {
+		w.Wait(p, Ambient, Interference)
+	}
+	if w.Attempts() != 3*noneYieldEvery {
+		t.Fatalf("attempts = %d", w.Attempts())
+	}
+}
+
+func TestWaitBound(t *testing.T) {
+	cases := []struct {
+		p    *Policy
+		want int
+	}{
+		{None(), 0},
+		{Spin(100), 100},
+		{Spin(0), DefaultSpin},
+		{ExponentialBackoff(8, 256), 256},
+		{ExponentialBackoff(0, 0), DefaultMax},
+		{Adaptive(32, 64), 64},
+		{Adaptive(128, 4), 128}, // max < base clamps up to base
+	}
+	for _, c := range cases {
+		if got := c.p.WaitBound(); got != c.want {
+			t.Errorf("%s WaitBound = %d, want %d", c.p.Name(), got, c.want)
+		}
+	}
+}
+
+// Backoff windows must grow exponentially with consecutive failures, stay
+// within [base/2, max), and be jittered deterministically: the same seed
+// and proc reproduce the same wait sequence exactly.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	sequence := func(seed uint64, proc int) []uint32 {
+		p := ExponentialBackoff(16, 4096).WithSeed(seed)
+		var w Waiter
+		w.Seed(p, proc)
+		var out []uint32
+		for i := 0; i < 12; i++ {
+			w.attempt++
+			out = append(out, p.backoffUnits(&w, 0))
+		}
+		return out
+	}
+	a := sequence(1, 0)
+	b := sequence(1, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := sequence(1, 1)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct procs produced identical jitter streams")
+	}
+	// Envelope: attempt k draws from [u/2, u) with u = min(16<<(k-1), 4096).
+	for k, got := range a {
+		u := uint32(16) << k
+		if u > 4096 {
+			u = 4096
+		}
+		if got < u/2 || got >= u {
+			t.Fatalf("attempt %d: wait %d outside [%d,%d)", k+1, got, u/2, u)
+		}
+	}
+}
+
+func TestSpinWaitsFixedUnits(t *testing.T) {
+	p := Spin(7)
+	var w Waiter
+	for i := 0; i < 5; i++ {
+		w.attempt++
+		if got := p.waitUnits(&w, Interference); got != 7 {
+			t.Fatalf("spin wait = %d, want 7", got)
+		}
+	}
+}
+
+// Adaptive must never back off on spurious failures (Theorems 1, 3: they
+// carry no contention information) and must back off on interference.
+func TestAdaptiveCauseGating(t *testing.T) {
+	p := Adaptive(16, 4096)
+	var w Waiter
+	w.Seed(p, 0)
+	w.attempt = 5
+	if got := p.waitUnits(&w, Spurious); got != 0 {
+		t.Fatalf("adaptive wait on spurious = %d, want 0", got)
+	}
+	if got := p.waitUnits(&w, Interference); got == 0 {
+		t.Fatal("adaptive wait on interference = 0, want > 0")
+	}
+}
+
+// Waits with zero units (None, Adaptive-on-spurious) must not count as
+// backoff_waits; waits with units must.
+func TestBackoffWaitsCounter(t *testing.T) {
+	m := obs.NewWithStripes(1)
+
+	p := Adaptive(1, 2)
+	p.SetMetrics(m)
+	var w Waiter
+	w.Seed(p, 3)
+	w.Wait(p, 3, Spurious)
+	if got := m.Snapshot().Get(obs.CtrBackoffWaits); got != 0 {
+		t.Fatalf("spurious wait counted: backoff_waits = %d", got)
+	}
+	w.Wait(p, 3, Interference)
+	w.Wait(p, Ambient, Interference)
+	if got := m.Snapshot().Get(obs.CtrBackoffWaits); got != 2 {
+		t.Fatalf("backoff_waits = %d, want 2", got)
+	}
+}
+
+func TestBackoffHist(t *testing.T) {
+	p := ExponentialBackoff(1, 4)
+	h := &obs.Hist{}
+	p.SetBackoffHist(h)
+	var w Waiter
+	w.Seed(p, 0)
+	for i := 0; i < 10; i++ {
+		w.Wait(p, 0, Interference)
+	}
+	if h.Count() == 0 {
+		t.Fatal("histogram recorded nothing")
+	}
+}
+
+func TestResetClearsAttempts(t *testing.T) {
+	p := ExponentialBackoff(16, 4096)
+	var w Waiter
+	w.Seed(p, 0)
+	for i := 0; i < 8; i++ {
+		w.Wait(p, 0, Interference)
+	}
+	if w.Attempts() != 8 {
+		t.Fatalf("attempts = %d", w.Attempts())
+	}
+	w.Reset()
+	if w.Attempts() != 0 {
+		t.Fatal("Reset did not clear attempts")
+	}
+	// After reset the window restarts at base.
+	w.attempt = 1
+	if got := p.backoffUnits(&w, 0); got >= 16 {
+		t.Fatalf("post-reset wait %d, want < base 16", got)
+	}
+}
+
+// Adaptive's shared congestion level must rise when the observed failure
+// mix is interference-dominated and fall when it is spurious-dominated.
+func TestAdaptiveLevelTracksCauseMix(t *testing.T) {
+	m := obs.NewWithStripes(1)
+	p := Adaptive(1, 2)
+	p.SetMetrics(m)
+	var w Waiter
+	w.Seed(p, 0)
+
+	drive := func(ctr obs.Counter) {
+		for i := 0; i < 4*adaptiveSampleEvery; i++ {
+			m.Add(ctr, 10)
+			w.Wait(p, 0, Interference)
+		}
+	}
+	drive(obs.CtrSCFailInterference)
+	if p.Level() == 0 {
+		t.Fatal("level did not rise under interference-dominated mix")
+	}
+	drive(obs.CtrSCFailSpurious)
+	if p.Level() != 0 {
+		t.Fatalf("level = %d, want 0 after spurious-dominated mix", p.Level())
+	}
+}
+
+// A wait must actually take time proportional to its units (sanity check
+// that the busy loop is not compiled away), yet stay bounded.
+func TestSpinWaitBurnsTime(t *testing.T) {
+	var w Waiter
+	w.rng = 1
+	t0 := time.Now()
+	for i := 0; i < 1000; i++ {
+		w.spinWait(4)
+	}
+	if time.Since(t0) <= 0 {
+		t.Fatal("spinWait took no measurable time")
+	}
+}
+
+// The hot path must not allocate: a Waiter lives on the caller's stack and
+// Wait performs no heap allocation for any policy.
+func TestWaitAllocFree(t *testing.T) {
+	m := obs.NewWithStripes(1)
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		p.SetMetrics(m)
+		var w Waiter
+		w.Seed(p, 0)
+		allocs := testing.AllocsPerRun(200, func() {
+			w.Wait(p, 0, Interference)
+		})
+		if allocs != 0 {
+			t.Errorf("policy %s: Wait allocates %.1f/op", name, allocs)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package contention_test
+
+import (
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/word"
+)
+
+// These tests pin down the two properties that make a contention policy
+// safe to thread through every SC retry loop in the repository:
+//
+//  1. Schedule determinism. A policy wait is pure computation plus
+//     runtime.Gosched — it performs no shared-memory machine operation
+//     and never calls Controller.Step — so the scheduling tree of any
+//     workload is byte-for-byte identical with and without a policy, and
+//     identical across repeated explorations. If a future policy change
+//     broke this (say, by probing a shared word while waiting), the
+//     exhaustive explorer would see a different tree shape and these
+//     tests would fail.
+//
+//  2. Lock-freedom preservation. In every reachable schedule the
+//     workload terminates with the correct final value: there is no
+//     schedule in which a successful SC exists but every process waits
+//     forever, because each wait is bounded (WaitBound) and each failed
+//     SC implies some other SC succeeded (interference) or the failure
+//     was spurious and injected finitely often.
+var testLayout = word.MustLayout(16)
+
+// explore runs the canonical increment workload — 2 processes, 2 LL/SC
+// increments each, one injected spurious RSC failure per process — under
+// pol and returns the exploration result. Every complete schedule checks
+// the final counter value.
+func explore(t *testing.T, mkPolicy func() *contention.Policy, maxRuns int) sched.ExhaustiveResult {
+	t.Helper()
+	const procs, incs = 2, 1
+	res, err := sched.ExploreExhaustive(procs, maxRuns, func(ctrl *sched.Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: procs, Scheduler: ctrl})
+		v, err := core.NewRVar(m, testLayout, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := mkPolicy()
+		met := obs.New()
+		pol.SetMetrics(met)
+		v.SetMetrics(met)
+		v.SetContention(pol)
+		workload := func(id int) {
+			p := m.Proc(id)
+			p.FailNext(1) // deterministic spurious RSC failure
+			for i := 0; i < incs; i++ {
+				var w contention.Waiter
+				for ; ; w.Wait(pol, id, contention.Interference) {
+					old, keep := v.LL(p)
+					if v.SC(p, keep, old+1) {
+						break
+					}
+				}
+			}
+		}
+		check := func() error {
+			if got := v.Read(m.Proc(0)); got != procs*incs {
+				t.Errorf("final value %d, want %d", got, procs*incs)
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPolicyScheduleDeterminism explores the workload twice per policy and
+// requires identical tree shapes — and, across policies, the same shape as
+// the no-policy baseline, proving waits are invisible to the scheduler.
+func TestPolicyScheduleDeterminism(t *testing.T) {
+	const maxRuns = 200000
+	baseline := explore(t, func() *contention.Policy { return nil }, maxRuns)
+	if !baseline.Exhausted {
+		t.Fatalf("baseline tree not exhausted in %d schedules", baseline.Schedules)
+	}
+	t.Logf("baseline: %d schedules, max depth %d", baseline.Schedules, baseline.MaxDepth)
+	for _, name := range contention.Names() {
+		t.Run(name, func(t *testing.T) {
+			mk := func() *contention.Policy {
+				p, err := contention.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p.WithSeed(1)
+			}
+			first := explore(t, mk, maxRuns)
+			second := explore(t, mk, maxRuns)
+			if !first.Exhausted || !second.Exhausted {
+				t.Fatalf("tree not exhausted: first %+v second %+v", first, second)
+			}
+			if first != second {
+				t.Fatalf("policy %q not schedule-deterministic: %+v vs %+v", name, first, second)
+			}
+			if first != baseline {
+				t.Fatalf("policy %q perturbed the scheduling tree: %+v vs baseline %+v", name, first, baseline)
+			}
+		})
+	}
+}
+
+// TestPolicyPreservesLockFreedom drives a single process through a burst
+// of injected spurious failures under each policy and requires the SC
+// loop to terminate — with nobody else running, every wait must return
+// and the retry must eventually succeed. Combined with the exhaustive
+// exploration above (which proves every 2-process schedule terminates
+// with the correct value), this checks the paper's progress guarantee
+// survives the policy layer: waits are bounded, so a process waits
+// forever only if SC fails forever, which interference cannot cause
+// without another SC succeeding.
+func TestPolicyPreservesLockFreedom(t *testing.T) {
+	for _, name := range contention.Names() {
+		t.Run(name, func(t *testing.T) {
+			pol, err := contention.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pol.Kind() != contention.KindNone && pol.WaitBound() == 0 {
+				t.Fatalf("policy %q reports an unbounded wait", name)
+			}
+			m := machine.MustNew(machine.Config{Procs: 1})
+			v, err := core.NewRVar(m, testLayout, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.SetContention(pol)
+			p := m.Proc(0)
+			const incs = 50
+			for i := 0; i < incs; i++ {
+				p.FailNext(3)
+				var w contention.Waiter
+				for ; ; w.Wait(pol, 0, contention.Interference) {
+					old, keep := v.LL(p)
+					if v.SC(p, keep, old+1) {
+						break
+					}
+				}
+				// Solo with 3 injected spurious failures, SC must land by
+				// the 4th outer attempt; more means lost progress.
+				if a := w.Attempts(); a > 4 {
+					t.Fatalf("inc %d took %d outer attempts solo", i, a)
+				}
+			}
+			if got := v.Read(p); got != incs {
+				t.Fatalf("final value %d, want %d", got, incs)
+			}
+		})
+	}
+}

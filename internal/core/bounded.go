@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/contention"
 	"repro/internal/obs"
 	"repro/internal/word"
 )
@@ -38,6 +39,7 @@ type BoundedFamily struct {
 	a        []atomic.Uint64
 	procs    []*BoundedProc
 	obs      *obs.Metrics
+	cm       *contention.Policy
 }
 
 // Field indices of Figure 7's wordtype = record tag; cnt; pid; val end.
@@ -115,6 +117,16 @@ func MustNewBoundedFamily(cfg BoundedConfig) *BoundedFamily {
 // disables); every variable created from the family reports through it.
 // TagRecycle exposes Figure 7's bounded-tag feedback work.
 func (f *BoundedFamily) SetMetrics(m *obs.Metrics) { f.obs = m }
+
+// SetContention attaches a contention-management policy. Figure 7's SC is
+// a single CAS with no internal retry loop (the tag queue absorbs the
+// bookkeeping), so the family itself never waits; the policy is exposed
+// through Contention for the LL/SC retry loops of the family's consumers,
+// keeping one knob per family like SetMetrics. Set before sharing.
+func (f *BoundedFamily) SetContention(p *contention.Policy) { f.cm = p }
+
+// Contention returns the policy attached via SetContention (nil if none).
+func (f *BoundedFamily) Contention() *contention.Policy { return f.cm }
 
 // Procs returns N.
 func (f *BoundedFamily) Procs() int { return f.n }

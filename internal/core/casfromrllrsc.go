@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/contention"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/word"
@@ -21,6 +22,7 @@ type CASVar struct {
 	w      *machine.Word
 	layout word.Layout
 	obs    *obs.Metrics
+	cm     *contention.Policy
 }
 
 // NewCASVar allocates a variable on machine m holding initial, using the
@@ -41,6 +43,12 @@ func (v *CASVar) Layout() word.Layout { return v.layout }
 // Metrics.MachineObserver on the machine for instruction-level counts and
 // the spurious/interference failure split.
 func (v *CASVar) SetMetrics(m *obs.Metrics) { v.obs = m }
+
+// SetContention attaches a contention-management policy for the internal
+// RLL/RSC retry loop. Retries there are caused only by spurious RSC
+// failures, so the policy is consulted with cause Spurious — Adaptive
+// will never back off here, by design. Set before the Var is shared.
+func (v *CASVar) SetContention(p *contention.Policy) { v.cm = p }
 
 // Read returns the current value. It linearizes at the underlying load.
 func (v *CASVar) Read(p *machine.Proc) uint64 {
@@ -68,6 +76,7 @@ func (v *CASVar) CompareAndSwap(p *machine.Proc, old, new uint64) bool {
 		return true
 	}
 	newword := v.layout.Bump(oldword, new) // line 4: (tag ⊕ 1, new)
+	var cw contention.Waiter
 	for i := 0; ; i++ {
 		if i > 0 {
 			// Extra RLL/RSC loops are caused only by spurious RSC
@@ -81,5 +90,6 @@ func (v *CASVar) CompareAndSwap(p *machine.Proc, old, new uint64) bool {
 		if p.RSC(v.w, newword) { // line 6
 			return true
 		}
+		cw.Wait(v.cm, p.ID(), contention.Spurious)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/contention"
 	"repro/internal/obs"
 	"repro/internal/word"
 )
@@ -28,6 +29,7 @@ type LargeFamily struct {
 	hdr  word.Fields // tag | pid
 	a    []atomic.Uint64
 	obs  *obs.Metrics
+	cm   *contention.Policy
 
 	// stallHook, when non-nil, is invoked by SC between the header CAS
 	// and the subsequent Copy. Tests use it to stall an SC'er mid-update
@@ -100,6 +102,11 @@ func MustNewLargeFamily(cfg LargeConfig) *LargeFamily {
 // disables); every variable created from the family reports through it.
 // CopyWords/CopyFixes expose Figure 6's Θ(W) copy-and-help work.
 func (f *LargeFamily) SetMetrics(m *obs.Metrics) { f.obs = m }
+
+// SetContention attaches a contention-management policy governing the
+// retry loops of this family's variables (Read). Nil (the default) means
+// retry immediately. Set before the family is shared.
+func (f *LargeFamily) SetContention(p *contention.Policy) { f.cm = p }
 
 // Procs returns N.
 func (f *LargeFamily) Procs() int { return f.n }
@@ -271,10 +278,13 @@ func (v *LargeVar) SC(p *LargeProc, keep LKeep, newval []uint64) bool {
 // WLL until it succeeds. It is lock-free: a retry implies some SC
 // succeeded, i.e. the system made progress.
 func (v *LargeVar) Read(p *LargeProc, dst []uint64) {
+	var w contention.Waiter
 	for {
 		if _, res := v.WLL(p, dst); res == Succ {
 			return
 		}
+		// A failed WLL means another process's SC succeeded mid-copy.
+		w.Wait(v.f.cm, p.id, contention.Interference)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/contention"
 	"repro/internal/obs"
 	"repro/internal/word"
 )
@@ -28,6 +29,8 @@ type Var struct {
 	w      atomic.Uint64
 	layout word.Layout
 	obs    *obs.Metrics
+	cm     *contention.Policy
+	stall  func()
 }
 
 // Keep is the private word the paper's modified interface threads from LL
@@ -77,6 +80,21 @@ func (v *Var) Layout() word.Layout { return v.layout }
 // the Var is shared between goroutines.
 func (v *Var) SetMetrics(m *obs.Metrics) { v.obs = m }
 
+// SetContention attaches a contention-management policy governing this
+// Var's own retry loops (Store, CompareAndSwap). Nil (the default) means
+// retry immediately. Like SetMetrics, set it before the Var is shared.
+// Callers running their own LL/SC loops (the data structures) consult
+// their own policies; this one covers only the loops Var owns.
+func (v *Var) SetContention(p *contention.Policy) { v.cm = p }
+
+// SetStallHook installs a function called inside the LL-SC window, right
+// after LL's load. Production code leaves it nil; benchmarks and tests
+// install runtime.Gosched (or a fault-plan stall) to widen the window so
+// that contention — which on a single processor is otherwise nearly
+// unobservable — actually occurs. Mirrors the simulator's fault plans and
+// the stall hook of LargeVar. Set before the Var is shared.
+func (v *Var) SetStallHook(f func()) { v.stall = f }
+
 // Read returns the current value; it linearizes at the underlying load.
 func (v *Var) Read() uint64 {
 	v.obs.Inc(obs.CtrRead)
@@ -88,7 +106,10 @@ func (v *Var) Read() uint64 {
 // the subsequent VL/SC.
 func (v *Var) LL() (uint64, Keep) {
 	v.obs.Inc(obs.CtrLL)
-	k := Keep{word: v.w.Load()}    // line 1
+	k := Keep{word: v.w.Load()} // line 1
+	if v.stall != nil {
+		v.stall()
+	}
 	return v.layout.Val(k.word), k // line 2
 }
 
@@ -134,11 +155,15 @@ func (v *Var) Store(val uint64) {
 	if val > v.layout.MaxVal() {
 		panic(fmt.Sprintf("core: Store value %d exceeds %d-bit value field", val, v.layout.ValBits))
 	}
+	var w contention.Waiter
 	for {
 		_, keep := v.LL()
 		if v.SC(keep, val) {
 			return
 		}
+		// Failure here is always interference (Theorem 2: CAS hardware
+		// has no spurious failures).
+		w.Wait(v.cm, contention.Ambient, contention.Interference)
 	}
 }
 
@@ -149,6 +174,7 @@ func (v *Var) Store(val uint64) {
 // Lock-free.
 func (v *Var) CompareAndSwap(old, new uint64) bool {
 	v.obs.Inc(obs.CtrCASAttempt)
+	var w contention.Waiter
 	for i := 0; ; i++ {
 		if i > 0 {
 			v.obs.Inc(obs.CtrCASRetry)
@@ -163,5 +189,6 @@ func (v *Var) CompareAndSwap(old, new uint64) bool {
 		if v.SC(keep, new) {
 			return true
 		}
+		w.Wait(v.cm, contention.Ambient, contention.Interference)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/contention"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/word"
@@ -21,6 +22,7 @@ type RVar struct {
 	w      *machine.Word
 	layout word.Layout
 	obs    *obs.Metrics
+	cm     *contention.Policy
 }
 
 // NewRVar allocates a variable on machine m holding initial.
@@ -38,6 +40,12 @@ func (v *RVar) Layout() word.Layout { return v.layout }
 // with Metrics.MachineObserver on the machine for the RSC-level
 // spurious/interference split.
 func (v *RVar) SetMetrics(m *obs.Metrics) { v.obs = m }
+
+// SetContention attaches a contention-management policy for SC's internal
+// RLL/RSC loop. Extra iterations there stem only from spurious RSC
+// failures (interference makes SC return false instead), so the policy is
+// consulted with cause Spurious. Set before the Var is shared.
+func (v *RVar) SetContention(p *contention.Policy) { v.cm = p }
 
 // Read returns the current value; it linearizes at the underlying load.
 func (v *RVar) Read(p *machine.Proc) uint64 {
@@ -75,6 +83,7 @@ func (v *RVar) SC(p *machine.Proc, keep Keep, new uint64) bool {
 	v.obs.IncProc(p.ID(), obs.CtrSC)
 	oldword := keep.word                   // line 4
 	newword := v.layout.Bump(oldword, new) // line 5: (keep.tag ⊕ 1, newval)
+	var cw contention.Waiter
 	for i := 0; ; i++ {
 		if i > 0 {
 			// An extra loop is caused only by a spurious RSC failure —
@@ -88,5 +97,6 @@ func (v *RVar) SC(p *machine.Proc, keep Keep, new uint64) bool {
 		if p.RSC(v.w, newword) { // line 7
 			return true
 		}
+		cw.Wait(v.cm, p.ID(), contention.Spurious)
 	}
 }

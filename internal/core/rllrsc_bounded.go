@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/contention"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/word"
@@ -29,6 +30,7 @@ type RBoundedFamily struct {
 	a        []*machine.Word
 	procs    []*RBoundedProc
 	obs      *obs.Metrics
+	cm       *contention.Policy
 }
 
 // NewRBoundedFamily builds a Figure 7 family over machine m with
@@ -74,6 +76,11 @@ func NewRBoundedFamily(m *machine.Machine, k int) (*RBoundedFamily, error) {
 // disables). Pair it with Metrics.MachineObserver on the machine for the
 // RSC-level spurious/interference split.
 func (f *RBoundedFamily) SetMetrics(m *obs.Metrics) { f.obs = m }
+
+// SetContention attaches a contention-management policy for the
+// spurious-failure retry loop inside SC's rcas (Figure 7 line 15 realized
+// over RLL/RSC). Set before the family is shared.
+func (f *RBoundedFamily) SetContention(p *contention.Policy) { f.cm = p }
 
 // MaxVal returns the largest data value the layout leaves room for.
 func (f *RBoundedFamily) MaxVal() uint64 { return f.fields.Max(bfVal) }
@@ -180,7 +187,7 @@ func (v *RBoundedVar) SC(p *RBoundedProc, keep BKeep, newval uint64) bool {
 	f.obs.IncProc(p.p.ID(), obs.CtrTagRecycle)
 	cnt := word.AddMod(p.p.Load(v.last[p.p.ID()]), 1, f.cntCount)
 	p.p.Store(v.last[p.p.ID()], cnt)
-	if rcas(f.obs, p.p, v.word, keep.word, f.fields.Pack(t, cnt, uint64(p.p.ID()), newval)) {
+	if rcas(f.obs, f.cm, p.p, v.word, keep.word, f.fields.Pack(t, cnt, uint64(p.p.ID()), newval)) {
 		return true
 	}
 	f.obs.IncProc(p.p.ID(), obs.CtrSCFailInterference)

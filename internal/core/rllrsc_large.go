@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/contention"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/word"
@@ -27,6 +28,7 @@ type RLargeFamily struct {
 	hdr word.Fields
 	a   []*machine.Word
 	obs *obs.Metrics
+	cm  *contention.Policy
 }
 
 // NewRLargeFamily builds a Figure 6 family over machine m. The machine's
@@ -67,6 +69,11 @@ func NewRLargeFamily(m *machine.Machine, words int, tagBits uint) (*RLargeFamily
 // RSC-level spurious/interference split.
 func (f *RLargeFamily) SetMetrics(m *obs.Metrics) { f.obs = m }
 
+// SetContention attaches a contention-management policy governing the
+// family's retry loops: the spurious-failure loops inside each rcas and
+// the interference-driven WLL retries of Read. Set before sharing.
+func (f *RLargeFamily) SetContention(p *contention.Policy) { f.cm = p }
+
 // Words returns W.
 func (f *RLargeFamily) Words() int { return f.w }
 
@@ -86,8 +93,9 @@ func (f *RLargeFamily) announce(pid, i int) *machine.Word {
 // write-sensitivity makes it immune to ABA outright. Extra loop
 // iterations — caused only by spurious RSC failures — are counted as CAS
 // retries against m (nil disables).
-func rcas(m *obs.Metrics, p *machine.Proc, w *machine.Word, old, new uint64) bool {
+func rcas(m *obs.Metrics, cm *contention.Policy, p *machine.Proc, w *machine.Word, old, new uint64) bool {
 	m.IncProc(p.ID(), obs.CtrCASAttempt)
+	var cw contention.Waiter
 	for i := 0; ; i++ {
 		if i > 0 {
 			m.IncProc(p.ID(), obs.CtrCASRetry)
@@ -98,6 +106,7 @@ func rcas(m *obs.Metrics, p *machine.Proc, w *machine.Word, old, new uint64) boo
 		if p.RSC(w, new) {
 			return true
 		}
+		cw.Wait(cm, p.ID(), contention.Spurious)
 	}
 }
 
@@ -136,7 +145,7 @@ func (v *RLargeVar) copyVal(p *machine.Proc, hdr uint64, save []uint64) int {
 		if f.seg.Tag(y) == prevTag {
 			f.obs.IncProc(p.ID(), obs.CtrCopyFixes)
 			z := f.seg.Pack(hdrTag, p.Load(f.announce(pid, i)))
-			rcas(f.obs, p, v.data[i], y, z)
+			rcas(f.obs, f.cm, p, v.data[i], y, z)
 			y = z
 		}
 		if h := p.Load(v.hdr); h != hdr {
@@ -187,7 +196,7 @@ func (v *RLargeVar) SC(p *machine.Proc, keep LKeep, newval []uint64) bool {
 		p.Store(f.announce(p.ID(), i), x)
 	}
 	newhdr := f.hdr.Pack(f.seg.IncTag(keep.tag), uint64(p.ID()))
-	if !rcas(f.obs, p, v.hdr, oldhdr, newhdr) {
+	if !rcas(f.obs, f.cm, p, v.hdr, oldhdr, newhdr) {
 		f.obs.IncProc(p.ID(), obs.CtrSCFailInterference)
 		return false
 	}
@@ -197,9 +206,11 @@ func (v *RLargeVar) SC(p *machine.Proc, keep LKeep, newval []uint64) bool {
 
 // Read fills dst with a consistent snapshot, retrying WLL until success.
 func (v *RLargeVar) Read(p *machine.Proc, dst []uint64) {
+	var w contention.Waiter
 	for {
 		if _, res := v.WLL(p, dst); res == Succ {
 			return
 		}
+		w.Wait(v.f.cm, p.ID(), contention.Interference)
 	}
 }

@@ -106,6 +106,19 @@ const (
 	CtrFaultInjInterference
 	CtrFaultInjStall
 
+	// Contention-management counters (PR 3). BackoffWaits counts non-zero
+	// waits inserted by an internal/contention policy between failed SC/CAS
+	// attempts (the per-wait duration distribution is the separate
+	// backoff_ns_hist histogram in bench records). ElimHit/ElimMiss count
+	// stack elimination-slot outcomes: a hit is a push/pop pair that
+	// cancelled without touching the central Treiber top, a miss is an
+	// offer that timed out and fell back. CombineBatched counts counter
+	// increments diverted from the contended base variable to a stripe.
+	CtrBackoffWaits
+	CtrElimHit
+	CtrElimMiss
+	CtrCombineBatched
+
 	// NumCounters is the size of the taxonomy; Snapshot is indexed by
 	// Counter in [0, NumCounters).
 	NumCounters
@@ -142,6 +155,10 @@ var counterNames = [NumCounters]string{
 	CtrFaultInjSpurious:     "fault_inj_spurious",
 	CtrFaultInjInterference: "fault_inj_interference",
 	CtrFaultInjStall:        "fault_inj_stall",
+	CtrBackoffWaits:         "backoff_waits",
+	CtrElimHit:              "elim_hits",
+	CtrElimMiss:             "elim_misses",
+	CtrCombineBatched:       "combine_batched",
 }
 
 // String returns the counter's stable snake_case name.

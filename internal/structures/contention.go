@@ -1,0 +1,85 @@
+package structures
+
+import "repro/internal/contention"
+
+// This file wires the optional contention-management policy
+// (internal/contention) through every container, mirroring obs.go's
+// SetMetrics pattern: SetContention(nil) disables (the default — retry
+// immediately, with the bounded-spin periodic yield), and the policy must
+// be attached before the container is shared between goroutines. One
+// policy instance per container is the intended granularity — its
+// adaptive state then reflects that container's contention, and all of
+// the container's retry loops (including its pool's) consult it.
+
+// setContention attaches p to the pool's free-list loops.
+func (p *pool) setContention(cp *contention.Policy) { p.cm = cp }
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the stack's push/pop loops, its node pool, and — when elimination is
+// enabled — the collision array's slot choice.
+func (s *Stack) SetContention(cp *contention.Policy) {
+	s.cm = cp
+	s.p.setContention(cp)
+	if s.elim != nil {
+		s.elim.cm = cp
+	}
+}
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the queue's enqueue/dequeue loops and its node pool.
+func (q *Queue) SetContention(cp *contention.Policy) {
+	q.cm = cp
+	q.p.setContention(cp)
+}
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the counter's FetchOp loop.
+func (c *Counter) SetContention(cp *contention.Policy) { c.cm = cp }
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the sharded counter's stripe-spill loops and stripe selection.
+func (c *ShardedCounter) SetContention(cp *contention.Policy) {
+	c.cm = cp
+	c.base.SetContention(cp)
+}
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the ring's cursor loops.
+func (r *Ring) SetContention(cp *contention.Policy) { r.cm = cp }
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the map's bucket-claim loop.
+func (m *Map) SetContention(cp *contention.Policy) { m.cm = cp }
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the set's search/insert/delete loops and its node pool.
+func (s *Set) SetContention(cp *contention.Policy) {
+	s.cm = cp
+	s.p.setContention(cp)
+}
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the deque's underlying universal-construction object.
+func (d *Deque) SetContention(cp *contention.Policy) { d.o.SetContention(cp) }
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the snapshot's collect loop.
+func (s *Snapshot) SetContention(cp *contention.Policy) { s.cm = cp }
+
+// The SetStallHook pass-throughs below mirror core.Var.SetStallHook for
+// the structures the contention sweep measures: benchmarks and fault
+// harnesses install runtime.Gosched (or a fault-plan stall) inside the
+// central word's LL-SC window to force the interference that a single
+// processor otherwise almost never exhibits (see EXPERIMENTS.md, E6b).
+// Production code leaves them nil. Set before sharing.
+
+// SetStallHook widens the LL-SC window of the stack's top pointer.
+func (s *Stack) SetStallHook(f func()) { s.top.SetStallHook(f) }
+
+// SetStallHook widens the LL-SC window of the counter's variable.
+func (c *Counter) SetStallHook(f func()) { c.v.SetStallHook(f) }
+
+// SetStallHook widens the LL-SC window of the sharded counter's base
+// variable only — the stripes are the contention escape valve and stay
+// unstalled, exactly the asymmetry the combining fast path exploits.
+func (c *ShardedCounter) SetStallHook(f func()) { c.base.v.SetStallHook(f) }

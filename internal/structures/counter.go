@@ -1,7 +1,11 @@
 package structures
 
 import (
+	"fmt"
+
+	"repro/internal/contention"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -12,7 +16,8 @@ var counterLayout = word.MustLayout(32)
 // — the canonical one-word consumer of the paper's primitives. Values are
 // 32-bit and wrap modulo 2³².
 type Counter struct {
-	v core.Var
+	v  core.Var
+	cm *contention.Policy
 }
 
 // NewCounter creates a counter holding initial (masked to 32 bits).
@@ -44,7 +49,8 @@ func (c *Counter) Decrement() uint64 {
 // and returns the new value. f may be called multiple times under
 // contention and must be pure. Lock-free.
 func (c *Counter) FetchOp(f func(uint64) uint64) uint64 {
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(c.cm, contention.Ambient, contention.Interference) {
 		v, keep := c.v.LL()
 		next := f(v) & counterLayout.MaxVal()
 		if c.v.SC(keep, next) {
@@ -52,3 +58,95 @@ func (c *Counter) FetchOp(f func(uint64) uint64) uint64 {
 		}
 	}
 }
+
+// ShardedCounter is a striped/combining variant of Counter in the spirit
+// of LongAdder: an uncontended add goes straight to the base variable
+// (one LL/SC attempt, same cost as Counter), but the first SC failure
+// diverts the delta to one of several stripe variables instead of
+// re-fighting for the base — combining the contenders' updates across
+// distinct words. Load folds base plus stripes.
+//
+// The trade: Add no longer returns the post-add total (there is no single
+// word that holds it), and Load is Θ(stripes) and only guaranteed exact
+// at quiescence — concurrent adds may or may not be included, each
+// exactly once. Values wrap modulo 2³² like Counter.
+type ShardedCounter struct {
+	base    Counter
+	stripes []counterStripe
+	m       *obs.Metrics
+	cm      *contention.Policy
+}
+
+// counterStripe pads each stripe variable onto its own cache line.
+type counterStripe struct {
+	v core.Var
+	_ [40]byte
+}
+
+// NewShardedCounter creates a sharded counter holding initial, with the
+// given number of stripes (≥ 1; a few per expected contending worker is
+// plenty — contenders spread across stripes by a per-waiter PRNG).
+func NewShardedCounter(initial uint64, stripes int) (*ShardedCounter, error) {
+	if stripes < 1 {
+		return nil, fmt.Errorf("structures: sharded counter needs at least 1 stripe, got %d", stripes)
+	}
+	c := &ShardedCounter{stripes: make([]counterStripe, stripes)}
+	if err := c.base.v.Init(counterLayout, initial&counterLayout.MaxVal()); err != nil {
+		return nil, err
+	}
+	for i := range c.stripes {
+		if err := c.stripes[i].v.Init(counterLayout, 0); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Add atomically adds delta. Lock-free; see the type comment for why no
+// total is returned.
+func (c *ShardedCounter) Add(delta uint64) {
+	var w contention.Waiter
+	c.add(&w, delta)
+}
+
+// AddProc is Add for callers with a paper-style process identity: stripe
+// spill and backoff jitter become deterministic functions of proc.
+func (c *ShardedCounter) AddProc(proc int, delta uint64) {
+	var w contention.Waiter
+	w.Seed(c.cm, proc)
+	c.add(&w, delta)
+}
+
+func (c *ShardedCounter) add(w *contention.Waiter, delta uint64) {
+	v, keep := c.base.v.LL()
+	if c.base.v.SC(keep, (v+delta)&counterLayout.MaxVal()) {
+		return // fast path: base uncontended
+	}
+	// Base contended: combine into a stripe instead of retrying there.
+	c.m.Inc(obs.CtrCombineBatched)
+	s := &c.stripes[int(w.Rand(c.cm)%uint64(len(c.stripes)))].v
+	for {
+		v, keep := s.LL()
+		if s.SC(keep, (v+delta)&counterLayout.MaxVal()) {
+			return
+		}
+		w.Wait(c.cm, contention.Ambient, contention.Interference)
+	}
+}
+
+// Increment is Add(1).
+func (c *ShardedCounter) Increment() { c.Add(1) }
+
+// Load returns base plus all stripes, modulo 2³². Exact at quiescence;
+// under concurrency each add is counted at most once and missing adds are
+// exactly the not-yet-linearized ones.
+func (c *ShardedCounter) Load() uint64 {
+	sum := c.base.v.Read()
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Read()
+	}
+	return sum & counterLayout.MaxVal()
+}
+
+// Stripes returns the stripe count.
+func (c *ShardedCounter) Stripes() int { return len(c.stripes) }

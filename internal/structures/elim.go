@@ -1,0 +1,137 @@
+package structures
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Elimination layer for Stack (Hendler/Shavit/Yerushalmi-style collision
+// array, simplified to the asymmetric rendezvous this stack needs): a
+// push and a pop that both failed an SC on the central top word pair up
+// in a random slot and cancel — the pop returns the push's value, and
+// neither touches the top again. LIFO stays intact because an eliminated
+// pair linearizes as push immediately followed by pop at the moment the
+// taker's SC succeeds; the stack's state is unchanged by the pair.
+//
+// Each slot's state word is a core.Var, so the rendezvous protocol gets
+// the same tag-based ABA immunity the rest of the repository leans on: a
+// slot can be taken, reset, and re-offered, and a stale SC from an
+// earlier encounter still fails. The state machine per slot:
+//
+//	EMPTY --SC(pusher claims)--> PREP --owner stores val--> OFFER
+//	OFFER --SC(popper)--> TAKEN --owner observes--> EMPTY
+//	OFFER --SC(owner, timeout)--> EMPTY (withdrawn, a miss)
+//
+// Only the owner moves PREP→OFFER and TAKEN→EMPTY (plain tag-advancing
+// Stores: no other process writes the word in those states), so every
+// contended transition is an SC race on a tagged word.
+const (
+	elimEmpty = iota
+	elimPrep
+	elimOffer
+	elimTaken
+)
+
+// elimSpinBudget is how many poll-yield rounds an offering pusher waits
+// for a taker before withdrawing. Each round yields the processor, so the
+// budget is a scheduling opportunity count, not a pure spin.
+const elimSpinBudget = 32
+
+type elimSlot struct {
+	state core.Var
+	val   atomic.Uint64
+	_     [24]byte // keep slots off each other's cache lines
+}
+
+type elimArray struct {
+	slots []elimSlot
+	m     *obs.Metrics
+	cm    *contention.Policy
+}
+
+// EnableElimination attaches a collision array with the given number of
+// slots (sized around the expected number of concurrently colliding
+// pairs; a handful suffices). Must be called before the stack is shared,
+// and after SetMetrics/SetContention if those are used — or simply call
+// those afterwards; they propagate to the array.
+func (s *Stack) EnableElimination(slots int) error {
+	if slots < 1 {
+		return fmt.Errorf("structures: elimination needs at least 1 slot, got %d", slots)
+	}
+	e := &elimArray{slots: make([]elimSlot, slots), m: s.m, cm: s.cm}
+	for i := range e.slots {
+		// Slot state words deliberately carry no metrics sink: collision
+		// traffic is reported through elim_hits/elim_misses, not ll/sc.
+		if err := e.slots[i].state.Init(indexLayout, elimEmpty); err != nil {
+			return err
+		}
+	}
+	s.elim = e
+	return nil
+}
+
+// EliminationEnabled reports whether the stack has a collision array.
+func (s *Stack) EliminationEnabled() bool { return s.elim != nil }
+
+// tryPush offers v in a random slot and waits briefly for a taker.
+// Returns true iff a concurrent Pop consumed the offer (the push is
+// complete). Called by Push after a failed SC on the central top.
+func (e *elimArray) tryPush(w *contention.Waiter, v uint64) bool {
+	s := &e.slots[int(w.Rand(e.cm)%uint64(len(e.slots)))]
+	st, keep := s.state.LL()
+	if st != elimEmpty || !s.state.SC(keep, elimPrep) {
+		e.m.Inc(obs.CtrElimMiss)
+		return false
+	}
+	// We own the slot. Publish the value, then open the offer.
+	s.val.Store(v)
+	s.state.Store(elimOffer)
+	for i := 0; i < elimSpinBudget; i++ {
+		if s.state.Read() == elimTaken {
+			s.state.Store(elimEmpty)
+			e.m.Inc(obs.CtrElimHit)
+			return true
+		}
+		runtime.Gosched()
+	}
+	// Timed out: withdraw. A failed withdrawal means a popper's
+	// OFFER→TAKEN SC won the race — the handoff happened after all.
+	st2, keep2 := s.state.LL()
+	if st2 == elimOffer && s.state.SC(keep2, elimEmpty) {
+		e.m.Inc(obs.CtrElimMiss)
+		return false
+	}
+	for s.state.Read() != elimTaken {
+		runtime.Gosched() // taker is between its SC and nothing: state IS taken; defensive
+	}
+	s.state.Store(elimEmpty)
+	e.m.Inc(obs.CtrElimHit)
+	return true
+}
+
+// tryPop probes a random slot for an open offer and claims it. ok is true
+// iff a value was taken (the pop is complete). Called by Pop after a
+// failed SC on the central top.
+func (e *elimArray) tryPop(w *contention.Waiter) (v uint64, ok bool) {
+	s := &e.slots[int(w.Rand(e.cm)%uint64(len(e.slots)))]
+	st, keep := s.state.LL()
+	if st != elimOffer {
+		e.m.Inc(obs.CtrElimMiss)
+		return 0, false
+	}
+	// Read the value before claiming: if the SC below succeeds, the state
+	// word — and therefore the offer this value belongs to — was
+	// unchanged since the LL (the tag would have advanced otherwise).
+	v = s.val.Load()
+	if s.state.SC(keep, elimTaken) {
+		e.m.Inc(obs.CtrElimHit)
+		return v, true
+	}
+	e.m.Inc(obs.CtrElimMiss)
+	return 0, false
+}

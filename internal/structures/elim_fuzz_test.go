@@ -1,0 +1,193 @@
+package structures
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/obs"
+)
+
+// forceCollision drives the collision array white-box until one push/pop
+// pair eliminates, guaranteeing elim_hits > 0 deterministically — the
+// scheduler alone cannot be trusted to produce a collision in a short
+// fuzz run, especially on one processor.
+func forceCollision(t *testing.T, s *Stack, m *obs.Metrics) {
+	t.Helper()
+	var pushed sync.WaitGroup
+	pushed.Add(1)
+	go func() {
+		defer pushed.Done()
+		var w contention.Waiter
+		for !s.elim.tryPush(&w, 42) {
+			runtime.Gosched()
+		}
+	}()
+	var w contention.Waiter
+	for {
+		if v, ok := s.elim.tryPop(&w); ok {
+			if v != 42 {
+				t.Errorf("eliminated value %d, want 42", v)
+			}
+			break
+		}
+		runtime.Gosched()
+	}
+	pushed.Wait()
+	if hits := m.Snapshot().Get(obs.CtrElimHit); hits == 0 {
+		t.Error("forced collision recorded no elim_hits")
+	}
+}
+
+// FuzzStackElimination checks the elimination-enabled stack two ways per
+// input. First the fuzz bytes run as a sequential script against both the
+// real stack and the in-memory model from linearizability_test.go, so any
+// ordering or value bug surfaces with a minimal reproducer. Then the same
+// bytes drive concurrent workers (with a stall hook widening the LL-SC
+// window so the elimination path actually runs) and the test checks
+// element conservation: every distinct pushed value is popped or still on
+// the stack, exactly once. A guaranteed white-box collision asserts
+// elim_hits > 0 on every run.
+func FuzzStackElimination(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 1, 1})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 1})
+	f.Add([]byte{1, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+
+		// Part 1: sequential conformance against the model. Capacity
+		// covers part 2's worst case: every concurrent worker pushing the
+		// whole script.
+		const workers = 3
+		s, err := NewStack(workers*len(script) + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EnableElimination(2); err != nil {
+			t.Fatal(err)
+		}
+		m := obs.New()
+		s.SetMetrics(m)
+		s.SetContention(contention.ExponentialBackoff(2, 16))
+		state := ""
+		for i, b := range script {
+			if b%2 == 0 {
+				v := uint64(i + 1)
+				if err := s.Push(v); err != nil {
+					t.Fatal(err)
+				}
+				state, _ = stackStep(state, linOp{name: "push", arg1: v})
+			} else {
+				got, ok := s.Pop()
+				next, legal := stackStep(state, linOp{name: "pop", retVal: got, retBool: ok})
+				if !legal {
+					t.Fatalf("op %d: pop=(%d,%v) illegal from model state %q", i, got, ok, state)
+				}
+				state = next
+			}
+		}
+
+		// Part 2: guaranteed collision, then concurrent conservation.
+		forceCollision(t, s, m)
+		for { // reset to empty
+			if _, ok := s.Pop(); !ok {
+				break
+			}
+		}
+		s.SetStallHook(runtime.Gosched)
+		var (
+			wg     sync.WaitGroup
+			popped [workers]map[uint64]int
+		)
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				popped[g] = make(map[uint64]int)
+				for i, b := range script {
+					if (int(b)+g)%2 == 0 {
+						if err := s.Push(uint64(g)<<32 | uint64(i+1)); err != nil {
+							t.Error(err)
+							return
+						}
+					} else if v, ok := s.Pop(); ok {
+						popped[g][v]++
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		seen := make(map[uint64]int)
+		for g := range popped {
+			for v, n := range popped[g] {
+				seen[v] += n
+			}
+		}
+		for {
+			v, ok := s.Pop()
+			if !ok {
+				break
+			}
+			seen[v]++
+		}
+		for v, n := range seen {
+			if n != 1 {
+				t.Fatalf("value %#x surfaced %d times, want exactly 1", v, n)
+			}
+			g, i := v>>32, v&0xffffffff
+			if g >= workers || i == 0 || int(i) > len(script) {
+				t.Fatalf("value %#x was never pushed", v)
+			}
+		}
+		if hits := m.Snapshot().Get(obs.CtrElimHit); hits == 0 {
+			t.Error("elim_hits = 0 after forced collision")
+		}
+	})
+}
+
+// TestShardedCounterSum is the combining-counter race test: concurrent
+// workers apply private deltas through the striped fast path (stall hook
+// on the base forces diversion), and at quiescence Load must equal the
+// sum of every worker's deltas mod 2³². Run under -race this also proves
+// the stripe spill publishes without data races.
+func TestShardedCounterSum(t *testing.T) {
+	const workers, ops = 8, 2000
+	c, err := NewShardedCounter(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.New()
+	c.SetMetrics(m)
+	c.SetContention(contention.Adaptive(2, 64))
+	c.SetStallHook(runtime.Gosched)
+	var (
+		wg     sync.WaitGroup
+		totals [workers]uint64
+	)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var sum uint64
+			for i := 0; i < ops; i++ {
+				d := uint64(g*ops+i)%97 + 1
+				c.AddProc(g, d)
+				sum += d
+			}
+			totals[g] = sum
+		}(g)
+	}
+	wg.Wait()
+	want := uint64(7)
+	for _, s := range totals {
+		want += s
+	}
+	want &= 1<<32 - 1
+	if got := c.Load(); got != want {
+		t.Fatalf("Load() = %d, want sum of deltas %d", got, want)
+	}
+	t.Logf("combine_batched = %d", m.Snapshot().Get(obs.CtrCombineBatched))
+}

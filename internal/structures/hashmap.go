@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/contention"
 	"repro/internal/core"
 )
 
@@ -24,6 +25,7 @@ type Map struct {
 	keys []core.Var // key+1 in the 24-bit value field; 0 = empty
 	vals []atomic.Uint64
 	mask uint64
+	cm   *contention.Policy
 }
 
 // MaxMapKey is the largest storable key (the key+1 encoding must fit the
@@ -92,7 +94,8 @@ func (m *Map) Put(key, value uint64) error {
 	if value == tombstone || value == unsetVal {
 		return fmt.Errorf("structures: value %#x is reserved", value)
 	}
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(m.cm, contention.Ambient, contention.Interference) {
 		b, claimed, ok := m.probe(key)
 		if !ok {
 			return ErrFull

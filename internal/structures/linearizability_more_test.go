@@ -1,0 +1,645 @@
+package structures
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// This file extends the linearizability conformance coverage of
+// linearizability_test.go to the structures it left out: Stack, Queue,
+// Deque, Ring, and Snapshot. Each gets the same two techniques —
+// exhaustive serialized orders under sched.ExploreExhaustive, and
+// concurrent windowed rounds — with the windowed rounds additionally run
+// under an adversity matrix mirroring the PR-2 fault plans. Those plans
+// (internal/fault) drive the simulated machine; these structures run on
+// real CAS hardware where spurious failures cannot be injected, so each
+// plan is realized by its hardware analogue:
+//
+//   - none:  free-running goroutines, the baseline.
+//   - burst: a scheduling storm. Where the structure exposes a stall
+//     hook, runtime.Gosched runs inside the central LL-SC window (the
+//     E6b technique), guaranteeing interference even on one processor;
+//     otherwise the drivers yield between operations.
+//   - crash: process 0 stops after one operation each round — the
+//     fault.Crash analogue. Lock-freedom means the survivors' histories
+//     must still linearize with no help from the stopped process.
+type linPlan struct {
+	name  string
+	burst bool
+	crash bool
+}
+
+var linPlans = []linPlan{{name: "none"}, {name: "burst", burst: true}, {name: "crash", crash: true}}
+
+// planOps returns how many ops proc p performs in one round under the
+// plan, and planYield yields between ops for burst plans without a stall
+// hook.
+func (pl linPlan) ops(p, normal int) int {
+	if pl.crash && p == 0 {
+		return 1
+	}
+	return normal
+}
+
+func (pl linPlan) yield() {
+	if pl.burst {
+		runtime.Gosched()
+	}
+}
+
+// seqList is a tiny helper for list-shaped abstract states: "" is empty,
+// elements are comma-separated decimals.
+func listPush(state string, v uint64, front bool) string {
+	el := fmt.Sprintf("%d", v)
+	if state == "" {
+		return el
+	}
+	if front {
+		return el + "," + state
+	}
+	return state + "," + el
+}
+
+func listPop(state string, front bool) (string, uint64, bool) {
+	if state == "" {
+		return state, 0, false
+	}
+	parts := strings.Split(state, ",")
+	var el string
+	if front {
+		el, parts = parts[0], parts[1:]
+	} else {
+		el, parts = parts[len(parts)-1], parts[:len(parts)-1]
+	}
+	var v uint64
+	fmt.Sscanf(el, "%d", &v)
+	return strings.Join(parts, ","), v, true
+}
+
+func listLen(state string) int {
+	if state == "" {
+		return 0
+	}
+	return strings.Count(state, ",") + 1
+}
+
+// --- Stack ---
+
+// Stack abstract state: contents top-first.
+func stackStep(state string, op linOp) (string, bool) {
+	switch op.name {
+	case "push":
+		return listPush(state, op.arg1, true), true
+	case "pop":
+		next, v, ok := listPop(state, true)
+		if op.retBool != ok {
+			return state, false
+		}
+		if !ok {
+			return state, true
+		}
+		return next, op.retVal == v
+	default:
+		return state, false
+	}
+}
+
+func TestStackExhaustiveConformance(t *testing.T) {
+	res, err := sched.ExploreExhaustive(2, 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		s, err := NewStack(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []linOp
+		workload := func(p int) {
+			v := uint64(p + 1)
+			ctrl.Step(p)
+			if err := s.Push(v); err != nil {
+				panic(err)
+			}
+			log = append(log, linOp{proc: p, name: "push", arg1: v})
+			ctrl.Step(p)
+			got, ok := s.Pop()
+			log = append(log, linOp{proc: p, name: "pop", retVal: got, retBool: ok})
+		}
+		check := func() error {
+			state := ""
+			for _, op := range log {
+				next, ok := stackStep(state, op)
+				if !ok {
+					return fmt.Errorf("%v: illegal from state %q", op, state)
+				}
+				state = next
+			}
+			if state != "" {
+				return fmt.Errorf("final state %q, want empty", state)
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+}
+
+func TestStackLinearizableWindows(t *testing.T) {
+	for _, plan := range linPlans {
+		t.Run(plan.name, func(t *testing.T) {
+			s, err := NewStack(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.burst {
+				s.SetStallHook(runtime.Gosched) // interference inside the LL-SC window
+			}
+			rec := &linRecorder{}
+			driver := func(p int, rng *rand.Rand) {
+				for i := 0; i < plan.ops(p, 4); i++ {
+					if rng.Intn(2) == 0 {
+						v := uint64(rng.Intn(90) + 10)
+						rec.do(p, "push", v, 0, func() (uint64, bool) {
+							if err := s.Push(v); err != nil {
+								panic(err)
+							}
+							return 0, false
+						})
+					} else {
+						rec.do(p, "pop", 0, 0, func() (uint64, bool) { return s.Pop() })
+					}
+					plan.yield()
+				}
+			}
+			runLinRounds(t, 3, 20, rec,
+				func() string {
+					for { // drain: each round starts from the empty stack
+						if _, ok := s.Pop(); !ok {
+							return ""
+						}
+					}
+				},
+				driver, stackStep)
+		})
+	}
+}
+
+// --- Queue ---
+
+// Queue abstract state: contents front-first.
+func queueStep(state string, op linOp) (string, bool) {
+	switch op.name {
+	case "enq":
+		return listPush(state, op.arg1, false), true
+	case "deq":
+		next, v, ok := listPop(state, true)
+		if op.retBool != ok {
+			return state, false
+		}
+		if !ok {
+			return state, true
+		}
+		return next, op.retVal == v
+	default:
+		return state, false
+	}
+}
+
+func TestQueueExhaustiveConformance(t *testing.T) {
+	res, err := sched.ExploreExhaustive(2, 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		q, err := NewQueue(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []linOp
+		workload := func(p int) {
+			if p == 0 {
+				for _, v := range []uint64{1, 2} {
+					ctrl.Step(p)
+					if err := q.Enqueue(v); err != nil {
+						panic(err)
+					}
+					log = append(log, linOp{proc: p, name: "enq", arg1: v})
+				}
+			} else {
+				for i := 0; i < 2; i++ {
+					ctrl.Step(p)
+					got, ok := q.Dequeue()
+					log = append(log, linOp{proc: p, name: "deq", retVal: got, retBool: ok})
+				}
+			}
+		}
+		check := func() error {
+			state := ""
+			for _, op := range log {
+				next, ok := queueStep(state, op)
+				if !ok {
+					return fmt.Errorf("%v: illegal from state %q", op, state)
+				}
+				state = next
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+}
+
+func TestQueueLinearizableWindows(t *testing.T) {
+	for _, plan := range linPlans {
+		t.Run(plan.name, func(t *testing.T) {
+			q, err := NewQueue(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &linRecorder{}
+			driver := func(p int, rng *rand.Rand) {
+				for i := 0; i < plan.ops(p, 4); i++ {
+					if rng.Intn(2) == 0 {
+						v := uint64(rng.Intn(90) + 10)
+						rec.do(p, "enq", v, 0, func() (uint64, bool) {
+							if err := q.Enqueue(v); err != nil {
+								panic(err)
+							}
+							return 0, false
+						})
+					} else {
+						rec.do(p, "deq", 0, 0, func() (uint64, bool) { return q.Dequeue() })
+					}
+					plan.yield()
+				}
+			}
+			runLinRounds(t, 3, 20, rec,
+				func() string {
+					for {
+						if _, ok := q.Dequeue(); !ok {
+							return ""
+						}
+					}
+				},
+				driver, queueStep)
+		})
+	}
+}
+
+// --- Ring ---
+
+// Ring abstract state: contents front-first; capacity bounds enqueues.
+func ringStep(cap int) func(string, linOp) (string, bool) {
+	return func(state string, op linOp) (string, bool) {
+		switch op.name {
+		case "enq":
+			if !op.retBool { // ErrFull: legal only at capacity
+				return state, listLen(state) == cap
+			}
+			if listLen(state) == cap {
+				return state, false
+			}
+			return listPush(state, op.arg1, false), true
+		case "deq":
+			next, v, ok := listPop(state, true)
+			if op.retBool != ok {
+				return state, false
+			}
+			if !ok {
+				return state, true
+			}
+			return next, op.retVal == v
+		default:
+			return state, false
+		}
+	}
+}
+
+func TestRingExhaustiveConformance(t *testing.T) {
+	// Capacity 2 with three enqueues in flight, so some schedules must
+	// legally observe ErrFull.
+	step := ringStep(2)
+	res, err := sched.ExploreExhaustive(2, 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		r, err := NewRing(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []linOp
+		workload := func(p int) {
+			if p == 0 {
+				for _, v := range []uint64{1, 2} {
+					ctrl.Step(p)
+					err := r.Enqueue(v)
+					log = append(log, linOp{proc: p, name: "enq", arg1: v, retBool: err == nil})
+				}
+			} else {
+				ctrl.Step(p)
+				err := r.Enqueue(9)
+				log = append(log, linOp{proc: p, name: "enq", arg1: 9, retBool: err == nil})
+				ctrl.Step(p)
+				got, ok := r.Dequeue()
+				log = append(log, linOp{proc: p, name: "deq", retVal: got, retBool: ok})
+			}
+		}
+		check := func() error {
+			state := ""
+			for _, op := range log {
+				next, ok := step(state, op)
+				if !ok {
+					return fmt.Errorf("%v: illegal from state %q", op, state)
+				}
+				state = next
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+}
+
+func TestRingLinearizableWindows(t *testing.T) {
+	for _, plan := range linPlans {
+		t.Run(plan.name, func(t *testing.T) {
+			r, err := NewRing(4) // small: ErrFull paths get exercised
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &linRecorder{}
+			driver := func(p int, rng *rand.Rand) {
+				for i := 0; i < plan.ops(p, 4); i++ {
+					if rng.Intn(2) == 0 {
+						v := uint64(rng.Intn(90) + 10)
+						rec.do(p, "enq", v, 0, func() (uint64, bool) {
+							return 0, r.Enqueue(v) == nil
+						})
+					} else {
+						rec.do(p, "deq", 0, 0, func() (uint64, bool) { return r.Dequeue() })
+					}
+					plan.yield()
+				}
+			}
+			runLinRounds(t, 3, 20, rec,
+				func() string {
+					for {
+						if _, ok := r.Dequeue(); !ok {
+							return ""
+						}
+					}
+				},
+				driver, ringStep(4))
+		})
+	}
+}
+
+// --- Deque ---
+
+// Deque abstract state: contents front-first; capacity bounds pushes.
+func dequeStep(cap int) func(string, linOp) (string, bool) {
+	return func(state string, op linOp) (string, bool) {
+		push := func(front bool) (string, bool) {
+			if !op.retBool {
+				return state, listLen(state) == cap
+			}
+			if listLen(state) == cap {
+				return state, false
+			}
+			return listPush(state, op.arg1, front), true
+		}
+		pop := func(front bool) (string, bool) {
+			next, v, ok := listPop(state, front)
+			if op.retBool != ok {
+				return state, false
+			}
+			if !ok {
+				return state, true
+			}
+			return next, op.retVal == v
+		}
+		switch op.name {
+		case "pushf":
+			return push(true)
+		case "pushb":
+			return push(false)
+		case "popf":
+			return pop(true)
+		case "popb":
+			return pop(false)
+		default:
+			return state, false
+		}
+	}
+}
+
+func TestDequeExhaustiveConformance(t *testing.T) {
+	step := dequeStep(4)
+	res, err := sched.ExploreExhaustive(2, 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		d, err := NewDeque(2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []linOp
+		workload := func(p int) {
+			h, err := d.Proc(p)
+			if err != nil {
+				panic(err)
+			}
+			if p == 0 {
+				ctrl.Step(p)
+				log = append(log, linOp{proc: p, name: "pushb", arg1: 1, retBool: d.PushBack(h, 1)})
+				ctrl.Step(p)
+				got, ok := d.PopFront(h)
+				log = append(log, linOp{proc: p, name: "popf", retVal: got, retBool: ok})
+			} else {
+				ctrl.Step(p)
+				log = append(log, linOp{proc: p, name: "pushf", arg1: 2, retBool: d.PushFront(h, 2)})
+				ctrl.Step(p)
+				got, ok := d.PopBack(h)
+				log = append(log, linOp{proc: p, name: "popb", retVal: got, retBool: ok})
+			}
+		}
+		check := func() error {
+			state := ""
+			for _, op := range log {
+				next, ok := step(state, op)
+				if !ok {
+					return fmt.Errorf("%v: illegal from state %q", op, state)
+				}
+				state = next
+			}
+			if state != "" {
+				return fmt.Errorf("final state %q, want empty", state)
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+}
+
+func TestDequeLinearizableWindows(t *testing.T) {
+	const procs = 3
+	for _, plan := range linPlans {
+		t.Run(plan.name, func(t *testing.T) {
+			d, err := NewDeque(procs, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles := make([]*DequeProc, procs)
+			for p := range handles {
+				if handles[p], err = d.Proc(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rec := &linRecorder{}
+			driver := func(p int, rng *rand.Rand) {
+				h := handles[p]
+				for i := 0; i < plan.ops(p, 4); i++ {
+					v := uint64(rng.Intn(90) + 10)
+					switch rng.Intn(4) {
+					case 0:
+						rec.do(p, "pushf", v, 0, func() (uint64, bool) { return 0, d.PushFront(h, v) })
+					case 1:
+						rec.do(p, "pushb", v, 0, func() (uint64, bool) { return 0, d.PushBack(h, v) })
+					case 2:
+						rec.do(p, "popf", 0, 0, func() (uint64, bool) { return d.PopFront(h) })
+					default:
+						rec.do(p, "popb", 0, 0, func() (uint64, bool) { return d.PopBack(h) })
+					}
+					plan.yield()
+				}
+			}
+			runLinRounds(t, procs, 20, rec,
+				func() string {
+					for {
+						if _, ok := d.PopFront(handles[0]); !ok {
+							return ""
+						}
+					}
+				},
+				driver, dequeStep(4))
+		})
+	}
+}
+
+// --- Snapshot ---
+
+// Snapshot abstract state: "v0,v1". A collect must return a pair that the
+// variables simultaneously held; writers update one variable at a time.
+func snapshotStep(state string, op linOp) (string, bool) {
+	var v0, v1 uint64
+	fmt.Sscanf(state, "%d,%d", &v0, &v1)
+	switch op.name {
+	case "store0":
+		return fmt.Sprintf("%d,%d", op.arg1, v1), true
+	case "store1":
+		return fmt.Sprintf("%d,%d", v0, op.arg1), true
+	case "collect":
+		return state, op.retVal == v0|v1<<8
+	default:
+		return state, false
+	}
+}
+
+func TestSnapshotExhaustiveConformance(t *testing.T) {
+	res, err := sched.ExploreExhaustive(2, 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		vars := []*core.Var{core.MustNewVar(indexLayout, 0), core.MustNewVar(indexLayout, 0)}
+		snap, err := NewSnapshot(vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []linOp
+		workload := func(p int) {
+			if p == 0 {
+				for _, v := range []uint64{1, 2} {
+					ctrl.Step(p)
+					vars[0].Store(v)
+					log = append(log, linOp{proc: p, name: "store0", arg1: v})
+				}
+			} else {
+				ctrl.Step(p)
+				vars[1].Store(7)
+				log = append(log, linOp{proc: p, name: "store1", arg1: 7})
+				ctrl.Step(p)
+				dst := make([]uint64, 2)
+				snap.Collect(dst)
+				log = append(log, linOp{proc: p, name: "collect", retVal: dst[0] | dst[1]<<8})
+			}
+		}
+		check := func() error {
+			state := "0,0"
+			for _, op := range log {
+				next, ok := snapshotStep(state, op)
+				if !ok {
+					return fmt.Errorf("%v: illegal from state %q", op, state)
+				}
+				state = next
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+}
+
+func TestSnapshotLinearizableWindows(t *testing.T) {
+	for _, plan := range linPlans {
+		t.Run(plan.name, func(t *testing.T) {
+			vars := []*core.Var{core.MustNewVar(indexLayout, 0), core.MustNewVar(indexLayout, 0)}
+			if plan.burst {
+				// Interference inside the collect's LL...VL window.
+				vars[0].SetStallHook(runtime.Gosched)
+			}
+			snap, err := NewSnapshot(vars)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &linRecorder{}
+			driver := func(p int, rng *rand.Rand) {
+				for i := 0; i < plan.ops(p, 4); i++ {
+					which := rng.Intn(2)
+					if rng.Intn(2) == 0 {
+						v := uint64(rng.Intn(200) + 1)
+						rec.do(p, fmt.Sprintf("store%d", which), v, 0, func() (uint64, bool) {
+							vars[which].Store(v)
+							return 0, false
+						})
+					} else {
+						rec.do(p, "collect", 0, 0, func() (uint64, bool) {
+							dst := make([]uint64, 2)
+							snap.Collect(dst)
+							return dst[0] | dst[1]<<8, false
+						})
+					}
+					plan.yield()
+				}
+			}
+			runLinRounds(t, 3, 20, rec,
+				func() string { return fmt.Sprintf("%d,%d", vars[0].Read(), vars[1].Read()) },
+				driver, snapshotStep)
+		})
+	}
+}

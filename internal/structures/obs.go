@@ -20,10 +20,15 @@ func (p *pool) setMetrics(m *obs.Metrics) {
 }
 
 // SetMetrics attaches an optional metrics sink (nil disables) to the
-// stack's top pointer and node pool.
+// stack's top pointer, node pool, and — when elimination is enabled — the
+// collision array's elim_hits/elim_misses counters.
 func (s *Stack) SetMetrics(m *obs.Metrics) {
+	s.m = m
 	s.top.SetMetrics(m)
 	s.p.setMetrics(m)
+	if s.elim != nil {
+		s.elim.m = m
+	}
 }
 
 // SetMetrics attaches an optional metrics sink (nil disables) to the
@@ -37,6 +42,17 @@ func (q *Queue) SetMetrics(m *obs.Metrics) {
 // SetMetrics attaches an optional metrics sink (nil disables) to the
 // counter's variable.
 func (c *Counter) SetMetrics(m *obs.Metrics) { c.v.SetMetrics(m) }
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// sharded counter's base and stripe variables; diverted adds are counted
+// under combine_batched.
+func (c *ShardedCounter) SetMetrics(m *obs.Metrics) {
+	c.m = m
+	c.base.SetMetrics(m)
+	for i := range c.stripes {
+		c.stripes[i].v.SetMetrics(m)
+	}
+}
 
 // SetMetrics attaches an optional metrics sink (nil disables) to the
 // ring's head and tail cursors.

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/word"
 )
@@ -54,6 +55,7 @@ type node struct {
 type pool struct {
 	nodes []node // nodes[0] unused; indices are 1-based, 0 = nil
 	free  core.Var
+	cm    *contention.Policy
 }
 
 func newPool(capacity int) (*pool, error) {
@@ -83,7 +85,8 @@ func newPool(capacity int) (*pool, error) {
 // alloc pops a node index from the free list. Lock-free: a retry implies
 // another alloc or free succeeded.
 func (p *pool) alloc() (uint64, error) {
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(p.cm, contention.Ambient, contention.Interference) {
 		top, keep := p.free.LL()
 		if top == 0 {
 			return 0, ErrFull
@@ -101,7 +104,8 @@ func (p *pool) alloc() (uint64, error) {
 // stale SCs by other processes fail.
 func (p *pool) freeNode(idx uint64) {
 	p.setNext(idx, 0)
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(p.cm, contention.Ambient, contention.Interference) {
 		top, keep := p.free.LL()
 		p.setNext(idx, top)
 		if p.free.SC(keep, idx) {

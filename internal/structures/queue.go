@@ -1,6 +1,9 @@
 package structures
 
-import "repro/internal/core"
+import (
+	"repro/internal/contention"
+	"repro/internal/core"
+)
 
 // Queue is a bounded lock-free multi-producer multi-consumer FIFO in the
 // style of Michael & Scott, with every link — head, tail, and the per-node
@@ -12,6 +15,7 @@ type Queue struct {
 	p    *pool
 	head core.Var
 	tail core.Var
+	cm   *contention.Policy
 }
 
 // NewQueue creates a queue holding at most capacity elements. One pool
@@ -46,7 +50,8 @@ func (q *Queue) Enqueue(v uint64) error {
 	}
 	q.p.nodes[idx].val.Store(v)
 	q.p.setNext(idx, 0)
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(q.cm, contention.Ambient, contention.Interference) {
 		t, kt := q.tail.LL()
 		next, kn := q.p.nodes[t].next.LL()
 		if !q.tail.VL(kt) {
@@ -68,7 +73,8 @@ func (q *Queue) Enqueue(v uint64) error {
 // Dequeue removes and returns the oldest element; ok is false if the
 // queue is empty. Lock-free.
 func (q *Queue) Dequeue() (v uint64, ok bool) {
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(q.cm, contention.Ambient, contention.Interference) {
 		h, kh := q.head.LL()
 		t := q.tail.Read()
 		next := q.p.nodes[h].next.Read()

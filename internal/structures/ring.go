@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/word"
 )
@@ -18,6 +19,7 @@ type Ring struct {
 	mask  uint64
 	head  core.Var // next slot to consume
 	tail  core.Var // next slot to produce
+	cm    *contention.Policy
 }
 
 type ringSlot struct {
@@ -57,7 +59,8 @@ const cursorMask = 1<<24 - 1
 
 // Enqueue appends v; it returns ErrFull if the ring is full. Lock-free.
 func (r *Ring) Enqueue(v uint64) error {
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(r.cm, contention.Ambient, contention.Interference) {
 		t, keep := r.tail.LL()
 		slot := &r.slots[t&r.mask]
 		seq := slot.seq.Load()
@@ -84,7 +87,8 @@ func (r *Ring) Enqueue(v uint64) error {
 // Dequeue removes the oldest element; ok is false if the ring is empty.
 // Lock-free.
 func (r *Ring) Dequeue() (v uint64, ok bool) {
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(r.cm, contention.Ambient, contention.Interference) {
 		h, keep := r.head.LL()
 		slot := &r.slots[h&r.mask]
 		seq := slot.seq.Load()

@@ -3,6 +3,7 @@ package structures
 import (
 	"fmt"
 
+	"repro/internal/contention"
 	"repro/internal/core"
 )
 
@@ -20,6 +21,7 @@ type Set struct {
 	p    *pool
 	head uint64 // sentinel node index, key = -inf (never marked, never removed)
 	tail uint64 // sentinel node index, key = +inf
+	cm   *contention.Policy
 }
 
 // Link-word encoding: bit 23 of the 24-bit value field is the Harris mark;
@@ -65,8 +67,9 @@ func NewSet(capacity int) (*Set, error) {
 // whose snapshot points (unmarked) at cur — ready for an SC that inserts
 // before cur or unlinks it.
 func (s *Set) search(key uint64) (prev, cur uint64, kprev core.Keep) {
+	var w contention.Waiter
 outer:
-	for {
+	for ; ; w.Wait(s.cm, contention.Ambient, contention.Interference) {
 		prev = s.head
 		link, kp := s.p.nodes[prev].next.LL()
 		if setMarked(link) {
@@ -114,7 +117,8 @@ func (s *Set) Insert(key uint64) (bool, error) {
 		return false, fmt.Errorf("structures: key %d is reserved for the tail sentinel", key)
 	}
 	var idx uint64 // allocated lazily, reused across retries
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(s.cm, contention.Ambient, contention.Interference) {
 		prev, cur, kprev := s.search(key)
 		if cur != s.tail && s.p.nodes[cur].key == key {
 			if idx != 0 {
@@ -141,7 +145,8 @@ func (s *Set) Insert(key uint64) (bool, error) {
 // marked (logical deletion) and then unlinked if possible; stragglers are
 // unlinked by later searches. Lock-free.
 func (s *Set) Delete(key uint64) bool {
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(s.cm, contention.Ambient, contention.Interference) {
 		prev, cur, kprev := s.search(key)
 		if cur == s.tail || s.p.nodes[cur].key != key {
 			return false

@@ -1,0 +1,156 @@
+package structures
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+)
+
+// Regression test for the SC retry-loop spin audit: with GOMAXPROCS(1) a
+// retry loop that spins without ever yielding can monopolize the only
+// processor and livelock the program (the SC it is waiting on can only
+// succeed when the interfering goroutine runs again). Every retry loop in
+// this package funnels through contention.Waiter.Wait, which yields
+// periodically even with no policy attached, so these workloads must
+// terminate on a single processor — each runs under a watchdog, with a
+// stall hook widening the LL-SC window to force the interference that
+// makes retries (and thus the yield path) actually happen.
+func runSingleProc(t *testing.T, name string, workload func()) {
+	t.Run(name, func(t *testing.T) {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		done := make(chan struct{})
+		go func() {
+			workload()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			buf := make([]byte, 1<<16)
+			t.Fatalf("workload %q did not terminate on GOMAXPROCS(1); stacks:\n%s",
+				name, buf[:runtime.Stack(buf, true)])
+		}
+	})
+}
+
+func TestSingleProcTermination(t *testing.T) {
+	const workers, ops = 4, 300
+	pol := contention.ExponentialBackoff(4, 64)
+
+	spawn := func(body func(g int)) {
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				body(g)
+			}(g)
+		}
+		wg.Wait()
+	}
+
+	runSingleProc(t, "stack", func() {
+		s, err := NewStack(workers * ops)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := s.EnableElimination(2); err != nil {
+			t.Error(err)
+			return
+		}
+		s.SetContention(pol)
+		s.SetStallHook(runtime.Gosched)
+		spawn(func(g int) {
+			for i := 0; i < ops; i++ {
+				if err := s.Push(uint64(i + 1)); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Pop()
+			}
+		})
+	})
+
+	runSingleProc(t, "queue", func() {
+		q, err := NewQueue(workers * ops)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		q.SetContention(pol)
+		spawn(func(g int) {
+			for i := 0; i < ops; i++ {
+				if err := q.Enqueue(uint64(i + 1)); err != nil {
+					t.Error(err)
+					return
+				}
+				q.Dequeue()
+			}
+		})
+	})
+
+	runSingleProc(t, "counter", func() {
+		c := NewCounter(0)
+		c.SetContention(pol)
+		c.SetStallHook(runtime.Gosched)
+		spawn(func(g int) {
+			for i := 0; i < ops; i++ {
+				c.Increment()
+			}
+		})
+	})
+
+	runSingleProc(t, "sharded-counter", func() {
+		c, err := NewShardedCounter(0, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetContention(pol)
+		c.SetStallHook(runtime.Gosched)
+		spawn(func(g int) {
+			for i := 0; i < ops; i++ {
+				c.AddProc(g, 1)
+			}
+		})
+	})
+
+	runSingleProc(t, "ring", func() {
+		r, err := NewRing(8)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r.SetContention(pol)
+		spawn(func(g int) {
+			for i := 0; i < ops; i++ {
+				r.Enqueue(uint64(i + 1))
+				r.Dequeue()
+			}
+		})
+	})
+
+	runSingleProc(t, "snapshot", func() {
+		vars := []*core.Var{core.MustNewVar(indexLayout, 0), core.MustNewVar(indexLayout, 0)}
+		vars[0].SetStallHook(runtime.Gosched)
+		snap, err := NewSnapshot(vars)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		snap.SetContention(pol)
+		spawn(func(g int) {
+			dst := make([]uint64, 2)
+			for i := 0; i < ops; i++ {
+				vars[g%2].Store(uint64(i))
+				snap.Collect(dst)
+			}
+		})
+	})
+}

@@ -3,6 +3,7 @@ package structures
 import (
 	"fmt"
 
+	"repro/internal/contention"
 	"repro/internal/core"
 )
 
@@ -20,6 +21,7 @@ import (
 // is lock-free.
 type Snapshot struct {
 	vars []*core.Var
+	cm   *contention.Policy
 }
 
 // NewSnapshot builds a snapshotter over the given variables (at least
@@ -58,8 +60,9 @@ func (s *Snapshot) CollectWith(dst []uint64, keeps []core.Keep) {
 }
 
 func (s *Snapshot) collect(dst []uint64, keeps []core.Keep) {
+	var w contention.Waiter
 retry:
-	for {
+	for ; ; w.Wait(s.cm, contention.Ambient, contention.Interference) {
 		for i, v := range s.vars {
 			dst[i], keeps[i] = v.LL()
 		}

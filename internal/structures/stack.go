@@ -1,14 +1,21 @@
 package structures
 
-import "repro/internal/core"
+import (
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
 
 // Stack is a bounded lock-free LIFO (a Treiber stack) whose top pointer is
 // an LL/SC variable. Because SC is immune to ABA, popped nodes are
 // recycled immediately with no version counters or hazard pointers — the
 // simplification the paper's primitives buy over raw CAS.
 type Stack struct {
-	p   *pool
-	top core.Var
+	p    *pool
+	top  core.Var
+	cm   *contention.Policy
+	m    *obs.Metrics
+	elim *elimArray // optional, EnableElimination
 }
 
 // NewStack creates a stack holding at most capacity elements.
@@ -32,18 +39,28 @@ func (s *Stack) Push(v uint64) error {
 		return err
 	}
 	s.p.nodes[idx].val.Store(v)
+	var w contention.Waiter
 	for {
 		top, keep := s.top.LL()
 		s.p.setNext(idx, top)
 		if s.top.SC(keep, idx) {
 			return nil
 		}
+		// The central top is contended: before backing off, try to hand
+		// the value straight to a concurrent Pop via the elimination
+		// array (a hit completes both operations off the hot word).
+		if s.elim != nil && s.elim.tryPush(&w, v) {
+			s.p.freeNode(idx) // value handed over; node never published
+			return nil
+		}
+		w.Wait(s.cm, contention.Ambient, contention.Interference)
 	}
 }
 
 // Pop removes and returns the top element; ok is false if the stack is
 // empty. Lock-free.
 func (s *Stack) Pop() (v uint64, ok bool) {
+	var w contention.Waiter
 	for {
 		top, keep := s.top.LL()
 		if top == 0 {
@@ -55,6 +72,14 @@ func (s *Stack) Pop() (v uint64, ok bool) {
 			s.p.freeNode(top)
 			return v, true
 		}
+		// Contended: try to catch an in-flight Push in the elimination
+		// array instead of fighting for the top word.
+		if s.elim != nil {
+			if v, ok := s.elim.tryPop(&w); ok {
+				return v, true
+			}
+		}
+		w.Wait(s.cm, contention.Ambient, contention.Interference)
 	}
 }
 

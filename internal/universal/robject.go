@@ -3,6 +3,7 @@ package universal
 import (
 	"fmt"
 
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -16,6 +17,7 @@ import (
 type RObject struct {
 	family *core.RLargeFamily
 	state  *core.RLargeVar
+	cm     *contention.Policy
 }
 
 // NewRObject creates a lock-free shared object with W-segment state on
@@ -35,6 +37,13 @@ func NewRObject(m *machine.Machine, words int, tagBits uint, initial []uint64) (
 // SetMetrics attaches an optional metrics sink (nil disables) to the
 // object's underlying RLL/RSC Figure 6 family.
 func (o *RObject) SetMetrics(m *obs.Metrics) { o.family.SetMetrics(m) }
+
+// SetContention attaches a contention-management policy (nil disables) to
+// the Apply retry loop and the underlying family's rcas/Read loops.
+func (o *RObject) SetContention(p *contention.Policy) {
+	o.cm = p
+	o.family.SetContention(p)
+}
 
 // MaxSegmentValue returns the largest value one state segment can hold.
 func (o *RObject) MaxSegmentValue() uint64 { return o.family.MaxSegmentValue() }
@@ -60,7 +69,8 @@ func (o *RObject) Proc(p *machine.Proc) *RProc {
 // Termination additionally assumes only finitely many spurious RSC
 // failures per operation, as everywhere on this substrate.
 func (o *RObject) Apply(p *RProc, op func(cur, next []uint64)) []uint64 {
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(o.cm, p.p.ID(), contention.Interference) {
 		keep, res := o.state.WLL(p.p, p.cur)
 		if res != core.Succ {
 			continue

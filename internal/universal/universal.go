@@ -14,6 +14,7 @@ package universal
 import (
 	"fmt"
 
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -22,6 +23,7 @@ import (
 type Object struct {
 	family *core.LargeFamily
 	state  *core.LargeVar
+	cm     *contention.Policy
 }
 
 // Config parametrizes an Object.
@@ -57,6 +59,14 @@ func New(cfg Config, initial []uint64) (*Object, error) {
 // copy-helping behaviour of every Apply.
 func (o *Object) SetMetrics(m *obs.Metrics) { o.family.SetMetrics(m) }
 
+// SetContention attaches a contention-management policy (nil disables) to
+// the Apply retry loop and the underlying Figure 6 family's Read loop.
+// Set before the object is shared.
+func (o *Object) SetContention(p *contention.Policy) {
+	o.cm = p
+	o.family.SetContention(p)
+}
+
 // MaxSegmentValue returns the largest value one state segment can hold.
 func (o *Object) MaxSegmentValue() uint64 { return o.family.MaxSegmentValue() }
 
@@ -90,7 +100,8 @@ func (o *Object) Proc(id int) (*Proc, error) {
 // observed (the input to the winning op call). Lock-free: a retry implies
 // another process's Apply succeeded.
 func (o *Object) Apply(p *Proc, op func(cur []uint64, next []uint64)) []uint64 {
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(o.cm, p.inner.ID(), contention.Interference) {
 		keep, res := o.state.WLL(p.inner, p.cur)
 		if res != core.Succ {
 			continue // a concurrent SC won; retry without computing op

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/word"
@@ -43,6 +44,7 @@ type WaitFreeObject struct {
 	n        int
 	userW    int
 	slot     word.Fields // seq(16) | result(segValBits-16), within a segment value
+	cm       *contention.Policy
 }
 
 // ApplyFunc is the sequential object's transition function: it mutates
@@ -141,6 +143,15 @@ func NewWaitFree(cfg WaitFreeConfig, initial []uint64, apply ApplyFunc) (*WaitFr
 // copy-helping traffic of every Invoke.
 func (o *WaitFreeObject) SetMetrics(m *obs.Metrics) { o.family.SetMetrics(m) }
 
+// SetContention attaches a contention-management policy (nil disables).
+// Invoke's loop is already bounded by the helping protocol, so only its
+// retry pacing changes — wait-freedom is unaffected (policy waits are
+// themselves bounded); Read's lock-free loop backs off like Object's.
+func (o *WaitFreeObject) SetContention(p *contention.Policy) {
+	o.cm = p
+	o.family.SetContention(p)
+}
+
 // MaxStateValue returns the largest value one user state word can hold.
 func (o *WaitFreeObject) MaxStateValue() uint64 { return o.family.MaxSegmentValue() }
 
@@ -176,7 +187,8 @@ func (o *WaitFreeObject) Invoke(p *WProc, opcode, arg uint64) uint64 {
 	p.seq = p.seq%(1<<seqBits-1) + 1
 	o.announce[p.id].Store(annFields.Pack(p.seq, opcode, arg))
 	mySlot := o.userW + p.id
-	for {
+	var w contention.Waiter
+	for ; ; w.Wait(o.cm, p.id, contention.Interference) {
 		// Fast path: the packed (seq,result) slot is single-writer-stable
 		// once applied, so one atomic segment read suffices.
 		if s := o.state.ReadSegment(mySlot); o.slot.Get(s, slotSeq) == p.seq {
@@ -226,10 +238,12 @@ func (o *WaitFreeObject) Read(p *WProc, dst []uint64) {
 	if len(dst) != o.userW {
 		panic(fmt.Sprintf("universal: Read destination has %d words, want %d", len(dst), o.userW))
 	}
+	var w contention.Waiter
 	for {
 		if _, res := o.state.WLL(p.inner, p.cur); res == core.Succ {
 			copy(dst, p.cur[:o.userW])
 			return
 		}
+		w.Wait(o.cm, p.id, contention.Interference)
 	}
 }

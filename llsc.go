@@ -45,6 +45,7 @@ package llsc
 
 import (
 	"repro/internal/baseline"
+	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -207,6 +208,9 @@ type (
 	DequeProc = structures.DequeProc
 	// WSDeque is a Chase–Lev-style work-stealing deque on LL/SC cursors.
 	WSDeque = structures.WSDeque
+	// ShardedCounter is a combining counter: one failed SC on the base
+	// diverts the add to a stripe, LongAdder-style.
+	ShardedCounter = structures.ShardedCounter
 )
 
 var (
@@ -216,6 +220,9 @@ var (
 	NewQueue = structures.NewQueue
 	// NewCounter creates a lock-free counter.
 	NewCounter = structures.NewCounter
+	// NewShardedCounter creates a combining counter with the given number
+	// of overflow stripes.
+	NewShardedCounter = structures.NewShardedCounter
 	// NewSet creates a lock-free ordered set.
 	NewSet = structures.NewSet
 	// NewRing creates a bounded MPMC ring buffer.
@@ -281,6 +288,46 @@ var (
 
 // StmMaxValue is the largest value an stm.Memory word can hold.
 const StmMaxValue = stm.MaxValue
+
+// The contention-management policy layer consulted by every SC/CAS
+// retry loop (none/spin/exponential-backoff/adaptive); attach with the
+// SetContention method available on every primitive family, structure,
+// and universal object. See docs/CONTENTION.md.
+type (
+	// ContentionPolicy paces SC retry loops; nil means "retry immediately".
+	ContentionPolicy = contention.Policy
+	// ContentionWaiter is the per-loop two-word wait state.
+	ContentionWaiter = contention.Waiter
+	// ContentionCause tells a policy why an SC attempt failed.
+	ContentionCause = contention.Cause
+)
+
+var (
+	// ContentionNone returns the explicit retry-immediately policy.
+	ContentionNone = contention.None
+	// ContentionSpin returns a fixed-spin policy.
+	ContentionSpin = contention.Spin
+	// ExponentialBackoff returns a jittered exponential-backoff policy.
+	ExponentialBackoff = contention.ExponentialBackoff
+	// AdaptiveBackoff returns a policy that backs off only when the
+	// attached Metrics' SC-failure-cause split shows interference.
+	AdaptiveBackoff = contention.Adaptive
+	// ContentionPolicyByName maps the stable policy names (see
+	// ContentionPolicyNames) to default-parameter instances.
+	ContentionPolicyByName = contention.ByName
+	// ContentionPolicyNames lists the stable policy names.
+	ContentionPolicyNames = contention.Names
+)
+
+// The SC-failure causes a policy distinguishes.
+const (
+	// ContentionInterference marks a failure implying another process
+	// succeeded.
+	ContentionInterference = contention.Interference
+	// ContentionSpurious marks a hardware-invented failure (RLL/RSC
+	// substrates only); adaptive policies never back off on these.
+	ContentionSpurious = contention.Spurious
+)
 
 // The unified observability layer: allocation-free striped counters that
 // every primitive, structure, STM, and universal object can report into
