@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-diff fuzz fuzz-smoke stress-smoke soak experiments examples clean
+.PHONY: all build vet test race bench bench-json bench-diff fuzz fuzz-smoke stress-smoke soak-smoke soak experiments examples clean
 
 all: build vet test
 
@@ -57,6 +57,15 @@ fuzz-smoke:
 stress-smoke:
 	LLSC_STRESS_ROUNDS=4 $(GO) test -race -run 'TestStressMatrix|TestCrashProgress|TestLockBaseline' ./internal/stress/
 	$(GO) run ./cmd/llscfuzz -seqs 0 -sched 0 -stress-rounds 4 -stress-json stress-report.json
+
+# Seeded chaos soak in miniature (< 2 minutes): every figure runs under
+# the composed crash-restart adversary with per-round linearizability and
+# conservation checks, the lock baseline must wedge the watchdog, and a
+# machine-readable record lands in soak-report.json (schema llsc-soak/v1,
+# see docs/RECOVERY.md).
+soak-smoke:
+	$(GO) test -race -run 'TestSoakCell|TestWedgeDemo' ./internal/stress/
+	$(GO) run ./cmd/llscsoak -rounds 8 -seed 1 -json soak-report.json
 
 # Heavyweight randomized validation (minutes).
 soak:

@@ -13,6 +13,12 @@
 // given (independent runs of the same suite), each cell uses its minimum
 // ns/op across them — the standard benchmark noise reduction, since
 // scheduling noise only ever adds time.
+//
+// Exit status: 0 all cells within threshold, 1 at least one cell
+// regressed, 2 usage error, 3 missing or corrupt benchmark data (an empty
+// baseline directory, unreadable JSON, or no comparable cells) — distinct
+// from 1 so CI can tell "the code got slower" from "the comparison never
+// happened".
 package main
 
 import (
@@ -35,11 +41,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.30] [-v] BASELINE_DIR CURRENT_DIR...")
 		os.Exit(2)
 	}
+	if *flagThreshold < 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -threshold must be non-negative, got %g\n", *flagThreshold)
+		os.Exit(2)
+	}
 	baseDir, curDirs := flag.Arg(0), flag.Args()[1:]
 	baseFiles, err := filepath.Glob(filepath.Join(baseDir, "BENCH_*.json"))
 	if err != nil || len(baseFiles) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: no BENCH_*.json in %s\n", baseDir)
-		os.Exit(2)
+		dataErr("no BENCH_*.json in %s", baseDir)
 	}
 	var regressions, compared int
 	for _, bf := range baseFiles {
@@ -51,7 +60,9 @@ func main() {
 				continue
 			}
 			recs, err := bench.ReadRecordsFile(cf)
-			must(err)
+			if err != nil {
+				dataErr("current %s: %v", cf, err)
+			}
 			curRecs = bestOf(curRecs, recs)
 		}
 		if curRecs == nil {
@@ -59,9 +70,13 @@ func main() {
 			continue
 		}
 		baseRecs, err := bench.ReadRecordsFile(bf)
-		must(err)
+		if err != nil {
+			dataErr("baseline %s: %v", bf, err)
+		}
 		rep, err := bench.Diff(baseRecs, curRecs, bench.DiffOptions{Threshold: *flagThreshold})
-		must(err)
+		if err != nil {
+			dataErr("comparing %s: %v", name, err)
+		}
 		compared += len(rep.Cells)
 		regressions += rep.Regressions
 		fmt.Printf("%s: %d cells, machine factor %.2fx, %d regression(s)\n",
@@ -78,8 +93,7 @@ func main() {
 		}
 	}
 	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no comparable cells found")
-		os.Exit(2)
+		dataErr("no comparable cells found")
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d cell(s) regressed beyond %.0f%%\n", regressions, *flagThreshold*100)
@@ -110,9 +124,9 @@ func bestOf(a, b []bench.Record) []bench.Record {
 	return a
 }
 
-func must(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
-	}
+// dataErr reports missing or corrupt benchmark data and exits 3 — distinct
+// from both a regression (1) and a usage error (2).
+func dataErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(3)
 }

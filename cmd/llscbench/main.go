@@ -67,6 +67,20 @@ func ops() int {
 
 func main() {
 	flag.Parse()
+	// Fail fast on bad flags — before experiments run for minutes. An
+	// unknown -policy would otherwise only surface deep inside the
+	// contention sweep, after every other experiment already ran.
+	if *flagOps < 1 {
+		usageErr("-ops must be positive, got %d", *flagOps)
+	}
+	if *flagReport < 0 {
+		usageErr("-report-interval must be non-negative, got %v", *flagReport)
+	}
+	if *flagPolicy != "all" {
+		if _, err := contention.ByName(*flagPolicy); err != nil {
+			usageErr("unknown -policy %q (want all, %s)", *flagPolicy, strings.Join(contention.Names(), ", "))
+		}
+	}
 	if *flagMetrics != "" || *flagReport > 0 || *flagJSON {
 		sink = obs.New()
 		obs.Publish("llscbench", sink)
@@ -1187,6 +1201,12 @@ func must(err error) {
 		fmt.Fprintln(os.Stderr, "llscbench:", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr reports a bad invocation and exits 2 before any experiment runs.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llscbench: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func human(d time.Duration) string {

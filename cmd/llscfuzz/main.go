@@ -55,6 +55,16 @@ var sink *obs.Metrics
 
 func main() {
 	flag.Parse()
+	// Fail fast on bad flags — before minutes of fuzzing, not after.
+	if *flagSeqs < 0 || *flagSched < 0 {
+		usageErr("-seqs and -sched must be non-negative, got %d and %d", *flagSeqs, *flagSched)
+	}
+	if *flagOps < 1 {
+		usageErr("-ops must be positive, got %d", *flagOps)
+	}
+	if _, err := selectedPlans(); err != nil {
+		usageErr("%v", err)
+	}
 	if *flagMetrics != "" {
 		sink = obs.New()
 		obs.Publish("llscfuzz", sink)
@@ -330,8 +340,8 @@ func selectedPlans() ([]stress.PlanSpec, error) {
 	if *flagFaultPlan == "off" {
 		return nil, nil
 	}
-	if *flagBurstLen < 0 {
-		return nil, fmt.Errorf("-burst-len must be non-negative, got %d", *flagBurstLen)
+	if *flagBurstLen < 1 {
+		return nil, fmt.Errorf("-burst-len must be positive, got %d (a zero-length burst is a no-op adversary)", *flagBurstLen)
 	}
 	if *flagCrashAt < 0 {
 		return nil, fmt.Errorf("-crash-at must be non-negative, got %d", *flagCrashAt)
@@ -499,4 +509,10 @@ func must(err error) {
 		fmt.Fprintln(os.Stderr, "llscfuzz:", err)
 		os.Exit(1)
 	}
+}
+
+// usageErr reports a bad invocation and exits 2 before any phase runs.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llscfuzz: "+format+"\n", args...)
+	os.Exit(2)
 }

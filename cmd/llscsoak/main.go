@@ -1,0 +1,142 @@
+// Command llscsoak is the chaos soak harness: it runs every figure
+// implementation for many quiescent rounds under a composed adversary —
+// budgeted crash-restart kills layered over spurious-failure bursts and
+// tag pressure — exercising the full crash-recovery lifecycle (lease
+// handoff, machine restart, resource reclamation) on every kill. After
+// each round it re-checks linearizability and the figure's
+// resource-conservation invariant; throughout, a wedge watchdog verifies
+// the non-blocking claim. The lock-based contrast baseline, whose crashed
+// lock holder must wedge the same watchdog, runs last.
+//
+// Usage:
+//
+//	llscsoak [-procs 3] [-rounds 20] [-ops 14] [-seed 1]
+//	         [-kill-every 40] [-kill-budget 3]
+//	         [-watchdog-k 50000] [-lease-ttl 200000]
+//	         [-register all] [-timeout 60s] [-json soak-report.json]
+//
+// Exit status: 0 all checks passed, 1 a soak check failed (linearizability
+// violation, conservation leak, watchdog wedge on a figure, or a baseline
+// that failed to wedge), 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/stress"
+)
+
+var (
+	flagProcs      = flag.Int("procs", 3, "processors per cell")
+	flagRounds     = flag.Int("rounds", 20, "quiescent rounds per cell")
+	flagOps        = flag.Int("ops", 14, "operation target per processor per round")
+	flagSeed       = flag.Int64("seed", 1, "base seed for the drivers' operation mix")
+	flagKillEvery  = flag.Int("kill-every", 40, "machine-operation index, per incarnation, at which the victim is killed")
+	flagKillBudget = flag.Int("kill-budget", 3, "crash-restart kills per cell")
+	flagWatchdogK  = flag.Uint64("watchdog-k", 50_000, "machine steps without a completed operation before the watchdog declares a wedge")
+	flagLeaseTTL   = flag.Uint64("lease-ttl", 200_000, "registry lease time-to-live in machine steps")
+	flagRegister   = flag.String("register", "all", "figure to soak: all, or one of fig3|fig4|fig5|fig6|fig7")
+	flagTimeout    = flag.Duration("timeout", 60*time.Second, "wall-clock bound per cell")
+	flagJSON       = flag.String("json", "", "write the soak report (schema "+stress.SoakSchema+") to this path")
+)
+
+// usageErr reports a bad invocation and exits 2 before any cell runs.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llscsoak: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 0 {
+		usageErr("unexpected arguments: %v", flag.Args())
+	}
+	if *flagProcs < 2 {
+		usageErr("-procs must be at least 2, got %d", *flagProcs)
+	}
+	if *flagRounds < 1 {
+		usageErr("-rounds must be positive, got %d", *flagRounds)
+	}
+	if *flagOps < 1 {
+		usageErr("-ops must be positive, got %d", *flagOps)
+	}
+	if *flagKillEvery < 1 {
+		usageErr("-kill-every must be at least 1, got %d (killing at op 0 would loop restart->kill forever)", *flagKillEvery)
+	}
+	if *flagKillBudget < 0 {
+		usageErr("-kill-budget must be non-negative, got %d", *flagKillBudget)
+	}
+	if *flagWatchdogK < 1 {
+		usageErr("-watchdog-k must be at least 1, got %d", *flagWatchdogK)
+	}
+	if *flagLeaseTTL < 1 {
+		usageErr("-lease-ttl must be at least 1, got %d", *flagLeaseTTL)
+	}
+	if *flagTimeout <= 0 {
+		usageErr("-timeout must be positive, got %v", *flagTimeout)
+	}
+	regs := stress.DefaultRegisters()
+	if *flagRegister != "all" {
+		found := false
+		for _, r := range regs {
+			if r.Name == *flagRegister {
+				regs = []stress.RegisterSpec{r}
+				found = true
+				break
+			}
+		}
+		if !found {
+			usageErr("unknown -register %q (want all, fig3, fig4, fig5, fig6, or fig7)", *flagRegister)
+		}
+	}
+
+	cfg := stress.SoakConfig{
+		Procs: *flagProcs, Rounds: *flagRounds, OpsPerProc: *flagOps, Seed: *flagSeed,
+		KillEvery: *flagKillEvery, KillBudget: *flagKillBudget,
+		WatchdogK: *flagWatchdogK, LeaseTTL: *flagLeaseTTL, Timeout: *flagTimeout,
+	}
+	rep, err := stress.RunSoak(cfg, regs)
+	if err != nil {
+		// Config errors surface here before any round runs (e.g. a window
+		// that cannot fit the checker) — still a usage problem.
+		fmt.Fprintf(os.Stderr, "llscsoak: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("soak: %d rounds x %d procs x %d ops/proc, seed %d, kill every %d (budget %d)\n",
+		cfg.Rounds, cfg.Procs, cfg.OpsPerProc, cfg.Seed, cfg.KillEvery, cfg.KillBudget)
+	failed := 0
+	for _, c := range rep.Cells {
+		status := "ok"
+		if !c.Ok {
+			status = "FAIL: " + c.Violation
+			failed++
+		}
+		fmt.Printf("  %-5s rounds=%-3d ops=%-5d kills=%d restarts=%d post-restart-commits=%-3d wedged=%d  %s\n",
+			c.Register, c.Rounds, c.Ops, c.Kills, c.Restarts, c.PostRestartCommits, c.WatchdogWedged, status)
+	}
+	b := rep.Baseline
+	bstatus := "ok (wedged as a lock-based baseline must)"
+	if !b.Wedged {
+		bstatus = "FAIL: watchdog stayed silent on a crashed lock holder"
+		failed++
+	}
+	fmt.Printf("  %-5s completed=%d steps=%d checks=%d k=%d  %s\n",
+		b.Register, b.Completed, b.Steps, b.Checks, b.K, bstatus)
+
+	if *flagJSON != "" {
+		if err := rep.WriteFile(*flagJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "llscsoak: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %s\n", *flagJSON)
+	}
+	if failed > 0 {
+		fmt.Printf("\nFAILED: %d soak checks failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("\nall soak checks passed")
+}

@@ -57,6 +57,15 @@ type BoundedConfig struct {
 	// K bounds the number of LL-SC sequences any one process may have
 	// outstanding concurrently.
 	K int
+	// TagOverride, when non-zero, sets the number of distinct tags instead
+	// of the default minimum 2Nk+1. Values below 2Nk+1 are rejected: the
+	// paper's §5 wraparound analysis needs at least Nk tags that are "old
+	// enough" plus Nk possibly-announced ones plus the one in the variable,
+	// and with fewer a tag could be reused while an in-flight SC can still
+	// compare against it — exactly the ABA the construction exists to
+	// prevent. Tests use the knob to pin that the floor is enforced and to
+	// exercise wraparound at the tightest legal tag width.
+	TagOverride int
 }
 
 // NewBoundedFamily validates cfg, computes the tag|cnt|pid|val word layout,
@@ -70,6 +79,13 @@ func NewBoundedFamily(cfg BoundedConfig) (*BoundedFamily, error) {
 	}
 	nk := cfg.Procs * cfg.K
 	tagCount := uint64(2*nk + 1)
+	if cfg.TagOverride != 0 {
+		if cfg.TagOverride < 2*nk+1 {
+			return nil, fmt.Errorf("core: %d tags admit ABA under wraparound: Figure 7 needs at least 2Nk+1 = %d (N=%d, k=%d)",
+				cfg.TagOverride, 2*nk+1, cfg.Procs, cfg.K)
+		}
+		tagCount = uint64(cfg.TagOverride)
+	}
 	cntCount := uint64(nk + 1)
 	tagBits := word.BitsFor(tagCount - 1)
 	cntBits := word.BitsFor(cntCount - 1)
@@ -140,6 +156,10 @@ func (f *BoundedFamily) MaxVal() uint64 { return f.fields.Max(bfVal) }
 // TagBits returns the width of the (bounded) tag field — the point of the
 // construction is that this is small: ceil(log2(2Nk+1)).
 func (f *BoundedFamily) TagBits() uint { return f.fields.Width(bfTag) }
+
+// TagCount returns the number of distinct tags in the bounded space
+// (2Nk+1 unless overridden upward via BoundedConfig.TagOverride).
+func (f *BoundedFamily) TagCount() uint64 { return f.tagCount }
 
 // OverheadWords returns the family-level space overhead in words: the
 // announce array A of N·k words. Per-variable overhead is reported by

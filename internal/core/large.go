@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/contention"
@@ -30,6 +31,12 @@ type LargeFamily struct {
 	a    []atomic.Uint64
 	obs  *obs.Metrics
 	cm   *contention.Policy
+
+	// vars registers every variable created from the family so
+	// crash-recovery can scan for orphaned copies (Recover) and quiescent
+	// conservation checks can audit every segment (CheckConservation).
+	varsMu sync.Mutex
+	vars   []*LargeVar
 
 	// stallHook, when non-nil, is invoked by SC between the header CAS
 	// and the subsequent Copy. Tests use it to stall an SC'er mid-update
@@ -174,6 +181,9 @@ func (f *LargeFamily) NewVar(initial []uint64) (*LargeVar, error) {
 		v.data[i].Store(f.seg.Pack(0, x))
 	}
 	v.hdr.Store(f.hdr.Pack(0, 0))
+	f.varsMu.Lock()
+	f.vars = append(f.vars, v)
+	f.varsMu.Unlock()
 	return v, nil
 }
 

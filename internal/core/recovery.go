@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// This file holds the crash-recovery and resource-conservation paths for
+// the paper's per-process-state constructions. A crashed process leaks
+// three kinds of resources:
+//
+//   - Figure 7 (bounded tags): the announce slots it held and, more
+//     subtly, the ordering knowledge in its private tag queue Q — the
+//     queue is what guarantees a tag is not reused while an in-flight SC
+//     can still compare against it.
+//   - Figure 6 (large variables): an in-flight SC that installed its
+//     header but died mid-Copy leaves every segment one generation stale
+//     until some other operation's Copy helps it forward.
+//   - The universal construction: an announced-but-unapplied operation
+//     (handled in internal/universal; peers apply it by construction).
+//
+// Recovery rebuilds the private state conservatively. For Figure 7 the
+// paper's safety argument is that over any Nk consecutive SCs a process
+// observes every announce slot (line 10's rotating scan), so a tag sits
+// behind at least Nk others before reuse. A restarted process has lost
+// its scan position and queue order, so Recover performs the whole scan
+// at once: it reads all N·k announce slots and moves every announced tag
+// to the back of a fresh queue. That is at least as protective as any
+// state the dead incarnation could have had — every tag that any process
+// could still compare against (it can only compare against a tag it has
+// announced) is behind tagCount-Nk ≥ Nk+1 cold tags. The per-variable
+// last[p] counters live in shared memory and survive the crash untouched,
+// so the (tag, cnt, pid) triple of the successor's first SC still differs
+// from every triple the dead incarnation installed.
+//
+// For Figure 6 no private state needs rebuilding (handles are stateless);
+// Recover instead completes orphaned copies: any variable whose current
+// header still names the dead process gets its Copy driven to completion
+// by the helper, validating each segment against the header's tag
+// ownership exactly as ordinary helping does. This is safe from any
+// process at any time — Copy is idempotent and CAS-guarded.
+
+// BoundedRecoveryStats reports what one Figure 7 recovery reclaimed.
+type BoundedRecoveryStats struct {
+	// SlotsReclaimed is how many announce slots the dead incarnation held
+	// (LLs it never balanced with SC/CL), now returned to the free pool.
+	SlotsReclaimed int
+	// TagsRequeued is how many tags the recovery scan found announced and
+	// conservatively moved to the back of the fresh queue.
+	TagsRequeued int
+}
+
+// recoverBounded is the shared Figure 7 recovery: build a fresh queue,
+// move every tag announced in a[...] (read via load) to its back, and
+// count the dead incarnation's leaked slots.
+func recoverBounded(tagCount uint64, k int, nk int, getTag func(i int) uint64, s **slotStack, q **tagQueue, j *int) BoundedRecoveryStats {
+	st := BoundedRecoveryStats{SlotsReclaimed: k - (*s).free()}
+	fresh := newTagQueue(int(tagCount))
+	seen := make(map[uint64]bool, nk)
+	for i := 0; i < nk; i++ {
+		t := getTag(i)
+		fresh.moveToBack(t)
+		if !seen[t] {
+			seen[t] = true
+			st.TagsRequeued++
+		}
+	}
+	*s = newSlotStack(k)
+	*q = fresh
+	*j = 0
+	return st
+}
+
+// Recover rebuilds process pid's private Figure 7 state after a crash:
+// fresh slot stack (reclaiming any announce slots the dead incarnation
+// held), fresh tag queue ordered by a full announce-array scan (see the
+// file comment for why that is safe), and scan index reset. It must be
+// called only while pid itself is not running an operation; other
+// processes may run concurrently (the scan reads the announce array
+// atomically, and everything written is pid-private).
+func (f *BoundedFamily) Recover(pid int) (BoundedRecoveryStats, error) {
+	if pid < 0 || pid >= f.n {
+		return BoundedRecoveryStats{}, fmt.Errorf("core: process id %d out of range [0,%d)", pid, f.n)
+	}
+	p := f.procs[pid]
+	st := recoverBounded(f.tagCount, f.k, f.nk,
+		func(i int) uint64 { return f.fields.Get(f.a[i].Load(), bfTag) },
+		&p.s, &p.q, &p.j)
+	f.obs.AddProc(pid, obs.CtrRecoverySlotsReclaimed, uint64(st.SlotsReclaimed))
+	f.obs.AddProc(pid, obs.CtrRecoveryTagsRequeued, uint64(st.TagsRequeued))
+	return st, nil
+}
+
+// CheckConservation audits the family at quiescence (no operation in
+// flight anywhere): every process must hold all k announce slots free
+// (each LL balanced by SC or CL) and a tag queue that is a permutation of
+// the full tag space. A failure means a resource leaked — the invariant
+// the soak harness re-checks after every round.
+func (f *BoundedFamily) CheckConservation() error {
+	for pid, p := range f.procs {
+		if got := p.s.free(); got != f.k {
+			return fmt.Errorf("core: process %d leaked %d announce slot(s): %d of %d free at quiescence", pid, f.k-got, got, f.k)
+		}
+		if err := p.q.validate(); err != nil {
+			return fmt.Errorf("core: process %d tag queue corrupt: %w", pid, err)
+		}
+	}
+	return nil
+}
+
+// Recover rebuilds process pid's private state after a machine-level
+// crash-restart (see BoundedFamily.Recover for the reclamation argument).
+// It additionally refreshes the handle's machine processor to the current
+// incarnation — the dead incarnation's *machine.Proc panics on use — so
+// it must be called after machine.Restart(pid) and before the handle is
+// driven again. The announce scan runs on the restarted processor and is
+// counted against it.
+func (f *RBoundedFamily) Recover(pid int) (BoundedRecoveryStats, error) {
+	if pid < 0 || pid >= f.n {
+		return BoundedRecoveryStats{}, fmt.Errorf("core: process id %d out of range [0,%d)", pid, f.n)
+	}
+	p := f.procs[pid]
+	mp := f.m.Proc(pid)
+	if mp.Crashed() {
+		return BoundedRecoveryStats{}, fmt.Errorf("core: processor %d is still crashed; call machine.Restart first", pid)
+	}
+	p.p = mp
+	st := recoverBounded(f.tagCount, f.k, f.nk,
+		func(i int) uint64 { return f.fields.Get(mp.Load(f.a[i]), bfTag) },
+		&p.s, &p.q, &p.j)
+	f.obs.AddProc(pid, obs.CtrRecoverySlotsReclaimed, uint64(st.SlotsReclaimed))
+	f.obs.AddProc(pid, obs.CtrRecoveryTagsRequeued, uint64(st.TagsRequeued))
+	return st, nil
+}
+
+// CheckConservation audits the family at quiescence; see
+// BoundedFamily.CheckConservation.
+func (f *RBoundedFamily) CheckConservation() error {
+	for pid, p := range f.procs {
+		if got := p.s.free(); got != f.k {
+			return fmt.Errorf("core: process %d leaked %d announce slot(s): %d of %d free at quiescence", pid, f.k-got, got, f.k)
+		}
+		if err := p.q.validate(); err != nil {
+			return fmt.Errorf("core: process %d tag queue corrupt: %w", pid, err)
+		}
+	}
+	return nil
+}
+
+// Recover completes orphaned copies left by crashed process pid: every
+// family variable whose current header still names pid has its Copy
+// driven to completion on pid's behalf by helper (any live process). It
+// returns how many variables needed completing. Figure 6 needs no private
+// state rebuilt — handles are stateless, and a restarted pid's own next
+// WLL would complete the copy before its SC could overwrite A[pid] — so
+// this is reclamation in the "heal now, not on next touch" sense: after
+// Recover returns (with all processes quiescent), no segment anywhere
+// still depends on the dead incarnation's announce words.
+func (f *LargeFamily) Recover(helper *LargeProc, pid int) (completed int, err error) {
+	if pid < 0 || pid >= f.n {
+		return 0, fmt.Errorf("core: process id %d out of range [0,%d)", pid, f.n)
+	}
+	f.varsMu.Lock()
+	vars := append([]*LargeVar(nil), f.vars...)
+	f.varsMu.Unlock()
+	for _, v := range vars {
+		hdr := v.hdr.Load()
+		if int(f.hdr.Get(hdr, 1)) != pid || !v.copyIncomplete(hdr) {
+			continue
+		}
+		v.copyVal(hdr, nil)
+		completed++
+	}
+	f.obs.AddProc(helper.id, obs.CtrRecoveryCopiesCompleted, uint64(completed))
+	return completed, nil
+}
+
+// copyIncomplete reports whether some segment is still a generation behind
+// hdr — the signature of an orphaned (or merely in-progress) Copy.
+func (v *LargeVar) copyIncomplete(hdr uint64) bool {
+	hdrTag := v.f.hdr.Get(hdr, 0)
+	for i := 0; i < v.f.w; i++ {
+		if v.f.seg.Tag(v.data[i].Load()) != hdrTag {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckConservation audits the family at quiescence: every segment of
+// every variable must carry the current header's tag — i.e. every
+// installed SC's Copy ran to completion and no BUF slot is still feeding
+// a half-copied generation. The header's next generation would overwrite
+// prevTag segments, so a stale segment here means a leaked copy.
+func (f *LargeFamily) CheckConservation() error {
+	f.varsMu.Lock()
+	defer f.varsMu.Unlock()
+	for vi, v := range f.vars {
+		hdrTag := f.hdr.Get(v.hdr.Load(), 0)
+		for i := 0; i < f.w; i++ {
+			if got := f.seg.Tag(v.data[i].Load()); got != hdrTag {
+				return fmt.Errorf("core: variable %d segment %d carries tag %d, header tag is %d: copy incomplete at quiescence", vi, i, got, hdrTag)
+			}
+		}
+	}
+	return nil
+}
+
+// Recover completes orphaned copies left by crashed process pid, driven
+// by the live machine processor helper; see LargeFamily.Recover.
+func (f *RLargeFamily) Recover(helper *machine.Proc, pid int) (completed int, err error) {
+	if pid < 0 || pid >= f.n {
+		return 0, fmt.Errorf("core: process id %d out of range [0,%d)", pid, f.n)
+	}
+	f.varsMu.Lock()
+	vars := append([]*RLargeVar(nil), f.vars...)
+	f.varsMu.Unlock()
+	for _, v := range vars {
+		hdr := helper.Load(v.hdr)
+		if int(f.hdr.Get(hdr, 1)) != pid || !v.copyIncomplete(helper, hdr) {
+			continue
+		}
+		v.copyVal(helper, hdr, nil)
+		completed++
+	}
+	f.obs.AddProc(helper.ID(), obs.CtrRecoveryCopiesCompleted, uint64(completed))
+	return completed, nil
+}
+
+// copyIncomplete reports whether some segment is still a generation behind
+// hdr; see LargeVar.copyIncomplete.
+func (v *RLargeVar) copyIncomplete(p *machine.Proc, hdr uint64) bool {
+	hdrTag := v.f.hdr.Get(hdr, 0)
+	for i := 0; i < v.f.w; i++ {
+		if v.f.seg.Tag(p.Load(v.data[i])) != hdrTag {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckConservation audits the family at quiescence through processor p;
+// see LargeFamily.CheckConservation. The audit's loads count as p's
+// machine operations.
+func (f *RLargeFamily) CheckConservation(p *machine.Proc) error {
+	f.varsMu.Lock()
+	defer f.varsMu.Unlock()
+	for vi, v := range f.vars {
+		hdrTag := f.hdr.Get(p.Load(v.hdr), 0)
+		for i := 0; i < f.w; i++ {
+			if got := f.seg.Tag(p.Load(v.data[i])); got != hdrTag {
+				return fmt.Errorf("core: variable %d segment %d carries tag %d, header tag is %d: copy incomplete at quiescence", vi, i, got, hdrTag)
+			}
+		}
+	}
+	return nil
+}

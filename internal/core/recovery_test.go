@@ -1,0 +1,332 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestTagQueueValidate(t *testing.T) {
+	q := newTagQueue(7)
+	for _, tag := range []uint64{3, 0, 6, 3, 5} {
+		q.moveToBack(tag)
+	}
+	q.rotate()
+	if err := q.validate(); err != nil {
+		t.Fatalf("healthy queue failed validation: %v", err)
+	}
+	// Corrupt it: point a next link back at the head, duplicating a tag.
+	q.next[q.head] = q.head
+	if err := q.validate(); err == nil {
+		t.Fatal("corrupt queue passed validation")
+	}
+}
+
+func TestBoundedRecoverReclaims(t *testing.T) {
+	f := MustNewBoundedFamily(BoundedConfig{Procs: 2, K: 2})
+	v, err := f.NewVar(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := f.Proc(0)
+	p1, _ := f.Proc(1)
+
+	// p0 opens two sequences and "crashes" holding both slots.
+	if _, _, err := v.LL(p0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.LL(p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckConservation(); err == nil {
+		t.Fatal("conservation check missed two leaked slots")
+	}
+
+	st, err := f.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SlotsReclaimed != 2 {
+		t.Fatalf("SlotsReclaimed = %d, want 2", st.SlotsReclaimed)
+	}
+	if st.TagsRequeued < 1 {
+		t.Fatalf("TagsRequeued = %d, want at least the announced tag", st.TagsRequeued)
+	}
+	if err := f.CheckConservation(); err != nil {
+		t.Fatalf("conservation after recovery: %v", err)
+	}
+	if p0.FreeSlots() != 2 {
+		t.Fatalf("FreeSlots = %d after recovery, want 2", p0.FreeSlots())
+	}
+
+	// The recovered process and its peer both still work.
+	for i, p := range []*BoundedProc{p0, p1} {
+		_, keep, err := v.LL(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.SC(p, keep, uint64(10+i)) {
+			t.Fatalf("sequential SC by proc %d failed after recovery", p.ID())
+		}
+	}
+	if got := v.Read(); got != 11 {
+		t.Fatalf("Read = %d, want 11", got)
+	}
+	if err := f.CheckConservation(); err != nil {
+		t.Fatalf("conservation after post-recovery traffic: %v", err)
+	}
+}
+
+func TestBoundedRecoverOutOfRange(t *testing.T) {
+	f := MustNewBoundedFamily(BoundedConfig{Procs: 2, K: 1})
+	if _, err := f.Recover(2); err == nil {
+		t.Fatal("Recover(2) out of range must fail")
+	}
+}
+
+func TestBoundedTagOverride(t *testing.T) {
+	if _, err := NewBoundedFamily(BoundedConfig{Procs: 2, K: 1, TagOverride: 4}); err == nil {
+		t.Fatal("tag space below 2Nk+1 must be rejected")
+	} else if !strings.Contains(err.Error(), "ABA") {
+		t.Fatalf("rejection should name the ABA hazard, got: %v", err)
+	}
+	f, err := NewBoundedFamily(BoundedConfig{Procs: 2, K: 1, TagOverride: 5})
+	if err != nil {
+		t.Fatalf("minimum legal tag space rejected: %v", err)
+	}
+	if f.TagCount() != 5 {
+		t.Fatalf("TagCount = %d, want 5", f.TagCount())
+	}
+	f, err = NewBoundedFamily(BoundedConfig{Procs: 2, K: 1, TagOverride: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TagCount() != 64 {
+		t.Fatalf("TagCount = %d, want 64", f.TagCount())
+	}
+}
+
+// TestBoundedTagWraparoundABAImpossible is the §5 wraparound regression at
+// the tightest legal tag space (N=2, k=1: five tags, three counter values).
+// Process b announces a read of the initial word and then stalls; process a
+// drives enough successful SCs to wrap both the tag queue and the counter
+// space many times over. If the feedback scheme ever let the variable
+// return to the exact announced bit pattern, b's stale SC could succeed —
+// classic ABA. The test pins that the pattern never recurs and the stale
+// SC fails.
+func TestBoundedTagWraparoundABAImpossible(t *testing.T) {
+	f := MustNewBoundedFamily(BoundedConfig{Procs: 2, K: 1})
+	if f.TagCount() != 5 {
+		t.Fatalf("TagCount = %d, want the minimal 5", f.TagCount())
+	}
+	v, err := f.NewVar(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Proc(0)
+	b, _ := f.Proc(1)
+
+	_, keepB, err := v.LL(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 20 * int(f.tagCount) * int(f.cntCount)
+	for i := 0; i < iters; i++ {
+		_, keepA, err := v.LL(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.SC(a, keepA, uint64(i%2)) { // value 1 recurs, matching the announced word's value field
+			t.Fatalf("uncontended SC %d failed", i)
+		}
+		if v.word.Load() == keepB.word {
+			t.Fatalf("ABA: after %d SCs the variable returned to the bit pattern announced by b", i+1)
+		}
+	}
+	if v.SC(b, keepB, 42) {
+		t.Fatal("stale SC succeeded after full tag/counter wraparound: ABA")
+	}
+	if err := f.CheckConservation(); err != nil {
+		t.Fatalf("conservation after wraparound: %v", err)
+	}
+}
+
+func TestLargeRecoverCompletesOrphan(t *testing.T) {
+	f := MustNewLargeFamily(LargeConfig{Procs: 2, Words: 3})
+	v, err := f.NewVar([]uint64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := f.Proc(0)
+	p1, _ := f.Proc(1)
+
+	buf := make([]uint64, 3)
+	keep, res := v.WLL(p0, buf)
+	if res != Succ {
+		t.Fatalf("uncontended WLL returned %d", res)
+	}
+	// Crash p0 between its header CAS and its Copy: the header names p0
+	// but every segment is still one generation behind.
+	f.stallHook = func(int) { panic("crash mid-SC") }
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("stall hook did not fire")
+			}
+		}()
+		v.SC(p0, keep, []uint64{7, 8, 9})
+	}()
+	f.stallHook = nil
+
+	if err := f.CheckConservation(); err == nil {
+		t.Fatal("conservation check missed the orphaned copy")
+	}
+	completed, err := f.Recover(p1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != 1 {
+		t.Fatalf("Recover completed %d copies, want 1", completed)
+	}
+	if err := f.CheckConservation(); err != nil {
+		t.Fatalf("conservation after recovery: %v", err)
+	}
+	v.Read(p1, buf)
+	if buf[0] != 7 || buf[1] != 8 || buf[2] != 9 {
+		t.Fatalf("Read = %v after recovered copy, want [7 8 9]", buf)
+	}
+	// Idempotent: the header no longer names a stale copy.
+	if completed, _ = f.Recover(p1, 0); completed != 0 {
+		t.Fatalf("second Recover completed %d copies, want 0", completed)
+	}
+}
+
+// crashAfterFirstRSC crashes the victim once, at its first operation after
+// its first RSC — for a Figure 6 SC, immediately after the header install
+// and before any copy work. Later incarnations run unharmed.
+type crashAfterFirstRSC struct {
+	victim int
+	sawRSC bool
+	fired  bool
+}
+
+func (c *crashAfterFirstRSC) BeforeOp(proc int, op machine.OpKind, word uint64) machine.FaultInjection {
+	if proc != c.victim || c.fired {
+		return machine.FaultInjection{}
+	}
+	if c.sawRSC {
+		c.fired = true
+		return machine.FaultInjection{Crash: true}
+	}
+	if op == machine.OpRSC {
+		c.sawRSC = true
+	}
+	return machine.FaultInjection{}
+}
+
+func TestRLargeRecoverAfterMachineCrash(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2, FaultPlan: &crashAfterFirstRSC{victim: 0}})
+	f, err := NewRLargeFamily(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar([]uint64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := m.Proc(0)
+	p1 := m.Proc(1)
+
+	buf := make([]uint64, 2)
+	keep, res := v.WLL(p0, buf)
+	if res != Succ {
+		t.Fatalf("uncontended WLL returned %d", res)
+	}
+	func() {
+		defer func() {
+			if _, ok := recover().(machine.CrashPanic); !ok {
+				t.Fatal("expected CrashPanic mid-SC")
+			}
+		}()
+		v.SC(p0, keep, []uint64{5, 6})
+	}()
+
+	if err := f.CheckConservation(p1); err == nil {
+		t.Fatal("conservation check missed the orphaned copy")
+	}
+	if _, err := m.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	completed, err := f.Recover(p1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != 1 {
+		t.Fatalf("Recover completed %d copies, want 1", completed)
+	}
+	if err := f.CheckConservation(p1); err != nil {
+		t.Fatalf("conservation after recovery: %v", err)
+	}
+	v.Read(p1, buf)
+	if buf[0] != 5 || buf[1] != 6 {
+		t.Fatalf("Read = %v after recovered copy, want [5 6]", buf)
+	}
+	// The restarted incarnation can drive new SCs.
+	np := m.Proc(0)
+	keep, res = v.WLL(np, buf)
+	if res != Succ {
+		t.Fatalf("restarted WLL returned %d", res)
+	}
+	if !v.SC(np, keep, []uint64{8, 8}) {
+		t.Fatal("restarted incarnation's SC failed uncontended")
+	}
+}
+
+func TestRBoundedRecoverRefreshesHandle(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	f, err := NewRBoundedFamily(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.NewVar(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := f.Proc(0)
+	p1, _ := f.Proc(1)
+
+	// p0 crashes holding its only announce slot.
+	if _, _, err := v.LL(p0); err != nil {
+		t.Fatal(err)
+	}
+	m.Proc(0).Crash()
+	if _, err := f.Recover(0); err == nil {
+		t.Fatal("Recover before machine.Restart must refuse a crashed processor")
+	}
+	if _, err := m.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Recover(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SlotsReclaimed != 1 {
+		t.Fatalf("SlotsReclaimed = %d, want 1", st.SlotsReclaimed)
+	}
+	if err := f.CheckConservation(); err != nil {
+		t.Fatalf("conservation after recovery: %v", err)
+	}
+
+	// The same family handle now drives the fresh incarnation.
+	_, keep, err := v.LL(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SC(p0, keep, 9) {
+		t.Fatal("recovered handle's SC failed uncontended")
+	}
+	if got := v.Read(p1); got != 9 {
+		t.Fatalf("Read = %d, want 9", got)
+	}
+}

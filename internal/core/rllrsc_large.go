@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/contention"
 	"repro/internal/machine"
@@ -29,6 +30,11 @@ type RLargeFamily struct {
 	a   []*machine.Word
 	obs *obs.Metrics
 	cm  *contention.Policy
+
+	// vars registers every variable for crash-recovery scans and quiescent
+	// conservation checks, mirroring LargeFamily.
+	varsMu sync.Mutex
+	vars   []*RLargeVar
 }
 
 // NewRLargeFamily builds a Figure 6 family over machine m. The machine's
@@ -130,6 +136,9 @@ func (f *RLargeFamily) NewVar(initial []uint64) (*RLargeVar, error) {
 		}
 		v.data[i] = f.m.NewWord(f.seg.Pack(0, x))
 	}
+	f.varsMu.Lock()
+	f.vars = append(f.vars, v)
+	f.varsMu.Unlock()
 	return v, nil
 }
 

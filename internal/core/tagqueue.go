@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // tagQueue is the private per-process queue Q of Figure 7: it always holds
 // a permutation of the tags {0, ..., size-1}. The paper requires
 // constant-time delete(t)+enqueue(t) (move a given tag to the back, line
@@ -71,6 +73,42 @@ func (q *tagQueue) rotate() uint64 {
 	t := q.head
 	q.moveToBack(uint64(t))
 	return uint64(t)
+}
+
+// validate checks the queue's structural invariant — it holds every tag
+// 0..size-1 exactly once, with consistent next/prev links — and returns a
+// descriptive error on the first violation. The invariant is what makes
+// Figure 7's wraparound argument go through (every tag eventually reaches
+// the front, and no tag is duplicated), so conservation checks call this
+// after crash-recovery rebuilds a queue.
+func (q *tagQueue) validate() error {
+	size := len(q.next)
+	seen := make([]bool, size)
+	n := q.head
+	for i := 0; i < size; i++ {
+		if int(n) >= size {
+			return fmt.Errorf("core: tag queue link to out-of-range tag %d", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("core: tag %d appears twice in tag queue", n)
+		}
+		seen[n] = true
+		if i > 0 && int(q.prev[n]) < size && !seen[q.prev[n]] {
+			return fmt.Errorf("core: tag queue prev link of %d points at unvisited tag %d", n, q.prev[n])
+		}
+		if i == size-1 {
+			if n != q.tail {
+				return fmt.Errorf("core: tag queue tail is %d, want %d", q.tail, n)
+			}
+			return nil
+		}
+		prev := n
+		n = q.next[n]
+		if int(n) < size && q.prev[n] != prev {
+			return fmt.Errorf("core: tag queue prev link of %d is %d, want %d", n, q.prev[n], prev)
+		}
+	}
+	return fmt.Errorf("core: tag queue traversal did not cover all %d tags", size)
 }
 
 // slotStack is the private per-process stack S of Figure 7, managing the k

@@ -48,6 +48,10 @@ type Stats struct {
 	Interference uint64 `json:"interference,omitempty"`
 	// Stalls is the number of operations blocked by a crash/stall.
 	Stalls uint64 `json:"stalls,omitempty"`
+	// Crashes is the number of kill-style crashes injected (incarnations
+	// killed via machine.FaultInjection.Crash, restartable with
+	// machine.Restart — unlike Stalls, which block forever).
+	Crashes uint64 `json:"crashes,omitempty"`
 }
 
 // Add returns the component-wise sum of s and t.
@@ -56,11 +60,12 @@ func (s Stats) Add(t Stats) Stats {
 		Spurious:     s.Spurious + t.Spurious,
 		Interference: s.Interference + t.Interference,
 		Stalls:       s.Stalls + t.Stalls,
+		Crashes:      s.Crashes + t.Crashes,
 	}
 }
 
 // Total returns the total number of injected faults.
-func (s Stats) Total() uint64 { return s.Spurious + s.Interference + s.Stalls }
+func (s Stats) Total() uint64 { return s.Spurious + s.Interference + s.Stalls + s.Crashes }
 
 // Plan is a machine.FaultPlan that can describe itself and report what it
 // injected. All implementations in this package are safe for concurrent
@@ -82,6 +87,7 @@ type stats struct {
 	spurious  atomic.Uint64
 	interfere atomic.Uint64
 	stalls    atomic.Uint64
+	crashes   atomic.Uint64
 	m         *obs.Metrics
 }
 
@@ -92,6 +98,7 @@ func (s *stats) Injected() Stats {
 		Spurious:     s.spurious.Load(),
 		Interference: s.interfere.Load(),
 		Stalls:       s.stalls.Load(),
+		Crashes:      s.crashes.Load(),
 	}
 }
 
@@ -108,6 +115,11 @@ func (s *stats) countInterfere(proc int) {
 func (s *stats) countStall(proc int) {
 	s.stalls.Add(1)
 	s.m.IncProc(proc, obs.CtrFaultInjStall)
+}
+
+func (s *stats) countCrash(proc int) {
+	s.crashes.Add(1)
+	s.m.IncProc(proc, obs.CtrFaultInjCrash)
 }
 
 // Burst fails a window of one processor's RSC attempts spuriously: attempts
@@ -280,6 +292,71 @@ func (c *Crash) Release() {
 	}
 }
 
+// CrashRestart kills one processor repeatedly: each incarnation of the
+// victim dies at its atOp-th shared-memory operation (0-based, counted per
+// incarnation), up to budget kills in total. Unlike Crash, which wedges
+// its victim forever inside BeforeOp, CrashRestart uses the machine's
+// kill-style crash — the victim's goroutine receives a machine.CrashPanic,
+// the in-flight operation never executes, and the driver is expected to
+// recover the panic, call machine.Restart, run the constructions' Recover
+// paths, and resume. This is the chaos-soak adversary: the process
+// population churns while the other processors keep running.
+//
+// Determinism: per-incarnation operation counting restarts at zero after
+// each kill, so a given (seed, plan) soak replays the same crash points
+// provided the victim's instruction stream is deterministic.
+type CrashRestart struct {
+	stats
+	proc    int
+	atOp    uint64
+	budget0 int64
+	budget  atomic.Int64
+	ops     atomic.Uint64
+}
+
+// NewCrashRestart builds a CrashRestart killing processor proc at the
+// atOp-th operation of each incarnation, at most budget times.
+func NewCrashRestart(proc, atOp, budget int) *CrashRestart {
+	if proc < 0 {
+		panic("fault: CrashRestart proc must be non-negative")
+	}
+	if atOp < 1 {
+		// The 0th op of a fresh incarnation is the first thing a restarted
+		// process does: killing there would loop restart->kill forever.
+		panic("fault: CrashRestart atOp must be at least 1")
+	}
+	if budget < 0 {
+		panic("fault: CrashRestart budget must be non-negative")
+	}
+	c := &CrashRestart{proc: proc, atOp: uint64(atOp), budget0: int64(budget)}
+	c.budget.Store(int64(budget))
+	return c
+}
+
+// Name implements Plan.
+func (c *CrashRestart) Name() string {
+	return fmt.Sprintf("crashrestart(proc=%d,at=%d,budget=%d)", c.proc, c.atOp, c.budget0)
+}
+
+// BeforeOp implements machine.FaultPlan.
+func (c *CrashRestart) BeforeOp(proc int, op machine.OpKind, word uint64) machine.FaultInjection {
+	if proc != c.proc {
+		return machine.FaultInjection{}
+	}
+	if c.ops.Add(1) < c.atOp {
+		return machine.FaultInjection{}
+	}
+	if c.budget.Add(-1) < 0 {
+		return machine.FaultInjection{}
+	}
+	c.ops.Store(0) // next incarnation counts from scratch
+	c.countCrash(proc)
+	return machine.FaultInjection{Crash: true}
+}
+
+// Kills returns how many incarnations the plan has killed so far.
+func (c *CrashRestart) Kills() uint64 { return c.crashes.Load() }
+
 // TagPressure is machine-wide periodic interference: every `every`-th RSC
 // on the whole machine is preceded by a silent rewrite of its word, up to
 // `budget` injections. Against Figure 7 workloads that keep LL-SC
@@ -344,6 +421,7 @@ func (c *Composed) BeforeOp(proc int, op machine.OpKind, word uint64) machine.Fa
 		inj := p.BeforeOp(proc, op, word)
 		out.SpuriousRSC = out.SpuriousRSC || inj.SpuriousRSC
 		out.Interfere = out.Interfere || inj.Interfere
+		out.Crash = out.Crash || inj.Crash
 	}
 	return out
 }

@@ -180,6 +180,86 @@ func TestCrashStopsProcessorAndReleaseFrees(t *testing.T) {
 	plan.Release() // idempotent
 }
 
+func TestCrashRestartKillsEachIncarnation(t *testing.T) {
+	// Kill proc 0 at the 3rd op of each incarnation, twice; the third
+	// incarnation outlives the budget.
+	plan := NewCrashRestart(0, 3, 2)
+	met := obs.NewWithStripes(1)
+	plan.SetMetrics(met)
+	m := machine.MustNew(machine.Config{Procs: 2, FaultPlan: plan})
+	w := m.NewWord(0)
+
+	// Returns ops completed before the crash, or -1 if no crash happened.
+	runIncarnation := func(total int) (completed int) {
+		completed = -1
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(machine.CrashPanic); !ok {
+					panic(r)
+				}
+			} else {
+				completed = -1
+				return
+			}
+		}()
+		p := m.Proc(0)
+		for i := 0; i < total; i++ {
+			p.Load(w)
+			completed = i + 1
+		}
+		completed = -1 // no crash within total ops
+		return
+	}
+
+	for gen := 0; gen < 2; gen++ {
+		done := runIncarnation(10)
+		if done != 2 {
+			t.Fatalf("incarnation %d completed %d ops before the kill, want 2 (atOp=3)", gen, done)
+		}
+		if _, err := m.Restart(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget exhausted: incarnation 2 runs to completion.
+	if done := runIncarnation(10); done != -1 {
+		t.Fatalf("post-budget incarnation crashed after %d ops", done)
+	}
+	if got := plan.Kills(); got != 2 {
+		t.Fatalf("Kills = %d, want 2", got)
+	}
+	if got := plan.Injected(); got.Crashes != 2 || got.Total() != 2 {
+		t.Fatalf("Injected = %+v, want exactly 2 crashes", got)
+	}
+	if got := met.Snapshot().Get(obs.CtrFaultInjCrash); got != 2 {
+		t.Fatalf("fault_inj_crash counter = %d, want 2", got)
+	}
+	// The other processor never sees the plan.
+	p1 := m.Proc(1)
+	for i := 0; i < 10; i++ {
+		p1.RLL(w)
+		if !p1.RSC(w, uint64(i)) {
+			t.Fatalf("bystander's RSC %d failed", i)
+		}
+	}
+}
+
+func TestComposedCarriesCrash(t *testing.T) {
+	plan := Compose(NewBurst(1, 0, 1), NewCrashRestart(0, 1, 1))
+	m := machine.MustNew(machine.Config{Procs: 2, FaultPlan: plan})
+	w := m.NewWord(0)
+	func() {
+		defer func() {
+			if _, ok := recover().(machine.CrashPanic); !ok {
+				t.Fatal("composed plan dropped the Crash injection")
+			}
+		}()
+		m.Proc(0).Load(w)
+	}()
+	if got := plan.Injected().Crashes; got != 1 {
+		t.Fatalf("composed Crashes = %d, want 1", got)
+	}
+}
+
 func TestTagPressureDrivesBoundedTagRecycling(t *testing.T) {
 	// Figure 7 over RLL/RSC under machine-wide interference: elevated SC
 	// failure rates churn the tag queue; values must stay exact.
@@ -259,6 +339,7 @@ func TestPlanNames(t *testing.T) {
 		{NewInterference(AnyProc, 2, 10), "interference(proc=any,every=2,budget=10)"},
 		{NewInterference(3, 1, 5), "interference(proc=3,every=1,budget=5)"},
 		{NewCrash(2, 7), "crash(proc=2,at=7)"},
+		{NewCrashRestart(1, 4, 3), "crashrestart(proc=1,at=4,budget=3)"},
 		{NewTagPressure(4, 9), "tagpressure(every=4,budget=9)"},
 	} {
 		if got := tt.plan.Name(); got != tt.want {
@@ -275,6 +356,9 @@ func TestConstructorValidation(t *testing.T) {
 		"interference neg budget": func() { NewInterference(0, 1, -1) },
 		"crash negative proc":     func() { NewCrash(-1, 0) },
 		"crash negative atOp":     func() { NewCrash(0, -1) },
+		"crashrestart zero atOp":  func() { NewCrashRestart(0, 0, 1) },
+		"crashrestart neg proc":   func() { NewCrashRestart(-1, 1, 1) },
+		"crashrestart neg budget": func() { NewCrashRestart(0, 1, -1) },
 		"tagpressure zero every":  func() { NewTagPressure(0, 1) },
 		"tagpressure budget neg":  func() { NewTagPressure(1, -1) },
 	} {

@@ -1,0 +1,271 @@
+package machine
+
+import (
+	"testing"
+)
+
+// recoverCrash runs f and returns the CrashPanic it panicked with, failing
+// the test if f completed or panicked with anything else.
+func recoverCrash(t *testing.T, f func()) (cp CrashPanic) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected CrashPanic, got normal completion")
+		}
+		var ok bool
+		cp, ok = r.(CrashPanic)
+		if !ok {
+			t.Fatalf("expected CrashPanic, got %v", r)
+		}
+	}()
+	f()
+	return
+}
+
+func TestCrashPanicsOnNextOp(t *testing.T) {
+	m := MustNew(Config{Procs: 1})
+	p := m.Proc(0)
+	w := m.NewWord(1)
+	p.Store(w, 2) // works while alive
+	p.Crash()
+	if !p.Crashed() {
+		t.Fatal("Crashed() false after Crash()")
+	}
+	cp := recoverCrash(t, func() { p.Load(w) })
+	if cp.Proc != 0 || cp.Gen != 0 {
+		t.Fatalf("CrashPanic = %+v, want Proc 0 Gen 0", cp)
+	}
+	// Still dead: every subsequent op panics too.
+	recoverCrash(t, func() { p.RLL(w) })
+	if got := w.cell.Load().val; got != 2 {
+		t.Fatalf("word mutated by dead processor: %d", got)
+	}
+}
+
+func TestRestartLifecycle(t *testing.T) {
+	m := MustNew(Config{Procs: 2, Seed: 7})
+	p := m.Proc(0)
+	w := m.NewWord(10)
+
+	if _, err := m.Restart(0); err == nil {
+		t.Fatal("Restart of a live processor must fail")
+	}
+	if _, err := m.Restart(5); err == nil {
+		t.Fatal("Restart out of range must fail")
+	}
+
+	p.RLL(w) // hold a reservation across the crash
+	p.FailNext(3)
+	p.Crash()
+	recoverCrash(t, func() { p.RSC(w, 11) })
+
+	before := m.Stats()
+	p2, err := m.Restart(0)
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if p2.Generation() != 1 || p2.ID() != 0 {
+		t.Fatalf("restarted handle gen=%d id=%d, want 1/0", p2.Generation(), p2.ID())
+	}
+	if m.Proc(0) != p2 {
+		t.Fatal("Machine.Proc(0) does not return the new incarnation")
+	}
+	if p2.Crashed() {
+		t.Fatal("fresh incarnation is born crashed")
+	}
+	if p2.HoldsReservation(w) {
+		t.Fatal("reservation leaked across restart")
+	}
+	// Private registers wiped: the old FailNext(3) must not affect the new
+	// incarnation, so an RLL/RSC pair succeeds immediately.
+	if p2.RLL(w); !p2.RSC(w, 99) {
+		t.Fatal("fresh incarnation's RSC failed: failNext leaked across restart")
+	}
+	// Stats history preserved: nothing the dead incarnation did was lost.
+	after := m.Stats()
+	if after.RLLs < before.RLLs || after.RSCSuccess != before.RSCSuccess+1 {
+		t.Fatalf("stats lost across restart: before %+v after %+v", before, after)
+	}
+
+	// The dead handle stays dead even after the slot was replaced.
+	recoverCrash(t, func() { p.Load(w) })
+
+	// A second crash-restart increments the generation again.
+	p2.Crash()
+	recoverCrash(t, func() { p2.Load(w) })
+	p3, err := m.Restart(0)
+	if err != nil {
+		t.Fatalf("second Restart: %v", err)
+	}
+	if p3.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", p3.Generation())
+	}
+}
+
+func TestStepsAdvance(t *testing.T) {
+	m := MustNew(Config{Procs: 1})
+	p := m.Proc(0)
+	w := m.NewWord(0)
+	if m.Steps() != 0 {
+		t.Fatalf("fresh machine Steps = %d", m.Steps())
+	}
+	p.Load(w)
+	p.Store(w, 1)
+	p.RLL(w)
+	p.RSC(w, 2)
+	if got := m.Steps(); got != 4 {
+		t.Fatalf("Steps = %d after 4 ops, want 4", got)
+	}
+}
+
+// crashAtPlan crashes one processor at its nth operation.
+type crashAtPlan struct {
+	victim int
+	at     int
+	seen   int
+}
+
+func (c *crashAtPlan) BeforeOp(proc int, op OpKind, word uint64) FaultInjection {
+	if proc != c.victim {
+		return FaultInjection{}
+	}
+	c.seen++
+	return FaultInjection{Crash: c.seen == c.at}
+}
+
+func TestFaultPlanCrash(t *testing.T) {
+	m := MustNew(Config{Procs: 1, FaultPlan: &crashAtPlan{victim: 0, at: 2}})
+	p := m.Proc(0)
+	w := m.NewWord(5)
+	p.Load(w)
+	cp := recoverCrash(t, func() { p.Store(w, 6) })
+	if cp.Proc != 0 {
+		t.Fatalf("CrashPanic.Proc = %d", cp.Proc)
+	}
+	if !p.Crashed() {
+		t.Fatal("plan-injected crash did not set the crashed flag")
+	}
+	if got := w.cell.Load().val; got != 5 {
+		t.Fatalf("crashed store took effect: word = %d", got)
+	}
+	if _, err := m.Restart(0); err != nil {
+		t.Fatalf("Restart after plan crash: %v", err)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	m := MustNew(Config{Procs: 3})
+	if _, err := NewRegistry(m, 0); err == nil {
+		t.Fatal("TTL 0 must be rejected")
+	}
+	r, err := NewRegistry(m, 10)
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	if r.TTL() != 10 {
+		t.Fatalf("TTL = %d", r.TTL())
+	}
+
+	if err := r.Heartbeat(0); err == nil {
+		t.Fatal("Heartbeat before Join must fail")
+	}
+	if err := r.Leave(0); err == nil {
+		t.Fatal("Leave before Join must fail")
+	}
+	if err := r.Join(0); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if err := r.Join(0); err == nil {
+		t.Fatal("double Join must fail")
+	}
+	if err := r.Join(3); err == nil {
+		t.Fatal("out-of-range Join must fail")
+	}
+	if got := r.State(0); got != LeaseLive {
+		t.Fatalf("State(0) = %v", got)
+	}
+	if got := r.State(1); got != LeaseFree {
+		t.Fatalf("State(1) = %v", got)
+	}
+	if r.Live() != 1 {
+		t.Fatalf("Live = %d", r.Live())
+	}
+
+	p := m.Proc(0)
+	w := m.NewWord(0)
+	// Within TTL: heartbeats renew.
+	for i := 0; i < 5; i++ {
+		p.Store(w, uint64(i))
+		if err := r.Heartbeat(0); err != nil {
+			t.Fatalf("in-TTL Heartbeat: %v", err)
+		}
+	}
+	// Nothing stale yet.
+	if exp := r.ExpireStale(); len(exp) != 0 {
+		t.Fatalf("ExpireStale expired %v with fresh leases", exp)
+	}
+
+	// Advance the global clock past the TTL without heartbeating 0.
+	for i := 0; i < 11; i++ {
+		p.Store(w, uint64(i))
+	}
+	exp := r.ExpireStale()
+	if len(exp) != 1 || exp[0] != 0 {
+		t.Fatalf("ExpireStale = %v, want [0]", exp)
+	}
+	if got := r.State(0); got != LeaseExpired {
+		t.Fatalf("State after expiry = %v", got)
+	}
+	// Fencing: the expired holder cannot heartbeat or leave its way back.
+	if err := r.Heartbeat(0); err == nil {
+		t.Fatal("Heartbeat on expired lease must fail")
+	}
+	if err := r.Leave(0); err == nil {
+		t.Fatal("Leave on expired lease must fail")
+	}
+	// Rejoin over an expired lease is the restart path.
+	if err := r.Join(0); err != nil {
+		t.Fatalf("rejoin after expiry: %v", err)
+	}
+	if got := r.State(0); got != LeaseLive {
+		t.Fatalf("State after rejoin = %v", got)
+	}
+	if err := r.Leave(0); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if got := r.State(0); got != LeaseFree {
+		t.Fatalf("State after Leave = %v", got)
+	}
+
+	st := r.Stats()
+	want := RegistryStats{Joins: 2, Leaves: 1, Beats: 5, Expiries: 1}
+	if st != want {
+		t.Fatalf("Stats = %+v, want %+v", st, want)
+	}
+}
+
+func TestHeartbeatLapseFences(t *testing.T) {
+	m := MustNew(Config{Procs: 1})
+	r, _ := NewRegistry(m, 3)
+	if err := r.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	w := m.NewWord(0)
+	for i := 0; i < 4; i++ {
+		p.Store(w, 0)
+	}
+	// The lease lapsed before this heartbeat: it must be refused AND the
+	// lease transitioned to expired, without an ExpireStale sweep.
+	err := r.Heartbeat(0)
+	if err == nil {
+		t.Fatal("lapsed Heartbeat must be refused")
+	}
+	if got := r.State(0); got != LeaseExpired {
+		t.Fatalf("State after lapsed heartbeat = %v, want expired", got)
+	}
+	if r.Stats().Expiries != 1 {
+		t.Fatalf("Expiries = %d", r.Stats().Expiries)
+	}
+}

@@ -98,6 +98,15 @@ type FaultInjection struct {
 	// adversary. The rewrite is the adversary's action, not the
 	// processor's: it is not counted in Stats and emits no Event.
 	Interfere bool
+
+	// Crash kills the processor before the operation executes: the
+	// operation never happens, the processor's crashed flag is set, and the
+	// machine panics with a CrashPanic that the driving goroutine is
+	// expected to recover — modelling a process failing mid-algorithm
+	// without ever completing its in-flight instruction. Unlike a blocking
+	// stall (fault.Crash), a crashed processor can later be replaced with a
+	// fresh incarnation via Machine.Restart.
+	Crash bool
 }
 
 // FaultPlan decides, operation by operation, what faults to inject into a
@@ -167,9 +176,25 @@ type Scheduler interface {
 // handles with Proc, and allocate shared words with NewWord.
 type Machine struct {
 	cfg      Config
-	procs    []*Proc
+	procs    []atomic.Pointer[Proc] // slots are swapped by Restart
 	wordIDs  atomic.Uint64
 	eventSeq atomic.Uint64
+	steps    atomic.Uint64
+	retired  procStats // counters of crashed incarnations, folded by Restart
+}
+
+// CrashPanic is the panic value delivered when a crashed processor (see
+// FaultInjection.Crash and Proc.Crash) attempts a shared-memory operation.
+// Drivers of crash-restart experiments recover it at the top of the
+// processor's goroutine; any other panic must be re-raised.
+type CrashPanic struct {
+	Proc int // processor id
+	Gen  int // incarnation that died (0 for the original)
+}
+
+// Error makes an unrecovered CrashPanic readable in test output.
+func (c CrashPanic) Error() string {
+	return fmt.Sprintf("machine: processor %d (incarnation %d) crashed", c.Proc, c.Gen)
 }
 
 // cell is one immutable snapshot of a word's contents. Every write
@@ -198,15 +223,22 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.SpuriousFailProb < 0 || cfg.SpuriousFailProb > 1 {
 		return nil, fmt.Errorf("machine: SpuriousFailProb must be in [0,1], got %v", cfg.SpuriousFailProb)
 	}
-	m := &Machine{cfg: cfg, procs: make([]*Proc, cfg.Procs)}
+	m := &Machine{cfg: cfg, procs: make([]atomic.Pointer[Proc], cfg.Procs)}
 	for i := range m.procs {
-		m.procs[i] = &Proc{
-			m:   m,
-			id:  i,
-			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9E3779B9)),
-		}
+		m.procs[i].Store(m.newProc(i, 0))
 	}
 	return m, nil
+}
+
+// newProc builds incarnation gen of processor id with a deterministic
+// per-incarnation RNG stream.
+func (m *Machine) newProc(id, gen int) *Proc {
+	return &Proc{
+		m:   m,
+		id:  id,
+		gen: gen,
+		rng: rand.New(rand.NewSource(m.cfg.Seed + int64(id)*0x9E3779B9 + int64(gen)*0x85EBCA6B)),
+	}
 }
 
 // MustNew is New for statically valid configurations; it panics on error.
@@ -221,10 +253,43 @@ func MustNew(cfg Config) *Machine {
 // NumProcs returns the number of simulated processors.
 func (m *Machine) NumProcs() int { return m.cfg.Procs }
 
-// Proc returns the handle for processor id. Handles are stable: repeated
-// calls return the same *Proc.
+// Proc returns the current handle for processor id. Handles are stable
+// between restarts: repeated calls return the same *Proc until a
+// Restart(id) installs a fresh incarnation.
 func (m *Machine) Proc(id int) *Proc {
-	return m.procs[id]
+	return m.procs[id].Load()
+}
+
+// Steps returns the machine-wide count of shared-memory operations
+// attempted so far — the global logical clock that lease TTLs and the
+// wedge watchdog are measured in. It advances on every Load/Store/CAS/
+// RLL/RSC by any processor, including operations that subsequently fail.
+func (m *Machine) Steps() uint64 { return m.steps.Load() }
+
+// Restart replaces a crashed processor with a fresh incarnation: the new
+// Proc has no reservation, wiped private registers (failNext), a fresh
+// deterministic RNG stream, and an incremented generation. The dead
+// incarnation's operation counters are folded into the machine totals so
+// Stats never loses history. It is an error to restart a processor that
+// has not crashed — a live instruction stream must not be yanked away.
+func (m *Machine) Restart(id int) (*Proc, error) {
+	if id < 0 || id >= len(m.procs) {
+		return nil, fmt.Errorf("machine: processor id %d out of range [0,%d)", id, len(m.procs))
+	}
+	old := m.procs[id].Load()
+	if !old.crashed.Load() {
+		return nil, fmt.Errorf("machine: processor %d has not crashed; refusing to restart a live processor", id)
+	}
+	m.retired.Loads.Add(old.stats.Loads.Load())
+	m.retired.Stores.Add(old.stats.Stores.Load())
+	m.retired.CASOps.Add(old.stats.CASOps.Load())
+	m.retired.RLLs.Add(old.stats.RLLs.Load())
+	m.retired.RSCSuccess.Add(old.stats.RSCSuccess.Load())
+	m.retired.RSCRealFail.Add(old.stats.RSCRealFail.Load())
+	m.retired.RSCSpurious.Add(old.stats.RSCSpurious.Load())
+	p := m.newProc(id, old.gen+1)
+	m.procs[id].Store(p)
+	return p, nil
 }
 
 // NewWord allocates a shared word initialized to v.
@@ -234,10 +299,20 @@ func (m *Machine) NewWord(v uint64) *Word {
 	return w
 }
 
-// Stats aggregates operation counters across all processors.
+// Stats aggregates operation counters across all processors, including
+// the folded counters of crashed-and-replaced incarnations.
 func (m *Machine) Stats() Stats {
-	var total Stats
-	for _, p := range m.procs {
+	total := Stats{
+		Loads:       m.retired.Loads.Load(),
+		Stores:      m.retired.Stores.Load(),
+		CASOps:      m.retired.CASOps.Load(),
+		RLLs:        m.retired.RLLs.Load(),
+		RSCSuccess:  m.retired.RSCSuccess.Load(),
+		RSCRealFail: m.retired.RSCRealFail.Load(),
+		RSCSpurious: m.retired.RSCSpurious.Load(),
+	}
+	for i := range m.procs {
+		p := m.procs[i].Load()
 		total.Loads += p.stats.Loads.Load()
 		total.Stores += p.stats.Stores.Load()
 		total.CASOps += p.stats.CASOps.Load()
@@ -278,7 +353,13 @@ type procStats struct {
 type Proc struct {
 	m   *Machine
 	id  int
+	gen int
 	rng *rand.Rand
+
+	// crashed, once set, makes every subsequent shared-memory operation
+	// through this handle panic with a CrashPanic: the incarnation is dead
+	// and only Machine.Restart can produce a usable successor.
+	crashed atomic.Bool
 
 	// reservation state (the R4000 LLBit + reserved address + snapshot).
 	resWord *Word
@@ -294,8 +375,24 @@ type Proc struct {
 // ID returns the processor's identifier in [0, Procs).
 func (p *Proc) ID() int { return p.id }
 
+// Generation returns which incarnation of the processor this handle is:
+// 0 for the original, incremented by each Restart.
+func (p *Proc) Generation() int { return p.gen }
+
 // Machine returns the machine this processor belongs to.
 func (p *Proc) Machine() *Machine { return p.m }
+
+// Crash marks the processor crashed. The flag may be set from any
+// goroutine (it is how a supervisor kills a victim); the panic itself is
+// raised on the processor's own goroutine at its next shared-memory
+// operation, so the in-flight algorithm never completes another step.
+// Idempotent. The reservation dies with the incarnation: a restarted
+// processor starts with no reservation, and the dead handle can never
+// reach RSC again to exploit the stale one.
+func (p *Proc) Crash() { p.crashed.Store(true) }
+
+// Crashed reports whether the processor's current incarnation is dead.
+func (p *Proc) Crashed() bool { return p.crashed.Load() }
 
 // FailNext forces the next n RSC attempts that would otherwise succeed (or
 // fail for real reasons) to fail spuriously instead. Deterministic
@@ -436,9 +533,14 @@ func (p *Proc) emit(op OpKind, w *Word, val, old uint64, ok, spurious bool) {
 	})
 }
 
-// step consults the configured scheduler, if any, before a shared-memory
-// operation.
+// step advances the machine's global logical clock, enforces the crash
+// flag, and consults the configured scheduler, if any, before a
+// shared-memory operation.
 func (p *Proc) step() {
+	if p.crashed.Load() {
+		panic(CrashPanic{Proc: p.id, Gen: p.gen})
+	}
+	p.m.steps.Add(1)
 	if s := p.m.cfg.Scheduler; s != nil {
 		s.Step(p.id)
 	}
@@ -453,6 +555,10 @@ func (p *Proc) fault(op OpKind, w *Word) (spuriousRSC bool) {
 		return false
 	}
 	inj := fp.BeforeOp(p.id, op, w.id)
+	if inj.Crash {
+		p.crashed.Store(true)
+		panic(CrashPanic{Proc: p.id, Gen: p.gen})
+	}
 	if inj.Interfere {
 		// Silent rewrite: same value, fresh cell. Every reservation on w is
 		// invalidated (cache-line invalidation does not inspect values).

@@ -1,0 +1,201 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LeaseState is the lifecycle state of one processor's registry lease.
+type LeaseState uint8
+
+// Lease states. A processor moves Free → Live on Join, Live → Free on a
+// clean Leave, and Live → Expired when it stops heartbeating for longer
+// than the TTL (ExpireStale) — the signal that its per-process resources
+// are orphaned and may be reclaimed. Expired → Live requires a fresh Join,
+// which recovery performs after Machine.Restart.
+const (
+	LeaseFree LeaseState = iota
+	LeaseLive
+	LeaseExpired
+)
+
+// String returns the state's mnemonic.
+func (s LeaseState) String() string {
+	switch s {
+	case LeaseFree:
+		return "free"
+	case LeaseLive:
+		return "live"
+	case LeaseExpired:
+		return "expired"
+	default:
+		return "?"
+	}
+}
+
+// Registry is a lease-based membership view of a machine's processors, so
+// the active population can change mid-run: processors Join before
+// driving operations, Heartbeat while they run, and Leave when done. Time
+// is the machine's global step counter (Machine.Steps), not wall clock,
+// so lease expiry is deterministic for a deterministic execution: a
+// processor that has not heartbeat for ttl global steps — while the rest
+// of the machine demonstrably kept executing — is presumed crashed.
+//
+// The registry is a pure detector: it never kills or restarts anything
+// itself. internal/recovery couples it to the wedge watchdog and to the
+// per-construction reclamation paths.
+type Registry struct {
+	m   *Machine
+	ttl uint64
+
+	mu     sync.Mutex
+	leases []leaseEntry
+
+	joins    uint64
+	leaves   uint64
+	beats    uint64
+	expiries uint64
+}
+
+type leaseEntry struct {
+	state    LeaseState
+	lastBeat uint64 // machine step of the last Join/Heartbeat
+}
+
+// NewRegistry builds a registry over m's processors with the given lease
+// TTL in machine steps. A TTL below 1 is rejected: it would expire a
+// lease the instant it was granted.
+func NewRegistry(m *Machine, ttl uint64) (*Registry, error) {
+	if ttl < 1 {
+		return nil, fmt.Errorf("machine: lease TTL must be at least 1 step, got %d", ttl)
+	}
+	return &Registry{m: m, ttl: ttl, leases: make([]leaseEntry, m.NumProcs())}, nil
+}
+
+// TTL returns the lease time-to-live in machine steps.
+func (r *Registry) TTL() uint64 { return r.ttl }
+
+func (r *Registry) check(id int) error {
+	if id < 0 || id >= len(r.leases) {
+		return fmt.Errorf("machine: processor id %d out of range [0,%d)", id, len(r.leases))
+	}
+	return nil
+}
+
+// Join grants processor id a fresh lease. Joining over an expired lease
+// is the restart path and is allowed; joining over a live lease is a
+// double-join programming error.
+func (r *Registry) Join(id int) error {
+	if err := r.check(id); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.leases[id].state == LeaseLive {
+		return fmt.Errorf("machine: processor %d already holds a live lease", id)
+	}
+	r.leases[id] = leaseEntry{state: LeaseLive, lastBeat: r.m.Steps()}
+	r.joins++
+	return nil
+}
+
+// Heartbeat renews processor id's lease. If the lease has already lapsed
+// (the heartbeat arrives more than TTL steps after the previous one), the
+// renewal is REFUSED and the lease marked expired: this is lease fencing
+// — a process that outlived its lease must assume it has been declared
+// dead, abandon its in-flight work, and rejoin through recovery, because
+// reclamation may already have begun on its resources.
+func (r *Registry) Heartbeat(id int) error {
+	if err := r.check(id); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := &r.leases[id]
+	if l.state != LeaseLive {
+		return fmt.Errorf("machine: processor %d has no live lease to heartbeat (state %s)", id, l.state)
+	}
+	now := r.m.Steps()
+	if now-l.lastBeat > r.ttl {
+		l.state = LeaseExpired
+		r.expiries++
+		return fmt.Errorf("machine: processor %d lease lapsed (%d steps since last beat, ttl %d); rejoin required", id, now-l.lastBeat, r.ttl)
+	}
+	l.lastBeat = now
+	r.beats++
+	return nil
+}
+
+// Leave releases processor id's lease cleanly (no reclamation needed).
+func (r *Registry) Leave(id int) error {
+	if err := r.check(id); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.leases[id].state != LeaseLive {
+		return fmt.Errorf("machine: processor %d has no live lease to leave (state %s)", id, r.leases[id].state)
+	}
+	r.leases[id] = leaseEntry{state: LeaseFree}
+	r.leaves++
+	return nil
+}
+
+// ExpireStale sweeps the registry, marking every live lease that has not
+// heartbeat for more than TTL steps as expired, and returns the ids newly
+// expired by this sweep. Supervisors call it periodically; an expired id
+// is the trigger for restart-and-reclaim.
+func (r *Registry) ExpireStale() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.m.Steps()
+	var expired []int
+	for id := range r.leases {
+		l := &r.leases[id]
+		if l.state == LeaseLive && now-l.lastBeat > r.ttl {
+			l.state = LeaseExpired
+			r.expiries++
+			expired = append(expired, id)
+		}
+	}
+	return expired
+}
+
+// State returns processor id's current lease state (LeaseFree for an
+// out-of-range id, which cannot hold a lease).
+func (r *Registry) State(id int) LeaseState {
+	if r.check(id) != nil {
+		return LeaseFree
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leases[id].state
+}
+
+// Live returns the number of live leases.
+func (r *Registry) Live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, l := range r.leases {
+		if l.state == LeaseLive {
+			n++
+		}
+	}
+	return n
+}
+
+// RegistryStats is a snapshot of the registry's event counters.
+type RegistryStats struct {
+	Joins    uint64 `json:"joins"`
+	Leaves   uint64 `json:"leaves"`
+	Beats    uint64 `json:"beats"`
+	Expiries uint64 `json:"expiries"`
+}
+
+// Stats returns the registry's event counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistryStats{Joins: r.joins, Leaves: r.leaves, Beats: r.beats, Expiries: r.expiries}
+}

@@ -119,6 +119,44 @@ const (
 	CtrElimMiss
 	CtrCombineBatched
 
+	// Crash-recovery counters (see docs/RECOVERY.md). RecoveryRestarts
+	// counts processor incarnations replaced via Machine.Restart.
+	// RecoveryTagsRequeued counts bounded-construction tags conservatively
+	// moved to the back of a restarted process's fresh tag queue because
+	// they were announced at recovery time (Figure 7 reclamation).
+	// RecoverySlotsReclaimed counts announce slots a dead incarnation held
+	// at crash time, returned to its successor's free pool.
+	// RecoveryCopiesCompleted counts orphaned Figure 6 copies (header still
+	// naming the dead process) completed on its behalf during reclamation.
+	// RecoveryPendingCompleted counts announced universal-construction
+	// operations of crashed processes driven to completion after restart.
+	CtrRecoveryRestarts
+	CtrRecoveryTagsRequeued
+	CtrRecoverySlotsReclaimed
+	CtrRecoveryCopiesCompleted
+	CtrRecoveryPendingCompleted
+
+	// Wedge-watchdog counters (internal/recovery). WatchdogChecks counts
+	// verdicts rendered; WatchdogWedged counts Wedged verdicts — global
+	// steps advancing with zero operation progress, the livelock/blocked
+	// signature that triggers lease expiry and reclamation.
+	CtrWatchdogChecks
+	CtrWatchdogWedged
+
+	// Lease-registry counters (machine.Registry mirrored by
+	// internal/recovery): grants, renewals, and expiries of per-process
+	// leases measured in machine steps.
+	CtrLeaseJoins
+	CtrLeaseHeartbeats
+	CtrLeaseExpiries
+
+	// CtrFaultInjCrash counts kill-style crash injections
+	// (fault.CrashRestart / machine.FaultInjection.Crash): the processor's
+	// incarnation dies and must be restarted, as opposed to the permanent
+	// blocking stall that CtrFaultInjStall counts. Appended at the end of
+	// the taxonomy per the schema rule, not beside its fault_inj_* kin.
+	CtrFaultInjCrash
+
 	// NumCounters is the size of the taxonomy; Snapshot is indexed by
 	// Counter in [0, NumCounters).
 	NumCounters
@@ -159,6 +197,18 @@ var counterNames = [NumCounters]string{
 	CtrElimHit:              "elim_hits",
 	CtrElimMiss:             "elim_misses",
 	CtrCombineBatched:       "combine_batched",
+
+	CtrRecoveryRestarts:         "recovery_restarts",
+	CtrRecoveryTagsRequeued:     "recovery_tags_requeued",
+	CtrRecoverySlotsReclaimed:   "recovery_slots_reclaimed",
+	CtrRecoveryCopiesCompleted:  "recovery_copies_completed",
+	CtrRecoveryPendingCompleted: "recovery_pending_completed",
+	CtrWatchdogChecks:           "watchdog_checks",
+	CtrWatchdogWedged:           "watchdog_wedged",
+	CtrLeaseJoins:               "lease_joins",
+	CtrLeaseHeartbeats:          "lease_heartbeats",
+	CtrLeaseExpiries:            "lease_expiries",
+	CtrFaultInjCrash:            "fault_inj_crash",
 }
 
 // String returns the counter's stable snake_case name.
@@ -178,7 +228,7 @@ const cacheLine = 64
 // a cache-line multiple so adjacent stripes never share a line.
 type stripe struct {
 	counters [NumCounters]atomic.Uint64
-	_        [(cacheLine - (NumCounters*8)%cacheLine) % cacheLine]byte
+	_        [(cacheLine - (int(NumCounters)*8)%cacheLine) % cacheLine]byte
 }
 
 // Metrics is a set of striped counters. The zero value is NOT usable;

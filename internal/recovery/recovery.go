@@ -1,0 +1,209 @@
+// Package recovery is the self-healing supervision layer over the
+// simulated machine: a wedge watchdog that distinguishes "making progress"
+// from "spinning without committing" from "not running at all", and a
+// supervisor that couples the watchdog to the machine's lease registry
+// (machine.Registry) and mirrors both into the obs counter taxonomy
+// (watchdog_*, lease_*, recovery_restarts).
+//
+// The paper's non-blocking claim is a statement about executions, not
+// states: some process completes an operation within a bounded number of
+// total system steps. The watchdog turns that into a runtime check. It
+// samples two monotone clocks — the machine's global step counter (every
+// shared-memory operation by any processor) and a caller-supplied
+// progress counter (completed operations, or successful SCs) — and
+// renders a verdict:
+//
+//   - Live:   progress advanced since the last check. The paper's five
+//     figures stay Live under any crash pattern, because a crashed
+//     process never blocks the others.
+//   - Idle:   neither steps nor progress advanced — nobody is even trying.
+//     Quiescence between soak rounds looks like this, not like a wedge.
+//   - Wedged: the machine has executed at least K steps since the last
+//     progress, yet nothing completed. This is the livelock/blocked
+//     signature: survivors burning steps spinning on a lock whose holder
+//     crashed (footnote 1's baseline), or an unbounded adversary starving
+//     every SC. A Wedged verdict is the trigger for lease expiry and
+//     crash-recovery reclamation.
+//
+// Measuring in machine steps rather than wall-clock time keeps verdicts
+// deterministic for deterministic executions and immune to scheduler
+// noise: "no commit for K global steps" means the machine provably did K
+// operations' worth of work with nothing to show for it.
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Verdict is the watchdog's classification of the interval since the
+// previous Check.
+type Verdict uint8
+
+const (
+	// Idle: no machine activity and no progress — nothing to supervise.
+	Idle Verdict = iota
+	// Live: at least one operation completed since the last check.
+	Live
+	// Wedged: K or more machine steps elapsed since the last completed
+	// operation, with zero completions — livelock or a blocked system.
+	Wedged
+)
+
+// String returns the verdict's mnemonic.
+func (v Verdict) String() string {
+	switch v {
+	case Idle:
+		return "idle"
+	case Live:
+		return "live"
+	case Wedged:
+		return "wedged"
+	default:
+		return "?"
+	}
+}
+
+// Watchdog renders wedge verdicts for one machine. Drive it from a single
+// supervisor goroutine; it is a sampler, not a synchronizer.
+type Watchdog struct {
+	m        *machine.Machine
+	progress func() uint64
+	k        uint64
+	mets     *obs.Metrics
+
+	lastSteps       uint64
+	lastProgress    uint64
+	stepsAtProgress uint64
+}
+
+// NewWatchdog builds a watchdog over m. progress must be a monotone count
+// of completed operations (successful SCs, harvested history length, …)
+// that the supervised workload advances; k is the wedge threshold in
+// machine steps — how many global shared-memory operations the machine may
+// execute without a single completion before the system is declared
+// wedged. Pick k comfortably above Procs × (the longest operation's step
+// count); docs/RECOVERY.md discusses tuning.
+func NewWatchdog(m *machine.Machine, progress func() uint64, k uint64) (*Watchdog, error) {
+	if m == nil || progress == nil {
+		return nil, fmt.Errorf("recovery: machine and progress function are required")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("recovery: wedge threshold must be at least 1 step, got %d", k)
+	}
+	w := &Watchdog{m: m, progress: progress, k: k}
+	w.lastSteps = m.Steps()
+	w.lastProgress = progress()
+	w.stepsAtProgress = w.lastSteps
+	return w, nil
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables): every Check
+// increments watchdog_checks, every Wedged verdict watchdog_wedged.
+func (w *Watchdog) SetMetrics(m *obs.Metrics) { w.mets = m }
+
+// Threshold returns the wedge threshold K in machine steps.
+func (w *Watchdog) Threshold() uint64 { return w.k }
+
+// Check samples the step and progress clocks and renders a verdict for
+// the interval since the previous Check (or construction).
+func (w *Watchdog) Check() Verdict {
+	steps, prog := w.m.Steps(), w.progress()
+	w.mets.Inc(obs.CtrWatchdogChecks)
+	defer func() { w.lastSteps = steps }()
+	if prog != w.lastProgress {
+		w.lastProgress = prog
+		w.stepsAtProgress = steps
+		return Live
+	}
+	if steps == w.lastSteps {
+		return Idle
+	}
+	if steps-w.stepsAtProgress >= w.k {
+		w.mets.Inc(obs.CtrWatchdogWedged)
+		return Wedged
+	}
+	// Steps are accruing but the drought is still under K: slow, but not
+	// yet provably stuck — give the benefit of the doubt.
+	return Live
+}
+
+// Supervisor couples a lease registry and a watchdog into the single
+// object a soak driver polls, and mirrors their event counts into obs
+// (machine cannot import obs — obs imports machine — so the mirroring
+// lives here).
+type Supervisor struct {
+	Reg  *machine.Registry
+	Dog  *Watchdog
+	mets *obs.Metrics
+}
+
+// NewSupervisor builds a supervisor over reg and dog (both required).
+func NewSupervisor(reg *machine.Registry, dog *Watchdog) (*Supervisor, error) {
+	if reg == nil || dog == nil {
+		return nil, fmt.Errorf("recovery: registry and watchdog are required")
+	}
+	return &Supervisor{Reg: reg, Dog: dog}, nil
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// supervisor and its watchdog.
+func (s *Supervisor) SetMetrics(m *obs.Metrics) {
+	s.mets = m
+	s.Dog.SetMetrics(m)
+}
+
+// Join grants a lease to processor id (mirrors lease_joins).
+func (s *Supervisor) Join(id int) error {
+	if err := s.Reg.Join(id); err != nil {
+		return err
+	}
+	s.mets.IncProc(id, obs.CtrLeaseJoins)
+	return nil
+}
+
+// Heartbeat renews processor id's lease (mirrors lease_heartbeats; a
+// refused, lapsed heartbeat mirrors lease_expiries instead and the error
+// is the fencing signal — see machine.Registry.Heartbeat).
+func (s *Supervisor) Heartbeat(id int) error {
+	if err := s.Reg.Heartbeat(id); err != nil {
+		if s.Reg.State(id) == machine.LeaseExpired {
+			s.mets.IncProc(id, obs.CtrLeaseExpiries)
+		}
+		return err
+	}
+	s.mets.IncProc(id, obs.CtrLeaseHeartbeats)
+	return nil
+}
+
+// Leave releases processor id's lease cleanly.
+func (s *Supervisor) Leave(id int) error { return s.Reg.Leave(id) }
+
+// PollResult is one supervision sample.
+type PollResult struct {
+	// Verdict is the watchdog's view of the interval.
+	Verdict Verdict
+	// Expired lists processors whose leases this poll newly expired —
+	// candidates for Machine.Restart plus construction-level Recover.
+	Expired []int
+}
+
+// Poll renders a watchdog verdict and sweeps the lease registry, mirroring
+// any expiries (lease_expiries). Call it periodically from the supervisor
+// goroutine; on Wedged verdicts or non-empty Expired the caller runs the
+// restart-and-reclaim path and then NoteRestart.
+func (s *Supervisor) Poll() PollResult {
+	res := PollResult{Verdict: s.Dog.Check(), Expired: s.Reg.ExpireStale()}
+	for _, id := range res.Expired {
+		s.mets.IncProc(id, obs.CtrLeaseExpiries)
+	}
+	return res
+}
+
+// NoteRestart records that processor id was restarted (recovery_restarts).
+// Call after machine.Restart succeeds.
+func (s *Supervisor) NoteRestart(id int) {
+	s.mets.IncProc(id, obs.CtrRecoveryRestarts)
+}

@@ -1,0 +1,155 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+func TestWatchdogVerdicts(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	var prog uint64
+	dog, err := NewWatchdog(m, func() uint64 { return prog }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewWithStripes(1)
+	dog.SetMetrics(met)
+	p := m.Proc(0)
+	w := m.NewWord(0)
+
+	// No steps, no progress: idle.
+	if got := dog.Check(); got != Idle {
+		t.Fatalf("quiescent check = %v, want idle", got)
+	}
+
+	// Steps with completions: live.
+	for i := 0; i < 20; i++ {
+		p.RLL(w)
+		p.RSC(w, uint64(i))
+		prog++
+	}
+	if got := dog.Check(); got != Live {
+		t.Fatalf("productive check = %v, want live", got)
+	}
+
+	// Steps without completions, but under the threshold: still live.
+	for i := 0; i < 4; i++ {
+		p.Load(w)
+	}
+	if got := dog.Check(); got != Live {
+		t.Fatalf("short drought check = %v, want live (under K)", got)
+	}
+
+	// Drought crosses K total steps since the last completion: wedged.
+	for i := 0; i < 10; i++ {
+		p.Load(w)
+	}
+	if got := dog.Check(); got != Wedged {
+		t.Fatalf("long drought check = %v, want wedged", got)
+	}
+
+	// A single completion clears the verdict.
+	p.RLL(w)
+	p.RSC(w, 99)
+	prog++
+	if got := dog.Check(); got != Live {
+		t.Fatalf("post-recovery check = %v, want live", got)
+	}
+
+	snap := met.Snapshot()
+	if got := snap.Get(obs.CtrWatchdogChecks); got != 5 {
+		t.Fatalf("watchdog_checks = %d, want 5", got)
+	}
+	if got := snap.Get(obs.CtrWatchdogWedged); got != 1 {
+		t.Fatalf("watchdog_wedged = %d, want 1", got)
+	}
+}
+
+func TestWatchdogValidation(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	if _, err := NewWatchdog(nil, func() uint64 { return 0 }, 1); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+	if _, err := NewWatchdog(m, nil, 1); err == nil {
+		t.Fatal("nil progress accepted")
+	}
+	if _, err := NewWatchdog(m, func() uint64 { return 0 }, 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+}
+
+func TestSupervisorMirrorsLeaseEvents(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 2})
+	reg, err := machine.NewRegistry(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog uint64
+	dog, err := NewWatchdog(m, func() uint64 { return prog }, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := NewSupervisor(reg, dog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewWithStripes(2)
+	sup.SetMetrics(met)
+	p1 := m.Proc(1)
+	w := m.NewWord(0)
+
+	if err := sup.Join(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Join(1); err != nil {
+		t.Fatal(err)
+	}
+	// Proc 1 works and heartbeats; proc 0 goes silent.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			p1.RLL(w)
+			p1.RSC(w, uint64(i*4+j))
+			prog++
+		}
+		if err := sup.Heartbeat(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := sup.Poll()
+	if res.Verdict != Live {
+		t.Fatalf("verdict = %v, want live (proc 1 is committing)", res.Verdict)
+	}
+	if len(res.Expired) != 1 || res.Expired[0] != 0 {
+		t.Fatalf("Expired = %v, want [0] (proc 0 went silent past the TTL)", res.Expired)
+	}
+
+	// A lapsed heartbeat is refused (fencing) and the restart is recorded.
+	if err := sup.Heartbeat(0); err == nil {
+		t.Fatal("heartbeat on an expired lease must be refused")
+	}
+	m.Proc(0).Crash() // fence the silent incarnation before replacing it
+	if _, err := m.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	sup.NoteRestart(0)
+	if err := sup.Join(0); err != nil {
+		t.Fatalf("rejoin over expired lease: %v", err)
+	}
+	if err := sup.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := met.Snapshot()
+	for ctr, want := range map[obs.Counter]uint64{
+		obs.CtrLeaseJoins:       3, // two initial joins + one rejoin
+		obs.CtrLeaseHeartbeats:  3,
+		obs.CtrLeaseExpiries:    2, // the sweep plus the refused heartbeat
+		obs.CtrRecoveryRestarts: 1,
+	} {
+		if got := snap.Get(ctr); got != want {
+			t.Fatalf("%s = %d, want %d", ctr, got, want)
+		}
+	}
+}

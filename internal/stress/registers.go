@@ -48,6 +48,23 @@ type CASer interface {
 	CAS(p int, old, new uint64) bool
 }
 
+// Recoverer is implemented by adapters that can repair their state after
+// machine.Restart replaced processor p's incarnation: refresh the stale
+// *machine.Proc handle, drop any reservation the dead incarnation held,
+// and run the figure's crash-recovery reclamation (Figure 6 copy
+// completion, Figure 7 tag/slot reclamation). Call it after Restart and
+// before the new incarnation's first operation.
+type Recoverer interface {
+	RecoverProc(p int) error
+}
+
+// Conserver is implemented by adapters whose figure owns bounded resources
+// (Figure 6 buffers, Figure 7 tags and announce slots). CheckConservation
+// verifies none leaked; call it only at quiescence.
+type Conserver interface {
+	CheckConservation() error
+}
+
 // valCap bounds driver-generated values: small enough for every figure's
 // data field and for readable failure output.
 const valCap = 255
@@ -90,6 +107,7 @@ func procHandles(m *machine.Machine) []*machine.Proc {
 
 type fig3 struct {
 	v  *core.CASVar
+	m  *machine.Machine
 	ps []*machine.Proc
 }
 
@@ -99,7 +117,7 @@ func newFig3(m *machine.Machine, met *obs.Metrics) (Register, error) {
 		return nil, err
 	}
 	v.SetMetrics(met)
-	return &fig3{v: v, ps: procHandles(m)}, nil
+	return &fig3{v: v, m: m, ps: procHandles(m)}, nil
 }
 
 func (r *fig3) Name() string                    { return "fig3" }
@@ -107,10 +125,18 @@ func (r *fig3) MaxVal() uint64                  { return valCap }
 func (r *fig3) Read(p int) uint64               { return r.v.Read(r.ps[p]) }
 func (r *fig3) CAS(p int, old, new uint64) bool { return r.v.CompareAndSwap(r.ps[p], old, new) }
 
+// RecoverProc adopts processor p's fresh incarnation; Figure 3 keeps no
+// per-process resources beyond the handle.
+func (r *fig3) RecoverProc(p int) error {
+	r.ps[p] = r.m.Proc(p)
+	return nil
+}
+
 // --- Figure 4: LL/SC from CAS, machine-backed (Composed) ---
 
 type fig4 struct {
 	v     *baseline.Composed
+	m     *machine.Machine
 	ps    []*machine.Proc
 	keeps []baseline.ComposedKeep
 	has   []bool
@@ -122,7 +148,16 @@ func newFig4(m *machine.Machine, met *obs.Metrics) (Register, error) {
 		return nil, err
 	}
 	n := m.NumProcs()
-	return &fig4{v: v, ps: procHandles(m), keeps: make([]baseline.ComposedKeep, n), has: make([]bool, n)}, nil
+	return &fig4{v: v, m: m, ps: procHandles(m), keeps: make([]baseline.ComposedKeep, n), has: make([]bool, n)}, nil
+}
+
+// RecoverProc adopts processor p's fresh incarnation and drops the dead
+// incarnation's reservation; Figure 4's keep is private state, so nothing
+// shared needs reclaiming.
+func (r *fig4) RecoverProc(p int) error {
+	r.ps[p] = r.m.Proc(p)
+	r.has[p] = false
+	return nil
 }
 
 func (r *fig4) Name() string      { return "fig4" }
@@ -160,6 +195,7 @@ func (r *fig4) Abort(p int) bool {
 
 type fig5 struct {
 	v     *core.RVar
+	m     *machine.Machine
 	ps    []*machine.Proc
 	keeps []core.Keep
 	has   []bool
@@ -172,7 +208,15 @@ func newFig5(m *machine.Machine, met *obs.Metrics) (Register, error) {
 	}
 	v.SetMetrics(met)
 	n := m.NumProcs()
-	return &fig5{v: v, ps: procHandles(m), keeps: make([]core.Keep, n), has: make([]bool, n)}, nil
+	return &fig5{v: v, m: m, ps: procHandles(m), keeps: make([]core.Keep, n), has: make([]bool, n)}, nil
+}
+
+// RecoverProc adopts processor p's fresh incarnation; the machine cleared
+// the dead incarnation's reservation, so only the private keep is dropped.
+func (r *fig5) RecoverProc(p int) error {
+	r.ps[p] = r.m.Proc(p)
+	r.has[p] = false
+	return nil
 }
 
 func (r *fig5) Name() string      { return "fig5" }
@@ -213,6 +257,8 @@ func (r *fig5) Abort(p int) bool {
 // whole point of Figure 6 is that snapshots are consistent.
 type fig6 struct {
 	v     *core.RLargeVar
+	f     *core.RLargeFamily
+	m     *machine.Machine
 	ps    []*machine.Proc
 	keeps []core.LKeep
 	has   []bool
@@ -231,7 +277,7 @@ func newFig6(m *machine.Machine, met *obs.Metrics) (Register, error) {
 		return nil, err
 	}
 	n := m.NumProcs()
-	r := &fig6{v: v, ps: procHandles(m), keeps: make([]core.LKeep, n), has: make([]bool, n),
+	r := &fig6{v: v, f: f, m: m, ps: procHandles(m), keeps: make([]core.LKeep, n), has: make([]bool, n),
 		bufs: make([][]uint64, n), scs: make([][]uint64, n)}
 	for i := 0; i < n; i++ {
 		r.bufs[i] = make([]uint64, 2)
@@ -291,10 +337,32 @@ func (r *fig6) Abort(p int) bool {
 	return ok
 }
 
+// RecoverProc adopts processor p's fresh incarnation, drops the dead
+// incarnation's reservation, and completes any copy the dead incarnation
+// orphaned mid-SC (the fresh handle itself serves as the helper).
+func (r *fig6) RecoverProc(p int) error {
+	r.ps[p] = r.m.Proc(p)
+	r.has[p] = false
+	_, err := r.f.Recover(r.ps[p], p)
+	return err
+}
+
+// CheckConservation verifies every segment of every variable carries its
+// header's tag — no buffer is stuck one generation behind.
+func (r *fig6) CheckConservation() error {
+	for _, p := range r.ps {
+		if !p.Crashed() {
+			return r.f.CheckConservation(p)
+		}
+	}
+	return fmt.Errorf("stress: fig6 conservation check needs one live processor")
+}
+
 // --- Figure 7: bounded tags, k=2 ---
 
 type fig7 struct {
 	v     *core.RBoundedVar
+	f     *core.RBoundedFamily
 	ps    []*core.RBoundedProc
 	keeps []core.BKeep
 	has   []bool
@@ -311,7 +379,7 @@ func newFig7(m *machine.Machine, met *obs.Metrics) (Register, error) {
 		return nil, err
 	}
 	n := m.NumProcs()
-	r := &fig7{v: v, keeps: make([]core.BKeep, n), has: make([]bool, n)}
+	r := &fig7{v: v, f: f, keeps: make([]core.BKeep, n), has: make([]bool, n)}
 	r.ps = make([]*core.RBoundedProc, n)
 	for i := range r.ps {
 		h, err := f.Proc(i)
@@ -369,10 +437,30 @@ func (r *fig7) Abort(p int) bool {
 	return true
 }
 
+// RecoverProc reclaims the announce slots and tags the dead incarnation of
+// processor p held (the family refreshes its own machine handle) and drops
+// the adapter's stale keep. Call after machine.Restart.
+func (r *fig7) RecoverProc(p int) error {
+	r.has[p] = false
+	_, err := r.f.Recover(p)
+	return err
+}
+
+// CheckConservation verifies the bounded tag space: every per-process tag
+// queue is a permutation and every announce slot is free.
+func (r *fig7) CheckConservation() error { return r.f.CheckConservation() }
+
 var (
-	_ CASer = (*fig3)(nil)
-	_ LLSC  = (*fig4)(nil)
-	_ LLSC  = (*fig5)(nil)
-	_ LLSC  = (*fig6)(nil)
-	_ LLSC  = (*fig7)(nil)
+	_ CASer     = (*fig3)(nil)
+	_ LLSC      = (*fig4)(nil)
+	_ LLSC      = (*fig5)(nil)
+	_ LLSC      = (*fig6)(nil)
+	_ LLSC      = (*fig7)(nil)
+	_ Recoverer = (*fig3)(nil)
+	_ Recoverer = (*fig4)(nil)
+	_ Recoverer = (*fig5)(nil)
+	_ Recoverer = (*fig6)(nil)
+	_ Recoverer = (*fig7)(nil)
+	_ Conserver = (*fig6)(nil)
+	_ Conserver = (*fig7)(nil)
 )

@@ -35,8 +35,11 @@ func (r *Report) Violations() []CellResult {
 
 // WriteFile writes the report as indented JSON, atomically (temp file +
 // rename), so a half-written artifact is never observed.
-func (r *Report) WriteFile(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
+func (r *Report) WriteFile(path string) error { return writeJSONAtomic(path, r) }
+
+// writeJSONAtomic writes v as indented JSON via temp file + rename.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("stress: marshaling report: %w", err)
 	}

@@ -1,0 +1,544 @@
+package stress
+
+// The chaos soak harness: the stress matrix's big brother. Where RunCell
+// subjects one figure to one fault plan for a bounded burst, RunSoakCell
+// runs many quiescent rounds under a COMPOSED adversary — a budgeted
+// kill-restart plan (fault.CrashRestart) layered over spurious-failure
+// bursts and tag pressure — and exercises the full crash-recovery
+// lifecycle on every kill:
+//
+//	CrashPanic on the victim's goroutine
+//	  -> lease handoff in machine.Registry (supervisor-mediated)
+//	  -> machine.Restart installs a fresh incarnation
+//	  -> the register's RecoverProc reclaims the dead incarnation's
+//	     resources (Figure 6 orphaned copies, Figure 7 tags and slots)
+//	  -> the relaunched lane finishes the round's remaining operations
+//
+// After every round — a quiescent cut — the harness re-checks
+// linearizability (with the dead incarnations' in-flight ops as pending
+// variants) and the figure's resource-conservation invariant. Throughout,
+// a recovery.Watchdog watches the machine's global step clock against
+// completed operations: the paper's claim is that the figures stay Live
+// under any crash pattern, and the lock-based baseline (RunWedgeDemo)
+// provably does not.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/history"
+	"repro/internal/linearizability"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/recovery"
+)
+
+// SoakSchema identifies the soak report JSON format. Bump only on
+// incompatible changes; additive fields keep the version.
+const SoakSchema = "llsc-soak/v1"
+
+// SoakConfig parametrizes one soak run (shared by every cell).
+type SoakConfig struct {
+	// Procs, Rounds, OpsPerProc and Seed mean what they mean in Config.
+	Procs      int
+	Rounds     int
+	OpsPerProc int
+	Seed       int64
+	// KillEvery is the machine-operation index, within each incarnation of
+	// the victim (the highest-numbered processor), at which the kill plan
+	// crashes it. KillBudget bounds kills per cell.
+	KillEvery  int
+	KillBudget int
+	// WatchdogK is the wedge threshold: machine steps without one completed
+	// operation before the watchdog declares the system wedged.
+	WatchdogK uint64
+	// LeaseTTL is the registry lease time-to-live in machine steps.
+	LeaseTTL uint64
+	// Timeout bounds one cell's wall-clock run. Defaults to 60s.
+	Timeout time.Duration
+}
+
+func (cfg SoakConfig) withDefaults() SoakConfig {
+	if cfg.KillEvery == 0 {
+		cfg.KillEvery = 40
+	}
+	if cfg.KillBudget == 0 {
+		cfg.KillBudget = 3
+	}
+	if cfg.WatchdogK == 0 {
+		cfg.WatchdogK = 50_000
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 200_000
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	return cfg
+}
+
+func (cfg SoakConfig) validate() error {
+	if cfg.Procs < 2 {
+		return fmt.Errorf("soak: Procs must be at least 2, got %d", cfg.Procs)
+	}
+	if cfg.Rounds < 1 || cfg.OpsPerProc < 1 {
+		return fmt.Errorf("soak: Rounds and OpsPerProc must be positive, got %d and %d", cfg.Rounds, cfg.OpsPerProc)
+	}
+	if cfg.KillEvery < 1 {
+		return fmt.Errorf("soak: KillEvery must be at least 1, got %d", cfg.KillEvery)
+	}
+	if cfg.KillBudget < 0 {
+		return fmt.Errorf("soak: KillBudget must be non-negative, got %d", cfg.KillBudget)
+	}
+	// A round's completed ops plus every possible orphan must fit one exact
+	// checker window.
+	if w := cfg.Procs*(cfg.OpsPerProc+2) + cfg.KillBudget; w > linearizability.MaxOps {
+		return fmt.Errorf("soak: a round may record %d ops, checker windows cap at %d (reduce Procs or OpsPerProc)",
+			w, linearizability.MaxOps)
+	}
+	return nil
+}
+
+// SoakCellResult is the outcome of one register's full soak.
+type SoakCellResult struct {
+	Register string `json:"register"`
+	Plan     string `json:"plan"`
+	Ok       bool   `json:"ok"`
+	// Violation describes the first failed check: a non-linearizable round
+	// or a conservation leak.
+	Violation string `json:"violation,omitempty"`
+	// Rounds is how many quiescent rounds completed; Ops the total
+	// completed operations recorded across them.
+	Rounds int `json:"rounds"`
+	Ops    int `json:"ops"`
+	// Kills and Restarts count injected crashes and successful restarts
+	// (equal unless the budget outlived the run).
+	Kills    uint64 `json:"kills"`
+	Restarts int    `json:"restarts"`
+	// PostRestartCommits counts successful SC/CAS operations recorded by
+	// restarted incarnations — the evidence that recovery produces a
+	// processor that can still commit.
+	PostRestartCommits int `json:"post_restart_sc_commits"`
+	// WatchdogWedged is the number of wedge verdicts rendered; the figures
+	// must keep it at zero.
+	WatchdogWedged uint64 `json:"watchdog_wedged"`
+	// Counters is the cell's full observability snapshot (recovery_*,
+	// lease_*, watchdog_*, fault_inj_* tell the recovery story).
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// WedgeResult is the outcome of the lock-based contrast demo: the same
+// watchdog that stays silent across the figures must fire here.
+type WedgeResult struct {
+	Register string `json:"register"`
+	// Wedged reports the watchdog fired after the lock holder crashed.
+	Wedged bool `json:"wedged"`
+	// Completed is how many lock-protected operations finished before the
+	// crash wedged the system; Steps the machine steps executed in total —
+	// survivors burning steps with nothing to show for them.
+	Completed uint64 `json:"completed"`
+	Steps     uint64 `json:"steps"`
+	Checks    uint64 `json:"checks"`
+	K         uint64 `json:"k"`
+}
+
+// SoakReport is the JSON-serializable outcome of a full soak, the artifact
+// CI uploads from the soak-smoke job.
+type SoakReport struct {
+	Schema     string           `json:"schema"`
+	Seed       int64            `json:"seed"`
+	Procs      int              `json:"procs"`
+	Rounds     int              `json:"rounds"`
+	OpsPerProc int              `json:"ops_per_proc"`
+	KillEvery  int              `json:"kill_every"`
+	KillBudget int              `json:"kill_budget"`
+	WatchdogK  uint64           `json:"watchdog_k"`
+	LeaseTTL   uint64           `json:"lease_ttl"`
+	Cells      []SoakCellResult `json:"cells"`
+	Baseline   WedgeResult      `json:"baseline"`
+}
+
+// Violations returns the cells that failed any soak check, including a
+// watchdog that wedged on a non-blocking figure.
+func (r *SoakReport) Violations() []SoakCellResult {
+	var out []SoakCellResult
+	for _, c := range r.Cells {
+		if !c.Ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WriteFile writes the report as indented JSON, atomically.
+func (r *SoakReport) WriteFile(path string) error { return writeJSONAtomic(path, r) }
+
+// laneExit is one driver goroutine's terminal report: either it finished
+// its target or its incarnation died to a CrashPanic after done ops.
+type laneExit struct {
+	p       int
+	done    int
+	crashed bool
+}
+
+// RunSoakCell soaks one register under the composed chaos plan.
+func RunSoakCell(spec RegisterSpec, cfg SoakConfig) (SoakCellResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return SoakCellResult{}, err
+	}
+	victim := cfg.Procs - 1
+	kill := fault.NewCrashRestart(victim, cfg.KillEvery, cfg.KillBudget)
+	plan := fault.Compose(kill,
+		fault.NewBurst(0, 0, 50),
+		fault.NewTagPressure(3, 200))
+	met := obs.NewWithStripes(cfg.Procs)
+	plan.SetMetrics(met)
+	m, err := machine.New(machine.Config{Procs: cfg.Procs, Observer: met.MachineObserver(), FaultPlan: plan})
+	if err != nil {
+		return SoakCellResult{}, err
+	}
+	reg, err := spec.New(m, met)
+	if err != nil {
+		return SoakCellResult{}, err
+	}
+	res := SoakCellResult{Register: spec.Name, Plan: plan.Name()}
+
+	registry, err := machine.NewRegistry(m, cfg.LeaseTTL)
+	if err != nil {
+		return SoakCellResult{}, err
+	}
+	rec := &recorder{lanes: make([]lane, cfg.Procs)}
+	dog, err := recovery.NewWatchdog(m, rec.completed.Load, cfg.WatchdogK)
+	if err != nil {
+		return SoakCellResult{}, err
+	}
+	sup, err := recovery.NewSupervisor(registry, dog)
+	if err != nil {
+		return SoakCellResult{}, err
+	}
+	sup.SetMetrics(met)
+	for p := 0; p < cfg.Procs; p++ {
+		if err := sup.Join(p); err != nil {
+			return SoakCellResult{}, err
+		}
+	}
+
+	deadline := time.After(cfg.Timeout)
+	// The round checks thread the register's possible quiescent states from
+	// each round into the next (orphaned mutators can leave more than one).
+	states := []linearizability.State{{}}
+	for round := 0; round < cfg.Rounds; round++ {
+		if err := runSoakRound(reg, rec, m, sup, cfg, round, deadline, &states, &res); err != nil {
+			return SoakCellResult{}, fmt.Errorf("soak: %s round %d: %w", spec.Name, round, err)
+		}
+		res.Rounds++
+		if !res.Ok && res.Violation != "" {
+			break // first failure is enough; the report records it
+		}
+	}
+	res.Kills = kill.Kills()
+	res.Counters = met.Snapshot().Map()
+	res.WatchdogWedged = res.Counters["watchdog_wedged"]
+	if res.Ok && res.WatchdogWedged > 0 {
+		res.Ok = false
+		res.Violation = fmt.Sprintf("watchdog wedged %d time(s) on a non-blocking figure", res.WatchdogWedged)
+	}
+	return res, nil
+}
+
+// runSoakRound drives one quiescent round: all lanes to their op target,
+// restarting crashed incarnations as they die, then checks the round's
+// history and the register's conservation invariant.
+func runSoakRound(reg Register, rec *recorder, m *machine.Machine, sup *recovery.Supervisor,
+	cfg SoakConfig, round int, deadline <-chan time.Time, states *[]linearizability.State, res *SoakCellResult) error {
+	exits := make(chan laneExit, cfg.Procs)
+	var wg sync.WaitGroup
+	incarnation := make([]int, cfg.Procs)
+	launch := func(p, already int) {
+		wg.Add(1)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(round)*1009 + int64(p)*31 + int64(incarnation[p])*7919))
+		go func() {
+			done := already
+			crashed := false
+			defer func() {
+				wg.Done()
+				if r := recover(); r != nil {
+					if _, ok := r.(machine.CrashPanic); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+				exits <- laneExit{p: p, done: done, crashed: crashed}
+			}()
+			for done < cfg.OpsPerProc {
+				if err := sup.Heartbeat(p); err != nil {
+					// Fenced: this incarnation's lease lapsed and a refused
+					// heartbeat is the kill signal. Crash self; the next
+					// shared-memory op raises the CrashPanic.
+					m.Proc(p).Crash()
+				}
+				done += stepOnce(reg, rec, p, rng)
+			}
+		}()
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		launch(p, 0)
+	}
+
+	var orphans []history.Op
+	restartClock := make(map[int]int64) // proc -> clock of its first restart this round
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	live := cfg.Procs
+	for live > 0 {
+		select {
+		case e := <-exits:
+			if !e.crashed {
+				live--
+				continue
+			}
+			// The full recovery path: harvest the dead incarnation's
+			// in-flight op, hand the lease over, install a fresh
+			// incarnation, reclaim its resources, relaunch the lane.
+			if op := rec.takePending(e.p); op != nil {
+				orphans = append(orphans, *op)
+			}
+			if sup.Reg.State(e.p) == machine.LeaseLive {
+				if err := sup.Leave(e.p); err != nil {
+					return err
+				}
+			}
+			if _, err := m.Restart(e.p); err != nil {
+				return err
+			}
+			if r, ok := reg.(Recoverer); ok {
+				if err := r.RecoverProc(e.p); err != nil {
+					return err
+				}
+			}
+			sup.NoteRestart(e.p)
+			if err := sup.Join(e.p); err != nil {
+				return err
+			}
+			res.Restarts++
+			if _, seen := restartClock[e.p]; !seen {
+				restartClock[e.p] = rec.clock.Load()
+			}
+			incarnation[e.p]++
+			launch(e.p, e.done)
+		case <-tick.C:
+			// Watchdog and lease sweep. Expired leases of still-running
+			// processors are left to self-fence at their next heartbeat;
+			// crashed ones surface through the exits channel.
+			sup.Poll()
+		case <-deadline:
+			return fmt.Errorf("timed out with %d lane(s) outstanding", live)
+		}
+	}
+	wg.Wait()
+	// At least one supervision sample per round, however fast the round ran
+	// (the in-round ticker only fires on slow rounds): progress flowed, so a
+	// healthy figure reads Live here and Wedged is a real regression.
+	sup.Poll()
+
+	ops, pending, _ := rec.harvest()
+	if len(pending) != 0 {
+		return fmt.Errorf("%d pending ops after quiescence", len(pending))
+	}
+	res.Ops += len(ops)
+	for p, clk := range restartClock {
+		for _, op := range ops {
+			if op.Proc == p && op.Call > clk && op.RetBool &&
+				(op.Kind == history.KindSC || op.Kind == history.KindCAS) {
+				res.PostRestartCommits++
+			}
+		}
+	}
+	ok, finals, err := checkSoakRound(ops, orphans, *states)
+	if err != nil {
+		return err
+	}
+	res.Ok = ok
+	if !ok {
+		res.Violation = fmt.Sprintf("round %d: history not linearizable from any carried state under any pending-op variant", round)
+		return nil
+	}
+	*states = finals
+	if c, ok := reg.(Conserver); ok {
+		if err := c.CheckConservation(); err != nil {
+			res.Ok = false
+			res.Violation = fmt.Sprintf("round %d: conservation: %v", round, err)
+			return nil
+		}
+	}
+	rec.reset()
+	return nil
+}
+
+// checkSoakRound checks one round's history from every carried quiescent
+// state, with each dead incarnation's in-flight mutator optionally having
+// taken effect (completed at +inf), and returns the union of possible
+// quiescent states the accepted linearizations end in — the next round's
+// starting states.
+func checkSoakRound(ops, orphans []history.Op, initials []linearizability.State) (bool, []linearizability.State, error) {
+	var cands []history.Op
+	for _, op := range orphans {
+		switch op.Kind {
+		case history.KindSC, history.KindCAS, history.KindWrite:
+			op.RetBool = true
+			op.Return = math.MaxInt64
+			cands = append(cands, op)
+		}
+	}
+	if len(cands) > 10 {
+		return false, nil, fmt.Errorf("%d pending mutators; subset check capped at 10", len(cands))
+	}
+	seen := make(map[linearizability.State]struct{})
+	var finals []linearizability.State
+	for mask := 0; mask < 1<<len(cands); mask++ {
+		withOps := ops
+		if mask != 0 {
+			withOps = append([]history.Op(nil), ops...)
+			for i, op := range cands {
+				if mask&(1<<i) != 0 {
+					withOps = append(withOps, op)
+				}
+			}
+		}
+		fs, err := linearizability.FinalStates(withOps, initials)
+		if err != nil {
+			return false, nil, err
+		}
+		for _, s := range fs {
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				finals = append(finals, s)
+			}
+		}
+	}
+	return len(finals) > 0, finals, nil
+}
+
+// RunWedgeDemo is the contrast baseline the watchdog exists for: a
+// test-and-set spin lock over a machine word protects a plain value word —
+// footnote 1's lock-based "implementation". The lock holder crashes inside
+// its critical section; the survivors spin on RLL/RSC forever, burning
+// machine steps without one completed operation, and the watchdog must
+// declare the system Wedged. The same watchdog configuration stays silent
+// across all five figures in RunSoak.
+func RunWedgeDemo(cfg SoakConfig) (WedgeResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Procs < 2 {
+		return WedgeResult{}, fmt.Errorf("soak: wedge demo needs at least 2 procs, got %d", cfg.Procs)
+	}
+	m, err := machine.New(machine.Config{Procs: cfg.Procs})
+	if err != nil {
+		return WedgeResult{}, err
+	}
+	lock := m.NewWord(0) // 0 free, p+1 held by p
+	val := m.NewWord(0)
+	var completed atomic.Uint64
+	dog, err := recovery.NewWatchdog(m, completed.Load, cfg.WatchdogK)
+	if err != nil {
+		return WedgeResult{}, err
+	}
+	met := obs.NewWithStripes(cfg.Procs)
+	dog.SetMetrics(met)
+
+	var stop atomic.Bool
+	acquire := func(p *machine.Proc) bool {
+		for !stop.Load() {
+			if p.RLL(lock) == 0 && p.RSC(lock, uint64(p.ID())+1) {
+				return true
+			}
+		}
+		return false
+	}
+	var wg sync.WaitGroup
+	// The victim takes the lock and crashes before releasing it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(machine.CrashPanic); !ok {
+					panic(r)
+				}
+			}
+		}()
+		p := m.Proc(0)
+		if !acquire(p) {
+			return
+		}
+		p.Crash()
+		p.Store(val, 1) // raises CrashPanic: the lock is never released
+	}()
+	// The survivors try to keep completing lock-protected increments.
+	for q := 1; q < cfg.Procs; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			p := m.Proc(q)
+			for !stop.Load() {
+				if !acquire(p) {
+					return
+				}
+				p.Store(val, p.Load(val)+1)
+				p.Store(lock, 0)
+				completed.Add(1)
+			}
+		}(q)
+	}
+
+	result := WedgeResult{Register: "lockbase", K: cfg.WatchdogK}
+	deadline := time.After(cfg.Timeout)
+	tick := time.NewTicker(200 * time.Microsecond)
+	defer tick.Stop()
+poll:
+	for {
+		select {
+		case <-tick.C:
+			result.Checks++
+			if dog.Check() == recovery.Wedged {
+				result.Wedged = true
+				break poll
+			}
+		case <-deadline:
+			break poll
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	result.Completed = completed.Load()
+	result.Steps = m.Steps()
+	return result, nil
+}
+
+// RunSoak soaks every register and runs the lock-based contrast demo,
+// aggregating a Report.
+func RunSoak(cfg SoakConfig, regs []RegisterSpec) (*SoakReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &SoakReport{Schema: SoakSchema, Seed: cfg.Seed,
+		Procs: cfg.Procs, Rounds: cfg.Rounds, OpsPerProc: cfg.OpsPerProc,
+		KillEvery: cfg.KillEvery, KillBudget: cfg.KillBudget,
+		WatchdogK: cfg.WatchdogK, LeaseTTL: cfg.LeaseTTL}
+	for _, reg := range regs {
+		cell, err := RunSoakCell(reg, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("soak: cell %s: %w", reg.Name, err)
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+	base, err := RunWedgeDemo(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Baseline = base
+	return rep, nil
+}

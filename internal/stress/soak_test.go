@@ -1,0 +1,150 @@
+package stress
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func soakTestConfig() SoakConfig {
+	return SoakConfig{
+		Procs: 3, Rounds: 4, OpsPerProc: 14, Seed: 7,
+		KillEvery: 25, KillBudget: 2, Timeout: 30 * time.Second,
+	}
+}
+
+// TestSoakCellFig7 exercises the richest recovery path: bounded tags and
+// announce slots must be reclaimed from every dead incarnation, and the
+// restarted incarnations must keep committing.
+func TestSoakCellFig7(t *testing.T) {
+	res, err := RunSoakCell(RegisterSpec{Name: "fig7", New: newFig7}, soakTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("soak failed: %s", res.Violation)
+	}
+	if res.Rounds != 4 {
+		t.Fatalf("completed %d rounds, want 4", res.Rounds)
+	}
+	if res.Kills == 0 {
+		t.Fatal("the kill plan never fired")
+	}
+	if res.Restarts < int(res.Kills) {
+		t.Fatalf("Restarts = %d < Kills = %d: a dead incarnation was never restarted", res.Restarts, res.Kills)
+	}
+	if res.PostRestartCommits == 0 {
+		t.Fatal("no SC committed by a restarted incarnation")
+	}
+	if res.WatchdogWedged != 0 {
+		t.Fatalf("watchdog wedged %d time(s) on a non-blocking figure", res.WatchdogWedged)
+	}
+	// Slot/tag reclamation counters are schedule-dependent (the kill must
+	// land inside an LL..SC window); the deterministic reclaim tests live in
+	// internal/core. Here we pin the counters every soak must move.
+	for _, ctr := range []string{"recovery_restarts", "lease_joins", "watchdog_checks", "fault_inj_crash"} {
+		if res.Counters[ctr] == 0 {
+			t.Errorf("counter %s = 0, want > 0", ctr)
+		}
+	}
+}
+
+// TestSoakCellFig6 pins the helping construction's recovery: a kill can
+// land mid-SC between the header install and the copy, and the recovered
+// run must stay linearizable with all segments conserved.
+func TestSoakCellFig6(t *testing.T) {
+	res, err := RunSoakCell(RegisterSpec{Name: "fig6", New: newFig6}, soakTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("soak failed: %s", res.Violation)
+	}
+	if res.Kills == 0 || res.Restarts < int(res.Kills) {
+		t.Fatalf("Kills = %d, Restarts = %d: recovery path not exercised", res.Kills, res.Restarts)
+	}
+}
+
+func TestSoakConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]SoakConfig{
+		"one proc":       {Procs: 1, Rounds: 1, OpsPerProc: 1},
+		"zero rounds":    {Procs: 2, Rounds: 0, OpsPerProc: 1},
+		"window blowout": {Procs: 8, Rounds: 1, OpsPerProc: 50},
+		"neg budget":     {Procs: 2, Rounds: 1, OpsPerProc: 5, KillBudget: -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := RunSoakCell(RegisterSpec{Name: "fig5", New: newFig5}, cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+// TestWedgeDemoFires is footnote 1 as an executable claim: crash the
+// spin-lock holder inside its critical section and the watchdog that is
+// silent across all five figures must declare the system wedged.
+func TestWedgeDemoFires(t *testing.T) {
+	cfg := soakTestConfig()
+	cfg.WatchdogK = 20_000
+	res, err := RunWedgeDemo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Wedged {
+		t.Fatalf("watchdog stayed silent on a crashed lock holder: %+v", res)
+	}
+	if res.Steps < res.K {
+		t.Fatalf("wedge declared after only %d steps with K = %d", res.Steps, res.K)
+	}
+}
+
+// TestRunSoakFullMatrix is the acceptance run in miniature: every figure
+// soaks clean under the composed chaos plan while the lock-based baseline
+// wedges, and the report round-trips through its schema.
+func TestRunSoakFullMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full soak matrix in -short mode")
+	}
+	cfg := soakTestConfig()
+	cfg.Rounds = 3
+	cfg.OpsPerProc = 12
+	rep, err := RunSoak(cfg, DefaultRegisters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("soak violations: %+v", v)
+	}
+	if len(rep.Cells) != 5 {
+		t.Fatalf("cells = %d, want 5", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.WatchdogWedged != 0 {
+			t.Errorf("%s: watchdog wedged on a non-blocking figure", c.Register)
+		}
+		if c.Kills == 0 {
+			t.Errorf("%s: kill plan never fired", c.Register)
+		}
+	}
+	if !rep.Baseline.Wedged {
+		t.Fatal("lock-based baseline did not wedge")
+	}
+
+	path := filepath.Join(t.TempDir(), "soak.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SoakReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SoakSchema {
+		t.Fatalf("schema = %q, want %q", back.Schema, SoakSchema)
+	}
+}

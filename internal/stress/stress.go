@@ -147,8 +147,9 @@ type lane struct {
 }
 
 type recorder struct {
-	clock atomic.Int64
-	lanes []lane
+	clock     atomic.Int64
+	completed atomic.Uint64
+	lanes     []lane
 }
 
 // do records one operation around invoke. The pending slot is filled
@@ -165,7 +166,33 @@ func (r *recorder) do(p int, kind history.Kind, arg1, arg2 uint64, invoke func()
 	l.ops = append(l.ops, op)
 	l.pending = nil
 	l.mu.Unlock()
+	r.completed.Add(1)
 	return rv, rb
+}
+
+// takePending removes and returns processor p's in-flight operation, if
+// any. The soak harness harvests a dead incarnation's orphaned op this way
+// before relaunching the lane, so the op survives as checker input instead
+// of being overwritten by the next incarnation's first do.
+func (r *recorder) takePending(p int) *history.Op {
+	l := &r.lanes[p]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	op := l.pending
+	l.pending = nil
+	return op
+}
+
+// reset clears all completed-op lanes (pending slots are untouched) so the
+// next round records a fresh history. The completed counter keeps running:
+// it is the watchdog's monotone progress clock.
+func (r *recorder) reset() {
+	for i := range r.lanes {
+		l := &r.lanes[i]
+		l.mu.Lock()
+		l.ops = nil
+		l.mu.Unlock()
+	}
 }
 
 // harvest snapshots all lanes: completed ops sorted by call time, plus any
@@ -192,57 +219,62 @@ func (r *recorder) harvest() (ops, pending []history.Op, perProc []int) {
 // otherwise an LL (-> maybe VL) -> SC-or-CL critical sequence; for the
 // CAS-shaped Figure 3, read -> CAS pairs.
 func runProc(reg Register, rec *recorder, p int, target int, rng *rand.Rand) {
+	done := 0
+	for done < target {
+		done += stepOnce(reg, rec, p, rng)
+	}
+}
+
+// stepOnce performs one seeded step of the driver mix — one to three
+// recorded operations — and reports how many it recorded. The soak harness
+// drives this directly so it can interleave heartbeats and survive a
+// mid-step CrashPanic with an accurate completed-op count.
+func stepOnce(reg Register, rec *recorder, p int, rng *rand.Rand) int {
 	maxv := reg.MaxVal()
 	newval := func() uint64 { return rng.Uint64() % (maxv + 1) }
 	read := func() {
 		rec.do(p, history.KindRead, 0, 0, func() (uint64, bool) { return reg.Read(p), false })
 	}
-	done := 0
-	for done < target {
-		switch r := reg.(type) {
-		case LLSC:
-			switch x := rng.Intn(8); {
-			case x == 0:
+	switch r := reg.(type) {
+	case LLSC:
+		switch x := rng.Intn(8); {
+		case x == 0:
+			read()
+			return 1
+		case x == 1:
+			if res, ok := r.VL(p); ok {
+				rec.do(p, history.KindVL, 0, 0, func() (uint64, bool) { return 0, res })
+			} else {
 				read()
-				done++
-			case x == 1:
+			}
+			return 1
+		default:
+			n := 1
+			rec.do(p, history.KindLL, 0, 0, func() (uint64, bool) { return r.LL(p), false })
+			if rng.Intn(4) == 0 {
 				if res, ok := r.VL(p); ok {
 					rec.do(p, history.KindVL, 0, 0, func() (uint64, bool) { return 0, res })
-					done++
-				} else {
-					read()
-					done++
+					n++
 				}
-			default:
-				rec.do(p, history.KindLL, 0, 0, func() (uint64, bool) { return r.LL(p), false })
-				done++
-				if rng.Intn(4) == 0 {
-					if res, ok := r.VL(p); ok {
-						rec.do(p, history.KindVL, 0, 0, func() (uint64, bool) { return 0, res })
-						done++
-					}
-				}
-				if rng.Intn(8) == 0 && r.Abort(p) {
-					continue // CL-then-never-SC: the reservation dies silently
-				}
-				v := newval()
-				rec.do(p, history.KindSC, v, 0, func() (uint64, bool) { return 0, r.SC(p, v) })
-				done++
 			}
-		case CASer:
-			if rng.Intn(4) == 0 {
-				read()
-				done++
-				continue
+			if rng.Intn(8) == 0 && r.Abort(p) {
+				return n // CL-then-never-SC: the reservation dies silently
 			}
-			old, _ := rec.do(p, history.KindRead, 0, 0, func() (uint64, bool) { return reg.Read(p), false })
-			done++
 			v := newval()
-			rec.do(p, history.KindCAS, old, v, func() (uint64, bool) { return 0, r.CAS(p, old, v) })
-			done++
-		default:
-			panic(fmt.Sprintf("stress: register %s implements neither LLSC nor CASer", reg.Name()))
+			rec.do(p, history.KindSC, v, 0, func() (uint64, bool) { return 0, r.SC(p, v) })
+			return n + 1
 		}
+	case CASer:
+		if rng.Intn(4) == 0 {
+			read()
+			return 1
+		}
+		old, _ := rec.do(p, history.KindRead, 0, 0, func() (uint64, bool) { return reg.Read(p), false })
+		v := newval()
+		rec.do(p, history.KindCAS, old, v, func() (uint64, bool) { return 0, r.CAS(p, old, v) })
+		return 2
+	default:
+		panic(fmt.Sprintf("stress: register %s implements neither LLSC nor CASer", reg.Name()))
 	}
 }
 
@@ -382,29 +414,41 @@ wait:
 // help it complete — so the history must be accepted if it linearizes
 // either without the op or with the op completed successfully at any
 // point after its invocation (Return = +inf).
+// Histories with several pending mutators (a soak round in which the
+// victim crashed more than once) are checked against every subset of the
+// candidates having taken effect — exponential in the number of pending
+// mutators, which crash budgets keep tiny.
 func checkWithPending(ops, pending []history.Op) (bool, string, error) {
-	res, err := linearizability.Check(ops, linearizability.State{})
-	if err != nil {
-		return false, "", err
-	}
-	if res.Ok {
-		return true, "", nil
-	}
-	tried := 1
+	var cands []history.Op
 	for _, op := range pending {
 		switch op.Kind {
 		case history.KindSC, history.KindCAS, history.KindWrite:
 			op.RetBool = true
 			op.Return = math.MaxInt64
-			withOp := append(append([]history.Op(nil), ops...), op)
-			res, err = linearizability.Check(withOp, linearizability.State{})
-			if err != nil {
-				return false, "", err
+			cands = append(cands, op)
+		}
+	}
+	if len(cands) > 10 {
+		return false, "", fmt.Errorf("stress: %d pending mutators; subset check capped at 10", len(cands))
+	}
+	tried := 0
+	for mask := 0; mask < 1<<len(cands); mask++ {
+		withOps := ops
+		if mask != 0 {
+			withOps = append([]history.Op(nil), ops...)
+			for i, op := range cands {
+				if mask&(1<<i) != 0 {
+					withOps = append(withOps, op)
+				}
 			}
-			tried++
-			if res.Ok {
-				return true, "", nil
-			}
+		}
+		res, err := linearizability.Check(withOps, linearizability.State{})
+		if err != nil {
+			return false, "", err
+		}
+		tried++
+		if res.Ok {
+			return true, "", nil
 		}
 	}
 	return false, fmt.Sprintf("burst history not linearizable under %d pending-op variant(s)", tried), nil

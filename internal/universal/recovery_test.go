@@ -1,0 +1,93 @@
+package universal
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// addApply is a counter object: opcode ignored, arg added, result = total.
+func addApply(_, arg uint64, user []uint64) uint64 {
+	user[0] += arg
+	return user[0]
+}
+
+func TestRecoverProcCompletesPending(t *testing.T) {
+	o, err := NewWaitFree(WaitFreeConfig{Procs: 2, UserWords: 1}, []uint64{0}, addApply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewWithStripes(2)
+	o.SetMetrics(met)
+	p0, err := o.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := o.Proc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Invoke(p0, 0, 5); got != 5 {
+		t.Fatalf("Invoke = %d, want 5", got)
+	}
+
+	// Simulate p0 crashing mid-Invoke: the operation (seq 2, add 7) is
+	// announced but p0 dies before driving it to completion.
+	crashedSeq := p0.seq + 1
+	o.announce[0].Store(annFields.Pack(crashedSeq, 0, 7))
+
+	// Peers steal the dead process's operation: p1's next Invoke batches
+	// every announced operation, applying p0's add-7 (in process order,
+	// before its own add-100).
+	if got := o.Invoke(p1, 0, 100); got != 112 {
+		t.Fatalf("peer Invoke = %d, want 112 (5+7+100)", got)
+	}
+
+	// The restarted incarnation resyncs its sequence number and retrieves
+	// the pending operation's result.
+	r0, err := o.RecoverProc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.seq != crashedSeq {
+		t.Fatalf("recovered seq = %d, want %d", r0.seq, crashedSeq)
+	}
+	res, ok := o.CompletePending(r0)
+	if !ok {
+		t.Fatal("CompletePending found nothing despite an announced operation")
+	}
+	if res != 12 {
+		t.Fatalf("pending result = %d, want 12 (5+7)", res)
+	}
+	if got := met.Snapshot().Get(obs.CtrRecoveryPendingCompleted); got != 1 {
+		t.Fatalf("recovery_pending_completed = %d, want 1", got)
+	}
+
+	// Fresh operations from the recovered handle use fresh sequence
+	// numbers: no stale fast-path match, results stay exact.
+	if got := o.Invoke(r0, 0, 1); got != 113 {
+		t.Fatalf("post-recovery Invoke = %d, want 113", got)
+	}
+	var dst [1]uint64
+	o.Read(p1, dst[:])
+	if dst[0] != 113 {
+		t.Fatalf("state = %d, want 113", dst[0])
+	}
+}
+
+func TestCompletePendingNothingAnnounced(t *testing.T) {
+	o, err := NewWaitFree(WaitFreeConfig{Procs: 2, UserWords: 1}, []uint64{0}, addApply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := o.RecoverProc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := o.CompletePending(r1); ok {
+		t.Fatal("CompletePending invented a pending operation")
+	}
+	if _, err := o.RecoverProc(7); err == nil {
+		t.Fatal("RecoverProc out of range must fail")
+	}
+}

@@ -45,6 +45,7 @@ type WaitFreeObject struct {
 	userW    int
 	slot     word.Fields // seq(16) | result(segValBits-16), within a segment value
 	cm       *contention.Policy
+	mets     *obs.Metrics
 }
 
 // ApplyFunc is the sequential object's transition function: it mutates
@@ -141,7 +142,10 @@ func NewWaitFree(cfg WaitFreeConfig, initial []uint64, apply ApplyFunc) (*WaitFr
 // SetMetrics attaches an optional metrics sink (nil disables) to the
 // object's underlying Figure 6 family, exposing the WLL/SC and
 // copy-helping traffic of every Invoke.
-func (o *WaitFreeObject) SetMetrics(m *obs.Metrics) { o.family.SetMetrics(m) }
+func (o *WaitFreeObject) SetMetrics(m *obs.Metrics) {
+	o.mets = m
+	o.family.SetMetrics(m)
+}
 
 // SetContention attaches a contention-management policy (nil disables).
 // Invoke's loop is already bounded by the helping protocol, so only its
@@ -186,6 +190,13 @@ func (o *WaitFreeObject) Invoke(p *WProc, opcode, arg uint64) uint64 {
 	// "never announced" (announce word) and "nothing applied" (slots).
 	p.seq = p.seq%(1<<seqBits-1) + 1
 	o.announce[p.id].Store(annFields.Pack(p.seq, opcode, arg))
+	return o.complete(p)
+}
+
+// complete drives p's currently announced operation (sequence p.seq) to
+// completion and returns its result — the helping loop shared by Invoke
+// and crash-recovery's CompletePending.
+func (o *WaitFreeObject) complete(p *WProc) uint64 {
 	mySlot := o.userW + p.id
 	var w contention.Waiter
 	for ; ; w.Wait(o.cm, p.id, contention.Interference) {
@@ -206,6 +217,39 @@ func (o *WaitFreeObject) Invoke(p *WProc, opcode, arg uint64) uint64 {
 			return o.slot.Get(p.next[mySlot], slotRes)
 		}
 	}
+}
+
+// RecoverProc builds a fresh handle for process id after a crash. Unlike
+// Proc, it resynchronizes the private sequence number from the shared
+// announce word — a handle that restarted at seq 1 could collide with a
+// sequence number the dead incarnation already used, and the fast path
+// would then return a stale result for a brand-new operation. A restarted
+// process MUST obtain its handle here, never via Proc.
+func (o *WaitFreeObject) RecoverProc(id int) (*WProc, error) {
+	p, err := o.Proc(id)
+	if err != nil {
+		return nil, err
+	}
+	if a := o.announce[id].Load(); a != 0 {
+		p.seq = annFields.Get(a, annSeq)
+	}
+	return p, nil
+}
+
+// CompletePending finishes the operation the crashed incarnation had
+// announced, if any: peers may already have applied it (every SC batches
+// all announced operations — the "steal/complete a dead process's
+// operation" guarantee), in which case this is one atomic read; otherwise
+// the recovered process helps it through itself. ok is false when the
+// process had never announced an operation. Call on a handle fresh from
+// RecoverProc, before any new Invoke overwrites the announce word.
+func (o *WaitFreeObject) CompletePending(p *WProc) (result uint64, ok bool) {
+	if o.announce[p.id].Load() == 0 {
+		return 0, false
+	}
+	result = o.complete(p)
+	o.mets.IncProc(p.id, obs.CtrRecoveryPendingCompleted)
+	return result, true
 }
 
 // applyPending fills p.next from p.cur by applying, in process order,
