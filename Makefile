@@ -9,9 +9,13 @@ all: build vet test
 build:
 	$(GO) build ./...
 
+# Protocol gate: go vet, gofmt, and the llscvet analyzer suite, which
+# statically enforces the LL/SC usage protocol (docs/STATIC_ANALYSIS.md).
+# The JSON report lists the suppressed findings with their reasons.
 vet:
 	$(GO) vet ./...
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+	$(GO) run ./cmd/llscvet -json vet-report.json ./...
 
 test:
 	$(GO) test ./...

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 
 	"repro/internal/baseline"
@@ -47,28 +48,30 @@ type register interface {
 
 type factory func(n int, initial uint64) register
 
+// impls and implOrder name the checkable implementations; validateFlags
+// resolves -impl against them.
+var impls = map[string]factory{
+	"fig3":  newFig3,
+	"fig4":  newFig4,
+	"fig5":  newFig5,
+	"fig6":  newFig6,
+	"fig7":  newFig7,
+	"mutex": newMutex,
+	"ir":    newIR,
+	"spec":  newSpec,
+}
+
+var implOrder = []string{"spec", "fig3", "fig4", "fig5", "fig6", "fig7", "mutex", "ir"}
+
 func main() {
 	flag.Parse()
-	impls := map[string]factory{
-		"fig3":  newFig3,
-		"fig4":  newFig4,
-		"fig5":  newFig5,
-		"fig6":  newFig6,
-		"fig7":  newFig7,
-		"mutex": newMutex,
-		"ir":    newIR,
-		"spec":  newSpec,
+	if err := validateFlags(*flagImpl, *flagRounds, *flagProcs, *flagOps, *flagSpurious); err != nil {
+		usageErr("%v", err)
 	}
-	order := []string{"spec", "fig3", "fig4", "fig5", "fig6", "fig7", "mutex", "ir"}
 
-	var selected []string
+	selected := []string{*flagImpl}
 	if *flagImpl == "all" {
-		selected = order
-	} else if _, ok := impls[*flagImpl]; ok {
-		selected = []string{*flagImpl}
-	} else {
-		fmt.Fprintf(os.Stderr, "linearcheck: unknown -impl %q\n", *flagImpl)
-		os.Exit(2)
+		selected = implOrder
 	}
 
 	failures := 0
@@ -84,6 +87,35 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects unusable invocations before any history is
+// generated, per the repository's fail-fast CLI convention (exit 2 via
+// usageErr in main).
+func validateFlags(impl string, rounds, procs, ops int, spurious float64) error {
+	if _, ok := impls[impl]; !ok && impl != "all" {
+		return fmt.Errorf("unknown -impl %q (want all, %s)", impl, strings.Join(implOrder, ", "))
+	}
+	if rounds < 1 {
+		return fmt.Errorf("-rounds must be positive, got %d", rounds)
+	}
+	if procs < 1 {
+		return fmt.Errorf("-procs must be positive, got %d", procs)
+	}
+	if ops < 1 {
+		return fmt.Errorf("-ops must be positive, got %d", ops)
+	}
+	if spurious < 0 || spurious > 1 {
+		return fmt.Errorf("-spurious must be in [0,1], got %v", spurious)
+	}
+	return nil
+}
+
+// usageErr reports a bad invocation and exits 2 before any check runs.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "linearcheck: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func check(name string, mk factory) (bad, total int) {

@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	t.Run("defaults", func(t *testing.T) {
+		if err := validateFlags("all", 500, 3, 6, 0.2); err != nil {
+			t.Errorf("validateFlags rejected the default invocation: %v", err)
+		}
+	})
+	t.Run("every named impl", func(t *testing.T) {
+		for _, impl := range implOrder {
+			if err := validateFlags(impl, 1, 1, 1, 0); err != nil {
+				t.Errorf("validateFlags rejected -impl %s: %v", impl, err)
+			}
+		}
+	})
+	invalid := []struct {
+		name     string
+		impl     string
+		rounds   int
+		procs    int
+		ops      int
+		spurious float64
+	}{
+		{"unknown impl", "fig8", 500, 3, 6, 0.2},
+		{"zero rounds", "all", 0, 3, 6, 0.2},
+		{"zero procs", "all", 500, 0, 6, 0.2},
+		{"zero ops", "all", 500, 3, 0, 0.2},
+		{"negative spurious", "all", 500, 3, 6, -0.2},
+		{"spurious above one", "all", 500, 3, 6, 2},
+	}
+	for _, c := range invalid {
+		t.Run(c.name, func(t *testing.T) {
+			if err := validateFlags(c.impl, c.rounds, c.procs, c.ops, c.spurious); err == nil {
+				t.Error("validateFlags accepted an invalid invocation (main would not exit 2)")
+			}
+		})
+	}
+}
+
+// TestImplOrderCoversImpls keeps the display order and the factory map in
+// sync: -impl all must run exactly the named implementations.
+func TestImplOrderCoversImpls(t *testing.T) {
+	if len(implOrder) != len(impls) {
+		t.Fatalf("implOrder has %d entries, impls has %d", len(implOrder), len(impls))
+	}
+	for _, name := range implOrder {
+		if _, ok := impls[name]; !ok {
+			t.Errorf("implOrder entry %q has no factory", name)
+		}
+	}
+}

@@ -38,6 +38,9 @@ var (
 
 func main() {
 	flag.Parse()
+	if err := validateFlags(*flagWorkload, *flagPolicy, *flagProcs, *flagRounds, *flagTail, *flagSpurious); err != nil {
+		usageErr("%v", err)
+	}
 
 	var policy sched.Policy
 	switch *flagPolicy {
@@ -47,9 +50,6 @@ func main() {
 		policy = &sched.RoundRobin{}
 	case "pct":
 		policy = sched.NewPCT(*flagSeed, 400, 3)
-	default:
-		fmt.Fprintf(os.Stderr, "llsctrace: unknown -policy %q\n", *flagPolicy)
-		os.Exit(2)
 	}
 
 	rec := trace.MustNewRecorder(*flagTail)
@@ -63,11 +63,6 @@ func main() {
 	})
 
 	workload, check := buildWorkload(m)
-	if workload == nil {
-		fmt.Fprintf(os.Stderr, "llsctrace: unknown -workload %q\n", *flagWorkload)
-		os.Exit(2)
-	}
-
 	sched.RunUnder(ctrl, *flagProcs, workload)
 
 	fmt.Printf("workload=%s policy=%s seed=%d procs=%d rounds=%d spurious=%v\n",
@@ -159,6 +154,42 @@ func buildWorkload(m *machine.Machine) (func(proc int), func() error) {
 	default:
 		return nil, nil
 	}
+}
+
+// validateFlags rejects unusable invocations before any machine is
+// built, per the repository's fail-fast CLI convention (exit 2 via
+// usageErr in main).
+func validateFlags(workload, policy string, procs, rounds, tail int, spurious float64) error {
+	switch workload {
+	case "fig3", "fig5", "fig7", "broken":
+	default:
+		return fmt.Errorf("unknown -workload %q (want fig3, fig5, fig7, broken)", workload)
+	}
+	switch policy {
+	case "random", "rr", "pct":
+	default:
+		return fmt.Errorf("unknown -policy %q (want random, rr, pct)", policy)
+	}
+	if procs < 1 {
+		return fmt.Errorf("-procs must be positive, got %d", procs)
+	}
+	if rounds < 1 {
+		return fmt.Errorf("-rounds must be positive, got %d", rounds)
+	}
+	if tail < 1 {
+		return fmt.Errorf("-tail must be positive, got %d", tail)
+	}
+	if spurious < 0 || spurious > 1 {
+		return fmt.Errorf("-spurious must be in [0,1], got %v", spurious)
+	}
+	return nil
+}
+
+// usageErr reports a bad invocation and exits 2 before any replay runs.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llsctrace: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func wantCounter(got, want uint64) error {

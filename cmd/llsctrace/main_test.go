@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(workload, policy string, procs, rounds, tail int, spurious float64) func(*testing.T) {
+		return func(t *testing.T) {
+			if err := validateFlags(workload, policy, procs, rounds, tail, spurious); err != nil {
+				t.Errorf("validateFlags rejected a valid invocation: %v", err)
+			}
+		}
+	}
+	bad := func(workload, policy string, procs, rounds, tail int, spurious float64) func(*testing.T) {
+		return func(t *testing.T) {
+			if err := validateFlags(workload, policy, procs, rounds, tail, spurious); err == nil {
+				t.Error("validateFlags accepted an invalid invocation (main would not exit 2)")
+			}
+		}
+	}
+	t.Run("defaults", ok("fig5", "random", 2, 2, 256, 0.1))
+	t.Run("all workloads", func(t *testing.T) {
+		for _, w := range []string{"fig3", "fig5", "fig7", "broken"} {
+			ok(w, "rr", 1, 1, 1, 0)(t)
+		}
+	})
+	t.Run("unknown workload", bad("fig4", "random", 2, 2, 256, 0.1))
+	t.Run("unknown policy", bad("fig5", "fifo", 2, 2, 256, 0.1))
+	t.Run("zero procs", bad("fig5", "random", 0, 2, 256, 0.1))
+	t.Run("zero rounds", bad("fig5", "random", 2, 0, 256, 0.1))
+	t.Run("zero tail", bad("fig5", "random", 2, 2, 0, 0.1))
+	t.Run("spurious above one", bad("fig5", "random", 2, 2, 256, 1.5))
+	t.Run("negative spurious", bad("fig5", "random", 2, 2, 256, -0.1))
+}

@@ -1,0 +1,148 @@
+// Command llscvet statically enforces the LL/SC usage protocol and the
+// repository's instrumentation conventions over Go packages: run
+// `llscvet ./...` (the default) at the repo root. It is wired into
+// `make vet` and the CI llscvet job, which fails on any unsuppressed
+// finding.
+//
+// Checks (see docs/STATIC_ANALYSIS.md and `llscvet -list`):
+//
+//	reservedpair, strictaccess, nakedatomic, retrypolicy, obscounter
+//
+// Findings print in go vet style on stderr. With -json, a machine-
+// readable report (schema llsc-vet/v1) is also written, including the
+// suppressed findings with their //llsc:allow reasons, so an audit of
+// exemptions is one jq away.
+//
+// Exit status follows the repository CLI convention: 0 when the analysis
+// ran and found nothing unsuppressed, 1 when it found violations, 2 on a
+// bad invocation or a load/type-check failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// Schema identifies the JSON report layout. Consumers should reject
+// records with an unknown schema; producers bump the version suffix on
+// any incompatible change.
+const Schema = "llsc-vet/v1"
+
+var (
+	flagJSON   = flag.String("json", "", "write a machine-readable findings report (schema "+Schema+") to this path")
+	flagChecks = flag.String("checks", "all", "comma-separated checks to run (default all)")
+	flagList   = flag.Bool("list", false, "list the available checks and exit")
+)
+
+// report is the llsc-vet/v1 document.
+type report struct {
+	Schema     string                `json:"schema"`
+	Checks     []string              `json:"checks"`
+	Patterns   []string              `json:"patterns"`
+	Packages   int                   `json:"packages"`
+	Findings   []analysis.Diagnostic `json:"findings"`
+	Suppressed []analysis.Diagnostic `json:"suppressed"`
+}
+
+func main() {
+	flag.Parse()
+
+	if *flagList {
+		for _, a := range analysis.All() {
+			fmt.Printf("%s\n%s\n\n", a.Name, indent(a.Doc))
+		}
+		return
+	}
+
+	analyzers, err := analysis.ByName(*flagChecks)
+	if err != nil {
+		usageErr("%v", err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := &analysis.Loader{}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llscvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llscvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep := report{
+		Schema:     Schema,
+		Patterns:   patterns,
+		Packages:   len(pkgs),
+		Findings:   []analysis.Diagnostic{},
+		Suppressed: []analysis.Diagnostic{},
+	}
+	for _, a := range analyzers {
+		rep.Checks = append(rep.Checks, a.Name)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			rep.Suppressed = append(rep.Suppressed, d)
+			continue
+		}
+		rep.Findings = append(rep.Findings, d)
+		fmt.Fprintln(os.Stderr, d)
+	}
+
+	if *flagJSON != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llscvet: encoding report: %v\n", err)
+			os.Exit(2)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*flagJSON, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "llscvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if len(rep.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "llscvet: %d finding(s) in %d package(s)\n", len(rep.Findings), rep.Packages)
+		os.Exit(1)
+	}
+	fmt.Printf("llscvet: %d package(s) clean (%d suppressed finding(s))\n", rep.Packages, len(rep.Suppressed))
+}
+
+// indent prefixes every line of s with a tab, for -list output.
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "\t" + line + "\n"
+	}
+	return out[:len(out)-1]
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(lines, s[start:])
+}
+
+// usageErr reports a bad invocation and exits 2 before any analysis runs.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llscvet: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

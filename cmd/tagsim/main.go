@@ -33,13 +33,14 @@ func main() {
 	table := flag.Bool("table", false, "print the full width × rate table")
 	flag.Parse()
 
+	if err := validateFlags(*bits, *rate); err != nil {
+		fmt.Fprintf(os.Stderr, "tagsim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *table {
 		printTable()
 		return
-	}
-	if *bits < 1 || *bits > 63 {
-		fmt.Fprintln(os.Stderr, "tagsim: -bits must be in [1,63]")
-		os.Exit(2)
 	}
 	d := word.TimeToWrap(*bits, *rate)
 	fmt.Printf("tag width:     %d bits (data: %d bits)\n", *bits, 64-*bits)
@@ -47,6 +48,18 @@ func main() {
 	fmt.Printf("time to wrap:  %s\n", humanDuration(d))
 	fmt.Printf("\nAn unbounded-tag LL/SC (Figures 3-5) errs only if one LL-SC sequence\n")
 	fmt.Printf("spans a full wrap; the bounded-tag construction (Figure 7) never errs.\n")
+}
+
+// validateFlags rejects unusable invocations before any arithmetic runs,
+// per the repository's fail-fast CLI convention (exit 2 in main).
+func validateFlags(bits uint, rate float64) error {
+	if bits < 1 || bits > 63 {
+		return fmt.Errorf("-bits must be in [1,63], got %d", bits)
+	}
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		return fmt.Errorf("-rate must be a positive finite update rate, got %v", rate)
+	}
+	return nil
 }
 
 func printTable() {

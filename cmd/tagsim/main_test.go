@@ -1,0 +1,44 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	valid := []struct {
+		name string
+		bits uint
+		rate float64
+	}{
+		{"paper example", 48, 1e6},
+		{"narrowest tag", 1, 1},
+		{"widest tag", 63, 1e9},
+	}
+	for _, c := range valid {
+		t.Run(c.name, func(t *testing.T) {
+			if err := validateFlags(c.bits, c.rate); err != nil {
+				t.Errorf("validateFlags(%d, %v) = %v, want nil", c.bits, c.rate, err)
+			}
+		})
+	}
+	invalid := []struct {
+		name string
+		bits uint
+		rate float64
+	}{
+		{"zero bits", 0, 1e6},
+		{"full word", 64, 1e6},
+		{"zero rate", 48, 0},
+		{"negative rate", 48, -1},
+		{"nan rate", 48, math.NaN()},
+		{"infinite rate", 48, math.Inf(1)},
+	}
+	for _, c := range invalid {
+		t.Run(c.name, func(t *testing.T) {
+			if err := validateFlags(c.bits, c.rate); err == nil {
+				t.Errorf("validateFlags(%d, %v) = nil, want error (main would not exit 2)", c.bits, c.rate)
+			}
+		})
+	}
+}

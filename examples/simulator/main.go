@@ -24,10 +24,12 @@ func main() {
 	// Restriction: one reservation per processor (the R4000's LLBit).
 	p0.RLL(x)
 	p0.RLL(y) // displaces the reservation on x
+	//llsc:allow reservedpair(deliberate demo of the one-reservation-per-processor rule)
 	fmt.Printf("RLL(x); RLL(y); RSC(x) succeeds? %v  (one LLBit per processor)\n", p0.RSC(x, 11))
 
 	// Restriction: no memory access between RLL and RSC (strict mode).
 	p0.RLL(x)
+	//llsc:allow strictaccess(deliberate demo of the R4000 intervening-access rule)
 	p0.Load(y) // an intervening load clears the reservation
 	fmt.Printf("RLL(x); Load(y); RSC(x) succeeds? %v  (intervening access clears LLBit)\n", p0.RSC(x, 11))
 

@@ -1,0 +1,255 @@
+// Package analysis statically enforces the LL/SC usage protocol and the
+// repository's instrumentation conventions. Moir's constructions are
+// correct only under a strict discipline — at most one reservation per
+// processor, SC only after a matching LL on the same variable, and (on
+// R4000-style machines) no shared-memory access between RLL and RSC — yet
+// until this package the discipline was checked only by runtime failure
+// under the fault injector. The five analyzers here turn it into a
+// compile-time gate:
+//
+//	reservedpair  RSC must be dominated by an RLL on the same word; a
+//	              later RLL displaces the reservation (one per processor).
+//	strictaccess  no Load/Store/CAS by the reserving processor between its
+//	              RLL and RSC (the machine.Config.Strict R4000 rule).
+//	nakedatomic   protocol packages must route shared state through
+//	              machine.Word, not raw sync/atomic or sync.Mutex.
+//	retrypolicy   SC/CAS retry loops in protocol packages must consult the
+//	              internal/contention policy (a Waiter.Wait call).
+//	obscounter    string-literal counter names must be in the registry
+//	              generated from the internal/obs taxonomy.
+//
+// Findings can be suppressed with a comment on (or immediately above) the
+// offending line:
+//
+//	//llsc:allow <check>(<reason>)
+//
+// The reason is mandatory; an empty one is itself a finding. See
+// docs/STATIC_ANALYSIS.md for each check's paper justification and the
+// known approximations.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Reportf, analysistest-style golden files) but
+// is implemented entirely on the standard library so the repository stays
+// dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the check in findings, -checks selections, and
+	// //llsc:allow suppressions.
+	Name string
+
+	// Doc is a one-paragraph description shown by llscvet -list.
+	Doc string
+
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass connects one analyzer to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Diagnostic is one finding, in the shape serialized into the llsc-vet/v1
+// report.
+type Diagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	Pos        string `json:"pos"` // file:line:col
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"suppress_reason,omitempty"`
+
+	position token.Position
+}
+
+// Position returns the finding's resolved source position.
+func (d Diagnostic) Position() token.Position { return d.position }
+
+// String renders the finding in go vet style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{ReservedPair, StrictAccess, NakedAtomic, RetryPolicy, ObsCounter}
+}
+
+// ByName resolves a comma-separated check selection against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return All(), nil
+	}
+	index := make(map[string]*Analyzer)
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := index[n]
+		if !ok {
+			known := make([]string, 0, len(index))
+			for _, a := range All() {
+				known = append(known, a.Name)
+			}
+			return nil, fmt.Errorf("unknown check %q (want one of %s)", n, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// allowRE matches one `check(reason)` clause after the llsc:allow marker;
+// several clauses may share a comment.
+var allowRE = regexp.MustCompile(`([a-z][a-z0-9]*)\(([^)]*)\)`)
+
+// suppression is one parsed //llsc:allow clause.
+type suppression struct {
+	check  string
+	reason string
+	pos    token.Pos
+}
+
+// suppressionIndex maps file:line to the clauses that govern that line. A
+// clause governs its own line and the line below it, so both trailing
+// comments and comments on the line above the construct work.
+type suppressionIndex map[string][]suppression
+
+func lineKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+// scanSuppressions builds the index for one package and reports malformed
+// clauses (missing reason) as findings in their own right: a suppression
+// that does not say why is documentation debt, not an exemption.
+func scanSuppressions(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) suppressionIndex {
+	idx := make(suppressionIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Only directive-style comments count: //llsc:allow with no
+				// space, like //go:generate. Prose mentions are ignored.
+				text, ok := strings.CutPrefix(c.Text, "//llsc:allow")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				clauses := allowRE.FindAllStringSubmatch(text, -1)
+				if len(clauses) == 0 {
+					report(Diagnostic{
+						Analyzer: "llscvet",
+						Pos:      pos.String(),
+						Message:  "malformed llsc:allow comment: want //llsc:allow <check>(<reason>)",
+						position: pos,
+					})
+					continue
+				}
+				for _, m := range clauses {
+					s := suppression{check: m[1], reason: strings.TrimSpace(m[2]), pos: c.Pos()}
+					if s.reason == "" {
+						report(Diagnostic{
+							Analyzer: s.check,
+							Pos:      pos.String(),
+							Message:  fmt.Sprintf("suppression llsc:allow %s() is missing a reason; justify the exemption", s.check),
+							position: pos,
+						})
+						continue
+					}
+					for _, key := range []string{
+						lineKey(pos),
+						fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1),
+					} {
+						idx[key] = append(idx[key], s)
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// lookup returns the reason suppressing check at pos, if any.
+func (idx suppressionIndex) lookup(pos token.Position, check string) (string, bool) {
+	for _, s := range idx[lineKey(pos)] {
+		if s.check == check {
+			return s.reason, true
+		}
+	}
+	return "", false
+}
+
+// Run applies the analyzers to every package and returns all diagnostics,
+// suppressed ones included (the report separates them), ordered by
+// position. A non-nil error means the analysis itself failed and no
+// verdict was reached.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx := scanSuppressions(pkg.Fset, pkg.Files, func(d Diagnostic) {
+			diags = append(diags, d)
+		})
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(pos token.Pos, msg string) {
+				position := pkg.Fset.Position(pos)
+				d := Diagnostic{
+					Analyzer: a.Name,
+					Pos:      position.String(),
+					Message:  msg,
+					position: position,
+				}
+				if reason, ok := idx.lookup(position, a.Name); ok {
+					d.Suppressed = true
+					d.Reason = reason
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].position, diags[j].position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

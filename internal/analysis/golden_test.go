@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// testLoader builds a Loader whose overlay maps every package directory
+// under testdata/src to its slash-relative import path, mirroring the
+// golang.org/x/tools analysistest layout. Stub dependencies
+// (llscvet.test/internal/...) resolve through the same overlay.
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlay := make(map[string]string)
+	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil || !d.IsDir() {
+			return walkErr
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(root, p)
+				if err != nil {
+					return err
+				}
+				overlay[filepath.ToSlash(rel)] = p
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Loader{Overlay: overlay}
+}
+
+// wantArgRE extracts the quoted regexps of one `// want "re" ...` comment.
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// checkGolden loads one testdata package, runs a single analyzer over it,
+// and matches the unsuppressed diagnostics against the package's
+// `// want "regexp"` comments: every finding needs a want on its line and
+// every want needs a finding. wantSuppressed pins the number of findings
+// neutralized by //llsc:allow clauses, so the golden file proves both that
+// the check fires and that the escape hatch works.
+func checkGolden(t *testing.T, a *Analyzer, pkgPath string, wantSuppressed int) {
+	t.Helper()
+	loader := testLoader(t)
+	pkgs, err := loader.Load(pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for %s, want 1", len(pkgs), pkgPath)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type wantEntry struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*wantEntry) // file:line -> expectations
+	pkg := pkgs[0]
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				key := lineKey(pkg.Fset.Position(c.Pos()))
+				for _, m := range wantArgRE.FindAllStringSubmatch(rest, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &wantEntry{re: re})
+				}
+			}
+		}
+	}
+
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if d.Reason == "" {
+				t.Errorf("suppressed finding at %s has no reason recorded", d.Pos)
+			}
+			continue
+		}
+		matched := false
+		for _, w := range wants[lineKey(d.Position())] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, entries := range wants {
+		for _, w := range entries {
+			if !w.matched {
+				t.Errorf("no finding matched want %q at %s", w.re, key)
+			}
+		}
+	}
+	if suppressed != wantSuppressed {
+		t.Errorf("suppressed findings = %d, want %d", suppressed, wantSuppressed)
+	}
+}
+
+func TestReservedPairGolden(t *testing.T) {
+	checkGolden(t, ReservedPair, "llscvet.test/reservedpair", 1)
+}
+
+func TestStrictAccessGolden(t *testing.T) {
+	checkGolden(t, StrictAccess, "llscvet.test/strictaccess", 1)
+}
+
+func TestNakedAtomicGolden(t *testing.T) {
+	checkGolden(t, NakedAtomic, "llscvet.test/nakedatomic/internal/core", 1)
+}
+
+func TestNakedAtomicIgnoresNonProtocolPackages(t *testing.T) {
+	checkGolden(t, NakedAtomic, "llscvet.test/nakedclean", 0)
+}
+
+func TestRetryPolicyGolden(t *testing.T) {
+	checkGolden(t, RetryPolicy, "llscvet.test/retrypolicy/internal/structures", 1)
+}
+
+func TestObsCounterGolden(t *testing.T) {
+	checkGolden(t, ObsCounter, "llscvet.test/obscounter", 1)
+}
+
+// TestSuppressionDirectiveErrors checks that the directive scanner turns
+// unusable suppressions into findings of their own: a directive with no
+// clause, and a clause with an empty reason.
+func TestSuppressionDirectiveErrors(t *testing.T) {
+	loader := testLoader(t)
+	pkgs, err := loader.Load("llscvet.test/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any analyzer will do: the directive scan runs per package
+	// regardless of which checks are selected.
+	diags, err := Run(pkgs, []*Analyzer{NakedAtomic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "malformed llsc:allow comment") {
+		t.Errorf("first diagnostic = %q, want malformed-directive finding", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "missing a reason") {
+		t.Errorf("second diagnostic = %q, want missing-reason finding", diags[1].Message)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			t.Errorf("directive finding at %s must not be suppressible by itself", d.Pos)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("all")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(all) = %d analyzers, err %v; want %d, nil", len(all), err, len(All()))
+	}
+	two, err := ByName("reservedpair, obscounter")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName(reservedpair, obscounter) = %v, %v; want 2 analyzers", two, err)
+	}
+	if _, err := ByName("nosuchcheck"); err == nil {
+		t.Fatal("ByName(nosuchcheck) succeeded, want error (llscvet exits 2 on it)")
+	}
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Analyzers match types by package-path suffix rather than by the literal
+// module path so that analysistest stubs (loaded under synthetic import
+// paths) and the real packages are treated identically.
+
+// protocolPkgSuffixes are the packages bound to the machine.Word
+// discipline: all shared state through the simulated machine, all retry
+// loops through internal/contention.
+var protocolPkgSuffixes = []string{
+	"internal/core",
+	"internal/structures",
+	"internal/universal",
+	"internal/stm",
+}
+
+// isProtocolPkg reports whether path is one of the protocol packages.
+func isProtocolPkg(path string) bool {
+	for _, s := range protocolPkgSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPathHasSuffix reports whether the package path equals suffix or ends
+// with "/"+suffix.
+func pkgPathHasSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == suffix || strings.HasSuffix(pkg.Path(), "/"+suffix)
+}
+
+// namedDecl unwraps pointers and returns the named type's name and
+// declaring package, or ok=false for unnamed types.
+func namedDecl(t types.Type) (name string, pkg *types.Package, ok bool) {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	n, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", nil, false
+	}
+	return n.Obj().Name(), n.Obj().Pkg(), true
+}
+
+// methodCallee resolves a call expression to the method it invokes, or
+// nil when the call is not a method call (or not resolved).
+func methodCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return nil
+	}
+	return fn
+}
+
+// recvMatches reports whether fn's receiver is the named type typeName
+// declared in a package whose path ends in pkgSuffix.
+func recvMatches(fn *types.Func, pkgSuffix, typeName string) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	name, pkg, ok := namedDecl(recv.Type())
+	return ok && name == typeName && pkgPathHasSuffix(pkg, pkgSuffix)
+}
+
+// recvInPkgSuffix reports whether fn's receiver type is declared in a
+// package whose path ends in suffix, regardless of the type's name.
+func recvInPkgSuffix(fn *types.Func, suffix string) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	_, pkg, ok := namedDecl(recv.Type())
+	return ok && pkgPathHasSuffix(pkg, suffix)
+}
+
+// isProcMethod reports whether call invokes machine.Proc's method name.
+func isProcMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := methodCallee(info, call)
+	return fn != nil && fn.Name() == name && recvMatches(fn, "internal/machine", "Proc")
+}
+
+// exprKey renders an expression as a canonical identity key: identifiers
+// resolve to their declaring object, selectors and constant indexes
+// compose structurally. ok is false for expressions whose identity cannot
+// be decided syntactically (calls, non-constant indexes); callers must
+// treat two unkeyable expressions as possibly-distinct and stay quiet
+// rather than guess.
+func exprKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return fmt.Sprintf("obj@%d", obj.Pos()), true
+	case *ast.ParenExpr:
+		return exprKey(info, e.X)
+	case *ast.SelectorExpr:
+		k, ok := exprKey(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return k + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		k, ok := exprKey(info, e.X)
+		if !ok {
+			return "", false
+		}
+		if tv, found := info.Types[e.Index]; found && tv.Value != nil {
+			return k + "[" + tv.Value.String() + "]", true
+		}
+		return "", false
+	case *ast.UnaryExpr:
+		k, ok := exprKey(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return e.Op.String() + k, true
+	case *ast.StarExpr:
+		k, ok := exprKey(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return "*" + k, true
+	}
+	return "", false
+}
+
+// rootIdentObj returns the object of the leftmost identifier of e (the
+// base of a selector/index chain), or nil.
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// funcScope is one function body treated as an independent protocol
+// scope: a declaration or a function literal. Reservations do not cross
+// scope boundaries in the analysis (the machine would carry them, but an
+// analyzer cannot see through arbitrary call graphs; helpers that receive
+// a live reservation are the documented escape hatch).
+type funcScope struct {
+	name string
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+// funcScopes yields every function body in the file.
+func funcScopes(f *ast.File) []funcScope {
+	var scopes []funcScope
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				scopes = append(scopes, funcScope{name: n.Name.Name, node: n, body: n.Body})
+			}
+		case *ast.FuncLit:
+			scopes = append(scopes, funcScope{name: "func literal", node: n, body: n.Body})
+		}
+		return true
+	})
+	return scopes
+}
+
+// isWordParam reports whether obj is a *machine.Word parameter of the
+// scope — the signature of a helper that is handed an already-reserved
+// word by its caller, the one indirection reservedpair tolerates.
+func isWordParam(scope funcScope, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	name, pkg, named := namedDecl(v.Type())
+	if !named || name != "Word" || !pkgPathHasSuffix(pkg, "internal/machine") {
+		return false
+	}
+	var params *ast.FieldList
+	switch n := scope.node.(type) {
+	case *ast.FuncDecl:
+		params = n.Type.Params
+	case *ast.FuncLit:
+		params = n.Type.Params
+	}
+	if params == nil {
+		return false
+	}
+	return obj.Pos() >= params.Pos() && obj.Pos() <= params.End()
+}

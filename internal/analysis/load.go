@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// This file is a deliberately small, dependency-free stand-in for
+// golang.org/x/tools/go/packages, which this repository does not vendor:
+// `go list -deps -json` supplies the file sets and the import graph in
+// dependency order, and go/parser + go/types do the rest. Dependencies are
+// type-checked with IgnoreFuncBodies (their exported API is all the
+// analyzers need); packages under analysis get full types.Info.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string // source import path -> resolved path (stdlib vendoring)
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *listPkgError
+}
+
+// listPkgError mirrors go list's load.PackageError JSON shape.
+type listPkgError struct {
+	Err string
+}
+
+// Package is one fully type-checked package under analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages. The zero value is ready to use;
+// one Loader may serve several Load calls and shares its package cache
+// between them.
+type Loader struct {
+	// Dir is the working directory for go list invocations — any directory
+	// inside the target module. Empty means the current directory.
+	Dir string
+
+	// Overlay maps an import path to a directory whose non-test .go files
+	// satisfy it instead of whatever go list would resolve. Analyzer tests
+	// use it to substitute stub dependencies and to load golden packages
+	// that live under testdata (which the go tool refuses to list).
+	Overlay map[string]string
+
+	fset *token.FileSet
+	meta map[string]*listPkg
+	pkgs map[string]*loaded
+}
+
+// loaded is one cache entry: the types are always present, the syntax and
+// Info only when the package was checked as an analysis root.
+type loaded struct {
+	types *types.Package
+	full  *Package
+}
+
+func (l *Loader) init() {
+	if l.fset == nil {
+		l.fset = token.NewFileSet()
+		l.meta = make(map[string]*listPkg)
+		l.pkgs = make(map[string]*loaded)
+	}
+}
+
+// Load resolves patterns (go list package patterns, or keys of Overlay)
+// and returns the matched packages fully type-checked, in dependency
+// order. Any parse, type, or load error aborts the whole load: analyzers
+// must never run over partial type information.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.init()
+	var roots, listPats []string
+	for _, p := range patterns {
+		if _, ok := l.Overlay[p]; ok {
+			roots = append(roots, p)
+		} else {
+			listPats = append(listPats, p)
+		}
+	}
+	if len(listPats) > 0 {
+		pkgs, err := l.goList(listPats...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if _, ok := l.meta[p.ImportPath]; !ok {
+				l.meta[p.ImportPath] = p
+			}
+			if !p.DepOnly {
+				if p.Error != nil {
+					return nil, fmt.Errorf("analysis: loading %s: %s", p.ImportPath, p.Error.Err)
+				}
+				roots = append(roots, p.ImportPath)
+			}
+		}
+	}
+	seen := make(map[string]bool)
+	out := make([]*Package, 0, len(roots))
+	for _, path := range roots {
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		pkg, err := l.checkFull(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// goList runs `go list -e -deps -json` on the given patterns and decodes
+// the JSON stream. CGO is disabled so every package resolves to its
+// pure-Go file set, which go/types can check from source.
+func (l *Loader) goList(patterns ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,GoFiles,ImportMap,Standard,DepOnly,Incomplete,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ensureMeta makes go list metadata available for path (and, transitively,
+// its dependencies). Overlay roots pull their real imports in through
+// here, one batched go list call per unknown frontier.
+func (l *Loader) ensureMeta(path string) (*listPkg, error) {
+	if m, ok := l.meta[path]; ok {
+		return m, nil
+	}
+	pkgs, err := l.goList(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			l.meta[p.ImportPath] = p
+		}
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: go list did not resolve %q", path)
+	}
+	return m, nil
+}
+
+// sourceFiles returns the compiled .go files for path: from the overlay
+// directory when one is registered, otherwise from go list metadata. meta
+// is nil for overlay packages.
+func (l *Loader) sourceFiles(path string) (dir string, files []string, meta *listPkg, err error) {
+	if dir, ok := l.Overlay[path]; ok {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("analysis: overlay for %s: %v", path, err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				files = append(files, name)
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return "", nil, nil, fmt.Errorf("analysis: overlay dir %s for %s has no .go files", dir, path)
+		}
+		return dir, files, nil, nil
+	}
+	m, err := l.ensureMeta(path)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if m.Error != nil {
+		return "", nil, nil, fmt.Errorf("analysis: loading %s: %s", path, m.Error.Err)
+	}
+	if len(m.GoFiles) == 0 {
+		return "", nil, nil, fmt.Errorf("analysis: %s has no Go files (CGO-only or empty package)", path)
+	}
+	return m.Dir, m.GoFiles, m, nil
+}
+
+// importerFor builds the importer seen by one package under check: source
+// import paths are first translated through the package's ImportMap (the
+// standard library's vendored golang.org/x dependencies resolve this
+// way), then loaded as dependencies.
+func (l *Loader) importerFor(meta *listPkg) types.Importer {
+	return importerFunc(func(path string) (*types.Package, error) {
+		if meta != nil {
+			if mapped, ok := meta.ImportMap[path]; ok {
+				path = mapped
+			}
+		}
+		return l.checkDep(path)
+	})
+}
+
+// parse parses the package's files. Comments are kept only for full
+// checks, where the suppression scanner and analyzers need them.
+func (l *Loader) parse(dir string, files []string, comments bool) ([]*ast.File, error) {
+	mode := parser.SkipObjectResolution
+	if comments {
+		mode |= parser.ParseComments
+	}
+	out := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// importerFunc adapts a closure to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// checkDep type-checks path for import: declarations only, no function
+// bodies, no Info. Cached.
+func (l *Loader) checkDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if c, ok := l.pkgs[path]; ok {
+		return c.types, nil
+	}
+	dir, files, meta, err := l.sourceFiles(path)
+	if err != nil {
+		return nil, err
+	}
+	syntax, err := l.parse(dir, files, false)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer:         l.importerFor(meta),
+		IgnoreFuncBodies: true,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, syntax, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking dependency %s: %v", path, err)
+	}
+	l.pkgs[path] = &loaded{types: tpkg}
+	return tpkg, nil
+}
+
+// checkFull type-checks path as an analysis root: comments retained, full
+// types.Info recorded.
+func (l *Loader) checkFull(path string) (*Package, error) {
+	if c, ok := l.pkgs[path]; ok && c.full != nil {
+		return c.full, nil
+	}
+	dir, files, meta, err := l.sourceFiles(path)
+	if err != nil {
+		return nil, err
+	}
+	syntax, err := l.parse(dir, files, true)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l.importerFor(meta),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: syntax, Types: tpkg, Info: info}
+	l.pkgs[path] = &loaded{types: tpkg, full: pkg}
+	return pkg, nil
+}

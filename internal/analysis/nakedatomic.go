@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NakedAtomic keeps shared state in the protocol packages on the
+// machine.Word path. Those packages carry the repository's verification
+// story: every shared-memory operation through machine.Word is visible to
+// the fault injector (internal/fault), the trace recorder
+// (internal/trace), the deterministic schedulers (internal/sched), and
+// the chaos soak harness (internal/stress). A raw sync/atomic operation
+// or a sync.Mutex in internal/core, internal/structures,
+// internal/universal, or internal/stm silently bypasses all four layers:
+// the code still works, but the adversarial test matrix no longer
+// exercises it.
+//
+// The production-path implementations that intentionally run on native
+// hardware atomics (the paper's point is that the constructions compile
+// down to real CAS) carry //llsc:allow nakedatomic(...) suppressions whose
+// reasons document exactly that trade.
+var NakedAtomic = &Analyzer{
+	Name: "nakedatomic",
+	Doc: "forbid direct sync/atomic and sync.Mutex/RWMutex use in the protocol packages\n" +
+		"(internal/core, internal/structures, internal/universal, internal/stm): shared state\n" +
+		"must go through machine.Word or fault injection, tracing, deterministic scheduling,\n" +
+		"and the soak harness are silently bypassed.",
+	Run: runNakedAtomic,
+}
+
+func runNakedAtomic(pass *Pass) error {
+	if !isProtocolPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sync/atomic" {
+				pass.Reportf(imp.Pos(),
+					"direct sync/atomic use in protocol package %s: route shared state through machine.Word so fault injection, tracing, and the soak harness see it",
+					pass.Pkg.Name())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.Info.Uses[sel.Sel].(*types.TypeName)
+			if !ok || tn.Pkg() == nil || tn.Pkg().Path() != "sync" {
+				return true
+			}
+			switch tn.Name() {
+			case "Mutex", "RWMutex":
+				pass.Reportf(sel.Pos(),
+					"sync.%s in protocol package %s: the constructions are non-blocking by design; protect shared state with machine.Word (or justify with //llsc:allow)",
+					tn.Name(), pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

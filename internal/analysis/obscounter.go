@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+//go:generate go run ./gen -out registry_gen.go
+
+// ObsCounter checks every string literal used as an obs counter name
+// against the canonical registry generated from the internal/obs
+// taxonomy (registry_gen.go; regenerate with `go generate` after adding a
+// counter). Counter names cross the string boundary in exactly one
+// place — indexing the name → value maps produced by obs.Snapshot.Map /
+// NonZero and carried by the llsc-bench/llsc-stress/llsc-soak JSON
+// records' Counters fields — and a typo there does not fail, it reads a
+// silent zero. The same registry is what the docs-sync test holds
+// docs/OBSERVABILITY.md's counter table to, so code, docs, and schema
+// cannot drift apart independently.
+var ObsCounter = &Analyzer{
+	Name: "obscounter",
+	Doc: "check string-literal counter names against the registry generated from the\n" +
+		"internal/obs taxonomy: indexing a counters map with an unregistered name reads a\n" +
+		"silent zero instead of failing, the classic observability typo.",
+	Run: runObsCounter,
+}
+
+func runObsCounter(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			idx, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(idx.Index).(*ast.BasicLit)
+			if !ok || lit.Kind.String() != "STRING" {
+				return true
+			}
+			if !isCounterMapExpr(pass.Info, idx.X) {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !obsCounterRegistry[name] {
+				pass.Reportf(lit.Pos(),
+					"unknown obs counter %q: not in the registry generated from the internal/obs taxonomy (misspelled names read a silent zero; see docs/OBSERVABILITY.md)",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCounterMapExpr reports whether e is a counters map: a
+// map[string]uint64 that is either a field/variable named Counters (the
+// JSON record convention) or the direct result of obs.Snapshot.Map or
+// NonZero.
+func isCounterMapExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	tv, ok := info.Types[e]
+	if !ok || !isMapStringUint64(tv.Type) {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Counters"
+	case *ast.Ident:
+		return e.Name == "Counters" || e.Name == "counters"
+	case *ast.CallExpr:
+		fn := methodCallee(info, e)
+		if fn == nil {
+			return false
+		}
+		return (fn.Name() == "Map" || fn.Name() == "NonZero") &&
+			recvMatches(fn, "internal/obs", "Snapshot")
+	}
+	return false
+}
+
+func isMapStringUint64(t types.Type) bool {
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	k, kOK := m.Key().Underlying().(*types.Basic)
+	v, vOK := m.Elem().Underlying().(*types.Basic)
+	return kOK && vOK && k.Kind() == types.String && v.Kind() == types.Uint64
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRegistrySync holds the generated obscounter registry to the
+// internal/obs taxonomy, the single source of truth: a new counter
+// without `go generate ./internal/analysis` fails here, not at some
+// later llscvet run.
+func TestRegistrySync(t *testing.T) {
+	names := obs.CounterNames()
+	for _, n := range names {
+		if !obsCounterRegistry[n] {
+			t.Errorf("counter %q is in the obs taxonomy but not in registry_gen.go; run go generate ./internal/analysis", n)
+		}
+	}
+	if len(names) != len(obsCounterRegistry) {
+		t.Errorf("registry has %d names, taxonomy has %d; run go generate ./internal/analysis",
+			len(obsCounterRegistry), len(names))
+	}
+}
+
+// docCounterRE matches one backticked counter name.
+var docCounterRE = regexp.MustCompile("`([a-z][a-z0-9_]*)`")
+
+// TestObservabilityDocsSync holds the docs/OBSERVABILITY.md counter table
+// to the same taxonomy: every counter must be documented, and the docs
+// must not document counters that do not exist. Only the first table
+// column counts — the meaning column may reference other counters freely.
+func TestObservabilityDocsSync(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTaxonomy := false
+	documented := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inTaxonomy = strings.HasPrefix(line, "## Counter taxonomy")
+			continue
+		}
+		if !inTaxonomy || !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cells := strings.SplitN(line, "|", 3)
+		if len(cells) < 3 {
+			continue
+		}
+		for _, m := range docCounterRE.FindAllStringSubmatch(cells[1], -1) {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no counter rows found under '## Counter taxonomy' in docs/OBSERVABILITY.md")
+	}
+	for _, n := range obs.CounterNames() {
+		if !documented[n] {
+			t.Errorf("counter %q is missing from the docs/OBSERVABILITY.md counter table", n)
+		}
+	}
+	for n := range documented {
+		if !obsCounterRegistry[n] {
+			t.Errorf("docs/OBSERVABILITY.md documents counter %q, which is not in the obs taxonomy", n)
+		}
+	}
+}
+
+// TestRepoVetsClean is the self-gate: the full repository must produce no
+// unsuppressed findings, and every suppression must carry a reason. This
+// is the same bar `make vet` and the CI llscvet job enforce.
+func TestRepoVetsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	loader := &Loader{Dir: filepath.Join("..", "..")}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !d.Suppressed {
+			t.Errorf("unsuppressed finding: %s", d)
+		} else if d.Reason == "" {
+			t.Errorf("suppression without a reason at %s", d.Pos)
+		}
+	}
+}

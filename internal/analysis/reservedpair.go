@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// memOpKind classifies the machine.Proc shared-memory operations the
+// protocol analyzers track.
+type memOpKind int
+
+const (
+	opRLL memOpKind = iota
+	opRSC
+	opLoad
+	opStore
+	opCAS
+)
+
+var memOpNames = map[string]memOpKind{
+	"RLL":   opRLL,
+	"RSC":   opRSC,
+	"Load":  opLoad,
+	"Store": opStore,
+	"CAS":   opCAS,
+}
+
+func (k memOpKind) String() string {
+	for n, kk := range memOpNames {
+		if kk == k {
+			return n
+		}
+	}
+	return "?"
+}
+
+// memOp is one machine.Proc operation call site.
+type memOp struct {
+	kind memOpKind
+	pos  token.Pos
+
+	proc   string // identity key of the receiver expression
+	procOK bool
+
+	word   ast.Expr // first argument: the target word
+	wordK  string
+	wordOK bool
+}
+
+// collectMemOps gathers scope's machine.Proc operations in source order,
+// excluding nested function literals (each literal is its own scope).
+func collectMemOps(pass *Pass, scope funcScope) []memOp {
+	var ops []memOp
+	ast.Inspect(scope.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != scope.node {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := methodCallee(pass.Info, call)
+		if fn == nil || !recvMatches(fn, "internal/machine", "Proc") {
+			return true
+		}
+		kind, tracked := memOpNames[fn.Name()]
+		if !tracked || len(call.Args) < 1 {
+			return true
+		}
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		op := memOp{kind: kind, pos: call.Pos(), word: call.Args[0]}
+		op.proc, op.procOK = exprKey(pass.Info, sel.X)
+		op.wordK, op.wordOK = exprKey(pass.Info, call.Args[0])
+		ops = append(ops, op)
+		return true
+	})
+	return ops
+}
+
+// sameProc reports whether two operations are executed by the same
+// processor expression, as far as the analysis can tell. Unkeyable
+// receivers compare as possibly-equal (the analyzers stay quiet rather
+// than guess in strictaccess, and pair conservatively in reservedpair).
+func sameProc(a, b memOp) bool {
+	if !a.procOK || !b.procOK {
+		return true
+	}
+	return a.proc == b.proc
+}
+
+// ReservedPair enforces the reservation half of the usage protocol
+// (Moir 1997 §2): every RSC must be dominated by an RLL on the same word
+// by the same processor, and no later RLL may have displaced the
+// reservation — a processor holds at most one (the R4000 LLBit).
+//
+// The check is intraprocedural and uses source order within a function
+// body as its dominance approximation, which is exact for the paper's
+// tight RLL/RSC pairs. One indirection is tolerated: a function that
+// performs no RLL of its own and whose RSC targets a *machine.Word
+// parameter is treated as a continuation helper whose caller holds the
+// reservation; such helpers are checked at their call sites by
+// inspection, or suppressed explicitly.
+var ReservedPair = &Analyzer{
+	Name: "reservedpair",
+	Doc: "check that every RSC is dominated by an RLL on the same word (one reservation per processor).\n" +
+		"An RSC with no RLL before it in the same function, or with a later RLL on a different\n" +
+		"word in between (which displaces the single per-processor reservation), always fails at\n" +
+		"runtime; the fault injector only finds these paths if a test happens to execute them.",
+	Run: runReservedPair,
+}
+
+func runReservedPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, scope := range funcScopes(f) {
+			checkReservedPair(pass, scope)
+		}
+	}
+	return nil
+}
+
+func checkReservedPair(pass *Pass, scope funcScope) {
+	ops := collectMemOps(pass, scope)
+	hasRLL := false
+	for _, op := range ops {
+		if op.kind == opRLL {
+			hasRLL = true
+			break
+		}
+	}
+	for i, op := range ops {
+		if op.kind != opRSC {
+			continue
+		}
+		// The nearest preceding RLL by the same processor holds the live
+		// reservation at this point (a processor has exactly one LLBit).
+		last := -1
+		for j := i - 1; j >= 0; j-- {
+			if ops[j].kind == opRLL && sameProc(ops[j], op) {
+				last = j
+				break
+			}
+		}
+		if last < 0 {
+			if !hasRLL && isWordParam(scope, rootIdentObj(pass.Info, op.word)) {
+				// Continuation helper: the word (and its reservation)
+				// came from the caller.
+				continue
+			}
+			pass.Reportf(op.pos,
+				"RSC without a dominating RLL in %s: the store-conditional can never succeed (reservation protocol, Moir §2)",
+				scope.name)
+			continue
+		}
+		rll := ops[last]
+		if op.wordOK && rll.wordOK && op.wordK != rll.wordK {
+			pass.Reportf(op.pos,
+				"RSC on a word whose reservation was displaced: the nearest RLL (line %d) targets a different word, and a processor holds only one reservation",
+				pass.Fset.Position(rll.pos).Line)
+		}
+	}
+}

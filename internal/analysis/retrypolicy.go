@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// RetryPolicy enforces the PR 3 convention that every SC/CAS retry loop
+// in the protocol packages consults the contention-management layer: a
+// loop that retries a store-conditional (or an algorithm-level CAS) on
+// failure must contain a contention.Waiter.Wait call, so that the
+// adaptive policies — and the backoff_waits observability counter — see
+// every contention event. A hot loop that spins bare reintroduces exactly
+// the contention meltdown the paper's Figure 5 retry-structure discussion
+// warns about, and does it invisibly: the policy layer reports nothing
+// for iterations it never saw.
+//
+// Loops whose retries are intentionally policy-free (e.g. bounded helper
+// scans) carry //llsc:allow retrypolicy(reason) on the for statement.
+var RetryPolicy = &Analyzer{
+	Name: "retrypolicy",
+	Doc: "check that SC/CAS retry loops in the protocol packages consult the contention\n" +
+		"policy: a for loop that directly retries RSC/CAS (machine level) or SC/CompareAndSwap\n" +
+		"(algorithm level) must contain a contention.Waiter.Wait call or an explicit\n" +
+		"//llsc:allow retrypolicy(reason) suppression.",
+	Run: runRetryPolicy,
+}
+
+// retryMethodNames are the primitive operations whose in-loop retry
+// constitutes a contention event. The receiver must be declared in one of
+// the LL/SC packages (or be machine.Proc itself) so that unrelated
+// methods that happen to share a name stay out of scope.
+var retryMethodNames = map[string]bool{
+	"SC":             true,
+	"CompareAndSwap": true,
+	"RSC":            true,
+	"CAS":            true,
+}
+
+// retryRecvSuffixes are the packages whose types' SC/CAS-shaped methods
+// count as retry primitives.
+var retryRecvSuffixes = []string{
+	"internal/machine",
+	"internal/core",
+	"internal/structures",
+	"internal/universal",
+	"internal/stm",
+}
+
+func runRetryPolicy(pass *Pass) error {
+	if !isProtocolPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			// The wait may live in the loop body or in the for statement's
+			// clauses — `for ; ; w.Wait(...)` is the repository's idiom for
+			// wait-on-retry-only loops.
+			var clauses []ast.Node
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+				for _, c := range []ast.Node{loop.Init, loop.Cond, loop.Post} {
+					if c != nil {
+						clauses = append(clauses, c)
+					}
+				}
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if !loopRetriesPrimitive(pass, body) {
+				return true
+			}
+			if loopConsultsWaiter(pass, append(clauses, body)...) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"SC/CAS retry loop without consulting the contention policy: add a contention.Waiter.Wait call on the retry path (docs/CONTENTION.md) or suppress with //llsc:allow retrypolicy(reason)")
+			return true
+		})
+	}
+	return nil
+}
+
+// loopRetriesPrimitive reports whether the loop body directly (not inside
+// a nested loop or function literal, which form their own retry contexts)
+// calls a retry primitive.
+func loopRetriesPrimitive(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // separate retry context
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := methodCallee(pass.Info, call)
+		if fn == nil || !retryMethodNames[fn.Name()] {
+			return true
+		}
+		for _, suffix := range retryRecvSuffixes {
+			if recvInPkgSuffix(fn, suffix) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopConsultsWaiter reports whether any of the nodes contains a call to
+// contention.Waiter.Wait anywhere (nested blocks and loops included: a
+// wait taken on any retry path services the enclosing loop).
+func loopConsultsWaiter(pass *Pass, nodes ...ast.Node) bool {
+	found := false
+	for _, node := range nodes {
+		ast.Inspect(node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := methodCallee(pass.Info, call)
+			if fn != nil && fn.Name() == "Wait" && recvMatches(fn, "internal/contention", "Waiter") {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

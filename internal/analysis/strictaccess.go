@@ -1,0 +1,68 @@
+package analysis
+
+// StrictAccess enforces the R4000 restriction that the LL/SC algorithms
+// in this repository are written against: a processor must not perform
+// any other shared-memory access between its RLL and the matching RSC.
+// On real R4000-class hardware an intervening access can evict the
+// reserved cache line and clear the LLBit; the simulator models it as
+// machine.Config.Strict, which clears the reservation on any Load, Store,
+// or CAS by the reserving processor — but only at runtime, and only on
+// executions that a test happens to drive. This analyzer makes the window
+// discipline a compile-time property.
+//
+// The window is the source-order span from an RLL to the nearest
+// following RSC by the same processor on the same word, within one
+// function body. Accesses by *other* processors inside the window are
+// fine (that is ordinary interference, which the algorithms tolerate);
+// only the reserving processor's own accesses are flagged.
+var StrictAccess = &Analyzer{
+	Name: "strictaccess",
+	Doc: "check that no Load/Store/CAS by the reserving processor occurs between RLL and RSC.\n" +
+		"Under machine.Config.Strict (the R4000 model) such an access clears the reservation\n" +
+		"and the RSC always fails; algorithms from the paper keep the window empty.",
+	Run: runStrictAccess,
+}
+
+func runStrictAccess(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, scope := range funcScopes(f) {
+			checkStrictAccess(pass, scope)
+		}
+	}
+	return nil
+}
+
+func checkStrictAccess(pass *Pass, scope funcScope) {
+	ops := collectMemOps(pass, scope)
+	for i, op := range ops {
+		if op.kind != opRSC {
+			continue
+		}
+		last := -1
+		for j := i - 1; j >= 0; j-- {
+			if ops[j].kind == opRLL && sameProc(ops[j], op) {
+				last = j
+				break
+			}
+		}
+		if last < 0 {
+			continue // reservedpair's finding, not ours
+		}
+		rll := ops[last]
+		if op.wordOK && rll.wordOK && op.wordK != rll.wordK {
+			continue // displaced reservation: also reservedpair's finding
+		}
+		for k := last + 1; k < i; k++ {
+			between := ops[k]
+			switch between.kind {
+			case opLoad, opStore, opCAS:
+				if !between.procOK || !rll.procOK || between.proc != rll.proc {
+					continue // another processor's access: plain interference
+				}
+				pass.Reportf(between.pos,
+					"%s between RLL (line %d) and RSC (line %d) by the reserving processor clears the reservation under machine.Config.Strict (R4000 rule): move it before the RLL or after the RSC",
+					between.kind, pass.Fset.Position(rll.pos).Line, pass.Fset.Position(op.pos).Line)
+			}
+		}
+	}
+}

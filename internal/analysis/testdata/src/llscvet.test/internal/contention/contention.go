@@ -1,0 +1,12 @@
+// Package contention is the analysistest stub for
+// repro/internal/contention (matched by package-path suffix).
+package contention
+
+// Policy is the contention-management policy handle.
+type Policy struct{ _ int }
+
+// Waiter is the per-call-site wait state.
+type Waiter struct{ _ int }
+
+// Wait is what the retrypolicy analyzer looks for on SC/CAS retry paths.
+func (w *Waiter) Wait(p *Policy) {}

@@ -1,0 +1,14 @@
+// Package core is the analysistest stub for repro/internal/core: an
+// LL/SC variable whose SC method the retrypolicy analyzer treats as a
+// retry primitive (receiver declared in a package with suffix
+// "internal/core").
+package core
+
+// Keep is the opaque LL receipt.
+type Keep struct{ _ uint64 }
+
+// Word is one LL/SC variable.
+type Word struct{ _ uint64 }
+
+func (w *Word) LL() (uint64, Keep)       { return 0, Keep{} }
+func (w *Word) SC(k Keep, v uint64) bool { return false }

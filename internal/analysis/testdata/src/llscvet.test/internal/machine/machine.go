@@ -1,0 +1,17 @@
+// Package machine is the analysistest stub for repro/internal/machine:
+// just enough API surface for the protocol analyzers, which match types
+// by package-path suffix ("internal/machine") and so treat this stub and
+// the real package identically.
+package machine
+
+// Word is one simulated shared-memory cell.
+type Word struct{ _ uint64 }
+
+// Proc is one simulated processor.
+type Proc struct{ _ int }
+
+func (p *Proc) RLL(w *Word) uint64            { return 0 }
+func (p *Proc) RSC(w *Word, v uint64) bool    { return false }
+func (p *Proc) Load(w *Word) uint64           { return 0 }
+func (p *Proc) Store(w *Word, v uint64)       {}
+func (p *Proc) CAS(w *Word, o, n uint64) bool { return false }

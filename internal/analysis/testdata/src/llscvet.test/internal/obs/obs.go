@@ -1,0 +1,10 @@
+// Package obs is the analysistest stub for repro/internal/obs: the
+// Snapshot accessors whose results the obscounter analyzer treats as
+// counter-name → value maps.
+package obs
+
+// Snapshot is a point-in-time counter snapshot.
+type Snapshot struct{ _ int }
+
+func (s Snapshot) Map() map[string]uint64     { return nil }
+func (s Snapshot) NonZero() map[string]uint64 { return nil }

@@ -1,0 +1,23 @@
+// Golden cases for the nakedatomic analyzer: this package's import path
+// ends in internal/core, so it is a protocol package.
+package core
+
+import (
+	"sync"
+	"sync/atomic" // want "direct sync/atomic use in protocol package"
+)
+
+var cell atomic.Uint64
+
+var mu sync.Mutex // want "sync.Mutex in protocol package"
+
+//llsc:allow nakedatomic(golden suppression case)
+var justified sync.RWMutex
+
+func use() uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	justified.RLock()
+	defer justified.RUnlock()
+	return cell.Load()
+}

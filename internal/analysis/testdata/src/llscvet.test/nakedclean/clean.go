@@ -1,0 +1,10 @@
+// Package nakedclean is not a protocol package, so its direct
+// sync/atomic use is out of the nakedatomic analyzer's scope: zero
+// findings expected.
+package nakedclean
+
+import "sync/atomic"
+
+var counter atomic.Uint64
+
+func bump() uint64 { return counter.Add(1) }

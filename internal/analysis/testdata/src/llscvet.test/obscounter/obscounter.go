@@ -1,0 +1,31 @@
+// Golden cases for the obscounter analyzer. Registered names come from
+// the registry generated out of the real internal/obs taxonomy.
+package obscounter
+
+import "llscvet.test/internal/obs"
+
+// record mirrors the JSON-record convention: a field named Counters of
+// type map[string]uint64 holds counter values by canonical name.
+type record struct {
+	Counters map[string]uint64
+}
+
+func reads(r record, s obs.Snapshot) uint64 {
+	good := r.Counters["sc_fail_interference"]
+	bad := r.Counters["sc_fail_interferance"] // want "unknown obs counter"
+	viaMap := s.Map()["rll"]
+	viaMapBad := s.NonZero()["rl"] // want "unknown obs counter"
+
+	counters := map[string]uint64{}
+	localBad := counters["not_a_counter"] // want "unknown obs counter"
+
+	// A map[string]uint64 under any other name is not a counters map:
+	// arbitrary string keys are fine.
+	other := map[string]uint64{}
+	unrelated := other["whatever"]
+
+	//llsc:allow obscounter(golden suppression case)
+	justified := r.Counters["bespoke_counter"]
+
+	return good + bad + viaMap + viaMapBad + localBad + unrelated + justified
+}

@@ -1,0 +1,40 @@
+// Golden cases for the reservedpair analyzer.
+package reservedpair
+
+import "llscvet.test/internal/machine"
+
+// shared is deliberately not a parameter: an RSC on it with no preceding
+// RLL is a protocol violation, not a continuation helper.
+var shared *machine.Word
+
+func noReservation(p *machine.Proc) {
+	p.RSC(shared, 1) // want "RSC without a dominating RLL"
+}
+
+func displaced(p *machine.Proc, x, y *machine.Word) {
+	p.RLL(x)
+	p.RLL(y)
+	p.RSC(x, 1) // want "reservation was displaced"
+}
+
+func wrongProc(p0, p1 *machine.Proc) {
+	p0.RLL(shared)
+	p1.RSC(shared, 1) // want "RSC without a dominating RLL"
+}
+
+func good(p *machine.Proc, x *machine.Word) {
+	p.RLL(x)
+	p.RSC(x, p.Load(shared)+1)
+}
+
+// continuationHelper performs no RLL of its own and stores through a
+// *machine.Word parameter: the caller holds the reservation, so the
+// analyzer stays quiet (the documented one-indirection tolerance).
+func continuationHelper(p *machine.Proc, w *machine.Word) bool {
+	return p.RSC(w, 2)
+}
+
+func suppressedCase(p *machine.Proc) {
+	//llsc:allow reservedpair(golden suppression case)
+	p.RSC(shared, 3)
+}

@@ -1,0 +1,65 @@
+// Golden cases for the retrypolicy analyzer: this package's import path
+// ends in internal/structures, so it is a protocol package.
+package structures
+
+import (
+	"llscvet.test/internal/contention"
+	"llscvet.test/internal/core"
+)
+
+func bare(w *core.Word) {
+	for { // want "SC/CAS retry loop without consulting the contention policy"
+		v, k := w.LL()
+		if w.SC(k, v+1) {
+			return
+		}
+	}
+}
+
+func waitsInBody(w *core.Word, cm *contention.Policy) {
+	var wt contention.Waiter
+	for {
+		v, k := w.LL()
+		if w.SC(k, v+1) {
+			return
+		}
+		wt.Wait(cm)
+	}
+}
+
+// waitsInPost is the repository's idiom: the wait lives in the for
+// statement's post clause, so it runs only on the retry path.
+func waitsInPost(w *core.Word, cm *contention.Policy) {
+	var wt contention.Waiter
+	for ; ; wt.Wait(cm) {
+		v, k := w.LL()
+		if w.SC(k, v+1) {
+			return
+		}
+	}
+}
+
+func suppressedCase(w *core.Word) {
+	//llsc:allow retrypolicy(golden suppression case)
+	for {
+		v, k := w.LL()
+		if w.SC(k, v+1) {
+			return
+		}
+	}
+}
+
+// literalScope exercises the false-positive guard for helper
+// indirection: the SC lives in a nested function literal, which is its
+// own retry context, so the enclosing loop is not a retry loop.
+func literalScope(w *core.Word) {
+	for i := 0; i < 3; i++ {
+		attempt := func() bool {
+			v, k := w.LL()
+			return w.SC(k, v+1)
+		}
+		if attempt() {
+			return
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Golden cases for the strictaccess analyzer.
+package strictaccess
+
+import "llscvet.test/internal/machine"
+
+func intervening(p *machine.Proc, x, y *machine.Word) {
+	p.RLL(x)
+	p.Load(y) // want "Load between RLL"
+	p.RSC(x, 1)
+}
+
+func interveningStore(p *machine.Proc, x, y *machine.Word) {
+	p.RLL(x)
+	p.Store(y, 2) // want "Store between RLL"
+	p.RSC(x, 1)
+}
+
+// interference is another processor's access inside the window: ordinary
+// contention the algorithms tolerate, not a protocol violation.
+func interference(p0, p1 *machine.Proc, x, y *machine.Word) {
+	p0.RLL(x)
+	p1.Store(y, 2)
+	p0.RSC(x, 1)
+}
+
+// outsideWindow keeps the RLL..RSC span empty; accesses before and after
+// are fine.
+func outsideWindow(p *machine.Proc, x, y *machine.Word) {
+	p.Load(y)
+	p.RLL(x)
+	p.RSC(x, 1)
+	p.Store(y, 2)
+}
+
+func suppressedCase(p *machine.Proc, x, y *machine.Word) {
+	p.RLL(x)
+	//llsc:allow strictaccess(golden suppression case)
+	p.CAS(y, 0, 1)
+	p.RSC(x, 1)
+}

@@ -1,0 +1,12 @@
+// Golden cases for the suppression-directive scanner itself: a directive
+// with no clause, and a clause with no reason, are both findings.
+package suppress
+
+//llsc:allow this is not a clause
+var malformed int
+
+//llsc:allow reservedpair()
+var missingReason int
+
+//llsc:allow retrypolicy(bounded scan over a frozen snapshot)
+var wellFormed int

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(Figure 7 targets native hardware: announce slots and tag words are the raw cells the construction is made of)
 
 	"repro/internal/contention"
 	"repro/internal/obs"

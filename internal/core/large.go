@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(Figure 6 targets native hardware: the header word and data segments are the raw cells the construction is made of)
 
 	"repro/internal/contention"
 	"repro/internal/obs"
@@ -35,7 +35,7 @@ type LargeFamily struct {
 	// vars registers every variable created from the family so
 	// crash-recovery can scan for orphaned copies (Recover) and quiescent
 	// conservation checks can audit every segment (CheckConservation).
-	varsMu sync.Mutex
+	varsMu sync.Mutex //llsc:allow nakedatomic(guards the crash-recovery registry only, never the algorithm hot path)
 	vars   []*LargeVar
 
 	// stallHook, when non-nil, is invoked by SC between the header CAS

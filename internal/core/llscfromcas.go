@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(this file builds LL/SC from the native CAS itself; machine.Word underneath it would be circular)
 
 	"repro/internal/contention"
 	"repro/internal/obs"

@@ -33,7 +33,7 @@ type RLargeFamily struct {
 
 	// vars registers every variable for crash-recovery scans and quiescent
 	// conservation checks, mirroring LargeFamily.
-	varsMu sync.Mutex
+	varsMu sync.Mutex //llsc:allow nakedatomic(guards the crash-recovery registry only, never the algorithm hot path)
 	vars   []*RLargeVar
 }
 

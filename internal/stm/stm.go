@@ -33,7 +33,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(ownership pointers and transaction status are native cells by design; word.Word carries the transactional data)
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -375,6 +375,7 @@ func (m *Memory) complete(d *txn) {
 		return // defensive; callers pass decided transactions only
 	}
 	for i, a := range d.addrs {
+		//llsc:allow retrypolicy(lock-free helping loop: every retry means another completer already advanced d, so backing off only delays the release)
 		for {
 			if m.own[a].Load() != d {
 				break // released (value already final for this address)

@@ -3,7 +3,7 @@ package structures
 import (
 	"fmt"
 	"runtime"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(elimination slot payloads are plain transfer registers; synchronization goes through core LL/SC)
 
 	"repro/internal/contention"
 	"repro/internal/core"

@@ -2,7 +2,7 @@ package structures
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(bucket value cells are plain payload registers; synchronization goes through core LL/SC)
 
 	"repro/internal/contention"
 	"repro/internal/core"

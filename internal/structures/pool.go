@@ -22,7 +22,7 @@ package structures
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(node payload cells are plain registers published via LL/SC-guarded indices)
 
 	"repro/internal/contention"
 	"repro/internal/core"

@@ -2,7 +2,7 @@ package structures
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(slot sequence and value cells are plain payload registers; cursor synchronization goes through core LL/SC)
 
 	"repro/internal/contention"
 	"repro/internal/core"

@@ -76,6 +76,7 @@ outer:
 			continue // head is never marked; defensive
 		}
 		cur = setIdx(link)
+		//llsc:allow retrypolicy(traversal loop: every SC failure exits via continue outer, whose post clause is the Waiter.Wait retry path)
 		for {
 			if cur == s.tail {
 				return prev, cur, kp

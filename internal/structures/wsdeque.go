@@ -2,7 +2,7 @@ package structures
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(item cells and the owner-local bottom cursor are plain registers; the steal path synchronizes through core LL/SC)
 
 	"repro/internal/core"
 	"repro/internal/word"

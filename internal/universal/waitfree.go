@@ -2,7 +2,7 @@ package universal
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(announce slots are single-writer registers per Herlihy's construction; synchronization goes through core LL/SC)
 
 	"repro/internal/contention"
 	"repro/internal/core"
