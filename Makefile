@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-diff fuzz fuzz-smoke stress-smoke soak-smoke soak experiments examples clean
+.PHONY: all build vet test race bench bench-json bench-diff fuzz fuzz-smoke trace-smoke stress-smoke soak-smoke soak experiments examples clean
 
 all: build vet test
 
@@ -56,6 +56,19 @@ fuzz-smoke:
 	$(GO) test -run FuzzStackElimination ./internal/structures/
 	$(GO) test -fuzz FuzzStackElimination -fuzztime 10s ./internal/structures/
 
+# Span tracer, flight recorder, and Chrome export gate: the obs/trace
+# suite under -race (ring seqlock, 0-alloc paths, flight dedupe), the
+# deterministic wedge-dumps-exactly-once tests, then a real llsctrace
+# replay exported as Chrome trace-event JSON — the export is
+# self-validated (trace.ValidateChrome) before it is written, so the
+# run failing is the gate.
+trace-smoke:
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -race -run 'TestWedgeProducesExactlyOneFlightDump' ./internal/recovery/
+	$(GO) test -race -run 'TestWedgeDemoFlightDump|TestSoakCellCleanRunNoFlightDump' ./internal/stress/
+	$(GO) run ./cmd/llsctrace -workload fig5 -seed 7 -format chrome -out trace-smoke.json
+	grep -q traceEvents trace-smoke.json
+
 # Adversarial fault-injection matrix at reduced iterations, with a
 # machine-readable record (schema llsc-stress/v1).
 stress-smoke:
@@ -66,10 +79,12 @@ stress-smoke:
 # the composed crash-restart adversary with per-round linearizability and
 # conservation checks, the lock baseline must wedge the watchdog, and a
 # machine-readable record lands in soak-report.json (schema llsc-soak/v1,
-# see docs/RECOVERY.md).
+# see docs/RECOVERY.md). The flight recorder is armed: any wedge,
+# linearizability, or conservation failure drops a dump in flight-dumps/
+# (CI uploads the directory as an artifact on failure).
 soak-smoke:
 	$(GO) test -race -run 'TestSoakCell|TestWedgeDemo' ./internal/stress/
-	$(GO) run ./cmd/llscsoak -rounds 8 -seed 1 -json soak-report.json
+	$(GO) run ./cmd/llscsoak -rounds 8 -seed 1 -json soak-report.json -flight-dir flight-dumps
 
 # Heavyweight randomized validation (minutes).
 soak:

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/sched"
 	"repro/internal/spec"
 	"repro/internal/stm"
@@ -65,21 +66,29 @@ func ops() int {
 	return *flagOps
 }
 
+// validateFlags applies the fail-fast rules (exit 2 before experiments
+// run for minutes — an unknown -policy would otherwise only surface deep
+// inside the contention sweep, after every other experiment already ran).
+// Extracted so the rules are unit-testable without exiting the process.
+func validateFlags(ops int, report time.Duration, policy string) error {
+	if ops < 1 {
+		return fmt.Errorf("-ops must be positive, got %d", ops)
+	}
+	if report < 0 {
+		return fmt.Errorf("-report-interval must be non-negative, got %v", report)
+	}
+	if policy != "all" {
+		if _, err := contention.ByName(policy); err != nil {
+			return fmt.Errorf("unknown -policy %q (want all, %s)", policy, strings.Join(contention.Names(), ", "))
+		}
+	}
+	return nil
+}
+
 func main() {
 	flag.Parse()
-	// Fail fast on bad flags — before experiments run for minutes. An
-	// unknown -policy would otherwise only surface deep inside the
-	// contention sweep, after every other experiment already ran.
-	if *flagOps < 1 {
-		usageErr("-ops must be positive, got %d", *flagOps)
-	}
-	if *flagReport < 0 {
-		usageErr("-report-interval must be non-negative, got %v", *flagReport)
-	}
-	if *flagPolicy != "all" {
-		if _, err := contention.ByName(*flagPolicy); err != nil {
-			usageErr("unknown -policy %q (want all, %s)", *flagPolicy, strings.Join(contention.Names(), ", "))
-		}
+	if err := validateFlags(*flagOps, *flagReport, *flagPolicy); err != nil {
+		usageErr("%v", err)
 	}
 	if *flagMetrics != "" || *flagReport > 0 || *flagJSON {
 		sink = obs.New()
@@ -89,7 +98,7 @@ func main() {
 		srv, err := obs.Serve(*flagMetrics)
 		must(err)
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "llscbench: metrics at http://%s/debug/vars (text: /metrics, profiles: /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "llscbench: metrics at http://%s/debug/vars (text: /metrics, prometheus: /metrics/prometheus, health: /healthz, profiles: /debug/pprof/)\n", srv.Addr())
 	}
 	if *flagReport > 0 {
 		stop := obs.StartReporter(os.Stderr, sink, *flagReport)
@@ -134,12 +143,48 @@ func runExperiment(name string, run func()) {
 // counter delta since the last capture and optional retry/latency
 // histograms. A no-op unless -json is set.
 func record(res bench.Result, retries, latency *obs.Hist) {
+	recordAttr(res, retries, latency, nil)
+}
+
+// recordAttr is record plus the span tracer's latency attribution
+// (retry_ns / help_ns, additive llsc-bench/v1 fields).
+func recordAttr(res bench.Result, retries, latency *obs.Hist, att *trace.Attribution) {
+	publishHists(retries, latency, att)
 	if !*flagJSON {
 		return
 	}
 	snap := sink.Snapshot()
-	recs = append(recs, bench.NewRecord(res, snap.Sub(lastSnap)).WithHists(retries, latency))
+	rec := bench.NewRecord(res, snap.Sub(lastSnap)).WithHists(retries, latency)
+	if att != nil {
+		rec = rec.WithAttribution(att.RetryNs, att.HelpNs)
+	}
+	recs = append(recs, rec)
 	lastSnap = snap
+}
+
+// publishHists exposes the most recently completed cell's histograms on
+// the Prometheus route while -metrics-addr serves. Re-publishing
+// replaces, so a scrape always sees the latest cell's distribution;
+// empty histograms are not published.
+func publishHists(retries, latency *obs.Hist, att *trace.Attribution) {
+	if *flagMetrics == "" {
+		return
+	}
+	if retries.Count() > 0 {
+		obs.PublishHist("llscbench", "retries", retries)
+	}
+	if latency.Count() > 0 {
+		obs.PublishHist("llscbench", "latency_ns", latency)
+	}
+	if att == nil {
+		return
+	}
+	if att.RetryNs.Count() > 0 {
+		obs.PublishHist("llscbench", "retry_ns", att.RetryNs)
+	}
+	if att.HelpNs.Count() > 0 {
+		obs.PublishHist("llscbench", "help_ns", att.HelpNs)
+	}
 }
 
 // --- E1: Figure 3 / Theorem 1 -------------------------------------------
@@ -236,6 +281,46 @@ func e2() {
 	}
 	t.Fprint(os.Stdout)
 	fmt.Println("Space overhead per variable: 0 words (tag lives inside the word).")
+
+	// E2c: where an operation's time goes when SCs fail. The span tracer
+	// attributes each SC's wall-clock to productive work vs retrying
+	// (failed RSC attempts plus backoff) — the contention tax the
+	// adaptive policies exist to shrink. Spurious failures on the
+	// simulated machine force the retry path deterministically on any
+	// host, including single-CPU runners where native-CAS contention is
+	// nearly unobservable.
+	t3 := bench.NewTable("E2c: SC latency attribution under spurious failure (span tracer on, full sampling)",
+		"spurious p", "ns/op", "retry p50", "retry p99", "retry share")
+	for _, pr := range []float64{0, 0.1, 0.3} {
+		m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: pr, Seed: 1})
+		v, err := core.NewRVar(m, word.MustLayout(32), 0)
+		must(err)
+		v.SetMetrics(sink)
+		tr := trace.MustNew(trace.Config{Procs: 1})
+		tr.SetMetrics(sink)
+		att := &trace.Attribution{OpNs: &obs.Hist{}, RetryNs: &obs.Hist{}, WaitNs: &obs.Hist{}, HelpNs: &obs.Hist{}}
+		tr.SetAttribution(att)
+		v.SetTracer(tr)
+		p := m.Proc(0)
+		mask := v.Layout().MaxVal()
+		res := bench.Run(fmt.Sprintf("sc-attr/spur%.1f", pr), 1, ops()/10, func(w, i int) {
+			for {
+				val, keep := v.LL(p)
+				if v.SC(p, keep, (val+1)&mask) {
+					return
+				}
+			}
+		})
+		recordAttr(res, nil, nil, att)
+		share := 0.0
+		if s := att.OpNs.Sum(); s > 0 {
+			share = float64(att.RetryNs.Sum()) / float64(s)
+		}
+		t3.AddRow(fmt.Sprintf("%.1f", pr), res.NsPerOp(),
+			time.Duration(att.RetryNs.Quantile(0.50)), time.Duration(att.RetryNs.Quantile(0.99)),
+			fmt.Sprintf("%.1f%%", 100*share))
+	}
+	t3.Fprint(os.Stdout)
 }
 
 // --- E3: Figure 5 / Theorem 3 -------------------------------------------
@@ -334,6 +419,48 @@ func e4() {
 	}
 	t2.Fprint(os.Stdout)
 	fmt.Println("A naive per-variable generalization of Anderson–Moir [3] would need Θ(NWT).")
+
+	// E4c: helping cost attribution. Under contention, Figure 6's SC
+	// fixes other processes' incomplete copies; the help histogram
+	// measures the wall-clock each fix costs, the price of the
+	// construction's lock-freedom.
+	t3 := bench.NewTable("E4c: Figure 6 helping cost under contention (per-fix wall clock)",
+		"procs", "W", "ops/s", "fixes", "fix p50", "fix p99")
+	for _, procs := range []int{2, 4} {
+		const w = 4
+		f := core.MustNewLargeFamily(core.LargeConfig{Procs: procs, Words: w})
+		help := &obs.Hist{}
+		f.SetHelpHist(help)
+		v, err := f.NewVar(make([]uint64, w))
+		must(err)
+		dsts := make([][]uint64, procs)
+		vals := make([][]uint64, procs)
+		for p := range dsts {
+			dsts[p] = make([]uint64, w)
+			vals[p] = make([]uint64, w)
+		}
+		res := bench.Run(fmt.Sprintf("large-help/p%d", procs), procs, ops()/10, func(worker, i int) {
+			p, err := f.Proc(worker)
+			if err != nil {
+				panic(err)
+			}
+			dst, val := dsts[worker], vals[worker]
+			for {
+				keep, r := v.WLL(p, dst)
+				if r != core.Succ {
+					continue
+				}
+				val[0] = uint64(i) & f.MaxSegmentValue()
+				if v.SC(p, keep, val) {
+					return
+				}
+			}
+		})
+		recordAttr(res, nil, nil, &trace.Attribution{HelpNs: help})
+		t3.AddRow(procs, w, bench.Throughput(res.OpsPerSec()), help.Count(),
+			time.Duration(help.Quantile(0.50)), time.Duration(help.Quantile(0.99)))
+	}
+	t3.Fprint(os.Stdout)
 }
 
 // --- E5: Figure 7 / Theorem 5 -------------------------------------------

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(200000, 0, "all"); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateFlags(1, 2*time.Second, "backoff"); err != nil {
+		t.Fatalf("named policy rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		ops    int
+		report time.Duration
+		policy string
+		want   string
+	}{
+		{"zero ops", 0, 0, "all", "-ops"},
+		{"negative report", 100, -time.Second, "all", "-report-interval"},
+		{"unknown policy", 100, 0, "nope", "-policy"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.ops, c.report, c.policy)
+			if err == nil {
+				t.Fatal("bad flags accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not name %s", err, c.want)
+			}
+		})
+	}
+}

@@ -53,14 +53,23 @@ var (
 // counter the taxonomy names should move during a full run.
 var sink *obs.Metrics
 
+// validateFlags applies the fail-fast rules (exit 2 before minutes of
+// fuzzing, not after). Extracted so the rules are unit-testable without
+// exiting the process; selectedPlans validates the fault-plan flags.
+func validateFlags(seqs, sched, ops int) error {
+	if seqs < 0 || sched < 0 {
+		return fmt.Errorf("-seqs and -sched must be non-negative, got %d and %d", seqs, sched)
+	}
+	if ops < 1 {
+		return fmt.Errorf("-ops must be positive, got %d", ops)
+	}
+	return nil
+}
+
 func main() {
 	flag.Parse()
-	// Fail fast on bad flags — before minutes of fuzzing, not after.
-	if *flagSeqs < 0 || *flagSched < 0 {
-		usageErr("-seqs and -sched must be non-negative, got %d and %d", *flagSeqs, *flagSched)
-	}
-	if *flagOps < 1 {
-		usageErr("-ops must be positive, got %d", *flagOps)
+	if err := validateFlags(*flagSeqs, *flagSched, *flagOps); err != nil {
+		usageErr("%v", err)
 	}
 	if _, err := selectedPlans(); err != nil {
 		usageErr("%v", err)
@@ -71,7 +80,7 @@ func main() {
 		srv, err := obs.Serve(*flagMetrics)
 		must(err)
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "llscfuzz: metrics at http://%s/debug/vars (text: /metrics)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "llscfuzz: metrics at http://%s/debug/vars (text: /metrics, prometheus: /metrics/prometheus, health: /healthz)\n", srv.Addr())
 	}
 	failures := 0
 	failures += sequentialPhase()

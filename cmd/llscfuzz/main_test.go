@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(200, 200, 500); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateFlags(0, 0, 1); err != nil {
+		t.Fatalf("phases-off rejected: %v", err)
+	}
+	if err := validateFlags(-1, 0, 1); err == nil || !strings.Contains(err.Error(), "-seqs") {
+		t.Errorf("negative seqs: %v", err)
+	}
+	if err := validateFlags(0, -1, 1); err == nil {
+		t.Error("negative sched accepted")
+	}
+	if err := validateFlags(0, 0, 0); err == nil || !strings.Contains(err.Error(), "-ops") {
+		t.Errorf("zero ops: %v", err)
+	}
+}
+
+func TestSelectedPlansValidation(t *testing.T) {
+	set := func(name, val string) {
+		if err := flag.Set(name, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reset := func() {
+		set("fault-plan", "all")
+		set("crash-at", "12")
+		set("burst-len", "50")
+		set("stress-rounds", "10")
+	}
+	defer reset()
+
+	reset()
+	plans, err := selectedPlans()
+	if err != nil || len(plans) != 5 {
+		t.Fatalf("all plans: %d, %v", len(plans), err)
+	}
+	set("fault-plan", "off")
+	if plans, err := selectedPlans(); err != nil || plans != nil {
+		t.Fatalf("off must disable the phase: %v, %v", plans, err)
+	}
+	set("fault-plan", "burst")
+	if plans, err := selectedPlans(); err != nil || len(plans) != 1 || plans[0].Name != "burst" {
+		t.Fatalf("single plan: %+v, %v", plans, err)
+	}
+	set("fault-plan", "nope")
+	if _, err := selectedPlans(); err == nil || !strings.Contains(err.Error(), "-fault-plan") {
+		t.Errorf("unknown plan: %v", err)
+	}
+	reset()
+	set("burst-len", "0")
+	if _, err := selectedPlans(); err == nil || !strings.Contains(err.Error(), "-burst-len") {
+		t.Errorf("zero burst: %v", err)
+	}
+	reset()
+	set("crash-at", "-1")
+	if _, err := selectedPlans(); err == nil || !strings.Contains(err.Error(), "-crash-at") {
+		t.Errorf("negative crash-at: %v", err)
+	}
+	reset()
+	set("stress-rounds", "0")
+	if _, err := selectedPlans(); err == nil || !strings.Contains(err.Error(), "-stress-rounds") {
+		t.Errorf("zero rounds: %v", err)
+	}
+}

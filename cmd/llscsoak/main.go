@@ -14,6 +14,14 @@
 //	         [-kill-every 40] [-kill-budget 3]
 //	         [-watchdog-k 50000] [-lease-ttl 200000]
 //	         [-register all] [-timeout 60s] [-json soak-report.json]
+//	         [-metrics-addr :8080] [-flight-dir dumps/]
+//
+// -metrics-addr serves live expvar (/debug/vars), pprof (/debug/pprof/),
+// plain-text counters (/metrics), Prometheus text exposition
+// (/metrics/prometheus), and a liveness probe (/healthz) during the run.
+// -flight-dir arms a flight recorder per cell: the first linearizability
+// violation, conservation leak, or wedge verdict dumps an llsc-flight/v1
+// snapshot plus a Chrome trace export there (see docs/OBSERVABILITY.md).
 //
 // Exit status: 0 all checks passed, 1 a soak check failed (linearizability
 // violation, conservation leak, watchdog wedge on a figure, or a baseline
@@ -26,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stress"
 )
 
@@ -41,7 +50,61 @@ var (
 	flagRegister   = flag.String("register", "all", "figure to soak: all, or one of fig3|fig4|fig5|fig6|fig7")
 	flagTimeout    = flag.Duration("timeout", 60*time.Second, "wall-clock bound per cell")
 	flagJSON       = flag.String("json", "", "write the soak report (schema "+stress.SoakSchema+") to this path")
+	flagMetrics    = flag.String("metrics-addr", "", "serve live expvar/pprof/metrics (incl. /metrics/prometheus and /healthz) on this address during the run (e.g. :8080)")
+	flagFlightDir  = flag.String("flight-dir", "", "arm a flight recorder: dump llsc-flight/v1 snapshots into this directory when a soak check trips")
 )
+
+// soakFlags is the validated flag set, extracted so the fail-fast rules
+// are unit-testable without exiting the process.
+type soakFlags struct {
+	procs, rounds, ops    int
+	killEvery, killBudget int
+	watchdogK, leaseTTL   uint64
+	register              string
+	timeout               time.Duration
+}
+
+// validateFlags applies the fail-fast rules (exit 2 before any cell
+// runs); it returns the error text usageErr would print.
+func validateFlags(f soakFlags) error {
+	if f.procs < 2 {
+		return fmt.Errorf("-procs must be at least 2, got %d", f.procs)
+	}
+	if f.rounds < 1 {
+		return fmt.Errorf("-rounds must be positive, got %d", f.rounds)
+	}
+	if f.ops < 1 {
+		return fmt.Errorf("-ops must be positive, got %d", f.ops)
+	}
+	if f.killEvery < 1 {
+		return fmt.Errorf("-kill-every must be at least 1, got %d (killing at op 0 would loop restart->kill forever)", f.killEvery)
+	}
+	if f.killBudget < 0 {
+		return fmt.Errorf("-kill-budget must be non-negative, got %d", f.killBudget)
+	}
+	if f.watchdogK < 1 {
+		return fmt.Errorf("-watchdog-k must be at least 1, got %d", f.watchdogK)
+	}
+	if f.leaseTTL < 1 {
+		return fmt.Errorf("-lease-ttl must be at least 1, got %d", f.leaseTTL)
+	}
+	if f.timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive, got %v", f.timeout)
+	}
+	if f.register != "all" {
+		found := false
+		for _, r := range stress.DefaultRegisters() {
+			if r.Name == f.register {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown -register %q (want all, fig3, fig4, fig5, fig6, or fig7)", f.register)
+		}
+	}
+	return nil
+}
 
 // usageErr reports a bad invocation and exits 2 before any cell runs.
 func usageErr(format string, args ...any) {
@@ -54,49 +117,38 @@ func main() {
 	if flag.NArg() != 0 {
 		usageErr("unexpected arguments: %v", flag.Args())
 	}
-	if *flagProcs < 2 {
-		usageErr("-procs must be at least 2, got %d", *flagProcs)
-	}
-	if *flagRounds < 1 {
-		usageErr("-rounds must be positive, got %d", *flagRounds)
-	}
-	if *flagOps < 1 {
-		usageErr("-ops must be positive, got %d", *flagOps)
-	}
-	if *flagKillEvery < 1 {
-		usageErr("-kill-every must be at least 1, got %d (killing at op 0 would loop restart->kill forever)", *flagKillEvery)
-	}
-	if *flagKillBudget < 0 {
-		usageErr("-kill-budget must be non-negative, got %d", *flagKillBudget)
-	}
-	if *flagWatchdogK < 1 {
-		usageErr("-watchdog-k must be at least 1, got %d", *flagWatchdogK)
-	}
-	if *flagLeaseTTL < 1 {
-		usageErr("-lease-ttl must be at least 1, got %d", *flagLeaseTTL)
-	}
-	if *flagTimeout <= 0 {
-		usageErr("-timeout must be positive, got %v", *flagTimeout)
+	if err := validateFlags(soakFlags{
+		procs: *flagProcs, rounds: *flagRounds, ops: *flagOps,
+		killEvery: *flagKillEvery, killBudget: *flagKillBudget,
+		watchdogK: *flagWatchdogK, leaseTTL: *flagLeaseTTL,
+		register: *flagRegister, timeout: *flagTimeout,
+	}); err != nil {
+		usageErr("%v", err)
 	}
 	regs := stress.DefaultRegisters()
 	if *flagRegister != "all" {
-		found := false
 		for _, r := range regs {
 			if r.Name == *flagRegister {
 				regs = []stress.RegisterSpec{r}
-				found = true
 				break
 			}
 		}
-		if !found {
-			usageErr("unknown -register %q (want all, fig3, fig4, fig5, fig6, or fig7)", *flagRegister)
+	}
+	if *flagMetrics != "" {
+		srv, err := obs.Serve(*flagMetrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llscsoak: %v\n", err)
+			os.Exit(1)
 		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "llscsoak: metrics at http://%s/debug/vars (text: /metrics, prometheus: /metrics/prometheus, health: /healthz)\n", srv.Addr())
 	}
 
 	cfg := stress.SoakConfig{
 		Procs: *flagProcs, Rounds: *flagRounds, OpsPerProc: *flagOps, Seed: *flagSeed,
 		KillEvery: *flagKillEvery, KillBudget: *flagKillBudget,
 		WatchdogK: *flagWatchdogK, LeaseTTL: *flagLeaseTTL, Timeout: *flagTimeout,
+		FlightDir: *flagFlightDir,
 	}
 	rep, err := stress.RunSoak(cfg, regs)
 	if err != nil {
@@ -117,6 +169,9 @@ func main() {
 		}
 		fmt.Printf("  %-5s rounds=%-3d ops=%-5d kills=%d restarts=%d post-restart-commits=%-3d wedged=%d  %s\n",
 			c.Register, c.Rounds, c.Ops, c.Kills, c.Restarts, c.PostRestartCommits, c.WatchdogWedged, status)
+		for _, dump := range c.FlightDumps {
+			fmt.Printf("        flight dump: %s\n", dump)
+		}
 	}
 	b := rep.Baseline
 	bstatus := "ok (wedged as a lock-based baseline must)"

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validSoakFlags() soakFlags {
+	return soakFlags{
+		procs: 3, rounds: 20, ops: 14,
+		killEvery: 40, killBudget: 3,
+		watchdogK: 50_000, leaseTTL: 200_000,
+		register: "all", timeout: time.Minute,
+	}
+}
+
+func TestValidateFlagsAcceptsDefaults(t *testing.T) {
+	if err := validateFlags(validSoakFlags()); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+	f := validSoakFlags()
+	f.register = "fig6"
+	if err := validateFlags(f); err != nil {
+		t.Fatalf("fig6 rejected: %v", err)
+	}
+}
+
+func TestValidateFlagsRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*soakFlags)
+		want string
+	}{
+		{"one proc", func(f *soakFlags) { f.procs = 1 }, "-procs"},
+		{"zero rounds", func(f *soakFlags) { f.rounds = 0 }, "-rounds"},
+		{"zero ops", func(f *soakFlags) { f.ops = 0 }, "-ops"},
+		{"kill at zero", func(f *soakFlags) { f.killEvery = 0 }, "-kill-every"},
+		{"negative budget", func(f *soakFlags) { f.killBudget = -1 }, "-kill-budget"},
+		{"zero watchdog", func(f *soakFlags) { f.watchdogK = 0 }, "-watchdog-k"},
+		{"zero ttl", func(f *soakFlags) { f.leaseTTL = 0 }, "-lease-ttl"},
+		{"zero timeout", func(f *soakFlags) { f.timeout = 0 }, "-timeout"},
+		{"unknown register", func(f *soakFlags) { f.register = "fig9" }, "-register"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := validSoakFlags()
+			c.mut(&f)
+			err := validateFlags(f)
+			if err == nil {
+				t.Fatal("bad flags accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not name %s", err, c.want)
+			}
+		})
+	}
+}

@@ -8,19 +8,29 @@
 //
 //	llsctrace -workload fig3|fig5|fig7|broken -seed 42 [-procs 2] [-rounds 2]
 //	          [-policy random|rr|pct] [-spurious 0.1] [-tail 64]
+//	          [-format text|chrome] [-out trace.json]
 //
 // The "broken" workload is a deliberately non-atomic read-then-store
 // counter; with a couple of processors almost any seed demonstrates a
 // lost update, and the trace shows the guilty interleaving.
+//
+// -format=chrome emits the captured interleaving as a Chrome
+// trace-event JSON document (load it in chrome://tracing or Perfetto;
+// one tick per shared-memory operation, one row per processor). The
+// export is self-validated before it is written. With -out the
+// document goes to that file; otherwise it goes to stdout and the
+// run summary moves to stderr so stdout stays valid JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/word"
@@ -34,11 +44,13 @@ var (
 	flagPolicy   = flag.String("policy", "random", "scheduling policy (random, rr, pct)")
 	flagSpurious = flag.Float64("spurious", 0.1, "spurious RSC failure probability")
 	flagTail     = flag.Int("tail", 256, "how many trailing events to keep")
+	flagFormat   = flag.String("format", "text", "trace output format (text, chrome)")
+	flagOut      = flag.String("out", "", "write the trace to this file instead of stdout")
 )
 
 func main() {
 	flag.Parse()
-	if err := validateFlags(*flagWorkload, *flagPolicy, *flagProcs, *flagRounds, *flagTail, *flagSpurious); err != nil {
+	if err := validateFlags(*flagWorkload, *flagPolicy, *flagFormat, *flagProcs, *flagRounds, *flagTail, *flagSpurious); err != nil {
 		usageErr("%v", err)
 	}
 
@@ -65,20 +77,53 @@ func main() {
 	workload, check := buildWorkload(m)
 	sched.RunUnder(ctrl, *flagProcs, workload)
 
-	fmt.Printf("workload=%s policy=%s seed=%d procs=%d rounds=%d spurious=%v\n",
+	// With -format=chrome and no -out, stdout is the JSON document, so
+	// the human-facing summary moves to stderr.
+	summary := io.Writer(os.Stdout)
+	if *flagFormat == "chrome" && *flagOut == "" {
+		summary = os.Stderr
+	}
+	fmt.Fprintf(summary, "workload=%s policy=%s seed=%d procs=%d rounds=%d spurious=%v\n",
 		*flagWorkload, *flagPolicy, *flagSeed, *flagProcs, *flagRounds, *flagSpurious)
-	fmt.Printf("scheduling decisions: %d; events captured: %d (dropped %d)\n\n",
+	fmt.Fprintf(summary, "scheduling decisions: %d; events captured: %d (dropped %d)\n\n",
 		ctrl.Steps(), rec.Len(), rec.Dropped())
-	if err := rec.Dump(os.Stdout); err != nil {
+
+	out := io.Writer(os.Stdout)
+	var outFile *os.File
+	if *flagOut != "" {
+		f, err := os.Create(*flagOut)
+		must(err)
+		out = f
+		outFile = f
+	}
+	if err := writeTrace(out, *flagFormat, rec); err != nil {
 		fmt.Fprintln(os.Stderr, "llsctrace:", err)
 		os.Exit(1)
 	}
-	fmt.Println()
+	if outFile != nil {
+		must(outFile.Close())
+		fmt.Fprintf(summary, "trace written to %s\n", *flagOut)
+	}
+
+	fmt.Fprintln(summary)
 	if err := check(); err != nil {
-		fmt.Printf("INVARIANT VIOLATED: %v\n", err)
+		fmt.Fprintf(summary, "INVARIANT VIOLATED: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println("invariant holds")
+	fmt.Fprintln(summary, "invariant holds")
+}
+
+// writeTrace renders the captured machine events in the requested
+// format. The chrome path runs the export through ValidateChrome (via
+// WriteMachineChrome) before anything hits the writer, so a malformed
+// document can never ship.
+func writeTrace(w io.Writer, format string, rec *trace.Recorder) error {
+	switch format {
+	case "chrome":
+		return otrace.WriteMachineChrome(w, rec.Events())
+	default:
+		return rec.Dump(w)
+	}
 }
 
 func buildWorkload(m *machine.Machine) (func(proc int), func() error) {
@@ -159,7 +204,7 @@ func buildWorkload(m *machine.Machine) (func(proc int), func() error) {
 // validateFlags rejects unusable invocations before any machine is
 // built, per the repository's fail-fast CLI convention (exit 2 via
 // usageErr in main).
-func validateFlags(workload, policy string, procs, rounds, tail int, spurious float64) error {
+func validateFlags(workload, policy, format string, procs, rounds, tail int, spurious float64) error {
 	switch workload {
 	case "fig3", "fig5", "fig7", "broken":
 	default:
@@ -169,6 +214,11 @@ func validateFlags(workload, policy string, procs, rounds, tail int, spurious fl
 	case "random", "rr", "pct":
 	default:
 		return fmt.Errorf("unknown -policy %q (want random, rr, pct)", policy)
+	}
+	switch format {
+	case "text", "chrome":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, chrome)", format)
 	}
 	if procs < 1 {
 		return fmt.Errorf("-procs must be positive, got %d", procs)

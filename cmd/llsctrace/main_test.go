@@ -1,33 +1,83 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	otrace "repro/internal/obs/trace"
+	"repro/internal/trace"
+)
 
 func TestValidateFlags(t *testing.T) {
-	ok := func(workload, policy string, procs, rounds, tail int, spurious float64) func(*testing.T) {
+	ok := func(workload, policy, format string, procs, rounds, tail int, spurious float64) func(*testing.T) {
 		return func(t *testing.T) {
-			if err := validateFlags(workload, policy, procs, rounds, tail, spurious); err != nil {
+			if err := validateFlags(workload, policy, format, procs, rounds, tail, spurious); err != nil {
 				t.Errorf("validateFlags rejected a valid invocation: %v", err)
 			}
 		}
 	}
-	bad := func(workload, policy string, procs, rounds, tail int, spurious float64) func(*testing.T) {
+	bad := func(workload, policy, format string, procs, rounds, tail int, spurious float64) func(*testing.T) {
 		return func(t *testing.T) {
-			if err := validateFlags(workload, policy, procs, rounds, tail, spurious); err == nil {
+			if err := validateFlags(workload, policy, format, procs, rounds, tail, spurious); err == nil {
 				t.Error("validateFlags accepted an invalid invocation (main would not exit 2)")
 			}
 		}
 	}
-	t.Run("defaults", ok("fig5", "random", 2, 2, 256, 0.1))
+	t.Run("defaults", ok("fig5", "random", "text", 2, 2, 256, 0.1))
 	t.Run("all workloads", func(t *testing.T) {
 		for _, w := range []string{"fig3", "fig5", "fig7", "broken"} {
-			ok(w, "rr", 1, 1, 1, 0)(t)
+			ok(w, "rr", "chrome", 1, 1, 1, 0)(t)
 		}
 	})
-	t.Run("unknown workload", bad("fig4", "random", 2, 2, 256, 0.1))
-	t.Run("unknown policy", bad("fig5", "fifo", 2, 2, 256, 0.1))
-	t.Run("zero procs", bad("fig5", "random", 0, 2, 256, 0.1))
-	t.Run("zero rounds", bad("fig5", "random", 2, 0, 256, 0.1))
-	t.Run("zero tail", bad("fig5", "random", 2, 2, 0, 0.1))
-	t.Run("spurious above one", bad("fig5", "random", 2, 2, 256, 1.5))
-	t.Run("negative spurious", bad("fig5", "random", 2, 2, 256, -0.1))
+	t.Run("unknown workload", bad("fig4", "random", "text", 2, 2, 256, 0.1))
+	t.Run("unknown policy", bad("fig5", "fifo", "text", 2, 2, 256, 0.1))
+	t.Run("unknown format", bad("fig5", "random", "perfetto", 2, 2, 256, 0.1))
+	t.Run("zero procs", bad("fig5", "random", "text", 0, 2, 256, 0.1))
+	t.Run("zero rounds", bad("fig5", "random", "text", 2, 0, 256, 0.1))
+	t.Run("zero tail", bad("fig5", "random", "text", 2, 2, 0, 0.1))
+	t.Run("spurious above one", bad("fig5", "random", "text", 2, 2, 256, 1.5))
+	t.Run("negative spurious", bad("fig5", "random", "text", 2, 2, 256, -0.1))
+}
+
+// recordedEvents captures a short canned interleaving so the format
+// tests exercise the same Recorder path main does.
+func recordedEvents(t *testing.T) *trace.Recorder {
+	t.Helper()
+	rec := trace.MustNewRecorder(64)
+	rec.Observe(machine.Event{Seq: 1, Proc: 0, Op: machine.OpRLL, Word: 3, Val: 7})
+	rec.Observe(machine.Event{Seq: 2, Proc: 1, Op: machine.OpLoad, Word: 3, Val: 7})
+	rec.Observe(machine.Event{Seq: 3, Proc: 0, Op: machine.OpRSC, Word: 3, Val: 8, OK: true})
+	rec.Observe(machine.Event{Seq: 4, Proc: 1, Op: machine.OpRSC, Word: 3, Val: 9, OK: false, Spurious: true})
+	return rec
+}
+
+func TestWriteTraceText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeTrace(&buf, "text", recordedEvents(t)); err != nil {
+		t.Fatalf("writeTrace(text): %v", err)
+	}
+	for _, want := range []string{"RLL", "RSC"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text dump missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestWriteTraceChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeTrace(&buf, "chrome", recordedEvents(t)); err != nil {
+		t.Fatalf("writeTrace(chrome): %v", err)
+	}
+	n, err := otrace.ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("chrome export does not validate: %v", err)
+	}
+	if n != 4 {
+		t.Errorf("chrome export has %d events, want 4", n)
+	}
+	if !strings.Contains(buf.String(), `"spurious": true`) {
+		t.Errorf("chrome export missing spurious flag:\n%s", buf.String())
+	}
 }

@@ -117,8 +117,9 @@ func loopRetriesPrimitive(pass *Pass, body *ast.BlockStmt) bool {
 }
 
 // loopConsultsWaiter reports whether any of the nodes contains a call to
-// contention.Waiter.Wait anywhere (nested blocks and loops included: a
-// wait taken on any retry path services the enclosing loop).
+// contention.Waiter.Wait or WaitTimed anywhere (nested blocks and loops
+// included: a wait taken on any retry path services the enclosing loop;
+// WaitTimed is the traced variant used by span-instrumented loops).
 func loopConsultsWaiter(pass *Pass, nodes ...ast.Node) bool {
 	found := false
 	for _, node := range nodes {
@@ -131,7 +132,7 @@ func loopConsultsWaiter(pass *Pass, nodes ...ast.Node) bool {
 				return true
 			}
 			fn := methodCallee(pass.Info, call)
-			if fn != nil && fn.Name() == "Wait" && recvMatches(fn, "internal/contention", "Waiter") {
+			if fn != nil && (fn.Name() == "Wait" || fn.Name() == "WaitTimed") && recvMatches(fn, "internal/contention", "Waiter") {
 				found = true
 				return false
 			}

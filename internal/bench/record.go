@@ -31,6 +31,12 @@ type Record struct {
 	Retries   *obs.HistSnapshot `json:"retries,omitempty"`
 	Latency   *obs.HistSnapshot `json:"latency,omitempty"`
 	Backoff   *obs.HistSnapshot `json:"backoff_ns,omitempty"`
+	// RetryNs and HelpNs are the per-operation latency attribution from
+	// span tracing (trace.Attribution): nanoseconds an operation spent in
+	// failed attempts plus backoff, and in helping another process's copy,
+	// respectively. Additive llsc-bench/v1 fields.
+	RetryNs *obs.HistSnapshot `json:"retry_ns,omitempty"`
+	HelpNs  *obs.HistSnapshot `json:"help_ns,omitempty"`
 }
 
 // NewRecord converts a Result into a Record. counters is the obs counter
@@ -73,6 +79,21 @@ func (rec Record) WithBackoff(backoff *obs.Hist) Record {
 	if backoff.Count() > 0 {
 		s := backoff.Snapshot()
 		rec.Backoff = &s
+	}
+	return rec
+}
+
+// WithAttribution attaches the span tracer's latency-attribution
+// histograms (where an operation's time went: retrying vs helping); nil
+// or empty histograms are dropped.
+func (rec Record) WithAttribution(retryNs, helpNs *obs.Hist) Record {
+	if retryNs.Count() > 0 {
+		s := retryNs.Snapshot()
+		rec.RetryNs = &s
+	}
+	if helpNs.Count() > 0 {
+		s := helpNs.Snapshot()
+		rec.HelpNs = &s
 	}
 	return rec
 }

@@ -168,3 +168,29 @@ func TestWriteRecordsFile(t *testing.T) {
 		t.Errorf("temp file left behind")
 	}
 }
+
+func TestRecordWithAttribution(t *testing.T) {
+	var retry, help obs.Hist
+	retry.Observe(100)
+	retry.Observe(300)
+	help.Observe(50)
+	rec := NewRecord(Result{Name: "attr"}, obs.Snapshot{}).WithAttribution(&retry, &help)
+	if rec.RetryNs == nil || rec.RetryNs.Count != 2 {
+		t.Fatalf("retry_ns = %+v", rec.RetryNs)
+	}
+	if rec.HelpNs == nil || rec.HelpNs.Count != 1 {
+		t.Fatalf("help_ns = %+v", rec.HelpNs)
+	}
+	// Empty or nil histograms stay out of the JSON.
+	bare := NewRecord(Result{Name: "bare"}, obs.Snapshot{}).WithAttribution(nil, &obs.Hist{})
+	if bare.RetryNs != nil || bare.HelpNs != nil {
+		t.Fatal("empty attribution must be dropped")
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"retry_ns"`) || !strings.Contains(string(raw), `"help_ns"`) {
+		t.Errorf("attribution fields missing from JSON: %s", raw)
+	}
+}

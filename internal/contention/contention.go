@@ -312,33 +312,9 @@ func (w *Waiter) Reset() { w.attempt = 0 }
 // before the loop retries. proc is the caller's paper-style process id,
 // or Ambient. Safe with a nil policy.
 func (w *Waiter) Wait(p *Policy, proc int, cause Cause) {
-	w.attempt++
-	if p == nil || p.kind == KindNone {
-		if w.attempt%noneYieldEvery == 0 {
-			runtime.Gosched()
-		}
+	units, active := w.prepare(p, proc, cause)
+	if !active {
 		return
-	}
-	if w.rng == 0 {
-		if proc >= 0 {
-			w.Seed(p, proc)
-		} else {
-			w.seedAmbient(p)
-		}
-	}
-	units := p.waitUnits(w, cause)
-	if units == 0 {
-		// Cause-gated to nothing (Adaptive on Spurious): keep the
-		// periodic yield so bounded spinning still holds.
-		if w.attempt%noneYieldEvery == 0 {
-			runtime.Gosched()
-		}
-		return
-	}
-	if proc >= 0 {
-		p.m.IncProc(proc, obs.CtrBackoffWaits)
-	} else {
-		p.m.Inc(obs.CtrBackoffWaits)
 	}
 	if p.hist != nil {
 		t0 := time.Now()
@@ -347,6 +323,59 @@ func (w *Waiter) Wait(p *Policy, proc int, cause Cause) {
 		return
 	}
 	w.spinWait(units)
+}
+
+// WaitTimed is Wait, additionally returning the wall-clock duration of
+// the wait it inserted (0 when the policy inserted none). Traced retry
+// loops use it to attribute backoff time to the enclosing span
+// (trace.Span.AddWait); untraced loops call Wait, which reads no clocks
+// unless a backoff histogram is attached. The llscvet retrypolicy check
+// accepts WaitTimed wherever it accepts Wait.
+func (w *Waiter) WaitTimed(p *Policy, proc int, cause Cause) time.Duration {
+	units, active := w.prepare(p, proc, cause)
+	if !active {
+		return 0
+	}
+	t0 := time.Now()
+	w.spinWait(units)
+	d := time.Since(t0)
+	p.hist.ObserveDuration(d)
+	return d
+}
+
+// prepare runs the shared front half of Wait/WaitTimed: count the
+// attempt, resolve the wait length, handle the no-wait paths (periodic
+// yield), and count the wait. active reports whether a wait is due.
+func (w *Waiter) prepare(p *Policy, proc int, cause Cause) (units uint32, active bool) {
+	w.attempt++
+	if p == nil || p.kind == KindNone {
+		if w.attempt%noneYieldEvery == 0 {
+			runtime.Gosched()
+		}
+		return 0, false
+	}
+	if w.rng == 0 {
+		if proc >= 0 {
+			w.Seed(p, proc)
+		} else {
+			w.seedAmbient(p)
+		}
+	}
+	units = p.waitUnits(w, cause)
+	if units == 0 {
+		// Cause-gated to nothing (Adaptive on Spurious): keep the
+		// periodic yield so bounded spinning still holds.
+		if w.attempt%noneYieldEvery == 0 {
+			runtime.Gosched()
+		}
+		return 0, false
+	}
+	if proc >= 0 {
+		p.m.IncProc(proc, obs.CtrBackoffWaits)
+	} else {
+		p.m.Inc(obs.CtrBackoffWaits)
+	}
+	return units, true
 }
 
 // waitUnits computes the length of this wait in spin units.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/obs/trace"
 	"repro/internal/word"
 )
 
@@ -100,5 +101,53 @@ func TestRVarOpsDoNotAllocateBeyondMachineCells(t *testing.T) {
 		}
 	}); n > 1 {
 		t.Errorf("RVar LL/SC allocates %.1f objects per op, want ≤ 1 (the machine cell)", n)
+	}
+}
+
+// The span-tracing hooks must preserve the allocation guarantees above.
+// Disabled (no SetTracer call): the hot paths cross a single nil check and
+// allocate nothing. Enabled: recording goes into pre-allocated rings, so
+// the only allocations are the machine's simulation cells, same as before.
+
+func TestVarTracedPathsAllocationFree(t *testing.T) {
+	v := MustNewVar(word.MustLayout(32), 0)
+	// Disabled tracing: Store and CompareAndSwap stay 0-alloc.
+	if n := testing.AllocsPerRun(1000, func() {
+		v.Store(7)
+		if !v.CompareAndSwap(7, 8) {
+			t.Fatal("CAS failed")
+		}
+		v.Store(7)
+	}); n != 0 {
+		t.Errorf("untraced Var Store/CAS allocates %.1f objects per op, want 0", n)
+	}
+	// Enabled tracing: ring recording is allocation-free too.
+	v.SetTracer(trace.MustNew(trace.Config{Procs: 1, EventsPerProc: 256}))
+	if n := testing.AllocsPerRun(1000, func() {
+		v.Store(7)
+		if !v.CompareAndSwap(7, 8) {
+			t.Fatal("CAS failed")
+		}
+		v.Store(7)
+	}); n != 0 {
+		t.Errorf("traced Var Store/CAS allocates %.1f objects per op, want 0", n)
+	}
+}
+
+func TestRVarTracedSCDoesNotAllocateBeyondMachineCells(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	v, err := NewRVar(m, word.MustLayout(32), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetTracer(trace.MustNew(trace.Config{Procs: 1, EventsPerProc: 256}))
+	p := m.Proc(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		val, keep := v.LL(p)
+		if !v.SC(p, keep, val+1) {
+			t.Fatal("SC failed")
+		}
+	}); n > 1 {
+		t.Errorf("traced RVar LL/SC allocates %.1f objects per op, want ≤ 1 (the machine cell)", n)
 	}
 }

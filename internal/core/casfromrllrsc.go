@@ -6,6 +6,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/word"
 )
 
@@ -23,6 +24,7 @@ type CASVar struct {
 	layout word.Layout
 	obs    *obs.Metrics
 	cm     *contention.Policy
+	tr     *trace.Tracer
 }
 
 // NewCASVar allocates a variable on machine m holding initial, using the
@@ -50,6 +52,12 @@ func (v *CASVar) SetMetrics(m *obs.Metrics) { v.obs = m }
 // will never back off here, by design. Set before the Var is shared.
 func (v *CASVar) SetContention(p *contention.Policy) { v.cm = p }
 
+// SetTracer attaches an optional span tracer (nil disables) covering
+// CompareAndSwap: each invocation becomes one span recording its
+// spurious-failure retries and waits under the caller's process id. Set
+// before the Var is shared.
+func (v *CASVar) SetTracer(t *trace.Tracer) { v.tr = t }
+
 // Read returns the current value. It linearizes at the underlying load.
 func (v *CASVar) Read(p *machine.Proc) uint64 {
 	v.obs.IncProc(p.ID(), obs.CtrRead)
@@ -68,11 +76,14 @@ func (v *CASVar) CompareAndSwap(p *machine.Proc, old, new uint64) bool {
 		panic(fmt.Sprintf("core: CAS new value %d exceeds %d-bit value field", new, v.layout.ValBits))
 	}
 	v.obs.IncProc(p.ID(), obs.CtrCASAttempt)
+	sp := v.tr.Begin(p.ID(), trace.OpCAS)
 	oldword := p.Load(v.w)            // line 1
 	if v.layout.Val(oldword) != old { // line 2
+		sp.End(false)
 		return false
 	}
 	if old == new { // line 3: no-op CAS linearizes at the read in line 1
+		sp.End(true)
 		return true
 	}
 	newword := v.layout.Bump(oldword, new) // line 4: (tag ⊕ 1, new)
@@ -85,11 +96,18 @@ func (v *CASVar) CompareAndSwap(p *machine.Proc, old, new uint64) bool {
 			v.obs.IncProc(p.ID(), obs.CtrCASRetry)
 		}
 		if p.RLL(v.w) != oldword { // line 5
+			sp.End(false)
 			return false
 		}
 		if p.RSC(v.w, newword) { // line 6
+			sp.End(true)
 			return true
 		}
-		cw.Wait(v.cm, p.ID(), contention.Spurious)
+		sp.Retry(trace.CauseSpurious)
+		if sp.Active() {
+			sp.AddWait(cw.WaitTimed(v.cm, p.ID(), contention.Spurious))
+		} else {
+			cw.Wait(v.cm, p.ID(), contention.Spurious)
+		}
 	}
 }

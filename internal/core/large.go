@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic" //llsc:allow nakedatomic(Figure 6 targets native hardware: the header word and data segments are the raw cells the construction is made of)
+	"time"
 
 	"repro/internal/contention"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/word"
 )
 
@@ -31,6 +33,8 @@ type LargeFamily struct {
 	a    []atomic.Uint64
 	obs  *obs.Metrics
 	cm   *contention.Policy
+	tr   *trace.Tracer
+	help *obs.Hist
 
 	// vars registers every variable created from the family so
 	// crash-recovery can scan for orphaned copies (Recover) and quiescent
@@ -114,6 +118,18 @@ func (f *LargeFamily) SetMetrics(m *obs.Metrics) { f.obs = m }
 // retry loops of this family's variables (Read). Nil (the default) means
 // retry immediately. Set before the family is shared.
 func (f *LargeFamily) SetContention(p *contention.Policy) { f.cm = p }
+
+// SetTracer attaches an optional span tracer (nil disables): every
+// Figure 6 copy fix — a stale segment repaired on behalf of the SC'er —
+// is emitted as a help event under the *helped* process's id, with its
+// wall-clock duration. Set before the family is shared.
+func (f *LargeFamily) SetTracer(t *trace.Tracer) { f.tr = t }
+
+// SetHelpHist attaches an optional histogram recording the wall-clock
+// nanoseconds of each copy fix (the help_ns latency attribution of bench
+// records). Recording costs two clock reads per fix; nil (the default)
+// disables. Set before the family is shared.
+func (f *LargeFamily) SetHelpHist(h *obs.Hist) { f.help = h }
 
 // Procs returns N.
 func (f *LargeFamily) Procs() int { return f.n }
@@ -214,9 +230,19 @@ func (v *LargeVar) copyVal(hdr uint64, save []uint64) int {
 		y := v.data[i].Load()        // line 2
 		if f.seg.Tag(y) == prevTag { // line 3
 			f.obs.IncProc(pid, obs.CtrCopyFixes)
-			z := f.seg.Pack(hdrTag, f.announce(pid, i).Load()) // line 4
-			v.data[i].CompareAndSwap(y, z)                     // line 5
-			y = z                                              // line 6
+			if f.tr != nil || f.help != nil {
+				t0 := time.Now()
+				z := f.seg.Pack(hdrTag, f.announce(pid, i).Load()) // line 4
+				v.data[i].CompareAndSwap(y, z)                     // line 5
+				y = z                                              // line 6
+				d := time.Since(t0)
+				f.help.ObserveDuration(d)
+				f.tr.Emit(pid, trace.KindHelp, trace.OpNone, d, 1)
+			} else {
+				z := f.seg.Pack(hdrTag, f.announce(pid, i).Load()) // line 4
+				v.data[i].CompareAndSwap(y, z)                     // line 5
+				y = z                                              // line 6
+			}
 		}
 		if h := v.hdr.Load(); h != hdr { // line 7
 			return int(f.hdr.Get(h, 1))

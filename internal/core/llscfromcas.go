@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/contention"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/word"
 )
 
@@ -30,6 +31,7 @@ type Var struct {
 	layout word.Layout
 	obs    *obs.Metrics
 	cm     *contention.Policy
+	tr     *trace.Tracer
 	stall  func()
 }
 
@@ -86,6 +88,14 @@ func (v *Var) SetMetrics(m *obs.Metrics) { v.obs = m }
 // Callers running their own LL/SC loops (the data structures) consult
 // their own policies; this one covers only the loops Var owns.
 func (v *Var) SetContention(p *contention.Policy) { v.cm = p }
+
+// SetTracer attaches an optional span tracer (nil disables, the default)
+// covering the retry loops this Var owns (Store, CompareAndSwap): each
+// invocation becomes one span with its retries and waits attributed.
+// Spans record as Ambient — the hardware path has no paper-style process
+// id. Set before the Var is shared; the disabled path stays a single
+// branch with zero allocations (alloc_test.go).
+func (v *Var) SetTracer(t *trace.Tracer) { v.tr = t }
 
 // SetStallHook installs a function called inside the LL-SC window, right
 // after LL's load. Production code leaves it nil; benchmarks and tests
@@ -155,15 +165,22 @@ func (v *Var) Store(val uint64) {
 	if val > v.layout.MaxVal() {
 		panic(fmt.Sprintf("core: Store value %d exceeds %d-bit value field", val, v.layout.ValBits))
 	}
+	sp := v.tr.Begin(trace.Ambient, trace.OpStore)
 	var w contention.Waiter
 	for {
 		_, keep := v.LL()
 		if v.SC(keep, val) {
+			sp.End(true)
 			return
 		}
 		// Failure here is always interference (Theorem 2: CAS hardware
 		// has no spurious failures).
-		w.Wait(v.cm, contention.Ambient, contention.Interference)
+		sp.Retry(trace.CauseInterference)
+		if sp.Active() {
+			sp.AddWait(w.WaitTimed(v.cm, contention.Ambient, contention.Interference))
+		} else {
+			w.Wait(v.cm, contention.Ambient, contention.Interference)
+		}
 	}
 }
 
@@ -174,6 +191,7 @@ func (v *Var) Store(val uint64) {
 // Lock-free.
 func (v *Var) CompareAndSwap(old, new uint64) bool {
 	v.obs.Inc(obs.CtrCASAttempt)
+	sp := v.tr.Begin(trace.Ambient, trace.OpCAS)
 	var w contention.Waiter
 	for i := 0; ; i++ {
 		if i > 0 {
@@ -181,14 +199,22 @@ func (v *Var) CompareAndSwap(old, new uint64) bool {
 		}
 		val, keep := v.LL()
 		if val != old {
+			sp.End(false)
 			return false
 		}
 		if old == new {
+			sp.End(true)
 			return true
 		}
 		if v.SC(keep, new) {
+			sp.End(true)
 			return true
 		}
-		w.Wait(v.cm, contention.Ambient, contention.Interference)
+		sp.Retry(trace.CauseInterference)
+		if sp.Active() {
+			sp.AddWait(w.WaitTimed(v.cm, contention.Ambient, contention.Interference))
+		} else {
+			w.Wait(v.cm, contention.Ambient, contention.Interference)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/word"
 )
 
@@ -23,6 +24,7 @@ type RVar struct {
 	layout word.Layout
 	obs    *obs.Metrics
 	cm     *contention.Policy
+	tr     *trace.Tracer
 }
 
 // NewRVar allocates a variable on machine m holding initial.
@@ -46,6 +48,12 @@ func (v *RVar) SetMetrics(m *obs.Metrics) { v.obs = m }
 // failures (interference makes SC return false instead), so the policy is
 // consulted with cause Spurious. Set before the Var is shared.
 func (v *RVar) SetContention(p *contention.Policy) { v.cm = p }
+
+// SetTracer attaches an optional span tracer (nil disables) covering SC:
+// each SC invocation becomes one span recording its spurious-failure
+// retries and waits under the caller's process id. Set before the Var is
+// shared.
+func (v *RVar) SetTracer(t *trace.Tracer) { v.tr = t }
 
 // Read returns the current value; it linearizes at the underlying load.
 func (v *RVar) Read(p *machine.Proc) uint64 {
@@ -81,6 +89,7 @@ func (v *RVar) SC(p *machine.Proc, keep Keep, new uint64) bool {
 		panic(fmt.Sprintf("core: SC value %d exceeds %d-bit value field", new, v.layout.ValBits))
 	}
 	v.obs.IncProc(p.ID(), obs.CtrSC)
+	sp := v.tr.Begin(p.ID(), trace.OpSC)
 	oldword := keep.word                   // line 4
 	newword := v.layout.Bump(oldword, new) // line 5: (keep.tag ⊕ 1, newval)
 	var cw contention.Waiter
@@ -92,11 +101,18 @@ func (v *RVar) SC(p *machine.Proc, keep Keep, new uint64) bool {
 		}
 		if p.RLL(v.w) != oldword { // line 6
 			v.obs.IncProc(p.ID(), obs.CtrSCFailInterference)
+			sp.End(false)
 			return false
 		}
 		if p.RSC(v.w, newword) { // line 7
+			sp.End(true)
 			return true
 		}
-		cw.Wait(v.cm, p.ID(), contention.Spurious)
+		sp.Retry(trace.CauseSpurious)
+		if sp.Active() {
+			sp.AddWait(cw.WaitTimed(v.cm, p.ID(), contention.Spurious))
+		} else {
+			cw.Wait(v.cm, p.ID(), contention.Spurious)
+		}
 	}
 }

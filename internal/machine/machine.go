@@ -126,13 +126,18 @@ type FaultPlan interface {
 // OpKind identifies a machine operation in an Event.
 type OpKind uint8
 
-// Operation kinds reported to observers.
+// Operation kinds reported to observers. OpCrash and OpRestart are
+// lifecycle transitions rather than shared-memory operations: they carry
+// no Word, Val holds the incarnation generation, and they do not advance
+// Steps or Stats. Observers that switch on the kind ignore them for free.
 const (
 	OpLoad OpKind = iota + 1
 	OpStore
 	OpCAS
 	OpRLL
 	OpRSC
+	OpCrash
+	OpRestart
 )
 
 // String returns the mnemonic.
@@ -148,6 +153,10 @@ func (k OpKind) String() string {
 		return "RLL"
 	case OpRSC:
 		return "RSC"
+	case OpCrash:
+		return "CRASH"
+	case OpRestart:
+		return "RESTART"
 	default:
 		return "?"
 	}
@@ -289,6 +298,7 @@ func (m *Machine) Restart(id int) (*Proc, error) {
 	m.retired.RSCSpurious.Add(old.stats.RSCSpurious.Load())
 	p := m.newProc(id, old.gen+1)
 	m.procs[id].Store(p)
+	p.emitLifecycle(OpRestart)
 	return p, nil
 }
 
@@ -389,7 +399,11 @@ func (p *Proc) Machine() *Machine { return p.m }
 // Idempotent. The reservation dies with the incarnation: a restarted
 // processor starts with no reservation, and the dead handle can never
 // reach RSC again to exploit the stale one.
-func (p *Proc) Crash() { p.crashed.Store(true) }
+func (p *Proc) Crash() {
+	if !p.crashed.Swap(true) {
+		p.emitLifecycle(OpCrash)
+	}
+}
 
 // Crashed reports whether the processor's current incarnation is dead.
 func (p *Proc) Crashed() bool { return p.crashed.Load() }
@@ -533,6 +547,23 @@ func (p *Proc) emit(op OpKind, w *Word, val, old uint64, ok, spurious bool) {
 	})
 }
 
+// emitLifecycle reports a crash or restart transition to the observer:
+// no word, Val = the incarnation generation that died (OpCrash) or came
+// up (OpRestart), OK true only for restarts.
+func (p *Proc) emitLifecycle(op OpKind) {
+	obs := p.m.cfg.Observer
+	if obs == nil {
+		return
+	}
+	obs(Event{
+		Seq:  p.m.eventSeq.Add(1),
+		Proc: p.id,
+		Op:   op,
+		Val:  uint64(p.gen),
+		OK:   op == OpRestart,
+	})
+}
+
 // step advances the machine's global logical clock, enforces the crash
 // flag, and consults the configured scheduler, if any, before a
 // shared-memory operation.
@@ -556,7 +587,9 @@ func (p *Proc) fault(op OpKind, w *Word) (spuriousRSC bool) {
 	}
 	inj := fp.BeforeOp(p.id, op, w.id)
 	if inj.Crash {
-		p.crashed.Store(true)
+		if !p.crashed.Swap(true) {
+			p.emitLifecycle(OpCrash)
+		}
 		panic(CrashPanic{Proc: p.id, Gen: p.gen})
 	}
 	if inj.Interfere {

@@ -60,7 +60,8 @@ func publishedSnapshots() map[string]map[string]uint64 {
 }
 
 // Server is a live metrics endpoint: expvar at /debug/vars, pprof at
-// /debug/pprof/, and a plain-text counter dump at /metrics.
+// /debug/pprof/, a plain-text counter dump at /metrics, Prometheus text
+// exposition at /metrics/prometheus, and a liveness probe at /healthz.
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
@@ -83,6 +84,8 @@ func Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", metricsText)
+	mux.HandleFunc("/metrics/prometheus", prometheusText)
+	mux.HandleFunc("/healthz", healthz)
 	s := &Server{srv: &http.Server{Handler: mux}, ln: ln}
 	go s.srv.Serve(ln) //nolint:errcheck // Close returns ErrServerClosed here by design
 	return s, nil

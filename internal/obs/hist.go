@@ -77,8 +77,25 @@ func (h *Hist) Mean() float64 {
 	return float64(h.Sum()) / float64(c)
 }
 
-// Quantile returns an upper bound on the q-quantile (q clamped to [0,1]),
-// exact to the containing power-of-two bucket. Safe on nil.
+// Quantile returns an upper bound on the q-quantile, exact to the
+// containing power-of-two bucket, using nearest-rank semantics: the
+// result is bucketHi(b) for the bucket b holding the ⌈q·count⌉-th
+// smallest observation (rank clamped to [1, count]). Boundary behaviour
+// is pinned by TestHistQuantileBoundaries:
+//
+//   - q ≤ 0 returns the bucket upper bound of the minimum observation
+//     (rank 1), and q ≥ 1 that of the maximum (rank count) — q outside
+//     [0,1] clamps rather than erroring.
+//   - At an exact rank boundary the lower bucket wins: with count = 4,
+//     q = 0.5 selects rank 2 (⌈0.5·4⌉ = 2), not rank 3. The previous
+//     implementation used floor(q·count)+1, which at exact multiples
+//     resolved one rank higher and made p50 of an even count depend on
+//     floating-point rounding of q·count.
+//   - An empty (or nil) histogram returns 0.
+//
+// Because buckets are closed power-of-two ranges, the returned value is
+// ≥ the true quantile and < 2× the true quantile (for values ≥ 1).
+// Safe on nil.
 func (h *Hist) Quantile(q float64) uint64 {
 	if h == nil {
 		return 0
@@ -93,14 +110,17 @@ func (h *Hist) Quantile(q float64) uint64 {
 	if q > 1 {
 		q = 1
 	}
-	target := uint64(q * float64(count))
-	if target >= count {
-		target = count - 1
+	rank := uint64(math.Ceil(q * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
 	}
 	var seen uint64
 	for b := 0; b < HistBuckets; b++ {
 		seen += h.buckets[b].Load()
-		if seen > target {
+		if seen >= rank {
 			return bucketHi(b)
 		}
 	}

@@ -54,6 +54,52 @@ func TestHistObserveAndQuantile(t *testing.T) {
 	}
 }
 
+func TestHistQuantileBoundaries(t *testing.T) {
+	// Nearest-rank semantics: Quantile(q) is the bucket upper bound of the
+	// ⌈q·count⌉-th smallest observation, rank clamped to [1, count].
+	cases := []struct {
+		name string
+		obs  []uint64
+		q    float64
+		want uint64
+	}{
+		// q=0 and q=1 pin to the min and max observation's bucket.
+		{"q0-min", []uint64{1, 8, 64}, 0, 1},
+		{"q1-max", []uint64{1, 8, 64}, 1, 127},
+		{"clamp-below", []uint64{1, 8, 64}, -0.5, 1},
+		{"clamp-above", []uint64{1, 8, 64}, 1.5, 127},
+		// Exact rank boundary resolves to the LOWER rank: ⌈0.5·4⌉ = 2.
+		{"even-median-lower", []uint64{1, 2, 4, 8}, 0.5, 3},
+		// Just past the boundary moves up one rank: ⌈0.51·4⌉ = 3.
+		{"past-median", []uint64{1, 2, 4, 8}, 0.51, 7},
+		// Odd count median is the middle element: ⌈0.5·3⌉ = 2.
+		{"odd-median", []uint64{1, 4, 16}, 0.5, 7},
+		// Exact bucket-edge values report their own bucket's upper bound.
+		{"edge-lo", []uint64{4, 4, 4}, 0.5, 7},
+		{"edge-hi", []uint64{7, 7, 7}, 0.5, 7},
+		{"zero-bucket", []uint64{0, 0, 5}, 0.5, 0},
+		{"zero-bucket-q1", []uint64{0, 0, 5}, 1, 7},
+		// Single observation: every q returns its bucket.
+		{"single-q0", []uint64{1000}, 0, 1023},
+		{"single-q05", []uint64{1000}, 0.5, 1023},
+		{"single-q1", []uint64{1000}, 1, 1023},
+		// Rank boundary at q=0.9 with count=10 must not depend on
+		// floating-point noise in q·count: ⌈9.0…⌉ = 9 exactly.
+		{"tenth-rank", []uint64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1 << 20}, 0.9, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var h Hist
+			for _, v := range c.obs {
+				h.Observe(v)
+			}
+			if got := h.Quantile(c.q); got != c.want {
+				t.Errorf("Quantile(%v) over %v = %d, want %d", c.q, c.obs, got, c.want)
+			}
+		})
+	}
+}
+
 func TestHistNilAndEmpty(t *testing.T) {
 	var nilH *Hist
 	nilH.Observe(5)

@@ -157,6 +157,20 @@ const (
 	// the taxonomy per the schema rule, not beside its fault_inj_* kin.
 	CtrFaultInjCrash
 
+	// Span-tracing and flight-recorder counters (internal/obs/trace).
+	// TraceSpans counts spans begun (after sampling); TraceEvents counts
+	// events written into trace rings; TraceDrops counts ring-buffer events
+	// overwritten before any snapshot read them; TraceSampledOut counts
+	// spans skipped by the sampling rate (so spans+sampled_out = operations
+	// offered to the tracer); FlightDumps counts flight-recorder dumps
+	// written (wedge, linearizability, or conservation triggers). Appended
+	// at the end of the taxonomy per the schema rule.
+	CtrTraceSpans
+	CtrTraceEvents
+	CtrTraceDrops
+	CtrTraceSampledOut
+	CtrFlightDumps
+
 	// NumCounters is the size of the taxonomy; Snapshot is indexed by
 	// Counter in [0, NumCounters).
 	NumCounters
@@ -209,6 +223,11 @@ var counterNames = [NumCounters]string{
 	CtrLeaseHeartbeats:          "lease_heartbeats",
 	CtrLeaseExpiries:            "lease_expiries",
 	CtrFaultInjCrash:            "fault_inj_crash",
+	CtrTraceSpans:               "trace_spans",
+	CtrTraceEvents:              "trace_events",
+	CtrTraceDrops:               "trace_drops",
+	CtrTraceSampledOut:          "trace_sampled_out",
+	CtrFlightDumps:              "flight_dumps",
 }
 
 // String returns the counter's stable snake_case name.

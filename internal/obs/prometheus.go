@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Prometheus text exposition (version 0.0.4, the format every Prometheus
+// scraper and the OpenMetrics parsers accept) of the full counter
+// taxonomy and any published histograms, served at /metrics/prometheus
+// beside the legacy plain-text /metrics and the expvar /debug/vars.
+//
+// Naming: counter c of the Metrics published under sink name s becomes
+//
+//	llsc_<c>_total{sink="<s>"} <value>
+//
+// Every counter in the taxonomy is exposed for every sink, zeros
+// included, so dashboards and alerts can rely on series existing from
+// scrape one. Histograms published with PublishHist become classic
+// Prometheus histograms whose le edges are the log₂ bucket upper bounds:
+//
+//	llsc_<name>_bucket{sink="<s>",le="<hi>"} <cumulative>
+//	llsc_<name>_bucket{sink="<s>",le="+Inf"} <count>
+//	llsc_<name>_sum / llsc_<name>_count
+var (
+	histRegistryMu sync.Mutex
+	histRegistry   = map[string]map[string]*Hist{} // sink → hist name → hist
+)
+
+// PublishHist registers h for Prometheus export under the given sink and
+// histogram name (e.g. "latency_ns"). Re-publishing replaces; a nil Hist
+// removes. The plain /metrics and expvar endpoints are unaffected.
+func PublishHist(sink, name string, h *Hist) {
+	histRegistryMu.Lock()
+	defer histRegistryMu.Unlock()
+	if h == nil {
+		if m := histRegistry[sink]; m != nil {
+			delete(m, name)
+			if len(m) == 0 {
+				delete(histRegistry, sink)
+			}
+		}
+		return
+	}
+	if histRegistry[sink] == nil {
+		histRegistry[sink] = map[string]*Hist{}
+	}
+	histRegistry[sink][name] = h
+}
+
+// publishedHists snapshots the histogram registry under its lock.
+func publishedHists() map[string]map[string]HistSnapshot {
+	histRegistryMu.Lock()
+	defer histRegistryMu.Unlock()
+	out := make(map[string]map[string]HistSnapshot, len(histRegistry))
+	for sink, hists := range histRegistry {
+		out[sink] = make(map[string]HistSnapshot, len(hists))
+		for name, h := range hists {
+			out[sink][name] = h.Snapshot()
+		}
+	}
+	return out
+}
+
+// WritePrometheus writes the Prometheus text exposition of every
+// published Metrics (all taxonomy counters, zeros included) and every
+// published histogram, in deterministic order.
+func WritePrometheus(w io.Writer) error {
+	snaps := publishedSnapshots()
+	sinks := make([]string, 0, len(snaps))
+	for name := range snaps {
+		sinks = append(sinks, name)
+	}
+	sort.Strings(sinks)
+
+	for c := Counter(0); c < NumCounters; c++ {
+		metric := "llsc_" + counterNames[c] + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", metric); err != nil {
+			return err
+		}
+		for _, sink := range sinks {
+			if _, err := fmt.Fprintf(w, "%s{sink=%q} %d\n", metric, sink, snaps[sink][counterNames[c]]); err != nil {
+				return err
+			}
+		}
+	}
+
+	hists := publishedHists()
+	hsinks := make([]string, 0, len(hists))
+	for sink := range hists {
+		hsinks = append(hsinks, sink)
+	}
+	sort.Strings(hsinks)
+	typed := map[string]bool{}
+	for _, sink := range hsinks {
+		names := make([]string, 0, len(hists[sink]))
+		for name := range hists[sink] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := writePrometheusHist(w, sink, name, hists[sink][name], typed); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePrometheusHist renders one histogram snapshot. Buckets are
+// cumulative as the format requires; only non-empty log₂ buckets get an
+// explicit le edge (edges stay strictly increasing), and the mandatory
+// +Inf bucket always carries the total count.
+func writePrometheusHist(w io.Writer, sink, name string, s HistSnapshot, typed map[string]bool) error {
+	metric := "llsc_" + name
+	if !typed[metric] {
+		typed[metric] = true
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+			return err
+		}
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if _, err := fmt.Fprintf(w, "%s_bucket{sink=%q,le=\"%d\"} %d\n", metric, sink, b.Hi, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{sink=%q,le=\"+Inf\"} %d\n", metric, sink, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum{sink=%q} %d\n", metric, sink, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count{sink=%q} %d\n", metric, sink, s.Count)
+	return err
+}
+
+// prometheusText is the /metrics/prometheus handler.
+func prometheusText(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w)
+}
+
+// healthz is the /healthz handler: 200 "ok" while the process serves.
+func healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

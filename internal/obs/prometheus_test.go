@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusExposesFullTaxonomy(t *testing.T) {
+	m := NewWithStripes(1)
+	m.Inc(CtrSC)
+	m.Add(CtrSCRetry, 3)
+	Publish("test_prom", m)
+	defer Publish("test_prom", nil)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Every counter in the taxonomy must be exposed, zeros included.
+	for _, name := range CounterNames() {
+		series := fmt.Sprintf("llsc_%s_total{sink=\"test_prom\"}", name)
+		if !strings.Contains(out, series) {
+			t.Errorf("prometheus output missing %s", series)
+		}
+	}
+	if !strings.Contains(out, "llsc_sc_total{sink=\"test_prom\"} 1") {
+		t.Errorf("sc counter wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "llsc_sc_retry_total{sink=\"test_prom\"} 3") {
+		t.Errorf("sc_retry counter wrong:\n%s", out)
+	}
+
+	// Format sanity: every non-comment line is "<metric>{labels} <value>".
+	line := regexp.MustCompile(`^[a-z_][a-z0-9_]*\{[^}]*\} \d+$`)
+	for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(l, "# TYPE ") {
+			continue
+		}
+		if !line.MatchString(l) {
+			t.Errorf("malformed exposition line: %q", l)
+		}
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	var h Hist
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(5)
+	PublishHist("test_prom_h", "latency_ns", &h)
+	defer PublishHist("test_prom_h", "latency_ns", nil)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wants := []string{
+		"# TYPE llsc_latency_ns histogram",
+		`llsc_latency_ns_bucket{sink="test_prom_h",le="1"} 1`,
+		`llsc_latency_ns_bucket{sink="test_prom_h",le="7"} 3`,
+		`llsc_latency_ns_bucket{sink="test_prom_h",le="+Inf"} 3`,
+		`llsc_latency_ns_sum{sink="test_prom_h"} 11`,
+		`llsc_latency_ns_count{sink="test_prom_h"} 3`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus histogram output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServePrometheusAndHealthz(t *testing.T) {
+	m := NewWithStripes(1)
+	m.Inc(CtrLL)
+	Publish("test_prom_serve", m)
+	defer Publish("test_prom_serve", nil)
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q, want ok", body)
+	}
+	if body := get("/metrics/prometheus"); !strings.Contains(body, `llsc_ll_total{sink="test_prom_serve"} 1`) {
+		t.Errorf("/metrics/prometheus missing counter:\n%.400s", body)
+	}
+}

@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+)
+
+// Chrome trace-event export: the dump format chrome://tracing, Perfetto,
+// and speedscope all load. We emit the JSON-object form
+// {"traceEvents": [...]} with "X" complete events for ended spans, "B"
+// begin events for spans still in flight at snapshot time (the viewer
+// renders them open-ended — exactly the stalled-operation signal), and
+// "i" instant events for retries, waits, helps, and lifecycle
+// transitions. Timestamps and durations are microseconds (float), the
+// unit the format requires; pid is always 0 and tid is the process id
+// (ambient events use tid ambientTid so they stay visible on their own
+// row rather than vanishing at a negative tid).
+
+// ambientTid is the Chrome thread id used for Ambient (-1) events.
+const ambientTid = 9999
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the enclosing JSON object.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+func chromeTid(proc int32) int {
+	if proc < 0 {
+		return ambientTid
+	}
+	return int(proc)
+}
+
+const usPerNs = 1.0 / 1e3
+
+// chromeEvents converts span-layer events. Ended spans become "X"
+// complete events spanning [end-dur, end]; begins whose span id never
+// ends in the snapshot become open "B" events; everything else becomes
+// an instant.
+func chromeEvents(events []Event) []chromeEvent {
+	ended := make(map[uint64]bool)
+	for _, e := range events {
+		if e.Kind == KindEnd {
+			ended[e.Span] = true
+		}
+	}
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ce := chromeEvent{Pid: 0, Tid: chromeTid(e.Proc)}
+		switch e.Kind {
+		case KindBegin:
+			if ended[e.Span] {
+				continue // covered by the End's "X" event
+			}
+			ce.Name = e.Op.String() + " (in flight)"
+			ce.Ph = "B"
+			ce.Ts = float64(e.T) * usPerNs
+			ce.Args = map[string]any{"span": e.Span}
+		case KindEnd:
+			ce.Name = e.Op.String()
+			ce.Ph = "X"
+			ce.Ts = float64(e.T-e.Dur) * usPerNs
+			ce.Dur = float64(e.Dur) * usPerNs
+			ce.Args = map[string]any{"span": e.Span, "ok": e.OK}
+		case KindRetry:
+			ce.Name = "retry/" + e.Cause.String()
+			ce.Ph = "i"
+			ce.Ts = float64(e.T) * usPerNs
+			ce.S = "t"
+			ce.Args = map[string]any{"span": e.Span, "dur_ns": e.Dur}
+		case KindWait:
+			ce.Name = "wait"
+			ce.Ph = "X"
+			ce.Ts = float64(e.T-e.Dur) * usPerNs
+			ce.Dur = float64(e.Dur) * usPerNs
+			ce.Args = map[string]any{"span": e.Span}
+		case KindHelp:
+			ce.Name = "help"
+			ce.Ph = "i"
+			ce.Ts = float64(e.T) * usPerNs
+			ce.S = "t"
+			ce.Args = map[string]any{"span": e.Span, "units": e.Arg, "dur_ns": e.Dur}
+		case KindCrash, KindRestart, KindWedge:
+			ce.Name = e.Kind.String()
+			ce.Ph = "i"
+			ce.Ts = float64(e.T) * usPerNs
+			ce.S = "g" // global scope: lifecycle transitions span the view
+		default:
+			ce.Name = e.Kind.String()
+			ce.Ph = "i"
+			ce.Ts = float64(e.T) * usPerNs
+			ce.S = "t"
+		}
+		out = append(out, ce)
+	}
+	return out
+}
+
+// ChromeTrace renders span-layer events as a validated Chrome
+// trace-event JSON document.
+func ChromeTrace(events []Event) ([]byte, error) {
+	raw, err := json.MarshalIndent(chromeDoc{TraceEvents: chromeEvents(events), DisplayUnit: "ms"}, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ValidateChrome(raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// WriteChrome writes span-layer events as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, events []Event) error {
+	raw, err := ChromeTrace(events)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// MachineChromeTrace renders a raw machine-event stream (the
+// internal/trace.Recorder payload) as a validated Chrome trace-event
+// document. Machine events carry a logical sequence number, not wall
+// time, so each event becomes a 1-"µs" complete event at ts = Seq: the
+// viewer then shows the exact interleaving with one tick per
+// shared-memory operation, which is the right timebase for a
+// deterministic simulation.
+func MachineChromeTrace(events []machine.Event) ([]byte, error) {
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		name := e.Op.String()
+		args := map[string]any{"word": e.Word, "val": e.Val}
+		switch e.Op {
+		case machine.OpCAS:
+			args["old"] = e.Old
+			args["ok"] = e.OK
+		case machine.OpRSC:
+			args["ok"] = e.OK
+			if e.Spurious {
+				args["spurious"] = true
+			}
+		}
+		out = append(out, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   float64(e.Seq),
+			Dur:  1,
+			Pid:  0,
+			Tid:  chromeTid(int32(e.Proc)),
+			Args: args,
+		})
+	}
+	raw, err := json.MarshalIndent(chromeDoc{TraceEvents: out}, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ValidateChrome(raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// WriteMachineChrome writes machine events as Chrome trace-event JSON.
+func WriteMachineChrome(w io.Writer, events []machine.Event) error {
+	raw, err := MachineChromeTrace(events)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// MachineObserver returns a machine.Config.Observer callback mapping
+// the machine's lifecycle events (OpCrash, OpRestart) to trace
+// transitions; other machine events are ignored — the raw operation
+// stream belongs in internal/trace.Recorder. Tee it beside a metrics
+// observer with obs.TeeObservers. Returns nil on a nil tracer, which
+// TeeObservers filters out.
+func (t *Tracer) MachineObserver() func(machine.Event) {
+	if t == nil {
+		return nil
+	}
+	return func(e machine.Event) {
+		switch e.Op {
+		case machine.OpCrash:
+			t.Transition(e.Proc, KindCrash)
+		case machine.OpRestart:
+			t.Transition(e.Proc, KindRestart)
+		}
+	}
+}
+
+// ValidateChrome parses data as a Chrome trace-event document and
+// returns the event count. It checks the structural invariants the
+// viewers rely on: a traceEvents array whose entries all carry a name, a
+// known phase, and a non-negative timestamp. make trace-smoke and the
+// flight recorder run every export through this before shipping it.
+func ValidateChrome(data []byte) (int, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("trace: chrome export is not valid JSON: %w", err)
+	}
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return 0, fmt.Errorf("trace: chrome event %d has no name", i)
+		}
+		switch e.Ph {
+		case "X", "B", "E", "i", "M":
+		default:
+			return 0, fmt.Errorf("trace: chrome event %d has unknown phase %q", i, e.Ph)
+		}
+		if e.Ts < 0 {
+			return 0, fmt.Errorf("trace: chrome event %d has negative ts %v", i, e.Ts)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

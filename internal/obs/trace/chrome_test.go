@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+func TestChromeTraceSpans(t *testing.T) {
+	tr := MustNew(Config{Procs: 2, EventsPerProc: 64})
+	done := tr.Begin(0, OpSC)
+	done.Retry(CauseSpurious)
+	done.AddWait(2 * time.Microsecond)
+	done.End(true)
+	open := tr.Begin(1, OpCAS)
+	_ = open
+	tr.Transition(Ambient, KindWedge)
+
+	raw, err := ChromeTrace(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// X for ended span, X for wait, i for retry, B for in-flight,
+	// i (global) for the wedge; the ended span's begin is folded away.
+	byPh := map[string][]chromeEvent{}
+	for _, e := range doc.TraceEvents {
+		byPh[e.Ph] = append(byPh[e.Ph], e)
+	}
+	if len(byPh["X"]) != 2 {
+		t.Errorf("got %d X events, want 2 (span + wait)", len(byPh["X"]))
+	}
+	if len(byPh["B"]) != 1 || byPh["B"][0].Name != "cas (in flight)" || byPh["B"][0].Tid != 1 {
+		t.Errorf("B events = %+v", byPh["B"])
+	}
+	if len(byPh["i"]) != 2 {
+		t.Errorf("got %d instants, want 2 (retry + wedge)", len(byPh["i"]))
+	}
+	for _, e := range byPh["i"] {
+		if e.Name == "wedge" {
+			if e.S != "g" || e.Tid != ambientTid {
+				t.Errorf("wedge instant = %+v, want global scope on ambient tid", e)
+			}
+		}
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ts < 0 {
+			t.Errorf("negative ts in %+v", e)
+		}
+	}
+}
+
+func TestMachineChromeTrace(t *testing.T) {
+	events := []machine.Event{
+		{Seq: 1, Proc: 0, Op: machine.OpRLL, Word: 3, Val: 10},
+		{Seq: 2, Proc: 1, Op: machine.OpCAS, Word: 3, Old: 10, Val: 11, OK: true},
+		{Seq: 3, Proc: 0, Op: machine.OpRSC, Word: 3, Val: 12, OK: false, Spurious: true},
+		{Seq: 4, Proc: 0, Op: machine.OpCrash, Val: 1},
+	}
+	raw, err := MachineChromeTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChrome(raw)
+	if err != nil || n != 4 {
+		t.Fatalf("validate: n=%d err=%v", n, err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents[1].Name != "CAS" || doc.TraceEvents[1].Args["ok"] != true {
+		t.Errorf("CAS event = %+v", doc.TraceEvents[1])
+	}
+	if doc.TraceEvents[2].Args["spurious"] != true {
+		t.Errorf("RSC event lost spurious flag: %+v", doc.TraceEvents[2])
+	}
+	if doc.TraceEvents[0].Ts != 1 || doc.TraceEvents[3].Ts != 4 {
+		t.Error("machine events must use Seq as the timebase")
+	}
+}
+
+func TestValidateChromeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", `{"traceEvents": [`},
+		{"missing name", `{"traceEvents": [{"ph": "X", "ts": 1}]}`},
+		{"bad phase", `{"traceEvents": [{"name": "x", "ph": "Z", "ts": 1}]}`},
+		{"negative ts", `{"traceEvents": [{"name": "x", "ph": "X", "ts": -1}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ValidateChrome([]byte(c.data)); err == nil {
+			t.Errorf("%s: ValidateChrome accepted %q", c.name, c.data)
+		}
+	}
+	if n, err := ValidateChrome([]byte(`{"traceEvents": []}`)); err != nil || n != 0 {
+		t.Errorf("empty document must validate: n=%d err=%v", n, err)
+	}
+}
+
+func TestMachineObserverMapsLifecycle(t *testing.T) {
+	tr := MustNew(Config{Procs: 2, EventsPerProc: 16})
+	ob := tr.MachineObserver()
+	ob(machine.Event{Proc: 0, Op: machine.OpCrash, Val: 1})
+	ob(machine.Event{Proc: 0, Op: machine.OpRestart, Val: 2})
+	ob(machine.Event{Proc: 1, Op: machine.OpRSC, Word: 0, Val: 5}) // ignored
+	events := tr.Snapshot()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (SC must be ignored)", len(events))
+	}
+	if events[0].Kind != KindCrash || events[1].Kind != KindRestart {
+		t.Errorf("kinds = %v, %v", events[0].Kind, events[1].Kind)
+	}
+	var nilTr *Tracer
+	if nilTr.MachineObserver() != nil {
+		t.Error("nil tracer must yield nil observer")
+	}
+}

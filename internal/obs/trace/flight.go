@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// FlightSchema identifies the flight-recorder dump format. The contract
+// mirrors llsc-bench/v1 (docs/OBSERVABILITY.md): within v1, fields are
+// only ever ADDED, never renamed, retyped, or removed, and the stable
+// mnemonic strings of Kind, Op, and Cause are part of the schema.
+// Consumers must ignore unknown fields and unknown mnemonic values. A
+// breaking change bumps the version string.
+const FlightSchema = "llsc-flight/v1"
+
+// FlightConfig describes one flight recorder.
+type FlightConfig struct {
+	// Dir is the directory dumps are written into (created if missing).
+	// Required.
+	Dir string
+	// Label tags the dumps (workload or cell name); it appears in the
+	// JSON and keeps dumps from concurrent cells distinguishable.
+	Label string
+	// Tracer is the span tracer whose rings are snapshotted. Optional:
+	// a dump without spans still carries counters and the machine tail.
+	Tracer *Tracer
+	// Machine is an optional machine-event recorder whose tail (the
+	// recent raw LL/SC/CAS interleaving) is embedded in dumps;
+	// internal/trace.Recorder implements it.
+	Machine MachineTail
+	// Metrics is an optional counter sink; a snapshot is embedded in
+	// dumps, and flight_dumps is incremented per dump written.
+	Metrics *obs.Metrics
+	// MaxDumps caps the total dumps this recorder will write (default
+	// 4): a wedged soak loop must not fill the disk with near-identical
+	// snapshots.
+	MaxDumps int
+}
+
+// MachineTail is the source of the raw machine-event tail embedded in
+// dumps (the recent low-level interleaving). internal/trace.Recorder
+// implements it; the indirection keeps this package importable from
+// that one's tests without a cycle.
+type MachineTail interface {
+	Events() []machine.Event
+	Dropped() uint64
+}
+
+// Flight is the crash/wedge flight recorder: it sits armed beside a
+// running workload and Trigger snapshots everything — trace rings,
+// machine tail, counters — into a schema-stable llsc-flight/v1 JSON dump
+// plus a Chrome trace-event export, when a supervisor-level invariant
+// breaks (watchdog Wedged, linearizability violation, conservation
+// audit).
+//
+// Triggering is deduplicated per reason: the first trigger for a reason
+// writes a dump, repeats of the same reason are dropped. This makes "a
+// forced wedge produces exactly one dump" a property, not an accident of
+// polling frequency.
+type Flight struct {
+	cfg FlightConfig
+
+	mu        sync.Mutex
+	seq       int
+	triggered map[string]bool
+	dumps     []string
+}
+
+// NewFlight creates an armed flight recorder, creating Dir if needed.
+func NewFlight(cfg FlightConfig) (*Flight, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("trace: flight recorder requires a dump directory")
+	}
+	if cfg.MaxDumps <= 0 {
+		cfg.MaxDumps = 4
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: flight dir: %w", err)
+	}
+	return &Flight{cfg: cfg, triggered: make(map[string]bool)}, nil
+}
+
+// flightDump is the on-disk llsc-flight/v1 document. Additive changes
+// only; see FlightSchema.
+type flightDump struct {
+	Schema  string `json:"schema"`
+	Reason  string `json:"reason"`
+	Label   string `json:"label,omitempty"`
+	UnixNs  int64  `json:"unix_ns"`
+	Seq     int    `json:"seq"`
+	Dropped uint64 `json:"spans_dropped"`
+
+	Events []wireEvent `json:"events,omitempty"`
+
+	MachineTail    []wireMachineEvent `json:"machine_tail,omitempty"`
+	MachineDropped uint64             `json:"machine_dropped,omitempty"`
+
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// wireEvent is Event with the enums rendered as their stable mnemonics.
+type wireEvent struct {
+	Span  uint64 `json:"span,omitempty"`
+	T     int64  `json:"t_ns"`
+	Dur   int64  `json:"dur_ns,omitempty"`
+	Proc  int32  `json:"proc"`
+	Kind  string `json:"kind"`
+	Op    string `json:"op,omitempty"`
+	Cause string `json:"cause,omitempty"`
+	OK    bool   `json:"ok,omitempty"`
+	Arg   uint64 `json:"arg,omitempty"`
+}
+
+func toWire(e Event) wireEvent {
+	return wireEvent{
+		Span: e.Span, T: e.T, Dur: e.Dur, Proc: e.Proc,
+		Kind: e.Kind.String(), Op: e.Op.String(), Cause: e.Cause.String(),
+		OK: e.OK, Arg: e.Arg,
+	}
+}
+
+// wireMachineEvent is machine.Event with the kind as its mnemonic.
+type wireMachineEvent struct {
+	Seq      uint64 `json:"seq"`
+	Proc     int    `json:"proc"`
+	Op       string `json:"op"`
+	Word     uint64 `json:"word,omitempty"`
+	Val      uint64 `json:"val,omitempty"`
+	Old      uint64 `json:"old,omitempty"`
+	OK       bool   `json:"ok,omitempty"`
+	Spurious bool   `json:"spurious,omitempty"`
+}
+
+// Trigger snapshots the rings and writes one dump for reason (a short
+// slug: "wedged", "linearizability", "conservation"). It returns the
+// dump path and true if a dump was written, or "" and false when the
+// reason already fired or MaxDumps is reached. Errors writing the dump
+// are returned with path ""; the recorder stays armed.
+func (f *Flight) Trigger(reason string) (string, bool, error) {
+	if f == nil {
+		return "", false, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.triggered[reason] || len(f.dumps) >= f.cfg.MaxDumps {
+		return "", false, nil
+	}
+	f.triggered[reason] = true
+	f.seq++
+
+	d := flightDump{
+		Schema: FlightSchema,
+		Reason: reason,
+		Label:  f.cfg.Label,
+		UnixNs: time.Now().UnixNano(),
+		Seq:    f.seq,
+	}
+	events := f.cfg.Tracer.Snapshot()
+	d.Dropped = f.cfg.Tracer.Dropped()
+	d.Events = make([]wireEvent, 0, len(events))
+	for _, e := range events {
+		d.Events = append(d.Events, toWire(e))
+	}
+	if f.cfg.Machine != nil {
+		for _, e := range f.cfg.Machine.Events() {
+			d.MachineTail = append(d.MachineTail, wireMachineEvent{
+				Seq: e.Seq, Proc: e.Proc, Op: e.Op.String(), Word: e.Word,
+				Val: e.Val, Old: e.Old, OK: e.OK, Spurious: e.Spurious,
+			})
+		}
+		d.MachineDropped = f.cfg.Machine.Dropped()
+	}
+	if f.cfg.Metrics != nil {
+		d.Counters = f.cfg.Metrics.Snapshot().Map()
+	}
+
+	// The label joins the filename so recorders for different cells can
+	// share one dump directory without colliding.
+	stem := fmt.Sprintf("flight-%d-%s", f.seq, sanitize(reason))
+	if f.cfg.Label != "" {
+		stem = fmt.Sprintf("flight-%s-%d-%s", sanitize(f.cfg.Label), f.seq, sanitize(reason))
+	}
+	base := filepath.Join(f.cfg.Dir, stem)
+	path := base + ".json"
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", false, fmt.Errorf("trace: marshal flight dump: %w", err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return "", false, fmt.Errorf("trace: write flight dump: %w", err)
+	}
+
+	// Chrome trace-event export beside the dump; validated before
+	// writing so a malformed export can never ship silently.
+	chrome, err := ChromeTrace(events)
+	if err == nil {
+		err = os.WriteFile(base+".chrome.json", chrome, 0o644)
+	}
+	if err != nil {
+		return path, true, fmt.Errorf("trace: chrome export: %w", err)
+	}
+
+	f.cfg.Metrics.Inc(obs.CtrFlightDumps)
+	f.dumps = append(f.dumps, path)
+	return path, true, nil
+}
+
+// Dumps returns the paths of the dumps written so far. Safe on nil.
+func (f *Flight) Dumps() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.dumps))
+	copy(out, f.dumps)
+	return out
+}
+
+// sanitize keeps reason slugs filename-safe.
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '-')
+		}
+	}
+	if len(out) == 0 {
+		return "trigger"
+	}
+	return string(out)
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// stubTail is a canned MachineTail.
+type stubTail struct {
+	events  []machine.Event
+	dropped uint64
+}
+
+func (s *stubTail) Events() []machine.Event { return s.events }
+func (s *stubTail) Dropped() uint64         { return s.dropped }
+
+func TestFlightDumpContents(t *testing.T) {
+	dir := t.TempDir()
+	tr := MustNew(Config{Procs: 2, EventsPerProc: 64})
+	met := obs.NewWithStripes(1)
+	tr.SetMetrics(met)
+
+	sp := tr.Begin(0, OpSC)
+	sp.Retry(CauseInterference)
+	sp.AddWait(3 * time.Microsecond)
+	sp.End(true)
+	inflight := tr.Begin(1, OpCAS) // left open: must surface in the dump
+	_ = inflight
+
+	tail := &stubTail{
+		events: []machine.Event{
+			{Seq: 1, Proc: 0, Op: machine.OpRLL, Word: 2, Val: 7},
+			{Seq: 2, Proc: 0, Op: machine.OpRSC, Word: 2, Val: 9, OK: true},
+		},
+		dropped: 5,
+	}
+	fl, err := NewFlight(FlightConfig{Dir: dir, Label: "cell-0", Tracer: tr, Machine: tail, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path, wrote, err := fl.Trigger("wedged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wrote || path == "" {
+		t.Fatal("first trigger must write a dump")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d flightDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Schema != FlightSchema {
+		t.Errorf("schema = %q, want %q", d.Schema, FlightSchema)
+	}
+	if d.Reason != "wedged" || d.Label != "cell-0" || d.Seq != 1 {
+		t.Errorf("header = %+v", d)
+	}
+	// begin + retry + wait + end + in-flight begin = 5 span events.
+	if len(d.Events) != 5 {
+		t.Errorf("got %d events, want 5", len(d.Events))
+	}
+	kinds := map[string]int{}
+	for _, e := range d.Events {
+		kinds[e.Kind]++
+	}
+	if kinds["begin"] != 2 || kinds["retry"] != 1 || kinds["wait"] != 1 || kinds["end"] != 1 {
+		t.Errorf("kind histogram = %v", kinds)
+	}
+	if len(d.MachineTail) != 2 || d.MachineTail[0].Op != "RLL" || d.MachineTail[1].Op != "RSC" {
+		t.Errorf("machine tail = %+v", d.MachineTail)
+	}
+	if d.MachineDropped != 5 {
+		t.Errorf("machine_dropped = %d, want 5", d.MachineDropped)
+	}
+	if d.Counters["flight_dumps"] != 0 {
+		// The counter snapshot is taken before the increment: dump N
+		// reports N-1 prior dumps.
+		t.Errorf("counters in dump 1 report %d flight_dumps, want 0", d.Counters["flight_dumps"])
+	}
+	if met.Snapshot().Get(obs.CtrFlightDumps) != 1 {
+		t.Error("flight_dumps counter not incremented")
+	}
+
+	// Chrome sidecar exists, validates, and carries the open "B" span.
+	chrome, err := os.ReadFile(strings.TrimSuffix(path, ".json") + ".chrome.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateChrome(chrome); err != nil || n == 0 {
+		t.Fatalf("chrome sidecar invalid: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(string(chrome), `"ph": "B"`) {
+		t.Error("chrome export missing open begin for in-flight span")
+	}
+}
+
+func TestFlightDedupeAndCap(t *testing.T) {
+	dir := t.TempDir()
+	tr := MustNew(Config{Procs: 1, EventsPerProc: 16})
+	fl, err := NewFlight(FlightConfig{Dir: dir, Tracer: tr, MaxDumps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same reason twice: exactly one dump.
+	if _, wrote, _ := fl.Trigger("wedged"); !wrote {
+		t.Fatal("first wedged trigger must write")
+	}
+	if _, wrote, _ := fl.Trigger("wedged"); wrote {
+		t.Error("second wedged trigger must be deduplicated")
+	}
+	if len(fl.Dumps()) != 1 {
+		t.Fatalf("dumps = %v, want exactly 1", fl.Dumps())
+	}
+
+	// Distinct reasons write until the cap.
+	if _, wrote, _ := fl.Trigger("linearizability"); !wrote {
+		t.Error("distinct reason must write")
+	}
+	if _, wrote, _ := fl.Trigger("conservation"); wrote {
+		t.Error("MaxDumps=2 must refuse a third dump")
+	}
+	if got := len(fl.Dumps()); got != 2 {
+		t.Errorf("dumps = %d, want 2", got)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 dumps × (json + chrome sidecar).
+	if len(entries) != 4 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("dir has %v, want 4 files", names)
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var fl *Flight
+	if path, wrote, err := fl.Trigger("wedged"); path != "" || wrote || err != nil {
+		t.Error("nil flight Trigger must be a no-op")
+	}
+	if fl.Dumps() != nil {
+		t.Error("nil flight Dumps must be nil")
+	}
+	if _, err := NewFlight(FlightConfig{}); err == nil {
+		t.Error("NewFlight must require Dir")
+	}
+}
+
+func TestFlightSanitizesReason(t *testing.T) {
+	dir := t.TempDir()
+	tr := MustNew(Config{Procs: 1, EventsPerProc: 16})
+	fl, err := NewFlight(FlightConfig{Dir: dir, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, wrote, err := fl.Trigger("lin check: round 3/5")
+	if err != nil || !wrote {
+		t.Fatalf("trigger: wrote=%v err=%v", wrote, err)
+	}
+	base := filepath.Base(path)
+	if strings.ContainsAny(base, ":/ ") {
+		t.Errorf("unsanitized dump name %q", base)
+	}
+}

@@ -1,0 +1,592 @@
+// Package trace is the span/event layer of the observability substrate:
+// a lock-free, per-process ring-buffer recorder of operation *lifetimes*,
+// where internal/obs alone records aggregates. A span covers one
+// algorithm-level operation (an SC, a CAS, a Store loop, a transaction)
+// from begin to end; inside it the instrumented retry loops record each
+// retry iteration with its failure cause (interference vs spurious), each
+// contention.Waiter wait with its duration, and each helping event
+// (Figure 6 copy fixes). Crash, restart, and watchdog-wedge transitions
+// are recorded as standalone events. The result answers the question the
+// counters cannot: *which* LL..SC lifetime stalled, who interfered, and
+// what happened in the steps before a wedge.
+//
+// The paper's claims are per-operation temporal claims — an SC is
+// "constant time after the last spurious failure" (Theorems 1, 3), and
+// lock-freedom means some operation always completes — so the evidence
+// for them is per-operation timelines, not totals.
+//
+// Cost model, mirroring internal/obs:
+//
+//   - Nil is off. Every method is safe on a nil *Tracer and on the zero
+//     Span; the disabled hot path is a single branch and 0 allocations
+//     (asserted by TestTracerDisabledZeroAlloc and the extended
+//     internal/core/alloc_test.go).
+//   - Recording never allocates and never locks: rings are fixed arrays
+//     of seqlock-protected slots written with atomics, so a snapshot
+//     taken while processors are recording (the flight-recorder case)
+//     is race-free and simply skips slots caught mid-write.
+//   - Memory is bounded: capacity is fixed at construction; when a ring
+//     wraps, the oldest events are overwritten and counted (trace_drops).
+//   - Sampling bounds the enabled cost: SampleEvery = N records every
+//     N-th offered span; skipped spans cost one atomic add
+//     (trace_sampled_out) and record nothing.
+//
+// One writer caveat, accepted deliberately: per-slot seqlock versions are
+// derived from the global write cursor, so a writer that stalls for an
+// entire ring lap while another writer reclaims its slot can interleave
+// field writes. Readers detect the torn slot by its version mismatch and
+// drop it — at worst one diagnostic event per lap is lost, never a data
+// race and never a torn read surfacing as a plausible event.
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Ambient is the proc value for spans recorded without a paper-style
+// process identity (mirrors contention.Ambient). Such events land in the
+// shared ambient ring.
+const Ambient = -1
+
+// Kind classifies one trace event.
+type Kind uint8
+
+const (
+	// KindBegin opens a span: an algorithm-level operation started.
+	KindBegin Kind = iota + 1
+	// KindEnd closes a span; Dur is the whole operation's wall time and
+	// OK its outcome. A span with a Begin and no End was in flight when
+	// the ring was snapshotted — exactly the stalled-lifetime evidence a
+	// flight dump is for.
+	KindEnd
+	// KindRetry is one failed attempt inside a span's retry loop; Cause
+	// says why and Dur is the time since the previous attempt boundary.
+	KindRetry
+	// KindWait is one contention.Waiter wait; Dur is its duration.
+	KindWait
+	// KindHelp is helping work performed for another process (Figure 6
+	// copy fixes, universal-construction helping); Arg counts units.
+	KindHelp
+	// KindCrash is a processor crash (fault injection or lease expiry).
+	KindCrash
+	// KindRestart is a processor restart (Machine.Restart).
+	KindRestart
+	// KindWedge is a recovery.Watchdog Wedged verdict.
+	KindWedge
+)
+
+// String returns the kind's stable mnemonic (used in flight dumps).
+func (k Kind) String() string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	case KindEnd:
+		return "end"
+	case KindRetry:
+		return "retry"
+	case KindWait:
+		return "wait"
+	case KindHelp:
+		return "help"
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	case KindWedge:
+		return "wedge"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op names the algorithm-level operation a span covers.
+type Op uint8
+
+const (
+	OpNone Op = iota
+	OpLL
+	OpVL
+	OpSC
+	OpCAS
+	OpRead
+	OpStore
+	OpApply
+	OpTx
+	OpOther
+)
+
+// String returns the op's stable mnemonic (used in flight dumps).
+func (o Op) String() string {
+	switch o {
+	case OpNone:
+		return ""
+	case OpLL:
+		return "ll"
+	case OpVL:
+		return "vl"
+	case OpSC:
+		return "sc"
+	case OpCAS:
+		return "cas"
+	case OpRead:
+		return "read"
+	case OpStore:
+		return "store"
+	case OpApply:
+		return "apply"
+	case OpTx:
+		return "tx"
+	case OpOther:
+		return "op"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Cause classifies a retry, mirroring contention.Cause / the obs
+// taxonomy's failure split.
+type Cause uint8
+
+const (
+	CauseNone Cause = iota
+	// CauseInterference: another process's SC succeeded.
+	CauseInterference
+	// CauseSpurious: the underlying RSC failed spuriously.
+	CauseSpurious
+)
+
+// String returns the cause's stable mnemonic (used in flight dumps).
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return ""
+	case CauseInterference:
+		return "interference"
+	case CauseSpurious:
+		return "spurious"
+	default:
+		return fmt.Sprintf("cause(%d)", uint8(c))
+	}
+}
+
+// Event is one decoded trace event. T is nanoseconds since the tracer's
+// construction (a monotonic, per-tracer timebase); Dur is the event's
+// duration where meaningful (End: whole span; Retry: time since the
+// previous attempt boundary; Wait/Help: the wait/help itself).
+type Event struct {
+	Span  uint64
+	T     int64
+	Dur   int64
+	Proc  int32
+	Kind  Kind
+	Op    Op
+	Cause Cause
+	OK    bool
+	Arg   uint64
+}
+
+// slot is one seqlock-protected ring entry. seq is 2·idx+1 while the
+// writer owning write index idx is mid-write and 2·idx+2 once that write
+// is complete; readers reject any other value.
+type slot struct {
+	seq  atomic.Uint64
+	span atomic.Uint64
+	t    atomic.Uint64
+	dur  atomic.Uint64
+	meta atomic.Uint64
+	arg  atomic.Uint64
+}
+
+// meta packing: bits 0-31 proc (int32), 32-39 kind, 40-47 op, 48-55
+// cause, 56 ok.
+func packMeta(e Event) uint64 {
+	m := uint64(uint32(e.Proc))
+	m |= uint64(e.Kind) << 32
+	m |= uint64(e.Op) << 40
+	m |= uint64(e.Cause) << 48
+	if e.OK {
+		m |= 1 << 56
+	}
+	return m
+}
+
+func unpackMeta(m uint64, e *Event) {
+	e.Proc = int32(uint32(m))
+	e.Kind = Kind(m >> 32)
+	e.Op = Op(m >> 40)
+	e.Cause = Cause(m >> 48)
+	e.OK = m>>56&1 == 1
+}
+
+// ring is one bounded event buffer. cursor counts events ever written;
+// slot i holds write index idx with idx & mask == i.
+type ring struct {
+	cursor atomic.Uint64
+	mask   uint64
+	slots  []slot
+}
+
+func newRing(capacity int) *ring {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &ring{mask: uint64(c - 1), slots: make([]slot, c)}
+}
+
+func (r *ring) record(e Event) (dropped bool) {
+	idx := r.cursor.Add(1) - 1
+	s := &r.slots[idx&r.mask]
+	s.seq.Store(2*idx + 1)
+	s.span.Store(e.Span)
+	s.t.Store(uint64(e.T))
+	s.dur.Store(uint64(e.Dur))
+	s.meta.Store(packMeta(e))
+	s.arg.Store(e.Arg)
+	s.seq.Store(2*idx + 2)
+	return idx >= uint64(len(r.slots))
+}
+
+// snapshot appends the ring's retained events (oldest first) to out,
+// skipping slots caught mid-write or already reclaimed by a newer lap.
+func (r *ring) snapshot(out []Event) []Event {
+	n := r.cursor.Load()
+	start := uint64(0)
+	if n > uint64(len(r.slots)) {
+		start = n - uint64(len(r.slots))
+	}
+	for idx := start; idx < n; idx++ {
+		s := &r.slots[idx&r.mask]
+		want := 2*idx + 2
+		if s.seq.Load() != want {
+			continue
+		}
+		var e Event
+		e.Span = s.span.Load()
+		e.T = int64(s.t.Load())
+		e.Dur = int64(s.dur.Load())
+		unpackMeta(s.meta.Load(), &e)
+		e.Arg = s.arg.Load()
+		if s.seq.Load() != want {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func (r *ring) dropped() uint64 {
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		return n - uint64(len(r.slots))
+	}
+	return 0
+}
+
+// Attribution is an optional set of histograms a tracer feeds at span
+// end, the latency-attribution payload of bench records: where did the
+// operation's wall time go? Each non-nil histogram receives exactly one
+// observation per ended span (zeros included, so counts stay aligned
+// with the span count and means are per-operation).
+type Attribution struct {
+	// OpNs is the whole span duration.
+	OpNs *obs.Hist
+	// RetryNs is the time spent in failed attempts (attempt boundaries
+	// to the next attempt, excluding waits).
+	RetryNs *obs.Hist
+	// WaitNs is the time spent in contention.Waiter waits.
+	WaitNs *obs.Hist
+	// HelpNs is the time spent helping other processes.
+	HelpNs *obs.Hist
+}
+
+// Config sizes a Tracer.
+type Config struct {
+	// Procs is the number of dedicated per-process rings. Spans begun
+	// with proc in [0, Procs) record into their process's ring,
+	// single-writer; everything else shares the ambient ring.
+	Procs int
+	// EventsPerProc is each ring's capacity in events, rounded up to a
+	// power of two. Default 1024. Memory is bounded by
+	// (Procs+1) · EventsPerProc · 48 bytes.
+	EventsPerProc int
+	// SampleEvery records every N-th offered span (1 = all, the
+	// default). Skipped spans are counted (trace_sampled_out) and cost
+	// one atomic add.
+	SampleEvery uint64
+}
+
+// DefaultEventsPerProc is the ring capacity used when Config leaves
+// EventsPerProc zero.
+const DefaultEventsPerProc = 1024
+
+// Tracer records spans and events into per-process rings. A nil *Tracer
+// is valid everywhere and means "tracing disabled": Begin returns the
+// inert zero Span and every other method is a no-op.
+type Tracer struct {
+	rings       []*ring // rings[0..procs-1] per-proc, rings[procs] ambient
+	procs       int
+	sampleEvery uint64
+	sampleCtr   atomic.Uint64
+	spanSeq     atomic.Uint64
+	t0          time.Time
+	mets        *obs.Metrics
+	att         *Attribution
+}
+
+// New creates a tracer. Procs < 0 or a zero capacity after defaulting is
+// rejected.
+func New(cfg Config) (*Tracer, error) {
+	if cfg.Procs < 0 {
+		return nil, fmt.Errorf("trace: Procs must be >= 0, got %d", cfg.Procs)
+	}
+	if cfg.EventsPerProc == 0 {
+		cfg.EventsPerProc = DefaultEventsPerProc
+	}
+	if cfg.EventsPerProc < 1 {
+		return nil, fmt.Errorf("trace: EventsPerProc must be >= 1, got %d", cfg.EventsPerProc)
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 1
+	}
+	t := &Tracer{
+		rings:       make([]*ring, cfg.Procs+1),
+		procs:       cfg.Procs,
+		sampleEvery: cfg.SampleEvery,
+		t0:          time.Now(),
+	}
+	for i := range t.rings {
+		t.rings[i] = newRing(cfg.EventsPerProc)
+	}
+	return t, nil
+}
+
+// MustNew is New for statically valid configs; it panics on error.
+func MustNew(cfg Config) *Tracer {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables): spans,
+// events, drops, and sampled-out spans feed the trace_* counters. Safe
+// on nil tracers. Attach before the tracer is shared.
+func (t *Tracer) SetMetrics(m *obs.Metrics) {
+	if t != nil {
+		t.mets = m
+	}
+}
+
+// SetAttribution attaches optional latency-attribution histograms fed at
+// span end. Safe on nil tracers. Attach before the tracer is shared.
+func (t *Tracer) SetAttribution(a *Attribution) {
+	if t != nil {
+		t.att = a
+	}
+}
+
+// now returns nanoseconds since construction (monotonic).
+func (t *Tracer) now() int64 { return int64(time.Since(t.t0)) }
+
+func (t *Tracer) ringFor(proc int) *ring {
+	if proc >= 0 && proc < t.procs {
+		return t.rings[proc]
+	}
+	return t.rings[t.procs]
+}
+
+func (t *Tracer) inc(proc int, c obs.Counter) {
+	if proc >= 0 {
+		t.mets.IncProc(proc, c)
+	} else {
+		t.mets.Inc(c)
+	}
+}
+
+func (t *Tracer) record(r *ring, proc int, e Event) {
+	if r.record(e) {
+		t.inc(proc, obs.CtrTraceDrops)
+	}
+	t.inc(proc, obs.CtrTraceEvents)
+}
+
+// Begin opens a span for one algorithm-level operation by process proc
+// (or Ambient). On a nil tracer, or when sampling skips the span, it
+// returns the inert zero Span — the single-branch disabled path. The
+// returned Span is a value; keep it on the caller's stack and do not
+// copy it after the first method call.
+func (t *Tracer) Begin(proc int, op Op) Span {
+	if t == nil {
+		return Span{}
+	}
+	if t.sampleEvery > 1 && t.sampleCtr.Add(1)%t.sampleEvery != 0 {
+		t.inc(proc, obs.CtrTraceSampledOut)
+		return Span{}
+	}
+	now := t.now()
+	s := Span{
+		t:        t,
+		ring:     t.ringFor(proc),
+		id:       t.spanSeq.Add(1),
+		proc:     int32(proc),
+		op:       op,
+		start:    now,
+		lastMark: now,
+	}
+	t.record(s.ring, proc, Event{Span: s.id, T: now, Proc: s.proc, Kind: KindBegin, Op: op})
+	t.inc(proc, obs.CtrTraceSpans)
+	return s
+}
+
+// Emit records a standalone (span-less) event: crash, restart, wedge, or
+// help performed outside any traced operation. Safe on nil tracers.
+func (t *Tracer) Emit(proc int, k Kind, op Op, dur time.Duration, arg uint64) {
+	if t == nil {
+		return
+	}
+	t.record(t.ringFor(proc), proc, Event{
+		T: t.now(), Dur: int64(dur), Proc: int32(proc), Kind: k, Op: op, Arg: arg,
+	})
+}
+
+// Transition records a lifecycle transition (KindCrash, KindRestart,
+// KindWedge) for process proc. Safe on nil tracers.
+func (t *Tracer) Transition(proc int, k Kind) { t.Emit(proc, k, OpNone, 0, 0) }
+
+// Snapshot returns every retained event across all rings, oldest first
+// per ring, rings concatenated in proc order (ambient last). It is safe
+// to call while processors are recording; slots caught mid-write are
+// skipped.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	var out []Event
+	for _, r := range t.rings {
+		out = r.snapshot(out)
+	}
+	return out
+}
+
+// Dropped returns the total number of events overwritten before they
+// could be snapshotted. Safe on nil.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	var d uint64
+	for _, r := range t.rings {
+		d += r.dropped()
+	}
+	return d
+}
+
+// Spans returns the number of spans begun (after sampling). Safe on nil.
+func (t *Tracer) Spans() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.spanSeq.Load()
+}
+
+// Span is the per-operation recording handle, a stack value returned by
+// Begin. The zero Span is inert: every method is a cheap no-op, so call
+// sites need no conditionals. Methods use a pointer receiver only to
+// mutate the accumulators in place; the value must stay on one
+// goroutine's stack.
+type Span struct {
+	t        *Tracer
+	ring     *ring
+	id       uint64
+	proc     int32
+	op       Op
+	start    int64
+	lastMark int64
+	retryNs  int64
+	waitNs   int64
+	helpNs   int64
+	retries  uint32
+}
+
+// Active reports whether the span is recording (false for the zero Span).
+func (s *Span) Active() bool { return s.t != nil }
+
+// Retry records one failed attempt with its cause; the attempt's
+// duration is the time since the previous attempt boundary (Begin, the
+// last Retry, or the end of the last wait).
+func (s *Span) Retry(c Cause) {
+	if s.t == nil {
+		return
+	}
+	now := s.t.now()
+	d := now - s.lastMark
+	s.lastMark = now
+	s.retryNs += d
+	s.retries++
+	s.t.record(s.ring, int(s.proc), Event{
+		Span: s.id, T: now, Dur: d, Proc: s.proc, Kind: KindRetry, Op: s.op, Cause: c,
+	})
+}
+
+// AddWait records one contention wait of duration d (as returned by
+// contention.Waiter.WaitTimed) and excludes it from subsequent retry
+// attribution. Zero-duration waits are attributed but not recorded as
+// events.
+func (s *Span) AddWait(d time.Duration) {
+	if s.t == nil {
+		return
+	}
+	now := s.t.now()
+	s.lastMark = now
+	s.waitNs += int64(d)
+	if d == 0 {
+		return
+	}
+	s.t.record(s.ring, int(s.proc), Event{
+		Span: s.id, T: now, Dur: int64(d), Proc: s.proc, Kind: KindWait, Op: s.op,
+	})
+}
+
+// AddHelp records helping work of duration d covering units items
+// (Figure 6 copy fixes, universal helping) performed inside this span.
+func (s *Span) AddHelp(units uint64, d time.Duration) {
+	if s.t == nil {
+		return
+	}
+	now := s.t.now()
+	s.lastMark = now
+	s.helpNs += int64(d)
+	s.t.record(s.ring, int(s.proc), Event{
+		Span: s.id, T: now, Dur: int64(d), Proc: s.proc, Kind: KindHelp, Op: s.op, Arg: units,
+	})
+}
+
+// Retries returns the number of failed attempts recorded so far.
+func (s *Span) Retries() int { return int(s.retries) }
+
+// End closes the span with its outcome and feeds the attribution
+// histograms. Further method calls on the span are no-ops.
+func (s *Span) End(ok bool) {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	s.t = nil
+	now := t.now()
+	dur := now - s.start
+	t.record(s.ring, int(s.proc), Event{
+		Span: s.id, T: now, Dur: dur, Proc: s.proc, Kind: KindEnd, Op: s.op, OK: ok,
+	})
+	if a := t.att; a != nil {
+		a.OpNs.Observe(uint64(dur))
+		a.RetryNs.Observe(uint64(s.retryNs))
+		a.WaitNs.Observe(uint64(s.waitNs))
+		a.HelpNs.Observe(uint64(s.helpNs))
+	}
+}

@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestTracerSpanLifecycle(t *testing.T) {
+	tr := MustNew(Config{Procs: 2, EventsPerProc: 64})
+	met := obs.NewWithStripes(1)
+	tr.SetMetrics(met)
+
+	sp := tr.Begin(0, OpSC)
+	if !sp.Active() {
+		t.Fatal("span should be active")
+	}
+	sp.Retry(CauseSpurious)
+	sp.AddWait(5 * time.Microsecond)
+	sp.AddHelp(3, 2*time.Microsecond)
+	sp.Retry(CauseInterference)
+	sp.End(true)
+	sp.End(true) // idempotent: ended spans are inert
+	sp.Retry(CauseSpurious)
+
+	events := tr.Snapshot()
+	// begin + 2 retries + wait + help + end = 6, with nothing after End.
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6: %+v", len(events), events)
+	}
+	kinds := []Kind{KindBegin, KindRetry, KindWait, KindHelp, KindRetry, KindEnd}
+	for i, k := range kinds {
+		if events[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, events[i].Kind, k)
+		}
+		if events[i].Proc != 0 {
+			t.Errorf("event %d proc = %d, want 0", i, events[i].Proc)
+		}
+		if events[i].Span != sp.id {
+			t.Errorf("event %d span = %d, want %d", i, events[i].Span, sp.id)
+		}
+	}
+	end := events[5]
+	if !end.OK || end.Op != OpSC || end.Dur <= 0 {
+		t.Errorf("end event = %+v", end)
+	}
+	if events[1].Cause != CauseSpurious || events[4].Cause != CauseInterference {
+		t.Errorf("retry causes = %v, %v", events[1].Cause, events[4].Cause)
+	}
+	if events[2].Dur != int64(5*time.Microsecond) {
+		t.Errorf("wait dur = %d", events[2].Dur)
+	}
+	if events[3].Arg != 3 {
+		t.Errorf("help units = %d", events[3].Arg)
+	}
+
+	snap := met.Snapshot()
+	if snap.Get(obs.CtrTraceSpans) != 1 {
+		t.Errorf("trace_spans = %d, want 1", snap.Get(obs.CtrTraceSpans))
+	}
+	if snap.Get(obs.CtrTraceEvents) != 6 {
+		t.Errorf("trace_events = %d, want 6", snap.Get(obs.CtrTraceEvents))
+	}
+}
+
+func TestTracerNilAndZeroSpan(t *testing.T) {
+	var tr *Tracer
+	tr.SetMetrics(obs.NewWithStripes(1))
+	tr.SetAttribution(&Attribution{})
+	sp := tr.Begin(0, OpSC)
+	if sp.Active() {
+		t.Error("nil tracer must yield inactive span")
+	}
+	sp.Retry(CauseSpurious)
+	sp.AddWait(time.Millisecond)
+	sp.AddHelp(1, time.Millisecond)
+	sp.End(true)
+	tr.Emit(0, KindCrash, OpNone, 0, 0)
+	tr.Transition(1, KindWedge)
+	if ev := tr.Snapshot(); ev != nil {
+		t.Errorf("nil tracer snapshot = %v", ev)
+	}
+	if tr.Dropped() != 0 || tr.Spans() != 0 {
+		t.Error("nil tracer counters must read 0")
+	}
+}
+
+func TestTracerAmbientAndOutOfRangeProcs(t *testing.T) {
+	tr := MustNew(Config{Procs: 1, EventsPerProc: 16})
+	a := tr.Begin(Ambient, OpStore)
+	a.End(true)
+	far := tr.Begin(7, OpCAS) // beyond Procs: shares the ambient ring
+	far.End(false)
+	events := tr.Snapshot()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	for _, e := range events {
+		if e.Proc != -1 && e.Proc != 7 {
+			t.Errorf("unexpected proc %d", e.Proc)
+		}
+	}
+}
+
+func TestTracerRingWrapCountsDrops(t *testing.T) {
+	tr := MustNew(Config{Procs: 1, EventsPerProc: 8})
+	met := obs.NewWithStripes(1)
+	tr.SetMetrics(met)
+	for i := 0; i < 20; i++ {
+		sp := tr.Begin(0, OpSC)
+		sp.End(true)
+	}
+	// 40 events through an 8-slot ring: 32 dropped, 8 retained.
+	events := tr.Snapshot()
+	if len(events) != 8 {
+		t.Errorf("retained %d events, want 8", len(events))
+	}
+	if tr.Dropped() != 32 {
+		t.Errorf("dropped = %d, want 32", tr.Dropped())
+	}
+	if got := met.Snapshot().Get(obs.CtrTraceDrops); got != 32 {
+		t.Errorf("trace_drops = %d, want 32", got)
+	}
+	// Retained events are the newest, in order.
+	for i := 1; i < len(events); i++ {
+		if events[i].T < events[i-1].T {
+			t.Errorf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := MustNew(Config{Procs: 1, EventsPerProc: 256, SampleEvery: 4})
+	met := obs.NewWithStripes(1)
+	tr.SetMetrics(met)
+	recorded := 0
+	for i := 0; i < 100; i++ {
+		sp := tr.Begin(0, OpSC)
+		if sp.Active() {
+			recorded++
+		}
+		sp.End(true)
+	}
+	if recorded != 25 {
+		t.Errorf("recorded %d spans of 100 at SampleEvery=4, want 25", recorded)
+	}
+	snap := met.Snapshot()
+	if snap.Get(obs.CtrTraceSpans) != 25 || snap.Get(obs.CtrTraceSampledOut) != 75 {
+		t.Errorf("spans=%d sampled_out=%d, want 25/75",
+			snap.Get(obs.CtrTraceSpans), snap.Get(obs.CtrTraceSampledOut))
+	}
+}
+
+func TestTracerAttribution(t *testing.T) {
+	tr := MustNew(Config{Procs: 1})
+	att := &Attribution{OpNs: &obs.Hist{}, RetryNs: &obs.Hist{}, WaitNs: &obs.Hist{}, HelpNs: &obs.Hist{}}
+	tr.SetAttribution(att)
+	sp := tr.Begin(0, OpSC)
+	sp.Retry(CauseInterference)
+	sp.AddWait(10 * time.Microsecond)
+	sp.AddHelp(1, 3*time.Microsecond)
+	sp.End(true)
+	for name, h := range map[string]*obs.Hist{
+		"op": att.OpNs, "retry": att.RetryNs, "wait": att.WaitNs, "help": att.HelpNs,
+	} {
+		if h.Count() != 1 {
+			t.Errorf("%s hist count = %d, want 1 (one observation per span)", name, h.Count())
+		}
+	}
+	if att.WaitNs.Sum() != uint64(10*time.Microsecond) {
+		t.Errorf("wait sum = %d", att.WaitNs.Sum())
+	}
+	if att.HelpNs.Sum() != uint64(3*time.Microsecond) {
+		t.Errorf("help sum = %d", att.HelpNs.Sum())
+	}
+}
+
+func TestTracerConcurrentSnapshot(t *testing.T) {
+	tr := MustNew(Config{Procs: 4, EventsPerProc: 64})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := tr.Begin(p, OpSC)
+				sp.Retry(CauseInterference)
+				sp.End(true)
+			}
+		}(p)
+	}
+	// Snapshot under fire: must not race (run under -race in CI) and
+	// must only yield well-formed events.
+	for i := 0; i < 50; i++ {
+		for _, e := range tr.Snapshot() {
+			if e.Kind < KindBegin || e.Kind > KindWedge {
+				t.Errorf("torn event surfaced: %+v", e)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTracerDisabledZeroAlloc pins the disabled hot path: a nil tracer's
+// Begin/Retry/End must not allocate (the instrumented core primitives
+// extend this assertion in internal/core/alloc_test.go).
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(0, OpSC)
+		sp.Retry(CauseInterference)
+		sp.AddWait(0)
+		sp.End(true)
+	}); n != 0 {
+		t.Errorf("disabled tracing allocates %.1f objects per op, want 0", n)
+	}
+}
+
+// TestTracerEnabledBoundedAlloc pins the enabled (and sampled) path:
+// recording into the pre-allocated rings must not allocate either — the
+// bounded-memory guarantee is that all allocation happens in New.
+func TestTracerEnabledBoundedAlloc(t *testing.T) {
+	tr := MustNew(Config{Procs: 1, EventsPerProc: 64})
+	tr.SetMetrics(obs.NewWithStripes(1))
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(0, OpSC)
+		sp.Retry(CauseSpurious)
+		sp.End(true)
+	}); n != 0 {
+		t.Errorf("enabled tracing allocates %.1f objects per op, want 0", n)
+	}
+	sampled := MustNew(Config{Procs: 1, EventsPerProc: 64, SampleEvery: 8})
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := sampled.Begin(0, OpSC)
+		sp.End(true)
+	}); n != 0 {
+		t.Errorf("sampled tracing allocates %.1f objects per op, want 0", n)
+	}
+}

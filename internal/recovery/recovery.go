@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Verdict is the watchdog's classification of the interval since the
@@ -73,6 +74,7 @@ type Watchdog struct {
 	progress func() uint64
 	k        uint64
 	mets     *obs.Metrics
+	tr       *trace.Tracer
 
 	lastSteps       uint64
 	lastProgress    uint64
@@ -104,6 +106,12 @@ func NewWatchdog(m *machine.Machine, progress func() uint64, k uint64) (*Watchdo
 // increments watchdog_checks, every Wedged verdict watchdog_wedged.
 func (w *Watchdog) SetMetrics(m *obs.Metrics) { w.mets = m }
 
+// SetTracer attaches an optional span tracer (nil disables): every
+// Wedged verdict is recorded as a wedge transition event, so a flight
+// dump shows exactly where in the operation timeline the watchdog
+// tripped.
+func (w *Watchdog) SetTracer(t *trace.Tracer) { w.tr = t }
+
 // Threshold returns the wedge threshold K in machine steps.
 func (w *Watchdog) Threshold() uint64 { return w.k }
 
@@ -123,6 +131,7 @@ func (w *Watchdog) Check() Verdict {
 	}
 	if steps-w.stepsAtProgress >= w.k {
 		w.mets.Inc(obs.CtrWatchdogWedged)
+		w.tr.Transition(trace.Ambient, trace.KindWedge)
 		return Wedged
 	}
 	// Steps are accruing but the drought is still under K: slow, but not
@@ -138,6 +147,7 @@ type Supervisor struct {
 	Reg  *machine.Registry
 	Dog  *Watchdog
 	mets *obs.Metrics
+	tr   *trace.Tracer
 }
 
 // NewSupervisor builds a supervisor over reg and dog (both required).
@@ -153,6 +163,14 @@ func NewSupervisor(reg *machine.Registry, dog *Watchdog) (*Supervisor, error) {
 func (s *Supervisor) SetMetrics(m *obs.Metrics) {
 	s.mets = m
 	s.Dog.SetMetrics(m)
+}
+
+// SetTracer attaches an optional span tracer (nil disables) to the
+// supervisor's watchdog, and records supervisor-driven restarts
+// (NoteRestart) as restart transitions.
+func (s *Supervisor) SetTracer(t *trace.Tracer) {
+	s.tr = t
+	s.Dog.SetTracer(t)
 }
 
 // Join grants a lease to processor id (mirrors lease_joins).
@@ -206,4 +224,5 @@ func (s *Supervisor) Poll() PollResult {
 // Call after machine.Restart succeeds.
 func (s *Supervisor) NoteRestart(id int) {
 	s.mets.IncProc(id, obs.CtrRecoveryRestarts)
+	s.tr.Transition(id, trace.KindRestart)
 }

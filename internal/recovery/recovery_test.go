@@ -1,10 +1,13 @@
 package recovery
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func TestWatchdogVerdicts(t *testing.T) {
@@ -151,5 +154,60 @@ func TestSupervisorMirrorsLeaseEvents(t *testing.T) {
 		if got := snap.Get(ctr); got != want {
 			t.Fatalf("%s = %d, want %d", ctr, got, want)
 		}
+	}
+}
+
+// TestWedgeProducesExactlyOneFlightDump is the deterministic-schedule
+// flight-recorder property: a forced wedge, however many times the
+// supervisor polls it, emits exactly one dump for the "wedged" reason.
+func TestWedgeProducesExactlyOneFlightDump(t *testing.T) {
+	m := machine.MustNew(machine.Config{Procs: 1})
+	var prog uint64
+	dog, err := NewWatchdog(m, func() uint64 { return prog }, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.MustNew(trace.Config{Procs: 1, EventsPerProc: 64})
+	dog.SetTracer(tr)
+	fl, err := trace.NewFlight(trace.FlightConfig{Dir: t.TempDir(), Label: "wedge-test", Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+	w := m.NewWord(0)
+
+	// Deterministic schedule: one processor burns loads with zero
+	// completions until the drought crosses K, then keeps spinning.
+	dumps := 0
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 10; i++ {
+			p.Load(w)
+		}
+		if dog.Check() == Wedged {
+			if _, wrote, err := fl.Trigger("wedged"); err != nil {
+				t.Fatal(err)
+			} else if wrote {
+				dumps++
+			}
+		}
+	}
+	if dumps != 1 {
+		t.Fatalf("forced wedge wrote %d dumps, want exactly 1", dumps)
+	}
+	if got := len(fl.Dumps()); got != 1 {
+		t.Fatalf("flight recorder holds %d dumps, want 1", got)
+	}
+
+	// The dump's span stream carries the wedge transitions the watchdog
+	// recorded — the causal breadcrumb a debugger starts from.
+	raw, err := os.ReadFile(fl.Dumps()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"schema": "llsc-flight/v1"`) {
+		t.Error("dump missing schema header")
+	}
+	if !strings.Contains(string(raw), `"kind": "wedge"`) {
+		t.Error("dump missing wedge transition event")
 	}
 }

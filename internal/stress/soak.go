@@ -35,7 +35,9 @@ import (
 	"repro/internal/linearizability"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/recovery"
+	mtrace "repro/internal/trace"
 )
 
 // SoakSchema identifies the soak report JSON format. Bump only on
@@ -61,6 +63,12 @@ type SoakConfig struct {
 	LeaseTTL uint64
 	// Timeout bounds one cell's wall-clock run. Defaults to 60s.
 	Timeout time.Duration
+	// FlightDir, when set, arms a flight recorder per cell: span tracing
+	// is enabled, and the first linearizability violation, conservation
+	// leak, or wedge verdict dumps an llsc-flight/v1 snapshot (plus a
+	// Chrome trace export) into this directory. Empty disables tracing
+	// entirely — the soak hot paths then cost a nil check.
+	FlightDir string
 }
 
 func (cfg SoakConfig) withDefaults() SoakConfig {
@@ -130,6 +138,10 @@ type SoakCellResult struct {
 	// Counters is the cell's full observability snapshot (recovery_*,
 	// lease_*, watchdog_*, fault_inj_* tell the recovery story).
 	Counters map[string]uint64 `json:"counters"`
+	// FlightDumps lists the flight-recorder dump paths this cell wrote
+	// (empty unless SoakConfig.FlightDir was set and a check tripped).
+	// Additive llsc-soak/v1 field.
+	FlightDumps []string `json:"flight_dumps,omitempty"`
 }
 
 // WedgeResult is the outcome of the lock-based contrast demo: the same
@@ -145,6 +157,10 @@ type WedgeResult struct {
 	Steps     uint64 `json:"steps"`
 	Checks    uint64 `json:"checks"`
 	K         uint64 `json:"k"`
+	// FlightDumps lists the dump(s) the demo's flight recorder wrote on
+	// its first Wedged verdict (set only with SoakConfig.FlightDir).
+	// Additive llsc-soak/v1 field.
+	FlightDumps []string `json:"flight_dumps,omitempty"`
 }
 
 // SoakReport is the JSON-serializable outcome of a full soak, the artifact
@@ -199,7 +215,23 @@ func RunSoakCell(spec RegisterSpec, cfg SoakConfig) (SoakCellResult, error) {
 		fault.NewTagPressure(3, 200))
 	met := obs.NewWithStripes(cfg.Procs)
 	plan.SetMetrics(met)
-	m, err := machine.New(machine.Config{Procs: cfg.Procs, Observer: met.MachineObserver(), FaultPlan: plan})
+	observer := met.MachineObserver()
+	var tr *trace.Tracer
+	var fl *trace.Flight
+	if cfg.FlightDir != "" {
+		tr = trace.MustNew(trace.Config{Procs: cfg.Procs})
+		tr.SetMetrics(met)
+		tail := mtrace.MustNewRecorder(4096)
+		observer = obs.TeeObservers(observer, tr.MachineObserver(), tail.Observe)
+		var err error
+		fl, err = trace.NewFlight(trace.FlightConfig{
+			Dir: cfg.FlightDir, Label: spec.Name, Tracer: tr, Machine: tail, Metrics: met,
+		})
+		if err != nil {
+			return SoakCellResult{}, err
+		}
+	}
+	m, err := machine.New(machine.Config{Procs: cfg.Procs, Observer: observer, FaultPlan: plan})
 	if err != nil {
 		return SoakCellResult{}, err
 	}
@@ -223,6 +255,7 @@ func RunSoakCell(spec RegisterSpec, cfg SoakConfig) (SoakCellResult, error) {
 		return SoakCellResult{}, err
 	}
 	sup.SetMetrics(met)
+	sup.SetTracer(tr)
 	for p := 0; p < cfg.Procs; p++ {
 		if err := sup.Join(p); err != nil {
 			return SoakCellResult{}, err
@@ -234,7 +267,7 @@ func RunSoakCell(spec RegisterSpec, cfg SoakConfig) (SoakCellResult, error) {
 	// each round into the next (orphaned mutators can leave more than one).
 	states := []linearizability.State{{}}
 	for round := 0; round < cfg.Rounds; round++ {
-		if err := runSoakRound(reg, rec, m, sup, cfg, round, deadline, &states, &res); err != nil {
+		if err := runSoakRound(reg, rec, m, sup, fl, cfg, round, deadline, &states, &res); err != nil {
 			return SoakCellResult{}, fmt.Errorf("soak: %s round %d: %w", spec.Name, round, err)
 		}
 		res.Rounds++
@@ -249,13 +282,19 @@ func RunSoakCell(spec RegisterSpec, cfg SoakConfig) (SoakCellResult, error) {
 		res.Ok = false
 		res.Violation = fmt.Sprintf("watchdog wedged %d time(s) on a non-blocking figure", res.WatchdogWedged)
 	}
+	if !res.Ok && res.WatchdogWedged > 0 {
+		if _, _, err := fl.Trigger("wedged"); err != nil {
+			return SoakCellResult{}, err
+		}
+	}
+	res.FlightDumps = fl.Dumps()
 	return res, nil
 }
 
 // runSoakRound drives one quiescent round: all lanes to their op target,
 // restarting crashed incarnations as they die, then checks the round's
 // history and the register's conservation invariant.
-func runSoakRound(reg Register, rec *recorder, m *machine.Machine, sup *recovery.Supervisor,
+func runSoakRound(reg Register, rec *recorder, m *machine.Machine, sup *recovery.Supervisor, fl *trace.Flight,
 	cfg SoakConfig, round int, deadline <-chan time.Time, states *[]linearizability.State, res *SoakCellResult) error {
 	exits := make(chan laneExit, cfg.Procs)
 	var wg sync.WaitGroup
@@ -367,6 +406,9 @@ func runSoakRound(reg Register, rec *recorder, m *machine.Machine, sup *recovery
 	res.Ok = ok
 	if !ok {
 		res.Violation = fmt.Sprintf("round %d: history not linearizable from any carried state under any pending-op variant", round)
+		if _, _, err := fl.Trigger("linearizability"); err != nil {
+			return err
+		}
 		return nil
 	}
 	*states = finals
@@ -374,6 +416,9 @@ func runSoakRound(reg Register, rec *recorder, m *machine.Machine, sup *recovery
 		if err := c.CheckConservation(); err != nil {
 			res.Ok = false
 			res.Violation = fmt.Sprintf("round %d: conservation: %v", round, err)
+			if _, _, err := fl.Trigger("conservation"); err != nil {
+				return err
+			}
 			return nil
 		}
 	}
@@ -437,7 +482,24 @@ func RunWedgeDemo(cfg SoakConfig) (WedgeResult, error) {
 	if cfg.Procs < 2 {
 		return WedgeResult{}, fmt.Errorf("soak: wedge demo needs at least 2 procs, got %d", cfg.Procs)
 	}
-	m, err := machine.New(machine.Config{Procs: cfg.Procs})
+	met := obs.NewWithStripes(cfg.Procs)
+	var tr *trace.Tracer
+	var fl *trace.Flight
+	var observer func(machine.Event)
+	if cfg.FlightDir != "" {
+		tr = trace.MustNew(trace.Config{Procs: cfg.Procs})
+		tr.SetMetrics(met)
+		tail := mtrace.MustNewRecorder(4096)
+		observer = obs.TeeObservers(tr.MachineObserver(), tail.Observe)
+		var err error
+		fl, err = trace.NewFlight(trace.FlightConfig{
+			Dir: cfg.FlightDir, Label: "lockbase", Tracer: tr, Machine: tail, Metrics: met,
+		})
+		if err != nil {
+			return WedgeResult{}, err
+		}
+	}
+	m, err := machine.New(machine.Config{Procs: cfg.Procs, Observer: observer})
 	if err != nil {
 		return WedgeResult{}, err
 	}
@@ -448,8 +510,8 @@ func RunWedgeDemo(cfg SoakConfig) (WedgeResult, error) {
 	if err != nil {
 		return WedgeResult{}, err
 	}
-	met := obs.NewWithStripes(cfg.Procs)
 	dog.SetMetrics(met)
+	dog.SetTracer(tr)
 
 	var stop atomic.Bool
 	acquire := func(p *machine.Proc) bool {
@@ -507,6 +569,9 @@ poll:
 			result.Checks++
 			if dog.Check() == recovery.Wedged {
 				result.Wedged = true
+				if _, _, err := fl.Trigger("wedged"); err != nil {
+					return WedgeResult{}, err
+				}
 				break poll
 			}
 		case <-deadline:
@@ -517,6 +582,7 @@ poll:
 	wg.Wait()
 	result.Completed = completed.Load()
 	result.Steps = m.Steps()
+	result.FlightDumps = fl.Dumps()
 	return result, nil
 }
 

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs/trace"
 )
 
 func soakTestConfig() SoakConfig {
@@ -146,5 +149,81 @@ func TestRunSoakFullMatrix(t *testing.T) {
 	}
 	if back.Schema != SoakSchema {
 		t.Fatalf("schema = %q, want %q", back.Schema, SoakSchema)
+	}
+}
+
+// TestWedgeDemoFlightDump is the end-to-end flight-recorder claim: a
+// wedged run with FlightDir set auto-emits exactly one llsc-flight/v1
+// dump whose Chrome export parses, and a clean soak cell emits none.
+func TestWedgeDemoFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	cfg := soakTestConfig()
+	cfg.WatchdogK = 20_000
+	cfg.FlightDir = dir
+	res, err := RunWedgeDemo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Wedged {
+		t.Fatalf("watchdog stayed silent: %+v", res)
+	}
+	if len(res.FlightDumps) != 1 {
+		t.Fatalf("flight dumps = %v, want exactly 1", res.FlightDumps)
+	}
+	raw, err := os.ReadFile(res.FlightDumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Schema      string            `json:"schema"`
+		Reason      string            `json:"reason"`
+		MachineTail []json.RawMessage `json:"machine_tail"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Schema != "llsc-flight/v1" || dump.Reason != "wedged" {
+		t.Fatalf("dump header = %+v", dump)
+	}
+	if len(dump.MachineTail) == 0 {
+		t.Error("dump carries no machine tail")
+	}
+	chromePath := strings.TrimSuffix(res.FlightDumps[0], ".json") + ".chrome.json"
+	chrome, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatalf("chrome sidecar missing: %v", err)
+	}
+	if _, err := trace.ValidateChrome(chrome); err != nil {
+		t.Fatalf("chrome export invalid: %v", err)
+	}
+}
+
+// TestSoakCellCleanRunNoFlightDump pins the inverse: a healthy figure
+// with the recorder armed writes nothing.
+func TestSoakCellCleanRunNoFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	cfg := soakTestConfig()
+	cfg.Rounds = 2
+	cfg.FlightDir = dir
+	res, err := RunSoakCell(RegisterSpec{Name: "fig5", New: newFig5}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok {
+		t.Fatalf("soak failed: %s", res.Violation)
+	}
+	if len(res.FlightDumps) != 0 {
+		t.Fatalf("clean run wrote dumps: %v", res.FlightDumps)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("clean run left files in the flight dir: %v", entries)
+	}
+	// Tracing was live even though nothing dumped.
+	if res.Counters["trace_events"] == 0 {
+		t.Error("armed cell recorded no trace events")
 	}
 }

@@ -151,6 +151,10 @@ func Format(e machine.Event) string {
 			suffix = " (spurious)"
 		}
 		return fmt.Sprintf("%6d p%-2d RSC   w%-3d <- %#x : %v%s", e.Seq, e.Proc, e.Word, e.Val, e.OK, suffix)
+	case machine.OpCrash:
+		return fmt.Sprintf("%6d p%-2d CRASH   gen %d died", e.Seq, e.Proc, e.Val)
+	case machine.OpRestart:
+		return fmt.Sprintf("%6d p%-2d RESTART gen %d up", e.Seq, e.Proc, e.Val)
 	default:
 		return fmt.Sprintf("%6d p%-2d %v w%-3d", e.Seq, e.Proc, e.Op, e.Word)
 	}
