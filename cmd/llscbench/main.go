@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	llscbench [-quick] [-ops 200000] [-experiment all|e1|...|e8|e10]
+//	llscbench [-quick] [-ops 200000] [-experiment all|e1|...|e8|e10|native]
+//	          [-substrate sim|native]
 //	          [-metrics-addr :8080] [-report-interval 2s] [-json] [-json-dir .]
 package main
 
@@ -24,6 +25,9 @@ import (
 	"repro/internal/bench"
 	"repro/internal/contention"
 	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/history"
+	"repro/internal/linearizability"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/spec"
 	"repro/internal/stm"
 	"repro/internal/structures"
+	mtrace "repro/internal/trace"
 	"repro/internal/universal"
 	"repro/internal/word"
 )
@@ -44,7 +49,18 @@ var (
 	flagJSON    = flag.Bool("json", false, "write one BENCH_<experiment>.json machine-readable record file per experiment")
 	flagJSONDir = flag.String("json-dir", ".", "directory for the BENCH_*.json files written by -json")
 	flagPolicy  = flag.String("policy", "all", "contention policy for the contention sweep (none, spin, backoff, adaptive, all)")
+
+	flagSubstrate = flag.String("substrate", "sim",
+		"machine substrate for the machine-backed experiments (sim, native); cells that need simulation-only features are skipped on native")
 )
+
+// substrate is the parsed -substrate value: the backend every
+// machine-backed experiment builds its machines on. Cells that depend on
+// simulation-only features (spurious-failure injection, the step clock,
+// serialized schedules, the machine observer) are skipped with a note
+// when it is native. The cross-substrate "native" experiment ignores
+// this and pins each of its cells' substrates itself.
+var substrate = machine.SubstrateSim
 
 // sink is the shared metrics sink for every instrumented experiment. It is
 // nil unless an observability flag asked for it, so the default run pays
@@ -70,7 +86,7 @@ func ops() int {
 // run for minutes — an unknown -policy would otherwise only surface deep
 // inside the contention sweep, after every other experiment already ran).
 // Extracted so the rules are unit-testable without exiting the process.
-func validateFlags(ops int, report time.Duration, policy string) error {
+func validateFlags(ops int, report time.Duration, policy, sub string) error {
 	if ops < 1 {
 		return fmt.Errorf("-ops must be positive, got %d", ops)
 	}
@@ -82,14 +98,18 @@ func validateFlags(ops int, report time.Duration, policy string) error {
 			return fmt.Errorf("unknown -policy %q (want all, %s)", policy, strings.Join(contention.Names(), ", "))
 		}
 	}
+	if _, err := machine.ParseSubstrate(sub); err != nil {
+		return fmt.Errorf("bad -substrate: %w", err)
+	}
 	return nil
 }
 
 func main() {
 	flag.Parse()
-	if err := validateFlags(*flagOps, *flagReport, *flagPolicy); err != nil {
+	if err := validateFlags(*flagOps, *flagReport, *flagPolicy, *flagSubstrate); err != nil {
 		usageErr("%v", err)
 	}
+	substrate, _ = machine.ParseSubstrate(*flagSubstrate)
 	if *flagMetrics != "" || *flagReport > 0 || *flagJSON {
 		sink = obs.New()
 		obs.Publish("llscbench", sink)
@@ -110,6 +130,7 @@ func main() {
 	}{
 		{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4},
 		{"e5", e5}, {"e6", e6}, {"e7", e7}, {"e8", e8}, {"e10", e10},
+		{"native", enative},
 		{"contention", econtention},
 	}
 	sel := strings.ToLower(*flagExp)
@@ -162,6 +183,18 @@ func recordAttr(res bench.Result, retries, latency *obs.Hist, att *trace.Attribu
 	lastSnap = snap
 }
 
+// recordSub is record() for machine-backed cells: it additionally stamps
+// the substrate the cell's machines ran on (the additive llsc-bench/v1
+// "substrate" field). Machine-free cells keep using record(), which
+// leaves the field empty — a substrate is only meaningful where there is
+// a machine.
+func recordSub(res bench.Result, retries, latency *obs.Hist, sub machine.Substrate) {
+	record(res, retries, latency)
+	if *flagJSON {
+		recs[len(recs)-1] = recs[len(recs)-1].WithSubstrate(sub.String())
+	}
+}
+
 // publishHists exposes the most recently completed cell's histograms on
 // the Prometheus route while -metrics-addr serves. Re-publishing
 // replaces, so a scrape always sees the latest cell's distribution;
@@ -192,18 +225,28 @@ func publishHists(retries, latency *obs.Hist, att *trace.Attribution) {
 func e1() {
 	t := bench.NewTable("E1: CAS from RLL/RSC (Figure 3, Theorem 1) — throughput and retry behaviour",
 		"procs", "spurious p", "ops/s", "ns/op", "RSC retries/op")
+	spurs := []float64{0, 0.1}
+	if substrate == machine.SubstrateNative {
+		// Hardware CAS has no spurious failures to inject; only the
+		// ideal column exists on the native substrate.
+		spurs = []float64{0}
+	}
 	for _, procs := range []int{1, 2, 4, 8} {
-		for _, p := range []float64{0, 0.1} {
-			m := machine.MustNew(machine.Config{
-				Procs: procs, SpuriousFailProb: p, Seed: 1,
-				Observer: sink.MachineObserver(),
-			})
+		for _, p := range spurs {
+			cfg := machine.Config{Procs: procs, Substrate: substrate, Seed: 1}
+			name := fmt.Sprintf("cas/native/p%d", procs)
+			if substrate == machine.SubstrateSim {
+				cfg.SpuriousFailProb = p
+				cfg.Observer = sink.MachineObserver()
+				name = fmt.Sprintf("cas/p%d/spur%.1f", procs, p)
+			}
+			m := machine.MustNew(cfg)
 			v, err := core.NewCASVar(m, word.DefaultLayout, 0)
 			must(err)
 			v.SetMetrics(sink)
 			mask := v.Layout().MaxVal()
 			var casRetries obs.Hist
-			res := bench.RunObserved(fmt.Sprintf("cas/p%d/spur%.1f", procs, p), procs, ops(), &casRetries, nil, func(w, i int) int {
+			res := bench.RunObserved(name, procs, ops(), &casRetries, nil, func(w, i int) int {
 				proc := m.Proc(w)
 				fails := 0
 				for {
@@ -214,13 +257,23 @@ func e1() {
 					fails++
 				}
 			})
-			st := m.Stats()
-			retries := float64(st.RSCSpurious+st.RSCRealFail) / float64(res.Ops)
-			record(res, &casRetries, nil)
-			t.AddRow(procs, p, bench.Throughput(res.OpsPerSec()), res.NsPerOp(), fmt.Sprintf("%.3f", retries))
+			// The RSC tallies come from the step accounting the native
+			// hot path deliberately skips, so the column is sim-only.
+			retries := "-"
+			if substrate == machine.SubstrateSim {
+				st := m.Stats()
+				retries = fmt.Sprintf("%.3f", float64(st.RSCSpurious+st.RSCRealFail)/float64(res.Ops))
+			}
+			recordSub(res, &casRetries, nil, substrate)
+			t.AddRow(procs, p, bench.Throughput(res.OpsPerSec()), res.NsPerOp(), retries)
 		}
 	}
 	t.Fprint(os.Stdout)
+
+	if substrate == machine.SubstrateNative {
+		fmt.Println("E1b skipped on the native substrate: the burst step count reads the sim step clock.")
+		return
+	}
 
 	// Constant time after the last spurious failure: force bursts and
 	// count the steps of the final completion.
@@ -289,6 +342,10 @@ func e2() {
 	// simulated machine force the retry path deterministically on any
 	// host, including single-CPU runners where native-CAS contention is
 	// nearly unobservable.
+	if substrate == machine.SubstrateNative {
+		fmt.Println("E2c skipped on the native substrate: the attribution cells are driven by injected spurious failures.")
+		return
+	}
 	t3 := bench.NewTable("E2c: SC latency attribution under spurious failure (span tracer on, full sampling)",
 		"spurious p", "ns/op", "retry p50", "retry p99", "retry share")
 	for _, pr := range []float64{0, 0.1, 0.3} {
@@ -329,7 +386,7 @@ func e3() {
 	t := bench.NewTable("E3: direct (Figure 5, one tag) vs composed (Figure 4 over Figure 3, two tags)",
 		"impl", "procs", "ops/s", "ns/op", "tag bits", "data bits", "wrap @1M ops/s")
 	for _, procs := range []int{1, 4} {
-		m := machine.MustNew(machine.Config{Procs: procs})
+		m := machine.MustNew(machine.Config{Procs: procs, Substrate: substrate})
 		direct, err := core.NewRVar(m, word.MustLayout(48), 0)
 		must(err)
 		mask := direct.Layout().MaxVal()
@@ -345,7 +402,7 @@ func e3() {
 		t.AddRow("fig5-direct", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp(),
 			48, 16, human(word.TimeToWrap(48, 1e6)))
 
-		m2 := machine.MustNew(machine.Config{Procs: procs})
+		m2 := machine.MustNew(machine.Config{Procs: procs, Substrate: substrate})
 		composed, err := baseline.NewComposed(m2, 24, 24, 0)
 		must(err)
 		cmask := uint64(1)<<composed.DataBits() - 1
@@ -1047,6 +1104,11 @@ func demoStall() {
 // --- E10: verification summary and simulation-overhead ablation ----------
 
 func e10() {
+	if substrate == machine.SubstrateNative {
+		fmt.Println("E10 skipped on the native substrate: exhaustive schedule enumeration and the")
+		fmt.Println("overhead ladder both measure the simulated machine itself.")
+		return
+	}
 	// E10a: exhaustive stateless model checking — every schedule of small
 	// workloads, directly via internal/sched.
 	t := bench.NewTable("E10a: exhaustive schedule enumeration (stateless model checking)",
@@ -1193,6 +1255,139 @@ func timeIt(n int, fn func(int)) float64 {
 		fn(i)
 	}
 	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// --- EN: native-substrate differential ------------------------------------
+
+// enative measures the same Figure 3 counter loop — read the word, CAS
+// it to value+1 — across three substrate configurations of the same
+// machine API, single proc:
+//
+//   - sim/bare: the simulated machine with nothing attached, the
+//     cheapest configuration the simulation can run;
+//   - sim/verify: the simulated machine under the verification
+//     configuration the conformance and fuzzing harnesses actually run —
+//     machine observer feeding obs counters plus the flight recorder's
+//     machine-event ring, span tracer with full latency attribution,
+//     serializing round-robin scheduler, spurious RSC failures at the
+//     rate the sequential fuzzer injects (0.3), the stress matrix's
+//     composed fault plan (spurious burst + periodic interference), and
+//     the conformance harness's history recording with a windowed
+//     linearizability check every 18 recorded operations;
+//   - native: hardware sync/atomic.
+//
+// The second ratio is the substrate dividend this experiment exists to
+// pin: figure code verified under the instrumented simulation runs
+// unchanged on hardware atomics at production speed. Contended native
+// cells (2 and 4 procs) are shown for context but not recorded to
+// BENCH_native.json — the recorded single-proc cells are deterministic
+// instruction streams, so bench-diff gates numbers whose variance is
+// timing noise alone.
+func enative() {
+	t := bench.NewTable("EN: Figure 3 counter across machine substrates",
+		"cell", "procs", "ops/s", "ns/op")
+
+	runCell := func(name string, m *machine.Machine, procs int, rec bool) bench.Result {
+		v, err := core.NewCASVar(m, word.DefaultLayout, 0)
+		must(err)
+		mask := v.Layout().MaxVal()
+		ps := make([]*machine.Proc, procs)
+		for i := range ps {
+			ps[i] = m.Proc(i)
+		}
+		res := bench.Run(name, procs, ops(), func(w, i int) {
+			p := ps[w]
+			for {
+				old := v.Read(p)
+				if v.CompareAndSwap(p, old, (old+1)&mask) {
+					return
+				}
+			}
+		})
+		if rec {
+			recordSub(res, nil, nil, m.Substrate())
+		}
+		return res
+	}
+
+	simBare := runCell("fig3ctr/sim/bare/p1",
+		machine.MustNew(machine.Config{Procs: 1, Seed: 1}), 1, true)
+	t.AddRow("sim, bare machine", 1, bench.Throughput(simBare.OpsPerSec()), simBare.NsPerOp())
+
+	// The wiring must cost what it costs even when -json didn't create
+	// the shared sink.
+	vsink := sink
+	if vsink == nil {
+		vsink = obs.New()
+	}
+	// Observer chain: the metrics sink's counter observer plus the
+	// bounded machine-event ring the flight recorder dumps from — both
+	// are armed in the soak and stress harnesses.
+	ring := mtrace.MustNewRecorder(4096)
+	counters := vsink.MachineObserver()
+	mv := machine.MustNew(machine.Config{
+		Procs: 1, Seed: 1,
+		SpuriousFailProb: 0.3, // the sequential fuzzer's injection rate
+		Observer:         func(e machine.Event) { counters(e); ring.Observe(e) },
+		Scheduler:        sched.NewController(1, &sched.RoundRobin{}),
+		// The stress matrix's adversaries, with the interference budget
+		// uncapped so the plan stays armed for the whole run.
+		FaultPlan: fault.Compose(
+			fault.NewBurst(0, 0, 8),
+			fault.NewInterference(fault.AnyProc, 3, 1<<30),
+		),
+	})
+	vv, err := core.NewCASVar(mv, word.DefaultLayout, 0)
+	must(err)
+	vv.SetMetrics(vsink)
+	vtr := trace.MustNew(trace.Config{Procs: 1})
+	vtr.SetMetrics(vsink)
+	att := &trace.Attribution{OpNs: &obs.Hist{}, RetryNs: &obs.Hist{}, WaitNs: &obs.Hist{}, HelpNs: &obs.Hist{}}
+	vtr.SetAttribution(att)
+	vv.SetTracer(vtr)
+	vmask := vv.Layout().MaxVal()
+	vp := mv.Proc(0)
+	// History recording and windowed exact checking, exactly as the
+	// conformance stress driver does it (internal/conformance runStress):
+	// every op is timestamped and recorded, and every window of 18
+	// recorded ops is checked for linearizability against the register
+	// model from the window's starting value.
+	const window = 18
+	hrec := history.NewRecorder(1)
+	winStart := vv.Read(vp)
+	inWindow := 0
+	simVerify := bench.Run("fig3ctr/sim/verify/p1", 1, ops(), func(w, i int) {
+		call := hrec.Now()
+		old := vv.Read(vp)
+		okCAS := vv.CompareAndSwap(vp, old, (old+1)&vmask)
+		ret := hrec.Now()
+		hrec.Record(0, history.Op{Proc: 0, Kind: history.KindCAS, Arg1: old, Arg2: (old + 1) & vmask, RetBool: okCAS, Call: call, Return: ret})
+		if inWindow++; inWindow == window {
+			if _, err := linearizability.Check(hrec.Ops(), linearizability.State{Val: winStart}); err != nil {
+				must(fmt.Errorf("verification cell found a linearizability violation: %w", err))
+			}
+			hrec = history.NewRecorder(1)
+			winStart = vv.Read(vp)
+			inWindow = 0
+		}
+	})
+	recordSub(simVerify, nil, nil, machine.SubstrateSim)
+	t.AddRow("sim, verification wiring", 1, bench.Throughput(simVerify.OpsPerSec()), simVerify.NsPerOp())
+
+	nat := runCell("fig3ctr/native/p1",
+		machine.MustNew(machine.Config{Procs: 1, Substrate: machine.SubstrateNative}), 1, true)
+	t.AddRow("native, hardware sync/atomic", 1, bench.Throughput(nat.OpsPerSec()), nat.NsPerOp())
+
+	for _, procs := range []int{2, 4} {
+		res := runCell(fmt.Sprintf("fig3ctr/native/p%d", procs),
+			machine.MustNew(machine.Config{Procs: procs, Substrate: machine.SubstrateNative}), procs, false)
+		t.AddRow("native, contended", procs, bench.Throughput(res.OpsPerSec()), res.NsPerOp())
+	}
+	t.Fprint(os.Stdout)
+	fmt.Printf("native speedup vs sim, bare machine:        %6.1fx\n", simBare.NsPerOp()/nat.NsPerOp())
+	fmt.Printf("native speedup vs sim, verification wiring: %6.1fx\n", simVerify.NsPerOp()/nat.NsPerOp())
+	fmt.Println("Verify under the instrumented simulation, then run the identical figure code on")
+	fmt.Println("hardware atomics: the second ratio is what the substrate switch buys.")
 }
 
 // --- Contention sweep -------------------------------------------------------

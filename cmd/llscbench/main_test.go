@@ -7,26 +7,28 @@ import (
 )
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(200000, 0, "all"); err != nil {
+	if err := validateFlags(200000, 0, "all", "sim"); err != nil {
 		t.Fatalf("defaults rejected: %v", err)
 	}
-	if err := validateFlags(1, 2*time.Second, "backoff"); err != nil {
-		t.Fatalf("named policy rejected: %v", err)
+	if err := validateFlags(1, 2*time.Second, "backoff", "native"); err != nil {
+		t.Fatalf("named policy / native substrate rejected: %v", err)
 	}
 	cases := []struct {
-		name   string
-		ops    int
-		report time.Duration
-		policy string
-		want   string
+		name      string
+		ops       int
+		report    time.Duration
+		policy    string
+		substrate string
+		want      string
 	}{
-		{"zero ops", 0, 0, "all", "-ops"},
-		{"negative report", 100, -time.Second, "all", "-report-interval"},
-		{"unknown policy", 100, 0, "nope", "-policy"},
+		{"zero ops", 0, 0, "all", "sim", "-ops"},
+		{"negative report", 100, -time.Second, "all", "sim", "-report-interval"},
+		{"unknown policy", 100, 0, "nope", "sim", "-policy"},
+		{"unknown substrate", 100, 0, "all", "turbo", "-substrate"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateFlags(c.ops, c.report, c.policy)
+			err := validateFlags(c.ops, c.report, c.policy, c.substrate)
 			if err == nil {
 				t.Fatal("bad flags accepted")
 			}

@@ -10,9 +10,17 @@
 //
 // Usage:
 //
-//	llscfuzz [-seqs 200] [-ops 500] [-seed 1] [-sched 200] [-metrics-addr :8080]
+//	llscfuzz [-seqs 200] [-ops 500] [-seed 1] [-sched 200] [-substrate sim|native]
+//	         [-metrics-addr :8080]
 //	         [-fault-plan all] [-crash-at 12] [-burst-len 50] [-stress-rounds 10]
 //	         [-stress-json stress-report.json]
+//
+// With -substrate=native the machine-backed targets run on hardware
+// sync/atomic (internal/machine's native substrate): the sequential
+// differential phase exercises the native RLL/RSC emulation op-for-op
+// against the oracle, while the serialized-schedule and fault-injection
+// phases are skipped — schedulers and fault plans need the simulated
+// operation boundary.
 package main
 
 import (
@@ -39,6 +47,9 @@ var (
 	flagSched   = flag.Int("sched", 200, "serialized-schedule runs per implementation")
 	flagMetrics = flag.String("metrics-addr", "", "serve live expvar/pprof/metrics on this address during the run (e.g. :8080)")
 
+	flagSubstrate = flag.String("substrate", "sim",
+		"machine substrate for machine-backed targets (sim, native); native skips the scheduler and fault phases")
+
 	flagFaultPlan = flag.String("fault-plan", "all",
 		"fault plans for the stress matrix: off, all, or one of none|burst|interference|crash|tagpressure")
 	flagCrashAt      = flag.Int("crash-at", 12, "machine-operation index at which the crash plan wedges its victim")
@@ -53,24 +64,32 @@ var (
 // counter the taxonomy names should move during a full run.
 var sink *obs.Metrics
 
+// substrate is the parsed -substrate value; the sequential targets build
+// their machines on it. The sim-only phases are gated in main.
+var substrate = machine.SubstrateSim
+
 // validateFlags applies the fail-fast rules (exit 2 before minutes of
 // fuzzing, not after). Extracted so the rules are unit-testable without
 // exiting the process; selectedPlans validates the fault-plan flags.
-func validateFlags(seqs, sched, ops int) error {
+func validateFlags(seqs, sched, ops int, sub string) error {
 	if seqs < 0 || sched < 0 {
 		return fmt.Errorf("-seqs and -sched must be non-negative, got %d and %d", seqs, sched)
 	}
 	if ops < 1 {
 		return fmt.Errorf("-ops must be positive, got %d", ops)
 	}
+	if _, err := machine.ParseSubstrate(sub); err != nil {
+		return fmt.Errorf("bad -substrate: %w", err)
+	}
 	return nil
 }
 
 func main() {
 	flag.Parse()
-	if err := validateFlags(*flagSeqs, *flagSched, *flagOps); err != nil {
+	if err := validateFlags(*flagSeqs, *flagSched, *flagOps, *flagSubstrate); err != nil {
 		usageErr("%v", err)
 	}
+	substrate, _ = machine.ParseSubstrate(*flagSubstrate)
 	if _, err := selectedPlans(); err != nil {
 		usageErr("%v", err)
 	}
@@ -84,8 +103,13 @@ func main() {
 	}
 	failures := 0
 	failures += sequentialPhase()
-	failures += schedulePhase()
-	failures += faultPhase()
+	if substrate == machine.SubstrateNative {
+		fmt.Println("\n== serialized-schedule fuzzing skipped (-substrate=native: schedulers need the simulated op boundary) ==")
+		fmt.Println("== fault-injection stress matrix skipped (-substrate=native: fault plans need the simulated op boundary) ==")
+	} else {
+		failures += schedulePhase()
+		failures += faultPhase()
+	}
 	if failures > 0 {
 		fmt.Printf("\nFAILED: %d fuzzing phases found divergence\n", failures)
 		os.Exit(1)
@@ -378,6 +402,20 @@ func selectedPlans() ([]stress.PlanSpec, error) {
 
 // --- sequential adapters -------------------------------------------------
 
+// seqMachineConfig builds the single-proc machine for a sequential
+// target on the selected substrate. Spurious-failure injection and the
+// machine observer are simulation-only; the native cell necessarily runs
+// ideal — the differential value it adds is exercising the native
+// RLL/RSC emulation op-for-op against the oracle.
+func seqMachineConfig(spurious float64, seed int64) machine.Config {
+	cfg := machine.Config{Procs: 1, Substrate: substrate, Seed: seed}
+	if substrate == machine.SubstrateSim {
+		cfg.SpuriousFailProb = spurious
+		cfg.Observer = sink.MachineObserver()
+	}
+	return cfg
+}
+
 type seqFig4 struct {
 	v    *core.Var
 	keep core.Keep
@@ -403,7 +441,7 @@ type seqFig5 struct {
 }
 
 func newSeqFig5(init uint64) seqTarget {
-	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 5, Observer: sink.MachineObserver()})
+	m := machine.MustNew(seqMachineConfig(0.3, 5))
 	v, err := core.NewRVar(m, word.MustLayout(48), init)
 	must(err)
 	v.SetMetrics(sink)
@@ -423,7 +461,7 @@ type seqFig3 struct {
 }
 
 func newSeqFig3(init uint64) seqTarget {
-	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 3, Observer: sink.MachineObserver()})
+	m := machine.MustNew(seqMachineConfig(0.3, 3))
 	v, err := core.NewCASVar(m, word.MustLayout(48), init)
 	must(err)
 	v.SetMetrics(sink)
@@ -500,7 +538,7 @@ type seqComposed struct {
 }
 
 func newSeqComposed(init uint64) seqTarget {
-	m := machine.MustNew(machine.Config{Procs: 1, SpuriousFailProb: 0.3, Seed: 11})
+	m := machine.MustNew(seqMachineConfig(0.3, 11))
 	v, err := baseline.NewComposed(m, 24, 24, init)
 	must(err)
 	return &seqComposed{m: m, v: v}

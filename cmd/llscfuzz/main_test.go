@@ -7,20 +7,23 @@ import (
 )
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(200, 200, 500); err != nil {
+	if err := validateFlags(200, 200, 500, "sim"); err != nil {
 		t.Fatalf("defaults rejected: %v", err)
 	}
-	if err := validateFlags(0, 0, 1); err != nil {
-		t.Fatalf("phases-off rejected: %v", err)
+	if err := validateFlags(0, 0, 1, "native"); err != nil {
+		t.Fatalf("phases-off / native substrate rejected: %v", err)
 	}
-	if err := validateFlags(-1, 0, 1); err == nil || !strings.Contains(err.Error(), "-seqs") {
+	if err := validateFlags(-1, 0, 1, "sim"); err == nil || !strings.Contains(err.Error(), "-seqs") {
 		t.Errorf("negative seqs: %v", err)
 	}
-	if err := validateFlags(0, -1, 1); err == nil {
+	if err := validateFlags(0, -1, 1, "sim"); err == nil {
 		t.Error("negative sched accepted")
 	}
-	if err := validateFlags(0, 0, 0); err == nil || !strings.Contains(err.Error(), "-ops") {
+	if err := validateFlags(0, 0, 0, "sim"); err == nil || !strings.Contains(err.Error(), "-ops") {
 		t.Errorf("zero ops: %v", err)
+	}
+	if err := validateFlags(0, 0, 1, "turbo"); err == nil || !strings.Contains(err.Error(), "-substrate") {
+		t.Errorf("unknown substrate: %v", err)
 	}
 }
 

@@ -144,6 +144,14 @@ func TestNakedAtomicIgnoresNonProtocolPackages(t *testing.T) {
 	checkGolden(t, NakedAtomic, "llscvet.test/nakedclean", 0)
 }
 
+// TestNakedAtomicMachineGolden pins the substrate fence: internal/machine
+// is a protocol package too, so an unsuppressed sync/atomic import there
+// fires, while the audited //llsc:allow clause on the substrate files'
+// import is the one sanctioned escape.
+func TestNakedAtomicMachineGolden(t *testing.T) {
+	checkGolden(t, NakedAtomic, "llscvet.test/nakedatomic/internal/machine", 1)
+}
+
 func TestRetryPolicyGolden(t *testing.T) {
 	checkGolden(t, RetryPolicy, "llscvet.test/retrypolicy/internal/structures", 1)
 }

@@ -13,12 +13,17 @@ import (
 
 // protocolPkgSuffixes are the packages bound to the machine.Word
 // discipline: all shared state through the simulated machine, all retry
-// loops through internal/contention.
+// loops through internal/contention. internal/machine is itself on the
+// list so that nakedatomic audits the substrate implementations: the
+// sim and native backends are the only code allowed to touch sync/atomic,
+// and each such import must carry an //llsc:allow nakedatomic(...) clause
+// documenting why.
 var protocolPkgSuffixes = []string{
 	"internal/core",
 	"internal/structures",
 	"internal/universal",
 	"internal/stm",
+	"internal/machine",
 }
 
 // isProtocolPkg reports whether path is one of the protocol packages.

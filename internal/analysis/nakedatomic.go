@@ -21,12 +21,20 @@ import (
 // hardware atomics (the paper's point is that the constructions compile
 // down to real CAS) carry //llsc:allow nakedatomic(...) suppressions whose
 // reasons document exactly that trade.
+//
+// internal/machine is also fenced: the substrates (simulated cells, the
+// native sync/atomic backend) are by definition built from raw atomics,
+// so every sync/atomic import there must carry an audited //llsc:allow
+// clause. That keeps the substrate the one place raw atomics may live and
+// makes any new unsuppressed import a vet failure rather than a silent
+// widening of the trusted base.
 var NakedAtomic = &Analyzer{
 	Name: "nakedatomic",
 	Doc: "forbid direct sync/atomic and sync.Mutex/RWMutex use in the protocol packages\n" +
-		"(internal/core, internal/structures, internal/universal, internal/stm): shared state\n" +
-		"must go through machine.Word or fault injection, tracing, deterministic scheduling,\n" +
-		"and the soak harness are silently bypassed.",
+		"(internal/core, internal/structures, internal/universal, internal/stm, and the\n" +
+		"internal/machine substrate itself): shared state must go through machine.Word or\n" +
+		"fault injection, tracing, deterministic scheduling, and the soak harness are\n" +
+		"silently bypassed; substrate-internal atomics need audited //llsc:allow clauses.",
 	Run: runNakedAtomic,
 }
 

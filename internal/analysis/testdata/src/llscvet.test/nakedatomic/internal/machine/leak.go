@@ -1,0 +1,13 @@
+package machine
+
+// A substrate file that imports sync/atomic without an audit clause must
+// still fire: the fence is what keeps the trusted base from widening
+// silently.
+
+import (
+	"sync/atomic" // want "direct sync/atomic use in protocol package"
+)
+
+var leaked atomic.Int64
+
+func bump() int64 { return leaked.Add(1) }

@@ -1,0 +1,18 @@
+// Golden cases for the nakedatomic analyzer over the substrate package
+// itself: this package's import path ends in internal/machine, so it is
+// fenced like the protocol packages. The suppressed import in this file
+// models the real substrate files (machine.go, native.go), whose raw
+// atomics are the audited trusted base.
+package machine
+
+import (
+	"sync/atomic" //llsc:allow nakedatomic(golden suppression case: the substrate is built from raw atomics by definition)
+)
+
+// Word models a substrate word backed directly by a hardware atomic.
+type Word struct {
+	nat atomic.Uint64
+}
+
+// Load reads the word through the native backend.
+func (w *Word) Load() uint64 { return w.nat.Load() }

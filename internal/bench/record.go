@@ -37,6 +37,11 @@ type Record struct {
 	// respectively. Additive llsc-bench/v1 fields.
 	RetryNs *obs.HistSnapshot `json:"retry_ns,omitempty"`
 	HelpNs  *obs.HistSnapshot `json:"help_ns,omitempty"`
+	// Substrate names the machine substrate the cell's machines ran on
+	// ("sim" or "native", see internal/machine.Substrate); empty for
+	// machine-free cells, where no substrate is involved. Additive
+	// llsc-bench/v1 field.
+	Substrate string `json:"substrate,omitempty"`
 }
 
 // NewRecord converts a Result into a Record. counters is the obs counter
@@ -80,6 +85,13 @@ func (rec Record) WithBackoff(backoff *obs.Hist) Record {
 		s := backoff.Snapshot()
 		rec.Backoff = &s
 	}
+	return rec
+}
+
+// WithSubstrate stamps the machine substrate the cell ran on; the empty
+// string (machine-free cell) leaves the field unset.
+func (rec Record) WithSubstrate(sub string) Record {
+	rec.Substrate = sub
 	return rec
 }
 

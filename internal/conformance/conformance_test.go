@@ -159,9 +159,9 @@ type figure3 struct {
 	v *core.CASVar
 }
 
-func newFigure3(spurious float64) factory {
+func newFigure3(sub machine.Substrate, spurious float64) factory {
 	return func(n int, initial uint64) register {
-		m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: spurious, Seed: 99})
+		m := machine.MustNew(substrateConfig(sub, n, spurious, 99))
 		v, err := core.NewCASVar(m, word.DefaultLayout, initial)
 		if err != nil {
 			panic(err)
@@ -184,9 +184,9 @@ type figure5 struct {
 	keeps []core.Keep
 }
 
-func newFigure5(spurious float64) factory {
+func newFigure5(sub machine.Substrate, spurious float64) factory {
 	return func(n int, initial uint64) register {
-		m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: spurious, Seed: 7})
+		m := machine.MustNew(substrateConfig(sub, n, spurious, 7))
 		v, err := core.NewRVar(m, word.DefaultLayout, initial)
 		if err != nil {
 			panic(err)
@@ -376,11 +376,11 @@ func TestLinearizabilityFigure2Oracle(t *testing.T) {
 }
 
 func TestLinearizabilityFigure3CASFromRLLRSC(t *testing.T) {
-	runStress(t, "core.CASVar", newFigure3(0.2))
+	runStressMatrix(t, "core.CASVar", 0.2, newFigure3)
 }
 
 func TestLinearizabilityFigure3NoSpurious(t *testing.T) {
-	runStress(t, "core.CASVar/ideal", newFigure3(0))
+	runStressMatrix(t, "core.CASVar/ideal", 0, newFigure3)
 }
 
 func TestLinearizabilityFigure4LLSCFromCAS(t *testing.T) {
@@ -388,7 +388,7 @@ func TestLinearizabilityFigure4LLSCFromCAS(t *testing.T) {
 }
 
 func TestLinearizabilityFigure5LLSCFromRLLRSC(t *testing.T) {
-	runStress(t, "core.RVar", newFigure5(0.2))
+	runStressMatrix(t, "core.RVar", 0.2, newFigure5)
 }
 
 func TestLinearizabilityFigure6Large(t *testing.T) {

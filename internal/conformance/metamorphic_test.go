@@ -1,0 +1,210 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+// Metamorphic cross-substrate tests: the same single-threaded operation
+// sequence, generated from the same seed, replayed on the simulated and
+// the native substrate, must agree on every operation result, on the
+// final value, and on the deltas of the schedule-independent obs
+// counters (operation counts and SC/CAS outcomes). Single-threaded and
+// spurious-free, both substrates execute the figure code down the
+// identical path, so any divergence is a substrate bug — this is the
+// behavioral-identity check that lets the native numbers in
+// BENCH_native.json stand for the same algorithms the simulation
+// verifies.
+//
+// Schedule-dependent counters (retries, backoff waits, copy fixes from
+// helping) are excluded on principle even though they too are
+// deterministic here: the invariant being pinned is "same ops in, same
+// ops out", not "same contention".
+
+// metaFigure drives one figure's op sequence: given a machine and a
+// metrics sink, apply ops pseudo-random operations (from rng) through
+// processor 0, returning each op's value/bool results and the final
+// value.
+type metaFigure struct {
+	name     string
+	counters []obs.Counter
+	run      func(t *testing.T, m *machine.Machine, met *obs.Metrics, rng *rand.Rand, ops int) (vals []uint64, oks []bool, final uint64)
+}
+
+var metaFigures = []metaFigure{
+	{
+		name:     "figure3-casvar",
+		counters: []obs.Counter{obs.CtrRead, obs.CtrCASAttempt},
+		run: func(t *testing.T, m *machine.Machine, met *obs.Metrics, rng *rand.Rand, ops int) ([]uint64, []bool, uint64) {
+			v, err := core.NewCASVar(m, word.DefaultLayout, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.SetMetrics(met)
+			p := m.Proc(0)
+			var vals []uint64
+			var oks []bool
+			for i := 0; i < ops; i++ {
+				if rng.Intn(3) == 0 {
+					vals = append(vals, v.Read(p))
+				} else {
+					oks = append(oks, v.CompareAndSwap(p, uint64(rng.Intn(4)), uint64(rng.Intn(4))))
+				}
+			}
+			return vals, oks, v.Read(p)
+		},
+	},
+	{
+		name:     "figure5-rvar",
+		counters: []obs.Counter{obs.CtrRead, obs.CtrLL, obs.CtrVL, obs.CtrSC, obs.CtrSCFailInterference},
+		run: func(t *testing.T, m *machine.Machine, met *obs.Metrics, rng *rand.Rand, ops int) ([]uint64, []bool, uint64) {
+			v, err := core.NewRVar(m, word.DefaultLayout, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.SetMetrics(met)
+			p := m.Proc(0)
+			var vals []uint64
+			var oks []bool
+			for i := 0; i < ops; i++ {
+				if rng.Intn(3) == 0 {
+					vals = append(vals, v.Read(p))
+					continue
+				}
+				val, keep := v.LL(p)
+				vals = append(vals, val)
+				if rng.Intn(2) == 0 {
+					oks = append(oks, v.VL(p, keep))
+				}
+				oks = append(oks, v.SC(p, keep, uint64(rng.Intn(4))))
+			}
+			return vals, oks, v.Read(p)
+		},
+	},
+	{
+		name:     "figure6-rlarge",
+		counters: []obs.Counter{obs.CtrRead, obs.CtrLL, obs.CtrVL, obs.CtrSC, obs.CtrSCFailInterference},
+		run: func(t *testing.T, m *machine.Machine, met *obs.Metrics, rng *rand.Rand, ops int) ([]uint64, []bool, uint64) {
+			f, err := core.NewRLargeFamily(m, 2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.SetMetrics(met)
+			v, err := f.NewVar([]uint64{1, 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := m.Proc(0)
+			buf := make([]uint64, 2)
+			var vals []uint64
+			var oks []bool
+			for i := 0; i < ops; i++ {
+				if rng.Intn(3) == 0 {
+					v.Read(p, buf)
+					vals = append(vals, buf[0], buf[1])
+					continue
+				}
+				keep, res := v.WLL(p, buf)
+				oks = append(oks, res == core.Succ)
+				if res != core.Succ {
+					continue
+				}
+				vals = append(vals, buf[0], buf[1])
+				oks = append(oks, v.SC(p, keep, []uint64{uint64(rng.Intn(4)), uint64(rng.Intn(4))}))
+			}
+			v.Read(p, buf)
+			return vals, oks, buf[0]<<8 | buf[1]
+		},
+	},
+	{
+		name:     "figure7-rbounded",
+		counters: []obs.Counter{obs.CtrRead, obs.CtrLL, obs.CtrVL, obs.CtrSC, obs.CtrSCFailInterference},
+		run: func(t *testing.T, m *machine.Machine, met *obs.Metrics, rng *rand.Rand, ops int) ([]uint64, []bool, uint64) {
+			f, err := core.NewRBoundedFamily(m, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.SetMetrics(met)
+			v, err := f.NewVar(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bp, err := f.Proc(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var vals []uint64
+			var oks []bool
+			for i := 0; i < ops; i++ {
+				if rng.Intn(3) == 0 {
+					vals = append(vals, v.Read(bp))
+					continue
+				}
+				val, keep, err := v.LL(bp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vals = append(vals, val)
+				if rng.Intn(2) == 0 {
+					oks = append(oks, v.VL(bp, keep))
+				}
+				oks = append(oks, v.SC(bp, keep, uint64(rng.Intn(4))))
+			}
+			return vals, oks, v.Read(bp)
+		},
+	},
+}
+
+func TestMetamorphicCrossSubstrate(t *testing.T) {
+	const ops = 300
+	for _, fig := range metaFigures {
+		t.Run(fig.name, func(t *testing.T) {
+			type outcome struct {
+				vals  []uint64
+				oks   []bool
+				final uint64
+				snap  obs.Snapshot
+			}
+			run := func(sub machine.Substrate) outcome {
+				m := machine.MustNew(machine.Config{Procs: 1, Substrate: sub, Seed: 5})
+				met := obs.New()
+				// Same seed for both substrates: the op sequence is a pure
+				// function of the rng, so the runs are replicas.
+				vals, oks, final := fig.run(t, m, met, rand.New(rand.NewSource(271)), ops)
+				return outcome{vals: vals, oks: oks, final: final, snap: met.Snapshot()}
+			}
+			sim := run(machine.SubstrateSim)
+			nat := run(machine.SubstrateNative)
+
+			if sim.final != nat.final {
+				t.Errorf("final value diverged: sim %d, native %d", sim.final, nat.final)
+			}
+			if len(sim.vals) != len(nat.vals) {
+				t.Fatalf("value-result counts diverged: sim %d, native %d", len(sim.vals), len(nat.vals))
+			}
+			for i := range sim.vals {
+				if sim.vals[i] != nat.vals[i] {
+					t.Errorf("value result %d diverged: sim %d, native %d", i, sim.vals[i], nat.vals[i])
+				}
+			}
+			if len(sim.oks) != len(nat.oks) {
+				t.Fatalf("bool-result counts diverged: sim %d, native %d", len(sim.oks), len(nat.oks))
+			}
+			for i := range sim.oks {
+				if sim.oks[i] != nat.oks[i] {
+					t.Errorf("bool result %d diverged: sim %v, native %v", i, sim.oks[i], nat.oks[i])
+				}
+			}
+			for _, c := range fig.counters {
+				if s, n := sim.snap.Get(c), nat.snap.Get(c); s != n {
+					t.Errorf("counter %v delta diverged: sim %d, native %d", c, s, n)
+				}
+			}
+		})
+	}
+}

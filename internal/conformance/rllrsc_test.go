@@ -15,9 +15,9 @@ type rlarge struct {
 	bufs  [][]uint64
 }
 
-func newRLarge(spurious float64) factory {
+func newRLarge(sub machine.Substrate, spurious float64) factory {
 	return func(n int, initial uint64) register {
-		m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: spurious, Seed: 51})
+		m := machine.MustNew(substrateConfig(sub, n, spurious, 51))
 		f, err := core.NewRLargeFamily(m, 1, 0)
 		if err != nil {
 			panic(err)
@@ -61,9 +61,9 @@ type rbounded struct {
 	keeps []core.BKeep
 }
 
-func newRBounded(spurious float64) factory {
+func newRBounded(sub machine.Substrate, spurious float64) factory {
 	return func(n int, initial uint64) register {
-		m := machine.MustNew(machine.Config{Procs: n, SpuriousFailProb: spurious, Seed: 53})
+		m := machine.MustNew(substrateConfig(sub, n, spurious, 53))
 		f, err := core.NewRBoundedFamily(m, 2)
 		if err != nil {
 			panic(err)
@@ -99,9 +99,9 @@ func (a *rbounded) SC(proc int, v uint64) bool {
 }
 
 func TestLinearizabilityRLargeOverRLLRSC(t *testing.T) {
-	runStress(t, "core.RLargeVar", newRLarge(0.2))
+	runStressMatrix(t, "core.RLargeVar", 0.2, newRLarge)
 }
 
 func TestLinearizabilityRBoundedOverRLLRSC(t *testing.T) {
-	runStress(t, "core.RBoundedVar", newRBounded(0.2))
+	runStressMatrix(t, "core.RBoundedVar", 0.2, newRBounded)
 }

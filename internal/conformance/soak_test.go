@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/stm"
 	"repro/internal/structures"
 	"repro/internal/word"
@@ -26,13 +27,17 @@ func soakEnabled(t *testing.T) {
 func TestSoakLinearizabilityBattery(t *testing.T) {
 	soakEnabled(t)
 	impls := map[string]factory{
-		"fig3":     newFigure3(0.2),
-		"fig4":     newFigure4,
-		"fig5":     newFigure5(0.2),
-		"fig6":     newFigure6,
-		"fig7":     newFigure7,
-		"rlarge":   newRLarge(0.2),
-		"rbounded": newRBounded(0.2),
+		"fig3":            newFigure3(machine.SubstrateSim, 0.2),
+		"fig4":            newFigure4,
+		"fig5":            newFigure5(machine.SubstrateSim, 0.2),
+		"fig6":            newFigure6,
+		"fig7":            newFigure7,
+		"rlarge":          newRLarge(machine.SubstrateSim, 0.2),
+		"rbounded":        newRBounded(machine.SubstrateSim, 0.2),
+		"fig3-native":     newFigure3(machine.SubstrateNative, 0),
+		"fig5-native":     newFigure5(machine.SubstrateNative, 0),
+		"rlarge-native":   newRLarge(machine.SubstrateNative, 0),
+		"rbounded-native": newRBounded(machine.SubstrateNative, 0),
 	}
 	for name, mk := range impls {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,51 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// This file is the substrate dimension of the conformance matrix: every
+// machine-backed register implementation (Figures 3 and 5, and the
+// Figure 6/7 realizations over RLL/RSC) runs the identical stress suite
+// on both the simulated multiprocessor and the native sync/atomic
+// substrate. The sim cells keep their spurious-failure injection and
+// windowed exact checking; the native cells necessarily run ideal
+// (hardware CAS has no spurious failures — New rejects the probability)
+// and exercise real hardware schedules, which the CI race job replays
+// under -race.
+//
+// The Figure 4 register and the containers built on it (counter, set,
+// map, pool, stack, queue, deque, ring, snapshot) are hardwired to raw
+// sync/atomic — they ARE the native path and have no sim cell; their
+// serialized-exhaustive suites play the sim role for them. The
+// machine-backed container is structures.MachineCounter, whose
+// substrate-differential suites live in internal/structures.
+
+// substrateConfig builds the machine configuration for one matrix cell.
+// Simulation-only features are set only for the sim cell; the native
+// substrate would reject them.
+func substrateConfig(sub machine.Substrate, n int, spurious float64, seed int64) machine.Config {
+	cfg := machine.Config{Procs: n, Substrate: sub, Seed: seed}
+	if sub == machine.SubstrateSim {
+		cfg.SpuriousFailProb = spurious
+	}
+	return cfg
+}
+
+// runStressMatrix runs the stress suite once per substrate as subtests.
+// mk builds the register factory for one cell; the sim cell gets the
+// given spurious rate, the native cell always 0.
+func runStressMatrix(t *testing.T, name string, spurious float64, mk func(machine.Substrate, float64) factory) {
+	t.Helper()
+	for _, sub := range []machine.Substrate{machine.SubstrateSim, machine.SubstrateNative} {
+		sp := spurious
+		if sub == machine.SubstrateNative {
+			sp = 0
+		}
+		t.Run(sub.String(), func(t *testing.T) {
+			runStress(t, name+"/"+sub.String(), mk(sub, sp))
+		})
+	}
+}

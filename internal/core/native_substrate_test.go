@@ -1,0 +1,194 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/machine"
+	"repro/internal/word"
+)
+
+// This file is the native-substrate stress matrix: every machine-backed
+// figure (3, 5, 7) driven by free-running goroutines on hardware
+// sync/atomic, swept across GOMAXPROCS 1/2/4 so the race detector sees
+// the fully serialized, the barely parallel, and the oversubscribed
+// schedules. `make race` and the CI race job run it under -race; the
+// assertions are termination (a hung retry loop fails the test timeout),
+// exactness of the final value, and — for the bounded family —
+// conservation of the tag/slot population at quiescence.
+
+// gomaxprocsSweep runs fn under each GOMAXPROCS setting, restoring the
+// previous value afterwards.
+func gomaxprocsSweep(t *testing.T, fn func(t *testing.T)) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, n := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(n)
+		t.Run(map[int]string{1: "gomaxprocs=1", 2: "gomaxprocs=2", 4: "gomaxprocs=4"}[n], fn)
+	}
+}
+
+func newNativeCoreMachine(t *testing.T, procs int) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.Config{Procs: procs, Substrate: machine.SubstrateNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestNativeRaceStressCASVar hammers Figure 3's CAS on the native
+// substrate: P processors each land ops increments exactly once.
+func TestNativeRaceStressCASVar(t *testing.T) {
+	const procs, ops = 4, 1500
+	gomaxprocsSweep(t, func(t *testing.T) {
+		m := newNativeCoreMachine(t, procs)
+		v, err := NewCASVar(m, word.MustLayout(32), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < procs; i++ {
+			wg.Add(1)
+			go func(p *machine.Proc) {
+				defer wg.Done()
+				for k := 0; k < ops; k++ {
+					for {
+						old := v.Read(p)
+						if v.CompareAndSwap(p, old, old+1) {
+							break
+						}
+					}
+				}
+			}(m.Proc(i))
+		}
+		wg.Wait()
+		if got := v.Read(m.Proc(0)); got != procs*ops {
+			t.Errorf("final value = %d, want %d", got, procs*ops)
+		}
+	})
+}
+
+// TestNativeRaceStressRVar hammers Figure 5's LL/SC on the native
+// substrate.
+func TestNativeRaceStressRVar(t *testing.T) {
+	const procs, ops = 4, 1500
+	gomaxprocsSweep(t, func(t *testing.T) {
+		m := newNativeCoreMachine(t, procs)
+		v, err := NewRVar(m, word.MustLayout(32), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < procs; i++ {
+			wg.Add(1)
+			go func(p *machine.Proc) {
+				defer wg.Done()
+				for k := 0; k < ops; k++ {
+					for {
+						val, keep := v.LL(p)
+						if v.SC(p, keep, val+1) {
+							break
+						}
+					}
+				}
+			}(m.Proc(i))
+		}
+		wg.Wait()
+		if got := v.Read(m.Proc(0)); got != procs*ops {
+			t.Errorf("final value = %d, want %d", got, procs*ops)
+		}
+	})
+}
+
+// TestNativeRaceStressBounded hammers Figure 7 (bounded tags over
+// RLL/RSC) on the native substrate, then audits tag/slot conservation:
+// after a quiescent bounded run, every announce slot must be free and
+// every tag queue intact — the reclamation invariant the chaos soak
+// checks on the simulation, here proven to survive real hardware
+// schedules under the race detector.
+func TestNativeRaceStressBounded(t *testing.T) {
+	const procs, ops, k = 4, 800, 2
+	gomaxprocsSweep(t, func(t *testing.T) {
+		m := newNativeCoreMachine(t, procs)
+		f, err := NewRBoundedFamily(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := f.NewVar(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < procs; i++ {
+			bp, err := f.Proc(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for n := 0; n < ops; n++ {
+					for {
+						val, keep, err := v.LL(bp)
+						if err != nil {
+							t.Errorf("LL: %v", err)
+							return
+						}
+						if v.SC(bp, keep, val+1) {
+							break
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := v.Read(mustBoundedProc(t, f, 0)); got != procs*ops {
+			t.Errorf("final value = %d, want %d", got, procs*ops)
+		}
+		if err := f.CheckConservation(); err != nil {
+			t.Errorf("conservation after native stress: %v", err)
+		}
+	})
+}
+
+// TestNativeContentionPolicies pins that the contention-management
+// policies work unchanged on the native substrate: an adaptive and an
+// exponential-backoff policy each carry a CASVar through a deterministic
+// spurious burst (Proc.FailNext is the one injection both substrates
+// honor) and through real interference.
+func TestNativeContentionPolicies(t *testing.T) {
+	for _, pol := range []*contention.Policy{
+		contention.None(),
+		contention.ExponentialBackoff(2, 64).WithSeed(3),
+		contention.Adaptive(2, 64).WithSeed(3),
+	} {
+		t.Run(pol.Name(), func(t *testing.T) {
+			m := newNativeCoreMachine(t, 2)
+			v, err := NewCASVar(m, word.MustLayout(32), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v.SetContention(pol)
+			p := m.Proc(0)
+			p.FailNext(4)
+			if !v.CompareAndSwap(p, 0, 1) {
+				t.Fatal("CAS failed through a spurious burst")
+			}
+			if got := v.Read(p); got != 1 {
+				t.Errorf("value = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func mustBoundedProc(t *testing.T, f *RBoundedFamily, id int) *RBoundedProc {
+	t.Helper()
+	p, err := f.Proc(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -24,12 +24,20 @@
 // is deliberately immune to ABA, like the hardware). Internally each Word
 // holds an atomically replaced cell pointer, so "has this word been
 // written" is pointer identity, not value equality.
+//
+// The simulation is one of two substrates the machine API can execute on.
+// Config.Substrate selects between SubstrateSim (everything above) and
+// SubstrateNative, which maps the same Load/Store/CAS/RLL/RSC instruction
+// set directly onto hardware sync/atomic for algorithm code that needs
+// real-machine throughput rather than the simulator's instrumentation;
+// see the Substrate type and native.go for the exact semantics traded
+// away.
 package machine
 
 import (
 	"fmt"
 	"math/rand"
-	"sync/atomic"
+	"sync/atomic" //llsc:allow nakedatomic(this package is the substrate: the simulated machine's cell pointers and counters, and the native substrate's words, are built from raw atomics by definition)
 )
 
 // Config parametrizes a simulated machine.
@@ -37,6 +45,14 @@ type Config struct {
 	// Procs is the number of simulated processors (the paper's N). Each
 	// Proc handle must be driven by at most one goroutine at a time.
 	Procs int
+
+	// Substrate selects the execution backend: SubstrateSim (zero value)
+	// runs the full simulated multiprocessor; SubstrateNative runs the
+	// same instruction set on hardware sync/atomic. Under SubstrateNative
+	// the simulation-only fields below (SpuriousFailProb, Strict,
+	// Scheduler, Observer, FaultPlan) must be zero — New rejects the
+	// configuration otherwise, so nothing is silently ignored.
+	Substrate Substrate
 
 	// SpuriousFailProb is the probability that any given RSC fails even
 	// though its reservation is intact. Zero gives an ideal machine; real
@@ -215,22 +231,35 @@ type cell struct {
 }
 
 // Word is one shared machine word. The zero value is not usable; allocate
-// words with Machine.NewWord so they carry an initial cell.
+// words with Machine.NewWord. A word belongs to the machine that allocated
+// it: on the simulation its contents live in the cell pointer, on the
+// native substrate in nat, and only the owning machine's procs know which
+// side is live.
 type Word struct {
-	cell atomic.Pointer[cell]
+	cell atomic.Pointer[cell] // simulation contents (nil on native words)
+	nat  atomic.Uint64        // native contents (unused on simulated words)
 	id   uint64
 }
 
 // ID returns the word's machine-assigned identifier (allocation order).
 func (w *Word) ID() uint64 { return w.id }
 
-// New constructs a simulated machine.
+// New constructs a machine on the configured substrate.
 func New(cfg Config) (*Machine, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("machine: Procs must be at least 1, got %d", cfg.Procs)
 	}
 	if cfg.SpuriousFailProb < 0 || cfg.SpuriousFailProb > 1 {
 		return nil, fmt.Errorf("machine: SpuriousFailProb must be in [0,1], got %v", cfg.SpuriousFailProb)
+	}
+	switch cfg.Substrate {
+	case SubstrateSim:
+	case SubstrateNative:
+		if err := validateNative(cfg); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("machine: unknown substrate %v", cfg.Substrate)
 	}
 	m := &Machine{cfg: cfg, procs: make([]atomic.Pointer[Proc], cfg.Procs)}
 	for i := range m.procs {
@@ -243,10 +272,11 @@ func New(cfg Config) (*Machine, error) {
 // per-incarnation RNG stream.
 func (m *Machine) newProc(id, gen int) *Proc {
 	return &Proc{
-		m:   m,
-		id:  id,
-		gen: gen,
-		rng: rand.New(rand.NewSource(m.cfg.Seed + int64(id)*0x9E3779B9 + int64(gen)*0x85EBCA6B)),
+		m:      m,
+		id:     id,
+		gen:    gen,
+		native: m.cfg.Substrate == SubstrateNative,
+		rng:    rand.New(rand.NewSource(m.cfg.Seed + int64(id)*0x9E3779B9 + int64(gen)*0x85EBCA6B)),
 	}
 }
 
@@ -259,8 +289,11 @@ func MustNew(cfg Config) *Machine {
 	return m
 }
 
-// NumProcs returns the number of simulated processors.
+// NumProcs returns the number of processors.
 func (m *Machine) NumProcs() int { return m.cfg.Procs }
+
+// Substrate returns the execution backend this machine runs on.
+func (m *Machine) Substrate() Substrate { return m.cfg.Substrate }
 
 // Proc returns the current handle for processor id. Handles are stable
 // between restarts: repeated calls return the same *Proc until a
@@ -273,6 +306,9 @@ func (m *Machine) Proc(id int) *Proc {
 // attempted so far — the global logical clock that lease TTLs and the
 // wedge watchdog are measured in. It advances on every Load/Store/CAS/
 // RLL/RSC by any processor, including operations that subsequently fail.
+// On the native substrate the clock never advances (the hot path does no
+// accounting), so step-denominated facilities — Registry leases, the
+// wedge watchdog — are simulation-only.
 func (m *Machine) Steps() uint64 { return m.steps.Load() }
 
 // Restart replaces a crashed processor with a fresh incarnation: the new
@@ -302,15 +338,23 @@ func (m *Machine) Restart(id int) (*Proc, error) {
 	return p, nil
 }
 
-// NewWord allocates a shared word initialized to v.
+// NewWord allocates a shared word initialized to v. Simulated words get
+// an initial cell; native words hold their contents inline (no
+// allocation beyond the Word itself, and none ever again: the native
+// operations are 0 allocs/op).
 func (m *Machine) NewWord(v uint64) *Word {
 	w := &Word{id: m.wordIDs.Add(1)}
-	w.cell.Store(&cell{val: v})
+	if m.cfg.Substrate == SubstrateNative {
+		w.nat.Store(v)
+	} else {
+		w.cell.Store(&cell{val: v})
+	}
 	return w
 }
 
 // Stats aggregates operation counters across all processors, including
-// the folded counters of crashed-and-replaced incarnations.
+// the folded counters of crashed-and-replaced incarnations. On the
+// native substrate all counters stay zero: the hot path counts nothing.
 func (m *Machine) Stats() Stats {
 	total := Stats{
 		Loads:       m.retired.Loads.Load(),
@@ -371,9 +415,17 @@ type Proc struct {
 	// and only Machine.Restart can produce a usable successor.
 	crashed atomic.Bool
 
+	// native routes the processor's operations to the native substrate
+	// fast paths in native.go. Fixed at construction from the machine's
+	// Config.Substrate.
+	native bool
+
 	// reservation state (the R4000 LLBit + reserved address + snapshot).
+	// The simulation snapshots the cell pointer (write-sensitive); the
+	// native substrate records the loaded value (resVal, value-based).
 	resWord *Word
 	resCell *cell
+	resVal  uint64
 
 	// failNext forces the next n RSCs with intact reservations to fail
 	// spuriously; used by tests and failure-injection experiments.
@@ -400,6 +452,9 @@ func (p *Proc) Machine() *Machine { return p.m }
 // processor starts with no reservation, and the dead handle can never
 // reach RSC again to exploit the stale one.
 func (p *Proc) Crash() {
+	if p.native {
+		panic("machine: Crash is a simulation-substrate feature; fail-stop modeling needs the simulated operation boundary (a native processor is just a goroutine)")
+	}
 	if !p.crashed.Swap(true) {
 		p.emitLifecycle(OpCrash)
 	}
@@ -416,6 +471,9 @@ func (p *Proc) FailNext(n int) { p.failNext += n }
 // Load reads a shared word. In Strict mode it clears any reservation, as
 // an intervening memory access may on real hardware.
 func (p *Proc) Load(w *Word) uint64 {
+	if p.native {
+		return p.nativeLoad(w)
+	}
 	p.step()
 	p.fault(OpLoad, w)
 	p.stats.Loads.Add(1)
@@ -432,6 +490,10 @@ func (p *Proc) Load(w *Word) uint64 {
 // invalidated, exactly as a cache invalidation clears LLBits. In Strict
 // mode the writer's own reservation is cleared too.
 func (p *Proc) Store(w *Word, v uint64) {
+	if p.native {
+		p.nativeStore(w, v)
+		return
+	}
 	p.step()
 	p.fault(OpStore, w)
 	p.stats.Stores.Add(1)
@@ -447,6 +509,9 @@ func (p *Proc) Store(w *Word, v uint64) {
 // retries only when another write lands between its load and its pointer
 // swap, in which case some other operation succeeded.
 func (p *Proc) CAS(w *Word, old, new uint64) bool {
+	if p.native {
+		return p.nativeCAS(w, old, new)
+	}
 	p.step()
 	p.fault(OpCAS, w)
 	p.stats.CASOps.Add(1)
@@ -470,6 +535,9 @@ func (p *Proc) CAS(w *Word, old, new uint64) bool {
 // processor's single reservation on it, displacing any previous
 // reservation (one LLBit per processor).
 func (p *Proc) RLL(w *Word) uint64 {
+	if p.native {
+		return p.nativeRLL(w)
+	}
 	p.step()
 	p.fault(OpRLL, w)
 	p.stats.RLLs.Add(1)
@@ -486,6 +554,9 @@ func (p *Proc) RLL(w *Word) uint64 {
 // the reservation. On success the write is atomic with the reservation
 // check (pointer CAS on the cell).
 func (p *Proc) RSC(w *Word, v uint64) bool {
+	if p.native {
+		return p.nativeRSC(w, v)
+	}
 	p.step()
 	forced := p.fault(OpRSC, w)
 	resWord, resCell := p.resWord, p.resCell
@@ -526,6 +597,9 @@ func (p *Proc) RSC(w *Word, v uint64) bool {
 // HoldsReservation reports whether the processor currently holds a
 // reservation on w. Intended for tests asserting the restriction model.
 func (p *Proc) HoldsReservation(w *Word) bool {
+	if p.native {
+		return p.resWord == w
+	}
 	return p.resWord == w && p.resCell != nil
 }
 

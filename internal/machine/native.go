@@ -1,0 +1,86 @@
+package machine
+
+// This file is the SubstrateNative backend: the machine instruction set
+// mapped straight onto hardware sync/atomic, with no step accounting,
+// scheduling, fault injection, or event emission on the hot path. It is
+// the audited home of the raw atomics that realize the native substrate;
+// llscvet's nakedatomic fence covers this package precisely so that
+// atomics anywhere else must either route through machine.Word or carry
+// their own justification.
+//
+// Semantics relative to the simulation, in full:
+//
+//   - Load/Store/CAS are exactly the hardware operations on the word.
+//   - RLL records a per-processor (word, value) reservation; RSC resolves
+//     it with CompareAndSwap against the recorded value. Go exposes no
+//     true LL/SC on any supported architecture (sync/atomic compiles to
+//     CAS loops even on LL/SC hardware), so this is the strongest
+//     emulation available — and it is value-based, meaning a native RSC
+//     is NOT write-sensitive: if the word is rewritten to its reserved
+//     value (ABA), the RSC succeeds where the simulation's cell-pointer
+//     reservation would fail. The paper's constructions are immune by
+//     design — every figure packs a tag next to the data exactly so that
+//     values never recur while a sequence could compare against them —
+//     which is why the figure code runs unmodified here. Code that relies
+//     on write-sensitivity itself (rather than via tags) is simulation-
+//     only and must say so.
+//   - RSC never fails spuriously on its own: hardware CAS either
+//     conflicts or succeeds. Proc.FailNext is still honored, so tests
+//     that inject deterministic spurious bursts (Theorem 1's "constant
+//     time after the last spurious failure" experiments, the contention
+//     policies' spurious-cause handling) exercise identical code paths on
+//     both substrates.
+//   - Nothing counts: Machine.Steps stays 0, Machine.Stats stays zero,
+//     no Event is emitted, and no reservation survives a crash because
+//     Crash itself is refused (a native processor is a real goroutine;
+//     fail-stop modeling needs the simulated op boundary).
+//
+// The hot path allocates nothing (native_test.go pins 0 allocs/op) and
+// adds one predicted branch per operation over a bare sync/atomic call.
+
+// nativeLoad is Proc.Load on the native substrate.
+func (p *Proc) nativeLoad(w *Word) uint64 {
+	return w.nat.Load()
+}
+
+// nativeStore is Proc.Store on the native substrate. Unlike the
+// simulation there is no cell to replace, so other processors' value
+// reservations on w survive a store that happens to write the reserved
+// value back (the ABA caveat above).
+func (p *Proc) nativeStore(w *Word, v uint64) {
+	w.nat.Store(v)
+}
+
+// nativeCAS is Proc.CAS on the native substrate: the hardware operation
+// itself, one shot, no retry loop (the simulation's loop exists only to
+// make its two-step pointer emulation atomic).
+func (p *Proc) nativeCAS(w *Word, old, new uint64) bool {
+	return w.nat.CompareAndSwap(old, new)
+}
+
+// nativeRLL is Proc.RLL on the native substrate: load the word and
+// record a (word, value) reservation, displacing any previous one — one
+// reservation per processor, as on the simulated machine.
+func (p *Proc) nativeRLL(w *Word) uint64 {
+	v := w.nat.Load()
+	p.resWord = w
+	p.resVal = v
+	return v
+}
+
+// nativeRSC is Proc.RSC on the native substrate: succeed iff a
+// reservation on w is held, no deterministic spurious failure is queued,
+// and the word still holds the reserved value at the CAS. Any outcome
+// clears the reservation.
+func (p *Proc) nativeRSC(w *Word, v uint64) bool {
+	resWord, resVal := p.resWord, p.resVal
+	p.resWord = nil
+	if resWord != w {
+		return false
+	}
+	if p.failNext > 0 {
+		p.failNext--
+		return false
+	}
+	return w.nat.CompareAndSwap(resVal, v)
+}

@@ -1,0 +1,293 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func newNativeMachine(t *testing.T, procs int) *Machine {
+	t.Helper()
+	m, err := New(Config{Procs: procs, Substrate: SubstrateNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSubstrateString(t *testing.T) {
+	if got := SubstrateSim.String(); got != "sim" {
+		t.Errorf("SubstrateSim.String() = %q, want \"sim\"", got)
+	}
+	if got := SubstrateNative.String(); got != "native" {
+		t.Errorf("SubstrateNative.String() = %q, want \"native\"", got)
+	}
+	if got := Substrate(99).String(); got != "substrate(99)" {
+		t.Errorf("Substrate(99).String() = %q, want \"substrate(99)\"", got)
+	}
+}
+
+func TestParseSubstrate(t *testing.T) {
+	for _, name := range Substrates() {
+		s, err := ParseSubstrate(name)
+		if err != nil {
+			t.Fatalf("ParseSubstrate(%q) error: %v", name, err)
+		}
+		if s.String() != name {
+			t.Errorf("ParseSubstrate(%q).String() = %q; round trip broken", name, s.String())
+		}
+	}
+	if _, err := ParseSubstrate("hardware"); err == nil {
+		t.Error("ParseSubstrate(\"hardware\") succeeded, want error")
+	}
+}
+
+// TestNativeConfigValidation pins that every simulation-only configuration
+// feature is rejected — not silently ignored — under SubstrateNative, and
+// that the error names the offending field.
+func TestNativeConfigValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantSub string // substring the error must mention, "" for success
+	}{
+		{"plain native ok", Config{Procs: 4, Substrate: SubstrateNative}, ""},
+		{"seed is harmless", Config{Procs: 1, Substrate: SubstrateNative, Seed: 42}, ""},
+		{"scheduler refused", Config{Procs: 1, Substrate: SubstrateNative, Scheduler: schedFunc(func(int) {})}, "Scheduler"},
+		{"fault plan refused", Config{Procs: 1, Substrate: SubstrateNative, FaultPlan: planFunc(func(int, OpKind, uint64) FaultInjection { return FaultInjection{} })}, "FaultPlan"},
+		{"observer refused", Config{Procs: 1, Substrate: SubstrateNative, Observer: func(Event) {}}, "Observer"},
+		{"spurious prob refused", Config{Procs: 1, Substrate: SubstrateNative, SpuriousFailProb: 0.1}, "SpuriousFailProb"},
+		{"strict refused", Config{Procs: 1, Substrate: SubstrateNative, Strict: true}, "Strict"},
+		{"unknown substrate refused", Config{Procs: 1, Substrate: Substrate(7)}, "unknown substrate"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.cfg)
+			if tt.wantSub == "" {
+				if err != nil {
+					t.Fatalf("New(%+v) error: %v", tt.cfg, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("New(%+v) succeeded, want error mentioning %q", tt.cfg, tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+type schedFunc func(int)
+
+func (f schedFunc) Step(proc int) { f(proc) }
+
+type planFunc func(int, OpKind, uint64) FaultInjection
+
+func (f planFunc) BeforeOp(proc int, op OpKind, word uint64) FaultInjection {
+	return f(proc, op, word)
+}
+
+func TestNativeLoadStoreCAS(t *testing.T) {
+	m := newNativeMachine(t, 2)
+	if m.Substrate() != SubstrateNative {
+		t.Fatalf("Substrate() = %v, want native", m.Substrate())
+	}
+	w := m.NewWord(42)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	if got := p0.Load(w); got != 42 {
+		t.Errorf("initial Load = %d, want 42", got)
+	}
+	p0.Store(w, 7)
+	if got := p1.Load(w); got != 7 {
+		t.Errorf("Load after Store = %d, want 7", got)
+	}
+	if !p1.CAS(w, 7, 8) {
+		t.Error("CAS with matching old failed")
+	}
+	if p0.CAS(w, 7, 9) {
+		t.Error("CAS with stale old succeeded")
+	}
+	if got := p0.Load(w); got != 8 {
+		t.Errorf("final value = %d, want 8", got)
+	}
+}
+
+func TestNativeRLLRSC(t *testing.T) {
+	m := newNativeMachine(t, 2)
+	w := m.NewWord(10)
+	p0, p1 := m.Proc(0), m.Proc(1)
+
+	// Uncontended success.
+	if v := p0.RLL(w); v != 10 {
+		t.Fatalf("RLL = %d, want 10", v)
+	}
+	if !p0.HoldsReservation(w) {
+		t.Error("HoldsReservation false after RLL")
+	}
+	if !p0.RSC(w, 11) {
+		t.Error("uncontended RSC failed")
+	}
+	if p0.HoldsReservation(w) {
+		t.Error("reservation survived a successful RSC")
+	}
+
+	// Real failure: intervening write to a different value.
+	p0.RLL(w)
+	p1.Store(w, 99)
+	if p0.RSC(w, 12) {
+		t.Error("RSC succeeded after an intervening write changed the value")
+	}
+
+	// No reservation at all.
+	if p0.RSC(w, 13) {
+		t.Error("RSC with no reservation succeeded")
+	}
+
+	// Displacement: a second RLL moves the single reservation.
+	w2 := m.NewWord(5)
+	p0.RLL(w)
+	p0.RLL(w2)
+	if p0.HoldsReservation(w) {
+		t.Error("reservation on first word survived RLL on second")
+	}
+	if p0.RSC(w, 14) {
+		t.Error("RSC on displaced reservation succeeded")
+	}
+	// As on the simulation, any RSC — even one that fails for lack of a
+	// reservation — clears the processor's single reservation slot.
+	if p0.HoldsReservation(w2) {
+		t.Error("reservation survived an RSC attempt (any outcome must clear it)")
+	}
+}
+
+// TestNativeRSCClearsReservationOnAnyOutcome pins that RSC is
+// one-shot on both substrates: even a failing RSC consumes the
+// reservation.
+func TestNativeRSCClearsReservationOnAnyOutcome(t *testing.T) {
+	m := newNativeMachine(t, 2)
+	w := m.NewWord(1)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	p0.RLL(w)
+	p1.Store(w, 2)
+	if p0.RSC(w, 3) {
+		t.Fatal("RSC succeeded despite intervening write")
+	}
+	if p0.HoldsReservation(w) {
+		t.Error("reservation survived a failed RSC")
+	}
+}
+
+// TestNativeABA documents the one semantic divergence from the
+// simulation: the native reservation is value-based, so a word rewritten
+// to its reserved value lets the RSC succeed. The simulation's
+// cell-pointer reservation fails the same schedule. The paper's figures
+// are immune because their tags make values non-recurring; this test
+// exists so the divergence is pinned, visible, and intentional.
+func TestNativeABA(t *testing.T) {
+	// Native: A -> B -> A, RSC succeeds.
+	m := newNativeMachine(t, 2)
+	w := m.NewWord(100)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	p0.RLL(w)
+	p1.Store(w, 200)
+	p1.Store(w, 100)
+	if !p0.RSC(w, 300) {
+		t.Error("native RSC failed under ABA; value-based emulation should succeed")
+	}
+
+	// Simulation: identical schedule, RSC fails (write-sensitive).
+	sm := newTestMachine(t, Config{Procs: 2})
+	sw := sm.NewWord(100)
+	sp0, sp1 := sm.Proc(0), sm.Proc(1)
+	sp0.RLL(sw)
+	sp1.Store(sw, 200)
+	sp1.Store(sw, 100)
+	if sp0.RSC(sw, 300) {
+		t.Error("simulated RSC succeeded under ABA; cell-pointer reservation should fail")
+	}
+}
+
+func TestNativeFailNext(t *testing.T) {
+	m := newNativeMachine(t, 1)
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	p.FailNext(2)
+	for i := 0; i < 2; i++ {
+		p.RLL(w)
+		if p.RSC(w, 1) {
+			t.Fatalf("RSC %d succeeded during a FailNext(2) burst", i)
+		}
+	}
+	p.RLL(w)
+	if !p.RSC(w, 1) {
+		t.Error("RSC failed after the FailNext burst was exhausted")
+	}
+	if got := p.Load(w); got != 1 {
+		t.Errorf("value = %d, want 1", got)
+	}
+}
+
+// TestNativeNoAccounting pins the hot-path contract: the native
+// substrate counts nothing — no steps, no stats — no matter how many
+// operations run.
+func TestNativeNoAccounting(t *testing.T) {
+	m := newNativeMachine(t, 1)
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	for i := 0; i < 100; i++ {
+		p.Load(w)
+		p.Store(w, uint64(i))
+		p.CAS(w, uint64(i), uint64(i+1))
+		p.RLL(w)
+		p.RSC(w, uint64(i))
+	}
+	if got := m.Steps(); got != 0 {
+		t.Errorf("Steps() = %d on native, want 0", got)
+	}
+	if got := m.Stats(); got != (Stats{}) {
+		t.Errorf("Stats() = %+v on native, want zero", got)
+	}
+}
+
+// TestNativeZeroAllocs pins the acceptance requirement that the native
+// hot path allocates nothing per operation.
+func TestNativeZeroAllocs(t *testing.T) {
+	m := newNativeMachine(t, 1)
+	w := m.NewWord(0)
+	p := m.Proc(0)
+	var i uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Load(w)
+		p.Store(w, i)
+		p.CAS(w, i, i+1)
+		p.RLL(w)
+		p.RSC(w, i)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("native op sequence allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestNativeCrashRefused(t *testing.T) {
+	m := newNativeMachine(t, 1)
+	p := m.Proc(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Crash on a native proc did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "simulation-substrate") {
+			t.Errorf("Crash panic = %v, want message naming the simulation substrate", r)
+		}
+	}()
+	p.Crash()
+}
+
+func TestNativeRegistryRefused(t *testing.T) {
+	m := newNativeMachine(t, 2)
+	if _, err := NewRegistry(m, 100); err == nil {
+		t.Fatal("NewRegistry on a native machine succeeded, want error (step clock never advances)")
+	}
+}

@@ -2,7 +2,7 @@ package machine
 
 import (
 	"fmt"
-	"sync"
+	"sync" //llsc:allow nakedatomic(the registry is supervisory bookkeeping over the machine, not algorithm code; its mutex guards lease tables, never shared words)
 )
 
 // LeaseState is the lifecycle state of one processor's registry lease.
@@ -48,6 +48,7 @@ type Registry struct {
 	m   *Machine
 	ttl uint64
 
+	//llsc:allow nakedatomic(supervisory bookkeeping, not algorithm code: the lease-table mutex never guards shared words, so nothing on the verified non-blocking path can block on it)
 	mu     sync.Mutex
 	leases []leaseEntry
 
@@ -68,6 +69,9 @@ type leaseEntry struct {
 func NewRegistry(m *Machine, ttl uint64) (*Registry, error) {
 	if ttl < 1 {
 		return nil, fmt.Errorf("machine: lease TTL must be at least 1 step, got %d", ttl)
+	}
+	if m.Substrate() == SubstrateNative {
+		return nil, fmt.Errorf("machine: registry leases are denominated in machine steps, and the native substrate's step clock never advances; leases are simulation-only")
 	}
 	return &Registry{m: m, ttl: ttl, leases: make([]leaseEntry, m.NumProcs())}, nil
 }

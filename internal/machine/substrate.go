@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Substrate selects the backend a Machine executes its word operations
+// on. The machine API — Proc handles, Word allocation, the
+// Load/Store/CAS/RLL/RSC instruction set — is identical on every
+// substrate, so algorithm code written against it runs unmodified on
+// either; what changes is what the substrate guarantees underneath.
+//
+// The two substrates trade fidelity against speed:
+//
+//   - SubstrateSim (the zero value, and the default) is the simulated
+//     multiprocessor this package has always provided: every operation is
+//     a scheduling point (Config.Scheduler), a fault-injection point
+//     (Config.FaultPlan), an observation point (Config.Observer), and a
+//     tick of the global step clock (Machine.Steps) that lease TTLs and
+//     the wedge watchdog are measured in. Reservations are cell-pointer
+//     based and therefore ABA-immune, exactly like hardware cache-line
+//     invalidation. This is the substrate the verification stack
+//     (internal/sched, internal/fault, internal/stress, cmd/llscsoak)
+//     requires.
+//
+//   - SubstrateNative maps the same operations straight onto sync/atomic:
+//     Load/Store/CAS become hardware atomics on the word, and RLL/RSC are
+//     emulated with a per-processor value reservation resolved by a
+//     hardware CAS. The hot path performs no step accounting, consults no
+//     scheduler or fault plan, and emits no events — it is the "run the
+//     figure code on the real machine" substrate, within ~2x of a bare
+//     sync/atomic loop. The paper's constructions tolerate the one
+//     semantic difference (see the native RSC comment in native.go): the
+//     value-based reservation admits ABA, which Figures 3/5/6/7 already
+//     defend against with tags, exactly as they must on real CAS
+//     hardware.
+//
+// Configuration features that only the simulation can honor (Scheduler,
+// FaultPlan, Observer, SpuriousFailProb, Strict) are rejected by New when
+// combined with SubstrateNative rather than silently ignored, so a test
+// that thinks it is injecting faults can never accidentally measure a
+// machine that is not listening. See docs: DESIGN.md "Machine substrates".
+type Substrate uint8
+
+const (
+	// SubstrateSim is the simulated multiprocessor (default).
+	SubstrateSim Substrate = iota
+	// SubstrateNative runs word operations on hardware sync/atomic.
+	SubstrateNative
+)
+
+// String returns the substrate's flag spelling ("sim" or "native").
+func (s Substrate) String() string {
+	switch s {
+	case SubstrateSim:
+		return "sim"
+	case SubstrateNative:
+		return "native"
+	default:
+		return fmt.Sprintf("substrate(%d)", uint8(s))
+	}
+}
+
+// Substrates lists the valid substrate names in flag order, for CLI
+// usage strings.
+func Substrates() []string { return []string{"sim", "native"} }
+
+// ParseSubstrate converts a -substrate flag value into a Substrate.
+func ParseSubstrate(name string) (Substrate, error) {
+	switch name {
+	case "sim":
+		return SubstrateSim, nil
+	case "native":
+		return SubstrateNative, nil
+	default:
+		return SubstrateSim, fmt.Errorf("machine: unknown substrate %q (want %s)",
+			name, strings.Join(Substrates(), " or "))
+	}
+}
+
+// validateNative rejects configuration features the native substrate
+// cannot honor. Called by New when cfg.Substrate == SubstrateNative.
+func validateNative(cfg Config) error {
+	var refused []string
+	if cfg.Scheduler != nil {
+		refused = append(refused, "Scheduler (every op is a scheduling point only on the simulation)")
+	}
+	if cfg.FaultPlan != nil {
+		refused = append(refused, "FaultPlan (fault injection needs the simulated op boundary)")
+	}
+	if cfg.Observer != nil {
+		refused = append(refused, "Observer (the native hot path emits no events)")
+	}
+	if cfg.SpuriousFailProb != 0 {
+		refused = append(refused, "SpuriousFailProb (hardware CAS has no spurious failures; use Proc.FailNext for deterministic tests)")
+	}
+	if cfg.Strict {
+		refused = append(refused, "Strict (the R4000 access-window model is a simulation feature)")
+	}
+	if len(refused) > 0 {
+		return fmt.Errorf("machine: the native substrate cannot honor: %s", strings.Join(refused, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package structures
+
+import (
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
+
+// MachineCounter is Counter's machine-backed sibling: a lock-free
+// fetch-and-op counter built on the paper's Figure 3 CAS (core.CASVar)
+// rather than on the Figure 4 Var. Where Counter hardwires the native
+// sync/atomic path, MachineCounter inherits its machine's substrate —
+// the same structure runs deterministically scheduled, fault-injected,
+// and step-clocked on machine.SubstrateSim, or at hardware speed on
+// machine.SubstrateNative — which makes it the unit under test for the
+// substrate-differential suites and the sim-vs-native benchmark.
+//
+// The price of substrate pluggability is the paper's process model:
+// every operation names the executing processor, and each *machine.Proc
+// must be driven by one goroutine at a time. Values are 32-bit and wrap
+// modulo 2³², like Counter.
+type MachineCounter struct {
+	v  *core.CASVar
+	cm *contention.Policy
+}
+
+// NewMachineCounter creates a counter on machine m holding initial
+// (masked to 32 bits).
+func NewMachineCounter(m *machine.Machine, initial uint64) (*MachineCounter, error) {
+	v, err := core.NewCASVar(m, counterLayout, initial&counterLayout.MaxVal())
+	if err != nil {
+		return nil, err // unreachable: the value is masked
+	}
+	return &MachineCounter{v: v}, nil
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables), shared
+// with the underlying CASVar. Set before the counter is shared.
+func (c *MachineCounter) SetMetrics(m *obs.Metrics) { c.v.SetMetrics(m) }
+
+// SetContention attaches a contention-management policy: the underlying
+// CASVar consults it for spurious-failure retries, and the fetch-and-op
+// loop here consults it for interference retries. Set before the counter
+// is shared.
+func (c *MachineCounter) SetContention(p *contention.Policy) {
+	c.cm = p
+	c.v.SetContention(p)
+}
+
+// SetTracer attaches an optional span tracer (nil disables) on the
+// underlying CASVar. Set before the counter is shared.
+func (c *MachineCounter) SetTracer(t *trace.Tracer) { c.v.SetTracer(t) }
+
+// Load returns the current value, executed by processor p.
+func (c *MachineCounter) Load(p *machine.Proc) uint64 { return c.v.Read(p) }
+
+// Add atomically adds delta and returns the new value. Lock-free.
+func (c *MachineCounter) Add(p *machine.Proc, delta uint64) uint64 {
+	return c.FetchOp(p, func(v uint64) uint64 { return v + delta })
+}
+
+// Increment is Add(1).
+func (c *MachineCounter) Increment(p *machine.Proc) uint64 { return c.Add(p, 1) }
+
+// Decrement is Add(-1) modulo 2³².
+func (c *MachineCounter) Decrement(p *machine.Proc) uint64 {
+	return c.FetchOp(p, func(v uint64) uint64 { return v - 1 })
+}
+
+// FetchOp atomically replaces the value v with f(v) (masked to 32 bits)
+// and returns the new value, executed by processor p. f may be called
+// multiple times under contention and must be pure. Lock-free: a failed
+// CAS means another processor's operation succeeded.
+func (c *MachineCounter) FetchOp(p *machine.Proc, f func(uint64) uint64) uint64 {
+	var w contention.Waiter
+	for ; ; w.Wait(c.cm, p.ID(), contention.Interference) {
+		v := c.v.Read(p)
+		next := f(v) & counterLayout.MaxVal()
+		if c.v.CompareAndSwap(p, v, next) {
+			return next
+		}
+	}
+}

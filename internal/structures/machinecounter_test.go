@@ -1,0 +1,207 @@
+package structures
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// forEachSubstrate runs fn once per machine substrate, as a subtest named
+// for the substrate, so every MachineCounter property is pinned on both
+// the simulated multiprocessor and hardware sync/atomic.
+func forEachSubstrate(t *testing.T, procs int, fn func(t *testing.T, m *machine.Machine)) {
+	for _, sub := range []machine.Substrate{machine.SubstrateSim, machine.SubstrateNative} {
+		t.Run(sub.String(), func(t *testing.T) {
+			fn(t, machine.MustNew(machine.Config{Procs: procs, Substrate: sub, Seed: 7}))
+		})
+	}
+}
+
+func TestMachineCounterSequential(t *testing.T) {
+	forEachSubstrate(t, 1, func(t *testing.T, m *machine.Machine) {
+		c, err := NewMachineCounter(m, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.Proc(0)
+		if got := c.Load(p); got != 10 {
+			t.Errorf("initial Load = %d, want 10", got)
+		}
+		if got := c.Increment(p); got != 11 {
+			t.Errorf("Increment = %d, want 11", got)
+		}
+		if got := c.Add(p, 5); got != 16 {
+			t.Errorf("Add(5) = %d, want 16", got)
+		}
+		if got := c.Decrement(p); got != 15 {
+			t.Errorf("Decrement = %d, want 15", got)
+		}
+		if got := c.FetchOp(p, func(v uint64) uint64 { return v * 2 }); got != 30 {
+			t.Errorf("FetchOp(double) = %d, want 30", got)
+		}
+		// No-op fetch-and-op linearizes at the read (Figure 3 line 3).
+		if got := c.FetchOp(p, func(v uint64) uint64 { return v }); got != 30 {
+			t.Errorf("identity FetchOp = %d, want 30", got)
+		}
+	})
+}
+
+func TestMachineCounterWraps(t *testing.T) {
+	forEachSubstrate(t, 1, func(t *testing.T, m *machine.Machine) {
+		c, err := NewMachineCounter(m, (1<<32)-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.Proc(0)
+		if got := c.Increment(p); got != 0 {
+			t.Errorf("Increment at 2³²-1 = %d, want 0 (wrap)", got)
+		}
+		if got := c.Decrement(p); got != (1<<32)-1 {
+			t.Errorf("Decrement at 0 = %d, want 2³²-1 (wrap)", got)
+		}
+	})
+}
+
+// TestMachineCounterConcurrent pins exactness under contention on both
+// substrates: each of P free-running processors adds K times, and every
+// add lands exactly once. On the native substrate this is the suite the
+// -race builds exercise against real hardware atomics.
+func TestMachineCounterConcurrent(t *testing.T) {
+	const procs, perProc = 4, 2000
+	forEachSubstrate(t, procs, func(t *testing.T, m *machine.Machine) {
+		c, err := NewMachineCounter(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < procs; i++ {
+			wg.Add(1)
+			go func(p *machine.Proc) {
+				defer wg.Done()
+				for k := 0; k < perProc; k++ {
+					c.Increment(p)
+				}
+			}(m.Proc(i))
+		}
+		wg.Wait()
+		if got := c.Load(m.Proc(0)); got != procs*perProc {
+			t.Errorf("final count = %d, want %d", got, procs*perProc)
+		}
+	})
+}
+
+// TestMachineCounterExhaustiveConformanceSim is the sim cell of the
+// MachineCounter conformance pair: the machine's scheduler is wired to
+// an exhaustive controller, so every interleaving of the counter's
+// *individual machine instructions* (not whole ops — each Load, RLL and
+// RSC is a scheduling point) is enumerated and each schedule's Add
+// return values are checked against some legal serialization. This is
+// coverage only the simulation substrate can provide.
+func TestMachineCounterExhaustiveConformanceSim(t *testing.T) {
+	scripts := [][]uint64{{1, 2}, {4}} // deltas per proc; distinct powers of two
+	type rec struct {
+		proc  int
+		delta uint64
+		ret   uint64
+	}
+	res, err := sched.ExploreExhaustive(len(scripts), 100000, func(ctrl *sched.Controller) (func(int), func() error) {
+		m := machine.MustNew(machine.Config{Procs: len(scripts), Scheduler: ctrl})
+		c, err := NewMachineCounter(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var log []rec
+		workload := func(p int) {
+			mp := m.Proc(p)
+			for _, d := range scripts[p] {
+				got := c.Add(mp, d)
+				mu.Lock()
+				log = append(log, rec{proc: p, delta: d, ret: got})
+				mu.Unlock()
+			}
+		}
+		check := func() error {
+			// Some permutation of the ops must explain every return value
+			// as its running total (each Add returns the post-add value).
+			var ok func(done []bool, total uint64, left int) bool
+			ok = func(done []bool, total uint64, left int) bool {
+				if left == 0 {
+					return true
+				}
+				for i, r := range log {
+					if !done[i] && r.ret == total+r.delta {
+						done[i] = true
+						if ok(done, total+r.delta, left-1) {
+							return true
+						}
+						done[i] = false
+					}
+				}
+				return false
+			}
+			if !ok(make([]bool, len(log)), 0, len(log)) {
+				return fmt.Errorf("no serialization explains %v", log)
+			}
+			return nil
+		}
+		return workload, check
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("schedule tree not exhausted in %d runs", res.Schedules)
+	}
+	t.Logf("exhausted %d instruction-level schedules", res.Schedules)
+}
+
+// TestMachineCounterLinearizableWindowsNative is the native cell of the
+// pair: free-running goroutines on hardware sync/atomic record windowed
+// histories that must linearize against the counter model — the same
+// Wing–Gong style check the Figure 4 containers use, here exercising the
+// machine-backed path under real schedules (and -race in CI).
+func TestMachineCounterLinearizableWindowsNative(t *testing.T) {
+	const procs = 3
+	m := machine.MustNew(machine.Config{Procs: procs, Substrate: machine.SubstrateNative})
+	c, err := NewMachineCounter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &linRecorder{}
+	driver := func(p int, rng *rand.Rand) {
+		mp := m.Proc(p)
+		for i := 0; i < 4; i++ {
+			if rng.Intn(3) == 0 {
+				rec.do(p, "load", 0, 0, func() (uint64, bool) { return c.Load(mp), false })
+			} else {
+				d := uint64(rng.Intn(5) + 1)
+				rec.do(p, "add", d, 0, func() (uint64, bool) { return c.Add(mp, d), false })
+			}
+		}
+	}
+	runLinRounds(t, procs, 30, rec,
+		func() string { return fmt.Sprintf("%d", c.Load(m.Proc(0))) },
+		driver, counterStep)
+}
+
+// TestMachineCounterSpuriousBurst pins the cross-substrate invariant that
+// deterministic spurious-failure bursts (Proc.FailNext) are honored by
+// both backends: the add retries through the burst and still lands.
+func TestMachineCounterSpuriousBurst(t *testing.T) {
+	forEachSubstrate(t, 1, func(t *testing.T, m *machine.Machine) {
+		c, err := NewMachineCounter(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.Proc(0)
+		p.FailNext(3)
+		if got := c.Increment(p); got != 1 {
+			t.Errorf("Increment through a FailNext(3) burst = %d, want 1", got)
+		}
+	})
+}
