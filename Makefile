@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-diff fuzz fuzz-smoke trace-smoke stress-smoke soak-smoke soak experiments examples clean
+.PHONY: all build vet test race bench bench-json bench-diff fuzz fuzz-smoke trace-smoke stress-smoke soak-smoke sim-smoke soak experiments examples clean
 
 all: build vet test
 
@@ -47,14 +47,22 @@ fuzz:
 	$(GO) test -fuzz FuzzFieldsRoundTrip -fuzztime 10s ./internal/word/
 	$(GO) test -fuzz FuzzModularArithmetic -fuzztime 10s ./internal/word/
 	$(GO) test -fuzz FuzzCheckerAgainstBruteForce -fuzztime 30s ./internal/linearizability/
+	$(GO) test -fuzz FuzzHistQuantile -fuzztime 30s ./internal/obs/
+	$(GO) test -fuzz FuzzBenchRecordRoundTrip -fuzztime 30s ./internal/bench/
 
-# Fast fuzz gate for CI: replay the checked-in seed corpus, then fuzz the
-# linearizability checker briefly for fresh coverage.
+# Fast fuzz gate for CI: replay the checked-in seed corpus, then fuzz
+# each property briefly for fresh coverage. Covers the linearizability
+# checker, the elimination stack, the histogram quantile oracle, and the
+# llsc-bench/v1 record schema (frozen-key audit included).
 fuzz-smoke:
 	$(GO) test -run FuzzCheckerAgainstBruteForce ./internal/linearizability/
 	$(GO) test -fuzz FuzzCheckerAgainstBruteForce -fuzztime 10s ./internal/linearizability/
 	$(GO) test -run FuzzStackElimination ./internal/structures/
 	$(GO) test -fuzz FuzzStackElimination -fuzztime 10s ./internal/structures/
+	$(GO) test -run FuzzHistQuantile ./internal/obs/
+	$(GO) test -fuzz FuzzHistQuantile -fuzztime 10s ./internal/obs/
+	$(GO) test -run 'FuzzBenchRecordRoundTrip|TestRecordSchemaKeyAudit' ./internal/bench/
+	$(GO) test -fuzz FuzzBenchRecordRoundTrip -fuzztime 10s ./internal/bench/
 
 # Span tracer, flight recorder, and Chrome export gate: the obs/trace
 # suite under -race (ring seqlock, 0-alloc paths, flight dedupe), the
@@ -85,6 +93,20 @@ stress-smoke:
 soak-smoke:
 	$(GO) test -race -run 'TestSoakCell|TestWedgeDemo' ./internal/stress/
 	$(GO) run ./cmd/llscsoak -rounds 8 -seed 1 -json soak-report.json -flight-dir flight-dumps
+
+# Deterministic simulator gate (< 1 minute): the golden-report and
+# byte-determinism tests pin the llsc-sim/v1 encoding, then the real CLI
+# runs the smoke sweep twice with the same seed — the two reports must
+# be byte-identical (cmp) — and replays the first report to re-derive
+# every cell's fitness score from its decision trace. sim-report.json is
+# the artifact CI uploads (schema llsc-sim/v1, see docs/SIMULATION.md).
+sim-smoke:
+	$(GO) test -run 'TestGoldenSmokeReport|TestReportByteDeterminism|TestReplayReproducesScores' ./internal/sim/
+	$(GO) run ./cmd/llscsim -scenario smoke -json sim-report.json
+	$(GO) run ./cmd/llscsim -scenario smoke -json sim-report-rerun.json
+	cmp sim-report.json sim-report-rerun.json
+	$(GO) run ./cmd/llscsim -replay sim-report.json
+	rm -f sim-report-rerun.json
 
 # Heavyweight randomized validation (minutes).
 soak:

@@ -1,0 +1,204 @@
+// Command llscsim runs the deterministic discrete-event workload
+// simulator (internal/sim): it samples a scenario's arrival trace,
+// sweeps the contention-management grid — policy × elimination ×
+// sharding — over the simulated machine, and writes an llsc-sim/v1
+// report naming the winning configuration with per-dimension
+// counterfactual deltas. The same scenario and seed always produce a
+// byte-identical report; -replay proves it by re-executing a recorded
+// report's embedded trace and comparing every cell's outcome.
+//
+// Usage:
+//
+//	llscsim [-scenario smoke] [-config scenario.yaml] [-seed N]
+//	        [-json report.json] [-no-trace] [-check]
+//	llscsim -replay report.json
+//	llscsim -list
+//
+// -scenario names a built-in scenario (see -list); -config reads one
+// from a YAML or JSON file instead (docs/SIMULATION.md documents the
+// schema). -seed overrides the scenario's seed. -no-trace drops the
+// embedded arrival trace from the report (smaller, but not replayable).
+// -check validates the scenario and exits without running.
+//
+// Exit status: 0 success (or replay equivalence), 1 run failure or
+// replay divergence, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+var (
+	flagScenario = flag.String("scenario", "", "built-in scenario to run (see -list)")
+	flagConfig   = flag.String("config", "", "scenario config file (.yaml, .yml, or .json)")
+	flagSeed     = flag.Int64("seed", 0, "override the scenario's seed (0 keeps the scenario's own)")
+	flagJSON     = flag.String("json", "", "write the llsc-sim/v1 report to this path")
+	flagNoTrace  = flag.Bool("no-trace", false, "drop the embedded arrival trace from the report (not replayable)")
+	flagCheck    = flag.Bool("check", false, "validate the scenario and exit without running")
+	flagReplay   = flag.String("replay", "", "re-execute a recorded report's embedded trace and verify equivalence")
+	flagList     = flag.Bool("list", false, "list the built-in scenarios and exit")
+)
+
+// simFlags is the validated flag set, extracted so the fail-fast rules
+// are unit-testable without exiting the process.
+type simFlags struct {
+	scenario, config string
+	seed             int64
+	json             string
+	noTrace, check   bool
+	replay           string
+	list             bool
+}
+
+// validateFlags applies the fail-fast rules (exit 2 before any cell
+// runs); it returns the error text usageErr would print.
+func validateFlags(f simFlags) error {
+	if f.list {
+		if f.scenario != "" || f.config != "" || f.replay != "" {
+			return fmt.Errorf("-list takes no other mode flags")
+		}
+		return nil
+	}
+	if f.replay != "" {
+		if f.scenario != "" || f.config != "" {
+			return fmt.Errorf("-replay re-runs the report's own scenario; -scenario/-config cannot be combined with it")
+		}
+		if f.seed != 0 {
+			return fmt.Errorf("-replay re-runs the report's own seed; -seed cannot be combined with it")
+		}
+		if f.check {
+			return fmt.Errorf("-check validates a scenario, not a report; it cannot be combined with -replay")
+		}
+		return nil
+	}
+	if f.scenario == "" && f.config == "" {
+		return fmt.Errorf("one of -scenario, -config, -replay, or -list is required (built-ins: %v)", sim.Builtins())
+	}
+	if f.scenario != "" && f.config != "" {
+		return fmt.Errorf("-scenario and -config are mutually exclusive")
+	}
+	if f.scenario != "" {
+		if _, ok := sim.Builtin(f.scenario); !ok {
+			return fmt.Errorf("unknown -scenario %q (built-ins: %v)", f.scenario, sim.Builtins())
+		}
+	}
+	if f.seed < 0 {
+		return fmt.Errorf("-seed must be non-negative, got %d", f.seed)
+	}
+	return nil
+}
+
+// usageErr reports a bad invocation and exits 2 before anything runs.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llscsim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llscsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 0 {
+		usageErr("unexpected arguments: %v", flag.Args())
+	}
+	f := simFlags{
+		scenario: *flagScenario, config: *flagConfig,
+		seed: *flagSeed, json: *flagJSON,
+		noTrace: *flagNoTrace, check: *flagCheck,
+		replay: *flagReplay, list: *flagList,
+	}
+	if err := validateFlags(f); err != nil {
+		usageErr("%v", err)
+	}
+
+	switch {
+	case f.list:
+		for _, name := range sim.Builtins() {
+			sc, _ := sim.Builtin(name)
+			fmt.Printf("%-12s figure %s, %d procs, %d keys, horizon %d, %d sweep cells\n",
+				name, sc.Figure, sc.Procs, sc.Keys, sc.Horizon, len(sc.Sweep.Policies)*len(sc.Sweep.Elimination)*len(sc.Sweep.Shards))
+		}
+		return
+	case f.replay != "":
+		replay(f)
+		return
+	}
+
+	sc, err := loadScenario(f)
+	if err != nil {
+		usageErr("%v", err)
+	}
+	if f.check {
+		fmt.Printf("scenario %q validates: figure %s, %d procs, %d sweep cells\n",
+			sc.Name, sc.Figure, sc.Procs, len(sc.Sweep.Policies)*len(sc.Sweep.Elimination)*len(sc.Sweep.Shards))
+		return
+	}
+
+	rep, err := sim.RunSweep(sc)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep.Summary(os.Stdout)
+	if f.json != "" {
+		if err := rep.WriteFile(f.json); err != nil {
+			fail("writing report: %v", err)
+		}
+		fmt.Printf("report: %s\n", f.json)
+	}
+}
+
+// loadScenario resolves the scenario from -scenario or -config and
+// applies the -seed override.
+func loadScenario(f simFlags) (sim.Scenario, error) {
+	var sc sim.Scenario
+	if f.scenario != "" {
+		sc, _ = sim.Builtin(f.scenario)
+	} else {
+		var err error
+		sc, err = sim.DecodeFile(f.config)
+		if err != nil {
+			return sim.Scenario{}, err
+		}
+	}
+	if f.seed != 0 {
+		sc.Seed = f.seed
+	}
+	if f.noTrace {
+		sc.RecordTrace = false
+	}
+	return sc, nil
+}
+
+// replay re-executes a recorded report and verifies every cell's
+// outcome matches, exiting 1 on divergence.
+func replay(f simFlags) {
+	rep, err := sim.ReadReportFile(f.replay)
+	if err != nil {
+		fail("%v", err)
+	}
+	again, err := sim.Replay(rep)
+	if err != nil {
+		fail("%v", err)
+	}
+	if diffs := sim.CompareCells(rep, again); len(diffs) != 0 {
+		for _, d := range diffs {
+			fmt.Fprintf(os.Stderr, "llscsim: replay mismatch: %s\n", d)
+		}
+		fail("replay diverged in %d cell(s)", len(diffs))
+	}
+	fmt.Printf("replay: %d cells reproduced exactly (winner %s, score %.3f)\n",
+		len(rep.Cells), rep.Decisions.Winner.String(), rep.Decisions.Score)
+	if f.json != "" {
+		if err := again.WriteFile(f.json); err != nil {
+			fail("writing report: %v", err)
+		}
+		fmt.Printf("report: %s\n", f.json)
+	}
+}

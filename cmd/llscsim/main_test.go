@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(f simFlags) simFlags { return f }
+	cases := []struct {
+		name string
+		f    simFlags
+		want string // error substring; empty means the flags are valid
+	}{
+		{"builtin scenario", ok(simFlags{scenario: "smoke"}), ""},
+		{"config file", ok(simFlags{config: "s.yaml"}), ""},
+		{"seed override", ok(simFlags{scenario: "smoke", seed: 7}), ""},
+		{"check mode", ok(simFlags{config: "s.yaml", check: true}), ""},
+		{"replay mode", ok(simFlags{replay: "r.json"}), ""},
+		{"list mode", ok(simFlags{list: true}), ""},
+
+		{"no mode", simFlags{}, "required"},
+		{"unknown builtin", simFlags{scenario: "warp"}, "unknown -scenario"},
+		{"scenario and config", simFlags{scenario: "smoke", config: "s.yaml"}, "mutually exclusive"},
+		{"negative seed", simFlags{scenario: "smoke", seed: -1}, "-seed"},
+		{"replay with scenario", simFlags{replay: "r.json", scenario: "smoke"}, "-replay"},
+		{"replay with config", simFlags{replay: "r.json", config: "s.yaml"}, "-replay"},
+		{"replay with seed", simFlags{replay: "r.json", seed: 3}, "-seed"},
+		{"replay with check", simFlags{replay: "r.json", check: true}, "-check"},
+		{"list with scenario", simFlags{list: true, scenario: "smoke"}, "-list"},
+		{"list with replay", simFlags{list: true, replay: "r.json"}, "-list"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.f)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("invalid flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -42,6 +42,14 @@ type Record struct {
 	// machine-free cells, where no substrate is involved. Additive
 	// llsc-bench/v1 field.
 	Substrate string `json:"substrate,omitempty"`
+	// Scenario and VirtualTicks identify discrete-event simulator cells
+	// (internal/sim): the scenario the cell ran under and the run's
+	// length on the simulator's virtual clock. For such cells ElapsedNs
+	// holds virtual ticks, not wall nanoseconds — VirtualTicks being
+	// non-zero is the marker that time-derived fields are virtual.
+	// Additive llsc-bench/v1 fields.
+	Scenario     string `json:"scenario,omitempty"`
+	VirtualTicks uint64 `json:"virtual_ticks,omitempty"`
 }
 
 // NewRecord converts a Result into a Record. counters is the obs counter
@@ -110,21 +118,44 @@ func (rec Record) WithAttribution(retryNs, helpNs *obs.Hist) Record {
 	return rec
 }
 
-// ReadRecordsFile reads a BENCH_*.json record array written by
-// WriteRecordsFile, rejecting records with an unknown schema.
-func ReadRecordsFile(path string) ([]Record, error) {
-	data, err := os.ReadFile(path)
+// WithSim marks the record as a discrete-event simulator cell: scenario
+// names the sim scenario, ticks the run length on the virtual clock.
+func (rec Record) WithSim(scenario string, ticks uint64) Record {
+	rec.Scenario = scenario
+	rec.VirtualTicks = ticks
+	return rec
+}
+
+// ReadRecords reads a record array from r, rejecting records with an
+// unknown schema.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
 	var recs []Record
 	if err := json.Unmarshal(data, &recs); err != nil {
-		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+		return nil, fmt.Errorf("bench: parsing records: %w", err)
 	}
-	for i, r := range recs {
-		if r.Schema != Schema {
-			return nil, fmt.Errorf("bench: %s record %d has schema %q, want %q", path, i, r.Schema, Schema)
+	for i, rec := range recs {
+		if rec.Schema != Schema {
+			return nil, fmt.Errorf("bench: record %d has schema %q, want %q", i, rec.Schema, Schema)
 		}
+	}
+	return recs, nil
+}
+
+// ReadRecordsFile reads a BENCH_*.json record array written by
+// WriteRecordsFile, rejecting records with an unknown schema.
+func ReadRecordsFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
 	}
 	return recs, nil
 }

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"repro/internal/obs"
+)
+
+// FuzzBenchRecordRoundTrip pins the llsc-bench/v1 record schema,
+// including the sim-cell fields (scenario, virtual_ticks) this schema
+// gained additively: any record assembled from fuzzed measurements must
+// survive WriteRecords → ReadRecords byte-exactly on a second
+// serialization, and its JSON keys must stay within the frozen v1 key
+// set — a new field is fine (additive), but a renamed or retyped one
+// breaks the decode-equality check, and a key outside the frozen set
+// fails the key audit, forcing a deliberate schema-version bump.
+func FuzzBenchRecordRoundTrip(f *testing.F) {
+	f.Add("cell", 4, uint64(100), int64(5000), uint64(3), uint64(17), "hotspot", uint64(20000), false)
+	f.Add("", 0, uint64(0), int64(0), uint64(0), uint64(0), "", uint64(0), true)
+	f.Add("sim/none-noelim-s1", 64, uint64(1)<<40, int64(1)<<50, uint64(9), uint64(1), "smoke", uint64(1)<<30, true)
+	f.Fuzz(func(t *testing.T, name string, workers int, ops uint64, elapsedNs int64,
+		retryObs, latObs uint64, scenario string, ticks uint64, withCounters bool) {
+		if !utf8.ValidString(name) || !utf8.ValidString(scenario) {
+			// encoding/json coerces invalid UTF-8 to U+FFFD; that is JSON's
+			// behaviour, not a schema property, so such strings can't
+			// round-trip byte-exactly and are out of scope here.
+			t.Skip("invalid UTF-8 cannot round-trip through JSON")
+		}
+		if elapsedNs < 0 {
+			elapsedNs = -elapsedNs
+		}
+		var retries, latency obs.Hist
+		for i := uint64(0); i < retryObs%64; i++ {
+			retries.Observe(i * i)
+		}
+		for i := uint64(0); i < latObs%64; i++ {
+			latency.Observe(i << (i % 32))
+		}
+		met := obs.New()
+		if withCounters {
+			met.Inc(obs.CtrSimRequests)
+			met.Inc(obs.CtrSimCompleted)
+			met.Inc(obs.CtrLL)
+		}
+		rec := NewRecord(Result{
+			Name:    name,
+			Workers: workers,
+			Ops:     ops,
+			Elapsed: time.Duration(elapsedNs),
+		}, met.Snapshot()).WithHists(&retries, &latency).WithSim(scenario, ticks)
+
+		var buf bytes.Buffer
+		if err := WriteRecords(&buf, []Record{rec}); err != nil {
+			t.Fatalf("WriteRecords: %v", err)
+		}
+		first := buf.Bytes()
+		recs, err := ReadRecords(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("ReadRecords: %v", err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("read %d records, want 1", len(recs))
+		}
+		if !reflect.DeepEqual(recs[0], rec) {
+			t.Fatalf("record mutated in round trip:\n got %+v\nwant %+v", recs[0], rec)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteRecords(&buf2, recs); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if !bytes.Equal(first, buf2.Bytes()) {
+			t.Fatal("second serialization differs from the first")
+		}
+		auditRecordKeys(t, first)
+	})
+}
+
+// v1RecordKeys is the frozen llsc-bench/v1 key set. Extending the
+// schema means adding a key HERE in the same change that adds the
+// field — the audit makes dropping or renaming one a loud failure.
+var v1RecordKeys = map[string]bool{
+	"schema": true, "name": true, "workers": true, "ops": true,
+	"elapsed_ns": true, "ns_per_op": true, "ops_per_sec": true,
+	"counters": true, "retries": true, "latency": true, "backoff_ns": true,
+	"retry_ns": true, "help_ns": true, "substrate": true,
+	// Additive sim-cell fields (internal/sim).
+	"scenario": true, "virtual_ticks": true,
+}
+
+// auditRecordKeys decodes the serialized records generically and checks
+// every top-level record key is in the frozen v1 set.
+func auditRecordKeys(t *testing.T, data []byte) {
+	t.Helper()
+	var generic []map[string]json.RawMessage
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatalf("generic decode: %v", err)
+	}
+	for _, m := range generic {
+		for k := range m {
+			if !v1RecordKeys[k] {
+				t.Fatalf("record key %q is not in the frozen %s key set; bump the schema or extend the audit deliberately", k, Schema)
+			}
+		}
+		if string(m["schema"]) != `"`+Schema+`"` {
+			t.Fatalf("schema field %s, want %q", m["schema"], Schema)
+		}
+	}
+}
+
+// TestRecordSchemaKeyAudit keeps the audit honest outside fuzzing: a
+// fully-populated record (every optional field set) must serialize to
+// exactly the frozen key set — no more, no fewer.
+func TestRecordSchemaKeyAudit(t *testing.T) {
+	var h obs.Hist
+	h.Observe(3)
+	met := obs.New()
+	met.Inc(obs.CtrLL)
+	rec := NewRecord(Result{Name: "full", Workers: 2, Ops: 10, Elapsed: time.Second}, met.Snapshot()).
+		WithHists(&h, &h).WithBackoff(&h).WithAttribution(&h, &h).
+		WithSubstrate("sim").WithSim("smoke", 123)
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	for k := range v1RecordKeys {
+		if _, ok := m[k]; !ok {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) != 0 {
+		t.Errorf("fully-populated record omits frozen keys %v — field removed or audit stale", strings.Join(missing, ", "))
+	}
+	for k := range m {
+		if !v1RecordKeys[k] {
+			t.Errorf("record emits key %q outside the frozen set — extend v1RecordKeys in the same change", k)
+		}
+	}
+}

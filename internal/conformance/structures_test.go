@@ -1,0 +1,405 @@
+package conformance
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/structures"
+	"repro/internal/universal"
+	"repro/internal/word"
+)
+
+// This file extends the substrate-differential matrix to the two
+// container figures it did not cover: the deque (the universal
+// construction applied to a sequential deque) and the snapshot (the
+// canonical VL application). The native structures.Deque and
+// structures.Snapshot are hardwired to raw sync/atomic; their
+// machine-backed twins here run the identical algorithms over
+// universal.RObject and core.RVar on both machine substrates, compared
+// op for op against the native originals (metamorphic differential) and
+// stressed concurrently for their defining invariants (conservation for
+// the deque, cut atomicity for the snapshot).
+
+// machineDeque is the structures.Deque algorithm verbatim over the
+// machine-backed universal construction: segment 0 packs
+// (head<<16 | length), segments 1..cap hold the ring.
+type machineDeque struct {
+	m     *machine.Machine
+	o     *universal.RObject
+	cap   int
+	procs []*universal.RProc
+}
+
+const mdMetaShift = 16
+
+func newMachineDeque(t *testing.T, sub machine.Substrate, n, capacity int, spurious float64) *machineDeque {
+	t.Helper()
+	m := machine.MustNew(substrateConfig(sub, n, spurious, 31))
+	o, err := universal.NewRObject(m, 1+capacity, 32, make([]uint64, 1+capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &machineDeque{m: m, o: o, cap: capacity, procs: make([]*universal.RProc, n)}
+	for p := 0; p < n; p++ {
+		d.procs[p] = o.Proc(m.Proc(p))
+	}
+	return d
+}
+
+func (d *machineDeque) slot(head, off int) int { return 1 + (head+off)%d.cap }
+
+func (d *machineDeque) push(proc int, v uint64, front bool) bool {
+	var ok bool
+	d.o.Apply(d.procs[proc], func(cur, next []uint64) {
+		copy(next, cur)
+		head, length := int(cur[0]>>mdMetaShift), int(cur[0]&(1<<mdMetaShift-1))
+		ok = length < d.cap
+		if !ok {
+			return
+		}
+		if front {
+			head = (head - 1 + d.cap) % d.cap
+			next[d.slot(head, 0)] = v
+		} else {
+			next[d.slot(head, length)] = v
+		}
+		next[0] = uint64(head)<<mdMetaShift | uint64(length+1)
+	})
+	return ok
+}
+
+func (d *machineDeque) pop(proc int, front bool) (uint64, bool) {
+	var v uint64
+	var ok bool
+	d.o.Apply(d.procs[proc], func(cur, next []uint64) {
+		copy(next, cur)
+		head, length := int(cur[0]>>mdMetaShift), int(cur[0]&(1<<mdMetaShift-1))
+		ok = length > 0
+		if !ok {
+			return
+		}
+		if front {
+			v = cur[d.slot(head, 0)]
+			head = (head + 1) % d.cap
+		} else {
+			v = cur[d.slot(head, length-1)]
+		}
+		next[0] = uint64(head)<<mdMetaShift | uint64(length-1)
+	})
+	return v, ok
+}
+
+func (d *machineDeque) len(proc int) int {
+	dst := make([]uint64, 1+d.cap)
+	d.o.Read(d.procs[proc], dst)
+	return int(dst[0] & (1<<mdMetaShift - 1))
+}
+
+// TestDequeCrossSubstrateOracle replays one pseudo-random operation
+// sequence on the machine-backed deque (each substrate, the sim cell
+// with heavy spurious failure) and on the native structures.Deque, and
+// requires op-for-op identical results: same accept/reject decisions,
+// same popped values, same lengths. Single-threaded, so any divergence
+// is a substrate or construction bug, not a schedule.
+func TestDequeCrossSubstrateOracle(t *testing.T) {
+	const capacity, ops = 5, 400
+	for _, sub := range []machine.Substrate{machine.SubstrateSim, machine.SubstrateNative} {
+		spurious := 0.2
+		if sub == machine.SubstrateNative {
+			spurious = 0
+		}
+		t.Run(sub.String(), func(t *testing.T) {
+			md := newMachineDeque(t, sub, 1, capacity, spurious)
+			nd, err := structures.NewDeque(1, capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			np, err := nd.Proc(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1234))
+			for i := 0; i < ops; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					v := uint64(rng.Intn(100))
+					got, want := md.push(0, v, true), nd.PushFront(np, v)
+					if got != want {
+						t.Fatalf("op %d PushFront(%d): machine %v, native %v", i, v, got, want)
+					}
+				case 1:
+					v := uint64(rng.Intn(100))
+					got, want := md.push(0, v, false), nd.PushBack(np, v)
+					if got != want {
+						t.Fatalf("op %d PushBack(%d): machine %v, native %v", i, v, got, want)
+					}
+				case 2:
+					gv, gok := md.pop(0, true)
+					wv, wok := nd.PopFront(np)
+					if gv != wv || gok != wok {
+						t.Fatalf("op %d PopFront: machine (%d,%v), native (%d,%v)", i, gv, gok, wv, wok)
+					}
+				case 3:
+					gv, gok := md.pop(0, false)
+					wv, wok := nd.PopBack(np)
+					if gv != wv || gok != wok {
+						t.Fatalf("op %d PopBack: machine (%d,%v), native (%d,%v)", i, gv, gok, wv, wok)
+					}
+				}
+				if gl, wl := md.len(0), nd.Len(np); gl != wl {
+					t.Fatalf("op %d: length machine %d, native %d", i, gl, wl)
+				}
+			}
+		})
+	}
+}
+
+// TestDequeConcurrentConservation stresses the machine-backed deque on
+// both substrates with concurrent pushers and poppers and checks value
+// conservation: every accepted push is popped exactly once (during the
+// run or in the final drain), nothing is duplicated, nothing invented.
+func TestDequeConcurrentConservation(t *testing.T) {
+	const procs, capacity, perProc = 4, 8, 150
+	for _, sub := range []machine.Substrate{machine.SubstrateSim, machine.SubstrateNative} {
+		spurious := 0.1
+		if sub == machine.SubstrateNative {
+			spurious = 0
+		}
+		t.Run(sub.String(), func(t *testing.T) {
+			d := newMachineDeque(t, sub, procs, capacity, spurious)
+			pushed := make([][]uint64, procs) // accepted pushes, per proc
+			popped := make([][]uint64, procs)
+			var wg sync.WaitGroup
+			for p := 0; p < procs; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(p)*101 + 7))
+					for i := 0; i < perProc; i++ {
+						if rng.Intn(2) == 0 {
+							v := uint64(p)<<16 | uint64(i)
+							if d.push(p, v, rng.Intn(2) == 0) {
+								pushed[p] = append(pushed[p], v)
+							}
+						} else {
+							if v, ok := d.pop(p, rng.Intn(2) == 0); ok {
+								popped[p] = append(popped[p], v)
+							}
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			remaining := []uint64{}
+			for {
+				v, ok := d.pop(0, true)
+				if !ok {
+					break
+				}
+				remaining = append(remaining, v)
+			}
+			if len(remaining) > capacity {
+				t.Fatalf("drained %d values from a capacity-%d deque", len(remaining), capacity)
+			}
+			want := map[uint64]int{}
+			total := 0
+			for _, vs := range pushed {
+				for _, v := range vs {
+					want[v]++
+					total++
+				}
+			}
+			got := map[uint64]int{}
+			for _, vs := range popped {
+				for _, v := range vs {
+					got[v]++
+				}
+			}
+			for _, v := range remaining {
+				got[v]++
+			}
+			if len(got) != len(want) || total != len(remaining)+func() int {
+				n := 0
+				for _, vs := range popped {
+					n += len(vs)
+				}
+				return n
+			}() {
+				t.Fatalf("conservation violated: pushed %d distinct values, recovered %d", len(want), len(got))
+			}
+			for v, n := range want {
+				if got[v] != n {
+					t.Fatalf("value %#x pushed %d times, recovered %d times", v, n, got[v])
+				}
+			}
+		})
+	}
+}
+
+// machineSnapshot is the structures.Snapshot algorithm over machine-
+// backed Figure 5 variables: LL every variable, then VL every variable;
+// all validations passing proves the collected values co-existed at the
+// final LL — the canonical use of VL the paper argues for.
+type machineSnapshot struct {
+	vars []*core.RVar
+}
+
+func (s *machineSnapshot) collect(p *machine.Proc, dst []uint64, keeps []core.Keep) {
+	var w contention.Waiter
+retry:
+	for ; ; w.Wait(nil, contention.Ambient, contention.Interference) {
+		for i, v := range s.vars {
+			dst[i], keeps[i] = v.LL(p)
+		}
+		for i, v := range s.vars {
+			if !v.VL(p, keeps[i]) {
+				continue retry
+			}
+		}
+		return
+	}
+}
+
+// TestSnapshotCrossSubstrateOracle interleaves writes and collects
+// single-threaded on both machine substrates and against the native
+// structures.Snapshot, requiring identical collected vectors from the
+// same operation sequence.
+func TestSnapshotCrossSubstrateOracle(t *testing.T) {
+	const vars, rounds = 3, 120
+	run := func(t *testing.T, write func(i int, v uint64), collect func(dst []uint64)) [][]uint64 {
+		rng := rand.New(rand.NewSource(4321))
+		var out [][]uint64
+		for r := 0; r < rounds; r++ {
+			write(rng.Intn(vars), uint64(rng.Intn(50)))
+			if rng.Intn(3) == 0 {
+				dst := make([]uint64, vars)
+				collect(dst)
+				out = append(out, dst)
+			}
+		}
+		return out
+	}
+
+	// Native original: core.Var set under structures.Snapshot.
+	nvars := make([]*core.Var, vars)
+	for i := range nvars {
+		nvars[i] = core.MustNewVar(word.DefaultLayout, 0)
+	}
+	nsnap, err := structures.NewSnapshot(nvars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run(t, func(i int, v uint64) {
+		for {
+			_, k := nvars[i].LL()
+			if nvars[i].SC(k, v) {
+				return
+			}
+		}
+	}, nsnap.Collect)
+
+	for _, sub := range []machine.Substrate{machine.SubstrateSim, machine.SubstrateNative} {
+		spurious := 0.2
+		if sub == machine.SubstrateNative {
+			spurious = 0
+		}
+		t.Run(sub.String(), func(t *testing.T) {
+			m := machine.MustNew(substrateConfig(sub, 1, spurious, 17))
+			ms := &machineSnapshot{vars: make([]*core.RVar, vars)}
+			for i := range ms.vars {
+				v, err := core.NewRVar(m, word.DefaultLayout, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms.vars[i] = v
+			}
+			p := m.Proc(0)
+			keeps := make([]core.Keep, vars)
+			got := run(t, func(i int, v uint64) {
+				for {
+					_, k := ms.vars[i].LL(p)
+					if ms.vars[i].SC(p, k, v) {
+						return
+					}
+				}
+			}, func(dst []uint64) { ms.collect(p, dst, keeps) })
+			if len(got) != len(want) {
+				t.Fatalf("collected %d snapshots, native %d", len(got), len(want))
+			}
+			for i := range got {
+				for j := range got[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("snapshot %d var %d: machine %d, native %d", i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotCutAtomicity is the discriminating concurrency test: a
+// writer maintains vars[0] >= vars[1] at every instant (it bumps
+// vars[0] first, then brings vars[1] up to match). A naive unvalidated
+// collect reads vars[0] early and vars[1] later, and can observe
+// vars[1] > vars[0] after the writer advances both; the VL-validated
+// snapshot never can. Runs on both machine substrates.
+func TestSnapshotCutAtomicity(t *testing.T) {
+	const rounds = 400
+	for _, sub := range []machine.Substrate{machine.SubstrateSim, machine.SubstrateNative} {
+		spurious := 0.1
+		if sub == machine.SubstrateNative {
+			spurious = 0
+		}
+		t.Run(sub.String(), func(t *testing.T) {
+			m := machine.MustNew(substrateConfig(sub, 2, spurious, 23))
+			ms := &machineSnapshot{vars: make([]*core.RVar, 2)}
+			for i := range ms.vars {
+				v, err := core.NewRVar(m, word.DefaultLayout, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms.vars[i] = v
+			}
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer done.Store(true)
+				p := m.Proc(0)
+				set := func(i int, v uint64) {
+					for {
+						_, k := ms.vars[i].LL(p)
+						if ms.vars[i].SC(p, k, v) {
+							return
+						}
+					}
+				}
+				for n := uint64(1); n <= rounds; n++ {
+					set(0, n) // vars[0] leads...
+					set(1, n) // ...vars[1] catches up
+				}
+			}()
+			p := m.Proc(1)
+			dst := make([]uint64, 2)
+			keeps := make([]core.Keep, 2)
+			collects := 0
+			for !done.Load() {
+				ms.collect(p, dst, keeps)
+				collects++
+				if dst[0] < dst[1] {
+					t.Fatalf("collect %d observed a torn cut: vars[0]=%d < vars[1]=%d", collects, dst[0], dst[1])
+				}
+			}
+			wg.Wait()
+			if collects == 0 {
+				t.Fatal("collector never ran")
+			}
+		})
+	}
+}

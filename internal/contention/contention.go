@@ -149,9 +149,20 @@ type Policy struct {
 	lastInterf atomic.Uint64 // counter values at the previous sample
 	lastSpur   atomic.Uint64
 
-	m    *obs.Metrics
-	hist *obs.Hist
+	m     *obs.Metrics
+	hist  *obs.Hist
+	sleep Sleeper
 }
+
+// Sleeper consumes one wait on behalf of process proc instead of
+// busy-spinning it: units is the wait length in spin units as resolved
+// by the policy (jitter, backoff window, and adaptive gating already
+// applied). A virtual-time simulator installs one via SetSleeper so that
+// backoff costs simulated ticks rather than wall-clock cycles; waits
+// routed through a Sleeper skip the backoff histogram (there is no
+// meaningful wall-clock duration to record) but still count under
+// backoff_waits.
+type Sleeper func(proc int, units uint32)
 
 // None returns the do-nothing policy: retry immediately, with the
 // periodic yield that bounds naked spinning.
@@ -265,6 +276,75 @@ func (p *Policy) SetBackoffHist(h *obs.Hist) {
 	}
 }
 
+// SetSleeper installs an alternative wait executor (nil restores the
+// default busy-spin), redirecting every Wait/WaitTimed through fn. The
+// wait-boundedness contract is unchanged: fn receives at most WaitBound
+// units per call. Attach before the policy is shared between goroutines.
+// Safe on nil policies.
+func (p *Policy) SetSleeper(fn Sleeper) {
+	if p != nil {
+		p.sleep = fn
+	}
+}
+
+// Params is the flattened, comparable description of a policy's tuning
+// knobs, the exchange format for parameter injection: a sweep engine
+// (internal/sim) perturbs a Params value and realizes it with FromParams
+// instead of reaching into the policy's internals.
+type Params struct {
+	Kind Kind
+	// Spin is the fixed wait in spin units (KindSpin only; 0 = DefaultSpin).
+	Spin int
+	// Base and Max bound the backoff window in spin units
+	// (KindBackoff/KindAdaptive; 0 = DefaultBase/DefaultMax).
+	Base int
+	Max  int
+	// Seed seeds the deterministic jitter streams (see WithSeed).
+	Seed uint64
+}
+
+// FromParams realizes a fresh policy from its tuning knobs. Fields
+// irrelevant to the kind are ignored, and zero values select the same
+// defaults as the named constructors.
+func FromParams(ps Params) *Policy {
+	var p *Policy
+	switch ps.Kind {
+	case KindSpin:
+		p = Spin(ps.Spin)
+	case KindBackoff:
+		p = ExponentialBackoff(ps.Base, ps.Max)
+	case KindAdaptive:
+		p = Adaptive(ps.Base, ps.Max)
+	default:
+		p = None()
+	}
+	return p.WithSeed(ps.Seed)
+}
+
+// Params returns the policy's tuning knobs in exchange form. Safe on nil
+// (reports the None policy).
+func (p *Policy) Params() Params {
+	if p == nil {
+		return Params{}
+	}
+	return Params{Kind: p.kind, Spin: int(p.spin), Base: int(p.base), Max: int(p.max), Seed: p.seed}
+}
+
+// ParseKind resolves a stable policy name (see Names) to its Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "none":
+		return KindNone, nil
+	case "spin":
+		return KindSpin, nil
+	case "backoff":
+		return KindBackoff, nil
+	case "adaptive":
+		return KindAdaptive, nil
+	}
+	return KindNone, fmt.Errorf("contention: unknown policy %q (want one of %v)", name, Names())
+}
+
 // WaitBound returns the hard upper bound, in spin units, of any single
 // wait this policy can insert — the quantity the lock-freedom argument
 // rests on. Safe on nil (0: no wait beyond the periodic yield).
@@ -316,6 +396,10 @@ func (w *Waiter) Wait(p *Policy, proc int, cause Cause) {
 	if !active {
 		return
 	}
+	if p.sleep != nil {
+		p.sleep(proc, units)
+		return
+	}
 	if p.hist != nil {
 		t0 := time.Now()
 		w.spinWait(units)
@@ -334,6 +418,10 @@ func (w *Waiter) Wait(p *Policy, proc int, cause Cause) {
 func (w *Waiter) WaitTimed(p *Policy, proc int, cause Cause) time.Duration {
 	units, active := w.prepare(p, proc, cause)
 	if !active {
+		return 0
+	}
+	if p.sleep != nil {
+		p.sleep(proc, units)
 		return 0
 	}
 	t0 := time.Now()

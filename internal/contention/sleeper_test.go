@@ -1,0 +1,134 @@
+package contention
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSleeperReceivesResolvedWaits: with a Sleeper installed, every
+// active wait is routed through it with the policy-resolved unit count
+// (≤ WaitBound), and no wait busy-spins.
+func TestSleeperReceivesResolvedWaits(t *testing.T) {
+	p := ExponentialBackoff(4, 64).WithSeed(7)
+	var got []uint32
+	p.SetSleeper(func(proc int, units uint32) {
+		if proc != 2 {
+			t.Errorf("sleeper saw proc %d, want 2", proc)
+		}
+		got = append(got, units)
+	})
+	var w Waiter
+	for i := 0; i < 10; i++ {
+		w.Wait(p, 2, Interference)
+	}
+	if len(got) != 10 {
+		t.Fatalf("sleeper called %d times, want 10", len(got))
+	}
+	bound := uint32(p.WaitBound())
+	for i, u := range got {
+		if u == 0 || u > bound {
+			t.Errorf("wait %d: %d units, want in [1,%d]", i, u, bound)
+		}
+	}
+	// The window still doubles: later waits must be able to exceed the
+	// base (jitter picks within the window, so compare maxima).
+	max := got[0]
+	for _, u := range got {
+		if u > max {
+			max = u
+		}
+	}
+	if max <= 4 {
+		t.Errorf("max wait %d units never exceeded base 4; backoff window not growing", max)
+	}
+}
+
+// TestSleeperSkipsWallClock: WaitTimed under a Sleeper reports no
+// wall-clock duration (there is none) and gated-to-zero waits never
+// reach the sleeper.
+func TestSleeperSkipsWallClock(t *testing.T) {
+	p := Adaptive(4, 64).WithSeed(1)
+	calls := 0
+	p.SetSleeper(func(proc int, units uint32) { calls++ })
+	var w Waiter
+	if d := w.WaitTimed(p, 0, Spurious); d != 0 {
+		t.Errorf("spurious-gated wait reported %v, want 0", d)
+	}
+	if calls != 0 {
+		t.Errorf("spurious-gated wait reached the sleeper (%d calls); Adaptive must retry at once", calls)
+	}
+	if d := w.WaitTimed(p, 0, Interference); d != 0 {
+		t.Errorf("sleeper wait reported wall-clock %v, want 0", d)
+	}
+	if calls != 1 {
+		t.Errorf("interference wait: %d sleeper calls, want 1", calls)
+	}
+}
+
+// TestSleeperNilRestoresSpin: clearing the sleeper restores the
+// busy-spin path (observable via its wall-clock cost being measurable —
+// bounded above by a generous margin so the test stays robust).
+func TestSleeperNilRestoresSpin(t *testing.T) {
+	p := Spin(8).WithSeed(3)
+	p.SetSleeper(func(proc int, units uint32) {})
+	var w Waiter
+	w.Wait(p, 0, Interference)
+	p.SetSleeper(nil)
+	done := make(chan struct{})
+	go func() {
+		var w2 Waiter
+		w2.Wait(p, 0, Interference)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("busy-spin wait did not complete after sleeper removal")
+	}
+}
+
+// TestParamsRoundTrip pins the parameter-injection exchange format:
+// FromParams(p.Params()) reproduces the policy's behaviourally relevant
+// configuration for every kind, and zero values select the documented
+// defaults.
+func TestParamsRoundTrip(t *testing.T) {
+	cases := []*Policy{
+		None(),
+		Spin(32).WithSeed(5),
+		ExponentialBackoff(8, 128).WithSeed(6),
+		Adaptive(2, 16).WithSeed(7),
+	}
+	for _, want := range cases {
+		got := FromParams(want.Params())
+		if got.Kind() != want.Kind() || got.Name() != want.Name() {
+			t.Errorf("%s: round-trip kind %v/%s, want %v/%s", want.Name(), got.Kind(), got.Name(), want.Kind(), want.Name())
+		}
+		if got.WaitBound() != want.WaitBound() {
+			t.Errorf("%s: round-trip WaitBound %d, want %d", want.Name(), got.WaitBound(), want.WaitBound())
+		}
+		if got.Params() != want.Params() {
+			t.Errorf("%s: Params not a fixed point: %+v vs %+v", want.Name(), got.Params(), want.Params())
+		}
+	}
+	// Zero values select defaults.
+	def := FromParams(Params{Kind: KindBackoff})
+	if def.WaitBound() != DefaultMax {
+		t.Errorf("zero-valued backoff Params: WaitBound %d, want DefaultMax %d", def.WaitBound(), DefaultMax)
+	}
+}
+
+// TestParseKind pins the stable names.
+func TestParseKind(t *testing.T) {
+	for _, name := range Names() {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		if FromParams(Params{Kind: k}).Name() != name {
+			t.Errorf("ParseKind(%q) → kind %v does not round-trip", name, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded, want error")
+	}
+}

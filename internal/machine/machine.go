@@ -197,6 +197,18 @@ type Scheduler interface {
 	Step(proc int)
 }
 
+// OpStepper is an optional refinement of Scheduler for virtual-time
+// simulators: when the configured Scheduler also implements OpStepper,
+// the machine calls StepOp instead of Step, passing the operation kind
+// and target word so the scheduler can charge an op-dependent cost to
+// its virtual clock (internal/sim builds its discrete-event engine on
+// this). The blocking contract is Step's: StepOp returns only when proc
+// may execute the operation.
+type OpStepper interface {
+	Scheduler
+	StepOp(proc int, op OpKind, word uint64)
+}
+
 // Machine is a simulated multiprocessor. Create one with New, obtain Proc
 // handles with Proc, and allocate shared words with NewWord.
 type Machine struct {
@@ -206,6 +218,7 @@ type Machine struct {
 	eventSeq atomic.Uint64
 	steps    atomic.Uint64
 	retired  procStats // counters of crashed incarnations, folded by Restart
+	stepper  OpStepper // cfg.Scheduler's OpStepper refinement, resolved once at New
 }
 
 // CrashPanic is the panic value delivered when a crashed processor (see
@@ -262,6 +275,9 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("machine: unknown substrate %v", cfg.Substrate)
 	}
 	m := &Machine{cfg: cfg, procs: make([]atomic.Pointer[Proc], cfg.Procs)}
+	if os, ok := cfg.Scheduler.(OpStepper); ok {
+		m.stepper = os
+	}
 	for i := range m.procs {
 		m.procs[i].Store(m.newProc(i, 0))
 	}
@@ -474,7 +490,7 @@ func (p *Proc) Load(w *Word) uint64 {
 	if p.native {
 		return p.nativeLoad(w)
 	}
-	p.step()
+	p.step(OpLoad, w)
 	p.fault(OpLoad, w)
 	p.stats.Loads.Add(1)
 	if p.m.cfg.Strict {
@@ -494,7 +510,7 @@ func (p *Proc) Store(w *Word, v uint64) {
 		p.nativeStore(w, v)
 		return
 	}
-	p.step()
+	p.step(OpStore, w)
 	p.fault(OpStore, w)
 	p.stats.Stores.Add(1)
 	if p.m.cfg.Strict {
@@ -512,7 +528,7 @@ func (p *Proc) CAS(w *Word, old, new uint64) bool {
 	if p.native {
 		return p.nativeCAS(w, old, new)
 	}
-	p.step()
+	p.step(OpCAS, w)
 	p.fault(OpCAS, w)
 	p.stats.CASOps.Add(1)
 	if p.m.cfg.Strict {
@@ -538,7 +554,7 @@ func (p *Proc) RLL(w *Word) uint64 {
 	if p.native {
 		return p.nativeRLL(w)
 	}
-	p.step()
+	p.step(OpRLL, w)
 	p.fault(OpRLL, w)
 	p.stats.RLLs.Add(1)
 	c := w.cell.Load()
@@ -557,7 +573,7 @@ func (p *Proc) RSC(w *Word, v uint64) bool {
 	if p.native {
 		return p.nativeRSC(w, v)
 	}
-	p.step()
+	p.step(OpRSC, w)
 	forced := p.fault(OpRSC, w)
 	resWord, resCell := p.resWord, p.resCell
 	p.clearReservation()
@@ -640,13 +656,17 @@ func (p *Proc) emitLifecycle(op OpKind) {
 
 // step advances the machine's global logical clock, enforces the crash
 // flag, and consults the configured scheduler, if any, before a
-// shared-memory operation.
-func (p *Proc) step() {
+// shared-memory operation. op and w identify the operation about to
+// execute, forwarded to an OpStepper scheduler for virtual-time cost
+// accounting.
+func (p *Proc) step(op OpKind, w *Word) {
 	if p.crashed.Load() {
 		panic(CrashPanic{Proc: p.id, Gen: p.gen})
 	}
 	p.m.steps.Add(1)
-	if s := p.m.cfg.Scheduler; s != nil {
+	if os := p.m.stepper; os != nil {
+		os.StepOp(p.id, op, w.id)
+	} else if s := p.m.cfg.Scheduler; s != nil {
 		s.Step(p.id)
 	}
 }

@@ -1,0 +1,80 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recordingStepper implements OpStepper and records every (proc, op, word)
+// triple it is consulted for. Single-goroutine use only.
+type recordingStepper struct {
+	procs []int
+	ops   []OpKind
+	words []uint64
+	steps int // Step calls (must stay 0: the machine must prefer StepOp)
+}
+
+func (r *recordingStepper) Step(proc int) { r.steps++ }
+
+func (r *recordingStepper) StepOp(proc int, op OpKind, word uint64) {
+	r.procs = append(r.procs, proc)
+	r.ops = append(r.ops, op)
+	r.words = append(r.words, word)
+}
+
+// TestOpStepperReceivesOps pins the virtual-time hook contract: a
+// Scheduler that also implements OpStepper sees every shared-memory
+// operation with its kind and target word, in program order, and its
+// plain Step method is never used.
+func TestOpStepperReceivesOps(t *testing.T) {
+	rec := &recordingStepper{}
+	m := MustNew(Config{Procs: 1, Scheduler: rec})
+	p := m.Proc(0)
+	w := m.NewWord(7)
+	w2 := m.NewWord(0)
+
+	p.Load(w)
+	p.Store(w2, 3)
+	p.CAS(w, 7, 8)
+	p.RLL(w)
+	p.RSC(w, 9)
+
+	wantOps := []OpKind{OpLoad, OpStore, OpCAS, OpRLL, OpRSC}
+	wantWords := []uint64{w.ID(), w2.ID(), w.ID(), w.ID(), w.ID()}
+	if !reflect.DeepEqual(rec.ops, wantOps) {
+		t.Errorf("ops = %v, want %v", rec.ops, wantOps)
+	}
+	if !reflect.DeepEqual(rec.words, wantWords) {
+		t.Errorf("words = %v, want %v", rec.words, wantWords)
+	}
+	for i, pr := range rec.procs {
+		if pr != 0 {
+			t.Errorf("call %d reported proc %d, want 0", i, pr)
+		}
+	}
+	if rec.steps != 0 {
+		t.Errorf("plain Step called %d times; an OpStepper scheduler must be driven through StepOp only", rec.steps)
+	}
+	if got := m.Steps(); got != 5 {
+		t.Errorf("Steps() = %d, want 5 (the logical clock still advances)", got)
+	}
+}
+
+// plainScheduler implements only Scheduler.
+type plainScheduler struct{ steps int }
+
+func (s *plainScheduler) Step(proc int) { s.steps++ }
+
+// TestPlainSchedulerStillStepped: a Scheduler without the OpStepper
+// refinement keeps the original Step contract.
+func TestPlainSchedulerStillStepped(t *testing.T) {
+	s := &plainScheduler{}
+	m := MustNew(Config{Procs: 1, Scheduler: s})
+	p := m.Proc(0)
+	w := m.NewWord(0)
+	p.Store(w, 1)
+	p.Load(w)
+	if s.steps != 2 {
+		t.Errorf("Step called %d times, want 2", s.steps)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzHistQuantile checks Quantile against a brute-force nearest-rank
+// oracle on the raw observations: for any observation multiset and any
+// q, the histogram's answer must be exactly bucketHi(bucketOf(x)) where
+// x is the ⌈q·n⌉-th smallest observation (rank clamped to [1, n]) — the
+// documented contract — which also implies the upper-bound guarantee
+// x ≤ Quantile(q) < 2x (for x ≥ 1).
+//
+// The corpus feeds the value stream as bytes (exercising the dense
+// small-value buckets) with three magnitude escalations mixed in from
+// the byte values themselves, so high buckets and the 64-bit edge get
+// traffic too.
+func FuzzHistQuantile(f *testing.F) {
+	f.Add([]byte{0}, float64(0.5))
+	f.Add([]byte{1, 2, 3, 4}, float64(0.5))
+	f.Add([]byte{255, 0, 128}, float64(0.99))
+	f.Add([]byte{7, 7, 7}, float64(0))
+	f.Add([]byte{9}, float64(1))
+	f.Add([]byte{200, 100, 50, 25}, float64(-3)) // clamps to rank 1
+	f.Add([]byte{200, 100, 50, 25}, float64(42)) // clamps to rank n
+	f.Add([]byte{13, 77, 254, 3, 3, 90}, float64(0.25))
+	f.Fuzz(func(t *testing.T, raw []byte, q float64) {
+		if len(raw) > 1024 {
+			raw = raw[:1024]
+		}
+		if math.IsNaN(q) {
+			t.Skip("NaN quantile: ceil(NaN·n) has no defined rank")
+		}
+		var h Hist
+		var values []uint64
+		for i, b := range raw {
+			v := uint64(b)
+			// Escalate some values into high buckets, derived purely from
+			// the input so the corpus stays reproducible.
+			switch i % 4 {
+			case 1:
+				v *= 1 << 20
+			case 2:
+				v *= 1 << 50
+			case 3:
+				if b%5 == 0 {
+					v = math.MaxUint64 - v
+				}
+			}
+			h.Observe(v)
+			values = append(values, v)
+		}
+		got := h.Quantile(q)
+		if len(values) == 0 {
+			if got != 0 {
+				t.Fatalf("empty histogram Quantile(%v) = %d, want 0", q, got)
+			}
+			return
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		qq := q
+		if qq < 0 {
+			qq = 0
+		}
+		if qq > 1 {
+			qq = 1
+		}
+		rank := uint64(math.Ceil(qq * float64(len(values))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > uint64(len(values)) {
+			rank = uint64(len(values))
+		}
+		x := values[rank-1]
+		want := bucketHi(bucketOf(x))
+		if got != want {
+			t.Fatalf("Quantile(%v) over %d values = %d; oracle rank %d value %d buckets to %d",
+				q, len(values), got, rank, x, want)
+		}
+		// The documented upper-bound guarantee.
+		if got < x {
+			t.Fatalf("Quantile(%v) = %d below the true quantile %d", q, got, x)
+		}
+		if x >= 1 && got >= 2*x && bucketOf(x) < 64 {
+			t.Fatalf("Quantile(%v) = %d not within 2× of the true quantile %d", q, got, x)
+		}
+		// Count/sum bookkeeping stays exact under the same stream.
+		var sum uint64
+		for _, v := range values {
+			sum += v
+		}
+		if h.Count() != uint64(len(values)) || h.Sum() != sum {
+			t.Fatalf("count/sum %d/%d, want %d/%d", h.Count(), h.Sum(), len(values), sum)
+		}
+	})
+}

@@ -171,6 +171,20 @@ const (
 	CtrTraceSampledOut
 	CtrFlightDumps
 
+	// Discrete-event simulator counters (internal/sim). SimRequests
+	// counts requests offered by the arrival processes; SimCompleted
+	// those that finished inside the horizon (requests − completed =
+	// abandoned, the wedge-freedom deficit); SimEliminated those that
+	// completed by pairing with a complementary request at the dispatch
+	// layer instead of touching the register; SimRestarts counts
+	// crash-storm incarnation replacements performed by the sim's
+	// recovery driver. Appended at the end of the taxonomy per the
+	// schema rule.
+	CtrSimRequests
+	CtrSimCompleted
+	CtrSimEliminated
+	CtrSimRestarts
+
 	// NumCounters is the size of the taxonomy; Snapshot is indexed by
 	// Counter in [0, NumCounters).
 	NumCounters
@@ -228,6 +242,10 @@ var counterNames = [NumCounters]string{
 	CtrTraceDrops:               "trace_drops",
 	CtrTraceSampledOut:          "trace_sampled_out",
 	CtrFlightDumps:              "flight_dumps",
+	CtrSimRequests:              "sim_requests",
+	CtrSimCompleted:             "sim_completed",
+	CtrSimEliminated:            "sim_eliminated",
+	CtrSimRestarts:              "sim_restarts",
 }
 
 // String returns the counter's stable snake_case name.

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ReqKind is a request's operation: "inc" and "dec" mutate the keyed
+// counter (and may eliminate against each other); "read" reads it.
+type ReqKind string
+
+const (
+	ReqInc  ReqKind = "inc"
+	ReqDec  ReqKind = "dec"
+	ReqRead ReqKind = "read"
+)
+
+// Request is one client request in the sampled arrival trace: processor
+// Proc asks for Kind on Key at virtual tick At. Requests execute in
+// trace order per processor (open-loop: a late-running processor queues
+// its backlog, and queueing delay is part of the measured latency).
+type Request struct {
+	Proc int     `json:"proc"`
+	At   uint64  `json:"at"`
+	Kind ReqKind `json:"kind"`
+	Key  int     `json:"key"`
+}
+
+// SampleTrace draws the scenario's full arrival trace: per-processor
+// arrival times from the processor's client-class inter-arrival
+// distribution (modulated by the diurnal phases), request kinds from the
+// mix, and keys from the hotspot distribution. The trace is a pure
+// function of the scenario (including its seed): every sweep cell runs
+// the identical trace, so cells are paired comparisons. Returned flat,
+// ordered by (Proc, At).
+func SampleTrace(sc Scenario) ([]Request, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	var trace []Request
+	proc := 0
+	for ci, class := range sc.Clients {
+		for i := 0; i < class.Procs; i++ {
+			rng := rand.New(rand.NewSource(sc.Seed ^ int64(proc)*0x9E3779B9 ^ int64(ci)<<32))
+			trace = append(trace, sampleProc(sc, proc, class.Arrival, rng)...)
+			proc++
+		}
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("sim: scenario %q offers no requests (rate × horizon too small)", sc.Name)
+	}
+	return trace, nil
+}
+
+// sampleProc draws one processor's arrivals over [0, Horizon).
+func sampleProc(sc Scenario, proc int, a Arrival, rng *rand.Rand) []Request {
+	var reqs []Request
+	t := 0.0
+	horizon := float64(sc.Horizon)
+	for {
+		dt := interarrival(a, rng)
+		// Diurnal modulation: divide the gap by the load multiplier in
+		// force at the provisional arrival instant.
+		if len(sc.Phases) > 0 {
+			seg := int(t / horizon * float64(len(sc.Phases)))
+			if seg >= len(sc.Phases) {
+				seg = len(sc.Phases) - 1
+			}
+			dt /= sc.Phases[seg]
+		}
+		t += dt
+		if t >= horizon {
+			return reqs
+		}
+		reqs = append(reqs, Request{
+			Proc: proc,
+			At:   uint64(t),
+			Kind: sampleKind(sc.Mix, rng),
+			Key:  sampleKey(sc, rng),
+		})
+	}
+}
+
+// interarrival draws one inter-arrival gap in ticks, mean 1/Rate.
+func interarrival(a Arrival, rng *rand.Rand) float64 {
+	mean := 1 / a.Rate
+	switch a.Process {
+	case "poisson":
+		return rng.ExpFloat64() * mean
+	case "uniform":
+		return rng.Float64() * 2 * mean
+	case "gamma":
+		// Shape k, scale chosen so the mean is 1/Rate.
+		return gammaSample(a.Shape, rng) * mean / a.Shape
+	case "weibull":
+		// Inverse transform; scale normalized by Γ(1+1/k) so the mean is
+		// 1/Rate regardless of shape.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		lambda := mean / math.Gamma(1+1/a.Shape)
+		return lambda * math.Pow(-math.Log(u), 1/a.Shape)
+	}
+	panic("sim: unvalidated arrival process " + a.Process)
+}
+
+// gammaSample draws Gamma(k, 1) via Marsaglia–Tsang (2000), with the
+// standard boost for k < 1.
+func gammaSample(k float64, rng *rand.Rand) float64 {
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) · U^(1/k)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(k+1, rng) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+func sampleKind(m Mix, rng *rand.Rand) ReqKind {
+	total := m.Inc + m.Dec + m.Read
+	u := rng.Float64() * total
+	switch {
+	case u < m.Inc:
+		return ReqInc
+	case u < m.Inc+m.Dec:
+		return ReqDec
+	default:
+		return ReqRead
+	}
+}
+
+func sampleKey(sc Scenario, rng *rand.Rand) int {
+	if sc.Keys == 1 {
+		return 0
+	}
+	if rng.Float64() < sc.Hot {
+		return 0
+	}
+	return 1 + rng.Intn(sc.Keys-1)
+}
+
+// splitTrace splits a flat (Proc, At)-ordered trace into per-processor
+// streams, each in arrival order.
+func splitTrace(trace []Request, procs int) [][]Request {
+	per := make([][]Request, procs)
+	for _, r := range trace {
+		per[r.Proc] = append(per[r.Proc], r)
+	}
+	return per
+}

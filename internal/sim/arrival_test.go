@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// arrivalScenario offers enough load for distributional checks.
+func arrivalScenario() Scenario {
+	sc := validScenario()
+	sc.Procs = 4
+	sc.Clients = []ClientSpec{{Procs: 4, Arrival: Arrival{Process: "poisson", Rate: 0.05}}}
+	sc.Horizon = 20000
+	sc.Keys = 8
+	return sc
+}
+
+func TestSampleTraceDeterministic(t *testing.T) {
+	sc := arrivalScenario()
+	a, err := SampleTrace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleTrace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same scenario sampled two different traces")
+	}
+	sc.Seed++
+	c, err := SampleTrace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds sampled identical traces")
+	}
+}
+
+func TestSampleTraceShape(t *testing.T) {
+	sc := arrivalScenario()
+	trace, err := SampleTrace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perProc := make([]int, sc.Procs)
+	var lastAt uint64
+	lastProc := -1
+	for i, r := range trace {
+		if r.Proc < 0 || r.Proc >= sc.Procs {
+			t.Fatalf("request %d has proc %d out of range", i, r.Proc)
+		}
+		if r.At >= sc.Horizon {
+			t.Fatalf("request %d arrives at %d, past the horizon %d", i, r.At, sc.Horizon)
+		}
+		if r.Key < 0 || r.Key >= sc.Keys {
+			t.Fatalf("request %d has key %d out of range", i, r.Key)
+		}
+		if r.Kind != ReqInc && r.Kind != ReqDec && r.Kind != ReqRead {
+			t.Fatalf("request %d has kind %q", i, r.Kind)
+		}
+		// Flat trace is (Proc, At)-ordered.
+		if r.Proc == lastProc && r.At < lastAt {
+			t.Fatalf("request %d out of order: proc %d at %d after %d", i, r.Proc, r.At, lastAt)
+		}
+		if r.Proc < lastProc {
+			t.Fatalf("request %d: proc %d after proc %d", i, r.Proc, lastProc)
+		}
+		lastProc, lastAt = r.Proc, r.At
+		perProc[r.Proc]++
+	}
+	// Poisson at rate 0.05 over 20000 ticks ⇒ ~1000 arrivals per proc;
+	// a factor-of-two band is far outside sampling noise.
+	for p, n := range perProc {
+		if n < 500 || n > 2000 {
+			t.Errorf("proc %d offered %d requests, want ~1000", p, n)
+		}
+	}
+}
+
+// TestSampleTraceProcessses checks every distribution samples, keeps
+// its configured mean rate, and differs per shape where it should.
+func TestSampleTraceProcesses(t *testing.T) {
+	for _, a := range []Arrival{
+		{Process: "poisson", Rate: 0.05},
+		{Process: "uniform", Rate: 0.05},
+		{Process: "gamma", Rate: 0.05, Shape: 2},
+		{Process: "gamma", Rate: 0.05, Shape: 0.5},
+		{Process: "weibull", Rate: 0.05, Shape: 0.5},
+		{Process: "weibull", Rate: 0.05, Shape: 2},
+	} {
+		sc := arrivalScenario()
+		sc.Clients = []ClientSpec{{Procs: 4, Arrival: a}}
+		trace, err := SampleTrace(sc)
+		if err != nil {
+			t.Fatalf("%+v: %v", a, err)
+		}
+		// Mean inter-arrival 20 ticks ⇒ ~4000 requests total. Heavy-tailed
+		// weibull k=0.5 has high variance, so the band is wide.
+		if n := len(trace); n < 2000 || n > 8000 {
+			t.Errorf("%+v: offered %d requests, want ~4000", a, n)
+		}
+	}
+}
+
+func TestSampleTraceHotspot(t *testing.T) {
+	sc := arrivalScenario()
+	sc.Hot = 0.9
+	trace, err := SampleTrace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, r := range trace {
+		if r.Key == 0 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(len(trace)); frac < 0.85 || frac > 0.95 {
+		t.Errorf("hot-key fraction %.3f, want ~0.9", frac)
+	}
+}
+
+func TestSampleTraceMix(t *testing.T) {
+	sc := arrivalScenario()
+	sc.Mix = Mix{Inc: 1, Dec: 1} // no reads
+	trace, err := SampleTrace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ReqKind]int{}
+	for _, r := range trace {
+		counts[r.Kind]++
+	}
+	if counts[ReqRead] != 0 {
+		t.Errorf("mix with zero read weight sampled %d reads", counts[ReqRead])
+	}
+	ratio := float64(counts[ReqInc]) / float64(counts[ReqDec])
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("inc/dec ratio %.3f, want ~1 for equal weights", ratio)
+	}
+}
+
+// TestSampleTracePhases checks diurnal modulation: a segment with a 4×
+// multiplier receives about 4× the arrivals of a 1× segment.
+func TestSampleTracePhases(t *testing.T) {
+	sc := arrivalScenario()
+	sc.Phases = []float64{1, 4}
+	trace, err := SampleTrace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := sc.Horizon / 2
+	lo, hi := 0, 0
+	for _, r := range trace {
+		if r.At < half {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if ratio := float64(hi) / float64(lo); ratio < 3 || ratio > 5 {
+		t.Errorf("peak/trough arrival ratio %.2f, want ~4", ratio)
+	}
+}
+
+func TestSampleTraceEmpty(t *testing.T) {
+	sc := validScenario()
+	sc.Horizon = minHorizon
+	sc.Clients[0].Arrival.Rate = 0.0000001
+	if _, err := SampleTrace(sc); err == nil {
+		t.Fatal("expected an error for a trace with no requests")
+	}
+}
+
+func TestSplitTrace(t *testing.T) {
+	trace := []Request{
+		{Proc: 0, At: 1}, {Proc: 0, At: 5}, {Proc: 2, At: 3},
+	}
+	per := splitTrace(trace, 3)
+	if len(per[0]) != 2 || len(per[1]) != 0 || len(per[2]) != 1 {
+		t.Fatalf("split sizes %d/%d/%d, want 2/0/1", len(per[0]), len(per[1]), len(per[2]))
+	}
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// hotspotAt memoizes hotspot sweeps by seed: several tests read the
+// same report, and a 16-cell sweep is worth sharing.
+var (
+	hotspotMu   sync.Mutex
+	hotspotReps = map[int64]*Report{}
+)
+
+func hotspotAt(t *testing.T, seed int64) *Report {
+	t.Helper()
+	hotspotMu.Lock()
+	defer hotspotMu.Unlock()
+	if rep, ok := hotspotReps[seed]; ok {
+		return rep
+	}
+	sc, ok := Builtin("hotspot")
+	if !ok {
+		t.Fatal("hotspot builtin missing")
+	}
+	sc.Seed = seed
+	rep, err := RunSweep(sc)
+	if err != nil {
+		t.Fatalf("hotspot sweep (seed %d): %v", seed, err)
+	}
+	hotspotReps[seed] = rep
+	return rep
+}
+
+// TestReportByteDeterminism is the core contract: the same scenario
+// (same seed) produces a byte-identical report, including the crash-
+// storm scenario whose recovery path is the most schedule-sensitive.
+func TestReportByteDeterminism(t *testing.T) {
+	for _, name := range []string{"smoke", "crashstorm"} {
+		t.Run(name, func(t *testing.T) {
+			sc, ok := Builtin(name)
+			if !ok {
+				t.Fatalf("builtin %q missing", name)
+			}
+			a, err := RunSweep(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunSweep(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ab, err := a.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bb, err := b.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ab, bb) {
+				t.Fatalf("two runs of %q produced different bytes (%d vs %d)", name, len(ab), len(bb))
+			}
+		})
+	}
+}
+
+func TestSeedChangesReport(t *testing.T) {
+	sc, _ := Builtin("smoke")
+	a, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed++
+	b, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := a.Marshal()
+	bb, _ := b.Marshal()
+	if bytes.Equal(ab, bb) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// TestReplayReproducesScores is the acceptance gate for --replay: a
+// report's embedded trace, re-executed, reproduces every cell's
+// fitness-relevant outcome exactly. It goes through the serialized
+// form, as the CLI does.
+func TestReplayReproducesScores(t *testing.T) {
+	orig := hotspotAt(t, 1)
+	data, err := orig.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadReport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := CompareCells(orig, replayed); len(diffs) != 0 {
+		t.Fatalf("replay diverged:\n%v", diffs)
+	}
+}
+
+func TestReplayRequiresTrace(t *testing.T) {
+	sc, _ := Builtin("smoke")
+	sc.RecordTrace = false
+	rep, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(rep); err == nil {
+		t.Fatal("Replay accepted a report with no embedded trace")
+	}
+}
+
+func TestCompareCellsDetectsDivergence(t *testing.T) {
+	rep := hotspotAt(t, 1)
+	forged := *rep
+	forged.Cells = append([]CellResult(nil), rep.Cells...)
+	forged.Cells[0].Score += 1
+	if diffs := CompareCells(rep, &forged); len(diffs) != 1 {
+		t.Fatalf("got %d mismatches, want 1: %v", len(diffs), diffs)
+	}
+}
+
+// TestMetamorphicRankingStability: scores vary with the seed, but the
+// sweep's conclusions should not. Across seeds, the winner's identity
+// is stable, and any pair of cells decisively separated (score gap
+// above tolerance) at every seed agrees on the order everywhere.
+func TestMetamorphicRankingStability(t *testing.T) {
+	const tolerance = 20.0 // decisive-gap threshold, in fitness points
+	seeds := []int64{1, 2, 3}
+	reps := make([]*Report, len(seeds))
+	for i, seed := range seeds {
+		reps[i] = hotspotAt(t, seed)
+	}
+	base := reps[0]
+	for _, rep := range reps[1:] {
+		if rep.Decisions.Winner != base.Decisions.Winner {
+			t.Errorf("winner flipped with the seed: %v vs %v",
+				base.Decisions.Winner, rep.Decisions.Winner)
+		}
+	}
+	// The winning configuration in the hotspot regime is striping: the
+	// load concentrates on one key, and spreading it across 4 stripes
+	// cuts p99 latency by an order of magnitude.
+	if w := base.Decisions.Winner; w.Shards != 4 {
+		t.Errorf("hotspot winner %v does not shard; sharding is the hotspot remedy", w)
+	}
+	for i := 0; i < len(base.Cells); i++ {
+		for j := i + 1; j < len(base.Cells); j++ {
+			decisive := true
+			for _, rep := range reps {
+				gap := rep.Cells[i].Score - rep.Cells[j].Score
+				if gap < 0 {
+					gap = -gap
+				}
+				if gap <= tolerance {
+					decisive = false
+					break
+				}
+			}
+			if !decisive {
+				continue
+			}
+			sign := base.Cells[i].Score > base.Cells[j].Score
+			for k, rep := range reps[1:] {
+				if (rep.Cells[i].Score > rep.Cells[j].Score) != sign {
+					t.Errorf("decisive pair %v vs %v flips order at seed %d",
+						base.Cells[i].CellID, base.Cells[j].CellID, seeds[k+1])
+				}
+			}
+		}
+	}
+}

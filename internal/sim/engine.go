@@ -1,0 +1,519 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/contention"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/stress"
+)
+
+// Tick-cost model: every shared-memory machine operation costs one
+// virtual tick, and a contention-policy wait costs its length in spin
+// units, tick for tick — both are the same tens-of-nanoseconds order on
+// real hardware, which keeps the model honest without calibration.
+const (
+	opCost = 1
+	// elimWindow is how long an unmatched elimination offer parks before
+	// giving up, in ticks.
+	elimWindow = 64
+)
+
+// engine is the discrete-event core: a virtual-time serializing
+// scheduler. Exactly one simulated processor runs at any instant (the
+// floor holder); everyone else is parked on the condition variable with
+// a ready-at virtual time, and the floor always passes to the earliest
+// ready processor (ties to the lowest id). This is what makes runs
+// deterministic: the interleaving is a pure function of the virtual
+// timeline, never of host scheduling.
+//
+// It implements machine.OpStepper, so the machine consults it before
+// every shared-memory operation, and it is installed as the contention
+// policies' Sleeper, so backoff waits advance virtual time instead of
+// burning host cycles.
+type engine struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   []pstate
+	readyAt []uint64
+	vt      []uint64 // per-proc virtual clock; written by the owner while granted
+	now     uint64   // global virtual time, advances monotonically
+	turn    int
+	grants  uint64
+}
+
+type pstate uint8
+
+const (
+	stRunning pstate = iota // executing (or not yet parked at startup)
+	stReady                 // parked, runnable at readyAt
+	stDone                  // driver finished
+)
+
+func newEngine(procs int) *engine {
+	e := &engine{
+		state:   make([]pstate, procs),
+		readyAt: make([]uint64, procs),
+		vt:      make([]uint64, procs),
+		turn:    -1,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Step implements machine.Scheduler; the machine always calls StepOp
+// (engine satisfies OpStepper), so this exists only to fill the
+// interface.
+func (e *engine) Step(proc int) { e.StepOp(proc, 0, 0) }
+
+// StepOp parks proc until the virtual timeline reaches its clock, then
+// charges the operation's tick cost. Called by the machine before every
+// shared-memory operation.
+func (e *engine) StepOp(proc int, op machine.OpKind, word uint64) {
+	e.pause(proc, e.vt[proc], opCost)
+}
+
+// sleep is the contention.Sleeper: a policy wait of units spin units
+// parks proc for that many ticks.
+func (e *engine) sleep(proc int, units uint32) {
+	e.pause(proc, e.vt[proc]+uint64(units), 0)
+}
+
+// sleepUntil parks proc until virtual time t (no-op if already past).
+func (e *engine) sleepUntil(proc int, t uint64) {
+	e.pause(proc, t, 0)
+}
+
+// vtOf returns proc's virtual clock. Only proc's own driver goroutine
+// may call it (the clock is written by that goroutine while granted).
+func (e *engine) vtOf(proc int) uint64 { return e.vt[proc] }
+
+// pause yields the floor, marks proc runnable at the given virtual time,
+// and blocks until the scheduler grants the floor back, at which point
+// proc's clock advances to the grant instant plus cost.
+func (e *engine) pause(proc int, at uint64, cost uint64) {
+	e.mu.Lock()
+	e.state[proc] = stReady
+	e.readyAt[proc] = at
+	if e.turn == proc {
+		e.turn = -1
+	}
+	e.schedule()
+	for e.turn != proc {
+		e.cond.Wait()
+	}
+	e.state[proc] = stRunning
+	e.vt[proc] = e.now + cost
+	e.mu.Unlock()
+}
+
+// done retires proc's driver and passes the floor on.
+func (e *engine) done(proc int) {
+	e.mu.Lock()
+	e.state[proc] = stDone
+	if e.turn == proc {
+		e.turn = -1
+	}
+	e.schedule()
+	e.mu.Unlock()
+}
+
+// schedule grants the floor to the earliest ready processor (ties to the
+// lowest id), advancing global virtual time to its ready instant. It
+// waits for every processor to park first (relevant only at startup,
+// when drivers race to their first pause). Caller holds e.mu.
+func (e *engine) schedule() {
+	if e.turn != -1 {
+		return
+	}
+	best := -1
+	var bestAt uint64
+	for p, st := range e.state {
+		if st == stRunning {
+			return // not everyone has parked yet
+		}
+		if st != stReady {
+			continue
+		}
+		if best == -1 || e.readyAt[p] < bestAt {
+			best, bestAt = p, e.readyAt[p]
+		}
+	}
+	if best == -1 {
+		e.cond.Broadcast() // all done
+		return
+	}
+	if bestAt > e.now {
+		e.now = bestAt
+	}
+	e.turn = best
+	e.grants++
+	e.cond.Broadcast()
+}
+
+// elimOffer is one parked complementary-pairing offer. All elimTable
+// state is accessed only by the current floor holder, so the engine's
+// mutex handoffs serialize it without further locking.
+type elimOffer struct {
+	kind  ReqKind
+	taken bool
+}
+
+type elimTable struct {
+	offers map[int]*elimOffer // by key
+}
+
+// cellRun executes one sweep cell: the scenario's full trace against one
+// (policy, elimination, shards) configuration on a fresh machine.
+type cellRun struct {
+	sc       Scenario
+	cell     CellID
+	trace    [][]Request
+	offered  uint64
+	eng      *engine
+	m        *machine.Machine
+	met      *obs.Metrics
+	regs     []stress.Register // keys × shards instances, reg(key,stripe)
+	shards   int
+	maxVal   uint64
+	policy   *contention.Policy
+	elim     *elimTable
+	plan     fault.Plan
+	lat      *obs.Hist // per-request latency, ticks
+	retries  *obs.Hist // per-completed-request failed attempts
+	wg       sync.WaitGroup
+	driveErr []error // per-proc fatal driver errors (not crash panics)
+}
+
+// runCell builds and executes one sweep cell, returning its result. The
+// trace is shared across cells (paired comparison); everything else —
+// machine, registers, metrics, policy state — is cell-fresh.
+func runCell(sc Scenario, trace []Request, cell CellID) (CellResult, error) {
+	spec, ok := figureSpec(sc.Figure)
+	if !ok {
+		return CellResult{}, fmt.Errorf("sim: unknown figure %q", sc.Figure)
+	}
+	eng := newEngine(sc.Procs)
+	met := obs.NewWithStripes(sc.Procs)
+
+	policy, err := buildPolicy(cell.Policy, sc.Sweep, sc.Seed)
+	if err != nil {
+		return CellResult{}, err
+	}
+	policy.SetMetrics(met)
+	policy.SetSleeper(eng.sleep)
+
+	cfg := machine.Config{
+		Procs:            sc.Procs,
+		Seed:             sc.Seed,
+		SpuriousFailProb: sc.Spurious,
+		Scheduler:        eng,
+		Observer:         met.MachineObserver(),
+	}
+	var plan fault.Plan
+	if c := sc.Crash; c != nil {
+		plans := make([]fault.Plan, c.Victims)
+		for i := 0; i < c.Victims; i++ {
+			plans[i] = fault.NewCrashRestart(sc.Procs-1-i, c.AtOp, c.Budget)
+		}
+		plan = fault.Compose(plans...)
+		plan.SetMetrics(met)
+		cfg.FaultPlan = plan
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return CellResult{}, err
+	}
+
+	regs := make([]stress.Register, sc.Keys*cell.Shards)
+	for i := range regs {
+		reg, err := spec.New(m, met)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("sim: building %s register %d: %w", sc.Figure, i, err)
+		}
+		regs[i] = reg
+	}
+
+	c := &cellRun{
+		sc:       sc,
+		cell:     cell,
+		trace:    splitTrace(trace, sc.Procs),
+		offered:  uint64(len(trace)),
+		eng:      eng,
+		m:        m,
+		met:      met,
+		regs:     regs,
+		shards:   cell.Shards,
+		maxVal:   regs[0].MaxVal(),
+		policy:   policy,
+		plan:     plan,
+		lat:      &obs.Hist{},
+		retries:  &obs.Hist{},
+		driveErr: make([]error, sc.Procs),
+	}
+	if cell.Elim {
+		c.elim = &elimTable{offers: make(map[int]*elimOffer)}
+	}
+
+	for p := 0; p < sc.Procs; p++ {
+		c.wg.Add(1)
+		go c.drive(p)
+	}
+	c.wg.Wait()
+	for p, err := range c.driveErr {
+		if err != nil {
+			return CellResult{}, fmt.Errorf("sim: cell %v proc %d: %w", cell, p, err)
+		}
+	}
+	return c.harvest(), nil
+}
+
+// buildPolicy realizes one sweep policy, injecting the sweep's tuned
+// backoff window when set.
+func buildPolicy(name string, sw Sweep, seed int64) (*contention.Policy, error) {
+	kind, err := contention.ParseKind(name)
+	if err != nil {
+		return nil, err
+	}
+	return contention.FromParams(contention.Params{
+		Kind: kind,
+		Base: sw.Base,
+		Max:  sw.Max,
+		Seed: uint64(seed) + 0x51_6D_C0DE,
+	}), nil
+}
+
+// hardStop is where in-flight work is abandoned: arrivals stop at the
+// horizon, execution gets another full horizon to drain, and whatever
+// remains counts against wedge freedom.
+func (c *cellRun) hardStop() uint64 { return 2 * c.sc.Horizon }
+
+// drive is one processor's driver goroutine: execute the processor's
+// arrival stream in order, recovering crash kills, until the stream ends
+// or the hard stop abandons the backlog.
+func (c *cellRun) drive(p int) {
+	defer c.wg.Done()
+	defer c.eng.done(p)
+	abandoned := false
+	for _, r := range c.trace[p] {
+		c.met.IncProc(p, obs.CtrSimRequests)
+		if abandoned {
+			continue // still offered (and counted), never served
+		}
+		if c.eng.vtOf(p) < r.At {
+			c.eng.sleepUntil(p, r.At)
+		}
+		for {
+			completed, crashed := c.execProtected(p, r)
+			if crashed {
+				if err := c.recoverProc(p); err != nil {
+					c.driveErr[p] = err
+					return
+				}
+				if c.eng.vtOf(p) > c.hardStop() {
+					break
+				}
+				continue // retry the interrupted request
+			}
+			if completed {
+				c.met.IncProc(p, obs.CtrSimCompleted)
+				c.lat.Observe(c.eng.vtOf(p) - r.At)
+			}
+			break
+		}
+		if c.eng.vtOf(p) > c.hardStop() {
+			abandoned = true
+		}
+	}
+}
+
+// execProtected runs one request, converting a crash kill into a flag.
+func (c *cellRun) execProtected(p int, r Request) (completed, crashed bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(machine.CrashPanic); ok {
+				crashed = true
+				return
+			}
+			panic(rec)
+		}
+	}()
+	return c.exec(p, r), false
+}
+
+// recoverProc brings processor p's next incarnation up: wait out the
+// restart delay in virtual time, swap the machine handle, and run every
+// register's crash-recovery reclamation. The reclamation itself performs
+// machine operations, so a storm can kill the processor again mid-
+// recovery — hence the retry loop (bounded by the storm's kill budget).
+func (c *cellRun) recoverProc(p int) error {
+	for {
+		c.met.IncProc(p, obs.CtrSimRestarts)
+		c.eng.sleepUntil(p, c.eng.vtOf(p)+c.sc.Crash.RestartDelay)
+		if _, err := c.m.Restart(p); err != nil {
+			return fmt.Errorf("restart: %w", err)
+		}
+		again := false
+		err := func() (err error) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(machine.CrashPanic); ok {
+						again = true
+						return
+					}
+					panic(rec)
+				}
+			}()
+			for _, reg := range c.regs {
+				if rec, ok := reg.(stress.Recoverer); ok {
+					if err := rec.RecoverProc(p); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}()
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		if !again {
+			return nil
+		}
+	}
+}
+
+// reg returns the register instance for (key, stripe).
+func (c *cellRun) reg(key, stripe int) stress.Register {
+	return c.regs[key*c.shards+stripe]
+}
+
+// exec serves one request, returning false if the hard stop abandoned
+// it. Reads read every stripe of the key (a striped counter's value is
+// the sum of its stripes); updates pick a stripe by (proc+attempt) mod
+// shards — contention rotates the victim to a fresh stripe — and retry
+// under the cell's contention policy, attempting dispatch-level
+// elimination after each failure.
+func (c *cellRun) exec(p int, r Request) bool {
+	if r.Kind == ReqRead {
+		for s := 0; s < c.shards; s++ {
+			c.reg(r.Key, s).Read(p)
+		}
+		return true
+	}
+	var w contention.Waiter
+	w.Seed(c.policy, p)
+	fails := uint64(0)
+	for attempt := 0; ; attempt++ {
+		if c.eng.vtOf(p) > c.hardStop() {
+			return false
+		}
+		if c.tryApply(c.reg(r.Key, (p+attempt)%c.shards), p, r.Kind) {
+			c.retries.Observe(fails)
+			return true
+		}
+		fails++
+		if c.elim != nil && c.tryEliminate(p, r) {
+			c.retries.Observe(fails)
+			return true
+		}
+		w.Wait(c.policy, p, contention.Interference)
+	}
+}
+
+// tryApply makes one optimistic attempt to apply the request's delta to
+// one register: LL;SC on the LL/SC figures, Read;CAS on Figure 3.
+func (c *cellRun) tryApply(reg stress.Register, p int, kind ReqKind) bool {
+	switch r := reg.(type) {
+	case stress.LLSC:
+		return r.SC(p, c.next(r.LL(p), kind))
+	case stress.CASer:
+		old := r.Read(p)
+		return r.CAS(p, old, c.next(old, kind))
+	}
+	panic("sim: register implements neither LLSC nor CASer")
+}
+
+// next computes the request's target value, wrapping within the
+// figure's value capacity.
+func (c *cellRun) next(old uint64, kind ReqKind) uint64 {
+	if kind == ReqDec {
+		return (old + c.maxVal) % (c.maxVal + 1)
+	}
+	return (old + 1) % (c.maxVal + 1)
+}
+
+// tryEliminate attempts dispatch-level elimination: an inc and a dec on
+// the same key cancel without touching the register. The caller either
+// matches a parked complementary offer (both requests complete) or — if
+// the key's slot is free — parks its own offer for elimWindow ticks.
+// Floor-holder serialization makes the table access safe.
+func (c *cellRun) tryEliminate(p int, r Request) bool {
+	if o := c.elim.offers[r.Key]; o != nil {
+		if !o.taken && o.kind != r.Kind {
+			o.taken = true
+			delete(c.elim.offers, r.Key)
+			c.met.IncProc(p, obs.CtrSimEliminated)
+			return true
+		}
+		return false // slot busy with a same-kind offer
+	}
+	my := &elimOffer{kind: r.Kind}
+	c.elim.offers[r.Key] = my
+	c.eng.sleepUntil(p, c.eng.vtOf(p)+elimWindow)
+	if my.taken {
+		c.met.IncProc(p, obs.CtrSimEliminated)
+		return true
+	}
+	if c.elim.offers[r.Key] == my {
+		delete(c.elim.offers, r.Key)
+	}
+	return false
+}
+
+// harvest summarizes the finished cell.
+func (c *cellRun) harvest() CellResult {
+	snap := c.met.Snapshot()
+	completed := snap[obs.CtrSimCompleted]
+	res := CellResult{
+		CellID:     c.cell,
+		Offered:    snap[obs.CtrSimRequests],
+		Completed:  completed,
+		Eliminated: snap[obs.CtrSimEliminated],
+		Restarts:   snap[obs.CtrSimRestarts],
+		Ticks:      c.eng.now,
+		P99Latency: c.lat.Quantile(0.99),
+		P99Retries: c.retries.Quantile(0.99),
+		MeanLat:    c.lat.Mean(),
+		Counters:   snap.NonZero(),
+	}
+	res.Score = c.sc.Fitness.score(res, c.sc.Horizon)
+	rec := bench.NewRecord(bench.Result{
+		Name:    c.sc.Name + "/" + c.cell.String(),
+		Workers: c.sc.Procs,
+		Ops:     completed,
+		// Virtual ticks stand in for nanoseconds: ns_per_op and
+		// ops_per_sec read as ticks-per-op and ops-per-megatick.
+		Elapsed: time.Duration(c.eng.now),
+	}, snap).WithHists(c.retries, c.lat).WithSim(c.sc.Name, c.eng.now)
+	res.Bench = &rec
+	return res
+}
+
+// score applies the weighted multi-objective fitness function
+// (docs/SIMULATION.md): throughput in completions per kilotick,
+// responsiveness as 1000/(1+p99 latency), and wedge freedom as the
+// completion percentage.
+func (w Weights) score(r CellResult, horizon uint64) float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	tp := float64(r.Completed) / float64(horizon) * 1000
+	lat := 1000 / (1 + float64(r.P99Latency))
+	wedge := 100 * float64(r.Completed) / float64(r.Offered)
+	return w.Throughput*tp + w.P99Latency*lat + w.WedgeFree*wedge
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+)
+
+func cellByID(t *testing.T, rep *Report, id string) CellResult {
+	t.Helper()
+	for _, c := range rep.Cells {
+		if c.CellID.String() == id {
+			return c
+		}
+	}
+	t.Fatalf("report has no cell %q", id)
+	return CellResult{}
+}
+
+// TestEliminationPairsComplements: under the hotspot regime the
+// elimination cells pair off inc/dec complements (hundreds of them on
+// one stripe), and the non-elimination cells never do.
+func TestEliminationPairsComplements(t *testing.T) {
+	rep := hotspotAt(t, 1)
+	for _, c := range rep.Cells {
+		if !c.Elim && c.Eliminated != 0 {
+			t.Errorf("cell %v eliminated %d requests with elimination off", c.CellID, c.Eliminated)
+		}
+	}
+	if c := cellByID(t, rep, "backoff-elim-s1"); c.Eliminated < 100 {
+		t.Errorf("backoff-elim-s1 eliminated only %d requests under a 90%% hotspot; expected hundreds", c.Eliminated)
+	}
+	// The load is heavy but within capacity: every cell drains fully.
+	for _, c := range rep.Cells {
+		if c.Completed != c.Offered {
+			t.Errorf("cell %v completed %d of %d", c.CellID, c.Completed, c.Offered)
+		}
+	}
+}
+
+// TestShardingRelievesHotspot: the sharding dimension is why the
+// hotspot sweep exists — 4 stripes cut the contention-driven p99
+// latency by an order of magnitude on the unstriped baseline.
+func TestShardingRelievesHotspot(t *testing.T) {
+	rep := hotspotAt(t, 1)
+	s1 := cellByID(t, rep, "none-noelim-s1")
+	s4 := cellByID(t, rep, "none-noelim-s4")
+	if s4.P99Latency*4 > s1.P99Latency {
+		t.Errorf("p99 latency %d (s4) vs %d (s1): striping did not relieve the hotspot", s4.P99Latency, s1.P99Latency)
+	}
+	if s4.Score <= s1.Score {
+		t.Errorf("score %.3f (s4) <= %.3f (s1): fitness did not reward striping", s4.Score, s1.Score)
+	}
+	if s1.P99Retries <= s4.P99Retries {
+		t.Errorf("p99 retries %d (s1) vs %d (s4): striping should cut retry storms", s1.P99Retries, s4.P99Retries)
+	}
+}
+
+// TestCrashStormSurvives: victims die mid-operation (with kills landing
+// inside recovery too), yet every offered request completes and the
+// report accounts for every incarnation.
+func TestCrashStormSurvives(t *testing.T) {
+	sc, ok := Builtin("crashstorm")
+	if !ok {
+		t.Fatal("crashstorm builtin missing")
+	}
+	rep, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRestarts := uint64(sc.Crash.Victims * sc.Crash.Budget)
+	for _, c := range rep.Cells {
+		if c.Restarts != wantRestarts {
+			t.Errorf("cell %v saw %d restarts, want %d (victims × budget)", c.CellID, c.Restarts, wantRestarts)
+		}
+		if c.Completed != c.Offered {
+			t.Errorf("cell %v wedged: completed %d of %d", c.CellID, c.Completed, c.Offered)
+		}
+		if c.Counters["fault_inj_crash"] != wantRestarts {
+			t.Errorf("cell %v recorded %d crash injections, want %d", c.CellID, c.Counters["fault_inj_crash"], wantRestarts)
+		}
+	}
+}
+
+// TestOverloadAbandonsBacklog: offered load far beyond the machine's
+// one-op-per-tick capacity hits the hard stop, and the unserved backlog
+// is charged against wedge freedom rather than silently dropped.
+func TestOverloadAbandonsBacklog(t *testing.T) {
+	sc := validScenario()
+	sc.Procs = 4
+	sc.Keys = 1
+	sc.Hot = 1
+	sc.Horizon = 500
+	sc.Clients = []ClientSpec{{Procs: 4, Arrival: Arrival{Process: "uniform", Rate: 1}}}
+	rep, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cells[0]
+	if c.Completed >= c.Offered {
+		t.Fatalf("overload completed %d of %d; expected an abandoned backlog", c.Completed, c.Offered)
+	}
+	if c.Ticks > 2*sc.Horizon+minHorizon {
+		t.Errorf("run went %d ticks past the hard stop %d", c.Ticks, 2*sc.Horizon)
+	}
+	// The wedge-freedom term must see the loss.
+	if ratio := float64(c.Completed) / float64(c.Offered); ratio > 0.95 {
+		t.Errorf("completion ratio %.3f too high to exercise the wedge penalty", ratio)
+	}
+}
+
+// TestScoreRecomputes pins the published fitness formula: the reported
+// score is reproducible from the reported raw measures alone, so
+// downstream tooling can re-rank cells under different weights.
+func TestScoreRecomputes(t *testing.T) {
+	rep := hotspotAt(t, 1)
+	w := rep.Scenario.Fitness
+	for _, c := range rep.Cells {
+		tp := float64(c.Completed) / float64(rep.Scenario.Horizon) * 1000
+		lat := 1000 / (1 + float64(c.P99Latency))
+		wedge := 100 * float64(c.Completed) / float64(c.Offered)
+		want := w.Throughput*tp + w.P99Latency*lat + w.WedgeFree*wedge
+		if math.Abs(c.Score-want) > 1e-9 {
+			t.Errorf("cell %v score %.6f, formula gives %.6f", c.CellID, c.Score, want)
+		}
+	}
+}
+
+// TestCellBenchRecords: every cell embeds a valid llsc-bench/v1 record
+// flagged as virtual-time, so sim cells flow through the same
+// downstream tooling as wall-clock benchmarks.
+func TestCellBenchRecords(t *testing.T) {
+	rep := hotspotAt(t, 1)
+	for _, c := range rep.Cells {
+		b := c.Bench
+		if b == nil {
+			t.Fatalf("cell %v has no bench record", c.CellID)
+		}
+		if b.Schema != bench.Schema {
+			t.Errorf("cell %v bench schema %q, want %q", c.CellID, b.Schema, bench.Schema)
+		}
+		if b.Scenario != rep.Scenario.Name || b.VirtualTicks != c.Ticks {
+			t.Errorf("cell %v bench sim fields %q/%d, want %q/%d",
+				c.CellID, b.Scenario, b.VirtualTicks, rep.Scenario.Name, c.Ticks)
+		}
+		if b.Ops != c.Completed || uint64(b.ElapsedNs) != c.Ticks {
+			t.Errorf("cell %v bench ops/elapsed %d/%d, want %d/%d",
+				c.CellID, b.Ops, b.ElapsedNs, c.Completed, c.Ticks)
+		}
+		if b.Counters["sim_requests"] != c.Offered {
+			t.Errorf("cell %v bench counters disagree with the cell: %d vs %d",
+				c.CellID, b.Counters["sim_requests"], c.Offered)
+		}
+		if b.Latency == nil || b.Retries == nil {
+			t.Errorf("cell %v bench record lacks latency/retry histograms", c.CellID)
+		}
+	}
+}
+
+// TestDecisionsCounterfactuals: every counterfactual is a real cell of
+// the grid differing from the winner in exactly the named dimension,
+// with delta = winner − alternative.
+func TestDecisionsCounterfactuals(t *testing.T) {
+	rep := hotspotAt(t, 1)
+	d := rep.Decisions
+	if len(d.Counterfactuals) == 0 {
+		t.Fatal("no counterfactuals in a multi-dimension sweep")
+	}
+	byID := map[CellID]CellResult{}
+	for _, c := range rep.Cells {
+		byID[c.CellID] = c
+	}
+	win, ok := byID[d.Winner]
+	if !ok {
+		t.Fatalf("winner %v is not a grid cell", d.Winner)
+	}
+	if win.Score != d.Score {
+		t.Errorf("winner score %.6f, decisions say %.6f", win.Score, d.Score)
+	}
+	for _, c := range rep.Cells {
+		if c.Score > win.Score {
+			t.Errorf("cell %v outscores the declared winner (%.3f > %.3f)", c.CellID, c.Score, win.Score)
+		}
+	}
+	for _, cf := range d.Counterfactuals {
+		alt, ok := byID[cf.Cell]
+		if !ok {
+			t.Errorf("counterfactual %v is not a grid cell", cf.Cell)
+			continue
+		}
+		if cf.Score != alt.Score || cf.Delta != win.Score-alt.Score {
+			t.Errorf("counterfactual %v score/delta %.6f/%.6f inconsistent with cells", cf.Cell, cf.Score, cf.Delta)
+		}
+		diffs := 0
+		if cf.Cell.Policy != d.Winner.Policy {
+			diffs++
+			if cf.Dimension != "policy" {
+				t.Errorf("counterfactual %v differs in policy but is labelled %q", cf.Cell, cf.Dimension)
+			}
+		}
+		if cf.Cell.Elim != d.Winner.Elim {
+			diffs++
+			if cf.Dimension != "elimination" {
+				t.Errorf("counterfactual %v differs in elimination but is labelled %q", cf.Cell, cf.Dimension)
+			}
+		}
+		if cf.Cell.Shards != d.Winner.Shards {
+			diffs++
+			if cf.Dimension != "shards" {
+				t.Errorf("counterfactual %v differs in shards but is labelled %q", cf.Cell, cf.Dimension)
+			}
+		}
+		if diffs != 1 {
+			t.Errorf("counterfactual %v differs from the winner in %d dimensions, want exactly 1", cf.Cell, diffs)
+		}
+	}
+}
+
+// TestSimCountersRegistered: the sim_* counters the engine emits are
+// first-class obs counters (named, snapshot-visible), so they surface
+// through the whole observability stack.
+func TestSimCountersRegistered(t *testing.T) {
+	want := map[obs.Counter]string{
+		obs.CtrSimRequests:   "sim_requests",
+		obs.CtrSimCompleted:  "sim_completed",
+		obs.CtrSimEliminated: "sim_eliminated",
+		obs.CtrSimRestarts:   "sim_restarts",
+	}
+	for ctr, name := range want {
+		if got := ctr.String(); got != name {
+			t.Errorf("counter %d named %q, want %q", ctr, got, name)
+		}
+		if !obs.IsCounterName(name) {
+			t.Errorf("%q is not a registered counter name", name)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenSmokeReport pins the smoke scenario's full llsc-sim/v1
+// report byte for byte. It fails on any behavioral drift — engine
+// scheduling, arrival sampling, scoring, serialization — so deliberate
+// changes must regenerate the golden file:
+//
+//	LLSC_SIM_UPDATE_GOLDEN=1 go test ./internal/sim -run TestGoldenSmokeReport
+//
+// and the regenerated report reviewed in the diff like any other code.
+func TestGoldenSmokeReport(t *testing.T) {
+	sc, ok := Builtin("smoke")
+	if !ok {
+		t.Fatal("smoke builtin missing")
+	}
+	rep, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_smoke.json")
+	if os.Getenv("LLSC_SIM_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with LLSC_SIM_UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(got, want) {
+		i := 0
+		for i < len(got) && i < len(want) && got[i] == want[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		ctx := func(b []byte) string {
+			hi := i + 80
+			if hi > len(b) {
+				hi = len(b)
+			}
+			if lo > len(b) {
+				return ""
+			}
+			return string(b[lo:hi])
+		}
+		t.Fatalf("smoke report drifted from the golden file at byte %d:\n got: …%s…\nwant: …%s…\n(if intentional, regenerate with LLSC_SIM_UPDATE_GOLDEN=1)",
+			i, ctx(got), ctx(want))
+	}
+	// The golden file is itself a readable, replayable report.
+	loaded, err := ReadReportFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := CompareCells(loaded, replayed); len(diffs) != 0 {
+		t.Fatalf("golden report does not replay to itself:\n%v", diffs)
+	}
+}

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// Schema identifies the JSON report layout. Consumers reject unknown
+// schemas; adding fields is compatible, renaming or retyping is not.
+const Schema = "llsc-sim/v1"
+
+// CellID names one sweep-grid cell.
+type CellID struct {
+	Policy string `json:"policy"`
+	Elim   bool   `json:"elim"`
+	Shards int    `json:"shards"`
+}
+
+func (c CellID) String() string {
+	e := "noelim"
+	if c.Elim {
+		e = "elim"
+	}
+	return fmt.Sprintf("%s-%s-s%d", c.Policy, e, c.Shards)
+}
+
+// CellResult is one scored cell: the identity, the fitness score, the
+// raw outcome measures it was computed from, the full counter snapshot,
+// and an embedded llsc-bench/v1 record so sim cells flow through the
+// same downstream tooling as wall-clock benchmarks.
+type CellResult struct {
+	CellID
+	Score      float64           `json:"score"`
+	Offered    uint64            `json:"offered"`
+	Completed  uint64            `json:"completed"`
+	Eliminated uint64            `json:"eliminated,omitempty"`
+	Restarts   uint64            `json:"restarts,omitempty"`
+	Ticks      uint64            `json:"ticks"`
+	P99Latency uint64            `json:"p99_latency_ticks"`
+	P99Retries uint64            `json:"p99_retries"`
+	MeanLat    float64           `json:"mean_latency_ticks"`
+	Counters   map[string]uint64 `json:"counters,omitempty"`
+	Bench      *bench.Record     `json:"bench,omitempty"`
+}
+
+// Counterfactual is one decision-trace entry: the score the winning
+// configuration would have achieved had exactly one dimension been
+// changed to the given alternative, and the delta lost by doing so
+// (winner score − alternative score; positive means the winner's choice
+// paid off).
+type Counterfactual struct {
+	Dimension   string  `json:"dimension"` // policy | elimination | shards
+	Alternative string  `json:"alternative"`
+	Cell        CellID  `json:"cell"`
+	Score       float64 `json:"score"`
+	Delta       float64 `json:"delta"`
+}
+
+// Decisions is the sweep's conclusion: the winning cell and the
+// counterfactual cost of every single-dimension deviation from it.
+type Decisions struct {
+	Winner          CellID           `json:"winner"`
+	Score           float64          `json:"score"`
+	Counterfactuals []Counterfactual `json:"counterfactuals"`
+}
+
+// Report is the full llsc-sim/v1 run record. With Scenario.RecordTrace
+// set it embeds the arrival trace, making the report self-contained for
+// Replay. Reports are byte-deterministic: same scenario (including
+// seed) ⇒ identical bytes.
+type Report struct {
+	Schema    string       `json:"schema"`
+	Scenario  Scenario     `json:"scenario"`
+	Cells     []CellResult `json:"cells"`
+	Decisions Decisions    `json:"decisions"`
+	Trace     []Request    `json:"trace,omitempty"`
+}
+
+// RunSweep samples the scenario's arrival trace and scores every cell of
+// the sweep grid against it.
+func RunSweep(sc Scenario) (*Report, error) {
+	trace, err := SampleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
+	return runSweepTrace(sc, trace)
+}
+
+// Replay re-executes a recorded report's sweep against its embedded
+// arrival trace (not a fresh sample), reproducing the original run's
+// per-cell scores; CompareCells verifies the equivalence.
+func Replay(rep *Report) (*Report, error) {
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("sim: report has schema %q, want %q", rep.Schema, Schema)
+	}
+	if len(rep.Trace) == 0 {
+		return nil, fmt.Errorf("sim: report has no embedded trace (record_trace was off); cannot replay")
+	}
+	if err := rep.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	return runSweepTrace(rep.Scenario, rep.Trace)
+}
+
+func runSweepTrace(sc Scenario, trace []Request) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	var cells []CellResult
+	for _, cell := range sc.Sweep.grid() {
+		res, err := runCell(sc, trace, cell)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, res)
+	}
+	rep := &Report{
+		Schema:    Schema,
+		Scenario:  sc,
+		Cells:     cells,
+		Decisions: decide(cells),
+	}
+	if sc.RecordTrace {
+		rep.Trace = trace
+	}
+	return rep, nil
+}
+
+// grid enumerates the sweep cells in deterministic policy-major order.
+func (s Sweep) grid() []CellID {
+	var cells []CellID
+	for _, pol := range s.Policies {
+		for _, el := range s.Elimination {
+			for _, sh := range s.Shards {
+				cells = append(cells, CellID{Policy: pol, Elim: el, Shards: sh})
+			}
+		}
+	}
+	return cells
+}
+
+// decide picks the winner (highest score, ties to grid order) and
+// computes the counterfactual delta for every single-dimension
+// alternative present in the grid.
+func decide(cells []CellResult) Decisions {
+	best := 0
+	for i, c := range cells {
+		if c.Score > cells[best].Score {
+			best = i
+		}
+	}
+	win := cells[best]
+	byID := make(map[CellID]CellResult, len(cells))
+	for _, c := range cells {
+		byID[c.CellID] = c
+	}
+	var cfs []Counterfactual
+	add := func(dim, alt string, id CellID) {
+		if id == win.CellID {
+			return
+		}
+		c, ok := byID[id]
+		if !ok {
+			return
+		}
+		cfs = append(cfs, Counterfactual{
+			Dimension:   dim,
+			Alternative: alt,
+			Cell:        id,
+			Score:       c.Score,
+			Delta:       win.Score - c.Score,
+		})
+	}
+	seen := map[CellID]bool{}
+	for _, c := range cells {
+		id := win.CellID
+		id.Policy = c.Policy
+		if !seen[id] {
+			seen[id] = true
+			add("policy", c.Policy, id)
+		}
+	}
+	seen = map[CellID]bool{}
+	for _, el := range []bool{false, true} {
+		id := win.CellID
+		id.Elim = el
+		if !seen[id] {
+			seen[id] = true
+			add("elimination", fmt.Sprintf("%v", el), id)
+		}
+	}
+	seen = map[CellID]bool{}
+	for _, c := range cells {
+		id := win.CellID
+		id.Shards = c.Shards
+		if !seen[id] {
+			seen[id] = true
+			add("shards", fmt.Sprintf("%d", c.Shards), id)
+		}
+	}
+	return Decisions{Winner: win.CellID, Score: win.Score, Counterfactuals: cfs}
+}
+
+// CompareCells verifies that two reports of the same sweep agree on
+// every cell's fitness-relevant outcome, returning one human-readable
+// mismatch line per divergence (empty = equivalent). Replay uses it to
+// prove a recorded trace reproduces the original scores.
+func CompareCells(a, b *Report) []string {
+	var out []string
+	if len(a.Cells) != len(b.Cells) {
+		return []string{fmt.Sprintf("cell count %d vs %d", len(a.Cells), len(b.Cells))}
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca.CellID != cb.CellID {
+			out = append(out, fmt.Sprintf("cell %d identity %v vs %v", i, ca.CellID, cb.CellID))
+			continue
+		}
+		if ca.Score != cb.Score || ca.Completed != cb.Completed || ca.Ticks != cb.Ticks ||
+			ca.P99Latency != cb.P99Latency || ca.Eliminated != cb.Eliminated || ca.Restarts != cb.Restarts {
+			out = append(out, fmt.Sprintf("cell %v: score %.6f/%.6f completed %d/%d ticks %d/%d p99 %d/%d elim %d/%d restarts %d/%d",
+				ca.CellID, ca.Score, cb.Score, ca.Completed, cb.Completed, ca.Ticks, cb.Ticks,
+				ca.P99Latency, cb.P99Latency, ca.Eliminated, cb.Eliminated, ca.Restarts, cb.Restarts))
+		}
+	}
+	return out
+}
+
+// Marshal renders the report as indented, byte-deterministic JSON.
+func (r *Report) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteFile writes the report atomically (via rename).
+func (r *Report) WriteFile(path string) error {
+	data, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadReport reads and schema-checks an llsc-sim/v1 report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("sim: parsing report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("sim: report has schema %q, want %q", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// ReadReportFile reads an llsc-sim/v1 report from path.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}
+
+// Summary renders the per-cell table and decision trace as text, sorted
+// by descending score (ties in grid order), for CLI output.
+func (r *Report) Summary(w io.Writer) {
+	order := make([]int, len(r.Cells))
+	for i := range order {
+		order[i] = i
+	}
+	// Stable selection sort by descending score: n is tiny.
+	for i := 0; i < len(order); i++ {
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if r.Cells[order[j]].Score > r.Cells[order[best]].Score {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	fmt.Fprintf(w, "scenario %s (figure %s, %d procs, %d keys, seed %d): %d cells\n",
+		r.Scenario.Name, r.Scenario.Figure, r.Scenario.Procs, r.Scenario.Keys, r.Scenario.Seed, len(r.Cells))
+	fmt.Fprintf(w, "%-22s %10s %9s %9s %6s %9s %8s %8s\n",
+		"cell", "score", "offered", "done", "elim", "restarts", "p99lat", "p99try")
+	for _, i := range order {
+		c := r.Cells[i]
+		fmt.Fprintf(w, "%-22s %10.3f %9d %9d %6d %9d %8d %8d\n",
+			c.CellID.String(), c.Score, c.Offered, c.Completed, c.Eliminated, c.Restarts, c.P99Latency, c.P99Retries)
+	}
+	d := r.Decisions
+	fmt.Fprintf(w, "winner: %s (score %.3f)\n", d.Winner.String(), d.Score)
+	for _, cf := range d.Counterfactuals {
+		fmt.Fprintf(w, "  counterfactual %s=%s: score %.3f (delta %+.3f)\n",
+			cf.Dimension, cf.Alternative, cf.Score, cf.Delta)
+	}
+}

@@ -1,0 +1,369 @@
+// Package sim is a deterministic, CPU-only discrete-event simulator for
+// the repository's non-blocking primitives: it drives the step-clock
+// machine (internal/machine) in virtual time, offers it synthetic client
+// load from pluggable arrival processes (Poisson/Gamma/Weibull,
+// multi-client, diurnally phased), and sweeps the contention-management
+// matrix — policy (none/spin/backoff/adaptive) × dispatch-level
+// elimination × register sharding — scoring every cell with a weighted
+// multi-objective fitness function (throughput, p99 latency, wedge
+// freedom) and reporting the winning configuration with per-dimension
+// counterfactual deltas.
+//
+// Determinism is the product: the same Scenario and seed produce a
+// byte-identical llsc-sim/v1 report on every run (no wall clocks, no map
+// iteration, one runnable goroutine at a time), which is what makes the
+// golden-report, replay-equivalence, and metamorphic ranking tests
+// possible. Time is measured in "ticks": every machine operation costs
+// one tick, and contention-policy waits cost their spin-unit length in
+// ticks (via contention.Policy.SetSleeper), so a tick is roughly the
+// tens-of-nanoseconds scale of one shared-memory operation.
+//
+// See docs/SIMULATION.md for the scenario schema, the fitness function,
+// and the replay workflow; cmd/llscsim is the CLI.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/contention"
+	"repro/internal/stress"
+)
+
+// Scenario is one simulated workload plus the sweep to run over it. The
+// JSON field names double as the YAML keys (docs/SIMULATION.md).
+type Scenario struct {
+	// Name identifies the scenario in reports and file names.
+	Name string `json:"name"`
+	// Figure selects the register implementation the service runs on:
+	// fig3 (CAS), fig4 (LL/SC from CAS), fig5 (LL/SC from RLL/RSC),
+	// fig6 (W-word LL/SC), fig7 (bounded tags). See stress.DefaultRegisters.
+	Figure string `json:"figure"`
+	// Procs is the number of simulated processors; each is one client.
+	Procs int `json:"procs"`
+	// Keys is the size of the keyed-counter keyspace.
+	Keys int `json:"keys"`
+	// Hot is the fraction of requests aimed at key 0 (the hotspot); the
+	// remainder spread uniformly over the other keys.
+	Hot float64 `json:"hot"`
+	// Horizon is the arrival window in ticks. Requests arrive in
+	// [0, Horizon); execution may run on to 2×Horizon (the hard stop)
+	// before the backlog is abandoned.
+	Horizon uint64 `json:"horizon"`
+	// Seed drives every RNG stream in the run (arrival sampling, machine
+	// spurious failures, policy jitter).
+	Seed int64 `json:"seed"`
+	// Spurious is the machine's spurious RSC failure probability.
+	Spurious float64 `json:"spurious,omitempty"`
+	// Mix weighs the request kinds (normalized internally).
+	Mix Mix `json:"mix"`
+	// Clients partitions the processors into arrival classes.
+	Clients []ClientSpec `json:"clients"`
+	// Phases, when non-empty, modulates arrival rates across the horizon:
+	// the horizon divides into len(Phases) equal segments and a request's
+	// inter-arrival time is divided by the segment's multiplier (2.0 =
+	// twice the load). Models diurnal load.
+	Phases []float64 `json:"phases,omitempty"`
+	// Crash, when non-nil, layers a crash storm over the run.
+	Crash *CrashSpec `json:"crash,omitempty"`
+	// RecordTrace embeds the sampled arrival trace in the report, making
+	// it replayable (Replay) at the cost of report size.
+	RecordTrace bool `json:"record_trace,omitempty"`
+	// Sweep is the grid of configurations to score.
+	Sweep Sweep `json:"sweep"`
+	// Fitness weighs the scoring objectives.
+	Fitness Weights `json:"fitness"`
+}
+
+// Mix weighs the three request kinds. Weights need not sum to 1; they
+// are normalized. Inc and dec requests mutate (and may eliminate
+// against each other); reads only read.
+type Mix struct {
+	Inc  float64 `json:"inc"`
+	Dec  float64 `json:"dec"`
+	Read float64 `json:"read"`
+}
+
+// ClientSpec assigns an arrival process to a contiguous block of
+// processors. Blocks are assigned in order: the first spec covers procs
+// [0, Procs), the next the following block, and so on.
+type ClientSpec struct {
+	Procs   int     `json:"procs"`
+	Arrival Arrival `json:"arrival"`
+}
+
+// Arrival describes one inter-arrival distribution. Rate is in requests
+// per tick (mean inter-arrival = 1/Rate ticks). Shape applies to gamma
+// (k; k=1 is Poisson-like, k>1 smoother) and weibull (k; k<1 is
+// heavy-tailed/bursty) and is ignored for poisson and uniform.
+type Arrival struct {
+	Process string  `json:"process"` // poisson | gamma | weibull | uniform
+	Rate    float64 `json:"rate"`
+	Shape   float64 `json:"shape,omitempty"`
+}
+
+// ArrivalProcesses lists the accepted Arrival.Process names.
+func ArrivalProcesses() []string { return []string{"poisson", "gamma", "weibull", "uniform"} }
+
+// CrashSpec configures the crash storm: the last Victims processors are
+// killed at their AtOp-th machine operation of each incarnation, Budget
+// times each (fault.CrashRestart), and take RestartDelay ticks to come
+// back.
+type CrashSpec struct {
+	Victims      int    `json:"victims"`
+	AtOp         int    `json:"at_op"`
+	Budget       int    `json:"budget"`
+	RestartDelay uint64 `json:"restart_delay"`
+}
+
+// Sweep is the configuration grid: the cross product of contention
+// policies, elimination on/off, and stripe counts. Base and Max, when
+// non-zero, inject tuned backoff-window parameters into the backoff and
+// adaptive policies (contention.FromParams) instead of their defaults.
+type Sweep struct {
+	Policies    []string `json:"policies"`
+	Elimination []bool   `json:"elimination"`
+	Shards      []int    `json:"shards"`
+	Base        int      `json:"base,omitempty"`
+	Max         int      `json:"max,omitempty"`
+}
+
+// Weights weighs the fitness objectives; see docs/SIMULATION.md for the
+// exact formula. All weights must be non-negative and at least one
+// positive.
+type Weights struct {
+	// Throughput weighs completed requests per kilotick.
+	Throughput float64 `json:"throughput"`
+	// P99Latency weighs responsiveness: 1000/(1+p99 latency in ticks).
+	P99Latency float64 `json:"p99_latency"`
+	// WedgeFree weighs the completion ratio: 100·completed/offered.
+	WedgeFree float64 `json:"wedge_free"`
+}
+
+// maxProcs bounds scenario size: the engine parks one goroutine per
+// simulated processor, and the figure constructions are Θ(N)–Θ(N²) in
+// space, so "thousands of processors" scenarios should be sharded into
+// multiple scenarios rather than one giant machine.
+const (
+	maxProcs   = 64
+	maxKeys    = 1024
+	maxShards  = 16
+	minHorizon = 100
+	maxHorizon = 100_000_000
+)
+
+// Validate checks the scenario against the documented schema bounds,
+// returning the first violation.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("sim: scenario name must be non-empty")
+	}
+	if !figureKnown(sc.Figure) {
+		return fmt.Errorf("sim: unknown figure %q (want one of %v)", sc.Figure, figureNames())
+	}
+	if sc.Procs < 2 || sc.Procs > maxProcs {
+		return fmt.Errorf("sim: procs must be in [2,%d], got %d", maxProcs, sc.Procs)
+	}
+	if sc.Keys < 1 || sc.Keys > maxKeys {
+		return fmt.Errorf("sim: keys must be in [1,%d], got %d", maxKeys, sc.Keys)
+	}
+	if sc.Hot < 0 || sc.Hot > 1 {
+		return fmt.Errorf("sim: hot must be in [0,1], got %v", sc.Hot)
+	}
+	if sc.Horizon < minHorizon || sc.Horizon > maxHorizon {
+		return fmt.Errorf("sim: horizon must be in [%d,%d] ticks, got %d", minHorizon, maxHorizon, sc.Horizon)
+	}
+	if sc.Spurious < 0 || sc.Spurious >= 1 {
+		return fmt.Errorf("sim: spurious must be in [0,1), got %v", sc.Spurious)
+	}
+	if sc.Mix.Inc < 0 || sc.Mix.Dec < 0 || sc.Mix.Read < 0 || sc.Mix.Inc+sc.Mix.Dec+sc.Mix.Read <= 0 {
+		return fmt.Errorf("sim: mix weights must be non-negative and sum positive, got %+v", sc.Mix)
+	}
+	if len(sc.Clients) == 0 {
+		return fmt.Errorf("sim: at least one client class is required")
+	}
+	total := 0
+	for i, c := range sc.Clients {
+		if c.Procs < 1 {
+			return fmt.Errorf("sim: client %d: procs must be positive, got %d", i, c.Procs)
+		}
+		total += c.Procs
+		if err := c.Arrival.validate(); err != nil {
+			return fmt.Errorf("sim: client %d: %w", i, err)
+		}
+	}
+	if total != sc.Procs {
+		return fmt.Errorf("sim: client procs sum to %d, want procs = %d", total, sc.Procs)
+	}
+	for i, ph := range sc.Phases {
+		if ph <= 0 {
+			return fmt.Errorf("sim: phase %d multiplier must be positive, got %v", i, ph)
+		}
+	}
+	if c := sc.Crash; c != nil {
+		if c.Victims < 1 || c.Victims >= sc.Procs {
+			return fmt.Errorf("sim: crash victims must be in [1,procs), got %d", c.Victims)
+		}
+		if c.AtOp < 1 {
+			return fmt.Errorf("sim: crash at_op must be at least 1, got %d", c.AtOp)
+		}
+		if c.Budget < 0 {
+			return fmt.Errorf("sim: crash budget must be non-negative, got %d", c.Budget)
+		}
+		if c.RestartDelay < 1 {
+			return fmt.Errorf("sim: crash restart_delay must be at least 1 tick, got %d", c.RestartDelay)
+		}
+	}
+	if err := sc.Sweep.validate(); err != nil {
+		return err
+	}
+	w := sc.Fitness
+	if w.Throughput < 0 || w.P99Latency < 0 || w.WedgeFree < 0 || w.Throughput+w.P99Latency+w.WedgeFree <= 0 {
+		return fmt.Errorf("sim: fitness weights must be non-negative and sum positive, got %+v", w)
+	}
+	return nil
+}
+
+func (a Arrival) validate() error {
+	switch a.Process {
+	case "poisson", "uniform":
+	case "gamma", "weibull":
+		if a.Shape <= 0 {
+			return fmt.Errorf("arrival process %q needs a positive shape, got %v", a.Process, a.Shape)
+		}
+	default:
+		return fmt.Errorf("unknown arrival process %q (want one of %v)", a.Process, ArrivalProcesses())
+	}
+	if a.Rate <= 0 || a.Rate > 1 {
+		return fmt.Errorf("arrival rate must be in (0,1] requests/tick, got %v", a.Rate)
+	}
+	return nil
+}
+
+func (s Sweep) validate() error {
+	if len(s.Policies) == 0 || len(s.Elimination) == 0 || len(s.Shards) == 0 {
+		return fmt.Errorf("sim: sweep needs at least one value per dimension (policies/elimination/shards)")
+	}
+	for _, name := range s.Policies {
+		if _, err := contention.ParseKind(name); err != nil {
+			return fmt.Errorf("sim: sweep: %w", err)
+		}
+	}
+	for _, n := range s.Shards {
+		if n < 1 || n > maxShards {
+			return fmt.Errorf("sim: sweep shards must be in [1,%d], got %d", maxShards, n)
+		}
+	}
+	if s.Base < 0 || s.Max < 0 {
+		return fmt.Errorf("sim: sweep base/max must be non-negative, got %d/%d", s.Base, s.Max)
+	}
+	return nil
+}
+
+// figureSpec resolves a figure name to its stress register builder.
+func figureSpec(name string) (stress.RegisterSpec, bool) {
+	for _, spec := range stress.DefaultRegisters() {
+		if spec.Name == name {
+			return spec, true
+		}
+	}
+	return stress.RegisterSpec{}, false
+}
+
+func figureKnown(name string) bool { _, ok := figureSpec(name); return ok }
+
+func figureNames() []string {
+	regs := stress.DefaultRegisters()
+	names := make([]string, len(regs))
+	for i, r := range regs {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Builtin returns a named built-in scenario. The built-ins are the
+// committed experiment suite (EXPERIMENTS.md §E12) and the smoke gate.
+func Builtin(name string) (Scenario, bool) {
+	for _, sc := range builtins() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Builtins lists the built-in scenario names in stable order.
+func Builtins() []string {
+	bs := builtins()
+	names := make([]string, len(bs))
+	for i, sc := range bs {
+		names[i] = sc.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+func builtins() []Scenario {
+	return []Scenario{
+		{
+			// smoke: tiny and fully swept — the CI golden-report gate.
+			Name: "smoke", Figure: "fig5", Procs: 4, Keys: 4, Hot: 0.5,
+			Horizon: 4000, Seed: 1,
+			Mix:         Mix{Inc: 0.45, Dec: 0.35, Read: 0.2},
+			Clients:     []ClientSpec{{Procs: 4, Arrival: Arrival{Process: "poisson", Rate: 0.01}}},
+			RecordTrace: true,
+			Sweep:       Sweep{Policies: []string{"none", "backoff"}, Elimination: []bool{false, true}, Shards: []int{1, 2}},
+			Fitness:     Weights{Throughput: 1, P99Latency: 0.5, WedgeFree: 2},
+		},
+		{
+			// hotspot: 90% of the load on one key — the regime elimination
+			// and striping exist for.
+			Name: "hotspot", Figure: "fig5", Procs: 8, Keys: 16, Hot: 0.9,
+			Horizon: 20000, Seed: 1, Spurious: 0.01,
+			Mix:         Mix{Inc: 0.45, Dec: 0.45, Read: 0.1},
+			Clients:     []ClientSpec{{Procs: 8, Arrival: Arrival{Process: "poisson", Rate: 0.045}}},
+			RecordTrace: true,
+			Sweep:       Sweep{Policies: []string{"none", "spin", "backoff", "adaptive"}, Elimination: []bool{false, true}, Shards: []int{1, 4}},
+			Fitness:     Weights{Throughput: 1, P99Latency: 1, WedgeFree: 1},
+		},
+		{
+			// diurnal: a six-phase day with a 10× swing between trough and
+			// peak, smoother-than-Poisson arrivals (gamma k=2).
+			Name: "diurnal", Figure: "fig5", Procs: 8, Keys: 8, Hot: 0.3,
+			Horizon: 24000, Seed: 1,
+			Mix:         Mix{Inc: 0.4, Dec: 0.4, Read: 0.2},
+			Clients:     []ClientSpec{{Procs: 8, Arrival: Arrival{Process: "gamma", Rate: 0.03, Shape: 2}}},
+			Phases:      []float64{0.2, 0.5, 1.5, 2.0, 1.0, 0.4},
+			RecordTrace: true,
+			Sweep:       Sweep{Policies: []string{"none", "backoff", "adaptive"}, Elimination: []bool{false, true}, Shards: []int{1, 2}},
+			Fitness:     Weights{Throughput: 1, P99Latency: 1, WedgeFree: 1},
+		},
+		{
+			// bursty: a steady background tenant plus a heavy-tailed one
+			// (weibull k=0.5: long silences, dense bursts).
+			Name: "bursty", Figure: "fig5", Procs: 8, Keys: 8, Hot: 0.6,
+			Horizon: 20000, Seed: 1,
+			Mix: Mix{Inc: 0.45, Dec: 0.35, Read: 0.2},
+			Clients: []ClientSpec{
+				{Procs: 6, Arrival: Arrival{Process: "poisson", Rate: 0.02}},
+				{Procs: 2, Arrival: Arrival{Process: "weibull", Rate: 0.08, Shape: 0.5}},
+			},
+			RecordTrace: true,
+			Sweep:       Sweep{Policies: []string{"none", "spin", "backoff", "adaptive"}, Elimination: []bool{false, true}, Shards: []int{1, 2}},
+			Fitness:     Weights{Throughput: 1, P99Latency: 1.5, WedgeFree: 1},
+		},
+		{
+			// crashstorm: two victims die repeatedly mid-operation on the
+			// bounded-tag figure (the one with real reclamation work);
+			// fitness is wedge-heavy because surviving is the point.
+			Name: "crashstorm", Figure: "fig7", Procs: 6, Keys: 4, Hot: 0.5,
+			Horizon: 20000, Seed: 1, Spurious: 0.05,
+			Mix:         Mix{Inc: 0.4, Dec: 0.4, Read: 0.2},
+			Clients:     []ClientSpec{{Procs: 6, Arrival: Arrival{Process: "poisson", Rate: 0.02}}},
+			Crash:       &CrashSpec{Victims: 2, AtOp: 60, Budget: 4, RestartDelay: 300},
+			RecordTrace: true,
+			Sweep:       Sweep{Policies: []string{"none", "adaptive"}, Elimination: []bool{false}, Shards: []int{1}},
+			Fitness:     Weights{Throughput: 0.5, P99Latency: 0.5, WedgeFree: 3},
+		},
+	}
+}

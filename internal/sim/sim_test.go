@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// validScenario is a minimal scenario that passes Validate; the
+// rejection table mutates one field at a time from here.
+func validScenario() Scenario {
+	return Scenario{
+		Name: "t", Figure: "fig5", Procs: 2, Keys: 2, Hot: 0.5,
+		Horizon: 1000, Seed: 7,
+		Mix:     Mix{Inc: 1, Dec: 1, Read: 1},
+		Clients: []ClientSpec{{Procs: 2, Arrival: Arrival{Process: "poisson", Rate: 0.05}}},
+		Sweep:   Sweep{Policies: []string{"none"}, Elimination: []bool{false}, Shards: []int{1}},
+		Fitness: Weights{Throughput: 1, P99Latency: 1, WedgeFree: 1},
+	}
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	sc := validScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string // substring of the error
+	}{
+		{"empty name", func(s *Scenario) { s.Name = "" }, "name"},
+		{"unknown figure", func(s *Scenario) { s.Figure = "fig9" }, "figure"},
+		{"procs too small", func(s *Scenario) { s.Procs = 1 }, "procs"},
+		{"procs too large", func(s *Scenario) { s.Procs = maxProcs + 1 }, "procs"},
+		{"keys zero", func(s *Scenario) { s.Keys = 0 }, "keys"},
+		{"hot negative", func(s *Scenario) { s.Hot = -0.1 }, "hot"},
+		{"hot above one", func(s *Scenario) { s.Hot = 1.1 }, "hot"},
+		{"horizon too short", func(s *Scenario) { s.Horizon = minHorizon - 1 }, "horizon"},
+		{"horizon too long", func(s *Scenario) { s.Horizon = maxHorizon + 1 }, "horizon"},
+		{"spurious certain", func(s *Scenario) { s.Spurious = 1 }, "spurious"},
+		{"mix all zero", func(s *Scenario) { s.Mix = Mix{} }, "mix"},
+		{"mix negative", func(s *Scenario) { s.Mix.Inc = -1 }, "mix"},
+		{"no clients", func(s *Scenario) { s.Clients = nil }, "client"},
+		{"client procs zero", func(s *Scenario) { s.Clients[0].Procs = 0 }, "procs"},
+		{"client procs mismatch", func(s *Scenario) { s.Clients[0].Procs = 3 }, "sum"},
+		{"unknown process", func(s *Scenario) { s.Clients[0].Arrival.Process = "pareto" }, "arrival process"},
+		{"rate zero", func(s *Scenario) { s.Clients[0].Arrival.Rate = 0 }, "rate"},
+		{"rate above one", func(s *Scenario) { s.Clients[0].Arrival.Rate = 1.5 }, "rate"},
+		{"gamma without shape", func(s *Scenario) {
+			s.Clients[0].Arrival = Arrival{Process: "gamma", Rate: 0.05}
+		}, "shape"},
+		{"weibull without shape", func(s *Scenario) {
+			s.Clients[0].Arrival = Arrival{Process: "weibull", Rate: 0.05}
+		}, "shape"},
+		{"phase zero", func(s *Scenario) { s.Phases = []float64{1, 0} }, "phase"},
+		{"crash no victims", func(s *Scenario) {
+			s.Crash = &CrashSpec{Victims: 0, AtOp: 5, Budget: 1, RestartDelay: 10}
+		}, "victims"},
+		{"crash all victims", func(s *Scenario) {
+			s.Crash = &CrashSpec{Victims: 2, AtOp: 5, Budget: 1, RestartDelay: 10}
+		}, "victims"},
+		{"crash at_op zero", func(s *Scenario) {
+			s.Crash = &CrashSpec{Victims: 1, AtOp: 0, Budget: 1, RestartDelay: 10}
+		}, "at_op"},
+		{"crash negative budget", func(s *Scenario) {
+			s.Crash = &CrashSpec{Victims: 1, AtOp: 5, Budget: -1, RestartDelay: 10}
+		}, "budget"},
+		{"crash no restart delay", func(s *Scenario) {
+			s.Crash = &CrashSpec{Victims: 1, AtOp: 5, Budget: 1, RestartDelay: 0}
+		}, "restart_delay"},
+		{"sweep no policies", func(s *Scenario) { s.Sweep.Policies = nil }, "sweep"},
+		{"sweep bad policy", func(s *Scenario) { s.Sweep.Policies = []string{"mutex"} }, "mutex"},
+		{"sweep shard zero", func(s *Scenario) { s.Sweep.Shards = []int{0} }, "shards"},
+		{"sweep shard too large", func(s *Scenario) { s.Sweep.Shards = []int{maxShards + 1} }, "shards"},
+		{"sweep negative base", func(s *Scenario) { s.Sweep.Base = -1 }, "base"},
+		{"fitness all zero", func(s *Scenario) { s.Fitness = Weights{} }, "fitness"},
+		{"fitness negative", func(s *Scenario) { s.Fitness.WedgeFree = -1 }, "fitness"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := validScenario()
+			tc.mutate(&sc)
+			err := sc.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted the scenario")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuiltinsValidate(t *testing.T) {
+	names := Builtins()
+	if len(names) == 0 {
+		t.Fatal("no built-in scenarios")
+	}
+	for _, name := range names {
+		sc, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("Builtins lists %q but Builtin cannot find it", name)
+		}
+		if sc.Name != name {
+			t.Errorf("Builtin(%q) returned scenario named %q", name, sc.Name)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("built-in %q does not validate: %v", name, err)
+		}
+		if !sc.RecordTrace {
+			t.Errorf("built-in %q does not record its trace; built-ins must be replayable", name)
+		}
+	}
+	if _, ok := Builtin("no-such-scenario"); ok {
+		t.Error("Builtin returned ok for an unknown name")
+	}
+}
+
+func TestSweepGridOrder(t *testing.T) {
+	s := Sweep{
+		Policies:    []string{"none", "backoff"},
+		Elimination: []bool{false, true},
+		Shards:      []int{1, 2},
+	}
+	grid := s.grid()
+	if len(grid) != 8 {
+		t.Fatalf("grid has %d cells, want 8", len(grid))
+	}
+	// Policy-major, then elimination, then shards: the report's cell
+	// order is part of the byte-determinism contract.
+	want := []string{
+		"none-noelim-s1", "none-noelim-s2", "none-elim-s1", "none-elim-s2",
+		"backoff-noelim-s1", "backoff-noelim-s2", "backoff-elim-s1", "backoff-elim-s2",
+	}
+	for i, id := range grid {
+		if id.String() != want[i] {
+			t.Errorf("grid[%d] = %s, want %s", i, id.String(), want[i])
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// DecodeFile reads a scenario from a .json, .yaml, or .yml file and
+// validates it. YAML support is a dependency-free subset — block
+// mappings and sequences by two-space indentation, flow sequences
+// ([a, b]), quoted and bare scalars, # comments — which covers the
+// scenario schema (docs/SIMULATION.md has examples). Unknown keys are
+// rejected in both formats, so typos fail loudly rather than silently
+// running a default.
+func DecodeFile(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var sc Scenario
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".json":
+		sc, err = decodeStrictJSON(data)
+	case ".yaml", ".yml":
+		sc, err = decodeYAML(data)
+	default:
+		return Scenario{}, fmt.Errorf("sim: %s: unsupported config extension %q (want .json, .yaml, or .yml)", path, ext)
+	}
+	if err != nil {
+		return Scenario{}, fmt.Errorf("sim: %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("sim: %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// decodeStrictJSON unmarshals a scenario rejecting unknown fields.
+func decodeStrictJSON(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// decodeYAML parses the YAML subset into a generic tree, then round-
+// trips it through JSON into the Scenario struct so both formats share
+// one schema (the json tags) and one strictness rule.
+func decodeYAML(data []byte) (Scenario, error) {
+	tree, err := parseYAML(data)
+	if err != nil {
+		return Scenario{}, err
+	}
+	js, err := json.Marshal(tree)
+	if err != nil {
+		return Scenario{}, err
+	}
+	return decodeStrictJSON(js)
+}
+
+// yamlLine is one significant source line: its indentation depth and
+// content, with comments and blank lines already dropped.
+type yamlLine struct {
+	indent int
+	text   string
+	num    int // 1-based source line, for errors
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+func parseYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimLeft(line, " ")
+		if trimmed == "" || trimmed == "---" {
+			continue
+		}
+		if strings.Contains(line[:len(line)-len(trimmed)], "\t") {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed in indentation", i+1)
+		}
+		lines = append(lines, yamlLine{
+			indent: len(line) - len(trimmed),
+			text:   strings.TrimRight(trimmed, " \r"),
+			num:    i + 1,
+		})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yaml line %d: unexpected indentation", l.num)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing # comment, honoring quoted strings.
+func stripComment(line string) string {
+	inSingle, inDouble := false, false
+	for i, r := range line {
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case r == '#' && !inSingle && !inDouble:
+			if i == 0 || line[i-1] == ' ' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// parseBlock parses the mapping or sequence whose entries sit at indent.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, fmt.Errorf("yaml line %d: unexpected indentation", l.num)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
+		l := p.lines[p.pos]
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("yaml line %d: sequence entry inside a mapping", l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			m[key] = parseScalar(rest)
+			continue
+		}
+		// No inline value: a nested block follows, or the value is null.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			child, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = child
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	seq := []any{}
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
+		l := p.lines[p.pos]
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			break
+		}
+		item := strings.TrimLeft(strings.TrimPrefix(l.text, "-"), " ")
+		if item == "" {
+			// "-" alone: the entry is the nested block on following lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			child, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, child)
+			continue
+		}
+		if isMapEntry(item) {
+			// "- key: value": the entry is a mapping whose first key shares
+			// the dash's line. Rewrite the line as that key at its true
+			// column, so subsequent aligned keys join the same mapping.
+			inner := indent + len(l.text) - len(item)
+			p.lines[p.pos] = yamlLine{indent: inner, text: item, num: l.num}
+			child, err := p.parseMapping(inner)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, child)
+			continue
+		}
+		p.pos++
+		seq = append(seq, parseScalar(item))
+	}
+	return seq, nil
+}
+
+// splitKey splits "key: value" / "key:"; the key may be quoted.
+func splitKey(l yamlLine) (key, rest string, err error) {
+	i := strings.Index(l.text, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml line %d: expected \"key: value\", got %q", l.num, l.text)
+	}
+	if i+1 < len(l.text) && l.text[i+1] != ' ' {
+		return "", "", fmt.Errorf("yaml line %d: missing space after %q:", l.num, l.text[:i])
+	}
+	key = strings.TrimSpace(l.text[:i])
+	if k, ok := unquote(key); ok {
+		key = k
+	}
+	if key == "" {
+		return "", "", fmt.Errorf("yaml line %d: empty key", l.num)
+	}
+	return key, strings.TrimSpace(l.text[i+1:]), nil
+}
+
+// isMapEntry reports whether a sequence item is "key: value" rather
+// than a scalar that merely contains a colon (like a quoted string).
+func isMapEntry(item string) bool {
+	if item[0] == '"' || item[0] == '\'' || item[0] == '[' {
+		return false
+	}
+	i := strings.Index(item, ":")
+	return i > 0 && (i == len(item)-1 || item[i+1] == ' ')
+}
+
+// parseScalar interprets one YAML scalar: quoted string, flow sequence,
+// null/bool/number, else bare string.
+func parseScalar(s string) any {
+	if v, ok := unquote(s); ok {
+		return v
+	}
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}
+		}
+		var seq []any
+		for _, part := range strings.Split(inner, ",") {
+			seq = append(seq, parseScalar(strings.TrimSpace(part)))
+		}
+		return seq
+	}
+	switch s {
+	case "null", "~":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+func unquote(s string) (string, bool) {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		if u, err := strconv.Unquote(s); err == nil {
+			return u, true
+		}
+	}
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), true
+	}
+	return "", false
+}

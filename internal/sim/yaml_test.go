@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fullYAML exercises every schema feature: nested mappings, block
+// sequences of mappings, flow sequences, comments, quoted strings,
+// booleans, and the optional crash block.
+const fullYAML = `# a scenario exercising the whole schema
+name: "yaml-full"
+figure: fig7
+procs: 4
+keys: 8
+hot: 0.5
+horizon: 4000
+seed: 42
+spurious: 0.01
+mix:
+  inc: 0.45
+  dec: 0.35
+  read: 0.2
+clients:
+  - procs: 3
+    arrival:
+      process: poisson # the steady tenant
+      rate: 0.01
+  - procs: 1
+    arrival:
+      process: weibull
+      rate: 0.04
+      shape: 0.5
+phases: [0.5, 2.0, 1.0]
+crash:
+  victims: 1
+  at_op: 50
+  budget: 2
+  restart_delay: 100
+record_trace: true
+sweep:
+  policies: [none, backoff]
+  elimination: [false, true]
+  shards: [1, 2]
+  base: 8
+  max: 256
+fitness:
+  throughput: 1
+  p99_latency: 0.5
+  wedge_free: 2
+`
+
+func fullScenario() Scenario {
+	return Scenario{
+		Name: "yaml-full", Figure: "fig7", Procs: 4, Keys: 8, Hot: 0.5,
+		Horizon: 4000, Seed: 42, Spurious: 0.01,
+		Mix: Mix{Inc: 0.45, Dec: 0.35, Read: 0.2},
+		Clients: []ClientSpec{
+			{Procs: 3, Arrival: Arrival{Process: "poisson", Rate: 0.01}},
+			{Procs: 1, Arrival: Arrival{Process: "weibull", Rate: 0.04, Shape: 0.5}},
+		},
+		Phases:      []float64{0.5, 2.0, 1.0},
+		Crash:       &CrashSpec{Victims: 1, AtOp: 50, Budget: 2, RestartDelay: 100},
+		RecordTrace: true,
+		Sweep: Sweep{
+			Policies: []string{"none", "backoff"}, Elimination: []bool{false, true},
+			Shards: []int{1, 2}, Base: 8, Max: 256,
+		},
+		Fitness: Weights{Throughput: 1, P99Latency: 0.5, WedgeFree: 2},
+	}
+}
+
+func writeConfig(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDecodeFileYAML(t *testing.T) {
+	sc, err := DecodeFile(writeConfig(t, "full.yaml", fullYAML))
+	if err != nil {
+		t.Fatalf("DecodeFile: %v", err)
+	}
+	if want := fullScenario(); !reflect.DeepEqual(sc, want) {
+		t.Fatalf("decoded scenario differs:\n got %+v\nwant %+v", sc, want)
+	}
+}
+
+// TestDecodeFileJSONEquivalence checks the two formats share one
+// schema: a scenario marshalled to JSON decodes to the same struct the
+// YAML form does.
+func TestDecodeFileJSONEquivalence(t *testing.T) {
+	want := fullScenario()
+	js, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := DecodeFile(writeConfig(t, "full.json", string(js)))
+	if err != nil {
+		t.Fatalf("DecodeFile: %v", err)
+	}
+	if !reflect.DeepEqual(sc, want) {
+		t.Fatalf("JSON round trip differs:\n got %+v\nwant %+v", sc, want)
+	}
+}
+
+func TestDecodeFileErrors(t *testing.T) {
+	valid := fullYAML
+	cases := []struct {
+		name    string
+		file    string
+		content string
+		want    string
+	}{
+		{"unknown yaml key", "a.yaml", valid + "turbo: true\n", "turbo"},
+		{"unknown json key", "a.json", `{"schema-typo": 1}`, "schema-typo"},
+		{"unsupported extension", "a.toml", "name = 1", "extension"},
+		{"tab indentation", "a.yaml", "name: x\n\tfigure: fig5\n", "tab"},
+		{"duplicate key", "a.yaml", "name: x\nname: y\n", "duplicate"},
+		{"missing colon", "a.yaml", "name x\n", "key: value"},
+		{"empty document", "a.yaml", "# only a comment\n", "empty"},
+		{"sequence in mapping", "a.yaml", "name: x\n- 3\n", "sequence"},
+		{"invalid scenario", "a.yaml", "name: x\nfigure: fig9\n", "figure"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeFile(writeConfig(t, tc.file, tc.content))
+			if err == nil {
+				t.Fatal("DecodeFile accepted the config")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseYAMLScalars(t *testing.T) {
+	tree, err := parseYAML([]byte(`
+str: bare
+quoted: "a: #b"
+single: 'it''s'
+num: -3
+float: 0.25
+yes: true
+no: false
+nil: null
+empty:
+flow: [1, two, 3.5]
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tree.(map[string]any)
+	checks := map[string]any{
+		"str": "bare", "quoted": "a: #b", "single": "it's",
+		"num": int64(-3), "float": 0.25, "yes": true, "no": false,
+	}
+	for k, want := range checks {
+		if got := m[k]; got != want {
+			t.Errorf("%s = %#v, want %#v", k, got, want)
+		}
+	}
+	for _, k := range []string{"nil", "empty"} {
+		if v, ok := m[k]; !ok || v != nil {
+			t.Errorf("%s = %#v, want present nil", k, v)
+		}
+	}
+	if got, want := m["flow"], []any{int64(1), "two", 3.5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("flow = %#v, want %#v", got, want)
+	}
+}

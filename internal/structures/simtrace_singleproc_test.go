@@ -1,0 +1,82 @@
+package structures
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/sim"
+)
+
+// TestSingleProcEliminationStackHotspotTrace replays the simulator's
+// hotspot scenario — 90% of the load on one key, inc/dec-heavy — as an
+// elimination-stack workload on GOMAXPROCS(1): each simulated processor
+// becomes a goroutine, incs become pushes and decs pops, in the
+// scenario's sampled per-processor order. The hotspot regime maximizes
+// both central-stack interference and elimination-array traffic, so
+// this pins the termination property (no retry or collision-window loop
+// monopolizes the only processor) under exactly the arrival pattern the
+// sweep engine scores. The stall hook widens the LL-SC window to force
+// the interference that makes retries — and thus the yield path —
+// actually happen.
+func TestSingleProcEliminationStackHotspotTrace(t *testing.T) {
+	sc, ok := sim.Builtin("hotspot")
+	if !ok {
+		t.Fatal("sim hotspot builtin missing")
+	}
+	trace, err := sim.SampleTrace(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-processor streams in arrival order, hot key only (key 0): the
+	// contended core of the scenario, one shared stack.
+	perProc := make([][]sim.ReqKind, sc.Procs)
+	pushes := 0
+	for _, r := range trace {
+		if r.Key != 0 {
+			continue
+		}
+		perProc[r.Proc] = append(perProc[r.Proc], r.Kind)
+		if r.Kind == sim.ReqInc {
+			pushes++
+		}
+	}
+	if pushes == 0 {
+		t.Fatal("hotspot trace has no inc requests on the hot key")
+	}
+
+	s, err := NewStack(pushes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableElimination(2); err != nil {
+		t.Fatal(err)
+	}
+	s.SetContention(contention.ExponentialBackoff(4, 64))
+	s.SetStallHook(runtime.Gosched)
+
+	runSingleProc(t, "elimination-stack/sim-hotspot-trace", func() {
+		var wg sync.WaitGroup
+		for p := 0; p < sc.Procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i, kind := range perProc[p] {
+					switch kind {
+					case sim.ReqInc:
+						if err := s.Push(uint64(p)<<32 | uint64(i)); err != nil {
+							t.Error(err)
+							return
+						}
+					case sim.ReqDec:
+						s.Pop()
+					default: // read
+						s.Empty()
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+	})
+}
