@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-diff fuzz fuzz-smoke trace-smoke stress-smoke soak-smoke sim-smoke soak experiments examples clean
+.PHONY: all build vet test race bench bench-json bench-diff fuzz fuzz-smoke trace-smoke stress-smoke soak-smoke sim-smoke service-smoke soak experiments examples clean
 
 all: build vet test
 
@@ -107,6 +107,31 @@ sim-smoke:
 	cmp sim-report.json sim-report-rerun.json
 	$(GO) run ./cmd/llscsim -replay sim-report.json
 	rm -f sim-report-rerun.json
+
+# End-to-end service gate (< 1 minute): build llscd and llscload, boot
+# llscd under a deterministic chaos plan (seeded spurious bursts plus
+# budgeted mid-operation worker kills) with the flight recorder armed,
+# and drive a short closed-loop llscload run against it. llscload's
+# exit status IS the gate: it fails on any acknowledged-but-lost
+# operation (its read-your-writes ledger vs the server's final
+# /v1/audit), on a read-your-writes violation, on a shed rate over the
+# -max-shed-frac budget, or on a structure-conservation failure.
+# Artifacts: load-report.json (schema llsc-load/v1, docs/SERVICE.md)
+# and any wedge/shed-storm dumps in flight-smoke/.
+service-smoke:
+	$(GO) build -o llscd.smoke ./cmd/llscd
+	$(GO) build -o llscload.smoke ./cmd/llscload
+	rm -rf flight-smoke load-report.json && mkdir -p flight-smoke
+	./llscd.smoke -addr 127.0.0.1:8377 -chaos 'burst∘kill' \
+	    -chaos-crash-at 5 -chaos-kill-budget 2 -flight-dir flight-smoke & \
+	pid=$$!; \
+	sleep 1; \
+	./llscload.smoke -url http://127.0.0.1:8377 -conns 4 -duration 5s \
+	    -abort-frac 0.02 -max-shed-frac 0.2 -seed 1 -json load-report.json; \
+	status=$$?; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f llscd.smoke llscload.smoke; \
+	exit $$status
 
 # Heavyweight randomized validation (minutes).
 soak:

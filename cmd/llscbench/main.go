@@ -43,7 +43,7 @@ import (
 var (
 	flagQuick   = flag.Bool("quick", false, "divide all op counts by 10 for a fast smoke run")
 	flagOps     = flag.Int("ops", 200000, "operations per worker for throughput experiments")
-	flagExp     = flag.String("experiment", "all", "which experiment to run (all, e1..e8, e10, contention)")
+	flagExp     = flag.String("experiment", "all", "which experiment to run (all, e1..e8, e10, native, contention, service)")
 	flagMetrics = flag.String("metrics-addr", "", "serve live expvar/pprof/metrics on this address during the run (e.g. :8080)")
 	flagReport  = flag.Duration("report-interval", 0, "print periodic counter-delta reports to stderr at this interval (0 = off)")
 	flagJSON    = flag.Bool("json", false, "write one BENCH_<experiment>.json machine-readable record file per experiment")
@@ -94,8 +94,8 @@ func validateFlags(ops int, report time.Duration, policy, sub string) error {
 		return fmt.Errorf("-report-interval must be non-negative, got %v", report)
 	}
 	if policy != "all" {
-		if _, err := contention.ByName(policy); err != nil {
-			return fmt.Errorf("unknown -policy %q (want all, %s)", policy, strings.Join(contention.Names(), ", "))
+		if _, err := contention.ParsePolicy(policy); err != nil {
+			return fmt.Errorf("bad -policy %q (want all, %s)", policy, strings.Join(contention.Names(), ", "))
 		}
 	}
 	if _, err := machine.ParseSubstrate(sub); err != nil {
@@ -132,6 +132,7 @@ func main() {
 		{"e5", e5}, {"e6", e6}, {"e7", e7}, {"e8", e8}, {"e10", e10},
 		{"native", enative},
 		{"contention", econtention},
+		{"service", eservice},
 	}
 	sel := strings.ToLower(*flagExp)
 	found := false
@@ -1456,7 +1457,7 @@ func econtention() {
 			pol = contention.Adaptive(8, 256)
 		default:
 			var err error
-			pol, err = contention.ByName(name)
+			pol, err = contention.ParsePolicy(name)
 			must(err)
 		}
 		pol = pol.WithSeed(uint64(workers)<<8 + 1)

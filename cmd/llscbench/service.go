@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic" //llsc:allow nakedatomic(benchmark driver bookkeeping)
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// eservice measures the llscd service engine end to end: HTTP request →
+// admission control → dispatch → worker → non-blocking structure →
+// commit-then-acknowledge, over an in-process loopback listener. Two
+// cells bound the resilience layer's price: a clean run (every op pays
+// deadlines, budgets, lease heartbeats, supervision) and a chaos run
+// (same stack absorbing spurious bursts plus budgeted worker kills with
+// their recovery epochs). The ratio of the two is the cost of surviving
+// the adversary, end to end.
+func eservice() {
+	fmt.Println("\n== Service (llscd engine): end-to-end resilience-stack throughput ==")
+	fmt.Printf("%-22s %8s %10s %12s %12s %8s\n", "cell", "conns", "acked", "ns/op", "ops/sec", "p99")
+
+	cells := []struct {
+		name    string
+		workers int
+		conns   int
+		chaos   string
+	}{
+		{"service/clean/w4c8", 4, 8, "none"},
+		{"service/chaos/w4c8", 4, 8, "burst∘kill"},
+	}
+	for _, cell := range cells {
+		plan, err := fault.ParsePlan(cell.chaos, fault.PlanParams{
+			Procs: cell.workers, BurstLen: 50, CrashAt: 50, KillBudget: 2,
+		})
+		must(err)
+		srv, err := service.New(service.Config{
+			Workers: cell.workers,
+			Chaos:   plan,
+			Metrics: sink,
+			Timeout: 10 * time.Second,
+		})
+		must(err)
+		ts := httptest.NewServer(srv.Handler())
+
+		total := ops() / 4
+		if total < 1000 {
+			total = 1000
+		}
+		var acked atomic.Uint64
+		lat := &obs.Hist{}
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cell.conns * 2,
+			MaxIdleConnsPerHost: cell.conns * 2,
+		}}
+		do := func(path string) {
+			start := time.Now()
+			resp, err := client.Get(ts.URL + path)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				acked.Add(1)
+				lat.ObserveDuration(time.Since(start))
+			}
+		}
+
+		var wg sync.WaitGroup
+		begin := time.Now()
+		for c := 0; c < cell.conns; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				n := total / cell.conns
+				for i := 0; i < n; i++ {
+					switch i % 5 {
+					case 0:
+						do("/v1/counter/inc?d=1")
+					case 1:
+						do(fmt.Sprintf("/v1/queue/enq?v=%d", i+1))
+					case 2:
+						do("/v1/queue/deq")
+					case 3:
+						do(fmt.Sprintf("/v1/kv/put?k=%d&v=%d", c*100000+i, i+1))
+					default:
+						do(fmt.Sprintf("/v1/kv/get?k=%d", c*100000+i-1))
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(begin)
+		ts.Close()
+		srv.Close()
+
+		res := bench.Result{Name: cell.name, Workers: cell.conns, Ops: acked.Load(), Elapsed: elapsed}
+		fmt.Printf("%-22s %8d %10d %12.0f %12.0f %8v\n",
+			cell.name, cell.conns, acked.Load(),
+			float64(elapsed.Nanoseconds())/float64(acked.Load()),
+			res.OpsPerSec(), time.Duration(lat.Quantile(0.99)))
+		record(res, nil, lat)
+	}
+}

@@ -1,0 +1,156 @@
+// Command llscd serves a key-value store, a shared counter, and a FIFO
+// queue over HTTP, with every piece of shared state held in the repo's
+// non-blocking structures (Treiber/M&S/sharded-counter constructions on
+// the native LL/SC substrate) and every request wrapped in the
+// internal/resilience contract: deadlines, retry budgets, admission
+// control, fenced worker leases, and chaos-gated crash recovery.
+//
+// Usage:
+//
+//	llscd [-addr :8377] [-workers 4] [-timeout 2s] [-policy adaptive]
+//	      [-chaos none|burst|kill|crash|tagpressure|burst∘kill|...]
+//	      [-chaos-burst-len 50] [-chaos-crash-at 12] [-chaos-kill-budget 3]
+//	      [-flight-dir DIR] [-lease-ttl 4096] [-wedge-k 4096] [-check]
+//
+// Endpoints: /v1/counter/{inc,get}, /v1/kv/{put,get,del},
+// /v1/queue/{enq,deq}, /v1/audit, /healthz, /metrics.
+//
+// -chaos replays a deterministic fault plan (fault.ParsePlan vocabulary,
+// compose with "∘") at the service operation boundary: spurious bursts
+// and tag pressure surface as injected transient failures the retry
+// layer must absorb, kill fail-stops worker incarnations mid-operation
+// (including inside the queue's alloc-to-link leak window), and crash
+// wedges a worker forever — the watchdog/lease/flight-recorder pipeline
+// must detect, dump, fence, and reincarnate it. Plans are seeded by
+// construction: the same plan against the same request stream injects at
+// the same points.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+var (
+	flagAddr     = flag.String("addr", ":8377", "HTTP listen address")
+	flagWorkers  = flag.Int("workers", 4, "worker pool size (chaos plans address workers as processors)")
+	flagDepth    = flag.Int("dispatch-depth", 256, "bounded dispatch queue depth (overflow sheds with 503)")
+	flagTimeout  = flag.Duration("timeout", 2*time.Second, "per-request deadline")
+	flagPolicy   = flag.String("policy", "adaptive", "server-side retry backoff policy (none, spin, backoff, adaptive)")
+	flagRetryMax = flag.Int("max-attempts", 8, "attempt cap per operation")
+
+	flagChaos      = flag.String("chaos", "none", "chaos plan spec (fault.ParsePlan vocabulary; compose with ∘)")
+	flagBurstLen   = flag.Int("chaos-burst-len", 50, "spurious-burst length for the burst component")
+	flagCrashAt    = flag.Int("chaos-crash-at", 12, "victim operation index for the crash/kill components")
+	flagKillBudget = flag.Int("chaos-kill-budget", 3, "total kills for the kill component")
+
+	flagFlightDir = flag.String("flight-dir", "", "arm the flight recorder, writing wedge/shed-storm dumps here")
+	flagLeaseTTL  = flag.Uint64("lease-ttl", 4096, "worker lease TTL in attempt-clock units")
+	flagWedgeK    = flag.Uint64("wedge-k", 0, "watchdog wedge threshold in attempt-clock units (0 = lease-ttl)")
+
+	flagCheck = flag.Bool("check", false, "validate the configuration and exit")
+)
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llscd: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// buildConfig validates the flags into a service.Config; every rejection
+// here is an exit-2 usage error, caught before the server binds.
+func buildConfig() (service.Config, error) {
+	var cfg service.Config
+	if *flagWorkers < 1 {
+		return cfg, fmt.Errorf("-workers must be at least 1, got %d", *flagWorkers)
+	}
+	if *flagDepth < 1 {
+		return cfg, fmt.Errorf("-dispatch-depth must be at least 1, got %d", *flagDepth)
+	}
+	if *flagTimeout <= 0 {
+		return cfg, fmt.Errorf("-timeout must be positive, got %v", *flagTimeout)
+	}
+	if *flagRetryMax < 1 {
+		return cfg, fmt.Errorf("-max-attempts must be at least 1, got %d", *flagRetryMax)
+	}
+	if *flagLeaseTTL < 1 {
+		return cfg, fmt.Errorf("-lease-ttl must be at least 1, got %d", *flagLeaseTTL)
+	}
+	policy, err := contention.ParsePolicy(*flagPolicy)
+	if err != nil {
+		return cfg, fmt.Errorf("bad -policy: %w", err)
+	}
+	plan, err := fault.ParsePlan(*flagChaos, fault.PlanParams{
+		Procs:      *flagWorkers,
+		BurstLen:   *flagBurstLen,
+		CrashAt:    *flagCrashAt,
+		KillBudget: *flagKillBudget,
+	})
+	if err != nil {
+		return cfg, fmt.Errorf("bad -chaos: %w", err)
+	}
+	cfg = service.Config{
+		Workers:       *flagWorkers,
+		DispatchDepth: *flagDepth,
+		Timeout:       *flagTimeout,
+		Policy:        policy,
+		MaxAttempts:   *flagRetryMax,
+		Chaos:         plan,
+		FlightDir:     *flagFlightDir,
+		LeaseTTL:      *flagLeaseTTL,
+		WedgeK:        *flagWedgeK,
+	}
+	return cfg, nil
+}
+
+func main() {
+	flag.Parse()
+	cfg, err := buildConfig()
+	if err != nil {
+		usageErr("%v", err)
+	}
+	if *flagCheck {
+		fmt.Printf("llscd: configuration ok (workers=%d depth=%d timeout=%v policy=%s chaos=%s)\n",
+			cfg.Workers, cfg.DispatchDepth, cfg.Timeout, *flagPolicy, *flagChaos)
+		return
+	}
+
+	s, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "llscd: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Addr: *flagAddr, Handler: s.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		fmt.Fprintln(os.Stderr, "llscd: shutting down")
+		httpSrv.Close() //nolint:errcheck
+	}()
+
+	fmt.Fprintf(os.Stderr, "llscd: serving on %s (workers=%d, chaos=%s, flight-dir=%q)\n",
+		*flagAddr, cfg.Workers, *flagChaos, *flagFlightDir)
+	err = httpSrv.ListenAndServe()
+	s.Close()
+	if dumps := s.FlightDumps(); len(dumps) > 0 {
+		fmt.Fprintf(os.Stderr, "llscd: %d flight dump(s):\n", len(dumps))
+		for _, d := range dumps {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+	}
+	if err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "llscd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -51,7 +51,7 @@ var (
 		"machine substrate for machine-backed targets (sim, native); native skips the scheduler and fault phases")
 
 	flagFaultPlan = flag.String("fault-plan", "all",
-		"fault plans for the stress matrix: off, all, or one of none|burst|interference|crash|tagpressure")
+		"fault plans for the stress matrix: off, all, none, or a fault.ParsePlan spec — a component (burst|interference|crash|tagpressure) or several joined by \u2218, e.g. burst\u2218crash")
 	flagCrashAt      = flag.Int("crash-at", 12, "machine-operation index at which the crash plan wedges its victim")
 	flagBurstLen     = flag.Int("burst-len", 50, "length of the spurious-failure burst (RSC attempts)")
 	flagStressRounds = flag.Int("stress-rounds", 10, "quiescent rounds per stress cell")
@@ -382,22 +382,35 @@ func selectedPlans() ([]stress.PlanSpec, error) {
 	if *flagStressRounds < 1 {
 		return nil, fmt.Errorf("-stress-rounds must be positive, got %d", *flagStressRounds)
 	}
-	all := []stress.PlanSpec{
-		{Name: "none", New: func(stress.Config) fault.Plan { return nil }},
-		{Name: "burst", New: func(stress.Config) fault.Plan { return fault.NewBurst(0, 0, *flagBurstLen) }},
-		{Name: "interference", New: func(stress.Config) fault.Plan { return fault.NewInterference(fault.AnyProc, 3, 400) }},
-		{Name: "crash", New: func(cfg stress.Config) fault.Plan { return fault.NewCrash(cfg.Procs-1, *flagCrashAt) }},
-		{Name: "tagpressure", New: func(stress.Config) fault.Plan { return fault.NewTagPressure(2, 400) }},
+	mk := func(spec string) stress.PlanSpec {
+		return stress.PlanSpec{Name: spec, New: func(cfg stress.Config) fault.Plan {
+			plan, err := fault.ParsePlan(spec, fault.PlanParams{
+				Procs:    cfg.Procs,
+				BurstLen: *flagBurstLen,
+				CrashAt:  *flagCrashAt,
+			})
+			must(err) // validated at flag time; cfg.Procs >= 1 keeps crash viable
+			return plan
+		}}
 	}
 	if *flagFaultPlan == "all" {
-		return all, nil
-	}
-	for _, p := range all {
-		if p.Name == *flagFaultPlan {
-			return []stress.PlanSpec{p}, nil
+		// The historical matrix: kill (fail-stop + restart) is excluded
+		// because RunCell does not restart victims — request it explicitly.
+		specs := []string{"none", "burst", "interference", "crash", "tagpressure"}
+		plans := make([]stress.PlanSpec, 0, len(specs))
+		for _, spec := range specs {
+			plans = append(plans, mk(spec))
 		}
+		return plans, nil
 	}
-	return nil, fmt.Errorf("unknown -fault-plan %q (want off, all, none, burst, interference, crash, or tagpressure)", *flagFaultPlan)
+	if _, err := fault.ParsePlan(*flagFaultPlan, fault.PlanParams{
+		Procs:    1,
+		BurstLen: *flagBurstLen,
+		CrashAt:  *flagCrashAt,
+	}); err != nil {
+		return nil, fmt.Errorf("bad -fault-plan (want off, all, or a plan spec): %w", err)
+	}
+	return []stress.PlanSpec{mk(*flagFaultPlan)}, nil
 }
 
 // --- sequential adapters -------------------------------------------------

@@ -1,0 +1,635 @@
+// Command llscload drives an llscd service and verifies, from the
+// outside, that the service's resilience claims hold: it is a closed- or
+// open-loop load generator whose every acknowledged operation lands in a
+// client-side ledger, checked at the end against the server's /v1/audit
+// — the zero-acked-loss gate. Chaos on the server (kills, wedges,
+// bursts) may fail requests; it must never lose one the server
+// acknowledged.
+//
+// Usage:
+//
+//	llscload -url http://localhost:8377 [-conns 4] [-duration 10s]
+//	         [-rate 0] [-abort-frac 0] [-seed 1]
+//	         [-breaker-threshold 5] [-breaker-cooldown 256]
+//	         [-max-shed-frac 1.0] [-report 2s] [-json report.json] [-check]
+//
+// -rate 0 runs closed-loop (each connection fires as fast as the server
+// answers); a positive rate runs open-loop at that many operations per
+// second across all connections. -abort-frac deliberately abandons that
+// fraction of requests client-side (a ~1ms deadline), exercising the
+// server's handling of callers that give up mid-operation. Each
+// connection carries a circuit breaker with half-open probing, so a
+// degraded server sees backed-off probes instead of a retry storm.
+//
+// Per-family latency histograms (log₂ buckets, internal/obs) are
+// reported periodically and in the final llsc-load/v1 JSON report.
+//
+// Exit codes: 0 all gates pass; 1 a gate failed (acked-op loss,
+// read-your-writes violation, or shed-rate over budget); 2 bad flags.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic" //llsc:allow nakedatomic(client-side ledger and loop bookkeeping)
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/structures"
+)
+
+var (
+	flagURL      = flag.String("url", "", "base URL of the llscd service (required)")
+	flagConns    = flag.Int("conns", 4, "concurrent connections (each with its own circuit breaker)")
+	flagDuration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+	flagRate     = flag.Int("rate", 0, "target operations/second across all connections (0 = closed loop)")
+	flagAbort    = flag.Float64("abort-frac", 0, "fraction of requests abandoned client-side with a ~1ms deadline")
+	flagSeed     = flag.Uint64("seed", 1, "deterministic per-connection op-mix seed")
+
+	flagBreakThresh   = flag.Int("breaker-threshold", 5, "consecutive failures that open a connection's breaker")
+	flagBreakCooldown = flag.Uint64("breaker-cooldown", 256, "breaker cooldown in loop iterations before a half-open probe")
+
+	flagMaxShedFrac = flag.Float64("max-shed-frac", 1.0, "fail (exit 1) if sheds/attempts exceeds this fraction")
+	flagReport      = flag.Duration("report", 0, "periodic stats interval (0 = off)")
+	flagJSON        = flag.String("json", "", "write the llsc-load/v1 JSON report to this path")
+	flagNoAudit     = flag.Bool("no-audit", false, "skip the final /v1/audit ledger verification")
+	flagCheck       = flag.Bool("check", false, "validate the configuration and exit")
+)
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "llscload: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// families are the op families the driver issues, in mix order.
+var families = []string{"inc", "cget", "put", "kget", "enq", "deq"}
+
+// famStats is one family's ledger cell: acked (2xx), shed (503),
+// timeout (504), errored (any other non-2xx or transport error), aborted
+// (client abandoned), and the latency histogram over acked ops.
+type famStats struct {
+	acked   atomic.Uint64
+	shed    atomic.Uint64
+	timeout atomic.Uint64
+	errored atomic.Uint64
+	aborted atomic.Uint64
+	lat     obs.Hist
+}
+
+// failures returns every non-acked outcome — the ops that MAY have
+// committed server-side without an acknowledgement (sheds could not
+// have, but folding them in only loosens an upper bound).
+func (f *famStats) failures() uint64 {
+	return f.shed.Load() + f.timeout.Load() + f.errored.Load() + f.aborted.Load()
+}
+
+type ledger struct {
+	fams map[string]*famStats
+	// deqFound counts acked dequeues that returned an element (an acked
+	// empty dequeue consumed nothing).
+	deqFound atomic.Uint64
+	// newKeys/scratch track distinct-key accounting for the KV bound.
+	ackedNewKeys     atomic.Uint64
+	attemptedNewKeys atomic.Uint64
+	scratchAttempted atomic.Bool
+	scratchAcked     atomic.Bool
+	// rywViolations: an acked put later read back wrong — the hard fail.
+	rywViolations atomic.Uint64
+	breakerSkips  atomic.Uint64
+}
+
+func newLedger() *ledger {
+	l := &ledger{fams: make(map[string]*famStats, len(families))}
+	for _, f := range families {
+		l.fams[f] = &famStats{}
+	}
+	return l
+}
+
+// splitmix64 is the deterministic per-connection mix PRNG.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+type config struct {
+	url      string
+	conns    int
+	duration time.Duration
+	rate     int
+	abort    float64
+	seed     uint64
+
+	breakThresh   int
+	breakCooldown uint64
+	maxShedFrac   float64
+}
+
+func validate() (config, error) {
+	c := config{
+		url: *flagURL, conns: *flagConns, duration: *flagDuration,
+		rate: *flagRate, abort: *flagAbort, seed: *flagSeed,
+		breakThresh: *flagBreakThresh, breakCooldown: *flagBreakCooldown,
+		maxShedFrac: *flagMaxShedFrac,
+	}
+	if c.url == "" {
+		return c, fmt.Errorf("-url is required")
+	}
+	if c.conns < 1 {
+		return c, fmt.Errorf("-conns must be at least 1, got %d", c.conns)
+	}
+	if c.conns > 128 {
+		return c, fmt.Errorf("-conns above 128 would overflow the per-connection key partitions, got %d", c.conns)
+	}
+	if c.duration <= 0 {
+		return c, fmt.Errorf("-duration must be positive, got %v", c.duration)
+	}
+	if c.rate < 0 {
+		return c, fmt.Errorf("-rate must be non-negative, got %d", c.rate)
+	}
+	if c.abort < 0 || c.abort > 1 {
+		return c, fmt.Errorf("-abort-frac must be in [0,1], got %g", c.abort)
+	}
+	if c.maxShedFrac < 0 || c.maxShedFrac > 1 {
+		return c, fmt.Errorf("-max-shed-frac must be in [0,1], got %g", c.maxShedFrac)
+	}
+	if c.breakThresh < 1 {
+		return c, fmt.Errorf("-breaker-threshold must be at least 1, got %d", c.breakThresh)
+	}
+	if c.breakCooldown < 1 {
+		return c, fmt.Errorf("-breaker-cooldown must be at least 1, got %d", c.breakCooldown)
+	}
+	return c, nil
+}
+
+// keyPartition is each connection's slice of the map key space; key k of
+// connection c is c*keyPartition + k, written at most once so the
+// read-your-writes expectation is unambiguous even when a failed put
+// might have committed.
+const keyPartition = (structures.MaxMapKey + 1) / 128
+
+// outcome classifies one request.
+type outcome int
+
+const (
+	outAcked outcome = iota
+	outShed
+	outTimeout
+	outErrored
+	outAborted
+)
+
+// driver is the shared state of one load run.
+type driver struct {
+	cfg    config
+	led    *ledger
+	client *http.Client
+	tokens chan struct{} // open-loop pacing (nil = closed loop)
+	stop   chan struct{}
+}
+
+// get issues one GET, classifying the outcome; body is decoded into out
+// when the response is 200 and out is non-nil.
+func (d *driver) get(ctx context.Context, path string, out any) outcome {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.cfg.url+path, nil)
+	if err != nil {
+		return outErrored
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return outAborted
+		}
+		return outErrored
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return outErrored
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out != nil {
+			if err := json.Unmarshal(body, out); err != nil {
+				return outErrored
+			}
+		}
+		return outAcked
+	case http.StatusServiceUnavailable:
+		return outShed
+	case http.StatusGatewayTimeout:
+		return outTimeout
+	default:
+		return outErrored
+	}
+}
+
+func (l *ledger) record(fam string, o outcome, dur time.Duration) {
+	fs := l.fams[fam]
+	switch o {
+	case outAcked:
+		fs.acked.Add(1)
+		fs.lat.ObserveDuration(dur)
+	case outShed:
+		fs.shed.Add(1)
+	case outTimeout:
+		fs.timeout.Add(1)
+	case outErrored:
+		fs.errored.Add(1)
+	case outAborted:
+		fs.aborted.Add(1)
+	}
+}
+
+// runConn is one connection's loop: pick an op from the deterministic
+// mix, pass it through the breaker, issue it, settle the ledger.
+func (d *driver) runConn(conn int) {
+	rng := d.cfg.seed + uint64(conn)*0x9e3779b97f4a7c15
+	var iter atomic.Uint64
+	breaker, err := resilience.NewBreaker(d.cfg.breakThresh, d.cfg.breakCooldown, iter.Load)
+	if err != nil {
+		panic(err) // validated in validate()
+	}
+
+	// Read-your-writes state: every key this connection has had a put
+	// ACKED for, with its value. A later kget on one of these keys must
+	// return exactly that value — each key is written at most once.
+	acked := make(map[uint64]uint64)
+	ackedKeys := make([]uint64, 0, 1024)
+	nextKey := uint64(0)
+
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		if d.tokens != nil {
+			select {
+			case <-d.stop:
+				return
+			case <-d.tokens:
+			}
+		}
+		iter.Add(1)
+		if !breaker.Allow() {
+			d.led.breakerSkips.Add(1)
+			time.Sleep(200 * time.Microsecond) // don't hot-spin a dark server
+			continue
+		}
+
+		r := splitmix64(&rng)
+		abort := d.cfg.abort > 0 && float64(r%1000)/1000 < d.cfg.abort
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if abort {
+			ctx, cancel = context.WithTimeout(ctx, time.Millisecond)
+		}
+
+		var o outcome
+		fam := ""
+		start := time.Now()
+		switch pick := splitmix64(&rng) % 100; {
+		case pick < 25: // counter increment
+			fam = "inc"
+			o = d.get(ctx, "/v1/counter/inc?d=1", nil)
+		case pick < 35: // counter read
+			fam = "cget"
+			o = d.get(ctx, "/v1/counter/get", nil)
+		case pick < 55: // enqueue
+			fam = "enq"
+			o = d.get(ctx, fmt.Sprintf("/v1/queue/enq?v=%d", r%1000+1), nil)
+		case pick < 75: // dequeue
+			fam = "deq"
+			var dq struct {
+				Found bool `json:"found"`
+			}
+			o = d.get(ctx, "/v1/queue/deq", &dq)
+			if o == outAcked && dq.Found {
+				d.led.deqFound.Add(1)
+			}
+		case pick < 90: // kv put, write-once keys from this conn's partition
+			fam = "put"
+			if nextKey >= keyPartition {
+				// Partition exhausted: overwrite a scratch key with no
+				// read-your-writes expectation rather than reusing a
+				// write-once key.
+				d.led.scratchAttempted.Store(true)
+				o = d.get(ctx, fmt.Sprintf("/v1/kv/put?k=%d&v=1", uint64(conn)*keyPartition), nil)
+				if o == outAcked {
+					d.led.scratchAcked.Store(true)
+				}
+			} else {
+				nextKey++
+				k := uint64(conn)*keyPartition + nextKey
+				v := splitmix64(&rng)%1_000_000 + 1
+				d.led.attemptedNewKeys.Add(1)
+				o = d.get(ctx, fmt.Sprintf("/v1/kv/put?k=%d&v=%d", k, v), nil)
+				if o == outAcked {
+					d.led.ackedNewKeys.Add(1)
+					acked[k] = v
+					ackedKeys = append(ackedKeys, k)
+				}
+			}
+		default: // kv get with read-your-writes verification
+			fam = "kget"
+			if len(ackedKeys) == 0 {
+				fam = "cget"
+				o = d.get(ctx, "/v1/counter/get", nil)
+				break
+			}
+			k := ackedKeys[splitmix64(&rng)%uint64(len(ackedKeys))]
+			var kv struct {
+				Found bool   `json:"found"`
+				Value uint64 `json:"value"`
+			}
+			o = d.get(ctx, fmt.Sprintf("/v1/kv/get?k=%d", k), &kv)
+			if o == outAcked && (!kv.Found || kv.Value != acked[k]) {
+				// The server acknowledged this put and this read; the
+				// value is gone or wrong. This is acked-op loss.
+				d.led.rywViolations.Add(1)
+				fmt.Fprintf(os.Stderr, "llscload: READ-YOUR-WRITES VIOLATION key=%d want=%d got=(found=%v value=%d)\n",
+					k, acked[k], kv.Found, kv.Value)
+			}
+		}
+		if cancel != nil {
+			cancel()
+		}
+		d.led.record(fam, o, time.Since(start))
+		breaker.Record(o == outAcked)
+	}
+}
+
+// totals sums a projection over all families.
+func (l *ledger) totals(f func(*famStats) uint64) uint64 {
+	var n uint64
+	for _, fs := range l.fams {
+		n += f(fs)
+	}
+	return n
+}
+
+func (d *driver) printStats(w io.Writer, prefix string) {
+	l := d.led
+	fmt.Fprintf(w, "%sacked=%d shed=%d timeout=%d errored=%d aborted=%d breaker-skips=%d\n",
+		prefix,
+		l.totals(func(f *famStats) uint64 { return f.acked.Load() }),
+		l.totals(func(f *famStats) uint64 { return f.shed.Load() }),
+		l.totals(func(f *famStats) uint64 { return f.timeout.Load() }),
+		l.totals(func(f *famStats) uint64 { return f.errored.Load() }),
+		l.totals(func(f *famStats) uint64 { return f.aborted.Load() }),
+		l.breakerSkips.Load())
+	for _, name := range families {
+		fs := l.fams[name]
+		if fs.acked.Load() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s  %-5s acked=%-8d p50=%-10v p99=%v\n", prefix, name,
+			fs.acked.Load(),
+			time.Duration(fs.lat.Quantile(0.5)),
+			time.Duration(fs.lat.Quantile(0.99)))
+	}
+}
+
+// auditDoc mirrors service.Audit's JSON.
+type auditDoc struct {
+	Counter        uint64   `json:"counter"`
+	KVLen          int      `json:"kv_len"`
+	QueueLen       int      `json:"queue_len"`
+	QueueLeaked    int      `json:"queue_leaked"`
+	Reclaimed      uint64   `json:"reclaimed"`
+	RecoveryEpochs uint64   `json:"recovery_epochs"`
+	Conservation   string   `json:"conservation"`
+	Incarnations   []uint64 `json:"incarnations"`
+	Mode           string   `json:"mode"`
+}
+
+// gateResult is one verification gate's verdict for the report.
+type gateResult struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// verify runs the ledger gates against the final audit.
+func verify(cfg config, l *ledger, audit *auditDoc) []gateResult {
+	var gates []gateResult
+	gate := func(name string, pass bool, format string, args ...any) {
+		gates = append(gates, gateResult{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	gate("read-your-writes", l.rywViolations.Load() == 0,
+		"%d violations", l.rywViolations.Load())
+
+	attempts := l.totals(func(f *famStats) uint64 { return f.acked.Load() }) +
+		l.totals(func(f *famStats) uint64 { return f.failures() })
+	sheds := l.totals(func(f *famStats) uint64 { return f.shed.Load() })
+	shedFrac := 0.0
+	if attempts > 0 {
+		shedFrac = float64(sheds) / float64(attempts)
+	}
+	gate("shed-rate", shedFrac <= cfg.maxShedFrac,
+		"sheds %d / attempts %d = %.3f (budget %.3f)", sheds, attempts, shedFrac, cfg.maxShedFrac)
+
+	if audit == nil {
+		return gates
+	}
+
+	// Zero acked-op loss: the audit must account for every acknowledged
+	// operation; failed operations may or may not have committed, which
+	// sets the width of each bracket.
+	inc := l.fams["inc"]
+	lo, hi := inc.acked.Load(), inc.acked.Load()+inc.failures()
+	gate("counter-acked-loss", audit.Counter >= lo && audit.Counter <= hi,
+		"counter %d, acked-loss bounds [%d, %d]", audit.Counter, lo, hi)
+
+	kvLo, kvHi := l.ackedNewKeys.Load(), l.attemptedNewKeys.Load()
+	if l.scratchAcked.Load() {
+		kvLo++
+	}
+	if l.scratchAttempted.Load() {
+		kvHi++
+	}
+	gate("kv-acked-loss", uint64(audit.KVLen) >= kvLo && uint64(audit.KVLen) <= kvHi,
+		"kv_len %d, acked-loss bounds [%d, %d]", audit.KVLen, kvLo, kvHi)
+
+	enq, deq := l.fams["enq"], l.fams["deq"]
+	qLo := int64(enq.acked.Load()) - int64(l.deqFound.Load()) - int64(deq.failures())
+	qHi := int64(enq.acked.Load()) + int64(enq.failures()) - int64(l.deqFound.Load())
+	gate("queue-acked-loss", int64(audit.QueueLen) >= qLo && int64(audit.QueueLen) <= qHi,
+		"queue_len %d, acked-loss bounds [%d, %d]", audit.QueueLen, qLo, qHi)
+
+	gate("conservation", audit.Conservation == "ok" && audit.QueueLeaked == 0,
+		"conservation=%q leaked=%d", audit.Conservation, audit.QueueLeaked)
+
+	return gates
+}
+
+// report is the llsc-load/v1 document.
+type report struct {
+	Schema   string            `json:"schema"`
+	URL      string            `json:"url"`
+	Conns    int               `json:"conns"`
+	Duration string            `json:"duration"`
+	Rate     int               `json:"rate"`
+	Seed     uint64            `json:"seed"`
+	Families map[string]famDoc `json:"families"`
+	Breaker  breakerDoc        `json:"breaker"`
+	Audit    *auditDoc         `json:"audit,omitempty"`
+	Gates    []gateResult      `json:"gates"`
+	Pass     bool              `json:"pass"`
+}
+
+type famDoc struct {
+	Acked   uint64 `json:"acked"`
+	Shed    uint64 `json:"shed"`
+	Timeout uint64 `json:"timeout"`
+	Errored uint64 `json:"errored"`
+	Aborted uint64 `json:"aborted"`
+	P50Ns   uint64 `json:"p50_ns"`
+	P99Ns   uint64 `json:"p99_ns"`
+}
+
+type breakerDoc struct {
+	Skips uint64 `json:"skips"`
+}
+
+func main() {
+	flag.Parse()
+	cfg, err := validate()
+	if err != nil {
+		usageErr("%v", err)
+	}
+	if *flagCheck {
+		fmt.Printf("llscload: configuration ok (url=%s conns=%d duration=%v rate=%d abort-frac=%g)\n",
+			cfg.url, cfg.conns, cfg.duration, cfg.rate, cfg.abort)
+		return
+	}
+
+	d := &driver{
+		cfg: cfg,
+		led: newLedger(),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.conns * 2,
+			MaxIdleConnsPerHost: cfg.conns * 2,
+		}},
+		stop: make(chan struct{}),
+	}
+	if cfg.rate > 0 {
+		d.tokens = make(chan struct{}, cfg.rate)
+		tick := time.NewTicker(time.Second / time.Duration(cfg.rate))
+		defer tick.Stop()
+		go func() {
+			for {
+				select {
+				case <-d.stop:
+					return
+				case <-tick.C:
+					select {
+					case d.tokens <- struct{}{}:
+					default: // bucket full: the drivers are behind, drop
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			d.runConn(c)
+		}(c)
+	}
+
+	if *flagReport > 0 {
+		reportTick := time.NewTicker(*flagReport)
+		defer reportTick.Stop()
+		go func() {
+			for {
+				select {
+				case <-d.stop:
+					return
+				case <-reportTick.C:
+					d.printStats(os.Stderr, "llscload: ")
+				}
+			}
+		}()
+	}
+
+	time.Sleep(cfg.duration)
+	close(d.stop)
+	wg.Wait()
+
+	fmt.Println("== llscload final ==")
+	d.printStats(os.Stdout, "")
+
+	var audit *auditDoc
+	if !*flagNoAudit {
+		var a auditDoc
+		if o := d.get(context.Background(), "/v1/audit", &a); o != outAcked {
+			fmt.Fprintf(os.Stderr, "llscload: final audit failed (%d)\n", o)
+			os.Exit(1)
+		}
+		audit = &a
+		fmt.Printf("audit: counter=%d kv_len=%d queue_len=%d epochs=%d reclaimed=%d conservation=%s incarnations=%v\n",
+			a.Counter, a.KVLen, a.QueueLen, a.RecoveryEpochs, a.Reclaimed, a.Conservation, a.Incarnations)
+	}
+
+	gates := verify(cfg, d.led, audit)
+	pass := true
+	for _, g := range gates {
+		mark := "PASS"
+		if !g.Pass {
+			mark = "FAIL"
+			pass = false
+		}
+		fmt.Printf("gate %-18s %s  %s\n", g.Name, mark, g.Detail)
+	}
+
+	if *flagJSON != "" {
+		rep := report{
+			Schema: "llsc-load/v1", URL: cfg.url, Conns: cfg.conns,
+			Duration: cfg.duration.String(), Rate: cfg.rate, Seed: cfg.seed,
+			Families: map[string]famDoc{},
+			Breaker:  breakerDoc{Skips: d.led.breakerSkips.Load()},
+			Audit:    audit, Gates: gates, Pass: pass,
+		}
+		for _, name := range families {
+			fs := d.led.fams[name]
+			rep.Families[name] = famDoc{
+				Acked: fs.acked.Load(), Shed: fs.shed.Load(),
+				Timeout: fs.timeout.Load(), Errored: fs.errored.Load(),
+				Aborted: fs.aborted.Load(),
+				P50Ns:   fs.lat.Quantile(0.5), P99Ns: fs.lat.Quantile(0.99),
+			}
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*flagJSON, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llscload: writing report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %s\n", *flagJSON)
+	}
+
+	if !pass {
+		fmt.Println("FAILED: a verification gate did not hold")
+		os.Exit(1)
+	}
+	fmt.Println("PASS: all gates held")
+}

@@ -222,6 +222,19 @@ func ByName(name string) (*Policy, error) {
 	return nil, fmt.Errorf("contention: unknown policy %q (want one of %v)", name, Names())
 }
 
+// ParsePolicy converts a -policy flag value into a ready-to-use Policy
+// with default parameters — the CLI-boundary counterpart of ByName,
+// mirroring machine.ParseSubstrate. It rejects the empty string with a
+// distinct message (a missing flag value is a different user error than a
+// misspelled policy), so every binary taking -policy fails fast at flag
+// validation instead of minutes into a run.
+func ParsePolicy(name string) (*Policy, error) {
+	if name == "" {
+		return nil, fmt.Errorf("contention: empty policy name (want one of %v)", Names())
+	}
+	return ByName(name)
+}
+
 // Names returns the stable policy names accepted by ByName.
 func Names() []string { return []string{"none", "spin", "backoff", "adaptive"} }
 

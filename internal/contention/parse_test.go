@@ -1,0 +1,47 @@
+package contention
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParsePolicy pins the CLI-boundary parser: every stable name round
+// trips to a policy reporting that name, while unknown and empty names
+// fail with errors that list the valid choices (the CLIs turn these into
+// exit 2 at flag validation).
+func TestParsePolicy(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) error: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("ParsePolicy(%q).Name() = %q; round trip broken", name, p.Name())
+		}
+	}
+
+	tests := []struct {
+		name    string
+		in      string
+		wantSub string
+	}{
+		{"unknown", "exponential", "unknown policy"},
+		{"case sensitive", "Spin", "unknown policy"},
+		{"whitespace not trimmed", " spin", "unknown policy"},
+		{"empty", "", "empty policy name"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ParsePolicy(tc.in)
+			if err == nil {
+				t.Fatalf("ParsePolicy(%q) = %v, want error", tc.in, p)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("ParsePolicy(%q) error %q does not mention %q", tc.in, err, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), "adaptive") {
+				t.Errorf("ParsePolicy(%q) error %q does not list the valid policies", tc.in, err)
+			}
+		})
+	}
+}

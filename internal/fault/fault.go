@@ -414,6 +414,11 @@ func Compose(plans ...Plan) *Composed {
 // Name implements Plan.
 func (c *Composed) Name() string { return c.name }
 
+// Plans returns the sub-plans, in composition order — so a driver holding
+// a plan built by ParsePlan can find components needing lifecycle calls
+// (Crash.Release for teardown) without re-parsing the spec.
+func (c *Composed) Plans() []Plan { return c.plans }
+
 // BeforeOp implements machine.FaultPlan.
 func (c *Composed) BeforeOp(proc int, op machine.OpKind, word uint64) machine.FaultInjection {
 	var out machine.FaultInjection

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanSeparator joins component names in a composed plan spec: the spec
+// "burst∘crash" builds Compose(Burst, Crash). The function-composition
+// glyph keeps specs unambiguous — component names themselves never
+// contain it.
+const PlanSeparator = "∘"
+
+// PlanParams carries the knobs the named plan components take, so the
+// binaries sharing ParsePlan (llscfuzz's -fault-plan, llscd's -chaos)
+// expose the same plan vocabulary with their own flag spellings. Zero
+// values select the historical defaults from the stress matrix.
+type PlanParams struct {
+	// Procs is the processor count of the machine (or worker pool) the
+	// plan will run against. The crash component kills the highest
+	// processor id, Procs-1; a spec containing "crash" with Procs < 1 is
+	// rejected because there is nobody to kill.
+	Procs int
+
+	// BurstLen is the length of the spurious-failure storm injected by
+	// the burst component (0 → 50 attempts).
+	BurstLen int
+
+	// CrashAt is the 0-based operation index at which the crash component
+	// wedges its victim (and at which each incarnation dies under the
+	// kill component). 0 is a real choice (crash on the very first
+	// operation), so it is used verbatim — callers wanting the stress
+	// matrix's historical victim point pass 12. Negative values are
+	// rejected.
+	CrashAt int
+
+	// KillBudget bounds how many incarnations the kill component may
+	// kill in total (0 → 3). Unlike crash — which wedges its victim
+	// forever inside BeforeOp — kill injects machine-style fail-stop
+	// crashes the driver restarts, so a budget keeps the run terminating.
+	KillBudget int
+}
+
+// PlanNames returns the component names ParsePlan accepts, in stable
+// order. "none" (the empty plan) is additionally accepted as a complete
+// spec but is not a component — composing nothing with something is a
+// spec error, not a plan.
+func PlanNames() []string { return []string{"burst", "interference", "crash", "kill", "tagpressure"} }
+
+// ParsePlan builds a fault plan from its flag spelling: a single
+// component name ("crash"), or several joined by PlanSeparator
+// ("burst∘crash") to run under one Compose. The spec "none" yields a nil
+// plan (inject nothing) and composes with nothing.
+//
+// Duplicate components are rejected rather than silently composed: a
+// repeated component doubles its injection budget while reporting a
+// plan name that reads like the single instance, which made
+// "burst∘burst" indistinguishable from "burst" in every report that
+// mattered.
+func ParsePlan(spec string, p PlanParams) (Plan, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("fault: empty plan spec (want none, or %s joined by %q)", strings.Join(PlanNames(), PlanSeparator), PlanSeparator)
+	}
+	parts := strings.Split(spec, PlanSeparator)
+	if len(parts) == 1 && parts[0] == "none" {
+		return nil, nil
+	}
+	if p.BurstLen < 0 {
+		return nil, fmt.Errorf("fault: burst length must be non-negative, got %d", p.BurstLen)
+	}
+	if p.CrashAt < 0 {
+		return nil, fmt.Errorf("fault: crash operation index must be non-negative, got %d", p.CrashAt)
+	}
+	seen := make(map[string]bool, len(parts))
+	plans := make([]Plan, 0, len(parts))
+	for _, part := range parts {
+		if seen[part] {
+			return nil, fmt.Errorf("fault: duplicate plan component %q in spec %q — a repeated component doubles its budget while reporting as one; state each component once", part, spec)
+		}
+		seen[part] = true
+		pl, err := buildComponent(part, spec, p)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, pl)
+	}
+	if len(plans) == 1 {
+		return plans[0], nil
+	}
+	return Compose(plans...), nil
+}
+
+func buildComponent(name, spec string, p PlanParams) (Plan, error) {
+	switch name {
+	case "burst":
+		length := p.BurstLen
+		if length == 0 {
+			length = 50
+		}
+		return NewBurst(0, 0, length), nil
+	case "interference":
+		return NewInterference(AnyProc, 3, 400), nil
+	case "crash":
+		if p.Procs < 1 {
+			return nil, fmt.Errorf("fault: plan %q needs at least 1 processor to pick a crash victim, got %d", spec, p.Procs)
+		}
+		return NewCrash(p.Procs-1, p.CrashAt), nil
+	case "kill":
+		if p.Procs < 1 {
+			return nil, fmt.Errorf("fault: plan %q needs at least 1 processor to pick a kill victim, got %d", spec, p.Procs)
+		}
+		if p.KillBudget < 0 {
+			return nil, fmt.Errorf("fault: kill budget must be non-negative, got %d", p.KillBudget)
+		}
+		budget := p.KillBudget
+		if budget == 0 {
+			budget = 3
+		}
+		at := p.CrashAt
+		if at < 1 {
+			at = 1 // CrashRestart counts per incarnation from 1
+		}
+		return NewCrashRestart(p.Procs-1, at, budget), nil
+	case "tagpressure":
+		return NewTagPressure(2, 400), nil
+	case "none":
+		return nil, fmt.Errorf("fault: \"none\" cannot appear in a composed spec %q — it is the empty plan, compose only real components", spec)
+	}
+	return nil, fmt.Errorf("fault: unknown plan component %q in spec %q (want %s)", name, spec, strings.Join(PlanNames(), ", "))
+}

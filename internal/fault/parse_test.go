@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParsePlanComponents pins the single-component specs: each stable
+// name builds its plan, and the parameters thread through.
+func TestParsePlanComponents(t *testing.T) {
+	params := PlanParams{Procs: 4, BurstLen: 7, CrashAt: 3, KillBudget: 2}
+	wantName := map[string]string{"kill": "crashrestart"} // kill builds a CrashRestart
+	for _, name := range PlanNames() {
+		p, err := ParsePlan(name, params)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) error: %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("ParsePlan(%q) returned nil plan", name)
+		}
+		want := name
+		if w, ok := wantName[name]; ok {
+			want = w
+		}
+		if !strings.Contains(p.Name(), want) {
+			t.Errorf("ParsePlan(%q).Name() = %q; does not identify the component", name, p.Name())
+		}
+	}
+	if p, err := ParsePlan("none", params); err != nil || p != nil {
+		t.Errorf("ParsePlan(none) = (%v, %v), want (nil, nil)", p, err)
+	}
+}
+
+// TestParsePlanCompose: "burst∘crash" builds one composed plan whose name
+// names both components.
+func TestParsePlanCompose(t *testing.T) {
+	p, err := ParsePlan("burst"+PlanSeparator+"crash", PlanParams{Procs: 2, CrashAt: 12})
+	if err != nil {
+		t.Fatalf("ParsePlan(burst∘crash) error: %v", err)
+	}
+	name := p.Name()
+	if !strings.Contains(name, "burst") || !strings.Contains(name, "crash") {
+		t.Errorf("composed plan name %q does not name both components", name)
+	}
+	if _, ok := p.(*Composed); !ok {
+		t.Errorf("composed spec built %T, want *Composed", p)
+	}
+}
+
+// TestParsePlanRejections: duplicates, unknown names, none-in-compose,
+// empty specs, and parameter misuse all fail loudly with actionable
+// messages.
+func TestParsePlanRejections(t *testing.T) {
+	ok := PlanParams{Procs: 2}
+	tests := []struct {
+		name    string
+		spec    string
+		params  PlanParams
+		wantSub string
+	}{
+		{"duplicate", "burst" + PlanSeparator + "burst", ok, "duplicate"},
+		{"duplicate split by third", "burst" + PlanSeparator + "crash" + PlanSeparator + "burst", ok, "duplicate"},
+		{"unknown", "meteor", ok, "unknown plan component"},
+		{"unknown inside compose", "burst" + PlanSeparator + "meteor", ok, "unknown plan component"},
+		{"none inside compose", "none" + PlanSeparator + "burst", ok, "empty plan"},
+		{"empty", "", ok, "empty plan spec"},
+		{"empty component", "burst" + PlanSeparator, ok, "unknown plan component"},
+		{"crash with no procs", "crash", PlanParams{}, "crash victim"},
+		{"negative burst", "burst", PlanParams{Procs: 1, BurstLen: -1}, "non-negative"},
+		{"negative crash-at", "crash", PlanParams{Procs: 1, CrashAt: -1}, "non-negative"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := ParsePlan(tc.spec, tc.params)
+			if err == nil {
+				t.Fatalf("ParsePlan(%q, %+v) = %v, want error", tc.spec, tc.params, p)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("ParsePlan(%q) error %q does not mention %q", tc.spec, err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -185,6 +185,36 @@ const (
 	CtrSimEliminated
 	CtrSimRestarts
 
+	// Service resilience counters (internal/resilience, docs/SERVICE.md).
+	// ResRetries counts server-side retry attempts consumed by transient
+	// failures; ResBudgetExhausted requests failed because the shared
+	// retry budget ran dry; ResDeadlineExceeded requests abandoned at a
+	// deadline check (admission, queue, or between retry attempts);
+	// ResChaosSpurious chaos-injected transient failures at the service
+	// op boundary; ResChaosKills chaos-injected worker incarnation kills;
+	// ResWedgeKills workers force-killed after a watchdog Wedged verdict;
+	// ResRecoveryEpochs stop-the-world reclamation epochs run by the
+	// service supervisor. Appended at the end of the taxonomy per the
+	// schema rule.
+	CtrResRetries
+	CtrResBudgetExhausted
+	CtrResDeadlineExceeded
+	CtrResChaosSpurious
+	CtrResChaosKills
+	CtrResWedgeKills
+	CtrResRecoveryEpochs
+
+	// Admission-control counters (resilience.Shedder). LoadAdmitted
+	// counts requests admitted past the shedder; LoadShedWrites and
+	// LoadShedReads count requests refused by class (degraded mode sheds
+	// writes before reads); LoadDegradedTransitions counts mode changes
+	// (healthy ↔ shed-writes ↔ shed-all). Appended at the end of the
+	// taxonomy per the schema rule.
+	CtrLoadAdmitted
+	CtrLoadShedWrites
+	CtrLoadShedReads
+	CtrLoadDegradedTransitions
+
 	// NumCounters is the size of the taxonomy; Snapshot is indexed by
 	// Counter in [0, NumCounters).
 	NumCounters
@@ -246,6 +276,18 @@ var counterNames = [NumCounters]string{
 	CtrSimCompleted:             "sim_completed",
 	CtrSimEliminated:            "sim_eliminated",
 	CtrSimRestarts:              "sim_restarts",
+
+	CtrResRetries:              "resilience_retries",
+	CtrResBudgetExhausted:      "resilience_budget_exhausted",
+	CtrResDeadlineExceeded:     "resilience_deadline_exceeded",
+	CtrResChaosSpurious:        "resilience_chaos_spurious",
+	CtrResChaosKills:           "resilience_chaos_kills",
+	CtrResWedgeKills:           "resilience_wedge_kills",
+	CtrResRecoveryEpochs:       "resilience_recovery_epochs",
+	CtrLoadAdmitted:            "load_admitted",
+	CtrLoadShedWrites:          "load_shed_writes",
+	CtrLoadShedReads:           "load_shed_reads",
+	CtrLoadDegradedTransitions: "load_degraded_transitions",
 }
 
 // String returns the counter's stable snake_case name.

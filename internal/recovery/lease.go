@@ -1,0 +1,263 @@
+package recovery
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Token is a fencing token: proof that one particular *incarnation* of a
+// worker holds (or held) a lease. Every Join mints a fresh token by
+// bumping the worker's incarnation number, so a message carrying a stale
+// token — a heartbeat from an incarnation that has already been declared
+// dead — is refused even if a *newer* incarnation of the same worker is
+// alive and well. This closes the race the step-clock machine.Registry
+// cannot express: between a supervisor's ExpireStale sweep and the
+// worker's replacement Join, a delayed heartbeat from the dead
+// incarnation must not resurrect the lease, and after the replacement
+// Join it must not renew the *successor's* lease either.
+type Token struct {
+	// ID is the worker slot the lease covers.
+	ID int
+	// Incarnation is the Join generation that minted this token,
+	// starting at 1.
+	Incarnation uint64
+}
+
+// String renders the token as "id#incarnation".
+func (t Token) String() string { return fmt.Sprintf("%d#%d", t.ID, t.Incarnation) }
+
+// Registry is a fenced lease registry over an arbitrary monotone clock —
+// the native-substrate counterpart of machine.Registry, whose leases are
+// denominated in simulated machine steps and therefore cannot exist where
+// the step clock never advances. A service supervisor supplies the clock
+// (typically a global attempt/admission tick counter: any unit that
+// provably advances while the rest of the system is making attempts), and
+// workers Join before serving, Heartbeat while they run, and Leave when
+// done. A worker silent for more than TTL clock units while the clock
+// demonstrably advanced is presumed dead; ExpireStale fences it and its
+// figure-level state becomes reclaimable.
+//
+// Unlike machine.Registry, every operation after Join is authenticated by
+// the fencing Token, so stale-incarnation traffic is refused by
+// construction rather than by timing luck. The registry is a pure
+// detector: it never kills or restarts anything itself.
+type Registry struct {
+	now func() uint64
+	ttl uint64
+
+	mu     sync.Mutex
+	leases []flease
+	mets   *obs.Metrics
+
+	stats machine.RegistryStats
+}
+
+type flease struct {
+	state       machine.LeaseState
+	incarnation uint64
+	lastBeat    uint64
+}
+
+// NewRegistry builds a fenced registry for worker slots [0, workers) over
+// the monotone clock now, with the given lease TTL in clock units. A TTL
+// below 1 would expire a lease the instant it was granted and is
+// rejected.
+func NewRegistry(workers int, now func() uint64, ttl uint64) (*Registry, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("recovery: registry needs at least 1 worker slot, got %d", workers)
+	}
+	if now == nil {
+		return nil, fmt.Errorf("recovery: registry clock is required")
+	}
+	if ttl < 1 {
+		return nil, fmt.Errorf("recovery: lease TTL must be at least 1 clock unit, got %d", ttl)
+	}
+	return &Registry{now: now, ttl: ttl, leases: make([]flease, workers)}, nil
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables): joins,
+// renewals, and expiries mirror to lease_joins / lease_heartbeats /
+// lease_expiries exactly like the machine registry's supervisor path.
+func (r *Registry) SetMetrics(m *obs.Metrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mets = m
+}
+
+// TTL returns the lease time-to-live in clock units.
+func (r *Registry) TTL() uint64 { return r.ttl }
+
+func (r *Registry) check(id int) error {
+	if id < 0 || id >= len(r.leases) {
+		return fmt.Errorf("recovery: worker id %d out of range [0,%d)", id, len(r.leases))
+	}
+	return nil
+}
+
+// Join grants worker id a fresh lease and mints its fencing token.
+// Joining over an expired lease is the reincarnation path and is allowed
+// — the incarnation number advances, permanently fencing the dead
+// predecessor's token. Joining over a live lease is a double-join
+// programming error.
+func (r *Registry) Join(id int) (Token, error) {
+	if err := r.check(id); err != nil {
+		return Token{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := &r.leases[id]
+	if l.state == machine.LeaseLive {
+		return Token{}, fmt.Errorf("recovery: worker %d already holds a live lease (incarnation %d)", id, l.incarnation)
+	}
+	l.state = machine.LeaseLive
+	l.incarnation++
+	l.lastBeat = r.now()
+	r.stats.Joins++
+	r.mets.IncProc(id, obs.CtrLeaseJoins)
+	return Token{ID: id, Incarnation: l.incarnation}, nil
+}
+
+// Heartbeat renews the lease named by t. It is REFUSED — and the refusal
+// is the fencing signal, telling the caller to abandon in-flight work and
+// rejoin through recovery — when any of:
+//
+//   - the token's incarnation is not the current one (a successor has
+//     already joined over this slot; the caller is a ghost);
+//   - the lease has been fenced by ExpireStale (or a prior refused
+//     heartbeat) and no successor has joined yet;
+//   - the heartbeat itself arrives more than TTL clock units after the
+//     previous one, in which case the lease is marked expired on the spot.
+func (r *Registry) Heartbeat(t Token) error {
+	if err := r.check(t.ID); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := &r.leases[t.ID]
+	if t.Incarnation != l.incarnation {
+		return fmt.Errorf("recovery: worker %d heartbeat carries fenced token %s (current incarnation %d); rejoin required", t.ID, t, l.incarnation)
+	}
+	if l.state != machine.LeaseLive {
+		return fmt.Errorf("recovery: worker %d has no live lease to heartbeat (state %s); rejoin required", t.ID, l.state)
+	}
+	now := r.now()
+	if now-l.lastBeat > r.ttl {
+		l.state = machine.LeaseExpired
+		r.stats.Expiries++
+		r.mets.IncProc(t.ID, obs.CtrLeaseExpiries)
+		return fmt.Errorf("recovery: worker %d lease lapsed (%d clock units since last beat, ttl %d); rejoin required", t.ID, now-l.lastBeat, r.ttl)
+	}
+	l.lastBeat = now
+	r.stats.Beats++
+	r.mets.IncProc(t.ID, obs.CtrLeaseHeartbeats)
+	return nil
+}
+
+// Leave releases the lease named by t cleanly (no reclamation needed). A
+// fenced token cannot Leave — its lease is no longer its to release.
+func (r *Registry) Leave(t Token) error {
+	if err := r.check(t.ID); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := &r.leases[t.ID]
+	if t.Incarnation != l.incarnation || l.state != machine.LeaseLive {
+		return fmt.Errorf("recovery: worker %d cannot leave with token %s (state %s, incarnation %d)", t.ID, t, l.state, l.incarnation)
+	}
+	l.state = machine.LeaseFree
+	r.stats.Leaves++
+	return nil
+}
+
+// Expire force-fences the lease named by t — for supervisors that KNOW
+// the incarnation is dead (its goroutine panicked and was reaped) and
+// must not wait out the TTL before reincarnating the slot. A stale token
+// cannot expire a successor's lease.
+func (r *Registry) Expire(t Token) error {
+	if err := r.check(t.ID); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := &r.leases[t.ID]
+	if t.Incarnation != l.incarnation {
+		return fmt.Errorf("recovery: worker %d cannot be expired with fenced token %s (current incarnation %d)", t.ID, t, l.incarnation)
+	}
+	if l.state != machine.LeaseLive {
+		return nil // already fenced or released; force-expiry is idempotent
+	}
+	l.state = machine.LeaseExpired
+	r.stats.Expiries++
+	r.mets.IncProc(t.ID, obs.CtrLeaseExpiries)
+	return nil
+}
+
+// ExpireStale sweeps the registry, fencing every live lease that has not
+// heartbeat for more than TTL clock units, and returns the tokens of the
+// incarnations newly declared dead by this sweep. Supervisors call it
+// periodically; each returned token identifies exactly which incarnation
+// must be reclaimed (and is precisely the token whose future heartbeats
+// stay refused).
+func (r *Registry) ExpireStale() []Token {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	var expired []Token
+	for id := range r.leases {
+		l := &r.leases[id]
+		if l.state == machine.LeaseLive && now-l.lastBeat > r.ttl {
+			l.state = machine.LeaseExpired
+			r.stats.Expiries++
+			r.mets.IncProc(id, obs.CtrLeaseExpiries)
+			expired = append(expired, Token{ID: id, Incarnation: l.incarnation})
+		}
+	}
+	return expired
+}
+
+// State returns worker id's current lease state (LeaseFree for an
+// out-of-range id, which cannot hold a lease).
+func (r *Registry) State(id int) machine.LeaseState {
+	if r.check(id) != nil {
+		return machine.LeaseFree
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leases[id].state
+}
+
+// Incarnation returns worker id's current incarnation number (0 if it has
+// never joined, or the id is out of range).
+func (r *Registry) Incarnation(id int) uint64 {
+	if r.check(id) != nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leases[id].incarnation
+}
+
+// Live returns the number of live leases.
+func (r *Registry) Live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, l := range r.leases {
+		if l.state == machine.LeaseLive {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns the registry's event counters (the same shape as
+// machine.RegistryStats, so reports can treat either registry uniformly).
+func (r *Registry) Stats() machine.RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

@@ -1,0 +1,223 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// fakeClock is a hand-advanced monotone clock for deterministic lease
+// tests — no timers, no sleeps.
+type fakeClock struct{ t uint64 }
+
+func (c *fakeClock) now() uint64      { return c.t }
+func (c *fakeClock) advance(d uint64) { c.t += d }
+
+func newTestRegistry(t *testing.T, workers int, ttl uint64) (*Registry, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{}
+	r, err := NewRegistry(workers, clk.now, ttl)
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	return r, clk
+}
+
+func TestRegistryConstructorValidation(t *testing.T) {
+	clk := &fakeClock{}
+	if _, err := NewRegistry(0, clk.now, 10); err == nil {
+		t.Error("NewRegistry accepted 0 workers")
+	}
+	if _, err := NewRegistry(1, nil, 10); err == nil {
+		t.Error("NewRegistry accepted nil clock")
+	}
+	if _, err := NewRegistry(1, clk.now, 0); err == nil {
+		t.Error("NewRegistry accepted TTL 0")
+	}
+}
+
+// TestLeaseFencingStaleHeartbeatRefusedAcrossRejoin is the race the soak
+// never hits: a heartbeat from a fenced incarnation must stay refused not
+// just immediately after ExpireStale, but also after the slot's NEXT Join
+// — the stale token must never renew the successor's lease.
+func TestLeaseFencingStaleHeartbeatRefusedAcrossRejoin(t *testing.T) {
+	r, clk := newTestRegistry(t, 2, 10)
+
+	t1, err := r.Join(0)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if t1.Incarnation != 1 {
+		t.Fatalf("first incarnation = %d, want 1", t1.Incarnation)
+	}
+
+	// Worker goes silent past the TTL; the supervisor sweep fences it.
+	clk.advance(11)
+	expired := r.ExpireStale()
+	if len(expired) != 1 || expired[0] != t1 {
+		t.Fatalf("ExpireStale = %v, want [%v]", expired, t1)
+	}
+	if got := r.State(0); got != machine.LeaseExpired {
+		t.Fatalf("state after expiry = %v, want expired", got)
+	}
+
+	// The delayed heartbeat from the dead incarnation arrives: refused.
+	if err := r.Heartbeat(t1); err == nil {
+		t.Fatal("heartbeat after ExpireStale was accepted; want refusal")
+	}
+
+	// The slot reincarnates.
+	t2, err := r.Join(0)
+	if err != nil {
+		t.Fatalf("rejoin over expired lease: %v", err)
+	}
+	if t2.Incarnation != 2 {
+		t.Fatalf("rejoin incarnation = %d, want 2", t2.Incarnation)
+	}
+
+	// The stale token must STILL be refused — now because it is fenced by
+	// incarnation, not because the lease is expired (it is live again).
+	err = r.Heartbeat(t1)
+	if err == nil {
+		t.Fatal("stale-incarnation heartbeat accepted after rejoin; fencing is broken")
+	}
+	if !strings.Contains(err.Error(), "fenced") {
+		t.Errorf("stale heartbeat error %q does not mention fencing", err)
+	}
+	if got := r.State(0); got != machine.LeaseLive {
+		t.Errorf("successor lease state = %v after stale heartbeat, want live", got)
+	}
+
+	// ... and the successor's own heartbeats work fine.
+	if err := r.Heartbeat(t2); err != nil {
+		t.Errorf("successor heartbeat refused: %v", err)
+	}
+
+	// The stale token cannot Leave on the successor's behalf either.
+	if err := r.Leave(t1); err == nil {
+		t.Error("stale token Leave accepted; want refusal")
+	}
+	if err := r.Leave(t2); err != nil {
+		t.Errorf("successor Leave refused: %v", err)
+	}
+}
+
+// TestLeaseLapsedHeartbeatMarksExpired: a heartbeat arriving after more
+// than TTL clock units of silence is itself the expiry signal — refused,
+// with the lease marked expired on the spot rather than waiting for the
+// next supervisor sweep.
+func TestLeaseLapsedHeartbeatMarksExpired(t *testing.T) {
+	r, clk := newTestRegistry(t, 1, 5)
+	tok, err := r.Join(0)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	clk.advance(5)
+	if err := r.Heartbeat(tok); err != nil {
+		t.Fatalf("heartbeat exactly at TTL refused: %v", err)
+	}
+	clk.advance(6)
+	if err := r.Heartbeat(tok); err == nil {
+		t.Fatal("heartbeat past TTL accepted")
+	}
+	if got := r.State(0); got != machine.LeaseExpired {
+		t.Errorf("state after lapsed heartbeat = %v, want expired", got)
+	}
+	// The sweep must not report it a second time.
+	if expired := r.ExpireStale(); len(expired) != 0 {
+		t.Errorf("ExpireStale re-reported already-expired lease: %v", expired)
+	}
+}
+
+func TestRegistryDoubleJoinAndOutOfRange(t *testing.T) {
+	r, _ := newTestRegistry(t, 1, 10)
+	if _, err := r.Join(0); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if _, err := r.Join(0); err == nil {
+		t.Error("double Join over a live lease accepted")
+	}
+	if _, err := r.Join(1); err == nil {
+		t.Error("Join out of range accepted")
+	}
+	if err := r.Heartbeat(Token{ID: -1, Incarnation: 1}); err == nil {
+		t.Error("Heartbeat out of range accepted")
+	}
+	if r.Live() != 1 {
+		t.Errorf("Live = %d, want 1", r.Live())
+	}
+}
+
+func TestRegistryStatsAndIncarnation(t *testing.T) {
+	r, clk := newTestRegistry(t, 1, 3)
+	tok, _ := r.Join(0)
+	_ = r.Heartbeat(tok)
+	clk.advance(4)
+	_ = r.ExpireStale()
+	tok2, _ := r.Join(0)
+	_ = r.Leave(tok2)
+
+	s := r.Stats()
+	want := machine.RegistryStats{Joins: 2, Leaves: 1, Beats: 1, Expiries: 1}
+	if s != want {
+		t.Errorf("Stats = %+v, want %+v", s, want)
+	}
+	if got := r.Incarnation(0); got != 2 {
+		t.Errorf("Incarnation = %d, want 2", got)
+	}
+}
+
+// TestWatchdogZeroThresholdRejected: K=0 would declare the very first
+// attempted step a wedge — the construction must refuse it instead of
+// degenerating.
+func TestWatchdogZeroThresholdRejected(t *testing.T) {
+	var n uint64
+	clock := func() uint64 { return n }
+	if _, err := NewWatchdogClock(clock, clock, 0); err == nil {
+		t.Fatal("NewWatchdogClock accepted k=0")
+	}
+	m, err := machine.New(machine.Config{Procs: 1})
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	if _, err := NewWatchdog(m, clock, 0); err == nil {
+		t.Fatal("NewWatchdog accepted k=0")
+	}
+	if _, err := NewWatchdogClock(nil, clock, 1); err == nil {
+		t.Fatal("NewWatchdogClock accepted nil steps clock")
+	}
+	if _, err := NewWatchdogClock(clock, nil, 1); err == nil {
+		t.Fatal("NewWatchdogClock accepted nil progress clock")
+	}
+}
+
+// TestWatchdogClockVerdicts drives the generalized watchdog through all
+// three verdicts on hand-rolled clocks (no simulated machine).
+func TestWatchdogClockVerdicts(t *testing.T) {
+	var steps, prog uint64
+	w, err := NewWatchdogClock(func() uint64 { return steps }, func() uint64 { return prog }, 10)
+	if err != nil {
+		t.Fatalf("NewWatchdogClock: %v", err)
+	}
+	if got := w.Check(); got != Idle {
+		t.Errorf("no activity: verdict = %v, want idle", got)
+	}
+	steps, prog = 5, 1
+	if got := w.Check(); got != Live {
+		t.Errorf("progress advanced: verdict = %v, want live", got)
+	}
+	steps = 9 // 4 steps of drought — under k
+	if got := w.Check(); got != Live {
+		t.Errorf("drought under threshold: verdict = %v, want live", got)
+	}
+	steps = 15 // 10 steps since last progress — at k
+	if got := w.Check(); got != Wedged {
+		t.Errorf("drought at threshold: verdict = %v, want wedged", got)
+	}
+	prog = 2
+	steps = 16
+	if got := w.Check(); got != Live {
+		t.Errorf("recovered: verdict = %v, want live", got)
+	}
+}

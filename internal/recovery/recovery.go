@@ -67,10 +67,11 @@ func (v Verdict) String() string {
 	}
 }
 
-// Watchdog renders wedge verdicts for one machine. Drive it from a single
-// supervisor goroutine; it is a sampler, not a synchronizer.
+// Watchdog renders wedge verdicts for one machine (or any pair of
+// monotone clocks). Drive it from a single supervisor goroutine; it is a
+// sampler, not a synchronizer.
 type Watchdog struct {
-	m        *machine.Machine
+	steps    func() uint64
 	progress func() uint64
 	k        uint64
 	mets     *obs.Metrics
@@ -89,14 +90,29 @@ type Watchdog struct {
 // wedged. Pick k comfortably above Procs × (the longest operation's step
 // count); docs/RECOVERY.md discusses tuning.
 func NewWatchdog(m *machine.Machine, progress func() uint64, k uint64) (*Watchdog, error) {
-	if m == nil || progress == nil {
+	if m == nil {
 		return nil, fmt.Errorf("recovery: machine and progress function are required")
+	}
+	return NewWatchdogClock(m.Steps, progress, k)
+}
+
+// NewWatchdogClock is NewWatchdog for workloads without a simulated
+// machine: steps is any monotone clock of *attempted* work (on the native
+// substrate, typically operation attempts including retries — the step
+// clock there never advances), progress the monotone count of *completed*
+// operations. The Wedged verdict keeps its meaning: ≥ k steps of attempted
+// work since the last completion, with nothing to show for it. k = 0 is
+// rejected at construction — a zero threshold would declare any attempt a
+// wedge and divide the liveness argument by zero.
+func NewWatchdogClock(steps, progress func() uint64, k uint64) (*Watchdog, error) {
+	if steps == nil || progress == nil {
+		return nil, fmt.Errorf("recovery: steps and progress functions are required")
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("recovery: wedge threshold must be at least 1 step, got %d", k)
 	}
-	w := &Watchdog{m: m, progress: progress, k: k}
-	w.lastSteps = m.Steps()
+	w := &Watchdog{steps: steps, progress: progress, k: k}
+	w.lastSteps = steps()
 	w.lastProgress = progress()
 	w.stepsAtProgress = w.lastSteps
 	return w, nil
@@ -118,7 +134,7 @@ func (w *Watchdog) Threshold() uint64 { return w.k }
 // Check samples the step and progress clocks and renders a verdict for
 // the interval since the previous Check (or construction).
 func (w *Watchdog) Check() Verdict {
-	steps, prog := w.m.Steps(), w.progress()
+	steps, prog := w.steps(), w.progress()
 	w.mets.Inc(obs.CtrWatchdogChecks)
 	defer func() { w.lastSteps = steps }()
 	if prog != w.lastProgress {

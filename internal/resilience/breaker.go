@@ -1,0 +1,127 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: traffic flows; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is in flight; its outcome decides.
+	BreakerHalfOpen
+)
+
+// String returns the state's mnemonic.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a client-side circuit breaker with half-open probing, driven
+// by an injected monotone clock so tests (and deterministic load runs)
+// replay exactly. The loadgen uses one Breaker per connection: threshold
+// consecutive failures open the circuit; after cooldown clock units a
+// single probe is admitted; a successful probe recloses the circuit,
+// a failed one reopens it for another cooldown.
+type Breaker struct {
+	threshold int
+	cooldown  uint64
+	now       func() uint64
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt uint64
+	probing  bool
+	trips    uint64
+}
+
+// NewBreaker builds a breaker opening after threshold consecutive
+// failures and probing after cooldown clock units.
+func NewBreaker(threshold int, cooldown uint64, now func() uint64) (*Breaker, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("resilience: breaker threshold must be at least 1, got %d", threshold)
+	}
+	if cooldown < 1 {
+		return nil, fmt.Errorf("resilience: breaker cooldown must be at least 1 clock unit, got %d", cooldown)
+	}
+	if now == nil {
+		return nil, fmt.Errorf("resilience: breaker clock is required")
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}, nil
+}
+
+// Allow reports whether a request may be sent now. In BreakerOpen it
+// starts the half-open probe once the cooldown has elapsed (the caller
+// that receives true MUST report the outcome via Record); concurrent
+// callers during a probe are refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false // a probe is already in flight
+	default: // BreakerOpen
+		if b.now()-b.openedAt < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	}
+}
+
+// Record reports the outcome of a request admitted by Allow.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if success {
+			b.state = BreakerClosed
+			b.fails = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	case BreakerClosed:
+		if success {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	}
+}
+
+// State returns the breaker's current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

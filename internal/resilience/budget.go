@@ -1,0 +1,58 @@
+package resilience
+
+import (
+	"fmt"
+	"sync/atomic" //llsc:allow nakedatomic(plain event counters, not shared algorithm state)
+)
+
+// Budget is a deterministic count-based retry budget: at any point the
+// total number of retries granted is at most base + ratio × (first
+// attempts seen). Unlike token buckets refilled on a wall clock, the
+// budget is a pure function of the request history, so tests replay it
+// exactly and a retry storm can amplify offered load by at most a factor
+// of (1 + ratio) regardless of timing.
+type Budget struct {
+	base  uint64
+	ratio float64
+
+	firsts  atomic.Uint64
+	retries atomic.Uint64
+	denied  atomic.Uint64
+}
+
+// NewBudget builds a retry budget granting at most base + ratio×firsts
+// retries. base softens cold starts (the first few failures may retry
+// even before any history accumulates); ratio is the steady-state retry
+// fraction and must lie in [0, 1] — a ratio above 1 would let retries
+// outnumber real work, which is the amplification spiral budgets exist
+// to prevent.
+func NewBudget(base uint64, ratio float64) (*Budget, error) {
+	if ratio < 0 || ratio > 1 {
+		return nil, fmt.Errorf("resilience: retry ratio must be in [0,1], got %g", ratio)
+	}
+	return &Budget{base: base, ratio: ratio}, nil
+}
+
+// NoteAttempt records one first attempt (not a retry). Call once per
+// operation before its first try.
+func (b *Budget) NoteAttempt() { b.firsts.Add(1) }
+
+// Allow tries to spend one retry from the budget, reporting whether the
+// retry may proceed. Under concurrent callers the check is slightly
+// conservative (a refused caller may have raced a granted one), never
+// permissive: granted retries never exceed the budget line.
+func (b *Budget) Allow() bool {
+	granted := b.retries.Add(1)
+	if float64(granted) > float64(b.base)+b.ratio*float64(b.firsts.Load()) {
+		b.retries.Add(^uint64(0)) // refund
+		b.denied.Add(1)
+		return false
+	}
+	return true
+}
+
+// Stats reports the budget's history: first attempts, granted retries,
+// and denied retries.
+func (b *Budget) Stats() (firsts, retries, denied uint64) {
+	return b.firsts.Load(), b.retries.Load(), b.denied.Load()
+}

@@ -1,0 +1,103 @@
+package resilience
+
+import (
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Injection is a chaos verdict for one service operation.
+type Injection struct {
+	// Spurious: fail the operation spuriously before it runs — the
+	// service surfaces ErrInjected and the retry layer treats it as a
+	// spurious (non-congestion) failure.
+	Spurious bool
+	// Interfere: adversarial pressure — the service surfaces a
+	// congestion-class transient failure (backed off like real
+	// interference), standing in for the plan's silent word rewrite.
+	Interfere bool
+	// Kill: fail-stop the worker's incarnation mid-operation; the
+	// supervisor fences its lease, reclaims figure-level state, and
+	// starts a fresh incarnation.
+	Kill bool
+}
+
+// Chaos replays the in-process fault-plan vocabulary at the service
+// operation boundary. The native substrate rejects machine-level
+// FaultPlans by design (no simulated step to hook), so end-to-end chaos
+// re-enters one level up: each worker consults the plan once per
+// operation, with the worker id as the processor and the operation
+// counted as one RSC attempt. burst → seeded spurious-failure storms,
+// interference/tagpressure → congestion-class transient failures, kill →
+// deterministic fail-stop worker kills, crash → a worker that blocks
+// inside the plan forever (the wedge the watchdog must catch).
+type Chaos struct {
+	plan fault.Plan
+	mets *obs.Metrics
+}
+
+// NewChaos wraps plan (typically from fault.ParsePlan). A nil plan gives
+// a chaos layer that injects nothing — callers need no nil checks.
+func NewChaos(plan fault.Plan) *Chaos { return &Chaos{plan: plan} }
+
+// SetMetrics attaches an optional metrics sink (nil disables) to the
+// chaos layer (resilience_chaos_spurious / resilience_chaos_kills) and to
+// the plan itself (fault_inj_*), so service chaos shows up in the same
+// counters as in-process chaos.
+func (c *Chaos) SetMetrics(m *obs.Metrics) {
+	c.mets = m
+	if c.plan != nil {
+		c.plan.SetMetrics(m)
+	}
+}
+
+// Plan returns the wrapped plan (nil when chaos is off).
+func (c *Chaos) Plan() fault.Plan { return c.plan }
+
+// Inject consults the plan for worker's next operation. A crash
+// component blocks in here forever — deliberately: that is the wedge
+// signature the watchdog exists to detect, arising at a real operation
+// boundary rather than inside a simulated step.
+func (c *Chaos) Inject(worker int) Injection {
+	if c == nil || c.plan == nil {
+		return Injection{}
+	}
+	inj := c.plan.BeforeOp(worker, machine.OpRSC, 0)
+	out := Injection{Spurious: inj.SpuriousRSC, Interfere: inj.Interfere, Kill: inj.Crash}
+	if out.Spurious {
+		c.mets.IncProc(worker, obs.CtrResChaosSpurious)
+	}
+	if out.Kill {
+		c.mets.IncProc(worker, obs.CtrResChaosKills)
+	}
+	return out
+}
+
+// Injected returns the plan's own injection accounting (zero when chaos
+// is off).
+func (c *Chaos) Injected() fault.Stats {
+	if c == nil || c.plan == nil {
+		return fault.Stats{}
+	}
+	return c.plan.Injected()
+}
+
+// Release unblocks any crash components (idempotent), so teardown can
+// drain workers wedged inside Inject.
+func (c *Chaos) Release() {
+	if c == nil {
+		return
+	}
+	releasePlan(c.plan)
+}
+
+func releasePlan(p fault.Plan) {
+	switch v := p.(type) {
+	case *fault.Crash:
+		v.Release()
+	case *fault.Composed:
+		for _, sub := range v.Plans() {
+			releasePlan(sub)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package resilience is the end-to-end robustness layer for services
+// built on the repo's non-blocking structures — the contract ROADMAP item
+// 2 asks every request path to satisfy: a deadline, a retry budget, an
+// overload response, and a crash-recovery story, all observable through
+// the obs counter taxonomy and all chaos-testable.
+//
+// The pieces compose but do not know about each other:
+//
+//   - Budget:  a deterministic, count-based retry budget — retries are a
+//     fixed fraction of first attempts plus a burst allowance, so retry
+//     storms amplify load by at most (1 + ratio) no matter how hard the
+//     backend struggles.
+//   - Retrier: a deadline- and budget-aware retry loop around one
+//     operation, reusing internal/contention policies for backoff+jitter
+//     and their cause split (injected spurious failures back off
+//     differently from real interference, exactly like SC retry loops).
+//   - Shedder: admission control keyed on injected vitals (live obs
+//     counters in production, scripted values in tests) with hysteresis
+//     and a degraded mode that sheds writes before reads.
+//   - Breaker: a client-side circuit breaker with half-open probing,
+//     driven by an injected monotone clock for determinism.
+//   - Chaos:   a fault.Plan adapter that replays the in-process adversary
+//     vocabulary (burst, interference, kill, crash, tagpressure) at the
+//     service operation boundary, turning fault plans into end-to-end
+//     service-level fault injection.
+//
+// Everything here is allocation-light, deterministic under injected
+// clocks/vitals, and mirrors into the resilience_* / load_* counters.
+package resilience
+
+import "errors"
+
+// Class is the admission class of a request: degraded mode sheds writes
+// before reads because reads preserve acknowledged state while writes
+// grow it.
+type Class uint8
+
+const (
+	// ClassRead covers operations that do not grow shared state.
+	ClassRead Class = iota
+	// ClassWrite covers operations that allocate or mutate shared state.
+	ClassWrite
+)
+
+// String returns the class's mnemonic.
+func (c Class) String() string {
+	if c == ClassWrite {
+		return "write"
+	}
+	return "read"
+}
+
+var (
+	// ErrTransient marks a failure worth retrying (backend contention,
+	// transient exhaustion). Wrap it: fmt.Errorf("...: %w", ErrTransient).
+	ErrTransient = errors.New("resilience: transient failure")
+
+	// ErrInjected marks a chaos-injected spurious failure — transient,
+	// but backed off like a spurious SC failure (no congestion signal).
+	ErrInjected = errors.New("resilience: injected spurious failure")
+
+	// ErrShed is returned when admission control refuses a request; the
+	// caller should surface 503 and the client should back off.
+	ErrShed = errors.New("resilience: request shed, server overloaded")
+
+	// ErrBudgetExhausted is returned when the retry budget refuses
+	// another attempt; the request fails without amplifying load.
+	ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+)
+
+// IsTransient reports whether err is worth retrying.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrInjected)
+}

@@ -1,0 +1,379 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+func TestBudgetDeterministicLine(t *testing.T) {
+	if _, err := NewBudget(0, 1.5); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+	if _, err := NewBudget(0, -0.1); err == nil {
+		t.Error("negative ratio accepted")
+	}
+
+	b, err := NewBudget(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold start: the base grants 2 retries with no history.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("base allowance refused")
+	}
+	if b.Allow() {
+		t.Fatal("budget exceeded its line on cold start")
+	}
+	// 10 first attempts extend the line to 2 + 5 = 7 total retries.
+	for i := 0; i < 10; i++ {
+		b.NoteAttempt()
+	}
+	granted := 0
+	for b.Allow() {
+		granted++
+	}
+	if granted != 5 {
+		t.Fatalf("granted %d retries after 10 attempts, want 5 (line = base 2 + 0.5*10)", granted)
+	}
+	firsts, retries, denied := b.Stats()
+	if firsts != 10 || retries != 7 || denied < 2 {
+		t.Errorf("Stats = (%d, %d, %d), want (10, 7, >=2)", firsts, retries, denied)
+	}
+}
+
+func TestRetrierTransientThenSuccess(t *testing.T) {
+	m := obs.New()
+	b, _ := NewBudget(10, 1)
+	r := &Retrier{Budget: b}
+	r.SetMetrics(m)
+
+	calls := 0
+	err := r.Do(context.Background(), 0, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("backend busy: %w", ErrTransient)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want success on call 3", err, calls)
+	}
+	if got := m.Snapshot().Get(obs.CtrResRetries); got != 2 {
+		t.Errorf("resilience_retries = %d, want 2", got)
+	}
+}
+
+func TestRetrierPermanentErrorNotRetried(t *testing.T) {
+	r := &Retrier{}
+	calls := 0
+	sentinel := errors.New("no such key")
+	err := r.Do(context.Background(), 0, func() error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want the permanent error after exactly 1", err, calls)
+	}
+}
+
+func TestRetrierBudgetExhausted(t *testing.T) {
+	m := obs.New()
+	b, _ := NewBudget(1, 0) // one retry, ever
+	r := &Retrier{Budget: b}
+	r.SetMetrics(m)
+	calls := 0
+	err := r.Do(context.Background(), 0, func() error { calls++; return ErrTransient })
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Do = %v, want ErrBudgetExhausted", err)
+	}
+	if calls != 2 { // first attempt + the one budgeted retry
+		t.Errorf("calls = %d, want 2", calls)
+	}
+	if got := m.Snapshot().Get(obs.CtrResBudgetExhausted); got != 1 {
+		t.Errorf("resilience_budget_exhausted = %d, want 1", got)
+	}
+}
+
+func TestRetrierDeadline(t *testing.T) {
+	m := obs.New()
+	r := &Retrier{}
+	r.SetMetrics(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := r.Do(ctx, 0, func() error {
+		calls++
+		cancel() // deadline fires mid-operation
+		return ErrTransient
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (no retry past the deadline)", calls)
+	}
+	if got := m.Snapshot().Get(obs.CtrResDeadlineExceeded); got != 1 {
+		t.Errorf("resilience_deadline_exceeded = %d, want 1", got)
+	}
+}
+
+func TestRetrierMaxAttempts(t *testing.T) {
+	r := &Retrier{MaxAttempts: 3}
+	calls := 0
+	err := r.Do(context.Background(), 0, func() error { calls++; return ErrTransient })
+	if err == nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want failure after exactly 3", err, calls)
+	}
+}
+
+// TestShedderDecisionPath is the acceptance-criteria test: the load-shed
+// decision path driven end to end on injected vitals and injected
+// counters — no sockets, no clocks, fully deterministic.
+func TestShedderDecisionPath(t *testing.T) {
+	m := obs.New()
+	v := Vitals{} // healthy
+	s, err := NewShedder(func() Vitals { return v }, DefaultShedderConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetMetrics(m)
+	var transitions []string
+	s.OnTransition(func(from, to Mode, _ Vitals) {
+		transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+	})
+
+	// Healthy: everything admitted.
+	if got := s.Reassess(); got != ModeHealthy {
+		t.Fatalf("healthy vitals → %v", got)
+	}
+	if err := s.Admit(ClassWrite); err != nil {
+		t.Fatalf("healthy write shed: %v", err)
+	}
+	if err := s.Admit(ClassRead); err != nil {
+		t.Fatalf("healthy read shed: %v", err)
+	}
+
+	// Depth crosses the shed line → degraded: writes shed, reads flow.
+	v = Vitals{QueueDepth: 100}
+	if got := s.Reassess(); got != ModeShedWrites {
+		t.Fatalf("depth at shed line → %v, want shed-writes", got)
+	}
+	if err := s.Admit(ClassWrite); !errors.Is(err, ErrShed) {
+		t.Fatalf("degraded write admitted: %v", err)
+	}
+	if err := s.Admit(ClassRead); err != nil {
+		t.Fatalf("degraded read shed: %v", err)
+	}
+
+	// Retry rate crosses the hard line → shed-all: reads shed too.
+	v = Vitals{QueueDepth: 100, RetryRate: 0.7}
+	if got := s.Reassess(); got != ModeShedAll {
+		t.Fatalf("retry rate at hard line → %v, want shed-all", got)
+	}
+	if err := s.Admit(ClassRead); !errors.Is(err, ErrShed) {
+		t.Fatalf("shed-all read admitted: %v", err)
+	}
+
+	// Hysteresis: vitals back under the shed lines but above clearance —
+	// the mode must HOLD, not flap.
+	v = Vitals{QueueDepth: 80, RetryRate: 0.2}
+	if got := s.Reassess(); got != ModeShedAll {
+		t.Fatalf("uncleared vitals de-escalated to %v", got)
+	}
+
+	// Full clearance: de-escalation is one level per reassessment.
+	v = Vitals{QueueDepth: 10, RetryRate: 0.01, P99Drift: 1.0}
+	if got := s.Reassess(); got != ModeShedWrites {
+		t.Fatalf("first clear reassess → %v, want shed-writes", got)
+	}
+	if got := s.Reassess(); got != ModeHealthy {
+		t.Fatalf("second clear reassess → %v, want healthy", got)
+	}
+
+	want := []string{
+		"healthy->shed-writes",
+		"shed-writes->shed-all",
+		"shed-all->shed-writes",
+		"shed-writes->healthy",
+	}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Errorf("transitions = %v, want %v", transitions, want)
+	}
+
+	snap := m.Snapshot()
+	if got := snap.Get(obs.CtrLoadDegradedTransitions); got != 4 {
+		t.Errorf("load_degraded_transitions = %d, want 4", got)
+	}
+	if got := snap.Get(obs.CtrLoadShedWrites); got != 1 {
+		t.Errorf("load_shed_writes = %d, want 1", got)
+	}
+	if got := snap.Get(obs.CtrLoadShedReads); got != 1 {
+		t.Errorf("load_shed_reads = %d, want 1", got)
+	}
+	if got := snap.Get(obs.CtrLoadAdmitted); got != 3 {
+		t.Errorf("load_admitted = %d, want 3", got)
+	}
+}
+
+func TestShedderConfigValidation(t *testing.T) {
+	vitals := func() Vitals { return Vitals{} }
+	bad := DefaultShedderConfig(100)
+	bad.DepthClear = 100 // clear >= shed kills the hysteresis band
+	if _, err := NewShedder(vitals, bad); err == nil {
+		t.Error("clear >= shed accepted")
+	}
+	if _, err := NewShedder(nil, DefaultShedderConfig(100)); err == nil {
+		t.Error("nil vitals accepted")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	var now uint64
+	b, err := NewBreaker(3, 10, func() uint64 { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failures: still closed (threshold is 3).
+	b.Record(false)
+	b.Record(false)
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("breaker opened before threshold")
+	}
+	// A success resets the consecutive count.
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the failure count")
+	}
+	// Third consecutive failure trips it.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("breaker not open after threshold failures")
+	}
+
+	// Cooldown not yet elapsed: still refusing.
+	now = 9
+	if b.Allow() {
+		t.Fatal("breaker admitted during cooldown")
+	}
+	// Cooldown elapsed: exactly one probe goes through.
+	now = 10
+	if !b.Allow() {
+		t.Fatal("half-open probe refused")
+	}
+	if b.State() != BreakerHalfOpen || b.Allow() {
+		t.Fatal("second request admitted during probe")
+	}
+	// Failed probe: open again, new cooldown.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not reopen")
+	}
+	now = 25
+	if !b.Allow() {
+		t.Fatal("second probe refused after cooldown")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not reclose")
+	}
+	if b.Trips() != 2 {
+		t.Errorf("Trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerValidation(t *testing.T) {
+	clock := func() uint64 { return 0 }
+	if _, err := NewBreaker(0, 1, clock); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := NewBreaker(1, 0, clock); err == nil {
+		t.Error("cooldown 0 accepted")
+	}
+	if _, err := NewBreaker(1, 1, nil); err == nil {
+		t.Error("nil clock accepted")
+	}
+}
+
+func TestChaosInjection(t *testing.T) {
+	m := obs.New()
+
+	// Off: a nil plan injects nothing.
+	off := NewChaos(nil)
+	off.SetMetrics(m)
+	if inj := off.Inject(0); inj != (Injection{}) {
+		t.Fatalf("nil-plan chaos injected %+v", inj)
+	}
+
+	// burst∘kill against 2 workers: worker 0 eats the spurious storm
+	// (burst targets proc 0), worker 1 is the kill victim.
+	plan, err := fault.ParsePlan("burst∘kill", fault.PlanParams{Procs: 2, BurstLen: 3, CrashAt: 2, KillBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChaos(plan)
+	c.SetMetrics(m)
+
+	spurious := 0
+	for i := 0; i < 5; i++ {
+		if c.Inject(0).Spurious {
+			spurious++
+		}
+	}
+	if spurious != 3 {
+		t.Errorf("worker 0 saw %d spurious injections, want 3 (burst length)", spurious)
+	}
+
+	kills := 0
+	for i := 0; i < 5; i++ {
+		if c.Inject(1).Kill {
+			kills++
+		}
+	}
+	if kills != 1 {
+		t.Errorf("worker 1 saw %d kills, want 1 (kill budget)", kills)
+	}
+
+	snap := m.Snapshot()
+	if got := snap.Get(obs.CtrResChaosSpurious); got != 3 {
+		t.Errorf("resilience_chaos_spurious = %d, want 3", got)
+	}
+	if got := snap.Get(obs.CtrResChaosKills); got != 1 {
+		t.Errorf("resilience_chaos_kills = %d, want 1", got)
+	}
+	if st := c.Injected(); st.Spurious != 3 || st.Crashes != 1 {
+		t.Errorf("plan accounting = %+v, want 3 spurious / 1 crash", st)
+	}
+	c.Release() // no crash component: must be a no-op, not a panic
+}
+
+// TestChaosCrashComponentWedges: the crash component blocks Inject — from
+// the service's viewpoint a wedged worker — and Release unblocks it for
+// teardown.
+func TestChaosCrashComponentWedges(t *testing.T) {
+	plan, err := fault.ParsePlan("crash", fault.PlanParams{Procs: 1, CrashAt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChaos(plan)
+	if inj := c.Inject(0); inj != (Injection{}) { // op 0: before the crash point
+		t.Fatalf("pre-crash op injected %+v", inj)
+	}
+	wedged := make(chan struct{})
+	go func() {
+		c.Inject(0) // op 1: blocks until Release
+		close(wedged)
+	}()
+	select {
+	case <-wedged:
+		t.Fatal("crash component did not wedge the worker")
+	case <-time.After(20 * time.Millisecond):
+		// Still blocked after a generous scheduling window: wedged.
+	}
+	c.Release()
+	<-wedged // must now unblock; test hangs (and times out) otherwise
+}

@@ -1,0 +1,76 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/contention"
+	"repro/internal/obs"
+)
+
+// Retrier runs one operation under the full per-request contract: a
+// context deadline checked between attempts, a server-wide retry Budget,
+// and contention-policy backoff+jitter with the paper's cause split —
+// chaos-injected spurious failures (ErrInjected) are backed off as
+// contention.Spurious, which adaptive policies deliberately ignore
+// (a spurious failure is not evidence of congestion), while real
+// transient failures back off as contention.Interference.
+type Retrier struct {
+	// Policy is the backoff policy shared across attempts (nil = retry
+	// immediately, the spin-equivalent).
+	Policy *contention.Policy
+	// Budget is the shared retry budget (nil = unlimited retries — only
+	// sensible in tests).
+	Budget *Budget
+	// MaxAttempts caps attempts per operation, 0 for no cap (the budget
+	// and deadline then bound the loop).
+	MaxAttempts int
+
+	mets *obs.Metrics
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables): retries
+// mirror to resilience_retries, budget refusals to
+// resilience_budget_exhausted, deadline hits to
+// resilience_deadline_exceeded.
+func (r *Retrier) SetMetrics(m *obs.Metrics) { r.mets = m }
+
+// Do runs op until it succeeds, fails permanently, exhausts the retry
+// budget, or overruns ctx's deadline. proc attributes backoff waits and
+// counters to a worker (contention.Ambient when anonymous). The first
+// attempt is free — budgets gate retries, not work.
+func (r *Retrier) Do(ctx context.Context, proc int, op func() error) error {
+	if r.Budget != nil {
+		r.Budget.NoteAttempt()
+	}
+	var w contention.Waiter
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		if r.MaxAttempts > 0 && attempt >= r.MaxAttempts {
+			return fmt.Errorf("resilience: %d attempts exhausted: %w", attempt, err)
+		}
+		if ctx != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				r.mets.IncProc(proc, obs.CtrResDeadlineExceeded)
+				return fmt.Errorf("resilience: deadline exceeded after %d attempt(s) (last failure: %v): %w", attempt, err, ctxErr)
+			}
+		}
+		if r.Budget != nil && !r.Budget.Allow() {
+			r.mets.IncProc(proc, obs.CtrResBudgetExhausted)
+			return fmt.Errorf("%w (last failure: %v)", ErrBudgetExhausted, err)
+		}
+		r.mets.IncProc(proc, obs.CtrResRetries)
+		cause := contention.Interference
+		if errors.Is(err, ErrInjected) {
+			cause = contention.Spurious
+		}
+		w.Wait(r.Policy, proc, cause)
+	}
+}

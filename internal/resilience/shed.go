@@ -1,0 +1,190 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Mode is the shedder's admission mode, an escalation ladder.
+type Mode uint8
+
+const (
+	// ModeHealthy admits everything.
+	ModeHealthy Mode = iota
+	// ModeShedWrites is the degraded mode: writes are shed, reads admitted
+	// — reads preserve acknowledged state, writes grow the backlog.
+	ModeShedWrites
+	// ModeShedAll sheds everything but health checks; the service is
+	// protecting itself.
+	ModeShedAll
+)
+
+// String returns the mode's mnemonic.
+func (m Mode) String() string {
+	switch m {
+	case ModeShedWrites:
+		return "shed-writes"
+	case ModeShedAll:
+		return "shed-all"
+	default:
+		return "healthy"
+	}
+}
+
+// Vitals is one sample of the signals admission control keys on. In the
+// server they come from live obs counters and histograms; in tests they
+// are scripted — the decision path never touches a socket or a clock.
+type Vitals struct {
+	// QueueDepth is the number of admitted requests still in flight.
+	QueueDepth int
+	// RetryRate is retries per attempt over the recent window, in [0,1+).
+	RetryRate float64
+	// P99Drift is the current p99 latency over its healthy baseline
+	// (1.0 = at baseline; 3.0 = three times slower).
+	P99Drift float64
+}
+
+// ShedderConfig sets the escalation and clearance lines for each vital.
+// A vital at or above its Shed line votes to degrade one level; at or
+// above its Hard line it votes for ModeShedAll. De-escalation happens one
+// level per Reassess, and only when every vital is strictly below its
+// Clear line — the Clear/Shed gap is the hysteresis band that stops the
+// mode from flapping at the boundary.
+type ShedderConfig struct {
+	DepthShed, DepthHard, DepthClear int
+	RetryShed, RetryHard, RetryClear float64
+	DriftShed, DriftHard, DriftClear float64
+}
+
+// DefaultShedderConfig returns the service defaults, scaled to a target
+// in-flight depth: degrade at depth (or 30% retry rate, or 3× p99 drift),
+// hard-shed at 2× depth (or 60% retries, or 6× drift), clear at half the
+// degrade line.
+func DefaultShedderConfig(depth int) ShedderConfig {
+	return ShedderConfig{
+		DepthShed: depth, DepthHard: 2 * depth, DepthClear: depth / 2,
+		RetryShed: 0.30, RetryHard: 0.60, RetryClear: 0.15,
+		DriftShed: 3.0, DriftHard: 6.0, DriftClear: 1.5,
+	}
+}
+
+func (c ShedderConfig) validate() error {
+	if c.DepthShed < 1 || c.DepthHard < c.DepthShed || c.DepthClear < 0 || c.DepthClear >= c.DepthShed {
+		return fmt.Errorf("resilience: depth lines must satisfy 0 <= clear < shed <= hard, got clear=%d shed=%d hard=%d", c.DepthClear, c.DepthShed, c.DepthHard)
+	}
+	if c.RetryShed <= 0 || c.RetryHard < c.RetryShed || c.RetryClear < 0 || c.RetryClear >= c.RetryShed {
+		return fmt.Errorf("resilience: retry lines must satisfy 0 <= clear < shed <= hard, got clear=%g shed=%g hard=%g", c.RetryClear, c.RetryShed, c.RetryHard)
+	}
+	if c.DriftShed <= 1 || c.DriftHard < c.DriftShed || c.DriftClear < 0 || c.DriftClear >= c.DriftShed {
+		return fmt.Errorf("resilience: drift lines must satisfy clear < shed <= hard and shed > 1, got clear=%g shed=%g hard=%g", c.DriftClear, c.DriftShed, c.DriftHard)
+	}
+	return nil
+}
+
+// Shedder is admission control with hysteresis. Reassess samples the
+// vitals and walks the mode ladder; Admit applies the current mode to one
+// request. The two are split so the decision cadence (periodic, cheap)
+// is independent of the request rate, and so tests can drive scripted
+// vitals through Reassess and assert on every Admit outcome
+// deterministically.
+type Shedder struct {
+	vitals func() Vitals
+	cfg    ShedderConfig
+	mets   *obs.Metrics
+
+	mu   sync.Mutex
+	mode Mode
+
+	onTransition func(from, to Mode, v Vitals)
+}
+
+// NewShedder builds a shedder sampling vitals (required) against cfg.
+func NewShedder(vitals func() Vitals, cfg ShedderConfig) (*Shedder, error) {
+	if vitals == nil {
+		return nil, fmt.Errorf("resilience: vitals function is required")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Shedder{vitals: vitals, cfg: cfg}, nil
+}
+
+// SetMetrics attaches an optional metrics sink (nil disables):
+// admissions mirror to load_admitted, sheds to load_shed_writes /
+// load_shed_reads, mode changes to load_degraded_transitions.
+func (s *Shedder) SetMetrics(m *obs.Metrics) { s.mets = m }
+
+// OnTransition registers a hook fired (under the shedder's lock) on every
+// mode change — the server uses it to arm the flight recorder on a
+// shed-storm. Set before serving.
+func (s *Shedder) OnTransition(f func(from, to Mode, v Vitals)) { s.onTransition = f }
+
+// target returns the mode the vitals call for, ignoring hysteresis.
+func (s *Shedder) target(v Vitals) Mode {
+	if v.QueueDepth >= s.cfg.DepthHard || v.RetryRate >= s.cfg.RetryHard || v.P99Drift >= s.cfg.DriftHard {
+		return ModeShedAll
+	}
+	if v.QueueDepth >= s.cfg.DepthShed || v.RetryRate >= s.cfg.RetryShed || v.P99Drift >= s.cfg.DriftShed {
+		return ModeShedWrites
+	}
+	return ModeHealthy
+}
+
+// clear reports whether every vital is below its clearance line.
+func (s *Shedder) clear(v Vitals) bool {
+	return v.QueueDepth <= s.cfg.DepthClear && v.RetryRate <= s.cfg.RetryClear && v.P99Drift <= s.cfg.DriftClear
+}
+
+// Reassess samples the vitals and moves the mode: escalation jumps
+// straight to the called-for mode (overload brooks no gradualism), while
+// de-escalation steps down one level at a time and only once every vital
+// has cleared — so recovery is gentle and boundary noise cannot flap the
+// mode. Returns the mode now in force.
+func (s *Shedder) Reassess() Mode {
+	v := s.vitals()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	from := s.mode
+	switch target := s.target(v); {
+	case target > s.mode:
+		s.mode = target
+	case s.mode > ModeHealthy && s.clear(v):
+		s.mode--
+	}
+	if s.mode != from {
+		s.mets.Inc(obs.CtrLoadDegradedTransitions)
+		if s.onTransition != nil {
+			s.onTransition(from, s.mode, v)
+		}
+	}
+	return s.mode
+}
+
+// Mode returns the mode currently in force.
+func (s *Shedder) Mode() Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode
+}
+
+// Admit applies the current mode to one request of class c: nil to
+// proceed, ErrShed to refuse. Refusals and admissions are counted by
+// class.
+func (s *Shedder) Admit(c Class) error {
+	s.mu.Lock()
+	mode := s.mode
+	s.mu.Unlock()
+	switch {
+	case mode == ModeShedAll, mode == ModeShedWrites && c == ClassWrite:
+		if c == ClassWrite {
+			s.mets.Inc(obs.CtrLoadShedWrites)
+		} else {
+			s.mets.Inc(obs.CtrLoadShedReads)
+		}
+		return fmt.Errorf("%w (mode %s, class %s)", ErrShed, mode, c)
+	}
+	s.mets.Inc(obs.CtrLoadAdmitted)
+	return nil
+}

@@ -1,0 +1,352 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// opKind enumerates the service operations.
+type opKind uint8
+
+const (
+	opCounterInc opKind = iota
+	opCounterGet
+	opKVPut
+	opKVGet
+	opKVDel
+	opQueueEnq
+	opQueueDeq
+)
+
+func (k opKind) class() resilience.Class {
+	switch k {
+	case opCounterGet, opKVGet:
+		return resilience.ClassRead
+	default:
+		// Mutations — and queue dequeue, which consumes state — are
+		// writes for admission-control purposes.
+		return resilience.ClassWrite
+	}
+}
+
+// opReq is one operation submitted to the worker pool. The reply channel
+// carries the commit receipt: a worker sends exactly one opResp, and
+// only after the structure operation committed (or conclusively failed).
+type opReq struct {
+	kind  opKind
+	key   uint64
+	val   uint64
+	ctx   context.Context
+	reply chan opResp
+
+	// Result fields, written by the worker before the reply.
+	out   uint64
+	found bool
+}
+
+type opResp struct {
+	req *opReq
+	err error
+}
+
+func (r *opReq) ok()            { r.reply <- opResp{req: r} }
+func (r *opReq) fail(err error) { r.reply <- opResp{req: r, err: err} }
+
+// submit pushes an operation through admission control, the dispatch
+// queue, and the deadline, returning the completed request or an error
+// plus the HTTP status that classifies it.
+func (s *Server) submit(parent context.Context, kind opKind, key, val uint64) (*opReq, int, error) {
+	if err := s.shedder.Admit(kind.class()); err != nil {
+		return nil, http.StatusServiceUnavailable, err
+	}
+	ctx, cancel := context.WithTimeout(parent, s.cfg.Timeout)
+	defer cancel()
+	req := &opReq{kind: kind, key: key, val: val, ctx: ctx, reply: make(chan opResp, 1)}
+	select {
+	case s.dispatch <- req:
+	default:
+		// Dispatch queue full: shed at the door rather than queueing an
+		// operation we cannot serve inside its deadline.
+		if kind.class() == resilience.ClassWrite {
+			s.mets.Inc(obs.CtrLoadShedWrites)
+		} else {
+			s.mets.Inc(obs.CtrLoadShedReads)
+		}
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("service: dispatch queue full: %w", resilience.ErrShed)
+	}
+	select {
+	case resp := <-req.reply:
+		if resp.err != nil {
+			return nil, statusFor(resp.err), resp.err
+		}
+		return req, http.StatusOK, nil
+	case <-ctx.Done():
+		// The deadline fired while the operation was queued or running.
+		// The worker may still commit it (and will find the buffered
+		// reply channel ready, so it never blocks): the operation is NOT
+		// acknowledged, and the ledger treats it as an abandoned attempt.
+		s.mets.Inc(obs.CtrResDeadlineExceeded)
+		return nil, http.StatusGatewayTimeout, fmt.Errorf("service: deadline exceeded before commit: %w", ctx.Err())
+	}
+}
+
+// statusFor maps an operation error to its HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, resilience.ErrShed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, resilience.ErrBudgetExhausted):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, resilience.ErrTransient), errors.Is(err, resilience.ErrInjected):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// jsonOut writes v as the JSON response body.
+func jsonOut(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck
+}
+
+func jsonErr(w http.ResponseWriter, status int, err error) {
+	jsonOut(w, status, map[string]string{"error": err.Error()})
+}
+
+// qUint parses a required uint64 query parameter.
+func qUint(r *http.Request, name string) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad query parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+// qUintDefault parses an optional uint64 query parameter.
+func qUintDefault(r *http.Request, name string, def uint64) (uint64, error) {
+	if r.URL.Query().Get(name) == "" {
+		return def, nil
+	}
+	return qUint(r, name)
+}
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/counter/inc", s.handleCounterInc)
+	mux.HandleFunc("/v1/counter/get", s.handleCounterGet)
+	mux.HandleFunc("/v1/kv/put", s.handleKVPut)
+	mux.HandleFunc("/v1/kv/get", s.handleKVGet)
+	mux.HandleFunc("/v1/kv/del", s.handleKVDel)
+	mux.HandleFunc("/v1/queue/enq", s.handleQueueEnq)
+	mux.HandleFunc("/v1/queue/deq", s.handleQueueDeq)
+	mux.HandleFunc("/v1/audit", s.handleAudit)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleCounterInc(w http.ResponseWriter, r *http.Request) {
+	d, err := qUintDefault(r, "d", 1)
+	if err != nil {
+		jsonErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, status, err := s.submit(r.Context(), opCounterInc, 0, d); err != nil {
+		jsonErr(w, status, err)
+		return
+	}
+	jsonOut(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleCounterGet(w http.ResponseWriter, r *http.Request) {
+	req, status, err := s.submit(r.Context(), opCounterGet, 0, 0)
+	if err != nil {
+		jsonErr(w, status, err)
+		return
+	}
+	jsonOut(w, http.StatusOK, map[string]any{"value": req.out})
+}
+
+func (s *Server) handleKVPut(w http.ResponseWriter, r *http.Request) {
+	k, err := qUint(r, "k")
+	if err != nil {
+		jsonErr(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := qUint(r, "v")
+	if err != nil {
+		jsonErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, status, err := s.submit(r.Context(), opKVPut, k, v); err != nil {
+		jsonErr(w, status, err)
+		return
+	}
+	jsonOut(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleKVGet(w http.ResponseWriter, r *http.Request) {
+	k, err := qUint(r, "k")
+	if err != nil {
+		jsonErr(w, http.StatusBadRequest, err)
+		return
+	}
+	req, status, err := s.submit(r.Context(), opKVGet, k, 0)
+	if err != nil {
+		jsonErr(w, status, err)
+		return
+	}
+	jsonOut(w, http.StatusOK, map[string]any{"found": req.found, "value": req.out})
+}
+
+func (s *Server) handleKVDel(w http.ResponseWriter, r *http.Request) {
+	k, err := qUint(r, "k")
+	if err != nil {
+		jsonErr(w, http.StatusBadRequest, err)
+		return
+	}
+	req, status, err := s.submit(r.Context(), opKVDel, k, 0)
+	if err != nil {
+		jsonErr(w, status, err)
+		return
+	}
+	jsonOut(w, http.StatusOK, map[string]any{"deleted": req.found})
+}
+
+func (s *Server) handleQueueEnq(w http.ResponseWriter, r *http.Request) {
+	v, err := qUint(r, "v")
+	if err != nil {
+		jsonErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, status, err := s.submit(r.Context(), opQueueEnq, 0, v); err != nil {
+		jsonErr(w, status, err)
+		return
+	}
+	jsonOut(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleQueueDeq(w http.ResponseWriter, r *http.Request) {
+	req, status, err := s.submit(r.Context(), opQueueDeq, 0, 0)
+	if err != nil {
+		jsonErr(w, status, err)
+		return
+	}
+	jsonOut(w, http.StatusOK, map[string]any{"found": req.found, "value": req.out})
+}
+
+// Audit is the end-of-run state report the load driver's ledger checks
+// against. It is produced at quiescence (dispatch paused and drained),
+// after one final recovery sweep, so the numbers are exact.
+type Audit struct {
+	// Counter is the sharded counter's value.
+	Counter uint64 `json:"counter"`
+	// KVLen is the number of live hashmap keys.
+	KVLen int `json:"kv_len"`
+	// QueueLen is the number of elements in the FIFO.
+	QueueLen int `json:"queue_len"`
+	// QueueLeaked is the leak count from the final conservation audit
+	// (0 after a successful recovery sweep).
+	QueueLeaked int `json:"queue_leaked"`
+	// Reclaimed is the cumulative count of pool nodes swept back by
+	// recovery epochs.
+	Reclaimed uint64 `json:"reclaimed"`
+	// RecoveryEpochs is how many recovery epochs have run.
+	RecoveryEpochs uint64 `json:"recovery_epochs"`
+	// Conservation is "ok" or the conservation failure message.
+	Conservation string `json:"conservation"`
+	// Incarnations maps worker slot → current incarnation number; any
+	// value above 1 records a chaos kill or wedge on that slot.
+	Incarnations []uint64 `json:"incarnations"`
+	// WedgedLive is the number of fenced incarnations still blocked
+	// inside the chaos plan (their slots have fresh incarnations).
+	WedgedLive int `json:"wedged_live"`
+	// Mode is the admission-control mode at audit time.
+	Mode string `json:"mode"`
+}
+
+// AuditState pauses the workers, drains in-flight operations, runs a
+// final recovery sweep, and returns the exact server state.
+func (s *Server) AuditState() (Audit, error) {
+	// Hold the epoch lock across both the recovery sweep and the reads,
+	// so a concurrent supervisor epoch cannot unpark workers mid-audit.
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	s.epochLocked()
+
+	s.pause.Store(true)
+	defer s.pause.Store(false)
+	stats, err := s.queue.Audit()
+	if err != nil {
+		return Audit{}, fmt.Errorf("service: queue audit: %w", err)
+	}
+	a := Audit{
+		Counter:     s.counter.Load(),
+		KVLen:       s.kv.Len(),
+		QueueLen:    stats.Reachable - 1, // minus the M&S dummy node
+		QueueLeaked: stats.Leaked,
+		Mode:        s.shedder.Mode().String(),
+	}
+	s.mu.Lock()
+	a.Reclaimed = s.reclaimed
+	a.RecoveryEpochs = s.epochs
+	a.WedgedLive = len(s.wedged)
+	if s.consErr != nil {
+		a.Conservation = s.consErr.Error()
+	} else {
+		a.Conservation = "ok"
+	}
+	s.mu.Unlock()
+	a.Incarnations = make([]uint64, s.cfg.Workers)
+	for i := range a.Incarnations {
+		a.Incarnations[i] = s.reg.Incarnation(i)
+	}
+	return a, err
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	a, err := s.AuditState()
+	if err != nil {
+		jsonErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	jsonOut(w, http.StatusOK, a)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	mode := s.shedder.Mode()
+	status := http.StatusOK
+	if mode == resilience.ModeShedAll {
+		status = http.StatusServiceUnavailable
+	}
+	jsonOut(w, status, map[string]any{
+		"mode":        mode.String(),
+		"live":        s.reg.Live(),
+		"workers":     s.cfg.Workers,
+		"queue_depth": len(s.dispatch) + int(s.inflight.Load()),
+		"uptime_ok":   true,
+		"time":        time.Now().UTC().Format(time.RFC3339Nano),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	obs.WritePrometheus(w) //nolint:errcheck
+}

@@ -1,0 +1,638 @@
+// Package service is llscd's engine: an HTTP key-value + counter + queue
+// server whose entire shared state lives in the repo's non-blocking
+// structures on the native substrate, wrapped in the internal/resilience
+// robustness contract — every request has a deadline, a retry budget, an
+// overload response, and a crash-recovery story.
+//
+// Architecture: HTTP handlers are thin. After admission control they
+// submit operations to a bounded dispatch queue served by a fixed pool
+// of worker goroutines. Each worker holds a fenced lease in a
+// recovery.Registry whose clock is the global attempt counter (the
+// native substrate has no step clock, so attempted work is the monotone
+// "time" the liveness argument runs on) and heartbeats it once per
+// attempt. A per-worker recovery.Watchdog distinguishes Live / Idle /
+// Wedged on the same clock. The supervisor goroutine polls watchdogs,
+// sweeps the lease registry, reassesses admission control, and — when a
+// worker dies (chaos kill) or wedges (chaos crash) — fences its lease,
+// runs a stop-the-world recovery epoch (Queue.Recover +
+// CheckConservation at quiescence), and reincarnates the slot.
+//
+// The acknowledgement protocol is the zero-acked-loss argument: a worker
+// replies only AFTER the structure operation committed, so an
+// acknowledged operation is by construction in the server state; a
+// worker killed mid-operation leaves an unacknowledged request (the
+// client sees an error and may retry) and at worst a leaked pool node,
+// which the recovery epoch reclaims. The audit endpoint exposes the
+// final state so a load driver's read-your-writes ledger can verify the
+// inequalities end to end.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic" //llsc:allow nakedatomic(supervision plumbing — clocks, gates, in-flight accounting — not shared algorithm state)
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/recovery"
+	"repro/internal/resilience"
+	"repro/internal/structures"
+)
+
+// Config parameterizes a Server. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	// Workers is the worker-pool size (default 4). Chaos plans address
+	// workers as processors: the crash/kill victim is worker Workers-1.
+	Workers int
+	// DispatchDepth bounds the dispatch queue (default 256); a full
+	// queue sheds at the door, and the depth feeds the shedder's vitals.
+	DispatchDepth int
+	// KVCapacity sizes the hashmap (default 1<<16 buckets).
+	KVCapacity int
+	// QueueCapacity sizes the pool-backed FIFO (default 1<<14 elements).
+	QueueCapacity int
+	// CounterStripes sizes the sharded counter (default 8).
+	CounterStripes int
+	// Timeout is the per-request deadline (default 2s). Handlers derive
+	// each operation's context from it; the retry loop stops at the line.
+	Timeout time.Duration
+	// Policy is the backoff policy for server-side retries (default
+	// adaptive — gated on the spurious/interference cause split).
+	Policy *contention.Policy
+	// RetryBase and RetryRatio parameterize the retry budget (defaults
+	// 32 and 0.25: retries may add at most 25% load amplification).
+	RetryBase uint64
+	// RetryRatio is the steady-state retry fraction (see RetryBase).
+	RetryRatio float64
+	// MaxAttempts caps attempts per operation (default 8).
+	MaxAttempts int
+	// Shed overrides the shedder thresholds (zero →
+	// resilience.DefaultShedderConfig(DispatchDepth)).
+	Shed resilience.ShedderConfig
+	// Chaos is the fault plan replayed at the operation boundary (nil =
+	// off); build it with fault.ParsePlan.
+	Chaos fault.Plan
+	// FlightDir enables the flight recorder, writing dumps there on
+	// wedge and shed-storm triggers ("" = disabled).
+	FlightDir string
+	// LeaseTTL is the worker lease TTL in attempt-clock units (default
+	// 4096).
+	LeaseTTL uint64
+	// WedgeK is the watchdog threshold in attempt-clock units (default
+	// = LeaseTTL).
+	WedgeK uint64
+	// SupervisorTick is the supervision poll interval (default 2ms).
+	SupervisorTick time.Duration
+	// Metrics is the counter sink (default: a fresh obs.New()).
+	Metrics *obs.Metrics
+	// Tracer is an optional span tracer attached to watchdogs and the
+	// flight recorder.
+	Tracer *trace.Tracer
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.DispatchDepth == 0 {
+		c.DispatchDepth = 256
+	}
+	if c.KVCapacity == 0 {
+		c.KVCapacity = 1 << 16
+	}
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 1 << 14
+	}
+	if c.CounterStripes == 0 {
+		c.CounterStripes = 8
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Policy == nil {
+		c.Policy = contention.Adaptive(0, 0)
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 32
+	}
+	if c.RetryRatio == 0 {
+		c.RetryRatio = 0.25
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.Shed == (resilience.ShedderConfig{}) {
+		c.Shed = resilience.DefaultShedderConfig(c.DispatchDepth)
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 4096
+	}
+	if c.WedgeK == 0 {
+		c.WedgeK = c.LeaseTTL
+	}
+	if c.SupervisorTick == 0 {
+		c.SupervisorTick = 2 * time.Millisecond
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.New()
+	}
+}
+
+// Server is the llscd engine. Create with New, serve s.Handler(), stop
+// with Close.
+type Server struct {
+	cfg  Config
+	mets *obs.Metrics
+
+	counter *structures.ShardedCounter
+	kv      *structures.Map
+	queue   *structures.Queue
+
+	reg     *recovery.Registry
+	chaos   *resilience.Chaos
+	shedder *resilience.Shedder
+	retrier *resilience.Retrier
+	budget  *resilience.Budget
+	flight  *trace.Flight
+
+	attempts atomic.Uint64 // the global monotone clock (attempted ops)
+	inflight atomic.Int64  // operations currently executing in workers
+	killArm  atomic.Bool   // chaos: kill the next worker through the stall hook
+	pause    atomic.Bool   // recovery epoch: workers park between ops
+
+	opLatency obs.Hist // per-op server-side latency (ns), feeds p99 drift
+
+	dispatch chan *opReq
+	deaths   chan death
+	stop     chan struct{}
+	done     sync.WaitGroup // supervisor + workers
+
+	epochMu                   sync.Mutex // serializes recovery epochs (supervisor vs audit)
+	mu                        sync.Mutex
+	completions               []atomic.Uint64 // per-slot progress clocks (never reset)
+	dogs                      []*recovery.Watchdog
+	wedged                    map[int]recovery.Token // fenced-but-blocked incarnations
+	epochs                    uint64                 // recovery epochs run
+	reclaimed                 uint64                 // pool nodes swept back
+	consErr                   error                  // last conservation verdict
+	p99Baseline               uint64                 // first stable p99, drift denominator
+	lastAdmitted, lastRetries uint64                 // previous vitals sample (windowed retry rate)
+	closed                    bool
+}
+
+type death struct {
+	slot int
+	tok  recovery.Token
+	// wedgeRelease: the incarnation was fenced while blocked and has now
+	// unblocked and exited — clear its wedge bookkeeping.
+	wedgeRelease bool
+}
+
+// killPanic is the chaos fail-stop sentinel thrown through a worker.
+type killPanic struct{ slot int }
+
+// New builds a Server and starts its workers and supervisor.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{cfg: cfg, mets: cfg.Metrics}
+
+	var err error
+	if s.counter, err = structures.NewShardedCounter(0, cfg.CounterStripes); err != nil {
+		return nil, err
+	}
+	if s.kv, err = structures.NewMap(cfg.KVCapacity); err != nil {
+		return nil, err
+	}
+	if s.queue, err = structures.NewQueue(cfg.QueueCapacity); err != nil {
+		return nil, err
+	}
+	for _, set := range []func(*contention.Policy){s.counter.SetContention, s.kv.SetContention, s.queue.SetContention} {
+		set(cfg.Policy)
+	}
+	s.counter.SetMetrics(s.mets)
+	s.kv.SetMetrics(s.mets)
+
+	// The chaos mid-operation kill: a worker that drew a Kill injection
+	// arms this hook and proceeds into its queue operation; the hook
+	// fires inside the LL window after the pool alloc — the exact
+	// leak window the recovery epoch exists to heal.
+	s.queue.SetStallHook(func() {
+		if s.killArm.CompareAndSwap(true, false) {
+			panic(killPanic{})
+		}
+	})
+
+	if s.reg, err = recovery.NewRegistry(cfg.Workers, s.attempts.Load, cfg.LeaseTTL); err != nil {
+		return nil, err
+	}
+	s.reg.SetMetrics(s.mets)
+
+	s.chaos = resilience.NewChaos(cfg.Chaos)
+	s.chaos.SetMetrics(s.mets)
+
+	if s.budget, err = resilience.NewBudget(cfg.RetryBase, cfg.RetryRatio); err != nil {
+		return nil, err
+	}
+	s.retrier = &resilience.Retrier{Policy: cfg.Policy, Budget: s.budget, MaxAttempts: cfg.MaxAttempts}
+	s.retrier.SetMetrics(s.mets)
+
+	if s.shedder, err = resilience.NewShedder(s.vitals, cfg.Shed); err != nil {
+		return nil, err
+	}
+	s.shedder.SetMetrics(s.mets)
+
+	if cfg.FlightDir != "" {
+		if s.flight, err = trace.NewFlight(trace.FlightConfig{
+			Dir: cfg.FlightDir, Label: "llscd", Tracer: cfg.Tracer, Metrics: s.mets,
+		}); err != nil {
+			return nil, err
+		}
+		s.shedder.OnTransition(func(from, to resilience.Mode, v resilience.Vitals) {
+			if to == resilience.ModeShedAll {
+				s.flight.Trigger(fmt.Sprintf("shed-storm:depth%d", v.QueueDepth)) //nolint:errcheck
+			}
+		})
+	}
+
+	s.completions = make([]atomic.Uint64, cfg.Workers)
+	s.dogs = make([]*recovery.Watchdog, cfg.Workers)
+	for i := range s.dogs {
+		slot := i
+		dog, err := recovery.NewWatchdogClock(s.attempts.Load, s.completions[slot].Load, cfg.WedgeK)
+		if err != nil {
+			return nil, err
+		}
+		dog.SetMetrics(s.mets)
+		dog.SetTracer(cfg.Tracer)
+		s.dogs[i] = dog
+	}
+	s.wedged = make(map[int]recovery.Token)
+
+	s.dispatch = make(chan *opReq, cfg.DispatchDepth)
+	s.deaths = make(chan death, 4*cfg.Workers)
+	s.stop = make(chan struct{})
+
+	// Expose the service through the shared exporters; re-publishing
+	// replaces, so successive test servers stay well-defined.
+	obs.Publish("llscd", s.mets)
+	obs.PublishHist("llscd", "service_op_latency_ns", &s.opLatency)
+
+	for slot := 0; slot < cfg.Workers; slot++ {
+		s.done.Add(1)
+		go s.runWorker(slot)
+	}
+	s.done.Add(1)
+	go s.supervise()
+	return s, nil
+}
+
+// Close stops the supervisor and workers, releasing any chaos-wedged
+// goroutines. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.chaos.Release() // unblock crash-wedged workers so they can exit
+	s.pause.Store(false)
+	s.done.Wait()
+}
+
+// Metrics returns the server's counter sink.
+func (s *Server) Metrics() *obs.Metrics { return s.mets }
+
+// FlightDumps lists the flight-recorder dumps written so far.
+func (s *Server) FlightDumps() []string {
+	if s.flight == nil {
+		return nil
+	}
+	return s.flight.Dumps()
+}
+
+// vitals samples the live signals admission control keys on. The retry
+// rate is WINDOWED — retries and admissions since the previous sample —
+// not cumulative: a cumulative ratio can never decay while the shedder
+// is refusing traffic (nothing gets admitted, so the denominator
+// freezes), which would wedge the service in degraded mode forever. The
+// window denominator is floored so a handful of retries against a
+// near-empty window cannot fake a storm.
+func (s *Server) vitals() resilience.Vitals {
+	snap := s.mets.Snapshot()
+	admitted := snap.Get(obs.CtrLoadAdmitted)
+	retries := snap.Get(obs.CtrResRetries)
+	s.mu.Lock()
+	dAdmitted := admitted - s.lastAdmitted
+	dRetries := retries - s.lastRetries
+	s.lastAdmitted, s.lastRetries = admitted, retries
+	base := s.p99Baseline
+	s.mu.Unlock()
+	const minWindow = 16
+	den := dAdmitted
+	if den < minWindow {
+		den = minWindow
+	}
+	drift := 1.0
+	if base > 0 {
+		if p99 := s.opLatency.Quantile(0.99); p99 > 0 {
+			drift = float64(p99) / float64(base)
+		}
+	}
+	return resilience.Vitals{
+		QueueDepth: len(s.dispatch) + int(s.inflight.Load()),
+		RetryRate:  float64(dRetries) / float64(den),
+		P99Drift:   drift,
+	}
+}
+
+// runWorker is one worker slot's incarnation loop: join (minting a fresh
+// fencing token), serve operations until killed, fenced, or stopped.
+func (s *Server) runWorker(slot int) {
+	defer s.done.Done()
+	tok, err := s.reg.Join(slot)
+	if err != nil {
+		// The slot's lease is still live (a fenced predecessor has not
+		// been expired yet) — the supervisor will respawn us after it
+		// fences; give the slot back.
+		return
+	}
+	for {
+		if s.pause.Load() {
+			// Recovery epoch: park between operations.
+			select {
+			case <-s.stop:
+				s.reg.Leave(tok) //nolint:errcheck
+				return
+			case <-time.After(100 * time.Microsecond):
+			}
+			continue
+		}
+		select {
+		case <-s.stop:
+			s.reg.Leave(tok) //nolint:errcheck
+			return
+		case req := <-s.dispatch:
+			alive := s.execute(slot, tok, req)
+			if !alive {
+				return
+			}
+		case <-time.After(200 * time.Microsecond):
+			// Idle tick: renew the lease and bump the progress clock, so
+			// a merely-idle worker is never mistaken for a wedged one
+			// while busier workers advance the global attempt clock. A
+			// refused renewal means this incarnation was fenced (e.g. it
+			// starved past the TTL under extreme load) — a successor
+			// already owns the slot, so exit quietly.
+			if err := s.reg.Heartbeat(tok); err != nil {
+				s.deaths <- death{slot: slot, tok: tok, wedgeRelease: true}
+				return
+			}
+			s.completions[slot].Add(1)
+		}
+	}
+}
+
+// execute runs one operation on a worker, under the full resilience
+// contract. Returns false when this incarnation must exit (chaos kill or
+// fenced lease).
+func (s *Server) execute(slot int, tok recovery.Token, req *opReq) (alive bool) {
+	s.inflight.Add(1)
+	start := time.Now()
+	fenced := false
+	defer func() {
+		s.inflight.Add(-1)
+		if r := recover(); r != nil {
+			if _, ok := r.(killPanic); !ok {
+				panic(r) // a real bug, not chaos — do not swallow it
+			}
+			// Chaos kill mid-operation: the request is NOT acknowledged.
+			req.fail(fmt.Errorf("worker %d killed mid-operation (incarnation %d): %w", slot, tok.Incarnation, resilience.ErrTransient))
+			s.deaths <- death{slot: slot, tok: tok}
+			alive = false
+			return
+		}
+		s.completions[slot].Add(1)
+		s.opLatency.ObserveDuration(time.Since(start))
+		if fenced {
+			s.deaths <- death{slot: slot, tok: tok, wedgeRelease: true}
+			alive = false
+			return
+		}
+		alive = true
+	}()
+
+	err := s.retrier.Do(req.ctx, slot, func() error {
+		s.attempts.Add(1)
+		inj := s.chaos.Inject(slot) // a crash component blocks here: the wedge
+		if hbErr := s.reg.Heartbeat(tok); hbErr != nil {
+			// Fenced: a successor owns this slot. Abandon the work
+			// without touching shared state.
+			fenced = true
+			return fmt.Errorf("worker %d incarnation %d fenced: %w", slot, tok.Incarnation, hbErr)
+		}
+		if inj.Kill {
+			if req.kind == opQueueEnq {
+				// Die inside the enqueue's alloc-to-link window so the
+				// kill exercises the pool-leak recovery path.
+				s.killArm.Store(true)
+			} else {
+				panic(killPanic{slot: slot})
+			}
+		}
+		if inj.Spurious {
+			return resilience.ErrInjected
+		}
+		if inj.Interfere {
+			return fmt.Errorf("chaos interference: %w", resilience.ErrTransient)
+		}
+		return s.apply(req)
+	})
+	// Reply after the operation committed (or conclusively failed): the
+	// acknowledgement IS the commit receipt.
+	if err != nil {
+		req.fail(err)
+	} else {
+		req.ok()
+	}
+	return true
+}
+
+// apply runs the structure operation for req and stores results on it.
+func (s *Server) apply(req *opReq) error {
+	switch req.kind {
+	case opCounterInc:
+		s.counter.Add(req.val)
+	case opCounterGet:
+		req.out = s.counter.Load()
+		req.found = true
+	case opKVPut:
+		if err := s.kv.Put(req.key, req.val); err != nil {
+			if err == structures.ErrFull {
+				return fmt.Errorf("kv full: %w", resilience.ErrTransient)
+			}
+			return err // reserved value / key range: permanent
+		}
+	case opKVGet:
+		req.out, req.found = s.kv.Get(req.key)
+	case opKVDel:
+		req.found = s.kv.Delete(req.key)
+	case opQueueEnq:
+		if err := s.queue.Enqueue(req.val); err != nil {
+			if err == structures.ErrFull {
+				return fmt.Errorf("queue full: %w", resilience.ErrTransient)
+			}
+			return err
+		}
+	case opQueueDeq:
+		req.out, req.found = s.queue.Dequeue()
+	default:
+		return fmt.Errorf("service: unknown op kind %d", req.kind)
+	}
+	return nil
+}
+
+// supervise is the supervisor loop: admission reassessment, watchdog
+// verdicts, lease sweeps, death handling, recovery epochs, respawns.
+func (s *Server) supervise() {
+	defer s.done.Done()
+	tick := time.NewTicker(s.cfg.SupervisorTick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case d := <-s.deaths:
+			s.handleDeath(d)
+		case <-tick.C:
+			s.shedder.Reassess()
+			s.refreshBaseline()
+			s.sweep()
+		}
+	}
+}
+
+// refreshBaseline captures the p99 drift denominator once the latency
+// histogram has enough samples, while the system is still healthy.
+func (s *Server) refreshBaseline() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.p99Baseline == 0 && s.opLatency.Count() >= 64 && s.shedder.Mode() == resilience.ModeHealthy {
+		s.p99Baseline = s.opLatency.Quantile(0.99)
+	}
+}
+
+// sweep polls watchdogs and the lease registry: a Wedged verdict arms a
+// flight dump; an expired lease is a dead-or-wedged incarnation that
+// must be fenced, reclaimed after, and its slot reincarnated.
+func (s *Server) sweep() {
+	for slot, dog := range s.dogs {
+		if dog.Check() == recovery.Wedged {
+			if s.flight != nil {
+				s.flight.Trigger(fmt.Sprintf("wedge:slot%d:inc%d", slot, s.reg.Incarnation(slot))) //nolint:errcheck
+			}
+		}
+	}
+	expired := s.reg.ExpireStale()
+	for _, tok := range expired {
+		s.mets.IncProc(tok.ID, obs.CtrResWedgeKills)
+		s.mu.Lock()
+		s.wedged[tok.ID] = tok
+		s.mu.Unlock()
+	}
+	if len(expired) > 0 {
+		s.recoveryEpoch()
+		for _, tok := range expired {
+			s.respawn(tok.ID)
+		}
+	}
+}
+
+// handleDeath processes a worker's death note: fence (idempotent),
+// reclaim, reincarnate.
+func (s *Server) handleDeath(d death) {
+	if d.wedgeRelease {
+		// A fenced incarnation unblocked and exited cleanly; its slot
+		// was already respawned when it was fenced.
+		s.mu.Lock()
+		if w, ok := s.wedged[d.slot]; ok && w == d.tok {
+			delete(s.wedged, d.slot)
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.reg.Expire(d.tok) //nolint:errcheck
+	s.recoveryEpoch()
+	s.respawn(d.slot)
+}
+
+// respawn starts a fresh incarnation for slot.
+func (s *Server) respawn(slot int) {
+	select {
+	case <-s.stop:
+		return
+	default:
+	}
+	s.done.Add(1)
+	go s.runWorker(slot)
+}
+
+// recoveryEpoch runs figure-level reclamation at quiescence: pause
+// dispatch, wait for in-flight work to drain (fenced-but-blocked
+// incarnations hold no allocations — the chaos gate wedges before the
+// structure op — so they do not block quiescence), sweep leaked pool
+// nodes, audit conservation.
+func (s *Server) recoveryEpoch() {
+	// Serialize epochs: the supervisor and an audit request may both ask
+	// for one, and overlapping pause windows would unpark workers under
+	// a live sweep.
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	s.epochLocked()
+}
+
+// epochLocked is the epoch body; callers hold epochMu.
+func (s *Server) epochLocked() {
+	s.pause.Store(true)
+	defer s.pause.Store(false)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		blocked := int64(len(s.wedged))
+		s.mu.Unlock()
+		if s.inflight.Load() <= blocked {
+			break
+		}
+		if time.Now().After(deadline) {
+			// Could not reach quiescence; reclaiming now would be
+			// unsound. Skip the sweep — the next epoch retries.
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+
+	reclaimed, err := s.queue.Recover()
+	if err == nil {
+		err = s.queue.CheckConservation()
+	}
+	s.mets.Inc(obs.CtrResRecoveryEpochs)
+	s.mu.Lock()
+	s.epochs++
+	s.reclaimed += uint64(reclaimed)
+	s.consErr = err
+	s.mu.Unlock()
+	if err != nil && s.flight != nil {
+		s.flight.Trigger(fmt.Sprintf("conservation:%v", err)) //nolint:errcheck
+	}
+}
+
+// Handler returns the server's HTTP handler (see http.go for routes).
+func (s *Server) Handler() http.Handler { return s.routes() }

@@ -76,6 +76,13 @@ func (s *Snapshot) SetContention(cp *contention.Policy) { s.cm = cp }
 // SetStallHook widens the LL-SC window of the stack's top pointer.
 func (s *Stack) SetStallHook(f func()) { s.top.SetStallHook(f) }
 
+// SetStallHook widens the LL-SC window of the queue's tail pointer. The
+// hook fires inside Enqueue's first LL after the node is allocated but
+// before it is linked — exactly the window where a killed process leaks a
+// pool node — so chaos tests can place a kill in the leak window
+// deterministically.
+func (q *Queue) SetStallHook(f func()) { q.tail.SetStallHook(f) }
+
 // SetStallHook widens the LL-SC window of the counter's variable.
 func (c *Counter) SetStallHook(f func()) { c.v.SetStallHook(f) }
 

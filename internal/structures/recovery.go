@@ -1,0 +1,147 @@
+package structures
+
+import "fmt"
+
+// Crash recovery for the pool-backed containers, mirroring the
+// figure-level Recover/CheckConservation contract in internal/core.
+//
+// Both Queue and Stack have a structural leak window: Enqueue/Push first
+// alloc a node from the pool and only then link it into the container. A
+// process killed inside that window (or between a successful Dequeue SC
+// and the trailing freeNode) leaves a node that is neither reachable from
+// the container nor on the free list. No live operation ever touches such
+// a node again — the tags on the link words guarantee any stale SC by the
+// dead process's incarnation fails — so at quiescence the node is
+// provably garbage and may be swept back to the free list.
+//
+// Both methods MUST be called at quiescence (no operation in flight on
+// the container): a node held by an in-flight Enqueue is
+// indistinguishable from a leaked one, and reclaiming it would hand the
+// same node to two owners. Service supervisors get quiescence by parking
+// workers at operation boundaries before running a recovery epoch.
+
+// ConservationStats describes one audit of a pool-backed container.
+type ConservationStats struct {
+	// Reachable is the number of nodes reachable from the container's
+	// entry pointer(s), including structural dummies.
+	Reachable int
+	// Free is the number of nodes on the pool's free list.
+	Free int
+	// Leaked is Capacity - Reachable - Free: nodes owned by nobody.
+	Leaked int
+}
+
+// chainLen walks a next-chain from idx, marking visited nodes, and
+// returns the number of nodes visited. A walk longer than the pool could
+// possibly satisfy, an out-of-range index, or a revisit of an
+// already-marked node means the chain is corrupt (or the container was
+// not quiescent), reported as an error.
+func (p *pool) chainLen(idx uint64, marks []bool, what string) (int, error) {
+	n := 0
+	for idx != 0 {
+		if idx >= uint64(len(p.nodes)) {
+			return n, fmt.Errorf("structures: %s chain holds out-of-range node %d (capacity %d)", what, idx, p.capacity())
+		}
+		if marks[idx] {
+			return n, fmt.Errorf("structures: node %d visited twice on the %s chain — cycle or cross-link (is the container quiescent?)", idx, what)
+		}
+		marks[idx] = true
+		n++
+		idx = p.nodes[idx].next.Read()
+	}
+	return n, nil
+}
+
+// audit marks every node reachable from the free list and from the
+// container chain rooted at root, and reports the conservation split.
+func (p *pool) audit(root uint64, what string) (ConservationStats, []bool, error) {
+	marks := make([]bool, len(p.nodes))
+	var st ConservationStats
+	var err error
+	if st.Reachable, err = p.chainLen(root, marks, what); err != nil {
+		return st, nil, err
+	}
+	if st.Free, err = p.chainLen(p.free.Read(), marks, "free-list"); err != nil {
+		return st, nil, err
+	}
+	st.Leaked = p.capacity() - st.Reachable - st.Free
+	if st.Leaked < 0 {
+		return st, nil, fmt.Errorf("structures: %s audit counted %d reachable + %d free of %d nodes — chains overlap", what, st.Reachable, st.Free, p.capacity())
+	}
+	return st, marks, nil
+}
+
+// sweep returns every unmarked node to the free list and reports how many
+// it reclaimed.
+func (p *pool) sweep(marks []bool) int {
+	reclaimed := 0
+	for idx := 1; idx < len(p.nodes); idx++ {
+		if !marks[idx] {
+			p.freeNode(uint64(idx))
+			reclaimed++
+		}
+	}
+	return reclaimed
+}
+
+// Audit counts the queue's node ownership split at quiescence.
+func (q *Queue) Audit() (ConservationStats, error) {
+	st, _, err := q.p.audit(q.head.Read(), "queue")
+	return st, err
+}
+
+// CheckConservation verifies at quiescence that every pool node is
+// accounted for: reachable from head (including the dummy) or on the free
+// list. A nonzero leak means some incarnation died inside Enqueue's
+// alloc-to-link window or Dequeue's unlink-to-free window.
+func (q *Queue) CheckConservation() error {
+	st, err := q.Audit()
+	if err != nil {
+		return err
+	}
+	if st.Leaked != 0 {
+		return fmt.Errorf("structures: queue leaked %d node(s) (%d reachable, %d free, capacity %d)", st.Leaked, st.Reachable, st.Free, q.p.capacity())
+	}
+	return nil
+}
+
+// Recover sweeps leaked nodes back to the free list at quiescence and
+// returns how many it reclaimed. After Recover, CheckConservation holds.
+func (q *Queue) Recover() (reclaimed int, err error) {
+	_, marks, err := q.p.audit(q.head.Read(), "queue")
+	if err != nil {
+		return 0, err
+	}
+	return q.p.sweep(marks), nil
+}
+
+// Audit counts the stack's node ownership split at quiescence.
+func (s *Stack) Audit() (ConservationStats, error) {
+	st, _, err := s.p.audit(s.top.Read(), "stack")
+	return st, err
+}
+
+// CheckConservation verifies at quiescence that every pool node is
+// either on the stack or on the free list. A nonzero leak means some
+// incarnation died inside Push's alloc-to-link window or Pop's
+// unlink-to-free window.
+func (s *Stack) CheckConservation() error {
+	st, err := s.Audit()
+	if err != nil {
+		return err
+	}
+	if st.Leaked != 0 {
+		return fmt.Errorf("structures: stack leaked %d node(s) (%d reachable, %d free, capacity %d)", st.Leaked, st.Reachable, st.Free, s.p.capacity())
+	}
+	return nil
+}
+
+// Recover sweeps leaked nodes back to the free list at quiescence and
+// returns how many it reclaimed. After Recover, CheckConservation holds.
+func (s *Stack) Recover() (reclaimed int, err error) {
+	_, marks, err := s.p.audit(s.top.Read(), "stack")
+	if err != nil {
+		return 0, err
+	}
+	return s.p.sweep(marks), nil
+}

@@ -1,0 +1,184 @@
+package structures
+
+import (
+	"testing"
+)
+
+// killOp runs op expecting the panic planted by a stall hook — the
+// in-process stand-in for a worker killed mid-operation.
+func killOp(t *testing.T, op func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("operation completed; expected the stall-hook kill to fire")
+		}
+	}()
+	op()
+}
+
+// TestQueueRecoverMidEnqueueLeak builds the exact leak the service
+// supervisor must heal: a process killed between Enqueue's pool alloc and
+// the link SC. The node is owned by nobody; CheckConservation must say
+// so, Recover must reclaim exactly that node, and the queue must then
+// accept a full complement of elements again.
+func TestQueueRecoverMidEnqueueLeak(t *testing.T) {
+	const capacity = 4
+	q, err := NewQueue(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(100); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm a one-shot kill inside the LL window after the alloc.
+	armed := true
+	q.SetStallHook(func() {
+		if armed {
+			armed = false
+			panic("chaos: killed mid-enqueue")
+		}
+	})
+	killOp(t, func() { _ = q.Enqueue(200) })
+	q.SetStallHook(nil)
+
+	st, err := q.Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	// 1 element + the dummy reachable; one node leaked by the kill.
+	if st.Leaked != 1 || st.Reachable != 2 {
+		t.Fatalf("after mid-enqueue kill: %+v, want 1 leaked / 2 reachable", st)
+	}
+	if err := q.CheckConservation(); err == nil {
+		t.Fatal("CheckConservation passed on a leaky queue")
+	}
+
+	reclaimed, err := q.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if reclaimed != 1 {
+		t.Fatalf("Recover reclaimed %d nodes, want 1", reclaimed)
+	}
+	if err := q.CheckConservation(); err != nil {
+		t.Fatalf("CheckConservation after Recover: %v", err)
+	}
+
+	// The surviving element is intact and the full capacity is usable.
+	if v, ok := q.Dequeue(); !ok || v != 100 {
+		t.Fatalf("Dequeue after recovery = (%d, %v), want (100, true)", v, ok)
+	}
+	for i := 0; i < capacity; i++ {
+		if err := q.Enqueue(uint64(i)); err != nil {
+			t.Fatalf("Enqueue %d after recovery: %v (capacity not restored)", i, err)
+		}
+	}
+	if err := q.Enqueue(99); err != ErrFull {
+		t.Fatalf("Enqueue past capacity = %v, want ErrFull", err)
+	}
+}
+
+// TestStackRecoverMidPushLeak is the stack version of the leak window:
+// killed after alloc, before the top SC links the node.
+func TestStackRecoverMidPushLeak(t *testing.T) {
+	const capacity = 3
+	s, err := NewStack(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push(7); err != nil {
+		t.Fatal(err)
+	}
+
+	armed := true
+	s.SetStallHook(func() {
+		if armed {
+			armed = false
+			panic("chaos: killed mid-push")
+		}
+	})
+	killOp(t, func() { _ = s.Push(8) })
+	s.SetStallHook(nil)
+
+	st, err := s.Audit()
+	if err != nil {
+		t.Fatalf("Audit: %v", err)
+	}
+	if st.Leaked != 1 || st.Reachable != 1 {
+		t.Fatalf("after mid-push kill: %+v, want 1 leaked / 1 reachable", st)
+	}
+	if err := s.CheckConservation(); err == nil {
+		t.Fatal("CheckConservation passed on a leaky stack")
+	}
+
+	reclaimed, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if reclaimed != 1 {
+		t.Fatalf("Recover reclaimed %d nodes, want 1", reclaimed)
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatalf("CheckConservation after Recover: %v", err)
+	}
+	if v, ok := s.Pop(); !ok || v != 7 {
+		t.Fatalf("Pop after recovery = (%d, %v), want (7, true)", v, ok)
+	}
+	for i := 0; i < capacity; i++ {
+		if err := s.Push(uint64(i)); err != nil {
+			t.Fatalf("Push %d after recovery: %v (capacity not restored)", i, err)
+		}
+	}
+	if err := s.Push(99); err != ErrFull {
+		t.Fatalf("Push past capacity = %v, want ErrFull", err)
+	}
+}
+
+// TestConservationCleanAtRest: a healthy container audits clean through
+// arbitrary churn, and Recover on a clean container reclaims nothing.
+func TestConservationCleanAtRest(t *testing.T) {
+	q, err := NewQueue(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			if err := q.Enqueue(uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok := q.Dequeue(); !ok {
+				t.Fatal("unexpected empty queue")
+			}
+		}
+		if err := q.CheckConservation(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if n, err := q.Recover(); err != nil || n != 0 {
+		t.Fatalf("Recover on clean queue = (%d, %v), want (0, nil)", n, err)
+	}
+
+	s, err := NewStack(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := s.Push(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Pop(); !ok {
+			t.Fatal("unexpected empty stack")
+		}
+	}
+	if err := s.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Recover(); err != nil || n != 0 {
+		t.Fatalf("Recover on clean stack = (%d, %v), want (0, nil)", n, err)
+	}
+}
