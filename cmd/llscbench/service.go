@@ -6,7 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
-	"sync/atomic" //llsc:allow nakedatomic(benchmark driver bookkeeping)
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"

@@ -37,7 +37,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
-	"sync/atomic" //llsc:allow nakedatomic(client-side ledger and loop bookkeeping)
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"

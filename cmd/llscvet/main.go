@@ -6,23 +6,34 @@
 //
 // Checks (see docs/STATIC_ANALYSIS.md and `llscvet -list`):
 //
-//	reservedpair, strictaccess, nakedatomic, retrypolicy, obscounter
+//	reservedpair, strictaccess, resescape, progress,
+//	nakedatomic, retrypolicy, ctxdeadline, obscounter
 //
 // Findings print in go vet style on stderr. With -json, a machine-
-// readable report (schema llsc-vet/v1) is also written, including the
-// suppressed findings with their //llsc:allow reasons, so an audit of
-// exemptions is one jq away.
+// readable report is also written: schema llsc-vet/v1 by default, or
+// SARIF 2.1.0 with -format=sarif (for CI code-scanning upload). Both
+// include the suppressed findings with their //llsc:allow reasons, so an
+// audit of exemptions is one jq away.
+//
+// With -audit-suppressions (requires the full check suite), every
+// //llsc:allow clause that no longer suppresses a live finding is
+// reported as suppression drift and fails the run: a stale exemption is
+// documentation debt pretending to be a waiver.
 //
 // Exit status follows the repository CLI convention: 0 when the analysis
-// ran and found nothing unsuppressed, 1 when it found violations, 2 on a
-// bad invocation or a load/type-check failure.
+// ran and found nothing unsuppressed (and no drift under
+// -audit-suppressions), 1 when it found violations or drift, 2 on a bad
+// invocation or a load/type-check failure.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -33,19 +44,46 @@ import (
 const Schema = "llsc-vet/v1"
 
 var (
-	flagJSON   = flag.String("json", "", "write a machine-readable findings report (schema "+Schema+") to this path")
+	flagJSON   = flag.String("json", "", "write a machine-readable findings report to this path (layout per -format)")
+	flagFormat = flag.String("format", "json", `report format for -json: "json" (schema `+Schema+`) or "sarif" (SARIF 2.1.0)`)
 	flagChecks = flag.String("checks", "all", "comma-separated checks to run (default all)")
 	flagList   = flag.Bool("list", false, "list the available checks and exit")
+	flagAudit  = flag.Bool("audit-suppressions", false, "report //llsc:allow clauses that suppress no live finding (requires -checks=all)")
 )
 
 // report is the llsc-vet/v1 document.
 type report struct {
-	Schema     string                `json:"schema"`
-	Checks     []string              `json:"checks"`
-	Patterns   []string              `json:"patterns"`
-	Packages   int                   `json:"packages"`
-	Findings   []analysis.Diagnostic `json:"findings"`
-	Suppressed []analysis.Diagnostic `json:"suppressed"`
+	Schema     string                       `json:"schema"`
+	Checks     []string                     `json:"checks"`
+	Patterns   []string                     `json:"patterns"`
+	Packages   int                          `json:"packages"`
+	Findings   []analysis.Diagnostic        `json:"findings"`
+	Suppressed []analysis.Diagnostic        `json:"suppressed"`
+	Unused     []analysis.UnusedSuppression `json:"unused_suppressions,omitempty"`
+}
+
+// validateFlags checks the flag combination before any analysis runs; a
+// non-nil error is a usage error (exit 2).
+func validateFlags(format, checks string, audit bool) error {
+	switch format {
+	case "json", "sarif":
+	default:
+		return fmt.Errorf("unknown -format %q (want json or sarif)", format)
+	}
+	if audit && checks != "all" && checks != "" {
+		return fmt.Errorf("-audit-suppressions requires the full suite (-checks=all): a clause for a check that did not run cannot be proven stale")
+	}
+	return nil
+}
+
+// decideExit maps the analysis outcome to the repository CLI exit
+// convention: 0 clean, 1 findings (or suppression drift), 2 never (load
+// and usage errors exit earlier).
+func decideExit(findings, unused int) int {
+	if findings > 0 || unused > 0 {
+		return 1
+	}
+	return 0
 }
 
 func main() {
@@ -58,6 +96,9 @@ func main() {
 		return
 	}
 
+	if err := validateFlags(*flagFormat, *flagChecks, *flagAudit); err != nil {
+		usageErr("%v", err)
+	}
 	analyzers, err := analysis.ByName(*flagChecks)
 	if err != nil {
 		usageErr("%v", err)
@@ -74,10 +115,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "llscvet: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	diags, unused, err := analysis.RunAudited(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "llscvet: %v\n", err)
 		os.Exit(2)
+	}
+	if !*flagAudit {
+		unused = nil
 	}
 
 	rep := report{
@@ -90,7 +134,9 @@ func main() {
 	for _, a := range analyzers {
 		rep.Checks = append(rep.Checks, a.Name)
 	}
+	cwd, _ := os.Getwd()
 	for _, d := range diags {
+		d.Pos = relPos(cwd, d.Position())
 		if d.Suppressed {
 			rep.Suppressed = append(rep.Suppressed, d)
 			continue
@@ -98,9 +144,21 @@ func main() {
 		rep.Findings = append(rep.Findings, d)
 		fmt.Fprintln(os.Stderr, d)
 	}
+	for _, u := range unused {
+		u.Pos = relPos(cwd, u.Position())
+		rep.Unused = append(rep.Unused, u)
+		fmt.Fprintln(os.Stderr, u)
+	}
 
 	if *flagJSON != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
+		var data []byte
+		var err error
+		switch *flagFormat {
+		case "sarif":
+			data, err = json.MarshalIndent(sarifFromReport(cwd, analyzers, rep), "", "  ")
+		default:
+			data, err = json.MarshalIndent(rep, "", "  ")
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "llscvet: encoding report: %v\n", err)
 			os.Exit(2)
@@ -112,11 +170,27 @@ func main() {
 		}
 	}
 
-	if len(rep.Findings) > 0 {
-		fmt.Fprintf(os.Stderr, "llscvet: %d finding(s) in %d package(s)\n", len(rep.Findings), rep.Packages)
-		os.Exit(1)
+	if code := decideExit(len(rep.Findings), len(rep.Unused)); code != 0 {
+		fmt.Fprintf(os.Stderr, "llscvet: %d finding(s), %d stale suppression(s) in %d package(s)\n",
+			len(rep.Findings), len(rep.Unused), rep.Packages)
+		os.Exit(code)
+	}
+	if *flagAudit {
+		fmt.Printf("llscvet: %d package(s) clean (%d suppressed finding(s), every clause live)\n", rep.Packages, len(rep.Suppressed))
+		return
 	}
 	fmt.Printf("llscvet: %d package(s) clean (%d suppressed finding(s))\n", rep.Packages, len(rep.Suppressed))
+}
+
+// relPos renders a position with its filename relative to dir (when
+// possible), so committed reports do not depend on the checkout path.
+func relPos(dir string, pos token.Position) string {
+	if dir != "" && pos.Filename != "" {
+		if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+	}
+	return pos.String()
 }
 
 // indent prefixes every line of s with a tab, for -list output.

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		format, checks string
+		audit          bool
+		wantErr        bool
+	}{
+		{"json", "all", false, false},
+		{"json", "all", true, false},
+		{"json", "", true, false},
+		{"sarif", "all", true, false},
+		{"sarif", "reservedpair", false, false},
+		{"yaml", "all", false, true},
+		{"", "all", false, true},
+		{"json", "reservedpair", true, true},
+		{"json", "reservedpair,obscounter", false, false},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.format, tc.checks, tc.audit)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("validateFlags(%q, %q, %v) = %v, wantErr %v",
+				tc.format, tc.checks, tc.audit, err, tc.wantErr)
+		}
+	}
+}
+
+// TestDecideExit pins the CLI exit convention: 0 clean, 1 on any
+// finding or stale suppression (2 is reserved for usage/load errors,
+// which exit before decideExit runs).
+func TestDecideExit(t *testing.T) {
+	cases := []struct {
+		findings, unused, want int
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 1},
+		{3, 2, 1},
+	}
+	for _, tc := range cases {
+		if got := decideExit(tc.findings, tc.unused); got != tc.want {
+			t.Errorf("decideExit(%d, %d) = %d, want %d", tc.findings, tc.unused, got, tc.want)
+		}
+	}
+}
+
+func TestRelPos(t *testing.T) {
+	dir := filepath.Join("/", "repo")
+	inside := token.Position{Filename: filepath.Join(dir, "pkg", "f.go"), Line: 3, Column: 7}
+	if got, want := relPos(dir, inside), filepath.Join("pkg", "f.go")+":3:7"; got != want {
+		t.Errorf("relPos inside = %q, want %q", got, want)
+	}
+	outside := token.Position{Filename: filepath.Join("/", "elsewhere", "f.go"), Line: 1, Column: 1}
+	if got := relPos(dir, outside); strings.HasPrefix(got, "..") {
+		t.Errorf("relPos outside = %q, want the absolute path kept", got)
+	}
+}
+
+// TestSarifFromReport checks the SARIF rendering end to end on a small
+// synthetic report: one finding, one suppressed finding, one stale
+// clause.
+func TestSarifFromReport(t *testing.T) {
+	rep := report{
+		Schema:   Schema,
+		Packages: 1,
+		Findings: []analysis.Diagnostic{{
+			Analyzer: "reservedpair",
+			Pos:      "pkg/f.go:3:7",
+			Message:  "RSC without a dominating RLL",
+		}},
+		Suppressed: []analysis.Diagnostic{{
+			Analyzer:   "strictaccess",
+			Pos:        "pkg/g.go:9:2",
+			Message:    "Load between RLL and RSC",
+			Suppressed: true,
+			Reason:     "snapshot read outside the hot path",
+		}},
+		Unused: []analysis.UnusedSuppression{{
+			Check:  "retrypolicy",
+			Reason: "bounded scan",
+			Pos:    "pkg/h.go:4:1",
+		}},
+	}
+	log := sarifFromReport("", analysis.All(), rep)
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	// Every analyzer plus the synthetic drift and framework rules.
+	if want := len(analysis.All()) + 2; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("got %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	byRule := make(map[string]sarifResult)
+	for _, r := range run.Results {
+		byRule[r.RuleID] = r
+		if r.RuleID != run.Tool.Driver.Rules[r.RuleIndex].ID {
+			t.Errorf("result %s: ruleIndex %d resolves to %s", r.RuleID, r.RuleIndex, run.Tool.Driver.Rules[r.RuleIndex].ID)
+		}
+	}
+	if r := byRule["reservedpair"]; r.Level != "error" || len(r.Suppressions) != 0 {
+		t.Errorf("finding rendered as %+v, want level error with no suppressions", r)
+	}
+	r := byRule["strictaccess"]
+	if r.Level != "note" || len(r.Suppressions) != 1 ||
+		r.Suppressions[0].Kind != "inSource" ||
+		r.Suppressions[0].Justification != "snapshot read outside the hot path" {
+		t.Errorf("suppressed finding rendered as %+v, want level note with an inSource justification", r)
+	}
+	if r := byRule[driftRuleID]; r.Level != "warning" || !strings.Contains(r.Message.Text, "unused suppression") {
+		t.Errorf("stale clause rendered as %+v, want level warning naming the unused suppression", r)
+	}
+}
+
+// TestSarifFromReportEmpty checks that a clean run still emits a valid
+// log with an empty (not null) results array, as code-scanning requires.
+func TestSarifFromReportEmpty(t *testing.T) {
+	log := sarifFromReport("", analysis.All(), report{Schema: Schema})
+	if log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Errorf("results = %#v, want empty non-nil slice", log.Runs[0].Results)
+	}
+}
+
+func TestSarifURI(t *testing.T) {
+	dir := filepath.Join("/", "repo")
+	if got := sarifURI(dir, filepath.Join(dir, "pkg", "f.go")); got != "pkg/f.go" {
+		t.Errorf("sarifURI inside = %q, want pkg/f.go", got)
+	}
+	abs := filepath.Join("/", "elsewhere", "f.go")
+	if got := sarifURI(dir, abs); got != filepath.ToSlash(abs) {
+		t.Errorf("sarifURI outside = %q, want %q kept", got, filepath.ToSlash(abs))
+	}
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// SARIF 2.1.0 output, hand-rolled on encoding/json so the repository
+// stays dependency-free. Only the slice of the format that code-scanning
+// uploads need is emitted: tool.driver.rules, results with physical
+// locations, and inSource suppressions for //llsc:allow'd findings.
+// Stale //llsc:allow clauses surface as results of the synthetic
+// suppression-drift rule so they annotate PRs like any other finding.
+
+const (
+	sarifVersion   = "2.1.0"
+	sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+	// driftRuleID is the synthetic rule for -audit-suppressions findings.
+	driftRuleID = "suppression-drift"
+)
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+	FullDescription  sarifText `json:"fullDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// sarifFromReport renders the run as a SARIF 2.1.0 log. Paths are
+// emitted relative to dir with forward slashes, as code-scanning
+// expects.
+func sarifFromReport(dir string, analyzers []*analysis.Analyzer, rep report) sarifLog {
+	driver := sarifDriver{Name: "llscvet"}
+	ruleIndex := make(map[string]int)
+	addRule := func(id, short, full string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifText{Text: short},
+			FullDescription:  sarifText{Text: full},
+		})
+	}
+	for _, a := range analyzers {
+		short, _, _ := strings.Cut(a.Doc, "\n")
+		addRule(a.Name, short, strings.ReplaceAll(a.Doc, "\n", " "))
+	}
+	addRule(driftRuleID,
+		"an //llsc:allow clause no longer suppresses any live finding",
+		"Reported by llscvet -audit-suppressions: the code the clause excused has changed (or the clause names no known check); remove or re-justify it.")
+	// The framework itself reports malformed //llsc:allow comments under
+	// the analyzer name "llscvet".
+	addRule("llscvet",
+		"malformed //llsc:allow comment",
+		"Suppression comments must have the form //llsc:allow <check>(<reason>) with a non-empty reason.")
+
+	var results []sarifResult
+	emit := func(rule, level, msg string, pos token.Position, sup *sarifSuppression) {
+		idx, ok := ruleIndex[rule]
+		if !ok {
+			// A suppressed finding of a check outside the -checks
+			// selection cannot occur, but stay defensive: file it under
+			// the framework rule rather than dropping it.
+			idx = ruleIndex["llscvet"]
+			rule = "llscvet"
+		}
+		r := sarifResult{
+			RuleID:    rule,
+			RuleIndex: idx,
+			Level:     level,
+			Message:   sarifText{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(dir, pos.Filename)},
+					Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+				},
+			}},
+		}
+		if sup != nil {
+			r.Suppressions = []sarifSuppression{*sup}
+		}
+		results = append(results, r)
+	}
+	for _, d := range rep.Findings {
+		emit(d.Analyzer, "error", d.Message, d.Position(), nil)
+	}
+	for _, d := range rep.Suppressed {
+		emit(d.Analyzer, "note", d.Message, d.Position(),
+			&sarifSuppression{Kind: "inSource", Justification: d.Reason})
+	}
+	for _, u := range rep.Unused {
+		emit(driftRuleID, "warning", u.String(), u.Position(), nil)
+	}
+	if results == nil {
+		results = []sarifResult{}
+	}
+	return sarifLog{
+		Version: sarifVersion,
+		Schema:  sarifSchemaURI,
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+}
+
+// sarifURI renders path relative to dir with forward slashes, as the
+// SARIF artifactLocation expects.
+func sarifURI(dir, path string) string {
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, path); err == nil && !strings.HasPrefix(rel, "..") {
+			path = rel
+		}
+	}
+	return filepath.ToSlash(path)
+}

@@ -4,26 +4,41 @@
 // processor, SC only after a matching LL on the same variable, and (on
 // R4000-style machines) no shared-memory access between RLL and RSC — yet
 // until this package the discipline was checked only by runtime failure
-// under the fault injector. The five analyzers here turn it into a
+// under the fault injector. The eight analyzers here turn it into a
 // compile-time gate:
 //
-//	reservedpair  RSC must be dominated by an RLL on the same word; a
-//	              later RLL displaces the reservation (one per processor).
+//	reservedpair  RSC must be dominated by an RLL on the same word along
+//	              every path; a later RLL displaces the reservation (one
+//	              per processor).
 //	strictaccess  no Load/Store/CAS by the reserving processor between its
 //	              RLL and RSC (the machine.Config.Strict R4000 rule).
+//	resescape     a live reservation must not escape its goroutine: no
+//	              goroutine spawn, channel send, or closure stored to a
+//	              field may capture the reserving processor mid-window.
+//	progress      unbounded retry loops in protocol packages must contain
+//	              an SC/CAS attempt or helping call (no pure spins).
 //	nakedatomic   protocol packages must route shared state through
 //	              machine.Word, not raw sync/atomic or sync.Mutex.
 //	retrypolicy   SC/CAS retry loops in protocol packages must consult the
 //	              internal/contention policy (a Waiter.Wait call).
+//	ctxdeadline   retry loops in the service layer that wait on contention
+//	              or Retrier.Do must consult the context deadline.
 //	obscounter    string-literal counter names must be in the registry
 //	              generated from the internal/obs taxonomy.
+//
+// The flow-sensitive checks run on a shared engine: a basic-block CFG
+// over go/ast (cfg.go), a forward dataflow framework with a reservation
+// lattice (dataflow.go), and one-level call-graph summaries so facts
+// cross same-package function calls (summary.go).
 //
 // Findings can be suppressed with a comment on (or immediately above) the
 // offending line:
 //
 //	//llsc:allow <check>(<reason>)
 //
-// The reason is mandatory; an empty one is itself a finding. See
+// The reason is mandatory; an empty one is itself a finding, and a clause
+// that no longer suppresses any live finding is reported by the
+// suppression-drift audit (RunAudited, llscvet -audit-suppressions). See
 // docs/STATIC_ANALYSIS.md for each check's paper justification and the
 // known approximations.
 //
@@ -65,6 +80,7 @@ type Pass struct {
 	Info     *types.Info
 
 	report func(token.Pos, string)
+	sums   *pkgSummaries // shared engine state, built on first use
 }
 
 // Reportf records a finding at pos.
@@ -94,7 +110,10 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{ReservedPair, StrictAccess, NakedAtomic, RetryPolicy, ObsCounter}
+	return []*Analyzer{
+		ReservedPair, StrictAccess, ResEscape, Progress,
+		NakedAtomic, RetryPolicy, CtxDeadline, ObsCounter,
+	}
 }
 
 // ByName resolves a comma-separated check selection against the suite.
@@ -126,27 +145,33 @@ func ByName(names string) ([]*Analyzer, error) {
 // several clauses may share a comment.
 var allowRE = regexp.MustCompile(`([a-z][a-z0-9]*)\(([^)]*)\)`)
 
-// suppression is one parsed //llsc:allow clause.
+// suppression is one parsed //llsc:allow clause. used flips when the
+// clause suppresses a live finding; the drift audit reports clauses that
+// stay unused.
 type suppression struct {
 	check  string
 	reason string
-	pos    token.Pos
+	pos    token.Position
+	used   bool
 }
 
 // suppressionIndex maps file:line to the clauses that govern that line. A
 // clause governs its own line and the line below it, so both trailing
 // comments and comments on the line above the construct work.
-type suppressionIndex map[string][]suppression
+type suppressionIndex map[string][]*suppression
 
 func lineKey(pos token.Position) string {
 	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 }
 
-// scanSuppressions builds the index for one package and reports malformed
-// clauses (missing reason) as findings in their own right: a suppression
-// that does not say why is documentation debt, not an exemption.
-func scanSuppressions(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) suppressionIndex {
+// scanSuppressions builds the index for one package, returning both the
+// line index and the flat clause list (for the drift audit), and reports
+// malformed clauses (missing reason) as findings in their own right: a
+// suppression that does not say why is documentation debt, not an
+// exemption.
+func scanSuppressions(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) (suppressionIndex, []*suppression) {
 	idx := make(suppressionIndex)
+	var all []*suppression
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -168,7 +193,7 @@ func scanSuppressions(fset *token.FileSet, files []*ast.File, report func(Diagno
 					continue
 				}
 				for _, m := range clauses {
-					s := suppression{check: m[1], reason: strings.TrimSpace(m[2]), pos: c.Pos()}
+					s := &suppression{check: m[1], reason: strings.TrimSpace(m[2]), pos: pos}
 					if s.reason == "" {
 						report(Diagnostic{
 							Analyzer: s.check,
@@ -178,6 +203,7 @@ func scanSuppressions(fset *token.FileSet, files []*ast.File, report func(Diagno
 						})
 						continue
 					}
+					all = append(all, s)
 					for _, key := range []string{
 						lineKey(pos),
 						fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1),
@@ -188,17 +214,39 @@ func scanSuppressions(fset *token.FileSet, files []*ast.File, report func(Diagno
 			}
 		}
 	}
-	return idx
+	return idx, all
 }
 
-// lookup returns the reason suppressing check at pos, if any.
+// lookup returns the reason suppressing check at pos, if any, marking the
+// winning clause as used.
 func (idx suppressionIndex) lookup(pos token.Position, check string) (string, bool) {
 	for _, s := range idx[lineKey(pos)] {
 		if s.check == check {
+			s.used = true
 			return s.reason, true
 		}
 	}
 	return "", false
+}
+
+// UnusedSuppression is one //llsc:allow clause that no longer suppresses
+// any live finding — either the code it excused changed, or the clause
+// names a check that does not exist.
+type UnusedSuppression struct {
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+	Pos    string `json:"pos"` // file:line:col
+
+	position token.Position
+}
+
+// Position returns the clause's resolved source position.
+func (u UnusedSuppression) Position() token.Position { return u.position }
+
+// String renders the stale clause in go vet style.
+func (u UnusedSuppression) String() string {
+	return fmt.Sprintf("%s: unused suppression llsc:allow %s(%s): no live finding is suppressed here; remove the clause",
+		u.Pos, u.Check, u.Reason)
 }
 
 // Run applies the analyzers to every package and returns all diagnostics,
@@ -206,10 +254,38 @@ func (idx suppressionIndex) lookup(pos token.Position, check string) (string, bo
 // position. A non-nil error means the analysis itself failed and no
 // verdict was reached.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAudited(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAudited is Run plus the suppression-drift audit: the second result
+// lists every //llsc:allow clause that suppressed nothing. A clause is
+// only auditable when its check actually ran (or names no known check at
+// all — a typo is always dead), so the audit is meaningful only with the
+// full suite; cmd/llscvet enforces -checks=all for -audit-suppressions.
+func RunAudited(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedSuppression, error) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+
 	var diags []Diagnostic
+	var unused []UnusedSuppression
 	for _, pkg := range pkgs {
-		idx := scanSuppressions(pkg.Fset, pkg.Files, func(d Diagnostic) {
+		idx, clauses := scanSuppressions(pkg.Fset, pkg.Files, func(d Diagnostic) {
 			diags = append(diags, d)
+		})
+		// One engine state per package, shared by every analyzer pass:
+		// CFGs, summaries, and event streams are analyzer-independent.
+		sums := computeSummaries(&Pass{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
 		})
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -218,6 +294,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				sums:     sums,
 			}
 			pass.report = func(pos token.Pos, msg string) {
 				position := pkg.Fset.Position(pos)
@@ -234,8 +311,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				diags = append(diags, d)
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
 			}
+		}
+		for _, s := range clauses {
+			if s.used || (known[s.check] && !ran[s.check]) {
+				continue
+			}
+			unused = append(unused, UnusedSuppression{
+				Check:    s.check,
+				Reason:   s.reason,
+				Pos:      s.pos.String(),
+				position: s.pos,
+			})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -251,5 +339,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	sort.Slice(unused, func(i, j int) bool {
+		pi, pj := unused[i].position, unused[j].position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return unused[i].Check < unused[j].Check
+	})
+	return diags, unused, nil
 }

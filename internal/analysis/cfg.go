@@ -1,0 +1,444 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// This file is the control-flow half of the analysis engine: an
+// intraprocedural CFG over go/ast statements, built without any
+// x/tools dependency. Basic blocks hold statement- and expression-level
+// nodes in execution order; edges cover if/else, for and range loops
+// (including the back-edge), switch/type-switch (with fallthrough),
+// select, labeled break/continue, goto, return, and defer (deferred
+// calls run on the exit block). The forward-dataflow solver in
+// dataflow.go iterates this graph to a fixpoint; the protocol checks
+// then replay each block's transfer function node by node to obtain the
+// machine state in effect immediately before every operation.
+//
+// Granularity: a block's Nodes are whole statements, except that the
+// controlling expression of a branch (if/for condition, switch tag) is
+// appended to the block that evaluates it before the split, so facts
+// established inside a condition — `if p.RLL(w) != old { return }` is
+// the repository's idiom — flow into the correct arm. Function literals
+// are opaque at this level: each literal body is its own funcScope with
+// its own CFG.
+
+// A Block is one basic block: nodes executed in order, then a jump to
+// one of Succs.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// A CFG is the control-flow graph of one function body. Entry is
+// Blocks[0]; Exit is the distinguished return-collector block, which
+// also holds the deferred calls (they run after any return or
+// fall-off-the-end path).
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// String renders the graph topology for tests and debugging:
+// "b0 -> [b1 b2]; b1 -> [b3]; ...".
+func (g *CFG) String() string {
+	var parts []string
+	for _, b := range g.Blocks {
+		succs := make([]string, len(b.Succs))
+		for i, s := range b.Succs {
+			succs[i] = fmt.Sprintf("b%d", s.Index)
+		}
+		sort.Strings(succs)
+		parts = append(parts, fmt.Sprintf("b%d -> [%s]", b.Index, strings.Join(succs, " ")))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ReversePostorder returns the blocks in reverse postorder from Entry —
+// the canonical iteration order for a forward dataflow pass. Blocks
+// unreachable from Entry (dead code, the after-block of an infinite
+// loop) are appended at the end so per-block state maps stay total.
+func (g *CFG) ReversePostorder() []*Block {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		post = append(post, b)
+	}
+	visit(g.Entry)
+	out := make([]*Block, 0, len(g.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for _, b := range g.Blocks {
+		if !seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = &Block{} // indexed last, in finish
+	b.cur = b.g.Entry
+	b.labels = make(map[string]*Block)
+	b.stmtList(body.List)
+	return b.finish()
+}
+
+// branchTarget is one enclosing breakable/continuable construct.
+type branchTarget struct {
+	label string // of the enclosing LabeledStmt, or ""
+	brk   *Block // break target (after-block); nil for none
+	cont  *Block // continue target (post/head); nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	g       *CFG
+	cur     *Block // nil after a terminator (return/break/goto/...)
+	targets []branchTarget
+	labels  map[string]*Block
+	gotos   []pendingGoto
+	defers  []ast.Node // deferred calls, in source order
+	// fallthroughTo is the next case body while building a switch case.
+	fallthroughTo *Block
+	// pendingLabel names the LabeledStmt wrapping the next loop/switch,
+	// so `break L` / `continue L` resolve to the right target.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	bl := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block; a nil current block means
+// the statement is unreachable (code after return), which still gets a
+// fresh block so goto labels inside it remain wirable.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jumpTo ends the current block with an edge to target.
+func (b *cfgBuilder) jumpTo(target *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findTarget resolves a break/continue to its enclosing construct.
+func (b *cfgBuilder) findTarget(label string, needCont bool) *branchTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needCont && t.cont == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.buildIf(s)
+	case *ast.ForStmt:
+		b.buildFor(s)
+	case *ast.RangeStmt:
+		b.buildRange(s)
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.buildCases(s.Body, nil)
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.buildCases(s.Body, s.Assign)
+	case *ast.SelectStmt:
+		b.buildSelect(s)
+	case *ast.LabeledStmt:
+		b.buildLabeled(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jumpTo(b.g.Exit)
+	case *ast.BranchStmt:
+		b.buildBranch(s)
+	case *ast.DeferStmt:
+		// Argument evaluation happens here; the call itself runs at
+		// function exit, so it is replayed on the Exit block.
+		b.add(s)
+		b.defers = append(b.defers, s.Call)
+	default:
+		// Straight-line statements: expressions, assignments,
+		// declarations, sends, go statements, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) buildIf(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	cond := b.cur
+	after := b.newBlock()
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.jumpTo(after)
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.jumpTo(after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) buildFor(s *ast.ForStmt) {
+	label := b.takeLabel()
+	b.add(s.Init)
+	head := b.newBlock()
+	b.jumpTo(head)
+	b.cur = head
+	b.add(s.Cond)
+	head = b.cur // cond evaluation may not allocate, but stay safe
+
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	b.targets = append(b.targets, branchTarget{label: label, brk: after, cont: cont})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jumpTo(cont)
+	b.targets = b.targets[:len(b.targets)-1]
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.jumpTo(head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) buildRange(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.jumpTo(head)
+	// The RangeStmt node stands for the per-iteration work in the head:
+	// evaluating X (once, in reality) and assigning Key/Value.
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.targets = append(b.targets, branchTarget{label: label, brk: after, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jumpTo(head)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// buildCases handles switch and type-switch bodies: the dispatching
+// block branches to every case (and to after when there is no default);
+// fallthrough jumps to the next case body in source order.
+func (b *cfgBuilder) buildCases(body *ast.BlockStmt, assign ast.Stmt) {
+	label := b.takeLabel()
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	dispatch := b.cur
+	after := b.newBlock()
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		caseBlocks[i] = b.newBlock()
+		b.edge(dispatch, caseBlocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.targets = append(b.targets, branchTarget{label: label, brk: after})
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		if assign != nil {
+			b.add(assign)
+		}
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(clauses) {
+			b.fallthroughTo = caseBlocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(cc.Body)
+		b.jumpTo(after)
+	}
+	b.fallthroughTo = nil
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) buildSelect(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	dispatch := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, branchTarget{label: label, brk: after})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cb := b.newBlock()
+		b.edge(dispatch, cb)
+		b.cur = cb
+		b.add(cc.Comm)
+		b.stmtList(cc.Body)
+		b.jumpTo(after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) buildLabeled(s *ast.LabeledStmt) {
+	lb := b.newBlock()
+	b.jumpTo(lb)
+	b.cur = lb
+	b.labels[s.Label.Name] = lb
+	switch s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.pendingLabel = s.Label.Name
+	}
+	b.stmt(s.Stmt)
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) buildBranch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := b.findTarget(label, false); t != nil {
+			b.jumpTo(t.brk)
+			return
+		}
+	case "continue":
+		if t := b.findTarget(label, true); t != nil {
+			b.jumpTo(t.cont)
+			return
+		}
+	case "goto":
+		from := b.cur
+		if from == nil {
+			from = b.newBlock()
+		}
+		b.gotos = append(b.gotos, pendingGoto{from: from, label: label})
+		b.cur = nil
+		return
+	case "fallthrough":
+		if b.fallthroughTo != nil {
+			b.jumpTo(b.fallthroughTo)
+			return
+		}
+	}
+	// Unresolvable branch (malformed code survived type-check only in
+	// tests): terminate the block conservatively.
+	b.cur = nil
+}
+
+func (b *cfgBuilder) finish() *CFG {
+	b.jumpTo(b.g.Exit) // falling off the end reaches Exit
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target)
+		}
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	// Deferred calls run after every path into Exit, in reverse
+	// registration order (the approximation: each dynamic defer runs at
+	// most once here, which is all a may-analysis needs).
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.g.Exit.Nodes = append(b.g.Exit.Nodes, b.defers[i])
+	}
+	return b.g
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps body in a function, parses it, and returns the CFG of
+// the function body.
+func parseBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	decl := file.Decls[0].(*ast.FuncDecl)
+	return buildCFG(decl.Body)
+}
+
+// TestCFGShapes pins the graph topology for every control construct the
+// builder handles. Succs are rendered sorted, so the strings are stable.
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{
+			name: "if/else",
+			body: "x := 1\nif x > 0 { x = 2 } else { x = 3 }\nx = 4",
+			want: "b0 -> [b2 b3]; b1 -> [b4]; b2 -> [b1]; b3 -> [b1]; b4 -> []",
+		},
+		{
+			name: "for with cond and post",
+			body: "for i := 0; i < 3; i++ { work() }\ndone()",
+			want: "b0 -> [b1]; b1 -> [b2 b3]; b2 -> [b4]; b3 -> [b5]; b4 -> [b1]; b5 -> []",
+		},
+		{
+			name: "infinite loop with break",
+			body: "for { if c() { break } }\nrest()",
+			want: "b0 -> [b1]; b1 -> [b2]; b2 -> [b4 b5]; b3 -> [b6]; b4 -> [b1]; b5 -> [b3]; b6 -> []",
+		},
+		{
+			name: "switch with fallthrough and default",
+			body: "switch x {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\ndefault:\n\tc()\n}",
+			want: "b0 -> [b2 b3 b4]; b1 -> [b5]; b2 -> [b3]; b3 -> [b1]; b4 -> [b1]; b5 -> []",
+		},
+		{
+			name: "select",
+			body: "select {\ncase v := <-ch:\n\tuse(v)\ncase ch2 <- 1:\n\tb()\n}",
+			want: "b0 -> [b2 b3]; b1 -> [b4]; b2 -> [b1]; b3 -> [b1]; b4 -> []",
+		},
+		{
+			name: "defer and early return",
+			body: "defer cleanup()\nif c() { return }\nmid()",
+			want: "b0 -> [b1 b2]; b1 -> [b3]; b2 -> [b3]; b3 -> []",
+		},
+		{
+			name: "goto back-edge",
+			body: "i := 0\nloop:\ni++\nif i < 3 { goto loop }\ndone()",
+			want: "b0 -> [b1]; b1 -> [b2 b3]; b2 -> [b4]; b3 -> [b1]; b4 -> []",
+		},
+		{
+			name: "range loop",
+			body: "for _, v := range xs { use(v) }\nend()",
+			want: "b0 -> [b1]; b1 -> [b2 b3]; b2 -> [b1]; b3 -> [b4]; b4 -> []",
+		},
+		{
+			name: "labeled break from nested loop",
+			body: "outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}\nr()",
+			want: "b0 -> [b1]; b1 -> [b2]; b2 -> [b3]; b3 -> [b5]; b4 -> [b8]; b5 -> [b6]; b6 -> [b4]; b7 -> [b2]; b8 -> []",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseBody(t, tc.body)
+			if got := g.String(); got != tc.want {
+				t.Errorf("CFG mismatch\n got: %s\nwant: %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGDeferredOnExit checks that deferred calls are replayed on the
+// Exit block (in reverse registration order), so every return path sees
+// them.
+func TestCFGDeferredOnExit(t *testing.T) {
+	g := parseBody(t, "defer first()\ndefer second()\nif c() { return }\nmid()")
+	if len(g.Exit.Nodes) != 2 {
+		t.Fatalf("Exit has %d nodes, want the 2 deferred calls", len(g.Exit.Nodes))
+	}
+	name := func(n ast.Node) string {
+		return n.(*ast.CallExpr).Fun.(*ast.Ident).Name
+	}
+	if name(g.Exit.Nodes[0]) != "second" || name(g.Exit.Nodes[1]) != "first" {
+		t.Errorf("deferred replay order = [%s %s], want [second first]",
+			name(g.Exit.Nodes[0]), name(g.Exit.Nodes[1]))
+	}
+}
+
+// TestReversePostorder checks the iteration order the dataflow solver
+// relies on: entry first, every block present exactly once, and each
+// loop head before its body.
+func TestReversePostorder(t *testing.T) {
+	g := parseBody(t, "for i := 0; i < 3; i++ { work() }\ndone()")
+	rpo := g.ReversePostorder()
+	if len(rpo) != len(g.Blocks) {
+		t.Fatalf("reverse postorder has %d blocks, want %d", len(rpo), len(g.Blocks))
+	}
+	if rpo[0] != g.Entry {
+		t.Errorf("reverse postorder starts at b%d, want entry b%d", rpo[0].Index, g.Entry.Index)
+	}
+	order := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		if _, dup := order[b]; dup {
+			t.Fatalf("block b%d appears twice in reverse postorder", b.Index)
+		}
+		order[b] = i
+	}
+	head, body := g.Blocks[1], g.Blocks[2]
+	if order[head] >= order[body] {
+		t.Errorf("loop head b%d ordered after its body b%d", head.Index, body.Index)
+	}
+}

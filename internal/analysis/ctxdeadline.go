@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxDeadline enforces the PR 9 service-layer discipline: a retry loop
+// that waits on the contention layer (contention.Waiter.Wait/WaitTimed
+// or resilience.Retrier.Do) must consult its context deadline on the
+// retry path. A loop that keeps waiting after the caller's deadline has
+// passed does work nobody will collect — and, worse, the shedder's
+// vitals (inflight, latency quantiles) keep counting it as live load,
+// so admission control sheds new requests to protect work that is
+// already dead. Checking ctx.Done()/ctx.Err()/ctx.Deadline() anywhere on
+// the retry path (directly or one call deep into a same-package helper)
+// keeps the vitals honest.
+//
+// Retrier.Do checks ctx.Err() at the top of every attempt, so a call to
+// Do is both a wait and a deadline consultation: loops built on the Do
+// closure idiom satisfy the check transitively, while loops built on raw
+// Waiter.Wait calls must check the context themselves.
+var CtxDeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc: "check that service-layer retry loops that wait on contention (Waiter.Wait/WaitTimed\n" +
+		"or Retrier.Do) consult ctx.Done()/ctx.Err()/ctx.Deadline() on the retry path. A loop\n" +
+		"waiting past its caller's deadline inflates the shedder's vitals with dead work.",
+	Run: runCtxDeadline,
+}
+
+func runCtxDeadline(pass *Pass) error {
+	if !isServicePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	sums := pass.summaries()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var clauses []ast.Node
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+				for _, c := range []ast.Node{loop.Init, loop.Cond, loop.Post} {
+					if c != nil {
+						clauses = append(clauses, c)
+					}
+				}
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			nodes := append(clauses, body)
+			if !loopWaitsOnContention(pass, sums, body) {
+				return true
+			}
+			if loopConsultsDeadline(pass, sums, nodes...) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"retry loop waits on contention without consulting the context deadline: check ctx.Err()/ctx.Done() on the retry path so the shedder's vitals stay honest, or suppress with //llsc:allow ctxdeadline(reason)")
+			return true
+		})
+	}
+	return nil
+}
+
+// loopWaitsOnContention reports whether the loop body waits on the
+// contention layer in its own retry context (nested loops and function
+// literals wait for their own iterations, not this loop's), directly or
+// one call deep through a same-package helper.
+func loopWaitsOnContention(pass *Pass, sums *pkgSummaries, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // separate retry context
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isWaiterCall(pass.Info, call) || isRetrierDo(pass.Info, call) {
+			found = true
+			return false
+		}
+		if callee := staticCallee(pass.Info, call); callee != nil {
+			if sum, ok := sums.funcs[callee]; ok && sum.waits {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopConsultsDeadline reports whether any of the nodes consults a
+// context deadline anywhere (nested constructs included: a deadline
+// check on any retry path services the enclosing loop), directly or one
+// call deep through a same-package helper.
+func loopConsultsDeadline(pass *Pass, sums *pkgSummaries, nodes ...ast.Node) bool {
+	found := false
+	for _, node := range nodes {
+		ast.Inspect(node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isCtxConsult(pass.Info, call) || isRetrierDo(pass.Info, call) {
+				found = true
+				return false
+			}
+			if callee := staticCallee(pass.Info, call); callee != nil {
+				if sum, ok := sums.funcs[callee]; ok && sum.ctxConsult {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// This file is the dataflow half of the analysis engine: a small
+// forward "may" framework over the CFG in cfg.go, and the one lattice
+// the protocol checks share — the per-processor reservation state of
+// Moir's usage discipline. A state maps each processor expression to
+// the set of reservation facts that can hold on some path reaching a
+// program point: "no reservation", or "reserved word w (established by
+// the RLL at pos)". Transfer functions interpret machine.Proc calls and
+// one-level summaries of same-package helpers (summary.go); the solver
+// iterates to a fixpoint; checks then replay each block's transfer
+// node by node to see the state immediately before every operation.
+
+// A lattice drives one forward dataflow pass: entry produces the state
+// at function entry, join merges a predecessor's out-state into a
+// block's in-state (reporting whether anything changed), clone
+// duplicates a state for independent mutation, and transfer applies
+// one CFG node's effect in place.
+type lattice[T any] interface {
+	entry() T
+	clone(T) T
+	join(dst, src T) bool
+	transfer(n ast.Node, st T)
+}
+
+// solve runs a forward pass to fixpoint and returns each reachable
+// block's in-state. Unreachable blocks are absent from the map.
+func solve[T any](g *CFG, lat lattice[T]) map[*Block]T {
+	rpo := g.ReversePostorder()
+	order := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+	in := make(map[*Block]T, len(g.Blocks))
+	in[g.Entry] = lat.entry()
+	work := []*Block{g.Entry}
+	inWork := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		sort.Slice(work, func(i, j int) bool { return order[work[i]] < order[work[j]] })
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		out := lat.clone(in[b])
+		for _, n := range b.Nodes {
+			lat.transfer(n, out)
+		}
+		for _, s := range b.Succs {
+			st, ok := in[s]
+			if !ok {
+				in[s] = lat.clone(out)
+			} else if !lat.join(st, out) {
+				continue
+			}
+			if !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	return in
+}
+
+// --- The reservation lattice ---
+
+// resNone is the fact key for "this processor holds no reservation";
+// resUnknownWord stands for a reservation on a word the analysis cannot
+// key (call results, computed indexes).
+const (
+	resNone        = ""
+	resUnknownWord = "?"
+	procUnknown    = "?"
+)
+
+// resFacts is the set of reservation facts that may hold for one
+// processor, each mapped to the position of the RLL that established it
+// (NoPos for resNone).
+type resFacts map[string]token.Pos
+
+// resState maps a processor key (exprKey of the receiver, or
+// procUnknown) to its possible facts. A processor absent from the map
+// is in the entry condition: no reservation on any path.
+type resState map[string]resFacts
+
+// resLattice interprets machine.Proc operations and continuation-helper
+// calls. seed is the entry state (non-empty only for continuation
+// helpers, whose caller hands them a live reservation).
+type resLattice struct {
+	pass *Pass
+	sums *pkgSummaries
+	seed resState
+}
+
+func (l *resLattice) entry() resState {
+	st := make(resState, len(l.seed))
+	for p, facts := range l.seed {
+		st[p] = cloneFacts(facts)
+	}
+	return st
+}
+
+func cloneFacts(f resFacts) resFacts {
+	out := make(resFacts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func (l *resLattice) clone(st resState) resState {
+	out := make(resState, len(st))
+	for p, facts := range st {
+		out[p] = cloneFacts(facts)
+	}
+	return out
+}
+
+func (l *resLattice) join(dst, src resState) bool {
+	changed := false
+	for p, facts := range src {
+		df, ok := dst[p]
+		if !ok {
+			// Absent means {resNone}: materialize before merging so the
+			// path that never touched p keeps contributing "none".
+			df = resFacts{resNone: token.NoPos}
+			dst[p] = df
+			if _, had := facts[resNone]; !had || len(facts) > 1 {
+				changed = true
+			}
+		}
+		for k, pos := range facts {
+			if _, ok := df[k]; !ok {
+				df[k] = pos
+				changed = true
+			}
+		}
+	}
+	for p := range dst {
+		if _, ok := src[p]; !ok {
+			// src never touched p: its contribution is {resNone}.
+			if _, had := dst[p][resNone]; !had {
+				dst[p][resNone] = token.NoPos
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (l *resLattice) transfer(n ast.Node, st resState) {
+	for _, ev := range l.sums.events(l.pass, n) {
+		applyResEvent(ev, st)
+	}
+}
+
+// applyResEvent updates the state for one event: RLL establishes (and
+// displaces) the processor's single reservation; RSC consumes it
+// unconditionally (the machine clears the reservation whether or not
+// the store succeeds); a continuation-helper call is an RSC performed
+// on the caller's behalf.
+func applyResEvent(ev resEvent, st resState) {
+	switch {
+	case ev.op != nil && ev.op.kind == opRLL:
+		wk := resUnknownWord
+		if ev.op.wordOK {
+			wk = ev.op.wordK
+		}
+		st[procKeyOf(ev.op)] = resFacts{wk: ev.op.pos}
+	case ev.op != nil && ev.op.kind == opRSC:
+		st[procKeyOf(ev.op)] = resFacts{resNone: token.NoPos}
+	case ev.helper != nil && ev.helper.cont != nil:
+		pk := procUnknown
+		if k, ok := ev.helperProcKey(); ok {
+			pk = k
+		}
+		st[pk] = resFacts{resNone: token.NoPos}
+	}
+}
+
+func procKeyOf(op *memOp) string {
+	if op.procOK {
+		return op.proc
+	}
+	return procUnknown
+}
+
+// factsFor returns the facts that may hold for the processor of op at a
+// program point: the processor's own entry, plus anything established
+// by unkeyable processors (which may alias it), plus — for an unkeyable
+// processor — everything.
+func factsFor(st resState, op *memOp) resFacts {
+	merged := make(resFacts)
+	take := func(f resFacts) {
+		for k, v := range f {
+			if _, ok := merged[k]; !ok {
+				merged[k] = v
+			}
+		}
+	}
+	if op.procOK {
+		if f, ok := st[op.proc]; ok {
+			take(f)
+		} else {
+			merged[resNone] = token.NoPos
+		}
+		if f, ok := st[procUnknown]; ok {
+			// An unkeyable processor may be this one: its reserved
+			// words (but not its "none") could apply here.
+			for k, v := range f {
+				if k != resNone {
+					if _, ok := merged[k]; !ok {
+						merged[k] = v
+					}
+				}
+			}
+		}
+		return merged
+	}
+	// Unkeyable processor: any tracked processor may be it.
+	for _, f := range st {
+		take(f)
+	}
+	if len(merged) == 0 {
+		merged[resNone] = token.NoPos
+	}
+	return merged
+}
+
+// reservedWords returns the non-none facts in f.
+func reservedWords(f resFacts) resFacts {
+	out := make(resFacts)
+	for k, v := range f {
+		if k != resNone {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// --- Replaying states for checks ---
+
+// resWalker replays the solved reservation states of one function body
+// node by node. onNode (if set) fires with the state in effect at the
+// start of each CFG node; onEvent (if set) fires with the state in
+// effect immediately before each tracked event. block identifies the
+// node's basic block, for reachability queries.
+type resWalker struct {
+	pass    *Pass
+	sums    *pkgSummaries
+	onNode  func(st resState, n ast.Node, block *Block)
+	onEvent func(st resState, ev resEvent, block *Block)
+}
+
+// walk solves the lattice for scope and replays it. It returns the CFG
+// so callers can run reachability queries against the same graph.
+func (w *resWalker) walk(scope funcScope) *CFG {
+	g := w.sums.cfg(scope)
+	lat := &resLattice{pass: w.pass, sums: w.sums, seed: w.sums.entrySeed(w.pass, scope)}
+	in := solve(g, lat)
+	for _, b := range g.Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		st = lat.clone(st)
+		for _, n := range b.Nodes {
+			if w.onNode != nil {
+				w.onNode(st, n, b)
+			}
+			for _, ev := range w.sums.events(w.pass, n) {
+				if w.onEvent != nil {
+					w.onEvent(st, ev, b)
+				}
+				applyResEvent(ev, st)
+			}
+		}
+	}
+	return g
+}
+
+// reachableFrom computes, for every block, whether a block satisfying
+// pred is reachable (inclusive of the block itself).
+func reachableFrom(g *CFG, pred func(*Block) bool) map[*Block]bool {
+	can := make(map[*Block]bool, len(g.Blocks))
+	// Iterate to fixpoint backwards along edges; the graph is small.
+	for {
+		changed := false
+		for _, b := range g.Blocks {
+			if can[b] {
+				continue
+			}
+			ok := pred(b)
+			for _, s := range b.Succs {
+				if can[s] {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				can[b] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return can
+		}
+	}
+}

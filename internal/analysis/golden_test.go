@@ -156,6 +156,18 @@ func TestRetryPolicyGolden(t *testing.T) {
 	checkGolden(t, RetryPolicy, "llscvet.test/retrypolicy/internal/structures", 1)
 }
 
+func TestResEscapeGolden(t *testing.T) {
+	checkGolden(t, ResEscape, "llscvet.test/resescape", 1)
+}
+
+func TestCtxDeadlineGolden(t *testing.T) {
+	checkGolden(t, CtxDeadline, "llscvet.test/ctxdeadline/internal/service", 1)
+}
+
+func TestProgressGolden(t *testing.T) {
+	checkGolden(t, Progress, "llscvet.test/progress/internal/core", 1)
+}
+
 func TestObsCounterGolden(t *testing.T) {
 	checkGolden(t, ObsCounter, "llscvet.test/obscounter", 1)
 }
@@ -188,6 +200,49 @@ func TestSuppressionDirectiveErrors(t *testing.T) {
 		if d.Suppressed {
 			t.Errorf("directive finding at %s must not be suppressible by itself", d.Pos)
 		}
+	}
+}
+
+// TestRunAuditedFlagsStaleClause pins the drift audit: the suppress
+// package carries one well-formed //llsc:allow clause whose check runs
+// and finds nothing there, so the audit must flag exactly that clause
+// (and not the malformed ones, which are findings in their own right).
+func TestRunAuditedFlagsStaleClause(t *testing.T) {
+	loader := testLoader(t)
+	pkgs, err := loader.Load("llscvet.test/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, unused, err := RunAudited(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused suppressions, want 1: %v", len(unused), unused)
+	}
+	u := unused[0]
+	if u.Check != "retrypolicy" || u.Reason != "bounded scan over a frozen snapshot" {
+		t.Errorf("unused clause = %s(%s), want retrypolicy(bounded scan over a frozen snapshot)", u.Check, u.Reason)
+	}
+	if !strings.Contains(u.String(), "unused suppression") {
+		t.Errorf("String() = %q, want it to name the clause as an unused suppression", u.String())
+	}
+}
+
+// TestRunAuditedLiveClausesStayQuiet runs the audit over a golden
+// package whose every clause suppresses a live finding: no drift.
+func TestRunAuditedLiveClausesStayQuiet(t *testing.T) {
+	loader := testLoader(t)
+	pkgs, err := loader.Load("llscvet.test/reservedpair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, unused, err := RunAudited(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unused) != 0 {
+		t.Errorf("got %d unused suppressions, want 0: %v", len(unused), unused)
 	}
 }
 

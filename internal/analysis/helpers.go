@@ -36,6 +36,26 @@ func isProtocolPkg(path string) bool {
 	return false
 }
 
+// servicePkgSuffixes are the deadline-disciplined packages of the PR 9
+// service layer: every retry loop that waits on contention must observe
+// its context deadline, or the shedder's vitals report latency the
+// caller has already given up on.
+var servicePkgSuffixes = []string{
+	"internal/service",
+	"internal/resilience",
+	"cmd/llscd",
+}
+
+// isServicePkg reports whether path is one of the service-layer packages.
+func isServicePkg(path string) bool {
+	for _, s := range servicePkgSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
 // pkgPathHasSuffix reports whether the package path equals suffix or ends
 // with "/"+suffix.
 func pkgPathHasSuffix(pkg *types.Package, suffix string) bool {

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Progress enforces the shape the lock-freedom arguments assume: every
+// unbounded retry loop in a protocol package makes a machine-visible
+// attempt on each iteration. Moir's proofs (and Herlihy's helping
+// constructions the universal package builds on) show that *some*
+// processor completes because every failed SC implies another processor
+// succeeded; a loop that spins without touching the machine — no SC/CAS
+// attempt, no helping Load, no channel handoff — is a livelock those
+// arguments say nothing about, and the contention layer never sees it
+// either (no wait, no backoff_waits counter, no soak-harness signal).
+//
+// The attempt vocabulary is deliberately broad: any machine.Proc
+// operation, a sync/atomic call, a method on a protocol-package type
+// (algorithm-level SC/CAS and helping routines), a channel operation
+// (blocking handoffs are the scheduler's problem, not a livelock), or a
+// same-package helper whose one-level summary performs any of these.
+var Progress = &Analyzer{
+	Name: "progress",
+	Doc: "check that unbounded for-loops in protocol packages contain an SC/CAS attempt or a\n" +
+		"helping call on every iteration: a spin that never touches the machine is a livelock\n" +
+		"outside the lock-freedom proofs. Bounded loops (with a condition or range clause) are\n" +
+		"exempt; justified spins carry //llsc:allow progress(reason).",
+	Run: runProgress,
+}
+
+func runProgress(pass *Pass) error {
+	if !isProtocolPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	sums := pass.summaries()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true // bounded by its condition
+			}
+			if loopMakesProgress(pass, sums, loop) {
+				return true
+			}
+			pass.Reportf(loop.Pos(),
+				"unbounded retry loop with no SC/CAS attempt or helping call: a spin that never touches the machine is a livelock the lock-freedom argument does not cover; attempt an operation, bound the loop, or suppress with //llsc:allow progress(reason)")
+			return true
+		})
+	}
+	return nil
+}
+
+// loopMakesProgress reports whether the loop performs a machine-visible
+// attempt: a machine.Proc op, sync/atomic call, protocol-package method
+// call, channel operation, or a same-package helper summarized to do any
+// of these. Nested function literals are excluded (they only run if
+// something calls them), but nested loops count — an inner loop that
+// attempts keeps the outer iteration honest.
+func loopMakesProgress(pass *Pass, sums *pkgSummaries, loop *ast.ForStmt) bool {
+	found := false
+	var nodes []ast.Node
+	for _, c := range []ast.Node{loop.Init, loop.Post, loop.Body} {
+		if c != nil {
+			nodes = append(nodes, c)
+		}
+	}
+	for _, node := range nodes {
+		ast.Inspect(node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt, *ast.SelectStmt:
+				found = true
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW { // channel receive
+					found = true
+					return false
+				}
+				return true
+			case *ast.RangeStmt:
+				// Ranging over a channel blocks; anything else is a
+				// bounded scan whose body may still attempt.
+				return true
+			case *ast.CallExpr:
+				if _, ok := classifyMemOp(pass.Info, n); ok {
+					found = true
+					return false
+				}
+				if isAtomicCall(pass.Info, n) || protocolMethodCallee(pass.Info, n) != nil {
+					found = true
+					return false
+				}
+				if callee := staticCallee(pass.Info, n); callee != nil {
+					if sum, ok := sums.funcs[callee]; ok && sum.machineProgress() {
+						found = true
+						return false
+					}
+				}
+				return true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

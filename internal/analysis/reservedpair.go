@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // memOpKind classifies the machine.Proc shared-memory operations the
@@ -39,12 +40,30 @@ type memOp struct {
 	kind memOpKind
 	pos  token.Pos
 
-	proc   string // identity key of the receiver expression
+	recv   ast.Expr // receiver expression: the processor
+	proc   string   // identity key of the receiver expression
 	procOK bool
 
 	word   ast.Expr // first argument: the target word
 	wordK  string
 	wordOK bool
+}
+
+// classifyMemOp recognizes a machine.Proc operation call site.
+func classifyMemOp(info *types.Info, call *ast.CallExpr) (memOp, bool) {
+	fn := methodCallee(info, call)
+	if fn == nil || !recvMatches(fn, "internal/machine", "Proc") {
+		return memOp{}, false
+	}
+	kind, tracked := memOpNames[fn.Name()]
+	if !tracked || len(call.Args) < 1 {
+		return memOp{}, false
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	op := memOp{kind: kind, pos: call.Pos(), recv: sel.X, word: call.Args[0]}
+	op.proc, op.procOK = exprKey(info, sel.X)
+	op.wordK, op.wordOK = exprKey(info, call.Args[0])
+	return op, true
 }
 
 // collectMemOps gathers scope's machine.Proc operations in source order,
@@ -59,19 +78,9 @@ func collectMemOps(pass *Pass, scope funcScope) []memOp {
 		if !ok {
 			return true
 		}
-		fn := methodCallee(pass.Info, call)
-		if fn == nil || !recvMatches(fn, "internal/machine", "Proc") {
-			return true
+		if op, ok := classifyMemOp(pass.Info, call); ok {
+			ops = append(ops, op)
 		}
-		kind, tracked := memOpNames[fn.Name()]
-		if !tracked || len(call.Args) < 1 {
-			return true
-		}
-		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		op := memOp{kind: kind, pos: call.Pos(), word: call.Args[0]}
-		op.proc, op.procOK = exprKey(pass.Info, sel.X)
-		op.wordK, op.wordOK = exprKey(pass.Info, call.Args[0])
-		ops = append(ops, op)
 		return true
 	})
 	return ops
@@ -93,69 +102,111 @@ func sameProc(a, b memOp) bool {
 // by the same processor, and no later RLL may have displaced the
 // reservation — a processor holds at most one (the R4000 LLBit).
 //
-// The check is intraprocedural and uses source order within a function
-// body as its dominance approximation, which is exact for the paper's
-// tight RLL/RSC pairs. One indirection is tolerated: a function that
-// performs no RLL of its own and whose RSC targets a *machine.Word
-// parameter is treated as a continuation helper whose caller holds the
-// reservation; such helpers are checked at their call sites by
-// inspection, or suppressed explicitly.
+// The check is path-sensitive: the reservation lattice (dataflow.go) is
+// solved over the function's CFG, so early returns, branches that skip
+// the RLL, and loop back-edges that re-execute an RSC after its
+// reservation was consumed are all visible. An RSC consumes the
+// reservation whether or not the store succeeds (machine.Proc.RSC clears
+// it unconditionally, as the R4000 does), so a second RSC without an
+// intervening RLL is flagged on the back-edge path.
+//
+// Continuation helpers — functions with no RLL of their own whose RSC
+// targets a *machine.Word parameter — are no longer silently tolerated:
+// the helper's entry state is seeded with the caller-held reservation
+// (entrySeed), and every call site of such a helper is treated as an RSC
+// performed on the caller's behalf, requiring a live reservation on the
+// word passed in.
 var ReservedPair = &Analyzer{
 	Name: "reservedpair",
-	Doc: "check that every RSC is dominated by an RLL on the same word (one reservation per processor).\n" +
-		"An RSC with no RLL before it in the same function, or with a later RLL on a different\n" +
-		"word in between (which displaces the single per-processor reservation), always fails at\n" +
-		"runtime; the fault injector only finds these paths if a test happens to execute them.",
+	Doc: "check that every RSC is dominated by an RLL on the same word along every path\n" +
+		"(one reservation per processor). An RSC reachable on a path with no RLL, or whose\n" +
+		"reservation a later RLL on a different word displaced, always fails at runtime; the\n" +
+		"fault injector only finds these paths if a test happens to execute them. Calls to\n" +
+		"continuation helpers (no own RLL, RSC on a *machine.Word parameter) are checked as\n" +
+		"RSCs at the call site.",
 	Run: runReservedPair,
 }
 
 func runReservedPair(pass *Pass) error {
+	sums := pass.summaries()
 	for _, f := range pass.Files {
 		for _, scope := range funcScopes(f) {
-			checkReservedPair(pass, scope)
+			scope := scope
+			w := &resWalker{
+				pass: pass,
+				sums: sums,
+				onEvent: func(st resState, ev resEvent, _ *Block) {
+					op := ev.op
+					if op == nil {
+						hop, ok := ev.helperWordOp()
+						if !ok {
+							return
+						}
+						op = hop
+					}
+					if op.kind != opRSC {
+						return
+					}
+					checkRSCState(pass, scope, st, op)
+				},
+			}
+			w.walk(scope)
 		}
 	}
 	return nil
 }
 
-func checkReservedPair(pass *Pass, scope funcScope) {
-	ops := collectMemOps(pass, scope)
-	hasRLL := false
-	for _, op := range ops {
-		if op.kind == opRLL {
-			hasRLL = true
-			break
-		}
-	}
-	for i, op := range ops {
-		if op.kind != opRSC {
-			continue
-		}
-		// The nearest preceding RLL by the same processor holds the live
-		// reservation at this point (a processor has exactly one LLBit).
-		last := -1
-		for j := i - 1; j >= 0; j-- {
-			if ops[j].kind == opRLL && sameProc(ops[j], op) {
-				last = j
-				break
-			}
-		}
-		if last < 0 {
-			if !hasRLL && isWordParam(scope, rootIdentObj(pass.Info, op.word)) {
-				// Continuation helper: the word (and its reservation)
-				// came from the caller.
-				continue
-			}
+// checkRSCState inspects the reservation facts in force immediately
+// before one RSC (or continuation-helper call) and reports the protocol
+// violations the state proves.
+func checkRSCState(pass *Pass, scope funcScope, st resState, op *memOp) {
+	facts := factsFor(st, op)
+	_, hasNone := facts[resNone]
+	words := reservedWords(facts)
+
+	if !op.wordOK {
+		// Unkeyable target word: only a definitely-empty reservation
+		// state is safe to flag.
+		if hasNone && len(words) == 0 {
 			pass.Reportf(op.pos,
 				"RSC without a dominating RLL in %s: the store-conditional can never succeed (reservation protocol, Moir §2)",
 				scope.name)
-			continue
 		}
-		rll := ops[last]
-		if op.wordOK && rll.wordOK && op.wordK != rll.wordK {
-			pass.Reportf(op.pos,
-				"RSC on a word whose reservation was displaced: the nearest RLL (line %d) targets a different word, and a processor holds only one reservation",
-				pass.Fset.Position(rll.pos).Line)
+		return
+	}
+
+	_, matched := words[op.wordK]
+	if _, unk := words[resUnknownWord]; unk {
+		matched = true // an unkeyable RLL target may be this word
+	}
+	others := make([]token.Pos, 0, len(words))
+	for k, pos := range words {
+		if k != op.wordK && k != resUnknownWord {
+			others = append(others, pos)
 		}
+	}
+
+	switch {
+	case matched && !hasNone:
+		// Every path reaches this RSC holding a reservation that may be
+		// on this word: protocol satisfied (as far as keys can tell).
+	case matched && hasNone:
+		pass.Reportf(op.pos,
+			"RSC reachable on a path with no dominating RLL in %s: the store-conditional fails on that path (reservation protocol, Moir §2)",
+			scope.name)
+	case len(others) > 0:
+		latest := others[0]
+		for _, p := range others[1:] {
+			if p > latest {
+				latest = p
+			}
+		}
+		pass.Reportf(op.pos,
+			"RSC on a word whose reservation was displaced: the RLL at line %d reserved a different word, and a processor holds only one reservation",
+			pass.Fset.Position(latest).Line)
+	default:
+		pass.Reportf(op.pos,
+			"RSC without a dominating RLL in %s: the store-conditional can never succeed (reservation protocol, Moir §2)",
+			scope.name)
 	}
 }

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// ResEscape enforces that a live reservation stays on the goroutine that
+// established it. machine.Proc reservations model the R4000 LLBit: a
+// per-processor register with no cross-processor visibility. If code
+// holding a reservation hands the reserving processor — or the reserved
+// word — to another goroutine (a `go` statement, a channel send, or a
+// closure stored to a field for later invocation), the RSC may execute
+// on a different goroutine than the RLL. The native substrate cannot
+// detect this: the one-reservation-per-processor contract is broken
+// silently and the SC fails (or worse, succeeds against a stale
+// reservation under the sim's relaxed mode). The analyzer flags the
+// escape point while the window is open; handing processors around
+// *outside* a reservation window is ordinary and stays quiet.
+var ResEscape = &Analyzer{
+	Name: "resescape",
+	Doc: "check that a live reservation does not escape its goroutine: between RLL and RSC,\n" +
+		"the reserving processor and the reserved word must not be captured by a go statement,\n" +
+		"sent on a channel, or closed over in a closure stored to a field. A cross-goroutine\n" +
+		"RSC breaks the one-reservation-per-processor contract invisibly.",
+	Run: runResEscape,
+}
+
+func runResEscape(pass *Pass) error {
+	sums := pass.summaries()
+	for _, f := range pass.Files {
+		for _, scope := range funcScopes(f) {
+			checkResEscape(pass, sums, scope)
+		}
+	}
+	return nil
+}
+
+// objKeyRE extracts the root object tokens from an expression key:
+// "obj@123.field" names the object declared at position 123.
+var objKeyRE = regexp.MustCompile(`obj@\d+`)
+
+// liveRoots collects the root object tokens of every keyed processor
+// holding a live reservation and of every word it has reserved, along
+// with the establishing RLL position (for the report).
+func liveRoots(st resState) (map[string]token.Pos, bool) {
+	roots := make(map[string]token.Pos)
+	for proc, facts := range st {
+		if proc == procUnknown {
+			continue
+		}
+		for word, pos := range facts {
+			if word == resNone {
+				continue
+			}
+			for _, r := range objKeyRE.FindAllString(proc, -1) {
+				roots[r] = pos
+			}
+			if word != resUnknownWord {
+				for _, r := range objKeyRE.FindAllString(word, -1) {
+					roots[r] = pos
+				}
+			}
+		}
+	}
+	return roots, len(roots) > 0
+}
+
+// capturedRoot reports whether the subtree references any of the root
+// objects, returning the match's RLL position.
+func capturedRoot(pass *Pass, n ast.Node, roots map[string]token.Pos) (token.Pos, bool) {
+	var rll token.Pos
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if pos, hit := roots[fmt.Sprintf("obj@%d", obj.Pos())]; hit {
+			rll, found = pos, true
+			return false
+		}
+		return true
+	})
+	return rll, found
+}
+
+func checkResEscape(pass *Pass, sums *pkgSummaries, scope funcScope) {
+	w := &resWalker{
+		pass: pass,
+		sums: sums,
+		onNode: func(st resState, n ast.Node, _ *Block) {
+			roots, any := liveRoots(st)
+			if !any {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if rll, hit := capturedRoot(pass, n.Call, roots); hit {
+					pass.Reportf(n.Pos(),
+						"reservation established by the RLL at line %d escapes into a goroutine: an RSC on another goroutine breaks the one-reservation-per-processor contract (complete the RLL/RSC pair first)",
+						pass.Fset.Position(rll).Line)
+				}
+			case *ast.SendStmt:
+				if rll, hit := capturedRoot(pass, n.Value, roots); hit {
+					pass.Reportf(n.Pos(),
+						"reservation established by the RLL at line %d escapes via channel send: the receiver may RSC on another goroutine, breaking the one-reservation-per-processor contract",
+						pass.Fset.Position(rll).Line)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); !ok {
+						continue
+					}
+					if i >= len(n.Rhs) {
+						break
+					}
+					lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if rll, hit := capturedRoot(pass, lit.Body, roots); hit {
+						pass.Reportf(n.Pos(),
+							"reservation established by the RLL at line %d escapes into a closure stored to a field: a deferred RSC may run on another goroutine, breaking the one-reservation-per-processor contract",
+							pass.Fset.Position(rll).Line)
+					}
+				}
+			}
+		},
+	}
+	w.walk(scope)
+}

@@ -14,14 +14,19 @@ import (
 // warns about, and does it invisibly: the policy layer reports nothing
 // for iterations it never saw.
 //
-// Loops whose retries are intentionally policy-free (e.g. bounded helper
-// scans) carry //llsc:allow retrypolicy(reason) on the for statement.
+// The resilience.Retrier.Do closure idiom from PR 9 wraps every attempt
+// in Waiter.Wait internally, so a Do call anywhere on the retry path
+// counts as consulting the policy — service-layer loops built on Do need
+// no per-call-site suppression. Loops whose retries are intentionally
+// policy-free (e.g. bounded helper scans) carry
+// //llsc:allow retrypolicy(reason) on the for statement.
 var RetryPolicy = &Analyzer{
 	Name: "retrypolicy",
-	Doc: "check that SC/CAS retry loops in the protocol packages consult the contention\n" +
-		"policy: a for loop that directly retries RSC/CAS (machine level) or SC/CompareAndSwap\n" +
-		"(algorithm level) must contain a contention.Waiter.Wait call or an explicit\n" +
-		"//llsc:allow retrypolicy(reason) suppression.",
+	Doc: "check that SC/CAS retry loops in the protocol and service packages consult the\n" +
+		"contention policy: a for loop that directly retries RSC/CAS (machine level) or\n" +
+		"SC/CompareAndSwap (algorithm level) must contain a contention.Waiter.Wait or\n" +
+		"resilience.Retrier.Do call, or an explicit //llsc:allow retrypolicy(reason)\n" +
+		"suppression.",
 	Run: runRetryPolicy,
 }
 
@@ -47,7 +52,7 @@ var retryRecvSuffixes = []string{
 }
 
 func runRetryPolicy(pass *Pass) error {
-	if !isProtocolPkg(pass.Pkg.Path()) {
+	if !isProtocolPkg(pass.Pkg.Path()) && !isServicePkg(pass.Pkg.Path()) {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -117,9 +122,11 @@ func loopRetriesPrimitive(pass *Pass, body *ast.BlockStmt) bool {
 }
 
 // loopConsultsWaiter reports whether any of the nodes contains a call to
-// contention.Waiter.Wait or WaitTimed anywhere (nested blocks and loops
-// included: a wait taken on any retry path services the enclosing loop;
-// WaitTimed is the traced variant used by span-instrumented loops).
+// contention.Waiter.Wait or WaitTimed, or to resilience.Retrier.Do
+// (which waits internally on every attempt), anywhere — nested blocks
+// and loops included: a wait taken on any retry path services the
+// enclosing loop; WaitTimed is the traced variant used by
+// span-instrumented loops.
 func loopConsultsWaiter(pass *Pass, nodes ...ast.Node) bool {
 	found := false
 	for _, node := range nodes {
@@ -131,8 +138,7 @@ func loopConsultsWaiter(pass *Pass, nodes ...ast.Node) bool {
 			if !ok {
 				return true
 			}
-			fn := methodCallee(pass.Info, call)
-			if fn != nil && (fn.Name() == "Wait" || fn.Name() == "WaitTimed") && recvMatches(fn, "internal/contention", "Waiter") {
+			if isWaiterCall(pass.Info, call) || isRetrierDo(pass.Info, call) {
 				found = true
 				return false
 			}

@@ -1,5 +1,10 @@
 package analysis
 
+import (
+	"go/ast"
+	"go/token"
+)
+
 // StrictAccess enforces the R4000 restriction that the LL/SC algorithms
 // in this repository are written against: a processor must not perform
 // any other shared-memory access between its RLL and the matching RSC.
@@ -10,59 +15,191 @@ package analysis
 // executions that a test happens to drive. This analyzer makes the window
 // discipline a compile-time property.
 //
-// The window is the source-order span from an RLL to the nearest
-// following RSC by the same processor on the same word, within one
-// function body. Accesses by *other* processors inside the window are
-// fine (that is ordinary interference, which the algorithms tolerate);
-// only the reserving processor's own accesses are flagged.
+// The window is flow-sensitive: an access is inside it when the
+// reservation lattice proves the accessing processor may hold a live
+// reservation at the access and an RSC by that processor is still
+// reachable ahead in the CFG. Accesses by *other* processors inside the
+// window are fine (that is ordinary interference, which the algorithms
+// tolerate). The window also extends through same-package helper calls:
+// a call that passes the reserving processor to a helper whose summary
+// performs a Load/Store/CAS clears the reservation just as surely as an
+// inline access.
 var StrictAccess = &Analyzer{
 	Name: "strictaccess",
-	Doc: "check that no Load/Store/CAS by the reserving processor occurs between RLL and RSC.\n" +
-		"Under machine.Config.Strict (the R4000 model) such an access clears the reservation\n" +
-		"and the RSC always fails; algorithms from the paper keep the window empty.",
+	Doc: "check that no Load/Store/CAS by the reserving processor occurs between RLL and RSC,\n" +
+		"directly or through a same-package helper call. Under machine.Config.Strict (the R4000\n" +
+		"model) such an access clears the reservation and the RSC always fails; algorithms from\n" +
+		"the paper keep the window empty.",
 	Run: runStrictAccess,
 }
 
 func runStrictAccess(pass *Pass) error {
+	sums := pass.summaries()
 	for _, f := range pass.Files {
 		for _, scope := range funcScopes(f) {
-			checkStrictAccess(pass, scope)
+			checkStrictAccess(pass, sums, scope)
 		}
 	}
 	return nil
 }
 
-func checkStrictAccess(pass *Pass, scope funcScope) {
-	ops := collectMemOps(pass, scope)
-	for i, op := range ops {
-		if op.kind != opRSC {
-			continue
-		}
-		last := -1
-		for j := i - 1; j >= 0; j-- {
-			if ops[j].kind == opRLL && sameProc(ops[j], op) {
-				last = j
-				break
-			}
-		}
-		if last < 0 {
-			continue // reservedpair's finding, not ours
-		}
-		rll := ops[last]
-		if op.wordOK && rll.wordOK && op.wordK != rll.wordK {
-			continue // displaced reservation: also reservedpair's finding
-		}
-		for k := last + 1; k < i; k++ {
-			between := ops[k]
-			switch between.kind {
-			case opLoad, opStore, opCAS:
-				if !between.procOK || !rll.procOK || between.proc != rll.proc {
-					continue // another processor's access: plain interference
+// rscSite is one RLL or RSC occurrence (direct or continuation-helper
+// call) used for the "RSC still ahead" half of the window test.
+type rscSite struct {
+	kind   memOpKind // opRLL or opRSC
+	pos    token.Pos
+	proc   string
+	procOK bool
+}
+
+func checkStrictAccess(pass *Pass, sums *pkgSummaries, scope funcScope) {
+	// First pass over the solved CFG: index every RSC site per block.
+	rscs := make(map[*Block][]rscSite)
+	w := &resWalker{
+		pass: pass,
+		sums: sums,
+		onEvent: func(_ resState, ev resEvent, b *Block) {
+			op := ev.op
+			if op == nil {
+				if hop, ok := ev.helperWordOp(); ok {
+					op = hop
+				} else {
+					return
 				}
-				pass.Reportf(between.pos,
-					"%s between RLL (line %d) and RSC (line %d) by the reserving processor clears the reservation under machine.Config.Strict (R4000 rule): move it before the RLL or after the RSC",
-					between.kind, pass.Fset.Position(rll.pos).Line, pass.Fset.Position(op.pos).Line)
 			}
+			if op.kind == opRSC || op.kind == opRLL {
+				rscs[b] = append(rscs[b], rscSite{kind: op.kind, pos: op.pos, proc: op.proc, procOK: op.procOK})
+			}
+		},
+	}
+	w.walk(scope)
+
+	// Second pass: at every access inside a live window with an RSC
+	// ahead, report.
+	w.onEvent = func(st resState, ev resEvent, b *Block) {
+		switch {
+		case ev.op != nil:
+			switch ev.op.kind {
+			case opLoad, opStore, opCAS:
+			default:
+				return
+			}
+			if !ev.op.procOK {
+				return // can't attribute the access to a processor
+			}
+			rll, live := liveReservation(st, ev.op.proc)
+			if !live {
+				return
+			}
+			rsc, ahead := rscAhead(rscs, b, ev.op.pos, ev.op.proc)
+			if !ahead {
+				return
+			}
+			pass.Reportf(ev.op.pos,
+				"%s between RLL (line %d) and RSC (line %d) by the reserving processor clears the reservation under machine.Config.Strict (R4000 rule): move it before the RLL or after the RSC",
+				ev.op.kind, pass.Fset.Position(rll).Line, pass.Fset.Position(rsc).Line)
+		case ev.helper != nil && ev.helper.cont == nil:
+			kind, accesses := ev.helper.performsAccess()
+			if !accesses {
+				return
+			}
+			proc, ok := callPassesReservingProc(pass, ev.call, st)
+			if !ok {
+				return
+			}
+			rll, _ := liveReservation(st, proc)
+			rsc, ahead := rscAhead(rscs, b, ev.call.Pos(), proc)
+			if !ahead {
+				return
+			}
+			pass.Reportf(ev.call.Pos(),
+				"call to %s (which performs a %s) between RLL (line %d) and RSC (line %d) passes the reserving processor: the helper's access clears the reservation under machine.Config.Strict (R4000 rule)",
+				ev.helper.name, kind, pass.Fset.Position(rll).Line, pass.Fset.Position(rsc).Line)
 		}
 	}
+	w.walk(scope)
+}
+
+// liveReservation reports whether the keyed processor may hold a live
+// reservation in st, returning the establishing RLL's position.
+func liveReservation(st resState, proc string) (token.Pos, bool) {
+	facts, ok := st[proc]
+	if !ok {
+		return token.NoPos, false
+	}
+	var best token.Pos
+	for k, pos := range facts {
+		if k != resNone && pos > best {
+			best = pos
+		}
+	}
+	return best, best != token.NoPos
+}
+
+// rscAhead reports whether an RSC attributable to proc is reachable from
+// position pos in block b with no intervening RLL re-establishing the
+// reservation — only then does the access at pos actually break the
+// window. It returns the consuming site's position. The scan is
+// conservative toward silence: an RLL whose processor cannot be keyed is
+// treated as re-establishing.
+func rscAhead(rscs map[*Block][]rscSite, b *Block, pos token.Pos, proc string) (token.Pos, bool) {
+	// scan returns the first decisive site after `after`: an RSC that may
+	// be proc's (found), or an RLL that may re-establish (blocked).
+	scan := func(blk *Block, after token.Pos) (token.Pos, bool, bool) {
+		for _, s := range rscs[blk] {
+			if s.pos <= after {
+				continue
+			}
+			mayBeProc := !s.procOK || s.proc == proc
+			if !mayBeProc {
+				continue
+			}
+			if s.kind == opRSC {
+				return s.pos, true, true
+			}
+			return token.NoPos, false, true // RLL: window restarts here
+		}
+		return token.NoPos, false, false
+	}
+	if p, found, decided := scan(b, pos); decided {
+		return p, found
+	}
+	seen := map[*Block]bool{b: true}
+	queue := append([]*Block(nil), b.Succs...)
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		if p, found, decided := scan(blk, token.NoPos); decided {
+			if found {
+				return p, true
+			}
+			continue // path re-reserves before consuming: stop here
+		}
+		queue = append(queue, blk.Succs...)
+	}
+	return token.NoPos, false
+}
+
+// callPassesReservingProc reports whether the call hands a processor
+// that holds a live reservation to the callee — as an argument or as the
+// method receiver — returning that processor's key.
+func callPassesReservingProc(pass *Pass, call *ast.CallExpr, st resState) (string, bool) {
+	exprs := append([]ast.Expr(nil), call.Args...)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, e := range exprs {
+		k, ok := exprKey(pass.Info, e)
+		if !ok {
+			continue
+		}
+		if _, live := liveReservation(st, k); live {
+			return k, true
+		}
+	}
+	return "", false
 }

@@ -1,0 +1,435 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the interprocedural half of the analysis engine: a
+// one-level call-graph summary pass over one package. Each function
+// declaration gets a conservative "may" summary of the facts the checks
+// care about — which machine.Proc operations it can perform, whether it
+// touches sync/atomic or calls into protocol-package methods, whether
+// it consults the contention policy or a context deadline — folded one
+// level across same-package direct calls. Deeper recursion is
+// deliberately out of scope (the summaries would stop being readable as
+// specifications); docs/STATIC_ANALYSIS.md lists the limit.
+//
+// The special summary is the continuation helper: a function that
+// performs an RSC on a *machine.Word parameter and no RLL of its own
+// consumes a reservation its caller holds. PR 5's analyzers tolerated
+// such helpers by staying quiet; with summaries the tolerance becomes a
+// contract that is enforced at every call site — the caller must hold a
+// live reservation on the word it passes, exactly as if it executed the
+// RSC itself.
+
+// contInfo identifies a continuation helper's parameters: flattened
+// indexes of the processor and reserved-word arguments (-1 when the
+// processor is not a parameter, e.g. a method receiver).
+type contInfo struct {
+	procParam int
+	wordParam int
+}
+
+// funcSummary is one function's folded facts.
+type funcSummary struct {
+	name string
+	decl *ast.FuncDecl
+
+	ops        map[memOpKind]bool // machine.Proc operations it may perform
+	atomic     bool               // may call into sync/atomic
+	protoCall  bool               // may call a protocol-package method
+	waits      bool               // may consult contention.Waiter / Retrier.Do
+	ctxConsult bool               // may consult ctx.Done/Err/Deadline
+
+	cont *contInfo // non-nil: continuation helper
+}
+
+// performsAccess reports whether the summary includes a plain shared
+// access (Load/Store/CAS) — the operations strictaccess forbids inside
+// a reservation window.
+func (s *funcSummary) performsAccess() (memOpKind, bool) {
+	for _, k := range []memOpKind{opLoad, opStore, opCAS} {
+		if s.ops[k] {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// machineProgress reports whether the summary includes anything the
+// progress check accepts as an attempt: a machine.Proc op, a raw atomic
+// op, or a call into a protocol-package method.
+func (s *funcSummary) machineProgress() bool {
+	return len(s.ops) > 0 || s.atomic || s.protoCall
+}
+
+// resEvent is one state-relevant occurrence inside a CFG node: a
+// machine.Proc operation, or a call to a summarized same-package
+// function.
+type resEvent struct {
+	op     *memOp        // non-nil for machine.Proc operations
+	call   *ast.CallExpr // the call expression (set for both kinds)
+	helper *funcSummary  // non-nil for same-package calls with a summary
+
+	pass *Pass
+}
+
+// helperProcKey returns the expression key of the processor argument
+// handed to a continuation helper.
+func (ev resEvent) helperProcKey() (string, bool) {
+	if ev.helper == nil || ev.helper.cont == nil {
+		return "", false
+	}
+	i := ev.helper.cont.procParam
+	if i < 0 || i >= len(ev.call.Args) {
+		return "", false
+	}
+	return exprKey(ev.pass.Info, ev.call.Args[i])
+}
+
+// helperWordOp synthesizes the RSC-shaped memOp a continuation-helper
+// call performs on its caller's behalf, so the reservation checks can
+// treat the call site exactly like an RSC.
+func (ev resEvent) helperWordOp() (*memOp, bool) {
+	if ev.helper == nil || ev.helper.cont == nil {
+		return nil, false
+	}
+	i := ev.helper.cont.wordParam
+	if i < 0 || i >= len(ev.call.Args) {
+		return nil, false
+	}
+	op := &memOp{kind: opRSC, pos: ev.call.Pos(), word: ev.call.Args[i]}
+	op.wordK, op.wordOK = exprKey(ev.pass.Info, ev.call.Args[i])
+	op.proc, op.procOK = ev.helperProcKey()
+	return op, true
+}
+
+// pkgSummaries carries the per-package engine state shared by every
+// analyzer pass over that package: function summaries, CFGs, and the
+// per-node event streams (cached because the solver replays them on
+// every fixpoint iteration).
+type pkgSummaries struct {
+	funcs      map[*types.Func]*funcSummary
+	cfgs       map[ast.Node]*CFG
+	nodeEvents map[ast.Node][]resEvent
+}
+
+// summaries returns (building on first use) the package engine state.
+func (p *Pass) summaries() *pkgSummaries {
+	if p.sums == nil {
+		p.sums = computeSummaries(p)
+	}
+	return p.sums
+}
+
+// cfg returns the (cached) control-flow graph of one function scope.
+func (s *pkgSummaries) cfg(scope funcScope) *CFG {
+	if g, ok := s.cfgs[scope.node]; ok {
+		return g
+	}
+	g := buildCFG(scope.body)
+	s.cfgs[scope.node] = g
+	return g
+}
+
+// directFacts is the pre-fold view of one declaration, kept only while
+// building the package summaries.
+type directFacts struct {
+	sum     *funcSummary
+	callees []*types.Func
+}
+
+func computeSummaries(pass *Pass) *pkgSummaries {
+	s := &pkgSummaries{
+		funcs:      make(map[*types.Func]*funcSummary),
+		cfgs:       make(map[ast.Node]*CFG),
+		nodeEvents: make(map[ast.Node][]resEvent),
+	}
+	var facts []*directFacts
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			df := scanDecl(pass, decl)
+			s.funcs[obj] = df.sum
+			facts = append(facts, df)
+		}
+	}
+	// Fold one level: a function inherits the direct facts of the
+	// same-package functions it calls directly. Snapshot the direct
+	// facts first so the fold is exactly one level deep regardless of
+	// declaration order.
+	type snapshot struct {
+		ops                                  map[memOpKind]bool
+		atomic, protoCall, waits, ctxConsult bool
+	}
+	snap := make(map[*types.Func]snapshot, len(s.funcs))
+	for obj, sum := range s.funcs {
+		ops := make(map[memOpKind]bool, len(sum.ops))
+		for k := range sum.ops {
+			ops[k] = true
+		}
+		snap[obj] = snapshot{ops, sum.atomic, sum.protoCall, sum.waits, sum.ctxConsult}
+	}
+	for _, df := range facts {
+		for _, callee := range df.callees {
+			sn, ok := snap[callee]
+			if !ok {
+				continue
+			}
+			for k := range sn.ops {
+				df.sum.ops[k] = true
+			}
+			df.sum.atomic = df.sum.atomic || sn.atomic
+			df.sum.protoCall = df.sum.protoCall || sn.protoCall
+			df.sum.waits = df.sum.waits || sn.waits
+			df.sum.ctxConsult = df.sum.ctxConsult || sn.ctxConsult
+		}
+	}
+	return s
+}
+
+// scanDecl collects one declaration's direct facts.
+func scanDecl(pass *Pass, decl *ast.FuncDecl) *directFacts {
+	sum := &funcSummary{name: decl.Name.Name, decl: decl, ops: make(map[memOpKind]bool)}
+	df := &directFacts{sum: sum}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := classifyMemOp(pass.Info, call); ok {
+			sum.ops[op.kind] = true
+			return true
+		}
+		if isAtomicCall(pass.Info, call) {
+			sum.atomic = true
+		}
+		if isWaiterCall(pass.Info, call) {
+			sum.waits = true
+		}
+		if isRetrierDo(pass.Info, call) {
+			// Do waits on contention AND checks ctx.Err() every attempt.
+			sum.waits = true
+			sum.ctxConsult = true
+		}
+		if isCtxConsult(pass.Info, call) {
+			sum.ctxConsult = true
+		}
+		if fn := protocolMethodCallee(pass.Info, call); fn != nil {
+			sum.protoCall = true
+		}
+		if callee := staticCallee(pass.Info, call); callee != nil && callee.Pkg() == pass.Pkg {
+			df.callees = append(df.callees, callee)
+		}
+		return true
+	})
+	// Continuation-helper detection uses the same-scope op stream the
+	// PR 5 checks used: nested literals are their own scopes.
+	scope := funcScope{name: decl.Name.Name, node: decl, body: decl.Body}
+	ops := collectMemOps(pass, scope)
+	hasRLL := false
+	for _, op := range ops {
+		if op.kind == opRLL {
+			hasRLL = true
+		}
+	}
+	if !hasRLL {
+		for i := range ops {
+			op := &ops[i]
+			if op.kind != opRSC {
+				continue
+			}
+			wordObj := rootIdentObj(pass.Info, op.word)
+			if !isWordParam(scope, wordObj) {
+				continue
+			}
+			ci := &contInfo{procParam: -1, wordParam: paramIndex(pass, decl, wordObj)}
+			if procObj := rootIdentObj(pass.Info, op.recv); procObj != nil {
+				ci.procParam = paramIndex(pass, decl, procObj)
+			}
+			if ci.wordParam >= 0 {
+				sum.cont = ci
+				break
+			}
+		}
+	}
+	return df
+}
+
+// paramIndex returns the flattened parameter index of obj in decl, or
+// -1 when obj is not a parameter of decl.
+func paramIndex(pass *Pass, decl *ast.FuncDecl, obj types.Object) int {
+	if obj == nil || decl.Type.Params == nil {
+		return -1
+	}
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if pass.Info.Defs[name] == obj {
+				return i
+			}
+			i++
+		}
+	}
+	return -1
+}
+
+// entrySeed computes the reservation state a scope starts with: empty
+// for ordinary functions, and — for continuation helpers, declaration
+// or literal — the caller-held reservation on each *machine.Word
+// parameter that an own-RLL-free RSC targets.
+func (s *pkgSummaries) entrySeed(pass *Pass, scope funcScope) resState {
+	ops := collectMemOps(pass, scope)
+	for _, op := range ops {
+		if op.kind == opRLL {
+			return nil // establishes its own reservations; no seed
+		}
+	}
+	seed := make(resState)
+	for _, op := range ops {
+		if op.kind != opRSC || !op.wordOK {
+			continue
+		}
+		if !isWordParam(scope, rootIdentObj(pass.Info, op.word)) {
+			continue
+		}
+		seed[procKeyOf(&op)] = resFacts{op.wordK: scope.body.Pos()}
+	}
+	if len(seed) == 0 {
+		return nil
+	}
+	return seed
+}
+
+// events extracts (and caches) the state-relevant occurrences inside
+// one CFG node, in preorder, with nested function literals excluded —
+// each literal is its own scope with its own CFG and events.
+func (s *pkgSummaries) events(pass *Pass, n ast.Node) []resEvent {
+	if evs, ok := s.nodeEvents[n]; ok {
+		return evs
+	}
+	var evs []resEvent
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := classifyMemOp(pass.Info, call); ok {
+			opCopy := op
+			evs = append(evs, resEvent{op: &opCopy, call: call, pass: pass})
+			return true
+		}
+		if callee := staticCallee(pass.Info, call); callee != nil {
+			if sum, ok := s.funcs[callee]; ok {
+				evs = append(evs, resEvent{call: call, helper: sum, pass: pass})
+			}
+		}
+		return true
+	})
+	s.nodeEvents[n] = evs
+	return evs
+}
+
+// staticCallee resolves a call to the *types.Func it statically
+// invokes: a plain function, a package-qualified function, or a method.
+// Interface dispatch and function values return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// protocolMethodCallee returns the method a call invokes when its
+// receiver type is declared in a protocol package, else nil.
+func protocolMethodCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := methodCallee(info, call)
+	if fn == nil {
+		return nil
+	}
+	for _, suffix := range protocolPkgSuffixes {
+		if recvInPkgSuffix(fn, suffix) {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call is a direct sync/atomic package
+// call or a method on a sync/atomic type (atomic.Uint64 and friends).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if x, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := info.Uses[x].(*types.PkgName); ok {
+			return pn.Imported().Path() == "sync/atomic"
+		}
+	}
+	if fn := methodCallee(info, call); fn != nil {
+		recv := fn.Type().(*types.Signature).Recv()
+		if _, pkg, ok := namedDecl(recv.Type()); ok && pkg != nil && pkg.Path() == "sync/atomic" {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaiterCall reports whether call consults the contention policy:
+// contention.Waiter.Wait or WaitTimed.
+func isWaiterCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := methodCallee(info, call)
+	return fn != nil && (fn.Name() == "Wait" || fn.Name() == "WaitTimed") &&
+		recvMatches(fn, "internal/contention", "Waiter")
+}
+
+// isRetrierDo reports whether call is resilience.Retrier.Do — a retry
+// loop that consults both the contention policy and the context
+// deadline internally, so call sites inherit both properties.
+func isRetrierDo(info *types.Info, call *ast.CallExpr) bool {
+	fn := methodCallee(info, call)
+	return fn != nil && fn.Name() == "Do" && recvMatches(fn, "internal/resilience", "Retrier")
+}
+
+// isCtxConsult reports whether call consults a context deadline:
+// Done/Err/Deadline on a context.Context value.
+func isCtxConsult(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Done", "Err", "Deadline":
+	default:
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	name, pkg, ok := namedDecl(tv.Type)
+	return ok && name == "Context" && pkg != nil && pkg.Path() == "context"
+}

@@ -1,0 +1,97 @@
+// Golden cases for the ctxdeadline analyzer: this package's import path
+// ends in internal/service, so it is a service-layer package.
+package service
+
+import (
+	"context"
+
+	"llscvet.test/internal/contention"
+	"llscvet.test/internal/resilience"
+)
+
+func attempt() bool { return true }
+
+// bareWait retries through the contention layer but never looks at any
+// deadline: the loop outlives its caller's patience invisibly.
+func bareWait(w *contention.Waiter, pol *contention.Policy) {
+	for { // want "without consulting the context deadline"
+		if attempt() {
+			return
+		}
+		w.Wait(pol)
+	}
+}
+
+func checksDeadline(ctx context.Context, w *contention.Waiter, pol *contention.Policy) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if attempt() {
+			return
+		}
+		w.Wait(pol)
+	}
+}
+
+// doIdiom needs no separate deadline check: resilience.Retrier.Do
+// consults ctx.Err() before every attempt internally.
+func doIdiom(ctx context.Context, r *resilience.Retrier) {
+	for {
+		if r.Do(ctx, 0, func() error { return nil }) == nil {
+			return
+		}
+	}
+}
+
+// helperWait waits one call down; the one-level call-graph summary
+// attributes backoff's wait to the loop, which still lacks a deadline
+// check.
+func helperWait(w *contention.Waiter, pol *contention.Policy) {
+	for { // want "without consulting the context deadline"
+		if attempt() {
+			return
+		}
+		backoff(w, pol)
+	}
+}
+
+func backoff(w *contention.Waiter, pol *contention.Policy) { w.Wait(pol) }
+
+// helperChecks both waits and consults the deadline one call down: the
+// summary carries both facts, so the loop is clean.
+func helperChecks(ctx context.Context, w *contention.Waiter, pol *contention.Policy) {
+	for {
+		if attempt() {
+			return
+		}
+		waitUnless(ctx, w, pol)
+	}
+}
+
+func waitUnless(ctx context.Context, w *contention.Waiter, pol *contention.Policy) {
+	if ctx.Err() != nil {
+		return
+	}
+	w.Wait(pol)
+}
+
+// noWait loops without touching the contention layer: out of scope for
+// this check regardless of deadlines.
+func noWait() {
+	for {
+		if attempt() {
+			return
+		}
+	}
+}
+
+func suppressedCase(w *contention.Waiter, pol *contention.Policy) {
+	//llsc:allow ctxdeadline(golden suppression case)
+	for {
+		if attempt() {
+			return
+		}
+		w.Wait(pol)
+	}
+}

@@ -1,0 +1,15 @@
+// Package resilience is the analysistest stub for
+// repro/internal/resilience (matched by package-path suffix). Retrier.Do
+// is the closure idiom the retrypolicy and ctxdeadline analyzers accept
+// as policy- and deadline-consulting: the real implementation wraps
+// every attempt in contention.Waiter.Wait and checks ctx.Err().
+package resilience
+
+import "context"
+
+// Retrier drives retries under a policy, budget, and deadline.
+type Retrier struct{ _ int }
+
+// Do runs op until it succeeds, waiting on contention and checking the
+// context between attempts.
+func (r *Retrier) Do(ctx context.Context, proc int, op func() error) error { return nil }

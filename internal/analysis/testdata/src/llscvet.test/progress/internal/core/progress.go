@@ -1,0 +1,68 @@
+// Golden cases for the progress analyzer: this package's import path
+// ends in internal/core, so it is a protocol package.
+package core
+
+import "llscvet.test/internal/machine"
+
+var ready bool
+
+// pureSpin never touches the machine: a livelock outside the
+// lock-freedom proofs, invisible to the contention layer.
+func pureSpin() {
+	for { // want "livelock"
+		if ready {
+			return
+		}
+	}
+}
+
+func scAttempt(p *machine.Proc, w *machine.Word) {
+	for {
+		if p.RLL(w) != 0 {
+			return
+		}
+		if p.RSC(w, 1) {
+			return
+		}
+	}
+}
+
+// channelLoop blocks on channel operations: the scheduler's problem,
+// not a livelock.
+func channelLoop(ch chan int) {
+	for {
+		select {
+		case <-ch:
+			return
+		default:
+		}
+	}
+}
+
+// helpingCall attempts through a same-package helper; the one-level
+// summary sees the CAS inside.
+func helpingCall(p *machine.Proc, w *machine.Word) {
+	for {
+		if help(p, w) {
+			return
+		}
+	}
+}
+
+func help(p *machine.Proc, w *machine.Word) bool { return p.CAS(w, 0, 1) }
+
+// bounded loops are exempt: their condition bounds the spin.
+func bounded() {
+	for i := 0; i < 8; i++ {
+		_ = i
+	}
+}
+
+func suppressedCase() {
+	//llsc:allow progress(golden suppression case)
+	for {
+		if ready {
+			return
+		}
+	}
+}

@@ -38,3 +38,54 @@ func suppressedCase(p *machine.Proc) {
 	//llsc:allow reservedpair(golden suppression case)
 	p.RSC(shared, 3)
 }
+
+// somePath is the path-sensitive case: the RLL happens on only one
+// branch, so a path with no reservation reaches the RSC.
+func somePath(p *machine.Proc, x *machine.Word, c bool) {
+	if c {
+		p.RLL(x)
+	}
+	p.RSC(x, 1) // want "RSC reachable on a path with no dominating RLL"
+}
+
+// backEdge re-enters the RSC over the loop back-edge after the first
+// iteration already consumed the reservation.
+func backEdge(p *machine.Proc, x *machine.Word) {
+	p.RLL(x)
+	for i := 0; i < 2; i++ {
+		p.RSC(x, uint64(i)) // want "RSC reachable on a path with no dominating RLL"
+	}
+}
+
+// earlyReturn leaves the window unconsumed on one path; only paths that
+// actually reach the RSC need a dominating RLL.
+func earlyReturn(p *machine.Proc, x *machine.Word, c bool) {
+	p.RLL(x)
+	if c {
+		return
+	}
+	p.RSC(x, 1)
+}
+
+// retryShape is the canonical loop: every iteration re-reserves before
+// its RSC, so the back-edge carries no stale state.
+func retryShape(p *machine.Proc, x *machine.Word) {
+	for {
+		p.RLL(x)
+		if p.RSC(x, 1) {
+			return
+		}
+	}
+}
+
+// badHelperCall reaches continuationHelper's RSC with no reservation
+// held: the interprocedural summary pins the violation to the call site.
+func badHelperCall(p *machine.Proc, w *machine.Word) {
+	continuationHelper(p, w) // want "RSC without a dominating RLL"
+}
+
+// goodHelperCall holds the reservation the helper consumes.
+func goodHelperCall(p *machine.Proc, w *machine.Word) {
+	p.RLL(w)
+	continuationHelper(p, w)
+}

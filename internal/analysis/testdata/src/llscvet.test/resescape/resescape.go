@@ -1,0 +1,57 @@
+// Golden cases for the resescape analyzer.
+package resescape
+
+import "llscvet.test/internal/machine"
+
+// deferred models a struct that stores callbacks for later invocation —
+// possibly on another goroutine.
+type deferred struct {
+	fn func()
+}
+
+func worker(p *machine.Proc, w *machine.Word) {}
+
+// goroutineEscape hands the reserving processor (and the reserved word)
+// to a new goroutine mid-window: the RSC may then execute on a different
+// goroutine than the RLL, which the substrate cannot detect.
+func goroutineEscape(p *machine.Proc, w *machine.Word) {
+	p.RLL(w)
+	go worker(p, w) // want "escapes into a goroutine"
+	p.RSC(w, 1)
+}
+
+func channelEscape(p *machine.Proc, w *machine.Word, ch chan *machine.Word) {
+	p.RLL(w)
+	ch <- w // want "escapes via channel send"
+	p.RSC(w, 1)
+}
+
+func closureEscape(p *machine.Proc, w *machine.Word, d *deferred) {
+	p.RLL(w)
+	d.fn = func() { p.RSC(w, 1) } // want "closure stored to a field"
+}
+
+// afterWindow hands the processor and word around only after the RSC
+// consumed the reservation: nothing live escapes.
+func afterWindow(p *machine.Proc, w *machine.Word, ch chan *machine.Word) {
+	p.RLL(w)
+	p.RSC(w, 1)
+	ch <- w
+	go worker(p, w)
+}
+
+// unrelated sends a word that is neither reserved nor the reserving
+// processor while a window is open: ordinary data movement, not an
+// escape.
+func unrelated(p *machine.Proc, w, v *machine.Word, ch chan *machine.Word) {
+	p.RLL(w)
+	ch <- v
+	p.RSC(w, 1)
+}
+
+func suppressedCase(p *machine.Proc, w *machine.Word, ch chan *machine.Word) {
+	p.RLL(w)
+	//llsc:allow resescape(golden suppression case)
+	ch <- w
+	p.RSC(w, 1)
+}

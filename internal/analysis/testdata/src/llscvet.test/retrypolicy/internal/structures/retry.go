@@ -3,8 +3,11 @@
 package structures
 
 import (
+	"context"
+
 	"llscvet.test/internal/contention"
 	"llscvet.test/internal/core"
+	"llscvet.test/internal/resilience"
 )
 
 func bare(w *core.Word) {
@@ -42,6 +45,21 @@ func waitsInPost(w *core.Word, cm *contention.Policy) {
 func suppressedCase(w *core.Word) {
 	//llsc:allow retrypolicy(golden suppression case)
 	for {
+		v, k := w.LL()
+		if w.SC(k, v+1) {
+			return
+		}
+	}
+}
+
+// doIdiom consults the policy through resilience.Retrier.Do: the Do
+// closure idiom wraps every attempt in the contention layer's wait, so
+// the loop needs no inline Waiter of its own.
+func doIdiom(ctx context.Context, r *resilience.Retrier, w *core.Word) {
+	for {
+		if r.Do(ctx, 0, func() error { return nil }) != nil {
+			return
+		}
 		v, k := w.LL()
 		if w.SC(k, v+1) {
 			return

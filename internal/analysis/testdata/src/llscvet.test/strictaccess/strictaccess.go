@@ -38,3 +38,32 @@ func suppressedCase(p *machine.Proc, x, y *machine.Word) {
 	p.CAS(y, 0, 1)
 	p.RSC(x, 1)
 }
+
+func helperLoad(p *machine.Proc, y *machine.Word) uint64 {
+	return p.Load(y)
+}
+
+// throughHelper hides the access one call down, but the helper summary
+// sees the Load and the call passes the reserving processor.
+func throughHelper(p *machine.Proc, x, y *machine.Word) {
+	p.RLL(x)
+	helperLoad(p, y) // want "passes the reserving processor"
+	p.RSC(x, 1)
+}
+
+// otherProcHelper passes a processor with no live reservation: the
+// helper's access is ordinary interference.
+func otherProcHelper(p0, p1 *machine.Proc, x, y *machine.Word) {
+	p0.RLL(x)
+	helperLoad(p1, y)
+	p0.RSC(x, 1)
+}
+
+// restart keeps an access in the span, but a fresh RLL re-establishes
+// the reservation before the consuming RSC, so the access is harmless.
+func restart(p *machine.Proc, x, y *machine.Word) {
+	p.RLL(x)
+	p.Load(y)
+	p.RLL(x)
+	p.RSC(x, 1)
+}

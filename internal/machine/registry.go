@@ -2,7 +2,7 @@ package machine
 
 import (
 	"fmt"
-	"sync" //llsc:allow nakedatomic(the registry is supervisory bookkeeping over the machine, not algorithm code; its mutex guards lease tables, never shared words)
+	"sync"
 )
 
 // LeaseState is the lifecycle state of one processor's registry lease.

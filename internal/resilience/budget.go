@@ -2,7 +2,7 @@ package resilience
 
 import (
 	"fmt"
-	"sync/atomic" //llsc:allow nakedatomic(plain event counters, not shared algorithm state)
+	"sync/atomic"
 )
 
 // Budget is a deterministic count-based retry budget: at any point the

@@ -31,7 +31,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
-	"sync/atomic" //llsc:allow nakedatomic(supervision plumbing — clocks, gates, in-flight accounting — not shared algorithm state)
+	"sync/atomic"
 	"time"
 
 	"repro/internal/contention"
